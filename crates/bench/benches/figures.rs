@@ -1,0 +1,70 @@
+//! Criterion benchmarks of the figure-level workloads themselves: the
+//! simulator evaluations behind Figs. 9-11 (fast — they are analytic +
+//! discrete-event models) and the tournament round behind Figs. 12-13.
+//! The full series are produced by the `fig*` binaries; these benches
+//! track the cost of regenerating them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ltfb_hpcsim::{
+    dp_placement, evaluate_config, evaluate_ltfb, IngestMode, LtfbScenario, MachineSpec,
+    TrainingModel, WorkloadSpec,
+};
+
+fn bench_fig9_point(c: &mut Criterion) {
+    let m = MachineSpec::lassen();
+    let w = WorkloadSpec::icf_cyclegan();
+    let t = TrainingModel::default();
+    let mut g = c.benchmark_group("fig09_eval");
+    g.sample_size(10);
+    for &gpus in &[1usize, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(gpus), &gpus, |b, &gpus| {
+            b.iter(|| {
+                evaluate_config(
+                    &m,
+                    &w,
+                    &t,
+                    dp_placement(gpus),
+                    100_000, // smaller sample count: keeps the DES tractable per-iteration
+                    IngestMode::NoStore,
+                    1,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig10_point(c: &mut Criterion) {
+    let m = MachineSpec::lassen();
+    let w = WorkloadSpec::icf_cyclegan();
+    let t = TrainingModel::default();
+    let mut g = c.benchmark_group("fig10_eval");
+    g.sample_size(10);
+    for mode in [IngestMode::DynamicStore, IngestMode::Preloaded] {
+        let name = format!("{mode:?}");
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                evaluate_config(&m, &w, &t, dp_placement(16), 100_000, mode, 1)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig11_point(c: &mut Criterion) {
+    let m = MachineSpec::lassen();
+    let w = WorkloadSpec::icf_cyclegan();
+    let t = TrainingModel::default();
+    let sc = LtfbScenario::paper();
+    let mut g = c.benchmark_group("fig11_eval");
+    g.sample_size(10);
+    for &k in &[8usize, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| evaluate_ltfb(&m, &w, &t, &sc, k))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig9_point, bench_fig10_point, bench_fig11_point);
+criterion_main!(benches);

@@ -1,0 +1,159 @@
+//! Criterion microbenchmarks for the compute kernels underlying every
+//! figure: GEMM (the per-step compute), ring allreduce (data-parallel
+//! sync), CycleGAN train step, data-store shuffle, tournament decision,
+//! JAG simulation, and bundle I/O.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ltfb_comm::{run_world, ReduceOp};
+use ltfb_core::{decide_match, pretrain_global_autoencoder, LtfbConfig, Trainer};
+use ltfb_gan::{batch_from_samples, CycleGan, CycleGanConfig};
+use ltfb_jag::{r2_point, JagConfig, JagSimulator, Sample};
+use ltfb_tensor::{matmul, seeded_rng, uniform};
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm");
+    for &n in &[64usize, 128, 256] {
+        let mut rng = seeded_rng(1);
+        let a = uniform(n, n, -1.0, 1.0, &mut rng);
+        let b = uniform(n, n, -1.0, 1.0, &mut rng);
+        g.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| matmul(&a, &b))
+        });
+    }
+    g.finish();
+}
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ring_allreduce");
+    g.sample_size(10);
+    for &ranks in &[2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |bench, &ranks| {
+            bench.iter(|| {
+                run_world(ranks, |comm| {
+                    let mut v = vec![comm.rank() as f32; 16_384];
+                    comm.allreduce_f32(&mut v, ReduceOp::Sum);
+                    v[0]
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let cfg = CycleGanConfig::small(4);
+    let mut gan = CycleGan::new(cfg, 1);
+    let sim = JagSimulator::new(cfg.jag);
+    let samples: Vec<Sample> = (0..32).map(|i| sim.simulate(r2_point(i))).collect();
+    let refs: Vec<&Sample> = samples.iter().collect();
+    let (x, y) = batch_from_samples(&cfg, &refs);
+    let mut g = c.benchmark_group("cyclegan");
+    g.bench_function("train_step_mb32", |b| b.iter(|| gan.train_step(&x, &y)));
+    g.bench_function("evaluate_mb32", |b| b.iter(|| gan.evaluate(&x, &y)));
+    g.finish();
+}
+
+fn bench_tournament(c: &mut Criterion) {
+    let cfg = LtfbConfig::small(2);
+    let ae = pretrain_global_autoencoder(&cfg);
+    let mut a = Trainer::new(cfg, 0);
+    let mut b = Trainer::new(cfg, 1);
+    a.load_autoencoder(ae.clone());
+    b.load_autoencoder(ae);
+    let foreign = a.gan.generator_to_bytes();
+    let mut g = c.benchmark_group("tournament");
+    g.bench_function("exchange_and_decide", |bench| {
+        bench.iter(|| decide_match(&mut b, 0, foreign.clone()))
+    });
+    g.bench_function("generator_serialize", |bench| {
+        bench.iter(|| a.gan.generator_to_bytes())
+    });
+    g.finish();
+}
+
+fn bench_jag(c: &mut Criterion) {
+    let mut g = c.benchmark_group("jag_simulate");
+    for &size in &[16usize, 64] {
+        let sim = JagSimulator::new(JagConfig::small(size));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |bench, _| {
+            let mut i = 0u64;
+            bench.iter(|| {
+                i += 1;
+                sim.simulate(r2_point(i))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_bundle_io(c: &mut Criterion) {
+    let cfg = JagConfig::small(16);
+    let sim = JagSimulator::new(cfg);
+    let samples: Vec<Sample> = (0..64).map(|i| sim.simulate(r2_point(i))).collect();
+    let dir = ltfb_jag::temp_dataset_dir("bench-io");
+    let path = dir.join("bench.jagb");
+    ltfb_jag::write_bundle(&path, &cfg, &samples).unwrap();
+    let mut g = c.benchmark_group("bundle_io");
+    g.bench_function("write_64_samples", |b| {
+        b.iter(|| ltfb_jag::write_bundle(&path, &cfg, &samples))
+    });
+    g.bench_function("read_all_64_samples", |b| {
+        b.iter(|| {
+            let mut r = ltfb_jag::BundleReader::open(&path, &cfg).unwrap();
+            r.read_all().unwrap()
+        })
+    });
+    g.bench_function("random_read_1_sample", |b| {
+        let mut r = ltfb_jag::BundleReader::open(&path, &cfg).unwrap();
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 17) % 64;
+            r.read_sample(i).unwrap()
+        })
+    });
+    g.finish();
+    ltfb_jag::cleanup_dataset_dir(&dir);
+}
+
+fn bench_datastore_shuffle(c: &mut Criterion) {
+    use ltfb_datastore::{DataStore, PopulateMode};
+    use ltfb_jag::DatasetSpec;
+    let dir = ltfb_jag::temp_dataset_dir("bench-store");
+    let spec = DatasetSpec::new(dir.clone(), JagConfig::small(8), 128, 32);
+    spec.generate_all().unwrap();
+    let mut g = c.benchmark_group("datastore");
+    g.sample_size(10);
+    g.bench_function("epoch_shuffle_4ranks_128samples", |b| {
+        b.iter(|| {
+            run_world(4, |comm| {
+                let ids: Vec<u64> = (0..128).collect();
+                let mut store = DataStore::new(
+                    comm,
+                    spec.clone(),
+                    ids,
+                    PopulateMode::Preload,
+                    16,
+                    7,
+                    None,
+                )
+                .unwrap();
+                store.fetch_epoch(1).unwrap().len()
+            })
+        })
+    });
+    g.finish();
+    ltfb_jag::cleanup_dataset_dir(&dir);
+}
+
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_allreduce,
+    bench_train_step,
+    bench_tournament,
+    bench_jag,
+    bench_bundle_io,
+    bench_datastore_shuffle
+);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Ablations on the machine model: (1) rank placement for a fixed 16-GPU
+//! trainer (the Fig. 11 superlinearity mechanism), (2) allreduce/backprop
+//! overlap, (3) mini-batch size vs data-parallel efficiency (the paper's
+//! footnote on the large-batch regime), and (4) the LBANN in-memory store
+//! vs Kurth-style node-local staging (Section V).
+
+use ltfb_bench::{banner, fmt_secs, print_table, write_csv};
+use ltfb_hpcsim::{
+    grad_sync_time, staging_outcome, step_time, store_outcome, MachineSpec, Placement,
+    TrainingModel, WorkloadSpec,
+};
+
+fn main() {
+    let m = MachineSpec::lassen();
+    let w = WorkloadSpec::icf_cyclegan();
+    let t = TrainingModel::default();
+
+    banner("Ablation", "placement, overlap, mini-batch scaling, staging comparison");
+
+    println!("-- placement of 16 ranks (fixed mini-batch 128) --");
+    let mut rows = Vec::new();
+    for (nodes, gpn) in [(4usize, 4usize), (8, 2), (16, 1)] {
+        let p = Placement::new(nodes, gpn);
+        let st = step_time(&m, &w, &t, p);
+        let sync = grad_sync_time(&m, p, w.grad_bytes() as f64, w.grad_tensors, t.sync_overlap);
+        rows.push(vec![
+            format!("{nodes}x{gpn}"),
+            format!("{:.1}", st * 1e3),
+            format!("{:.1}", sync * 1e3),
+            format!("{:.2}x", st / step_time(&m, &w, &t, Placement::new(4, 4))),
+        ]);
+    }
+    let header = ["placement", "step_ms", "sync_ms", "vs_4x4"];
+    print_table(&header, &rows);
+    write_csv("ablation_placement.csv", &header, &rows);
+    println!("(16x1 vs 4x4 is the placement gap behind Fig. 11's 109% efficiency)\n");
+
+    println!("-- allreduce/backprop overlap --");
+    let mut rows = Vec::new();
+    for overlap in [0.0f64, 0.25, 0.5, 0.75, 0.95] {
+        let mut tm = t;
+        tm.sync_overlap = overlap;
+        let st = step_time(&m, &w, &tm, Placement::new(4, 4));
+        let epoch = st * (1_000_000f64 / w.mini_batch as f64);
+        rows.push(vec![
+            format!("{overlap:.2}"),
+            format!("{:.1}", st * 1e3),
+            fmt_secs(epoch),
+        ]);
+    }
+    let header = ["overlap", "step_ms", "epoch_s_1M"];
+    print_table(&header, &rows);
+    write_csv("ablation_overlap.csv", &header, &rows);
+
+    println!("\n-- mini-batch size vs 16-GPU efficiency (paper footnote 2) --");
+    let mut rows = Vec::new();
+    for mb in [64usize, 128, 256, 512, 1024, 4096] {
+        let mut wl = w;
+        wl.mini_batch = mb;
+        let p16 = Placement::new(4, 4);
+        let p1 = Placement::new(1, 1);
+        let t16 = step_time(&m, &wl, &t, p16) / mb as f64; // per-sample
+        let t1 = step_time(&m, &wl, &t, p1) / mb as f64;
+        let eff = t1 / t16 / 16.0;
+        rows.push(vec![mb.to_string(), format!("{:.1}%", eff * 100.0)]);
+    }
+    let header = ["mini_batch", "dp_efficiency_16gpu"];
+    print_table(&header, &rows);
+    write_csv("ablation_minibatch.csv", &header, &rows);
+    println!("(compute+sync only — Fig. 9's 58% end-to-end efficiency also counts");
+    println!(" the I/O that parallelises near-linearly across reader ranks)");
+    println!("(large batches restore efficiency — but the paper notes that regime");
+    println!(" needs learning-rate retuning and does not generalise universally,");
+    println!(" which is why LTFB's extra axis of parallelism matters)\n");
+
+    println!("-- in-memory store vs Kurth-style node-local staging (Sec. V) --");
+    let mut rows = Vec::new();
+    let p = Placement::new(4, 4);
+    for (name, sharing) in [("staging s=1", 1.0), ("staging s=2", 2.0), ("staging s=4", 4.0)] {
+        let o = staging_outcome(&m, &w, p, 1_000_000, sharing);
+        rows.push(vec![
+            name.to_string(),
+            fmt_secs(o.setup_time),
+            format!("{:.1}", o.p2p_bytes / 1e9),
+            format!("{:.1}", o.per_node_bytes / 1e9),
+        ]);
+    }
+    let o = store_outcome(&m, &w, p, 1_000_000);
+    rows.push(vec![
+        "lbann store".into(),
+        fmt_secs(o.setup_time),
+        format!("{:.1} (per epoch)", o.p2p_bytes / 1e9),
+        format!("{:.1}", o.per_node_bytes / 1e9),
+    ]);
+    let header = ["strategy", "setup_s", "p2p_GB", "per_node_GB"];
+    print_table(&header, &rows);
+    write_csv("ablation_staging.csv", &header, &rows);
+    println!("(the store holds one copy total and starts training immediately;");
+    println!(" staging multiplies local footprint by the sharing factor — the");
+    println!(" paper's Section V argument, quantified)");
+}

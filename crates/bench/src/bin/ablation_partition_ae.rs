@@ -1,0 +1,108 @@
+//! Ablation: (1) silo construction — space-filling index slices vs
+//! contiguous design-space regions; (2) shared a-priori autoencoder vs
+//! per-trainer local autoencoders.
+//!
+//! The second ablation documents a subtle failure mode we hit while
+//! reproducing the paper: if each trainer pre-trains its own autoencoder,
+//! exchanged generators target *incompatible latent spaces*, foreign
+//! generators always look bad under the local encoder, and the tournament
+//! silently degenerates to K-independent training (zero adoptions).
+
+use ltfb_bench::{banner, print_table, write_csv};
+use ltfb_core::{
+    pairing, pretrain_global_autoencoder, run_ltfb_serial, LtfbConfig, PartitionScheme, Trainer,
+};
+
+fn base_cfg(k: usize) -> LtfbConfig {
+    let mut cfg = LtfbConfig::small(k);
+    cfg.train_samples = 1024;
+    cfg.val_samples = 192;
+    cfg.tournament_samples = 64;
+    cfg.ae_steps = 300;
+    cfg.steps = 300;
+    cfg.exchange_interval = 30;
+    cfg.eval_interval = 300;
+    cfg
+}
+
+/// LTFB with per-trainer local autoencoders (the broken configuration).
+fn run_with_local_autoencoders(cfg: &LtfbConfig) -> (f32, u64) {
+    let mut trainers: Vec<Trainer> =
+        (0..cfg.n_trainers).map(|t| Trainer::new(*cfg, t)).collect();
+    for t in &mut trainers {
+        t.pretrain_autoencoder(); // per-trainer latent space
+    }
+    for step in 1..=cfg.steps {
+        for t in &mut trainers {
+            t.train_step();
+        }
+        if step % cfg.exchange_interval == 0 {
+            let round = step / cfg.exchange_interval;
+            let partners = pairing(cfg.n_trainers, round, cfg.seed);
+            let payloads: Vec<_> =
+                trainers.iter().map(|t| t.gan.generator_to_bytes()).collect();
+            for (t, p) in partners.iter().enumerate() {
+                if let Some(p) = p {
+                    ltfb_core::decide_match(&mut trainers[t], *p, payloads[*p].clone());
+                }
+            }
+        }
+    }
+    let vals: Vec<f32> = trainers.iter_mut().map(|t| t.validate().combined()).collect();
+    let adoptions = trainers.iter().map(|t| t.losses).sum();
+    (vals.iter().sum::<f32>() / vals.len() as f32, adoptions)
+}
+
+fn main() {
+    banner("Ablation", "partitioning scheme and shared-vs-local autoencoder");
+    let avg = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+
+    println!("-- partitioning: index slices (dense silos) vs design-space regions --");
+    let mut rows = Vec::new();
+    for k in [2usize, 4, 8] {
+        for (name, scheme) in
+            [("by_index", PartitionScheme::ByIndex), ("by_region", PartitionScheme::ByRegion)]
+        {
+            let mut cfg = base_cfg(k);
+            cfg.partition = scheme;
+            let out = run_ltfb_serial(&cfg);
+            rows.push(vec![
+                k.to_string(),
+                name.to_string(),
+                format!("{:.4}", out.best().1),
+                format!("{:.4}", avg(&out.final_val)),
+                out.adoptions.to_string(),
+            ]);
+        }
+    }
+    let header = ["K", "silos", "best_val", "avg_val", "adoptions"];
+    print_table(&header, &rows);
+    write_csv("ablation_partition.csv", &header, &rows);
+
+    println!("\n-- autoencoder: shared a-priori latent space vs per-trainer --");
+    let mut rows = Vec::new();
+    for k in [2usize, 4] {
+        let cfg = base_cfg(k);
+        let shared = run_ltfb_serial(&cfg);
+        let (local_avg, local_adoptions) = run_with_local_autoencoders(&cfg);
+        let _ = pretrain_global_autoencoder(&cfg); // exercised above; silence lint patterns
+        rows.push(vec![
+            k.to_string(),
+            "shared".into(),
+            format!("{:.4}", avg(&shared.final_val)),
+            shared.adoptions.to_string(),
+        ]);
+        rows.push(vec![
+            k.to_string(),
+            "local".into(),
+            format!("{local_avg:.4}"),
+            local_adoptions.to_string(),
+        ]);
+    }
+    let header = ["K", "autoencoder", "avg_val", "adoptions"];
+    print_table(&header, &rows);
+    write_csv("ablation_autoencoder.csv", &header, &rows);
+    println!("\nreading: local autoencoders collapse adoption counts toward zero —");
+    println!("the tournament cannot compare generators across latent spaces, so the");
+    println!("paper's 'trained a priori' shared autoencoder is load-bearing.");
+}

@@ -1,0 +1,64 @@
+//! Ablation: tournament design choices — exchange interval and the
+//! decision metric (global-style validation loss vs. the GAN-specific
+//! "fool the local discriminator" score of Fig. 6(b)).
+
+use ltfb_bench::{banner, print_table, write_csv};
+use ltfb_core::{run_ltfb_serial, LtfbConfig, TournamentMetric};
+
+fn base_cfg() -> LtfbConfig {
+    let mut cfg = LtfbConfig::small(4);
+    cfg.train_samples = 1024;
+    cfg.val_samples = 192;
+    cfg.tournament_samples = 64;
+    cfg.ae_steps = 300;
+    cfg.steps = 300;
+    cfg.eval_interval = 300;
+    cfg
+}
+
+fn main() {
+    banner("Ablation", "tournament exchange interval and decision metric");
+    let avg = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+
+    println!("-- exchange interval sweep (metric = validation loss) --");
+    let mut rows = Vec::new();
+    for interval in [10u64, 25, 50, 100, 300] {
+        let mut cfg = base_cfg();
+        cfg.exchange_interval = interval;
+        let out = run_ltfb_serial(&cfg);
+        rows.push(vec![
+            interval.to_string(),
+            format!("{}", out.matches.len()),
+            out.adoptions.to_string(),
+            format!("{:.4}", out.best().1),
+            format!("{:.4}", avg(&out.final_val)),
+        ]);
+    }
+    let header = ["interval", "matches", "adoptions", "best_val", "avg_val"];
+    print_table(&header, &rows);
+    write_csv("ablation_exchange_interval.csv", &header, &rows);
+
+    println!("\n-- tournament metric comparison --");
+    let mut rows = Vec::new();
+    for (name, metric) in [
+        ("val_loss", TournamentMetric::ValLoss),
+        ("disc_score", TournamentMetric::DiscriminatorScore),
+    ] {
+        let mut cfg = base_cfg();
+        cfg.metric = metric;
+        let out = run_ltfb_serial(&cfg);
+        rows.push(vec![
+            name.to_string(),
+            out.adoptions.to_string(),
+            format!("{:.4}", out.best().1),
+            format!("{:.4}", avg(&out.final_val)),
+        ]);
+    }
+    let header = ["metric", "adoptions", "best_val", "avg_val"];
+    print_table(&header, &rows);
+    write_csv("ablation_tournament_metric.csv", &header, &rows);
+
+    println!("\nreading: too-frequent exchange churns optimizer state; too-rare");
+    println!("exchange approaches K-independent. The discriminator-score metric is");
+    println!("the paper's GAN-specific variant; validation loss is what Figs 12/13 use.");
+}

@@ -1,0 +1,84 @@
+//! Figure 7: ground-truth vs LTFB-CycleGAN-predicted 15-D scalars for 16
+//! validation samples. The paper's visual claim is that predictions lie
+//! on top of the ground truth; we report per-scalar truth/prediction
+//! pairs, absolute errors, and the fraction of predictions within an
+//! absolute tolerance band.
+
+use ltfb_bench::{banner, print_table, write_csv};
+use ltfb_core::{run_ltfb_serial_with_models, LtfbConfig};
+use ltfb_gan::split_output;
+use ltfb_jag::N_SCALARS;
+
+fn main() {
+    banner("Figure 7", "ground truth vs predicted 15-D scalars (16 validation samples)");
+    let mut cfg = LtfbConfig::small(4);
+    cfg.gan.jag = ltfb_jag::JagConfig::small(8);
+    cfg.train_samples = 2048;
+    cfg.val_samples = 256;
+    cfg.tournament_samples = 64;
+    cfg.ae_steps = 600;
+    cfg.steps = 600;
+    cfg.exchange_interval = 50;
+    cfg.eval_interval = 100;
+
+    println!("training LTFB population (K=4, {} steps)...", cfg.steps);
+    let (out, mut trainers) = run_ltfb_serial_with_models(&cfg);
+    let (best_id, best_val) = out.best();
+    println!("best trainer: {best_id} (validation loss {best_val:.4})\n");
+    let winner = &mut trainers[best_id];
+
+    // Predict 16 validation samples.
+    let val = ltfb_core::val_samples(&cfg.gan.jag, 0, 16);
+    let refs: Vec<&ltfb_jag::Sample> = val.iter().collect();
+    let (x, _y) = ltfb_gan::batch_from_samples(&cfg.gan, &refs);
+    let pred = winner.gan.predict(&x);
+
+    let names = [
+        "log_yield", "ignition_p", "ti", "te", "bang_time", "burn_width", "convergence",
+        "rho_r", "resid_ke", "symmetry", "flux_v0", "flux_v1", "flux_v2", "hotspot_r",
+        "mode_power",
+    ];
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    let mut within = 0usize;
+    let mut total = 0usize;
+    for s in 0..N_SCALARS {
+        let mut mean_abs_err = 0.0f32;
+        let mut truth_range: (f32, f32) = (f32::MAX, f32::MIN);
+        for (i, sample) in val.iter().enumerate() {
+            let (scalars, _) = split_output(&cfg.gan, pred.row(i));
+            let t = sample.scalars[s];
+            let p = scalars[s];
+            mean_abs_err += (t - p).abs();
+            truth_range = (truth_range.0.min(t), truth_range.1.max(t));
+            total += 1;
+            if (t - p).abs() < 0.15 {
+                within += 1;
+            }
+            csv_rows.push(vec![
+                i.to_string(),
+                names[s].to_string(),
+                format!("{t:.5}"),
+                format!("{p:.5}"),
+            ]);
+        }
+        mean_abs_err /= val.len() as f32;
+        rows.push(vec![
+            names[s].to_string(),
+            format!("{:.3}..{:.3}", truth_range.0, truth_range.1),
+            format!("{mean_abs_err:.4}"),
+        ]);
+    }
+    print_table(&["scalar", "truth_range", "mean_abs_err"], &rows);
+    println!(
+        "\npredictions within ±0.15 of ground truth: {within}/{total} ({:.0}%)",
+        100.0 * within as f32 / total as f32
+    );
+    println!("paper (visual): ground truth 'mostly covered' by GAN predictions");
+    let path = write_csv(
+        "fig07_scalars.csv",
+        &["sample", "scalar", "truth", "predicted"],
+        &csv_rows,
+    );
+    println!("csv: {}", path.display());
+}

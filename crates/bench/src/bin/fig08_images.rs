@@ -1,0 +1,78 @@
+//! Figure 8: capsule X-ray images from the JAG ground truth vs the LTFB
+//! CycleGAN generator, at the paper's selected (view, channel) panels.
+//! Writes side-by-side PGM panels and prints per-image MAE / correlation.
+
+use ltfb_bench::{banner, print_table, results_dir, write_csv};
+use ltfb_core::{run_ltfb_serial_with_models, LtfbConfig};
+use ltfb_gan::split_output;
+use ltfb_jag::{image_errors, write_pair_pgm, N_CHANNELS};
+
+fn main() {
+    banner("Figure 8", "ground truth vs generated capsule images (selected views/channels)");
+    let mut cfg = LtfbConfig::small(4);
+    cfg.gan.jag = ltfb_jag::JagConfig::small(16);
+    cfg.train_samples = 2048;
+    cfg.val_samples = 256;
+    cfg.tournament_samples = 64;
+    cfg.ae_steps = 800;
+    cfg.steps = 800;
+    cfg.exchange_interval = 50;
+    cfg.eval_interval = 200;
+
+    println!(
+        "training LTFB population (K=4, {} steps, {}x{} images)...",
+        cfg.steps, cfg.gan.jag.img_size, cfg.gan.jag.img_size
+    );
+    let (out, mut trainers) = run_ltfb_serial_with_models(&cfg);
+    let (best_id, best_val) = out.best();
+    println!("best trainer: {best_id} (validation loss {best_val:.4})\n");
+    let winner = &mut trainers[best_id];
+
+    // The paper's panels: (view0, ch0), (view1, ch1), (view2, ch2).
+    let panels = [(0usize, 0usize), (1, 1), (2, 2)];
+    let n_show = 2; // validation samples rendered
+
+    let val = ltfb_core::val_samples(&cfg.gan.jag, 0, n_show as u64);
+    let refs: Vec<&ltfb_jag::Sample> = val.iter().collect();
+    let (x, _y) = ltfb_gan::batch_from_samples(&cfg.gan, &refs);
+    let pred = winner.gan.predict(&x);
+
+    let px = cfg.gan.jag.pixels();
+    let size = cfg.gan.jag.img_size;
+    let mut rows = Vec::new();
+    let dir = results_dir();
+    for (i, sample) in val.iter().enumerate() {
+        let (_, pred_images) = split_output(&cfg.gan, pred.row(i));
+        // Clamp predictions into image range for rendering + metrics.
+        let pred_images: Vec<f32> = pred_images.iter().map(|v| v.clamp(0.0, 1.0)).collect();
+        let errs = image_errors(&cfg.gan.jag, &sample.images, &pred_images);
+        for &(view, ch) in &panels {
+            let idx = view * N_CHANNELS + ch;
+            let truth = &sample.images[idx * px..(idx + 1) * px];
+            let predicted = &pred_images[idx * px..(idx + 1) * px];
+            let fname = dir.join(format!("fig08_s{i}_v{view}c{ch}.pgm"));
+            write_pair_pgm(&fname, truth, predicted, size).expect("write pgm");
+            rows.push(vec![
+                i.to_string(),
+                format!("view{view}/ch{ch}"),
+                format!("{:.4}", errs.mae[idx]),
+                format!("{:.3}", errs.correlation[idx]),
+                fname.file_name().unwrap().to_string_lossy().to_string(),
+            ]);
+        }
+        rows.push(vec![
+            i.to_string(),
+            "ALL 12".into(),
+            format!("{:.4}", errs.overall_mae),
+            "-".into(),
+            "-".into(),
+        ]);
+    }
+    let header = ["sample", "panel", "mae", "pearson_r", "pgm"];
+    print_table(&header, &rows);
+    let path = write_csv("fig08_images.csv", &header, &rows);
+    println!("\npaper (visual): generated images qualitatively match ground truth;");
+    println!("here quantified as per-panel MAE and Pearson correlation.");
+    println!("panels written as side-by-side (truth | prediction) PGM files.");
+    println!("csv: {}", path.display());
+}

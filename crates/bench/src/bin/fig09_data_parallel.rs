@@ -1,0 +1,59 @@
+//! Figure 9: strong scaling of data-parallel training of a single
+//! CycleGAN model, 1 -> 16 GPUs, 1M-sample dataset, naive ("dynamic
+//! loading") ingestion, steady-state epoch time.
+//!
+//! Paper anchors: 9.36x speedup at 16 GPUs over 1 GPU; parallel
+//! efficiency declining to ~58%.
+
+use ltfb_bench::{banner, fmt_secs, print_table, write_csv};
+use ltfb_hpcsim::{
+    dp_placement, evaluate_config, ConfigOutcome, IngestMode, MachineSpec, TrainingModel,
+    WorkloadSpec,
+};
+
+fn main() {
+    banner("Figure 9", "data-parallel strong scaling (1M samples, mb=128, no data store)");
+    let m = MachineSpec::lassen();
+    let w = WorkloadSpec::icf_cyclegan();
+    let t = TrainingModel::default();
+    let samples = 1_000_000u64;
+
+    let gpus = [1usize, 2, 4, 8, 16];
+    let mut rows = Vec::new();
+    let mut base = None;
+    for &g in &gpus {
+        let place = dp_placement(g);
+        let out = evaluate_config(&m, &w, &t, place, samples, IngestMode::NoStore, 0xF19);
+        let ConfigOutcome::Ran { steady, .. } = out else {
+            panic!("no-store mode has no memory gate");
+        };
+        let total = steady.total();
+        let b = *base.get_or_insert(total);
+        let speedup = b / total;
+        let eff = speedup / g as f64 * 100.0;
+        rows.push(vec![
+            g.to_string(),
+            format!("{}x{}", place.nodes, place.gpus_per_node),
+            fmt_secs(total),
+            fmt_secs(steady.io),
+            fmt_secs(steady.compute),
+            fmt_secs(steady.sync),
+            format!("{speedup:.2}"),
+            format!("{eff:.0}%"),
+        ]);
+    }
+    let header = [
+        "GPUs",
+        "placement",
+        "epoch_s",
+        "io_s",
+        "compute_s",
+        "sync_s",
+        "speedup",
+        "efficiency",
+    ];
+    print_table(&header, &rows);
+    let path = write_csv("fig09_data_parallel.csv", &header, &rows);
+    println!("\npaper anchors: 9.36x @16 GPUs, ~58% efficiency");
+    println!("csv: {}", path.display());
+}

@@ -1,0 +1,85 @@
+//! Figure 10: the data store's effect on epoch time — dynamic loading
+//! (no store), dynamic-mode store, and preloaded store; initial and
+//! steady-state epochs; 1 -> 16 GPUs on the 1M-sample set.
+//!
+//! Paper anchors: 7.73x store benefit at 1 GPU shrinking to 1.31x
+//! (dynamic) / 1.43x (preloaded) at 4 nodes; preloaded 1.10x better than
+//! dynamic steady-state; preload infeasible (OOM) at 1-2 GPUs.
+
+use ltfb_bench::{banner, fmt_secs, print_table, write_csv};
+use ltfb_hpcsim::{
+    dp_placement, evaluate_config, ConfigOutcome, IngestMode, MachineSpec, TrainingModel,
+    WorkloadSpec,
+};
+
+fn cell(out: &ConfigOutcome, initial: bool) -> String {
+    match out {
+        ConfigOutcome::Ran { initial: i, steady: s, preload } => {
+            if initial {
+                fmt_secs(i.total() + preload)
+            } else {
+                fmt_secs(s.total())
+            }
+        }
+        ConfigOutcome::OutOfMemory { .. } => "OOM".into(),
+    }
+}
+
+fn main() {
+    banner("Figure 10", "data store modes vs naive loading (1M samples)");
+    let m = MachineSpec::lassen();
+    let w = WorkloadSpec::icf_cyclegan();
+    let t = TrainingModel::default();
+    let samples = 1_000_000u64;
+
+    let gpus = [1usize, 2, 4, 8, 16];
+    let mut rows = Vec::new();
+    let mut at16 = (0.0f64, 0.0f64, 0.0f64);
+    let mut at1 = (0.0f64, 0.0f64);
+    for &g in &gpus {
+        let place = dp_placement(g);
+        let none = evaluate_config(&m, &w, &t, place, samples, IngestMode::NoStore, 0x10);
+        let dynamic = evaluate_config(&m, &w, &t, place, samples, IngestMode::DynamicStore, 0x10);
+        let preload = evaluate_config(&m, &w, &t, place, samples, IngestMode::Preloaded, 0x10);
+        if g == 16 {
+            at16 = (
+                none.steady_total().unwrap(),
+                dynamic.steady_total().unwrap(),
+                preload.steady_total().unwrap(),
+            );
+        }
+        if g == 1 {
+            at1 = (none.steady_total().unwrap(), dynamic.steady_total().unwrap());
+        }
+        rows.push(vec![
+            g.to_string(),
+            format!("{}x{}", place.nodes, place.gpus_per_node),
+            cell(&none, true),
+            cell(&none, false),
+            cell(&dynamic, true),
+            cell(&dynamic, false),
+            cell(&preload, true),
+            cell(&preload, false),
+        ]);
+    }
+    let header = [
+        "GPUs",
+        "placement",
+        "none_init",
+        "none_steady",
+        "dyn_init",
+        "dyn_steady",
+        "pre_init",
+        "pre_steady",
+    ];
+    print_table(&header, &rows);
+    let path = write_csv("fig10_datastore.csv", &header, &rows);
+
+    println!("\nmeasured ratios:");
+    println!("  1 GPU  : store benefit (none/dynamic steady) = {:.2}x (paper 7.73x)", at1.0 / at1.1);
+    println!("  16 GPU : none/dynamic steady                 = {:.2}x (paper 1.31x)", at16.0 / at16.1);
+    println!("  16 GPU : none/preload steady                 = {:.2}x (paper 1.43x)", at16.0 / at16.2);
+    println!("  16 GPU : dynamic/preload steady              = {:.2}x (paper 1.10x)", at16.1 / at16.2);
+    println!("  OOM at 1-2 GPUs for preload: reproduced via the 1/2-node memory gate");
+    println!("csv: {}", path.display());
+}

@@ -1,0 +1,61 @@
+//! Figure 11: LTFB strong scaling on the 10M-sample set, 16 -> 1024 GPUs
+//! (1, 8, 16, 32, 64 trainers of 16 GPUs each; the 1-trainer baseline is
+//! the memory-forced 16-node x 1-GPU placement).
+//!
+//! Paper anchors: 70.2x speedup at 64 trainers (109% parallel
+//! efficiency); preload time improves with trainer count but degrades at
+//! 64 trainers due to inter-trainer file-system contention.
+
+use ltfb_bench::{banner, fmt_secs, print_table, write_csv};
+use ltfb_hpcsim::{paper_sweep, MachineSpec, TrainingModel, WorkloadSpec};
+
+fn main() {
+    banner("Figure 11", "LTFB training + preload times, 10M samples, 16->1024 GPUs");
+    let m = MachineSpec::lassen();
+    let w = WorkloadSpec::icf_cyclegan();
+    let t = TrainingModel::default();
+
+    let points = paper_sweep(&m, &w, &t);
+    let base = points[0].epoch_time;
+    let mut rows = Vec::new();
+    for p in &points {
+        let speedup = base / p.epoch_time;
+        let eff = speedup / p.trainers as f64 * 100.0;
+        rows.push(vec![
+            p.trainers.to_string(),
+            p.gpus.to_string(),
+            fmt_secs(p.epoch_time),
+            format!("{speedup:.1}"),
+            format!("{eff:.0}%"),
+            fmt_secs(p.preload_time),
+            fmt_secs(p.tournament_overhead),
+            if p.feasible { "yes".into() } else { "OOM".into() },
+        ]);
+    }
+    let header = [
+        "trainers",
+        "GPUs",
+        "epoch_s",
+        "speedup",
+        "efficiency",
+        "preload_s",
+        "tourney_s",
+        "fits_mem",
+    ];
+    print_table(&header, &rows);
+    let path = write_csv("fig11_ltfb_scaling.csv", &header, &rows);
+
+    let p32 = &points[3];
+    let p64 = &points[4];
+    println!("\npaper anchors: 70.2x @64 trainers, 109% efficiency");
+    println!(
+        "preload degradation at 64 trainers: {} s vs {} s at 32 ({}) — paper observed the same regression",
+        fmt_secs(p64.preload_time),
+        fmt_secs(p32.preload_time),
+        if p64.preload_time > p32.preload_time { "reproduced" } else { "NOT reproduced" },
+    );
+    println!("note: K=2 and K=4 are absent from the sweep because their per-trainer");
+    println!("partitions do not fit a 4-node data store (Section IV-E) — the memory");
+    println!("model reproduces that constraint (see the feasibility column).");
+    println!("csv: {}", path.display());
+}

@@ -1,0 +1,106 @@
+//! Replay bridge: run the *real* distributed data store on a small
+//! dataset, collect its measured event counts (files opened, samples and
+//! bytes shuffled), scale them to the paper's 10M-sample workload, and
+//! cost them with the calibrated Lassen models. This connects the two
+//! halves of the reproduction — the semantic half produces the event
+//! stream, the timing half prices it.
+
+use ltfb_bench::{banner, fmt_secs, print_table, write_csv};
+use ltfb_comm::run_world;
+use ltfb_datastore::{DataStore, PopulateMode};
+use ltfb_hpcsim::{shuffle_time, MachineSpec, Placement, WorkloadSpec};
+use ltfb_jag::{cleanup_dataset_dir, temp_dataset_dir, DatasetSpec, JagConfig};
+
+fn main() {
+    banner("Replay", "real data-store event stream costed by the Lassen model");
+    // --- Real run: 16 ranks, small dataset, both modes. ---
+    let dir = temp_dataset_dir("replay");
+    let small_samples: u64 = 4_000;
+    let per_file = 250;
+    let spec = DatasetSpec::new(dir.clone(), JagConfig::small(8), small_samples, per_file);
+    spec.generate_all().expect("generate dataset");
+    println!(
+        "real run: 16 ranks, {} samples in {} files, 3 epochs per mode\n",
+        small_samples,
+        spec.n_files()
+    );
+
+    let mut measured = Vec::new();
+    for mode in [PopulateMode::Preload, PopulateMode::Dynamic] {
+        let spec2 = spec.clone();
+        let stats = run_world(16, move |comm| {
+            let ids: Vec<u64> = (0..spec2.n_samples).collect();
+            let mut store =
+                DataStore::new(comm, spec2.clone(), ids, mode, 128, 7, None).expect("fits");
+            for epoch in 0..3 {
+                store.fetch_epoch(epoch).expect("epoch ok");
+            }
+            store.stats()
+        });
+        let agg = stats.iter().fold((0u64, 0u64, 0u64, 0u64), |a, s| {
+            (
+                a.0 + s.fs_file_reads,
+                a.1 + s.fs_sample_reads,
+                a.2 + s.shuffled_samples,
+                a.3 + s.shuffled_bytes,
+            )
+        });
+        measured.push((mode, agg));
+    }
+    cleanup_dataset_dir(&dir);
+
+    // --- Scale to the paper's workload and cost with the machine model. ---
+    let m = MachineSpec::lassen();
+    let w = WorkloadSpec::icf_cyclegan();
+    let paper_samples = 10_000_000f64;
+    let scale = paper_samples / small_samples as f64;
+    let place = Placement::new(4, 4);
+
+    let mut rows = Vec::new();
+    for (mode, (files, sample_reads, shuffled, _bytes)) in &measured {
+        // Event counts scale linearly with sample count; bytes use the
+        // paper's true sample size.
+        let files_p = *files as f64 * scale;
+        let reads_p = *sample_reads as f64 * scale / 3.0; // per epoch-0
+        let shuffled_p = *shuffled as f64 * scale / 3.0; // per steady epoch
+        let shuffle_bytes_p = shuffled_p * w.sample_bytes as f64;
+
+        // Cost: whole-file read time (PFS streaming), random reads (open
+        // latency bound), steady shuffle (network model, fully exposed
+        // here — the real system overlaps it).
+        let file_time = files_p * (m.pfs.open_latency_s
+            + (w.samples_per_file as u64 * w.sample_bytes) as f64 / m.pfs.server_bw)
+            / place.ranks() as f64;
+        let read_time = reads_p * m.pfs.open_latency_s / place.ranks() as f64;
+        let steps = paper_samples / w.mini_batch as f64;
+        let shuffle = steps
+            * shuffle_time(&m.net, place, shuffle_bytes_p / steps * place.ranks() as f64, 0.0)
+            / place.ranks() as f64;
+
+        rows.push(vec![
+            format!("{mode:?}"),
+            format!("{:.0}", files_p),
+            format!("{:.0}", reads_p),
+            format!("{:.2e}", shuffled_p),
+            fmt_secs(file_time),
+            fmt_secs(read_time),
+            fmt_secs(shuffle),
+        ]);
+    }
+    let header = [
+        "mode",
+        "file_reads@10M",
+        "sample_reads/epoch0",
+        "shuffled/epoch",
+        "bulk_io_s",
+        "rand_io_s",
+        "shuffle_s(unoverlapped)",
+    ];
+    print_table(&header, &rows);
+    let path = write_csv("replay_store_events.csv", &header, &rows);
+    println!("\nreading: preload turns epoch-0 I/O into bulk streaming (no random");
+    println!("reads); the steady-state shuffle volume is identical across modes and");
+    println!("cheap even if fully exposed — which is why the store's background");
+    println!("threads hide it completely in the paper.");
+    println!("csv: {}", path.display());
+}

@@ -1,0 +1,151 @@
+//! One-shot reproduction self-check: re-derives every headline claim of
+//! the paper quickly (simulator figures at full scale, training figures
+//! at reduced scale) and prints a PASS/FAIL line per claim. Exit status
+//! is nonzero if any claim fails — CI for the reproduction itself.
+
+use ltfb_core::{run_k_independent, run_ltfb_serial, LtfbConfig};
+use ltfb_hpcsim::{
+    dp_placement, evaluate_config, paper_sweep, ConfigOutcome, IngestMode, MachineSpec,
+    TrainingModel, WorkloadSpec,
+};
+use std::process::ExitCode;
+
+struct Check {
+    name: &'static str,
+    paper: &'static str,
+    measured: String,
+    pass: bool,
+}
+
+fn main() -> ExitCode {
+    let mut checks: Vec<Check> = Vec::new();
+    let m = MachineSpec::lassen();
+    let w = WorkloadSpec::icf_cyclegan();
+    let t = TrainingModel::default();
+
+    // --- Fig. 9: data-parallel speedup and efficiency at 16 GPUs.
+    let naive =
+        |g: usize| evaluate_config(&m, &w, &t, dp_placement(g), 1_000_000, IngestMode::NoStore, 1);
+    let base = naive(1).steady_total().unwrap();
+    let t16 = naive(16).steady_total().unwrap();
+    let speedup = base / t16;
+    checks.push(Check {
+        name: "fig9 16-GPU speedup",
+        paper: "9.36x",
+        measured: format!("{speedup:.2}x"),
+        pass: (8.0..11.0).contains(&speedup),
+    });
+    let eff = speedup / 16.0 * 100.0;
+    checks.push(Check {
+        name: "fig9 efficiency @16",
+        paper: "~58%",
+        measured: format!("{eff:.0}%"),
+        pass: (50.0..68.0).contains(&eff),
+    });
+
+    // --- Fig. 10: store gains and the OOM annotations.
+    let dyn1 = evaluate_config(&m, &w, &t, dp_placement(1), 1_000_000, IngestMode::DynamicStore, 1)
+        .steady_total()
+        .unwrap();
+    let gain1 = base / dyn1;
+    checks.push(Check {
+        name: "fig10 store gain @1 GPU",
+        paper: "7.73x",
+        measured: format!("{gain1:.2}x"),
+        pass: (6.0..9.5).contains(&gain1),
+    });
+    let pre16 = evaluate_config(&m, &w, &t, dp_placement(16), 1_000_000, IngestMode::Preloaded, 1)
+        .steady_total()
+        .unwrap();
+    let dyn16 =
+        evaluate_config(&m, &w, &t, dp_placement(16), 1_000_000, IngestMode::DynamicStore, 1)
+            .steady_total()
+            .unwrap();
+    let adv = dyn16 / pre16;
+    checks.push(Check {
+        name: "fig10 preload vs dynamic",
+        paper: "1.10x",
+        measured: format!("{adv:.2}x"),
+        pass: (1.02..1.3).contains(&adv),
+    });
+    let oom = matches!(
+        evaluate_config(&m, &w, &t, dp_placement(1), 1_000_000, IngestMode::Preloaded, 1),
+        ConfigOutcome::OutOfMemory { .. }
+    ) && matches!(
+        evaluate_config(&m, &w, &t, dp_placement(2), 1_000_000, IngestMode::Preloaded, 1),
+        ConfigOutcome::OutOfMemory { .. }
+    );
+    checks.push(Check {
+        name: "fig10 preload OOM @1-2 GPUs",
+        paper: "stated",
+        measured: if oom { "reproduced".into() } else { "missing".into() },
+        pass: oom,
+    });
+
+    // --- Fig. 11: LTFB scaling.
+    let pts = paper_sweep(&m, &w, &t);
+    let s64 = pts[0].epoch_time / pts[4].epoch_time;
+    checks.push(Check {
+        name: "fig11 64-trainer speedup",
+        paper: "70.2x (109%)",
+        measured: format!("{s64:.1}x ({:.0}%)", s64 / 64.0 * 100.0),
+        pass: (60.0..80.0).contains(&s64) && s64 / 64.0 > 1.0,
+    });
+    checks.push(Check {
+        name: "fig11 preload regression @64",
+        paper: "observed",
+        measured: format!(
+            "{:.1}s vs {:.1}s @32",
+            pts[4].preload_time, pts[3].preload_time
+        ),
+        pass: pts[4].preload_time > pts[3].preload_time,
+    });
+
+    // --- Figs. 12/13 at miniature scale (real training).
+    let mut cfg = LtfbConfig::small(4);
+    cfg.train_samples = 512;
+    cfg.val_samples = 96;
+    cfg.tournament_samples = 48;
+    cfg.steps = 150;
+    cfg.ae_steps = 150;
+    cfg.exchange_interval = 25;
+    cfg.eval_interval = 150;
+    let ltfb = run_ltfb_serial(&cfg);
+    let kind = run_k_independent(&cfg);
+    let avg = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+    let (la, ka) = (avg(&ltfb.final_val), avg(&kind.final_val));
+    checks.push(Check {
+        name: "fig13 LTFB beats K-independent",
+        paper: "consistently better",
+        measured: format!("{la:.4} vs {ka:.4}"),
+        pass: la < ka,
+    });
+    checks.push(Check {
+        name: "tournaments adopt generators",
+        paper: "models propagate",
+        measured: format!("{} adoptions", ltfb.adoptions),
+        pass: ltfb.adoptions > 0,
+    });
+
+    // --- Report.
+    println!("reproduction self-check ({} claims):\n", checks.len());
+    let mut all = true;
+    for c in &checks {
+        all &= c.pass;
+        println!(
+            "  [{}] {:<32} paper {:<14} measured {}",
+            if c.pass { "PASS" } else { "FAIL" },
+            c.name,
+            c.paper,
+            c.measured
+        );
+    }
+    println!();
+    if all {
+        println!("all claims reproduced.");
+        ExitCode::SUCCESS
+    } else {
+        println!("SOME CLAIMS FAILED — see above.");
+        ExitCode::FAILURE
+    }
+}

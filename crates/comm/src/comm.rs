@@ -1,0 +1,275 @@
+//! The communicator: point-to-point messaging, non-blocking requests and
+//! communicator management (`split`, `dup`).
+//!
+//! Semantics follow MPI closely enough that the layers above (gradient
+//! allreduce, data-store shuffles, LTFB model exchange) are written exactly
+//! as they would be against Aluminum/MPI:
+//!
+//! * messages match on `(context, source, tag)` with FIFO order per pair;
+//! * sends are eager/buffered and never block;
+//! * receives block (with a deadlock-detection timeout) or can be posted
+//!   non-blocking as [`RecvRequest`]s;
+//! * `split` is collective and yields disjoint child communicators.
+
+use crate::envelope::{Envelope, ANY_SOURCE};
+use crate::router::Router;
+use bytes::Bytes;
+use crossbeam_channel::{Receiver, RecvTimeoutError};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long a blocking receive waits before declaring deadlock. Generous:
+/// in-process "network" latencies are microseconds, so anything near this
+/// bound is a real protocol bug, not slowness.
+pub const RECV_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// One world rank's incoming mailbox: the channel endpoint plus a buffer of
+/// arrived-but-unmatched envelopes (out-of-order tag matching).
+pub(crate) struct Mailbox {
+    rx: Receiver<Envelope>,
+    pending: VecDeque<Envelope>,
+}
+
+impl Mailbox {
+    pub(crate) fn new(rx: Receiver<Envelope>) -> Self {
+        Mailbox { rx, pending: VecDeque::new() }
+    }
+
+    /// Try to match a buffered envelope without touching the channel.
+    fn take_pending(&mut self, context: u64, src: usize, tag: u64) -> Option<Envelope> {
+        let idx = self.pending.iter().position(|e| e.matches(context, src, tag))?;
+        self.pending.remove(idx)
+    }
+
+    /// Non-blocking probe-and-match.
+    fn try_match(&mut self, context: u64, src: usize, tag: u64) -> Option<Envelope> {
+        if let Some(e) = self.take_pending(context, src, tag) {
+            return Some(e);
+        }
+        while let Ok(e) = self.rx.try_recv() {
+            if e.matches(context, src, tag) {
+                return Some(e);
+            }
+            self.pending.push_back(e);
+        }
+        None
+    }
+
+    /// Blocking match with deadlock timeout.
+    fn recv_match(&mut self, context: u64, src: usize, tag: u64) -> Envelope {
+        if let Some(e) = self.take_pending(context, src, tag) {
+            return e;
+        }
+        loop {
+            match self.rx.recv_timeout(RECV_TIMEOUT) {
+                Ok(e) => {
+                    if e.matches(context, src, tag) {
+                        return e;
+                    }
+                    self.pending.push_back(e);
+                }
+                Err(RecvTimeoutError::Timeout) => panic!(
+                    "recv(context={context}, src={src}, tag={tag}) timed out after {RECV_TIMEOUT:?}: \
+                     likely communication deadlock ({} unmatched envelopes buffered)",
+                    self.pending.len()
+                ),
+                Err(RecvTimeoutError::Disconnected) => panic!(
+                    "recv(context={context}, src={src}, tag={tag}): all senders gone — peer ranks exited"
+                ),
+            }
+        }
+    }
+}
+
+/// Per-communicator-instance traffic counters.
+#[derive(Debug, Default)]
+pub struct CommStats {
+    /// Point-to-point + collective messages sent by this rank on this comm.
+    pub sent_messages: AtomicU64,
+    /// Bytes sent by this rank on this comm.
+    pub sent_bytes: AtomicU64,
+    /// Messages received by this rank on this comm.
+    pub recv_messages: AtomicU64,
+    /// Bytes received.
+    pub recv_bytes: AtomicU64,
+}
+
+impl CommStats {
+    /// `(sent_messages, sent_bytes, recv_messages, recv_bytes)`.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.sent_messages.load(Ordering::Relaxed),
+            self.sent_bytes.load(Ordering::Relaxed),
+            self.recv_messages.load(Ordering::Relaxed),
+            self.recv_bytes.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// A communicator: a numbered group of ranks able to exchange messages and
+/// run collectives. Cloneable; clones share the mailbox and counters.
+#[derive(Clone)]
+pub struct Comm {
+    pub(crate) rank: usize,
+    pub(crate) world_rank: usize,
+    /// comm rank -> world rank.
+    pub(crate) members: Arc<Vec<usize>>,
+    pub(crate) context: u64,
+    pub(crate) router: Arc<Router>,
+    pub(crate) mailbox: Arc<Mutex<Mailbox>>,
+    /// Collective sequence number; identical progression on every member.
+    pub(crate) coll_seq: Arc<AtomicU64>,
+    /// Monotonic source for child communicator contexts.
+    pub(crate) split_seq: Arc<AtomicU64>,
+    pub(crate) stats: Arc<CommStats>,
+}
+
+impl Comm {
+    /// This rank's number within the communicator.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the communicator.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// This rank's number in the world communicator.
+    #[inline]
+    pub fn world_rank(&self) -> usize {
+        self.world_rank
+    }
+
+    /// World rank of communicator member `r`.
+    #[inline]
+    pub fn member_world_rank(&self, r: usize) -> usize {
+        self.members[r]
+    }
+
+    /// Communicator context id (unique per split lineage).
+    #[inline]
+    pub fn context(&self) -> u64 {
+        self.context
+    }
+
+    /// Per-instance traffic counters.
+    pub fn stats(&self) -> &CommStats {
+        &self.stats
+    }
+
+    /// World-wide traffic counters (shared by all communicators).
+    pub fn world_stats(&self) -> (u64, u64) {
+        self.router.stats().snapshot()
+    }
+
+    /// Eager send: enqueue `payload` for `dest` (comm-rank) under `tag`.
+    /// Never blocks.
+    pub fn send(&self, dest: usize, tag: u64, payload: Bytes) {
+        assert!(dest < self.size(), "send dest {dest} out of comm size {}", self.size());
+        self.stats.sent_messages.fetch_add(1, Ordering::Relaxed);
+        self.stats.sent_bytes.fetch_add(payload.len() as u64, Ordering::Relaxed);
+        self.router.deliver(
+            self.members[dest],
+            Envelope {
+                src_world: self.world_rank,
+                src: self.rank,
+                context: self.context,
+                tag,
+                payload,
+            },
+        );
+    }
+
+    /// Blocking receive from `src` (or [`ANY_SOURCE`]) with `tag`.
+    /// Returns `(actual_source, payload)`.
+    pub fn recv(&self, src: usize, tag: u64) -> (usize, Bytes) {
+        assert!(
+            src == ANY_SOURCE || src < self.size(),
+            "recv src {src} out of comm size {}",
+            self.size()
+        );
+        let env = self.mailbox.lock().recv_match(self.context, src, tag);
+        self.stats.recv_messages.fetch_add(1, Ordering::Relaxed);
+        self.stats.recv_bytes.fetch_add(env.payload.len() as u64, Ordering::Relaxed);
+        (env.src, env.payload)
+    }
+
+    /// Non-blocking receive attempt.
+    pub fn try_recv(&self, src: usize, tag: u64) -> Option<(usize, Bytes)> {
+        let env = self.mailbox.lock().try_match(self.context, src, tag)?;
+        self.stats.recv_messages.fetch_add(1, Ordering::Relaxed);
+        self.stats.recv_bytes.fetch_add(env.payload.len() as u64, Ordering::Relaxed);
+        Some((env.src, env.payload))
+    }
+
+    /// Post a non-blocking receive; complete it with [`RecvRequest::wait`]
+    /// or poll with [`RecvRequest::test`]. This is the mechanism the data
+    /// store uses to overlap mini-batch shuffles with compute.
+    pub fn irecv(&self, src: usize, tag: u64) -> RecvRequest {
+        RecvRequest { comm: self.clone(), src, tag, done: None }
+    }
+
+    /// Non-blocking send. With eager buffering the send is complete as soon
+    /// as it is posted; the handle exists for API symmetry with Aluminum.
+    pub fn isend(&self, dest: usize, tag: u64, payload: Bytes) -> SendRequest {
+        self.send(dest, tag, payload);
+        SendRequest { _complete: true }
+    }
+
+    /// Combined send+receive with the same peer pair — the primitive used by
+    /// LTFB tournament partners to swap generators without deadlock.
+    pub fn sendrecv(
+        &self,
+        dest: usize,
+        send_tag: u64,
+        payload: Bytes,
+        src: usize,
+        recv_tag: u64,
+    ) -> Bytes {
+        self.send(dest, send_tag, payload);
+        self.recv(src, recv_tag).1
+    }
+}
+
+/// Handle for a posted non-blocking receive.
+pub struct RecvRequest {
+    comm: Comm,
+    src: usize,
+    tag: u64,
+    done: Option<(usize, Bytes)>,
+}
+
+impl RecvRequest {
+    /// Poll for completion; returns the message if it has arrived.
+    pub fn test(&mut self) -> Option<&(usize, Bytes)> {
+        if self.done.is_none() {
+            self.done = self.comm.try_recv(self.src, self.tag);
+        }
+        self.done.as_ref()
+    }
+
+    /// Block until the message arrives and return `(source, payload)`.
+    pub fn wait(mut self) -> (usize, Bytes) {
+        match self.done.take() {
+            Some(m) => m,
+            None => self.comm.recv(self.src, self.tag),
+        }
+    }
+}
+
+/// Handle for a posted non-blocking send (always already complete under the
+/// eager protocol).
+pub struct SendRequest {
+    _complete: bool,
+}
+
+impl SendRequest {
+    /// Block until the send completes (no-op under eager buffering).
+    pub fn wait(self) {}
+}

@@ -1,0 +1,66 @@
+//! Wire-level message representation for the simulated MPI world.
+
+use bytes::Bytes;
+
+/// Matches MPI's `MPI_ANY_SOURCE`: receive from whichever rank sends first.
+pub const ANY_SOURCE: usize = usize::MAX;
+
+/// Tag space: user tags live below [`INTERNAL_TAG_BASE`]; collective
+/// operations use tags above it, keyed by a per-communicator sequence
+/// number so that back-to-back collectives cannot cross-match.
+pub const INTERNAL_TAG_BASE: u64 = 1 << 62;
+
+/// One in-flight message between two world ranks.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Sending rank in *world* numbering.
+    pub src_world: usize,
+    /// Sending rank in the communicator's numbering (what `recv` matches).
+    pub src: usize,
+    /// Communicator context the message belongs to.
+    pub context: u64,
+    /// Message tag.
+    pub tag: u64,
+    /// Payload. `Bytes` is cheaply cloneable (refcounted), which models
+    /// zero-copy transfer over NVLink/IB well enough for a simulation.
+    pub payload: Bytes,
+}
+
+impl Envelope {
+    /// True when this envelope satisfies a receive posted for
+    /// `(context, src, tag)` where `src` may be [`ANY_SOURCE`].
+    #[inline]
+    pub fn matches(&self, context: u64, src: usize, tag: u64) -> bool {
+        self.context == context && self.tag == tag && (src == ANY_SOURCE || self.src == src)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(src: usize, context: u64, tag: u64) -> Envelope {
+        Envelope { src_world: src, src, context, tag, payload: Bytes::new() }
+    }
+
+    #[test]
+    fn exact_match() {
+        let e = env(3, 7, 42);
+        assert!(e.matches(7, 3, 42));
+    }
+
+    #[test]
+    fn any_source_matches_all_sources() {
+        for src in [0, 1, 9] {
+            assert!(env(src, 1, 5).matches(1, ANY_SOURCE, 5));
+        }
+    }
+
+    #[test]
+    fn mismatches_rejected() {
+        let e = env(3, 7, 42);
+        assert!(!e.matches(7, 4, 42), "wrong source");
+        assert!(!e.matches(8, 3, 42), "wrong context");
+        assert!(!e.matches(7, 3, 41), "wrong tag");
+    }
+}

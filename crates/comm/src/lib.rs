@@ -1,0 +1,32 @@
+//! # ltfb-comm
+//!
+//! A thread-backed simulated MPI — the substitute for Spectrum MPI, NCCL
+//! and LLNL's Aluminum in the LTFB reproduction.
+//!
+//! Each *world rank* is an OS thread created by [`run_world`]; ranks talk
+//! through unbounded per-rank mailboxes with `(context, source, tag)`
+//! matching, exactly the semantics the layers above would use against MPI:
+//!
+//! * eager, never-blocking sends and blocking/non-blocking receives
+//!   ([`Comm::send`], [`Comm::recv`], [`Comm::irecv`]);
+//! * communicator management ([`Comm::split`], [`Comm::dup`]) used to carve
+//!   the world into LBANN-style *trainers*;
+//! * real collective algorithms (ring allreduce, binomial broadcast,
+//!   dissemination barrier, …) so message counts/sizes match what a real
+//!   cluster would put on the wire — which is what the `ltfb-hpcsim`
+//!   timing model costs out.
+//!
+//! The crate is purely about *semantics*; wall-clock performance modelling
+//! lives in `ltfb-hpcsim`.
+
+pub mod collectives;
+pub mod comm;
+pub mod envelope;
+pub mod router;
+pub mod world;
+
+pub use collectives::{decode_f32, encode_f32, ReduceOp};
+pub use comm::{Comm, CommStats, RecvRequest, SendRequest, RECV_TIMEOUT};
+pub use envelope::{Envelope, ANY_SOURCE};
+pub use router::{Router, WorldStats};
+pub use world::{bytes_of_u64, run_world, u64_of_bytes};

@@ -1,0 +1,191 @@
+//! World construction: spawn one OS thread per rank and run an SPMD
+//! closure, plus the collective `split`/`dup` communicator constructors.
+
+use crate::comm::{Comm, CommStats, Mailbox};
+use crate::collectives::ReduceOp;
+use crate::router::Router;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use parking_lot::Mutex;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+/// Run an SPMD program over `n` ranks, one OS thread each, and return the
+/// per-rank results indexed by world rank.
+///
+/// This is the moral equivalent of `mpirun -n <n>`: the closure receives the
+/// world communicator for its rank. A panic on any rank propagates (with the
+/// rank number attached) after the other ranks have been joined or have
+/// panicked themselves.
+///
+/// ```
+/// use ltfb_comm::{run_world, ReduceOp};
+/// let sums = run_world(4, |comm| {
+///     let mut v = vec![comm.rank() as f32; 3];
+///     comm.allreduce_f32(&mut v, ReduceOp::Sum);
+///     v[0]
+/// });
+/// assert_eq!(sums, vec![6.0; 4]); // 0+1+2+3 on every rank
+/// ```
+pub fn run_world<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Comm) -> T + Send + Sync,
+{
+    assert!(n > 0, "world needs at least one rank");
+    let (router, receivers) = Router::new(n);
+    let members = Arc::new((0..n).collect::<Vec<_>>());
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n);
+        for (rank, rx) in receivers.into_iter().enumerate() {
+            let comm = Comm {
+                rank,
+                world_rank: rank,
+                members: Arc::clone(&members),
+                context: 0,
+                router: Arc::clone(&router),
+                mailbox: Arc::new(Mutex::new(Mailbox::new(rx))),
+                coll_seq: Arc::new(AtomicU64::new(0)),
+                split_seq: Arc::new(AtomicU64::new(0)),
+                stats: Arc::new(CommStats::default()),
+            };
+            let f = &f;
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("rank-{rank}"))
+                    .spawn_scoped(scope, move || f(comm))
+                    .expect("failed to spawn rank thread"),
+            );
+        }
+        let mut results = Vec::with_capacity(n);
+        let mut panicked = Vec::new();
+        for (rank, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(v) => results.push(v),
+                Err(e) => panicked.push((rank, e)),
+            }
+        }
+        if let Some((rank, e)) = panicked.into_iter().next() {
+            let msg = e
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "<non-string panic>".into());
+            panic!("rank {rank} panicked: {msg}");
+        }
+        results
+    })
+}
+
+impl Comm {
+    /// Collectively split this communicator by `color`; ranks with equal
+    /// color form a child communicator, ordered by `(key, parent_rank)`.
+    ///
+    /// This is how LBANN carves the world into trainers: e.g.
+    /// `world.split(world.rank() / ranks_per_trainer, 0)`.
+    pub fn split(&self, color: u64, key: i64) -> Comm {
+        // Exchange (color, key) over the parent so every rank can compute
+        // the membership of its own child deterministically.
+        let mut payload = BytesMut::with_capacity(16);
+        payload.put_u64_le(color);
+        payload.put_i64_le(key);
+        let all = self.allgather(payload.freeze());
+
+        let mut group: Vec<(i64, usize)> = Vec::new(); // (key, parent_rank)
+        for (parent_rank, data) in all.iter().enumerate() {
+            let mut d = &data[..];
+            let c = d.get_u64_le();
+            let k = d.get_i64_le();
+            if c == color {
+                group.push((k, parent_rank));
+            }
+        }
+        group.sort_unstable();
+
+        let members: Vec<usize> =
+            group.iter().map(|&(_, pr)| self.members[pr]).collect();
+        let my_rank = group
+            .iter()
+            .position(|&(_, pr)| pr == self.rank)
+            .expect("caller must be in its own color group");
+
+        // Derive the child context deterministically: identical on all
+        // members (same parent context, same split ordinal, same color),
+        // distinct across colors and across successive splits.
+        let ordinal = self.split_seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let context = ltfb_tensor::mix_seed(&[self.context, ordinal.wrapping_add(1), color]);
+
+        Comm {
+            rank: my_rank,
+            world_rank: self.world_rank,
+            members: Arc::new(members),
+            context,
+            router: Arc::clone(&self.router),
+            mailbox: Arc::clone(&self.mailbox),
+            coll_seq: Arc::new(AtomicU64::new(0)),
+            split_seq: Arc::new(AtomicU64::new(0)),
+            stats: Arc::new(CommStats::default()),
+        }
+    }
+
+    /// Duplicate the communicator: same membership, fresh context, so
+    /// traffic on the duplicate cannot match receives on the original.
+    pub fn dup(&self) -> Comm {
+        self.split(0, self.rank as i64)
+    }
+
+    /// Collective helper: true on every rank iff `v` is true on all ranks.
+    pub fn all_true(&self, v: bool) -> bool {
+        self.allreduce_scalar(if v { 1.0 } else { 0.0 }, ReduceOp::Min) > 0.5
+    }
+}
+
+/// Utility: pack a `u64` as a message payload.
+pub fn bytes_of_u64(v: u64) -> Bytes {
+    let mut b = BytesMut::with_capacity(8);
+    b.put_u64_le(v);
+    b.freeze()
+}
+
+/// Utility: unpack a `u64` payload.
+pub fn u64_of_bytes(b: &Bytes) -> u64 {
+    let mut d = &b[..];
+    d.get_u64_le()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_world() {
+        let r = run_world(1, |c| {
+            assert_eq!(c.size(), 1);
+            c.barrier();
+            c.rank()
+        });
+        assert_eq!(r, vec![0]);
+    }
+
+    #[test]
+    fn results_ordered_by_rank() {
+        let r = run_world(5, |c| c.rank() * 10);
+        assert_eq!(r, vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 2 panicked")]
+    fn panic_propagates_with_rank() {
+        run_world(4, |c| {
+            if c.rank() == 2 {
+                panic!("boom");
+            }
+            // Other ranks exit normally; no collectives so no deadlock.
+        });
+    }
+
+    #[test]
+    fn u64_payload_round_trip() {
+        assert_eq!(u64_of_bytes(&bytes_of_u64(0xDEAD_BEEF_u64)), 0xDEAD_BEEF);
+    }
+}

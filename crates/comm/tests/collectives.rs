@@ -1,0 +1,281 @@
+//! Cross-rank integration tests for the simulated MPI layer.
+
+use bytes::Bytes;
+use ltfb_comm::{run_world, ReduceOp, ANY_SOURCE};
+
+const SIZES: &[usize] = &[1, 2, 3, 4, 5, 7, 8, 13, 16];
+
+#[test]
+fn point_to_point_fifo_per_pair() {
+    run_world(2, |c| {
+        if c.rank() == 0 {
+            for i in 0..100u8 {
+                c.send(1, 7, Bytes::from(vec![i]));
+            }
+        } else {
+            for i in 0..100u8 {
+                let (_, data) = c.recv(0, 7);
+                assert_eq!(data[0], i, "messages reordered");
+            }
+        }
+    });
+}
+
+#[test]
+fn tag_matching_out_of_order() {
+    run_world(2, |c| {
+        if c.rank() == 0 {
+            c.send(1, 1, Bytes::from_static(b"first"));
+            c.send(1, 2, Bytes::from_static(b"second"));
+        } else {
+            // Receive in reverse tag order: tag 2 first buffers tag 1.
+            let (_, b2) = c.recv(0, 2);
+            let (_, b1) = c.recv(0, 1);
+            assert_eq!(&b2[..], b"second");
+            assert_eq!(&b1[..], b"first");
+        }
+    });
+}
+
+#[test]
+fn any_source_receives_from_all() {
+    run_world(4, |c| {
+        if c.rank() == 0 {
+            let mut seen = vec![false; 4];
+            for _ in 0..3 {
+                let (src, data) = c.recv(ANY_SOURCE, 5);
+                assert_eq!(data[0] as usize, src);
+                seen[src] = true;
+            }
+            assert_eq!(seen, vec![false, true, true, true]);
+        } else {
+            c.send(0, 5, Bytes::from(vec![c.rank() as u8]));
+        }
+    });
+}
+
+#[test]
+fn irecv_overlaps_and_completes() {
+    run_world(2, |c| {
+        if c.rank() == 0 {
+            let req = c.irecv(1, 9);
+            // Do "compute" before waiting.
+            let x: u64 = (0..1000).sum();
+            assert_eq!(x, 499_500);
+            let (src, data) = req.wait();
+            assert_eq!(src, 1);
+            assert_eq!(&data[..], b"payload");
+        } else {
+            c.isend(0, 9, Bytes::from_static(b"payload")).wait();
+        }
+    });
+}
+
+#[test]
+fn irecv_test_polls_without_blocking() {
+    run_world(2, |c| {
+        if c.rank() == 0 {
+            let mut req = c.irecv(1, 3);
+            // Spin until the message lands; test() must never block.
+            loop {
+                if req.test().is_some() {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            let (_, data) = req.wait();
+            assert_eq!(&data[..], b"x");
+        } else {
+            c.send(0, 3, Bytes::from_static(b"x"));
+        }
+    });
+}
+
+#[test]
+fn barrier_all_sizes() {
+    for &n in SIZES {
+        run_world(n, |c| {
+            for _ in 0..3 {
+                c.barrier();
+            }
+        });
+    }
+}
+
+#[test]
+fn broadcast_all_sizes_all_roots() {
+    for &n in SIZES {
+        run_world(n, |c| {
+            for root in 0..c.size() {
+                let payload = (c.rank() == root).then(|| Bytes::from(vec![root as u8; 5]));
+                let data = c.broadcast(root, payload);
+                assert_eq!(&data[..], &vec![root as u8; 5][..], "n={n} root={root}");
+            }
+        });
+    }
+}
+
+#[test]
+fn allreduce_sum_matches_serial() {
+    for &n in SIZES {
+        run_world(n, |c| {
+            // Length chosen to exercise uneven ring chunking.
+            let len = 10 * n + 3;
+            let mut v: Vec<f32> = (0..len).map(|i| (c.rank() + 1) as f32 * (i as f32 + 1.0)).collect();
+            c.allreduce_f32(&mut v, ReduceOp::Sum);
+            let rank_sum: f32 = (1..=n).map(|r| r as f32).sum();
+            for (i, &x) in v.iter().enumerate() {
+                let expected = rank_sum * (i as f32 + 1.0);
+                assert!((x - expected).abs() < 1e-3 * expected.abs().max(1.0), "n={n} i={i}: {x} vs {expected}");
+            }
+        });
+    }
+}
+
+#[test]
+fn allreduce_max_and_min() {
+    run_world(5, |c| {
+        let mut v = vec![c.rank() as f32, -(c.rank() as f32)];
+        c.allreduce_f32(&mut v, ReduceOp::Max);
+        assert_eq!(v, vec![4.0, 0.0]);
+        let mut w = vec![c.rank() as f32];
+        c.allreduce_f32(&mut w, ReduceOp::Min);
+        assert_eq!(w, vec![0.0]);
+    });
+}
+
+#[test]
+fn allreduce_shorter_than_world() {
+    // Vector shorter than the rank count forces empty ring chunks.
+    run_world(8, |c| {
+        let mut v = vec![1.0f32, 2.0, 3.0];
+        c.allreduce_f32(&mut v, ReduceOp::Sum);
+        assert_eq!(v, vec![8.0, 16.0, 24.0]);
+    });
+}
+
+#[test]
+fn allgather_ordered_by_rank() {
+    for &n in SIZES {
+        run_world(n, |c| {
+            let got = c.allgather(Bytes::from(vec![c.rank() as u8]));
+            assert_eq!(got.len(), n);
+            for (i, b) in got.iter().enumerate() {
+                assert_eq!(b[0] as usize, i);
+            }
+        });
+    }
+}
+
+#[test]
+fn gather_scatter_round_trip() {
+    run_world(6, |c| {
+        let gathered = c.gather(2, Bytes::from(vec![c.rank() as u8 * 3]));
+        if c.rank() == 2 {
+            let g = gathered.expect("root gets data");
+            let redistributed: Vec<Bytes> = g.into_iter().collect();
+            let own = c.scatter(2, Some(redistributed));
+            assert_eq!(own[0], 6);
+        } else {
+            assert!(gathered.is_none());
+            let own = c.scatter(2, None);
+            assert_eq!(own[0] as usize, c.rank() * 3);
+        }
+    });
+}
+
+#[test]
+fn reduce_to_root_only() {
+    run_world(4, |c| {
+        let r = c.reduce_f32(1, &[c.rank() as f32 + 1.0], ReduceOp::Sum);
+        if c.rank() == 1 {
+            assert_eq!(r.unwrap(), vec![10.0]);
+        } else {
+            assert!(r.is_none());
+        }
+    });
+}
+
+#[test]
+fn alltoall_transposes_payloads() {
+    run_world(4, |c| {
+        let outgoing: Vec<Bytes> =
+            (0..4).map(|dest| Bytes::from(vec![c.rank() as u8, dest as u8])).collect();
+        let incoming = c.alltoall(outgoing);
+        for (src, data) in incoming.iter().enumerate() {
+            assert_eq!(data[0] as usize, src, "payload from rank {src}");
+            assert_eq!(data[1] as usize, c.rank(), "addressed to me");
+        }
+    });
+}
+
+#[test]
+fn allreduce_scalar_sum() {
+    run_world(7, |c| {
+        let s = c.allreduce_scalar(c.rank() as f32, ReduceOp::Sum);
+        assert_eq!(s, 21.0);
+        let m = c.allreduce_scalar(c.rank() as f32, ReduceOp::Max);
+        assert_eq!(m, 6.0);
+    });
+}
+
+#[test]
+fn consecutive_collectives_do_not_cross_match() {
+    run_world(4, |c| {
+        // Back-to-back identical collectives must be separated by seq tags.
+        for round in 0..10 {
+            let v = c.allgather(Bytes::from(vec![round as u8, c.rank() as u8]));
+            for (i, b) in v.iter().enumerate() {
+                assert_eq!(b[0] as usize, round);
+                assert_eq!(b[1] as usize, i);
+            }
+        }
+    });
+}
+
+#[test]
+fn sendrecv_pairwise_exchange() {
+    run_world(6, |c| {
+        // Pair ranks (0,1), (2,3), (4,5) and swap payloads — the LTFB
+        // tournament exchange pattern.
+        let partner = c.rank() ^ 1;
+        let got = c.sendrecv(partner, 11, Bytes::from(vec![c.rank() as u8]), partner, 11);
+        assert_eq!(got[0] as usize, partner);
+    });
+}
+
+#[test]
+fn all_true_semantics() {
+    run_world(5, |c| {
+        assert!(c.all_true(true));
+        assert!(!c.all_true(c.rank() != 3));
+        assert!(!c.all_true(false));
+    });
+}
+
+#[test]
+fn scan_inclusive_prefix_sum() {
+    run_world(6, |c| {
+        let mut v = vec![(c.rank() + 1) as f32, 1.0];
+        c.scan_f32(&mut v, ReduceOp::Sum);
+        // Rank r holds sum of 1..=r+1 and r+1 ones.
+        let expected: f32 = (1..=c.rank() + 1).map(|x| x as f32).sum();
+        assert_eq!(v[0], expected, "rank {}", c.rank());
+        assert_eq!(v[1], (c.rank() + 1) as f32);
+    });
+}
+
+#[test]
+fn scan_max_and_singleton() {
+    run_world(4, |c| {
+        let mut v = vec![if c.rank() == 1 { 9.0 } else { c.rank() as f32 }];
+        c.scan_f32(&mut v, ReduceOp::Max);
+        let expected = if c.rank() == 0 { 0.0 } else { 9.0 };
+        assert_eq!(v[0], expected);
+    });
+    run_world(1, |c| {
+        let mut v = vec![5.0f32];
+        c.scan_f32(&mut v, ReduceOp::Sum);
+        assert_eq!(v[0], 5.0);
+    });
+}

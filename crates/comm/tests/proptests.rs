@@ -1,0 +1,146 @@
+//! Property-based tests for the simulated MPI layer.
+
+use bytes::Bytes;
+use ltfb_comm::{run_world, ReduceOp};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Allreduce(sum) equals the serial sum for arbitrary rank counts,
+    /// vector lengths, and payloads.
+    #[test]
+    fn allreduce_sum_matches_serial(
+        ranks in 1usize..9,
+        len in 0usize..60,
+        seed in any::<u64>(),
+    ) {
+        // Deterministic per-rank payloads derived from (seed, rank, i).
+        let value = |rank: usize, i: usize| -> f32 {
+            (((seed ^ (rank as u64) << 32 ^ i as u64) % 1000) as f32 - 500.0) / 100.0
+        };
+        let expected: Vec<f32> = (0..len)
+            .map(|i| (0..ranks).map(|r| value(r, i)).sum())
+            .collect();
+        let results = run_world(ranks, |comm| {
+            let mut v: Vec<f32> = (0..len).map(|i| value(comm.rank(), i)).collect();
+            comm.allreduce_f32(&mut v, ReduceOp::Sum);
+            v
+        });
+        for (rank, got) in results.iter().enumerate() {
+            for (i, (g, e)) in got.iter().zip(&expected).enumerate() {
+                prop_assert!((g - e).abs() < 1e-3 * (1.0 + e.abs()),
+                    "rank {rank} elem {i}: {g} vs {e}");
+            }
+        }
+    }
+
+    /// Messages between one (sender, tag) pair arrive in send order,
+    /// regardless of how many interleaved tags are in flight.
+    #[test]
+    fn fifo_per_tag_under_interleaving(
+        n_msgs in 1usize..30,
+        n_tags in 1u64..5,
+        seed in any::<u64>(),
+    ) {
+        run_world(2, |comm| {
+            if comm.rank() == 0 {
+                for i in 0..n_msgs {
+                    let tag = (seed.wrapping_add(i as u64 * 7919)) % n_tags;
+                    comm.send(1, tag, Bytes::from(vec![i as u8, tag as u8]));
+                }
+            } else {
+                // Receive per tag; each stream must be ordered.
+                let mut per_tag: Vec<Vec<u8>> = vec![Vec::new(); n_tags as usize];
+                let mut counts = vec![0usize; n_tags as usize];
+                for i in 0..n_msgs {
+                    let tag = (seed.wrapping_add(i as u64 * 7919)) % n_tags;
+                    counts[tag as usize] += 1;
+                }
+                for (tag, &count) in counts.iter().enumerate() {
+                    for _ in 0..count {
+                        let (_, data) = comm.recv(0, tag as u64);
+                        per_tag[tag].push(data[0]);
+                    }
+                }
+                for seq in per_tag {
+                    for w in seq.windows(2) {
+                        assert!(w[0] < w[1], "per-tag FIFO violated: {seq:?}");
+                    }
+                }
+            }
+        });
+    }
+
+    /// broadcast delivers the root's exact payload to all ranks, for
+    /// arbitrary root/size/payload.
+    #[test]
+    fn broadcast_delivers_exact_payload(
+        ranks in 1usize..9,
+        root_pick in any::<usize>(),
+        payload in prop::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let root = root_pick % ranks;
+        let expected = payload.clone();
+        let results = run_world(ranks, move |comm| {
+            let p = (comm.rank() == root).then(|| Bytes::from(payload.clone()));
+            comm.broadcast(root, p).to_vec()
+        });
+        for r in results {
+            prop_assert_eq!(&r[..], &expected[..]);
+        }
+    }
+
+    /// split by arbitrary colors yields communicators whose sizes sum to
+    /// the world and whose collectives stay inside the color group.
+    #[test]
+    fn split_partitions_the_world(
+        ranks in 2usize..9,
+        colors_seed in any::<u64>(),
+        n_colors in 1u64..4,
+    ) {
+        let color_of = move |r: usize| (colors_seed.wrapping_add(r as u64 * 31)) % n_colors;
+        let results = run_world(ranks, move |comm| {
+            let sub = comm.split(color_of(comm.rank()), 0);
+            // Sum of world ranks within my color group.
+            let s = sub.allreduce_scalar(comm.rank() as f32, ReduceOp::Sum);
+            (color_of(comm.rank()), sub.size(), s)
+        });
+        // Validate group sizes and sums independently.
+        for c in 0..n_colors {
+            let members: Vec<usize> =
+                (0..ranks).filter(|&r| color_of(r) == c).collect();
+            if members.is_empty() { continue; }
+            let expect_sum: f32 = members.iter().map(|&r| r as f32).sum();
+            for &r in &members {
+                let (_, size, sum) = results[r];
+                prop_assert_eq!(size, members.len());
+                prop_assert!((sum - expect_sum).abs() < 1e-4);
+            }
+        }
+    }
+
+    /// alltoall is an exact transpose for arbitrary payload sizes.
+    #[test]
+    fn alltoall_transpose(ranks in 1usize..7, len in 0usize..32) {
+        run_world(ranks, |comm| {
+            let outgoing: Vec<Bytes> = (0..comm.size())
+                .map(|dest| {
+                    Bytes::from(
+                        std::iter::repeat_n([comm.rank() as u8, dest as u8], len)
+                            .flatten()
+                            .collect::<Vec<u8>>(),
+                    )
+                })
+                .collect();
+            let incoming = comm.alltoall(outgoing);
+            for (src, data) in incoming.iter().enumerate() {
+                assert_eq!(data.len(), len * 2);
+                for pair in data.chunks_exact(2) {
+                    assert_eq!(pair[0] as usize, src);
+                    assert_eq!(pair[1] as usize, comm.rank());
+                }
+            }
+        });
+    }
+}

@@ -1,0 +1,122 @@
+//! Tests for communicator split/dup — the mechanism that carves the world
+//! into LBANN-style trainers.
+
+use bytes::Bytes;
+use ltfb_comm::{run_world, ReduceOp};
+
+#[test]
+fn split_into_trainers() {
+    // 8 ranks -> 4 trainers of 2, the shape LBANN uses (world / trainer).
+    run_world(8, |world| {
+        let trainer_id = (world.rank() / 2) as u64;
+        let trainer = world.split(trainer_id, 0);
+        assert_eq!(trainer.size(), 2);
+        assert_eq!(trainer.rank(), world.rank() % 2);
+        // Collectives on the trainer comm see only trainer members.
+        let mut v = vec![world.rank() as f32];
+        trainer.allreduce_f32(&mut v, ReduceOp::Sum);
+        let lo = (trainer_id * 2) as f32;
+        assert_eq!(v[0], lo + lo + 1.0);
+    });
+}
+
+#[test]
+fn split_key_reorders_ranks() {
+    run_world(4, |world| {
+        // Reverse ordering via descending keys.
+        let sub = world.split(0, -(world.rank() as i64));
+        assert_eq!(sub.size(), 4);
+        assert_eq!(sub.rank(), 3 - world.rank());
+    });
+}
+
+#[test]
+fn sibling_splits_have_distinct_contexts() {
+    run_world(6, |world| {
+        let color = (world.rank() % 2) as u64;
+        let sub = world.split(color, 0);
+        // Contexts differ between the two color groups.
+        let ctxs = world.allgather(ltfb_comm::bytes_of_u64(sub.context()));
+        let c0 = ltfb_comm::u64_of_bytes(&ctxs[0]);
+        let c1 = ltfb_comm::u64_of_bytes(&ctxs[1]);
+        assert_ne!(c0, c1, "sibling communicators must not share a context");
+        // All members of one color agree on the context.
+        for (r, c) in ctxs.iter().enumerate() {
+            if r % 2 == world.rank() % 2 {
+                assert_eq!(ltfb_comm::u64_of_bytes(c), sub.context());
+            }
+        }
+    });
+}
+
+#[test]
+fn traffic_does_not_leak_across_sibling_comms() {
+    run_world(4, |world| {
+        let color = (world.rank() / 2) as u64;
+        let sub = world.split(color, 0);
+        // Each pair exchanges on the same (src=partner, tag=0) signature;
+        // context isolation must keep the pairs separate.
+        let partner = sub.rank() ^ 1;
+        let got = sub.sendrecv(partner, 0, Bytes::from(vec![world.rank() as u8]), partner, 0);
+        let expected = (world.rank() ^ 1) as u8;
+        assert_eq!(got[0], expected);
+    });
+}
+
+#[test]
+fn nested_splits() {
+    run_world(8, |world| {
+        let half = world.split((world.rank() / 4) as u64, 0); // 2 halves of 4
+        let quarter = half.split((half.rank() / 2) as u64, 0); // 4 quarters of 2
+        assert_eq!(quarter.size(), 2);
+        let s = quarter.allreduce_scalar(world.rank() as f32, ReduceOp::Sum);
+        // Quarters are {0,1},{2,3},{4,5},{6,7}.
+        let base = (world.rank() / 2) * 2;
+        assert_eq!(s, (base + base + 1) as f32);
+    });
+}
+
+#[test]
+fn dup_preserves_membership_but_isolates_traffic() {
+    run_world(3, |world| {
+        let dup = world.dup();
+        assert_eq!(dup.size(), world.size());
+        assert_eq!(dup.rank(), world.rank());
+        assert_ne!(dup.context(), world.context());
+        // A message on the dup must not satisfy a recv on the world comm.
+        if world.rank() == 0 {
+            dup.send(1, 42, Bytes::from_static(b"on-dup"));
+            world.send(1, 42, Bytes::from_static(b"on-world"));
+        } else if world.rank() == 1 {
+            let (_, w) = world.recv(0, 42);
+            assert_eq!(&w[..], b"on-world");
+            let (_, d) = dup.recv(0, 42);
+            assert_eq!(&d[..], b"on-dup");
+        }
+    });
+}
+
+#[test]
+fn singleton_split() {
+    run_world(3, |world| {
+        // Every rank its own color: three singleton comms.
+        let solo = world.split(world.rank() as u64, 0);
+        assert_eq!(solo.size(), 1);
+        assert_eq!(solo.rank(), 0);
+        solo.barrier(); // must not hang
+        assert_eq!(solo.allreduce_scalar(5.0, ReduceOp::Sum), 5.0);
+    });
+}
+
+#[test]
+fn world_rank_mapping_preserved_through_split() {
+    run_world(6, |world| {
+        let sub = world.split((world.rank() % 2) as u64, 0);
+        // Member i of my sub-comm maps back to a world rank with my parity.
+        for r in 0..sub.size() {
+            let wr = sub.member_world_rank(r);
+            assert_eq!(wr % 2, world.rank() % 2);
+        }
+        assert_eq!(sub.member_world_rank(sub.rank()), world.rank());
+    });
+}

@@ -1,0 +1,274 @@
+//! Checkpoint/restart for LTFB populations.
+//!
+//! Long campaigns on shared machines get preempted; LBANN checkpoints
+//! trainers so a tournament run can resume. A population checkpoint here
+//! stores, per trainer: step counter, win/adoption counters, validation
+//! history, and the full model weights (all five networks — a restart
+//! needs the local discriminator and the optimizer-facing generator
+//! alike). Restart + continue is asserted equal to an uninterrupted run
+//! in the test suite (modulo optimizer moments, which LBANN also drops on
+//! restart by default — documented below).
+
+use crate::config::LtfbConfig;
+use crate::ltfb::pretrain_global_autoencoder;
+use crate::tournament::{decide_match, pairing};
+use crate::trainer::Trainer;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ltfb_tensor::crc32;
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: u32 = 0x4C54_4350; // "LTCP"
+const VERSION: u32 = 1;
+
+/// Errors from checkpoint I/O.
+#[derive(Debug)]
+pub enum CheckpointError {
+    Io(std::io::Error),
+    BadMagic(u32),
+    BadVersion(u32),
+    BadChecksum,
+    Truncated,
+    /// Checkpoint was written for a different population shape.
+    ConfigMismatch(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O: {e}"),
+            CheckpointError::BadMagic(m) => write!(f, "not a checkpoint (magic {m:#x})"),
+            CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            CheckpointError::BadChecksum => write!(f, "checkpoint corrupt (checksum)"),
+            CheckpointError::Truncated => write!(f, "checkpoint truncated"),
+            CheckpointError::ConfigMismatch(s) => write!(f, "config mismatch: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Serialise one trainer into a buffer.
+fn encode_trainer(t: &Trainer, buf: &mut BytesMut) {
+    buf.put_u64_le(t.id as u64);
+    buf.put_u64_le(t.step);
+    buf.put_u64_le(t.wins);
+    buf.put_u64_le(t.losses);
+    // History.
+    let pts = t.history.points();
+    buf.put_u64_le(pts.len() as u64);
+    for &(s, l) in pts {
+        buf.put_u64_le(s);
+        buf.put_f32_le(l);
+    }
+    // All five networks (checksummed individually by the codec).
+    for net in t.gan.networks() {
+        let w = net.weights_to_bytes();
+        buf.put_u64_le(w.len() as u64);
+        buf.put_slice(&w);
+    }
+}
+
+fn take_bytes(data: &mut Bytes) -> Result<Bytes, CheckpointError> {
+    if data.remaining() < 8 {
+        return Err(CheckpointError::Truncated);
+    }
+    let len = data.get_u64_le() as usize;
+    if data.remaining() < len {
+        return Err(CheckpointError::Truncated);
+    }
+    Ok(data.copy_to_bytes(len))
+}
+
+/// Restore one trainer from the buffer (the trainer must already be
+/// constructed with the same config so its datasets/readers exist).
+fn decode_trainer(t: &mut Trainer, data: &mut Bytes) -> Result<(), CheckpointError> {
+    if data.remaining() < 32 {
+        return Err(CheckpointError::Truncated);
+    }
+    let id = data.get_u64_le() as usize;
+    if id != t.id {
+        return Err(CheckpointError::ConfigMismatch(format!(
+            "trainer id {id} in checkpoint, {} expected",
+            t.id
+        )));
+    }
+    t.step = data.get_u64_le();
+    t.wins = data.get_u64_le();
+    t.losses = data.get_u64_le();
+    if data.remaining() < 8 {
+        return Err(CheckpointError::Truncated);
+    }
+    let n_pts = data.get_u64_le() as usize;
+    let mut history = ltfb_nn::LossHistory::new();
+    for _ in 0..n_pts {
+        if data.remaining() < 12 {
+            return Err(CheckpointError::Truncated);
+        }
+        let s = data.get_u64_le();
+        let l = data.get_f32_le();
+        history.record(s, l);
+    }
+    t.history = history;
+    for net in t.gan.networks_mut() {
+        let w = take_bytes(data)?;
+        net.weights_from_bytes(w)
+            .map_err(|e| CheckpointError::ConfigMismatch(e.to_string()))?;
+    }
+    // Fast-forward the trainer's reader to the checkpointed step so the
+    // resumed run consumes the same batch sequence as an uninterrupted
+    // one (the reader is a deterministic stream).
+    t.fast_forward_reader(t.step);
+    Ok(())
+}
+
+/// Write a population checkpoint.
+pub fn save_population(path: &Path, cfg: &LtfbConfig, trainers: &[Trainer]) -> Result<(), CheckpointError> {
+    let mut body = BytesMut::new();
+    body.put_u64_le(cfg.n_trainers as u64);
+    body.put_u64_le(cfg.seed);
+    body.put_u64_le(cfg.steps);
+    body.put_u64_le(trainers.len() as u64);
+    for t in trainers {
+        encode_trainer(t, &mut body);
+    }
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    f.write_all(&MAGIC.to_le_bytes())?;
+    f.write_all(&VERSION.to_le_bytes())?;
+    f.write_all(&(body.len() as u64).to_le_bytes())?;
+    f.write_all(&crc32(&body).to_le_bytes())?;
+    f.write_all(&body)?;
+    f.flush()?;
+    Ok(())
+}
+
+/// Load a population checkpoint into freshly constructed trainers.
+/// Returns the restored trainers (with weights, counters, histories and
+/// reader positions recovered).
+pub fn load_population(path: &Path, cfg: &LtfbConfig) -> Result<Vec<Trainer>, CheckpointError> {
+    let mut f = std::fs::File::open(path)?;
+    let mut header = [0u8; 16];
+    f.read_exact(&mut header).map_err(|_| CheckpointError::Truncated)?;
+    let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    if magic != MAGIC {
+        return Err(CheckpointError::BadMagic(magic));
+    }
+    let version = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    if version != VERSION {
+        return Err(CheckpointError::BadVersion(version));
+    }
+    let body_len = u64::from_le_bytes(header[8..16].try_into().unwrap()) as usize;
+    let mut crc_raw = [0u8; 4];
+    f.read_exact(&mut crc_raw).map_err(|_| CheckpointError::Truncated)?;
+    let stored_crc = u32::from_le_bytes(crc_raw);
+    let mut body = vec![0u8; body_len];
+    f.read_exact(&mut body).map_err(|_| CheckpointError::Truncated)?;
+    if crc32(&body) != stored_crc {
+        return Err(CheckpointError::BadChecksum);
+    }
+    let mut data = Bytes::from(body);
+    let k = data.get_u64_le() as usize;
+    let seed = data.get_u64_le();
+    let _steps = data.get_u64_le();
+    if k != cfg.n_trainers || seed != cfg.seed {
+        return Err(CheckpointError::ConfigMismatch(format!(
+            "checkpoint is for K={k}/seed={seed}, config has K={}/seed={}",
+            cfg.n_trainers, cfg.seed
+        )));
+    }
+    let count = data.get_u64_le() as usize;
+    let mut trainers = Vec::with_capacity(count);
+    for t in 0..count {
+        let mut trainer = Trainer::new(*cfg, t);
+        decode_trainer(&mut trainer, &mut data)?;
+        trainers.push(trainer);
+    }
+    Ok(trainers)
+}
+
+/// Run the serial LTFB loop only up to `until` steps and return the live
+/// population (for writing a mid-run checkpoint).
+pub fn run_ltfb_partial(cfg: &LtfbConfig, until: u64) -> Vec<Trainer> {
+    let ae = pretrain_global_autoencoder(cfg);
+    let mut trainers: Vec<Trainer> =
+        (0..cfg.n_trainers).map(|t| Trainer::new(*cfg, t)).collect();
+    for t in &mut trainers {
+        t.load_autoencoder(ae.clone());
+        t.record_validation();
+    }
+    for step in 1..=until.min(cfg.steps) {
+        for t in &mut trainers {
+            t.train_step();
+        }
+        if cfg.n_trainers >= 2 && cfg.exchange_interval > 0 && step % cfg.exchange_interval == 0
+        {
+            let round = step / cfg.exchange_interval;
+            let partners = pairing(cfg.n_trainers, round, cfg.seed);
+            let payloads: Vec<_> = trainers.iter().map(|t| t.gan.generator_to_bytes()).collect();
+            for (t, p) in partners.iter().enumerate() {
+                if let Some(p) = p {
+                    decide_match(&mut trainers[t], *p, payloads[*p].clone());
+                }
+            }
+        }
+        if cfg.eval_interval > 0 && step % cfg.eval_interval == 0 {
+            for t in trainers.iter_mut() {
+                t.record_validation();
+            }
+        }
+    }
+    trainers
+}
+
+/// Resume an interrupted serial LTFB run from a checkpoint and train to
+/// `cfg.steps`. (Optimizer moments restart from zero, as in LBANN's
+/// default restart; see the equivalence test for the resulting tolerance.)
+pub fn resume_ltfb_serial(
+    path: &Path,
+    cfg: &LtfbConfig,
+) -> Result<crate::ltfb::RunOutcome, CheckpointError> {
+    let mut trainers = load_population(path, cfg)?;
+    let start = trainers.iter().map(|t| t.step).max().unwrap_or(0);
+    // The shared autoencoder is deterministic in the seed; re-derive it
+    // for any trainer that might need re-validation (weights already hold
+    // the trained encoder, so nothing to load).
+    let _ = pretrain_global_autoencoder;
+
+    let mut matches = Vec::new();
+    for step in (start + 1)..=cfg.steps {
+        for t in &mut trainers {
+            t.train_step();
+        }
+        if cfg.n_trainers >= 2 && cfg.exchange_interval > 0 && step % cfg.exchange_interval == 0
+        {
+            let round = step / cfg.exchange_interval;
+            let partners = pairing(cfg.n_trainers, round, cfg.seed);
+            let payloads: Vec<_> = trainers.iter().map(|t| t.gan.generator_to_bytes()).collect();
+            for (t, p) in partners.iter().enumerate() {
+                if let Some(p) = p {
+                    let out = decide_match(&mut trainers[t], *p, payloads[*p].clone());
+                    matches.push((round, t, out));
+                }
+            }
+        }
+        if cfg.eval_interval > 0 && step % cfg.eval_interval == 0 {
+            for t in trainers.iter_mut() {
+                t.record_validation();
+            }
+        }
+    }
+    let final_val: Vec<f32> = trainers.iter_mut().map(|t| t.validate().combined()).collect();
+    Ok(crate::ltfb::RunOutcome {
+        histories: trainers.iter().map(|t| t.history.clone()).collect(),
+        final_val,
+        wins: trainers.iter().map(|t| t.wins).collect(),
+        adoptions: trainers.iter().map(|t| t.losses).sum(),
+        matches,
+    })
+}

@@ -1,0 +1,165 @@
+//! Configuration of LTFB training runs.
+
+use ltfb_gan::CycleGanConfig;
+
+/// Metric used to judge a tournament between two generators, evaluated on
+/// the trainer's *local* tournament set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TournamentMetric {
+    /// Combined forward + inverse validation loss (lower wins) — the
+    /// metric behind Figs. 12/13.
+    ValLoss,
+    /// How well the generator fools the *local* discriminator
+    /// (BCE of `D(F(x))` against "real"; lower wins) — the GAN-specific
+    /// evaluation of Fig. 6(b).
+    DiscriminatorScore,
+}
+
+/// How the global training set is partitioned into per-trainer silos.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionScheme {
+    /// Contiguous slices of the low-discrepancy design *index*: every
+    /// silo is itself space-filling (an iid-like split). Ablation only.
+    ByIndex,
+    /// Contiguous *regions* of the design space (samples sorted by the
+    /// primary exploration axis) — the paper's situation: files are
+    /// written "in the order in which the 5-D input space was explored",
+    /// so a 1/K silo covers only part of parameter space. This is what
+    /// makes K-independent training degrade and LTFB shine (Fig. 13).
+    ByRegion,
+}
+
+/// Configuration of an LTFB (or K-independent) run.
+#[derive(Debug, Clone, Copy)]
+pub struct LtfbConfig {
+    /// Number of trainers (the population size K).
+    pub n_trainers: usize,
+    /// CycleGAN architecture/hyperparameters (shared by the population;
+    /// seeds differ per trainer).
+    pub gan: CycleGanConfig,
+    /// Global training samples, partitioned 1/K per trainer.
+    pub train_samples: u64,
+    /// Global validation samples (held out; design-space disjoint).
+    pub val_samples: u64,
+    /// Per-trainer tournament-set samples (drawn from the validation
+    /// range, per-trainer slices).
+    pub tournament_samples: u64,
+    /// Mini-batch size (paper: 128).
+    pub mb: usize,
+    /// Autoencoder pre-training steps before GAN training.
+    pub ae_steps: u64,
+    /// Total GAN training steps per trainer.
+    pub steps: u64,
+    /// Steps between tournament rounds.
+    pub exchange_interval: u64,
+    /// Steps between validation-loss recordings.
+    pub eval_interval: u64,
+    /// Tournament decision metric.
+    pub metric: TournamentMetric,
+    /// Silo construction scheme.
+    pub partition: PartitionScheme,
+    /// Hyperparameter diversity: trainer t's learning rate is
+    /// `gan.lr * lr_spread^(t/(K-1) - 0.5)`, a geometric spread across
+    /// the population (1.0 disables; the tournament then implicitly
+    /// performs learning-rate selection, as in population-based
+    /// training).
+    pub lr_spread: f32,
+    /// Master seed; everything else derives from it.
+    pub seed: u64,
+}
+
+impl LtfbConfig {
+    /// A laptop-scale default for tests and examples.
+    pub fn small(n_trainers: usize) -> Self {
+        LtfbConfig {
+            n_trainers,
+            gan: CycleGanConfig::small(4),
+            train_samples: 1024,
+            val_samples: 256,
+            tournament_samples: 64,
+            mb: 32,
+            ae_steps: 150,
+            steps: 150,
+            exchange_interval: 25,
+            eval_interval: 25,
+            metric: TournamentMetric::ValLoss,
+            partition: PartitionScheme::ByRegion,
+            lr_spread: 1.0,
+            seed: 2019,
+        }
+    }
+
+    /// Per-trainer partition size.
+    pub fn partition_len(&self) -> u64 {
+        self.train_samples / self.n_trainers as u64
+    }
+
+    /// The learning rate trainer `t` starts with.
+    pub fn trainer_lr(&self, t: usize) -> f32 {
+        assert!(t < self.n_trainers);
+        if self.n_trainers < 2 || (self.lr_spread - 1.0).abs() < f32::EPSILON {
+            return self.gan.lr;
+        }
+        assert!(self.lr_spread > 0.0, "lr_spread must be positive");
+        let frac = t as f32 / (self.n_trainers - 1) as f32 - 0.5;
+        self.gan.lr * self.lr_spread.powf(frac)
+    }
+
+    /// Number of tournament rounds over the run.
+    pub fn rounds(&self) -> u64 {
+        if self.n_trainers < 2 {
+            0
+        } else {
+            self.steps / self.exchange_interval
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitioning_arithmetic() {
+        let c = LtfbConfig::small(4);
+        assert_eq!(c.partition_len(), 256);
+        assert_eq!(c.rounds(), 6);
+        let solo = LtfbConfig::small(1);
+        assert_eq!(solo.partition_len(), 1024);
+        assert_eq!(solo.rounds(), 0, "a single trainer plays no tournaments");
+    }
+}
+
+#[cfg(test)]
+mod lr_tests {
+    use super::*;
+
+    #[test]
+    fn lr_spread_off_is_uniform() {
+        let c = LtfbConfig::small(4);
+        for t in 0..4 {
+            assert_eq!(c.trainer_lr(t), c.gan.lr);
+        }
+    }
+
+    #[test]
+    fn lr_spread_is_geometric_and_centred() {
+        let mut c = LtfbConfig::small(5);
+        c.lr_spread = 4.0;
+        let lrs: Vec<f32> = (0..5).map(|t| c.trainer_lr(t)).collect();
+        // Endpoints are lr/2 and lr*2; middle is lr.
+        assert!((lrs[0] - c.gan.lr / 2.0).abs() < 1e-7);
+        assert!((lrs[2] - c.gan.lr).abs() < 1e-7);
+        assert!((lrs[4] - c.gan.lr * 2.0).abs() < 1e-7);
+        for w in lrs.windows(2) {
+            assert!(w[1] > w[0], "spread must be monotone");
+        }
+    }
+
+    #[test]
+    fn single_trainer_ignores_spread() {
+        let mut c = LtfbConfig::small(1);
+        c.lr_spread = 10.0;
+        assert_eq!(c.trainer_lr(0), c.gan.lr);
+    }
+}

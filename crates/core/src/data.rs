@@ -1,0 +1,147 @@
+//! Dataset construction for LTFB experiments: deterministic synthetic JAG
+//! samples packed into (x, y) matrices, partitioned into per-trainer
+//! silos, with disjoint validation and per-trainer tournament sets.
+
+use crate::config::{LtfbConfig, PartitionScheme};
+use ltfb_gan::batch_from_samples;
+use ltfb_jag::{sample_by_id, JagConfig, Sample};
+use ltfb_nn::InMemoryDataset;
+use ltfb_tensor::Matrix;
+
+/// Design-space offset separating validation ids from training ids
+/// (mirrors the paper's disjoint 10M train / 1M validation split).
+pub const VAL_DESIGN_OFFSET: u64 = 1 << 40;
+
+/// Materialise samples `start..start+count` (training design region).
+pub fn train_samples(cfg: &JagConfig, start: u64, count: u64) -> Vec<Sample> {
+    (0..count).map(|i| sample_by_id(cfg, 0, start + i)).collect()
+}
+
+/// Materialise validation samples `start..start+count` (disjoint region).
+pub fn val_samples(cfg: &JagConfig, start: u64, count: u64) -> Vec<Sample> {
+    (0..count).map(|i| sample_by_id(cfg, VAL_DESIGN_OFFSET, start + i)).collect()
+}
+
+/// Pack samples into an `InMemoryDataset` of (x, y) rows.
+pub fn pack(cfg: &ltfb_gan::CycleGanConfig, samples: &[Sample]) -> InMemoryDataset {
+    let refs: Vec<&Sample> = samples.iter().collect();
+    let (x, y) = batch_from_samples(cfg, &refs);
+    InMemoryDataset::new(x, y)
+}
+
+/// Everything one trainer needs: its training silo, the global validation
+/// set, and its local tournament set.
+pub struct TrainerData {
+    /// This trainer's training partition.
+    pub train: InMemoryDataset,
+    /// The *global* validation set (quality is always judged globally).
+    pub val: InMemoryDataset,
+    /// The trainer-local tournament set.
+    pub tournament: InMemoryDataset,
+}
+
+/// Build the data for trainer `t` of `cfg.n_trainers`.
+///
+/// * training: contiguous `1/K` slice of the training design range;
+/// * validation: the same global set for every trainer;
+/// * tournament: a per-trainer slice of a *separate* validation region,
+///   so tournament decisions and reported quality never share samples.
+pub fn build_trainer_data(cfg: &LtfbConfig, t: usize) -> TrainerData {
+    assert!(t < cfg.n_trainers);
+    let part = cfg.partition_len();
+    let ids = partition_ids(cfg, t);
+    assert_eq!(ids.len() as u64, part);
+    let train: Vec<Sample> =
+        ids.iter().map(|&id| sample_by_id(&cfg.gan.jag, 0, id)).collect();
+    let val = val_samples(&cfg.gan.jag, 0, cfg.val_samples);
+    // Tournament region starts after the validation samples.
+    let tstart = cfg.val_samples + t as u64 * cfg.tournament_samples;
+    let tournament = val_samples(&cfg.gan.jag, tstart, cfg.tournament_samples);
+    TrainerData {
+        train: pack(&cfg.gan, &train),
+        val: pack(&cfg.gan, &val),
+        tournament: pack(&cfg.gan, &tournament),
+    }
+}
+
+/// Global training sample ids belonging to trainer `t`'s silo.
+///
+/// `ByIndex` slices the design sequence directly; `ByRegion` first sorts
+/// all training ids by the primary design axis (laser drive), so each
+/// silo is a contiguous *region* of parameter space — the realistic,
+/// hard case the paper's Fig. 13 exercises.
+pub fn partition_ids(cfg: &LtfbConfig, t: usize) -> Vec<u64> {
+    let part = cfg.partition_len();
+    match cfg.partition {
+        PartitionScheme::ByIndex => (t as u64 * part..(t as u64 + 1) * part).collect(),
+        PartitionScheme::ByRegion => {
+            let mut ids: Vec<u64> = (0..cfg.partition_len() * cfg.n_trainers as u64).collect();
+            ids.sort_by(|&a, &b| {
+                let pa = ltfb_jag::r2_point(a)[0];
+                let pb = ltfb_jag::r2_point(b)[0];
+                pa.total_cmp(&pb).then(a.cmp(&b))
+            });
+            ids[(t as u64 * part) as usize..((t as u64 + 1) * part) as usize].to_vec()
+        }
+    }
+}
+
+/// The dataset the shared autoencoder is pre-trained on: a strided
+/// subsample of the *global* training design range ("a multimodal
+/// autoencoder of all outputs", trained a priori), capped for laptop
+/// runs.
+pub fn ae_dataset(cfg: &LtfbConfig) -> InMemoryDataset {
+    let count = cfg.train_samples.min(512);
+    let stride = (cfg.train_samples / count).max(1);
+    let samples: Vec<Sample> = (0..count)
+        .map(|i| sample_by_id(&cfg.gan.jag, 0, i * stride))
+        .collect();
+    pack(&cfg.gan, &samples)
+}
+
+/// Evaluate helper: split a dataset into (x, y) references.
+pub fn xy(ds: &InMemoryDataset) -> (&Matrix, &Matrix) {
+    (&ds.inputs, &ds.targets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitions_are_disjoint_across_trainers() {
+        let cfg = LtfbConfig::small(4);
+        let d0 = build_trainer_data(&cfg, 0);
+        let d1 = build_trainer_data(&cfg, 1);
+        assert_eq!(d0.train.len() as u64, cfg.partition_len());
+        assert_ne!(
+            d0.train.inputs.row(0),
+            d1.train.inputs.row(0),
+            "trainers must see different silos"
+        );
+        // Validation is shared.
+        assert_eq!(d0.val.inputs.as_slice(), d1.val.inputs.as_slice());
+        // Tournament sets are per-trainer.
+        assert_ne!(d0.tournament.inputs.as_slice(), d1.tournament.inputs.as_slice());
+    }
+
+    #[test]
+    fn train_and_val_design_regions_disjoint() {
+        let cfg = LtfbConfig::small(2);
+        let tr = train_samples(&cfg.gan.jag, 0, 10);
+        let va = val_samples(&cfg.gan.jag, 0, 10);
+        for (a, b) in tr.iter().zip(&va) {
+            assert_ne!(a.params, b.params, "validation must not repeat training inputs");
+        }
+    }
+
+    #[test]
+    fn pack_dims_match_config() {
+        let cfg = LtfbConfig::small(2);
+        let d = build_trainer_data(&cfg, 0);
+        assert_eq!(d.train.inputs.cols(), 5);
+        assert_eq!(d.train.targets.cols(), cfg.gan.y_dim());
+        assert_eq!(d.val.len() as u64, cfg.val_samples);
+        assert_eq!(d.tournament.len() as u64, cfg.tournament_samples);
+    }
+}

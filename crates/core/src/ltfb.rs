@@ -1,0 +1,350 @@
+//! LTFB run drivers.
+//!
+//! Two interchangeable executions of the same algorithm:
+//!
+//! * [`run_ltfb_serial`] — the whole population in one thread, exchanges
+//!   by memory copy. The deterministic reference.
+//! * [`run_ltfb_distributed`] — one world rank per trainer, generators
+//!   exchanged with `sendrecv` over the simulated MPI fabric, pairings
+//!   computed locally from the shared seed (fully decentralised, as in
+//!   the paper).
+//!
+//! Both produce bit-identical results — asserted by an integration test —
+//! which is the strongest evidence that the distributed protocol
+//! faithfully implements the algorithm.
+
+use crate::config::LtfbConfig;
+use crate::data::ae_dataset;
+use crate::tournament::{decide_match, pairing, MatchOutcome};
+use crate::trainer::Trainer;
+use bytes::Bytes;
+use ltfb_comm::run_world;
+use ltfb_gan::CycleGan;
+use ltfb_nn::{BatchReader, LossHistory};
+use ltfb_tensor::mix_seed;
+
+/// Train the shared multimodal autoencoder a priori on (a subsample of)
+/// the global output distribution and return its serialized weights.
+/// Deterministic in `cfg.seed`.
+pub fn pretrain_global_autoencoder(cfg: &LtfbConfig) -> Bytes {
+    let mut gan = CycleGan::new(cfg.gan, mix_seed(&[cfg.seed, 0xAE]));
+    let ds = ae_dataset(cfg);
+    let mut reader = BatchReader::new(ds, cfg.mb, mix_seed(&[cfg.seed, 0xAE2]));
+    for _ in 0..cfg.ae_steps {
+        let (_, y) = reader.next_batch();
+        gan.pretrain_autoencoder_step(&y);
+    }
+    gan.autoencoder_to_bytes()
+}
+
+/// Result of a population training run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Per-trainer validation-loss trajectories (global validation set).
+    pub histories: Vec<LossHistory>,
+    /// Per-trainer final validation loss.
+    pub final_val: Vec<f32>,
+    /// Tournaments won per trainer.
+    pub wins: Vec<u64>,
+    /// Total generator adoptions across the population.
+    pub adoptions: u64,
+    /// All match outcomes in `(round, trainer)` order (serial runs; the
+    /// distributed driver records only its own trainer's matches).
+    pub matches: Vec<(u64, usize, MatchOutcome)>,
+}
+
+impl RunOutcome {
+    /// Best (lowest) final validation loss and its trainer.
+    pub fn best(&self) -> (usize, f32) {
+        self.final_val
+            .iter()
+            .copied()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("empty population")
+    }
+}
+
+/// Shared per-step schedule: train, maybe tournament, maybe record.
+fn post_step_hooks(
+    cfg: &LtfbConfig,
+    step: u64,
+    trainers: &mut [Trainer],
+    matches: &mut Vec<(u64, usize, MatchOutcome)>,
+) {
+    if cfg.n_trainers >= 2 && cfg.exchange_interval > 0 && step.is_multiple_of(cfg.exchange_interval) {
+        let round = step / cfg.exchange_interval;
+        let partners = pairing(cfg.n_trainers, round, cfg.seed);
+        // Collect the exchanged payloads first (the "sendrecv"), then
+        // decide each side — mirrors the concurrent exchange exactly.
+        let payloads: Vec<_> = trainers.iter().map(|t| t.gan.generator_to_bytes()).collect();
+        for (t, partner) in partners.iter().enumerate() {
+            if let Some(p) = partner {
+                let out = decide_match(&mut trainers[t], *p, payloads[*p].clone());
+                matches.push((round, t, out));
+            }
+        }
+    }
+    if cfg.eval_interval > 0 && step.is_multiple_of(cfg.eval_interval) {
+        for t in trainers.iter_mut() {
+            t.record_validation();
+        }
+    }
+}
+
+/// Run the whole population serially in the calling thread.
+pub fn run_ltfb_serial(cfg: &LtfbConfig) -> RunOutcome {
+    run_ltfb_serial_with_models(cfg).0
+}
+
+/// Like [`run_ltfb_serial`] but also hands back the trained population —
+/// used by the Fig. 7/8 harnesses to make predictions with the winner.
+pub fn run_ltfb_serial_with_models(cfg: &LtfbConfig) -> (RunOutcome, Vec<Trainer>) {
+    assert!(cfg.n_trainers >= 1);
+    let ae = pretrain_global_autoencoder(cfg);
+    let mut trainers: Vec<Trainer> =
+        (0..cfg.n_trainers).map(|t| Trainer::new(*cfg, t)).collect();
+    for t in &mut trainers {
+        t.load_autoencoder(ae.clone());
+        t.record_validation();
+    }
+    let mut matches = Vec::new();
+    for step in 1..=cfg.steps {
+        for t in &mut trainers {
+            t.train_step();
+        }
+        post_step_hooks(cfg, step, &mut trainers, &mut matches);
+    }
+    let final_val: Vec<f32> = trainers.iter_mut().map(|t| t.validate().combined()).collect();
+    let outcome = RunOutcome {
+        histories: trainers.iter().map(|t| t.history.clone()).collect(),
+        final_val,
+        wins: trainers.iter().map(|t| t.wins).collect(),
+        adoptions: trainers.iter().map(|t| t.losses).sum(),
+        matches,
+    };
+    (outcome, trainers)
+}
+
+/// Serial LTFB with failure injection: trainer `failures[i].0` dies at
+/// step `failures[i].1` (stops training and leaves the tournament pool).
+/// Survivors keep playing among themselves — the algorithm's decentralised
+/// design means a death only shrinks the population.
+pub fn run_ltfb_with_failures(
+    cfg: &LtfbConfig,
+    failures: &[(usize, u64)],
+) -> RunOutcome {
+    use crate::tournament::pairing_alive;
+    assert!(cfg.n_trainers >= 1);
+    let ae = pretrain_global_autoencoder(cfg);
+    let mut trainers: Vec<Trainer> =
+        (0..cfg.n_trainers).map(|t| Trainer::new(*cfg, t)).collect();
+    for t in &mut trainers {
+        t.load_autoencoder(ae.clone());
+        t.record_validation();
+    }
+    let mut alive = vec![true; cfg.n_trainers];
+    let mut matches = Vec::new();
+    for step in 1..=cfg.steps {
+        for &(victim, at) in failures {
+            if at == step && victim < alive.len() {
+                alive[victim] = false;
+            }
+        }
+        for (t, trainer) in trainers.iter_mut().enumerate() {
+            if alive[t] {
+                trainer.train_step();
+            }
+        }
+        if cfg.n_trainers >= 2 && cfg.exchange_interval > 0 && step % cfg.exchange_interval == 0
+        {
+            let round = step / cfg.exchange_interval;
+            let partners = pairing_alive(&alive, round, cfg.seed);
+            let payloads: Vec<_> =
+                trainers.iter().map(|t| t.gan.generator_to_bytes()).collect();
+            for (t, partner) in partners.iter().enumerate() {
+                if let Some(p) = partner {
+                    let out = decide_match(&mut trainers[t], *p, payloads[*p].clone());
+                    matches.push((round, t, out));
+                }
+            }
+        }
+        if cfg.eval_interval > 0 && step % cfg.eval_interval == 0 {
+            for (t, trainer) in trainers.iter_mut().enumerate() {
+                if alive[t] {
+                    trainer.record_validation();
+                }
+            }
+        }
+    }
+    let final_val: Vec<f32> = trainers.iter_mut().map(|t| t.validate().combined()).collect();
+    RunOutcome {
+        histories: trainers.iter().map(|t| t.history.clone()).collect(),
+        final_val,
+        wins: trainers.iter().map(|t| t.wins).collect(),
+        adoptions: trainers.iter().map(|t| t.losses).sum(),
+        matches,
+    }
+}
+
+/// Run the population with one world rank per trainer; exchanges ride the
+/// simulated MPI fabric. Returns the same aggregate outcome as the serial
+/// driver (gathered to every rank and returned from rank 0's copy).
+pub fn run_ltfb_distributed(cfg: &LtfbConfig) -> RunOutcome {
+    let cfg = *cfg;
+    let per_rank = run_world(cfg.n_trainers, move |comm| {
+        let id = comm.rank();
+        let mut trainer = Trainer::new(cfg, id);
+        // Rank 0 pre-trains the shared autoencoder and broadcasts it —
+        // the "a priori" phase of Section II-D.
+        let ae = if cfg.n_trainers > 1 {
+            let payload = (id == 0).then(|| pretrain_global_autoencoder(&cfg));
+            comm.broadcast(0, payload)
+        } else {
+            pretrain_global_autoencoder(&cfg)
+        };
+        trainer.load_autoencoder(ae);
+        trainer.record_validation();
+        let mut my_matches: Vec<(u64, usize, MatchOutcome)> = Vec::new();
+
+        for step in 1..=cfg.steps {
+            trainer.train_step();
+            if cfg.n_trainers >= 2
+                && cfg.exchange_interval > 0
+                && step % cfg.exchange_interval == 0
+            {
+                let round = step / cfg.exchange_interval;
+                let partners = pairing(cfg.n_trainers, round, cfg.seed);
+                if let Some(p) = partners[id] {
+                    // Concurrent generator swap with the partner.
+                    let mine = trainer.gan.generator_to_bytes();
+                    let tag = 0x7_000 + round;
+                    let foreign = comm.sendrecv(p, tag, mine, p, tag);
+                    let out = decide_match(&mut trainer, p, foreign);
+                    my_matches.push((round, id, out));
+                }
+            }
+            if cfg.eval_interval > 0 && step % cfg.eval_interval == 0 {
+                trainer.record_validation();
+            }
+        }
+        let final_val = trainer.validate().combined();
+        (trainer.history.clone(), final_val, trainer.wins, trainer.losses, my_matches)
+    });
+
+    let mut outcome = RunOutcome {
+        histories: Vec::new(),
+        final_val: Vec::new(),
+        wins: Vec::new(),
+        adoptions: 0,
+        matches: Vec::new(),
+    };
+    for (hist, fv, wins, losses, matches) in per_rank {
+        outcome.histories.push(hist);
+        outcome.final_val.push(fv);
+        outcome.wins.push(wins);
+        outcome.adoptions += losses;
+        outcome.matches.extend(matches);
+    }
+    // Canonical order: by round then trainer (the serial driver's order).
+    outcome.matches.sort_by_key(|&(round, t, _)| (round, t));
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg(k: usize) -> LtfbConfig {
+        let mut cfg = LtfbConfig::small(k);
+        cfg.train_samples = 256;
+        cfg.val_samples = 64;
+        cfg.tournament_samples = 32;
+        cfg.ae_steps = 40;
+        cfg.steps = 40;
+        cfg.exchange_interval = 10;
+        cfg.eval_interval = 20;
+        cfg
+    }
+
+    #[test]
+    fn serial_run_improves_validation_loss() {
+        let out = run_ltfb_serial(&tiny_cfg(2));
+        for (t, h) in out.histories.iter().enumerate() {
+            let first = h.points().first().unwrap().1;
+            let last = h.last().unwrap();
+            assert!(last < first, "trainer {t} did not improve: {first} -> {last}");
+        }
+    }
+
+    #[test]
+    fn tournaments_happen_and_are_recorded() {
+        let cfg = tiny_cfg(4);
+        let out = run_ltfb_serial(&cfg);
+        // 4 rounds x 4 trainers (all paired with even K).
+        assert_eq!(out.matches.len(), (cfg.rounds() * 4) as usize);
+        let total_wins: u64 = out.wins.iter().sum();
+        assert_eq!(total_wins + out.adoptions, cfg.rounds() * 4);
+    }
+
+    #[test]
+    fn single_trainer_runs_without_tournaments() {
+        let out = run_ltfb_serial(&tiny_cfg(1));
+        assert!(out.matches.is_empty());
+        assert_eq!(out.adoptions, 0);
+        assert_eq!(out.histories.len(), 1);
+    }
+
+    #[test]
+    fn odd_population_sits_one_out_per_round() {
+        let cfg = tiny_cfg(3);
+        let out = run_ltfb_serial(&cfg);
+        assert_eq!(out.matches.len(), (cfg.rounds() * 2) as usize);
+    }
+
+    #[test]
+    fn trainer_death_does_not_stall_survivors() {
+        let mut cfg = tiny_cfg(4);
+        cfg.steps = 40;
+        cfg.exchange_interval = 10;
+        // Trainer 2 dies at step 15 (between rounds 1 and 2).
+        let out = run_ltfb_with_failures(&cfg, &[(2, 15)]);
+        // Rounds after the death pair only survivors: trainer 2 appears in
+        // matches only for round 1.
+        for &(round, t, ref m) in &out.matches {
+            if round >= 2 {
+                assert_ne!(t, 2, "dead trainer matched in round {round}");
+                assert_ne!(m.partner, 2, "dead trainer as partner in round {round}");
+            }
+        }
+        // Survivors still played after the death.
+        assert!(
+            out.matches.iter().any(|&(round, _, _)| round >= 2),
+            "tournament stalled after the failure"
+        );
+        // Survivors still improved.
+        for (t, h) in out.histories.iter().enumerate() {
+            if t != 2 {
+                assert!(h.last().unwrap() < h.points()[0].1, "trainer {t} regressed");
+            }
+        }
+    }
+
+    #[test]
+    fn no_failures_matches_plain_serial() {
+        let cfg = tiny_cfg(2);
+        let plain = run_ltfb_serial(&cfg);
+        let injected = run_ltfb_with_failures(&cfg, &[]);
+        assert_eq!(plain.final_val, injected.final_val);
+        assert_eq!(plain.adoptions, injected.adoptions);
+    }
+
+    #[test]
+    fn serial_deterministic_across_runs() {
+        let cfg = tiny_cfg(2);
+        let a = run_ltfb_serial(&cfg);
+        let b = run_ltfb_serial(&cfg);
+        assert_eq!(a.final_val, b.final_val);
+        assert_eq!(a.wins, b.wins);
+    }
+}

@@ -1,0 +1,209 @@
+//! The LTFB tournament: random pairing, generator exchange, local
+//! evaluation, winner retention (Section III-C, Fig. 6).
+
+use crate::trainer::Trainer;
+use bytes::Bytes;
+use ltfb_tensor::{mix_seed, permutation, seeded_rng};
+
+/// Deterministic random pairing for tournament `round`: every trainer can
+/// compute the same pairing locally from the shared seed, so no
+/// coordination traffic is needed. With odd K one trainer sits out
+/// (`None`).
+pub fn pairing(k: usize, round: u64, seed: u64) -> Vec<Option<usize>> {
+    let mut partners = vec![None; k];
+    if k < 2 {
+        return partners;
+    }
+    let mut rng = seeded_rng(mix_seed(&[seed, 0xF1B, round]));
+    let perm = permutation(k, &mut rng);
+    for pair in perm.chunks_exact(2) {
+        partners[pair[0]] = Some(pair[1]);
+        partners[pair[1]] = Some(pair[0]);
+    }
+    partners
+}
+
+/// Pairing restricted to the trainers still alive: dead trainers are
+/// skipped and the survivors are paired among themselves (failure
+/// resilience — a crashed trainer must not stall the tournament, only
+/// shrink the population). Deterministic given `(alive, round, seed)`,
+/// so every survivor computes the same pairing locally.
+pub fn pairing_alive(alive: &[bool], round: u64, seed: u64) -> Vec<Option<usize>> {
+    let k = alive.len();
+    let mut partners = vec![None; k];
+    let living: Vec<usize> = (0..k).filter(|&i| alive[i]).collect();
+    if living.len() < 2 {
+        return partners;
+    }
+    let mut rng = seeded_rng(mix_seed(&[seed, 0xF1B, round]));
+    let perm = permutation(living.len(), &mut rng);
+    for pair in perm.chunks_exact(2) {
+        let (a, b) = (living[pair[0]], living[pair[1]]);
+        partners[a] = Some(b);
+        partners[b] = Some(a);
+    }
+    partners
+}
+
+/// Outcome of one trainer's tournament match.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchOutcome {
+    /// Partner trainer id.
+    pub partner: usize,
+    /// Local score of the trainer's own generator (lower is better).
+    pub own_score: f32,
+    /// Local score of the received generator.
+    pub foreign_score: f32,
+    /// Whether the foreign generator was adopted.
+    pub adopted_foreign: bool,
+}
+
+/// Decide a match on one side: score own and foreign generators on the
+/// local tournament set and keep the better (ties keep the local one —
+/// avoids pointless churn and matches LBANN's strict-improvement rule).
+pub fn decide_match(trainer: &mut Trainer, partner: usize, foreign: Bytes) -> MatchOutcome {
+    let own_bytes = trainer.gan.generator_to_bytes();
+    let own_score = trainer.tournament_score();
+    trainer
+        .gan
+        .swap_generator_weights(foreign.clone())
+        .expect("foreign generator payload corrupt");
+    let foreign_score = trainer.tournament_score();
+    let adopted_foreign = foreign_score < own_score;
+    if adopted_foreign {
+        // Adopt for real: optimizer state resets (stale moments would
+        // drag the foreign weights back toward the old basin).
+        trainer.gan.load_generator(foreign).expect("validated above");
+        trainer.losses += 1;
+    } else {
+        trainer
+            .gan
+            .swap_generator_weights(own_bytes)
+            .expect("own generator snapshot corrupt");
+        trainer.wins += 1;
+    }
+    MatchOutcome { partner, own_score, foreign_score, adopted_foreign }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LtfbConfig;
+
+    #[test]
+    fn pairing_is_an_involution() {
+        for k in [2usize, 3, 4, 5, 8, 13] {
+            for round in 0..5 {
+                let p = pairing(k, round, 42);
+                let unpaired = p.iter().filter(|x| x.is_none()).count();
+                assert_eq!(unpaired, k % 2, "k={k}");
+                for (i, partner) in p.iter().enumerate() {
+                    if let Some(j) = partner {
+                        assert_ne!(*j, i, "self-pairing");
+                        assert_eq!(p[*j], Some(i), "pairing must be symmetric");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pairing_varies_by_round_but_is_deterministic() {
+        let a = pairing(8, 0, 7);
+        let b = pairing(8, 1, 7);
+        let a2 = pairing(8, 0, 7);
+        assert_eq!(a, a2);
+        assert_ne!(a, b, "rounds should shuffle pairings");
+    }
+
+    #[test]
+    fn tiny_populations() {
+        assert_eq!(pairing(0, 0, 1), Vec::<Option<usize>>::new());
+        assert_eq!(pairing(1, 0, 1), vec![None]);
+        let p = pairing(2, 0, 1);
+        assert_eq!(p, vec![Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn pairing_alive_skips_dead_trainers() {
+        for round in 0..4 {
+            let alive = [true, false, true, true, false, true];
+            let p = pairing_alive(&alive, round, 11);
+            assert_eq!(p[1], None, "dead trainer must not be paired");
+            assert_eq!(p[4], None);
+            // Survivors (4 of them) are fully paired among themselves.
+            for (i, partner) in p.iter().enumerate() {
+                if alive[i] {
+                    let j = partner.expect("even survivor count: all paired");
+                    assert!(alive[j], "paired with a dead trainer");
+                    assert_eq!(p[j], Some(i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pairing_alive_with_one_survivor_is_empty() {
+        let p = pairing_alive(&[false, true, false], 0, 1);
+        assert!(p.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn pairing_alive_all_alive_matches_population_size() {
+        let alive = vec![true; 8];
+        let p = pairing_alive(&alive, 3, 9);
+        assert_eq!(p.iter().filter(|x| x.is_some()).count(), 8);
+    }
+
+    #[test]
+    fn decide_match_keeps_better_generator() {
+        let cfg = LtfbConfig::small(2);
+        let ae = crate::ltfb::pretrain_global_autoencoder(&cfg);
+        let mut a = Trainer::new(cfg, 0);
+        let mut b = Trainer::new(cfg, 1);
+        a.load_autoencoder(ae.clone());
+        b.load_autoencoder(ae);
+        // Give `a` an advantage: some GAN steps.
+        for _ in 0..60 {
+            a.train_step();
+        }
+        let a_gen = a.gan.generator_to_bytes();
+        let b_gen = b.gan.generator_to_bytes();
+        let fp_a = a.gan.generator_fingerprint();
+
+        // b receives a's generator: a's trained generator should win on
+        // b's tournament set too (it has learned, b has not).
+        let out_b = decide_match(&mut b, 0, a_gen);
+        assert!(out_b.foreign_score < out_b.own_score, "{out_b:?}");
+        assert!(out_b.adopted_foreign);
+        assert_eq!(b.gan.generator_fingerprint(), fp_a, "b must now hold a's generator");
+        assert_eq!(b.losses, 1);
+
+        // a receives b's (untrained) generator and must keep its own.
+        let fp_a_before = a.gan.generator_fingerprint();
+        let out_a = decide_match(&mut a, 1, b_gen);
+        assert!(!out_a.adopted_foreign, "{out_a:?}");
+        assert_eq!(a.gan.generator_fingerprint(), fp_a_before, "a must keep its generator");
+        assert_eq!(a.wins, 1);
+    }
+
+    #[test]
+    fn losing_side_keeps_local_discriminator() {
+        let cfg = LtfbConfig::small(2);
+        let ae = crate::ltfb::pretrain_global_autoencoder(&cfg);
+        let mut a = Trainer::new(cfg, 0);
+        let mut b = Trainer::new(cfg, 1);
+        a.load_autoencoder(ae.clone());
+        b.load_autoencoder(ae);
+        for _ in 0..40 {
+            a.train_step();
+        }
+        let d_before = b.gan.networks()[4].weights_fingerprint();
+        decide_match(&mut b, 0, a.gan.generator_to_bytes());
+        assert_eq!(
+            b.gan.networks()[4].weights_fingerprint(),
+            d_before,
+            "discriminators never cross trainers"
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! One LTFB trainer: a population member with its model, data silo,
+//! optimizer state and training loop.
+
+use crate::config::{LtfbConfig, TournamentMetric};
+use crate::data::{build_trainer_data, xy, TrainerData};
+use ltfb_gan::{CycleGan, EvalLosses};
+use ltfb_nn::{BatchReader, LossHistory};
+use ltfb_tensor::{bce_with_logits, mix_seed, Matrix};
+
+/// A trainer: one member of the LTFB population.
+pub struct Trainer {
+    /// Trainer id (0..K).
+    pub id: usize,
+    /// The surrogate model under training.
+    pub gan: CycleGan,
+    data: TrainerData,
+    reader: BatchReader,
+    /// Validation-loss trajectory on the *global* validation set.
+    pub history: LossHistory,
+    /// GAN steps taken.
+    pub step: u64,
+    /// Tournaments won / lost.
+    pub wins: u64,
+    pub losses: u64,
+    cfg: LtfbConfig,
+}
+
+impl Trainer {
+    /// Build trainer `id` with its silo and a distinct model seed.
+    pub fn new(cfg: LtfbConfig, id: usize) -> Self {
+        let data = build_trainer_data(&cfg, id);
+        let mut gan = CycleGan::new(cfg.gan, mix_seed(&[cfg.seed, 1000 + id as u64]));
+        gan.set_learning_rates(cfg.trainer_lr(id));
+        let reader = BatchReader::new(data.train.clone(), cfg.mb, mix_seed(&[cfg.seed, id as u64]));
+        Trainer {
+            id,
+            gan,
+            data,
+            reader,
+            history: LossHistory::new(),
+            step: 0,
+            wins: 0,
+            losses: 0,
+            cfg,
+        }
+    }
+
+    /// Install the shared, a-priori-trained autoencoder (see
+    /// [`crate::ltfb::pretrain_global_autoencoder`]).
+    pub fn load_autoencoder(&mut self, ae: bytes::Bytes) {
+        self.gan.load_autoencoder(ae).expect("autoencoder payload corrupt");
+    }
+
+    /// *Ablation path*: autoencoder pre-training on this trainer's own
+    /// silo. With per-trainer latent spaces, exchanged generators are
+    /// incompatible and tournaments degenerate — the local-vs-shared
+    /// autoencoder bench quantifies exactly this. Returns the final
+    /// reconstruction MAE.
+    pub fn pretrain_autoencoder(&mut self) -> f32 {
+        let mut last = f32::INFINITY;
+        for _ in 0..self.cfg.ae_steps {
+            let (_, y) = self.reader.next_batch();
+            last = self.gan.pretrain_autoencoder_step(&y);
+        }
+        last
+    }
+
+    /// One GAN training step on the next mini-batch.
+    pub fn train_step(&mut self) -> ltfb_gan::StepLosses {
+        let (x, y) = self.reader.next_batch();
+        self.step += 1;
+        self.gan.train_step(&x, &y)
+    }
+
+    /// Evaluate on the global validation set.
+    pub fn validate(&mut self) -> EvalLosses {
+        let (x, y) = xy(&self.data.val);
+        self.gan.evaluate(x, y)
+    }
+
+    /// Record the current global validation loss into the history.
+    pub fn record_validation(&mut self) -> f32 {
+        let v = self.validate().combined();
+        self.history.record(self.step, v);
+        v
+    }
+
+    /// Tournament score of the *current* generator on the local
+    /// tournament set (lower is better for both metrics).
+    pub fn tournament_score(&mut self) -> f32 {
+        match self.cfg.metric {
+            TournamentMetric::ValLoss => {
+                let (x, y) = xy(&self.data.tournament);
+                self.gan.evaluate(x, y).combined()
+            }
+            TournamentMetric::DiscriminatorScore => {
+                // How convincingly does the generator pass for "real"
+                // under the local discriminator? BCE(D(F(x)), real).
+                let logits = self.gan.discriminator_logits(&self.data.tournament.inputs);
+                let ones = Matrix::full(logits.rows(), 1, 1.0);
+                bce_with_logits(&logits, &ones)
+            }
+        }
+    }
+
+    /// Advance the (deterministic) batch stream by `steps` mini-batches
+    /// without training — used when restoring from a checkpoint so the
+    /// resumed run consumes the same batch sequence as an uninterrupted
+    /// one.
+    pub fn fast_forward_reader(&mut self, steps: u64) {
+        for _ in 0..steps {
+            let _ = self.reader.next_batch();
+        }
+    }
+
+    /// The trainer's local tournament data size (diagnostics).
+    pub fn tournament_len(&self) -> usize {
+        self.data.tournament.len()
+    }
+
+    /// The trainer's silo size (diagnostics).
+    pub fn train_len(&self) -> usize {
+        self.data.train.len()
+    }
+}

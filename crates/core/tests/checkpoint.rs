@@ -1,0 +1,133 @@
+//! Checkpoint/restart integration tests.
+
+use ltfb_core::{
+    load_population, resume_ltfb_serial, run_ltfb_partial, run_ltfb_serial, save_population,
+    CheckpointError, LtfbConfig,
+};
+use ltfb_jag::{cleanup_dataset_dir, temp_dataset_dir};
+
+fn cfg(k: usize) -> LtfbConfig {
+    let mut c = LtfbConfig::small(k);
+    c.train_samples = 256;
+    c.val_samples = 64;
+    c.tournament_samples = 32;
+    c.ae_steps = 30;
+    c.steps = 40;
+    c.exchange_interval = 10;
+    c.eval_interval = 20;
+    c
+}
+
+#[test]
+fn save_load_round_trips_population_state() {
+    let c = cfg(2);
+    let trainers = run_ltfb_partial(&c, 20);
+    let dir = temp_dataset_dir("ckpt-rt");
+    let path = dir.join("pop.ltcp");
+    save_population(&path, &c, &trainers).unwrap();
+    let restored = load_population(&path, &c).unwrap();
+    assert_eq!(restored.len(), trainers.len());
+    for (orig, rest) in trainers.iter().zip(&restored) {
+        assert_eq!(orig.id, rest.id);
+        assert_eq!(orig.step, rest.step);
+        assert_eq!(orig.wins, rest.wins);
+        assert_eq!(orig.losses, rest.losses);
+        assert_eq!(orig.history.points(), rest.history.points());
+        assert_eq!(
+            orig.gan.generator_fingerprint(),
+            rest.gan.generator_fingerprint(),
+            "generator weights must round-trip"
+        );
+        for (a, b) in orig.gan.networks().iter().zip(rest.gan.networks().iter()) {
+            assert_eq!(a.weights_fingerprint(), b.weights_fingerprint());
+        }
+    }
+    cleanup_dataset_dir(&dir);
+}
+
+#[test]
+fn resumed_run_tracks_uninterrupted_run() {
+    // Interrupt at step 20 of 40, checkpoint, resume. Optimizer moments
+    // restart from zero (as in LBANN's default restart), so the resumed
+    // trajectory is close but not bit-identical; histories and counters
+    // up to the checkpoint are identical, and the resumed run must still
+    // converge comparably.
+    let c = cfg(2);
+    let reference = run_ltfb_serial(&c);
+
+    let trainers = run_ltfb_partial(&c, 20);
+    let dir = temp_dataset_dir("ckpt-resume");
+    let path = dir.join("pop.ltcp");
+    save_population(&path, &c, &trainers).unwrap();
+    let resumed = resume_ltfb_serial(&path, &c).unwrap();
+
+    // History prefix (steps <= 20) identical to the reference run.
+    for (hr, hs) in reference.histories.iter().zip(&resumed.histories) {
+        let pre_ref: Vec<_> = hr.points().iter().filter(|&&(s, _)| s <= 20).collect();
+        let pre_res: Vec<_> = hs.points().iter().filter(|&&(s, _)| s <= 20).collect();
+        assert_eq!(pre_ref, pre_res, "pre-checkpoint history must match exactly");
+    }
+    // Final quality comparable (within a generous band — Adam moments
+    // were dropped at the restart point).
+    for (r, s) in reference.final_val.iter().zip(&resumed.final_val) {
+        assert!(
+            (r - s).abs() < 0.3 * (1.0 + r.abs()),
+            "resumed run diverged: {r} vs {s}"
+        );
+    }
+    cleanup_dataset_dir(&dir);
+}
+
+#[test]
+fn corrupt_checkpoint_rejected() {
+    let c = cfg(2);
+    let trainers = run_ltfb_partial(&c, 5);
+    let dir = temp_dataset_dir("ckpt-corrupt");
+    let path = dir.join("pop.ltcp");
+    save_population(&path, &c, &trainers).unwrap();
+    let mut raw = std::fs::read(&path).unwrap();
+    let mid = raw.len() / 2;
+    raw[mid] ^= 0xFF;
+    std::fs::write(&path, &raw).unwrap();
+    match load_population(&path, &c) {
+        Err(CheckpointError::BadChecksum) | Err(CheckpointError::ConfigMismatch(_)) => {}
+        Err(e) => panic!("unexpected error kind: {e}"),
+        Ok(_) => panic!("corruption not detected"),
+    }
+    cleanup_dataset_dir(&dir);
+}
+
+#[test]
+fn mismatched_config_rejected() {
+    let c2 = cfg(2);
+    let c3 = cfg(3);
+    let trainers = run_ltfb_partial(&c2, 5);
+    let dir = temp_dataset_dir("ckpt-mismatch");
+    let path = dir.join("pop.ltcp");
+    save_population(&path, &c2, &trainers).unwrap();
+    assert!(matches!(
+        load_population(&path, &c3),
+        Err(CheckpointError::ConfigMismatch(_))
+    ));
+    // Wrong seed too.
+    let mut c_seed = c2;
+    c_seed.seed = 999;
+    assert!(matches!(
+        load_population(&path, &c_seed),
+        Err(CheckpointError::ConfigMismatch(_))
+    ));
+    cleanup_dataset_dir(&dir);
+}
+
+#[test]
+fn truncated_checkpoint_rejected() {
+    let c = cfg(2);
+    let trainers = run_ltfb_partial(&c, 5);
+    let dir = temp_dataset_dir("ckpt-trunc");
+    let path = dir.join("pop.ltcp");
+    save_population(&path, &c, &trainers).unwrap();
+    let raw = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &raw[..raw.len() / 2]).unwrap();
+    assert!(load_population(&path, &c).is_err());
+    cleanup_dataset_dir(&dir);
+}

@@ -1,0 +1,106 @@
+//! The flagship correctness test: the distributed LTFB driver (one rank
+//! per trainer, generators exchanged over the simulated MPI fabric) must
+//! produce *bit-identical* results to the serial reference driver. Both
+//! run the same deterministic per-trainer computation; the only difference
+//! is how generators move — so equality proves the exchange protocol is
+//! faithful.
+
+use ltfb_core::{run_k_independent, run_ltfb_distributed, run_ltfb_serial, LtfbConfig};
+
+fn cfg(k: usize) -> LtfbConfig {
+    let mut c = LtfbConfig::small(k);
+    c.train_samples = 256;
+    c.val_samples = 64;
+    c.tournament_samples = 32;
+    c.ae_steps = 30;
+    c.steps = 30;
+    c.exchange_interval = 10;
+    c.eval_interval = 15;
+    c
+}
+
+#[test]
+fn distributed_matches_serial_bit_for_bit() {
+    for k in [2usize, 3, 4] {
+        let c = cfg(k);
+        let serial = run_ltfb_serial(&c);
+        let dist = run_ltfb_distributed(&c);
+        assert_eq!(serial.final_val, dist.final_val, "k={k} final losses differ");
+        assert_eq!(serial.wins, dist.wins, "k={k} win counts differ");
+        assert_eq!(serial.adoptions, dist.adoptions, "k={k} adoption counts differ");
+        assert_eq!(serial.matches.len(), dist.matches.len());
+        for (s, d) in serial.matches.iter().zip(&dist.matches) {
+            assert_eq!(s.0, d.0, "round mismatch");
+            assert_eq!(s.1, d.1, "trainer mismatch");
+            assert_eq!(s.2.partner, d.2.partner);
+            assert_eq!(s.2.own_score, d.2.own_score, "k={k} own score differs");
+            assert_eq!(s.2.foreign_score, d.2.foreign_score);
+            assert_eq!(s.2.adopted_foreign, d.2.adopted_foreign);
+        }
+        for (hs, hd) in serial.histories.iter().zip(&dist.histories) {
+            assert_eq!(hs.points(), hd.points(), "k={k} histories differ");
+        }
+    }
+}
+
+#[test]
+fn ltfb_beats_k_independent_on_partitioned_data() {
+    // The Fig. 13 headline at miniature scale: same seeds, same silos,
+    // same step budget — the only difference is the tournament. LTFB's
+    // best trainer should generalize at least as well as the best
+    // independent trainer, because winners have effectively seen several
+    // silos.
+    let mut c = cfg(4);
+    c.steps = 120;
+    c.ae_steps = 120;
+    c.exchange_interval = 15;
+    let ltfb = run_ltfb_serial(&c);
+    let kind = run_k_independent(&c);
+    let (_, ltfb_best) = ltfb.best();
+    let (_, kind_best) = kind.best();
+    assert!(
+        ltfb_best <= kind_best * 1.02,
+        "LTFB best {ltfb_best} should not lose to K-independent best {kind_best}"
+    );
+    // And the population average should clearly favour LTFB (adopted
+    // winners lift weak members).
+    let avg = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+    assert!(
+        avg(&ltfb.final_val) < avg(&kind.final_val),
+        "LTFB population mean {} should beat K-independent mean {}",
+        avg(&ltfb.final_val),
+        avg(&kind.final_val)
+    );
+}
+
+#[test]
+fn adoption_actually_occurs_in_heterogeneous_population() {
+    // With several trainers and multiple rounds, at least one generator
+    // adoption should happen — otherwise the tournament is vacuous.
+    let mut c = cfg(4);
+    c.steps = 60;
+    let out = run_ltfb_serial(&c);
+    assert!(
+        out.adoptions > 0,
+        "no generator was ever adopted across {} matches",
+        out.matches.len()
+    );
+}
+
+#[test]
+fn classifier_distributed_matches_serial_bit_for_bit() {
+    use ltfb_core::{run_classifier_distributed, run_classifier_population};
+    for k in [2usize, 3] {
+        let mut c = cfg(k);
+        c.steps = 60;
+        c.exchange_interval = 20;
+        let serial = run_classifier_population(&c, true);
+        let dist = run_classifier_distributed(&c);
+        assert_eq!(serial.final_ce, dist.final_ce, "k={k}");
+        assert_eq!(serial.final_accuracy, dist.final_accuracy, "k={k}");
+        assert_eq!(serial.adoptions, dist.adoptions, "k={k}");
+        for (a, b) in serial.histories.iter().zip(&dist.histories) {
+            assert_eq!(a.points(), b.points());
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! # ltfb-datastore
+//!
+//! The distributed in-memory data store of LBANN (Section III-B),
+//! reimplemented over the simulated MPI world:
+//!
+//! * [`node`]  — Conduit-like typed data trees, the data-type-agnostic
+//!   sample container, with self-describing binary serialisation;
+//! * [`store`] — the store itself: per-rank sample ownership, **preload**
+//!   and **dynamic** population, deterministic epoch plans shared by all
+//!   ranks, and owner-push non-blocking mini-batch exchanges. After the
+//!   first epoch no data is read from the file system.
+
+pub mod node;
+pub mod store;
+
+pub use node::{Node, NodeDecodeError};
+pub use store::{
+    node_to_sample, sample_to_node, DataStore, EpochPlan, PopulateMode, StoreError, StoreStats,
+};

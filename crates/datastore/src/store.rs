@@ -1,0 +1,380 @@
+//! The distributed in-memory data store (Section III-B).
+//!
+//! Each rank of a trainer owns a subset of the trainer's samples, cached
+//! in memory as Conduit-like [`Node`]s. Before every mini-batch step the
+//! owners ship the needed samples to their consumers with non-blocking
+//! point-to-point messages; after the first epoch **no data is read from
+//! the file system** — the store's defining property.
+//!
+//! Two population modes, as in the paper:
+//! * **preload** — before training, each rank bulk-reads a disjoint
+//!   subset of the bundle files (each file opened by exactly one process);
+//! * **dynamic** — during epoch 0 each consumer reads its own samples
+//!   from the files (naive random access) and caches them; ownership
+//!   follows first use.
+//!
+//! Both modes compute the owner of any sample *locally* (ownership is a
+//! pure function of the deterministic epoch-0 plan / file assignment), so
+//! no ownership directory has to be communicated.
+
+use crate::node::Node;
+use ltfb_comm::Comm;
+use ltfb_jag::{DatasetSpec, Sample, N_PARAMS, N_SCALARS};
+use ltfb_tensor::{mix_seed, permutation, seeded_rng};
+use std::collections::HashMap;
+
+/// How the store is populated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PopulateMode {
+    /// Populate lazily during the first epoch.
+    Dynamic,
+    /// Bulk-load all files before training.
+    Preload,
+}
+
+/// Store I/O and shuffle statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Per-sample random-access file reads (dynamic epoch 0).
+    pub fs_sample_reads: u64,
+    /// Whole-file reads (preload).
+    pub fs_file_reads: u64,
+    /// Samples received from other ranks.
+    pub shuffled_samples: u64,
+    /// Bytes received from other ranks.
+    pub shuffled_bytes: u64,
+}
+
+/// Store errors.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The partition does not fit in the configured capacity — the
+    /// condition behind the paper's missing preload bars.
+    OutOfMemory { required_bytes: u64, capacity_bytes: u64 },
+    /// Underlying bundle-file failure.
+    Bundle(ltfb_jag::BundleError),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::OutOfMemory { required_bytes, capacity_bytes } => write!(
+                f,
+                "data store OOM: need {required_bytes} bytes, capacity {capacity_bytes}"
+            ),
+            StoreError::Bundle(e) => write!(f, "data store bundle error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<ltfb_jag::BundleError> for StoreError {
+    fn from(e: ltfb_jag::BundleError) -> Self {
+        StoreError::Bundle(e)
+    }
+}
+
+/// Deterministic plan of one training epoch over a trainer's partition.
+pub struct EpochPlan {
+    /// Global sample ids in visit order.
+    order: Vec<u64>,
+    mb: usize,
+    ranks: usize,
+}
+
+impl EpochPlan {
+    /// Steps in the epoch (final one may be short).
+    pub fn steps(&self) -> usize {
+        self.order.len().div_ceil(self.mb)
+    }
+
+    /// Global ids consumed at `step`.
+    pub fn step_ids(&self, step: usize) -> &[u64] {
+        let start = step * self.mb;
+        let end = (start + self.mb).min(self.order.len());
+        &self.order[start..end]
+    }
+
+    /// Consumer rank of position `pos` within a step: contiguous slices
+    /// of the mini-batch per rank.
+    pub fn consumer_of(&self, step: usize, pos: usize) -> usize {
+        let n = self.step_ids(step).len();
+        let per = n.div_ceil(self.ranks);
+        (pos / per.max(1)).min(self.ranks - 1)
+    }
+
+    /// The ids rank `rank` consumes at `step`, with their positions.
+    pub fn my_ids(&self, step: usize, rank: usize) -> Vec<u64> {
+        self.step_ids(step)
+            .iter()
+            .enumerate()
+            .filter(|&(pos, _)| self.consumer_of(step, pos) == rank)
+            .map(|(_, &id)| id)
+            .collect()
+    }
+}
+
+/// The distributed in-memory data store for one trainer.
+pub struct DataStore {
+    comm: Comm,
+    spec: DatasetSpec,
+    /// The trainer's partition (sorted global ids) — identical on every
+    /// rank of the trainer.
+    ids: Vec<u64>,
+    mode: PopulateMode,
+    seed: u64,
+    mb: usize,
+    owned: HashMap<u64, Node>,
+    /// file id -> position among the partition's files (preload owner map).
+    file_slot: HashMap<u64, usize>,
+    /// sample id -> owner (dynamic mode; derived from the epoch-0 plan).
+    dyn_owner: HashMap<u64, usize>,
+    stats: StoreStats,
+}
+
+/// Convert a JAG sample into its Conduit-node form.
+pub fn sample_to_node(s: &Sample) -> Node {
+    let mut n = Node::map();
+    n.set("inputs/params", Node::F32Array(s.params.to_vec()));
+    n.set("outputs/scalars", Node::F32Array(s.scalars.to_vec()));
+    n.set("outputs/images", Node::F32Array(s.images.clone()));
+    n
+}
+
+/// Recover a JAG sample from its node form. Panics if the schema does not
+/// match (programming error).
+pub fn node_to_sample(n: &Node) -> Sample {
+    let params_v = n.get_f32s("inputs/params").expect("node missing inputs/params");
+    let scalars_v = n.get_f32s("outputs/scalars").expect("node missing outputs/scalars");
+    let images = n.get_f32s("outputs/images").expect("node missing outputs/images").to_vec();
+    let mut params = [0.0f32; N_PARAMS];
+    params.copy_from_slice(params_v);
+    let mut scalars = [0.0f32; N_SCALARS];
+    scalars.copy_from_slice(scalars_v);
+    Sample { params, scalars, images }
+}
+
+impl DataStore {
+    /// Create the store for `comm`'s trainer over the given partition.
+    /// `Preload` mode performs the bulk load immediately; `Dynamic` mode
+    /// returns at once and populates during epoch 0.
+    ///
+    /// `capacity_bytes` simulates the per-trainer memory budget: if the
+    /// partition (with the per-node overhead of the Conduit form) exceeds
+    /// it, the constructor fails with [`StoreError::OutOfMemory`] on every
+    /// rank, mirroring the paper's infeasible configurations.
+    pub fn new(
+        comm: Comm,
+        spec: DatasetSpec,
+        mut ids: Vec<u64>,
+        mode: PopulateMode,
+        mb: usize,
+        seed: u64,
+        capacity_bytes: Option<u64>,
+    ) -> Result<DataStore, StoreError> {
+        assert!(mb > 0, "mini-batch must be positive");
+        ids.sort_unstable();
+        ids.dedup();
+        if let Some(cap) = capacity_bytes {
+            let required = ids.len() as u64 * spec.cfg.sample_bytes() as u64;
+            if required > cap {
+                return Err(StoreError::OutOfMemory {
+                    required_bytes: required,
+                    capacity_bytes: cap,
+                });
+            }
+        }
+        // Deterministic preload owner map: the k-th distinct file of the
+        // partition belongs to rank k % size.
+        let mut files: Vec<u64> = ids.iter().map(|&id| spec.locate(id).0).collect();
+        files.sort_unstable();
+        files.dedup();
+        let file_slot: HashMap<u64, usize> =
+            files.iter().enumerate().map(|(slot, &f)| (f, slot)).collect();
+
+        let mut store = DataStore {
+            comm,
+            spec,
+            ids,
+            mode,
+            seed,
+            mb,
+            owned: HashMap::new(),
+            file_slot,
+            dyn_owner: HashMap::new(),
+            stats: StoreStats::default(),
+        };
+        if mode == PopulateMode::Preload {
+            store.preload()?;
+        } else {
+            // Dynamic ownership follows first use: the consumer of each
+            // sample in the (deterministic) epoch-0 plan.
+            let plan = store.epoch_plan(0);
+            for step in 0..plan.steps() {
+                for (pos, &id) in plan.step_ids(step).iter().enumerate() {
+                    store.dyn_owner.insert(id, plan.consumer_of(step, pos));
+                }
+            }
+        }
+        Ok(store)
+    }
+
+    /// Bulk-load this rank's files (preload mode).
+    fn preload(&mut self) -> Result<(), StoreError> {
+        let size = self.comm.size();
+        let rank = self.comm.rank();
+        // Group partition ids by file so short/partial files work.
+        let mut by_file: HashMap<u64, Vec<u64>> = HashMap::new();
+        for &id in &self.ids {
+            by_file.entry(self.spec.locate(id).0).or_default().push(id);
+        }
+        for (&file, ids) in &by_file {
+            if self.file_slot[&file] % size != rank {
+                continue;
+            }
+            let mut reader = self.spec.open_file(file)?;
+            let samples = reader.read_all()?;
+            self.stats.fs_file_reads += 1;
+            for &id in ids {
+                let (_, idx) = self.spec.locate(id);
+                self.owned.insert(id, sample_to_node(&samples[idx]));
+            }
+        }
+        Ok(())
+    }
+
+    /// The owning rank of a sample, computable locally on every rank.
+    pub fn owner_of(&self, id: u64) -> usize {
+        match self.mode {
+            PopulateMode::Preload => {
+                let (file, _) = self.spec.locate(id);
+                self.file_slot[&file] % self.comm.size()
+            }
+            PopulateMode::Dynamic => self.dyn_owner[&id],
+        }
+    }
+
+    /// Deterministic epoch plan: identical on every rank of the trainer
+    /// (the shared seed is what lets owners push data without requests).
+    pub fn epoch_plan(&self, epoch: u64) -> EpochPlan {
+        let mut rng = seeded_rng(mix_seed(&[self.seed, epoch]));
+        let perm = permutation(self.ids.len(), &mut rng);
+        EpochPlan {
+            order: perm.into_iter().map(|i| self.ids[i]).collect(),
+            mb: self.mb,
+            ranks: self.comm.size(),
+        }
+    }
+
+    /// Execute the exchange for one step of a plan: every rank calls this
+    /// with the same `(plan, step, epoch)`; each returns the `(id, node)`
+    /// pairs it consumes, in plan order.
+    ///
+    /// Epoch 0 in dynamic mode reads from the file system (and caches);
+    /// all other (epoch, mode) combinations touch only memory and the
+    /// interconnect.
+    pub fn fetch_step(
+        &mut self,
+        plan: &EpochPlan,
+        step: usize,
+        epoch: u64,
+    ) -> Result<Vec<(u64, Node)>, StoreError> {
+        let rank = self.comm.rank();
+        let step_ids = plan.step_ids(step).to_vec();
+        let dynamic_epoch0 = self.mode == PopulateMode::Dynamic && epoch == 0;
+
+        // Who consumes what this step.
+        let consumers: Vec<usize> =
+            (0..step_ids.len()).map(|p| plan.consumer_of(step, p)).collect();
+
+        if dynamic_epoch0 {
+            // Epoch 0, dynamic: every consumer reads its own samples from
+            // disk and becomes their owner. No communication.
+            let mut out = Vec::new();
+            for (pos, &id) in step_ids.iter().enumerate() {
+                if consumers[pos] != rank {
+                    continue;
+                }
+                let node = match self.owned.get(&id) {
+                    Some(n) => n.clone(),
+                    None => {
+                        let s = self.spec.read_sample(id)?;
+                        self.stats.fs_sample_reads += 1;
+                        let n = sample_to_node(&s);
+                        self.owned.insert(id, n.clone());
+                        n
+                    }
+                };
+                out.push((id, node));
+            }
+            return Ok(out);
+        }
+
+        // Owners push to consumers (non-blocking sends), consumers
+        // collect. Tag = sample id (ids are unique within a step).
+        for (pos, &id) in step_ids.iter().enumerate() {
+            let consumer = consumers[pos];
+            if consumer == rank {
+                continue;
+            }
+            if self.owner_of(id) == rank {
+                let node = self.owned.get(&id).expect("owned sample missing");
+                self.comm.isend(consumer, id, node.to_bytes()).wait();
+            }
+        }
+        let mut out = Vec::new();
+        for (pos, &id) in step_ids.iter().enumerate() {
+            if consumers[pos] != rank {
+                continue;
+            }
+            let owner = self.owner_of(id);
+            let node = if owner == rank {
+                self.owned.get(&id).expect("owned sample missing").clone()
+            } else {
+                let (_, payload) = self.comm.irecv(owner, id).wait();
+                self.stats.shuffled_samples += 1;
+                self.stats.shuffled_bytes += payload.len() as u64;
+                Node::from_bytes(payload).expect("corrupt shuffled sample")
+            };
+            out.push((id, node));
+        }
+        Ok(out)
+    }
+
+    /// Run a full epoch of exchanges, returning this rank's consumed
+    /// samples in order (convenience for tests/benches).
+    pub fn fetch_epoch(&mut self, epoch: u64) -> Result<Vec<(u64, Node)>, StoreError> {
+        let plan = self.epoch_plan(epoch);
+        let mut out = Vec::new();
+        for step in 0..plan.steps() {
+            out.extend(self.fetch_step(&plan, step, epoch)?);
+        }
+        Ok(out)
+    }
+
+    /// Samples this rank currently owns.
+    pub fn owned_count(&self) -> usize {
+        self.owned.len()
+    }
+
+    /// Bytes of payload held by this rank.
+    pub fn owned_bytes(&self) -> usize {
+        self.owned.values().map(Node::payload_bytes).sum()
+    }
+
+    /// Partition size (samples across all ranks).
+    pub fn partition_len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// I/O and shuffle statistics for this rank.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// Population mode.
+    pub fn mode(&self) -> PopulateMode {
+        self.mode
+    }
+}

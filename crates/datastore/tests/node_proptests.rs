@@ -1,0 +1,74 @@
+//! Property-based tests for the Conduit-like node trees.
+
+use bytes::Bytes;
+use ltfb_datastore::Node;
+use proptest::prelude::*;
+
+/// Strategy for arbitrary node trees (bounded depth/size).
+fn node_strategy() -> impl Strategy<Value = Node> {
+    let leaf = prop_oneof![
+        prop::collection::vec(any::<f32>().prop_filter("finite", |v| v.is_finite()), 0..20)
+            .prop_map(Node::F32Array),
+        any::<f64>().prop_filter("finite", |v| v.is_finite()).prop_map(Node::F64),
+        any::<i64>().prop_map(Node::I64),
+        "[a-z0-9 ]{0,16}".prop_map(Node::Str),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop::collection::btree_map("[a-z][a-z0-9_]{0,8}", inner, 0..4).prop_map(Node::Map)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every tree round-trips bit-exactly.
+    #[test]
+    fn round_trip(node in node_strategy()) {
+        let decoded = Node::from_bytes(node.to_bytes()).unwrap();
+        prop_assert_eq!(decoded, node);
+    }
+
+    /// Serialisation is canonical: equal trees give equal bytes.
+    #[test]
+    fn canonical_bytes(node in node_strategy()) {
+        prop_assert_eq!(node.to_bytes(), node.clone().to_bytes());
+    }
+
+    /// Truncating the buffer anywhere is detected.
+    #[test]
+    fn truncation_detected(node in node_strategy(), cut_frac in 0.0f64..1.0) {
+        let bytes = node.to_bytes();
+        if bytes.len() > 1 {
+            let cut = 1 + ((bytes.len() - 2) as f64 * cut_frac) as usize;
+            let r = Node::from_bytes(bytes.slice(..cut));
+            prop_assert!(r.is_err(), "cut at {cut}/{} accepted", bytes.len());
+        }
+    }
+
+    /// Payload accounting is non-negative and additive over map children.
+    #[test]
+    fn payload_additive(node in node_strategy()) {
+        if let Node::Map(m) = &node {
+            let total: usize = m.values().map(Node::payload_bytes).sum();
+            prop_assert_eq!(node.payload_bytes(), total);
+        }
+    }
+
+    /// Appending junk bytes is detected.
+    #[test]
+    fn trailing_junk_detected(node in node_strategy(), junk in 1usize..8) {
+        let mut raw = node.to_bytes().to_vec();
+        raw.extend(std::iter::repeat_n(0xAB, junk));
+        prop_assert!(Node::from_bytes(Bytes::from(raw)).is_err());
+    }
+
+    /// set/get round-trips through arbitrary two-level paths.
+    #[test]
+    fn set_get_paths(a in "[a-z]{1,6}", b in "[a-z]{1,6}", v in any::<i64>()) {
+        let mut n = Node::map();
+        let path = format!("{a}/{b}");
+        n.set(&path, Node::I64(v));
+        prop_assert_eq!(n.get(&path), Some(&Node::I64(v)));
+        prop_assert!(n.get(&a).is_some(), "intermediate map must exist");
+    }
+}

@@ -1,0 +1,229 @@
+//! Cross-rank integration tests for the distributed data store: both
+//! population modes, exchange correctness, the no-FS-after-epoch-0
+//! property, and the OOM feasibility gate.
+
+use ltfb_comm::run_world;
+use ltfb_datastore::{node_to_sample, DataStore, PopulateMode, StoreError};
+use ltfb_jag::{cleanup_dataset_dir, sample_by_id, temp_dataset_dir, DatasetSpec, JagConfig};
+
+const N: u64 = 60;
+const PER_FILE: usize = 10;
+const MB: usize = 8;
+
+fn make_dataset(tag: &str) -> DatasetSpec {
+    let spec = DatasetSpec::new(temp_dataset_dir(tag), JagConfig::small(4), N, PER_FILE);
+    spec.generate_all().unwrap();
+    spec
+}
+
+fn make_store(comm: ltfb_comm::Comm, spec: &DatasetSpec, mode: PopulateMode) -> DataStore {
+    let ids: Vec<u64> = (0..N).collect();
+    DataStore::new(comm, spec.clone(), ids, mode, MB, 77, None).unwrap()
+}
+
+#[test]
+fn preload_partitions_files_across_ranks() {
+    let spec = make_dataset("preload-partition");
+    let owned = run_world(3, |comm| {
+        let store = make_store(comm, &spec, PopulateMode::Preload);
+        (store.owned_count(), store.stats().fs_file_reads)
+    });
+    // 6 files over 3 ranks: 2 files = 20 samples each.
+    for &(count, files) in &owned {
+        assert_eq!(count, 20);
+        assert_eq!(files, 2);
+    }
+    let total: usize = owned.iter().map(|&(c, _)| c).sum();
+    assert_eq!(total, N as usize, "every sample owned exactly once");
+    cleanup_dataset_dir(&spec.dir);
+}
+
+#[test]
+fn preload_epoch_delivers_correct_samples_to_every_rank() {
+    let spec = make_dataset("preload-epoch");
+    let spec2 = spec.clone();
+    let fetched = run_world(4, move |comm| {
+        let mut store = make_store(comm, &spec2, PopulateMode::Preload);
+        let got = store.fetch_epoch(0).unwrap();
+        // Verify payloads against direct regeneration.
+        for (id, node) in &got {
+            let s = node_to_sample(node);
+            assert_eq!(s, sample_by_id(&JagConfig::small(4), 0, *id), "sample {id} corrupted");
+        }
+        got.into_iter().map(|(id, _)| id).collect::<Vec<u64>>()
+    });
+    // Union over ranks covers the whole partition exactly once.
+    let mut all: Vec<u64> = fetched.into_iter().flatten().collect();
+    all.sort_unstable();
+    assert_eq!(all, (0..N).collect::<Vec<_>>());
+    cleanup_dataset_dir(&spec.dir);
+}
+
+#[test]
+fn no_fs_reads_after_first_epoch_preload() {
+    let spec = make_dataset("preload-nofs");
+    let spec2 = spec.clone();
+    run_world(2, move |comm| {
+        let mut store = make_store(comm, &spec2, PopulateMode::Preload);
+        let after_load = store.stats().fs_file_reads;
+        for epoch in 0..3 {
+            store.fetch_epoch(epoch).unwrap();
+        }
+        let s = store.stats();
+        assert_eq!(s.fs_file_reads, after_load, "training must not reopen files");
+        assert_eq!(s.fs_sample_reads, 0, "preload mode never random-reads");
+    });
+    cleanup_dataset_dir(&spec.dir);
+}
+
+#[test]
+fn dynamic_mode_reads_fs_only_in_epoch_zero() {
+    let spec = make_dataset("dynamic-nofs");
+    let spec2 = spec.clone();
+    run_world(3, move |comm| {
+        let mut store = make_store(comm, &spec2, PopulateMode::Dynamic);
+        store.fetch_epoch(0).unwrap();
+        let epoch0_reads = store.stats().fs_sample_reads;
+        assert!(epoch0_reads > 0, "epoch 0 must read from the FS");
+        assert_eq!(
+            store.owned_count() as u64,
+            epoch0_reads,
+            "each read sample becomes owned"
+        );
+        store.fetch_epoch(1).unwrap();
+        store.fetch_epoch(2).unwrap();
+        assert_eq!(
+            store.stats().fs_sample_reads,
+            epoch0_reads,
+            "no FS reads after the first epoch (the paper's key property)"
+        );
+    });
+    cleanup_dataset_dir(&spec.dir);
+}
+
+#[test]
+fn dynamic_and_preload_deliver_identical_streams() {
+    let spec = make_dataset("mode-equivalence");
+    let spec2 = spec.clone();
+    run_world(2, move |comm| {
+        let mut dynamic = make_store(comm.dup(), &spec2, PopulateMode::Dynamic);
+        let mut preload = make_store(comm, &spec2, PopulateMode::Preload);
+        for epoch in 0..2 {
+            let a = dynamic.fetch_epoch(epoch).unwrap();
+            let b = preload.fetch_epoch(epoch).unwrap();
+            let ids_a: Vec<u64> = a.iter().map(|(id, _)| *id).collect();
+            let ids_b: Vec<u64> = b.iter().map(|(id, _)| *id).collect();
+            assert_eq!(ids_a, ids_b, "modes must deliver the same id stream");
+            for ((_, na), (_, nb)) in a.iter().zip(&b) {
+                assert_eq!(na, nb, "modes must deliver identical payloads");
+            }
+        }
+    });
+    cleanup_dataset_dir(&spec.dir);
+}
+
+#[test]
+fn epochs_are_reshuffled_but_deterministic() {
+    let spec = make_dataset("shuffle");
+    let spec2 = spec.clone();
+    run_world(2, move |comm| {
+        let store = make_store(comm, &spec2, PopulateMode::Preload);
+        let p0 = store.epoch_plan(0);
+        let p1 = store.epoch_plan(1);
+        let order0: Vec<u64> = (0..p0.steps()).flat_map(|s| p0.step_ids(s).to_vec()).collect();
+        let order1: Vec<u64> = (0..p1.steps()).flat_map(|s| p1.step_ids(s).to_vec()).collect();
+        assert_ne!(order0, order1, "epochs must reshuffle");
+        // Same epoch requested twice gives the same order (determinism).
+        let p0b = store.epoch_plan(0);
+        let order0b: Vec<u64> =
+            (0..p0b.steps()).flat_map(|s| p0b.step_ids(s).to_vec()).collect();
+        assert_eq!(order0, order0b);
+        // Each epoch is a permutation of the partition.
+        let mut sorted = order0.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..N).collect::<Vec<_>>());
+    });
+    cleanup_dataset_dir(&spec.dir);
+}
+
+#[test]
+fn shuffle_traffic_happens_after_epoch_zero_dynamic() {
+    let spec = make_dataset("traffic");
+    let spec2 = spec.clone();
+    run_world(3, move |comm| {
+        let mut store = make_store(comm, &spec2, PopulateMode::Dynamic);
+        store.fetch_epoch(0).unwrap();
+        assert_eq!(store.stats().shuffled_samples, 0, "epoch 0 is local reads only");
+        store.fetch_epoch(1).unwrap();
+        assert!(
+            store.stats().shuffled_samples > 0,
+            "later epochs must exchange samples between ranks"
+        );
+        assert!(store.stats().shuffled_bytes > 0);
+    });
+    cleanup_dataset_dir(&spec.dir);
+}
+
+#[test]
+fn oom_gate_rejects_oversized_partitions() {
+    let spec = make_dataset("oom");
+    let spec2 = spec.clone();
+    run_world(2, move |comm| {
+        let ids: Vec<u64> = (0..N).collect();
+        let tiny_capacity = Some(3 * spec2.cfg.sample_bytes() as u64);
+        let r = DataStore::new(
+            comm,
+            spec2.clone(),
+            ids,
+            PopulateMode::Preload,
+            MB,
+            1,
+            tiny_capacity,
+        );
+        match r {
+            Err(StoreError::OutOfMemory { required_bytes, capacity_bytes }) => {
+                assert!(required_bytes > capacity_bytes);
+            }
+            _ => panic!("expected OOM"),
+        }
+    });
+    cleanup_dataset_dir(&spec.dir);
+}
+
+#[test]
+fn single_rank_store_works_without_comm() {
+    let spec = make_dataset("solo");
+    let spec2 = spec.clone();
+    run_world(1, move |comm| {
+        let mut store = make_store(comm, &spec2, PopulateMode::Preload);
+        let got = store.fetch_epoch(0).unwrap();
+        assert_eq!(got.len(), N as usize);
+        assert_eq!(store.stats().shuffled_samples, 0);
+    });
+    cleanup_dataset_dir(&spec.dir);
+}
+
+#[test]
+fn partition_subsets_are_respected() {
+    // Two disjoint partitions (as two LTFB trainers would hold) never see
+    // each other's samples.
+    let spec = make_dataset("partition-subset");
+    let spec2 = spec.clone();
+    run_world(2, move |comm| {
+        let lower: Vec<u64> = (0..N / 2).collect();
+        let mut store = DataStore::new(
+            comm,
+            spec2.clone(),
+            lower.clone(),
+            PopulateMode::Preload,
+            MB,
+            9,
+            None,
+        )
+        .unwrap();
+        assert_eq!(store.partition_len(), lower.len());
+        let got = store.fetch_epoch(0).unwrap();
+        assert!(got.iter().all(|(id, _)| *id < N / 2), "leaked foreign sample");
+    });
+    cleanup_dataset_dir(&spec.dir);
+}

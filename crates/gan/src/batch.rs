@@ -1,0 +1,56 @@
+//! Conversion between JAG samples and the (x, y) matrices the networks
+//! consume: x rows are the 5-D inputs, y rows the multimodal output
+//! bundles (15 scalars then all image pixels).
+
+use crate::config::CycleGanConfig;
+use ltfb_jag::Sample;
+use ltfb_tensor::Matrix;
+
+/// Pack samples into `(x, y)` mini-batch matrices.
+pub fn batch_from_samples(cfg: &CycleGanConfig, samples: &[&Sample]) -> (Matrix, Matrix) {
+    let n = samples.len();
+    let mut x = Matrix::zeros(n, cfg.x_dim());
+    let mut y = Matrix::zeros(n, cfg.y_dim());
+    for (r, s) in samples.iter().enumerate() {
+        assert_eq!(
+            s.images.len(),
+            cfg.jag.image_len(),
+            "sample geometry does not match the model config"
+        );
+        x.row_mut(r).copy_from_slice(&s.params);
+        let yr = y.row_mut(r);
+        yr[..s.scalars.len()].copy_from_slice(&s.scalars);
+        yr[s.scalars.len()..].copy_from_slice(&s.images);
+    }
+    (x, y)
+}
+
+/// Split a predicted output-bundle row back into `(scalars, images)`.
+pub fn split_output(cfg: &CycleGanConfig, row: &[f32]) -> (Vec<f32>, Vec<f32>) {
+    assert_eq!(row.len(), cfg.y_dim());
+    let n_scalars = ltfb_jag::N_SCALARS;
+    (row[..n_scalars].to_vec(), row[n_scalars..].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltfb_jag::{r2_point, JagSimulator};
+
+    #[test]
+    fn pack_and_split_round_trip() {
+        let cfg = CycleGanConfig::small(4);
+        let sim = JagSimulator::new(cfg.jag);
+        let samples: Vec<_> = (0..3).map(|i| sim.simulate(r2_point(i))).collect();
+        let refs: Vec<&ltfb_jag::Sample> = samples.iter().collect();
+        let (x, y) = batch_from_samples(&cfg, &refs);
+        assert_eq!(x.shape(), (3, 5));
+        assert_eq!(y.shape(), (3, cfg.y_dim()));
+        for (r, s) in samples.iter().enumerate() {
+            assert_eq!(x.row(r), &s.params[..]);
+            let (scalars, images) = split_output(&cfg, y.row(r));
+            assert_eq!(scalars, s.scalars.to_vec());
+            assert_eq!(images, s.images);
+        }
+    }
+}

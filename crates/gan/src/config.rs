@@ -1,0 +1,73 @@
+//! CycleGAN surrogate configuration (Section II-D).
+
+use ltfb_jag::{JagConfig, N_PARAMS, N_SCALARS};
+
+/// Architecture and loss weights of the CycleGAN surrogate.
+///
+/// The paper's networks are "standard fully-connected neural networks";
+/// widths here default to laptop-scale values and scale with the image
+/// resolution of the attached [`JagConfig`].
+#[derive(Debug, Clone, Copy)]
+pub struct CycleGanConfig {
+    /// Problem geometry (drives the output-bundle width).
+    pub jag: JagConfig,
+    /// Latent dimension (paper: 20).
+    pub latent: usize,
+    /// Hidden width of the encoder/decoder stacks.
+    pub ae_hidden: usize,
+    /// Hidden width of the forward/inverse/discriminator stacks.
+    pub net_hidden: usize,
+    /// LeakyReLU slope.
+    pub leak: f32,
+    /// Adam learning rate (paper: 1e-3).
+    pub lr: f32,
+    /// Weight of the latent fidelity term (surrogate fidelity loss).
+    pub fidelity_weight: f32,
+    /// Weight of the adversarial term (physical consistency loss).
+    pub adv_weight: f32,
+    /// Weight of the cycle term `G(F(x)) ~ x` (self consistency loss).
+    pub cycle_weight: f32,
+    /// Weight of the decoded-output MAE term (internal consistency loss).
+    pub recon_weight: f32,
+}
+
+impl CycleGanConfig {
+    /// Laptop-scale defaults at the given image resolution.
+    pub fn small(img_size: usize) -> Self {
+        CycleGanConfig {
+            jag: JagConfig::small(img_size),
+            latent: 20,
+            ae_hidden: 96,
+            net_hidden: 64,
+            leak: 0.1,
+            lr: 1.0e-3,
+            fidelity_weight: 1.0,
+            adv_weight: 0.05,
+            cycle_weight: 1.0,
+            recon_weight: 0.5,
+        }
+    }
+
+    /// Width of the multimodal output bundle (15 scalars + all images).
+    pub fn y_dim(&self) -> usize {
+        N_SCALARS + self.jag.image_len()
+    }
+
+    /// Width of the input parameter vector.
+    pub fn x_dim(&self) -> usize {
+        N_PARAMS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_follow_image_size() {
+        let c = CycleGanConfig::small(8);
+        assert_eq!(c.x_dim(), 5);
+        assert_eq!(c.y_dim(), 15 + 12 * 64);
+        assert_eq!(c.latent, 20);
+    }
+}

@@ -1,0 +1,19 @@
+//! # ltfb-gan
+//!
+//! The CycleGAN surrogate model for ICF experiments (Fig. 2 of the
+//! paper): a frozen multimodal autoencoder defining a 20-D latent space,
+//! a forward model `F: R^5 -> R^20`, an adversarial discriminator on the
+//! latent space, and an inverse model `G: R^20 -> R^5`, trained with the
+//! surrogate-fidelity, physical-consistency (adversarial), internal-
+//! consistency (decoder MAE) and self-consistency (cycle MAE) losses.
+//!
+//! The *generator* — F plus G — is the unit LTFB exchanges between
+//! trainers; everything else stays trainer-local.
+
+pub mod batch;
+pub mod config;
+pub mod model;
+
+pub use batch::{batch_from_samples, split_output};
+pub use config::CycleGanConfig;
+pub use model::{mean_eval, CycleGan, EvalLosses, StepLosses};

@@ -1,0 +1,415 @@
+//! The CycleGAN surrogate (Fig. 2): five fully-connected networks and the
+//! four consistency losses.
+//!
+//! * encoder `E : R^y -> R^20` and decoder `Dec : R^20 -> R^y` form the
+//!   multimodal autoencoder, trained a priori and then frozen;
+//! * forward model `F : R^5 -> R^20` predicts the latent code of the
+//!   outputs from the experiment inputs (*surrogate fidelity* +
+//!   *internal consistency* via the frozen decoder);
+//! * discriminator `D : R^20 -> logit` distinguishes real latent codes
+//!   from predicted ones (*physical consistency*);
+//! * inverse model `G : R^20 -> R^5` maps back to inputs
+//!   (*self/cycle consistency*, `G ∘ F ≈ I`).
+//!
+//! Only `F` and `G` — the *generator* — cross trainers during an LTFB
+//! round; `E`, `Dec` and `D` stay local (Section III-C).
+
+use crate::config::CycleGanConfig;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ltfb_nn::{mlp, Adam, Optimizer, OutputActivation, Sequential};
+use ltfb_tensor::{
+    axpy, bce_with_logits, bce_with_logits_grad, mean_absolute_error, mean_absolute_error_grad,
+    mix_seed, seeded_rng, DecodeError, Matrix,
+};
+
+/// Per-step training losses.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StepLosses {
+    /// Discriminator BCE (real + fake halves).
+    pub d_loss: f32,
+    /// Generator's adversarial (physical consistency) term.
+    pub adv: f32,
+    /// Latent fidelity term.
+    pub fidelity: f32,
+    /// Cycle (self consistency) term.
+    pub cycle: f32,
+    /// Decoded-output (internal consistency) term.
+    pub recon: f32,
+}
+
+impl StepLosses {
+    /// Total generator objective.
+    pub fn generator_total(&self, cfg: &CycleGanConfig) -> f32 {
+        cfg.fidelity_weight * self.fidelity
+            + cfg.adv_weight * self.adv
+            + cfg.cycle_weight * self.cycle
+            + cfg.recon_weight * self.recon
+    }
+}
+
+/// Validation-time losses (the paper's "forward and inverse loss").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvalLosses {
+    /// Output-space reconstruction MAE of `Dec(F(x))` vs `y`.
+    pub forward: f32,
+    /// Cycle MAE of `G(F(x))` vs `x`.
+    pub inverse: f32,
+    /// Latent fidelity MAE of `F(x)` vs `E(y)`.
+    pub fidelity: f32,
+}
+
+impl EvalLosses {
+    /// The combined validation metric used for tournaments and Figs 12/13
+    /// (lower is better).
+    pub fn combined(&self) -> f32 {
+        self.forward + self.inverse
+    }
+}
+
+/// The full surrogate: five networks plus their optimizers.
+pub struct CycleGan {
+    pub cfg: CycleGanConfig,
+    encoder: Sequential,
+    decoder: Sequential,
+    forward_model: Sequential,
+    inverse_model: Sequential,
+    discriminator: Sequential,
+    opt_ae: Adam,
+    opt_f: Adam,
+    opt_g: Adam,
+    opt_d: Adam,
+}
+
+impl CycleGan {
+    /// Build with per-network seeds derived from `seed` (LTFB initialises
+    /// each trainer's population member with a distinct seed).
+    pub fn new(cfg: CycleGanConfig, seed: u64) -> Self {
+        let y = cfg.y_dim();
+        let x = cfg.x_dim();
+        let l = cfg.latent;
+        let h = cfg.net_hidden;
+        let ah = cfg.ae_hidden;
+        let mk = |tag: u64| seeded_rng(mix_seed(&[seed, tag]));
+        CycleGan {
+            encoder: mlp(&[y, ah, ah / 2, l], cfg.leak, OutputActivation::TanhOut, &mut mk(1)),
+            decoder: mlp(&[l, ah / 2, ah, y], cfg.leak, OutputActivation::LinearOut, &mut mk(2)),
+            forward_model: mlp(&[x, h, h, l], cfg.leak, OutputActivation::TanhOut, &mut mk(3)),
+            inverse_model: mlp(&[l, h, h / 2, x], cfg.leak, OutputActivation::SigmoidOut, &mut mk(4)),
+            discriminator: mlp(&[l, h, h / 2, 1], cfg.leak, OutputActivation::LinearOut, &mut mk(5)),
+            opt_ae: Adam::new(cfg.lr),
+            opt_f: Adam::new(cfg.lr),
+            opt_g: Adam::new(cfg.lr),
+            opt_d: Adam::new(cfg.lr),
+            cfg,
+        }
+    }
+
+    /// Total trainable parameters across all five networks.
+    pub fn num_params(&self) -> usize {
+        self.encoder.num_params()
+            + self.decoder.num_params()
+            + self.forward_model.num_params()
+            + self.inverse_model.num_params()
+            + self.discriminator.num_params()
+    }
+
+    /// Override the learning rate of the trainable networks (generator
+    /// F/G and discriminator). Used by LTFB populations with
+    /// hyperparameter diversity ("initialized with different weights and
+    /// hyperparameters", Section III-C).
+    pub fn set_learning_rates(&mut self, lr: f32) {
+        self.opt_f.set_learning_rate(lr);
+        self.opt_g.set_learning_rate(lr);
+        self.opt_d.set_learning_rate(lr);
+    }
+
+    /// Current generator learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.opt_f.learning_rate()
+    }
+
+    /// Parameters in the exchanged generator (F + G).
+    pub fn generator_params(&self) -> usize {
+        self.forward_model.num_params() + self.inverse_model.num_params()
+    }
+
+    /// One autoencoder pre-training step on an output batch; returns the
+    /// reconstruction MAE. ("trained a priori using a multimodal
+    /// autoencoder of all outputs")
+    pub fn pretrain_autoencoder_step(&mut self, y: &Matrix) -> f32 {
+        self.encoder.zero_grads();
+        self.decoder.zero_grads();
+        let z = self.encoder.forward(y, true);
+        let y_hat = self.decoder.forward(&z, true);
+        let loss = mean_absolute_error(&y_hat, y);
+        let g = mean_absolute_error_grad(&y_hat, y);
+        let gz = self.decoder.backward(&g);
+        self.encoder.backward(&gz);
+        // One optimizer drives both autoencoder halves.
+        let mut params = self.encoder.params_mut();
+        params.extend(self.decoder.params_mut());
+        // (params_mut borrows encoder and decoder disjointly)
+        self.opt_ae.step(&mut params);
+        loss
+    }
+
+    /// One adversarial training step on an `(x, y)` batch.
+    pub fn train_step(&mut self, x: &Matrix, y: &Matrix) -> StepLosses {
+        self.train_step_with_sync(x, y, &mut |_| {})
+    }
+
+    /// Training step with a gradient-synchronisation hook: `sync` is
+    /// called on each trainable network after its gradients are fully
+    /// accumulated and before its optimizer step — the seam data-parallel
+    /// replicas use to allreduce gradients across the trainer's ranks
+    /// (Fig. 4's intra-trainer parallelism).
+    pub fn train_step_with_sync(
+        &mut self,
+        x: &Matrix,
+        y: &Matrix,
+        sync: &mut dyn FnMut(&mut Sequential),
+    ) -> StepLosses {
+        assert_eq!(x.rows(), y.rows(), "x/y batch mismatch");
+        let n = x.rows();
+        let ones = Matrix::full(n, 1, 1.0);
+        let zeros = Matrix::zeros(n, 1);
+        let mut losses = StepLosses::default();
+
+        // Frozen encoder: the "real" latent codes.
+        let z_real = self.encoder.forward(y, false);
+
+        // ---- Discriminator update (physical consistency, D side) ----
+        let z_fake = self.forward_model.forward(x, true);
+        self.discriminator.zero_grads();
+        let logit_real = self.discriminator.forward(&z_real, true);
+        losses.d_loss += bce_with_logits(&logit_real, &ones);
+        let g_real = bce_with_logits_grad(&logit_real, &ones);
+        self.discriminator.backward(&g_real);
+        let logit_fake = self.discriminator.forward(&z_fake, true);
+        losses.d_loss += bce_with_logits(&logit_fake, &zeros);
+        let g_fake = bce_with_logits_grad(&logit_fake, &zeros);
+        self.discriminator.backward(&g_fake);
+        sync(&mut self.discriminator);
+        self.opt_d.step(&mut self.discriminator.params_mut());
+
+        // ---- Generator update (F and G) ----
+        self.forward_model.zero_grads();
+        self.inverse_model.zero_grads();
+        let z_fake = self.forward_model.forward(x, true); // fresh caches
+
+        // Surrogate fidelity: MAE(F(x), E(y)).
+        losses.fidelity = mean_absolute_error(&z_fake, &z_real);
+        let mut gz = mean_absolute_error_grad(&z_fake, &z_real);
+        ltfb_tensor::scale(self.cfg.fidelity_weight, &mut gz);
+
+        // Physical consistency: fool the (now frozen) discriminator.
+        let logit = self.discriminator.forward(&z_fake, true);
+        losses.adv = bce_with_logits(&logit, &ones);
+        let mut ga = bce_with_logits_grad(&logit, &ones);
+        ltfb_tensor::scale(self.cfg.adv_weight, &mut ga);
+        let gz_adv = self.discriminator.backward(&ga);
+        axpy(1.0, &gz_adv, &mut gz);
+        // The discriminator accumulated spurious grads from this pass;
+        // they are discarded by the zero_grads at its next update.
+
+        // Internal consistency: decoded outputs match ground truth
+        // (decoder frozen — gradients flow through, not into, it).
+        let y_hat = self.decoder.forward(&z_fake, false);
+        losses.recon = mean_absolute_error(&y_hat, y);
+        let mut gr = mean_absolute_error_grad(&y_hat, y);
+        ltfb_tensor::scale(self.cfg.recon_weight, &mut gr);
+        self.decoder.zero_grads();
+        let gz_rec = self.decoder.backward(&gr);
+        self.decoder.zero_grads(); // decoder stays frozen
+        axpy(1.0, &gz_rec, &mut gz);
+
+        // Self consistency: G(F(x)) ~ x.
+        let x_hat = self.inverse_model.forward(&z_fake, true);
+        losses.cycle = mean_absolute_error(&x_hat, x);
+        let mut gc = mean_absolute_error_grad(&x_hat, x);
+        ltfb_tensor::scale(self.cfg.cycle_weight, &mut gc);
+        let gz_cyc = self.inverse_model.backward(&gc);
+        axpy(1.0, &gz_cyc, &mut gz);
+
+        // Backprop the combined latent gradient into F; sync and step.
+        self.forward_model.backward(&gz);
+        sync(&mut self.forward_model);
+        sync(&mut self.inverse_model);
+        self.opt_f.step(&mut self.forward_model.params_mut());
+        self.opt_g.step(&mut self.inverse_model.params_mut());
+
+        losses
+    }
+
+    /// Evaluate on a validation batch (no parameter updates).
+    pub fn evaluate(&mut self, x: &Matrix, y: &Matrix) -> EvalLosses {
+        let z_real = self.encoder.forward(y, false);
+        let z_fake = self.forward_model.forward(x, false);
+        let y_hat = self.decoder.forward(&z_fake, false);
+        let x_hat = self.inverse_model.forward(&z_fake, false);
+        EvalLosses {
+            forward: mean_absolute_error(&y_hat, y),
+            inverse: mean_absolute_error(&x_hat, x),
+            fidelity: mean_absolute_error(&z_fake, &z_real),
+        }
+    }
+
+    /// Predict the output bundle for a batch of inputs: `Dec(F(x))`.
+    pub fn predict(&mut self, x: &Matrix) -> Matrix {
+        let z = self.forward_model.forward(x, false);
+        self.decoder.forward(&z, false)
+    }
+
+    /// Local-discriminator logits on generated latent codes `D(F(x))` —
+    /// the GAN-specific tournament evaluation of Fig. 6(b).
+    pub fn discriminator_logits(&mut self, x: &Matrix) -> Matrix {
+        let z = self.forward_model.forward(x, false);
+        self.discriminator.forward(&z, false)
+    }
+
+    /// Predict inputs back from outputs: `G(E(y))` (robust model
+    /// inversion, Section II-A).
+    pub fn invert(&mut self, y: &Matrix) -> Matrix {
+        let z = self.encoder.forward(y, false);
+        self.inverse_model.forward(&z, false)
+    }
+
+    /// Serialise the generator (F + G) for an LTFB exchange. The
+    /// discriminator, encoder and decoder stay local.
+    pub fn generator_to_bytes(&self) -> Bytes {
+        let f = self.forward_model.weights_to_bytes();
+        let g = self.inverse_model.weights_to_bytes();
+        let mut buf = BytesMut::with_capacity(f.len() + g.len() + 16);
+        buf.put_u64_le(f.len() as u64);
+        buf.put_slice(&f);
+        buf.put_u64_le(g.len() as u64);
+        buf.put_slice(&g);
+        buf.freeze()
+    }
+
+    /// Install generator weights received from another trainer.
+    pub fn load_generator(&mut self, mut data: Bytes) -> Result<(), DecodeError> {
+        let take = |data: &mut Bytes| -> Result<Bytes, DecodeError> {
+            if data.remaining() < 8 {
+                return Err(DecodeError::Truncated { needed: 8, have: data.remaining() });
+            }
+            let len = data.get_u64_le() as usize;
+            if data.remaining() < len {
+                return Err(DecodeError::Truncated { needed: len, have: data.remaining() });
+            }
+            Ok(data.copy_to_bytes(len))
+        };
+        let f = take(&mut data)?;
+        let g = take(&mut data)?;
+        self.forward_model.weights_from_bytes(f)?;
+        self.inverse_model.weights_from_bytes(g)?;
+        // Foreign weights live elsewhere on the loss surface: stale Adam
+        // moments would immediately drag them back. LBANN keeps optimizer
+        // state local; we reset it, which is equivalent at exchange time.
+        self.opt_f.reset_state();
+        self.opt_g.reset_state();
+        Ok(())
+    }
+
+    /// Serialise the frozen autoencoder (encoder + decoder). The paper
+    /// trains the multimodal autoencoder *a priori*, once, and every
+    /// trainer's surrogate is built against that shared latent space —
+    /// without this, exchanged generators would target incompatible
+    /// latent embeddings and tournaments would degenerate.
+    pub fn autoencoder_to_bytes(&self) -> Bytes {
+        let e = self.encoder.weights_to_bytes();
+        let d = self.decoder.weights_to_bytes();
+        let mut buf = BytesMut::with_capacity(e.len() + d.len() + 16);
+        buf.put_u64_le(e.len() as u64);
+        buf.put_slice(&e);
+        buf.put_u64_le(d.len() as u64);
+        buf.put_slice(&d);
+        buf.freeze()
+    }
+
+    /// Install a shared pre-trained autoencoder.
+    pub fn load_autoencoder(&mut self, mut data: Bytes) -> Result<(), DecodeError> {
+        let take = |data: &mut Bytes| -> Result<Bytes, DecodeError> {
+            if data.remaining() < 8 {
+                return Err(DecodeError::Truncated { needed: 8, have: data.remaining() });
+            }
+            let len = data.get_u64_le() as usize;
+            if data.remaining() < len {
+                return Err(DecodeError::Truncated { needed: len, have: data.remaining() });
+            }
+            Ok(data.copy_to_bytes(len))
+        };
+        let e = take(&mut data)?;
+        let d = take(&mut data)?;
+        self.encoder.weights_from_bytes(e)?;
+        self.decoder.weights_from_bytes(d)?;
+        self.opt_ae.reset_state();
+        Ok(())
+    }
+
+    /// Install generator weights *without* touching optimizer state —
+    /// used to temporarily score a foreign generator during a tournament
+    /// and then restore the local one if it wins.
+    pub fn swap_generator_weights(&mut self, data: Bytes) -> Result<(), DecodeError> {
+        let take = |data: &mut Bytes| -> Result<Bytes, DecodeError> {
+            if data.remaining() < 8 {
+                return Err(DecodeError::Truncated { needed: 8, have: data.remaining() });
+            }
+            let len = data.get_u64_le() as usize;
+            if data.remaining() < len {
+                return Err(DecodeError::Truncated { needed: len, have: data.remaining() });
+            }
+            Ok(data.copy_to_bytes(len))
+        };
+        let mut data = data;
+        let f = take(&mut data)?;
+        let g = take(&mut data)?;
+        self.forward_model.weights_from_bytes(f)?;
+        self.inverse_model.weights_from_bytes(g)?;
+        Ok(())
+    }
+
+    /// Fingerprint of the generator weights (tournament bookkeeping).
+    pub fn generator_fingerprint(&self) -> u64 {
+        self.forward_model
+            .weights_fingerprint()
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ self.inverse_model.weights_fingerprint()
+    }
+
+    /// Synchronise every network's weights from `root`'s replica and the
+    /// autoencoder too — trainer start-up for data-parallel replicas.
+    pub fn networks_mut(&mut self) -> [&mut Sequential; 5] {
+        [
+            &mut self.encoder,
+            &mut self.decoder,
+            &mut self.forward_model,
+            &mut self.inverse_model,
+            &mut self.discriminator,
+        ]
+    }
+
+    /// Access the whole-model pieces (ablation benches).
+    pub fn networks(&self) -> [&Sequential; 5] {
+        [
+            &self.encoder,
+            &self.decoder,
+            &self.forward_model,
+            &self.inverse_model,
+            &self.discriminator,
+        ]
+    }
+}
+
+/// Mean over a batch of eval losses.
+pub fn mean_eval(evals: &[EvalLosses]) -> EvalLosses {
+    if evals.is_empty() {
+        return EvalLosses::default();
+    }
+    let n = evals.len() as f32;
+    EvalLosses {
+        forward: evals.iter().map(|e| e.forward).sum::<f32>() / n,
+        inverse: evals.iter().map(|e| e.inverse).sum::<f32>() / n,
+        fidelity: evals.iter().map(|e| e.fidelity).sum::<f32>() / n,
+    }
+}

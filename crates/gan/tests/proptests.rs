@@ -1,0 +1,90 @@
+//! Property-based tests for the CycleGAN surrogate's exchange payloads
+//! and training-step invariants.
+
+use bytes::Bytes;
+use ltfb_gan::{CycleGan, CycleGanConfig};
+use ltfb_tensor::Matrix;
+use proptest::prelude::*;
+
+fn gan(seed: u64) -> CycleGan {
+    CycleGan::new(CycleGanConfig::small(4), seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Generator payloads round-trip across arbitrary seed pairs, and the
+    /// receiver's non-generator networks never change.
+    #[test]
+    fn generator_exchange_round_trip(sa in any::<u64>(), sb in any::<u64>()) {
+        prop_assume!(sa != sb);
+        let a = gan(sa);
+        let mut b = gan(sb);
+        let enc_before = b.networks()[0].weights_fingerprint();
+        let dec_before = b.networks()[1].weights_fingerprint();
+        let disc_before = b.networks()[4].weights_fingerprint();
+        b.load_generator(a.generator_to_bytes()).unwrap();
+        prop_assert_eq!(b.generator_fingerprint(), a.generator_fingerprint());
+        prop_assert_eq!(b.networks()[0].weights_fingerprint(), enc_before);
+        prop_assert_eq!(b.networks()[1].weights_fingerprint(), dec_before);
+        prop_assert_eq!(b.networks()[4].weights_fingerprint(), disc_before);
+    }
+
+    /// Any single corrupted byte in a generator payload is rejected.
+    #[test]
+    fn corrupted_generator_rejected(seed in any::<u64>(), pos_frac in 0.0f64..1.0, flip in 1u8..=255) {
+        let a = gan(seed);
+        let mut b = gan(seed.wrapping_add(1));
+        let mut raw = a.generator_to_bytes().to_vec();
+        // Stay inside a payload region (skip the outer length prefix).
+        let idx = 40 + ((raw.len() - 60) as f64 * pos_frac) as usize;
+        raw[idx] ^= flip;
+        prop_assert!(b.load_generator(Bytes::from(raw)).is_err(),
+            "corruption at byte {idx} accepted");
+    }
+
+    /// swap-in/swap-out of a foreign generator is an exact involution
+    /// (tournament restore path).
+    #[test]
+    fn swap_restore_is_identity(sa in any::<u64>(), sb in any::<u64>()) {
+        let a = gan(sa);
+        let mut b = gan(sb);
+        let own = b.generator_to_bytes();
+        let fp = b.generator_fingerprint();
+        b.swap_generator_weights(a.generator_to_bytes()).unwrap();
+        b.swap_generator_weights(own).unwrap();
+        prop_assert_eq!(b.generator_fingerprint(), fp);
+    }
+
+    /// Training steps keep every network finite for inputs across the
+    /// design cube (no NaN blowups from the adversarial game).
+    #[test]
+    fn train_step_stays_finite(seed in any::<u64>(), scale in 0.1f32..1.0) {
+        let mut g = gan(seed);
+        let cfg = g.cfg;
+        let x = Matrix::full(8, 5, scale.clamp(0.0, 1.0));
+        let y = Matrix::full(8, cfg.y_dim(), scale * 0.5);
+        for _ in 0..3 {
+            let l = g.train_step(&x, &y);
+            prop_assert!(l.d_loss.is_finite() && l.adv.is_finite());
+            prop_assert!(l.fidelity.is_finite() && l.cycle.is_finite() && l.recon.is_finite());
+        }
+        let pred = g.predict(&x);
+        prop_assert!(pred.all_finite());
+    }
+
+    /// Evaluation losses are non-negative and symmetric in batch order.
+    #[test]
+    fn evaluate_invariants(seed in any::<u64>()) {
+        let mut g = gan(seed);
+        let cfg = g.cfg;
+        let x = ltfb_tensor::uniform(6, 5, 0.0, 1.0, &mut ltfb_tensor::seeded_rng(seed));
+        let y = ltfb_tensor::uniform(6, cfg.y_dim(), 0.0, 1.0, &mut ltfb_tensor::seeded_rng(seed ^ 1));
+        let e = g.evaluate(&x, &y);
+        prop_assert!(e.forward >= 0.0 && e.inverse >= 0.0 && e.fidelity >= 0.0);
+        // Reversing the batch rows must not change the mean losses.
+        let rev: Vec<usize> = (0..6).rev().collect();
+        let e2 = g.evaluate(&x.gather_rows(&rev), &y.gather_rows(&rev));
+        prop_assert!((e.combined() - e2.combined()).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,199 @@
+//! End-to-end training tests for the CycleGAN surrogate: the losses must
+//! actually fall on the synthetic JAG problem, the exchange protocol must
+//! move generators faithfully, and evaluation must be side-effect free.
+
+use bytes::Bytes;
+use ltfb_gan::{batch_from_samples, mean_eval, CycleGan, CycleGanConfig};
+use ltfb_jag::{r2_point, JagSimulator, Sample};
+use ltfb_tensor::Matrix;
+
+fn dataset(cfg: &CycleGanConfig, start: u64, n: usize) -> Vec<Sample> {
+    let sim = JagSimulator::new(cfg.jag);
+    (0..n as u64).map(|i| sim.simulate(r2_point(start + i))).collect()
+}
+
+fn batches(cfg: &CycleGanConfig, samples: &[Sample], mb: usize) -> Vec<(Matrix, Matrix)> {
+    samples
+        .chunks(mb)
+        .map(|chunk| {
+            let refs: Vec<&Sample> = chunk.iter().collect();
+            batch_from_samples(cfg, &refs)
+        })
+        .collect()
+}
+
+/// Pretrain the autoencoder, then run GAN steps; both phases must reduce
+/// their objective.
+#[test]
+fn training_reduces_losses() {
+    let cfg = CycleGanConfig::small(4);
+    let mut gan = CycleGan::new(cfg, 42);
+    let train = dataset(&cfg, 0, 256);
+    let bs = batches(&cfg, &train, 32);
+
+    // Autoencoder pretraining.
+    let mut first_ae = None;
+    let mut last_ae = 0.0;
+    for epoch in 0..30 {
+        for (_, y) in &bs {
+            last_ae = gan.pretrain_autoencoder_step(y);
+            if first_ae.is_none() {
+                first_ae = Some(last_ae);
+            }
+        }
+        let _ = epoch;
+    }
+    let first_ae = first_ae.unwrap();
+    assert!(
+        last_ae < 0.6 * first_ae,
+        "autoencoder failed to learn: {first_ae} -> {last_ae}"
+    );
+
+    // Adversarial surrogate training.
+    let val = dataset(&cfg, 10_000, 64);
+    let (vx, vy) = {
+        let refs: Vec<&Sample> = val.iter().collect();
+        batch_from_samples(&cfg, &refs)
+    };
+    let before = gan.evaluate(&vx, &vy);
+    for _ in 0..20 {
+        for (x, y) in &bs {
+            gan.train_step(x, y);
+        }
+    }
+    let after = gan.evaluate(&vx, &vy);
+    assert!(
+        after.combined() < before.combined(),
+        "validation loss did not improve: {} -> {}",
+        before.combined(),
+        after.combined()
+    );
+    assert!(
+        after.inverse < before.inverse,
+        "cycle consistency did not improve: {} -> {}",
+        before.inverse,
+        after.inverse
+    );
+}
+
+#[test]
+fn evaluate_is_side_effect_free() {
+    let cfg = CycleGanConfig::small(4);
+    let mut gan = CycleGan::new(cfg, 7);
+    let val = dataset(&cfg, 0, 16);
+    let refs: Vec<&Sample> = val.iter().collect();
+    let (x, y) = batch_from_samples(&cfg, &refs);
+    let a = gan.evaluate(&x, &y);
+    let b = gan.evaluate(&x, &y);
+    assert_eq!(a.combined(), b.combined(), "evaluation must not change the model");
+    assert_eq!(gan.generator_fingerprint(), gan.generator_fingerprint());
+}
+
+#[test]
+fn generator_exchange_transfers_behaviour() {
+    let cfg = CycleGanConfig::small(4);
+    let mut a = CycleGan::new(cfg, 1);
+    let mut b = CycleGan::new(cfg, 2);
+    assert_ne!(a.generator_fingerprint(), b.generator_fingerprint());
+
+    let val = dataset(&cfg, 0, 8);
+    let refs: Vec<&Sample> = val.iter().collect();
+    let (x, _y) = batch_from_samples(&cfg, &refs);
+
+    let a_pred = a.predict(&x);
+    b.load_generator(a.generator_to_bytes()).unwrap();
+    assert_eq!(
+        a.generator_fingerprint(),
+        b.generator_fingerprint(),
+        "exchange must copy the generator exactly"
+    );
+    // b's decoder differs (stays local), so compare latent codes through
+    // the same decoder: predictions under a's decoder must match if we
+    // compare F outputs — use cycle side instead, which is pure F+G.
+    let a_cycle = {
+        let z = a_pred; // decoder of a
+        z
+    };
+    let _ = a_cycle;
+    // F+G behaviour must be identical: invert-of-predict path through
+    // exchanged nets only.
+    let za = a.generator_to_bytes();
+    let zb = b.generator_to_bytes();
+    assert_eq!(&za[..], &zb[..], "serialized generators must be byte-identical");
+}
+
+#[test]
+fn discriminator_stays_local_through_exchange() {
+    let cfg = CycleGanConfig::small(4);
+    let a = CycleGan::new(cfg, 1);
+    let mut b = CycleGan::new(cfg, 2);
+    // Train b's discriminator a little so it differs from fresh init.
+    let train = dataset(&cfg, 0, 32);
+    let refs: Vec<&Sample> = train.iter().collect();
+    let (x, y) = batch_from_samples(&cfg, &refs);
+    b.train_step(&x, &y);
+    let b_disc_before = b.networks()[4].weights_fingerprint();
+    b.load_generator(a.generator_to_bytes()).unwrap();
+    let b_disc_after = b.networks()[4].weights_fingerprint();
+    assert_eq!(b_disc_before, b_disc_after, "exchange must not touch the discriminator");
+    // Encoder/decoder also stay local.
+    assert_ne!(
+        a.networks()[0].weights_fingerprint(),
+        b.networks()[0].weights_fingerprint()
+    );
+}
+
+#[test]
+fn corrupted_generator_payload_rejected() {
+    let cfg = CycleGanConfig::small(4);
+    let a = CycleGan::new(cfg, 1);
+    let mut b = CycleGan::new(cfg, 2);
+    let mut raw = a.generator_to_bytes().to_vec();
+    let mid = raw.len() / 2;
+    raw[mid] ^= 0x01;
+    assert!(b.load_generator(Bytes::from(raw)).is_err());
+    let truncated = a.generator_to_bytes().slice(..10);
+    assert!(b.load_generator(truncated).is_err());
+}
+
+#[test]
+fn predictions_have_output_geometry() {
+    let cfg = CycleGanConfig::small(4);
+    let mut gan = CycleGan::new(cfg, 3);
+    let x = Matrix::full(6, 5, 0.5);
+    let y_hat = gan.predict(&x);
+    assert_eq!(y_hat.shape(), (6, cfg.y_dim()));
+    let x_hat = gan.invert(&y_hat);
+    assert_eq!(x_hat.shape(), (6, 5));
+    // Inverse model has sigmoid output: predictions in [0, 1] like the
+    // design space.
+    assert!(x_hat.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+}
+
+#[test]
+fn adversarial_game_moves_discriminator() {
+    let cfg = CycleGanConfig::small(4);
+    let mut gan = CycleGan::new(cfg, 4);
+    let train = dataset(&cfg, 0, 64);
+    let refs: Vec<&Sample> = train.iter().collect();
+    let (x, y) = batch_from_samples(&cfg, &refs);
+    let d0 = gan.networks()[4].weights_fingerprint();
+    let losses = gan.train_step(&x, &y);
+    let d1 = gan.networks()[4].weights_fingerprint();
+    assert_ne!(d0, d1, "discriminator must update");
+    assert!(losses.d_loss > 0.0 && losses.adv > 0.0);
+    assert!(losses.fidelity > 0.0 && losses.cycle > 0.0 && losses.recon > 0.0);
+    assert!(losses.generator_total(&cfg) > 0.0);
+}
+
+#[test]
+fn mean_eval_averages() {
+    use ltfb_gan::EvalLosses;
+    let a = EvalLosses { forward: 1.0, inverse: 2.0, fidelity: 3.0 };
+    let b = EvalLosses { forward: 3.0, inverse: 0.0, fidelity: 1.0 };
+    let m = mean_eval(&[a, b]);
+    assert_eq!(m.forward, 2.0);
+    assert_eq!(m.inverse, 1.0);
+    assert_eq!(m.fidelity, 2.0);
+    assert_eq!(mean_eval(&[]).combined(), 0.0);
+}

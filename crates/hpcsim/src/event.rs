@@ -1,0 +1,213 @@
+//! A small but genuine discrete-event simulation engine.
+//!
+//! Events are user-defined payloads ordered by simulated time with a FIFO
+//! tiebreak (insertion sequence), which makes simulations deterministic:
+//! two events scheduled for the same instant fire in schedule order.
+//!
+//! The engine is deliberately minimal — a time-ordered priority queue plus
+//! a driver loop — because the fidelity in this reproduction lives in the
+//! *models* (PFS queues, allreduce costs), not in simulation framework
+//! machinery.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled entry: `(time, seq)` forms the total order.
+struct Scheduled<E> {
+    time: f64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Discrete-event engine over event payloads of type `E`.
+pub struct Engine<E> {
+    now: f64,
+    seq: u64,
+    queue: BinaryHeap<Scheduled<E>>,
+    processed: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Fresh engine at simulated time zero.
+    pub fn new() -> Self {
+        Engine { now: 0.0, seq: 0, queue: BinaryHeap::new(), processed: 0 }
+    }
+
+    /// Current simulated time in seconds.
+    #[inline]
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    #[inline]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule `event` to fire `delay` seconds from now. Negative delays
+    /// are clamped to "immediately" (same instant, after already-queued
+    /// events for this instant).
+    pub fn schedule(&mut self, delay: f64, event: E) {
+        let t = self.now + delay.max(0.0);
+        self.schedule_at(t, event);
+    }
+
+    /// Schedule `event` at absolute time `t` (clamped to `now` if in the
+    /// past, preserving causality).
+    pub fn schedule_at(&mut self, t: f64, event: E) {
+        assert!(t.is_finite(), "non-finite event time");
+        let time = t.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { time, seq, event });
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<E> {
+        let s = self.queue.pop()?;
+        debug_assert!(s.time >= self.now, "time went backwards");
+        self.now = s.time;
+        self.processed += 1;
+        Some(s.event)
+    }
+
+    /// Drive the simulation to completion: repeatedly pop the earliest
+    /// event and hand it to `handler`, which may schedule further events.
+    pub fn run(&mut self, mut handler: impl FnMut(&mut Self, E)) {
+        while let Some(e) = self.pop() {
+            handler(self, e);
+        }
+    }
+
+    /// Like [`run`](Self::run) but stops (leaving events queued) once the
+    /// clock passes `deadline`.
+    pub fn run_until(&mut self, deadline: f64, mut handler: impl FnMut(&mut Self, E)) {
+        while let Some(s) = self.queue.peek() {
+            if s.time > deadline {
+                break;
+            }
+            let e = self.pop().expect("peeked");
+            handler(self, e);
+        }
+        self.now = self.now.max(deadline.min(self.now + f64::INFINITY));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut eng = Engine::new();
+        eng.schedule(3.0, "c");
+        eng.schedule(1.0, "a");
+        eng.schedule(2.0, "b");
+        let mut order = Vec::new();
+        eng.run(|eng, e| {
+            order.push((e, eng.now()));
+        });
+        assert_eq!(order, vec![("a", 1.0), ("b", 2.0), ("c", 3.0)]);
+    }
+
+    #[test]
+    fn same_instant_fifo() {
+        let mut eng = Engine::new();
+        for i in 0..10 {
+            eng.schedule(1.0, i);
+        }
+        let mut order = Vec::new();
+        eng.run(|_, e| order.push(e));
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handler_can_schedule_cascades() {
+        let mut eng = Engine::new();
+        eng.schedule(1.0, 0u32);
+        let mut fired = 0;
+        eng.run(|eng, depth| {
+            fired += 1;
+            if depth < 5 {
+                eng.schedule(1.0, depth + 1);
+            }
+        });
+        assert_eq!(fired, 6);
+        assert_eq!(eng.now(), 6.0);
+        assert_eq!(eng.processed(), 6);
+    }
+
+    #[test]
+    fn negative_delay_clamped_not_time_travel() {
+        let mut eng = Engine::new();
+        eng.schedule(5.0, "later");
+        eng.run(|eng, e| {
+            if e == "later" {
+                eng.schedule(-100.0, "now");
+            } else {
+                assert_eq!(eng.now(), 5.0, "clamped to current time");
+            }
+        });
+    }
+
+    #[test]
+    fn run_until_leaves_future_events() {
+        let mut eng = Engine::new();
+        eng.schedule(1.0, 1);
+        eng.schedule(10.0, 2);
+        let mut seen = Vec::new();
+        eng.run_until(5.0, |_, e| seen.push(e));
+        assert_eq!(seen, vec![1]);
+        assert_eq!(eng.pending(), 1);
+    }
+
+    #[test]
+    fn empty_engine_is_inert() {
+        let mut eng: Engine<()> = Engine::new();
+        assert!(eng.pop().is_none());
+        assert_eq!(eng.now(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn rejects_nan_times() {
+        let mut eng = Engine::new();
+        eng.schedule_at(f64::NAN, ());
+    }
+}

@@ -1,0 +1,46 @@
+//! # ltfb-hpcsim
+//!
+//! Discrete-event and analytic performance models of a CORAL-class
+//! supercomputer (Lassen), used to reproduce the *timing* figures of the
+//! paper (Figs. 9-11) which physically depend on hardware we do not have
+//! (V100s, NVLink2, EDR InfiniBand, GPFS).
+//!
+//! Layers:
+//! * [`event`]    — a deterministic discrete-event engine;
+//! * [`machine`]  — machine/workload constants, with a Lassen preset whose
+//!   fitted values are calibrated to the paper's own anchor numbers;
+//! * [`gpu`]      — GPU occupancy/throughput model (mini-batch splitting);
+//! * [`net`]      — alpha-beta cost model for the hierarchical ring
+//!   allreduce, model exchange and data-store shuffles;
+//! * [`pfs`]      — event-driven parallel-file-system model with per-server
+//!   queues and oversubscription thrash;
+//! * [`training`] — per-epoch composition for the three ingestion modes
+//!   (Figs. 9, 10), including the data-store memory feasibility model that
+//!   reproduces the paper's out-of-memory annotations;
+//! * [`ltfb`]     — the K-trainer scaling model (Fig. 11).
+//!
+//! Quality figures (7, 8, 12, 13) do **not** use this crate — they come
+//! from real training runs in `ltfb-core`/`ltfb-gan`.
+
+pub mod event;
+pub mod gpu;
+pub mod ltfb;
+pub mod machine;
+pub mod net;
+pub mod netsim;
+pub mod pfs;
+pub mod staging;
+pub mod training;
+
+pub use event::Engine;
+pub use ltfb::{evaluate_ltfb, paper_sweep, LtfbPoint, LtfbScenario};
+pub use machine::{MachineSpec, NetSpec, NodeSpec, PfsSpec, WorkloadSpec};
+pub use net::{allreduce_time, grad_sync_time, model_exchange_time, shuffle_time, Placement};
+pub use netsim::{hierarchical_allreduce_dp, ring_allreduce_dp, simulate_ring_allreduce};
+pub use staging::{staging_outcome, store_outcome, DistributionOutcome, LOCAL_STORE_BW};
+pub use pfs::{preload_chains, random_access_chains, simulate_chains, PfsOutcome, ReadReq};
+pub use training::{
+    dp_placement, dynamic_store_required_bytes, evaluate_config, naive_ingest_time, preload_time,
+    step_time, steps_per_epoch, store_capacity_bytes, store_required_bytes, ConfigOutcome,
+    EpochBreakdown, IngestMode, TrainingModel,
+};

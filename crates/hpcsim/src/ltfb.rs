@@ -1,0 +1,285 @@
+//! Timing model for LTFB at scale (Fig. 11): K trainers, each a 4-node /
+//! 16-GPU island (except the K=1 baseline, which the paper had to run as
+//! 16 nodes x 1 GPU to fit the 10M-sample store in host memory — the very
+//! placement difference that produces the "superlinear" 70.2x / 109%
+//! result).
+//!
+//! Steady-state epoch time per trainer is `steps(10M/K) * step_time`, with
+//! the K=1 baseline paying the wider-ring gradient-sync cost of its
+//! 16-node placement. Preload time is the discrete-event PFS simulation of
+//! all K trainers bulk-reading their partitions *simultaneously* — the
+//! inter-trainer interference that degrades 64-trainer preload below the
+//! 32-trainer point.
+
+use crate::machine::{MachineSpec, WorkloadSpec};
+use crate::net::{model_exchange_time, Placement};
+use crate::pfs::{simulate_chains, ReadReq};
+use crate::training::{
+    step_time, steps_per_epoch, store_capacity_bytes, store_required_bytes, TrainingModel,
+};
+
+/// Scenario constants for the Fig. 11 experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct LtfbScenario {
+    /// Global training samples (paper: 10M).
+    pub train_samples: u64,
+    /// Held-out validation samples (paper: 1M).
+    pub val_samples: u64,
+    /// Nodes per trainer in the multi-trainer configurations.
+    pub nodes_per_trainer: usize,
+    /// GPUs per node in the multi-trainer configurations.
+    pub gpus_per_node: usize,
+    /// Tournament rounds per epoch (model exchanges are per round).
+    pub rounds_per_epoch: u64,
+    /// Fraction of the cached validation set used as the local tournament
+    /// set (evaluated twice per round: own + received generator).
+    pub tournament_frac: f64,
+}
+
+impl LtfbScenario {
+    /// The paper's Fig. 11 setup.
+    pub fn paper() -> Self {
+        LtfbScenario {
+            train_samples: 10_000_000,
+            val_samples: 1_000_000,
+            nodes_per_trainer: 4,
+            gpus_per_node: 4,
+            rounds_per_epoch: 2,
+            tournament_frac: 0.002,
+        }
+    }
+
+    /// Placement used by each trainer for a K-trainer run: the 4x4 island,
+    /// or the memory-forced 16x1 spread for the single-trainer baseline.
+    pub fn placement(&self, trainers: usize) -> Placement {
+        if trainers == 1 {
+            Placement::new(16, 1)
+        } else {
+            Placement::new(self.nodes_per_trainer, self.gpus_per_node)
+        }
+    }
+}
+
+/// One evaluated Fig. 11 configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct LtfbPoint {
+    /// Trainer count K.
+    pub trainers: usize,
+    /// Total GPUs across trainers.
+    pub gpus: usize,
+    /// Steady-state epoch time (training only), seconds.
+    pub epoch_time: f64,
+    /// Tournament overhead included in `epoch_time`, seconds.
+    pub tournament_overhead: f64,
+    /// Simultaneous preload time across all trainers, seconds.
+    pub preload_time: f64,
+    /// Whether the per-trainer partition + validation set fit in the
+    /// trainer's data store.
+    pub feasible: bool,
+}
+
+/// Evaluate one trainer count.
+pub fn evaluate_ltfb(
+    m: &MachineSpec,
+    w: &WorkloadSpec,
+    model: &TrainingModel,
+    sc: &LtfbScenario,
+    trainers: usize,
+) -> LtfbPoint {
+    assert!(trainers >= 1);
+    let place = sc.placement(trainers);
+    let partition = sc.train_samples / trainers as u64;
+
+    let mut tm = *model;
+    tm.cached_val_samples = sc.val_samples;
+    let required = store_required_bytes(w, &tm, partition);
+    let capacity = store_capacity_bytes(m, &tm, place.nodes);
+    let feasible = required <= capacity;
+
+    // Training: each trainer sweeps its partition once per epoch.
+    let steps = steps_per_epoch(w, partition);
+    let st = step_time(m, w, model, place);
+
+    // Tournament overhead per round: ship the generator both ways
+    // (concurrently) + evaluate two generators on the local tournament
+    // set (forward passes only, ~1/3 the cost of a training step's
+    // compute, both models evaluated).
+    let generator_bytes = w.grad_bytes() as f64 * 0.45; // generator share of params
+    let exchange = model_exchange_time(&m.net, generator_bytes);
+    let tournament_samples = (sc.val_samples as f64 * sc.tournament_frac) as u64;
+    let eval_steps = steps_per_epoch(w, tournament_samples) as f64;
+    let fwd_frac = 1.0 / 3.0;
+    let eval_time = 2.0 * eval_steps * st * fwd_frac;
+    let tournament_overhead = if trainers > 1 {
+        sc.rounds_per_epoch as f64 * (exchange + eval_time)
+    } else {
+        0.0
+    };
+
+    let epoch_time = steps as f64 * st + tournament_overhead;
+
+    // Preload: all trainers hit the PFS at once. Trainer k's ranks read
+    // its partition files plus its tournament subset; file ids are
+    // disjoint per partition (the dataset is partitioned by file), while
+    // tournament files are shared (same ids — extra read load on those
+    // servers, as on the real system).
+    let preload_time = {
+        let bytes_per_file = (w.samples_per_file as u64 * w.sample_bytes) as f64;
+        let train_files_per_trainer = partition.div_ceil(w.samples_per_file as u64);
+        let tourney_files = ((sc.val_samples as f64 * sc.tournament_frac) as u64)
+            .div_ceil(w.samples_per_file as u64);
+        let total_train_files = sc.train_samples.div_ceil(w.samples_per_file as u64);
+        let ranks = place.ranks();
+        let mut chains: Vec<Vec<ReadReq>> = Vec::with_capacity(trainers * ranks);
+        for k in 0..trainers as u64 {
+            let base = k * train_files_per_trainer;
+            for r in 0..ranks as u64 {
+                let mut chain = Vec::new();
+                let mut f = r;
+                while f < train_files_per_trainer {
+                    chain.push(ReadReq {
+                        file: base + f,
+                        bytes: bytes_per_file,
+                        cpu_after: model.preload_cpu_per_file,
+                    });
+                    f += ranks as u64;
+                }
+                // Shared tournament/validation files follow the training
+                // partition (round-robin over the trainer's ranks).
+                let mut v = r;
+                while v < tourney_files {
+                    chain.push(ReadReq {
+                        file: total_train_files + v,
+                        bytes: bytes_per_file,
+                        cpu_after: model.preload_cpu_per_file,
+                    });
+                    v += ranks as u64;
+                }
+                chains.push(chain);
+            }
+        }
+        simulate_chains(&m.pfs, chains).makespan
+    };
+
+    LtfbPoint {
+        trainers,
+        gpus: trainers * place.ranks(),
+        epoch_time,
+        tournament_overhead,
+        preload_time,
+        feasible,
+    }
+}
+
+/// Evaluate the paper's sweep {1, 8, 16, 32, 64}.
+pub fn paper_sweep(m: &MachineSpec, w: &WorkloadSpec, model: &TrainingModel) -> Vec<LtfbPoint> {
+    let sc = LtfbScenario::paper();
+    [1usize, 8, 16, 32, 64]
+        .iter()
+        .map(|&k| evaluate_ltfb(m, w, model, &sc, k))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (MachineSpec, WorkloadSpec, TrainingModel) {
+        (MachineSpec::lassen(), WorkloadSpec::icf_cyclegan(), TrainingModel::default())
+    }
+
+    #[test]
+    fn baseline_uses_sixteen_node_spread() {
+        let sc = LtfbScenario::paper();
+        assert_eq!(sc.placement(1), Placement::new(16, 1));
+        assert_eq!(sc.placement(8), Placement::new(4, 4));
+    }
+
+    #[test]
+    fn speedup_at_64_trainers_is_superlinear_near_70x() {
+        let (m, w, t) = setup();
+        let pts = paper_sweep(&m, &w, &t);
+        let base = pts[0].epoch_time;
+        let p64 = pts.last().unwrap();
+        assert_eq!(p64.trainers, 64);
+        let speedup = base / p64.epoch_time;
+        assert!(
+            (60.0..80.0).contains(&speedup),
+            "64-trainer speedup {speedup:.1} should be near the paper's 70.2x"
+        );
+        let efficiency = speedup / 64.0;
+        assert!(efficiency > 1.0, "must be superlinear (paper: 109%), got {efficiency:.3}");
+    }
+
+    #[test]
+    fn epoch_time_monotonically_decreases_with_trainers() {
+        let (m, w, t) = setup();
+        let pts = paper_sweep(&m, &w, &t);
+        for pair in pts.windows(2) {
+            assert!(
+                pair[1].epoch_time < pair[0].epoch_time,
+                "epoch time should fall: {} -> {}",
+                pair[0].epoch_time,
+                pair[1].epoch_time
+            );
+        }
+    }
+
+    #[test]
+    fn preload_degrades_at_64_over_32() {
+        let (m, w, t) = setup();
+        let sc = LtfbScenario::paper();
+        let p32 = evaluate_ltfb(&m, &w, &t, &sc, 32);
+        let p64 = evaluate_ltfb(&m, &w, &t, &sc, 64);
+        assert!(
+            p64.preload_time > p32.preload_time,
+            "paper: 64-trainer preload ({}) degrades over 32 ({})",
+            p64.preload_time,
+            p32.preload_time
+        );
+    }
+
+    #[test]
+    fn preload_improves_from_1_to_8_trainers() {
+        let (m, w, t) = setup();
+        let sc = LtfbScenario::paper();
+        let p1 = evaluate_ltfb(&m, &w, &t, &sc, 1);
+        let p8 = evaluate_ltfb(&m, &w, &t, &sc, 8);
+        assert!(p8.preload_time < p1.preload_time);
+    }
+
+    #[test]
+    fn four_trainer_config_is_memory_infeasible() {
+        // Section IV-E: "we were not able to process the data with only
+        // four trainers (using 4 nodes per trainer)".
+        let (m, w, t) = setup();
+        let sc = LtfbScenario::paper();
+        let p4 = evaluate_ltfb(&m, &w, &t, &sc, 4);
+        assert!(!p4.feasible, "K=4 must be flagged infeasible");
+        let p8 = evaluate_ltfb(&m, &w, &t, &sc, 8);
+        assert!(p8.feasible, "K=8 must fit");
+        let p1 = evaluate_ltfb(&m, &w, &t, &sc, 1);
+        assert!(p1.feasible, "the 16-node baseline must fit");
+    }
+
+    #[test]
+    fn tournament_overhead_small_relative_to_epoch() {
+        let (m, w, t) = setup();
+        let sc = LtfbScenario::paper();
+        let p = evaluate_ltfb(&m, &w, &t, &sc, 64);
+        assert!(
+            p.tournament_overhead < 0.25 * p.epoch_time,
+            "LTFB coupling must stay cheap: {} of {}",
+            p.tournament_overhead,
+            p.epoch_time
+        );
+    }
+
+    #[test]
+    fn gpu_counts_match_paper_axis() {
+        let (m, w, t) = setup();
+        let pts = paper_sweep(&m, &w, &t);
+        let gpus: Vec<usize> = pts.iter().map(|p| p.gpus).collect();
+        assert_eq!(gpus, vec![16, 128, 256, 512, 1024]);
+    }
+}

@@ -1,0 +1,188 @@
+//! Machine description for a CORAL-class system, with a preset calibrated
+//! to Lassen (the system in the paper's Section IV-A) and to the ratios
+//! the paper itself reports.
+//!
+//! Constants marked *fitted* are not vendor datasheet numbers: they are
+//! effective values chosen so that the simulator reproduces the paper's
+//! published anchor points (9.36x data-parallel speedup at 16 GPUs with
+//! 58% efficiency, 7.73x/1.31x data-store gains, 70.2x LTFB speedup at 64
+//! trainers with preload degradation beyond 32 trainers). The *shapes* of
+//! the curves then emerge from the models, not from per-point tuning.
+
+/// Compute-node description (Lassen: 2x POWER9 + 4x V100, NVLink2).
+#[derive(Debug, Clone, Copy)]
+pub struct NodeSpec {
+    /// GPUs per node.
+    pub gpus: usize,
+    /// Host memory per node in bytes (256 GB on Lassen).
+    pub host_mem_bytes: u64,
+    /// Effective sustained throughput of one GPU on this workload, in
+    /// samples/second at full occupancy. *Fitted* to the paper's 1-GPU
+    /// steady-state epoch time (~1 230 s for 1M samples with the data
+    /// store, Fig. 10).
+    pub gpu_samples_per_sec: f64,
+    /// Per-mini-batch fixed overhead (kernel launches, optimizer step,
+    /// host sync) in seconds. *Fitted*.
+    pub step_overhead_s: f64,
+    /// Samples per GPU below which the GPU is latency- rather than
+    /// throughput-bound; the half-saturation constant of the occupancy
+    /// curve. *Fitted* — governs how fast data-parallel efficiency decays
+    /// when the fixed 128-sample mini-batch is split over many GPUs.
+    pub gpu_occupancy_half: f64,
+}
+
+/// Interconnect description (dual-rail EDR InfiniBand + NVLink2).
+#[derive(Debug, Clone, Copy)]
+pub struct NetSpec {
+    /// NVLink2 effective per-direction bandwidth between GPUs on a node,
+    /// bytes/s.
+    pub nvlink_bw: f64,
+    /// NVLink latency per message, seconds.
+    pub nvlink_lat: f64,
+    /// Inter-node effective bandwidth per node (dual-rail EDR, shared by
+    /// the node's GPUs), bytes/s.
+    pub ib_bw: f64,
+    /// Inter-node latency per ring hop, seconds. Includes the software
+    /// stack, not just the wire. *Fitted*.
+    pub ib_lat: f64,
+    /// Per-tensor collective launch cost, seconds (LBANN issues one
+    /// allreduce per layer).
+    pub coll_launch: f64,
+    /// Multiplier on ideal allreduce time for synchronization noise,
+    /// stragglers and protocol overhead. *Fitted* jointly with the
+    /// training model's `sync_overlap` so the exposed per-step sync cost
+    /// lands on the paper's Fig. 9 anchor (58% efficiency at 16 GPUs).
+    pub sync_penalty: f64,
+}
+
+/// Parallel-file-system description (GPFS on Lassen's CZ).
+#[derive(Debug, Clone, Copy)]
+pub struct PfsSpec {
+    /// Number of I/O servers (OST/NSD equivalents) requests hash over.
+    pub servers: usize,
+    /// Per-server streaming bandwidth, bytes/s.
+    pub server_bw: f64,
+    /// Fixed cost of an open+seek on a cold file (metadata round trips,
+    /// HDF5 header parse), seconds. *Fitted* — the dominant term of naive
+    /// per-sample ingestion.
+    pub open_latency_s: f64,
+    /// Additional per-request service-time multiplier per queued request
+    /// on the same server: models seek thrash / lock contention when many
+    /// clients converge on one server. *Fitted* so aggregate bandwidth
+    /// degrades once client count far exceeds `servers` (the Fig. 11
+    /// preload regression at 64 trainers).
+    pub contention_per_waiter: f64,
+}
+
+/// Whole-machine description.
+#[derive(Debug, Clone, Copy)]
+pub struct MachineSpec {
+    pub node: NodeSpec,
+    pub net: NetSpec,
+    pub pfs: PfsSpec,
+    /// Total nodes available (Lassen CZ: 795).
+    pub total_nodes: usize,
+}
+
+impl MachineSpec {
+    /// The Lassen preset used by every figure harness.
+    pub fn lassen() -> Self {
+        MachineSpec {
+            node: NodeSpec {
+                gpus: 4,
+                host_mem_bytes: 256 * (1u64 << 30),
+                // Chosen so a 1-GPU, mb=128 epoch over 1M samples lands at
+                // ~1230 s (the paper's data-store steady state at 1 GPU).
+                gpu_samples_per_sec: 1000.0,
+                step_overhead_s: 0.012,
+                gpu_occupancy_half: 14.0,
+            },
+            net: NetSpec {
+                nvlink_bw: 70.0e9,
+                nvlink_lat: 6.0e-6,
+                ib_bw: 21.0e9,
+                ib_lat: 120.0e-6,
+                coll_launch: 8.0e-6,
+                sync_penalty: 3.9,
+            },
+            pfs: PfsSpec {
+                servers: 144,
+                server_bw: 1.1e9,
+                open_latency_s: 7.92e-3,
+                contention_per_waiter: 0.035,
+            },
+            total_nodes: 795,
+        }
+    }
+
+    /// Aggregate PFS streaming bandwidth with no contention.
+    pub fn pfs_peak_bw(&self) -> f64 {
+        self.pfs.servers as f64 * self.pfs.server_bw
+    }
+}
+
+/// The CycleGAN workload constants shared by the figure harnesses.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec {
+    /// Bytes per training sample: 12 images x 64x64 f32 + 15 scalars +
+    /// 5 inputs (Section II) = 196 688 B. The paper's "2 TB for 10M
+    /// samples" is consistent with this.
+    pub sample_bytes: u64,
+    /// Samples per bundle/HDF5 file (the paper: 1 000).
+    pub samples_per_file: usize,
+    /// Mini-batch size (the paper: 128).
+    pub mini_batch: usize,
+    /// Trainable parameters of the CycleGAN (all four sub-networks),
+    /// used for gradient allreduce volume.
+    pub model_params: usize,
+    /// Number of separately all-reduced tensors per step (per-layer
+    /// allreduces, as LBANN issues them).
+    pub grad_tensors: usize,
+}
+
+impl WorkloadSpec {
+    /// The ICF CycleGAN workload from Section II/IV.
+    pub fn icf_cyclegan() -> Self {
+        WorkloadSpec {
+            sample_bytes: (12 * 64 * 64 + 15 + 5) * 4,
+            samples_per_file: 1000,
+            mini_batch: 128,
+            model_params: 28_000_000,
+            grad_tensors: 24,
+        }
+    }
+
+    /// Gradient bytes all-reduced each step.
+    pub fn grad_bytes(&self) -> u64 {
+        self.model_params as u64 * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lassen_preset_sanity() {
+        let m = MachineSpec::lassen();
+        assert_eq!(m.node.gpus, 4);
+        assert_eq!(m.total_nodes, 795);
+        assert!(m.net.nvlink_bw > m.net.ib_bw, "NVLink outpaces IB");
+        assert!(m.net.ib_lat > m.net.nvlink_lat);
+        assert!(m.pfs_peak_bw() > 100.0e9, "GPFS aggregate should be >100 GB/s");
+    }
+
+    #[test]
+    fn sample_size_matches_paper_dataset_volume() {
+        let w = WorkloadSpec::icf_cyclegan();
+        // 10M samples should come out near the paper's "2 TB database".
+        let total = w.sample_bytes as f64 * 10.0e6;
+        assert!(total > 1.5e12 && total < 2.5e12, "dataset volume {total:.3e} not ~2 TB");
+    }
+
+    #[test]
+    fn grad_volume_plausible() {
+        let w = WorkloadSpec::icf_cyclegan();
+        assert_eq!(w.grad_bytes(), 112_000_000);
+    }
+}

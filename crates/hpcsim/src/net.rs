@@ -1,0 +1,214 @@
+//! Analytic cost model for the communication patterns the training stack
+//! emits, in the classic alpha-beta (latency-bandwidth) style, with a
+//! hierarchy-aware, pipelined ring allreduce.
+//!
+//! The hierarchical ring (NCCL/Aluminum on NVLink islands) decomposes as
+//! intra-node reduce-scatter -> inter-node ring over per-node leaders ->
+//! intra-node allgather. Two structural facts drive the model:
+//!
+//! * the **latency critical path** is `2(g-1)` NVLink hops plus `2(m-1)`
+//!   IB hops (`g` = GPUs/node, `m` = nodes) — spreading ranks over more
+//!   nodes lengthens it;
+//! * the **inter-node bandwidth term is placement-invariant**: every node
+//!   must push `~2 * bytes * (m-1)/m` through its NIC whether it hosts one
+//!   rank or four, because the per-leader payload shrinks by exactly the
+//!   factor the intra-node reduction provides.
+//!
+//! Together these reproduce the paper's Fig. 11 anchor: a 16-node x 1-GPU
+//! trainer pays ~1.2x the allreduce cost of a 4-node x 4-GPU trainer, the
+//! placement gap behind the reported 109% "superlinear" efficiency.
+
+use crate::machine::{MachineSpec, NetSpec};
+
+/// Placement of a trainer's ranks on the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// Nodes used by the trainer.
+    pub nodes: usize,
+    /// GPUs (ranks) used per node.
+    pub gpus_per_node: usize,
+}
+
+impl Placement {
+    pub fn new(nodes: usize, gpus_per_node: usize) -> Self {
+        assert!(nodes > 0 && gpus_per_node > 0);
+        Placement { nodes, gpus_per_node }
+    }
+
+    /// Total ranks in the trainer.
+    pub fn ranks(&self) -> usize {
+        self.nodes * self.gpus_per_node
+    }
+}
+
+/// Time for one pipelined hierarchical ring allreduce of `bytes` bytes
+/// over the placement (no penalty/overlap applied — raw model).
+pub fn allreduce_time(net: &NetSpec, place: Placement, bytes: f64) -> f64 {
+    let g = place.gpus_per_node;
+    let m = place.nodes;
+    if place.ranks() <= 1 {
+        return 0.0;
+    }
+    // Latency critical path: ring steps on each fabric.
+    let lat = 2.0 * (g.saturating_sub(1)) as f64 * net.nvlink_lat
+        + 2.0 * (m.saturating_sub(1)) as f64 * net.ib_lat;
+    // Intra-node volume: classic ring factor over NVLink.
+    let intra_bw = if g > 1 {
+        bytes * (2.0 * (g - 1) as f64 / g as f64) / net.nvlink_bw
+    } else {
+        0.0
+    };
+    // Inter-node volume through each node's NIC (placement-invariant in
+    // bytes; see module docs).
+    let inter_bw = if m > 1 {
+        bytes * (2.0 * (m - 1) as f64 / m as f64) / net.ib_bw
+    } else {
+        0.0
+    };
+    lat + intra_bw + inter_bw
+}
+
+/// Total per-step exposed gradient-synchronization time: one pipelined
+/// allreduce of the full gradient volume plus a launch cost per tensor
+/// (LBANN issues per-layer allreduces), inflated by the straggler/noise
+/// penalty and discounted by backprop overlap.
+pub fn grad_sync_time(
+    machine: &MachineSpec,
+    place: Placement,
+    total_bytes: f64,
+    tensors: usize,
+    overlap_fraction: f64,
+) -> f64 {
+    assert!((0.0..=1.0).contains(&overlap_fraction));
+    if place.ranks() <= 1 {
+        return 0.0;
+    }
+    let raw = allreduce_time(&machine.net, place, total_bytes)
+        + tensors as f64 * machine.net.coll_launch;
+    raw * machine.net.sync_penalty * (1.0 - overlap_fraction)
+}
+
+/// Time to ship one serialized model of `bytes` bytes between two trainers
+/// (the LTFB exchange): a single inter-node point-to-point each way,
+/// concurrent in both directions.
+pub fn model_exchange_time(net: &NetSpec, bytes: f64) -> f64 {
+    net.ib_lat + bytes / net.ib_bw
+}
+
+/// Per-mini-batch data-store shuffle cost: each rank sends/receives its
+/// share of the mini-batch to/from peers, mostly across nodes, discounted
+/// by the overlap the store's background threads achieve.
+pub fn shuffle_time(
+    net: &NetSpec,
+    place: Placement,
+    mb_bytes: f64,
+    overlap_fraction: f64,
+) -> f64 {
+    assert!((0.0..=1.0).contains(&overlap_fraction));
+    let n = place.ranks();
+    if n <= 1 {
+        return 0.0;
+    }
+    let per_rank = mb_bytes / n as f64;
+    let cross_node_fraction = (place.nodes - 1) as f64 / place.nodes as f64;
+    let bw = net.ib_bw / place.gpus_per_node as f64;
+    let t = net.ib_lat + per_rank * cross_node_fraction / bw
+        + net.nvlink_lat
+        + per_rank * (1.0 - cross_node_fraction) / net.nvlink_bw;
+    t * (1.0 - overlap_fraction)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineSpec;
+
+    fn lassen_net() -> NetSpec {
+        MachineSpec::lassen().net
+    }
+
+    #[test]
+    fn single_rank_costs_nothing() {
+        let net = lassen_net();
+        assert_eq!(allreduce_time(&net, Placement::new(1, 1), 1e8), 0.0);
+        assert_eq!(shuffle_time(&net, Placement::new(1, 1), 1e8, 0.0), 0.0);
+        let m = MachineSpec::lassen();
+        assert_eq!(grad_sync_time(&m, Placement::new(1, 1), 1e8, 24, 0.0), 0.0);
+    }
+
+    #[test]
+    fn allreduce_monotone_in_bytes() {
+        let net = lassen_net();
+        let p = Placement::new(4, 4);
+        assert!(allreduce_time(&net, p, 1e8) > allreduce_time(&net, p, 1e6));
+    }
+
+    #[test]
+    fn intra_node_cheaper_than_inter_node() {
+        let net = lassen_net();
+        let intra = allreduce_time(&net, Placement::new(1, 4), 1e8);
+        let inter = allreduce_time(&net, Placement::new(4, 1), 1e8);
+        assert!(inter > intra, "IB ring must cost more than NVLink ring: {inter} vs {intra}");
+    }
+
+    #[test]
+    fn spread_vs_packed_gap_matches_fig11_anchor() {
+        // 16 ranks as 16x1 vs 4x4 on the full 112 MB gradient: the paper's
+        // superlinear efficiency implies a modest (~1.1-1.4x) placement
+        // gap, not a catastrophic one.
+        let net = lassen_net();
+        let packed = allreduce_time(&net, Placement::new(4, 4), 1.12e8);
+        let spread = allreduce_time(&net, Placement::new(16, 1), 1.12e8);
+        let ratio = spread / packed;
+        assert!(
+            (1.05..1.5).contains(&ratio),
+            "16x1 / 4x4 allreduce ratio {ratio:.3} outside the plausible band"
+        );
+    }
+
+    #[test]
+    fn inter_node_bandwidth_term_is_placement_invariant() {
+        // Same node count, different GPUs/node: the IB bandwidth component
+        // must not change. Compare large-message costs minus latency paths.
+        let net = lassen_net();
+        let bytes = 1e9;
+        let a = allreduce_time(&net, Placement::new(4, 1), bytes) - 2.0 * 3.0 * net.ib_lat;
+        let b = allreduce_time(&net, Placement::new(4, 4), bytes)
+            - 2.0 * 3.0 * net.ib_lat
+            - 2.0 * 3.0 * net.nvlink_lat
+            - bytes * 1.5 / net.nvlink_bw;
+        assert!((a - b).abs() / a < 1e-9, "IB term changed with packing: {a} vs {b}");
+    }
+
+    #[test]
+    fn overlap_discounts_sync() {
+        let m = MachineSpec::lassen();
+        let p = Placement::new(4, 4);
+        let none = grad_sync_time(&m, p, 1.12e8, 24, 0.0);
+        let half = grad_sync_time(&m, p, 1.12e8, 24, 0.5);
+        assert!((half - none * 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_tensors_cost_more_launches() {
+        let m = MachineSpec::lassen();
+        let p = Placement::new(4, 4);
+        assert!(
+            grad_sync_time(&m, p, 1.12e8, 48, 0.0) > grad_sync_time(&m, p, 1.12e8, 1, 0.0)
+        );
+    }
+
+    #[test]
+    fn model_exchange_is_milliseconds_not_seconds() {
+        // ~50 MB generator over EDR: paper claims exchanges are cheap.
+        let t = model_exchange_time(&lassen_net(), 5.0e7);
+        assert!(t < 0.05, "exchange took {t}s");
+    }
+
+    #[test]
+    fn shuffle_scales_with_batch_bytes() {
+        let net = lassen_net();
+        let p = Placement::new(4, 4);
+        assert!(shuffle_time(&net, p, 5.0e7, 0.0) > shuffle_time(&net, p, 1.0e6, 0.0));
+    }
+}

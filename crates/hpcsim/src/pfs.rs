@@ -1,0 +1,292 @@
+//! Discrete-event model of the parallel file system (GPFS/Lustre class).
+//!
+//! Clients issue file reads serially (each rank's data reader is a serial
+//! chain); requests hash over I/O servers; each server services its FIFO
+//! queue one request at a time. Service time grows with the queue depth at
+//! dispatch (`contention_per_waiter`), modelling the seek/lock thrash that
+//! makes aggregate bandwidth *degrade* — not just plateau — when far more
+//! clients than servers converge on the file system. That degradation is
+//! the mechanism behind the paper's observation that 64-trainer preload is
+//! slower than 32-trainer preload (Fig. 11).
+
+use crate::event::Engine;
+use crate::machine::PfsSpec;
+use std::collections::VecDeque;
+
+/// One file read in a client's serial chain.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadReq {
+    /// File identifier; determines the serving I/O server.
+    pub file: u64,
+    /// Bytes transferred.
+    pub bytes: f64,
+    /// Client-side CPU time spent after the read completes (deserialising
+    /// samples into the data store) before the next request is issued.
+    pub cpu_after: f64,
+}
+
+/// Result of simulating a PFS workload.
+#[derive(Debug, Clone)]
+pub struct PfsOutcome {
+    /// Time at which the last client finished its chain.
+    pub makespan: f64,
+    /// Per-client completion times.
+    pub client_done: Vec<f64>,
+    /// Total bytes moved.
+    pub total_bytes: f64,
+    /// Total requests served.
+    pub requests: u64,
+    /// Peak queue depth observed across servers (contention indicator).
+    pub peak_queue: usize,
+}
+
+impl PfsOutcome {
+    /// Aggregate achieved bandwidth in bytes/s.
+    pub fn achieved_bw(&self) -> f64 {
+        if self.makespan > 0.0 {
+            self.total_bytes / self.makespan
+        } else {
+            0.0
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// Client `c` issues its next read.
+    Issue { client: usize },
+    /// Server `s` completes its in-service request for `client`, who then
+    /// spends `cpu_after` seconds deserialising before its next issue.
+    Complete { server: usize, client: usize, cpu_after: f64 },
+}
+
+struct Server {
+    queue: VecDeque<(usize, ReadReq)>, // (client, request)
+    busy: bool,
+}
+
+/// Simulate a set of per-client serial read chains against the PFS.
+pub fn simulate_chains(spec: &PfsSpec, chains: Vec<Vec<ReadReq>>) -> PfsOutcome {
+    let n_clients = chains.len();
+    let mut next_idx = vec![0usize; n_clients];
+    let mut client_done = vec![0.0f64; n_clients];
+    let mut servers: Vec<Server> =
+        (0..spec.servers).map(|_| Server { queue: VecDeque::new(), busy: false }).collect();
+    let mut total_bytes = 0.0;
+    let mut requests = 0u64;
+    let mut peak_queue = 0usize;
+
+    let mut eng: Engine<Ev> = Engine::new();
+    for c in 0..n_clients {
+        eng.schedule(0.0, Ev::Issue { client: c });
+    }
+
+    // Service time at dispatch: queue depth at that moment inflates the
+    // transfer term (thrash), the open latency is fixed.
+    let service = |spec: &PfsSpec, req: &ReadReq, waiters: usize| -> f64 {
+        spec.open_latency_s
+            + (req.bytes / spec.server_bw) * (1.0 + spec.contention_per_waiter * waiters as f64)
+    };
+
+    eng.run(|eng, ev| match ev {
+        Ev::Issue { client } => {
+            let idx = next_idx[client];
+            if idx >= chains[client].len() {
+                client_done[client] = eng.now();
+                return;
+            }
+            next_idx[client] += 1;
+            let req = chains[client][idx];
+            let s = (req.file as usize) % spec.servers.max(1);
+            let srv = &mut servers[s];
+            if srv.busy {
+                srv.queue.push_back((client, req));
+                peak_queue = peak_queue.max(srv.queue.len());
+            } else {
+                srv.busy = true;
+                let t = service(spec, &req, srv.queue.len());
+                total_bytes += req.bytes;
+                requests += 1;
+                eng.schedule(t, Ev::Complete { server: s, client, cpu_after: req.cpu_after });
+            }
+        }
+        Ev::Complete { server, client, cpu_after } => {
+            // The finished client deserialises, then issues its next read;
+            // the server is free for the next queued request immediately.
+            eng.schedule(cpu_after, Ev::Issue { client });
+            let srv = &mut servers[server];
+            if let Some((next_client, req)) = srv.queue.pop_front() {
+                let t = service(spec, &req, srv.queue.len());
+                total_bytes += req.bytes;
+                requests += 1;
+                eng.schedule(
+                    t,
+                    Ev::Complete { server, client: next_client, cpu_after: req.cpu_after },
+                );
+            } else {
+                srv.busy = false;
+            }
+        }
+    });
+
+    PfsOutcome { makespan: eng.now(), client_done, total_bytes, requests, peak_queue }
+}
+
+/// Build a preload workload: `files` whole-file reads distributed
+/// round-robin over `clients` serial chains (each file read exactly once,
+/// by exactly one client — the paper's preloading strategy).
+pub fn preload_chains(
+    clients: usize,
+    files: u64,
+    file_base: u64,
+    bytes_per_file: f64,
+    cpu_per_file: f64,
+) -> Vec<Vec<ReadReq>> {
+    assert!(clients > 0);
+    let mut chains = vec![Vec::new(); clients];
+    for f in 0..files {
+        chains[(f % clients as u64) as usize].push(ReadReq {
+            file: file_base + f,
+            bytes: bytes_per_file,
+            cpu_after: cpu_per_file,
+        });
+    }
+    chains
+}
+
+/// Build a naive random-sample ingestion workload: `samples_total` samples
+/// drawn (pseudo-randomly, deterministic LCG) from `files` multi-sample
+/// files, partitioned over `clients` chains. Every sample access pays a
+/// file open — the access pattern the paper calls out as pathological.
+pub fn random_access_chains(
+    clients: usize,
+    samples_total: u64,
+    files: u64,
+    sample_bytes: f64,
+    seed: u64,
+) -> Vec<Vec<ReadReq>> {
+    assert!(clients > 0 && files > 0);
+    let mut chains = vec![Vec::new(); clients];
+    let mut state = seed | 1;
+    for s in 0..samples_total {
+        // LCG (Numerical Recipes constants) — deterministic and cheap.
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let file = (state >> 33) % files;
+        chains[(s % clients as u64) as usize].push(ReadReq {
+            file,
+            bytes: sample_bytes,
+            cpu_after: 0.0,
+        });
+    }
+    chains
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineSpec;
+
+    fn spec() -> PfsSpec {
+        MachineSpec::lassen().pfs
+    }
+
+    #[test]
+    fn single_client_single_file() {
+        let s = spec();
+        let out = simulate_chains(&s, vec![vec![ReadReq { file: 0, bytes: 1e9, cpu_after: 0.0 }]]);
+        let expected = s.open_latency_s + 1e9 / s.server_bw;
+        assert!((out.makespan - expected).abs() < 1e-9);
+        assert_eq!(out.requests, 1);
+    }
+
+    #[test]
+    fn serial_chain_adds_up() {
+        let s = spec();
+        let reqs: Vec<ReadReq> =
+            (0..10).map(|i| ReadReq { file: i, bytes: 1e8, cpu_after: 0.01 }).collect();
+        let out = simulate_chains(&s, vec![reqs]);
+        let per = s.open_latency_s + 1e8 / s.server_bw + 0.01;
+        assert!((out.makespan - 10.0 * per).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parallel_clients_on_distinct_servers_do_not_interfere() {
+        let s = spec();
+        let chains: Vec<Vec<ReadReq>> = (0..4)
+            .map(|c| vec![ReadReq { file: c, bytes: 1e9, cpu_after: 0.0 }])
+            .collect();
+        let out = simulate_chains(&s, chains);
+        let expected = s.open_latency_s + 1e9 / s.server_bw;
+        assert!((out.makespan - expected).abs() < 1e-9, "no queueing expected");
+        assert_eq!(out.peak_queue, 0);
+    }
+
+    #[test]
+    fn contention_on_one_server_serialises() {
+        let s = spec();
+        // All four clients hit the same file/server.
+        let chains: Vec<Vec<ReadReq>> = (0..4)
+            .map(|_| vec![ReadReq { file: 7, bytes: 1e9, cpu_after: 0.0 }])
+            .collect();
+        let out = simulate_chains(&s, chains);
+        let one = s.open_latency_s + 1e9 / s.server_bw;
+        assert!(out.makespan > 3.9 * one, "must serialise: {}", out.makespan);
+        assert!(out.peak_queue >= 2);
+    }
+
+    #[test]
+    fn oversubscription_degrades_aggregate_bandwidth() {
+        // Same total bytes; clients far beyond the server count should
+        // achieve LOWER aggregate bandwidth than clients == servers,
+        // because of the thrash penalty. This is the Fig. 11 mechanism.
+        let s = spec();
+        let files = 4096u64;
+        let at = |clients: usize| {
+            let chains = preload_chains(clients, files, 0, 2e8, 0.0);
+            simulate_chains(&s, chains).achieved_bw()
+        };
+        let balanced = at(s.servers);
+        let oversub = at(s.servers * 8);
+        assert!(
+            oversub < balanced,
+            "oversubscribed bw {oversub:.3e} should degrade below balanced {balanced:.3e}"
+        );
+    }
+
+    #[test]
+    fn preload_chains_cover_all_files_once() {
+        let chains = preload_chains(3, 10, 100, 1.0, 0.0);
+        let mut seen: Vec<u64> = chains.iter().flatten().map(|r| r.file).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (100..110).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn random_access_deterministic_and_partitioned() {
+        let a = random_access_chains(4, 1000, 50, 1.0, 42);
+        let b = random_access_chains(4, 1000, 50, 1.0, 42);
+        assert_eq!(a.len(), 4);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.len(), y.len());
+            for (p, q) in x.iter().zip(y) {
+                assert_eq!(p.file, q.file);
+            }
+        }
+        let total: usize = a.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 1000);
+        // Files must stay in range.
+        assert!(a.iter().flatten().all(|r| r.file < 50));
+    }
+
+    #[test]
+    fn more_clients_speed_up_preload_before_saturation() {
+        let s = spec();
+        let t = |clients: usize| {
+            simulate_chains(&s, preload_chains(clients, 1000, 0, 2e8, 0.0)).makespan
+        };
+        let t4 = t(4);
+        let t16 = t(16);
+        let t64 = t(64);
+        assert!(t16 < t4 && t64 < t16, "{t4} {t16} {t64}");
+    }
+}

@@ -1,0 +1,161 @@
+//! Model of the Kurth et al. (exascale climate analytics) data-staging
+//! strategy, for the Section V related-work comparison.
+//!
+//! Staging: before training, every rank copies a disjoint subset of the
+//! dataset from the PFS to its node-local storage, then redistributes
+//! whole files point-to-point so that **each rank ends up holding every
+//! file it will ever read** — redundant copies when a file's samples are
+//! consumed by several ranks. LBANN's in-memory store instead ships
+//! *samples* to their consumer just-in-time each mini-batch, keeping one
+//! copy in memory total.
+//!
+//! The comparison the paper draws (Section V): staging eliminates the
+//! PFS bottleneck equally well, but (a) needs local storage for all
+//! redundant copies and (b) moves a redistribution volume that grows
+//! with the sharing factor, while the store "eliminates the redundant
+//! in-memory copies of data, hides the overhead in redistributing them
+//! and reduces the volume".
+
+use crate::machine::{MachineSpec, WorkloadSpec};
+use crate::net::Placement;
+use crate::pfs::{preload_chains, simulate_chains};
+
+/// Outcome of a stage-in (Kurth-style) or store-preload (LBANN-style)
+/// data distribution, in comparable units.
+#[derive(Debug, Clone, Copy)]
+pub struct DistributionOutcome {
+    /// Wall-clock seconds until training can start.
+    pub setup_time: f64,
+    /// Bytes read from the parallel file system.
+    pub pfs_bytes: f64,
+    /// Bytes moved rank-to-rank during/after setup (redistribution for
+    /// staging; first-epoch shuffles for the store).
+    pub p2p_bytes: f64,
+    /// Peak per-node storage footprint (local disk for staging, host
+    /// memory for the store).
+    pub per_node_bytes: f64,
+}
+
+/// Node-local NVMe bandwidth used by the staging model (bytes/s).
+pub const LOCAL_STORE_BW: f64 = 2.0e9;
+
+/// Kurth-style staging: `sharing` is the average number of ranks that
+/// need each file (>= 1; grows when sample shuffling spans ranks).
+pub fn staging_outcome(
+    m: &MachineSpec,
+    w: &WorkloadSpec,
+    place: Placement,
+    samples: u64,
+    sharing: f64,
+) -> DistributionOutcome {
+    assert!(sharing >= 1.0);
+    let files = samples.div_ceil(w.samples_per_file as u64);
+    let bytes_per_file = (w.samples_per_file as u64 * w.sample_bytes) as f64;
+    let total = files as f64 * bytes_per_file;
+
+    // Phase 1: disjoint PFS read (event-driven, same as store preload).
+    let chains = preload_chains(place.ranks(), files, 0, bytes_per_file, 0.0);
+    let pfs = simulate_chains(&m.pfs, chains);
+
+    // Phase 2: point-to-point redistribution of the redundant copies.
+    // Each file travels to (sharing - 1) additional ranks over IB, and is
+    // written to local storage at the receiver.
+    let redist_bytes = total * (sharing - 1.0);
+    let ib_time = redist_bytes / (m.net.ib_bw * place.nodes as f64);
+    let write_time = redist_bytes / (LOCAL_STORE_BW * place.nodes as f64);
+    // Also the phase-1 copies hit local storage.
+    let stage_write = total / (LOCAL_STORE_BW * place.nodes as f64);
+
+    DistributionOutcome {
+        setup_time: pfs.makespan + stage_write + ib_time.max(write_time),
+        pfs_bytes: total,
+        p2p_bytes: redist_bytes,
+        per_node_bytes: total * sharing / place.nodes as f64,
+    }
+}
+
+/// LBANN-store preload in the same units: one copy total, samples
+/// shuffled per mini-batch (volume ~= one pass of the dataset per epoch
+/// times the remote fraction; we charge one epoch's worth for apples-to-
+/// apples with a single stage-in).
+pub fn store_outcome(
+    m: &MachineSpec,
+    w: &WorkloadSpec,
+    place: Placement,
+    samples: u64,
+) -> DistributionOutcome {
+    let files = samples.div_ceil(w.samples_per_file as u64);
+    let bytes_per_file = (w.samples_per_file as u64 * w.sample_bytes) as f64;
+    let total = files as f64 * bytes_per_file;
+    let ranks = place.ranks() as f64;
+
+    let chains = preload_chains(place.ranks(), files, 0, bytes_per_file, 0.0);
+    let pfs = simulate_chains(&m.pfs, chains);
+
+    // Per-epoch shuffle volume: a sample moves iff its consumer differs
+    // from its owner — remote fraction (ranks-1)/ranks.
+    let shuffle_bytes = total * (ranks - 1.0) / ranks;
+
+    DistributionOutcome {
+        setup_time: pfs.makespan,
+        pfs_bytes: total,
+        p2p_bytes: shuffle_bytes,
+        per_node_bytes: total / place.nodes as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (MachineSpec, WorkloadSpec, Placement) {
+        (MachineSpec::lassen(), WorkloadSpec::icf_cyclegan(), Placement::new(4, 4))
+    }
+
+    #[test]
+    fn store_needs_less_local_footprint() {
+        let (m, w, p) = setup();
+        let stage = staging_outcome(&m, &w, p, 1_000_000, 3.0);
+        let store = store_outcome(&m, &w, p, 1_000_000);
+        assert!(
+            store.per_node_bytes < stage.per_node_bytes,
+            "the store must avoid redundant copies: {} vs {}",
+            store.per_node_bytes,
+            stage.per_node_bytes
+        );
+        // With sharing factor s, staging holds s copies total.
+        assert!((stage.per_node_bytes / store.per_node_bytes - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn both_read_pfs_once() {
+        let (m, w, p) = setup();
+        let stage = staging_outcome(&m, &w, p, 500_000, 2.0);
+        let store = store_outcome(&m, &w, p, 500_000);
+        assert_eq!(stage.pfs_bytes, store.pfs_bytes, "both read each byte once");
+    }
+
+    #[test]
+    fn sharing_one_means_no_redistribution() {
+        let (m, w, p) = setup();
+        let stage = staging_outcome(&m, &w, p, 200_000, 1.0);
+        assert_eq!(stage.p2p_bytes, 0.0);
+    }
+
+    #[test]
+    fn store_setup_faster_than_staging() {
+        // The store starts training right after the PFS read; staging
+        // must also write local copies and redistribute first.
+        let (m, w, p) = setup();
+        let stage = staging_outcome(&m, &w, p, 1_000_000, 2.5);
+        let store = store_outcome(&m, &w, p, 1_000_000);
+        assert!(store.setup_time < stage.setup_time);
+    }
+
+    #[test]
+    #[should_panic(expected = "sharing >= 1")]
+    fn invalid_sharing_rejected() {
+        let (m, w, p) = setup();
+        let _ = staging_outcome(&m, &w, p, 1000, 0.5);
+    }
+}

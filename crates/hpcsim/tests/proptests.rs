@@ -1,0 +1,103 @@
+//! Property-based tests for the discrete-event engine and the PFS model.
+
+use ltfb_hpcsim::{simulate_chains, Engine, MachineSpec, PfsOutcome, ReadReq};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The engine pops events in non-decreasing time order with FIFO ties,
+    /// for arbitrary schedules.
+    #[test]
+    fn engine_time_ordering(delays in prop::collection::vec(0.0f64..100.0, 1..40)) {
+        let mut eng: Engine<usize> = Engine::new();
+        for (i, &d) in delays.iter().enumerate() {
+            eng.schedule(d, i);
+        }
+        let mut last_t = 0.0f64;
+        let mut seen = Vec::new();
+        while let Some(i) = eng.pop() {
+            prop_assert!(eng.now() >= last_t, "time went backwards");
+            // FIFO tie-break: same-time events arrive in schedule order.
+            if eng.now() == last_t {
+                if let Some(&prev) = seen.last() {
+                    if delays[prev] == delays[i] {
+                        prop_assert!(i > prev, "FIFO violated");
+                    }
+                }
+            }
+            last_t = eng.now();
+            seen.push(i);
+        }
+        prop_assert_eq!(seen.len(), delays.len());
+    }
+
+    /// PFS makespan is bounded below by both the single-busiest-server
+    /// work and the longest client chain's intrinsic service time.
+    #[test]
+    fn pfs_makespan_lower_bounds(
+        n_clients in 1usize..8,
+        files_per_client in 1usize..10,
+        mb_per_file in 1.0f64..200.0,
+    ) {
+        let spec = MachineSpec::lassen().pfs;
+        let bytes = mb_per_file * 1e6;
+        let chains: Vec<Vec<ReadReq>> = (0..n_clients)
+            .map(|c| {
+                (0..files_per_client)
+                    .map(|f| ReadReq {
+                        file: (c * files_per_client + f) as u64,
+                        bytes,
+                        cpu_after: 0.0,
+                    })
+                    .collect()
+            })
+            .collect();
+        let out: PfsOutcome = simulate_chains(&spec, chains);
+        let per_req = spec.open_latency_s + bytes / spec.server_bw;
+        // Longest chain bound (service times can only be inflated).
+        let chain_bound = files_per_client as f64 * per_req;
+        prop_assert!(out.makespan >= chain_bound * 0.999,
+            "makespan {} below chain bound {}", out.makespan, chain_bound);
+        // Total work conservation.
+        prop_assert_eq!(out.requests, (n_clients * files_per_client) as u64);
+        let expected_bytes = bytes * (n_clients * files_per_client) as f64;
+        prop_assert!((out.total_bytes - expected_bytes).abs() < 1.0);
+    }
+
+    /// Adding a client never decreases total bytes moved and never helps
+    /// the slowest client finish faster when they contend for one server.
+    #[test]
+    fn pfs_contention_monotone(extra in 1usize..6, mb in 1.0f64..50.0) {
+        let spec = MachineSpec::lassen().pfs;
+        let mk = |n: usize| -> f64 {
+            let chains: Vec<Vec<ReadReq>> = (0..n)
+                .map(|_| vec![ReadReq { file: 0, bytes: mb * 1e6, cpu_after: 0.0 }])
+                .collect();
+            simulate_chains(&spec, chains).makespan
+        };
+        let base = mk(1);
+        let contended = mk(1 + extra);
+        prop_assert!(contended >= base * 0.999,
+            "contended makespan {contended} below solo {base}");
+    }
+
+    /// run_until never executes events past the deadline.
+    #[test]
+    fn run_until_respects_deadline(
+        delays in prop::collection::vec(0.0f64..100.0, 1..30),
+        deadline in 0.0f64..100.0,
+    ) {
+        let mut eng: Engine<usize> = Engine::new();
+        for (i, &d) in delays.iter().enumerate() {
+            eng.schedule(d, i);
+        }
+        let mut fired = Vec::new();
+        eng.run_until(deadline, |e, i| {
+            assert!(e.now() <= deadline);
+            fired.push(i);
+        });
+        let expected = delays.iter().filter(|&&d| d <= deadline).count();
+        prop_assert_eq!(fired.len(), expected);
+    }
+}

@@ -1,0 +1,318 @@
+//! The *bundle* multi-sample file format — our substitute for the paper's
+//! HDF5 files ("we packaged the data into 10,000 HDF5 files, each of which
+//! contains 1,000 samples").
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic      u32   "JAGB" (0x4A414742)
+//! version    u32   1
+//! n_samples  u32
+//! img_size   u32
+//! reserved   u32   (views/channels are compile-time constants)
+//! payload    n_samples * sample_len f32   (params | scalars | images)
+//! crc        u32   CRC-32 of the payload bytes
+//! ```
+//!
+//! Samples are fixed-size records, so single-sample reads are a seek +
+//! read — exactly the random-access pattern that makes naive per-sample
+//! ingestion from multi-sample files so expensive on a parallel FS, and
+//! whole-file reads (`read_all`) the pattern preloading exploits.
+
+use crate::config::{JagConfig, Sample, N_PARAMS, N_SCALARS};
+use ltfb_tensor::crc32;
+use std::fs::File;
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: u32 = 0x4A41_4742;
+const VERSION: u32 = 1;
+const HEADER_BYTES: u64 = 20;
+
+/// Errors from bundle I/O.
+#[derive(Debug)]
+pub enum BundleError {
+    Io(std::io::Error),
+    BadMagic(u32),
+    BadVersion(u32),
+    /// Stored payload CRC does not match (file corruption).
+    BadChecksum {
+        stored: u32,
+        computed: u32,
+    },
+    /// Requested sample index out of range.
+    IndexOutOfRange {
+        index: usize,
+        len: usize,
+    },
+    /// Header-declared geometry does not match the expected config.
+    ConfigMismatch {
+        file_img_size: u32,
+        expected: u32,
+    },
+    /// File length inconsistent with the header.
+    Truncated,
+}
+
+impl std::fmt::Display for BundleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BundleError::Io(e) => write!(f, "bundle I/O error: {e}"),
+            BundleError::BadMagic(m) => write!(f, "not a bundle file (magic {m:#010x})"),
+            BundleError::BadVersion(v) => write!(f, "unsupported bundle version {v}"),
+            BundleError::BadChecksum { stored, computed } => {
+                write!(f, "bundle corrupt: crc stored {stored:#010x} != computed {computed:#010x}")
+            }
+            BundleError::IndexOutOfRange { index, len } => {
+                write!(f, "sample {index} out of range 0..{len}")
+            }
+            BundleError::ConfigMismatch { file_img_size, expected } => {
+                write!(f, "bundle img_size {file_img_size} != expected {expected}")
+            }
+            BundleError::Truncated => write!(f, "bundle file truncated"),
+        }
+    }
+}
+
+impl std::error::Error for BundleError {}
+
+impl From<std::io::Error> for BundleError {
+    fn from(e: std::io::Error) -> Self {
+        BundleError::Io(e)
+    }
+}
+
+/// Write a bundle file from a set of samples.
+pub fn write_bundle(
+    path: &Path,
+    cfg: &JagConfig,
+    samples: &[Sample],
+) -> Result<(), BundleError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(&MAGIC.to_le_bytes())?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(samples.len() as u32).to_le_bytes())?;
+    w.write_all(&(cfg.img_size as u32).to_le_bytes())?;
+    w.write_all(&0u32.to_le_bytes())?;
+
+    // Stream the payload while accumulating the CRC without a second pass.
+    let mut crc_buf: Vec<u8> = Vec::with_capacity(samples.len() * cfg.sample_bytes());
+    for s in samples {
+        assert_eq!(s.images.len(), cfg.image_len(), "sample image block size mismatch");
+        for &v in s.params.iter().chain(s.scalars.iter()).chain(s.images.iter()) {
+            crc_buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    w.write_all(&crc_buf)?;
+    w.write_all(&crc32(&crc_buf).to_le_bytes())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Open handle on a bundle file; supports random single-sample reads and
+/// whole-file (preload-style) reads.
+pub struct BundleReader {
+    file: File,
+    path: PathBuf,
+    cfg: JagConfig,
+    n_samples: usize,
+}
+
+impl BundleReader {
+    /// Open and validate the header against the expected config.
+    pub fn open(path: &Path, cfg: &JagConfig) -> Result<Self, BundleError> {
+        let mut file = File::open(path)?;
+        let mut header = [0u8; HEADER_BYTES as usize];
+        file.read_exact(&mut header).map_err(|_| BundleError::Truncated)?;
+        let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+        if magic != MAGIC {
+            return Err(BundleError::BadMagic(magic));
+        }
+        let version = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        if version != VERSION {
+            return Err(BundleError::BadVersion(version));
+        }
+        let n_samples = u32::from_le_bytes(header[8..12].try_into().unwrap()) as usize;
+        let img_size = u32::from_le_bytes(header[12..16].try_into().unwrap());
+        if img_size as usize != cfg.img_size {
+            return Err(BundleError::ConfigMismatch {
+                file_img_size: img_size,
+                expected: cfg.img_size as u32,
+            });
+        }
+        let expected_len = HEADER_BYTES + (n_samples * cfg.sample_bytes()) as u64 + 4;
+        if file.metadata()?.len() != expected_len {
+            return Err(BundleError::Truncated);
+        }
+        Ok(BundleReader { file, path: path.to_path_buf(), cfg: *cfg, n_samples })
+    }
+
+    /// Number of samples in the file.
+    pub fn len(&self) -> usize {
+        self.n_samples
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n_samples == 0
+    }
+
+    /// Path this reader was opened on.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn decode_sample(&self, raw: &[u8]) -> Sample {
+        let mut vals = raw.chunks_exact(4).map(|b| f32::from_le_bytes(b.try_into().unwrap()));
+        let mut params = [0.0f32; N_PARAMS];
+        for p in params.iter_mut() {
+            *p = vals.next().unwrap();
+        }
+        let mut scalars = [0.0f32; N_SCALARS];
+        for s in scalars.iter_mut() {
+            *s = vals.next().unwrap();
+        }
+        let images: Vec<f32> = vals.collect();
+        debug_assert_eq!(images.len(), self.cfg.image_len());
+        Sample { params, scalars, images }
+    }
+
+    /// Random-access read of one sample (seek + read — the expensive
+    /// pattern for naive ingestion).
+    pub fn read_sample(&mut self, index: usize) -> Result<Sample, BundleError> {
+        if index >= self.n_samples {
+            return Err(BundleError::IndexOutOfRange { index, len: self.n_samples });
+        }
+        let off = HEADER_BYTES + (index * self.cfg.sample_bytes()) as u64;
+        self.file.seek(SeekFrom::Start(off))?;
+        let mut raw = vec![0u8; self.cfg.sample_bytes()];
+        self.file.read_exact(&mut raw)?;
+        Ok(self.decode_sample(&raw))
+    }
+
+    /// Whole-file sequential read of every sample (the preload pattern),
+    /// verifying the payload CRC.
+    pub fn read_all(&mut self) -> Result<Vec<Sample>, BundleError> {
+        self.file.seek(SeekFrom::Start(HEADER_BYTES))?;
+        let payload_len = self.n_samples * self.cfg.sample_bytes();
+        let mut payload = vec![0u8; payload_len];
+        self.file.read_exact(&mut payload)?;
+        let mut crc_raw = [0u8; 4];
+        self.file.read_exact(&mut crc_raw)?;
+        let stored = u32::from_le_bytes(crc_raw);
+        let computed = crc32(&payload);
+        if stored != computed {
+            return Err(BundleError::BadChecksum { stored, computed });
+        }
+        Ok(payload
+            .chunks_exact(self.cfg.sample_bytes())
+            .map(|raw| self.decode_sample(raw))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::r2_point;
+    use crate::simulator::JagSimulator;
+
+    fn tempdir() -> PathBuf {
+        let d = std::env::temp_dir().join(format!("jag-bundle-test-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn make_samples(cfg: &JagConfig, n: usize) -> Vec<Sample> {
+        let sim = JagSimulator::new(*cfg);
+        (0..n as u64).map(|i| sim.simulate(r2_point(i))).collect()
+    }
+
+    #[test]
+    fn round_trip_whole_file() {
+        let cfg = JagConfig::small(8);
+        let samples = make_samples(&cfg, 17);
+        let path = tempdir().join("rt.bundle");
+        write_bundle(&path, &cfg, &samples).unwrap();
+        let mut r = BundleReader::open(&path, &cfg).unwrap();
+        assert_eq!(r.len(), 17);
+        assert_eq!(r.read_all().unwrap(), samples);
+    }
+
+    #[test]
+    fn random_access_matches_sequential() {
+        let cfg = JagConfig::small(8);
+        let samples = make_samples(&cfg, 9);
+        let path = tempdir().join("ra.bundle");
+        write_bundle(&path, &cfg, &samples).unwrap();
+        let mut r = BundleReader::open(&path, &cfg).unwrap();
+        for idx in [8usize, 0, 4, 4, 7] {
+            assert_eq!(r.read_sample(idx).unwrap(), samples[idx], "sample {idx}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_index_rejected() {
+        let cfg = JagConfig::small(8);
+        let path = tempdir().join("oor.bundle");
+        write_bundle(&path, &cfg, &make_samples(&cfg, 3)).unwrap();
+        let mut r = BundleReader::open(&path, &cfg).unwrap();
+        assert!(matches!(
+            r.read_sample(3),
+            Err(BundleError::IndexOutOfRange { index: 3, len: 3 })
+        ));
+    }
+
+    #[test]
+    fn corruption_detected_on_read_all() {
+        let cfg = JagConfig::small(8);
+        let path = tempdir().join("corrupt.bundle");
+        write_bundle(&path, &cfg, &make_samples(&cfg, 5)).unwrap();
+        // Flip one payload byte.
+        let mut raw = std::fs::read(&path).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0xFF;
+        std::fs::write(&path, &raw).unwrap();
+        let mut r = BundleReader::open(&path, &cfg).unwrap();
+        assert!(matches!(r.read_all(), Err(BundleError::BadChecksum { .. })));
+    }
+
+    #[test]
+    fn truncated_file_rejected_at_open() {
+        let cfg = JagConfig::small(8);
+        let path = tempdir().join("trunc.bundle");
+        write_bundle(&path, &cfg, &make_samples(&cfg, 5)).unwrap();
+        let raw = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &raw[..raw.len() - 10]).unwrap();
+        assert!(matches!(BundleReader::open(&path, &cfg), Err(BundleError::Truncated)));
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let cfg = JagConfig::small(8);
+        let path = tempdir().join("magic.bundle");
+        std::fs::write(&path, vec![0u8; 64]).unwrap();
+        assert!(matches!(BundleReader::open(&path, &cfg), Err(BundleError::BadMagic(0))));
+    }
+
+    #[test]
+    fn config_mismatch_rejected() {
+        let cfg8 = JagConfig::small(8);
+        let cfg16 = JagConfig::small(16);
+        let path = tempdir().join("cfg.bundle");
+        write_bundle(&path, &cfg8, &make_samples(&cfg8, 2)).unwrap();
+        assert!(matches!(
+            BundleReader::open(&path, &cfg16),
+            Err(BundleError::ConfigMismatch { file_img_size: 8, expected: 16 })
+        ));
+    }
+
+    #[test]
+    fn empty_bundle_round_trips() {
+        let cfg = JagConfig::small(8);
+        let path = tempdir().join("empty.bundle");
+        write_bundle(&path, &cfg, &[]).unwrap();
+        let mut r = BundleReader::open(&path, &cfg).unwrap();
+        assert!(r.is_empty());
+        assert!(r.read_all().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,155 @@
+//! Dimensions and configuration of the JAG-like synthetic ICF problem.
+//!
+//! The paper's data sample is a pair: a 5-D input parameter vector and an
+//! output bundle of 15 scalars plus 12 multispectral X-ray images (3 lines
+//! of sight x 4 energy channels) at 64x64 pixels. We keep those dimensions
+//! as the default and let the image resolution scale down for laptop-scale
+//! *training* runs (the learning dynamics do not depend on pixel count;
+//! the full 64x64 size is used for dataset-volume accounting).
+
+/// Number of input parameters (laser drive + 3-D shell shape).
+pub const N_PARAMS: usize = 5;
+/// Number of scalar observables derived from the implosion.
+pub const N_SCALARS: usize = 15;
+/// Lines of sight for the simulated X-ray cameras.
+pub const N_VIEWS: usize = 3;
+/// Hyperspectral energy channels per camera.
+pub const N_CHANNELS: usize = 4;
+/// Images per sample.
+pub const N_IMAGES: usize = N_VIEWS * N_CHANNELS;
+
+/// Configuration of the synthetic JAG problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JagConfig {
+    /// Image side length in pixels (paper: 64).
+    pub img_size: usize,
+}
+
+impl JagConfig {
+    /// The paper's full-resolution configuration (64x64 images).
+    pub fn paper() -> Self {
+        JagConfig { img_size: 64 }
+    }
+
+    /// A reduced resolution for fast real-training experiments.
+    pub fn small(img_size: usize) -> Self {
+        assert!(img_size >= 4, "images below 4x4 carry no shape signal");
+        JagConfig { img_size }
+    }
+
+    /// Pixels in one image.
+    pub fn pixels(&self) -> usize {
+        self.img_size * self.img_size
+    }
+
+    /// f32 values in the image block of one sample.
+    pub fn image_len(&self) -> usize {
+        N_IMAGES * self.pixels()
+    }
+
+    /// f32 values in one full sample record (params + scalars + images).
+    pub fn sample_len(&self) -> usize {
+        N_PARAMS + N_SCALARS + self.image_len()
+    }
+
+    /// Bytes of one sample record on disk.
+    pub fn sample_bytes(&self) -> usize {
+        self.sample_len() * 4
+    }
+}
+
+/// One simulated data sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// The 5-D input parameter vector, each component in `[0, 1]`.
+    pub params: [f32; N_PARAMS],
+    /// The 15 scalar observables, normalised to O(1).
+    pub scalars: [f32; N_SCALARS],
+    /// Image block: `N_IMAGES` images of `img_size^2` pixels, laid out
+    /// `[view-major][channel][row][col]`, values in `[0, 1]`.
+    pub images: Vec<f32>,
+}
+
+impl Sample {
+    /// Borrow image `(view, channel)` as a pixel slice.
+    pub fn image(&self, cfg: &JagConfig, view: usize, channel: usize) -> &[f32] {
+        assert!(view < N_VIEWS && channel < N_CHANNELS);
+        let px = cfg.pixels();
+        let idx = view * N_CHANNELS + channel;
+        &self.images[idx * px..(idx + 1) * px]
+    }
+
+    /// Flatten the full output modality bundle (scalars then images) — the
+    /// multimodal vector the autoencoder consumes.
+    pub fn output_vec(&self) -> Vec<f32> {
+        let mut v = Vec::with_capacity(N_SCALARS + self.images.len());
+        v.extend_from_slice(&self.scalars);
+        v.extend_from_slice(&self.images);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_paper_sizes() {
+        let c = JagConfig::paper();
+        assert_eq!(c.img_size, 64);
+        assert_eq!(c.image_len(), 12 * 64 * 64);
+        assert_eq!(c.sample_len(), 5 + 15 + 49152);
+        // Matches the hpcsim WorkloadSpec sample_bytes constant.
+        assert_eq!(c.sample_bytes(), 196_688);
+    }
+
+    #[test]
+    fn small_config_scales() {
+        let c = JagConfig::small(16);
+        assert_eq!(c.image_len(), 12 * 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "no shape signal")]
+    fn tiny_images_rejected() {
+        let _ = JagConfig::small(2);
+    }
+
+    #[test]
+    fn image_slicing_is_disjoint_and_ordered() {
+        let cfg = JagConfig::small(4);
+        let mut s = Sample {
+            params: [0.0; N_PARAMS],
+            scalars: [0.0; N_SCALARS],
+            images: vec![0.0; cfg.image_len()],
+        };
+        // Tag each image block with its index.
+        let px = cfg.pixels();
+        for i in 0..N_IMAGES {
+            for p in 0..px {
+                s.images[i * px + p] = i as f32;
+            }
+        }
+        for v in 0..N_VIEWS {
+            for c in 0..N_CHANNELS {
+                let img = s.image(&cfg, v, c);
+                assert_eq!(img.len(), px);
+                assert!(img.iter().all(|&x| x == (v * N_CHANNELS + c) as f32));
+            }
+        }
+    }
+
+    #[test]
+    fn output_vec_layout() {
+        let cfg = JagConfig::small(4);
+        let s = Sample {
+            params: [0.5; N_PARAMS],
+            scalars: [2.0; N_SCALARS],
+            images: vec![3.0; cfg.image_len()],
+        };
+        let v = s.output_vec();
+        assert_eq!(v.len(), N_SCALARS + cfg.image_len());
+        assert!(v[..N_SCALARS].iter().all(|&x| x == 2.0));
+        assert!(v[N_SCALARS..].iter().all(|&x| x == 3.0));
+    }
+}

@@ -1,0 +1,207 @@
+//! Dataset layout and generation: the mapping between global sample ids,
+//! bundle files and on-disk paths, plus (single-threaded) generation.
+//! Massively parallel generation through the Merlin-substitute workflow
+//! engine lives in `ltfb-workflow` consumers; this module is the ground
+//! truth for *where samples live*.
+
+use crate::bundle::{write_bundle, BundleError, BundleReader};
+use crate::config::{JagConfig, Sample};
+use crate::sampling::r2_point;
+use crate::simulator::JagSimulator;
+use std::path::{Path, PathBuf};
+
+/// Immutable description of an on-disk dataset.
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    /// Directory holding the bundle files.
+    pub dir: PathBuf,
+    /// Problem geometry.
+    pub cfg: JagConfig,
+    /// Total samples.
+    pub n_samples: u64,
+    /// Samples per bundle file (the paper: 1,000).
+    pub samples_per_file: usize,
+    /// Offset into the global R2 design (lets train/test datasets draw
+    /// disjoint, equally space-filling parameter sets).
+    pub design_offset: u64,
+}
+
+impl DatasetSpec {
+    pub fn new(
+        dir: impl Into<PathBuf>,
+        cfg: JagConfig,
+        n_samples: u64,
+        samples_per_file: usize,
+    ) -> Self {
+        assert!(samples_per_file > 0);
+        DatasetSpec { dir: dir.into(), cfg, n_samples, samples_per_file, design_offset: 0 }
+    }
+
+    /// Use a disjoint slice of the experiment design (e.g. the 1M test set
+    /// after the 10M training set).
+    pub fn with_design_offset(mut self, offset: u64) -> Self {
+        self.design_offset = offset;
+        self
+    }
+
+    /// Number of bundle files.
+    pub fn n_files(&self) -> u64 {
+        self.n_samples.div_ceil(self.samples_per_file as u64)
+    }
+
+    /// Path of bundle file `f`.
+    pub fn file_path(&self, f: u64) -> PathBuf {
+        self.dir.join(format!("bundle_{f:06}.jagb"))
+    }
+
+    /// Map a global sample id to `(file, index_within_file)`.
+    pub fn locate(&self, sample: u64) -> (u64, usize) {
+        assert!(sample < self.n_samples, "sample {sample} out of {}", self.n_samples);
+        (
+            sample / self.samples_per_file as u64,
+            (sample % self.samples_per_file as u64) as usize,
+        )
+    }
+
+    /// Number of samples in file `f` (the last file may be short).
+    pub fn samples_in_file(&self, f: u64) -> usize {
+        let start = f * self.samples_per_file as u64;
+        assert!(start < self.n_samples, "file {f} out of range");
+        ((self.n_samples - start).min(self.samples_per_file as u64)) as usize
+    }
+
+    /// The design-space parameters of global sample `id` (pure function —
+    /// any worker can compute its assignment independently).
+    pub fn params_of(&self, id: u64) -> [f32; crate::config::N_PARAMS] {
+        r2_point(self.design_offset + id)
+    }
+
+    /// Generate and write bundle file `f`. Returns the number of samples
+    /// written. Idempotent: same inputs produce a byte-identical file.
+    pub fn generate_file(&self, f: u64) -> Result<usize, BundleError> {
+        std::fs::create_dir_all(&self.dir)?;
+        let sim = JagSimulator::new(self.cfg);
+        let start = f * self.samples_per_file as u64;
+        let count = self.samples_in_file(f);
+        let samples: Vec<Sample> =
+            (0..count as u64).map(|i| sim.simulate(self.params_of(start + i))).collect();
+        write_bundle(&self.file_path(f), &self.cfg, &samples)?;
+        Ok(count)
+    }
+
+    /// Generate every file (serially — the workflow engine parallelises
+    /// this in the ensemble example/bench).
+    pub fn generate_all(&self) -> Result<(), BundleError> {
+        for f in 0..self.n_files() {
+            self.generate_file(f)?;
+        }
+        Ok(())
+    }
+
+    /// Open a reader on file `f`.
+    pub fn open_file(&self, f: u64) -> Result<BundleReader, BundleError> {
+        BundleReader::open(&self.file_path(f), &self.cfg)
+    }
+
+    /// Read one sample by global id (random-access pattern).
+    pub fn read_sample(&self, id: u64) -> Result<Sample, BundleError> {
+        let (f, idx) = self.locate(id);
+        self.open_file(f)?.read_sample(idx)
+    }
+
+    /// True when every bundle file exists with a plausible size.
+    pub fn is_generated(&self) -> bool {
+        (0..self.n_files()).all(|f| self.file_path(f).exists())
+    }
+}
+
+/// Deterministically regenerate a sample *without* touching disk — used
+/// by tests and by quality experiments that train directly from the
+/// simulator ("infinite data reader").
+pub fn sample_by_id(cfg: &JagConfig, design_offset: u64, id: u64) -> Sample {
+    JagSimulator::new(*cfg).simulate(r2_point(design_offset + id))
+}
+
+/// Helper for tests: a fresh unique temp directory.
+pub fn temp_dataset_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "jag-ds-{tag}-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_nanos()
+    ));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Remove a dataset directory, ignoring errors (test cleanup).
+pub fn cleanup_dataset_dir(dir: &Path) {
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec(tag: &str, n: u64, per_file: usize) -> DatasetSpec {
+        DatasetSpec::new(temp_dataset_dir(tag), JagConfig::small(8), n, per_file)
+    }
+
+    #[test]
+    fn file_count_and_short_last_file() {
+        let spec = small_spec("count", 25, 10);
+        assert_eq!(spec.n_files(), 3);
+        assert_eq!(spec.samples_in_file(0), 10);
+        assert_eq!(spec.samples_in_file(2), 5);
+        cleanup_dataset_dir(&spec.dir);
+    }
+
+    #[test]
+    fn locate_round_trips() {
+        let spec = small_spec("locate", 25, 10);
+        assert_eq!(spec.locate(0), (0, 0));
+        assert_eq!(spec.locate(9), (0, 9));
+        assert_eq!(spec.locate(10), (1, 0));
+        assert_eq!(spec.locate(24), (2, 4));
+        cleanup_dataset_dir(&spec.dir);
+    }
+
+    #[test]
+    fn generate_then_read_back() {
+        let spec = small_spec("gen", 23, 10);
+        spec.generate_all().unwrap();
+        assert!(spec.is_generated());
+        // Random access equals direct regeneration.
+        for id in [0u64, 9, 10, 22] {
+            let from_disk = spec.read_sample(id).unwrap();
+            let direct = sample_by_id(&spec.cfg, 0, id);
+            assert_eq!(from_disk, direct, "sample {id}");
+        }
+        cleanup_dataset_dir(&spec.dir);
+    }
+
+    #[test]
+    fn generation_is_idempotent() {
+        let spec = small_spec("idem", 12, 6);
+        spec.generate_file(1).unwrap();
+        let a = std::fs::read(spec.file_path(1)).unwrap();
+        spec.generate_file(1).unwrap();
+        let b = std::fs::read(spec.file_path(1)).unwrap();
+        assert_eq!(a, b, "regeneration must be byte-identical");
+        cleanup_dataset_dir(&spec.dir);
+    }
+
+    #[test]
+    fn design_offset_gives_disjoint_parameters() {
+        let cfg = JagConfig::small(8);
+        let train = sample_by_id(&cfg, 0, 5);
+        let test = sample_by_id(&cfg, 1000, 5);
+        assert_ne!(train.params, test.params);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn locate_rejects_overflow() {
+        let spec = small_spec("overflow", 10, 10);
+        let _ = spec.locate(10);
+    }
+}

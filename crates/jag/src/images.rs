@@ -1,0 +1,159 @@
+//! Image utilities: PGM export (for the Fig. 8 ground-truth vs predicted
+//! panels) and simple image-space error statistics.
+
+use crate::config::{JagConfig, N_CHANNELS, N_VIEWS};
+use std::io::Write;
+use std::path::Path;
+
+/// Write one grayscale image (values in `[0, 1]`) as a binary PGM file.
+pub fn write_pgm(path: &Path, img: &[f32], size: usize) -> std::io::Result<()> {
+    assert_eq!(img.len(), size * size, "pixel count mismatch");
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write!(f, "P5\n{size} {size}\n255\n")?;
+    let bytes: Vec<u8> =
+        img.iter().map(|&v| (v.clamp(0.0, 1.0) * 255.0).round() as u8).collect();
+    f.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Write a side-by-side (truth | prediction) PGM panel.
+pub fn write_pair_pgm(
+    path: &Path,
+    truth: &[f32],
+    pred: &[f32],
+    size: usize,
+) -> std::io::Result<()> {
+    assert_eq!(truth.len(), size * size);
+    assert_eq!(pred.len(), size * size);
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write!(f, "P5\n{} {size}\n255\n", 2 * size + 2)?;
+    for row in 0..size {
+        let mut line = Vec::with_capacity(2 * size + 2);
+        for col in 0..size {
+            line.push((truth[row * size + col].clamp(0.0, 1.0) * 255.0).round() as u8);
+        }
+        line.push(255);
+        line.push(255);
+        for col in 0..size {
+            line.push((pred[row * size + col].clamp(0.0, 1.0) * 255.0).round() as u8);
+        }
+        f.write_all(&line)?;
+    }
+    Ok(())
+}
+
+/// Per-image error metrics between a predicted and a ground-truth image
+/// block (the full `N_IMAGES * pixels` vector).
+#[derive(Debug, Clone)]
+pub struct ImageErrors {
+    /// Mean absolute error per (view, channel) image.
+    pub mae: Vec<f32>,
+    /// Overall mean absolute error.
+    pub overall_mae: f32,
+    /// Structural proxy: correlation coefficient per image.
+    pub correlation: Vec<f32>,
+}
+
+/// Compute per-image MAE and correlation between prediction and truth.
+pub fn image_errors(cfg: &JagConfig, truth: &[f32], pred: &[f32]) -> ImageErrors {
+    assert_eq!(truth.len(), cfg.image_len());
+    assert_eq!(pred.len(), cfg.image_len());
+    let px = cfg.pixels();
+    let n_images = N_VIEWS * N_CHANNELS;
+    let mut mae = Vec::with_capacity(n_images);
+    let mut correlation = Vec::with_capacity(n_images);
+    let mut total = 0.0f64;
+    for i in 0..n_images {
+        let t = &truth[i * px..(i + 1) * px];
+        let p = &pred[i * px..(i + 1) * px];
+        let m: f32 = t.iter().zip(p).map(|(a, b)| (a - b).abs()).sum::<f32>() / px as f32;
+        total += m as f64;
+        mae.push(m);
+        correlation.push(pearson(t, p));
+    }
+    ImageErrors { mae, overall_mae: (total / n_images as f64) as f32, correlation }
+}
+
+/// Pearson correlation of two equal-length pixel slices (0 when either is
+/// constant).
+pub fn pearson(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len());
+    let n = a.len() as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let ma = a.iter().map(|&v| v as f64).sum::<f64>() / n;
+    let mb = b.iter().map(|&v| v as f64).sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        let dx = x as f64 - ma;
+        let dy = y as f64 - mb;
+        cov += dx * dy;
+        va += dx * dx;
+        vb += dy * dy;
+    }
+    if va <= 0.0 || vb <= 0.0 {
+        return 0.0;
+    }
+    (cov / (va.sqrt() * vb.sqrt())) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{cleanup_dataset_dir, temp_dataset_dir};
+    use crate::simulator::JagSimulator;
+
+    #[test]
+    fn pgm_is_well_formed() {
+        let dir = temp_dataset_dir("pgm");
+        let path = dir.join("img.pgm");
+        let img = vec![0.5f32; 16];
+        write_pgm(&path, &img, 4).unwrap();
+        let raw = std::fs::read(&path).unwrap();
+        assert!(raw.starts_with(b"P5\n4 4\n255\n"));
+        assert_eq!(raw.len(), b"P5\n4 4\n255\n".len() + 16);
+        assert!(raw[raw.len() - 16..].iter().all(|&b| b == 128));
+        cleanup_dataset_dir(&dir);
+    }
+
+    #[test]
+    fn pair_pgm_has_separator_column() {
+        let dir = temp_dataset_dir("pair");
+        let path = dir.join("pair.pgm");
+        write_pair_pgm(&path, &[0.0; 16], &[1.0; 16], 4).unwrap();
+        let raw = std::fs::read(&path).unwrap();
+        assert!(raw.starts_with(b"P5\n10 4\n255\n"));
+        cleanup_dataset_dir(&dir);
+    }
+
+    #[test]
+    fn identical_images_have_zero_error_unit_correlation() {
+        let cfg = JagConfig::small(8);
+        let s = JagSimulator::new(cfg).simulate([0.6, 0.3, 0.4, 0.5, 0.7]);
+        let e = image_errors(&cfg, &s.images, &s.images);
+        assert!(e.overall_mae.abs() < 1e-9);
+        assert!(e.correlation.iter().all(|&c| c > 0.999));
+    }
+
+    #[test]
+    fn unrelated_images_have_high_error() {
+        let cfg = JagConfig::small(8);
+        let sim = JagSimulator::new(cfg);
+        let a = sim.simulate([0.9, 0.1, 0.9, 0.1, 0.9]);
+        let b = sim.simulate([0.1, 0.9, 0.1, 0.9, 0.1]);
+        let e = image_errors(&cfg, &a.images, &b.images);
+        assert!(e.overall_mae > 0.01);
+    }
+
+    #[test]
+    fn pearson_detects_sign() {
+        let a = vec![0.0f32, 1.0, 2.0, 3.0];
+        let b: Vec<f32> = a.iter().map(|v| -v).collect();
+        assert!((pearson(&a, &a) - 1.0).abs() < 1e-6);
+        assert!((pearson(&a, &b) + 1.0).abs() < 1e-6);
+        assert_eq!(pearson(&a, &[1.0; 4]), 0.0, "constant image yields 0");
+    }
+}

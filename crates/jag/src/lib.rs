@@ -1,0 +1,30 @@
+//! # ltfb-jag
+//!
+//! Synthetic stand-in for the JAG ICF simulator, its dataset, and the
+//! multi-sample file packaging the paper uses:
+//!
+//! * [`simulator`] — a semi-analytic implosion response surface producing,
+//!   for each 5-D input, the 15 scalar observables and 12 multispectral
+//!   64x64 X-ray images of Section II (deterministic and smooth, with the
+//!   drive-nonlinearity / shape-sensitivity structure the paper relies on);
+//! * [`sampling`]  — low-discrepancy experiment designs substituting the
+//!   paper's spectral design-of-experiments method;
+//! * [`bundle`]    — the fixed-record multi-sample file format replacing
+//!   HDF5 (1,000 samples per file), with checksummed whole-file reads;
+//! * [`dataset`]   — global-sample-id <-> (file, offset) layout and
+//!   deterministic generation;
+//! * [`images`]    — PGM export and image-space error metrics for Fig. 8.
+
+pub mod bundle;
+pub mod config;
+pub mod dataset;
+pub mod images;
+pub mod sampling;
+pub mod simulator;
+
+pub use bundle::{write_bundle, BundleError, BundleReader};
+pub use config::{JagConfig, Sample, N_CHANNELS, N_IMAGES, N_PARAMS, N_SCALARS, N_VIEWS};
+pub use dataset::{cleanup_dataset_dir, sample_by_id, temp_dataset_dir, DatasetSpec};
+pub use images::{image_errors, pearson, write_pair_pgm, write_pgm, ImageErrors};
+pub use sampling::{discrepancy_proxy, halton_point, r2_point, r2_sequence, random_design};
+pub use simulator::JagSimulator;

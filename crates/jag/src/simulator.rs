@@ -1,0 +1,405 @@
+//! The synthetic semi-analytic implosion model — our substitute for the
+//! JAG ICF simulator.
+//!
+//! The real JAG evaluates a semi-analytic model of the final stages of an
+//! ICF implosion in CPU-seconds. We cannot ship JAG, so this module
+//! implements a response surface with the *structural* properties the
+//! paper relies on (Section II-B):
+//!
+//! * inputs are a 5-D vector: `p0` laser-drive strength, `p1` drive
+//!   asymmetry, `p2..p4` shell-shape mode amplitudes (P2/P3/P4);
+//! * "varying the drive parameters result\[s\] in highly non-linear
+//!   variations in the scalar performance metrics" — yield goes through an
+//!   ignition-cliff exponential in our model too;
+//! * "varying the shape parameters result\[s\] in major changes in the X-ray
+//!   images" — the rendered hot spot is a Legendre-perturbed limb-darkened
+//!   disc seen from three lines of sight with four energy channels;
+//! * all outputs are smooth, deterministic functions of the inputs, so a
+//!   surrogate is learnable and ground truth is exactly reproducible.
+
+use crate::config::{JagConfig, Sample, N_CHANNELS, N_IMAGES, N_PARAMS, N_SCALARS, N_VIEWS};
+
+/// The synthetic implosion simulator. Stateless and `Copy`; all outputs
+/// are pure functions of the input parameters (and, when enabled, of a
+/// deterministic per-sample noise stream derived from them).
+#[derive(Debug, Clone, Copy)]
+pub struct JagSimulator {
+    cfg: JagConfig,
+    /// Measurement-noise amplitude (0 = clean semi-analytic outputs).
+    /// Real diagnostics are noisy; robustness studies train the surrogate
+    /// against noisy targets. Noise is a pure function of the input
+    /// parameters, so datasets remain exactly regenerable.
+    noise: f32,
+}
+
+/// Intermediate implosion physics quantities shared by scalars and images.
+#[derive(Debug, Clone, Copy)]
+struct Implosion {
+    /// Peak areal compression (convergence), grows with drive.
+    convergence: f32,
+    /// Hot-spot temperature (keV-like units, O(1) normalised).
+    temperature: f32,
+    /// Thermonuclear yield, after the ignition cliff (normalised log-scale).
+    log_yield: f32,
+    /// Residual shell velocity at stagnation.
+    velocity: f32,
+    /// Hot-spot base radius as a fraction of the image half-width.
+    radius: f32,
+    /// Legendre mode amplitudes actually imprinted on the hot spot.
+    modes: [f32; 3],
+    /// Total drive asymmetry degradation factor in (0, 1].
+    symmetry: f32,
+}
+
+impl JagSimulator {
+    pub fn new(cfg: JagConfig) -> Self {
+        JagSimulator { cfg, noise: 0.0 }
+    }
+
+    /// Enable deterministic measurement noise of the given amplitude.
+    pub fn with_noise(mut self, noise: f32) -> Self {
+        assert!((0.0..1.0).contains(&noise), "noise amplitude out of range");
+        self.noise = noise;
+        self
+    }
+
+    pub fn config(&self) -> &JagConfig {
+        &self.cfg
+    }
+
+    /// Deterministic noise seed from the input parameters.
+    fn noise_seed(p: &[f32; N_PARAMS]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for v in p {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        h
+    }
+
+    /// Core physics shared by the scalar and image pipelines.
+    fn implode(&self, p: &[f32; N_PARAMS]) -> Implosion {
+        let drive = 0.6 + 0.8 * p[0]; // 0.6..1.4
+        let asym = p[1]; // 0..1 drive asymmetry
+        let m2 = 2.0 * p[2] - 1.0; // shape modes in -1..1
+        let m3 = 2.0 * p[3] - 1.0;
+        let m4 = 2.0 * p[4] - 1.0;
+
+        // Shape degradation: quadratic penalty from every mode plus a
+        // drive-asymmetry coupling (P2 couples to drive asymmetry).
+        let mode_power = 0.20 * m2 * m2 + 0.12 * m3 * m3 + 0.08 * m4 * m4;
+        let symmetry = (1.0 - mode_power) * (1.0 - 0.35 * asym * asym) * (1.0 - 0.18 * asym * m2);
+        let symmetry = symmetry.clamp(0.05, 1.0);
+
+        // Convergence grows superlinearly with drive, degraded by asymmetry.
+        let convergence = drive.powf(2.2) * symmetry;
+        // Temperature: compression heating with a soft saturation.
+        let temperature = (convergence * (0.8 + 0.4 * drive)).tanh() * 1.6;
+        // The ignition cliff: exponential sensitivity around T ~ 1.05.
+        let log_yield = 4.0 * (temperature - 1.05) - 1.5 * mode_power + 0.5 * (drive - 1.0);
+        // Residual velocity (lower is better stagnation).
+        let velocity = (1.2 - convergence).max(0.0) + 0.3 * asym;
+        // Hot-spot radius shrinks with convergence.
+        let radius = (0.55 / (1.0 + 0.9 * convergence)).clamp(0.08, 0.6);
+
+        Implosion {
+            convergence,
+            temperature,
+            log_yield,
+            velocity,
+            radius,
+            modes: [0.30 * m2, 0.22 * m3, 0.16 * m4],
+            symmetry,
+        }
+    }
+
+    /// The 15 scalar observables (normalised to O(1); see source for the
+    /// per-index meaning).
+    pub fn scalars(&self, p: &[f32; N_PARAMS]) -> [f32; N_SCALARS] {
+        let im = self.implode(p);
+        let drive = 0.6 + 0.8 * p[0];
+        let mut s = [0.0f32; N_SCALARS];
+        s[0] = im.log_yield; // log neutron yield
+        s[1] = sigmoid(im.log_yield); // ignition probability proxy
+        s[2] = im.temperature; // burn-averaged ion temperature
+        s[3] = 0.85 * im.temperature + 0.1 * drive; // electron temperature
+        s[4] = 1.0 / (0.3 + im.convergence); // bang time (earlier when driven harder)
+        s[5] = 0.25 + 0.5 * im.velocity; // burn width
+        s[6] = im.convergence; // convergence ratio
+        s[7] = im.convergence * (1.0 + 0.2 * im.temperature); // areal density rho-R
+        s[8] = im.velocity; // residual kinetic energy proxy
+        s[9] = im.symmetry; // hot-spot symmetry metric
+        // Per-view X-ray fluxes: brightness modulated by the mode that
+        // dominates each line of sight.
+        for v in 0..N_VIEWS {
+            let mode_bias = 1.0 + 0.4 * im.modes[v];
+            s[10 + v] = (im.temperature.max(0.0).powi(2) * mode_bias) / (1.0 + im.radius);
+        }
+        s[13] = im.radius; // apparent hot-spot size
+        s[14] = 0.5 * (im.modes[0].abs() + im.modes[1].abs() + im.modes[2].abs()); // mode power
+        s
+    }
+
+    /// Render the 12 X-ray images (3 views x 4 channels).
+    ///
+    /// View `v` looks down a different axis: the Legendre perturbation of
+    /// the limb radius is driven by a per-view phase and mode emphasis.
+    /// Channel `c` selects an energy band: harder channels see a smaller,
+    /// sharper hot spot (higher falloff exponent, smaller radius).
+    pub fn images(&self, p: &[f32; N_PARAMS]) -> Vec<f32> {
+        let im = self.implode(p);
+        let n = self.cfg.img_size;
+        let px = self.cfg.pixels();
+        let mut out = vec![0.0f32; N_IMAGES * px];
+        let brightness = 0.35 + 0.65 * sigmoid(2.0 * im.temperature - 1.2);
+
+        for v in 0..N_VIEWS {
+            // Each line of sight mixes the modes differently and rotates
+            // the pattern.
+            let phase = v as f32 * std::f32::consts::FRAC_PI_3;
+            let (w2, w3, w4) = match v {
+                0 => (1.0, 0.4, 0.2),
+                1 => (0.4, 1.0, 0.4),
+                _ => (0.2, 0.4, 1.0),
+            };
+            for c in 0..N_CHANNELS {
+                let hard = c as f32 / (N_CHANNELS - 1) as f32; // 0 soft .. 1 hard
+                let r_ch = im.radius * (1.0 - 0.35 * hard);
+                let sharp = 2.0 + 3.0 * hard;
+                let amp = brightness * (1.0 - 0.18 * hard);
+                let img = &mut out[(v * N_CHANNELS + c) * px..(v * N_CHANNELS + c + 1) * px];
+                for row in 0..n {
+                    let y = (row as f32 + 0.5) / n as f32 * 2.0 - 1.0;
+                    for col in 0..n {
+                        let x = (col as f32 + 0.5) / n as f32 * 2.0 - 1.0;
+                        let rho = (x * x + y * y).sqrt().max(1e-6);
+                        let theta = y.atan2(x) + phase;
+                        // Legendre-like angular radius perturbation.
+                        let ct = theta.cos();
+                        let p2 = 0.5 * (3.0 * ct * ct - 1.0);
+                        let p3 = 0.5 * (5.0 * ct * ct * ct - 3.0 * ct);
+                        let c4 = ct * ct;
+                        let p4 = 0.125 * (35.0 * c4 * c4 - 30.0 * c4 + 3.0);
+                        let limb = r_ch
+                            * (1.0
+                                + w2 * im.modes[0] * p2
+                                + w3 * im.modes[1] * p3
+                                + w4 * im.modes[2] * p4)
+                                .clamp(0.3, 1.9);
+                        // Limb-darkened profile with channel sharpness.
+                        let profile = (-((rho / limb).powf(sharp))).exp();
+                        img[row * n + col] = (amp * profile).clamp(0.0, 1.0);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Run the full simulation for one parameter vector.
+    pub fn simulate(&self, params: [f32; N_PARAMS]) -> Sample {
+        for (i, &v) in params.iter().enumerate() {
+            assert!(
+                (0.0..=1.0).contains(&v),
+                "parameter {i} = {v} outside the design space [0,1]"
+            );
+        }
+        let mut scalars = self.scalars(&params);
+        let mut images = self.images(&params);
+        if self.noise > 0.0 {
+            // Cheap deterministic gaussian-ish noise (sum of two uniforms,
+            // centred): diagnostics jitter on scalars, detector noise on
+            // pixels (clamped back into [0,1]).
+            let mut state = Self::noise_seed(&params) | 1;
+            let mut next = || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let u1 = ((state >> 33) as f32) / (u32::MAX >> 1) as f32;
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let u2 = ((state >> 33) as f32) / (u32::MAX >> 1) as f32;
+                u1 + u2 - 1.0
+            };
+            for s in scalars.iter_mut() {
+                *s += self.noise * next();
+            }
+            for px in images.iter_mut() {
+                *px = (*px + 0.5 * self.noise * next()).clamp(0.0, 1.0);
+            }
+        }
+        Sample { params, scalars, images }
+    }
+}
+
+#[inline]
+fn sigmoid(z: f32) -> f32 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim() -> JagSimulator {
+        JagSimulator::new(JagConfig::small(16))
+    }
+
+    #[test]
+    fn deterministic() {
+        let s = sim();
+        let p = [0.3, 0.7, 0.5, 0.2, 0.9];
+        assert_eq!(s.simulate(p), s.simulate(p));
+    }
+
+    #[test]
+    fn outputs_have_expected_shapes_and_ranges() {
+        let s = sim();
+        let out = s.simulate([0.5; 5]);
+        assert_eq!(out.images.len(), s.config().image_len());
+        assert!(out.images.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(out.scalars.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn drive_strength_raises_yield_nonlinearly() {
+        // The ignition cliff: stepping drive from low to high must grow
+        // log-yield by much more at the top of the range than a linear
+        // response would.
+        let s = sim();
+        let y = |d: f32| s.scalars(&[d, 0.1, 0.5, 0.5, 0.5])[0];
+        let lo = y(0.2);
+        let hi = y(0.9);
+        assert!(hi > lo, "more drive must raise yield: {lo} vs {hi}");
+        // Non-linearity: the response is not affine in drive.
+        let mid = y(0.55);
+        let affine_mid = 0.5 * (lo + hi);
+        assert!((mid - affine_mid).abs() > 0.01, "response looks affine");
+    }
+
+    #[test]
+    fn asymmetry_degrades_yield() {
+        let s = sim();
+        let clean = s.scalars(&[0.8, 0.0, 0.5, 0.5, 0.5])[0];
+        let dirty = s.scalars(&[0.8, 1.0, 0.5, 0.5, 0.5])[0];
+        assert!(dirty < clean, "asymmetric drive must hurt yield");
+    }
+
+    #[test]
+    fn shape_modes_change_images_more_than_scalars() {
+        // Section II: shape parameters cause "major changes in the X-ray
+        // images". Compare relative change in image space vs scalar space
+        // when only a shape mode moves.
+        let s = sim();
+        let a = s.simulate([0.6, 0.2, 0.2, 0.5, 0.5]);
+        let b = s.simulate([0.6, 0.2, 0.8, 0.5, 0.5]);
+        let img_delta: f32 = a
+            .images
+            .iter()
+            .zip(&b.images)
+            .map(|(x, y)| (x - y).abs())
+            .sum::<f32>()
+            / a.images.len() as f32;
+        assert!(img_delta > 0.004, "shape mode barely moved the images: {img_delta}");
+        // And the change must be visible in the worst-affected pixels.
+        let img_max = a
+            .images
+            .iter()
+            .zip(&b.images)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f32, f32::max);
+        assert!(img_max > 0.05, "no pixel moved appreciably: {img_max}");
+    }
+
+    #[test]
+    fn views_see_different_images() {
+        let s = sim();
+        let cfg = *s.config();
+        let out = s.simulate([0.6, 0.3, 0.9, 0.2, 0.7]);
+        let v0 = out.image(&cfg, 0, 0);
+        let v1 = out.image(&cfg, 1, 0);
+        let delta: f32 = v0.iter().zip(v1).map(|(a, b)| (a - b).abs()).sum();
+        assert!(delta > 0.1, "views should differ for an asymmetric shell");
+    }
+
+    #[test]
+    fn harder_channels_are_smaller_and_dimmer() {
+        let s = sim();
+        let cfg = *s.config();
+        let out = s.simulate([0.7, 0.2, 0.5, 0.5, 0.5]);
+        let soft: f32 = out.image(&cfg, 0, 0).iter().sum();
+        let hard: f32 = out.image(&cfg, 0, N_CHANNELS - 1).iter().sum();
+        assert!(hard < soft, "hard channel should carry less integrated flux");
+    }
+
+    #[test]
+    fn symmetric_shell_gives_round_image() {
+        let s = JagSimulator::new(JagConfig::small(32));
+        let cfg = *s.config();
+        // Mid-range modes => modes ~ 0 => rotationally symmetric limb.
+        let out = s.simulate([0.7, 0.0, 0.5, 0.5, 0.5]);
+        let img = out.image(&cfg, 0, 0);
+        let n = cfg.img_size;
+        // Compare the four axis-aligned half-radius samples.
+        let q = n / 4;
+        let c = n / 2;
+        let vals = [
+            img[c * n + q],
+            img[c * n + (n - 1 - q)],
+            img[q * n + c],
+            img[(n - 1 - q) * n + c],
+        ];
+        for w in vals.windows(2) {
+            assert!((w[0] - w[1]).abs() < 0.05, "asymmetric render of a symmetric shell: {vals:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the design space")]
+    fn out_of_range_params_rejected() {
+        sim().simulate([0.5, 0.5, 1.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn noise_is_deterministic_and_bounded() {
+        let clean = sim();
+        let noisy = sim().with_noise(0.05);
+        let p = [0.4, 0.2, 0.6, 0.8, 0.1];
+        let a = noisy.simulate(p);
+        let b = noisy.simulate(p);
+        assert_eq!(a, b, "noise must be a pure function of the inputs");
+        let c = clean.simulate(p);
+        assert_ne!(a.scalars, c.scalars, "noise must actually perturb");
+        // Perturbation is bounded by the amplitude (sum of 2 uniforms).
+        for (n, t) in a.scalars.iter().zip(&c.scalars) {
+            assert!((n - t).abs() <= 0.05 + 1e-6, "scalar noise too large");
+        }
+        assert!(a.images.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn zero_noise_matches_clean() {
+        let p = [0.3, 0.3, 0.3, 0.7, 0.7];
+        assert_eq!(sim().with_noise(0.0).simulate(p), sim().simulate(p));
+    }
+
+    #[test]
+    fn different_inputs_draw_different_noise() {
+        let noisy = sim().with_noise(0.05);
+        let a = noisy.simulate([0.1; 5]);
+        let b = noisy.simulate([0.11, 0.1, 0.1, 0.1, 0.1]);
+        let clean_a = sim().simulate([0.1; 5]);
+        let clean_b = sim().simulate([0.11, 0.1, 0.1, 0.1, 0.1]);
+        let da = a.scalars[0] - clean_a.scalars[0];
+        let db = b.scalars[0] - clean_b.scalars[0];
+        assert_ne!(da, db, "noise streams should decorrelate across inputs");
+    }
+}

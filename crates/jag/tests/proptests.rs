@@ -1,0 +1,93 @@
+//! Property-based tests for the JAG substitute: simulator invariants over
+//! the whole design space, bundle-file round trips, and design layout
+//! arithmetic.
+
+use ltfb_jag::{
+    cleanup_dataset_dir, r2_point, sample_by_id, temp_dataset_dir, write_bundle, BundleReader,
+    DatasetSpec, JagConfig, JagSimulator,
+};
+use proptest::prelude::*;
+
+fn params_strategy() -> impl Strategy<Value = [f32; 5]> {
+    [0.0f32..=1.0, 0.0..=1.0, 0.0..=1.0, 0.0..=1.0, 0.0..=1.0]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Simulator outputs are always finite and images stay in [0, 1],
+    /// everywhere in the design cube.
+    #[test]
+    fn simulator_outputs_well_formed(p in params_strategy()) {
+        let sim = JagSimulator::new(JagConfig::small(8));
+        let s = sim.simulate(p);
+        prop_assert!(s.scalars.iter().all(|v| v.is_finite()));
+        prop_assert!(s.images.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // Scalars are O(1)-normalised: nothing should explode.
+        prop_assert!(s.scalars.iter().all(|v| v.abs() < 50.0));
+    }
+
+    /// Yield responds monotonically to drive when everything else is
+    /// held at mid-range (the physically required direction).
+    #[test]
+    fn yield_monotone_in_drive(d1 in 0.0f32..=1.0, d2 in 0.0f32..=1.0) {
+        prop_assume!((d1 - d2).abs() > 0.05);
+        let sim = JagSimulator::new(JagConfig::small(8));
+        let (lo, hi) = if d1 < d2 { (d1, d2) } else { (d2, d1) };
+        let ylo = sim.scalars(&[lo, 0.0, 0.5, 0.5, 0.5])[0];
+        let yhi = sim.scalars(&[hi, 0.0, 0.5, 0.5, 0.5])[0];
+        prop_assert!(yhi >= ylo, "drive {lo}->{hi} lowered yield {ylo}->{yhi}");
+    }
+
+    /// The simulator is Lipschitz-ish: nearby inputs give nearby images
+    /// (no chaotic discontinuities that would make the surrogate
+    /// unlearnable).
+    #[test]
+    fn images_continuous_in_params(p in params_strategy(), axis in 0usize..5) {
+        let sim = JagSimulator::new(JagConfig::small(8));
+        let mut q = p;
+        q[axis] = (q[axis] + 0.01).min(1.0);
+        let a = sim.simulate(p);
+        let b = sim.simulate(q);
+        let delta: f32 = a.images.iter().zip(&b.images)
+            .map(|(x, y)| (x - y).abs()).sum::<f32>() / a.images.len() as f32;
+        prop_assert!(delta < 0.08, "mean image delta {delta} for a 0.01 input step");
+    }
+
+    /// Bundle files round-trip arbitrary (small) sample sets.
+    #[test]
+    fn bundle_round_trip(n in 0usize..12, seed in any::<u64>()) {
+        let cfg = JagConfig::small(4);
+        let sim = JagSimulator::new(cfg);
+        let samples: Vec<_> =
+            (0..n as u64).map(|i| sim.simulate(r2_point(seed.wrapping_add(i) % 100_000))).collect();
+        let dir = temp_dataset_dir("prop-bundle");
+        let path = dir.join("t.jagb");
+        write_bundle(&path, &cfg, &samples).unwrap();
+        let mut r = BundleReader::open(&path, &cfg).unwrap();
+        prop_assert_eq!(r.read_all().unwrap(), samples);
+        cleanup_dataset_dir(&dir);
+    }
+
+    /// locate() is the inverse of (file, index) -> global id for any
+    /// layout geometry.
+    #[test]
+    fn locate_inverse(n_samples in 1u64..500, per_file in 1usize..50, probe in any::<u64>()) {
+        let spec = DatasetSpec::new("/tmp/unused", JagConfig::small(4), n_samples, per_file);
+        let id = probe % n_samples;
+        let (f, idx) = spec.locate(id);
+        prop_assert_eq!(f * per_file as u64 + idx as u64, id);
+        prop_assert!(idx < spec.samples_in_file(f));
+        prop_assert!(f < spec.n_files());
+    }
+
+    /// Design-space samples are deterministic functions of (offset, id).
+    #[test]
+    fn sample_by_id_deterministic(offset in 0u64..1000, id in 0u64..1000) {
+        let cfg = JagConfig::small(4);
+        prop_assert_eq!(
+            sample_by_id(&cfg, offset, id),
+            sample_by_id(&cfg, offset, id)
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! Data-parallel training support over `ltfb-comm`: gradient allreduce
+//! across the ranks of a trainer and replica weight synchronisation —
+//! the intra-trainer parallelism of Fig. 4.
+
+use crate::model::Sequential;
+use ltfb_comm::{Comm, ReduceOp};
+
+/// Average the accumulated gradients of `model` across the ranks of
+/// `comm` (ring allreduce of the flattened gradient vector, then a 1/n
+/// scale) — the per-step synchronisation of data-parallel SGD.
+pub fn allreduce_gradients(model: &mut Sequential, comm: &Comm) {
+    let n = comm.size();
+    if n <= 1 {
+        return;
+    }
+    // Flatten all gradients into one contiguous buffer: one big allreduce
+    // rather than one per tensor.
+    let total: usize = model.params().iter().map(|p| p.grad.len()).sum();
+    let mut flat = Vec::with_capacity(total);
+    for p in model.params() {
+        flat.extend_from_slice(p.grad.as_slice());
+    }
+    comm.allreduce_f32(&mut flat, ReduceOp::Sum);
+    let scale = 1.0 / n as f32;
+    let mut off = 0;
+    for p in model.params_mut() {
+        let len = p.grad.len();
+        for (g, &s) in p.grad.as_mut_slice().iter_mut().zip(&flat[off..off + len]) {
+            *g = s * scale;
+        }
+        off += len;
+    }
+}
+
+/// Broadcast rank-`root`'s weights to every rank of `comm`, making all
+/// replicas identical (trainer start-up, and after an LTFB exchange the
+/// winning weights are propagated trainer-internally the same way).
+pub fn broadcast_weights(model: &mut Sequential, comm: &Comm, root: usize) {
+    if comm.size() <= 1 {
+        return;
+    }
+    let payload = (comm.rank() == root).then(|| model.weights_to_bytes());
+    let data = comm.broadcast(root, payload);
+    if comm.rank() != root {
+        model
+            .weights_from_bytes(data)
+            .expect("weight broadcast payload corrupt — replicas diverged structurally");
+    }
+}
+
+/// True iff all ranks currently hold bit-identical weights (debug/test
+/// helper; gathers weight fingerprints).
+pub fn replicas_in_sync(model: &Sequential, comm: &Comm) -> bool {
+    let mine = model.weights_fingerprint();
+    let all = comm.allgather(ltfb_comm::bytes_of_u64(mine));
+    all.iter().all(|b| ltfb_comm::u64_of_bytes(b) == mine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{mlp, OutputActivation};
+    use ltfb_comm::run_world;
+    use ltfb_tensor::{mix_seed, seeded_rng, uniform};
+
+    fn model_for_rank(rank: usize) -> Sequential {
+        let mut rng = seeded_rng(mix_seed(&[100, rank as u64]));
+        mlp(&[3, 6, 2], 0.1, OutputActivation::LinearOut, &mut rng)
+    }
+
+    #[test]
+    fn broadcast_synchronises_replicas() {
+        run_world(4, |comm| {
+            let mut m = model_for_rank(comm.rank());
+            assert!(!replicas_in_sync(&m, &comm), "differently-seeded replicas should differ");
+            broadcast_weights(&mut m, &comm, 0);
+            assert!(replicas_in_sync(&m, &comm), "broadcast must synchronise");
+        });
+    }
+
+    #[test]
+    fn allreduce_averages_gradients() {
+        run_world(3, |comm| {
+            let mut m = model_for_rank(0); // same structure everywhere
+            // Set every gradient to (rank+1).
+            for p in m.params_mut() {
+                p.grad.as_mut_slice().fill((comm.rank() + 1) as f32);
+            }
+            allreduce_gradients(&mut m, &comm);
+            // Average of 1,2,3 = 2.
+            for p in m.params() {
+                assert!(p.grad.as_slice().iter().all(|&g| (g - 2.0).abs() < 1e-5));
+            }
+        });
+    }
+
+    #[test]
+    fn data_parallel_equals_serial_large_batch() {
+        // One rank training on the full batch must match 4 ranks training
+        // on quarter-shards with gradient averaging (up to f32 noise):
+        // the fundamental correctness property of data parallelism.
+        let full_x = uniform(8, 3, -1.0, 1.0, &mut seeded_rng(42));
+        let full_t = uniform(8, 2, -1.0, 1.0, &mut seeded_rng(43));
+
+        // Serial reference.
+        let mut serial = model_for_rank(0);
+        let y = serial.forward(&full_x, true);
+        let g = ltfb_tensor::mean_squared_error_grad(&y, &full_t);
+        serial.zero_grads();
+        serial.forward(&full_x, true);
+        serial.backward(&g);
+        let reference: Vec<f32> =
+            serial.params().iter().flat_map(|p| p.grad.as_slice().to_vec()).collect();
+
+        // Data-parallel: each rank gets 2 of the 8 rows. Loss gradients
+        // are per-shard means, so after averaging across 4 equal shards
+        // the result equals the full-batch mean gradient.
+        let grads = run_world(4, |comm| {
+            let r = comm.rank();
+            let x = full_x.slice_rows(2 * r, 2 * r + 2);
+            let t = full_t.slice_rows(2 * r, 2 * r + 2);
+            let mut m = model_for_rank(0);
+            let y = m.forward(&x, true);
+            let g = ltfb_tensor::mean_squared_error_grad(&y, &t);
+            m.zero_grads();
+            m.forward(&x, true);
+            m.backward(&g);
+            allreduce_gradients(&mut m, &comm);
+            m.params().iter().flat_map(|p| p.grad.as_slice().to_vec()).collect::<Vec<f32>>()
+        });
+
+        for rank_grads in &grads {
+            assert_eq!(rank_grads.len(), reference.len());
+            for (dp, serial) in rank_grads.iter().zip(&reference) {
+                assert!(
+                    (dp - serial).abs() < 1e-4,
+                    "data-parallel grad {dp} != serial {serial}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_allreduce_is_noop() {
+        run_world(1, |comm| {
+            let mut m = model_for_rank(0);
+            for p in m.params_mut() {
+                p.grad.as_mut_slice().fill(5.0);
+            }
+            allreduce_gradients(&mut m, &comm);
+            for p in m.params() {
+                assert!(p.grad.as_slice().iter().all(|&g| g == 5.0));
+            }
+        });
+    }
+}

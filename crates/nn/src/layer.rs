@@ -1,0 +1,382 @@
+//! Layers: the tensor-operation nodes of an LBANN model DAG.
+//!
+//! Each layer caches what it needs during `forward` and consumes the cache
+//! in `backward`, accumulating parameter gradients into its [`Param`]s.
+//! Rows of every activation matrix are samples (mini-batch-major layout).
+
+use crate::param::Param;
+use ltfb_tensor::{
+    add_bias, col_sums, gemm, gemm_nt, gemm_tn, glorot_uniform, hadamard, he_normal, sigmoid,
+    Matrix, TensorRng,
+};
+
+/// A differentiable layer.
+pub trait Layer: Send {
+    /// Compute outputs from inputs, caching whatever `backward` needs.
+    /// `training` distinguishes train/eval behaviour (dropout).
+    fn forward(&mut self, x: &Matrix, training: bool) -> Matrix;
+
+    /// Propagate `grad` (dL/d_output) to dL/d_input, accumulating
+    /// parameter gradients. Must be called after `forward`.
+    fn backward(&mut self, grad: &Matrix) -> Matrix;
+
+    /// Mutable access to the layer's trainable parameters (empty for
+    /// activations).
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Shared access to the layer's trainable parameters.
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    /// Layer kind, for debugging/architecture dumps.
+    fn name(&self) -> &'static str;
+}
+
+/// Fully-connected layer: `y = x @ W + b`, `W: in x out`, `b: 1 x out`.
+pub struct Linear {
+    w: Param,
+    b: Param,
+    x_cache: Option<Matrix>,
+}
+
+/// Weight initialisation scheme for [`Linear`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Init {
+    /// Glorot/Xavier uniform — tanh/sigmoid stacks.
+    Glorot,
+    /// He normal — ReLU-family stacks.
+    He,
+}
+
+impl Linear {
+    pub fn new(fan_in: usize, fan_out: usize, init: Init, rng: &mut TensorRng) -> Self {
+        let w = match init {
+            Init::Glorot => glorot_uniform(fan_in, fan_out, rng),
+            Init::He => he_normal(fan_in, fan_out, rng),
+        };
+        Linear { w: Param::new(w), b: Param::new(Matrix::zeros(1, fan_out)), x_cache: None }
+    }
+
+    /// Input width.
+    pub fn fan_in(&self) -> usize {
+        self.w.value.rows()
+    }
+
+    /// Output width.
+    pub fn fan_out(&self) -> usize {
+        self.w.value.cols()
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, x: &Matrix, _training: bool) -> Matrix {
+        assert_eq!(x.cols(), self.fan_in(), "Linear input width mismatch");
+        let mut y = Matrix::zeros(x.rows(), self.fan_out());
+        gemm(1.0, x, &self.w.value, 0.0, &mut y);
+        add_bias(&mut y, &self.b.value);
+        self.x_cache = Some(x.clone());
+        y
+    }
+
+    fn backward(&mut self, grad: &Matrix) -> Matrix {
+        let x = self.x_cache.as_ref().expect("backward before forward");
+        assert_eq!(grad.rows(), x.rows(), "Linear grad batch mismatch");
+        assert_eq!(grad.cols(), self.fan_out(), "Linear grad width mismatch");
+        // dW += X^T @ dY ; db += column sums of dY ; dX = dY @ W^T.
+        gemm_tn(1.0, x, grad, 1.0, &mut self.w.grad);
+        let db = col_sums(grad);
+        ltfb_tensor::axpy(1.0, &db, &mut self.b.grad);
+        let mut dx = Matrix::zeros(grad.rows(), self.fan_in());
+        gemm_nt(1.0, grad, &self.w.value, 0.0, &mut dx);
+        dx
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.w, &self.b]
+    }
+
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+}
+
+/// Leaky rectified linear unit (`alpha = 0` gives plain ReLU).
+pub struct LeakyRelu {
+    alpha: f32,
+    mask: Option<Matrix>,
+}
+
+impl LeakyRelu {
+    pub fn new(alpha: f32) -> Self {
+        assert!((0.0..1.0).contains(&alpha), "leak must be in [0, 1)");
+        LeakyRelu { alpha, mask: None }
+    }
+
+    /// Plain ReLU.
+    pub fn relu() -> Self {
+        LeakyRelu::new(0.0)
+    }
+}
+
+impl Layer for LeakyRelu {
+    fn forward(&mut self, x: &Matrix, _training: bool) -> Matrix {
+        let alpha = self.alpha;
+        // Cache the derivative mask, not the input: cheaper backward.
+        let mask = ltfb_tensor::map(x, |v| if v > 0.0 { 1.0 } else { alpha });
+        let y = hadamard(x, &mask);
+        self.mask = Some(mask);
+        y
+    }
+
+    fn backward(&mut self, grad: &Matrix) -> Matrix {
+        let mask = self.mask.as_ref().expect("backward before forward");
+        hadamard(grad, mask)
+    }
+
+    fn name(&self) -> &'static str {
+        "leaky_relu"
+    }
+}
+
+/// Hyperbolic tangent activation.
+pub struct Tanh {
+    y_cache: Option<Matrix>,
+}
+
+impl Tanh {
+    pub fn new() -> Self {
+        Tanh { y_cache: None }
+    }
+}
+
+impl Default for Tanh {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for Tanh {
+    fn forward(&mut self, x: &Matrix, _training: bool) -> Matrix {
+        let y = ltfb_tensor::map(x, f32::tanh);
+        self.y_cache = Some(y.clone());
+        y
+    }
+
+    fn backward(&mut self, grad: &Matrix) -> Matrix {
+        let y = self.y_cache.as_ref().expect("backward before forward");
+        // d tanh = 1 - y^2.
+        let dydx = ltfb_tensor::map(y, |v| 1.0 - v * v);
+        hadamard(grad, &dydx)
+    }
+
+    fn name(&self) -> &'static str {
+        "tanh"
+    }
+}
+
+/// Logistic sigmoid activation.
+pub struct Sigmoid {
+    y_cache: Option<Matrix>,
+}
+
+impl Sigmoid {
+    pub fn new() -> Self {
+        Sigmoid { y_cache: None }
+    }
+}
+
+impl Default for Sigmoid {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for Sigmoid {
+    fn forward(&mut self, x: &Matrix, _training: bool) -> Matrix {
+        let y = ltfb_tensor::map(x, sigmoid);
+        self.y_cache = Some(y.clone());
+        y
+    }
+
+    fn backward(&mut self, grad: &Matrix) -> Matrix {
+        let y = self.y_cache.as_ref().expect("backward before forward");
+        let dydx = ltfb_tensor::map(y, |v| v * (1.0 - v));
+        hadamard(grad, &dydx)
+    }
+
+    fn name(&self) -> &'static str {
+        "sigmoid"
+    }
+}
+
+/// Inverted dropout: scales surviving activations by `1/(1-p)` during
+/// training so evaluation needs no correction.
+pub struct Dropout {
+    p: f32,
+    rng: TensorRng,
+    mask: Option<Matrix>,
+}
+
+impl Dropout {
+    pub fn new(p: f32, rng: TensorRng) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        Dropout { p, rng, mask: None }
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, x: &Matrix, training: bool) -> Matrix {
+        if !training || self.p == 0.0 {
+            self.mask = None;
+            return x.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mut mask = Matrix::zeros(x.rows(), x.cols());
+        for v in mask.as_mut_slice() {
+            *v = if rand::Rng::gen::<f32>(&mut self.rng) < keep { scale } else { 0.0 };
+        }
+        let y = hadamard(x, &mask);
+        self.mask = Some(mask);
+        y
+    }
+
+    fn backward(&mut self, grad: &Matrix) -> Matrix {
+        match &self.mask {
+            Some(mask) => hadamard(grad, mask),
+            None => grad.clone(), // eval-mode or p == 0 forward
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "dropout"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltfb_tensor::seeded_rng;
+
+    #[test]
+    fn linear_forward_shape_and_bias() {
+        let mut rng = seeded_rng(1);
+        let mut l = Linear::new(3, 2, Init::Glorot, &mut rng);
+        l.b.value.as_mut_slice().copy_from_slice(&[10.0, 20.0]);
+        let x = Matrix::zeros(4, 3);
+        let y = l.forward(&x, true);
+        assert_eq!(y.shape(), (4, 2));
+        // Zero input: output is the bias broadcast.
+        for r in 0..4 {
+            assert_eq!(y.row(r), &[10.0, 20.0]);
+        }
+    }
+
+    #[test]
+    fn relu_masks_negatives() {
+        let mut l = LeakyRelu::relu();
+        let x = Matrix::from_vec(1, 4, vec![-2.0, -0.5, 0.5, 2.0]);
+        let y = l.forward(&x, true);
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 0.5, 2.0]);
+        let g = l.backward(&Matrix::full(1, 4, 1.0));
+        assert_eq!(g.as_slice(), &[0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn leaky_relu_leaks() {
+        let mut l = LeakyRelu::new(0.1);
+        let x = Matrix::from_vec(1, 2, vec![-1.0, 1.0]);
+        let y = l.forward(&x, true);
+        assert_eq!(y.as_slice(), &[-0.1, 1.0]);
+    }
+
+    #[test]
+    fn tanh_and_sigmoid_ranges() {
+        let x = Matrix::from_vec(1, 3, vec![-10.0, 0.0, 10.0]);
+        let yt = Tanh::new().forward(&x, true);
+        assert!(yt.as_slice().iter().all(|&v| (-1.0..=1.0).contains(&v)));
+        assert!((yt.as_slice()[1]).abs() < 1e-7);
+        let ys = Sigmoid::new().forward(&x, true);
+        assert!(ys.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!((ys.as_slice()[1] - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn dropout_eval_is_identity_train_scales() {
+        let mut d = Dropout::new(0.5, seeded_rng(3));
+        let x = Matrix::full(8, 8, 1.0);
+        let eval = d.forward(&x, false);
+        assert_eq!(eval, x);
+        let train = d.forward(&x, true);
+        // Surviving entries are scaled by 2, dropped are 0.
+        assert!(train.as_slice().iter().all(|&v| v == 0.0 || v == 2.0));
+        let kept = train.as_slice().iter().filter(|&&v| v != 0.0).count();
+        assert!(kept > 8 && kept < 56, "kept {kept}/64 looks degenerate");
+    }
+
+    #[test]
+    fn dropout_backward_uses_same_mask() {
+        let mut d = Dropout::new(0.3, seeded_rng(4));
+        let x = Matrix::full(4, 4, 1.0);
+        let y = d.forward(&x, true);
+        let g = d.backward(&Matrix::full(4, 4, 1.0));
+        // Gradient passes exactly where activations passed.
+        for (yv, gv) in y.as_slice().iter().zip(g.as_slice()) {
+            assert_eq!(yv == &0.0, gv == &0.0);
+        }
+    }
+
+    /// Numerical gradient check for the Linear layer: the analytic
+    /// dL/dW, dL/db, dL/dX must match central differences on a tiny net.
+    #[test]
+    fn linear_gradcheck() {
+        let mut rng = seeded_rng(5);
+        let mut l = Linear::new(3, 2, Init::Glorot, &mut rng);
+        let x = ltfb_tensor::uniform(4, 3, -1.0, 1.0, &mut rng);
+        let target = ltfb_tensor::uniform(4, 2, -1.0, 1.0, &mut rng);
+        let loss = |l: &mut Linear, x: &Matrix| -> f32 {
+            let y = l.forward(x, true);
+            ltfb_tensor::mean_squared_error(&y, &target)
+        };
+        // Analytic gradients.
+        let y = l.forward(&x, true);
+        let g = ltfb_tensor::mean_squared_error_grad(&y, &target);
+        let dx = l.backward(&g);
+        let eps = 1e-2;
+        // Check dW numerically at a few entries.
+        for idx in [0usize, 3, 5] {
+            let analytic = l.w.grad.as_slice()[idx];
+            let orig = l.w.value.as_slice()[idx];
+            l.w.value.as_mut_slice()[idx] = orig + eps;
+            let lp = loss(&mut l, &x);
+            l.w.value.as_mut_slice()[idx] = orig - eps;
+            let lm = loss(&mut l, &x);
+            l.w.value.as_mut_slice()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (analytic - numeric).abs() < 2e-3,
+                "dW[{idx}]: analytic {analytic} vs numeric {numeric}"
+            );
+        }
+        // Check dX numerically at one entry.
+        let idx = 2;
+        let orig = x.as_slice()[idx];
+        let mut xp = x.clone();
+        xp.as_mut_slice()[idx] = orig + eps;
+        let mut xm = x.clone();
+        xm.as_mut_slice()[idx] = orig - eps;
+        let numeric = (loss(&mut l, &xp) - loss(&mut l, &xm)) / (2.0 * eps);
+        assert!(
+            (dx.as_slice()[idx] - numeric).abs() < 2e-3,
+            "dX[{idx}]: analytic {} vs numeric {numeric}",
+            dx.as_slice()[idx]
+        );
+    }
+}

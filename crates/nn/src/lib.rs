@@ -1,0 +1,29 @@
+//! # ltfb-nn
+//!
+//! The neural-network core — the substitute for LBANN's model/trainer
+//! machinery: layers with exact backprop ([`layer`]), feed-forward models
+//! with snapshot/wire serialization ([`model`]), SGD/Adam optimizers
+//! ([`optimizer`]), partitioned shuffling data readers ([`reader`]),
+//! data-parallel gradient allreduce over the simulated MPI world ([`dp`]),
+//! and training metrics ([`metrics`]).
+//!
+//! Everything is deterministic given seeds, and every gradient path is
+//! validated against central differences in the test suite.
+
+pub mod dp;
+pub mod layer;
+pub mod metrics;
+pub mod model;
+pub mod norm;
+pub mod optimizer;
+pub mod param;
+pub mod reader;
+
+pub use dp::{allreduce_gradients, broadcast_weights, replicas_in_sync};
+pub use layer::{Dropout, Init, Layer, LeakyRelu, Linear, Sigmoid, Tanh};
+pub use metrics::{LossHistory, RunningMean};
+pub use model::{mlp, OutputActivation, Sequential};
+pub use norm::{LayerNorm, LrSchedule};
+pub use optimizer::{Adam, Optimizer, Sgd};
+pub use param::Param;
+pub use reader::{BatchReader, InMemoryDataset};

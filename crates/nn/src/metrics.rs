@@ -1,0 +1,127 @@
+//! Training metrics: running averages and loss-history tracking used by
+//! the experiment drivers and the Fig. 12/13 harnesses.
+
+/// Numerically stable running mean over a stream of values.
+#[derive(Debug, Clone, Default)]
+pub struct RunningMean {
+    count: u64,
+    mean: f64,
+}
+
+impl RunningMean {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one observation in.
+    pub fn update(&mut self, v: f32) {
+        self.count += 1;
+        self.mean += (v as f64 - self.mean) / self.count as f64;
+    }
+
+    /// Current mean (0 when empty).
+    pub fn mean(&self) -> f32 {
+        self.mean as f32
+    }
+
+    /// Observations folded in.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Drop accumulated state (start of a new epoch).
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// Loss trajectory of a training run: `(step, value)` pairs recorded at a
+/// fixed cadence, the raw material of Figs. 12 and 13.
+#[derive(Debug, Clone, Default)]
+pub struct LossHistory {
+    points: Vec<(u64, f32)>,
+}
+
+impl LossHistory {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the loss at `step`.
+    pub fn record(&mut self, step: u64, loss: f32) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(step >= last, "loss history must be recorded in step order");
+        }
+        self.points.push((step, loss));
+    }
+
+    /// All recorded points.
+    pub fn points(&self) -> &[(u64, f32)] {
+        &self.points
+    }
+
+    /// Final recorded loss.
+    pub fn last(&self) -> Option<f32> {
+        self.points.last().map(|&(_, l)| l)
+    }
+
+    /// Loss at or before `step` (for aligning runs of different cadence).
+    pub fn at_step(&self, step: u64) -> Option<f32> {
+        self.points.iter().rev().find(|&&(s, _)| s <= step).map(|&(_, l)| l)
+    }
+
+    /// Best (minimum) loss seen.
+    pub fn best(&self) -> Option<f32> {
+        self.points.iter().map(|&(_, l)| l).min_by(f32::total_cmp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_mean_matches_arithmetic_mean() {
+        let vals = [2.0f32, 4.0, 6.0, 8.0];
+        let mut m = RunningMean::new();
+        for v in vals {
+            m.update(v);
+        }
+        assert_eq!(m.mean(), 5.0);
+        assert_eq!(m.count(), 4);
+        m.reset();
+        assert_eq!(m.count(), 0);
+        assert_eq!(m.mean(), 0.0);
+    }
+
+    #[test]
+    fn running_mean_stable_for_many_updates() {
+        let mut m = RunningMean::new();
+        for _ in 0..1_000_000 {
+            m.update(0.1);
+        }
+        assert!((m.mean() - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn history_queries() {
+        let mut h = LossHistory::new();
+        h.record(0, 1.0);
+        h.record(100, 0.5);
+        h.record(200, 0.7);
+        assert_eq!(h.last(), Some(0.7));
+        assert_eq!(h.best(), Some(0.5));
+        assert_eq!(h.at_step(150), Some(0.5));
+        assert_eq!(h.at_step(0), Some(1.0));
+        assert_eq!(h.at_step(500), Some(0.7));
+        assert_eq!(LossHistory::new().at_step(5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "step order")]
+    fn history_rejects_out_of_order() {
+        let mut h = LossHistory::new();
+        h.record(10, 1.0);
+        h.record(5, 0.5);
+    }
+}

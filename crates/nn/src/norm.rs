@@ -1,0 +1,269 @@
+//! Layer normalisation — the normalisation layer of choice for
+//! fully-connected stacks (batch statistics are unstable at the small
+//! per-GPU batches data parallelism produces, which is exactly the
+//! regime of Fig. 9's right-hand side).
+
+use crate::layer::Layer;
+use crate::param::Param;
+use ltfb_tensor::Matrix;
+
+/// Per-row (per-sample) normalisation with learned scale and shift:
+/// `y = gamma * (x - mean_row) / sqrt(var_row + eps) + beta`.
+pub struct LayerNorm {
+    gamma: Param,
+    beta: Param,
+    eps: f32,
+    /// Cached normalised input and per-row inverse std for backward.
+    cache: Option<(Matrix, Vec<f32>)>,
+}
+
+impl LayerNorm {
+    pub fn new(width: usize) -> Self {
+        LayerNorm {
+            gamma: Param::new(Matrix::full(1, width, 1.0)),
+            beta: Param::new(Matrix::zeros(1, width)),
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    pub fn width(&self) -> usize {
+        self.gamma.value.cols()
+    }
+}
+
+impl Layer for LayerNorm {
+    fn forward(&mut self, x: &Matrix, _training: bool) -> Matrix {
+        assert_eq!(x.cols(), self.width(), "LayerNorm width mismatch");
+        let d = x.cols() as f32;
+        let mut xhat = Matrix::zeros(x.rows(), x.cols());
+        let mut inv_std = Vec::with_capacity(x.rows());
+        let gamma = self.gamma.value.as_slice();
+        let beta = self.beta.value.as_slice();
+        let mut y = Matrix::zeros(x.rows(), x.cols());
+        for r in 0..x.rows() {
+            let row = x.row(r);
+            let mean = row.iter().sum::<f32>() / d;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d;
+            let istd = 1.0 / (var + self.eps).sqrt();
+            inv_std.push(istd);
+            let xh = xhat.row_mut(r);
+            let yr = y.row_mut(r);
+            for j in 0..row.len() {
+                xh[j] = (row[j] - mean) * istd;
+                yr[j] = gamma[j] * xh[j] + beta[j];
+            }
+        }
+        self.cache = Some((xhat, inv_std));
+        y
+    }
+
+    fn backward(&mut self, grad: &Matrix) -> Matrix {
+        let (xhat, inv_std) = self.cache.as_ref().expect("backward before forward");
+        assert_eq!(grad.shape(), xhat.shape());
+        let d = grad.cols() as f32;
+        let gamma = self.gamma.value.as_slice();
+        let mut dx = Matrix::zeros(grad.rows(), grad.cols());
+        // dGamma, dBeta accumulate over the batch.
+        {
+            let dgamma = self.gamma.grad.as_mut_slice();
+            let dbeta = self.beta.grad.as_mut_slice();
+            for r in 0..grad.rows() {
+                let g = grad.row(r);
+                let xh = xhat.row(r);
+                for j in 0..g.len() {
+                    dgamma[j] += g[j] * xh[j];
+                    dbeta[j] += g[j];
+                }
+            }
+        }
+        // dX via the standard layernorm backward:
+        // dx = istd/D * (D*gl - sum(gl) - xhat * sum(gl*xhat)),
+        // where gl = grad * gamma.
+        for (r, &istd) in inv_std.iter().enumerate() {
+            let g = grad.row(r);
+            let xh = xhat.row(r);
+            let mut sum_gl = 0.0f32;
+            let mut sum_gl_xh = 0.0f32;
+            for j in 0..g.len() {
+                let gl = g[j] * gamma[j];
+                sum_gl += gl;
+                sum_gl_xh += gl * xh[j];
+            }
+            let dst = dx.row_mut(r);
+            for j in 0..g.len() {
+                let gl = g[j] * gamma[j];
+                dst[j] = istd / d * (d * gl - sum_gl - xh[j] * sum_gl_xh);
+            }
+        }
+        dx
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.gamma, &self.beta]
+    }
+
+    fn name(&self) -> &'static str {
+        "layer_norm"
+    }
+}
+
+/// Learning-rate schedules (LBANN's drop schedules).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant,
+    /// Multiply by `factor` every `every` steps.
+    StepDecay { every: u64, factor: f32 },
+    /// Linear warmup to the base rate over `steps`, then constant.
+    Warmup { steps: u64 },
+}
+
+impl LrSchedule {
+    /// Learning rate at `step` given the base rate.
+    pub fn at(&self, base: f32, step: u64) -> f32 {
+        match *self {
+            LrSchedule::Constant => base,
+            LrSchedule::StepDecay { every, factor } => {
+                assert!(every > 0 && factor > 0.0);
+                base * factor.powi((step / every) as i32)
+            }
+            LrSchedule::Warmup { steps } => {
+                if steps == 0 || step >= steps {
+                    base
+                } else {
+                    base * (step as f32 + 1.0) / steps as f32
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltfb_tensor::{seeded_rng, uniform};
+
+    #[test]
+    fn forward_normalises_rows() {
+        let mut ln = LayerNorm::new(6);
+        let mut rng = seeded_rng(1);
+        let x = uniform(4, 6, -3.0, 7.0, &mut rng);
+        let y = ln.forward(&x, true);
+        for r in 0..4 {
+            let row = y.row(r);
+            let mean: f32 = row.iter().sum::<f32>() / 6.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 6.0;
+            assert!(mean.abs() < 1e-5, "row {r} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "row {r} var {var}");
+        }
+    }
+
+    #[test]
+    fn identity_gamma_beta_learnable() {
+        let mut ln = LayerNorm::new(3);
+        ln.gamma.value.as_mut_slice().copy_from_slice(&[2.0, 2.0, 2.0]);
+        ln.beta.value.as_mut_slice().copy_from_slice(&[1.0, 1.0, 1.0]);
+        let x = Matrix::from_vec(1, 3, vec![-1.0, 0.0, 1.0]);
+        let y = ln.forward(&x, true);
+        // xhat of [-1,0,1] is itself scaled to unit variance.
+        let istd = 1.0 / ((2.0f32 / 3.0) + 1e-5).sqrt();
+        for (j, &v) in y.row(0).iter().enumerate() {
+            let expected = 2.0 * (x.row(0)[j] * istd) + 1.0;
+            assert!((v - expected).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gradcheck_layernorm() {
+        let mut ln = LayerNorm::new(5);
+        let mut rng = seeded_rng(2);
+        let x = uniform(3, 5, -1.0, 1.0, &mut rng);
+        let target = uniform(3, 5, -1.0, 1.0, &mut rng);
+
+        // Analytic input gradient for MSE(LN(x), target).
+        let y = ln.forward(&x, true);
+        let g = ltfb_tensor::mean_squared_error_grad(&y, &target);
+        for p in ln.params_mut() {
+            p.zero_grad();
+        }
+        ln.forward(&x, true);
+        let dx = ln.backward(&g);
+
+        let eps = 1e-2;
+        for idx in [0usize, 7, 14] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let lp = ltfb_tensor::mean_squared_error(&ln.forward(&xp, true), &target);
+            let lm = ltfb_tensor::mean_squared_error(&ln.forward(&xm, true), &target);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (dx.as_slice()[idx] - numeric).abs() < 2e-3,
+                "dx[{idx}]: {} vs {numeric}",
+                dx.as_slice()[idx]
+            );
+        }
+        // Gamma gradient check.
+        let y = ln.forward(&x, true);
+        let g = ltfb_tensor::mean_squared_error_grad(&y, &target);
+        for p in ln.params_mut() {
+            p.zero_grad();
+        }
+        ln.forward(&x, true);
+        ln.backward(&g);
+        let analytic = ln.params()[0].grad.as_slice()[2];
+        let orig = ln.params()[0].value.as_slice()[2];
+        ln.params_mut()[0].value.as_mut_slice()[2] = orig + eps;
+        let lp = ltfb_tensor::mean_squared_error(&ln.forward(&x, true), &target);
+        ln.params_mut()[0].value.as_mut_slice()[2] = orig - eps;
+        let lm = ltfb_tensor::mean_squared_error(&ln.forward(&x, true), &target);
+        ln.params_mut()[0].value.as_mut_slice()[2] = orig;
+        let numeric = (lp - lm) / (2.0 * eps);
+        assert!((analytic - numeric).abs() < 2e-3, "dgamma {analytic} vs {numeric}");
+    }
+
+    #[test]
+    fn schedules() {
+        let base = 0.1;
+        assert_eq!(LrSchedule::Constant.at(base, 0), base);
+        assert_eq!(LrSchedule::Constant.at(base, 1000), base);
+
+        let decay = LrSchedule::StepDecay { every: 100, factor: 0.5 };
+        assert_eq!(decay.at(base, 0), base);
+        assert_eq!(decay.at(base, 99), base);
+        assert_eq!(decay.at(base, 100), base * 0.5);
+        assert_eq!(decay.at(base, 250), base * 0.25);
+
+        let warm = LrSchedule::Warmup { steps: 10 };
+        assert!((warm.at(base, 0) - base * 0.1).abs() < 1e-7);
+        assert!((warm.at(base, 4) - base * 0.5).abs() < 1e-7);
+        assert_eq!(warm.at(base, 10), base);
+        assert_eq!(warm.at(base, 999), base);
+    }
+
+    #[test]
+    fn layernorm_in_a_sequential_stack() {
+        use crate::layer::{Init, Linear};
+        use crate::model::Sequential;
+        let mut rng = seeded_rng(3);
+        let mut m = Sequential::new(vec![
+            Box::new(Linear::new(4, 8, Init::He, &mut rng)),
+            Box::new(LayerNorm::new(8)),
+            Box::new(crate::layer::Tanh::new()),
+            Box::new(Linear::new(8, 2, Init::Glorot, &mut rng)),
+        ]);
+        // 4*8+8 + 8+8 + 8*2+2 = 74 params.
+        assert_eq!(m.num_params(), 74);
+        let x = uniform(5, 4, -1.0, 1.0, &mut rng);
+        let y = m.forward(&x, true);
+        assert_eq!(y.shape(), (5, 2));
+        m.backward(&Matrix::full(5, 2, 1.0));
+        assert!(m.params().iter().all(|p| p.grad.all_finite()));
+    }
+}

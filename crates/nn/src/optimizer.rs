@@ -1,0 +1,296 @@
+//! Optimizers: SGD with momentum and Adam (the paper trains the CycleGAN
+//! with Adam, initial learning rate 1e-3, mini-batch 128).
+//!
+//! Optimizer state (momenta) is kept per parameter slot, indexed by the
+//! deterministic order `Sequential::params_mut` yields, so an optimizer
+//! follows "its" model across LTFB weight replacements (LBANN likewise
+//! keeps optimizer state local through an exchange).
+
+use crate::param::Param;
+use ltfb_tensor::Matrix;
+
+/// A first-order optimizer.
+pub trait Optimizer: Send {
+    /// Apply one update step given the parameters' accumulated gradients.
+    fn step(&mut self, params: &mut [&mut Param]);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Replace the learning rate (hyperparameter perturbation in LTFB
+    /// populations).
+    fn set_learning_rate(&mut self, lr: f32);
+
+    /// Reset internal state (momenta), e.g. after receiving a foreign
+    /// model whose loss surface location makes old momenta stale.
+    fn reset_state(&mut self);
+}
+
+/// Stochastic gradient descent with classical momentum, optional decoupled
+/// weight decay, and optional per-element gradient clipping.
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    clip: Option<f32>,
+    velocity: Vec<Matrix>,
+}
+
+impl Sgd {
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        Sgd { lr, momentum, weight_decay: 0.0, clip: None, velocity: Vec::new() }
+    }
+
+    /// Decoupled weight decay (`w -= lr * wd * w` each step).
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        assert!(wd >= 0.0);
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Clip each gradient element into `[-c, c]` before the update.
+    pub fn with_grad_clip(mut self, c: f32) -> Self {
+        assert!(c > 0.0);
+        self.clip = Some(c);
+        self
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.velocity.len() != params.len() {
+            self.velocity =
+                params.iter().map(|p| Matrix::zeros(p.value.rows(), p.value.cols())).collect();
+        }
+        let decay = self.lr * self.weight_decay;
+        for (p, v) in params.iter_mut().zip(self.velocity.iter_mut()) {
+            debug_assert_eq!(p.value.shape(), v.shape());
+            for ((w, g), vel) in p
+                .value
+                .as_mut_slice()
+                .iter_mut()
+                .zip(p.grad.as_slice())
+                .zip(v.as_mut_slice())
+            {
+                let g = match self.clip {
+                    Some(c) => g.clamp(-c, c),
+                    None => *g,
+                };
+                *vel = self.momentum * *vel + g;
+                *w -= self.lr * *vel + decay * *w;
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        assert!(lr > 0.0);
+        self.lr = lr;
+    }
+
+    fn reset_state(&mut self) {
+        self.velocity.clear();
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    /// Adam with the paper's defaults: beta1 = 0.9, beta2 = 0.999.
+    pub fn new(lr: f32) -> Self {
+        Adam::with_betas(lr, 0.9, 0.999, 1e-8)
+    }
+
+    pub fn with_betas(lr: f32, beta1: f32, beta2: f32, eps: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2));
+        Adam { lr, beta1, beta2, eps, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.m.len() != params.len() {
+            self.m =
+                params.iter().map(|p| Matrix::zeros(p.value.rows(), p.value.cols())).collect();
+            self.v =
+                params.iter().map(|p| Matrix::zeros(p.value.rows(), p.value.cols())).collect();
+            self.t = 0;
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, m), v) in params.iter_mut().zip(self.m.iter_mut()).zip(self.v.iter_mut()) {
+            for (((w, g), mi), vi) in p
+                .value
+                .as_mut_slice()
+                .iter_mut()
+                .zip(p.grad.as_slice())
+                .zip(m.as_mut_slice())
+                .zip(v.as_mut_slice())
+            {
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
+                let mhat = *mi / bc1;
+                let vhat = *vi / bc2;
+                *w -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        assert!(lr > 0.0);
+        self.lr = lr;
+    }
+
+    fn reset_state(&mut self) {
+        self.m.clear();
+        self.v.clear();
+        self.t = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimise f(w) = ||w - target||^2 with each optimizer; both must
+    /// converge on this convex bowl.
+    fn converges(opt: &mut dyn Optimizer) -> f32 {
+        let target = [1.0f32, -2.0, 0.5, 3.0];
+        let mut p = Param::new(Matrix::zeros(1, 4));
+        for _ in 0..400 {
+            p.zero_grad();
+            for (g, (w, t)) in p
+                .grad
+                .as_mut_slice()
+                .iter_mut()
+                .zip(p.value.as_slice().iter().zip(target.iter()))
+            {
+                *g = 2.0 * (w - t);
+            }
+            opt.step(&mut [&mut p]);
+        }
+        p.value
+            .as_slice()
+            .iter()
+            .zip(target.iter())
+            .map(|(w, t)| (w - t).abs())
+            .fold(0.0, f32::max)
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let err = converges(&mut Sgd::new(0.05, 0.9));
+        assert!(err < 1e-3, "SGD residual {err}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let err = converges(&mut Adam::new(0.05));
+        assert!(err < 1e-2, "Adam residual {err}");
+    }
+
+    #[test]
+    fn adam_first_step_is_lr_sized() {
+        // With bias correction the first Adam step has magnitude ~lr.
+        let mut p = Param::new(Matrix::zeros(1, 1));
+        p.grad.as_mut_slice()[0] = 0.5;
+        let mut opt = Adam::new(0.01);
+        opt.step(&mut [&mut p]);
+        let w = p.value.as_slice()[0];
+        assert!((w + 0.01).abs() < 1e-4, "first step {w}, expected ~ -lr");
+    }
+
+    #[test]
+    fn momentum_accelerates_along_constant_gradient() {
+        let grad_steps = |momentum: f32| {
+            let mut p = Param::new(Matrix::zeros(1, 1));
+            let mut opt = Sgd::new(0.1, momentum);
+            for _ in 0..10 {
+                p.zero_grad();
+                p.grad.as_mut_slice()[0] = 1.0;
+                opt.step(&mut [&mut p]);
+            }
+            -p.value.as_slice()[0]
+        };
+        assert!(grad_steps(0.9) > 2.0 * grad_steps(0.0));
+    }
+
+    #[test]
+    fn set_learning_rate_takes_effect() {
+        let mut opt = Sgd::new(0.1, 0.0);
+        opt.set_learning_rate(0.2);
+        assert_eq!(opt.learning_rate(), 0.2);
+        let mut p = Param::new(Matrix::zeros(1, 1));
+        p.grad.as_mut_slice()[0] = 1.0;
+        opt.step(&mut [&mut p]);
+        assert!((p.value.as_slice()[0] + 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reset_state_clears_momentum() {
+        let mut opt = Sgd::new(0.1, 0.9);
+        let mut p = Param::new(Matrix::zeros(1, 1));
+        for _ in 0..5 {
+            p.zero_grad();
+            p.grad.as_mut_slice()[0] = 1.0;
+            opt.step(&mut [&mut p]);
+        }
+        opt.reset_state();
+        // Next step from zero grad must not move (no residual velocity).
+        let before = p.value.as_slice()[0];
+        p.zero_grad();
+        opt.step(&mut [&mut p]);
+        assert_eq!(p.value.as_slice()[0], before);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn rejects_nonpositive_lr() {
+        let _ = Adam::new(0.0);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights_without_gradient() {
+        let mut p = Param::new(Matrix::full(1, 2, 1.0));
+        let mut opt = Sgd::new(0.1, 0.0).with_weight_decay(0.5);
+        p.zero_grad();
+        opt.step(&mut [&mut p]);
+        // w -= lr * wd * w => 1 - 0.05 = 0.95.
+        assert!(p.value.as_slice().iter().all(|&w| (w - 0.95).abs() < 1e-6));
+    }
+
+    #[test]
+    fn grad_clip_bounds_the_update() {
+        let mut p = Param::new(Matrix::zeros(1, 1));
+        p.grad.as_mut_slice()[0] = 1000.0;
+        let mut opt = Sgd::new(0.1, 0.0).with_grad_clip(1.0);
+        opt.step(&mut [&mut p]);
+        assert!((p.value.as_slice()[0] + 0.1).abs() < 1e-6, "clipped step must be lr*1");
+    }
+
+    #[test]
+    fn decayed_sgd_still_converges() {
+        let err = converges(&mut Sgd::new(0.05, 0.9).with_weight_decay(1e-4).with_grad_clip(10.0));
+        assert!(err < 2e-2, "decayed SGD residual {err}");
+    }
+}

@@ -1,0 +1,57 @@
+//! Trainable parameter: a value tensor paired with its gradient
+//! accumulator. Keeping them in one struct lets layers hand the optimizer
+//! simultaneous mutable/shared access without borrow gymnastics.
+
+use ltfb_tensor::Matrix;
+
+/// One trainable tensor and its gradient.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value.
+    pub value: Matrix,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Matrix,
+}
+
+impl Param {
+    /// Wrap an initial value with a zeroed gradient.
+    pub fn new(value: Matrix) -> Self {
+        let grad = Matrix::zeros(value.rows(), value.cols());
+        Param { value, grad }
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+
+    /// Reset the gradient to zero (start of a step).
+    pub fn zero_grad(&mut self) {
+        self.grad.as_mut_slice().fill(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad() {
+        let p = Param::new(Matrix::full(2, 3, 1.5));
+        assert_eq!(p.len(), 6);
+        assert!(p.grad.as_slice().iter().all(|&v| v == 0.0));
+        assert_eq!(p.grad.shape(), (2, 3));
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new(Matrix::zeros(2, 2));
+        p.grad.as_mut_slice().fill(3.0);
+        p.zero_grad();
+        assert!(p.grad.as_slice().iter().all(|&v| v == 0.0));
+    }
+}

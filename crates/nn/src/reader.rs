@@ -1,0 +1,202 @@
+//! Data readers: the component of a trainer that feeds mini-batches into
+//! the model DAG. Supports the LTFB partitioning scheme — each trainer's
+//! reader exposes a disjoint *silo* of the global dataset — and seeded
+//! per-epoch shuffling.
+
+use ltfb_tensor::{permutation, seeded_rng, Matrix, TensorRng};
+
+/// An in-memory supervised dataset: row-aligned inputs and targets.
+#[derive(Debug, Clone)]
+pub struct InMemoryDataset {
+    /// `n x d_in` inputs.
+    pub inputs: Matrix,
+    /// `n x d_out` targets.
+    pub targets: Matrix,
+}
+
+impl InMemoryDataset {
+    pub fn new(inputs: Matrix, targets: Matrix) -> Self {
+        assert_eq!(inputs.rows(), targets.rows(), "inputs/targets row mismatch");
+        InMemoryDataset { inputs, targets }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.inputs.rows()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The contiguous `1/k` partition assigned to trainer `t` of `k`
+    /// (LTFB data siloing). The last partition absorbs the remainder.
+    pub fn partition(&self, t: usize, k: usize) -> InMemoryDataset {
+        assert!(k > 0 && t < k, "partition {t} of {k} invalid");
+        let per = self.len() / k;
+        let start = t * per;
+        let end = if t == k - 1 { self.len() } else { start + per };
+        InMemoryDataset {
+            inputs: self.inputs.slice_rows(start, end),
+            targets: self.targets.slice_rows(start, end),
+        }
+    }
+}
+
+/// Mini-batch iterator with per-epoch seeded shuffling.
+pub struct BatchReader {
+    data: InMemoryDataset,
+    mb: usize,
+    epoch: u64,
+    cursor: usize,
+    order: Vec<usize>,
+    seed: u64,
+}
+
+impl BatchReader {
+    pub fn new(data: InMemoryDataset, mb: usize, seed: u64) -> Self {
+        assert!(mb > 0, "mini-batch must be positive");
+        let mut r = BatchReader { data, mb, epoch: 0, cursor: 0, order: Vec::new(), seed };
+        r.reshuffle();
+        r
+    }
+
+    fn reshuffle(&mut self) {
+        let mut rng: TensorRng = seeded_rng(self.seed ^ self.epoch.wrapping_mul(0x9E37_79B9));
+        self.order = permutation(self.data.len(), &mut rng);
+        self.cursor = 0;
+    }
+
+    /// Samples in the underlying (possibly partitioned) dataset.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Completed epochs.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Steps per epoch at this mini-batch size (last short batch counts).
+    pub fn steps_per_epoch(&self) -> usize {
+        self.data.len().div_ceil(self.mb)
+    }
+
+    /// Next mini-batch `(inputs, targets)`; crossing an epoch boundary
+    /// reshuffles. The final batch of an epoch may be short.
+    pub fn next_batch(&mut self) -> (Matrix, Matrix) {
+        assert!(!self.data.is_empty(), "reader over an empty dataset");
+        let end = (self.cursor + self.mb).min(self.data.len());
+        let idx = &self.order[self.cursor..end];
+        let batch = (self.data.inputs.gather_rows(idx), self.data.targets.gather_rows(idx));
+        self.cursor = end;
+        if self.cursor >= self.data.len() {
+            self.epoch += 1;
+            self.reshuffle();
+        }
+        batch
+    }
+
+    /// Full-dataset pass in deterministic order (for evaluation).
+    pub fn all(&self) -> (&Matrix, &Matrix) {
+        (&self.data.inputs, &self.data.targets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds(n: usize) -> InMemoryDataset {
+        let inputs = Matrix::from_fn(n, 2, |r, c| (r * 2 + c) as f32);
+        let targets = Matrix::from_fn(n, 1, |r, _| r as f32);
+        InMemoryDataset::new(inputs, targets)
+    }
+
+    #[test]
+    fn partitions_are_disjoint_and_cover() {
+        let d = ds(10);
+        let parts: Vec<_> = (0..3).map(|t| d.partition(t, 3)).collect();
+        assert_eq!(parts[0].len(), 3);
+        assert_eq!(parts[1].len(), 3);
+        assert_eq!(parts[2].len(), 4, "last absorbs remainder");
+        let mut seen: Vec<f32> = parts
+            .iter()
+            .flat_map(|p| p.targets.as_slice().to_vec())
+            .collect();
+        seen.sort_by(f32::total_cmp);
+        assert_eq!(seen, (0..10).map(|v| v as f32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn one_epoch_visits_every_sample_once() {
+        let mut r = BatchReader::new(ds(10), 3, 7);
+        let mut seen = Vec::new();
+        for _ in 0..r.steps_per_epoch() {
+            let (_, t) = r.next_batch();
+            seen.extend_from_slice(t.as_slice());
+        }
+        assert_eq!(r.epoch(), 1);
+        seen.sort_by(f32::total_cmp);
+        assert_eq!(seen, (0..10).map(|v| v as f32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batches_align_inputs_with_targets() {
+        let mut r = BatchReader::new(ds(20), 4, 9);
+        for _ in 0..10 {
+            let (x, t) = r.next_batch();
+            for row in 0..x.rows() {
+                assert_eq!(x.row(row)[0], t.row(row)[0] * 2.0, "row misaligned");
+            }
+        }
+    }
+
+    #[test]
+    fn epochs_use_different_shuffles_deterministically() {
+        let collect_epoch = |r: &mut BatchReader| {
+            let mut order = Vec::new();
+            for _ in 0..r.steps_per_epoch() {
+                order.extend_from_slice(r.next_batch().1.as_slice());
+            }
+            order
+        };
+        let mut a = BatchReader::new(ds(16), 4, 11);
+        let e0 = collect_epoch(&mut a);
+        let e1 = collect_epoch(&mut a);
+        assert_ne!(e0, e1, "epoch shuffles should differ");
+        // Same seed reproduces the same sequence.
+        let mut b = BatchReader::new(ds(16), 4, 11);
+        assert_eq!(collect_epoch(&mut b), e0);
+        assert_eq!(collect_epoch(&mut b), e1);
+    }
+
+    #[test]
+    fn short_final_batch() {
+        let mut r = BatchReader::new(ds(10), 4, 3);
+        assert_eq!(r.steps_per_epoch(), 3);
+        assert_eq!(r.next_batch().0.rows(), 4);
+        assert_eq!(r.next_batch().0.rows(), 4);
+        assert_eq!(r.next_batch().0.rows(), 2);
+    }
+
+    #[test]
+    fn different_trainers_see_different_data() {
+        let d = ds(100);
+        let r0 = BatchReader::new(d.partition(0, 4), 8, 1);
+        let r1 = BatchReader::new(d.partition(1, 4), 8, 1);
+        let (x0, _) = r0.all();
+        let (x1, _) = r1.all();
+        assert_ne!(x0.as_slice(), x1.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "row mismatch")]
+    fn misaligned_dataset_rejected() {
+        let _ = InMemoryDataset::new(Matrix::zeros(3, 2), Matrix::zeros(4, 1));
+    }
+}

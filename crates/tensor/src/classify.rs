@@ -1,0 +1,158 @@
+//! Classification primitives: row softmax, cross-entropy on logits, and
+//! accuracy — used by the "traditional network" LTFB path (the paper's
+//! tournament method covers "traditional as well as generative
+//! adversarial networks").
+
+use crate::matrix::Matrix;
+
+/// Row-wise softmax (numerically stable).
+pub fn softmax_rows(logits: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(logits.rows(), logits.cols());
+    for r in 0..logits.rows() {
+        let row = logits.row(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let dst = out.row_mut(r);
+        let mut sum = 0.0f32;
+        for (d, &v) in dst.iter_mut().zip(row) {
+            *d = (v - max).exp();
+            sum += *d;
+        }
+        for d in dst.iter_mut() {
+            *d /= sum;
+        }
+    }
+    out
+}
+
+/// Mean cross-entropy of integer class labels against logits.
+pub fn cross_entropy_with_logits(logits: &Matrix, labels: &[usize]) -> f32 {
+    assert_eq!(logits.rows(), labels.len(), "label count mismatch");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0f64;
+    for (r, &label) in labels.iter().enumerate() {
+        assert!(label < logits.cols(), "label {label} out of {} classes", logits.cols());
+        let row = logits.row(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let logsum: f32 = row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln() + max;
+        total += (logsum - row[label]) as f64;
+    }
+    (total / labels.len() as f64) as f32
+}
+
+/// Gradient of [`cross_entropy_with_logits`] w.r.t. the logits:
+/// `(softmax - onehot) / N`.
+pub fn cross_entropy_with_logits_grad(logits: &Matrix, labels: &[usize]) -> Matrix {
+    assert_eq!(logits.rows(), labels.len(), "label count mismatch");
+    let mut g = softmax_rows(logits);
+    let n = labels.len().max(1) as f32;
+    for (r, &label) in labels.iter().enumerate() {
+        let row = g.row_mut(r);
+        row[label] -= 1.0;
+        for v in row.iter_mut() {
+            *v /= n;
+        }
+    }
+    g
+}
+
+/// Predicted class per row (argmax of logits).
+pub fn argmax_rows(logits: &Matrix) -> Vec<usize> {
+    (0..logits.rows())
+        .map(|r| {
+            logits
+                .row(r)
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+/// Fraction of rows whose argmax equals the label.
+pub fn accuracy(logits: &Matrix, labels: &[usize]) -> f32 {
+    assert_eq!(logits.rows(), labels.len());
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let correct = argmax_rows(logits)
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
+    correct as f32 / labels.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_order_preserved() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -5.0, 0.0, 5.0]);
+        let s = softmax_rows(&m);
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+            assert!(s.row(r)[2] > s.row(r)[1] && s.row(r)[1] > s.row(r)[0]);
+        }
+    }
+
+    #[test]
+    fn softmax_stable_for_huge_logits() {
+        let m = Matrix::from_vec(1, 2, vec![1000.0, 1001.0]);
+        let s = softmax_rows(&m);
+        assert!(s.all_finite());
+        assert!((s.row(0).iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let m = Matrix::from_vec(2, 3, vec![10.0, -10.0, -10.0, -10.0, 10.0, -10.0]);
+        let ce = cross_entropy_with_logits(&m, &[0, 1]);
+        assert!(ce < 1e-3, "ce = {ce}");
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_k() {
+        let m = Matrix::zeros(4, 5);
+        let ce = cross_entropy_with_logits(&m, &[0, 1, 2, 3]);
+        assert!((ce - 5.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ce_grad_matches_numerical() {
+        let m = Matrix::from_vec(2, 3, vec![0.2, -0.4, 0.9, 1.1, 0.0, -0.3]);
+        let labels = [2usize, 0];
+        let g = cross_entropy_with_logits_grad(&m, &labels);
+        let eps = 1e-3;
+        for idx in 0..6 {
+            let mut p = m.clone();
+            p.as_mut_slice()[idx] += eps;
+            let mut q = m.clone();
+            q.as_mut_slice()[idx] -= eps;
+            let num = (cross_entropy_with_logits(&p, &labels)
+                - cross_entropy_with_logits(&q, &labels))
+                / (2.0 * eps);
+            assert!((num - g.as_slice()[idx]).abs() < 1e-3, "idx {idx}");
+        }
+    }
+
+    #[test]
+    fn accuracy_and_argmax() {
+        let m = Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 3.0, 2.0]);
+        assert_eq!(argmax_rows(&m), vec![0, 1, 0]);
+        assert_eq!(accuracy(&m, &[0, 1, 0]), 1.0);
+        assert!((accuracy(&m, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(accuracy(&Matrix::zeros(0, 2), &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn bad_label_rejected() {
+        let _ = cross_entropy_with_logits(&Matrix::zeros(1, 2), &[2]);
+    }
+}

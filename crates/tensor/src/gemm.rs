@@ -1,0 +1,306 @@
+//! Blocked, Rayon-parallel GEMM kernels.
+//!
+//! These are the compute kernels a GPU would run in LBANN/Hydrogen; here they
+//! are cache-blocked CPU kernels parallelised over row panels with Rayon.
+//! The micro-kernel accumulates `C[i, :] += A[i, k] * B[k, :]` over a K-tile,
+//! i.e. an outer-product (axpy) formulation: for row-major storage this walks
+//! `B` and `C` contiguously, which is the layout-friendly order.
+//!
+//! Four entry points cover every case the NN stack needs without ever
+//! materialising a transpose:
+//!   * [`gemm`]       — `C = alpha * A @ B + beta * C`
+//!   * [`gemm_tn`]    — `C = alpha * A^T @ B + beta * C` (weight gradients)
+//!   * [`gemm_nt`]    — `C = alpha * A @ B^T + beta * C` (input gradients)
+//!   * [`matmul`]     — convenience `A @ B` into a fresh matrix
+
+use crate::matrix::Matrix;
+use rayon::prelude::*;
+
+/// Row-panel height processed by one Rayon task. Big enough that task
+/// overhead is negligible, small enough to load-balance ragged shapes.
+const PANEL: usize = 64;
+/// K-dimension tile; 256 f32 = 1 KiB of A-column per row, keeps the B tile
+/// resident in L2 across the panel.
+const KTILE: usize = 256;
+
+/// Scale a beta into a row: `c *= beta` handling the common 0/1 fast paths.
+#[inline]
+fn scale_row(c: &mut [f32], beta: f32) {
+    if beta == 0.0 {
+        c.fill(0.0);
+    } else if beta != 1.0 {
+        for v in c.iter_mut() {
+            *v *= beta;
+        }
+    }
+}
+
+/// `axpy` micro-kernel: `c += a * b` over a contiguous row.
+#[inline(always)]
+fn axpy(c: &mut [f32], a: f32, b: &[f32]) {
+    debug_assert_eq!(c.len(), b.len());
+    // Simple enough that LLVM auto-vectorises; explicit chunks of 8 help it.
+    let mut ci = c.chunks_exact_mut(8);
+    let mut bi = b.chunks_exact(8);
+    for (cc, bb) in ci.by_ref().zip(bi.by_ref()) {
+        for j in 0..8 {
+            cc[j] += a * bb[j];
+        }
+    }
+    for (cc, bb) in ci.into_remainder().iter_mut().zip(bi.remainder()) {
+        *cc += a * bb;
+    }
+}
+
+/// General matrix multiply: `C = alpha * A @ B + beta * C`.
+///
+/// Shapes: `A: m x k`, `B: k x n`, `C: m x n`. Panics on mismatch.
+pub fn gemm(alpha: f32, a: &Matrix, b: &Matrix, beta: f32, c: &mut Matrix) {
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb, "gemm inner dimension mismatch: A is {m}x{k}, B is {kb}x{n}");
+    assert_eq!(c.shape(), (m, n), "gemm output shape mismatch");
+
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    c.as_mut_slice()
+        .par_chunks_mut(PANEL * n)
+        .enumerate()
+        .for_each(|(panel, c_panel)| {
+            let row0 = panel * PANEL;
+            let rows = c_panel.len() / n.max(1);
+            for c_row in c_panel.chunks_exact_mut(n.max(1)) {
+                scale_row(c_row, beta);
+            }
+            if n == 0 {
+                return;
+            }
+            for k0 in (0..k).step_by(KTILE) {
+                let kmax = (k0 + KTILE).min(k);
+                for r in 0..rows {
+                    let arow = &a_data[(row0 + r) * k..(row0 + r + 1) * k];
+                    let crow = &mut c_panel[r * n..(r + 1) * n];
+                    for kk in k0..kmax {
+                        let av = alpha * arow[kk];
+                        if av != 0.0 {
+                            axpy(crow, av, &b_data[kk * n..kk * n + n]);
+                        }
+                    }
+                }
+            }
+        });
+}
+
+/// `C = alpha * A^T @ B + beta * C` without materialising `A^T`.
+///
+/// Shapes: `A: k x m`, `B: k x n`, `C: m x n`. This is the weight-gradient
+/// product `dW = X^T @ dY` in the NN stack.
+pub fn gemm_tn(alpha: f32, a: &Matrix, b: &Matrix, beta: f32, c: &mut Matrix) {
+    let (k, m) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb, "gemm_tn inner dimension mismatch");
+    assert_eq!(c.shape(), (m, n), "gemm_tn output shape mismatch");
+
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    c.as_mut_slice()
+        .par_chunks_mut(PANEL * n)
+        .enumerate()
+        .for_each(|(panel, c_panel)| {
+            let row0 = panel * PANEL;
+            let rows = c_panel.len() / n.max(1);
+            for c_row in c_panel.chunks_exact_mut(n.max(1)) {
+                scale_row(c_row, beta);
+            }
+            if n == 0 {
+                return;
+            }
+            // A^T[i, kk] = A[kk, i]: strided read of A, contiguous B/C.
+            for kk in 0..k {
+                let brow = &b_data[kk * n..kk * n + n];
+                for r in 0..rows {
+                    let av = alpha * a_data[kk * m + row0 + r];
+                    if av != 0.0 {
+                        axpy(&mut c_panel[r * n..(r + 1) * n], av, brow);
+                    }
+                }
+            }
+        });
+}
+
+/// `C = alpha * A @ B^T + beta * C` without materialising `B^T`.
+///
+/// Shapes: `A: m x k`, `B: n x k`, `C: m x n`. This is the input-gradient
+/// product `dX = dY @ W^T` in the NN stack. Uses dot-product form since both
+/// `A` rows and `B` rows are contiguous.
+pub fn gemm_nt(alpha: f32, a: &Matrix, b: &Matrix, beta: f32, c: &mut Matrix) {
+    let (m, k) = a.shape();
+    let (n, kb) = b.shape();
+    assert_eq!(k, kb, "gemm_nt inner dimension mismatch");
+    assert_eq!(c.shape(), (m, n), "gemm_nt output shape mismatch");
+
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    c.as_mut_slice()
+        .par_chunks_mut(n.max(1))
+        .enumerate()
+        .for_each(|(r, c_row)| {
+            if r >= m {
+                return;
+            }
+            scale_row(c_row, beta);
+            let arow = &a_data[r * k..(r + 1) * k];
+            for (j, cv) in c_row.iter_mut().enumerate() {
+                *cv += alpha * dot(arow, &b_data[j * k..(j + 1) * k]);
+            }
+        });
+}
+
+/// Contiguous dot product with 8-wide unrolling.
+#[inline(always)]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 8];
+    let mut ai = a.chunks_exact(8);
+    let mut bi = b.chunks_exact(8);
+    for (aa, bb) in ai.by_ref().zip(bi.by_ref()) {
+        for j in 0..8 {
+            acc[j] += aa[j] * bb[j];
+        }
+    }
+    let mut tail = 0.0f32;
+    for (x, y) in ai.remainder().iter().zip(bi.remainder()) {
+        tail += x * y;
+    }
+    acc.iter().sum::<f32>() + tail
+}
+
+/// Convenience: `A @ B` into a freshly allocated matrix.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    gemm(1.0, a, b, 0.0, &mut c);
+    c
+}
+
+/// Reference kernel used by tests/property checks: textbook triple loop.
+pub fn matmul_naive(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb);
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        for kk in 0..k {
+            let av = a[(i, kk)];
+            for j in 0..n {
+                c[(i, j)] += av * b[(kk, j)];
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{seeded_rng, uniform};
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!(
+                (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())),
+                "mismatch: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_matches_naive_small() {
+        let mut rng = seeded_rng(7);
+        let a = uniform(9, 13, -1.0, 1.0, &mut rng);
+        let b = uniform(13, 5, -1.0, 1.0, &mut rng);
+        assert_close(&matmul(&a, &b), &matmul_naive(&a, &b), 1e-5);
+    }
+
+    #[test]
+    fn matmul_matches_naive_panel_boundary() {
+        // Cross the PANEL and KTILE boundaries.
+        let mut rng = seeded_rng(8);
+        let a = uniform(PANEL + 3, KTILE + 9, -1.0, 1.0, &mut rng);
+        let b = uniform(KTILE + 9, 17, -1.0, 1.0, &mut rng);
+        assert_close(&matmul(&a, &b), &matmul_naive(&a, &b), 1e-3);
+    }
+
+    #[test]
+    fn gemm_alpha_beta() {
+        let mut rng = seeded_rng(9);
+        let a = uniform(4, 6, -1.0, 1.0, &mut rng);
+        let b = uniform(6, 3, -1.0, 1.0, &mut rng);
+        let c0 = uniform(4, 3, -1.0, 1.0, &mut rng);
+        let mut c = c0.clone();
+        gemm(2.0, &a, &b, 0.5, &mut c);
+        let reference = {
+            let ab = matmul_naive(&a, &b);
+            Matrix::from_fn(4, 3, |r, q| 2.0 * ab[(r, q)] + 0.5 * c0[(r, q)])
+        };
+        assert_close(&c, &reference, 1e-5);
+    }
+
+    #[test]
+    fn gemm_tn_equals_explicit_transpose() {
+        let mut rng = seeded_rng(10);
+        let a = uniform(11, 7, -1.0, 1.0, &mut rng);
+        let b = uniform(11, 5, -1.0, 1.0, &mut rng);
+        let mut c = Matrix::zeros(7, 5);
+        gemm_tn(1.0, &a, &b, 0.0, &mut c);
+        assert_close(&c, &matmul_naive(&a.transpose(), &b), 1e-5);
+    }
+
+    #[test]
+    fn gemm_nt_equals_explicit_transpose() {
+        let mut rng = seeded_rng(11);
+        let a = uniform(6, 9, -1.0, 1.0, &mut rng);
+        let b = uniform(4, 9, -1.0, 1.0, &mut rng);
+        let mut c = Matrix::zeros(6, 4);
+        gemm_nt(1.0, &a, &b, 0.0, &mut c);
+        assert_close(&c, &matmul_naive(&a, &b.transpose()), 1e-5);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = seeded_rng(12);
+        let a = uniform(8, 8, -1.0, 1.0, &mut rng);
+        assert_close(&matmul(&a, &Matrix::identity(8)), &a, 1e-6);
+        assert_close(&matmul(&Matrix::identity(8), &a), &a, 1e-6);
+    }
+
+    #[test]
+    fn zero_dimensions_do_not_panic() {
+        let a = Matrix::zeros(0, 5);
+        let b = Matrix::zeros(5, 4);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), (0, 4));
+
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(0, 4);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), (3, 4));
+        assert!(c.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        let _ = matmul(&a, &b);
+    }
+
+    #[test]
+    fn dot_matches_reference() {
+        let a: Vec<f32> = (0..19).map(|i| i as f32 * 0.5).collect();
+        let b: Vec<f32> = (0..19).map(|i| 1.0 - i as f32 * 0.1).collect();
+        let reference: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((dot(&a, &b) - reference).abs() < 1e-4);
+    }
+}

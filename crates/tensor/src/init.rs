@@ -1,0 +1,168 @@
+//! Weight initialisers and seeded RNG plumbing.
+//!
+//! Every random draw in the reproduction flows through a [`seeded_rng`] so
+//! that experiments are bit-reproducible across runs and machines. LBANN
+//! initialises each model replica with a distinct seed; we mirror that with
+//! a `(experiment, trainer, stream)` seed-mixing helper.
+
+use crate::matrix::Matrix;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The deterministic RNG used throughout the stack.
+pub type TensorRng = ChaCha8Rng;
+
+/// Construct the deterministic RNG from a 64-bit seed.
+pub fn seeded_rng(seed: u64) -> TensorRng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// Mix independent seed components (experiment id, trainer id, stream id)
+/// into one 64-bit seed with splitmix-style finalisation, so that nearby
+/// component values produce uncorrelated streams.
+pub fn mix_seed(parts: &[u64]) -> u64 {
+    let mut h: u64 = 0x9E37_79B9_7F4A_7C15;
+    for &p in parts {
+        h ^= p.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_add(h << 6).wrapping_add(h >> 2);
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+    }
+    h
+}
+
+/// Matrix of iid uniform values in `[lo, hi)`.
+pub fn uniform(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut TensorRng) -> Matrix {
+    assert!(lo < hi, "uniform requires lo < hi");
+    let data = (0..rows * cols).map(|_| rng.gen_range(lo..hi)).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Matrix of iid normal values via Box-Muller (avoids a distributions dep).
+pub fn normal(rows: usize, cols: usize, mean: f32, std: f32, rng: &mut TensorRng) -> Matrix {
+    assert!(std >= 0.0, "normal requires std >= 0");
+    let n = rows * cols;
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        let (z0, z1) = box_muller(rng);
+        data.push(mean + std * z0);
+        if data.len() < n {
+            data.push(mean + std * z1);
+        }
+    }
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// One Box-Muller draw: two independent standard normals.
+#[inline]
+fn box_muller(rng: &mut TensorRng) -> (f32, f32) {
+    // Avoid ln(0) by sampling u1 from (0, 1].
+    let u1: f32 = 1.0 - rng.gen::<f32>();
+    let u2: f32 = rng.gen();
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f32::consts::PI * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+/// Glorot/Xavier uniform initialisation for a `fan_in x fan_out` weight.
+pub fn glorot_uniform(fan_in: usize, fan_out: usize, rng: &mut TensorRng) -> Matrix {
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(fan_in, fan_out, -limit, limit, rng)
+}
+
+/// He/Kaiming normal initialisation, suited to ReLU-family activations.
+pub fn he_normal(fan_in: usize, fan_out: usize, rng: &mut TensorRng) -> Matrix {
+    let std = (2.0 / fan_in as f32).sqrt();
+    normal(fan_in, fan_out, 0.0, std, rng)
+}
+
+/// A random permutation of `0..n` (Fisher-Yates), used for epoch shuffles
+/// and tournament pairings.
+pub fn permutation(n: usize, rng: &mut TensorRng) -> Vec<usize> {
+    let mut p: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        p.swap(i, j);
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let a = uniform(4, 4, 0.0, 1.0, &mut seeded_rng(42));
+        let b = uniform(4, 4, 0.0, 1.0, &mut seeded_rng(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = uniform(4, 4, 0.0, 1.0, &mut seeded_rng(1));
+        let b = uniform(4, 4, 0.0, 1.0, &mut seeded_rng(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn mix_seed_sensitive_to_each_component() {
+        let base = mix_seed(&[1, 2, 3]);
+        assert_ne!(base, mix_seed(&[1, 2, 4]));
+        assert_ne!(base, mix_seed(&[1, 3, 3]));
+        assert_ne!(base, mix_seed(&[2, 2, 3]));
+        // Order matters too.
+        assert_ne!(mix_seed(&[1, 2]), mix_seed(&[2, 1]));
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let m = uniform(100, 10, -0.5, 0.25, &mut seeded_rng(3));
+        assert!(m.as_slice().iter().all(|&v| (-0.5..0.25).contains(&v)));
+    }
+
+    #[test]
+    fn normal_moments_roughly_correct() {
+        let m = normal(200, 200, 1.5, 2.0, &mut seeded_rng(4));
+        let mean = m.mean();
+        let var = m.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>()
+            / (m.len() - 1) as f32;
+        assert!((mean - 1.5).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn glorot_limit_matches_formula() {
+        let m = glorot_uniform(30, 18, &mut seeded_rng(5));
+        let limit = (6.0f32 / 48.0).sqrt();
+        assert!(m.max_abs() <= limit);
+        assert!(m.max_abs() > limit * 0.5, "suspiciously small draws");
+    }
+
+    #[test]
+    fn he_normal_scale() {
+        let m = he_normal(512, 512, &mut seeded_rng(6));
+        let std = (m.as_slice().iter().map(|v| v * v).sum::<f32>() / m.len() as f32).sqrt();
+        let expected = (2.0f32 / 512.0).sqrt();
+        assert!((std - expected).abs() / expected < 0.1);
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let p = permutation(100, &mut seeded_rng(7));
+        let mut seen = [false; 100];
+        for &i in &p {
+            assert!(!seen[i], "duplicate {i}");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn permutation_empty_and_single() {
+        assert!(permutation(0, &mut seeded_rng(8)).is_empty());
+        assert_eq!(permutation(1, &mut seeded_rng(8)), vec![0]);
+    }
+}

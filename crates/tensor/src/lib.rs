@@ -1,0 +1,43 @@
+//! # ltfb-tensor
+//!
+//! Dense `f32` linear algebra for the LTFB reproduction — the stand-in for
+//! the Hydrogen/Elemental GPU-accelerated kernels that LBANN builds on.
+//!
+//! The crate provides:
+//! * [`Matrix`] — row-major dense matrix, the container for mini-batches,
+//!   weights, activations and gradients;
+//! * blocked, Rayon-parallel GEMM in three transpose variants
+//!   ([`gemm()`], [`gemm_tn`], [`gemm_nt`]) so the NN stack never has to
+//!   materialise a transposed operand;
+//! * elementwise/rowwise kernels and the loss primitives (MAE, MSE,
+//!   BCE-with-logits) the CycleGAN surrogate uses;
+//! * deterministic, seed-mixed initialisers ([`init`]) so every experiment
+//!   is bit-reproducible;
+//! * a checksummed binary codec ([`serial`]) used for model exchange and
+//!   the bundle file format.
+
+pub mod classify;
+pub mod gemm;
+pub mod init;
+pub mod matrix;
+pub mod ops;
+pub mod serial;
+
+pub use classify::{
+    accuracy, argmax_rows, cross_entropy_with_logits, cross_entropy_with_logits_grad,
+    softmax_rows,
+};
+pub use gemm::{dot, gemm, gemm_nt, gemm_tn, matmul, matmul_naive};
+pub use init::{
+    glorot_uniform, he_normal, mix_seed, normal, permutation, seeded_rng, uniform, TensorRng,
+};
+pub use matrix::Matrix;
+pub use ops::{
+    add, add_bias, axpy, bce_with_logits, bce_with_logits_grad, clip_inplace, col_sums, hadamard,
+    map, map_inplace, mean_absolute_error, mean_absolute_error_grad, mean_squared_error,
+    mean_squared_error_grad, row_means, scale, sigmoid, sub,
+};
+pub use serial::{
+    crc32, decode_matrices, decode_matrix, encode_matrices, encode_matrix, encode_matrix_into,
+    encoded_len, DecodeError,
+};

@@ -1,0 +1,427 @@
+//! Dense row-major `f32` matrix.
+//!
+//! This is the workhorse container of the whole stack: mini-batches,
+//! weights, gradients and activations are all `Matrix` values. The layout
+//! is row-major (C order) so that a mini-batch of `n` samples with `d`
+//! features is an `n x d` matrix whose rows are contiguous samples — the
+//! layout both the data store and the GEMM kernels assume.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Dense row-major `f32` matrix.
+///
+/// Invariant: `data.len() == rows * cols` at all times.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// An `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// An `rows x cols` matrix filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Matrix { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// The `n x n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from an existing buffer. Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Build from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Build a single-row matrix from a slice.
+    pub fn row_vector(v: &[f32]) -> Self {
+        Matrix { rows: 1, cols: v.len(), data: v.to_vec() }
+    }
+
+    /// Build a single-column matrix from a slice.
+    pub fn col_vector(v: &[f32]) -> Self {
+        Matrix { rows: v.len(), cols: 1, data: v.to_vec() }
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat row-major view of the data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Flat mutable row-major view of the data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume into the flat buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Borrow row `r` as a contiguous slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r` as a contiguous slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copy column `c` out into a new vector (columns are strided).
+    pub fn col(&self, c: usize) -> Vec<f32> {
+        assert!(c < self.cols);
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// Unchecked-by-release element read.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Unchecked-by-release element write.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Out-of-place transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        // Blocked transpose keeps both access streams inside the cache for
+        // large matrices; 32x32 tiles of f32 are 4 KiB each.
+        const B: usize = 32;
+        for rb in (0..self.rows).step_by(B) {
+            for cb in (0..self.cols).step_by(B) {
+                let rmax = (rb + B).min(self.rows);
+                let cmax = (cb + B).min(self.cols);
+                for r in rb..rmax {
+                    for c in cb..cmax {
+                        out.data[c * self.rows + r] = self.data[r * self.cols + c];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Copy rows `[start, end)` into a new matrix.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Matrix {
+        assert!(start <= end && end <= self.rows, "row slice {start}..{end} out of 0..{}", self.rows);
+        Matrix {
+            rows: end - start,
+            cols: self.cols,
+            data: self.data[start * self.cols..end * self.cols].to_vec(),
+        }
+    }
+
+    /// Gather the given rows (in order, duplicates allowed) into a new matrix.
+    pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (dst, &src) in indices.iter().enumerate() {
+            assert!(src < self.rows, "row index {src} out of 0..{}", self.rows);
+            out.row_mut(dst).copy_from_slice(self.row(src));
+        }
+        out
+    }
+
+    /// Vertically stack matrices with matching column counts.
+    pub fn vstack(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty(), "vstack of nothing");
+        let cols = parts[0].cols;
+        let rows: usize = parts.iter().map(|p| p.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for p in parts {
+            assert_eq!(p.cols, cols, "vstack column mismatch");
+            data.extend_from_slice(&p.data);
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Horizontally concatenate matrices with matching row counts.
+    pub fn hstack(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty(), "hstack of nothing");
+        let rows = parts[0].rows;
+        let cols: usize = parts.iter().map(|p| p.cols).sum();
+        let mut out = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            let dst = out.row_mut(r);
+            let mut off = 0;
+            for p in parts {
+                assert_eq!(p.rows, rows, "hstack row mismatch");
+                dst[off..off + p.cols].copy_from_slice(p.row(r));
+                off += p.cols;
+            }
+        }
+        out
+    }
+
+    /// Split columns `[start, end)` out into a new matrix.
+    pub fn slice_cols(&self, start: usize, end: usize) -> Matrix {
+        assert!(start <= end && end <= self.cols, "col slice {start}..{end} out of 0..{}", self.cols);
+        let mut out = Matrix::zeros(self.rows, end - start);
+        for r in 0..self.rows {
+            out.row_mut(r).copy_from_slice(&self.row(r)[start..end]);
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty matrix).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Largest absolute element (0 for an empty matrix).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |acc, v| acc.max(v.abs()))
+    }
+
+    /// True if every element is finite (no NaN/inf escaped a kernel).
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let show_rows = self.rows.min(6);
+        for r in 0..show_rows {
+            let show_cols = self.cols.min(8);
+            write!(f, "  [")?;
+            for c in 0..show_cols {
+                write!(f, "{:>9.4}", self[(r, c)])?;
+                if c + 1 < show_cols {
+                    write!(f, ", ")?;
+                }
+            }
+            if self.cols > show_cols {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > show_rows {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_shape_and_content() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.len(), 12);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn identity_is_identity() {
+        let i = Matrix::identity(4);
+        for r in 0..4 {
+            for c in 0..4 {
+                assert_eq!(i[(r, c)], if r == c { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn from_fn_row_major_order() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r * 10 + c) as f32);
+        assert_eq!(m.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_length_mismatch_panics() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = Matrix::from_fn(5, 7, |r, c| (r * 7 + c) as f32);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (7, 5));
+        assert_eq!(t.transpose(), m);
+        assert_eq!(t[(3, 2)], m[(2, 3)]);
+    }
+
+    #[test]
+    fn transpose_large_blocked_matches_naive() {
+        let m = Matrix::from_fn(67, 45, |r, c| (r * 131 + c * 7) as f32);
+        let t = m.transpose();
+        for r in 0..67 {
+            for c in 0..45 {
+                assert_eq!(t[(c, r)], m[(r, c)]);
+            }
+        }
+    }
+
+    #[test]
+    fn row_and_col_access() {
+        let m = Matrix::from_fn(3, 3, |r, c| (r * 3 + c) as f32);
+        assert_eq!(m.row(1), &[3.0, 4.0, 5.0]);
+        assert_eq!(m.col(2), vec![2.0, 5.0, 8.0]);
+    }
+
+    #[test]
+    fn slice_rows_copies_expected_range() {
+        let m = Matrix::from_fn(4, 2, |r, c| (r * 2 + c) as f32);
+        let s = m.slice_rows(1, 3);
+        assert_eq!(s.shape(), (2, 2));
+        assert_eq!(s.as_slice(), &[2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn gather_rows_with_duplicates() {
+        let m = Matrix::from_fn(3, 2, |r, _| r as f32);
+        let g = m.gather_rows(&[2, 0, 2]);
+        assert_eq!(g.col(0), vec![2.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn vstack_and_hstack() {
+        let a = Matrix::full(2, 3, 1.0);
+        let b = Matrix::full(1, 3, 2.0);
+        let v = Matrix::vstack(&[&a, &b]);
+        assert_eq!(v.shape(), (3, 3));
+        assert_eq!(v.row(2), &[2.0, 2.0, 2.0]);
+
+        let c = Matrix::full(2, 1, 5.0);
+        let h = Matrix::hstack(&[&a, &c]);
+        assert_eq!(h.shape(), (2, 4));
+        assert_eq!(h.row(0), &[1.0, 1.0, 1.0, 5.0]);
+    }
+
+    #[test]
+    fn slice_cols_extracts_strided_block() {
+        let m = Matrix::from_fn(2, 4, |r, c| (r * 4 + c) as f32);
+        let s = m.slice_cols(1, 3);
+        assert_eq!(s.shape(), (2, 2));
+        assert_eq!(s.as_slice(), &[1.0, 2.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, -2.0, 3.0, -4.0]);
+        assert_eq!(m.sum(), -2.0);
+        assert_eq!(m.mean(), -0.5);
+        assert_eq!(m.max_abs(), 4.0);
+        assert!((m.frobenius_norm() - 30.0f32.sqrt()).abs() < 1e-6);
+        assert!(m.all_finite());
+    }
+
+    #[test]
+    fn all_finite_detects_nan() {
+        let mut m = Matrix::zeros(2, 2);
+        m[(1, 1)] = f32::NAN;
+        assert!(!m.all_finite());
+    }
+
+    #[test]
+    fn debug_format_truncates() {
+        let m = Matrix::zeros(10, 20);
+        let s = format!("{m:?}");
+        assert!(s.contains("Matrix 10x20"));
+        assert!(s.contains('…'));
+    }
+}

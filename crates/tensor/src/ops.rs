@@ -1,0 +1,341 @@
+//! Elementwise and rowwise operations used by the NN layers.
+//!
+//! All in-place variants mutate their first argument without allocating;
+//! the out-of-place variants allocate exactly once. Hot-loop bodies are
+//! branch-free where possible so they auto-vectorise.
+
+use crate::matrix::Matrix;
+
+/// `y += alpha * x` (BLAS axpy) over whole matrices.
+pub fn axpy(alpha: f32, x: &Matrix, y: &mut Matrix) {
+    assert_eq!(x.shape(), y.shape(), "axpy shape mismatch");
+    for (yv, xv) in y.as_mut_slice().iter_mut().zip(x.as_slice()) {
+        *yv += alpha * xv;
+    }
+}
+
+/// `y = alpha * y`.
+pub fn scale(alpha: f32, y: &mut Matrix) {
+    for v in y.as_mut_slice() {
+        *v *= alpha;
+    }
+}
+
+/// Elementwise sum into a fresh matrix.
+pub fn add(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.shape(), b.shape(), "add shape mismatch");
+    let data = a.as_slice().iter().zip(b.as_slice()).map(|(x, y)| x + y).collect();
+    Matrix::from_vec(a.rows(), a.cols(), data)
+}
+
+/// Elementwise difference into a fresh matrix.
+pub fn sub(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.shape(), b.shape(), "sub shape mismatch");
+    let data = a.as_slice().iter().zip(b.as_slice()).map(|(x, y)| x - y).collect();
+    Matrix::from_vec(a.rows(), a.cols(), data)
+}
+
+/// Elementwise (Hadamard) product into a fresh matrix.
+pub fn hadamard(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.shape(), b.shape(), "hadamard shape mismatch");
+    let data = a.as_slice().iter().zip(b.as_slice()).map(|(x, y)| x * y).collect();
+    Matrix::from_vec(a.rows(), a.cols(), data)
+}
+
+/// In-place elementwise map.
+pub fn map_inplace(m: &mut Matrix, f: impl Fn(f32) -> f32) {
+    for v in m.as_mut_slice() {
+        *v = f(*v);
+    }
+}
+
+/// Out-of-place elementwise map.
+pub fn map(m: &Matrix, f: impl Fn(f32) -> f32) -> Matrix {
+    let data = m.as_slice().iter().map(|&v| f(v)).collect();
+    Matrix::from_vec(m.rows(), m.cols(), data)
+}
+
+/// Add a row-vector bias to every row of `m` in place.
+pub fn add_bias(m: &mut Matrix, bias: &Matrix) {
+    assert_eq!(bias.rows(), 1, "bias must be a row vector");
+    assert_eq!(bias.cols(), m.cols(), "bias width mismatch");
+    let b = bias.as_slice();
+    let cols = m.cols();
+    for row in m.as_mut_slice().chunks_exact_mut(cols) {
+        for (v, bv) in row.iter_mut().zip(b) {
+            *v += bv;
+        }
+    }
+}
+
+/// Sum over rows producing a `1 x cols` row vector (bias gradients).
+pub fn col_sums(m: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(1, m.cols());
+    let o = out.as_mut_slice();
+    for r in 0..m.rows() {
+        for (ov, v) in o.iter_mut().zip(m.row(r)) {
+            *ov += v;
+        }
+    }
+    out
+}
+
+/// Per-row mean into an `rows x 1` column vector.
+pub fn row_means(m: &Matrix) -> Matrix {
+    let cols = m.cols().max(1) as f32;
+    let data = (0..m.rows()).map(|r| m.row(r).iter().sum::<f32>() / cols).collect();
+    Matrix::from_vec(m.rows(), 1, data)
+}
+
+/// Mean absolute error between predictions and targets.
+///
+/// This is the loss the paper uses for both the internal-consistency
+/// (decoder) and cycle-consistency (inverse model) terms.
+pub fn mean_absolute_error(pred: &Matrix, target: &Matrix) -> f32 {
+    assert_eq!(pred.shape(), target.shape(), "mae shape mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    pred.as_slice()
+        .iter()
+        .zip(target.as_slice())
+        .map(|(p, t)| (p - t).abs())
+        .sum::<f32>()
+        / pred.len() as f32
+}
+
+/// Gradient of the mean absolute error w.r.t. predictions: `sign(p - t) / N`.
+pub fn mean_absolute_error_grad(pred: &Matrix, target: &Matrix) -> Matrix {
+    assert_eq!(pred.shape(), target.shape(), "mae grad shape mismatch");
+    let n = pred.len().max(1) as f32;
+    let data = pred
+        .as_slice()
+        .iter()
+        .zip(target.as_slice())
+        .map(|(p, t)| {
+            let d = p - t;
+            if d > 0.0 {
+                1.0 / n
+            } else if d < 0.0 {
+                -1.0 / n
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    Matrix::from_vec(pred.rows(), pred.cols(), data)
+}
+
+/// Mean squared error.
+pub fn mean_squared_error(pred: &Matrix, target: &Matrix) -> f32 {
+    assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    pred.as_slice()
+        .iter()
+        .zip(target.as_slice())
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f32>()
+        / pred.len() as f32
+}
+
+/// Gradient of MSE w.r.t. predictions: `2 (p - t) / N`.
+pub fn mean_squared_error_grad(pred: &Matrix, target: &Matrix) -> Matrix {
+    assert_eq!(pred.shape(), target.shape(), "mse grad shape mismatch");
+    let n = pred.len().max(1) as f32;
+    let data = pred
+        .as_slice()
+        .iter()
+        .zip(target.as_slice())
+        .map(|(p, t)| 2.0 * (p - t) / n)
+        .collect();
+    Matrix::from_vec(pred.rows(), pred.cols(), data)
+}
+
+/// Numerically stable binary cross-entropy on logits, averaged over elements.
+///
+/// `target` entries must be in `[0, 1]`; typically exactly 0 or 1. This is
+/// the adversarial (physical-consistency) loss of the discriminator.
+pub fn bce_with_logits(logits: &Matrix, target: &Matrix) -> f32 {
+    assert_eq!(logits.shape(), target.shape(), "bce shape mismatch");
+    if logits.is_empty() {
+        return 0.0;
+    }
+    logits
+        .as_slice()
+        .iter()
+        .zip(target.as_slice())
+        .map(|(&z, &t)| {
+            // max(z, 0) - z * t + ln(1 + e^{-|z|}) — the standard stable form.
+            z.max(0.0) - z * t + (-z.abs()).exp().ln_1p()
+        })
+        .sum::<f32>()
+        / logits.len() as f32
+}
+
+/// Gradient of [`bce_with_logits`] w.r.t. the logits: `(sigmoid(z) - t) / N`.
+pub fn bce_with_logits_grad(logits: &Matrix, target: &Matrix) -> Matrix {
+    assert_eq!(logits.shape(), target.shape(), "bce grad shape mismatch");
+    let n = logits.len().max(1) as f32;
+    let data = logits
+        .as_slice()
+        .iter()
+        .zip(target.as_slice())
+        .map(|(&z, &t)| (sigmoid(z) - t) / n)
+        .collect();
+    Matrix::from_vec(logits.rows(), logits.cols(), data)
+}
+
+/// Logistic sigmoid.
+#[inline]
+pub fn sigmoid(z: f32) -> f32 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Clip every element into `[-limit, limit]` in place (gradient clipping).
+pub fn clip_inplace(m: &mut Matrix, limit: f32) {
+    assert!(limit > 0.0, "clip limit must be positive");
+    for v in m.as_mut_slice() {
+        *v = v.clamp(-limit, limit);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axpy_and_scale() {
+        let x = Matrix::full(2, 2, 2.0);
+        let mut y = Matrix::full(2, 2, 1.0);
+        axpy(0.5, &x, &mut y);
+        assert_eq!(y, Matrix::full(2, 2, 2.0));
+        scale(0.25, &mut y);
+        assert_eq!(y, Matrix::full(2, 2, 0.5));
+    }
+
+    #[test]
+    fn add_sub_hadamard() {
+        let a = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let b = Matrix::from_vec(1, 3, vec![4.0, 5.0, 6.0]);
+        assert_eq!(add(&a, &b).as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(sub(&b, &a).as_slice(), &[3.0, 3.0, 3.0]);
+        assert_eq!(hadamard(&a, &b).as_slice(), &[4.0, 10.0, 18.0]);
+    }
+
+    #[test]
+    fn bias_roundtrip_with_col_sums() {
+        let mut m = Matrix::zeros(3, 2);
+        let bias = Matrix::row_vector(&[1.0, -2.0]);
+        add_bias(&mut m, &bias);
+        assert_eq!(m.row(2), &[1.0, -2.0]);
+        let sums = col_sums(&m);
+        assert_eq!(sums.as_slice(), &[3.0, -6.0]);
+    }
+
+    #[test]
+    fn mae_value_and_grad_signs() {
+        let p = Matrix::from_vec(1, 3, vec![1.0, 0.0, -1.0]);
+        let t = Matrix::from_vec(1, 3, vec![0.0, 0.0, 1.0]);
+        assert!((mean_absolute_error(&p, &t) - 1.0).abs() < 1e-6);
+        let g = mean_absolute_error_grad(&p, &t);
+        assert_eq!(g.as_slice(), &[1.0 / 3.0, 0.0, -1.0 / 3.0]);
+    }
+
+    #[test]
+    fn mse_value_and_grad() {
+        let p = Matrix::from_vec(1, 2, vec![2.0, 0.0]);
+        let t = Matrix::from_vec(1, 2, vec![0.0, 0.0]);
+        assert!((mean_squared_error(&p, &t) - 2.0).abs() < 1e-6);
+        let g = mean_squared_error_grad(&p, &t);
+        assert_eq!(g.as_slice(), &[2.0, 0.0]);
+    }
+
+    #[test]
+    fn mse_grad_is_numerical_derivative() {
+        let p = Matrix::from_vec(1, 2, vec![0.3, -0.7]);
+        let t = Matrix::from_vec(1, 2, vec![0.1, 0.5]);
+        let g = mean_squared_error_grad(&p, &t);
+        let eps = 1e-3;
+        for i in 0..2 {
+            let mut pp = p.clone();
+            pp.as_mut_slice()[i] += eps;
+            let mut pm = p.clone();
+            pm.as_mut_slice()[i] -= eps;
+            let num = (mean_squared_error(&pp, &t) - mean_squared_error(&pm, &t)) / (2.0 * eps);
+            assert!((num - g.as_slice()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn bce_matches_naive_formula_in_safe_range() {
+        let z = Matrix::from_vec(1, 2, vec![0.3, -1.2]);
+        let t = Matrix::from_vec(1, 2, vec![1.0, 0.0]);
+        let naive: f32 = z
+            .as_slice()
+            .iter()
+            .zip(t.as_slice())
+            .map(|(&z, &t)| {
+                let s = sigmoid(z);
+                -(t * s.ln() + (1.0 - t) * (1.0 - s).ln())
+            })
+            .sum::<f32>()
+            / 2.0;
+        assert!((bce_with_logits(&z, &t) - naive).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bce_stable_for_extreme_logits() {
+        let z = Matrix::from_vec(1, 2, vec![500.0, -500.0]);
+        let t = Matrix::from_vec(1, 2, vec![1.0, 0.0]);
+        let loss = bce_with_logits(&z, &t);
+        assert!(loss.is_finite());
+        assert!(loss < 1e-3, "confident-correct logits should have ~0 loss");
+        let g = bce_with_logits_grad(&z, &t);
+        assert!(g.all_finite());
+    }
+
+    #[test]
+    fn bce_grad_is_numerical_derivative() {
+        let z = Matrix::from_vec(1, 3, vec![0.5, -0.25, 1.5]);
+        let t = Matrix::from_vec(1, 3, vec![1.0, 0.0, 1.0]);
+        let g = bce_with_logits_grad(&z, &t);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut zp = z.clone();
+            zp.as_mut_slice()[i] += eps;
+            let mut zm = z.clone();
+            zm.as_mut_slice()[i] -= eps;
+            let num = (bce_with_logits(&zp, &t) - bce_with_logits(&zm, &t)) / (2.0 * eps);
+            assert!((num - g.as_slice()[i]).abs() < 1e-3, "component {i}");
+        }
+    }
+
+    #[test]
+    fn sigmoid_symmetry_and_range() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!((sigmoid(3.0) + sigmoid(-3.0) - 1.0).abs() < 1e-6);
+        assert!(sigmoid(100.0) <= 1.0 && sigmoid(-100.0) >= 0.0);
+    }
+
+    #[test]
+    fn clip_bounds_everything() {
+        let mut m = Matrix::from_vec(1, 4, vec![-10.0, -0.5, 0.5, 10.0]);
+        clip_inplace(&mut m, 1.0);
+        assert_eq!(m.as_slice(), &[-1.0, -0.5, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn row_means_shape_and_values() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, 3.0, -1.0, 1.0]);
+        let rm = row_means(&m);
+        assert_eq!(rm.shape(), (2, 1));
+        assert_eq!(rm.as_slice(), &[2.0, 0.0]);
+    }
+}

@@ -1,0 +1,231 @@
+//! Binary (de)serialisation of matrices.
+//!
+//! Model exchange in LTFB ships generator weights between trainers as flat
+//! byte buffers over the communication layer; the same codec backs the
+//! bundle file format's tensor payloads. Format (little-endian):
+//!
+//! ```text
+//! magic  u32  = 0x4C54_4642 ("LTFB")
+//! rows   u64
+//! cols   u64
+//! data   rows*cols f32, row-major
+//! crc    u32  (CRC-32 of the data bytes)
+//! ```
+
+use crate::matrix::Matrix;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: u32 = 0x4C54_4642;
+
+/// Errors from [`decode_matrix`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Buffer too short for the header or payload.
+    Truncated { needed: usize, have: usize },
+    /// Magic number mismatch: not an encoded matrix.
+    BadMagic(u32),
+    /// Stored CRC does not match the payload (corruption).
+    BadChecksum { stored: u32, computed: u32 },
+    /// rows*cols overflows or is absurdly large for the buffer.
+    BadShape { rows: u64, cols: u64 },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated { needed, have } => {
+                write!(f, "truncated matrix buffer: need {needed} bytes, have {have}")
+            }
+            DecodeError::BadMagic(m) => write!(f, "bad magic {m:#010x}"),
+            DecodeError::BadChecksum { stored, computed } => {
+                write!(f, "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}")
+            }
+            DecodeError::BadShape { rows, cols } => write!(f, "bad shape {rows}x{cols}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Simple CRC-32 (IEEE polynomial, bitwise). Fast enough for weight blobs;
+/// the point is corruption *detection*, not throughput.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Number of bytes [`encode_matrix`] will produce for a `rows x cols` matrix.
+pub fn encoded_len(rows: usize, cols: usize) -> usize {
+    4 + 8 + 8 + rows * cols * 4 + 4
+}
+
+/// Serialise a matrix into a fresh byte buffer.
+pub fn encode_matrix(m: &Matrix) -> Bytes {
+    let mut buf = BytesMut::with_capacity(encoded_len(m.rows(), m.cols()));
+    encode_matrix_into(m, &mut buf);
+    buf.freeze()
+}
+
+/// Serialise a matrix, appending to an existing buffer (used when packing
+/// many weight tensors into one model-exchange message).
+pub fn encode_matrix_into(m: &Matrix, buf: &mut BytesMut) {
+    buf.put_u32_le(MAGIC);
+    buf.put_u64_le(m.rows() as u64);
+    buf.put_u64_le(m.cols() as u64);
+    let start = buf.len();
+    for &v in m.as_slice() {
+        buf.put_f32_le(v);
+    }
+    let crc = crc32(&buf[start..]);
+    buf.put_u32_le(crc);
+}
+
+/// Deserialise one matrix from the front of `buf`, advancing it past the
+/// consumed bytes. Multiple matrices can be decoded back-to-back.
+pub fn decode_matrix(buf: &mut Bytes) -> Result<Matrix, DecodeError> {
+    const HEADER: usize = 4 + 8 + 8;
+    if buf.remaining() < HEADER {
+        return Err(DecodeError::Truncated { needed: HEADER, have: buf.remaining() });
+    }
+    let magic = buf.get_u32_le();
+    if magic != MAGIC {
+        return Err(DecodeError::BadMagic(magic));
+    }
+    let rows = buf.get_u64_le();
+    let cols = buf.get_u64_le();
+    let n = rows
+        .checked_mul(cols)
+        .filter(|&n| n <= (buf.remaining() as u64) / 4 + 1)
+        .ok_or(DecodeError::BadShape { rows, cols })? as usize;
+    let payload = n * 4;
+    if buf.remaining() < payload + 4 {
+        return Err(DecodeError::Truncated { needed: payload + 4, have: buf.remaining() });
+    }
+    let computed = crc32(&buf[..payload]);
+    let mut data = Vec::with_capacity(n);
+    for _ in 0..n {
+        data.push(buf.get_f32_le());
+    }
+    let stored = buf.get_u32_le();
+    if stored != computed {
+        return Err(DecodeError::BadChecksum { stored, computed });
+    }
+    Ok(Matrix::from_vec(rows as usize, cols as usize, data))
+}
+
+/// Encode a sequence of matrices into one contiguous message.
+pub fn encode_matrices(ms: &[&Matrix]) -> Bytes {
+    let total: usize = ms.iter().map(|m| encoded_len(m.rows(), m.cols())).sum();
+    let mut buf = BytesMut::with_capacity(total + 8);
+    buf.put_u64_le(ms.len() as u64);
+    for m in ms {
+        encode_matrix_into(m, &mut buf);
+    }
+    buf.freeze()
+}
+
+/// Decode a message produced by [`encode_matrices`].
+pub fn decode_matrices(mut buf: Bytes) -> Result<Vec<Matrix>, DecodeError> {
+    if buf.remaining() < 8 {
+        return Err(DecodeError::Truncated { needed: 8, have: buf.remaining() });
+    }
+    let count = buf.get_u64_le() as usize;
+    let mut out = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        out.push(decode_matrix(&mut buf)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{seeded_rng, uniform};
+
+    #[test]
+    fn round_trip_single() {
+        let m = uniform(7, 11, -3.0, 3.0, &mut seeded_rng(1));
+        let bytes = encode_matrix(&m);
+        assert_eq!(bytes.len(), encoded_len(7, 11));
+        let got = decode_matrix(&mut bytes.clone()).unwrap();
+        assert_eq!(got, m);
+    }
+
+    #[test]
+    fn round_trip_empty() {
+        let m = Matrix::zeros(0, 5);
+        let got = decode_matrix(&mut encode_matrix(&m)).unwrap();
+        assert_eq!(got.shape(), (0, 5));
+    }
+
+    #[test]
+    fn round_trip_many() {
+        let mut rng = seeded_rng(2);
+        let ms: Vec<Matrix> = (1..5).map(|i| uniform(i, i + 2, -1.0, 1.0, &mut rng)).collect();
+        let refs: Vec<&Matrix> = ms.iter().collect();
+        let got = decode_matrices(encode_matrices(&refs)).unwrap();
+        assert_eq!(got, ms);
+    }
+
+    #[test]
+    fn corruption_detected_by_checksum() {
+        let m = uniform(4, 4, -1.0, 1.0, &mut seeded_rng(3));
+        let bytes = encode_matrix(&m);
+        let mut raw = bytes.to_vec();
+        raw[24] ^= 0x40; // flip a bit inside the payload
+        let err = decode_matrix(&mut Bytes::from(raw)).unwrap_err();
+        assert!(matches!(err, DecodeError::BadChecksum { .. }), "{err}");
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut raw = encode_matrix(&Matrix::zeros(1, 1)).to_vec();
+        raw[0] = 0;
+        let err = decode_matrix(&mut Bytes::from(raw)).unwrap_err();
+        assert!(matches!(err, DecodeError::BadMagic(_)));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = encode_matrix(&Matrix::zeros(3, 3));
+        let raw = bytes.slice(..bytes.len() - 6);
+        let err = decode_matrix(&mut raw.clone()).unwrap_err();
+        assert!(matches!(err, DecodeError::Truncated { .. }));
+    }
+
+    #[test]
+    fn absurd_shape_rejected_without_allocation() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(MAGIC);
+        buf.put_u64_le(u64::MAX);
+        buf.put_u64_le(u64::MAX);
+        let err = decode_matrix(&mut buf.freeze()).unwrap_err();
+        assert!(matches!(err, DecodeError::BadShape { .. }));
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // CRC-32 of "123456789" is 0xCBF43926 (IEEE reference vector).
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn back_to_back_decoding_advances_buffer() {
+        let a = Matrix::full(2, 2, 1.0);
+        let b = Matrix::full(1, 3, 2.0);
+        let mut buf = BytesMut::new();
+        encode_matrix_into(&a, &mut buf);
+        encode_matrix_into(&b, &mut buf);
+        let mut bytes = buf.freeze();
+        assert_eq!(decode_matrix(&mut bytes).unwrap(), a);
+        assert_eq!(decode_matrix(&mut bytes).unwrap(), b);
+        assert_eq!(bytes.remaining(), 0);
+    }
+}

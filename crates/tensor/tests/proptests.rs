@@ -1,0 +1,107 @@
+//! Property-based tests for the tensor kernels.
+
+use ltfb_tensor::{
+    decode_matrices, decode_matrix, encode_matrices, encode_matrix, gemm_nt, gemm_tn, matmul,
+    matmul_naive, seeded_rng, uniform, Matrix,
+};
+use proptest::prelude::*;
+
+/// Strategy: a matrix with bounded dimensions and values, built from a seed
+/// so shrinking operates on (rows, cols, seed) triples.
+fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim, any::<u64>()).prop_map(|(r, c, seed)| {
+        uniform(r, c, -2.0, 2.0, &mut seeded_rng(seed))
+    })
+}
+
+fn close(a: &Matrix, b: &Matrix, tol: f32) -> bool {
+    a.shape() == b.shape()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Blocked parallel GEMM agrees with the textbook triple loop.
+    #[test]
+    fn gemm_matches_naive((m, k, n, s1, s2) in (1usize..40, 1usize..40, 1usize..40, any::<u64>(), any::<u64>())) {
+        let a = uniform(m, k, -1.5, 1.5, &mut seeded_rng(s1));
+        let b = uniform(k, n, -1.5, 1.5, &mut seeded_rng(s2));
+        prop_assert!(close(&matmul(&a, &b), &matmul_naive(&a, &b), 1e-4));
+    }
+
+    /// A^T @ B via gemm_tn equals explicit transpose then multiply.
+    #[test]
+    fn gemm_tn_matches((k, m, n, s1, s2) in (1usize..30, 1usize..30, 1usize..30, any::<u64>(), any::<u64>())) {
+        let a = uniform(k, m, -1.0, 1.0, &mut seeded_rng(s1));
+        let b = uniform(k, n, -1.0, 1.0, &mut seeded_rng(s2));
+        let mut c = Matrix::zeros(m, n);
+        gemm_tn(1.0, &a, &b, 0.0, &mut c);
+        prop_assert!(close(&c, &matmul_naive(&a.transpose(), &b), 1e-4));
+    }
+
+    /// A @ B^T via gemm_nt equals explicit transpose then multiply.
+    #[test]
+    fn gemm_nt_matches((m, k, n, s1, s2) in (1usize..30, 1usize..30, 1usize..30, any::<u64>(), any::<u64>())) {
+        let a = uniform(m, k, -1.0, 1.0, &mut seeded_rng(s1));
+        let b = uniform(n, k, -1.0, 1.0, &mut seeded_rng(s2));
+        let mut c = Matrix::zeros(m, n);
+        gemm_nt(1.0, &a, &b, 0.0, &mut c);
+        prop_assert!(close(&c, &matmul_naive(&a, &b.transpose()), 1e-4));
+    }
+
+    /// Transposition is an involution and preserves every element.
+    #[test]
+    fn transpose_involution(m in matrix_strategy(50)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    /// Matrix serialisation round-trips exactly (bit-for-bit f32).
+    #[test]
+    fn serial_round_trip(m in matrix_strategy(40)) {
+        let decoded = decode_matrix(&mut encode_matrix(&m)).unwrap();
+        prop_assert_eq!(decoded, m);
+    }
+
+    /// Multi-matrix message round-trips and preserves order.
+    #[test]
+    fn serial_multi_round_trip(ms in prop::collection::vec(matrix_strategy(12), 0..6)) {
+        let refs: Vec<&Matrix> = ms.iter().collect();
+        let decoded = decode_matrices(encode_matrices(&refs)).unwrap();
+        prop_assert_eq!(decoded, ms);
+    }
+
+    /// Any single corrupted payload byte is detected (checksum or structure).
+    #[test]
+    fn serial_detects_single_byte_corruption(
+        m in matrix_strategy(8),
+        byte in any::<usize>(),
+        flip in 1u8..=255,
+    ) {
+        let bytes = encode_matrix(&m).to_vec();
+        // Corrupt strictly inside the payload region (after the 20-byte header,
+        // before the trailing CRC) so the header stays parseable.
+        if bytes.len() > 24 {
+            let idx = 20 + byte % (bytes.len() - 24);
+            let mut raw = bytes.clone();
+            raw[idx] ^= flip;
+            let result = decode_matrix(&mut bytes::Bytes::from(raw));
+            prop_assert!(result.is_err(), "corruption at {idx} undetected");
+        }
+    }
+
+    /// gather_rows returns exactly the rows asked for.
+    #[test]
+    fn gather_rows_exact(m in matrix_strategy(20), seed in any::<u64>()) {
+        let mut rng = seeded_rng(seed);
+        let idx: Vec<usize> =
+            (0..m.rows()).map(|_| rand::Rng::gen_range(&mut rng, 0..m.rows())).collect();
+        let g = m.gather_rows(&idx);
+        for (dst, &src) in idx.iter().enumerate() {
+            prop_assert_eq!(g.row(dst), m.row(src));
+        }
+    }
+}

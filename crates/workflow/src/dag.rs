@@ -1,0 +1,316 @@
+//! DAG-structured workflows: tasks with dependencies, executed with
+//! maximum parallelism as their predecessors complete — Merlin's step
+//! graphs (simulate → post-process → package), generalised per task.
+
+use crate::stats::{StatsInner, WorkflowStats};
+use crossbeam_channel::unbounded;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// A task in the graph: a payload plus the indices of the tasks it
+/// depends on.
+pub struct DagTask<T> {
+    /// User payload handed to the task function.
+    pub payload: T,
+    /// Indices (into the task vector) that must complete first.
+    pub deps: Vec<usize>,
+}
+
+/// Errors constructing/executing a DAG.
+#[derive(Debug, PartialEq, Eq)]
+pub enum DagError {
+    /// A dependency index is out of range.
+    BadDependency { task: usize, dep: usize },
+    /// The graph contains a cycle through this task.
+    Cycle { task: usize },
+}
+
+impl std::fmt::Display for DagError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DagError::BadDependency { task, dep } => {
+                write!(f, "task {task} depends on nonexistent task {dep}")
+            }
+            DagError::Cycle { task } => write!(f, "dependency cycle through task {task}"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+/// Validate the graph: dependencies in range, no cycles (Kahn's
+/// algorithm). Returns a topological order.
+pub fn validate_dag<T>(tasks: &[DagTask<T>]) -> Result<Vec<usize>, DagError> {
+    let n = tasks.len();
+    let mut indegree = vec![0usize; n];
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, t) in tasks.iter().enumerate() {
+        for &d in &t.deps {
+            if d >= n {
+                return Err(DagError::BadDependency { task: i, dep: d });
+            }
+            indegree[i] += 1;
+            dependents[d].push(i);
+        }
+    }
+    let mut queue: VecDeque<usize> =
+        (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(i) = queue.pop_front() {
+        order.push(i);
+        for &j in &dependents[i] {
+            indegree[j] -= 1;
+            if indegree[j] == 0 {
+                queue.push_back(j);
+            }
+        }
+    }
+    if order.len() != n {
+        let stuck = (0..n).find(|&i| indegree[i] > 0).unwrap_or(0);
+        return Err(DagError::Cycle { task: stuck });
+    }
+    Ok(order)
+}
+
+/// Execute the DAG on `workers` threads; each task runs as soon as all
+/// its dependencies have finished. A failing task poisons its transitive
+/// dependents (they are skipped and reported as `None`); independent
+/// subgraphs continue.
+pub fn run_dag<T, R, F>(
+    workers: usize,
+    tasks: &[DagTask<T>],
+    f: F,
+) -> Result<(Vec<Option<R>>, WorkflowStats), DagError>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> Result<R, String> + Sync,
+{
+    assert!(workers > 0);
+    validate_dag(tasks)?;
+    let n = tasks.len();
+    let start = Instant::now();
+    let stats = StatsInner::default();
+
+    // Shared scheduling state.
+    let remaining: Vec<AtomicUsize> =
+        tasks.iter().map(|t| AtomicUsize::new(t.deps.len())).collect();
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, t) in tasks.iter().enumerate() {
+        for &d in &t.deps {
+            dependents[d].push(i);
+        }
+    }
+    let results: Vec<Mutex<Option<Option<R>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let done = AtomicUsize::new(0);
+
+    // `usize::MAX` is the shutdown pill: the worker that completes the
+    // last task broadcasts one pill per worker (blocked workers hold live
+    // sender clones, so channel disconnection alone cannot wake them).
+    const PILL: usize = usize::MAX;
+    let (tx, rx) = unbounded::<usize>();
+    for i in 0..n {
+        if tasks[i].deps.is_empty() {
+            tx.send(i).expect("queue open");
+        }
+    }
+    if n == 0 {
+        return Ok((Vec::new(), stats.finish(start.elapsed())));
+    }
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let rx = rx.clone();
+            let tx = tx.clone();
+            let f = &f;
+            let stats = &stats;
+            let results = &results;
+            let remaining = &remaining;
+            let dependents = &dependents;
+            let done = &done;
+            scope.spawn(move || {
+                while let Ok(i) = rx.recv() {
+                    if i == PILL {
+                        break;
+                    }
+                    stats.batches_dispatched.fetch_add(1, Ordering::Relaxed);
+                    // Poisoned? (any dependency failed/skipped)
+                    let poisoned = tasks[i].deps.iter().any(|&d| {
+                        matches!(&*results[d].lock(), Some(None))
+                    });
+                    let outcome = if poisoned {
+                        stats.tasks_failed.fetch_add(1, Ordering::Relaxed);
+                        None
+                    } else {
+                        match f(&tasks[i].payload) {
+                            Ok(r) => {
+                                stats.tasks_succeeded.fetch_add(1, Ordering::Relaxed);
+                                Some(r)
+                            }
+                            Err(_) => {
+                                stats.tasks_failed.fetch_add(1, Ordering::Relaxed);
+                                None
+                            }
+                        }
+                    };
+                    *results[i].lock() = Some(outcome);
+                    for &j in &dependents[i] {
+                        if remaining[j].fetch_sub(1, Ordering::AcqRel) == 1 {
+                            let _ = tx.send(j);
+                        }
+                    }
+                    // The worker finishing the last task wakes everyone.
+                    if done.fetch_add(1, Ordering::AcqRel) + 1 == n {
+                        for _ in 0..workers {
+                            let _ = tx.send(PILL);
+                        }
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+    });
+
+    let out: Vec<Option<R>> = results
+        .into_iter()
+        .map(|m| m.into_inner().expect("every task scheduled"))
+        .collect();
+    Ok((out, stats.finish(start.elapsed())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn simple(payload: u32, deps: &[usize]) -> DagTask<u32> {
+        DagTask { payload, deps: deps.to_vec() }
+    }
+
+    #[test]
+    fn topological_order_valid() {
+        let tasks = vec![
+            simple(0, &[]),
+            simple(1, &[0]),
+            simple(2, &[0]),
+            simple(3, &[1, 2]),
+        ];
+        let order = validate_dag(&tasks).unwrap();
+        let pos = |i: usize| order.iter().position(|&x| x == i).unwrap();
+        assert!(pos(0) < pos(1) && pos(0) < pos(2));
+        assert!(pos(1) < pos(3) && pos(2) < pos(3));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let tasks = vec![simple(0, &[1]), simple(1, &[0])];
+        assert!(matches!(validate_dag(&tasks), Err(DagError::Cycle { .. })));
+    }
+
+    #[test]
+    fn self_cycle_detected() {
+        let tasks = vec![simple(0, &[0])];
+        assert!(matches!(validate_dag(&tasks), Err(DagError::Cycle { .. })));
+    }
+
+    #[test]
+    fn bad_dependency_detected() {
+        let tasks = vec![simple(0, &[5])];
+        assert_eq!(
+            validate_dag(&tasks).unwrap_err(),
+            DagError::BadDependency { task: 0, dep: 5 }
+        );
+    }
+
+    #[test]
+    fn dependencies_respected_under_parallel_execution() {
+        // Diamond: 0 -> {1, 2} -> 3; record completion order.
+        let order = Mutex::new(Vec::new());
+        let tasks = vec![
+            simple(0, &[]),
+            simple(1, &[0]),
+            simple(2, &[0]),
+            simple(3, &[1, 2]),
+        ];
+        let (results, stats) = run_dag(4, &tasks, |&t| {
+            order.lock().push(t);
+            Ok(t * 10)
+        })
+        .unwrap();
+        assert_eq!(stats.tasks_succeeded, 4);
+        assert_eq!(results, vec![Some(0), Some(10), Some(20), Some(30)]);
+        let ord = order.lock();
+        let pos = |v: u32| ord.iter().position(|&x| x == v).unwrap();
+        assert!(pos(0) < pos(1) && pos(0) < pos(2) && pos(1) < pos(3) && pos(2) < pos(3));
+    }
+
+    #[test]
+    fn failure_poisons_transitive_dependents_only() {
+        // 0 fails -> 1, 3 skipped; independent 2 -> 4 succeeds.
+        let tasks = vec![
+            simple(0, &[]),
+            simple(1, &[0]),
+            simple(2, &[]),
+            simple(3, &[1]),
+            simple(4, &[2]),
+        ];
+        let (results, stats) = run_dag(3, &tasks, |&t| {
+            if t == 0 {
+                Err("boom".into())
+            } else {
+                Ok(t)
+            }
+        })
+        .unwrap();
+        assert_eq!(results[0], None);
+        assert_eq!(results[1], None, "dependent of failure skipped");
+        assert_eq!(results[3], None, "transitively skipped");
+        assert_eq!(results[2], Some(2));
+        assert_eq!(results[4], Some(4));
+        assert_eq!(stats.tasks_succeeded, 2);
+        assert_eq!(stats.tasks_failed, 3);
+    }
+
+    #[test]
+    fn wide_fanout_runs_in_parallel() {
+        let tasks: Vec<DagTask<u32>> = std::iter::once(simple(0, &[]))
+            .chain((1..=32).map(|i| simple(i, &[0])))
+            .collect();
+        let seen = Mutex::new(std::collections::HashSet::new());
+        let (results, stats) = run_dag(4, &tasks, |&t| {
+            seen.lock().insert(std::thread::current().id());
+            std::thread::sleep(std::time::Duration::from_micros(300));
+            Ok(t)
+        })
+        .unwrap();
+        assert_eq!(stats.tasks_succeeded, 33);
+        assert!(results.iter().all(Option::is_some));
+        assert!(seen.lock().len() >= 2, "fanout should use multiple workers");
+    }
+
+    #[test]
+    fn empty_dag() {
+        let (results, stats) = run_dag::<u32, u32, _>(2, &[], |&t| Ok(t)).unwrap();
+        assert!(results.is_empty());
+        assert_eq!(stats.total_tasks(), 0);
+    }
+
+    #[test]
+    fn chain_executes_serially() {
+        let counter = AtomicU64::new(0);
+        let tasks: Vec<DagTask<u64>> = (0..10)
+            .map(|i| DagTask { payload: i, deps: if i == 0 { vec![] } else { vec![i as usize - 1] } })
+            .collect();
+        let (results, _) = run_dag(4, &tasks, |&t| {
+            // Each task must observe exactly t prior completions.
+            let seen = counter.fetch_add(1, Ordering::SeqCst);
+            assert_eq!(seen, t, "chain order violated");
+            Ok(t)
+        })
+        .unwrap();
+        assert!(results.iter().all(Option::is_some));
+    }
+}

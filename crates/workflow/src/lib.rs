@@ -1,0 +1,26 @@
+//! # ltfb-workflow
+//!
+//! A queue-based ensemble workflow engine — the substitute for the Merlin
+//! workflow system the paper uses to run tens of millions of JAG jobs
+//! (Section II-C).
+//!
+//! The problem Merlin solves is that a JAG job takes only ~a minute, so a
+//! naive one-job-per-scheduler-dispatch workflow is dominated by
+//! scheduling overhead. The engine here reproduces the two relevant
+//! mechanisms:
+//!
+//! * a **pull-based task queue** consumed by a pool of persistent workers
+//!   (no per-task process launch), and
+//! * **task batching**, amortising the per-dispatch overhead over many
+//!   fast tasks.
+//!
+//! The engine is generic over the task payload; the glue that generates
+//! the JAG dataset with it lives in the examples and benches.
+
+pub mod dag;
+pub mod engine;
+pub mod stats;
+
+pub use dag::{run_dag, validate_dag, DagError, DagTask};
+pub use engine::{run_stages, run_workflow, Stage, TaskError, WorkflowSpec};
+pub use stats::WorkflowStats;

@@ -1,0 +1,79 @@
+//! Execution statistics for a workflow run.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Counters accumulated during a workflow run (thread-safe).
+#[derive(Debug, Default)]
+pub(crate) struct StatsInner {
+    pub tasks_succeeded: AtomicU64,
+    pub tasks_failed: AtomicU64,
+    pub retries: AtomicU64,
+    pub batches_dispatched: AtomicU64,
+}
+
+/// Final statistics of a workflow run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkflowStats {
+    /// Tasks that eventually succeeded.
+    pub tasks_succeeded: u64,
+    /// Tasks that exhausted their retries.
+    pub tasks_failed: u64,
+    /// Total retry attempts performed.
+    pub retries: u64,
+    /// Batches handed to workers (the dispatch count the batching
+    /// optimisation minimises).
+    pub batches_dispatched: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+impl StatsInner {
+    pub(crate) fn finish(&self, elapsed: Duration) -> WorkflowStats {
+        WorkflowStats {
+            tasks_succeeded: self.tasks_succeeded.load(Ordering::Relaxed),
+            tasks_failed: self.tasks_failed.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            batches_dispatched: self.batches_dispatched.load(Ordering::Relaxed),
+            elapsed,
+        }
+    }
+}
+
+impl WorkflowStats {
+    /// Tasks processed in total.
+    pub fn total_tasks(&self) -> u64 {
+        self.tasks_succeeded + self.tasks_failed
+    }
+
+    /// Average tasks per dispatched batch — the amortisation factor.
+    pub fn tasks_per_dispatch(&self) -> f64 {
+        if self.batches_dispatched == 0 {
+            0.0
+        } else {
+            self.total_tasks() as f64 / self.batches_dispatched as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finish_snapshots_counters() {
+        let inner = StatsInner::default();
+        inner.tasks_succeeded.store(10, Ordering::Relaxed);
+        inner.batches_dispatched.store(2, Ordering::Relaxed);
+        let s = inner.finish(Duration::from_millis(5));
+        assert_eq!(s.tasks_succeeded, 10);
+        assert_eq!(s.total_tasks(), 10);
+        assert_eq!(s.tasks_per_dispatch(), 5.0);
+    }
+
+    #[test]
+    fn zero_dispatches_safe() {
+        let s = StatsInner::default().finish(Duration::ZERO);
+        assert_eq!(s.tasks_per_dispatch(), 0.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! The full data path of the paper, end to end: generate a bundle-file
+//! dataset, stand up a 4-rank trainer with the distributed in-memory data
+//! store, and feed CycleGAN training from the store — demonstrating the
+//! "no file-system reads after the first epoch" property while a real
+//! model trains on the delivered mini-batches.
+//!
+//! ```sh
+//! cargo run --release --example datastore_pipeline
+//! ```
+
+use ltfb::comm::run_world;
+use ltfb::datastore::{node_to_sample, DataStore, PopulateMode};
+use ltfb::gan::{batch_from_samples, CycleGan, CycleGanConfig};
+use ltfb::jag::{cleanup_dataset_dir, temp_dataset_dir, DatasetSpec, Sample};
+
+fn main() {
+    let dir = temp_dataset_dir("pipeline-example");
+    let cfg = CycleGanConfig::small(8);
+    let spec = DatasetSpec::new(dir.clone(), cfg.jag, 2_000, 250);
+    println!("generating {} samples in {} bundle files...", spec.n_samples, spec.n_files());
+    spec.generate_all().expect("dataset generation");
+
+    println!("running a 4-rank trainer with the preloaded data store...\n");
+    let spec2 = spec.clone();
+    let reports = run_world(4, move |comm| {
+        let rank = comm.rank();
+        let ids: Vec<u64> = (0..spec2.n_samples).collect();
+        let mut store = DataStore::new(
+            comm,
+            spec2.clone(),
+            ids,
+            PopulateMode::Preload,
+            64, // trainer-wide mini-batch; each rank consumes 16
+            42,
+            None,
+        )
+        .expect("store fits in memory");
+
+        // Each rank trains its own replica on the samples the store
+        // delivers (weight sync between replicas is exercised in the nn
+        // crate; here we demonstrate the data path).
+        let mut gan = CycleGan::new(cfg, 7);
+        let mut step_losses = Vec::new();
+        for epoch in 0..3u64 {
+            let plan = store.epoch_plan(epoch);
+            for step in 0..plan.steps() {
+                let delivered = store.fetch_step(&plan, step, epoch).expect("exchange ok");
+                let samples: Vec<Sample> =
+                    delivered.iter().map(|(_, node)| node_to_sample(node)).collect();
+                let refs: Vec<&Sample> = samples.iter().collect();
+                let (x, y) = batch_from_samples(&cfg, &refs);
+                if epoch == 0 {
+                    gan.pretrain_autoencoder_step(&y);
+                } else {
+                    let l = gan.train_step(&x, &y);
+                    step_losses.push(l.fidelity + l.cycle);
+                }
+            }
+        }
+        let stats = store.stats();
+        let first: f32 =
+            step_losses[..8.min(step_losses.len())].iter().sum::<f32>() / 8.0;
+        let last: f32 = step_losses[step_losses.len().saturating_sub(8)..]
+            .iter()
+            .sum::<f32>()
+            / 8.0;
+        (rank, stats, store.owned_count(), first, last)
+    });
+
+    for (rank, stats, owned, first, last) in &reports {
+        println!(
+            "rank {rank}: owns {owned:>4} samples | file reads: {} whole-file, {} random | \
+             shuffled in: {} samples / {} KiB | gen loss {first:.3} -> {last:.3}",
+            stats.fs_file_reads,
+            stats.fs_sample_reads,
+            stats.shuffled_samples,
+            stats.shuffled_bytes / 1024,
+        );
+    }
+    let total_file_reads: u64 = reports.iter().map(|(_, s, ..)| s.fs_file_reads).sum();
+    println!(
+        "\nacross 3 epochs the trainer opened each of the {} files exactly once \
+         (total {total_file_reads} whole-file reads) — epochs 1-2 ran entirely from memory.",
+        spec.n_files()
+    );
+    cleanup_dataset_dir(&dir);
+}

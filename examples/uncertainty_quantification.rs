@@ -1,0 +1,69 @@
+//! Statistical UQ and efficient sampling with the LTFB population
+//! (Section II-A's remaining use cases): treat the trained population as
+//! a deep ensemble, read its disagreement as epistemic uncertainty, and
+//! pick the next simulations where the surrogate is least sure.
+//!
+//! ```sh
+//! cargo run --release --example uncertainty_quantification
+//! ```
+
+use ltfb::core::{
+    adaptive_sample, optimize_design, run_ltfb_serial_with_models, LtfbConfig,
+    PopulationEnsemble,
+};
+use ltfb::prelude::Matrix;
+
+fn main() {
+    let mut cfg = LtfbConfig::small(4);
+    cfg.train_samples = 2048;
+    cfg.steps = 400;
+    cfg.ae_steps = 400;
+    cfg.eval_interval = 200;
+    println!("training a population of {} surrogates with LTFB...\n", cfg.n_trainers);
+    let (out, mut trainers) = run_ltfb_serial_with_models(&cfg);
+    println!(
+        "final validation losses: {:?}\n",
+        out.final_val.iter().map(|v| format!("{v:.3}")).collect::<Vec<_>>()
+    );
+
+    // --- Experiment optimisation with the best member.
+    let (best_id, _) = out.best();
+    let optimum = optimize_design(&mut trainers[best_id], 0, 256);
+    println!(
+        "surrogate-optimal design (max log-yield): [{}] -> predicted {:.3}",
+        optimum
+            .params
+            .iter()
+            .map(|v| format!("{v:.2}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+        optimum.predicted
+    );
+
+    // --- Ensemble UQ across the design cube.
+    let mut ensemble = PopulationEnsemble::new(trainers.iter_mut().collect());
+    println!("\nensemble uncertainty along the drive axis (asym/modes mid-range):");
+    println!("{:>7}  {:>10}  {:>10}", "drive", "mean_yld", "± std");
+    let probes: Vec<[f32; 5]> =
+        (0..7).map(|i| [0.05 + 0.15 * i as f32, 0.2, 0.5, 0.5, 0.5]).collect();
+    let mut x = Matrix::zeros(probes.len(), 5);
+    for (r, p) in probes.iter().enumerate() {
+        x.row_mut(r).copy_from_slice(p);
+    }
+    let pred = ensemble.predict(&x);
+    for (r, p) in probes.iter().enumerate() {
+        println!("{:>7.2}  {:>10.3}  {:>10.3}", p[0], pred.mean[(r, 0)], pred.std[(r, 0)]);
+    }
+
+    // --- Efficient sampling: where should the next JAG runs go?
+    let next = adaptive_sample(&mut ensemble, 500_000, 256, 5);
+    println!("\n5 highest-disagreement design points (next simulations to run):");
+    for p in &next {
+        println!(
+            "  [{}]",
+            p.iter().map(|v| format!("{v:.2}")).collect::<Vec<_>>().join(", ")
+        );
+    }
+    println!("\n(the population you already trained for speed doubles as the UQ");
+    println!(" ensemble — a free by-product of tournament training)");
+}

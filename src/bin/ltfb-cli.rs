@@ -1,0 +1,257 @@
+//! `ltfb-cli` — command-line front end for the reproduction.
+//!
+//! ```text
+//! ltfb-cli train    [--trainers K] [--steps N] [--seed S] [--distributed]
+//!                   [--lr-spread F] [--by-index] [--kindep]
+//! ltfb-cli classify [--trainers K] [--steps N] [--seed S]
+//! ltfb-cli simulate <fig9|fig10|fig11>
+//! ltfb-cli generate --dir PATH [--samples N] [--per-file M]
+//! ltfb-cli help
+//! ```
+//!
+//! Argument parsing is hand-rolled (the reproduction keeps its dependency
+//! set to the numeric/concurrency essentials).
+
+use ltfb::core::{
+    run_classifier_population, run_k_independent, run_ltfb_distributed, run_ltfb_serial,
+    run_ltfb_two_level, LtfbConfig, PartitionScheme,
+};
+use ltfb::hpcsim::{
+    dp_placement, evaluate_config, paper_sweep, IngestMode, MachineSpec, TrainingModel,
+    WorkloadSpec,
+};
+use ltfb::jag::{DatasetSpec, JagConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let flags = Flags::parse(&args[1..]);
+    match cmd.as_str() {
+        "train" => train(&flags),
+        "classify" => classify(&flags),
+        "simulate" => simulate(&flags),
+        "generate" => generate(&flags),
+        "help" | "--help" | "-h" => {
+            usage();
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command: {other}\n");
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Minimal flag bag: `--key value` pairs, bare flags, and positionals.
+struct Flags {
+    kv: Vec<(String, String)>,
+    bare: Vec<String>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Flags {
+        let mut kv = Vec::new();
+        let mut bare = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
+            if let Some(key) = a.strip_prefix("--") {
+                let takes_value = i + 1 < args.len() && !args[i + 1].starts_with("--");
+                if takes_value {
+                    kv.push((key.to_string(), args[i + 1].clone()));
+                    i += 2;
+                } else {
+                    kv.push((key.to_string(), String::new()));
+                    i += 1;
+                }
+            } else {
+                bare.push(a.clone());
+                i += 1;
+            }
+        }
+        Flags { kv, bare }
+    }
+
+    fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.kv
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.kv.iter().any(|(k, _)| k == key)
+    }
+
+    fn get_str(&self, key: &str) -> Option<&str> {
+        self.kv.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+fn build_cfg(flags: &Flags) -> LtfbConfig {
+    let k = flags.get("trainers", 4usize);
+    let mut cfg = LtfbConfig::small(k.max(1));
+    cfg.steps = flags.get("steps", 200u64);
+    cfg.ae_steps = flags.get("ae-steps", cfg.steps);
+    cfg.seed = flags.get("seed", 2019u64);
+    cfg.train_samples = flags.get("samples", 1024u64);
+    cfg.exchange_interval = flags.get("exchange", 25u64);
+    cfg.eval_interval = flags.get("eval", 50u64);
+    cfg.lr_spread = flags.get("lr-spread", 1.0f32);
+    if flags.has("by-index") {
+        cfg.partition = PartitionScheme::ByIndex;
+    }
+    cfg
+}
+
+fn train(flags: &Flags) -> ExitCode {
+    let cfg = build_cfg(flags);
+    println!(
+        "LTFB: K={} steps={} seed={} partition={:?} lr_spread={}",
+        cfg.n_trainers, cfg.steps, cfg.seed, cfg.partition, cfg.lr_spread
+    );
+    let replicas = flags.get("replicas", 1usize);
+    if replicas > 1 {
+        println!("(two-level: {replicas} data-parallel replicas per trainer)");
+        let out = run_ltfb_two_level(&cfg, replicas);
+        for (t, h) in out.histories.iter().enumerate() {
+            let pts: Vec<String> =
+                h.points().iter().map(|(s, l)| format!("{s}:{l:.3}")).collect();
+            println!("trainer {t}: {}", pts.join("  "));
+        }
+        let (best, loss) = out.best();
+        println!(
+            "adoptions: {}  best: trainer {best} @ {loss:.4}  replicas consistent: {}",
+            out.adoptions, out.replicas_consistent
+        );
+        return ExitCode::SUCCESS;
+    }
+    let out = if flags.has("kindep") {
+        println!("(K-independent baseline: tournaments disabled)");
+        run_k_independent(&cfg)
+    } else if flags.has("distributed") {
+        println!("(distributed driver: one rank per trainer)");
+        run_ltfb_distributed(&cfg)
+    } else {
+        run_ltfb_serial(&cfg)
+    };
+    for (t, h) in out.histories.iter().enumerate() {
+        let pts: Vec<String> =
+            h.points().iter().map(|(s, l)| format!("{s}:{l:.3}")).collect();
+        println!("trainer {t}: {}", pts.join("  "));
+    }
+    let (best, loss) = out.best();
+    println!("adoptions: {}  best: trainer {best} @ {loss:.4}", out.adoptions);
+    ExitCode::SUCCESS
+}
+
+fn classify(flags: &Flags) -> ExitCode {
+    let cfg = build_cfg(flags);
+    println!("classifier LTFB: K={} steps={}", cfg.n_trainers, cfg.steps);
+    let out = run_classifier_population(&cfg, !flags.has("kindep"));
+    for (t, (ce, acc)) in out.final_ce.iter().zip(&out.final_accuracy).enumerate() {
+        println!("trainer {t}: cross-entropy {ce:.4}, accuracy {:.1}%", acc * 100.0);
+    }
+    println!("adoptions: {}", out.adoptions);
+    ExitCode::SUCCESS
+}
+
+fn simulate(flags: &Flags) -> ExitCode {
+    let m = MachineSpec::lassen();
+    let w = WorkloadSpec::icf_cyclegan();
+    let t = TrainingModel::default();
+    match flags.bare.first().map(String::as_str) {
+        Some("fig9") => {
+            for gpus in [1usize, 2, 4, 8, 16] {
+                let out = evaluate_config(
+                    &m,
+                    &w,
+                    &t,
+                    dp_placement(gpus),
+                    1_000_000,
+                    IngestMode::NoStore,
+                    1,
+                );
+                println!("{gpus:>3} GPUs: {:>7.0} s/epoch", out.steady_total().unwrap());
+            }
+        }
+        Some("fig10") => {
+            for mode in [IngestMode::NoStore, IngestMode::DynamicStore, IngestMode::Preloaded] {
+                let out =
+                    evaluate_config(&m, &w, &t, dp_placement(16), 1_000_000, mode, 1);
+                match out.steady_total() {
+                    Some(s) => println!("{mode:?}: {s:.0} s/epoch steady"),
+                    None => println!("{mode:?}: OOM"),
+                }
+            }
+        }
+        Some("fig11") => {
+            let pts = paper_sweep(&m, &w, &t);
+            let base = pts[0].epoch_time;
+            for p in &pts {
+                println!(
+                    "{:>2} trainers ({:>4} GPUs): {:>7.1} s/epoch  speedup {:>5.1}x  preload {:>6.1} s",
+                    p.trainers,
+                    p.gpus,
+                    p.epoch_time,
+                    base / p.epoch_time,
+                    p.preload_time
+                );
+            }
+        }
+        _ => {
+            eprintln!("simulate needs one of: fig9 fig10 fig11");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn generate(flags: &Flags) -> ExitCode {
+    let Some(dir) = flags.get_str("dir") else {
+        eprintln!("generate requires --dir PATH");
+        return ExitCode::FAILURE;
+    };
+    let samples = flags.get("samples", 10_000u64);
+    let per_file = flags.get("per-file", 1000usize);
+    let img = flags.get("img-size", 16usize);
+    let spec = DatasetSpec::new(dir, JagConfig::small(img), samples, per_file);
+    println!(
+        "generating {} samples ({} files x {}, {} B/sample) into {}",
+        spec.n_samples,
+        spec.n_files(),
+        spec.samples_per_file,
+        spec.cfg.sample_bytes(),
+        spec.dir.display()
+    );
+    match spec.generate_all() {
+        Ok(()) => {
+            println!("done");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("generation failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "ltfb-cli — LTFB tournament training reproduction\n\n\
+         commands:\n  \
+         train    [--trainers K] [--steps N] [--samples N] [--seed S] [--exchange N]\n           \
+         [--lr-spread F] [--by-index] [--distributed] [--replicas R] [--kindep]\n  \
+         classify [--trainers K] [--steps N] [--kindep]\n  \
+         simulate <fig9|fig10|fig11>\n  \
+         generate --dir PATH [--samples N] [--per-file M] [--img-size P]\n  \
+         help"
+    );
+}

@@ -1,0 +1,54 @@
+//! # ltfb
+//!
+//! A Rust reproduction of *"Parallelizing Training of Deep Generative
+//! Models on Massive Scientific Datasets"* (Jacobs et al., CLUSTER 2019):
+//! the **LTFB** tournament training algorithm, the LBANN-style training
+//! stack it lives in, the distributed in-memory data store, and a
+//! calibrated performance model of the Lassen supercomputer for the
+//! paper's timing experiments.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`tensor`]    | `ltfb-tensor`    | dense f32 kernels (Hydrogen substitute) |
+//! | [`comm`]      | `ltfb-comm`      | thread-backed simulated MPI (Aluminum substitute) |
+//! | [`hpcsim`]    | `ltfb-hpcsim`    | discrete-event Lassen/GPFS model (Figs. 9-11) |
+//! | [`jag`]       | `ltfb-jag`       | synthetic ICF simulator + bundle files (JAG/HDF5 substitute) |
+//! | [`workflow`]  | `ltfb-workflow`  | ensemble workflow engine (Merlin substitute) |
+//! | [`nn`]        | `ltfb-nn`        | layers/models/optimizers/data-parallel SGD (LBANN core) |
+//! | [`datastore`] | `ltfb-datastore` | distributed in-memory data store |
+//! | [`gan`]       | `ltfb-gan`       | the CycleGAN ICF surrogate (Fig. 2) |
+//! | [`core`]      | `ltfb-core`      | LTFB tournaments + K-independent baseline |
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use ltfb::core::{run_ltfb_serial, LtfbConfig};
+//!
+//! let cfg = LtfbConfig::small(4); // 4 trainers
+//! let out = run_ltfb_serial(&cfg);
+//! let (winner, loss) = out.best();
+//! println!("winner: trainer {winner}, validation loss {loss:.4}");
+//! ```
+
+pub use ltfb_comm as comm;
+pub use ltfb_core as core;
+pub use ltfb_datastore as datastore;
+pub use ltfb_gan as gan;
+pub use ltfb_hpcsim as hpcsim;
+pub use ltfb_jag as jag;
+pub use ltfb_nn as nn;
+pub use ltfb_tensor as tensor;
+pub use ltfb_workflow as workflow;
+
+/// Commonly used items in one import.
+pub mod prelude {
+    pub use crate::core::{
+        run_k_independent, run_ltfb_distributed, run_ltfb_serial, LtfbConfig, PartitionScheme,
+        TournamentMetric, Trainer,
+    };
+    pub use crate::gan::{CycleGan, CycleGanConfig};
+    pub use crate::jag::{DatasetSpec, JagConfig, JagSimulator};
+    pub use crate::tensor::Matrix;
+}

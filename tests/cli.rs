@@ -1,0 +1,79 @@
+//! Smoke tests for the `ltfb-cli` binary.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ltfb-cli"))
+}
+
+#[test]
+fn help_exits_cleanly() {
+    let out = cli().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("train"));
+    assert!(text.contains("simulate"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = cli().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn simulate_fig11_prints_sweep() {
+    let out = cli().args(["simulate", "fig11"]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("64 trainers"));
+    assert!(text.contains("speedup"));
+}
+
+#[test]
+fn train_tiny_run_reports_best() {
+    let out = cli()
+        .args([
+            "train", "--trainers", "2", "--steps", "20", "--samples", "128", "--exchange", "10",
+            "--eval", "10",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("best: trainer"), "missing summary: {text}");
+}
+
+#[test]
+fn generate_writes_dataset() {
+    let dir = ltfb::jag::temp_dataset_dir("cli-generate");
+    let out = cli()
+        .args([
+            "generate",
+            "--dir",
+            dir.to_str().unwrap(),
+            "--samples",
+            "60",
+            "--per-file",
+            "20",
+            "--img-size",
+            "4",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let spec =
+        ltfb::jag::DatasetSpec::new(dir.clone(), ltfb::jag::JagConfig::small(4), 60, 20);
+    assert!(spec.is_generated());
+    // And the files are valid bundles.
+    let mut r = spec.open_file(2).unwrap();
+    assert_eq!(r.read_all().unwrap().len(), 20);
+    ltfb::jag::cleanup_dataset_dir(&dir);
+}
+
+#[test]
+fn generate_without_dir_fails() {
+    let out = cli().arg("generate").output().unwrap();
+    assert!(!out.status.success());
+}
