@@ -43,9 +43,7 @@ fn bench_fig10_point(c: &mut Criterion) {
     for mode in [IngestMode::DynamicStore, IngestMode::Preloaded] {
         let name = format!("{mode:?}");
         g.bench_function(name, |b| {
-            b.iter(|| {
-                evaluate_config(&m, &w, &t, dp_placement(16), 100_000, mode, 1)
-            })
+            b.iter(|| evaluate_config(&m, &w, &t, dp_placement(16), 100_000, mode, 1))
         });
     }
     g.finish();
@@ -66,5 +64,10 @@ fn bench_fig11_point(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_fig9_point, bench_fig10_point, bench_fig11_point);
+criterion_group!(
+    benches,
+    bench_fig9_point,
+    bench_fig10_point,
+    bench_fig11_point
+);
 criterion_main!(benches);

@@ -28,15 +28,19 @@ fn bench_allreduce(c: &mut Criterion) {
     let mut g = c.benchmark_group("ring_allreduce");
     g.sample_size(10);
     for &ranks in &[2usize, 4, 8] {
-        g.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |bench, &ranks| {
-            bench.iter(|| {
-                run_world(ranks, |comm| {
-                    let mut v = vec![comm.rank() as f32; 16_384];
-                    comm.allreduce_f32(&mut v, ReduceOp::Sum);
-                    v[0]
+        g.bench_with_input(
+            BenchmarkId::from_parameter(ranks),
+            &ranks,
+            |bench, &ranks| {
+                bench.iter(|| {
+                    run_world(ranks, |comm| {
+                        let mut v = vec![comm.rank() as f32; 16_384];
+                        comm.allreduce_f32(&mut v, ReduceOp::Sum);
+                        v[0]
+                    })
                 })
-            })
-        });
+            },
+        );
     }
     g.finish();
 }
@@ -128,16 +132,9 @@ fn bench_datastore_shuffle(c: &mut Criterion) {
         b.iter(|| {
             run_world(4, |comm| {
                 let ids: Vec<u64> = (0..128).collect();
-                let mut store = DataStore::new(
-                    comm,
-                    spec.clone(),
-                    ids,
-                    PopulateMode::Preload,
-                    16,
-                    7,
-                    None,
-                )
-                .unwrap();
+                let mut store =
+                    DataStore::new(comm, spec.clone(), ids, PopulateMode::Preload, 16, 7, None)
+                        .unwrap();
                 store.fetch_epoch(1).unwrap().len()
             })
         })

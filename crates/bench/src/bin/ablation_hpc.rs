@@ -15,7 +15,10 @@ fn main() {
     let w = WorkloadSpec::icf_cyclegan();
     let t = TrainingModel::default();
 
-    banner("Ablation", "placement, overlap, mini-batch scaling, staging comparison");
+    banner(
+        "Ablation",
+        "placement, overlap, mini-batch scaling, staging comparison",
+    );
 
     println!("-- placement of 16 ranks (fixed mini-batch 128) --");
     let mut rows = Vec::new();
@@ -76,7 +79,11 @@ fn main() {
     println!("-- in-memory store vs Kurth-style node-local staging (Sec. V) --");
     let mut rows = Vec::new();
     let p = Placement::new(4, 4);
-    for (name, sharing) in [("staging s=1", 1.0), ("staging s=2", 2.0), ("staging s=4", 4.0)] {
+    for (name, sharing) in [
+        ("staging s=1", 1.0),
+        ("staging s=2", 2.0),
+        ("staging s=4", 4.0),
+    ] {
         let o = staging_outcome(&m, &w, p, 1_000_000, sharing);
         rows.push(vec![
             name.to_string(),

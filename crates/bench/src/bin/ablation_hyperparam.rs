@@ -42,7 +42,14 @@ fn main() {
             ]);
         }
     }
-    let header = ["K", "lr_spread", "best_val", "avg_val", "winning_lr", "adoptions"];
+    let header = [
+        "K",
+        "lr_spread",
+        "best_val",
+        "avg_val",
+        "winning_lr",
+        "adoptions",
+    ];
     print_table(&header, &rows);
     write_csv("ablation_hyperparam.csv", &header, &rows);
     println!("\nreading: a moderate spread lets the tournament find a good rate");

@@ -27,8 +27,7 @@ fn base_cfg(k: usize) -> LtfbConfig {
 
 /// LTFB with per-trainer local autoencoders (the broken configuration).
 fn run_with_local_autoencoders(cfg: &LtfbConfig) -> (f32, u64) {
-    let mut trainers: Vec<Trainer> =
-        (0..cfg.n_trainers).map(|t| Trainer::new(*cfg, t)).collect();
+    let mut trainers: Vec<Trainer> = (0..cfg.n_trainers).map(|t| Trainer::new(*cfg, t)).collect();
     for t in &mut trainers {
         t.pretrain_autoencoder(); // per-trainer latent space
     }
@@ -39,8 +38,10 @@ fn run_with_local_autoencoders(cfg: &LtfbConfig) -> (f32, u64) {
         if step % cfg.exchange_interval == 0 {
             let round = step / cfg.exchange_interval;
             let partners = pairing(cfg.n_trainers, round, cfg.seed);
-            let payloads: Vec<_> =
-                trainers.iter().map(|t| t.gan.generator_to_bytes()).collect();
+            let payloads: Vec<_> = trainers
+                .iter()
+                .map(|t| t.gan.generator_to_bytes())
+                .collect();
             for (t, p) in partners.iter().enumerate() {
                 if let Some(p) = p {
                     ltfb_core::decide_match(&mut trainers[t], *p, payloads[*p].clone());
@@ -48,21 +49,28 @@ fn run_with_local_autoencoders(cfg: &LtfbConfig) -> (f32, u64) {
             }
         }
     }
-    let vals: Vec<f32> = trainers.iter_mut().map(|t| t.validate().combined()).collect();
+    let vals: Vec<f32> = trainers
+        .iter_mut()
+        .map(|t| t.validate().combined())
+        .collect();
     let adoptions = trainers.iter().map(|t| t.losses).sum();
     (vals.iter().sum::<f32>() / vals.len() as f32, adoptions)
 }
 
 fn main() {
-    banner("Ablation", "partitioning scheme and shared-vs-local autoencoder");
+    banner(
+        "Ablation",
+        "partitioning scheme and shared-vs-local autoencoder",
+    );
     let avg = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
 
     println!("-- partitioning: index slices (dense silos) vs design-space regions --");
     let mut rows = Vec::new();
     for k in [2usize, 4, 8] {
-        for (name, scheme) in
-            [("by_index", PartitionScheme::ByIndex), ("by_region", PartitionScheme::ByRegion)]
-        {
+        for (name, scheme) in [
+            ("by_index", PartitionScheme::ByIndex),
+            ("by_region", PartitionScheme::ByRegion),
+        ] {
             let mut cfg = base_cfg(k);
             cfg.partition = scheme;
             let out = run_ltfb_serial(&cfg);

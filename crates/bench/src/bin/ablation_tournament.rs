@@ -17,7 +17,10 @@ fn base_cfg() -> LtfbConfig {
 }
 
 fn main() {
-    banner("Ablation", "tournament exchange interval and decision metric");
+    banner(
+        "Ablation",
+        "tournament exchange interval and decision metric",
+    );
     let avg = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
 
     println!("-- exchange interval sweep (metric = validation loss) --");

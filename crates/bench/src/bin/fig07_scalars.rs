@@ -10,7 +10,10 @@ use ltfb_gan::split_output;
 use ltfb_jag::N_SCALARS;
 
 fn main() {
-    banner("Figure 7", "ground truth vs predicted 15-D scalars (16 validation samples)");
+    banner(
+        "Figure 7",
+        "ground truth vs predicted 15-D scalars (16 validation samples)",
+    );
     let mut cfg = LtfbConfig::small(4);
     cfg.gan.jag = ltfb_jag::JagConfig::small(8);
     cfg.train_samples = 2048;
@@ -34,8 +37,20 @@ fn main() {
     let pred = winner.gan.predict(&x);
 
     let names = [
-        "log_yield", "ignition_p", "ti", "te", "bang_time", "burn_width", "convergence",
-        "rho_r", "resid_ke", "symmetry", "flux_v0", "flux_v1", "flux_v2", "hotspot_r",
+        "log_yield",
+        "ignition_p",
+        "ti",
+        "te",
+        "bang_time",
+        "burn_width",
+        "convergence",
+        "rho_r",
+        "resid_ke",
+        "symmetry",
+        "flux_v0",
+        "flux_v1",
+        "flux_v2",
+        "hotspot_r",
         "mode_power",
     ];
     let mut rows = Vec::new();

@@ -8,7 +8,10 @@ use ltfb_gan::split_output;
 use ltfb_jag::{image_errors, write_pair_pgm, N_CHANNELS};
 
 fn main() {
-    banner("Figure 8", "ground truth vs generated capsule images (selected views/channels)");
+    banner(
+        "Figure 8",
+        "ground truth vs generated capsule images (selected views/channels)",
+    );
     let mut cfg = LtfbConfig::small(4);
     cfg.gan.jag = ltfb_jag::JagConfig::small(16);
     cfg.train_samples = 2048;

@@ -12,7 +12,10 @@ use ltfb_hpcsim::{
 };
 
 fn main() {
-    banner("Figure 9", "data-parallel strong scaling (1M samples, mb=128, no data store)");
+    banner(
+        "Figure 9",
+        "data-parallel strong scaling (1M samples, mb=128, no data store)",
+    );
     let m = MachineSpec::lassen();
     let w = WorkloadSpec::icf_cyclegan();
     let t = TrainingModel::default();

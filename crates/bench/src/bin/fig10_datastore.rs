@@ -14,7 +14,11 @@ use ltfb_hpcsim::{
 
 fn cell(out: &ConfigOutcome, initial: bool) -> String {
     match out {
-        ConfigOutcome::Ran { initial: i, steady: s, preload } => {
+        ConfigOutcome::Ran {
+            initial: i,
+            steady: s,
+            preload,
+        } => {
             if initial {
                 fmt_secs(i.total() + preload)
             } else {
@@ -26,7 +30,10 @@ fn cell(out: &ConfigOutcome, initial: bool) -> String {
 }
 
 fn main() {
-    banner("Figure 10", "data store modes vs naive loading (1M samples)");
+    banner(
+        "Figure 10",
+        "data store modes vs naive loading (1M samples)",
+    );
     let m = MachineSpec::lassen();
     let w = WorkloadSpec::icf_cyclegan();
     let t = TrainingModel::default();
@@ -49,7 +56,10 @@ fn main() {
             );
         }
         if g == 1 {
-            at1 = (none.steady_total().unwrap(), dynamic.steady_total().unwrap());
+            at1 = (
+                none.steady_total().unwrap(),
+                dynamic.steady_total().unwrap(),
+            );
         }
         rows.push(vec![
             g.to_string(),
@@ -76,10 +86,22 @@ fn main() {
     let path = write_csv("fig10_datastore.csv", &header, &rows);
 
     println!("\nmeasured ratios:");
-    println!("  1 GPU  : store benefit (none/dynamic steady) = {:.2}x (paper 7.73x)", at1.0 / at1.1);
-    println!("  16 GPU : none/dynamic steady                 = {:.2}x (paper 1.31x)", at16.0 / at16.1);
-    println!("  16 GPU : none/preload steady                 = {:.2}x (paper 1.43x)", at16.0 / at16.2);
-    println!("  16 GPU : dynamic/preload steady              = {:.2}x (paper 1.10x)", at16.1 / at16.2);
+    println!(
+        "  1 GPU  : store benefit (none/dynamic steady) = {:.2}x (paper 7.73x)",
+        at1.0 / at1.1
+    );
+    println!(
+        "  16 GPU : none/dynamic steady                 = {:.2}x (paper 1.31x)",
+        at16.0 / at16.1
+    );
+    println!(
+        "  16 GPU : none/preload steady                 = {:.2}x (paper 1.43x)",
+        at16.0 / at16.2
+    );
+    println!(
+        "  16 GPU : dynamic/preload steady              = {:.2}x (paper 1.10x)",
+        at16.1 / at16.2
+    );
     println!("  OOM at 1-2 GPUs for preload: reproduced via the 1/2-node memory gate");
     println!("csv: {}", path.display());
 }

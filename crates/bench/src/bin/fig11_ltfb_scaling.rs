@@ -10,7 +10,10 @@ use ltfb_bench::{banner, fmt_secs, print_table, write_csv};
 use ltfb_hpcsim::{paper_sweep, MachineSpec, TrainingModel, WorkloadSpec};
 
 fn main() {
-    banner("Figure 11", "LTFB training + preload times, 10M samples, 16->1024 GPUs");
+    banner(
+        "Figure 11",
+        "LTFB training + preload times, 10M samples, 16->1024 GPUs",
+    );
     let m = MachineSpec::lassen();
     let w = WorkloadSpec::icf_cyclegan();
     let t = TrainingModel::default();
@@ -29,7 +32,11 @@ fn main() {
             format!("{eff:.0}%"),
             fmt_secs(p.preload_time),
             fmt_secs(p.tournament_overhead),
-            if p.feasible { "yes".into() } else { "OOM".into() },
+            if p.feasible {
+                "yes".into()
+            } else {
+                "OOM".into()
+            },
         ]);
     }
     let header = [

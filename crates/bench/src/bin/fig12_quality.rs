@@ -27,7 +27,10 @@ fn cfg_for(k: usize) -> LtfbConfig {
 }
 
 fn main() {
-    banner("Figure 12", "validation-loss improvement over 1-trainer baseline vs per-trainer steps");
+    banner(
+        "Figure 12",
+        "validation-loss improvement over 1-trainer baseline vs per-trainer steps",
+    );
     let ks = [1usize, 2, 4, 8];
     println!("running populations K = {ks:?} (equal per-trainer step budgets)...\n");
 
@@ -63,16 +66,21 @@ fn main() {
     }
     let header: Vec<String> = std::iter::once("per_trainer_step".to_string())
         .chain(std::iter::once("K=1_loss".to_string()))
-        .chain(ks[1..].iter().flat_map(|k| {
-            [format!("K={k}_best_loss"), format!("K={k}_improvement")]
-        }))
+        .chain(
+            ks[1..]
+                .iter()
+                .flat_map(|k| [format!("K={k}_best_loss"), format!("K={k}_improvement")]),
+        )
         .collect();
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
     print_table(&header_refs, &rows);
     let path = write_csv("fig12_quality.csv", &header_refs, &rows);
 
     // Final-step summary.
-    println!("\nfinal per-trainer step ({}):", checkpoints.last().unwrap());
+    println!(
+        "\nfinal per-trainer step ({}):",
+        checkpoints.last().unwrap()
+    );
     let base_final = base_hist.last().unwrap();
     for (k, out) in &results {
         let (_, best) = out.best();

@@ -21,7 +21,10 @@ fn cfg_for(k: usize) -> LtfbConfig {
 }
 
 fn main() {
-    banner("Figure 13", "LTFB vs partitioned K-independent training (lower loss is better)");
+    banner(
+        "Figure 13",
+        "LTFB vs partitioned K-independent training (lower loss is better)",
+    );
     let ks = [2usize, 4, 8];
     let mut rows = Vec::new();
     let avg = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
@@ -69,12 +72,25 @@ fn main() {
     let abs_widens = gaps.last().unwrap().0 >= gaps.first().unwrap().0;
     println!(
         "population-average gaps (ratio, absolute): {:?}",
-        gaps.iter().map(|&(d, r)| format!("{r:.2}x/{d:.4}")).collect::<Vec<_>>()
+        gaps.iter()
+            .map(|&(d, r)| format!("{r:.2}x/{d:.4}"))
+            .collect::<Vec<_>>()
     );
-    println!("LTFB consistently better: {}", if all_better { "reproduced" } else { "NOT reproduced" });
+    println!(
+        "LTFB consistently better: {}",
+        if all_better {
+            "reproduced"
+        } else {
+            "NOT reproduced"
+        }
+    );
     println!(
         "gap (absolute) widening K=2 -> K=8: {}",
-        if abs_widens { "reproduced" } else { "noisy at this scale" }
+        if abs_widens {
+            "reproduced"
+        } else {
+            "noisy at this scale"
+        }
     );
     println!("note: independent-trainer quality collapses with K (kindep_avg column)");
     println!("while LTFB populations converge tightly — the paper's Section IV-E effect.");

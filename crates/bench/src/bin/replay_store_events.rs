@@ -12,7 +12,10 @@ use ltfb_hpcsim::{shuffle_time, MachineSpec, Placement, WorkloadSpec};
 use ltfb_jag::{cleanup_dataset_dir, temp_dataset_dir, DatasetSpec, JagConfig};
 
 fn main() {
-    banner("Replay", "real data-store event stream costed by the Lassen model");
+    banner(
+        "Replay",
+        "real data-store event stream costed by the Lassen model",
+    );
     // --- Real run: 16 ranks, small dataset, both modes. ---
     let dir = temp_dataset_dir("replay");
     let small_samples: u64 = 4_000;
@@ -68,13 +71,19 @@ fn main() {
         // Cost: whole-file read time (PFS streaming), random reads (open
         // latency bound), steady shuffle (network model, fully exposed
         // here — the real system overlaps it).
-        let file_time = files_p * (m.pfs.open_latency_s
-            + (w.samples_per_file as u64 * w.sample_bytes) as f64 / m.pfs.server_bw)
+        let file_time = files_p
+            * (m.pfs.open_latency_s
+                + (w.samples_per_file as u64 * w.sample_bytes) as f64 / m.pfs.server_bw)
             / place.ranks() as f64;
         let read_time = reads_p * m.pfs.open_latency_s / place.ranks() as f64;
         let steps = paper_samples / w.mini_batch as f64;
         let shuffle = steps
-            * shuffle_time(&m.net, place, shuffle_bytes_p / steps * place.ranks() as f64, 0.0)
+            * shuffle_time(
+                &m.net,
+                place,
+                shuffle_bytes_p / steps * place.ranks() as f64,
+                0.0,
+            )
             / place.ranks() as f64;
 
         rows.push(vec![

@@ -1,0 +1,137 @@
+//! Serving-engine latency/throughput benchmark: micro-batching vs forced
+//! batch-size 1, swept over client concurrency. Writes
+//! `results/serve_latency.csv`.
+//!
+//! The interesting regime is concurrency >= 8: the coalescer packs the
+//! in-flight requests of a closed-loop client fleet into one GEMM per
+//! kind, amortising per-call weight traffic, and throughput pulls >= 2x
+//! ahead of one-request-at-a-time serving on the same worker budget.
+
+use ltfb_bench::{banner, print_table, write_csv};
+use ltfb_gan::{CycleGan, CycleGanConfig};
+use ltfb_serve::{run_load, BatchPolicy, LoadGenConfig, LoadMode, ModelRegistry, Server};
+use std::sync::Arc;
+
+struct Row {
+    clients: usize,
+    batched_rps: f64,
+    batched_p50: f64,
+    batched_p99: f64,
+    batched_mean_batch: f64,
+    unbatched_rps: f64,
+    unbatched_p50: f64,
+    unbatched_p99: f64,
+    speedup: f64,
+}
+
+fn run_arm(
+    cfg: CycleGanConfig,
+    policy: BatchPolicy,
+    clients: usize,
+    requests: usize,
+) -> (f64, f64, f64, f64) {
+    let registry = Arc::new(ModelRegistry::new(CycleGan::new(cfg, 2019), 1));
+    let server = Server::start(registry, policy);
+    let (x_dim, y_dim) = {
+        let m = server.registry().current();
+        (m.x_dim(), m.y_dim())
+    };
+    let load = LoadGenConfig {
+        clients,
+        requests_per_client: requests,
+        inverse_fraction: 0.25,
+        mode: LoadMode::Closed,
+        seed: 7,
+    };
+    let report = run_load(&server.client(), &load, x_dim, y_dim);
+    let stats = server.shutdown();
+    assert_eq!(
+        report.completed,
+        (clients * requests) as u64,
+        "lost requests"
+    );
+    (
+        report.throughput_rps(),
+        stats.latency_p50_us,
+        stats.latency_p99_us,
+        stats.mean_batch,
+    )
+}
+
+fn main() {
+    banner(
+        "serve-latency",
+        "micro-batched vs sequential surrogate serving",
+    );
+    let cfg = CycleGanConfig::small(8);
+    // One worker per arm: isolates the batching effect from thread-level
+    // parallelism (both arms get the same compute budget).
+    let batched_policy = BatchPolicy {
+        workers: 1,
+        ..BatchPolicy::default()
+    };
+    let sequential_policy = BatchPolicy {
+        workers: 1,
+        ..BatchPolicy::sequential()
+    };
+    let requests = 500usize;
+
+    let mut rows = Vec::new();
+    for clients in [1usize, 2, 4, 8, 16, 32] {
+        let (brps, bp50, bp99, bmean) = run_arm(cfg, batched_policy, clients, requests);
+        let (urps, up50, up99, _) = run_arm(cfg, sequential_policy, clients, requests);
+        rows.push(Row {
+            clients,
+            batched_rps: brps,
+            batched_p50: bp50,
+            batched_p99: bp99,
+            batched_mean_batch: bmean,
+            unbatched_rps: urps,
+            unbatched_p50: up50,
+            unbatched_p99: up99,
+            speedup: if urps > 0.0 { brps / urps } else { 0.0 },
+        });
+    }
+
+    let header = [
+        "clients",
+        "batched_rps",
+        "batched_p50_us",
+        "batched_p99_us",
+        "mean_batch",
+        "unbatched_rps",
+        "unbatched_p50_us",
+        "unbatched_p99_us",
+        "speedup",
+    ];
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.clients.to_string(),
+                format!("{:.0}", r.batched_rps),
+                format!("{:.0}", r.batched_p50),
+                format!("{:.0}", r.batched_p99),
+                format!("{:.2}", r.batched_mean_batch),
+                format!("{:.0}", r.unbatched_rps),
+                format!("{:.0}", r.unbatched_p50),
+                format!("{:.0}", r.unbatched_p99),
+                format!("{:.2}", r.speedup),
+            ]
+        })
+        .collect();
+    print_table(&header, &cells);
+    let path = write_csv("serve_latency.csv", &header, &cells);
+    println!("\nwrote {}", path.display());
+
+    let peak = rows.iter().map(|r| r.speedup).fold(0.0f64, f64::max);
+    let at_high = rows
+        .iter()
+        .filter(|r| r.clients >= 8)
+        .map(|r| r.speedup)
+        .fold(0.0f64, f64::max);
+    println!("peak micro-batching speedup: {peak:.2}x (best at concurrency >= 8: {at_high:.2}x)");
+    if at_high < 2.0 {
+        println!("WARNING: expected >= 2x speedup at concurrency >= 8, got {at_high:.2}x");
+    }
+}

@@ -19,7 +19,10 @@ use ltfb_hpcsim::{
 };
 
 fn main() {
-    banner("Time-to-solution", "steps-to-quality (real training) x step cost (Lassen model)");
+    banner(
+        "Time-to-solution",
+        "steps-to-quality (real training) x step cost (Lassen model)",
+    );
     let m = MachineSpec::lassen();
     let w = WorkloadSpec::icf_cyclegan();
     let t = TrainingModel::default();
@@ -42,8 +45,7 @@ fn main() {
         cfg.partition = PartitionScheme::ByIndex; // the dense-silo regime
         let out = run_ltfb_serial(&cfg);
         // First step at which the population best crossed the target.
-        let checkpoints: Vec<u64> =
-            out.histories[0].points().iter().map(|&(s, _)| s).collect();
+        let checkpoints: Vec<u64> = out.histories[0].points().iter().map(|&(s, _)| s).collect();
         let crossed = checkpoints.iter().find(|&&s| {
             out.histories
                 .iter()
@@ -91,8 +93,14 @@ fn main() {
             }
         }
     }
-    let header =
-        ["K", "steps_to_target", "step_ms@scale", "preload_s", "train_s", "total_s"];
+    let header = [
+        "K",
+        "steps_to_target",
+        "step_ms@scale",
+        "preload_s",
+        "train_s",
+        "total_s",
+    ];
     print_table(&header, &rows);
     let path = write_csv("time_to_solution.csv", &["K", "steps", "total_s"], &csv);
     println!("\nreading: larger populations reach the target in no more per-trainer");

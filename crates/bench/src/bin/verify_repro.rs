@@ -24,8 +24,17 @@ fn main() -> ExitCode {
     let t = TrainingModel::default();
 
     // --- Fig. 9: data-parallel speedup and efficiency at 16 GPUs.
-    let naive =
-        |g: usize| evaluate_config(&m, &w, &t, dp_placement(g), 1_000_000, IngestMode::NoStore, 1);
+    let naive = |g: usize| {
+        evaluate_config(
+            &m,
+            &w,
+            &t,
+            dp_placement(g),
+            1_000_000,
+            IngestMode::NoStore,
+            1,
+        )
+    };
     let base = naive(1).steady_total().unwrap();
     let t16 = naive(16).steady_total().unwrap();
     let speedup = base / t16;
@@ -44,9 +53,17 @@ fn main() -> ExitCode {
     });
 
     // --- Fig. 10: store gains and the OOM annotations.
-    let dyn1 = evaluate_config(&m, &w, &t, dp_placement(1), 1_000_000, IngestMode::DynamicStore, 1)
-        .steady_total()
-        .unwrap();
+    let dyn1 = evaluate_config(
+        &m,
+        &w,
+        &t,
+        dp_placement(1),
+        1_000_000,
+        IngestMode::DynamicStore,
+        1,
+    )
+    .steady_total()
+    .unwrap();
     let gain1 = base / dyn1;
     checks.push(Check {
         name: "fig10 store gain @1 GPU",
@@ -54,13 +71,28 @@ fn main() -> ExitCode {
         measured: format!("{gain1:.2}x"),
         pass: (6.0..9.5).contains(&gain1),
     });
-    let pre16 = evaluate_config(&m, &w, &t, dp_placement(16), 1_000_000, IngestMode::Preloaded, 1)
-        .steady_total()
-        .unwrap();
-    let dyn16 =
-        evaluate_config(&m, &w, &t, dp_placement(16), 1_000_000, IngestMode::DynamicStore, 1)
-            .steady_total()
-            .unwrap();
+    let pre16 = evaluate_config(
+        &m,
+        &w,
+        &t,
+        dp_placement(16),
+        1_000_000,
+        IngestMode::Preloaded,
+        1,
+    )
+    .steady_total()
+    .unwrap();
+    let dyn16 = evaluate_config(
+        &m,
+        &w,
+        &t,
+        dp_placement(16),
+        1_000_000,
+        IngestMode::DynamicStore,
+        1,
+    )
+    .steady_total()
+    .unwrap();
     let adv = dyn16 / pre16;
     checks.push(Check {
         name: "fig10 preload vs dynamic",
@@ -69,16 +101,36 @@ fn main() -> ExitCode {
         pass: (1.02..1.3).contains(&adv),
     });
     let oom = matches!(
-        evaluate_config(&m, &w, &t, dp_placement(1), 1_000_000, IngestMode::Preloaded, 1),
+        evaluate_config(
+            &m,
+            &w,
+            &t,
+            dp_placement(1),
+            1_000_000,
+            IngestMode::Preloaded,
+            1
+        ),
         ConfigOutcome::OutOfMemory { .. }
     ) && matches!(
-        evaluate_config(&m, &w, &t, dp_placement(2), 1_000_000, IngestMode::Preloaded, 1),
+        evaluate_config(
+            &m,
+            &w,
+            &t,
+            dp_placement(2),
+            1_000_000,
+            IngestMode::Preloaded,
+            1
+        ),
         ConfigOutcome::OutOfMemory { .. }
     );
     checks.push(Check {
         name: "fig10 preload OOM @1-2 GPUs",
         paper: "stated",
-        measured: if oom { "reproduced".into() } else { "missing".into() },
+        measured: if oom {
+            "reproduced".into()
+        } else {
+            "missing".into()
+        },
         pass: oom,
     });
 

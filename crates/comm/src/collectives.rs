@@ -107,7 +107,11 @@ impl Comm {
             self.recv(parent, tag).1
         };
         // Children: set each bit above the lowest set bit, while < n.
-        let lowbit = if vrank == 0 { n.next_power_of_two() } else { vrank & vrank.wrapping_neg() };
+        let lowbit = if vrank == 0 {
+            n.next_power_of_two()
+        } else {
+            vrank & vrank.wrapping_neg()
+        };
         let mut bit = 1usize;
         while bit < lowbit && bit < n {
             let child_v = vrank | bit;
@@ -157,7 +161,10 @@ impl Comm {
             let payload = encode_f32(&buf[bound(send_chunk)..bound(send_chunk + 1)]);
             self.send(right, tag, payload);
             let (_, incoming) = self.recv(left, tag);
-            copy_f32(&mut buf[bound(recv_chunk)..bound(recv_chunk + 1)], &incoming);
+            copy_f32(
+                &mut buf[bound(recv_chunk)..bound(recv_chunk + 1)],
+                &incoming,
+            );
         }
     }
 
@@ -180,7 +187,9 @@ impl Comm {
                 out[recv_idx] = Some(incoming);
             }
         }
-        out.into_iter().map(|o| o.expect("allgather hole")).collect()
+        out.into_iter()
+            .map(|o| o.expect("allgather hole"))
+            .collect()
     }
 
     /// Gather one payload per rank at `root`. Non-roots get `None`.
@@ -338,7 +347,11 @@ fn apply_f32(dst: &mut [f32], src_bytes: &Bytes, op: ReduceOp) {
 }
 
 fn copy_f32(dst: &mut [f32], src_bytes: &Bytes) {
-    debug_assert_eq!(dst.len() * 4, src_bytes.len(), "allgather chunk size mismatch");
+    debug_assert_eq!(
+        dst.len() * 4,
+        src_bytes.len(),
+        "allgather chunk size mismatch"
+    );
     let mut data = &src_bytes[..];
     for d in dst.iter_mut() {
         *d = data.get_f32_le();

@@ -35,12 +35,18 @@ pub(crate) struct Mailbox {
 
 impl Mailbox {
     pub(crate) fn new(rx: Receiver<Envelope>) -> Self {
-        Mailbox { rx, pending: VecDeque::new() }
+        Mailbox {
+            rx,
+            pending: VecDeque::new(),
+        }
     }
 
     /// Try to match a buffered envelope without touching the channel.
     fn take_pending(&mut self, context: u64, src: usize, tag: u64) -> Option<Envelope> {
-        let idx = self.pending.iter().position(|e| e.matches(context, src, tag))?;
+        let idx = self
+            .pending
+            .iter()
+            .position(|e| e.matches(context, src, tag))?;
         self.pending.remove(idx)
     }
 
@@ -171,9 +177,15 @@ impl Comm {
     /// Eager send: enqueue `payload` for `dest` (comm-rank) under `tag`.
     /// Never blocks.
     pub fn send(&self, dest: usize, tag: u64, payload: Bytes) {
-        assert!(dest < self.size(), "send dest {dest} out of comm size {}", self.size());
+        assert!(
+            dest < self.size(),
+            "send dest {dest} out of comm size {}",
+            self.size()
+        );
         self.stats.sent_messages.fetch_add(1, Ordering::Relaxed);
-        self.stats.sent_bytes.fetch_add(payload.len() as u64, Ordering::Relaxed);
+        self.stats
+            .sent_bytes
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
         self.router.deliver(
             self.members[dest],
             Envelope {
@@ -196,7 +208,9 @@ impl Comm {
         );
         let env = self.mailbox.lock().recv_match(self.context, src, tag);
         self.stats.recv_messages.fetch_add(1, Ordering::Relaxed);
-        self.stats.recv_bytes.fetch_add(env.payload.len() as u64, Ordering::Relaxed);
+        self.stats
+            .recv_bytes
+            .fetch_add(env.payload.len() as u64, Ordering::Relaxed);
         (env.src, env.payload)
     }
 
@@ -204,7 +218,9 @@ impl Comm {
     pub fn try_recv(&self, src: usize, tag: u64) -> Option<(usize, Bytes)> {
         let env = self.mailbox.lock().try_match(self.context, src, tag)?;
         self.stats.recv_messages.fetch_add(1, Ordering::Relaxed);
-        self.stats.recv_bytes.fetch_add(env.payload.len() as u64, Ordering::Relaxed);
+        self.stats
+            .recv_bytes
+            .fetch_add(env.payload.len() as u64, Ordering::Relaxed);
         Some((env.src, env.payload))
     }
 
@@ -212,7 +228,12 @@ impl Comm {
     /// or poll with [`RecvRequest::test`]. This is the mechanism the data
     /// store uses to overlap mini-batch shuffles with compute.
     pub fn irecv(&self, src: usize, tag: u64) -> RecvRequest {
-        RecvRequest { comm: self.clone(), src, tag, done: None }
+        RecvRequest {
+            comm: self.clone(),
+            src,
+            tag,
+            done: None,
+        }
     }
 
     /// Non-blocking send. With eager buffering the send is complete as soon

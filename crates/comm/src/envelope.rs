@@ -40,7 +40,13 @@ mod tests {
     use super::*;
 
     fn env(src: usize, context: u64, tag: u64) -> Envelope {
-        Envelope { src_world: src, src, context, tag, payload: Bytes::new() }
+        Envelope {
+            src_world: src,
+            src,
+            context,
+            tag,
+            payload: Bytes::new(),
+        }
     }
 
     #[test]

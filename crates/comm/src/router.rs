@@ -24,7 +24,10 @@ pub struct WorldStats {
 impl WorldStats {
     /// Snapshot `(messages, bytes)`.
     pub fn snapshot(&self) -> (u64, u64) {
-        (self.messages.load(Ordering::Relaxed), self.bytes.load(Ordering::Relaxed))
+        (
+            self.messages.load(Ordering::Relaxed),
+            self.bytes.load(Ordering::Relaxed),
+        )
     }
 }
 
@@ -45,7 +48,13 @@ impl Router {
             senders.push(tx);
             receivers.push(rx);
         }
-        (Arc::new(Router { senders, stats: WorldStats::default() }), receivers)
+        (
+            Arc::new(Router {
+                senders,
+                stats: WorldStats::default(),
+            }),
+            receivers,
+        )
     }
 
     /// Number of world ranks.
@@ -56,7 +65,9 @@ impl Router {
     /// Deliver an envelope to a world rank's mailbox. Never blocks.
     pub fn deliver(&self, dest_world: usize, env: Envelope) {
         self.stats.messages.fetch_add(1, Ordering::Relaxed);
-        self.stats.bytes.fetch_add(env.payload.len() as u64, Ordering::Relaxed);
+        self.stats
+            .bytes
+            .fetch_add(env.payload.len() as u64, Ordering::Relaxed);
         // A send to a finished rank (receiver dropped) is silently discarded,
         // mirroring a send that completes after the peer exited.
         let _ = self.senders[dest_world].send(env);
@@ -78,7 +89,13 @@ mod tests {
         let (router, rxs) = Router::new(3);
         router.deliver(
             2,
-            Envelope { src_world: 0, src: 0, context: 1, tag: 9, payload: Bytes::from_static(b"hi") },
+            Envelope {
+                src_world: 0,
+                src: 0,
+                context: 1,
+                tag: 9,
+                payload: Bytes::from_static(b"hi"),
+            },
         );
         let got = rxs[2].try_recv().unwrap();
         assert_eq!(got.tag, 9);
@@ -110,7 +127,13 @@ mod tests {
         drop(rxs); // both ranks gone
         router.deliver(
             1,
-            Envelope { src_world: 0, src: 0, context: 0, tag: 0, payload: Bytes::new() },
+            Envelope {
+                src_world: 0,
+                src: 0,
+                context: 0,
+                tag: 0,
+                payload: Bytes::new(),
+            },
         );
         // No panic, message counted but dropped.
         assert_eq!(router.stats().snapshot().0, 1);

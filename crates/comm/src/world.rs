@@ -1,8 +1,8 @@
 //! World construction: spawn one OS thread per rank and run an SPMD
 //! closure, plus the collective `split`/`dup` communicator constructors.
 
-use crate::comm::{Comm, CommStats, Mailbox};
 use crate::collectives::ReduceOp;
+use crate::comm::{Comm, CommStats, Mailbox};
 use crate::router::Router;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use parking_lot::Mutex;
@@ -102,8 +102,7 @@ impl Comm {
         }
         group.sort_unstable();
 
-        let members: Vec<usize> =
-            group.iter().map(|&(_, pr)| self.members[pr]).collect();
+        let members: Vec<usize> = group.iter().map(|&(_, pr)| self.members[pr]).collect();
         let my_rank = group
             .iter()
             .position(|&(_, pr)| pr == self.rank)
@@ -112,7 +111,9 @@ impl Comm {
         // Derive the child context deterministically: identical on all
         // members (same parent context, same split ordinal, same color),
         // distinct across colors and across successive splits.
-        let ordinal = self.split_seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let ordinal = self
+            .split_seq
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let context = ltfb_tensor::mix_seed(&[self.context, ordinal.wrapping_add(1), color]);
 
         Comm {

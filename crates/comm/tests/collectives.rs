@@ -121,12 +121,17 @@ fn allreduce_sum_matches_serial() {
         run_world(n, |c| {
             // Length chosen to exercise uneven ring chunking.
             let len = 10 * n + 3;
-            let mut v: Vec<f32> = (0..len).map(|i| (c.rank() + 1) as f32 * (i as f32 + 1.0)).collect();
+            let mut v: Vec<f32> = (0..len)
+                .map(|i| (c.rank() + 1) as f32 * (i as f32 + 1.0))
+                .collect();
             c.allreduce_f32(&mut v, ReduceOp::Sum);
             let rank_sum: f32 = (1..=n).map(|r| r as f32).sum();
             for (i, &x) in v.iter().enumerate() {
                 let expected = rank_sum * (i as f32 + 1.0);
-                assert!((x - expected).abs() < 1e-3 * expected.abs().max(1.0), "n={n} i={i}: {x} vs {expected}");
+                assert!(
+                    (x - expected).abs() < 1e-3 * expected.abs().max(1.0),
+                    "n={n} i={i}: {x} vs {expected}"
+                );
             }
         });
     }
@@ -199,8 +204,9 @@ fn reduce_to_root_only() {
 #[test]
 fn alltoall_transposes_payloads() {
     run_world(4, |c| {
-        let outgoing: Vec<Bytes> =
-            (0..4).map(|dest| Bytes::from(vec![c.rank() as u8, dest as u8])).collect();
+        let outgoing: Vec<Bytes> = (0..4)
+            .map(|dest| Bytes::from(vec![c.rank() as u8, dest as u8]))
+            .collect();
         let incoming = c.alltoall(outgoing);
         for (src, data) in incoming.iter().enumerate() {
             assert_eq!(data[0] as usize, src, "payload from rank {src}");

@@ -57,7 +57,13 @@ fn traffic_does_not_leak_across_sibling_comms() {
         // Each pair exchanges on the same (src=partner, tag=0) signature;
         // context isolation must keep the pairs separate.
         let partner = sub.rank() ^ 1;
-        let got = sub.sendrecv(partner, 0, Bytes::from(vec![world.rank() as u8]), partner, 0);
+        let got = sub.sendrecv(
+            partner,
+            0,
+            Bytes::from(vec![world.rank() as u8]),
+            partner,
+            0,
+        );
         let expected = (world.rank() ^ 1) as u8;
         assert_eq!(got[0], expected);
     });

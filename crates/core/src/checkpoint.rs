@@ -129,7 +129,11 @@ fn decode_trainer(t: &mut Trainer, data: &mut Bytes) -> Result<(), CheckpointErr
 }
 
 /// Write a population checkpoint.
-pub fn save_population(path: &Path, cfg: &LtfbConfig, trainers: &[Trainer]) -> Result<(), CheckpointError> {
+pub fn save_population(
+    path: &Path,
+    cfg: &LtfbConfig,
+    trainers: &[Trainer],
+) -> Result<(), CheckpointError> {
     let mut body = BytesMut::new();
     body.put_u64_le(cfg.n_trainers as u64);
     body.put_u64_le(cfg.seed);
@@ -154,7 +158,8 @@ pub fn save_population(path: &Path, cfg: &LtfbConfig, trainers: &[Trainer]) -> R
 pub fn load_population(path: &Path, cfg: &LtfbConfig) -> Result<Vec<Trainer>, CheckpointError> {
     let mut f = std::fs::File::open(path)?;
     let mut header = [0u8; 16];
-    f.read_exact(&mut header).map_err(|_| CheckpointError::Truncated)?;
+    f.read_exact(&mut header)
+        .map_err(|_| CheckpointError::Truncated)?;
     let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
     if magic != MAGIC {
         return Err(CheckpointError::BadMagic(magic));
@@ -165,10 +170,12 @@ pub fn load_population(path: &Path, cfg: &LtfbConfig) -> Result<Vec<Trainer>, Ch
     }
     let body_len = u64::from_le_bytes(header[8..16].try_into().unwrap()) as usize;
     let mut crc_raw = [0u8; 4];
-    f.read_exact(&mut crc_raw).map_err(|_| CheckpointError::Truncated)?;
+    f.read_exact(&mut crc_raw)
+        .map_err(|_| CheckpointError::Truncated)?;
     let stored_crc = u32::from_le_bytes(crc_raw);
     let mut body = vec![0u8; body_len];
-    f.read_exact(&mut body).map_err(|_| CheckpointError::Truncated)?;
+    f.read_exact(&mut body)
+        .map_err(|_| CheckpointError::Truncated)?;
     if crc32(&body) != stored_crc {
         return Err(CheckpointError::BadChecksum);
     }
@@ -192,12 +199,111 @@ pub fn load_population(path: &Path, cfg: &LtfbConfig) -> Result<Vec<Trainer>, Ch
     Ok(trainers)
 }
 
+const SURROGATE_MAGIC: u32 = 0x4C54_5356; // "LTSV"
+const SURROGATE_VERSION: u32 = 1;
+
+/// Write a single-surrogate checkpoint: one CycleGAN (all five networks)
+/// plus a caller-assigned monotonically increasing `model_version` — the
+/// artifact a serving model registry loads and hot-swaps. Unlike
+/// [`save_population`], no trainer state (counters, histories, reader
+/// positions) is stored: this is an inference snapshot, not a restart
+/// point.
+pub fn save_surrogate(
+    path: &Path,
+    gan: &ltfb_gan::CycleGan,
+    model_version: u64,
+) -> Result<(), CheckpointError> {
+    let mut body = BytesMut::new();
+    body.put_u64_le(model_version);
+    // Architecture guard fields: enough to reject a checkpoint written
+    // for a differently shaped surrogate before weight decode.
+    body.put_u64_le(gan.cfg.x_dim() as u64);
+    body.put_u64_le(gan.cfg.y_dim() as u64);
+    body.put_u64_le(gan.cfg.latent as u64);
+    body.put_u64_le(gan.cfg.ae_hidden as u64);
+    body.put_u64_le(gan.cfg.net_hidden as u64);
+    for net in gan.networks() {
+        let w = net.weights_to_bytes();
+        body.put_u64_le(w.len() as u64);
+        body.put_slice(&w);
+    }
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    f.write_all(&SURROGATE_MAGIC.to_le_bytes())?;
+    f.write_all(&SURROGATE_VERSION.to_le_bytes())?;
+    f.write_all(&(body.len() as u64).to_le_bytes())?;
+    f.write_all(&crc32(&body).to_le_bytes())?;
+    f.write_all(&body)?;
+    f.flush()?;
+    Ok(())
+}
+
+/// Load a surrogate checkpoint into a freshly constructed CycleGAN of the
+/// given config; returns the model and its stored `model_version`.
+pub fn load_surrogate(
+    path: &Path,
+    cfg: &ltfb_gan::CycleGanConfig,
+) -> Result<(ltfb_gan::CycleGan, u64), CheckpointError> {
+    let mut f = std::fs::File::open(path)?;
+    let mut header = [0u8; 16];
+    f.read_exact(&mut header)
+        .map_err(|_| CheckpointError::Truncated)?;
+    let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    if magic != SURROGATE_MAGIC {
+        return Err(CheckpointError::BadMagic(magic));
+    }
+    let version = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    if version != SURROGATE_VERSION {
+        return Err(CheckpointError::BadVersion(version));
+    }
+    let body_len = u64::from_le_bytes(header[8..16].try_into().unwrap()) as usize;
+    let mut crc_raw = [0u8; 4];
+    f.read_exact(&mut crc_raw)
+        .map_err(|_| CheckpointError::Truncated)?;
+    let stored_crc = u32::from_le_bytes(crc_raw);
+    let mut body = vec![0u8; body_len];
+    f.read_exact(&mut body)
+        .map_err(|_| CheckpointError::Truncated)?;
+    if crc32(&body) != stored_crc {
+        return Err(CheckpointError::BadChecksum);
+    }
+    let mut data = Bytes::from(body);
+    if data.remaining() < 48 {
+        return Err(CheckpointError::Truncated);
+    }
+    let model_version = data.get_u64_le();
+    let dims = [
+        data.get_u64_le(),
+        data.get_u64_le(),
+        data.get_u64_le(),
+        data.get_u64_le(),
+        data.get_u64_le(),
+    ];
+    let want = [
+        cfg.x_dim() as u64,
+        cfg.y_dim() as u64,
+        cfg.latent as u64,
+        cfg.ae_hidden as u64,
+        cfg.net_hidden as u64,
+    ];
+    if dims != want {
+        return Err(CheckpointError::ConfigMismatch(format!(
+            "surrogate checkpoint geometry {dims:?} != config geometry {want:?}"
+        )));
+    }
+    let mut gan = ltfb_gan::CycleGan::new(*cfg, 0);
+    for net in gan.networks_mut() {
+        let w = take_bytes(&mut data)?;
+        net.weights_from_bytes(w)
+            .map_err(|e| CheckpointError::ConfigMismatch(e.to_string()))?;
+    }
+    Ok((gan, model_version))
+}
+
 /// Run the serial LTFB loop only up to `until` steps and return the live
 /// population (for writing a mid-run checkpoint).
 pub fn run_ltfb_partial(cfg: &LtfbConfig, until: u64) -> Vec<Trainer> {
     let ae = pretrain_global_autoencoder(cfg);
-    let mut trainers: Vec<Trainer> =
-        (0..cfg.n_trainers).map(|t| Trainer::new(*cfg, t)).collect();
+    let mut trainers: Vec<Trainer> = (0..cfg.n_trainers).map(|t| Trainer::new(*cfg, t)).collect();
     for t in &mut trainers {
         t.load_autoencoder(ae.clone());
         t.record_validation();
@@ -206,11 +312,13 @@ pub fn run_ltfb_partial(cfg: &LtfbConfig, until: u64) -> Vec<Trainer> {
         for t in &mut trainers {
             t.train_step();
         }
-        if cfg.n_trainers >= 2 && cfg.exchange_interval > 0 && step % cfg.exchange_interval == 0
-        {
+        if cfg.n_trainers >= 2 && cfg.exchange_interval > 0 && step % cfg.exchange_interval == 0 {
             let round = step / cfg.exchange_interval;
             let partners = pairing(cfg.n_trainers, round, cfg.seed);
-            let payloads: Vec<_> = trainers.iter().map(|t| t.gan.generator_to_bytes()).collect();
+            let payloads: Vec<_> = trainers
+                .iter()
+                .map(|t| t.gan.generator_to_bytes())
+                .collect();
             for (t, p) in partners.iter().enumerate() {
                 if let Some(p) = p {
                     decide_match(&mut trainers[t], *p, payloads[*p].clone());
@@ -245,11 +353,13 @@ pub fn resume_ltfb_serial(
         for t in &mut trainers {
             t.train_step();
         }
-        if cfg.n_trainers >= 2 && cfg.exchange_interval > 0 && step % cfg.exchange_interval == 0
-        {
+        if cfg.n_trainers >= 2 && cfg.exchange_interval > 0 && step % cfg.exchange_interval == 0 {
             let round = step / cfg.exchange_interval;
             let partners = pairing(cfg.n_trainers, round, cfg.seed);
-            let payloads: Vec<_> = trainers.iter().map(|t| t.gan.generator_to_bytes()).collect();
+            let payloads: Vec<_> = trainers
+                .iter()
+                .map(|t| t.gan.generator_to_bytes())
+                .collect();
             for (t, p) in partners.iter().enumerate() {
                 if let Some(p) = p {
                     let out = decide_match(&mut trainers[t], *p, payloads[*p].clone());
@@ -263,7 +373,10 @@ pub fn resume_ltfb_serial(
             }
         }
     }
-    let final_val: Vec<f32> = trainers.iter_mut().map(|t| t.validate().combined()).collect();
+    let final_val: Vec<f32> = trainers
+        .iter_mut()
+        .map(|t| t.validate().combined())
+        .collect();
     Ok(crate::ltfb::RunOutcome {
         histories: trainers.iter().map(|t| t.history.clone()).collect(),
         final_val,

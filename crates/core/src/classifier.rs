@@ -112,11 +112,23 @@ impl ClassifierTrainer {
         };
         let val = classify_data(&jag, crate::data::VAL_DESIGN_OFFSET, 0, cfg.val_samples);
         let tstart = cfg.val_samples + t as u64 * cfg.tournament_samples;
-        let tournament =
-            classify_data(&jag, crate::data::VAL_DESIGN_OFFSET, tstart, cfg.tournament_samples);
+        let tournament = classify_data(
+            &jag,
+            crate::data::VAL_DESIGN_OFFSET,
+            tstart,
+            cfg.tournament_samples,
+        );
         let mut rng = seeded_rng(mix_seed(&[cfg.seed, 0xC1A, t as u64]));
-        let net = mlp(&[5, 48, 32, N_CLASSES], 0.1, OutputActivation::LinearOut, &mut rng);
-        let order = permutation(train.labels.len(), &mut seeded_rng(mix_seed(&[cfg.seed, t as u64, 0])));
+        let net = mlp(
+            &[5, 48, 32, N_CLASSES],
+            0.1,
+            OutputActivation::LinearOut,
+            &mut rng,
+        );
+        let order = permutation(
+            train.labels.len(),
+            &mut seeded_rng(mix_seed(&[cfg.seed, t as u64, 0])),
+        );
         ClassifierTrainer {
             id: t,
             net,
@@ -190,14 +202,18 @@ impl ClassifierTrainer {
     pub fn decide(&mut self, foreign: Bytes) -> bool {
         let own = self.net.weights_to_bytes();
         let own_score = self.tournament_score();
-        self.net.weights_from_bytes(foreign.clone()).expect("foreign model corrupt");
+        self.net
+            .weights_from_bytes(foreign.clone())
+            .expect("foreign model corrupt");
         let foreign_score = self.tournament_score();
         if foreign_score < own_score {
             self.opt.reset_state();
             self.adoptions += 1;
             true
         } else {
-            self.net.weights_from_bytes(own).expect("own snapshot corrupt");
+            self.net
+                .weights_from_bytes(own)
+                .expect("own snapshot corrupt");
             self.wins += 1;
             false
         }
@@ -237,9 +253,7 @@ pub fn run_classifier_distributed(cfg: &LtfbConfig) -> ClassifierOutcome {
         t.history.record(0, v);
         for step in 1..=cfg.steps {
             t.train_step();
-            if cfg.n_trainers >= 2
-                && cfg.exchange_interval > 0
-                && step % cfg.exchange_interval == 0
+            if cfg.n_trainers >= 2 && cfg.exchange_interval > 0 && step % cfg.exchange_interval == 0
             {
                 let round = step / cfg.exchange_interval;
                 let partners = pairing(cfg.n_trainers, round, cfg.seed);
@@ -255,7 +269,12 @@ pub fn run_classifier_distributed(cfg: &LtfbConfig) -> ClassifierOutcome {
                 t.history.record(t.step, v);
             }
         }
-        (t.history.clone(), t.validate(), t.val_accuracy(), t.adoptions)
+        (
+            t.history.clone(),
+            t.validate(),
+            t.val_accuracy(),
+            t.adoptions,
+        )
     });
     let mut out = ClassifierOutcome {
         histories: Vec::new(),
@@ -275,8 +294,9 @@ pub fn run_classifier_distributed(cfg: &LtfbConfig) -> ClassifierOutcome {
 /// Run classifier LTFB serially; `tournaments = false` gives the
 /// K-independent baseline under identical seeds and budgets.
 pub fn run_classifier_population(cfg: &LtfbConfig, tournaments: bool) -> ClassifierOutcome {
-    let mut trainers: Vec<ClassifierTrainer> =
-        (0..cfg.n_trainers).map(|t| ClassifierTrainer::new(cfg, t)).collect();
+    let mut trainers: Vec<ClassifierTrainer> = (0..cfg.n_trainers)
+        .map(|t| ClassifierTrainer::new(cfg, t))
+        .collect();
     for t in &mut trainers {
         let v = t.validate();
         t.history.record(0, v);
@@ -292,8 +312,7 @@ pub fn run_classifier_population(cfg: &LtfbConfig, tournaments: bool) -> Classif
         {
             let round = step / cfg.exchange_interval;
             let partners = pairing(cfg.n_trainers, round, cfg.seed);
-            let payloads: Vec<Bytes> =
-                trainers.iter().map(|t| t.net.weights_to_bytes()).collect();
+            let payloads: Vec<Bytes> = trainers.iter().map(|t| t.net.weights_to_bytes()).collect();
             for (t, p) in partners.iter().enumerate() {
                 if let Some(p) = p {
                     trainers[t].decide(payloads[*p].clone());
@@ -370,7 +389,10 @@ mod tests {
             a.train_step();
         }
         let trained = a.net.weights_to_bytes();
-        assert!(b.decide(trained), "untrained trainer must adopt the trained model");
+        assert!(
+            b.decide(trained),
+            "untrained trainer must adopt the trained model"
+        );
         assert_eq!(b.adoptions, 1);
         // And the reverse match keeps the trained model.
         let untrained = ClassifierTrainer::new(&c, 1).net.weights_to_bytes();

@@ -14,12 +14,16 @@ pub const VAL_DESIGN_OFFSET: u64 = 1 << 40;
 
 /// Materialise samples `start..start+count` (training design region).
 pub fn train_samples(cfg: &JagConfig, start: u64, count: u64) -> Vec<Sample> {
-    (0..count).map(|i| sample_by_id(cfg, 0, start + i)).collect()
+    (0..count)
+        .map(|i| sample_by_id(cfg, 0, start + i))
+        .collect()
 }
 
 /// Materialise validation samples `start..start+count` (disjoint region).
 pub fn val_samples(cfg: &JagConfig, start: u64, count: u64) -> Vec<Sample> {
-    (0..count).map(|i| sample_by_id(cfg, VAL_DESIGN_OFFSET, start + i)).collect()
+    (0..count)
+        .map(|i| sample_by_id(cfg, VAL_DESIGN_OFFSET, start + i))
+        .collect()
 }
 
 /// Pack samples into an `InMemoryDataset` of (x, y) rows.
@@ -51,8 +55,10 @@ pub fn build_trainer_data(cfg: &LtfbConfig, t: usize) -> TrainerData {
     let part = cfg.partition_len();
     let ids = partition_ids(cfg, t);
     assert_eq!(ids.len() as u64, part);
-    let train: Vec<Sample> =
-        ids.iter().map(|&id| sample_by_id(&cfg.gan.jag, 0, id)).collect();
+    let train: Vec<Sample> = ids
+        .iter()
+        .map(|&id| sample_by_id(&cfg.gan.jag, 0, id))
+        .collect();
     let val = val_samples(&cfg.gan.jag, 0, cfg.val_samples);
     // Tournament region starts after the validation samples.
     let tstart = cfg.val_samples + t as u64 * cfg.tournament_samples;
@@ -122,7 +128,10 @@ mod tests {
         // Validation is shared.
         assert_eq!(d0.val.inputs.as_slice(), d1.val.inputs.as_slice());
         // Tournament sets are per-trainer.
-        assert_ne!(d0.tournament.inputs.as_slice(), d1.tournament.inputs.as_slice());
+        assert_ne!(
+            d0.tournament.inputs.as_slice(),
+            d1.tournament.inputs.as_slice()
+        );
     }
 
     #[test]
@@ -131,7 +140,10 @@ mod tests {
         let tr = train_samples(&cfg.gan.jag, 0, 10);
         let va = val_samples(&cfg.gan.jag, 0, 10);
         for (a, b) in tr.iter().zip(&va) {
-            assert_ne!(a.params, b.params, "validation must not repeat training inputs");
+            assert_ne!(
+                a.params, b.params,
+                "validation must not repeat training inputs"
+            );
         }
     }
 

@@ -13,8 +13,7 @@ use crate::trainer::Trainer;
 pub fn run_k_independent(cfg: &LtfbConfig) -> RunOutcome {
     assert!(cfg.n_trainers >= 1);
     let ae = pretrain_global_autoencoder(cfg);
-    let mut trainers: Vec<Trainer> =
-        (0..cfg.n_trainers).map(|t| Trainer::new(*cfg, t)).collect();
+    let mut trainers: Vec<Trainer> = (0..cfg.n_trainers).map(|t| Trainer::new(*cfg, t)).collect();
     for t in &mut trainers {
         t.load_autoencoder(ae.clone());
         t.record_validation();
@@ -29,7 +28,10 @@ pub fn run_k_independent(cfg: &LtfbConfig) -> RunOutcome {
             }
         }
     }
-    let final_val: Vec<f32> = trainers.iter_mut().map(|t| t.validate().combined()).collect();
+    let final_val: Vec<f32> = trainers
+        .iter_mut()
+        .map(|t| t.validate().combined())
+        .collect();
     RunOutcome {
         histories: trainers.iter().map(|t| t.history.clone()).collect(),
         final_val,
@@ -72,7 +74,10 @@ mod tests {
         c_ltfb.exchange_interval = 1_000_000;
         let a = run_ltfb_serial(&c_ltfb);
         let b = run_k_independent(&cfg(2));
-        assert_eq!(a.final_val, b.final_val, "identical seeds must give identical models");
+        assert_eq!(
+            a.final_val, b.final_val,
+            "identical seeds must give identical models"
+        );
     }
 
     #[test]

@@ -21,13 +21,14 @@ pub mod config;
 pub mod data;
 pub mod kindep;
 pub mod ltfb;
-pub mod tournament;
 pub mod surrogate;
+pub mod tournament;
 pub mod trainer;
 pub mod two_level;
 
 pub use checkpoint::{
-    load_population, resume_ltfb_serial, run_ltfb_partial, save_population, CheckpointError,
+    load_population, load_surrogate, resume_ltfb_serial, run_ltfb_partial, save_population,
+    save_surrogate, CheckpointError,
 };
 pub use classifier::{
     classify_data, run_classifier_distributed, run_classifier_population, ClassifierOutcome,
@@ -40,9 +41,9 @@ pub use ltfb::{
     pretrain_global_autoencoder, run_ltfb_distributed, run_ltfb_serial,
     run_ltfb_serial_with_models, run_ltfb_with_failures, RunOutcome,
 };
-pub use tournament::{decide_match, pairing, pairing_alive, MatchOutcome};
 pub use surrogate::{
     adaptive_sample, optimize_design, DesignOptimum, EnsemblePrediction, PopulationEnsemble,
 };
+pub use tournament::{decide_match, pairing, pairing_alive, MatchOutcome};
 pub use trainer::Trainer;
 pub use two_level::{broadcast_replica, dp_train_step, run_ltfb_two_level, TwoLevelOutcome};

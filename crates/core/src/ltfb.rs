@@ -72,12 +72,18 @@ fn post_step_hooks(
     trainers: &mut [Trainer],
     matches: &mut Vec<(u64, usize, MatchOutcome)>,
 ) {
-    if cfg.n_trainers >= 2 && cfg.exchange_interval > 0 && step.is_multiple_of(cfg.exchange_interval) {
+    if cfg.n_trainers >= 2
+        && cfg.exchange_interval > 0
+        && step.is_multiple_of(cfg.exchange_interval)
+    {
         let round = step / cfg.exchange_interval;
         let partners = pairing(cfg.n_trainers, round, cfg.seed);
         // Collect the exchanged payloads first (the "sendrecv"), then
         // decide each side — mirrors the concurrent exchange exactly.
-        let payloads: Vec<_> = trainers.iter().map(|t| t.gan.generator_to_bytes()).collect();
+        let payloads: Vec<_> = trainers
+            .iter()
+            .map(|t| t.gan.generator_to_bytes())
+            .collect();
         for (t, partner) in partners.iter().enumerate() {
             if let Some(p) = partner {
                 let out = decide_match(&mut trainers[t], *p, payloads[*p].clone());
@@ -102,8 +108,7 @@ pub fn run_ltfb_serial(cfg: &LtfbConfig) -> RunOutcome {
 pub fn run_ltfb_serial_with_models(cfg: &LtfbConfig) -> (RunOutcome, Vec<Trainer>) {
     assert!(cfg.n_trainers >= 1);
     let ae = pretrain_global_autoencoder(cfg);
-    let mut trainers: Vec<Trainer> =
-        (0..cfg.n_trainers).map(|t| Trainer::new(*cfg, t)).collect();
+    let mut trainers: Vec<Trainer> = (0..cfg.n_trainers).map(|t| Trainer::new(*cfg, t)).collect();
     for t in &mut trainers {
         t.load_autoencoder(ae.clone());
         t.record_validation();
@@ -115,7 +120,10 @@ pub fn run_ltfb_serial_with_models(cfg: &LtfbConfig) -> (RunOutcome, Vec<Trainer
         }
         post_step_hooks(cfg, step, &mut trainers, &mut matches);
     }
-    let final_val: Vec<f32> = trainers.iter_mut().map(|t| t.validate().combined()).collect();
+    let final_val: Vec<f32> = trainers
+        .iter_mut()
+        .map(|t| t.validate().combined())
+        .collect();
     let outcome = RunOutcome {
         histories: trainers.iter().map(|t| t.history.clone()).collect(),
         final_val,
@@ -130,15 +138,11 @@ pub fn run_ltfb_serial_with_models(cfg: &LtfbConfig) -> (RunOutcome, Vec<Trainer
 /// step `failures[i].1` (stops training and leaves the tournament pool).
 /// Survivors keep playing among themselves — the algorithm's decentralised
 /// design means a death only shrinks the population.
-pub fn run_ltfb_with_failures(
-    cfg: &LtfbConfig,
-    failures: &[(usize, u64)],
-) -> RunOutcome {
+pub fn run_ltfb_with_failures(cfg: &LtfbConfig, failures: &[(usize, u64)]) -> RunOutcome {
     use crate::tournament::pairing_alive;
     assert!(cfg.n_trainers >= 1);
     let ae = pretrain_global_autoencoder(cfg);
-    let mut trainers: Vec<Trainer> =
-        (0..cfg.n_trainers).map(|t| Trainer::new(*cfg, t)).collect();
+    let mut trainers: Vec<Trainer> = (0..cfg.n_trainers).map(|t| Trainer::new(*cfg, t)).collect();
     for t in &mut trainers {
         t.load_autoencoder(ae.clone());
         t.record_validation();
@@ -156,12 +160,13 @@ pub fn run_ltfb_with_failures(
                 trainer.train_step();
             }
         }
-        if cfg.n_trainers >= 2 && cfg.exchange_interval > 0 && step % cfg.exchange_interval == 0
-        {
+        if cfg.n_trainers >= 2 && cfg.exchange_interval > 0 && step % cfg.exchange_interval == 0 {
             let round = step / cfg.exchange_interval;
             let partners = pairing_alive(&alive, round, cfg.seed);
-            let payloads: Vec<_> =
-                trainers.iter().map(|t| t.gan.generator_to_bytes()).collect();
+            let payloads: Vec<_> = trainers
+                .iter()
+                .map(|t| t.gan.generator_to_bytes())
+                .collect();
             for (t, partner) in partners.iter().enumerate() {
                 if let Some(p) = partner {
                     let out = decide_match(&mut trainers[t], *p, payloads[*p].clone());
@@ -177,7 +182,10 @@ pub fn run_ltfb_with_failures(
             }
         }
     }
-    let final_val: Vec<f32> = trainers.iter_mut().map(|t| t.validate().combined()).collect();
+    let final_val: Vec<f32> = trainers
+        .iter_mut()
+        .map(|t| t.validate().combined())
+        .collect();
     RunOutcome {
         histories: trainers.iter().map(|t| t.history.clone()).collect(),
         final_val,
@@ -209,9 +217,7 @@ pub fn run_ltfb_distributed(cfg: &LtfbConfig) -> RunOutcome {
 
         for step in 1..=cfg.steps {
             trainer.train_step();
-            if cfg.n_trainers >= 2
-                && cfg.exchange_interval > 0
-                && step % cfg.exchange_interval == 0
+            if cfg.n_trainers >= 2 && cfg.exchange_interval > 0 && step % cfg.exchange_interval == 0
             {
                 let round = step / cfg.exchange_interval;
                 let partners = pairing(cfg.n_trainers, round, cfg.seed);
@@ -229,7 +235,13 @@ pub fn run_ltfb_distributed(cfg: &LtfbConfig) -> RunOutcome {
             }
         }
         let final_val = trainer.validate().combined();
-        (trainer.history.clone(), final_val, trainer.wins, trainer.losses, my_matches)
+        (
+            trainer.history.clone(),
+            final_val,
+            trainer.wins,
+            trainer.losses,
+            my_matches,
+        )
     });
 
     let mut outcome = RunOutcome {
@@ -273,7 +285,10 @@ mod tests {
         for (t, h) in out.histories.iter().enumerate() {
             let first = h.points().first().unwrap().1;
             let last = h.last().unwrap();
-            assert!(last < first, "trainer {t} did not improve: {first} -> {last}");
+            assert!(
+                last < first,
+                "trainer {t} did not improve: {first} -> {last}"
+            );
         }
     }
 

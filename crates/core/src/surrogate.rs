@@ -39,8 +39,7 @@ pub fn optimize_design(
     assert!(budget >= 1);
 
     // Stage 1: space-filling sweep, batched through the forward model.
-    let candidates: Vec<[f32; N_PARAMS]> =
-        (0..budget as u64).map(r2_point).collect();
+    let candidates: Vec<[f32; N_PARAMS]> = (0..budget as u64).map(r2_point).collect();
     let (mut best_params, mut best_val) = evaluate_batch(surrogate, &candidates, objective_idx);
 
     // Stage 2: compass/pattern search around the incumbent.
@@ -62,7 +61,10 @@ pub fn optimize_design(
             step *= 0.5;
         }
     }
-    DesignOptimum { params: best_params, predicted: best_val }
+    DesignOptimum {
+        params: best_params,
+        predicted: best_val,
+    }
 }
 
 fn evaluate_batch(
@@ -161,8 +163,9 @@ pub fn adaptive_sample(
     select: usize,
 ) -> Vec<[f32; N_PARAMS]> {
     assert!(select <= pool_size);
-    let pool: Vec<[f32; N_PARAMS]> =
-        (0..pool_size as u64).map(|i| r2_point(pool_start + i)).collect();
+    let pool: Vec<[f32; N_PARAMS]> = (0..pool_size as u64)
+        .map(|i| r2_point(pool_start + i))
+        .collect();
     let mut x = Matrix::zeros(pool_size, N_PARAMS);
     for (r, p) in pool.iter().enumerate() {
         x.row_mut(r).copy_from_slice(p);
@@ -224,7 +227,7 @@ mod tests {
     fn ensemble_mean_and_std_shapes() {
         let (_, mut trainers) = trained_population();
         let mut members: Vec<&mut Trainer> = trainers.iter_mut().collect();
-        let mut ens = PopulationEnsemble::new(members.drain(..).collect());
+        let mut ens = PopulationEnsemble::new(std::mem::take(&mut members));
         let x = Matrix::full(4, N_PARAMS, 0.5);
         let p = ens.predict(&x);
         assert_eq!(p.mean.shape(), p.std.shape());
@@ -239,7 +242,12 @@ mod tests {
         // Clone trainer 0's generator into trainer 1 and 2 — after which
         // predictions still differ (decoders are local!), so copy the
         // whole model instead via checkpoint-grade weight copies.
-        let snapshots: Vec<_> = trainers[0].gan.networks().iter().map(|n| n.snapshot()).collect();
+        let snapshots: Vec<_> = trainers[0]
+            .gan
+            .networks()
+            .iter()
+            .map(|n| n.snapshot())
+            .collect();
         let (first, rest) = trainers.split_at_mut(1);
         let _ = first;
         for t in rest.iter_mut() {
@@ -264,8 +272,7 @@ mod tests {
         let picked = adaptive_sample(&mut ens, 50_000, 64, 8);
         assert_eq!(picked.len(), 8);
         // The picked points' disagreement must dominate the pool median.
-        let pool: Vec<[f32; N_PARAMS]> =
-            (0..64u64).map(|i| r2_point(50_000 + i)).collect();
+        let pool: Vec<[f32; N_PARAMS]> = (0..64u64).map(|i| r2_point(50_000 + i)).collect();
         let mut x = Matrix::zeros(64, N_PARAMS);
         for (r, p) in pool.iter().enumerate() {
             x.row_mut(r).copy_from_slice(p);

@@ -73,7 +73,10 @@ pub fn decide_match(trainer: &mut Trainer, partner: usize, foreign: Bytes) -> Ma
     if adopted_foreign {
         // Adopt for real: optimizer state resets (stale moments would
         // drag the foreign weights back toward the old basin).
-        trainer.gan.load_generator(foreign).expect("validated above");
+        trainer
+            .gan
+            .load_generator(foreign)
+            .expect("validated above");
         trainer.losses += 1;
     } else {
         trainer
@@ -82,7 +85,12 @@ pub fn decide_match(trainer: &mut Trainer, partner: usize, foreign: Bytes) -> Ma
             .expect("own generator snapshot corrupt");
         trainer.wins += 1;
     }
-    MatchOutcome { partner, own_score, foreign_score, adopted_foreign }
+    MatchOutcome {
+        partner,
+        own_score,
+        foreign_score,
+        adopted_foreign,
+    }
 }
 
 #[cfg(test)]
@@ -176,14 +184,22 @@ mod tests {
         let out_b = decide_match(&mut b, 0, a_gen);
         assert!(out_b.foreign_score < out_b.own_score, "{out_b:?}");
         assert!(out_b.adopted_foreign);
-        assert_eq!(b.gan.generator_fingerprint(), fp_a, "b must now hold a's generator");
+        assert_eq!(
+            b.gan.generator_fingerprint(),
+            fp_a,
+            "b must now hold a's generator"
+        );
         assert_eq!(b.losses, 1);
 
         // a receives b's (untrained) generator and must keep its own.
         let fp_a_before = a.gan.generator_fingerprint();
         let out_a = decide_match(&mut a, 1, b_gen);
         assert!(!out_a.adopted_foreign, "{out_a:?}");
-        assert_eq!(a.gan.generator_fingerprint(), fp_a_before, "a must keep its generator");
+        assert_eq!(
+            a.gan.generator_fingerprint(),
+            fp_a_before,
+            "a must keep its generator"
+        );
         assert_eq!(a.wins, 1);
     }
 

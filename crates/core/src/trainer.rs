@@ -48,7 +48,9 @@ impl Trainer {
     /// Install the shared, a-priori-trained autoencoder (see
     /// [`crate::ltfb::pretrain_global_autoencoder`]).
     pub fn load_autoencoder(&mut self, ae: bytes::Bytes) {
-        self.gan.load_autoencoder(ae).expect("autoencoder payload corrupt");
+        self.gan
+            .load_autoencoder(ae)
+            .expect("autoencoder payload corrupt");
     }
 
     /// *Ablation path*: autoencoder pre-training on this trainer's own

@@ -106,7 +106,8 @@ pub fn run_ltfb_two_level(cfg: &LtfbConfig, ranks_per_trainer: usize) -> TwoLeve
         // seed, then syncs from the leader (replicas must be identical).
         let mut gan = CycleGan::new(cfg.gan, mix_seed(&[cfg.seed, 1000 + trainer_id as u64]));
         gan.set_learning_rates(cfg.trainer_lr(trainer_id));
-        gan.load_autoencoder(ae).expect("autoencoder payload corrupt");
+        gan.load_autoencoder(ae)
+            .expect("autoencoder payload corrupt");
         broadcast_replica(&mut gan, &trainer_comm, 0);
 
         // All replicas iterate the same global batch order (same seed) —
@@ -138,9 +139,7 @@ pub fn run_ltfb_two_level(cfg: &LtfbConfig, ranks_per_trainer: usize) -> TwoLeve
             let ys = y.slice_rows(lo, hi);
             dp_train_step(&mut gan, &xs, &ys, &trainer_comm);
 
-            if cfg.n_trainers >= 2
-                && cfg.exchange_interval > 0
-                && step % cfg.exchange_interval == 0
+            if cfg.n_trainers >= 2 && cfg.exchange_interval > 0 && step % cfg.exchange_interval == 0
             {
                 let round = step / cfg.exchange_interval;
                 let partners = pairing(cfg.n_trainers, round, cfg.seed);
@@ -150,8 +149,7 @@ pub fn run_ltfb_two_level(cfg: &LtfbConfig, ranks_per_trainer: usize) -> TwoLeve
                     let decision: u8 = if is_leader {
                         let mine = gan.generator_to_bytes();
                         let tag = 0x2_000 + round;
-                        
-                        
+
                         let foreign = leaders.sendrecv(p, tag, mine.clone(), p, tag);
                         // Score own, then foreign, on the local tournament set.
                         let (tx, ty) = xy(&data.tournament);
@@ -203,8 +201,14 @@ pub fn run_ltfb_two_level(cfg: &LtfbConfig, ranks_per_trainer: usize) -> TwoLeve
             let all = trainer_comm.allgather(ltfb_comm::bytes_of_u64(fp));
             all.iter().all(|b| ltfb_comm::u64_of_bytes(b) == fp)
         };
-        let final_val = if is_leader { validate(&mut gan) } else { f32::NAN };
-        (trainer_id, is_leader, history, final_val, adoptions, consistent)
+        let final_val = if is_leader {
+            validate(&mut gan)
+        } else {
+            f32::NAN
+        };
+        (
+            trainer_id, is_leader, history, final_val, adoptions, consistent,
+        )
     });
 
     let mut histories = vec![LossHistory::new(); cfg.n_trainers];
@@ -219,7 +223,12 @@ pub fn run_ltfb_two_level(cfg: &LtfbConfig, ranks_per_trainer: usize) -> TwoLeve
             adoptions += ad;
         }
     }
-    TwoLevelOutcome { histories, final_val, adoptions, replicas_consistent }
+    TwoLevelOutcome {
+        histories,
+        final_val,
+        adoptions,
+        replicas_consistent,
+    }
 }
 
 #[cfg(test)]
@@ -287,7 +296,10 @@ mod tests {
         c.steps = 30;
         c.eval_interval = 15;
         let out = run_ltfb_two_level(&c, 2);
-        assert!(out.replicas_consistent, "replicas drifted after a keep decision");
+        assert!(
+            out.replicas_consistent,
+            "replicas drifted after a keep decision"
+        );
     }
 
     #[test]

@@ -65,7 +65,10 @@ fn resumed_run_tracks_uninterrupted_run() {
     for (hr, hs) in reference.histories.iter().zip(&resumed.histories) {
         let pre_ref: Vec<_> = hr.points().iter().filter(|&&(s, _)| s <= 20).collect();
         let pre_res: Vec<_> = hs.points().iter().filter(|&&(s, _)| s <= 20).collect();
-        assert_eq!(pre_ref, pre_res, "pre-checkpoint history must match exactly");
+        assert_eq!(
+            pre_ref, pre_res,
+            "pre-checkpoint history must match exactly"
+        );
     }
     // Final quality comparable (within a generous band — Adam moments
     // were dropped at the restart point).

@@ -25,9 +25,15 @@ fn distributed_matches_serial_bit_for_bit() {
         let c = cfg(k);
         let serial = run_ltfb_serial(&c);
         let dist = run_ltfb_distributed(&c);
-        assert_eq!(serial.final_val, dist.final_val, "k={k} final losses differ");
+        assert_eq!(
+            serial.final_val, dist.final_val,
+            "k={k} final losses differ"
+        );
         assert_eq!(serial.wins, dist.wins, "k={k} win counts differ");
-        assert_eq!(serial.adoptions, dist.adoptions, "k={k} adoption counts differ");
+        assert_eq!(
+            serial.adoptions, dist.adoptions,
+            "k={k} adoption counts differ"
+        );
         assert_eq!(serial.matches.len(), dist.matches.len());
         for (s, d) in serial.matches.iter().zip(&dist.matches) {
             assert_eq!(s.0, d.0, "round mismatch");

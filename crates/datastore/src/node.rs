@@ -329,6 +329,10 @@ mod tests {
         let mut b = Node::map();
         b.set("a", Node::I64(2));
         b.set("z", Node::I64(1));
-        assert_eq!(a.to_bytes(), b.to_bytes(), "BTreeMap must give canonical order");
+        assert_eq!(
+            a.to_bytes(),
+            b.to_bytes(),
+            "BTreeMap must give canonical order"
+        );
     }
 }

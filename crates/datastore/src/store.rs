@@ -50,7 +50,10 @@ pub struct StoreStats {
 pub enum StoreError {
     /// The partition does not fit in the configured capacity — the
     /// condition behind the paper's missing preload bars.
-    OutOfMemory { required_bytes: u64, capacity_bytes: u64 },
+    OutOfMemory {
+        required_bytes: u64,
+        capacity_bytes: u64,
+    },
     /// Underlying bundle-file failure.
     Bundle(ltfb_jag::BundleError),
 }
@@ -58,7 +61,10 @@ pub enum StoreError {
 impl std::fmt::Display for StoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            StoreError::OutOfMemory { required_bytes, capacity_bytes } => write!(
+            StoreError::OutOfMemory {
+                required_bytes,
+                capacity_bytes,
+            } => write!(
                 f,
                 "data store OOM: need {required_bytes} bytes, capacity {capacity_bytes}"
             ),
@@ -145,14 +151,25 @@ pub fn sample_to_node(s: &Sample) -> Node {
 /// Recover a JAG sample from its node form. Panics if the schema does not
 /// match (programming error).
 pub fn node_to_sample(n: &Node) -> Sample {
-    let params_v = n.get_f32s("inputs/params").expect("node missing inputs/params");
-    let scalars_v = n.get_f32s("outputs/scalars").expect("node missing outputs/scalars");
-    let images = n.get_f32s("outputs/images").expect("node missing outputs/images").to_vec();
+    let params_v = n
+        .get_f32s("inputs/params")
+        .expect("node missing inputs/params");
+    let scalars_v = n
+        .get_f32s("outputs/scalars")
+        .expect("node missing outputs/scalars");
+    let images = n
+        .get_f32s("outputs/images")
+        .expect("node missing outputs/images")
+        .to_vec();
     let mut params = [0.0f32; N_PARAMS];
     params.copy_from_slice(params_v);
     let mut scalars = [0.0f32; N_SCALARS];
     scalars.copy_from_slice(scalars_v);
-    Sample { params, scalars, images }
+    Sample {
+        params,
+        scalars,
+        images,
+    }
 }
 
 impl DataStore {
@@ -190,8 +207,11 @@ impl DataStore {
         let mut files: Vec<u64> = ids.iter().map(|&id| spec.locate(id).0).collect();
         files.sort_unstable();
         files.dedup();
-        let file_slot: HashMap<u64, usize> =
-            files.iter().enumerate().map(|(slot, &f)| (f, slot)).collect();
+        let file_slot: HashMap<u64, usize> = files
+            .iter()
+            .enumerate()
+            .map(|(slot, &f)| (f, slot))
+            .collect();
 
         let mut store = DataStore {
             comm,
@@ -285,8 +305,9 @@ impl DataStore {
         let dynamic_epoch0 = self.mode == PopulateMode::Dynamic && epoch == 0;
 
         // Who consumes what this step.
-        let consumers: Vec<usize> =
-            (0..step_ids.len()).map(|p| plan.consumer_of(step, p)).collect();
+        let consumers: Vec<usize> = (0..step_ids.len())
+            .map(|p| plan.consumer_of(step, p))
+            .collect();
 
         if dynamic_epoch0 {
             // Epoch 0, dynamic: every consumer reads its own samples from

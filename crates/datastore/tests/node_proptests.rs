@@ -9,7 +9,9 @@ fn node_strategy() -> impl Strategy<Value = Node> {
     let leaf = prop_oneof![
         prop::collection::vec(any::<f32>().prop_filter("finite", |v| v.is_finite()), 0..20)
             .prop_map(Node::F32Array),
-        any::<f64>().prop_filter("finite", |v| v.is_finite()).prop_map(Node::F64),
+        any::<f64>()
+            .prop_filter("finite", |v| v.is_finite())
+            .prop_map(Node::F64),
         any::<i64>().prop_map(Node::I64),
         "[a-z0-9 ]{0,16}".prop_map(Node::Str),
     ];

@@ -48,7 +48,11 @@ fn preload_epoch_delivers_correct_samples_to_every_rank() {
         // Verify payloads against direct regeneration.
         for (id, node) in &got {
             let s = node_to_sample(node);
-            assert_eq!(s, sample_by_id(&JagConfig::small(4), 0, *id), "sample {id} corrupted");
+            assert_eq!(
+                s,
+                sample_by_id(&JagConfig::small(4), 0, *id),
+                "sample {id} corrupted"
+            );
         }
         got.into_iter().map(|(id, _)| id).collect::<Vec<u64>>()
     });
@@ -70,7 +74,10 @@ fn no_fs_reads_after_first_epoch_preload() {
             store.fetch_epoch(epoch).unwrap();
         }
         let s = store.stats();
-        assert_eq!(s.fs_file_reads, after_load, "training must not reopen files");
+        assert_eq!(
+            s.fs_file_reads, after_load,
+            "training must not reopen files"
+        );
         assert_eq!(s.fs_sample_reads, 0, "preload mode never random-reads");
     });
     cleanup_dataset_dir(&spec.dir);
@@ -130,13 +137,18 @@ fn epochs_are_reshuffled_but_deterministic() {
         let store = make_store(comm, &spec2, PopulateMode::Preload);
         let p0 = store.epoch_plan(0);
         let p1 = store.epoch_plan(1);
-        let order0: Vec<u64> = (0..p0.steps()).flat_map(|s| p0.step_ids(s).to_vec()).collect();
-        let order1: Vec<u64> = (0..p1.steps()).flat_map(|s| p1.step_ids(s).to_vec()).collect();
+        let order0: Vec<u64> = (0..p0.steps())
+            .flat_map(|s| p0.step_ids(s).to_vec())
+            .collect();
+        let order1: Vec<u64> = (0..p1.steps())
+            .flat_map(|s| p1.step_ids(s).to_vec())
+            .collect();
         assert_ne!(order0, order1, "epochs must reshuffle");
         // Same epoch requested twice gives the same order (determinism).
         let p0b = store.epoch_plan(0);
-        let order0b: Vec<u64> =
-            (0..p0b.steps()).flat_map(|s| p0b.step_ids(s).to_vec()).collect();
+        let order0b: Vec<u64> = (0..p0b.steps())
+            .flat_map(|s| p0b.step_ids(s).to_vec())
+            .collect();
         assert_eq!(order0, order0b);
         // Each epoch is a permutation of the partition.
         let mut sorted = order0.clone();
@@ -153,7 +165,11 @@ fn shuffle_traffic_happens_after_epoch_zero_dynamic() {
     run_world(3, move |comm| {
         let mut store = make_store(comm, &spec2, PopulateMode::Dynamic);
         store.fetch_epoch(0).unwrap();
-        assert_eq!(store.stats().shuffled_samples, 0, "epoch 0 is local reads only");
+        assert_eq!(
+            store.stats().shuffled_samples,
+            0,
+            "epoch 0 is local reads only"
+        );
         store.fetch_epoch(1).unwrap();
         assert!(
             store.stats().shuffled_samples > 0,
@@ -181,7 +197,10 @@ fn oom_gate_rejects_oversized_partitions() {
             tiny_capacity,
         );
         match r {
-            Err(StoreError::OutOfMemory { required_bytes, capacity_bytes }) => {
+            Err(StoreError::OutOfMemory {
+                required_bytes,
+                capacity_bytes,
+            }) => {
                 assert!(required_bytes > capacity_bytes);
             }
             _ => panic!("expected OOM"),
@@ -223,7 +242,10 @@ fn partition_subsets_are_respected() {
         .unwrap();
         assert_eq!(store.partition_len(), lower.len());
         let got = store.fetch_epoch(0).unwrap();
-        assert!(got.iter().all(|(id, _)| *id < N / 2), "leaked foreign sample");
+        assert!(
+            got.iter().all(|(id, _)| *id < N / 2),
+            "leaked foreign sample"
+        );
     });
     cleanup_dataset_dir(&spec.dir);
 }

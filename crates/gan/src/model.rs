@@ -91,11 +91,36 @@ impl CycleGan {
         let ah = cfg.ae_hidden;
         let mk = |tag: u64| seeded_rng(mix_seed(&[seed, tag]));
         CycleGan {
-            encoder: mlp(&[y, ah, ah / 2, l], cfg.leak, OutputActivation::TanhOut, &mut mk(1)),
-            decoder: mlp(&[l, ah / 2, ah, y], cfg.leak, OutputActivation::LinearOut, &mut mk(2)),
-            forward_model: mlp(&[x, h, h, l], cfg.leak, OutputActivation::TanhOut, &mut mk(3)),
-            inverse_model: mlp(&[l, h, h / 2, x], cfg.leak, OutputActivation::SigmoidOut, &mut mk(4)),
-            discriminator: mlp(&[l, h, h / 2, 1], cfg.leak, OutputActivation::LinearOut, &mut mk(5)),
+            encoder: mlp(
+                &[y, ah, ah / 2, l],
+                cfg.leak,
+                OutputActivation::TanhOut,
+                &mut mk(1),
+            ),
+            decoder: mlp(
+                &[l, ah / 2, ah, y],
+                cfg.leak,
+                OutputActivation::LinearOut,
+                &mut mk(2),
+            ),
+            forward_model: mlp(
+                &[x, h, h, l],
+                cfg.leak,
+                OutputActivation::TanhOut,
+                &mut mk(3),
+            ),
+            inverse_model: mlp(
+                &[l, h, h / 2, x],
+                cfg.leak,
+                OutputActivation::SigmoidOut,
+                &mut mk(4),
+            ),
+            discriminator: mlp(
+                &[l, h, h / 2, 1],
+                cfg.leak,
+                OutputActivation::LinearOut,
+                &mut mk(5),
+            ),
             opt_ae: Adam::new(cfg.lr),
             opt_f: Adam::new(cfg.lr),
             opt_g: Adam::new(cfg.lr),
@@ -260,6 +285,21 @@ impl CycleGan {
         self.decoder.forward(&z, false)
     }
 
+    /// Inference-only forward prediction `Dec(F(x))`: shared-reference
+    /// [`predict`](Self::predict), bit-identical to it, usable from a
+    /// model behind `Arc` serving concurrent requests.
+    pub fn infer_forward(&self, x: &Matrix) -> Matrix {
+        let z = self.forward_model.infer(x);
+        self.decoder.infer(&z)
+    }
+
+    /// Inference-only inversion `G(E(y))`: shared-reference
+    /// [`invert`](Self::invert), bit-identical to it.
+    pub fn infer_inverse(&self, y: &Matrix) -> Matrix {
+        let z = self.encoder.infer(y);
+        self.inverse_model.infer(&z)
+    }
+
     /// Local-discriminator logits on generated latent codes `D(F(x))` —
     /// the GAN-specific tournament evaluation of Fig. 6(b).
     pub fn discriminator_logits(&mut self, x: &Matrix) -> Matrix {
@@ -291,11 +331,17 @@ impl CycleGan {
     pub fn load_generator(&mut self, mut data: Bytes) -> Result<(), DecodeError> {
         let take = |data: &mut Bytes| -> Result<Bytes, DecodeError> {
             if data.remaining() < 8 {
-                return Err(DecodeError::Truncated { needed: 8, have: data.remaining() });
+                return Err(DecodeError::Truncated {
+                    needed: 8,
+                    have: data.remaining(),
+                });
             }
             let len = data.get_u64_le() as usize;
             if data.remaining() < len {
-                return Err(DecodeError::Truncated { needed: len, have: data.remaining() });
+                return Err(DecodeError::Truncated {
+                    needed: len,
+                    have: data.remaining(),
+                });
             }
             Ok(data.copy_to_bytes(len))
         };
@@ -331,11 +377,17 @@ impl CycleGan {
     pub fn load_autoencoder(&mut self, mut data: Bytes) -> Result<(), DecodeError> {
         let take = |data: &mut Bytes| -> Result<Bytes, DecodeError> {
             if data.remaining() < 8 {
-                return Err(DecodeError::Truncated { needed: 8, have: data.remaining() });
+                return Err(DecodeError::Truncated {
+                    needed: 8,
+                    have: data.remaining(),
+                });
             }
             let len = data.get_u64_le() as usize;
             if data.remaining() < len {
-                return Err(DecodeError::Truncated { needed: len, have: data.remaining() });
+                return Err(DecodeError::Truncated {
+                    needed: len,
+                    have: data.remaining(),
+                });
             }
             Ok(data.copy_to_bytes(len))
         };
@@ -353,11 +405,17 @@ impl CycleGan {
     pub fn swap_generator_weights(&mut self, data: Bytes) -> Result<(), DecodeError> {
         let take = |data: &mut Bytes| -> Result<Bytes, DecodeError> {
             if data.remaining() < 8 {
-                return Err(DecodeError::Truncated { needed: 8, have: data.remaining() });
+                return Err(DecodeError::Truncated {
+                    needed: 8,
+                    have: data.remaining(),
+                });
             }
             let len = data.get_u64_le() as usize;
             if data.remaining() < len {
-                return Err(DecodeError::Truncated { needed: len, have: data.remaining() });
+                return Err(DecodeError::Truncated {
+                    needed: len,
+                    have: data.remaining(),
+                });
             }
             Ok(data.copy_to_bytes(len))
         };

@@ -9,7 +9,9 @@ use ltfb_tensor::Matrix;
 
 fn dataset(cfg: &CycleGanConfig, start: u64, n: usize) -> Vec<Sample> {
     let sim = JagSimulator::new(cfg.jag);
-    (0..n as u64).map(|i| sim.simulate(r2_point(start + i))).collect()
+    (0..n as u64)
+        .map(|i| sim.simulate(r2_point(start + i)))
+        .collect()
 }
 
 fn batches(cfg: &CycleGanConfig, samples: &[Sample], mb: usize) -> Vec<(Matrix, Matrix)> {
@@ -85,7 +87,11 @@ fn evaluate_is_side_effect_free() {
     let (x, y) = batch_from_samples(&cfg, &refs);
     let a = gan.evaluate(&x, &y);
     let b = gan.evaluate(&x, &y);
-    assert_eq!(a.combined(), b.combined(), "evaluation must not change the model");
+    assert_eq!(
+        a.combined(),
+        b.combined(),
+        "evaluation must not change the model"
+    );
     assert_eq!(gan.generator_fingerprint(), gan.generator_fingerprint());
 }
 
@@ -119,7 +125,11 @@ fn generator_exchange_transfers_behaviour() {
     // exchanged nets only.
     let za = a.generator_to_bytes();
     let zb = b.generator_to_bytes();
-    assert_eq!(&za[..], &zb[..], "serialized generators must be byte-identical");
+    assert_eq!(
+        &za[..],
+        &zb[..],
+        "serialized generators must be byte-identical"
+    );
 }
 
 #[test]
@@ -135,7 +145,10 @@ fn discriminator_stays_local_through_exchange() {
     let b_disc_before = b.networks()[4].weights_fingerprint();
     b.load_generator(a.generator_to_bytes()).unwrap();
     let b_disc_after = b.networks()[4].weights_fingerprint();
-    assert_eq!(b_disc_before, b_disc_after, "exchange must not touch the discriminator");
+    assert_eq!(
+        b_disc_before, b_disc_after,
+        "exchange must not touch the discriminator"
+    );
     // Encoder/decoder also stay local.
     assert_ne!(
         a.networks()[0].weights_fingerprint(),
@@ -189,8 +202,16 @@ fn adversarial_game_moves_discriminator() {
 #[test]
 fn mean_eval_averages() {
     use ltfb_gan::EvalLosses;
-    let a = EvalLosses { forward: 1.0, inverse: 2.0, fidelity: 3.0 };
-    let b = EvalLosses { forward: 3.0, inverse: 0.0, fidelity: 1.0 };
+    let a = EvalLosses {
+        forward: 1.0,
+        inverse: 2.0,
+        fidelity: 3.0,
+    };
+    let b = EvalLosses {
+        forward: 3.0,
+        inverse: 0.0,
+        fidelity: 1.0,
+    };
     let m = mean_eval(&[a, b]);
     assert_eq!(m.forward, 2.0);
     assert_eq!(m.inverse, 1.0);

@@ -59,7 +59,12 @@ impl<E> Default for Engine<E> {
 impl<E> Engine<E> {
     /// Fresh engine at simulated time zero.
     pub fn new() -> Self {
-        Engine { now: 0.0, seq: 0, queue: BinaryHeap::new(), processed: 0 }
+        Engine {
+            now: 0.0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            processed: 0,
+        }
     }
 
     /// Current simulated time in seconds.

@@ -72,7 +72,10 @@ mod tests {
         let t1 = step_compute_time(&n, 128.0);
         let t16 = step_compute_time(&n, 8.0);
         let speedup = t1 / t16;
-        assert!(speedup > 4.0 && speedup < 16.0, "per-step compute speedup {speedup}");
+        assert!(
+            speedup > 4.0 && speedup < 16.0,
+            "per-step compute speedup {speedup}"
+        );
     }
 
     #[test]

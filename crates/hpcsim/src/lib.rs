@@ -37,8 +37,8 @@ pub use ltfb::{evaluate_ltfb, paper_sweep, LtfbPoint, LtfbScenario};
 pub use machine::{MachineSpec, NetSpec, NodeSpec, PfsSpec, WorkloadSpec};
 pub use net::{allreduce_time, grad_sync_time, model_exchange_time, shuffle_time, Placement};
 pub use netsim::{hierarchical_allreduce_dp, ring_allreduce_dp, simulate_ring_allreduce};
-pub use staging::{staging_outcome, store_outcome, DistributionOutcome, LOCAL_STORE_BW};
 pub use pfs::{preload_chains, random_access_chains, simulate_chains, PfsOutcome, ReadReq};
+pub use staging::{staging_outcome, store_outcome, DistributionOutcome, LOCAL_STORE_BW};
 pub use training::{
     dp_placement, dynamic_store_required_bytes, evaluate_config, naive_ingest_time, preload_time,
     step_time, steps_per_epoch, store_capacity_bytes, store_required_bytes, ConfigOutcome,

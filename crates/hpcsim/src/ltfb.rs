@@ -185,7 +185,11 @@ mod tests {
     use super::*;
 
     fn setup() -> (MachineSpec, WorkloadSpec, TrainingModel) {
-        (MachineSpec::lassen(), WorkloadSpec::icf_cyclegan(), TrainingModel::default())
+        (
+            MachineSpec::lassen(),
+            WorkloadSpec::icf_cyclegan(),
+            TrainingModel::default(),
+        )
     }
 
     #[test]
@@ -208,7 +212,10 @@ mod tests {
             "64-trainer speedup {speedup:.1} should be near the paper's 70.2x"
         );
         let efficiency = speedup / 64.0;
-        assert!(efficiency > 1.0, "must be superlinear (paper: 109%), got {efficiency:.3}");
+        assert!(
+            efficiency > 1.0,
+            "must be superlinear (paper: 109%), got {efficiency:.3}"
+        );
     }
 
     #[test]

@@ -169,7 +169,10 @@ mod tests {
         assert_eq!(m.total_nodes, 795);
         assert!(m.net.nvlink_bw > m.net.ib_bw, "NVLink outpaces IB");
         assert!(m.net.ib_lat > m.net.nvlink_lat);
-        assert!(m.pfs_peak_bw() > 100.0e9, "GPFS aggregate should be >100 GB/s");
+        assert!(
+            m.pfs_peak_bw() > 100.0e9,
+            "GPFS aggregate should be >100 GB/s"
+        );
     }
 
     #[test]
@@ -177,7 +180,10 @@ mod tests {
         let w = WorkloadSpec::icf_cyclegan();
         // 10M samples should come out near the paper's "2 TB database".
         let total = w.sample_bytes as f64 * 10.0e6;
-        assert!(total > 1.5e12 && total < 2.5e12, "dataset volume {total:.3e} not ~2 TB");
+        assert!(
+            total > 1.5e12 && total < 2.5e12,
+            "dataset volume {total:.3e} not ~2 TB"
+        );
     }
 
     #[test]

@@ -32,7 +32,10 @@ pub struct Placement {
 impl Placement {
     pub fn new(nodes: usize, gpus_per_node: usize) -> Self {
         assert!(nodes > 0 && gpus_per_node > 0);
-        Placement { nodes, gpus_per_node }
+        Placement {
+            nodes,
+            gpus_per_node,
+        }
     }
 
     /// Total ranks in the trainer.
@@ -83,8 +86,8 @@ pub fn grad_sync_time(
     if place.ranks() <= 1 {
         return 0.0;
     }
-    let raw = allreduce_time(&machine.net, place, total_bytes)
-        + tensors as f64 * machine.net.coll_launch;
+    let raw =
+        allreduce_time(&machine.net, place, total_bytes) + tensors as f64 * machine.net.coll_launch;
     raw * machine.net.sync_penalty * (1.0 - overlap_fraction)
 }
 
@@ -98,12 +101,7 @@ pub fn model_exchange_time(net: &NetSpec, bytes: f64) -> f64 {
 /// Per-mini-batch data-store shuffle cost: each rank sends/receives its
 /// share of the mini-batch to/from peers, mostly across nodes, discounted
 /// by the overlap the store's background threads achieve.
-pub fn shuffle_time(
-    net: &NetSpec,
-    place: Placement,
-    mb_bytes: f64,
-    overlap_fraction: f64,
-) -> f64 {
+pub fn shuffle_time(net: &NetSpec, place: Placement, mb_bytes: f64, overlap_fraction: f64) -> f64 {
     assert!((0.0..=1.0).contains(&overlap_fraction));
     let n = place.ranks();
     if n <= 1 {
@@ -112,7 +110,8 @@ pub fn shuffle_time(
     let per_rank = mb_bytes / n as f64;
     let cross_node_fraction = (place.nodes - 1) as f64 / place.nodes as f64;
     let bw = net.ib_bw / place.gpus_per_node as f64;
-    let t = net.ib_lat + per_rank * cross_node_fraction / bw
+    let t = net.ib_lat
+        + per_rank * cross_node_fraction / bw
         + net.nvlink_lat
         + per_rank * (1.0 - cross_node_fraction) / net.nvlink_bw;
     t * (1.0 - overlap_fraction)
@@ -148,7 +147,10 @@ mod tests {
         let net = lassen_net();
         let intra = allreduce_time(&net, Placement::new(1, 4), 1e8);
         let inter = allreduce_time(&net, Placement::new(4, 1), 1e8);
-        assert!(inter > intra, "IB ring must cost more than NVLink ring: {inter} vs {intra}");
+        assert!(
+            inter > intra,
+            "IB ring must cost more than NVLink ring: {inter} vs {intra}"
+        );
     }
 
     #[test]
@@ -177,7 +179,10 @@ mod tests {
             - 2.0 * 3.0 * net.ib_lat
             - 2.0 * 3.0 * net.nvlink_lat
             - bytes * 1.5 / net.nvlink_bw;
-        assert!((a - b).abs() / a < 1e-9, "IB term changed with packing: {a} vs {b}");
+        assert!(
+            (a - b).abs() / a < 1e-9,
+            "IB term changed with packing: {a} vs {b}"
+        );
     }
 
     #[test]
@@ -193,9 +198,7 @@ mod tests {
     fn more_tensors_cost_more_launches() {
         let m = MachineSpec::lassen();
         let p = Placement::new(4, 4);
-        assert!(
-            grad_sync_time(&m, p, 1.12e8, 48, 0.0) > grad_sync_time(&m, p, 1.12e8, 1, 0.0)
-        );
+        assert!(grad_sync_time(&m, p, 1.12e8, 48, 0.0) > grad_sync_time(&m, p, 1.12e8, 1, 0.0));
     }
 
     #[test]

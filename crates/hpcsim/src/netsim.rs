@@ -82,7 +82,13 @@ pub fn simulate_ring_allreduce(
             // order for homogeneous links, and for heterogeneous starts
             // the max below is taken when the later event fires.
             let dep = ready[left].max(t);
-            engine.schedule_at(dep + msg, Recv { rank: ev.rank, step: next });
+            engine.schedule_at(
+                dep + msg,
+                Recv {
+                    rank: ev.rank,
+                    step: next,
+                },
+            );
         }
     });
     makespan
@@ -138,7 +144,13 @@ pub fn hierarchical_allreduce_dp(
     }
     // Phase 2: inter-node ring over leaders with bytes/g each.
     let after_inter = if m > 1 {
-        ring_allreduce_dp(m, net.ib_lat, net.ib_bw / g as f64, bytes / g.max(1) as f64, &node_ready)
+        ring_allreduce_dp(
+            m,
+            net.ib_lat,
+            net.ib_bw / g as f64,
+            bytes / g.max(1) as f64,
+            &node_ready,
+        )
     } else {
         node_ready[0]
     };
@@ -196,7 +208,10 @@ mod tests {
         let delay = 10.0 * (lat + bytes / n as f64 / bw);
         offs[3] = delay;
         let t = ring_allreduce_dp(n, lat, bw, bytes, &offs);
-        assert!(t >= base + delay * 0.9, "straggler hidden: {t} vs {base} + {delay}");
+        assert!(
+            t >= base + delay * 0.9,
+            "straggler hidden: {t} vs {base} + {delay}"
+        );
     }
 
     #[test]
@@ -212,7 +227,11 @@ mod tests {
         // accounting (per-hop chain vs critical-path sum), so agreement
         // within a modest factor is the expectation.
         let m = MachineSpec::lassen();
-        for place in [Placement::new(4, 4), Placement::new(16, 1), Placement::new(1, 4)] {
+        for place in [
+            Placement::new(4, 4),
+            Placement::new(16, 1),
+            Placement::new(1, 4),
+        ] {
             let offs = vec![0.0; place.ranks()];
             let dp = hierarchical_allreduce_dp(&m.net, place, 1.12e8, &offs);
             let analytic = crate::net::allreduce_time(&m.net, place, 1.12e8);
@@ -234,8 +253,9 @@ mod tests {
         let mut prev = 0.0;
         for jitter in [0.0f64, 1e-4, 1e-3, 1e-2] {
             // Deterministic "random" offsets scaled by jitter.
-            let offs: Vec<f64> =
-                (0..n).map(|r| jitter * ((r * 2654435761) % 97) as f64 / 97.0).collect();
+            let offs: Vec<f64> = (0..n)
+                .map(|r| jitter * ((r * 2654435761) % 97) as f64 / 97.0)
+                .collect();
             let t = ring_allreduce_dp(n, lat, bw, bytes, &offs);
             assert!(t >= prev, "cost must grow with jitter: {t} < {prev}");
             prev = t;

@@ -57,7 +57,11 @@ enum Ev {
     Issue { client: usize },
     /// Server `s` completes its in-service request for `client`, who then
     /// spends `cpu_after` seconds deserialising before its next issue.
-    Complete { server: usize, client: usize, cpu_after: f64 },
+    Complete {
+        server: usize,
+        client: usize,
+        cpu_after: f64,
+    },
 }
 
 struct Server {
@@ -70,8 +74,12 @@ pub fn simulate_chains(spec: &PfsSpec, chains: Vec<Vec<ReadReq>>) -> PfsOutcome 
     let n_clients = chains.len();
     let mut next_idx = vec![0usize; n_clients];
     let mut client_done = vec![0.0f64; n_clients];
-    let mut servers: Vec<Server> =
-        (0..spec.servers).map(|_| Server { queue: VecDeque::new(), busy: false }).collect();
+    let mut servers: Vec<Server> = (0..spec.servers)
+        .map(|_| Server {
+            queue: VecDeque::new(),
+            busy: false,
+        })
+        .collect();
     let mut total_bytes = 0.0;
     let mut requests = 0u64;
     let mut peak_queue = 0usize;
@@ -107,10 +115,21 @@ pub fn simulate_chains(spec: &PfsSpec, chains: Vec<Vec<ReadReq>>) -> PfsOutcome 
                 let t = service(spec, &req, srv.queue.len());
                 total_bytes += req.bytes;
                 requests += 1;
-                eng.schedule(t, Ev::Complete { server: s, client, cpu_after: req.cpu_after });
+                eng.schedule(
+                    t,
+                    Ev::Complete {
+                        server: s,
+                        client,
+                        cpu_after: req.cpu_after,
+                    },
+                );
             }
         }
-        Ev::Complete { server, client, cpu_after } => {
+        Ev::Complete {
+            server,
+            client,
+            cpu_after,
+        } => {
             // The finished client deserialises, then issues its next read;
             // the server is free for the next queued request immediately.
             eng.schedule(cpu_after, Ev::Issue { client });
@@ -121,7 +140,11 @@ pub fn simulate_chains(spec: &PfsSpec, chains: Vec<Vec<ReadReq>>) -> PfsOutcome 
                 requests += 1;
                 eng.schedule(
                     t,
-                    Ev::Complete { server, client: next_client, cpu_after: req.cpu_after },
+                    Ev::Complete {
+                        server,
+                        client: next_client,
+                        cpu_after: req.cpu_after,
+                    },
                 );
             } else {
                 srv.busy = false;
@@ -129,7 +152,13 @@ pub fn simulate_chains(spec: &PfsSpec, chains: Vec<Vec<ReadReq>>) -> PfsOutcome 
         }
     });
 
-    PfsOutcome { makespan: eng.now(), client_done, total_bytes, requests, peak_queue }
+    PfsOutcome {
+        makespan: eng.now(),
+        client_done,
+        total_bytes,
+        requests,
+        peak_queue,
+    }
 }
 
 /// Build a preload workload: `files` whole-file reads distributed
@@ -170,7 +199,9 @@ pub fn random_access_chains(
     let mut state = seed | 1;
     for s in 0..samples_total {
         // LCG (Numerical Recipes constants) — deterministic and cheap.
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let file = (state >> 33) % files;
         chains[(s % clients as u64) as usize].push(ReadReq {
             file,
@@ -193,7 +224,14 @@ mod tests {
     #[test]
     fn single_client_single_file() {
         let s = spec();
-        let out = simulate_chains(&s, vec![vec![ReadReq { file: 0, bytes: 1e9, cpu_after: 0.0 }]]);
+        let out = simulate_chains(
+            &s,
+            vec![vec![ReadReq {
+                file: 0,
+                bytes: 1e9,
+                cpu_after: 0.0,
+            }]],
+        );
         let expected = s.open_latency_s + 1e9 / s.server_bw;
         assert!((out.makespan - expected).abs() < 1e-9);
         assert_eq!(out.requests, 1);
@@ -202,8 +240,13 @@ mod tests {
     #[test]
     fn serial_chain_adds_up() {
         let s = spec();
-        let reqs: Vec<ReadReq> =
-            (0..10).map(|i| ReadReq { file: i, bytes: 1e8, cpu_after: 0.01 }).collect();
+        let reqs: Vec<ReadReq> = (0..10)
+            .map(|i| ReadReq {
+                file: i,
+                bytes: 1e8,
+                cpu_after: 0.01,
+            })
+            .collect();
         let out = simulate_chains(&s, vec![reqs]);
         let per = s.open_latency_s + 1e8 / s.server_bw + 0.01;
         assert!((out.makespan - 10.0 * per).abs() < 1e-6);
@@ -213,11 +256,20 @@ mod tests {
     fn parallel_clients_on_distinct_servers_do_not_interfere() {
         let s = spec();
         let chains: Vec<Vec<ReadReq>> = (0..4)
-            .map(|c| vec![ReadReq { file: c, bytes: 1e9, cpu_after: 0.0 }])
+            .map(|c| {
+                vec![ReadReq {
+                    file: c,
+                    bytes: 1e9,
+                    cpu_after: 0.0,
+                }]
+            })
             .collect();
         let out = simulate_chains(&s, chains);
         let expected = s.open_latency_s + 1e9 / s.server_bw;
-        assert!((out.makespan - expected).abs() < 1e-9, "no queueing expected");
+        assert!(
+            (out.makespan - expected).abs() < 1e-9,
+            "no queueing expected"
+        );
         assert_eq!(out.peak_queue, 0);
     }
 
@@ -226,7 +278,13 @@ mod tests {
         let s = spec();
         // All four clients hit the same file/server.
         let chains: Vec<Vec<ReadReq>> = (0..4)
-            .map(|_| vec![ReadReq { file: 7, bytes: 1e9, cpu_after: 0.0 }])
+            .map(|_| {
+                vec![ReadReq {
+                    file: 7,
+                    bytes: 1e9,
+                    cpu_after: 0.0,
+                }]
+            })
             .collect();
         let out = simulate_chains(&s, chains);
         let one = s.open_latency_s + 1e9 / s.server_bw;

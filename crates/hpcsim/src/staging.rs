@@ -109,7 +109,11 @@ mod tests {
     use super::*;
 
     fn setup() -> (MachineSpec, WorkloadSpec, Placement) {
-        (MachineSpec::lassen(), WorkloadSpec::icf_cyclegan(), Placement::new(4, 4))
+        (
+            MachineSpec::lassen(),
+            WorkloadSpec::icf_cyclegan(),
+            Placement::new(4, 4),
+        )
     }
 
     #[test]

@@ -126,7 +126,11 @@ impl EpochBreakdown {
 pub enum ConfigOutcome {
     /// The configuration runs; initial and steady epochs plus any
     /// pre-training preload time.
-    Ran { initial: EpochBreakdown, steady: EpochBreakdown, preload: f64 },
+    Ran {
+        initial: EpochBreakdown,
+        steady: EpochBreakdown,
+        preload: f64,
+    },
     /// The data store did not fit in memory (the paper's missing bars).
     OutOfMemory { required: u64, capacity: u64 },
 }
@@ -165,10 +169,21 @@ pub fn store_capacity_bytes(m: &MachineSpec, model: &TrainingModel, nodes: usize
 }
 
 /// Compute + exposed gradient sync for one mini-batch step.
-pub fn step_time(m: &MachineSpec, w: &WorkloadSpec, model: &TrainingModel, place: Placement) -> f64 {
+pub fn step_time(
+    m: &MachineSpec,
+    w: &WorkloadSpec,
+    model: &TrainingModel,
+    place: Placement,
+) -> f64 {
     let spg = w.mini_batch as f64 / place.ranks() as f64;
     let compute = step_compute_time(&m.node, spg);
-    let sync = grad_sync_time(m, place, w.grad_bytes() as f64, w.grad_tensors, model.sync_overlap);
+    let sync = grad_sync_time(
+        m,
+        place,
+        w.grad_bytes() as f64,
+        w.grad_tensors,
+        model.sync_overlap,
+    );
     compute + sync
 }
 
@@ -188,8 +203,7 @@ pub fn naive_ingest_time(
     seed: u64,
 ) -> f64 {
     let files = samples.div_ceil(w.samples_per_file as u64).max(1);
-    let chains =
-        random_access_chains(place.ranks(), samples, files, w.sample_bytes as f64, seed);
+    let chains = random_access_chains(place.ranks(), samples, files, w.sample_bytes as f64, seed);
     simulate_chains(&m.pfs, chains).makespan
 }
 
@@ -251,18 +265,30 @@ pub fn evaluate_config(
     let compute_sync = {
         let spg = w.mini_batch as f64 / place.ranks() as f64;
         let c = step_compute_time(&m.node, spg) * steps;
-        let s =
-            grad_sync_time(m, place, w.grad_bytes() as f64, w.grad_tensors, model.sync_overlap)
-                * steps;
+        let s = grad_sync_time(
+            m,
+            place,
+            w.grad_bytes() as f64,
+            w.grad_tensors,
+            model.sync_overlap,
+        ) * steps;
         (c, s)
     };
 
     match mode {
         IngestMode::NoStore => {
             let io = naive_ingest_time(m, w, place, samples, seed);
-            let epoch =
-                EpochBreakdown { io, compute: compute_sync.0, sync: compute_sync.1, shuffle: 0.0 };
-            ConfigOutcome::Ran { initial: epoch, steady: epoch, preload: 0.0 }
+            let epoch = EpochBreakdown {
+                io,
+                compute: compute_sync.0,
+                sync: compute_sync.1,
+                shuffle: 0.0,
+            };
+            ConfigOutcome::Ran {
+                initial: epoch,
+                steady: epoch,
+                preload: 0.0,
+            }
         }
         IngestMode::DynamicStore | IngestMode::Preloaded => {
             let required = if mode == IngestMode::Preloaded {
@@ -286,10 +312,18 @@ pub fn evaluate_config(
                 let io = naive_ingest_time(m, w, place, samples, seed)
                     * (1.0 + model.dynamic_populate_overhead);
                 let initial = EpochBreakdown { io, ..steady };
-                ConfigOutcome::Ran { initial, steady, preload: 0.0 }
+                ConfigOutcome::Ran {
+                    initial,
+                    steady,
+                    preload: 0.0,
+                }
             } else {
                 let preload = preload_time(m, w, model, place, samples, 0);
-                ConfigOutcome::Ran { initial: steady, steady, preload }
+                ConfigOutcome::Ran {
+                    initial: steady,
+                    steady,
+                    preload,
+                }
             }
         }
     }
@@ -300,7 +334,11 @@ mod tests {
     use super::*;
 
     fn setup() -> (MachineSpec, WorkloadSpec, TrainingModel) {
-        (MachineSpec::lassen(), WorkloadSpec::icf_cyclegan(), TrainingModel::default())
+        (
+            MachineSpec::lassen(),
+            WorkloadSpec::icf_cyclegan(),
+            TrainingModel::default(),
+        )
     }
 
     #[test]
@@ -319,7 +357,10 @@ mod tests {
         let req = store_required_bytes(&w, &t, 1_000_000);
         assert!(req > store_capacity_bytes(&m, &t, 1), "1 GPU must OOM");
         assert!(req > store_capacity_bytes(&m, &t, 2), "2 GPUs must OOM");
-        assert!(req <= store_capacity_bytes(&m, &t, 4), "4 GPUs (4 nodes) must fit");
+        assert!(
+            req <= store_capacity_bytes(&m, &t, 4),
+            "4 GPUs (4 nodes) must fit"
+        );
     }
 
     #[test]
@@ -329,14 +370,23 @@ mod tests {
         // to 16 nodes x 1 GPU for the baseline).
         let req_10m = store_required_bytes(&w, &t, 10_000_000);
         assert!(req_10m > store_capacity_bytes(&m, &t, 4));
-        assert!(req_10m <= store_capacity_bytes(&m, &t, 16), "16 nodes must fit 10M+1M");
+        assert!(
+            req_10m <= store_capacity_bytes(&m, &t, 16),
+            "16 nodes must fit 10M+1M"
+        );
         // Section IV-E: four trainers (2.5M samples each on 4 nodes) were
         // also infeasible.
         let req_quarter = store_required_bytes(&w, &t, 2_500_000);
-        assert!(req_quarter > store_capacity_bytes(&m, &t, 4), "K=4 partition must OOM");
+        assert!(
+            req_quarter > store_capacity_bytes(&m, &t, 4),
+            "K=4 partition must OOM"
+        );
         // But an eighth fits — the paper's smallest multi-trainer point.
         let req_eighth = store_required_bytes(&w, &t, 1_250_000);
-        assert!(req_eighth <= store_capacity_bytes(&m, &t, 4), "K=8 partition must fit");
+        assert!(
+            req_eighth <= store_capacity_bytes(&m, &t, 4),
+            "K=8 partition must fit"
+        );
     }
 
     #[test]
@@ -393,9 +443,15 @@ mod tests {
         let pre = evaluate_config(&m, &w, &t2, p, samples, IngestMode::Preloaded, 3)
             .steady_total()
             .unwrap();
-        assert!(pre < dynamic, "preloaded {pre} should beat dynamic {dynamic}");
+        assert!(
+            pre < dynamic,
+            "preloaded {pre} should beat dynamic {dynamic}"
+        );
         let ratio = dynamic / pre;
-        assert!(ratio < 1.5, "advantage should be modest (paper: 1.10x), got {ratio:.2}");
+        assert!(
+            ratio < 1.5,
+            "advantage should be modest (paper: 1.10x), got {ratio:.2}"
+        );
     }
 
     #[test]
@@ -405,8 +461,13 @@ mod tests {
         t2.cached_val_samples = 0;
         let p = dp_placement(4);
         match evaluate_config(&m, &w, &t2, p, 20_000, IngestMode::DynamicStore, 4) {
-            ConfigOutcome::Ran { initial, steady, .. } => {
-                assert!(initial.total() > 2.0 * steady.total(), "first epoch pays ingestion");
+            ConfigOutcome::Ran {
+                initial, steady, ..
+            } => {
+                assert!(
+                    initial.total() > 2.0 * steady.total(),
+                    "first epoch pays ingestion"
+                );
                 assert_eq!(steady.io, 0.0, "steady state reads nothing from the PFS");
             }
             ConfigOutcome::OutOfMemory { .. } => panic!("should fit"),
@@ -420,6 +481,9 @@ mod tests {
         t2.cached_val_samples = 0;
         let a = preload_time(&m, &w, &t2, Placement::new(1, 1), 100_000, 0);
         let b = preload_time(&m, &w, &t2, Placement::new(4, 4), 100_000, 0);
-        assert!(b < a / 2.0, "16 ranks should preload much faster: {b} vs {a}");
+        assert!(
+            b < a / 2.0,
+            "16 ranks should preload much faster: {b} vs {a}"
+        );
     }
 }

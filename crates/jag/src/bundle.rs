@@ -61,12 +61,18 @@ impl std::fmt::Display for BundleError {
             BundleError::BadMagic(m) => write!(f, "not a bundle file (magic {m:#010x})"),
             BundleError::BadVersion(v) => write!(f, "unsupported bundle version {v}"),
             BundleError::BadChecksum { stored, computed } => {
-                write!(f, "bundle corrupt: crc stored {stored:#010x} != computed {computed:#010x}")
+                write!(
+                    f,
+                    "bundle corrupt: crc stored {stored:#010x} != computed {computed:#010x}"
+                )
             }
             BundleError::IndexOutOfRange { index, len } => {
                 write!(f, "sample {index} out of range 0..{len}")
             }
-            BundleError::ConfigMismatch { file_img_size, expected } => {
+            BundleError::ConfigMismatch {
+                file_img_size,
+                expected,
+            } => {
                 write!(f, "bundle img_size {file_img_size} != expected {expected}")
             }
             BundleError::Truncated => write!(f, "bundle file truncated"),
@@ -83,11 +89,7 @@ impl From<std::io::Error> for BundleError {
 }
 
 /// Write a bundle file from a set of samples.
-pub fn write_bundle(
-    path: &Path,
-    cfg: &JagConfig,
-    samples: &[Sample],
-) -> Result<(), BundleError> {
+pub fn write_bundle(path: &Path, cfg: &JagConfig, samples: &[Sample]) -> Result<(), BundleError> {
     let mut w = BufWriter::new(File::create(path)?);
     w.write_all(&MAGIC.to_le_bytes())?;
     w.write_all(&VERSION.to_le_bytes())?;
@@ -98,8 +100,17 @@ pub fn write_bundle(
     // Stream the payload while accumulating the CRC without a second pass.
     let mut crc_buf: Vec<u8> = Vec::with_capacity(samples.len() * cfg.sample_bytes());
     for s in samples {
-        assert_eq!(s.images.len(), cfg.image_len(), "sample image block size mismatch");
-        for &v in s.params.iter().chain(s.scalars.iter()).chain(s.images.iter()) {
+        assert_eq!(
+            s.images.len(),
+            cfg.image_len(),
+            "sample image block size mismatch"
+        );
+        for &v in s
+            .params
+            .iter()
+            .chain(s.scalars.iter())
+            .chain(s.images.iter())
+        {
             crc_buf.extend_from_slice(&v.to_le_bytes());
         }
     }
@@ -123,7 +134,8 @@ impl BundleReader {
     pub fn open(path: &Path, cfg: &JagConfig) -> Result<Self, BundleError> {
         let mut file = File::open(path)?;
         let mut header = [0u8; HEADER_BYTES as usize];
-        file.read_exact(&mut header).map_err(|_| BundleError::Truncated)?;
+        file.read_exact(&mut header)
+            .map_err(|_| BundleError::Truncated)?;
         let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
         if magic != MAGIC {
             return Err(BundleError::BadMagic(magic));
@@ -144,7 +156,12 @@ impl BundleReader {
         if file.metadata()?.len() != expected_len {
             return Err(BundleError::Truncated);
         }
-        Ok(BundleReader { file, path: path.to_path_buf(), cfg: *cfg, n_samples })
+        Ok(BundleReader {
+            file,
+            path: path.to_path_buf(),
+            cfg: *cfg,
+            n_samples,
+        })
     }
 
     /// Number of samples in the file.
@@ -162,7 +179,9 @@ impl BundleReader {
     }
 
     fn decode_sample(&self, raw: &[u8]) -> Sample {
-        let mut vals = raw.chunks_exact(4).map(|b| f32::from_le_bytes(b.try_into().unwrap()));
+        let mut vals = raw
+            .chunks_exact(4)
+            .map(|b| f32::from_le_bytes(b.try_into().unwrap()));
         let mut params = [0.0f32; N_PARAMS];
         for p in params.iter_mut() {
             *p = vals.next().unwrap();
@@ -173,14 +192,21 @@ impl BundleReader {
         }
         let images: Vec<f32> = vals.collect();
         debug_assert_eq!(images.len(), self.cfg.image_len());
-        Sample { params, scalars, images }
+        Sample {
+            params,
+            scalars,
+            images,
+        }
     }
 
     /// Random-access read of one sample (seek + read — the expensive
     /// pattern for naive ingestion).
     pub fn read_sample(&mut self, index: usize) -> Result<Sample, BundleError> {
         if index >= self.n_samples {
-            return Err(BundleError::IndexOutOfRange { index, len: self.n_samples });
+            return Err(BundleError::IndexOutOfRange {
+                index,
+                len: self.n_samples,
+            });
         }
         let off = HEADER_BYTES + (index * self.cfg.sample_bytes()) as u64;
         self.file.seek(SeekFrom::Start(off))?;
@@ -283,7 +309,10 @@ mod tests {
         write_bundle(&path, &cfg, &make_samples(&cfg, 5)).unwrap();
         let raw = std::fs::read(&path).unwrap();
         std::fs::write(&path, &raw[..raw.len() - 10]).unwrap();
-        assert!(matches!(BundleReader::open(&path, &cfg), Err(BundleError::Truncated)));
+        assert!(matches!(
+            BundleReader::open(&path, &cfg),
+            Err(BundleError::Truncated)
+        ));
     }
 
     #[test]
@@ -291,7 +320,10 @@ mod tests {
         let cfg = JagConfig::small(8);
         let path = tempdir().join("magic.bundle");
         std::fs::write(&path, vec![0u8; 64]).unwrap();
-        assert!(matches!(BundleReader::open(&path, &cfg), Err(BundleError::BadMagic(0))));
+        assert!(matches!(
+            BundleReader::open(&path, &cfg),
+            Err(BundleError::BadMagic(0))
+        ));
     }
 
     #[test]
@@ -302,7 +334,10 @@ mod tests {
         write_bundle(&path, &cfg8, &make_samples(&cfg8, 2)).unwrap();
         assert!(matches!(
             BundleReader::open(&path, &cfg16),
-            Err(BundleError::ConfigMismatch { file_img_size: 8, expected: 16 })
+            Err(BundleError::ConfigMismatch {
+                file_img_size: 8,
+                expected: 16
+            })
         ));
     }
 

@@ -34,7 +34,13 @@ impl DatasetSpec {
         samples_per_file: usize,
     ) -> Self {
         assert!(samples_per_file > 0);
-        DatasetSpec { dir: dir.into(), cfg, n_samples, samples_per_file, design_offset: 0 }
+        DatasetSpec {
+            dir: dir.into(),
+            cfg,
+            n_samples,
+            samples_per_file,
+            design_offset: 0,
+        }
     }
 
     /// Use a disjoint slice of the experiment design (e.g. the 1M test set
@@ -56,7 +62,11 @@ impl DatasetSpec {
 
     /// Map a global sample id to `(file, index_within_file)`.
     pub fn locate(&self, sample: u64) -> (u64, usize) {
-        assert!(sample < self.n_samples, "sample {sample} out of {}", self.n_samples);
+        assert!(
+            sample < self.n_samples,
+            "sample {sample} out of {}",
+            self.n_samples
+        );
         (
             sample / self.samples_per_file as u64,
             (sample % self.samples_per_file as u64) as usize,
@@ -83,8 +93,9 @@ impl DatasetSpec {
         let sim = JagSimulator::new(self.cfg);
         let start = f * self.samples_per_file as u64;
         let count = self.samples_in_file(f);
-        let samples: Vec<Sample> =
-            (0..count as u64).map(|i| sim.simulate(self.params_of(start + i))).collect();
+        let samples: Vec<Sample> = (0..count as u64)
+            .map(|i| sim.simulate(self.params_of(start + i)))
+            .collect();
         write_bundle(&self.file_path(f), &self.cfg, &samples)?;
         Ok(count)
     }
@@ -127,7 +138,10 @@ pub fn temp_dataset_dir(tag: &str) -> PathBuf {
     let d = std::env::temp_dir().join(format!(
         "jag-ds-{tag}-{}-{}",
         std::process::id(),
-        std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_nanos()
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
     ));
     std::fs::create_dir_all(&d).unwrap();
     d

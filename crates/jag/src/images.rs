@@ -10,8 +10,10 @@ pub fn write_pgm(path: &Path, img: &[f32], size: usize) -> std::io::Result<()> {
     assert_eq!(img.len(), size * size, "pixel count mismatch");
     let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
     write!(f, "P5\n{size} {size}\n255\n")?;
-    let bytes: Vec<u8> =
-        img.iter().map(|&v| (v.clamp(0.0, 1.0) * 255.0).round() as u8).collect();
+    let bytes: Vec<u8> = img
+        .iter()
+        .map(|&v| (v.clamp(0.0, 1.0) * 255.0).round() as u8)
+        .collect();
     f.write_all(&bytes)?;
     Ok(())
 }
@@ -71,7 +73,11 @@ pub fn image_errors(cfg: &JagConfig, truth: &[f32], pred: &[f32]) -> ImageErrors
         mae.push(m);
         correlation.push(pearson(t, p));
     }
-    ImageErrors { mae, overall_mae: (total / n_images as f64) as f32, correlation }
+    ImageErrors {
+        mae,
+        overall_mae: (total / n_images as f64) as f32,
+        correlation,
+    }
 }
 
 /// Pearson correlation of two equal-length pixel slices (0 when either is

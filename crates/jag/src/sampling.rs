@@ -124,7 +124,10 @@ mod tests {
     fn r2_points_in_unit_cube() {
         for n in 0..1000 {
             let p = r2_point(n);
-            assert!(p.iter().all(|&v| (0.0..1.0).contains(&v)), "point {n}: {p:?}");
+            assert!(
+                p.iter().all(|&v| (0.0..1.0).contains(&v)),
+                "point {n}: {p:?}"
+            );
         }
     }
 
@@ -138,7 +141,9 @@ mod tests {
     #[test]
     fn halton_points_in_unit_cube_and_distinct() {
         let pts: Vec<_> = (0..500).map(halton_point).collect();
-        assert!(pts.iter().all(|p| p.iter().all(|&v| (0.0..1.0).contains(&v))));
+        assert!(pts
+            .iter()
+            .all(|p| p.iter().all(|&v| (0.0..1.0).contains(&v))));
         // No two consecutive identical points.
         for w in pts.windows(2) {
             assert_ne!(w[0], w[1]);

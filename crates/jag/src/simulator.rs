@@ -131,8 +131,8 @@ impl JagSimulator {
         s[7] = im.convergence * (1.0 + 0.2 * im.temperature); // areal density rho-R
         s[8] = im.velocity; // residual kinetic energy proxy
         s[9] = im.symmetry; // hot-spot symmetry metric
-        // Per-view X-ray fluxes: brightness modulated by the mode that
-        // dominates each line of sight.
+                            // Per-view X-ray fluxes: brightness modulated by the mode that
+                            // dominates each line of sight.
         for v in 0..N_VIEWS {
             let mode_bias = 1.0 + 0.4 * im.modes[v];
             s[10 + v] = (im.temperature.max(0.0).powi(2) * mode_bias) / (1.0 + im.radius);
@@ -231,7 +231,11 @@ impl JagSimulator {
                 *px = (*px + 0.5 * self.noise * next()).clamp(0.0, 1.0);
             }
         }
-        Sample { params, scalars, images }
+        Sample {
+            params,
+            scalars,
+            images,
+        }
     }
 }
 
@@ -308,7 +312,10 @@ mod tests {
             .map(|(x, y)| (x - y).abs())
             .sum::<f32>()
             / a.images.len() as f32;
-        assert!(img_delta > 0.004, "shape mode barely moved the images: {img_delta}");
+        assert!(
+            img_delta > 0.004,
+            "shape mode barely moved the images: {img_delta}"
+        );
         // And the change must be visible in the worst-affected pixels.
         let img_max = a
             .images
@@ -337,7 +344,10 @@ mod tests {
         let out = s.simulate([0.7, 0.2, 0.5, 0.5, 0.5]);
         let soft: f32 = out.image(&cfg, 0, 0).iter().sum();
         let hard: f32 = out.image(&cfg, 0, N_CHANNELS - 1).iter().sum();
-        assert!(hard < soft, "hard channel should carry less integrated flux");
+        assert!(
+            hard < soft,
+            "hard channel should carry less integrated flux"
+        );
     }
 
     #[test]
@@ -358,7 +368,10 @@ mod tests {
             img[(n - 1 - q) * n + c],
         ];
         for w in vals.windows(2) {
-            assert!((w[0] - w[1]).abs() < 0.05, "asymmetric render of a symmetric shell: {vals:?}");
+            assert!(
+                (w[0] - w[1]).abs() < 0.05,
+                "asymmetric render of a symmetric shell: {vals:?}"
+            );
         }
     }
 

@@ -72,7 +72,10 @@ mod tests {
     fn broadcast_synchronises_replicas() {
         run_world(4, |comm| {
             let mut m = model_for_rank(comm.rank());
-            assert!(!replicas_in_sync(&m, &comm), "differently-seeded replicas should differ");
+            assert!(
+                !replicas_in_sync(&m, &comm),
+                "differently-seeded replicas should differ"
+            );
             broadcast_weights(&mut m, &comm, 0);
             assert!(replicas_in_sync(&m, &comm), "broadcast must synchronise");
         });
@@ -82,7 +85,7 @@ mod tests {
     fn allreduce_averages_gradients() {
         run_world(3, |comm| {
             let mut m = model_for_rank(0); // same structure everywhere
-            // Set every gradient to (rank+1).
+                                           // Set every gradient to (rank+1).
             for p in m.params_mut() {
                 p.grad.as_mut_slice().fill((comm.rank() + 1) as f32);
             }
@@ -109,8 +112,11 @@ mod tests {
         serial.zero_grads();
         serial.forward(&full_x, true);
         serial.backward(&g);
-        let reference: Vec<f32> =
-            serial.params().iter().flat_map(|p| p.grad.as_slice().to_vec()).collect();
+        let reference: Vec<f32> = serial
+            .params()
+            .iter()
+            .flat_map(|p| p.grad.as_slice().to_vec())
+            .collect();
 
         // Data-parallel: each rank gets 2 of the 8 rows. Loss gradients
         // are per-shard means, so after averaging across 4 equal shards
@@ -126,7 +132,10 @@ mod tests {
             m.forward(&x, true);
             m.backward(&g);
             allreduce_gradients(&mut m, &comm);
-            m.params().iter().flat_map(|p| p.grad.as_slice().to_vec()).collect::<Vec<f32>>()
+            m.params()
+                .iter()
+                .flat_map(|p| p.grad.as_slice().to_vec())
+                .collect::<Vec<f32>>()
         });
 
         for rank_grads in &grads {

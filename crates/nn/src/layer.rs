@@ -11,10 +11,16 @@ use ltfb_tensor::{
 };
 
 /// A differentiable layer.
-pub trait Layer: Send {
+pub trait Layer: Send + Sync {
     /// Compute outputs from inputs, caching whatever `backward` needs.
     /// `training` distinguishes train/eval behaviour (dropout).
     fn forward(&mut self, x: &Matrix, training: bool) -> Matrix;
+
+    /// Inference-only forward: no cache writes, no RNG draws, usable
+    /// through a shared reference (e.g. a model behind `Arc` serving
+    /// concurrent requests). Must be bit-identical to
+    /// `forward(x, false)`'s output.
+    fn infer(&self, x: &Matrix) -> Matrix;
 
     /// Propagate `grad` (dL/d_output) to dL/d_input, accumulating
     /// parameter gradients. Must be called after `forward`.
@@ -57,7 +63,11 @@ impl Linear {
             Init::Glorot => glorot_uniform(fan_in, fan_out, rng),
             Init::He => he_normal(fan_in, fan_out, rng),
         };
-        Linear { w: Param::new(w), b: Param::new(Matrix::zeros(1, fan_out)), x_cache: None }
+        Linear {
+            w: Param::new(w),
+            b: Param::new(Matrix::zeros(1, fan_out)),
+            x_cache: None,
+        }
     }
 
     /// Input width.
@@ -78,6 +88,14 @@ impl Layer for Linear {
         gemm(1.0, x, &self.w.value, 0.0, &mut y);
         add_bias(&mut y, &self.b.value);
         self.x_cache = Some(x.clone());
+        y
+    }
+
+    fn infer(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.fan_in(), "Linear input width mismatch");
+        let mut y = Matrix::zeros(x.rows(), self.fan_out());
+        gemm(1.0, x, &self.w.value, 0.0, &mut y);
+        add_bias(&mut y, &self.b.value);
         y
     }
 
@@ -135,6 +153,14 @@ impl Layer for LeakyRelu {
         y
     }
 
+    fn infer(&self, x: &Matrix) -> Matrix {
+        let alpha = self.alpha;
+        // Same mask-then-multiply arithmetic as `forward`, so outputs are
+        // bit-identical.
+        let mask = ltfb_tensor::map(x, |v| if v > 0.0 { 1.0 } else { alpha });
+        hadamard(x, &mask)
+    }
+
     fn backward(&mut self, grad: &Matrix) -> Matrix {
         let mask = self.mask.as_ref().expect("backward before forward");
         hadamard(grad, mask)
@@ -167,6 +193,10 @@ impl Layer for Tanh {
         let y = ltfb_tensor::map(x, f32::tanh);
         self.y_cache = Some(y.clone());
         y
+    }
+
+    fn infer(&self, x: &Matrix) -> Matrix {
+        ltfb_tensor::map(x, f32::tanh)
     }
 
     fn backward(&mut self, grad: &Matrix) -> Matrix {
@@ -205,6 +235,10 @@ impl Layer for Sigmoid {
         y
     }
 
+    fn infer(&self, x: &Matrix) -> Matrix {
+        ltfb_tensor::map(x, sigmoid)
+    }
+
     fn backward(&mut self, grad: &Matrix) -> Matrix {
         let y = self.y_cache.as_ref().expect("backward before forward");
         let dydx = ltfb_tensor::map(y, |v| v * (1.0 - v));
@@ -226,7 +260,10 @@ pub struct Dropout {
 
 impl Dropout {
     pub fn new(p: f32, rng: TensorRng) -> Self {
-        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "drop probability must be in [0, 1)"
+        );
         Dropout { p, rng, mask: None }
     }
 }
@@ -241,11 +278,20 @@ impl Layer for Dropout {
         let scale = 1.0 / keep;
         let mut mask = Matrix::zeros(x.rows(), x.cols());
         for v in mask.as_mut_slice() {
-            *v = if rand::Rng::gen::<f32>(&mut self.rng) < keep { scale } else { 0.0 };
+            *v = if rand::Rng::gen::<f32>(&mut self.rng) < keep {
+                scale
+            } else {
+                0.0
+            };
         }
         let y = hadamard(x, &mask);
         self.mask = Some(mask);
         y
+    }
+
+    fn infer(&self, x: &Matrix) -> Matrix {
+        // Inverted dropout is the identity at evaluation time.
+        x.clone()
     }
 
     fn backward(&mut self, grad: &Matrix) -> Matrix {

@@ -67,7 +67,11 @@ impl LossHistory {
 
     /// Loss at or before `step` (for aligning runs of different cadence).
     pub fn at_step(&self, step: u64) -> Option<f32> {
-        self.points.iter().rev().find(|&&(s, _)| s <= step).map(|&(_, l)| l)
+        self.points
+            .iter()
+            .rev()
+            .find(|&&(s, _)| s <= step)
+            .map(|&(_, l)| l)
     }
 
     /// Best (minimum) loss seen.

@@ -37,6 +37,17 @@ impl Sequential {
         h
     }
 
+    /// Inference-only forward pass: no cache writes or RNG draws, so a
+    /// model behind `Arc<Sequential>` can serve concurrent requests.
+    /// Output is bit-identical to `forward(x, false)`.
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        for l in &self.layers {
+            h = l.infer(&h);
+        }
+        h
+    }
+
     /// Backward pass (call after `forward`); returns dL/d_input.
     pub fn backward(&mut self, grad: &Matrix) -> Matrix {
         let mut g = grad.clone();
@@ -48,7 +59,10 @@ impl Sequential {
 
     /// All trainable parameters, in deterministic layer order.
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     /// Shared view of all trainable parameters.
@@ -83,7 +97,11 @@ impl Sequential {
     /// a data error).
     pub fn restore(&mut self, weights: &[Matrix]) {
         let mut params = self.params_mut();
-        assert_eq!(params.len(), weights.len(), "snapshot tensor count mismatch");
+        assert_eq!(
+            params.len(),
+            weights.len(),
+            "snapshot tensor count mismatch"
+        );
         for (p, w) in params.iter_mut().zip(weights) {
             assert_eq!(p.value.shape(), w.shape(), "snapshot tensor shape mismatch");
             p.value = w.clone();
@@ -130,12 +148,7 @@ impl Sequential {
 /// hidden LeakyReLU layers to `sizes.last()` outputs with the chosen
 /// output activation — "each of these components is implemented as a
 /// standard fully-connected neural network" (Section II-D).
-pub fn mlp(
-    sizes: &[usize],
-    leak: f32,
-    out: OutputActivation,
-    rng: &mut TensorRng,
-) -> Sequential {
+pub fn mlp(sizes: &[usize], leak: f32, out: OutputActivation, rng: &mut TensorRng) -> Sequential {
     assert!(sizes.len() >= 2, "need at least input and output sizes");
     let mut layers: Vec<Box<dyn Layer>> = Vec::new();
     for i in 0..sizes.len() - 1 {
@@ -239,7 +252,10 @@ mod tests {
         m.backward(&g);
         let twice: Vec<f32> = m.params().iter().map(|p| p.grad.sum()).collect();
         for (o, t) in once.iter().zip(&twice) {
-            assert!((t - 2.0 * o).abs() < 1e-4, "grad should accumulate: {o} -> {t}");
+            assert!(
+                (t - 2.0 * o).abs() < 1e-4,
+                "grad should accumulate: {o} -> {t}"
+            );
         }
     }
 
@@ -251,11 +267,26 @@ mod tests {
         // Smooth activations only: ReLU kinks turn central differences
         // into garbage near the kink at any finite eps.
         let mut m = Sequential::new(vec![
-            Box::new(crate::layer::Linear::new(3, 6, crate::layer::Init::Glorot, &mut rng)),
+            Box::new(crate::layer::Linear::new(
+                3,
+                6,
+                crate::layer::Init::Glorot,
+                &mut rng,
+            )),
             Box::new(crate::layer::Tanh::new()),
-            Box::new(crate::layer::Linear::new(6, 5, crate::layer::Init::Glorot, &mut rng)),
+            Box::new(crate::layer::Linear::new(
+                6,
+                5,
+                crate::layer::Init::Glorot,
+                &mut rng,
+            )),
             Box::new(crate::layer::Tanh::new()),
-            Box::new(crate::layer::Linear::new(5, 2, crate::layer::Init::Glorot, &mut rng)),
+            Box::new(crate::layer::Linear::new(
+                5,
+                2,
+                crate::layer::Init::Glorot,
+                &mut rng,
+            )),
             Box::new(crate::layer::Tanh::new()),
         ]);
         let x = uniform(4, 3, -0.8, 0.8, &mut rng);
@@ -266,8 +297,11 @@ mod tests {
         let g = ltfb_tensor::mean_squared_error_grad(&y, &target);
         m.backward(&g);
         // Flatten analytic gradients and remember (param, local) layout.
-        let analytic: Vec<f32> =
-            m.params().iter().flat_map(|p| p.grad.as_slice().to_vec()).collect();
+        let analytic: Vec<f32> = m
+            .params()
+            .iter()
+            .flat_map(|p| p.grad.as_slice().to_vec())
+            .collect();
         let sizes: Vec<usize> = m.params().iter().map(|p| p.len()).collect();
 
         let nudge = |m: &mut Sequential, pi: usize, local: usize, delta: f32| {
@@ -301,6 +335,9 @@ mod tests {
             }
             offset += plen;
         }
-        assert!(checked >= 8, "gradcheck barely checked anything ({checked})");
+        assert!(
+            checked >= 8,
+            "gradcheck barely checked anything ({checked})"
+        );
     }
 }

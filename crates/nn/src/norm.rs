@@ -58,6 +58,25 @@ impl Layer for LayerNorm {
         y
     }
 
+    fn infer(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.width(), "LayerNorm width mismatch");
+        let d = x.cols() as f32;
+        let gamma = self.gamma.value.as_slice();
+        let beta = self.beta.value.as_slice();
+        let mut y = Matrix::zeros(x.rows(), x.cols());
+        for r in 0..x.rows() {
+            let row = x.row(r);
+            let mean = row.iter().sum::<f32>() / d;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d;
+            let istd = 1.0 / (var + self.eps).sqrt();
+            let yr = y.row_mut(r);
+            for j in 0..row.len() {
+                yr[j] = gamma[j] * ((row[j] - mean) * istd) + beta[j];
+            }
+        }
+        y
+    }
+
     fn backward(&mut self, grad: &Matrix) -> Matrix {
         let (xhat, inv_std) = self.cache.as_ref().expect("backward before forward");
         assert_eq!(grad.shape(), xhat.shape());
@@ -166,8 +185,14 @@ mod tests {
     #[test]
     fn identity_gamma_beta_learnable() {
         let mut ln = LayerNorm::new(3);
-        ln.gamma.value.as_mut_slice().copy_from_slice(&[2.0, 2.0, 2.0]);
-        ln.beta.value.as_mut_slice().copy_from_slice(&[1.0, 1.0, 1.0]);
+        ln.gamma
+            .value
+            .as_mut_slice()
+            .copy_from_slice(&[2.0, 2.0, 2.0]);
+        ln.beta
+            .value
+            .as_mut_slice()
+            .copy_from_slice(&[1.0, 1.0, 1.0]);
         let x = Matrix::from_vec(1, 3, vec![-1.0, 0.0, 1.0]);
         let y = ln.forward(&x, true);
         // xhat of [-1,0,1] is itself scaled to unit variance.
@@ -225,7 +250,10 @@ mod tests {
         let lm = ltfb_tensor::mean_squared_error(&ln.forward(&x, true), &target);
         ln.params_mut()[0].value.as_mut_slice()[2] = orig;
         let numeric = (lp - lm) / (2.0 * eps);
-        assert!((analytic - numeric).abs() < 2e-3, "dgamma {analytic} vs {numeric}");
+        assert!(
+            (analytic - numeric).abs() < 2e-3,
+            "dgamma {analytic} vs {numeric}"
+        );
     }
 
     #[test]
@@ -234,7 +262,10 @@ mod tests {
         assert_eq!(LrSchedule::Constant.at(base, 0), base);
         assert_eq!(LrSchedule::Constant.at(base, 1000), base);
 
-        let decay = LrSchedule::StepDecay { every: 100, factor: 0.5 };
+        let decay = LrSchedule::StepDecay {
+            every: 100,
+            factor: 0.5,
+        };
         assert_eq!(decay.at(base, 0), base);
         assert_eq!(decay.at(base, 99), base);
         assert_eq!(decay.at(base, 100), base * 0.5);

@@ -40,7 +40,13 @@ impl Sgd {
     pub fn new(lr: f32, momentum: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
         assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
-        Sgd { lr, momentum, weight_decay: 0.0, clip: None, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum,
+            weight_decay: 0.0,
+            clip: None,
+            velocity: Vec::new(),
+        }
     }
 
     /// Decoupled weight decay (`w -= lr * wd * w` each step).
@@ -61,8 +67,10 @@ impl Sgd {
 impl Optimizer for Sgd {
     fn step(&mut self, params: &mut [&mut Param]) {
         if self.velocity.len() != params.len() {
-            self.velocity =
-                params.iter().map(|p| Matrix::zeros(p.value.rows(), p.value.cols())).collect();
+            self.velocity = params
+                .iter()
+                .map(|p| Matrix::zeros(p.value.rows(), p.value.cols()))
+                .collect();
         }
         let decay = self.lr * self.weight_decay;
         for (p, v) in params.iter_mut().zip(self.velocity.iter_mut()) {
@@ -118,23 +126,39 @@ impl Adam {
     pub fn with_betas(lr: f32, beta1: f32, beta2: f32, eps: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
         assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2));
-        Adam { lr, beta1, beta2, eps, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 }
 
 impl Optimizer for Adam {
     fn step(&mut self, params: &mut [&mut Param]) {
         if self.m.len() != params.len() {
-            self.m =
-                params.iter().map(|p| Matrix::zeros(p.value.rows(), p.value.cols())).collect();
-            self.v =
-                params.iter().map(|p| Matrix::zeros(p.value.rows(), p.value.cols())).collect();
+            self.m = params
+                .iter()
+                .map(|p| Matrix::zeros(p.value.rows(), p.value.cols()))
+                .collect();
+            self.v = params
+                .iter()
+                .map(|p| Matrix::zeros(p.value.rows(), p.value.cols()))
+                .collect();
             self.t = 0;
         }
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        for ((p, m), v) in params.iter_mut().zip(self.m.iter_mut()).zip(self.v.iter_mut()) {
+        for ((p, m), v) in params
+            .iter_mut()
+            .zip(self.m.iter_mut())
+            .zip(self.v.iter_mut())
+        {
             for (((w, g), mi), vi) in p
                 .value
                 .as_mut_slice()
@@ -285,12 +309,19 @@ mod tests {
         p.grad.as_mut_slice()[0] = 1000.0;
         let mut opt = Sgd::new(0.1, 0.0).with_grad_clip(1.0);
         opt.step(&mut [&mut p]);
-        assert!((p.value.as_slice()[0] + 0.1).abs() < 1e-6, "clipped step must be lr*1");
+        assert!(
+            (p.value.as_slice()[0] + 0.1).abs() < 1e-6,
+            "clipped step must be lr*1"
+        );
     }
 
     #[test]
     fn decayed_sgd_still_converges() {
-        let err = converges(&mut Sgd::new(0.05, 0.9).with_weight_decay(1e-4).with_grad_clip(10.0));
+        let err = converges(
+            &mut Sgd::new(0.05, 0.9)
+                .with_weight_decay(1e-4)
+                .with_grad_clip(10.0),
+        );
         assert!(err < 2e-2, "decayed SGD residual {err}");
     }
 }

@@ -56,7 +56,14 @@ pub struct BatchReader {
 impl BatchReader {
     pub fn new(data: InMemoryDataset, mb: usize, seed: u64) -> Self {
         assert!(mb > 0, "mini-batch must be positive");
-        let mut r = BatchReader { data, mb, epoch: 0, cursor: 0, order: Vec::new(), seed };
+        let mut r = BatchReader {
+            data,
+            mb,
+            epoch: 0,
+            cursor: 0,
+            order: Vec::new(),
+            seed,
+        };
         r.reshuffle();
         r
     }
@@ -92,7 +99,10 @@ impl BatchReader {
         assert!(!self.data.is_empty(), "reader over an empty dataset");
         let end = (self.cursor + self.mb).min(self.data.len());
         let idx = &self.order[self.cursor..end];
-        let batch = (self.data.inputs.gather_rows(idx), self.data.targets.gather_rows(idx));
+        let batch = (
+            self.data.inputs.gather_rows(idx),
+            self.data.targets.gather_rows(idx),
+        );
         self.cursor = end;
         if self.cursor >= self.data.len() {
             self.epoch += 1;

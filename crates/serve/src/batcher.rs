@@ -1,0 +1,570 @@
+//! The micro-batching engine: bounded request queue, coalescing workers,
+//! and the client handle.
+//!
+//! Requests (forward `x -> y` and inverse `y -> x`) land on one bounded
+//! MPMC queue. Each worker blocks for a first request, then coalesces up
+//! to `max_batch - 1` more until the flush deadline lapses, packs each
+//! kind's inputs into a single matrix, and runs **one** forward pass per
+//! kind over the whole pack — row-independent GEMM kernels make the
+//! batched results bit-identical to sequential single-sample inference
+//! while amortising per-call overhead into GEMM-friendly shapes.
+//!
+//! Backpressure: the queue is bounded; blocking submits stall producers
+//! and [`ServeClient::try_submit_forward`]/[`try_submit_inverse`] report
+//! [`ServeError::Overloaded`] instead. Shutdown is graceful by
+//! construction: dropping the server's sender lets workers drain every
+//! queued request before exiting, so no accepted request goes
+//! unanswered.
+//!
+//! [`try_submit_inverse`]: ServeClient::try_submit_inverse
+
+use crate::cache::{CacheKey, LruCache};
+use crate::registry::{ModelRegistry, ServableModel};
+use crate::telemetry::{ReqKind, ServeStats, Telemetry};
+use crossbeam_channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use ltfb_tensor::Matrix;
+use parking_lot::Mutex;
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Coalescing policy of the micro-batching engine.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchPolicy {
+    /// Largest number of requests packed into one forward pass.
+    pub max_batch: usize,
+    /// How long a partially filled batch waits for company before it is
+    /// flushed anyway. Bounds the batching-induced latency.
+    pub flush_deadline: Duration,
+    /// Bound of the request queue (backpressure threshold).
+    pub queue_cap: usize,
+    /// Number of batch-worker threads.
+    pub workers: usize,
+    /// Response-cache capacity in entries; 0 disables caching.
+    pub cache_capacity: usize,
+    /// Quantization grid of cache keys (see `cache` module docs).
+    pub cache_quantum: f32,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_batch: 32,
+            flush_deadline: Duration::from_micros(50),
+            queue_cap: 1024,
+            workers: 2,
+            cache_capacity: 0,
+            cache_quantum: 1.0e-3,
+        }
+    }
+}
+
+impl BatchPolicy {
+    /// Degenerate policy processing every request alone — the "no
+    /// micro-batching" baseline for benchmarks.
+    pub fn sequential() -> Self {
+        BatchPolicy {
+            max_batch: 1,
+            flush_deadline: Duration::ZERO,
+            ..BatchPolicy::default()
+        }
+    }
+}
+
+/// Why a request was not served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Input width does not match the live model's geometry.
+    WrongWidth { expected: usize, got: usize },
+    /// Queue full (only from the non-blocking submit paths).
+    Overloaded,
+    /// Server shut down before the request could be accepted.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::WrongWidth { expected, got } => {
+                write!(f, "input width {got}, model expects {expected}")
+            }
+            ServeError::Overloaded => write!(f, "request queue full"),
+            ServeError::ShuttingDown => write!(f, "server shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+struct Request {
+    kind: ReqKind,
+    input: Vec<f32>,
+    reply: Sender<Vec<f32>>,
+    enqueued: Instant,
+}
+
+/// A completed inference response.
+pub struct Response {
+    rx: Receiver<Vec<f32>>,
+}
+
+impl Response {
+    /// Block until the result arrives.
+    pub fn wait(self) -> Result<Vec<f32>, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::ShuttingDown)
+    }
+}
+
+/// Cloneable client handle; all clones feed the same queue.
+///
+/// Holds the queue's sender only weakly: the server owns the sole strong
+/// reference, so [`Server::shutdown`] disconnects the channel even while
+/// client handles are still alive — their submits then fail fast with
+/// [`ServeError::ShuttingDown`] instead of queueing into the void.
+#[derive(Clone)]
+pub struct ServeClient {
+    tx: Weak<Sender<Request>>,
+    registry: Arc<ModelRegistry>,
+    telemetry: Arc<Telemetry>,
+}
+
+impl ServeClient {
+    fn expected_width(&self, kind: ReqKind) -> usize {
+        let m = self.registry.current();
+        match kind {
+            ReqKind::Forward => m.x_dim(),
+            ReqKind::Inverse => m.y_dim(),
+        }
+    }
+
+    fn make_request(
+        &self,
+        kind: ReqKind,
+        input: &[f32],
+    ) -> Result<(Request, Response), ServeError> {
+        let expected = self.expected_width(kind);
+        if input.len() != expected {
+            return Err(ServeError::WrongWidth {
+                expected,
+                got: input.len(),
+            });
+        }
+        let (reply, rx) = bounded(1);
+        let req = Request {
+            kind,
+            input: input.to_vec(),
+            reply,
+            enqueued: Instant::now(),
+        };
+        Ok((req, Response { rx }))
+    }
+
+    /// Submit a forward request (`x -> Dec(F(x))`), blocking while the
+    /// queue is full; returns a waitable [`Response`].
+    pub fn submit_forward(&self, x: &[f32]) -> Result<Response, ServeError> {
+        self.submit(ReqKind::Forward, x)
+    }
+
+    /// Submit an inverse request (`y -> G(E(y))`), blocking while the
+    /// queue is full.
+    pub fn submit_inverse(&self, y: &[f32]) -> Result<Response, ServeError> {
+        self.submit(ReqKind::Inverse, y)
+    }
+
+    fn submit(&self, kind: ReqKind, input: &[f32]) -> Result<Response, ServeError> {
+        let (req, resp) = self.make_request(kind, input)?;
+        let tx = self.tx.upgrade().ok_or(ServeError::ShuttingDown)?;
+        self.telemetry.record_queue_depth(tx.len());
+        tx.send(req).map_err(|_| ServeError::ShuttingDown)?;
+        Ok(resp)
+    }
+
+    /// Non-blocking submit: [`ServeError::Overloaded`] when the queue is
+    /// at capacity (open-loop load generators use this).
+    pub fn try_submit_forward(&self, x: &[f32]) -> Result<Response, ServeError> {
+        self.try_submit(ReqKind::Forward, x)
+    }
+
+    /// Non-blocking inverse submit.
+    pub fn try_submit_inverse(&self, y: &[f32]) -> Result<Response, ServeError> {
+        self.try_submit(ReqKind::Inverse, y)
+    }
+
+    fn try_submit(&self, kind: ReqKind, input: &[f32]) -> Result<Response, ServeError> {
+        let (req, resp) = self.make_request(kind, input)?;
+        let tx = self.tx.upgrade().ok_or(ServeError::ShuttingDown)?;
+        self.telemetry.record_queue_depth(tx.len());
+        match tx.try_send(req) {
+            Ok(()) => Ok(resp),
+            Err(TrySendError::Full(_)) => {
+                self.telemetry.record_rejected();
+                Err(ServeError::Overloaded)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Blocking round-trip forward inference.
+    pub fn forward(&self, x: &[f32]) -> Result<Vec<f32>, ServeError> {
+        self.submit_forward(x)?.wait()
+    }
+
+    /// Blocking round-trip inverse inference.
+    pub fn inverse(&self, y: &[f32]) -> Result<Vec<f32>, ServeError> {
+        self.submit_inverse(y)?.wait()
+    }
+
+    /// Version of the model answering new requests.
+    pub fn model_version(&self) -> u64 {
+        self.registry.version()
+    }
+}
+
+/// The serving engine: registry + workers + telemetry under one policy.
+pub struct Server {
+    tx: Option<Arc<Sender<Request>>>,
+    workers: Vec<JoinHandle<()>>,
+    registry: Arc<ModelRegistry>,
+    telemetry: Arc<Telemetry>,
+}
+
+impl Server {
+    /// Spawn the batch workers and start serving the registry's current
+    /// model.
+    pub fn start(registry: Arc<ModelRegistry>, policy: BatchPolicy) -> Server {
+        assert!(policy.max_batch >= 1, "max_batch must be at least 1");
+        assert!(policy.workers >= 1, "need at least one worker");
+        assert!(policy.queue_cap >= 1, "queue_cap must be at least 1");
+        let (tx, rx) = bounded::<Request>(policy.queue_cap);
+        let telemetry = Arc::new(Telemetry::new());
+        let cache = if policy.cache_capacity > 0 {
+            Some(Arc::new(Mutex::new(LruCache::new(policy.cache_capacity))))
+        } else {
+            None
+        };
+        let workers = (0..policy.workers)
+            .map(|i| {
+                let rx = rx.clone();
+                let registry = Arc::clone(&registry);
+                let telemetry = Arc::clone(&telemetry);
+                let cache = cache.clone();
+                std::thread::Builder::new()
+                    .name(format!("ltfb-serve-{i}"))
+                    .spawn(move || worker_loop(rx, registry, telemetry, cache, policy))
+                    .expect("spawn batch worker")
+            })
+            .collect();
+        Server {
+            tx: Some(Arc::new(tx)),
+            workers,
+            registry,
+            telemetry,
+        }
+    }
+
+    /// A new client handle.
+    pub fn client(&self) -> ServeClient {
+        ServeClient {
+            tx: Arc::downgrade(self.tx.as_ref().expect("server already shut down")),
+            registry: Arc::clone(&self.registry),
+            telemetry: Arc::clone(&self.telemetry),
+        }
+    }
+
+    /// The registry backing this server (for hot-swaps under traffic).
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// Live telemetry sink.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// Stop accepting requests, drain everything already queued, join the
+    /// workers, and return the final stats. Requests accepted before the
+    /// call are all answered.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.shutdown_in_place();
+        self.telemetry.summary()
+    }
+
+    fn shutdown_in_place(&mut self) {
+        // The server holds the only strong reference to the sender
+        // (clients hold weak ones), so dropping it disconnects the
+        // channel: workers finish the backlog, then exit. A submit racing
+        // the drop either lands before disconnect (and is served from the
+        // backlog) or fails fast with ShuttingDown — never hangs.
+        self.tx.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+fn worker_loop(
+    rx: Receiver<Request>,
+    registry: Arc<ModelRegistry>,
+    telemetry: Arc<Telemetry>,
+    cache: Option<Arc<Mutex<LruCache>>>,
+    policy: BatchPolicy,
+) {
+    loop {
+        // Block for work; a disconnect with an empty queue ends the loop.
+        let first = match rx.recv() {
+            Ok(r) => r,
+            Err(_) => return,
+        };
+        let mut batch = Vec::with_capacity(policy.max_batch);
+        batch.push(first);
+        // Coalesce until the batch is full or the flush deadline lapses.
+        let deadline = Instant::now() + policy.flush_deadline;
+        while batch.len() < policy.max_batch {
+            let now = Instant::now();
+            let got = if now >= deadline {
+                rx.try_recv().ok()
+            } else {
+                match rx.recv_timeout(deadline - now) {
+                    Ok(r) => Some(r),
+                    Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+                }
+            };
+            match got {
+                Some(r) => batch.push(r),
+                None => break,
+            }
+        }
+        // One model snapshot for the whole batch: a concurrent hot-swap
+        // takes effect at the next batch boundary.
+        let model = registry.current();
+        let quantum = policy.cache_quantum;
+        process_kind(
+            &batch,
+            ReqKind::Forward,
+            &model,
+            &telemetry,
+            cache.as_deref(),
+            quantum,
+        );
+        process_kind(
+            &batch,
+            ReqKind::Inverse,
+            &model,
+            &telemetry,
+            cache.as_deref(),
+            quantum,
+        );
+    }
+}
+
+/// Serve every request of `kind` in the batch: answer cache hits, pack
+/// the misses into one matrix, run a single batched forward pass, reply,
+/// and backfill the cache.
+fn process_kind(
+    batch: &[Request],
+    kind: ReqKind,
+    model: &ServableModel,
+    telemetry: &Telemetry,
+    cache: Option<&Mutex<LruCache>>,
+    cache_quantum: f32,
+) {
+    let reqs: Vec<&Request> = batch.iter().filter(|r| r.kind == kind).collect();
+    if reqs.is_empty() {
+        return;
+    }
+    let kind_tag = match kind {
+        ReqKind::Forward => 0u8,
+        ReqKind::Inverse => 1u8,
+    };
+    // Cache pass: answer hits immediately, collect misses for the pack.
+    let mut misses: Vec<&Request> = Vec::with_capacity(reqs.len());
+    let mut miss_keys: Vec<Option<CacheKey>> = Vec::with_capacity(reqs.len());
+    for r in reqs {
+        if let Some(c) = cache {
+            let key = CacheKey::quantized(kind_tag, &r.input, cache_quantum);
+            if let Some(hit) = c.lock().get(&key) {
+                let latency = r.enqueued.elapsed().as_secs_f64() * 1e6;
+                let _ = r.reply.send(hit);
+                telemetry.record_request(kind, latency, true);
+                continue;
+            }
+            miss_keys.push(Some(key));
+        } else {
+            miss_keys.push(None);
+        }
+        misses.push(r);
+    }
+    if misses.is_empty() {
+        return;
+    }
+    // Pack misses row-wise into one matrix and run a single forward pass.
+    let width = misses[0].input.len();
+    let mut flat = Vec::with_capacity(misses.len() * width);
+    for r in &misses {
+        flat.extend_from_slice(&r.input);
+    }
+    let packed = Matrix::from_vec(misses.len(), width, flat);
+    let out = match kind {
+        ReqKind::Forward => model.gan().infer_forward(&packed),
+        ReqKind::Inverse => model.gan().infer_inverse(&packed),
+    };
+    telemetry.record_batch(misses.len());
+    for (i, r) in misses.iter().enumerate() {
+        let row = out.row(i).to_vec();
+        if let (Some(c), Some(key)) = (cache, miss_keys[i].take()) {
+            c.lock().put(key, row.clone());
+        }
+        let latency = r.enqueued.elapsed().as_secs_f64() * 1e6;
+        let _ = r.reply.send(row);
+        telemetry.record_request(kind, latency, false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltfb_gan::{CycleGan, CycleGanConfig};
+
+    fn tiny_server(policy: BatchPolicy) -> Server {
+        let cfg = CycleGanConfig::small(4);
+        let registry = Arc::new(ModelRegistry::new(CycleGan::new(cfg, 1), 1));
+        Server::start(registry, policy)
+    }
+
+    #[test]
+    fn round_trip_forward_and_inverse() {
+        let server = tiny_server(BatchPolicy::default());
+        let client = server.client();
+        let y_dim = server.registry().current().y_dim();
+        let y = client.forward(&[0.3, 0.5, 0.2, 0.8, 0.1]).unwrap();
+        assert_eq!(y.len(), y_dim);
+        assert!(y.iter().all(|v| v.is_finite()));
+        let x = client.inverse(&vec![0.25; y_dim]).unwrap();
+        assert_eq!(x.len(), 5);
+        // Inverse model ends in a sigmoid: outputs are design params in (0,1).
+        assert!(x.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        server.shutdown();
+    }
+
+    #[test]
+    fn wrong_width_rejected_without_queueing() {
+        let server = tiny_server(BatchPolicy::default());
+        let client = server.client();
+        assert_eq!(
+            client.forward(&[1.0, 2.0]),
+            Err(ServeError::WrongWidth {
+                expected: 5,
+                got: 2
+            })
+        );
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 0);
+    }
+
+    #[test]
+    fn batch_of_concurrent_requests_coalesces() {
+        let server = tiny_server(BatchPolicy {
+            workers: 1,
+            max_batch: 16,
+            flush_deadline: Duration::from_millis(20),
+            ..BatchPolicy::default()
+        });
+        let client = server.client();
+        let pending: Vec<Response> = (0..8)
+            .map(|i| client.submit_forward(&[i as f32 * 0.1; 5]).unwrap())
+            .collect();
+        for p in pending {
+            assert!(p.wait().is_ok());
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 8);
+        // One worker + 20ms deadline: requests must have shared batches.
+        assert!(stats.mean_batch > 1.0, "no coalescing happened: {stats:?}");
+    }
+
+    #[test]
+    fn sequential_policy_never_batches() {
+        let server = tiny_server(BatchPolicy::sequential());
+        let client = server.client();
+        for i in 0..6 {
+            client.forward(&[i as f32 * 0.1; 5]).unwrap();
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 6);
+        assert_eq!(stats.max_batch, 1);
+    }
+
+    #[test]
+    fn cache_serves_repeats_without_inference() {
+        let server = tiny_server(BatchPolicy {
+            cache_capacity: 64,
+            ..BatchPolicy::default()
+        });
+        let client = server.client();
+        let x = [0.4, 0.1, 0.9, 0.2, 0.6];
+        let first = client.forward(&x).unwrap();
+        let second = client.forward(&x).unwrap();
+        assert_eq!(first, second);
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn shutdown_answers_all_accepted_requests() {
+        let server = tiny_server(BatchPolicy {
+            workers: 1,
+            max_batch: 4,
+            flush_deadline: Duration::from_micros(50),
+            ..BatchPolicy::default()
+        });
+        let client = server.client();
+        let pending: Vec<Response> = (0..32)
+            .map(|_| client.submit_forward(&[0.5; 5]).unwrap())
+            .collect();
+        let stats = server.shutdown(); // accepted => answered
+        assert_eq!(stats.completed, 32);
+        for p in pending {
+            assert!(p.wait().is_ok(), "accepted request lost at shutdown");
+        }
+        // New submissions fail fast.
+        assert_eq!(client.forward(&[0.5; 5]), Err(ServeError::ShuttingDown));
+    }
+
+    #[test]
+    fn overload_reports_backpressure() {
+        // Tiny queue, slow drain: try_submit must hit Overloaded.
+        let server = tiny_server(BatchPolicy {
+            workers: 1,
+            queue_cap: 2,
+            max_batch: 1,
+            flush_deadline: Duration::ZERO,
+            ..BatchPolicy::default()
+        });
+        let client = server.client();
+        let mut overloaded = false;
+        let mut pending = Vec::new();
+        for _ in 0..200 {
+            match client.try_submit_forward(&[0.5; 5]) {
+                Ok(p) => pending.push(p),
+                Err(ServeError::Overloaded) => {
+                    overloaded = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(overloaded, "queue of 2 never filled under a submit storm");
+        for p in pending {
+            p.wait().unwrap();
+        }
+        let stats = server.shutdown();
+        assert!(stats.rejected >= 1);
+    }
+}

@@ -1,0 +1,54 @@
+//! `ltfb-serve` — batched surrogate inference serving.
+//!
+//! Once LTFB training (see `ltfb-train`) has produced a winning CycleGAN
+//! surrogate, the model's value is in answering *queries*: forward
+//! (`x -> Dec(F(x))`, design parameters to predicted output bundle) and
+//! inverse (`y -> G(E(y))`, desired outputs back to design parameters).
+//! This crate turns a checkpointed surrogate into a low-latency,
+//! high-throughput in-process service:
+//!
+//! - [`registry`] — versioned [`ModelRegistry`](registry::ModelRegistry)
+//!   with atomic hot-swap: training can publish improved checkpoints
+//!   mid-traffic without dropping a single in-flight request.
+//! - [`batcher`] — the micro-batching engine: a bounded request queue,
+//!   worker threads that coalesce concurrent requests into GEMM-friendly
+//!   batches under a max-batch-size / flush-deadline policy, with
+//!   backpressure and graceful shutdown.
+//! - [`cache`] — an LRU response cache keyed on quantized inputs, for
+//!   workloads that revisit the same neighbourhoods of design space.
+//! - [`telemetry`] — latency percentiles, throughput, queue depth, and
+//!   the batch-size histogram, exportable as CSV or JSON.
+//! - [`loadgen`] — a multi-threaded closed-/open-loop load generator for
+//!   benchmarking the above.
+//!
+//! Batched inference is bit-identical to one-at-a-time inference (the
+//! GEMM kernels compute each output row independently in the same k-tile
+//! order), so batching is purely a throughput lever — never an accuracy
+//! trade.
+//!
+//! ```no_run
+//! use ltfb_serve::{BatchPolicy, ModelRegistry, Server};
+//! use ltfb_gan::{CycleGan, CycleGanConfig};
+//! use std::sync::Arc;
+//!
+//! let cfg = CycleGanConfig::small(4);
+//! let registry = Arc::new(ModelRegistry::new(CycleGan::new(cfg, 1), 1));
+//! let server = Server::start(registry, BatchPolicy::default());
+//! let client = server.client();
+//! let y = client.forward(&[0.1, 0.2, 0.3, 0.4, 0.5]).unwrap();
+//! println!("predicted {} outputs", y.len());
+//! let stats = server.shutdown();
+//! println!("p99 latency: {:.1}us", stats.latency_p99_us);
+//! ```
+
+pub mod batcher;
+pub mod cache;
+pub mod loadgen;
+pub mod registry;
+pub mod telemetry;
+
+pub use batcher::{BatchPolicy, Response, ServeClient, ServeError, Server};
+pub use cache::{CacheKey, LruCache};
+pub use loadgen::{run_load, LoadGenConfig, LoadMode, LoadReport};
+pub use registry::{ModelRegistry, PublishError, ServableModel};
+pub use telemetry::{ReqKind, ServeStats, Telemetry};

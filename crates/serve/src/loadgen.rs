@@ -1,0 +1,242 @@
+//! Multi-threaded load generator for the serving engine.
+//!
+//! Two driving modes: **closed-loop** (each client thread waits for its
+//! response before issuing the next request — measures sustainable
+//! throughput at a given concurrency) and **open-loop** (each client
+//! paces submissions at a fixed aggregate rate regardless of completions
+//! — exposes queueing and backpressure under overload; rejected requests
+//! are counted, not retried).
+
+use crate::batcher::{ServeClient, ServeError};
+use ltfb_tensor::seeded_rng;
+use rand::Rng;
+use std::time::{Duration, Instant};
+
+/// How client threads pace their requests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadMode {
+    /// Next request only after the previous response.
+    Closed,
+    /// Fixed aggregate submission rate (requests/second) across all
+    /// clients; uses non-blocking submits and counts rejections.
+    Open { rate_per_sec: f64 },
+}
+
+/// Load-generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadGenConfig {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Requests each client issues.
+    pub requests_per_client: usize,
+    /// Fraction of requests taking the inverse path (`y -> x`).
+    pub inverse_fraction: f64,
+    /// Pacing mode.
+    pub mode: LoadMode,
+    /// RNG seed for the request streams.
+    pub seed: u64,
+}
+
+impl Default for LoadGenConfig {
+    fn default() -> Self {
+        LoadGenConfig {
+            clients: 8,
+            requests_per_client: 250,
+            inverse_fraction: 0.25,
+            mode: LoadMode::Closed,
+            seed: 7,
+        }
+    }
+}
+
+/// Aggregate outcome of one load run (client-side view; the server's own
+/// telemetry holds latency percentiles).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoadReport {
+    pub submitted: u64,
+    pub completed: u64,
+    /// Backpressure rejections (open-loop only).
+    pub rejected: u64,
+    /// Submissions that failed for non-backpressure reasons.
+    pub errors: u64,
+    pub wall_secs: f64,
+}
+
+impl LoadReport {
+    pub fn throughput_rps(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.completed as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Drive `client` from `cfg.clients` threads; blocks until every thread
+/// finishes its quota. `x_dim`/`y_dim` size the generated request
+/// payloads (query them from the server's registry).
+pub fn run_load(
+    client: &ServeClient,
+    cfg: &LoadGenConfig,
+    x_dim: usize,
+    y_dim: usize,
+) -> LoadReport {
+    assert!(cfg.clients >= 1, "need at least one client");
+    assert!(
+        (0.0..=1.0).contains(&cfg.inverse_fraction),
+        "inverse_fraction in [0,1]"
+    );
+    let start = Instant::now();
+    let reports: Vec<LoadReport> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.clients)
+            .map(|c| {
+                let client = client.clone();
+                let cfg = *cfg;
+                s.spawn(move || client_loop(client, cfg, c, x_dim, y_dim))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load client panicked"))
+            .collect()
+    });
+    let mut total = LoadReport {
+        wall_secs: start.elapsed().as_secs_f64(),
+        ..Default::default()
+    };
+    for r in reports {
+        total.submitted += r.submitted;
+        total.completed += r.completed;
+        total.rejected += r.rejected;
+        total.errors += r.errors;
+    }
+    total
+}
+
+fn client_loop(
+    client: ServeClient,
+    cfg: LoadGenConfig,
+    client_idx: usize,
+    x_dim: usize,
+    y_dim: usize,
+) -> LoadReport {
+    let mut rng = seeded_rng(
+        cfg.seed
+            .wrapping_add(client_idx as u64)
+            .wrapping_mul(0x9E37),
+    );
+    let mut report = LoadReport::default();
+    // Open-loop pacing: each client covers 1/clients of the aggregate
+    // rate, submissions scheduled on a fixed grid from the start time.
+    let interval = match cfg.mode {
+        LoadMode::Open { rate_per_sec } => {
+            assert!(rate_per_sec > 0.0, "open-loop rate must be positive");
+            Some(Duration::from_secs_f64(cfg.clients as f64 / rate_per_sec))
+        }
+        LoadMode::Closed => None,
+    };
+    let started = Instant::now();
+    for i in 0..cfg.requests_per_client {
+        let inverse = rng.gen_bool(cfg.inverse_fraction);
+        if let Some(interval) = interval {
+            // Absolute schedule, not sleep-after-completion: an open-loop
+            // generator must not slow down when the server does.
+            let due = interval * i as u32;
+            let now = started.elapsed();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+        }
+        let outcome = if inverse {
+            let y: Vec<f32> = (0..y_dim).map(|_| rng.gen_range(0.0f32..1.0)).collect();
+            report.submitted += 1;
+            match interval {
+                Some(_) => client.try_submit_inverse(&y).map(|p| p.wait()),
+                None => client.submit_inverse(&y).map(|p| p.wait()),
+            }
+        } else {
+            let x: Vec<f32> = (0..x_dim).map(|_| rng.gen_range(0.0f32..1.0)).collect();
+            report.submitted += 1;
+            match interval {
+                Some(_) => client.try_submit_forward(&x).map(|p| p.wait()),
+                None => client.submit_forward(&x).map(|p| p.wait()),
+            }
+        };
+        match outcome {
+            Ok(Ok(_)) => report.completed += 1,
+            Ok(Err(_)) => report.errors += 1,
+            Err(ServeError::Overloaded) => report.rejected += 1,
+            Err(_) => report.errors += 1,
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batcher::{BatchPolicy, Server};
+    use crate::registry::ModelRegistry;
+    use ltfb_gan::{CycleGan, CycleGanConfig};
+    use std::sync::Arc;
+
+    fn tiny_server(policy: BatchPolicy) -> Server {
+        let cfg = CycleGanConfig::small(4);
+        Server::start(
+            Arc::new(ModelRegistry::new(CycleGan::new(cfg, 1), 1)),
+            policy,
+        )
+    }
+
+    #[test]
+    fn closed_loop_completes_every_request() {
+        let server = tiny_server(BatchPolicy::default());
+        let (x_dim, y_dim) = {
+            let m = server.registry().current();
+            (m.x_dim(), m.y_dim())
+        };
+        let cfg = LoadGenConfig {
+            clients: 4,
+            requests_per_client: 25,
+            inverse_fraction: 0.3,
+            mode: LoadMode::Closed,
+            seed: 11,
+        };
+        let report = run_load(&server.client(), &cfg, x_dim, y_dim);
+        assert_eq!(report.submitted, 100);
+        assert_eq!(report.completed, 100);
+        assert_eq!(report.rejected + report.errors, 0);
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 100);
+        assert!(stats.forward > 0 && stats.inverse > 0);
+    }
+
+    #[test]
+    fn open_loop_counts_rejections_under_overload() {
+        // One worker, tiny queue, absurd rate: rejections must show up.
+        let server = tiny_server(BatchPolicy {
+            workers: 1,
+            queue_cap: 2,
+            max_batch: 2,
+            ..BatchPolicy::default()
+        });
+        let (x_dim, y_dim) = {
+            let m = server.registry().current();
+            (m.x_dim(), m.y_dim())
+        };
+        let cfg = LoadGenConfig {
+            clients: 4,
+            requests_per_client: 100,
+            inverse_fraction: 0.0,
+            mode: LoadMode::Open {
+                rate_per_sec: 1.0e6,
+            },
+            seed: 13,
+        };
+        let report = run_load(&server.client(), &cfg, x_dim, y_dim);
+        assert_eq!(report.submitted, 400);
+        assert_eq!(report.completed + report.rejected + report.errors, 400);
+        assert!(report.completed > 0, "server served nothing");
+        server.shutdown();
+    }
+}

@@ -1,0 +1,204 @@
+//! Versioned model registry with atomic hot-swap.
+//!
+//! The registry owns the currently servable CycleGAN surrogate behind an
+//! `RwLock<Arc<_>>`. Readers (batch workers) clone the `Arc` once per
+//! batch, so a [`ModelRegistry::publish`] mid-traffic is atomic from the
+//! workers' point of view: every in-flight batch finishes on the model it
+//! started with, and the next batch picks up the new version. No request
+//! is ever dropped by a swap.
+
+use ltfb_core::checkpoint::{load_surrogate, CheckpointError};
+use ltfb_gan::{CycleGan, CycleGanConfig};
+use parking_lot::RwLock;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// An immutable, shareable inference snapshot: one CycleGAN plus its
+/// registry version.
+pub struct ServableModel {
+    gan: CycleGan,
+    version: u64,
+}
+
+impl ServableModel {
+    pub fn new(gan: CycleGan, version: u64) -> Self {
+        ServableModel { gan, version }
+    }
+
+    pub fn gan(&self) -> &CycleGan {
+        &self.gan
+    }
+
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Input width of forward requests (experiment design parameters).
+    pub fn x_dim(&self) -> usize {
+        self.gan.cfg.x_dim()
+    }
+
+    /// Input width of inverse requests (output bundles).
+    pub fn y_dim(&self) -> usize {
+        self.gan.cfg.y_dim()
+    }
+}
+
+/// Error from [`ModelRegistry::publish`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PublishError {
+    /// Published version must strictly increase.
+    StaleVersion { current: u64, offered: u64 },
+    /// Published model must have the same input/output geometry as the
+    /// one it replaces — clients hold width expectations.
+    GeometryMismatch(String),
+}
+
+impl std::fmt::Display for PublishError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PublishError::StaleVersion { current, offered } => {
+                write!(f, "stale publish: version {offered} <= current {current}")
+            }
+            PublishError::GeometryMismatch(s) => write!(f, "geometry mismatch: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for PublishError {}
+
+/// Holds the live model; hot-swappable under traffic.
+pub struct ModelRegistry {
+    current: RwLock<Arc<ServableModel>>,
+    swaps: AtomicU64,
+}
+
+impl ModelRegistry {
+    /// Start serving `gan` as `version`.
+    pub fn new(gan: CycleGan, version: u64) -> Self {
+        ModelRegistry {
+            current: RwLock::new(Arc::new(ServableModel::new(gan, version))),
+            swaps: AtomicU64::new(0),
+        }
+    }
+
+    /// Load the initial model from a surrogate checkpoint
+    /// (see `ltfb_core::checkpoint::save_surrogate`).
+    pub fn from_checkpoint(path: &Path, cfg: &CycleGanConfig) -> Result<Self, CheckpointError> {
+        let (gan, version) = load_surrogate(path, cfg)?;
+        Ok(ModelRegistry::new(gan, version))
+    }
+
+    /// The live model. Cheap (`Arc` clone under a read lock); callers
+    /// keep the snapshot for the duration of one batch.
+    pub fn current(&self) -> Arc<ServableModel> {
+        Arc::clone(&self.current.read())
+    }
+
+    /// Version of the live model.
+    pub fn version(&self) -> u64 {
+        self.current.read().version()
+    }
+
+    /// How many successful hot-swaps have happened.
+    pub fn swap_count(&self) -> u64 {
+        self.swaps.load(Ordering::Relaxed)
+    }
+
+    /// Atomically replace the live model. Versions must strictly
+    /// increase and geometry must match, so racing publishers resolve to
+    /// the newest model and clients' width expectations stay valid.
+    pub fn publish(&self, gan: CycleGan, version: u64) -> Result<(), PublishError> {
+        let mut cur = self.current.write();
+        if version <= cur.version() {
+            return Err(PublishError::StaleVersion {
+                current: cur.version(),
+                offered: version,
+            });
+        }
+        if gan.cfg.x_dim() != cur.x_dim() || gan.cfg.y_dim() != cur.y_dim() {
+            return Err(PublishError::GeometryMismatch(format!(
+                "offered {}x{}, serving {}x{}",
+                gan.cfg.x_dim(),
+                gan.cfg.y_dim(),
+                cur.x_dim(),
+                cur.y_dim()
+            )));
+        }
+        *cur = Arc::new(ServableModel::new(gan, version));
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Load a surrogate checkpoint and publish it.
+    pub fn publish_checkpoint(
+        &self,
+        path: &Path,
+        cfg: &CycleGanConfig,
+    ) -> Result<u64, Box<dyn std::error::Error + Send + Sync>> {
+        let (gan, version) = load_surrogate(path, cfg)?;
+        self.publish(gan, version)?;
+        Ok(version)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_gan(seed: u64) -> CycleGan {
+        CycleGan::new(CycleGanConfig::small(4), seed)
+    }
+
+    #[test]
+    fn publish_requires_increasing_version() {
+        let reg = ModelRegistry::new(tiny_gan(1), 5);
+        assert_eq!(reg.version(), 5);
+        assert!(matches!(
+            reg.publish(tiny_gan(2), 5),
+            Err(PublishError::StaleVersion {
+                current: 5,
+                offered: 5
+            })
+        ));
+        reg.publish(tiny_gan(2), 6).unwrap();
+        assert_eq!(reg.version(), 6);
+        assert_eq!(reg.swap_count(), 1);
+    }
+
+    #[test]
+    fn publish_rejects_geometry_change() {
+        let reg = ModelRegistry::new(tiny_gan(1), 1);
+        let other = CycleGan::new(CycleGanConfig::small(8), 9);
+        assert!(matches!(
+            reg.publish(other, 2),
+            Err(PublishError::GeometryMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn snapshot_outlives_swap() {
+        let reg = ModelRegistry::new(tiny_gan(1), 1);
+        let old = reg.current();
+        reg.publish(tiny_gan(2), 2).unwrap();
+        // The pre-swap snapshot still answers with its own version.
+        assert_eq!(old.version(), 1);
+        assert_eq!(reg.current().version(), 2);
+    }
+
+    #[test]
+    fn checkpoint_round_trip() {
+        let cfg = CycleGanConfig::small(4);
+        let gan = CycleGan::new(cfg, 3);
+        let fp = gan.generator_fingerprint();
+        let dir = std::env::temp_dir().join(format!("ltfb-serve-reg-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.ltsv");
+        ltfb_core::checkpoint::save_surrogate(&path, &gan, 7).unwrap();
+        let reg = ModelRegistry::from_checkpoint(&path, &cfg).unwrap();
+        assert_eq!(reg.version(), 7);
+        assert_eq!(reg.current().gan().generator_fingerprint(), fp);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

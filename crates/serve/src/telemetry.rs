@@ -1,0 +1,353 @@
+//! Serving telemetry: request latency percentiles, throughput, queue
+//! depth, and the coalescer's batch-size histogram, dumped as CSV or
+//! JSON.
+//!
+//! Recording is mutex-guarded (workers record once per request/batch —
+//! far coarser than the lock cost); summarisation sorts on demand.
+
+use parking_lot::Mutex;
+use std::io::Write;
+use std::path::Path;
+use std::time::Instant;
+
+/// Which inference path a request took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReqKind {
+    /// `x -> Dec(F(x))`: design parameters to output bundle.
+    Forward,
+    /// `y -> G(E(y))`: output bundle back to design parameters.
+    Inverse,
+}
+
+struct Inner {
+    latencies_us: Vec<f64>,
+    batch_sizes: Vec<u64>, // histogram indexed by batch size
+    queue_samples: u64,
+    queue_sum: u64,
+    queue_max: usize,
+    forward: u64,
+    inverse: u64,
+    cache_hits: u64,
+    rejected: u64,
+}
+
+/// Shared telemetry sink for one server.
+pub struct Telemetry {
+    inner: Mutex<Inner>,
+    started: Instant,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Telemetry {
+    pub fn new() -> Self {
+        Telemetry {
+            inner: Mutex::new(Inner {
+                latencies_us: Vec::new(),
+                batch_sizes: Vec::new(),
+                queue_samples: 0,
+                queue_sum: 0,
+                queue_max: 0,
+                forward: 0,
+                inverse: 0,
+                cache_hits: 0,
+                rejected: 0,
+            }),
+            started: Instant::now(),
+        }
+    }
+
+    /// Record one completed request.
+    pub fn record_request(&self, kind: ReqKind, latency_us: f64, cache_hit: bool) {
+        let mut g = self.inner.lock();
+        g.latencies_us.push(latency_us);
+        match kind {
+            ReqKind::Forward => g.forward += 1,
+            ReqKind::Inverse => g.inverse += 1,
+        }
+        if cache_hit {
+            g.cache_hits += 1;
+        }
+    }
+
+    /// Record one coalesced GEMM pack of `size` requests.
+    pub fn record_batch(&self, size: usize) {
+        if size == 0 {
+            return;
+        }
+        let mut g = self.inner.lock();
+        if g.batch_sizes.len() <= size {
+            g.batch_sizes.resize(size + 1, 0);
+        }
+        g.batch_sizes[size] += 1;
+    }
+
+    /// Record the queue depth observed at a submission.
+    pub fn record_queue_depth(&self, depth: usize) {
+        let mut g = self.inner.lock();
+        g.queue_samples += 1;
+        g.queue_sum += depth as u64;
+        g.queue_max = g.queue_max.max(depth);
+    }
+
+    /// Record a request rejected for backpressure.
+    pub fn record_rejected(&self) {
+        self.inner.lock().rejected += 1;
+    }
+
+    /// Snapshot the stats so far.
+    pub fn summary(&self) -> ServeStats {
+        let g = self.inner.lock();
+        let mut lat = g.latencies_us.clone();
+        lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let pct = |p: f64| -> f64 {
+            if lat.is_empty() {
+                return 0.0;
+            }
+            let idx = ((lat.len() as f64 - 1.0) * p).round() as usize;
+            lat[idx]
+        };
+        let completed = lat.len() as u64;
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let batches: u64 = g.batch_sizes.iter().sum();
+        let weighted: u64 = g
+            .batch_sizes
+            .iter()
+            .enumerate()
+            .map(|(s, &n)| s as u64 * n)
+            .sum();
+        ServeStats {
+            completed,
+            forward: g.forward,
+            inverse: g.inverse,
+            rejected: g.rejected,
+            cache_hits: g.cache_hits,
+            elapsed_secs: elapsed,
+            throughput_rps: if elapsed > 0.0 {
+                completed as f64 / elapsed
+            } else {
+                0.0
+            },
+            latency_mean_us: if lat.is_empty() {
+                0.0
+            } else {
+                lat.iter().sum::<f64>() / lat.len() as f64
+            },
+            latency_p50_us: pct(0.50),
+            latency_p95_us: pct(0.95),
+            latency_p99_us: pct(0.99),
+            latency_max_us: lat.last().copied().unwrap_or(0.0),
+            mean_batch: if batches > 0 {
+                weighted as f64 / batches as f64
+            } else {
+                0.0
+            },
+            max_batch: g.batch_sizes.len().saturating_sub(1),
+            batch_histogram: g.batch_sizes.clone(),
+            queue_depth_mean: if g.queue_samples > 0 {
+                g.queue_sum as f64 / g.queue_samples as f64
+            } else {
+                0.0
+            },
+            queue_depth_max: g.queue_max,
+        }
+    }
+}
+
+/// Aggregated serving statistics.
+#[derive(Debug, Clone)]
+pub struct ServeStats {
+    pub completed: u64,
+    pub forward: u64,
+    pub inverse: u64,
+    pub rejected: u64,
+    pub cache_hits: u64,
+    pub elapsed_secs: f64,
+    pub throughput_rps: f64,
+    pub latency_mean_us: f64,
+    pub latency_p50_us: f64,
+    pub latency_p95_us: f64,
+    pub latency_p99_us: f64,
+    pub latency_max_us: f64,
+    pub mean_batch: f64,
+    pub max_batch: usize,
+    /// `batch_histogram[s]` = number of GEMM packs of exactly `s` rows.
+    pub batch_histogram: Vec<u64>,
+    pub queue_depth_mean: f64,
+    pub queue_depth_max: usize,
+}
+
+impl ServeStats {
+    /// Header matching [`Self::csv_row`].
+    pub fn csv_header() -> &'static str {
+        "label,completed,forward,inverse,rejected,cache_hits,elapsed_secs,throughput_rps,\
+         latency_mean_us,latency_p50_us,latency_p95_us,latency_p99_us,latency_max_us,\
+         mean_batch,max_batch,queue_depth_mean,queue_depth_max"
+    }
+
+    /// One CSV row labelled with the run's name.
+    pub fn csv_row(&self, label: &str) -> String {
+        format!(
+            "{label},{},{},{},{},{},{:.6},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.3},{},{:.3},{}",
+            self.completed,
+            self.forward,
+            self.inverse,
+            self.rejected,
+            self.cache_hits,
+            self.elapsed_secs,
+            self.throughput_rps,
+            self.latency_mean_us,
+            self.latency_p50_us,
+            self.latency_p95_us,
+            self.latency_p99_us,
+            self.latency_max_us,
+            self.mean_batch,
+            self.max_batch,
+            self.queue_depth_mean,
+            self.queue_depth_max,
+        )
+    }
+
+    /// Full stats (histogram included) as a JSON object.
+    pub fn to_json(&self) -> String {
+        let hist: Vec<String> = self
+            .batch_histogram
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(s, &n)| format!("\"{s}\":{n}"))
+            .collect();
+        format!(
+            "{{\"completed\":{},\"forward\":{},\"inverse\":{},\"rejected\":{},\
+             \"cache_hits\":{},\"elapsed_secs\":{:.6},\"throughput_rps\":{:.2},\
+             \"latency_us\":{{\"mean\":{:.2},\"p50\":{:.2},\"p95\":{:.2},\"p99\":{:.2},\
+             \"max\":{:.2}}},\"batch\":{{\"mean\":{:.3},\"max\":{},\"histogram\":{{{}}}}},\
+             \"queue_depth\":{{\"mean\":{:.3},\"max\":{}}}}}",
+            self.completed,
+            self.forward,
+            self.inverse,
+            self.rejected,
+            self.cache_hits,
+            self.elapsed_secs,
+            self.throughput_rps,
+            self.latency_mean_us,
+            self.latency_p50_us,
+            self.latency_p95_us,
+            self.latency_p99_us,
+            self.latency_max_us,
+            self.mean_batch,
+            self.max_batch,
+            hist.join(","),
+            self.queue_depth_mean,
+            self.queue_depth_max,
+        )
+    }
+
+    /// Write `csv_header` + this row to `path`.
+    pub fn write_csv(&self, path: &Path, label: &str) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut f = std::fs::File::create(path)?;
+        writeln!(f, "{}", Self::csv_header())?;
+        writeln!(f, "{}", self.csv_row(label))?;
+        Ok(())
+    }
+
+    /// Write the JSON dump to `path`.
+    pub fn write_json(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_from_known_distribution() {
+        let t = Telemetry::new();
+        for i in 1..=100 {
+            t.record_request(ReqKind::Forward, i as f64, false);
+        }
+        let s = t.summary();
+        assert_eq!(s.completed, 100);
+        assert_eq!(s.forward, 100);
+        assert!(
+            (s.latency_p50_us - 50.0).abs() <= 1.0,
+            "p50 {}",
+            s.latency_p50_us
+        );
+        assert!(
+            (s.latency_p95_us - 95.0).abs() <= 1.0,
+            "p95 {}",
+            s.latency_p95_us
+        );
+        assert!(
+            (s.latency_p99_us - 99.0).abs() <= 1.0,
+            "p99 {}",
+            s.latency_p99_us
+        );
+        assert_eq!(s.latency_max_us, 100.0);
+        assert!((s.latency_mean_us - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_histogram_and_mean() {
+        let t = Telemetry::new();
+        t.record_batch(4);
+        t.record_batch(4);
+        t.record_batch(8);
+        let s = t.summary();
+        assert_eq!(s.batch_histogram[4], 2);
+        assert_eq!(s.batch_histogram[8], 1);
+        assert_eq!(s.max_batch, 8);
+        assert!((s.mean_batch - 16.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn queue_depth_tracking() {
+        let t = Telemetry::new();
+        t.record_queue_depth(0);
+        t.record_queue_depth(10);
+        t.record_queue_depth(2);
+        let s = t.summary();
+        assert_eq!(s.queue_depth_max, 10);
+        assert!((s.queue_depth_mean - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn csv_and_json_well_formed() {
+        let t = Telemetry::new();
+        t.record_request(ReqKind::Forward, 10.0, true);
+        t.record_request(ReqKind::Inverse, 20.0, false);
+        t.record_batch(2);
+        let s = t.summary();
+        let row = s.csv_row("smoke");
+        assert_eq!(
+            row.split(',').count(),
+            ServeStats::csv_header().split(',').count(),
+            "row/header column mismatch"
+        );
+        let j = s.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"completed\":2"));
+        assert!(j.contains("\"cache_hits\":1"));
+        assert!(j.contains("\"2\":1"));
+    }
+
+    #[test]
+    fn empty_summary_is_all_zeros() {
+        let s = Telemetry::new().summary();
+        assert_eq!(s.completed, 0);
+        assert_eq!(s.latency_p99_us, 0.0);
+        assert_eq!(s.mean_batch, 0.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Batched inference must be bit-identical to sequential single-sample
+//! inference. This is the contract that makes micro-batching a pure
+//! throughput lever: a client cannot tell (even comparing raw f32 bits)
+//! whether its request was served alone or packed into a 32-row GEMM.
+
+use ltfb_gan::{CycleGan, CycleGanConfig};
+use ltfb_serve::{BatchPolicy, ModelRegistry, Server};
+use ltfb_tensor::{seeded_rng, Matrix};
+use rand::Rng;
+use std::sync::Arc;
+
+fn random_rows(rng: &mut impl Rng, n: usize, width: usize) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|_| (0..width).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect()
+}
+
+/// Serve `inputs` through a server with the given policy at full
+/// concurrency (all requests in flight at once) and return the responses
+/// in input order. The model is rebuilt from `(cfg, seed)` — CycleGan
+/// construction is deterministic, so this yields the same weights as any
+/// other instance built from the same pair.
+fn serve_all(
+    cfg: CycleGanConfig,
+    seed: u64,
+    policy: BatchPolicy,
+    inputs: &[Vec<f32>],
+    inverse: bool,
+) -> Vec<Vec<f32>> {
+    let registry = Arc::new(ModelRegistry::new(CycleGan::new(cfg, seed), 1));
+    let server = Server::start(registry, policy);
+    let client = server.client();
+    let pending: Vec<_> = inputs
+        .iter()
+        .map(|row| {
+            if inverse {
+                client.submit_inverse(row).expect("submit")
+            } else {
+                client.submit_forward(row).expect("submit")
+            }
+        })
+        .collect();
+    let out: Vec<Vec<f32>> = pending
+        .into_iter()
+        .map(|p| p.wait().expect("reply"))
+        .collect();
+    server.shutdown();
+    out
+}
+
+fn assert_rows_bit_equal(a: &[Vec<f32>], b: &[Vec<f32>], what: &str) {
+    assert_eq!(a.len(), b.len());
+    for (i, (ra, rb)) in a.iter().zip(b).enumerate() {
+        assert_eq!(ra.len(), rb.len(), "{what}: row {i} width");
+        for (j, (va, vb)) in ra.iter().zip(rb).enumerate() {
+            assert_eq!(
+                va.to_bits(),
+                vb.to_bits(),
+                "{what}: row {i} col {j}: {va} vs {vb}"
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_forward_matches_sequential_and_reference() {
+    let cfg = CycleGanConfig::small(4);
+    let mut gan = CycleGan::new(cfg, 42);
+    let mut rng = seeded_rng(7);
+    let inputs = random_rows(&mut rng, 48, cfg.x_dim());
+
+    // Reference: the training-path predict(), one sample at a time.
+    let reference: Vec<Vec<f32>> = inputs
+        .iter()
+        .map(|row| {
+            let m = Matrix::from_vec(1, cfg.x_dim(), row.clone());
+            gan.predict(&m).row(0).to_vec()
+        })
+        .collect();
+
+    let batched = serve_all(cfg, 42, BatchPolicy::default(), &inputs, false);
+    let sequential = serve_all(cfg, 42, BatchPolicy::sequential(), &inputs, false);
+
+    assert_rows_bit_equal(&batched, &reference, "batched vs predict()");
+    assert_rows_bit_equal(&sequential, &reference, "sequential vs predict()");
+}
+
+#[test]
+fn batched_inverse_matches_sequential_and_reference() {
+    let cfg = CycleGanConfig::small(4);
+    let mut gan = CycleGan::new(cfg, 43);
+    let mut rng = seeded_rng(8);
+    let inputs = random_rows(&mut rng, 48, cfg.y_dim());
+
+    let reference: Vec<Vec<f32>> = inputs
+        .iter()
+        .map(|row| {
+            let m = Matrix::from_vec(1, cfg.y_dim(), row.clone());
+            gan.invert(&m).row(0).to_vec()
+        })
+        .collect();
+
+    let batched = serve_all(cfg, 43, BatchPolicy::default(), &inputs, true);
+    let sequential = serve_all(cfg, 43, BatchPolicy::sequential(), &inputs, true);
+
+    assert_rows_bit_equal(&batched, &reference, "batched vs invert()");
+    assert_rows_bit_equal(&sequential, &reference, "sequential vs invert()");
+}
+
+#[test]
+fn whole_matrix_infer_matches_row_at_a_time() {
+    // The underlying property the server relies on: infer on an n-row
+    // matrix equals n independent 1-row infers, bitwise.
+    let cfg = CycleGanConfig::small(4);
+    let gan = CycleGan::new(cfg, 44);
+    let mut rng = seeded_rng(9);
+    let inputs = random_rows(&mut rng, 16, cfg.x_dim());
+    let flat: Vec<f32> = inputs.iter().flatten().copied().collect();
+    let packed = gan.infer_forward(&Matrix::from_vec(inputs.len(), cfg.x_dim(), flat));
+    for (i, row) in inputs.iter().enumerate() {
+        let single = gan.infer_forward(&Matrix::from_vec(1, cfg.x_dim(), row.clone()));
+        for (j, (a, b)) in packed.row(i).iter().zip(single.row(0)).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "row {i} col {j}");
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Hot-swapping the served model under live traffic must lose no
+//! in-flight request: every request submitted before, during, and after
+//! a sequence of publishes gets a well-formed answer from *some* model
+//! version — never an error, never a hang.
+
+use ltfb_gan::{CycleGan, CycleGanConfig};
+use ltfb_serve::{BatchPolicy, ModelRegistry, PublishError, Server};
+use ltfb_tensor::seeded_rng;
+use rand::Rng;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn hot_swap_under_load_loses_no_requests() {
+    let cfg = CycleGanConfig::small(4);
+    let registry = Arc::new(ModelRegistry::new(CycleGan::new(cfg, 1), 1));
+    let server = Server::start(
+        Arc::clone(&registry),
+        BatchPolicy {
+            workers: 2,
+            max_batch: 16,
+            ..BatchPolicy::default()
+        },
+    );
+    let x_dim = registry.current().x_dim();
+    let y_dim = registry.current().y_dim();
+
+    const CLIENTS: usize = 6;
+    const REQS: usize = 200;
+    const SWAPS: u64 = 8;
+    let stop_swapping = Arc::new(AtomicBool::new(false));
+
+    let per_client: Vec<(u64, u64)> = std::thread::scope(|s| {
+        // Publisher: keeps swapping models while clients hammer the server.
+        {
+            let registry = Arc::clone(&registry);
+            let stop = Arc::clone(&stop_swapping);
+            s.spawn(move || {
+                let mut version = 2u64;
+                while version < 2 + SWAPS && !stop.load(Ordering::Relaxed) {
+                    registry
+                        .publish(CycleGan::new(cfg, version), version)
+                        .unwrap();
+                    version += 1;
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            });
+        }
+
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let client = server.client();
+                s.spawn(move || {
+                    let mut rng = seeded_rng(100 + c as u64);
+                    let mut answered = 0u64;
+                    let mut failed = 0u64;
+                    for i in 0..REQS {
+                        let resp = if i % 3 == 0 {
+                            let y: Vec<f32> =
+                                (0..y_dim).map(|_| rng.gen_range(0.0f32..1.0)).collect();
+                            client.submit_inverse(&y)
+                        } else {
+                            let x: Vec<f32> =
+                                (0..x_dim).map(|_| rng.gen_range(0.0f32..1.0)).collect();
+                            client.submit_forward(&x)
+                        };
+                        match resp.and_then(|p| p.wait()) {
+                            Ok(out) => {
+                                assert!(!out.is_empty());
+                                assert!(
+                                    out.iter().all(|v| v.is_finite()),
+                                    "non-finite output mid-swap"
+                                );
+                                answered += 1;
+                            }
+                            Err(_) => failed += 1,
+                        }
+                    }
+                    (answered, failed)
+                })
+            })
+            .collect();
+        let results = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        stop_swapping.store(true, Ordering::Relaxed);
+        results
+    });
+
+    let answered: u64 = per_client.iter().map(|&(a, _)| a).sum();
+    let failed: u64 = per_client.iter().map(|&(_, f)| f).sum();
+    assert_eq!(failed, 0, "requests failed during hot-swap");
+    assert_eq!(answered, (CLIENTS * REQS) as u64);
+
+    assert!(
+        registry.swap_count() >= 1,
+        "no swap actually happened during the test"
+    );
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, (CLIENTS * REQS) as u64);
+    assert_eq!(stats.rejected, 0);
+}
+
+#[test]
+fn stale_publish_does_not_disturb_serving() {
+    let cfg = CycleGanConfig::small(4);
+    let registry = Arc::new(ModelRegistry::new(CycleGan::new(cfg, 1), 5));
+    let server = Server::start(Arc::clone(&registry), BatchPolicy::default());
+    let client = server.client();
+    let x_dim = registry.current().x_dim();
+
+    assert!(matches!(
+        registry.publish(CycleGan::new(cfg, 9), 5),
+        Err(PublishError::StaleVersion { .. })
+    ));
+    assert_eq!(registry.version(), 5);
+    assert_eq!(registry.swap_count(), 0);
+
+    let out = client.forward(&vec![0.5; x_dim]).unwrap();
+    assert!(out.iter().all(|v| v.is_finite()));
+    server.shutdown();
+}
+
+#[test]
+fn requests_straddling_a_swap_see_old_or_new_model_consistently() {
+    // A request answered by version v must match a fresh infer on version
+    // v's weights exactly — responses are never a blend of two models.
+    let cfg = CycleGanConfig::small(4);
+    let registry = Arc::new(ModelRegistry::new(CycleGan::new(cfg, 10), 1));
+    // Single worker + generous flush deadline so queued requests straddle
+    // the publish below.
+    let server = Server::start(
+        Arc::clone(&registry),
+        BatchPolicy {
+            workers: 1,
+            max_batch: 4,
+            flush_deadline: Duration::from_millis(5),
+            ..BatchPolicy::default()
+        },
+    );
+    let client = server.client();
+    let x_dim = registry.current().x_dim();
+    let mut rng = seeded_rng(55);
+    let inputs: Vec<Vec<f32>> = (0..64)
+        .map(|_| (0..x_dim).map(|_| rng.gen_range(0.0f32..1.0)).collect())
+        .collect();
+
+    let pending: Vec<_> = inputs
+        .iter()
+        .take(32)
+        .map(|x| client.submit_forward(x).unwrap())
+        .collect();
+    registry.publish(CycleGan::new(cfg, 20), 2).unwrap();
+    let pending_after: Vec<_> = inputs
+        .iter()
+        .skip(32)
+        .map(|x| client.submit_forward(x).unwrap())
+        .collect();
+
+    let old = CycleGan::new(cfg, 10);
+    let new = CycleGan::new(cfg, 20);
+    let mut from_old = 0usize;
+    let mut from_new = 0usize;
+    for (x, p) in inputs.iter().zip(pending.into_iter().chain(pending_after)) {
+        let got = p.wait().unwrap();
+        let m = ltfb_tensor::Matrix::from_vec(1, x_dim, x.clone());
+        let want_old = old.infer_forward(&m);
+        let want_new = new.infer_forward(&m);
+        let is_old = got
+            .iter()
+            .zip(want_old.row(0))
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        let is_new = got
+            .iter()
+            .zip(want_new.row(0))
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(is_old || is_new, "response matches neither model version");
+        if is_old {
+            from_old += 1;
+        }
+        if is_new {
+            from_new += 1;
+        }
+    }
+    // Requests submitted after the publish must all see the new model.
+    assert!(
+        from_new >= 32,
+        "post-swap requests served by the old model ({from_new} new, {from_old} old)"
+    );
+    server.shutdown();
+}

@@ -32,7 +32,11 @@ pub fn cross_entropy_with_logits(logits: &Matrix, labels: &[usize]) -> f32 {
     }
     let mut total = 0.0f64;
     for (r, &label) in labels.iter().enumerate() {
-        assert!(label < logits.cols(), "label {label} out of {} classes", logits.cols());
+        assert!(
+            label < logits.cols(),
+            "label {label} out of {} classes",
+            logits.cols()
+        );
         let row = logits.row(r);
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let logsum: f32 = row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln() + max;

@@ -58,7 +58,10 @@ fn axpy(c: &mut [f32], a: f32, b: &[f32]) {
 pub fn gemm(alpha: f32, a: &Matrix, b: &Matrix, beta: f32, c: &mut Matrix) {
     let (m, k) = a.shape();
     let (kb, n) = b.shape();
-    assert_eq!(k, kb, "gemm inner dimension mismatch: A is {m}x{k}, B is {kb}x{n}");
+    assert_eq!(
+        k, kb,
+        "gemm inner dimension mismatch: A is {m}x{k}, B is {kb}x{n}"
+    );
     assert_eq!(c.shape(), (m, n), "gemm output shape mismatch");
 
     let a_data = a.as_slice();

@@ -24,7 +24,10 @@ pub fn seeded_rng(seed: u64) -> TensorRng {
 pub fn mix_seed(parts: &[u64]) -> u64 {
     let mut h: u64 = 0x9E37_79B9_7F4A_7C15;
     for &p in parts {
-        h ^= p.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_add(h << 6).wrapping_add(h >> 2);
+        h ^= p
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(h << 6)
+            .wrapping_add(h >> 2);
         h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
         h ^= h >> 27;
         h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -127,8 +130,8 @@ mod tests {
     fn normal_moments_roughly_correct() {
         let m = normal(200, 200, 1.5, 2.0, &mut seeded_rng(4));
         let mean = m.mean();
-        let var = m.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>()
-            / (m.len() - 1) as f32;
+        let var =
+            m.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / (m.len() - 1) as f32;
         assert!((mean - 1.5).abs() < 0.05, "mean {mean}");
         assert!((var.sqrt() - 2.0).abs() < 0.05, "std {}", var.sqrt());
     }

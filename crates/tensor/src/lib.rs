@@ -24,8 +24,7 @@ pub mod ops;
 pub mod serial;
 
 pub use classify::{
-    accuracy, argmax_rows, cross_entropy_with_logits, cross_entropy_with_logits_grad,
-    softmax_rows,
+    accuracy, argmax_rows, cross_entropy_with_logits, cross_entropy_with_logits_grad, softmax_rows,
 };
 pub use gemm::{dot, gemm, gemm_nt, gemm_tn, matmul, matmul_naive};
 pub use init::{

@@ -22,12 +22,20 @@ pub struct Matrix {
 impl Matrix {
     /// An `rows x cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// An `rows x cols` matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Matrix { rows, cols, data: vec![value; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// The `n x n` identity.
@@ -65,12 +73,20 @@ impl Matrix {
 
     /// Build a single-row matrix from a slice.
     pub fn row_vector(v: &[f32]) -> Self {
-        Matrix { rows: 1, cols: v.len(), data: v.to_vec() }
+        Matrix {
+            rows: 1,
+            cols: v.len(),
+            data: v.to_vec(),
+        }
     }
 
     /// Build a single-column matrix from a slice.
     pub fn col_vector(v: &[f32]) -> Self {
-        Matrix { rows: v.len(), cols: 1, data: v.to_vec() }
+        Matrix {
+            rows: v.len(),
+            cols: 1,
+            data: v.to_vec(),
+        }
     }
 
     #[inline]
@@ -173,7 +189,11 @@ impl Matrix {
 
     /// Copy rows `[start, end)` into a new matrix.
     pub fn slice_rows(&self, start: usize, end: usize) -> Matrix {
-        assert!(start <= end && end <= self.rows, "row slice {start}..{end} out of 0..{}", self.rows);
+        assert!(
+            start <= end && end <= self.rows,
+            "row slice {start}..{end} out of 0..{}",
+            self.rows
+        );
         Matrix {
             rows: end - start,
             cols: self.cols,
@@ -224,7 +244,11 @@ impl Matrix {
 
     /// Split columns `[start, end)` out into a new matrix.
     pub fn slice_cols(&self, start: usize, end: usize) -> Matrix {
-        assert!(start <= end && end <= self.cols, "col slice {start}..{end} out of 0..{}", self.cols);
+        assert!(
+            start <= end && end <= self.cols,
+            "col slice {start}..{end} out of 0..{}",
+            self.cols
+        );
         let mut out = Matrix::zeros(self.rows, end - start);
         for r in 0..self.rows {
             out.row_mut(r).copy_from_slice(&self.row(r)[start..end]);

@@ -24,21 +24,36 @@ pub fn scale(alpha: f32, y: &mut Matrix) {
 /// Elementwise sum into a fresh matrix.
 pub fn add(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.shape(), b.shape(), "add shape mismatch");
-    let data = a.as_slice().iter().zip(b.as_slice()).map(|(x, y)| x + y).collect();
+    let data = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| x + y)
+        .collect();
     Matrix::from_vec(a.rows(), a.cols(), data)
 }
 
 /// Elementwise difference into a fresh matrix.
 pub fn sub(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.shape(), b.shape(), "sub shape mismatch");
-    let data = a.as_slice().iter().zip(b.as_slice()).map(|(x, y)| x - y).collect();
+    let data = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| x - y)
+        .collect();
     Matrix::from_vec(a.rows(), a.cols(), data)
 }
 
 /// Elementwise (Hadamard) product into a fresh matrix.
 pub fn hadamard(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.shape(), b.shape(), "hadamard shape mismatch");
-    let data = a.as_slice().iter().zip(b.as_slice()).map(|(x, y)| x * y).collect();
+    let data = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| x * y)
+        .collect();
     Matrix::from_vec(a.rows(), a.cols(), data)
 }
 
@@ -83,7 +98,9 @@ pub fn col_sums(m: &Matrix) -> Matrix {
 /// Per-row mean into an `rows x 1` column vector.
 pub fn row_means(m: &Matrix) -> Matrix {
     let cols = m.cols().max(1) as f32;
-    let data = (0..m.rows()).map(|r| m.row(r).iter().sum::<f32>() / cols).collect();
+    let data = (0..m.rows())
+        .map(|r| m.row(r).iter().sum::<f32>() / cols)
+        .collect();
     Matrix::from_vec(m.rows(), 1, data)
 }
 

@@ -34,11 +34,17 @@ impl std::fmt::Display for DecodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DecodeError::Truncated { needed, have } => {
-                write!(f, "truncated matrix buffer: need {needed} bytes, have {have}")
+                write!(
+                    f,
+                    "truncated matrix buffer: need {needed} bytes, have {have}"
+                )
             }
             DecodeError::BadMagic(m) => write!(f, "bad magic {m:#010x}"),
             DecodeError::BadChecksum { stored, computed } => {
-                write!(f, "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}")
+                write!(
+                    f,
+                    "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+                )
             }
             DecodeError::BadShape { rows, cols } => write!(f, "bad shape {rows}x{cols}"),
         }
@@ -92,7 +98,10 @@ pub fn encode_matrix_into(m: &Matrix, buf: &mut BytesMut) {
 pub fn decode_matrix(buf: &mut Bytes) -> Result<Matrix, DecodeError> {
     const HEADER: usize = 4 + 8 + 8;
     if buf.remaining() < HEADER {
-        return Err(DecodeError::Truncated { needed: HEADER, have: buf.remaining() });
+        return Err(DecodeError::Truncated {
+            needed: HEADER,
+            have: buf.remaining(),
+        });
     }
     let magic = buf.get_u32_le();
     if magic != MAGIC {
@@ -106,7 +115,10 @@ pub fn decode_matrix(buf: &mut Bytes) -> Result<Matrix, DecodeError> {
         .ok_or(DecodeError::BadShape { rows, cols })? as usize;
     let payload = n * 4;
     if buf.remaining() < payload + 4 {
-        return Err(DecodeError::Truncated { needed: payload + 4, have: buf.remaining() });
+        return Err(DecodeError::Truncated {
+            needed: payload + 4,
+            have: buf.remaining(),
+        });
     }
     let computed = crc32(&buf[..payload]);
     let mut data = Vec::with_capacity(n);
@@ -134,7 +146,10 @@ pub fn encode_matrices(ms: &[&Matrix]) -> Bytes {
 /// Decode a message produced by [`encode_matrices`].
 pub fn decode_matrices(mut buf: Bytes) -> Result<Vec<Matrix>, DecodeError> {
     if buf.remaining() < 8 {
-        return Err(DecodeError::Truncated { needed: 8, have: buf.remaining() });
+        return Err(DecodeError::Truncated {
+            needed: 8,
+            have: buf.remaining(),
+        });
     }
     let count = buf.get_u64_le() as usize;
     let mut out = Vec::with_capacity(count.min(1 << 20));
@@ -168,7 +183,9 @@ mod tests {
     #[test]
     fn round_trip_many() {
         let mut rng = seeded_rng(2);
-        let ms: Vec<Matrix> = (1..5).map(|i| uniform(i, i + 2, -1.0, 1.0, &mut rng)).collect();
+        let ms: Vec<Matrix> = (1..5)
+            .map(|i| uniform(i, i + 2, -1.0, 1.0, &mut rng))
+            .collect();
         let refs: Vec<&Matrix> = ms.iter().collect();
         let got = decode_matrices(encode_matrices(&refs)).unwrap();
         assert_eq!(got, ms);

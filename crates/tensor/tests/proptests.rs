@@ -9,9 +9,8 @@ use proptest::prelude::*;
 /// Strategy: a matrix with bounded dimensions and values, built from a seed
 /// so shrinking operates on (rows, cols, seed) triples.
 fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
-    (1..=max_dim, 1..=max_dim, any::<u64>()).prop_map(|(r, c, seed)| {
-        uniform(r, c, -2.0, 2.0, &mut seeded_rng(seed))
-    })
+    (1..=max_dim, 1..=max_dim, any::<u64>())
+        .prop_map(|(r, c, seed)| uniform(r, c, -2.0, 2.0, &mut seeded_rng(seed)))
 }
 
 fn close(a: &Matrix, b: &Matrix, tol: f32) -> bool {

@@ -55,8 +55,7 @@ pub fn validate_dag<T>(tasks: &[DagTask<T>]) -> Result<Vec<usize>, DagError> {
             dependents[d].push(i);
         }
     }
-    let mut queue: VecDeque<usize> =
-        (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut queue: VecDeque<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
     let mut order = Vec::with_capacity(n);
     while let Some(i) = queue.pop_front() {
         order.push(i);
@@ -95,8 +94,10 @@ where
     let stats = StatsInner::default();
 
     // Shared scheduling state.
-    let remaining: Vec<AtomicUsize> =
-        tasks.iter().map(|t| AtomicUsize::new(t.deps.len())).collect();
+    let remaining: Vec<AtomicUsize> = tasks
+        .iter()
+        .map(|t| AtomicUsize::new(t.deps.len()))
+        .collect();
     let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
     for (i, t) in tasks.iter().enumerate() {
         for &d in &t.deps {
@@ -111,8 +112,8 @@ where
     // sender clones, so channel disconnection alone cannot wake them).
     const PILL: usize = usize::MAX;
     let (tx, rx) = unbounded::<usize>();
-    for i in 0..n {
-        if tasks[i].deps.is_empty() {
+    for (i, t) in tasks.iter().enumerate() {
+        if t.deps.is_empty() {
             tx.send(i).expect("queue open");
         }
     }
@@ -137,9 +138,10 @@ where
                     }
                     stats.batches_dispatched.fetch_add(1, Ordering::Relaxed);
                     // Poisoned? (any dependency failed/skipped)
-                    let poisoned = tasks[i].deps.iter().any(|&d| {
-                        matches!(&*results[d].lock(), Some(None))
-                    });
+                    let poisoned = tasks[i]
+                        .deps
+                        .iter()
+                        .any(|&d| matches!(&*results[d].lock(), Some(None)));
                     let outcome = if poisoned {
                         stats.tasks_failed.fetch_add(1, Ordering::Relaxed);
                         None
@@ -187,7 +189,10 @@ mod tests {
     use std::sync::atomic::AtomicU64;
 
     fn simple(payload: u32, deps: &[usize]) -> DagTask<u32> {
-        DagTask { payload, deps: deps.to_vec() }
+        DagTask {
+            payload,
+            deps: deps.to_vec(),
+        }
     }
 
     #[test]
@@ -257,13 +262,17 @@ mod tests {
             simple(3, &[1]),
             simple(4, &[2]),
         ];
-        let (results, stats) = run_dag(3, &tasks, |&t| {
-            if t == 0 {
-                Err("boom".into())
-            } else {
-                Ok(t)
-            }
-        })
+        let (results, stats) = run_dag(
+            3,
+            &tasks,
+            |&t| {
+                if t == 0 {
+                    Err("boom".into())
+                } else {
+                    Ok(t)
+                }
+            },
+        )
         .unwrap();
         assert_eq!(results[0], None);
         assert_eq!(results[1], None, "dependent of failure skipped");
@@ -302,7 +311,10 @@ mod tests {
     fn chain_executes_serially() {
         let counter = AtomicU64::new(0);
         let tasks: Vec<DagTask<u64>> = (0..10)
-            .map(|i| DagTask { payload: i, deps: if i == 0 { vec![] } else { vec![i as usize - 1] } })
+            .map(|i| DagTask {
+                payload: i,
+                deps: if i == 0 { vec![] } else { vec![i as usize - 1] },
+            })
             .collect();
         let (results, _) = run_dag(4, &tasks, |&t| {
             // Each task must observe exactly t prior completions.

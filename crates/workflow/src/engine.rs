@@ -46,7 +46,11 @@ pub struct TaskError {
 
 impl std::fmt::Display for TaskError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "task {} failed after {} attempts: {}", self.index, self.attempts, self.last_error)
+        write!(
+            f,
+            "task {} failed after {} attempts: {}",
+            self.index, self.attempts, self.last_error
+        )
     }
 }
 
@@ -160,7 +164,11 @@ mod tests {
 
     #[test]
     fn all_tasks_run_results_ordered() {
-        let spec = WorkflowSpec { workers: 4, batch_size: 3, ..Default::default() };
+        let spec = WorkflowSpec {
+            workers: 4,
+            batch_size: 3,
+            ..Default::default()
+        };
         let tasks: Vec<u64> = (0..100).collect();
         let (results, stats) = run_workflow(&spec, &tasks, |&t| Ok(t * 2));
         assert_eq!(stats.tasks_succeeded, 100);
@@ -173,8 +181,16 @@ mod tests {
     #[test]
     fn batching_reduces_dispatches() {
         let tasks: Vec<u32> = (0..96).collect();
-        let fine = WorkflowSpec { workers: 2, batch_size: 1, ..Default::default() };
-        let coarse = WorkflowSpec { workers: 2, batch_size: 32, ..Default::default() };
+        let fine = WorkflowSpec {
+            workers: 2,
+            batch_size: 1,
+            ..Default::default()
+        };
+        let coarse = WorkflowSpec {
+            workers: 2,
+            batch_size: 32,
+            ..Default::default()
+        };
         let (_, s_fine) = run_workflow(&fine, &tasks, |_| Ok(()));
         let (_, s_coarse) = run_workflow(&coarse, &tasks, |_| Ok(()));
         assert_eq!(s_fine.batches_dispatched, 96);
@@ -185,7 +201,12 @@ mod tests {
     #[test]
     fn transient_failures_are_retried() {
         let attempts = AtomicUsize::new(0);
-        let spec = WorkflowSpec { workers: 1, batch_size: 4, max_retries: 3, ..Default::default() };
+        let spec = WorkflowSpec {
+            workers: 1,
+            batch_size: 4,
+            max_retries: 3,
+            ..Default::default()
+        };
         let tasks = vec![()];
         let (results, stats) = run_workflow(&spec, &tasks, |_| {
             // Fail twice, then succeed.
@@ -202,7 +223,12 @@ mod tests {
 
     #[test]
     fn permanent_failures_reported_in_place() {
-        let spec = WorkflowSpec { workers: 3, batch_size: 2, max_retries: 1, ..Default::default() };
+        let spec = WorkflowSpec {
+            workers: 3,
+            batch_size: 2,
+            max_retries: 1,
+            ..Default::default()
+        };
         let tasks: Vec<u32> = (0..10).collect();
         let (results, stats) = run_workflow(&spec, &tasks, |&t| {
             if t == 7 {
@@ -223,7 +249,11 @@ mod tests {
     fn parallel_speedup_with_real_work() {
         // Not a timing assertion (flaky under load) — verify all workers
         // actually participate by counting distinct thread ids.
-        let spec = WorkflowSpec { workers: 4, batch_size: 1, ..Default::default() };
+        let spec = WorkflowSpec {
+            workers: 4,
+            batch_size: 1,
+            ..Default::default()
+        };
         let tasks: Vec<u32> = (0..64).collect();
         let seen = Mutex::new(std::collections::HashSet::new());
         let (_, stats) = run_workflow(&spec, &tasks, |_| {
@@ -237,8 +267,7 @@ mod tests {
 
     #[test]
     fn empty_task_list() {
-        let (results, stats) =
-            run_workflow::<(), (), _>(&WorkflowSpec::default(), &[], |_| Ok(()));
+        let (results, stats) = run_workflow::<(), (), _>(&WorkflowSpec::default(), &[], |_| Ok(()));
         assert!(results.is_empty());
         assert_eq!(stats.total_tasks(), 0);
     }
@@ -258,7 +287,10 @@ mod tests {
             dispatch_overhead: Duration::from_millis(3),
             ..Default::default()
         };
-        let fast = WorkflowSpec { batch_size: 16, ..slow };
+        let fast = WorkflowSpec {
+            batch_size: 16,
+            ..slow
+        };
         let (_, s_slow) = run_workflow(&slow, &tasks, work);
         let (_, s_fast) = run_workflow(&fast, &tasks, work);
         assert!(

@@ -28,8 +28,11 @@ fn main() {
 
     println!("validation cross-entropy per trainer (LTFB with tournaments):");
     for (t, h) in ltfb.histories.iter().enumerate() {
-        let line: Vec<String> =
-            h.points().iter().map(|(s, l)| format!("{s}:{l:.3}")).collect();
+        let line: Vec<String> = h
+            .points()
+            .iter()
+            .map(|(s, l)| format!("{s}:{l:.3}"))
+            .collect();
         println!("  trainer {t}: {}", line.join("  "));
     }
     let avg = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;

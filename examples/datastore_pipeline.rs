@@ -17,7 +17,11 @@ fn main() {
     let dir = temp_dataset_dir("pipeline-example");
     let cfg = CycleGanConfig::small(8);
     let spec = DatasetSpec::new(dir.clone(), cfg.jag, 2_000, 250);
-    println!("generating {} samples in {} bundle files...", spec.n_samples, spec.n_files());
+    println!(
+        "generating {} samples in {} bundle files...",
+        spec.n_samples,
+        spec.n_files()
+    );
     spec.generate_all().expect("dataset generation");
 
     println!("running a 4-rank trainer with the preloaded data store...\n");
@@ -45,8 +49,10 @@ fn main() {
             let plan = store.epoch_plan(epoch);
             for step in 0..plan.steps() {
                 let delivered = store.fetch_step(&plan, step, epoch).expect("exchange ok");
-                let samples: Vec<Sample> =
-                    delivered.iter().map(|(_, node)| node_to_sample(node)).collect();
+                let samples: Vec<Sample> = delivered
+                    .iter()
+                    .map(|(_, node)| node_to_sample(node))
+                    .collect();
                 let refs: Vec<&Sample> = samples.iter().collect();
                 let (x, y) = batch_from_samples(&cfg, &refs);
                 if epoch == 0 {
@@ -58,8 +64,7 @@ fn main() {
             }
         }
         let stats = store.stats();
-        let first: f32 =
-            step_losses[..8.min(step_losses.len())].iter().sum::<f32>() / 8.0;
+        let first: f32 = step_losses[..8.min(step_losses.len())].iter().sum::<f32>() / 8.0;
         let last: f32 = step_losses[step_losses.len().saturating_sub(8)..]
             .iter()
             .sum::<f32>()

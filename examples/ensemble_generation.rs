@@ -46,7 +46,10 @@ fn main() {
     );
 
     // Then: batched dispatch, amortising the scheduler overhead.
-    let batched = WorkflowSpec { batch_size: 5, ..naive };
+    let batched = WorkflowSpec {
+        batch_size: 5,
+        ..naive
+    };
     let (results, stats_batched) = run_workflow(&batched, &files, |&f| {
         spec.generate_file(f).map_err(|e| e.to_string())
     });

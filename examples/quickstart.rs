@@ -22,15 +22,25 @@ fn main() {
         cfg.steps,
         cfg.exchange_interval
     );
-    println!("CycleGAN: {} latent dims, mini-batch {}\n", cfg.gan.latent, cfg.mb);
+    println!(
+        "CycleGAN: {} latent dims, mini-batch {}\n",
+        cfg.gan.latent, cfg.mb
+    );
 
     let out = ltfb::core::run_ltfb_serial(&cfg);
 
     println!("validation-loss trajectories (global validation set):");
     for (t, hist) in out.histories.iter().enumerate() {
-        let line: Vec<String> =
-            hist.points().iter().map(|(s, l)| format!("{s}:{l:.3}")).collect();
-        println!("  trainer {t} (won {} tournaments): {}", out.wins[t], line.join("  "));
+        let line: Vec<String> = hist
+            .points()
+            .iter()
+            .map(|(s, l)| format!("{s}:{l:.3}"))
+            .collect();
+        println!(
+            "  trainer {t} (won {} tournaments): {}",
+            out.wins[t],
+            line.join("  ")
+        );
     }
 
     let (winner, loss) = out.best();
@@ -48,5 +58,8 @@ fn main() {
         pred[(0, 0)]
     );
     let truth = JagSimulator::new(cfg.gan.jag).simulate([0.8, 0.1, 0.5, 0.5, 0.5]);
-    println!("ground truth from the JAG substitute:            {:.3}", truth.scalars[0]);
+    println!(
+        "ground truth from the JAG substitute:            {:.3}",
+        truth.scalars[0]
+    );
 }

@@ -1,0 +1,99 @@
+//! Serve quickstart: train a small LTFB population, checkpoint the
+//! tournament winner, stand up the batched inference server on it, and
+//! push 1000 mixed forward/inverse queries through.
+//!
+//! ```sh
+//! cargo run --release --example serve_quickstart
+//! ```
+
+use ltfb::core::{run_ltfb_serial_with_models, LtfbConfig};
+use ltfb::serve::{run_load, BatchPolicy, LoadGenConfig, LoadMode, ModelRegistry, Server};
+use std::sync::Arc;
+
+fn main() {
+    // 1. Train briefly: 4 trainers, tournaments every 25 steps.
+    let mut cfg = LtfbConfig::small(4);
+    cfg.steps = 100;
+    cfg.ae_steps = 100;
+    cfg.eval_interval = 50;
+    println!(
+        "training: {} trainers x {} GAN steps (tournaments every {})...",
+        cfg.n_trainers, cfg.steps, cfg.exchange_interval
+    );
+    let (out, trainers) = run_ltfb_serial_with_models(&cfg);
+    let (winner, loss) = out.best();
+    println!("winner: trainer {winner} @ validation loss {loss:.4}\n");
+
+    // 2. Checkpoint the winner in the surrogate serving format.
+    let dir = std::env::temp_dir().join(format!("ltfb-serve-quickstart-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let ckpt = dir.join("winner.ltsv");
+    ltfb::core::checkpoint::save_surrogate(&ckpt, &trainers[winner].gan, 1)
+        .expect("save surrogate checkpoint");
+    println!("checkpointed winner to {}", ckpt.display());
+
+    // 3. Serve it: micro-batching across 2 workers, small response cache.
+    let registry = Arc::new(
+        ModelRegistry::from_checkpoint(&ckpt, &cfg.gan).expect("load surrogate checkpoint"),
+    );
+    let server = Server::start(
+        Arc::clone(&registry),
+        BatchPolicy {
+            cache_capacity: 256,
+            ..BatchPolicy::default()
+        },
+    );
+    let (x_dim, y_dim) = {
+        let m = registry.current();
+        (m.x_dim(), m.y_dim())
+    };
+    println!(
+        "serving model version {} (x_dim={x_dim}, y_dim={y_dim})\n",
+        registry.version()
+    );
+
+    // 4. 1000 mixed queries from 8 closed-loop clients: 75% forward
+    //    (design parameters -> predicted diagnostics), 25% inverse.
+    let load = LoadGenConfig {
+        clients: 8,
+        requests_per_client: 125,
+        inverse_fraction: 0.25,
+        mode: LoadMode::Closed,
+        seed: 2019,
+    };
+    let report = run_load(&server.client(), &load, x_dim, y_dim);
+
+    // A single ad-hoc query through the same client handle.
+    let x = vec![0.42f32; x_dim];
+    let y = server.client().forward(&x).expect("forward query");
+    println!(
+        "point query: x={x:?} -> {} outputs, first scalars {:?}",
+        y.len(),
+        &y[..3]
+    );
+
+    // 5. Latency/throughput summary from the server's telemetry.
+    let stats = server.shutdown();
+    println!(
+        "\nserved {} requests ({} forward, {} inverse) in {:.2}s",
+        stats.completed, stats.forward, stats.inverse, stats.elapsed_secs
+    );
+    println!(
+        "throughput: {:.0} req/s (client-side {:.0} req/s)",
+        stats.throughput_rps,
+        report.throughput_rps()
+    );
+    println!(
+        "latency: mean {:.0}us  p50 {:.0}us  p95 {:.0}us  p99 {:.0}us  max {:.0}us",
+        stats.latency_mean_us,
+        stats.latency_p50_us,
+        stats.latency_p95_us,
+        stats.latency_p99_us,
+        stats.latency_max_us
+    );
+    println!(
+        "batching: mean {:.2} rows/GEMM, max {}; cache hits {}",
+        stats.mean_batch, stats.max_batch, stats.cache_hits
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -18,7 +18,10 @@ fn main() {
     cfg.steps = 400;
     cfg.ae_steps = 400;
     cfg.eval_interval = 100;
-    println!("training the surrogate with LTFB (K=4, {} steps)...\n", cfg.steps);
+    println!(
+        "training the surrogate with LTFB (K=4, {} steps)...\n",
+        cfg.steps
+    );
     let (out, mut trainers) = run_ltfb_serial_with_models(&cfg);
     let (best, loss) = out.best();
     println!("deploying trainer {best} (validation loss {loss:.4})\n");

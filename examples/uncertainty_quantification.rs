@@ -8,8 +8,7 @@
 //! ```
 
 use ltfb::core::{
-    adaptive_sample, optimize_design, run_ltfb_serial_with_models, LtfbConfig,
-    PopulationEnsemble,
+    adaptive_sample, optimize_design, run_ltfb_serial_with_models, LtfbConfig, PopulationEnsemble,
 };
 use ltfb::prelude::Matrix;
 
@@ -19,11 +18,17 @@ fn main() {
     cfg.steps = 400;
     cfg.ae_steps = 400;
     cfg.eval_interval = 200;
-    println!("training a population of {} surrogates with LTFB...\n", cfg.n_trainers);
+    println!(
+        "training a population of {} surrogates with LTFB...\n",
+        cfg.n_trainers
+    );
     let (out, mut trainers) = run_ltfb_serial_with_models(&cfg);
     println!(
         "final validation losses: {:?}\n",
-        out.final_val.iter().map(|v| format!("{v:.3}")).collect::<Vec<_>>()
+        out.final_val
+            .iter()
+            .map(|v| format!("{v:.3}"))
+            .collect::<Vec<_>>()
     );
 
     // --- Experiment optimisation with the best member.
@@ -44,15 +49,21 @@ fn main() {
     let mut ensemble = PopulationEnsemble::new(trainers.iter_mut().collect());
     println!("\nensemble uncertainty along the drive axis (asym/modes mid-range):");
     println!("{:>7}  {:>10}  {:>10}", "drive", "mean_yld", "± std");
-    let probes: Vec<[f32; 5]> =
-        (0..7).map(|i| [0.05 + 0.15 * i as f32, 0.2, 0.5, 0.5, 0.5]).collect();
+    let probes: Vec<[f32; 5]> = (0..7)
+        .map(|i| [0.05 + 0.15 * i as f32, 0.2, 0.5, 0.5, 0.5])
+        .collect();
     let mut x = Matrix::zeros(probes.len(), 5);
     for (r, p) in probes.iter().enumerate() {
         x.row_mut(r).copy_from_slice(p);
     }
     let pred = ensemble.predict(&x);
     for (r, p) in probes.iter().enumerate() {
-        println!("{:>7.2}  {:>10.3}  {:>10.3}", p[0], pred.mean[(r, 0)], pred.std[(r, 0)]);
+        println!(
+            "{:>7.2}  {:>10.3}  {:>10.3}",
+            p[0],
+            pred.mean[(r, 0)],
+            pred.std[(r, 0)]
+        );
     }
 
     // --- Efficient sampling: where should the next JAG runs go?
@@ -61,7 +72,10 @@ fn main() {
     for p in &next {
         println!(
             "  [{}]",
-            p.iter().map(|v| format!("{v:.2}")).collect::<Vec<_>>().join(", ")
+            p.iter()
+                .map(|v| format!("{v:.2}"))
+                .collect::<Vec<_>>()
+                .join(", ")
         );
     }
     println!("\n(the population you already trained for speed doubles as the UQ");

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Repository CI gate: build, test, format, lint. Run from the repo root.
+# Everything is offline (external deps resolve to shims/, see
+# shims/README.md), so this needs nothing but a Rust toolchain.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --workspace --release
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI green."

@@ -1,0 +1,268 @@
+//! Vendored offline shim for the `criterion` API surface this workspace
+//! uses: `criterion_group!` / `criterion_main!`, benchmark groups,
+//! `bench_function` / `bench_with_input`, throughput annotation, and
+//! `Bencher::iter`.
+//!
+//! Measurement is deliberately simple — a short calibration pass picks an
+//! iteration count targeting ~100ms per sample, then `sample_size`
+//! samples are timed and the mean/min reported to stdout. No statistical
+//! analysis, HTML reports, or baseline comparison; good enough to rank
+//! kernels and catch order-of-magnitude regressions offline.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level benchmark context handed to each `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group: {name} ==");
+        BenchmarkGroup {
+            _c: self,
+            name,
+            sample_size: 30,
+            throughput: None,
+        }
+    }
+
+    /// Group-less convenience used by some criterion setups.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let mut g = self.benchmark_group("default");
+        g.bench_function(name.to_string(), f);
+        g.finish();
+        self
+    }
+}
+
+/// Units processed per iteration, used to report a rate.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Identifier for a parameterised benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn from_parameter(p: impl Display) -> Self {
+        BenchmarkId { id: p.to_string() }
+    }
+
+    pub fn new(name: impl Into<String>, p: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), p),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::default();
+        f(&mut b);
+        self.report(&id.id, &b);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        self.report(&id.id, &b);
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, b: &Bencher) {
+        let (mean, min) = b.stats(self.sample_size);
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if mean > 0.0 => {
+                format!("  {:>10.3} Melem/s", n as f64 / mean / 1e6)
+            }
+            Some(Throughput::Bytes(n)) if mean > 0.0 => {
+                format!("  {:>10.3} MiB/s", n as f64 / mean / (1024.0 * 1024.0))
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{:<32} mean {:>12}  min {:>12}{}",
+            self.name,
+            id,
+            fmt_time(mean),
+            fmt_time(min),
+            rate
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Per-benchmark timing driver: the closure passed to `bench_function`
+/// calls [`Bencher::iter`], which records samples immediately.
+#[derive(Default)]
+pub struct Bencher {
+    samples: Vec<f64>,
+}
+
+/// Per-sample time budget; calibration aims each timed sample near this.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(40);
+/// Hard cap on total time spent in one benchmark.
+const BENCH_BUDGET: Duration = Duration::from_secs(3);
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: how many iterations fit in the per-sample budget?
+        let mut iters_per_sample = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                std_black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= SAMPLE_BUDGET / 4 || iters_per_sample >= 1 << 24 {
+                break;
+            }
+            iters_per_sample *= 2;
+        }
+        // Timed samples until the bench budget runs out (at least 2).
+        let start = Instant::now();
+        self.samples.clear();
+        while self.samples.len() < 2 || start.elapsed() < BENCH_BUDGET {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                std_black_box(f());
+            }
+            self.samples
+                .push(t0.elapsed().as_secs_f64() / iters_per_sample as f64);
+            if self.samples.len() >= 512 {
+                break;
+            }
+        }
+    }
+
+    /// (mean, min) over up to `limit` recorded samples.
+    fn stats(&self, limit: usize) -> (f64, f64) {
+        let take = self.samples.len().min(limit.max(2));
+        let s = &self.samples[..take.min(self.samples.len())];
+        if s.is_empty() {
+            return (0.0, 0.0);
+        }
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        let min = s.iter().cloned().fold(f64::INFINITY, f64::min);
+        (mean, min)
+    }
+}
+
+/// Define a function running each listed benchmark with a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define `main` invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim_selftest");
+        g.sample_size(5);
+        g.throughput(Throughput::Elements(100));
+        g.bench_with_input(BenchmarkId::from_parameter(100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.bench_function("sum_1k", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        g.finish();
+    }
+
+    criterion_group!(selftest, tiny_bench);
+
+    #[test]
+    fn group_runs_and_records_samples() {
+        selftest();
+        let mut b = Bencher::default();
+        b.iter(|| black_box(3u64) * 7);
+        let (mean, min) = b.stats(10);
+        assert!(mean > 0.0 && min > 0.0 && min <= mean * 1.0001);
+    }
+}

@@ -1,0 +1,751 @@
+//! Vendored offline shim for the `proptest` 1.x API surface this
+//! workspace uses.
+//!
+//! Provides random-input property testing: strategies (ranges, tuples,
+//! arrays, collections, regex-lite string patterns, `prop_map` /
+//! `prop_filter` / `prop_recursive`, `prop_oneof!`), the `proptest!` test
+//! macro, and `prop_assert*` / `prop_assume!`. Unlike the real crate
+//! there is **no shrinking** — a failing case reports its inputs via the
+//! panic message instead of minimising them — and case generation is
+//! deterministic per (test, case-index) so CI failures reproduce exactly.
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+pub mod test_runner {
+    /// Deterministic generator state for one test case (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn new(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        pub fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform integer in `[0, bound)`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0);
+            self.next_u64() % bound
+        }
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// `prop_assume!` failed: the case does not count, try another.
+        Reject(String),
+        /// A `prop_assert*` failed: the property is violated.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+    }
+
+    /// Runner configuration (`ProptestConfig` in the prelude).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+        /// Attempt multiplier before giving up on a test whose assumptions
+        /// reject too often.
+        pub max_global_rejects: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config {
+                cases,
+                ..Config::default()
+            }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config {
+                cases: 256,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A generator of random values of one type.
+///
+/// Object-safety note: `sample` takes `&self` and combinators build plain
+/// structs, so strategies compose by value like the real crate's.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discard values failing `pred` (resampled, bounded retries).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+
+    /// Type-erase into a cloneable boxed strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        let s = Rc::new(self);
+        BoxedStrategy {
+            sample: Rc::new(move |rng| s.sample(rng)),
+        }
+    }
+
+    /// Build recursive structures: `depth` levels of `expand` applied on
+    /// top of `self` as the leaf strategy. The `_desired_size` and
+    /// `_expected_branch_size` tuning knobs of the real crate are accepted
+    /// and ignored.
+    fn prop_recursive<B, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        expand: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        B: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> B,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for level in 0..depth {
+            let branch = expand(strat).boxed();
+            let leaf = leaf.clone();
+            // Deeper levels lean more on leaves so trees stay bounded.
+            let leaf_bias = 0.4 + 0.1 * level as f64;
+            strat = BoxedStrategy {
+                sample: Rc::new(move |rng: &mut TestRng| {
+                    if rng.unit_f64() < leaf_bias {
+                        leaf.sample(rng)
+                    } else {
+                        branch.sample(rng)
+                    }
+                }),
+            };
+        }
+        strat
+    }
+}
+
+/// Cloneable type-erased strategy.
+pub struct BoxedStrategy<V> {
+    sample: Rc<dyn Fn(&mut TestRng) -> V>,
+}
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            sample: Rc::clone(&self.sample),
+        }
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        (self.sample)(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.sample(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter '{}' rejected 1000 consecutive samples",
+            self.reason
+        );
+    }
+}
+
+/// Always produce a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<V: Clone>(pub V);
+
+impl<V: Clone> Strategy for Just<V> {
+    type Value = V;
+
+    fn sample(&self, _rng: &mut TestRng) -> V {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical full-range strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    /// Arbitrary *bit patterns* — includes NaN and the infinities, which
+    /// is what the workspace's `prop_filter("finite", ..)` guards expect
+    /// to see occasionally.
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f32::from_bits(rng.next_u32())
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+/// Strategy for any value of `T` (full range).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let v = self.start + (self.end - self.start) * rng.unit_f64() as $t;
+                if v >= self.end { self.start } else { v }
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                lo + (hi - lo) * rng.unit_f64() as $t
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident $idx:tt),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A 0);
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+}
+
+impl<S: Strategy, const N: usize> Strategy for [S; N] {
+    type Value = [S::Value; N];
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        std::array::from_fn(|i| self[i].sample(rng))
+    }
+}
+
+/// `&str` as a strategy: a regex-lite pattern producing `String`s.
+///
+/// Supported syntax (everything the workspace's tests use): literal
+/// characters, character classes `[a-z0-9_ ]` with ranges, and counted
+/// repetition `{n}` / `{m,n}` after a class or literal.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        sample_pattern(self, rng)
+    }
+}
+
+fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // One unit: a class or a literal char.
+        let class: Vec<char> = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .unwrap_or_else(|| panic!("unclosed class in pattern {pattern:?}"))
+                + i;
+            let mut set = Vec::new();
+            let mut j = i + 1;
+            while j < close {
+                if j + 2 < close && chars[j + 1] == '-' {
+                    let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                    assert!(lo <= hi, "bad range in pattern {pattern:?}");
+                    for c in lo..=hi {
+                        set.push(char::from_u32(c).unwrap());
+                    }
+                    j += 3;
+                } else {
+                    set.push(chars[j]);
+                    j += 1;
+                }
+            }
+            i = close + 1;
+            set
+        } else {
+            let c = chars[i];
+            i += 1;
+            vec![c]
+        };
+        // Optional repetition.
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed repeat in pattern {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse::<usize>().expect("bad repeat lower bound"),
+                    hi.trim().parse::<usize>().expect("bad repeat upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse::<usize>().expect("bad repeat count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(!class.is_empty(), "empty class in pattern {pattern:?}");
+        let count = lo + rng.below((hi - lo + 1) as u64) as usize;
+        for _ in 0..count {
+            out.push(class[rng.below(class.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+/// Collection strategies (`prop::collection::{vec, btree_map}`).
+pub mod collection {
+    use super::*;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// Vector with length drawn from `size` and elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.clone().sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: core::ops::Range<usize>,
+    }
+
+    /// Map with entry count drawn from `size` (duplicate keys collapse, as
+    /// in the real crate).
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: core::ops::Range<usize>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, size }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.clone().sample(rng);
+            (0..n)
+                .map(|_| (self.key.sample(rng), self.value.sample(rng)))
+                .collect()
+        }
+    }
+}
+
+/// Uniformly pick one of several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        let arms = vec![$($crate::Strategy::boxed($strategy)),+];
+        $crate::one_of(arms)
+    }};
+}
+
+/// Runtime helper behind [`prop_oneof!`].
+pub fn one_of<V: 'static>(arms: Vec<BoxedStrategy<V>>) -> BoxedStrategy<V> {
+    assert!(!arms.is_empty());
+    BoxedStrategy {
+        sample: Rc::new(move |rng: &mut TestRng| {
+            let k = rng.below(arms.len() as u64) as usize;
+            arms[k].sample(rng)
+        }),
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond), file!(), line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} at {}:{}",
+                format!($($fmt)*), file!(), line!()
+            )));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `left == right` (left: `{:?}`, right: `{:?}`) at {}:{}",
+                l, r, file!(), line!()
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `left == right` (left: `{:?}`, right: `{:?}`): {} at {}:{}",
+                l, r, format!($($fmt)*), file!(), line!()
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `left != right` (both: `{:?}`) at {}:{}",
+                l,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+/// The property-test macro: each `fn name(bindings...) { body }` becomes a
+/// `#[test]` running `config.cases` sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            // Per-test deterministic seed stream.
+            let test_seed: u64 = {
+                let name = concat!(module_path!(), "::", stringify!($name));
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in name.bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x100_0000_01b3);
+                }
+                h
+            };
+            let mut passed: u32 = 0;
+            let mut attempts: u32 = 0;
+            while passed < config.cases {
+                attempts += 1;
+                if attempts > config.cases + config.max_global_rejects {
+                    panic!(
+                        "proptest '{}': too many rejected cases ({} attempts, {} passed)",
+                        stringify!($name), attempts, passed
+                    );
+                }
+                let mut rng = $crate::test_runner::TestRng::new(
+                    test_seed ^ (attempts as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                $(let $pat = $crate::Strategy::sample(&($strategy), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body Ok(()) })();
+                match outcome {
+                    Ok(()) => passed += 1,
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest '{}' failed at case {} (attempt {}): {}",
+                            stringify!($name), passed, attempts, msg
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Everything the workspace imports via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, Strategy,
+    };
+
+    /// `prop::collection::...` paths as used in test files.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn pattern_sampler_respects_syntax() {
+        let mut rng = crate::test_runner::TestRng::new(1);
+        for _ in 0..200 {
+            let s = crate::sample_pattern("[a-z][a-z0-9_]{0,8}", &mut rng);
+            assert!((1..=9).contains(&s.len()), "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(a in 3usize..10, b in 0.0f32..=1.0, s in any::<u64>()) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!((0.0..=1.0).contains(&b));
+            let _ = s;
+        }
+
+        #[test]
+        fn tuple_pattern_destructures((x, y) in (0u8..4, 10i64..20)) {
+            prop_assert!(x < 4);
+            prop_assert!((10..20).contains(&y));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(v in 0usize..10) {
+            prop_assume!(v % 2 == 0);
+            prop_assert!(v % 2 == 0);
+        }
+
+        #[test]
+        fn collections_and_oneof(
+            xs in prop::collection::vec(any::<u8>(), 0..8),
+            pick in prop_oneof![Just(1u32), Just(2), Just(3)],
+        ) {
+            prop_assert!(xs.len() < 8);
+            prop_assert!((1..=3).contains(&pick));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest 'always_fails' failed")]
+    fn failures_panic_with_context() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[allow(unreachable_code)]
+            fn always_fails(v in 0u8..4) {
+                prop_assert!(v % 7 == 5, "v was {}", v);
+            }
+        }
+        always_fails();
+    }
+}

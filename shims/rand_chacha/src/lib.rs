@@ -1,0 +1,202 @@
+//! Vendored offline shim for `rand_chacha` 0.3: a genuine ChaCha8 stream
+//! cipher used as a deterministic RNG.
+//!
+//! This is a faithful ChaCha implementation (RFC 8439 quarter-round and
+//! block function, 8 double-rounds) — only the integration glue with the
+//! `rand` crate is simplified. Output is deterministic in the seed, which
+//! is the property the workspace depends on; byte-exact agreement with
+//! upstream `rand_chacha` is not claimed.
+
+use rand::{RngCore, SeedableRng};
+
+/// Re-export location the workspace imports `SeedableRng` from
+/// (`use rand_chacha::rand_core::SeedableRng`).
+pub mod rand_core {
+    pub use rand::{RngCore, SeedableRng};
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// ChaCha with a configurable number of double-rounds.
+#[derive(Clone, Debug)]
+struct ChaChaCore<const DOUBLE_ROUNDS: usize> {
+    /// Key (8 words) + stream id (2 words); the counter lives separately.
+    key: [u32; 8],
+    counter: u64,
+    /// Current 64-byte block, as 16 output words.
+    block: [u32; 16],
+    /// Next unread word index in `block` (16 = exhausted).
+    cursor: usize,
+}
+
+impl<const DOUBLE_ROUNDS: usize> ChaChaCore<DOUBLE_ROUNDS> {
+    fn new(key_bytes: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (i, w) in key.iter_mut().enumerate() {
+            *w = u32::from_le_bytes(key_bytes[i * 4..i * 4 + 4].try_into().unwrap());
+        }
+        ChaChaCore {
+            key,
+            counter: 0,
+            block: [0; 16],
+            cursor: 16,
+        }
+    }
+
+    fn refill(&mut self) {
+        // "expand 32-byte k" constants.
+        let mut state = [
+            0x6170_7865,
+            0x3320_646E,
+            0x7962_2D32,
+            0x6B20_6574,
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            self.counter as u32,
+            (self.counter >> 32) as u32,
+            0,
+            0,
+        ];
+        let input = state;
+        for _ in 0..DOUBLE_ROUNDS {
+            // Column rounds.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal rounds.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (o, i) in state.iter_mut().zip(input) {
+            *o = o.wrapping_add(i);
+        }
+        self.block = state;
+        self.cursor = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+
+    #[inline]
+    fn next_word(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.cursor];
+        self.cursor += 1;
+        w
+    }
+}
+
+macro_rules! chacha_rng {
+    ($name:ident, $double_rounds:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Clone, Debug)]
+        pub struct $name {
+            core: ChaChaCore<$double_rounds>,
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                $name {
+                    core: ChaChaCore::new(seed),
+                }
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                self.core.next_word()
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.core.next_word() as u64;
+                let hi = self.core.next_word() as u64;
+                (hi << 32) | lo
+            }
+        }
+    };
+}
+
+chacha_rng!(ChaCha8Rng, 4, "ChaCha with 8 rounds (4 double-rounds).");
+chacha_rng!(ChaCha12Rng, 6, "ChaCha with 12 rounds (6 double-rounds).");
+chacha_rng!(ChaCha20Rng, 10, "ChaCha with 20 rounds (10 double-rounds).");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2, "streams should be uncorrelated");
+    }
+
+    #[test]
+    fn chacha20_rfc8439_block_one() {
+        // RFC 8439 §2.3.2 test vector: key 00..1f, counter 1, nonce
+        // 000000090000004a00000000. Our stream layout fixes the nonce words
+        // to zero, so reproduce the raw block function directly instead.
+        let mut state: [u32; 16] = [
+            0x61707865, 0x3320646e, 0x79622d32, 0x6b206574, 0x03020100, 0x07060504, 0x0b0a0908,
+            0x0f0e0d0c, 0x13121110, 0x17161514, 0x1b1a1918, 0x1f1e1d1c, 0x00000001, 0x09000000,
+            0x4a000000, 0x00000000,
+        ];
+        let input = state;
+        for _ in 0..10 {
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (o, i) in state.iter_mut().zip(input) {
+            *o = o.wrapping_add(i);
+        }
+        assert_eq!(state[0], 0xe4e7f110);
+        assert_eq!(state[15], 0x4e3c50a2);
+    }
+
+    #[test]
+    fn fill_bytes_matches_words() {
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        let mut b = ChaCha8Rng::seed_from_u64(9);
+        let mut buf = [0u8; 12];
+        a.fill_bytes(&mut buf);
+        let w0 = b.next_u64().to_le_bytes();
+        assert_eq!(&buf[..8], &w0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Vendored offline shim for the `rayon` API surface this workspace uses:
+//! `par_chunks_mut(..).enumerate().for_each(..)` over mutable slices.
+//!
+//! Work is fanned out over scoped std threads. Small inputs run inline —
+//! scoped-thread spawn costs microseconds, so parallelism only pays above
+//! a size threshold; the GEMM panels this backs are bit-identical either
+//! way because chunks are disjoint and each chunk's computation does not
+//! depend on the split.
+
+/// Below this many elements the dispatch runs inline on the caller.
+const PARALLEL_THRESHOLD: usize = 1 << 15;
+
+/// Extension trait mirroring `rayon::slice::ParallelSliceMut`.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over disjoint mutable chunks of `chunk_size`
+    /// elements (last chunk may be shorter).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut {
+            data: self,
+            chunk_size,
+        }
+    }
+}
+
+/// Parallel chunk iterator (consume with [`Self::for_each`] or
+/// [`Self::enumerate`]).
+pub struct ParChunksMut<'a, T> {
+    data: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pair each chunk with its index.
+    pub fn enumerate(self) -> EnumerateParChunksMut<'a, T> {
+        EnumerateParChunksMut { inner: self }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        drive(self.data, self.chunk_size, &|_, chunk| f(chunk));
+    }
+}
+
+/// Enumerated parallel chunk iterator.
+pub struct EnumerateParChunksMut<'a, T> {
+    inner: ParChunksMut<'a, T>,
+}
+
+impl<T: Send> EnumerateParChunksMut<'_, T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        drive(self.inner.data, self.inner.chunk_size, &|i, chunk| {
+            f((i, chunk))
+        });
+    }
+}
+
+fn drive<T: Send>(data: &mut [T], chunk_size: usize, f: &(dyn Fn(usize, &mut [T]) + Sync)) {
+    let n_chunks = data.len().div_ceil(chunk_size);
+    let workers = std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1);
+    let workers = workers.min(n_chunks);
+    if workers <= 1 || data.len() < PARALLEL_THRESHOLD {
+        for (i, chunk) in data.chunks_mut(chunk_size).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    let chunks_per_worker = n_chunks.div_ceil(workers);
+    std::thread::scope(|s| {
+        let mut rest = data;
+        let mut next_index = 0;
+        while !rest.is_empty() {
+            let take = (chunks_per_worker * chunk_size).min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let base = next_index;
+            next_index += head.len().div_ceil(chunk_size);
+            s.spawn(move || {
+                for (i, chunk) in head.chunks_mut(chunk_size).enumerate() {
+                    f(base + i, chunk);
+                }
+            });
+        }
+    });
+}
+
+pub mod slice {
+    pub use crate::ParallelSliceMut;
+}
+
+pub mod prelude {
+    pub use crate::ParallelSliceMut;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn small_input_runs_inline() {
+        let mut v: Vec<u32> = (0..100).collect();
+        v.par_chunks_mut(7).enumerate().for_each(|(i, c)| {
+            for x in c.iter_mut() {
+                *x += (i * 1000) as u32;
+            }
+        });
+        assert_eq!(v[0], 0);
+        assert_eq!(v[7], 1007);
+        assert_eq!(v[99], 14099);
+    }
+
+    #[test]
+    fn large_input_matches_serial_reference() {
+        let n = (1 << 16) + 13;
+        let mut par: Vec<u64> = (0..n).collect();
+        let mut ser: Vec<u64> = (0..n).collect();
+        par.par_chunks_mut(64).enumerate().for_each(|(i, c)| {
+            for (j, x) in c.iter_mut().enumerate() {
+                *x = x.wrapping_mul(i as u64 + 1).wrapping_add(j as u64);
+            }
+        });
+        for (i, c) in ser.chunks_mut(64).enumerate() {
+            for (j, x) in c.iter_mut().enumerate() {
+                *x = x.wrapping_mul(i as u64 + 1).wrapping_add(j as u64);
+            }
+        }
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn ragged_tail_chunk_covered() {
+        let mut v = vec![0u8; (1 << 15) + 5];
+        v.par_chunks_mut(1000).for_each(|c| c.fill(1));
+        assert!(v.iter().all(|&b| b == 1));
+    }
+}

@@ -6,6 +6,9 @@
 //! ltfb-cli classify [--trainers K] [--steps N] [--seed S]
 //! ltfb-cli simulate <fig9|fig10|fig11>
 //! ltfb-cli generate --dir PATH [--samples N] [--per-file M]
+//! ltfb-cli serve-bench [--clients C] [--requests N] [--max-batch B] [--workers W]
+//!                      [--open-rate RPS] [--inverse-frac F] [--cache N] [--img-size P]
+//!                      [--checkpoint PATH] [--csv PATH] [--json PATH]
 //! ltfb-cli help
 //! ```
 //!
@@ -35,6 +38,7 @@ fn main() -> ExitCode {
         "classify" => classify(&flags),
         "simulate" => simulate(&flags),
         "generate" => generate(&flags),
+        "serve-bench" => serve_bench(&flags),
         "help" | "--help" | "-h" => {
             usage();
             ExitCode::SUCCESS
@@ -91,7 +95,11 @@ impl Flags {
     }
 
     fn get_str(&self, key: &str) -> Option<&str> {
-        self.kv.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+        self.kv
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
     }
 }
 
@@ -122,8 +130,11 @@ fn train(flags: &Flags) -> ExitCode {
         println!("(two-level: {replicas} data-parallel replicas per trainer)");
         let out = run_ltfb_two_level(&cfg, replicas);
         for (t, h) in out.histories.iter().enumerate() {
-            let pts: Vec<String> =
-                h.points().iter().map(|(s, l)| format!("{s}:{l:.3}")).collect();
+            let pts: Vec<String> = h
+                .points()
+                .iter()
+                .map(|(s, l)| format!("{s}:{l:.3}"))
+                .collect();
             println!("trainer {t}: {}", pts.join("  "));
         }
         let (best, loss) = out.best();
@@ -143,12 +154,18 @@ fn train(flags: &Flags) -> ExitCode {
         run_ltfb_serial(&cfg)
     };
     for (t, h) in out.histories.iter().enumerate() {
-        let pts: Vec<String> =
-            h.points().iter().map(|(s, l)| format!("{s}:{l:.3}")).collect();
+        let pts: Vec<String> = h
+            .points()
+            .iter()
+            .map(|(s, l)| format!("{s}:{l:.3}"))
+            .collect();
         println!("trainer {t}: {}", pts.join("  "));
     }
     let (best, loss) = out.best();
-    println!("adoptions: {}  best: trainer {best} @ {loss:.4}", out.adoptions);
+    println!(
+        "adoptions: {}  best: trainer {best} @ {loss:.4}",
+        out.adoptions
+    );
     ExitCode::SUCCESS
 }
 
@@ -157,7 +174,10 @@ fn classify(flags: &Flags) -> ExitCode {
     println!("classifier LTFB: K={} steps={}", cfg.n_trainers, cfg.steps);
     let out = run_classifier_population(&cfg, !flags.has("kindep"));
     for (t, (ce, acc)) in out.final_ce.iter().zip(&out.final_accuracy).enumerate() {
-        println!("trainer {t}: cross-entropy {ce:.4}, accuracy {:.1}%", acc * 100.0);
+        println!(
+            "trainer {t}: cross-entropy {ce:.4}, accuracy {:.1}%",
+            acc * 100.0
+        );
     }
     println!("adoptions: {}", out.adoptions);
     ExitCode::SUCCESS
@@ -179,13 +199,19 @@ fn simulate(flags: &Flags) -> ExitCode {
                     IngestMode::NoStore,
                     1,
                 );
-                println!("{gpus:>3} GPUs: {:>7.0} s/epoch", out.steady_total().unwrap());
+                println!(
+                    "{gpus:>3} GPUs: {:>7.0} s/epoch",
+                    out.steady_total().unwrap()
+                );
             }
         }
         Some("fig10") => {
-            for mode in [IngestMode::NoStore, IngestMode::DynamicStore, IngestMode::Preloaded] {
-                let out =
-                    evaluate_config(&m, &w, &t, dp_placement(16), 1_000_000, mode, 1);
+            for mode in [
+                IngestMode::NoStore,
+                IngestMode::DynamicStore,
+                IngestMode::Preloaded,
+            ] {
+                let out = evaluate_config(&m, &w, &t, dp_placement(16), 1_000_000, mode, 1);
                 match out.steady_total() {
                     Some(s) => println!("{mode:?}: {s:.0} s/epoch steady"),
                     None => println!("{mode:?}: OOM"),
@@ -243,6 +269,155 @@ fn generate(flags: &Flags) -> ExitCode {
     }
 }
 
+/// Benchmark the serving engine: drive the same load through a
+/// micro-batching server and a forced batch-size-1 server and report the
+/// throughput/latency difference.
+fn serve_bench(flags: &Flags) -> ExitCode {
+    use ltfb::gan::{CycleGan, CycleGanConfig};
+    use ltfb::serve::{
+        run_load, BatchPolicy, LoadGenConfig, LoadMode, ModelRegistry, ServeStats, Server,
+    };
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let clients = flags.get("clients", 8usize);
+    let requests = flags.get("requests", 500usize);
+    let img = flags.get("img-size", 8usize);
+    let policy = BatchPolicy {
+        max_batch: flags.get("max-batch", 32usize),
+        flush_deadline: Duration::from_micros(flags.get("flush-us", 50u64)),
+        queue_cap: flags.get("queue-cap", 1024usize),
+        workers: flags.get("workers", 2usize),
+        cache_capacity: flags.get("cache", 0usize),
+        cache_quantum: flags.get("cache-quantum", 1.0e-3f32),
+    };
+    for (what, v, min) in [
+        ("--clients", clients, 1usize),
+        ("--requests", requests, 1),
+        ("--img-size", img, 4),
+        ("--max-batch", policy.max_batch, 1),
+        ("--workers", policy.workers, 1),
+        ("--queue-cap", policy.queue_cap, 1),
+    ] {
+        if v < min {
+            eprintln!("serve-bench: {what} must be at least {min} (got {v})");
+            return ExitCode::FAILURE;
+        }
+    }
+    let gan_cfg = CycleGanConfig::small(img);
+    let load = LoadGenConfig {
+        clients,
+        requests_per_client: requests,
+        inverse_fraction: flags.get("inverse-frac", 0.25f64),
+        mode: match flags.get_str("open-rate") {
+            Some(r) => LoadMode::Open {
+                rate_per_sec: r.parse().unwrap_or_else(|_| {
+                    eprintln!("bad --open-rate {r}, using 10000");
+                    10_000.0
+                }),
+            },
+            None => LoadMode::Closed,
+        },
+        seed: flags.get("seed", 2019u64),
+    };
+
+    let build_registry = || -> Option<Arc<ModelRegistry>> {
+        match flags.get_str("checkpoint") {
+            Some(path) => {
+                match ModelRegistry::from_checkpoint(std::path::Path::new(path), &gan_cfg) {
+                    Ok(reg) => {
+                        println!("serving checkpoint {path} (version {})", reg.version());
+                        Some(Arc::new(reg))
+                    }
+                    Err(e) => {
+                        eprintln!("cannot load checkpoint {path}: {e}");
+                        None
+                    }
+                }
+            }
+            None => Some(Arc::new(ModelRegistry::new(
+                CycleGan::new(gan_cfg, flags.get("seed", 2019u64)),
+                1,
+            ))),
+        }
+    };
+
+    let run_one = |label: &str, policy: BatchPolicy| -> Option<ServeStats> {
+        let registry = build_registry()?;
+        let server = Server::start(registry, policy);
+        let (x_dim, y_dim) = {
+            let m = server.registry().current();
+            (m.x_dim(), m.y_dim())
+        };
+        let report = run_load(&server.client(), &load, x_dim, y_dim);
+        let stats = server.shutdown();
+        println!(
+            "{label:>10}: {:.0} req/s  p50 {:.0}us  p95 {:.0}us  p99 {:.0}us  \
+             mean batch {:.2}  rejected {}",
+            report.throughput_rps(),
+            stats.latency_p50_us,
+            stats.latency_p95_us,
+            stats.latency_p99_us,
+            stats.mean_batch,
+            report.rejected,
+        );
+        Some(stats)
+    };
+
+    println!(
+        "serve-bench: {clients} clients x {requests} reqs, {} mode, y_dim={}",
+        match load.mode {
+            LoadMode::Closed => "closed-loop".to_string(),
+            LoadMode::Open { rate_per_sec } => format!("open-loop @ {rate_per_sec} req/s"),
+        },
+        gan_cfg.y_dim(),
+    );
+    let Some(batched) = run_one("batched", policy) else {
+        return ExitCode::FAILURE;
+    };
+    let Some(unbatched) = run_one(
+        "unbatched",
+        BatchPolicy {
+            workers: policy.workers,
+            ..BatchPolicy::sequential()
+        },
+    ) else {
+        return ExitCode::FAILURE;
+    };
+    if unbatched.throughput_rps > 0.0 {
+        println!(
+            "micro-batching speedup: {:.2}x throughput",
+            batched.throughput_rps / unbatched.throughput_rps
+        );
+    }
+
+    if let Some(path) = flags.get_str("csv") {
+        let path = std::path::Path::new(path);
+        let write = || -> std::io::Result<()> {
+            if let Some(dir) = path.parent() {
+                std::fs::create_dir_all(dir)?;
+            }
+            use std::io::Write;
+            let mut f = std::fs::File::create(path)?;
+            writeln!(f, "{}", ServeStats::csv_header())?;
+            writeln!(f, "{}", batched.csv_row("batched"))?;
+            writeln!(f, "{}", unbatched.csv_row("unbatched"))?;
+            Ok(())
+        };
+        match write() {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+        }
+    }
+    if let Some(path) = flags.get_str("json") {
+        match batched.write_json(std::path::Path::new(path)) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("cannot write {path}: {e}"),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn usage() {
     eprintln!(
         "ltfb-cli — LTFB tournament training reproduction\n\n\
@@ -252,6 +427,9 @@ fn usage() {
          classify [--trainers K] [--steps N] [--kindep]\n  \
          simulate <fig9|fig10|fig11>\n  \
          generate --dir PATH [--samples N] [--per-file M] [--img-size P]\n  \
+         serve-bench [--clients C] [--requests N] [--max-batch B] [--workers W]\n              \
+         [--flush-us U] [--open-rate RPS] [--inverse-frac F] [--cache N]\n              \
+         [--img-size P] [--checkpoint PATH] [--csv PATH] [--json PATH]\n  \
          help"
     );
 }

@@ -20,6 +20,7 @@
 //! | [`datastore`] | `ltfb-datastore` | distributed in-memory data store |
 //! | [`gan`]       | `ltfb-gan`       | the CycleGAN ICF surrogate (Fig. 2) |
 //! | [`core`]      | `ltfb-core`      | LTFB tournaments + K-independent baseline |
+//! | [`serve`]     | `ltfb-serve`     | batched surrogate inference serving |
 //!
 //! ## Quickstart
 //!
@@ -39,6 +40,7 @@ pub use ltfb_gan as gan;
 pub use ltfb_hpcsim as hpcsim;
 pub use ltfb_jag as jag;
 pub use ltfb_nn as nn;
+pub use ltfb_serve as serve;
 pub use ltfb_tensor as tensor;
 pub use ltfb_workflow as workflow;
 
@@ -50,5 +52,6 @@ pub mod prelude {
     };
     pub use crate::gan::{CycleGan, CycleGanConfig};
     pub use crate::jag::{DatasetSpec, JagConfig, JagSimulator};
+    pub use crate::serve::{BatchPolicy, ModelRegistry, Server};
     pub use crate::tensor::Matrix;
 }

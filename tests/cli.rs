@@ -35,12 +35,25 @@ fn simulate_fig11_prints_sweep() {
 fn train_tiny_run_reports_best() {
     let out = cli()
         .args([
-            "train", "--trainers", "2", "--steps", "20", "--samples", "128", "--exchange", "10",
-            "--eval", "10",
+            "train",
+            "--trainers",
+            "2",
+            "--steps",
+            "20",
+            "--samples",
+            "128",
+            "--exchange",
+            "10",
+            "--eval",
+            "10",
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("best: trainer"), "missing summary: {text}");
 }
@@ -63,8 +76,7 @@ fn generate_writes_dataset() {
         .output()
         .unwrap();
     assert!(out.status.success());
-    let spec =
-        ltfb::jag::DatasetSpec::new(dir.clone(), ltfb::jag::JagConfig::small(4), 60, 20);
+    let spec = ltfb::jag::DatasetSpec::new(dir.clone(), ltfb::jag::JagConfig::small(4), 60, 20);
     assert!(spec.is_generated());
     // And the files are valid bundles.
     let mut r = spec.open_file(2).unwrap();

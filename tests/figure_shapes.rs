@@ -9,7 +9,11 @@ use ltfb::hpcsim::{
 };
 
 fn setup() -> (MachineSpec, WorkloadSpec, TrainingModel) {
-    (MachineSpec::lassen(), WorkloadSpec::icf_cyclegan(), TrainingModel::default())
+    (
+        MachineSpec::lassen(),
+        WorkloadSpec::icf_cyclegan(),
+        TrainingModel::default(),
+    )
 }
 
 #[test]
@@ -20,7 +24,15 @@ fn fig9_shape_diminishing_strong_scaling() {
     let mut prev_eff = 1.01f64;
     let mut base = None;
     for gpus in [1usize, 2, 4, 8, 16] {
-        let out = evaluate_config(&m, &w, &t, dp_placement(gpus), samples, IngestMode::NoStore, 1);
+        let out = evaluate_config(
+            &m,
+            &w,
+            &t,
+            dp_placement(gpus),
+            samples,
+            IngestMode::NoStore,
+            1,
+        );
         let total = out.steady_total().unwrap();
         assert!(total < prev_time, "epoch time must fall with GPUs");
         prev_time = total;
@@ -34,7 +46,10 @@ fn fig9_shape_diminishing_strong_scaling() {
                 (8.0..11.0).contains(&speedup),
                 "16-GPU speedup {speedup:.2} should be near the paper's 9.36x"
             );
-            assert!((0.50..0.68).contains(&eff), "efficiency {eff:.2} should be near 58%");
+            assert!(
+                (0.50..0.68).contains(&eff),
+                "efficiency {eff:.2} should be near 58%"
+            );
         }
     }
 }
@@ -46,8 +61,15 @@ fn fig10_shape_store_modes() {
 
     // Preload OOM exactly at 1 and 2 GPUs.
     for gpus in [1usize, 2] {
-        let out =
-            evaluate_config(&m, &w, &t, dp_placement(gpus), samples, IngestMode::Preloaded, 1);
+        let out = evaluate_config(
+            &m,
+            &w,
+            &t,
+            dp_placement(gpus),
+            samples,
+            IngestMode::Preloaded,
+            1,
+        );
         assert!(
             matches!(out, ConfigOutcome::OutOfMemory { .. }),
             "preload at {gpus} GPUs must OOM (paper Fig. 10 note)"
@@ -55,39 +77,89 @@ fn fig10_shape_store_modes() {
     }
     // Dynamic store runs everywhere.
     for gpus in [1usize, 2, 4, 8, 16] {
-        let out =
-            evaluate_config(&m, &w, &t, dp_placement(gpus), samples, IngestMode::DynamicStore, 1);
-        assert!(out.steady_total().is_some(), "dynamic store must run at {gpus} GPUs");
+        let out = evaluate_config(
+            &m,
+            &w,
+            &t,
+            dp_placement(gpus),
+            samples,
+            IngestMode::DynamicStore,
+            1,
+        );
+        assert!(
+            out.steady_total().is_some(),
+            "dynamic store must run at {gpus} GPUs"
+        );
     }
 
     // Ratios at the anchors.
     let naive1 = evaluate_config(&m, &w, &t, dp_placement(1), samples, IngestMode::NoStore, 1)
         .steady_total()
         .unwrap();
-    let dyn1 = evaluate_config(&m, &w, &t, dp_placement(1), samples, IngestMode::DynamicStore, 1)
-        .steady_total()
-        .unwrap();
+    let dyn1 = evaluate_config(
+        &m,
+        &w,
+        &t,
+        dp_placement(1),
+        samples,
+        IngestMode::DynamicStore,
+        1,
+    )
+    .steady_total()
+    .unwrap();
     let r1 = naive1 / dyn1;
-    assert!((6.0..9.5).contains(&r1), "1-GPU store benefit {r1:.2} vs paper 7.73x");
+    assert!(
+        (6.0..9.5).contains(&r1),
+        "1-GPU store benefit {r1:.2} vs paper 7.73x"
+    );
 
-    let naive16 = evaluate_config(&m, &w, &t, dp_placement(16), samples, IngestMode::NoStore, 1)
-        .steady_total()
-        .unwrap();
-    let dyn16 =
-        evaluate_config(&m, &w, &t, dp_placement(16), samples, IngestMode::DynamicStore, 1)
-            .steady_total()
-            .unwrap();
-    let pre16 = evaluate_config(&m, &w, &t, dp_placement(16), samples, IngestMode::Preloaded, 1)
-        .steady_total()
-        .unwrap();
-    assert!(pre16 < dyn16 && dyn16 < naive16, "ordering preload < dynamic < naive");
+    let naive16 = evaluate_config(
+        &m,
+        &w,
+        &t,
+        dp_placement(16),
+        samples,
+        IngestMode::NoStore,
+        1,
+    )
+    .steady_total()
+    .unwrap();
+    let dyn16 = evaluate_config(
+        &m,
+        &w,
+        &t,
+        dp_placement(16),
+        samples,
+        IngestMode::DynamicStore,
+        1,
+    )
+    .steady_total()
+    .unwrap();
+    let pre16 = evaluate_config(
+        &m,
+        &w,
+        &t,
+        dp_placement(16),
+        samples,
+        IngestMode::Preloaded,
+        1,
+    )
+    .steady_total()
+    .unwrap();
+    assert!(
+        pre16 < dyn16 && dyn16 < naive16,
+        "ordering preload < dynamic < naive"
+    );
     let pre_vs_dyn = dyn16 / pre16;
     assert!(
         (1.02..1.3).contains(&pre_vs_dyn),
         "preload advantage {pre_vs_dyn:.2} vs paper 1.10x"
     );
     // The benefit shrinks with scale (7.73x at 1 GPU -> ~1.3-2x at 16).
-    assert!(naive16 / pre16 < r1, "store benefit must shrink with data parallelism");
+    assert!(
+        naive16 / pre16 < r1,
+        "store benefit must shrink with data parallelism"
+    );
 }
 
 #[test]
@@ -106,13 +178,23 @@ fn fig11_shape_superlinear_with_preload_regression() {
             "K={} efficiency {eff:.3} must be superlinear (paper: 109%)",
             p.trainers
         );
-        assert!(eff < 1.25, "K={} efficiency {eff:.3} implausibly high", p.trainers);
+        assert!(
+            eff < 1.25,
+            "K={} efficiency {eff:.3} implausibly high",
+            p.trainers
+        );
     }
     let speed64 = base / pts[4].epoch_time;
-    assert!((60.0..80.0).contains(&speed64), "64-trainer speedup {speed64:.1} vs paper 70.2x");
+    assert!(
+        (60.0..80.0).contains(&speed64),
+        "64-trainer speedup {speed64:.1} vs paper 70.2x"
+    );
     // Preload: improves from 1 trainer, regresses at 64 vs 32.
     assert!(pts[1].preload_time < pts[0].preload_time);
-    assert!(pts[4].preload_time > pts[3].preload_time, "paper's 64-trainer preload regression");
+    assert!(
+        pts[4].preload_time > pts[3].preload_time,
+        "paper's 64-trainer preload regression"
+    );
 }
 
 #[test]

@@ -16,7 +16,11 @@ fn workflow_generates_store_feeds_gan_trains() {
     let spec = DatasetSpec::new(dir.clone(), cfg.jag, 240, 40);
     let files: Vec<u64> = (0..spec.n_files()).collect();
     let (results, stats) = run_workflow(
-        &WorkflowSpec { workers: 3, batch_size: 2, ..Default::default() },
+        &WorkflowSpec {
+            workers: 3,
+            batch_size: 2,
+            ..Default::default()
+        },
         &files,
         |&f| spec.generate_file(f).map_err(|e| e.to_string()),
     );
@@ -39,8 +43,7 @@ fn workflow_generates_store_feeds_gan_trains() {
             let plan = store.epoch_plan(epoch);
             for step in 0..plan.steps() {
                 let got = store.fetch_step(&plan, step, epoch).unwrap();
-                let samples: Vec<Sample> =
-                    got.iter().map(|(_, n)| node_to_sample(n)).collect();
+                let samples: Vec<Sample> = got.iter().map(|(_, n)| node_to_sample(n)).collect();
                 let refs: Vec<&Sample> = samples.iter().collect();
                 let (x, y) = batch_from_samples(&cfg, &refs);
                 if epoch == 0 {
@@ -88,7 +91,10 @@ fn corrupt_file_detected_through_the_stack() {
         // other rank may succeed constructing (it never opens file 1).
         if let Err(e) = r {
             let msg = e.to_string();
-            assert!(msg.contains("crc") || msg.contains("corrupt"), "unexpected error: {msg}");
+            assert!(
+                msg.contains("crc") || msg.contains("corrupt"),
+                "unexpected error: {msg}"
+            );
         }
     });
     cleanup_dataset_dir(&dir);
