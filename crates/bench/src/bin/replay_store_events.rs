@@ -5,11 +5,12 @@
 //! halves of the reproduction — the semantic half produces the event
 //! stream, the timing half prices it.
 
-use ltfb_bench::{banner, fmt_secs, print_table, write_csv};
-use ltfb_comm::run_world;
+use ltfb_bench::{banner, fmt_secs, print_table, results_dir, write_csv};
+use ltfb_comm::run_world_obs;
 use ltfb_datastore::{DataStore, PopulateMode};
 use ltfb_hpcsim::{shuffle_time, MachineSpec, Placement, WorkloadSpec};
 use ltfb_jag::{cleanup_dataset_dir, temp_dataset_dir, DatasetSpec, JagConfig};
+use ltfb_obs::Registry;
 
 fn main() {
     banner(
@@ -28,13 +29,18 @@ fn main() {
         spec.n_files()
     );
 
+    // One shared registry across both modes: the export aggregates the
+    // whole replay (per-rank datastore counters + comm traffic).
+    let metrics = Registry::new();
     let mut measured = Vec::new();
     for mode in [PopulateMode::Preload, PopulateMode::Dynamic] {
         let spec2 = spec.clone();
-        let stats = run_world(16, move |comm| {
+        let reg2 = metrics.clone();
+        let stats = run_world_obs(16, &metrics, move |comm| {
             let ids: Vec<u64> = (0..spec2.n_samples).collect();
             let mut store =
                 DataStore::new(comm, spec2.clone(), ids, mode, 128, 7, None).expect("fits");
+            store.attach_obs(&reg2);
             for epoch in 0..3 {
                 store.fetch_epoch(epoch).expect("epoch ok");
             }
@@ -112,4 +118,9 @@ fn main() {
     println!("cheap even if fully exposed — which is why the store's background");
     println!("threads hide it completely in the paper.");
     println!("csv: {}", path.display());
+    let report = results_dir().join("replay_store_metrics.json");
+    match metrics.write_report(&report) {
+        Ok(()) => println!("metrics: {}", report.display()),
+        Err(e) => eprintln!("cannot write {}: {e}", report.display()),
+    }
 }

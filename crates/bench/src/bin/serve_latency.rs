@@ -1,14 +1,17 @@
 //! Serving-engine latency/throughput benchmark: micro-batching vs forced
 //! batch-size 1, swept over client concurrency. Writes
-//! `results/serve_latency.csv`.
+//! `results/serve_latency.csv` plus a unified `ltfb-obs` metrics report
+//! (`results/serve_latency_metrics.json`) aggregated over the batched
+//! arms.
 //!
 //! The interesting regime is concurrency >= 8: the coalescer packs the
 //! in-flight requests of a closed-loop client fleet into one GEMM per
 //! kind, amortising per-call weight traffic, and throughput pulls >= 2x
 //! ahead of one-request-at-a-time serving on the same worker budget.
 
-use ltfb_bench::{banner, print_table, write_csv};
+use ltfb_bench::{banner, print_table, results_dir, write_csv};
 use ltfb_gan::{CycleGan, CycleGanConfig};
+use ltfb_obs::Registry;
 use ltfb_serve::{run_load, BatchPolicy, LoadGenConfig, LoadMode, ModelRegistry, Server};
 use std::sync::Arc;
 
@@ -29,9 +32,13 @@ fn run_arm(
     policy: BatchPolicy,
     clients: usize,
     requests: usize,
+    metrics: Option<&Registry>,
 ) -> (f64, f64, f64, f64) {
     let registry = Arc::new(ModelRegistry::new(CycleGan::new(cfg, 2019), 1));
-    let server = Server::start(registry, policy);
+    let server = match metrics {
+        Some(m) => Server::start_with_obs(registry, policy, m),
+        None => Server::start(registry, policy),
+    };
     let (x_dim, y_dim) = {
         let m = server.registry().current();
         (m.x_dim(), m.y_dim())
@@ -76,10 +83,12 @@ fn main() {
     };
     let requests = 500usize;
 
+    let metrics = Registry::new();
     let mut rows = Vec::new();
     for clients in [1usize, 2, 4, 8, 16, 32] {
-        let (brps, bp50, bp99, bmean) = run_arm(cfg, batched_policy, clients, requests);
-        let (urps, up50, up99, _) = run_arm(cfg, sequential_policy, clients, requests);
+        let (brps, bp50, bp99, bmean) =
+            run_arm(cfg, batched_policy, clients, requests, Some(&metrics));
+        let (urps, up50, up99, _) = run_arm(cfg, sequential_policy, clients, requests, None);
         rows.push(Row {
             clients,
             batched_rps: brps,
@@ -123,6 +132,11 @@ fn main() {
     print_table(&header, &cells);
     let path = write_csv("serve_latency.csv", &header, &cells);
     println!("\nwrote {}", path.display());
+    let report = results_dir().join("serve_latency_metrics.json");
+    match metrics.write_report(&report) {
+        Ok(()) => println!("wrote {}", report.display()),
+        Err(e) => eprintln!("cannot write {}: {e}", report.display()),
+    }
 
     let peak = rows.iter().map(|r| r.speedup).fold(0.0f64, f64::max);
     let at_high = rows

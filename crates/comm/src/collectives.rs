@@ -60,6 +60,9 @@ impl Comm {
     }
 
     fn next_seq(&self) -> u64 {
+        if let Some(o) = self.obs() {
+            o.record_collective();
+        }
         self.coll_seq.fetch_add(1, Ordering::Relaxed)
     }
 

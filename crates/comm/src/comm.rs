@@ -15,11 +15,12 @@ use crate::envelope::{Envelope, ANY_SOURCE};
 use crate::router::Router;
 use bytes::Bytes;
 use crossbeam_channel::{Receiver, RecvTimeoutError};
+use ltfb_obs::{Buckets, Counter, Histogram, Registry};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long a blocking receive waits before declaring deadlock. Generous:
 /// in-process "network" latencies are microseconds, so anything near this
@@ -77,16 +78,94 @@ impl Mailbox {
                     }
                     self.pending.push_back(e);
                 }
-                Err(RecvTimeoutError::Timeout) => panic!(
-                    "recv(context={context}, src={src}, tag={tag}) timed out after {RECV_TIMEOUT:?}: \
-                     likely communication deadlock ({} unmatched envelopes buffered)",
-                    self.pending.len()
-                ),
+                Err(RecvTimeoutError::Timeout) => {
+                    panic!("{}", deadlock_report(context, src, tag, &self.pending))
+                }
                 Err(RecvTimeoutError::Disconnected) => panic!(
                     "recv(context={context}, src={src}, tag={tag}): all senders gone — peer ranks exited"
                 ),
             }
         }
+    }
+}
+
+/// Render `src` as a human-readable receive source.
+fn fmt_src(src: usize) -> String {
+    if src == ANY_SOURCE {
+        "ANY".into()
+    } else {
+        src.to_string()
+    }
+}
+
+/// How many unmatched envelopes a deadlock report lists before eliding.
+const DEADLOCK_REPORT_CAP: usize = 16;
+
+/// The message a timed-out receive dies with: the posted `(context, src,
+/// tag)` triple plus every buffered-but-unmatched envelope's triple and
+/// size, so a protocol bug (wrong tag, wrong source, wrong communicator)
+/// is diagnosable from the panic alone.
+pub fn deadlock_report(context: u64, src: usize, tag: u64, pending: &VecDeque<Envelope>) -> String {
+    let mut msg = format!(
+        "recv(context={context}, src={}, tag={tag}) timed out after {RECV_TIMEOUT:?}: \
+         likely communication deadlock; {} unmatched envelope(s) buffered",
+        fmt_src(src),
+        pending.len()
+    );
+    if pending.is_empty() {
+        msg.push_str(" (mailbox empty: the expected sender never sent)");
+        return msg;
+    }
+    msg.push_str(": [");
+    for (i, e) in pending.iter().take(DEADLOCK_REPORT_CAP).enumerate() {
+        if i > 0 {
+            msg.push_str(", ");
+        }
+        msg.push_str(&format!(
+            "(context={}, src={}, tag={}, {} B)",
+            e.context,
+            e.src,
+            e.tag,
+            e.payload.len()
+        ));
+    }
+    if pending.len() > DEADLOCK_REPORT_CAP {
+        msg.push_str(&format!(
+            ", … and {} more",
+            pending.len() - DEADLOCK_REPORT_CAP
+        ));
+    }
+    msg.push(']');
+    msg
+}
+
+/// Per-rank observability handles, registered once at
+/// [`Comm::attach_obs`] and shared by every communicator split from the
+/// same rank (metrics are named by *world* rank: `comm.rN.…`).
+pub(crate) struct CommObs {
+    sent_messages: Arc<Counter>,
+    sent_bytes: Arc<Counter>,
+    recv_messages: Arc<Counter>,
+    recv_bytes: Arc<Counter>,
+    collectives: Arc<Counter>,
+    recv_wait_us: Arc<Histogram>,
+}
+
+impl CommObs {
+    fn new(registry: &Registry, world_rank: usize) -> Self {
+        let name = |what: &str| format!("comm.r{world_rank}.{what}");
+        CommObs {
+            sent_messages: registry.counter(&name("sent_messages")),
+            sent_bytes: registry.counter(&name("sent_bytes")),
+            recv_messages: registry.counter(&name("recv_messages")),
+            recv_bytes: registry.counter(&name("recv_bytes")),
+            collectives: registry.counter(&name("collectives")),
+            recv_wait_us: registry.histogram(&name("recv_wait_us"), Buckets::latency_us()),
+        }
+    }
+
+    pub(crate) fn record_collective(&self) {
+        self.collectives.inc();
     }
 }
 
@@ -131,6 +210,9 @@ pub struct Comm {
     /// Monotonic source for child communicator contexts.
     pub(crate) split_seq: Arc<AtomicU64>,
     pub(crate) stats: Arc<CommStats>,
+    /// Shared observability handles (None = recording disabled; the hot
+    /// paths then pay a single branch).
+    pub(crate) obs: Option<Arc<CommObs>>,
 }
 
 impl Comm {
@@ -174,6 +256,20 @@ impl Comm {
         self.router.stats().snapshot()
     }
 
+    /// Start recording this rank's traffic into `registry` under
+    /// `comm.r{world_rank}.…`: send/recv message and byte counts, a
+    /// collective-call count, and a histogram of blocking-receive wait
+    /// times (the deadlock-adjacent metric — waits near [`RECV_TIMEOUT`]
+    /// are protocol bugs in the making). Communicators split from this
+    /// one inherit the handles.
+    pub fn attach_obs(&mut self, registry: &Registry) {
+        self.obs = Some(Arc::new(CommObs::new(registry, self.world_rank)));
+    }
+
+    pub(crate) fn obs(&self) -> Option<&Arc<CommObs>> {
+        self.obs.as_ref()
+    }
+
     /// Eager send: enqueue `payload` for `dest` (comm-rank) under `tag`.
     /// Never blocks.
     pub fn send(&self, dest: usize, tag: u64, payload: Bytes) {
@@ -186,6 +282,10 @@ impl Comm {
         self.stats
             .sent_bytes
             .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        if let Some(o) = &self.obs {
+            o.sent_messages.inc();
+            o.sent_bytes.add(payload.len() as u64);
+        }
         self.router.deliver(
             self.members[dest],
             Envelope {
@@ -206,11 +306,17 @@ impl Comm {
             "recv src {src} out of comm size {}",
             self.size()
         );
+        let waited = self.obs.as_ref().map(|_| Instant::now());
         let env = self.mailbox.lock().recv_match(self.context, src, tag);
         self.stats.recv_messages.fetch_add(1, Ordering::Relaxed);
         self.stats
             .recv_bytes
             .fetch_add(env.payload.len() as u64, Ordering::Relaxed);
+        if let (Some(o), Some(t0)) = (&self.obs, waited) {
+            o.recv_messages.inc();
+            o.recv_bytes.add(env.payload.len() as u64);
+            o.recv_wait_us.record(t0.elapsed().as_secs_f64() * 1e6);
+        }
         (env.src, env.payload)
     }
 
@@ -221,6 +327,10 @@ impl Comm {
         self.stats
             .recv_bytes
             .fetch_add(env.payload.len() as u64, Ordering::Relaxed);
+        if let Some(o) = &self.obs {
+            o.recv_messages.inc();
+            o.recv_bytes.add(env.payload.len() as u64);
+        }
         Some((env.src, env.payload))
     }
 
@@ -293,4 +403,53 @@ pub struct SendRequest {
 impl SendRequest {
     /// Block until the send completes (no-op under eager buffering).
     pub fn wait(self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(context: u64, src: usize, tag: u64, len: usize) -> Envelope {
+        Envelope {
+            src_world: src,
+            src,
+            context,
+            tag,
+            payload: Bytes::from(vec![0u8; len]),
+        }
+    }
+
+    #[test]
+    fn deadlock_report_names_the_posted_receive() {
+        let msg = deadlock_report(5, 1, 9, &VecDeque::new());
+        assert!(msg.contains("recv(context=5, src=1, tag=9)"), "{msg}");
+        assert!(msg.contains("0 unmatched envelope(s)"), "{msg}");
+        assert!(msg.contains("the expected sender never sent"), "{msg}");
+    }
+
+    #[test]
+    fn deadlock_report_dumps_pending_triples_and_sizes() {
+        let pending: VecDeque<Envelope> = [env(5, 2, 9, 16), env(7, 1, 3, 0)].into_iter().collect();
+        let msg = deadlock_report(5, 1, 9, &pending);
+        assert!(msg.contains("2 unmatched envelope(s)"), "{msg}");
+        assert!(msg.contains("(context=5, src=2, tag=9, 16 B)"), "{msg}");
+        assert!(msg.contains("(context=7, src=1, tag=3, 0 B)"), "{msg}");
+    }
+
+    #[test]
+    fn deadlock_report_renders_any_source() {
+        let msg = deadlock_report(0, ANY_SOURCE, 1, &VecDeque::new());
+        assert!(msg.contains("src=ANY"), "{msg}");
+    }
+
+    #[test]
+    fn deadlock_report_elides_past_the_cap() {
+        let pending: VecDeque<Envelope> = (0..DEADLOCK_REPORT_CAP + 5)
+            .map(|i| env(1, i, 2, 8))
+            .collect();
+        let msg = deadlock_report(1, 0, 3, &pending);
+        assert!(msg.contains("… and 5 more"), "{msg}");
+        // One "N B)" entry per listed envelope, none past the cap.
+        assert_eq!(msg.matches(" B)").count(), DEADLOCK_REPORT_CAP);
+    }
 }

@@ -26,7 +26,7 @@ pub mod router;
 pub mod world;
 
 pub use collectives::{decode_f32, encode_f32, ReduceOp};
-pub use comm::{Comm, CommStats, RecvRequest, SendRequest, RECV_TIMEOUT};
+pub use comm::{deadlock_report, Comm, CommStats, RecvRequest, SendRequest, RECV_TIMEOUT};
 pub use envelope::{Envelope, ANY_SOURCE};
 pub use router::{Router, WorldStats};
-pub use world::{bytes_of_u64, run_world, u64_of_bytes};
+pub use world::{bytes_of_u64, run_world, run_world_obs, u64_of_bytes};

@@ -5,6 +5,7 @@ use crate::collectives::ReduceOp;
 use crate::comm::{Comm, CommStats, Mailbox};
 use crate::router::Router;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ltfb_obs::Registry;
 use parking_lot::Mutex;
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
@@ -48,6 +49,7 @@ where
                 coll_seq: Arc::new(AtomicU64::new(0)),
                 split_seq: Arc::new(AtomicU64::new(0)),
                 stats: Arc::new(CommStats::default()),
+                obs: None,
             };
             let f = &f;
             handles.push(
@@ -74,6 +76,22 @@ where
             panic!("rank {rank} panicked: {msg}");
         }
         results
+    })
+}
+
+/// [`run_world`] with per-rank traffic recording: every rank's
+/// communicator is attached to `registry` (see [`Comm::attach_obs`])
+/// before the closure runs, so send/recv/collective counts, bytes and
+/// receive-wait histograms land under `comm.rN.…`.
+pub fn run_world_obs<T, F>(n: usize, registry: &Registry, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Comm) -> T + Send + Sync,
+{
+    let registry = registry.clone();
+    run_world(n, move |mut comm| {
+        comm.attach_obs(&registry);
+        f(comm)
     })
 }
 
@@ -126,6 +144,7 @@ impl Comm {
             coll_seq: Arc::new(AtomicU64::new(0)),
             split_seq: Arc::new(AtomicU64::new(0)),
             stats: Arc::new(CommStats::default()),
+            obs: self.obs.clone(),
         }
     }
 
@@ -188,5 +207,38 @@ mod tests {
     #[test]
     fn u64_payload_round_trip() {
         assert_eq!(u64_of_bytes(&bytes_of_u64(0xDEAD_BEEF_u64)), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn run_world_obs_records_per_rank_traffic() {
+        let reg = Registry::new();
+        run_world_obs(3, &reg, |c| {
+            let all = c.allgather(bytes_of_u64(c.rank() as u64));
+            assert_eq!(all.len(), 3);
+            c.barrier();
+        });
+        for r in 0..3 {
+            assert!(
+                reg.counter(&format!("comm.r{r}.sent_messages")).get() > 0,
+                "rank {r} recorded no sends"
+            );
+        }
+        // Every message injected was eventually matched by a receive.
+        assert_eq!(
+            reg.sum_counters(".sent_bytes"),
+            reg.sum_counters(".recv_bytes")
+        );
+        // One allgather + one barrier per rank.
+        assert_eq!(reg.sum_counters(".collectives"), 6);
+    }
+
+    #[test]
+    fn split_inherits_obs_handles() {
+        let reg = Registry::new();
+        run_world_obs(2, &reg, |c| {
+            let sub = c.split(0, c.rank() as i64);
+            sub.barrier(); // traffic on the child must still be counted
+        });
+        assert!(reg.sum_counters(".sent_messages") > 0);
     }
 }

@@ -18,10 +18,14 @@ use crate::data::ae_dataset;
 use crate::tournament::{decide_match, pairing, MatchOutcome};
 use crate::trainer::Trainer;
 use bytes::Bytes;
-use ltfb_comm::run_world;
+use ltfb_comm::{run_world, run_world_obs};
 use ltfb_gan::CycleGan;
 use ltfb_nn::{BatchReader, LossHistory};
+use ltfb_obs::{Buckets, Counter, Histogram, Registry};
 use ltfb_tensor::mix_seed;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Train the shared multimodal autoencoder a priori on (a subsample of)
 /// the global output distribution and return its serialized weights.
@@ -65,12 +69,91 @@ impl RunOutcome {
     }
 }
 
+/// Registry handles for live LTFB instrumentation: tournament counters,
+/// step-time histogram, and a per-match trace. Counters are population
+/// aggregates (`ltfb.matches`, …) — per-trainer detail rides the trace.
+pub struct LtfbObs {
+    registry: Registry,
+    matches: Arc<Counter>,
+    adoptions: Arc<Counter>,
+    exchanged_bytes: Arc<Counter>,
+    step_us: Arc<Histogram>,
+}
+
+impl LtfbObs {
+    /// Get-or-register the LTFB metric family in `registry`.
+    pub fn new(registry: &Registry) -> LtfbObs {
+        LtfbObs {
+            registry: registry.clone(),
+            matches: registry.counter("ltfb.matches"),
+            adoptions: registry.counter("ltfb.adoptions"),
+            exchanged_bytes: registry.counter("ltfb.exchanged_bytes"),
+            step_us: registry.histogram("ltfb.step_us", Buckets::latency_us()),
+        }
+    }
+
+    fn record_step(&self, started: Instant) {
+        self.step_us.record(started.elapsed().as_secs_f64() * 1e6);
+    }
+
+    /// One side of a tournament match: `foreign_bytes` is the size of the
+    /// generator payload this trainer received.
+    fn record_match(&self, round: u64, trainer: usize, out: &MatchOutcome, foreign_bytes: u64) {
+        self.matches.inc();
+        if out.adopted_foreign {
+            self.adoptions.inc();
+        }
+        self.exchanged_bytes.add(foreign_bytes);
+        self.registry.event(
+            "ltfb",
+            trainer,
+            Some(trainer),
+            &format!("round_{round}_match_vs_{}", out.partner),
+            if out.adopted_foreign { 1.0 } else { 0.0 },
+        );
+    }
+}
+
+/// Fold a finished run into `registry`: total/per-round adoption rates
+/// (gauges `ltfb.adoption_rate`, `ltfb.round{N}.adoption_rate`), a
+/// `ltfb.rounds` counter, and one trace event per round. Called by the
+/// `_obs` drivers; also usable on any [`RunOutcome`] after the fact.
+pub fn record_run_outcome(registry: &Registry, outcome: &RunOutcome) {
+    let mut per_round: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+    for &(round, _, ref m) in &outcome.matches {
+        let e = per_round.entry(round).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += m.adopted_foreign as u64;
+    }
+    registry.counter("ltfb.rounds").add(per_round.len() as u64);
+    let total: u64 = per_round.values().map(|&(n, _)| n).sum();
+    if total > 0 {
+        registry
+            .gauge("ltfb.adoption_rate")
+            .set(outcome.adoptions as f64 / total as f64);
+    }
+    for (&round, &(n, adopted)) in &per_round {
+        let rate = adopted as f64 / n as f64;
+        registry
+            .gauge(&format!("ltfb.round{round}.adoption_rate"))
+            .set(rate);
+        registry.event(
+            "ltfb",
+            0,
+            None,
+            &format!("round_{round}_adoption_rate"),
+            rate,
+        );
+    }
+}
+
 /// Shared per-step schedule: train, maybe tournament, maybe record.
 fn post_step_hooks(
     cfg: &LtfbConfig,
     step: u64,
     trainers: &mut [Trainer],
     matches: &mut Vec<(u64, usize, MatchOutcome)>,
+    obs: Option<&LtfbObs>,
 ) {
     if cfg.n_trainers >= 2
         && cfg.exchange_interval > 0
@@ -87,6 +170,9 @@ fn post_step_hooks(
         for (t, partner) in partners.iter().enumerate() {
             if let Some(p) = partner {
                 let out = decide_match(&mut trainers[t], *p, payloads[*p].clone());
+                if let Some(o) = obs {
+                    o.record_match(round, t, &out, payloads[*p].len() as u64);
+                }
                 matches.push((round, t, out));
             }
         }
@@ -106,6 +192,20 @@ pub fn run_ltfb_serial(cfg: &LtfbConfig) -> RunOutcome {
 /// Like [`run_ltfb_serial`] but also hands back the trained population —
 /// used by the Fig. 7/8 harnesses to make predictions with the winner.
 pub fn run_ltfb_serial_with_models(cfg: &LtfbConfig) -> (RunOutcome, Vec<Trainer>) {
+    serial_with_models(cfg, None)
+}
+
+/// [`run_ltfb_serial`] with live metrics: step timings, tournament
+/// counters and per-match trace land in `registry`, and the finished run
+/// is folded in via [`record_run_outcome`].
+pub fn run_ltfb_serial_obs(cfg: &LtfbConfig, registry: &Registry) -> RunOutcome {
+    let obs = LtfbObs::new(registry);
+    let outcome = serial_with_models(cfg, Some(&obs)).0;
+    record_run_outcome(registry, &outcome);
+    outcome
+}
+
+fn serial_with_models(cfg: &LtfbConfig, obs: Option<&LtfbObs>) -> (RunOutcome, Vec<Trainer>) {
     assert!(cfg.n_trainers >= 1);
     let ae = pretrain_global_autoencoder(cfg);
     let mut trainers: Vec<Trainer> = (0..cfg.n_trainers).map(|t| Trainer::new(*cfg, t)).collect();
@@ -116,9 +216,13 @@ pub fn run_ltfb_serial_with_models(cfg: &LtfbConfig) -> (RunOutcome, Vec<Trainer
     let mut matches = Vec::new();
     for step in 1..=cfg.steps {
         for t in &mut trainers {
+            let started = obs.map(|_| Instant::now());
             t.train_step();
+            if let (Some(o), Some(s)) = (obs, started) {
+                o.record_step(s);
+            }
         }
-        post_step_hooks(cfg, step, &mut trainers, &mut matches);
+        post_step_hooks(cfg, step, &mut trainers, &mut matches, obs);
     }
     let final_val: Vec<f32> = trainers
         .iter_mut()
@@ -199,8 +303,22 @@ pub fn run_ltfb_with_failures(cfg: &LtfbConfig, failures: &[(usize, u64)]) -> Ru
 /// simulated MPI fabric. Returns the same aggregate outcome as the serial
 /// driver (gathered to every rank and returned from rank 0's copy).
 pub fn run_ltfb_distributed(cfg: &LtfbConfig) -> RunOutcome {
+    distributed_inner(cfg, None)
+}
+
+/// [`run_ltfb_distributed`] with live metrics: every rank's communicator
+/// is attached to `registry` (per-rank `comm.rN.…` traffic counters), the
+/// ranks share the `ltfb.…` tournament family, and the gathered outcome
+/// is folded in via [`record_run_outcome`].
+pub fn run_ltfb_distributed_obs(cfg: &LtfbConfig, registry: &Registry) -> RunOutcome {
+    distributed_inner(cfg, Some(registry))
+}
+
+fn distributed_inner(cfg: &LtfbConfig, registry: Option<&Registry>) -> RunOutcome {
     let cfg = *cfg;
-    let per_rank = run_world(cfg.n_trainers, move |comm| {
+    let obs = registry.map(LtfbObs::new);
+    let body = move |comm: ltfb_comm::Comm| {
+        let obs = obs.as_ref();
         let id = comm.rank();
         let mut trainer = Trainer::new(cfg, id);
         // Rank 0 pre-trains the shared autoencoder and broadcasts it —
@@ -216,7 +334,11 @@ pub fn run_ltfb_distributed(cfg: &LtfbConfig) -> RunOutcome {
         let mut my_matches: Vec<(u64, usize, MatchOutcome)> = Vec::new();
 
         for step in 1..=cfg.steps {
+            let started = obs.map(|_| Instant::now());
             trainer.train_step();
+            if let (Some(o), Some(s)) = (obs, started) {
+                o.record_step(s);
+            }
             if cfg.n_trainers >= 2 && cfg.exchange_interval > 0 && step % cfg.exchange_interval == 0
             {
                 let round = step / cfg.exchange_interval;
@@ -226,7 +348,11 @@ pub fn run_ltfb_distributed(cfg: &LtfbConfig) -> RunOutcome {
                     let mine = trainer.gan.generator_to_bytes();
                     let tag = 0x7_000 + round;
                     let foreign = comm.sendrecv(p, tag, mine, p, tag);
+                    let foreign_bytes = foreign.len() as u64;
                     let out = decide_match(&mut trainer, p, foreign);
+                    if let Some(o) = obs {
+                        o.record_match(round, id, &out, foreign_bytes);
+                    }
                     my_matches.push((round, id, out));
                 }
             }
@@ -242,7 +368,11 @@ pub fn run_ltfb_distributed(cfg: &LtfbConfig) -> RunOutcome {
             trainer.losses,
             my_matches,
         )
-    });
+    };
+    let per_rank = match registry {
+        Some(reg) => run_world_obs(cfg.n_trainers, reg, body),
+        None => run_world(cfg.n_trainers, body),
+    };
 
     let mut outcome = RunOutcome {
         histories: Vec::new(),
@@ -260,6 +390,9 @@ pub fn run_ltfb_distributed(cfg: &LtfbConfig) -> RunOutcome {
     }
     // Canonical order: by round then trainer (the serial driver's order).
     outcome.matches.sort_by_key(|&(round, t, _)| (round, t));
+    if let Some(reg) = registry {
+        record_run_outcome(reg, &outcome);
+    }
     outcome
 }
 
@@ -361,5 +494,58 @@ mod tests {
         let b = run_ltfb_serial(&cfg);
         assert_eq!(a.final_val, b.final_val);
         assert_eq!(a.wins, b.wins);
+    }
+
+    #[test]
+    fn serial_obs_records_counters_and_round_rates() {
+        let cfg = tiny_cfg(2);
+        let reg = Registry::new();
+        let out = run_ltfb_serial_obs(&cfg, &reg);
+        // Metrics agree with the outcome exactly.
+        assert_eq!(reg.counter("ltfb.matches").get(), out.matches.len() as u64);
+        assert_eq!(reg.counter("ltfb.adoptions").get(), out.adoptions);
+        assert_eq!(reg.counter("ltfb.rounds").get(), cfg.rounds());
+        assert!(reg.counter("ltfb.exchanged_bytes").get() > 0);
+        // Every step of every trainer was timed.
+        let h = reg.histogram("ltfb.step_us", Buckets::latency_us());
+        assert_eq!(h.count(), cfg.steps * cfg.n_trainers as u64);
+        // Per-round adoption-rate gauges exist and are in [0, 1].
+        for round in 1..=cfg.rounds() {
+            let g = reg.gauge(&format!("ltfb.round{round}.adoption_rate")).get();
+            assert!((0.0..=1.0).contains(&g), "round {round}: {g}");
+        }
+        // Each match left a trace event.
+        assert!(
+            reg.events()
+                .iter()
+                .filter(|e| e.event.contains("_match_vs_"))
+                .count()
+                >= out.matches.len().min(ltfb_obs::DEFAULT_TRACE_CAPACITY)
+        );
+    }
+
+    #[test]
+    fn obs_run_matches_plain_run_bit_for_bit() {
+        let cfg = tiny_cfg(2);
+        let plain = run_ltfb_serial(&cfg);
+        let observed = run_ltfb_serial_obs(&cfg, &Registry::new());
+        assert_eq!(plain.final_val, observed.final_val);
+        assert_eq!(plain.wins, observed.wins);
+        assert_eq!(plain.adoptions, observed.adoptions);
+    }
+
+    #[test]
+    fn distributed_obs_captures_comm_and_tournament_traffic() {
+        let cfg = tiny_cfg(2);
+        let reg = Registry::new();
+        let out = run_ltfb_distributed_obs(&cfg, &reg);
+        assert_eq!(reg.counter("ltfb.matches").get(), out.matches.len() as u64);
+        // The generator exchange rode the instrumented fabric.
+        assert!(reg.sum_counters(".sent_bytes") > 0);
+        assert_eq!(
+            reg.sum_counters(".sent_bytes"),
+            reg.sum_counters(".recv_bytes")
+        );
+        assert!(reg.gauge("ltfb.adoption_rate").get().is_finite());
     }
 }

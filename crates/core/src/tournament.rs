@@ -164,6 +164,82 @@ mod tests {
     }
 
     #[test]
+    fn pairing_alive_all_dead_is_empty() {
+        for k in [0usize, 1, 4, 7] {
+            let p = pairing_alive(&vec![false; k], 2, 5);
+            assert_eq!(p.len(), k);
+            assert!(p.iter().all(Option::is_none), "k={k}");
+        }
+    }
+
+    #[test]
+    fn pairing_alive_exactly_one_alive_never_pairs() {
+        for pos in 0..5 {
+            let mut alive = vec![false; 5];
+            alive[pos] = true;
+            for round in 0..4 {
+                let p = pairing_alive(&alive, round, 3);
+                assert!(
+                    p.iter().all(Option::is_none),
+                    "lone survivor at {pos} paired in round {round}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pairing_alive_odd_survivors_sits_exactly_one_out() {
+        // 5 survivors among 8 trainers: every round pairs 4 and benches 1.
+        let alive = [true, false, true, true, false, true, false, true];
+        for round in 0..10 {
+            let p = pairing_alive(&alive, round, 21);
+            let paired = p.iter().filter(|x| x.is_some()).count();
+            assert_eq!(paired, 4, "round {round}");
+            let benched: Vec<usize> = (0..alive.len())
+                .filter(|&i| alive[i] && p[i].is_none())
+                .collect();
+            assert_eq!(benched.len(), 1, "round {round}");
+            for (i, partner) in p.iter().enumerate() {
+                if let Some(j) = partner {
+                    assert!(alive[i] && alive[*j]);
+                    assert_eq!(p[*j], Some(i), "symmetry broken in round {round}");
+                }
+            }
+        }
+        // Over enough rounds the bench rotates (pairing is random, so no
+        // trainer is benched forever).
+        let benched: std::collections::HashSet<usize> = (0..10)
+            .map(|round| {
+                let p = pairing_alive(&alive, round, 21);
+                (0..alive.len())
+                    .find(|&i| alive[i] && p[i].is_none())
+                    .unwrap()
+            })
+            .collect();
+        assert!(benched.len() > 1, "same trainer benched every round");
+    }
+
+    #[test]
+    fn pairing_alive_identical_across_ranks() {
+        // Every rank computes the pairing locally from (alive, round,
+        // seed); the protocol only works if they all agree.
+        let alive = [true, true, false, true, true, false, true];
+        let computed = ltfb_comm::run_world(4, |comm| {
+            let mine: Vec<Vec<Option<usize>>> = (0..6)
+                .map(|round| pairing_alive(&alive, round, 13))
+                .collect();
+            // Cross-check against every other rank via the fabric.
+            let payload = format!("{mine:?}");
+            let all = comm.allgather(bytes::Bytes::from(payload.clone().into_bytes()));
+            for other in &all {
+                assert_eq!(other[..], *payload.as_bytes(), "ranks disagree");
+            }
+            mine
+        });
+        assert!(computed.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
     fn decide_match_keeps_better_generator() {
         let cfg = LtfbConfig::small(2);
         let ae = crate::ltfb::pretrain_global_autoencoder(&cfg);

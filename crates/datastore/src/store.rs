@@ -20,8 +20,10 @@
 use crate::node::Node;
 use ltfb_comm::Comm;
 use ltfb_jag::{DatasetSpec, Sample, N_PARAMS, N_SCALARS};
+use ltfb_obs::{Counter, Registry};
 use ltfb_tensor::{mix_seed, permutation, seeded_rng};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// How the store is populated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +83,27 @@ impl From<ltfb_jag::BundleError> for StoreError {
     }
 }
 
+/// Registry-backed mirrors of [`StoreStats`], named `datastore.rN.…` by
+/// the rank's *world* rank so multiple trainers' stores stay distinct.
+struct StoreObs {
+    fs_sample_reads: Arc<Counter>,
+    fs_file_reads: Arc<Counter>,
+    shuffled_samples: Arc<Counter>,
+    shuffled_bytes: Arc<Counter>,
+}
+
+impl StoreObs {
+    fn new(registry: &Registry, world_rank: usize) -> StoreObs {
+        let c = |what: &str| registry.counter(&format!("datastore.r{world_rank}.{what}"));
+        StoreObs {
+            fs_sample_reads: c("fs_sample_reads"),
+            fs_file_reads: c("fs_file_reads"),
+            shuffled_samples: c("shuffled_samples"),
+            shuffled_bytes: c("shuffled_bytes"),
+        }
+    }
+}
+
 /// Deterministic plan of one training epoch over a trainer's partition.
 pub struct EpochPlan {
     /// Global sample ids in visit order.
@@ -137,6 +160,7 @@ pub struct DataStore {
     /// sample id -> owner (dynamic mode; derived from the epoch-0 plan).
     dyn_owner: HashMap<u64, usize>,
     stats: StoreStats,
+    obs: Option<StoreObs>,
 }
 
 /// Convert a JAG sample into its Conduit-node form.
@@ -224,6 +248,7 @@ impl DataStore {
             file_slot,
             dyn_owner: HashMap::new(),
             stats: StoreStats::default(),
+            obs: None,
         };
         if mode == PopulateMode::Preload {
             store.preload()?;
@@ -256,6 +281,9 @@ impl DataStore {
             let mut reader = self.spec.open_file(file)?;
             let samples = reader.read_all()?;
             self.stats.fs_file_reads += 1;
+            if let Some(o) = &self.obs {
+                o.fs_file_reads.inc();
+            }
             for &id in ids {
                 let (_, idx) = self.spec.locate(id);
                 self.owned.insert(id, sample_to_node(&samples[idx]));
@@ -322,6 +350,9 @@ impl DataStore {
                     None => {
                         let s = self.spec.read_sample(id)?;
                         self.stats.fs_sample_reads += 1;
+                        if let Some(o) = &self.obs {
+                            o.fs_sample_reads.inc();
+                        }
                         let n = sample_to_node(&s);
                         self.owned.insert(id, n.clone());
                         n
@@ -356,6 +387,10 @@ impl DataStore {
                 let (_, payload) = self.comm.irecv(owner, id).wait();
                 self.stats.shuffled_samples += 1;
                 self.stats.shuffled_bytes += payload.len() as u64;
+                if let Some(o) = &self.obs {
+                    o.shuffled_samples.inc();
+                    o.shuffled_bytes.add(payload.len() as u64);
+                }
                 Node::from_bytes(payload).expect("corrupt shuffled sample")
             };
             out.push((id, node));
@@ -392,6 +427,22 @@ impl DataStore {
     /// I/O and shuffle statistics for this rank.
     pub fn stats(&self) -> StoreStats {
         self.stats
+    }
+
+    /// Mirror this store's [`StoreStats`] into `registry` as counters
+    /// named `datastore.r{world_rank}.{stat}`, so shuffle/IO volumes land
+    /// in the same export as comm, LTFB and serve metrics.
+    ///
+    /// Preload happens inside [`DataStore::new`], so totals accumulated
+    /// before attachment are folded into the counters here; afterwards
+    /// every increment updates both views.
+    pub fn attach_obs(&mut self, registry: &Registry) {
+        let obs = StoreObs::new(registry, self.comm.world_rank());
+        obs.fs_sample_reads.add(self.stats.fs_sample_reads);
+        obs.fs_file_reads.add(self.stats.fs_file_reads);
+        obs.shuffled_samples.add(self.stats.shuffled_samples);
+        obs.shuffled_bytes.add(self.stats.shuffled_bytes);
+        self.obs = Some(obs);
     }
 
     /// Population mode.

@@ -2,9 +2,10 @@
 //! population modes, exchange correctness, the no-FS-after-epoch-0
 //! property, and the OOM feasibility gate.
 
-use ltfb_comm::run_world;
+use ltfb_comm::{run_world, run_world_obs};
 use ltfb_datastore::{node_to_sample, DataStore, PopulateMode, StoreError};
 use ltfb_jag::{cleanup_dataset_dir, sample_by_id, temp_dataset_dir, DatasetSpec, JagConfig};
+use ltfb_obs::Registry;
 
 const N: u64 = 60;
 const PER_FILE: usize = 10;
@@ -177,6 +178,63 @@ fn shuffle_traffic_happens_after_epoch_zero_dynamic() {
         );
         assert!(store.stats().shuffled_bytes > 0);
     });
+    cleanup_dataset_dir(&spec.dir);
+}
+
+#[test]
+fn attach_obs_mirrors_store_stats_into_registry() {
+    let spec = make_dataset("obs-mirror");
+    let spec2 = spec.clone();
+    let reg = Registry::new();
+    let reg2 = reg.clone();
+    let stats = run_world_obs(3, &reg, move |comm| {
+        let mut store = make_store(comm, &spec2, PopulateMode::Dynamic);
+        store.attach_obs(&reg2);
+        store.fetch_epoch(0).unwrap();
+        store.fetch_epoch(1).unwrap();
+        store.stats()
+    });
+    // Per-rank counters agree with the rank-local structs exactly.
+    for (r, s) in stats.iter().enumerate() {
+        assert_eq!(
+            reg.counter(&format!("datastore.r{r}.fs_sample_reads"))
+                .get(),
+            s.fs_sample_reads
+        );
+        assert_eq!(
+            reg.counter(&format!("datastore.r{r}.shuffled_bytes")).get(),
+            s.shuffled_bytes
+        );
+    }
+    // Epoch 1 shuffles, so bytes must land in the shared registry.
+    assert!(reg.sum_counters(".shuffled_bytes") > 0);
+    assert_eq!(
+        reg.sum_counters(".shuffled_samples"),
+        stats.iter().map(|s| s.shuffled_samples).sum::<u64>()
+    );
+    cleanup_dataset_dir(&spec.dir);
+}
+
+#[test]
+fn attach_obs_folds_in_preload_totals() {
+    let spec = make_dataset("obs-preload");
+    let spec2 = spec.clone();
+    let reg = Registry::new();
+    let reg2 = reg.clone();
+    let stats = run_world_obs(2, &reg, move |comm| {
+        // Preload runs inside `new`, before attachment is possible.
+        let mut store = make_store(comm, &spec2, PopulateMode::Preload);
+        store.attach_obs(&reg2);
+        store.stats()
+    });
+    for (r, s) in stats.iter().enumerate() {
+        assert!(s.fs_file_reads > 0);
+        assert_eq!(
+            reg.counter(&format!("datastore.r{r}.fs_file_reads")).get(),
+            s.fs_file_reads,
+            "pre-attach preload totals must be folded in"
+        );
+    }
     cleanup_dataset_dir(&spec.dir);
 }
 

@@ -1,0 +1,46 @@
+//! # ltfb-obs
+//!
+//! Cross-cutting observability for the LTFB reproduction. The paper's
+//! scaling evidence (Figs. 9-11) is *instrumentation*: run times, ingest
+//! rates and tournament statistics gathered across every rank. This
+//! crate is the shared substrate the rest of the workspace records into:
+//!
+//! * [`metrics`] — lock-cheap primitives: atomic [`Counter`]s,
+//!   [`Gauge`]s and fixed-bucket [`Histogram`]s (a few atomic ops per
+//!   record, no allocation — safe on the comm send path);
+//! * [`registry`] — the named [`Registry`] shared by a whole run; cheap
+//!   to clone, `Send + Sync`, so every rank thread and serving worker
+//!   feeds the same sink;
+//! * [`trace`] — a bounded ring of structured
+//!   `{scope, rank, trainer, event, value}` [`TraceEvent`]s for ordered,
+//!   timestamped happenings (tournament rounds, hot swaps);
+//! * [`report`] — one-call CSV/JSON export ([`Registry::write_report`])
+//!   so a full run emits a single machine-readable metrics file under
+//!   `results/`.
+//!
+//! Naming convention: per-rank metrics are `scope.rN.name`
+//! (`comm.r3.sent_bytes`); population-wide aggregates drop the rank
+//! (`ltfb.adoptions`). [`Registry::sum_counters`] folds the per-rank
+//! family back into a total.
+//!
+//! ```
+//! use ltfb_obs::{Buckets, Registry};
+//!
+//! let reg = Registry::new();
+//! reg.counter("comm.r0.sent_bytes").add(4096);
+//! reg.histogram("serve.latency_us", Buckets::latency_us()).record(250.0);
+//! reg.event("ltfb", 0, Some(2), "round_1_adoption_rate", 0.5);
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counters[0].1, 4096);
+//! assert!(snap.to_json().contains("\"p99\""));
+//! ```
+
+pub mod metrics;
+pub mod registry;
+pub mod report;
+pub mod trace;
+
+pub use metrics::{Buckets, Counter, Gauge, Histogram};
+pub use registry::{Metric, Registry, DEFAULT_TRACE_CAPACITY};
+pub use report::{HistogramSummary, Snapshot};
+pub use trace::{Trace, TraceEvent};

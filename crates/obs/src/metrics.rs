@@ -1,0 +1,372 @@
+//! The metric primitives: atomic counters, gauges, and fixed-bucket
+//! histograms.
+//!
+//! Every primitive is recordable from any thread with a handful of atomic
+//! operations and no allocation — cheap enough to sit on the comm send
+//! path or inside the serving engine's per-request accounting. Handles
+//! are obtained once from the [`Registry`](crate::Registry) (which takes
+//! a short-lived lock) and then held as `Arc`s by the hot code.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add `n` to the count.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins instantaneous value (f64 stored as bits).
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Gauge {
+    pub fn new() -> Self {
+        Gauge(AtomicU64::new(0f64.to_bits()))
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Bucket layout of a [`Histogram`]: a sorted list of inclusive upper
+/// bounds; values above the last bound land in an implicit overflow
+/// bucket. The layout is fixed at registration, so recording never
+/// allocates or rebalances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Buckets(Vec<f64>);
+
+impl Buckets {
+    /// Explicit upper bounds (must be finite and strictly increasing).
+    pub fn explicit(bounds: Vec<f64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]) && bounds.iter().all(|b| b.is_finite()),
+            "bucket bounds must be finite and strictly increasing"
+        );
+        Buckets(bounds)
+    }
+
+    /// `n` bounds at `start, start*factor, start*factor^2, …`.
+    pub fn exponential(start: f64, factor: f64, n: usize) -> Self {
+        assert!(start > 0.0 && factor > 1.0 && n > 0);
+        let mut bounds = Vec::with_capacity(n);
+        let mut b = start;
+        for _ in 0..n {
+            bounds.push(b);
+            b *= factor;
+        }
+        Buckets(bounds)
+    }
+
+    /// `n` bounds at `start, start+width, start+2*width, …`.
+    pub fn linear(start: f64, width: f64, n: usize) -> Self {
+        assert!(width > 0.0 && n > 0);
+        Buckets((0..n).map(|i| start + width * i as f64).collect())
+    }
+
+    /// Default layout for microsecond latencies: powers of two from 1 us
+    /// to ~1 hour (2^31 us), ~1.0x-2.0x relative resolution everywhere.
+    pub fn latency_us() -> Self {
+        Buckets::exponential(1.0, 2.0, 32)
+    }
+
+    /// Default layout for batch/queue sizes: 1..=64 exact, then doubling.
+    pub fn small_counts() -> Self {
+        let mut bounds: Vec<f64> = (0..=64).map(|i| i as f64).collect();
+        let mut b = 128.0;
+        while b <= 16_384.0 {
+            bounds.push(b);
+            b *= 2.0;
+        }
+        Buckets(bounds)
+    }
+
+    pub fn bounds(&self) -> &[f64] {
+        &self.0
+    }
+}
+
+/// Fixed-bucket histogram with atomic per-bucket counts plus running
+/// count/sum/min/max. Quantiles are estimated by linear interpolation
+/// within the containing bucket (exact to one bucket width).
+///
+/// Non-finite samples are counted separately and never contaminate the
+/// distribution — a NaN latency must never abort or skew a stats report.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// One per bound, plus the overflow bucket at the end.
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+    non_finite: AtomicU64,
+}
+
+impl Histogram {
+    pub fn new(buckets: Buckets) -> Self {
+        let n = buckets.0.len();
+        Histogram {
+            bounds: buckets.0,
+            counts: (0..n + 1).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            non_finite: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&self, v: f64) {
+        if !v.is_finite() {
+            self.non_finite.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let _ = self
+            .sum_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                Some((f64::from_bits(bits) + v).to_bits())
+            });
+        let _ = self
+            .min_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                (v < f64::from_bits(bits)).then(|| v.to_bits())
+            });
+        let _ = self
+            .max_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                (v > f64::from_bits(bits)).then(|| v.to_bits())
+            });
+    }
+
+    /// Finite samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Non-finite samples rejected.
+    pub fn non_finite(&self) -> u64 {
+        self.non_finite.load(Ordering::Relaxed)
+    }
+
+    /// Sum of finite samples.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Mean of finite samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    /// Smallest finite sample (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count() == 0 {
+            0.0
+        } else {
+            f64::from_bits(self.min_bits.load(Ordering::Relaxed))
+        }
+    }
+
+    /// Largest finite sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count() == 0 {
+            0.0
+        } else {
+            f64::from_bits(self.max_bits.load(Ordering::Relaxed))
+        }
+    }
+
+    /// Estimated `q`-quantile (`0.0..=1.0`): find the bucket holding the
+    /// q-th sample and interpolate linearly inside it, clamped to the
+    /// observed min/max.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, c) in self.counts.iter().enumerate() {
+            let c = c.load(Ordering::Relaxed);
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= target {
+                let lo = if idx == 0 { 0.0 } else { self.bounds[idx - 1] };
+                let hi = if idx < self.bounds.len() {
+                    self.bounds[idx]
+                } else {
+                    self.max()
+                };
+                let frac = (target - seen) as f64 / c as f64;
+                let est = lo + (hi - lo).max(0.0) * frac;
+                return est.clamp(self.min(), self.max());
+            }
+            seen += c;
+        }
+        self.max()
+    }
+
+    /// `(upper_bound, count)` for each non-empty bucket; the overflow
+    /// bucket reports `f64::INFINITY` as its bound.
+    pub fn nonzero_buckets(&self) -> Vec<(f64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                let c = c.load(Ordering::Relaxed);
+                (c > 0).then(|| {
+                    let bound = self.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+                    (bound, c)
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        let g = Gauge::new();
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+        g.set(-1.0);
+        assert_eq!(g.get(), -1.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_track_uniform_samples() {
+        let h = Histogram::new(Buckets::linear(1.0, 1.0, 100));
+        for i in 1..=100 {
+            h.record(i as f64);
+        }
+        assert_eq!(h.count(), 100);
+        assert!((h.mean() - 50.5).abs() < 1e-9);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 100.0);
+        for (q, want) in [(0.5, 50.0), (0.95, 95.0), (0.99, 99.0)] {
+            let got = h.quantile(q);
+            assert!((got - want).abs() <= 1.0, "q{q}: got {got}, want ~{want}");
+        }
+    }
+
+    #[test]
+    fn histogram_rejects_non_finite_without_skew() {
+        let h = Histogram::new(Buckets::latency_us());
+        h.record(10.0);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.non_finite(), 2);
+        assert_eq!(h.sum(), 10.0);
+        assert!(h.quantile(0.99).is_finite());
+    }
+
+    #[test]
+    fn overflow_bucket_catches_large_values() {
+        let h = Histogram::new(Buckets::explicit(vec![1.0, 2.0]));
+        h.record(1e9);
+        let nz = h.nonzero_buckets();
+        assert_eq!(nz.len(), 1);
+        assert!(nz[0].0.is_infinite());
+        assert_eq!(nz[0].1, 1);
+        assert_eq!(h.max(), 1e9);
+        assert_eq!(h.quantile(0.5), 1e9, "interpolation clamps to max");
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::new(Buckets::latency_us());
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn bucket_constructors() {
+        assert_eq!(Buckets::exponential(1.0, 2.0, 3).bounds(), &[1.0, 2.0, 4.0]);
+        assert_eq!(Buckets::linear(0.0, 5.0, 3).bounds(), &[0.0, 5.0, 10.0]);
+        assert!(Buckets::latency_us().bounds().len() == 32);
+        assert!(Buckets::small_counts()
+            .bounds()
+            .windows(2)
+            .all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let h = std::sync::Arc::new(Histogram::new(Buckets::linear(1.0, 1.0, 64)));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        h.record((i % 50) as f64 + 1.0);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 4000);
+        assert_eq!(
+            h.sum(),
+            4.0 * (0..1000).map(|i| (i % 50) as f64 + 1.0).sum::<f64>()
+        );
+    }
+}

@@ -1,0 +1,232 @@
+//! The metrics registry: a named, shareable collection of counters,
+//! gauges and histograms plus one event trace.
+//!
+//! The registry is a cheap-to-clone handle (`Arc` inside); every
+//! subsystem of a run records into the same instance, and one export
+//! call at the end of the run emits everything — comm traffic, data
+//! store shuffles, tournament statistics and serving latencies — in one
+//! machine-readable file. Registration takes a short-lived lock; the
+//! returned `Arc` handles record with plain atomics.
+
+use crate::metrics::{Buckets, Counter, Gauge, Histogram};
+use crate::trace::{Trace, TraceEvent};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Default event-trace capacity (see [`Registry::with_trace_capacity`]).
+pub const DEFAULT_TRACE_CAPACITY: usize = 8192;
+
+/// A registered metric of any kind.
+#[derive(Debug, Clone)]
+pub enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Inner {
+    metrics: RwLock<BTreeMap<String, Metric>>,
+    trace: Trace,
+}
+
+/// Shareable observability sink for one run.
+#[derive(Clone)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::with_trace_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// A registry whose event trace keeps at most `capacity` records.
+    pub fn with_trace_capacity(capacity: usize) -> Self {
+        Registry {
+            inner: Arc::new(Inner {
+                metrics: RwLock::new(BTreeMap::new()),
+                trace: Trace::new(capacity),
+            }),
+        }
+    }
+
+    fn get_or_register<T, F, G>(&self, name: &str, make: F, unwrap: G) -> Arc<T>
+    where
+        F: FnOnce() -> Metric,
+        G: Fn(&Metric) -> Option<Arc<T>>,
+    {
+        if let Some(m) = self.inner.metrics.read().get(name) {
+            return unwrap(m)
+                .unwrap_or_else(|| panic!("metric {name:?} already registered as a {}", m.kind()));
+        }
+        let mut w = self.inner.metrics.write();
+        let m = w.entry(name.to_string()).or_insert_with(make);
+        unwrap(m).unwrap_or_else(|| panic!("metric {name:?} already registered as a {}", m.kind()))
+    }
+
+    /// Get or register the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.get_or_register(
+            name,
+            || Metric::Counter(Arc::new(Counter::new())),
+            |m| match m {
+                Metric::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Get or register the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.get_or_register(
+            name,
+            || Metric::Gauge(Arc::new(Gauge::new())),
+            |m| match m {
+                Metric::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Get or register the histogram `name`. The bucket layout is fixed
+    /// by the first registration; later calls reuse it.
+    pub fn histogram(&self, name: &str, buckets: Buckets) -> Arc<Histogram> {
+        self.get_or_register(
+            name,
+            || Metric::Histogram(Arc::new(Histogram::new(buckets))),
+            |m| match m {
+                Metric::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Append a structured trace event.
+    pub fn event(&self, scope: &str, rank: usize, trainer: Option<usize>, event: &str, value: f64) {
+        self.inner.trace.push(scope, rank, trainer, event, value);
+    }
+
+    /// Snapshot of the buffered trace events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.trace.events()
+    }
+
+    /// Trace events evicted from the ring so far.
+    pub fn events_dropped(&self) -> u64 {
+        self.inner.trace.dropped()
+    }
+
+    /// All registered metrics in name order.
+    pub fn metrics(&self) -> Vec<(String, Metric)> {
+        self.inner
+            .metrics
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Sum of all counters whose name ends with `suffix` — the cross-rank
+    /// aggregation helper (per-rank metrics are named `scope.rN.name`).
+    pub fn sum_counters(&self, suffix: &str) -> u64 {
+        self.inner
+            .metrics
+            .read()
+            .iter()
+            .filter(|(k, _)| k.ends_with(suffix))
+            .filter_map(|(_, m)| match m {
+                Metric::Counter(c) => Some(c.get()),
+                _ => None,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_returns_same_metric() {
+        let r = Registry::new();
+        let a = r.counter("comm.r0.sent_bytes");
+        let b = r.counter("comm.r0.sent_bytes");
+        a.add(7);
+        assert_eq!(b.get(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered as a counter")]
+    fn kind_mismatch_is_a_programming_error() {
+        let r = Registry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+
+    #[test]
+    fn sum_counters_aggregates_across_ranks() {
+        let r = Registry::new();
+        r.counter("comm.r0.sent_bytes").add(10);
+        r.counter("comm.r1.sent_bytes").add(32);
+        r.counter("comm.r1.sent_messages").add(5);
+        assert_eq!(r.sum_counters(".sent_bytes"), 42);
+        assert_eq!(r.sum_counters(".sent_messages"), 5);
+        assert_eq!(r.sum_counters(".recv_bytes"), 0);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let r = Registry::new();
+        let r2 = r.clone();
+        r.counter("n").inc();
+        r2.event("s", 0, None, "e", 1.0);
+        assert_eq!(r2.counter("n").get(), 1);
+        assert_eq!(r.events().len(), 1);
+    }
+
+    #[test]
+    fn metrics_are_listed_in_name_order() {
+        let r = Registry::new();
+        r.counter("z");
+        r.gauge("a");
+        r.histogram("m", Buckets::latency_us());
+        let names: Vec<String> = r.metrics().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a", "m", "z"]);
+    }
+
+    #[test]
+    fn concurrent_registration_yields_one_instance() {
+        let r = Registry::new();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let r = r.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        r.counter("shared").inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.counter("shared").get(), 800);
+    }
+}

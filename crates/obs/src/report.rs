@@ -1,0 +1,289 @@
+//! Run reports: snapshot the registry and write it as one
+//! machine-readable file (JSON with the full detail, CSV with one row
+//! per metric).
+//!
+//! The JSON is hand-rolled like the rest of the workspace's exports (no
+//! serde in the offline dependency set); numbers that JSON cannot
+//! represent (`inf`, `NaN`) are emitted as `null`.
+
+use crate::metrics::Histogram;
+use crate::registry::{Metric, Registry};
+use crate::trace::TraceEvent;
+use std::io::Write;
+use std::path::Path;
+
+/// Point-in-time summary of one histogram.
+#[derive(Debug, Clone)]
+pub struct HistogramSummary {
+    pub count: u64,
+    pub non_finite: u64,
+    pub sum: f64,
+    pub mean: f64,
+    pub min: f64,
+    pub max: f64,
+    pub p50: f64,
+    pub p95: f64,
+    pub p99: f64,
+    /// `(upper_bound, count)` of the non-empty buckets (bound `inf` =
+    /// overflow).
+    pub buckets: Vec<(f64, u64)>,
+}
+
+impl HistogramSummary {
+    fn of(h: &Histogram) -> Self {
+        HistogramSummary {
+            count: h.count(),
+            non_finite: h.non_finite(),
+            sum: h.sum(),
+            mean: h.mean(),
+            min: h.min(),
+            max: h.max(),
+            p50: h.quantile(0.50),
+            p95: h.quantile(0.95),
+            p99: h.quantile(0.99),
+            buckets: h.nonzero_buckets(),
+        }
+    }
+}
+
+/// Point-in-time copy of everything a registry holds.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, f64)>,
+    pub histograms: Vec<(String, HistogramSummary)>,
+    pub events: Vec<TraceEvent>,
+    pub events_dropped: u64,
+}
+
+/// Render an f64 as a JSON value (`null` for non-finite).
+fn jnum(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Minimal JSON string escaping (our names are tame, but stay correct).
+fn jstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl Snapshot {
+    /// The whole snapshot as one JSON object.
+    pub fn to_json(&self) -> String {
+        let counters: Vec<String> = self
+            .counters
+            .iter()
+            .map(|(n, v)| format!("{}:{v}", jstr(n)))
+            .collect();
+        let gauges: Vec<String> = self
+            .gauges
+            .iter()
+            .map(|(n, v)| format!("{}:{}", jstr(n), jnum(*v)))
+            .collect();
+        let histograms: Vec<String> = self
+            .histograms
+            .iter()
+            .map(|(n, h)| {
+                let buckets: Vec<String> = h
+                    .buckets
+                    .iter()
+                    .map(|(b, c)| format!("{}:{c}", jstr(&format!("{b}"))))
+                    .collect();
+                format!(
+                    "{}:{{\"count\":{},\"non_finite\":{},\"sum\":{},\"mean\":{},\
+                     \"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{},\
+                     \"buckets\":{{{}}}}}",
+                    jstr(n),
+                    h.count,
+                    h.non_finite,
+                    jnum(h.sum),
+                    jnum(h.mean),
+                    jnum(h.min),
+                    jnum(h.max),
+                    jnum(h.p50),
+                    jnum(h.p95),
+                    jnum(h.p99),
+                    buckets.join(",")
+                )
+            })
+            .collect();
+        let events: Vec<String> = self
+            .events
+            .iter()
+            .map(|e| {
+                format!(
+                    "{{\"t_us\":{},\"scope\":{},\"rank\":{},\"trainer\":{},\
+                     \"event\":{},\"value\":{}}}",
+                    e.t_us,
+                    jstr(&e.scope),
+                    e.rank,
+                    e.trainer.map_or("null".into(), |t| t.to_string()),
+                    jstr(&e.event),
+                    jnum(e.value)
+                )
+            })
+            .collect();
+        format!(
+            "{{\"events_dropped\":{},\"counters\":{{{}}},\"gauges\":{{{}}},\
+             \"histograms\":{{{}}},\"events\":[{}]}}",
+            self.events_dropped,
+            counters.join(","),
+            gauges.join(","),
+            histograms.join(","),
+            events.join(",")
+        )
+    }
+
+    /// Header matching [`Self::metrics_csv`].
+    pub fn csv_header() -> &'static str {
+        "name,kind,value,count,mean,min,max,p50,p95,p99"
+    }
+
+    /// One CSV row per metric (header included).
+    pub fn metrics_csv(&self) -> String {
+        let mut out = String::from(Self::csv_header());
+        out.push('\n');
+        for (n, v) in &self.counters {
+            out.push_str(&format!("{n},counter,{v},,,,,,,\n"));
+        }
+        for (n, v) in &self.gauges {
+            out.push_str(&format!("{n},gauge,{v},,,,,,,\n"));
+        }
+        for (n, h) in &self.histograms {
+            out.push_str(&format!(
+                "{n},histogram,,{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3}\n",
+                h.count, h.mean, h.min, h.max, h.p50, h.p95, h.p99
+            ));
+        }
+        out
+    }
+
+    /// Write the JSON dump to `path`, creating parent directories.
+    pub fn write_json(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json().as_bytes())
+    }
+
+    /// Write the per-metric CSV to `path`, creating parent directories.
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, self.metrics_csv())
+    }
+}
+
+impl Registry {
+    /// Snapshot every metric and the event trace.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        for (name, metric) in self.metrics() {
+            match metric {
+                Metric::Counter(c) => counters.push((name, c.get())),
+                Metric::Gauge(g) => gauges.push((name, g.get())),
+                Metric::Histogram(h) => histograms.push((name, HistogramSummary::of(&h))),
+            }
+        }
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+            events: self.events(),
+            events_dropped: self.events_dropped(),
+        }
+    }
+
+    /// Write the full JSON report to `path` — the one-call export hook
+    /// for run drivers and bench binaries.
+    pub fn write_report(&self, path: &Path) -> std::io::Result<()> {
+        self.snapshot().write_json(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Buckets;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter("comm.r0.sent_bytes").add(4096);
+        r.gauge("ltfb.adoption_rate").set(0.25);
+        let h = r.histogram("serve.latency_us", Buckets::latency_us());
+        for v in [10.0, 20.0, 40.0] {
+            h.record(v);
+        }
+        r.event("ltfb", 0, Some(1), "round_1_adoption_rate", 0.5);
+        r
+    }
+
+    #[test]
+    fn json_report_is_well_formed_and_complete() {
+        let j = sample_registry().snapshot().to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"comm.r0.sent_bytes\":4096"));
+        assert!(j.contains("\"ltfb.adoption_rate\":0.25"));
+        assert!(j.contains("\"serve.latency_us\""));
+        assert!(j.contains("\"count\":3"));
+        assert!(j.contains("\"p50\""));
+        assert!(j.contains("\"round_1_adoption_rate\""));
+        assert!(j.contains("\"trainer\":1"));
+        assert!(!j.contains("inf"), "non-finite leaked into JSON: {j}");
+    }
+
+    #[test]
+    fn csv_rows_match_header_width() {
+        let csv = sample_registry().snapshot().metrics_csv();
+        let cols = Snapshot::csv_header().split(',').count();
+        for line in csv.lines() {
+            assert_eq!(line.split(',').count(), cols, "bad row: {line}");
+        }
+        assert!(csv.contains("comm.r0.sent_bytes,counter,4096"));
+    }
+
+    #[test]
+    fn report_files_round_trip_to_disk() {
+        let dir = std::env::temp_dir().join(format!("ltfb-obs-report-{}", std::process::id()));
+        let json = dir.join("metrics.json");
+        let csv = dir.join("metrics.csv");
+        let r = sample_registry();
+        r.write_report(&json).unwrap();
+        r.snapshot().write_csv(&csv).unwrap();
+        assert!(std::fs::read_to_string(&json)
+            .unwrap()
+            .contains("sent_bytes"));
+        assert!(std::fs::read_to_string(&csv)
+            .unwrap()
+            .starts_with("name,kind"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        assert_eq!(jstr("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(jnum(f64::NAN), "null");
+        assert_eq!(jnum(f64::INFINITY), "null");
+    }
+}

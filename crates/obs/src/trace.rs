@@ -1,0 +1,110 @@
+//! Structured event trace: a bounded ring buffer of timestamped
+//! `{scope, rank, trainer, event, value}` records.
+//!
+//! Metrics answer "how much"; the trace answers "when and in what
+//! order" — tournament rounds, hot-swaps, failure injections. The ring
+//! is bounded so a long run cannot grow without limit: when full, the
+//! oldest events are dropped and counted, never the newest.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Microseconds since the registry was created.
+    pub t_us: u64,
+    /// Subsystem that emitted the event (`"ltfb"`, `"comm"`, `"serve"`, …).
+    pub scope: String,
+    /// World rank of the emitter (0 for single-process scopes).
+    pub rank: usize,
+    /// Trainer id, where one applies.
+    pub trainer: Option<usize>,
+    /// Event name, e.g. `"round_3_adoption_rate"`.
+    pub event: String,
+    /// Event payload value.
+    pub value: f64,
+}
+
+/// Bounded multi-producer event ring.
+#[derive(Debug)]
+pub struct Trace {
+    start: Instant,
+    capacity: usize,
+    ring: Mutex<VecDeque<TraceEvent>>,
+    dropped: AtomicU64,
+}
+
+impl Trace {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        Trace {
+            start: Instant::now(),
+            capacity,
+            ring: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Append an event, evicting the oldest record when full.
+    pub fn push(&self, scope: &str, rank: usize, trainer: Option<usize>, event: &str, value: f64) {
+        let t_us = self.start.elapsed().as_micros() as u64;
+        let mut ring = self.ring.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(TraceEvent {
+            t_us,
+            scope: scope.to_string(),
+            rank,
+            trainer,
+            event: event.to_string(),
+            value,
+        });
+    }
+
+    /// Snapshot of the buffered events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.ring.lock().iter().cloned().collect()
+    }
+
+    /// Events evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_come_back_in_order() {
+        let t = Trace::new(8);
+        t.push("ltfb", 0, Some(2), "round_1_adoption_rate", 0.5);
+        t.push("comm", 3, None, "deadlock_near_miss", 1.0);
+        let ev = t.events();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].event, "round_1_adoption_rate");
+        assert_eq!(ev[0].trainer, Some(2));
+        assert_eq!(ev[1].scope, "comm");
+        assert_eq!(ev[1].rank, 3);
+        assert!(ev[0].t_us <= ev[1].t_us);
+    }
+
+    #[test]
+    fn ring_drops_oldest_when_full() {
+        let t = Trace::new(3);
+        for i in 0..5 {
+            t.push("s", 0, None, &format!("e{i}"), i as f64);
+        }
+        let ev = t.events();
+        assert_eq!(ev.len(), 3);
+        assert_eq!(ev[0].event, "e2", "oldest must be evicted first");
+        assert_eq!(ev[2].event, "e4");
+        assert_eq!(t.dropped(), 2);
+    }
+}

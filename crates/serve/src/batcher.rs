@@ -76,6 +76,11 @@ impl BatchPolicy {
 pub enum ServeError {
     /// Input width does not match the live model's geometry.
     WrongWidth { expected: usize, got: usize },
+    /// Input contains a NaN or infinity at the given index. Rejected at
+    /// submission: non-finite coordinates would quantize onto arbitrary
+    /// cache cells (`NaN.round() as i64` is 0) and poison cached
+    /// responses for legitimate nearby inputs.
+    NonFinite { index: usize },
     /// Queue full (only from the non-blocking submit paths).
     Overloaded,
     /// Server shut down before the request could be accepted.
@@ -87,6 +92,9 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::WrongWidth { expected, got } => {
                 write!(f, "input width {got}, model expects {expected}")
+            }
+            ServeError::NonFinite { index } => {
+                write!(f, "input[{index}] is not finite")
             }
             ServeError::Overloaded => write!(f, "request queue full"),
             ServeError::ShuttingDown => write!(f, "server shutting down"),
@@ -148,6 +156,9 @@ impl ServeClient {
                 expected,
                 got: input.len(),
             });
+        }
+        if let Some(index) = input.iter().position(|v| !v.is_finite()) {
+            return Err(ServeError::NonFinite { index });
         }
         let (reply, rx) = bounded(1);
         let req = Request {
@@ -232,11 +243,30 @@ impl Server {
     /// Spawn the batch workers and start serving the registry's current
     /// model.
     pub fn start(registry: Arc<ModelRegistry>, policy: BatchPolicy) -> Server {
+        Self::start_inner(registry, policy, Telemetry::new())
+    }
+
+    /// [`Server::start`] with the telemetry sink mirrored into a shared
+    /// `ltfb-obs` registry (see [`Telemetry::with_registry`]), so serving
+    /// metrics join the unified cross-subsystem export.
+    pub fn start_with_obs(
+        registry: Arc<ModelRegistry>,
+        policy: BatchPolicy,
+        metrics: &ltfb_obs::Registry,
+    ) -> Server {
+        Self::start_inner(registry, policy, Telemetry::with_registry(metrics))
+    }
+
+    fn start_inner(
+        registry: Arc<ModelRegistry>,
+        policy: BatchPolicy,
+        telemetry: Telemetry,
+    ) -> Server {
         assert!(policy.max_batch >= 1, "max_batch must be at least 1");
         assert!(policy.workers >= 1, "need at least one worker");
         assert!(policy.queue_cap >= 1, "queue_cap must be at least 1");
         let (tx, rx) = bounded::<Request>(policy.queue_cap);
-        let telemetry = Arc::new(Telemetry::new());
+        let telemetry = Arc::new(telemetry);
         let cache = if policy.cache_capacity > 0 {
             Some(Arc::new(Mutex::new(LruCache::new(policy.cache_capacity))))
         } else {
@@ -465,6 +495,58 @@ mod tests {
         );
         let stats = server.shutdown();
         assert_eq!(stats.completed, 0);
+    }
+
+    #[test]
+    fn non_finite_inputs_rejected_at_submit() {
+        // Regression: a NaN coordinate used to quantize onto cell 0
+        // (`NaN.round() as i64 == 0`) and could poison the response cache
+        // for legitimate near-zero inputs.
+        let server = tiny_server(BatchPolicy {
+            cache_capacity: 64,
+            ..BatchPolicy::default()
+        });
+        let client = server.client();
+        assert_eq!(
+            client.forward(&[0.1, f32::NAN, 0.3, 0.4, 0.5]),
+            Err(ServeError::NonFinite { index: 1 })
+        );
+        let y_dim = server.registry().current().y_dim();
+        let mut y = vec![0.2; y_dim];
+        y[y_dim - 1] = f32::INFINITY;
+        assert_eq!(
+            client.inverse(&y),
+            Err(ServeError::NonFinite { index: y_dim - 1 })
+        );
+        assert_eq!(
+            client.try_submit_forward(&[f32::NEG_INFINITY; 5]).err(),
+            Some(ServeError::NonFinite { index: 0 })
+        );
+        // A legitimate near-zero input is unaffected by the rejects.
+        let clean = client.forward(&[0.0; 5]).unwrap();
+        assert!(clean.iter().all(|v| v.is_finite()));
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 1, "rejected requests never queued");
+    }
+
+    #[test]
+    fn obs_server_mirrors_traffic_into_registry() {
+        let metrics = ltfb_obs::Registry::new();
+        let cfg = CycleGanConfig::small(4);
+        let registry = Arc::new(ModelRegistry::new(CycleGan::new(cfg, 1), 1));
+        let server = Server::start_with_obs(registry, BatchPolicy::default(), &metrics);
+        let client = server.client();
+        for i in 0..5 {
+            client.forward(&[i as f32 * 0.1; 5]).unwrap();
+        }
+        let stats = server.shutdown();
+        assert_eq!(metrics.counter("serve.forward").get(), 5);
+        assert_eq!(
+            metrics
+                .histogram("serve.latency_us", ltfb_obs::Buckets::latency_us())
+                .count(),
+            stats.completed
+        );
     }
 
     #[test]

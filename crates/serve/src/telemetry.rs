@@ -4,10 +4,23 @@
 //!
 //! Recording is mutex-guarded (workers record once per request/batch —
 //! far coarser than the lock cost); summarisation sorts on demand.
+//! Percentiles are exact (computed from the full latency vector);
+//! non-finite latencies are kept in the completion counts but excluded
+//! from the percentile/mean/max math so one bad clock reading cannot
+//! poison the whole summary.
+//!
+//! A sink built with [`Telemetry::with_registry`] additionally mirrors
+//! every record into a shared `ltfb-obs` [`Registry`] (counters
+//! `serve.forward`, `serve.inverse`, `serve.cache_hits`,
+//! `serve.rejected`; histograms `serve.latency_us`, `serve.batch_size`,
+//! `serve.queue_depth`), so serving metrics land in the same export as
+//! comm, datastore and LTFB metrics.
 
+use ltfb_obs::{Buckets, Counter, Histogram, Registry};
 use parking_lot::Mutex;
 use std::io::Write;
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Which inference path a request took.
@@ -29,12 +42,43 @@ struct Inner {
     inverse: u64,
     cache_hits: u64,
     rejected: u64,
+    /// When the first request was recorded. The throughput window starts
+    /// here, not at construction: a server can sit idle for minutes
+    /// between start-up and first traffic (model loads, benches with a
+    /// preparation phase), and counting that idle time would dilute
+    /// `throughput_rps` arbitrarily.
+    first_request: Option<Instant>,
+}
+
+/// Registry mirrors of the telemetry stream (see module docs).
+struct ObsMirror {
+    forward: Arc<Counter>,
+    inverse: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    rejected: Arc<Counter>,
+    latency_us: Arc<Histogram>,
+    batch_size: Arc<Histogram>,
+    queue_depth: Arc<Histogram>,
+}
+
+impl ObsMirror {
+    fn new(registry: &Registry) -> ObsMirror {
+        ObsMirror {
+            forward: registry.counter("serve.forward"),
+            inverse: registry.counter("serve.inverse"),
+            cache_hits: registry.counter("serve.cache_hits"),
+            rejected: registry.counter("serve.rejected"),
+            latency_us: registry.histogram("serve.latency_us", Buckets::latency_us()),
+            batch_size: registry.histogram("serve.batch_size", Buckets::small_counts()),
+            queue_depth: registry.histogram("serve.queue_depth", Buckets::small_counts()),
+        }
+    }
 }
 
 /// Shared telemetry sink for one server.
 pub struct Telemetry {
     inner: Mutex<Inner>,
-    started: Instant,
+    obs: Option<ObsMirror>,
 }
 
 impl Default for Telemetry {
@@ -56,14 +100,26 @@ impl Telemetry {
                 inverse: 0,
                 cache_hits: 0,
                 rejected: 0,
+                first_request: None,
             }),
-            started: Instant::now(),
+            obs: None,
         }
+    }
+
+    /// A sink that also mirrors every record into `registry` under the
+    /// `serve.…` metric family. The exact-percentile [`ServeStats`] path
+    /// is unchanged; the registry carries the bucketed view used by the
+    /// unified cross-subsystem export.
+    pub fn with_registry(registry: &Registry) -> Self {
+        let mut t = Telemetry::new();
+        t.obs = Some(ObsMirror::new(registry));
+        t
     }
 
     /// Record one completed request.
     pub fn record_request(&self, kind: ReqKind, latency_us: f64, cache_hit: bool) {
         let mut g = self.inner.lock();
+        g.first_request.get_or_insert_with(Instant::now);
         g.latencies_us.push(latency_us);
         match kind {
             ReqKind::Forward => g.forward += 1,
@@ -71,6 +127,17 @@ impl Telemetry {
         }
         if cache_hit {
             g.cache_hits += 1;
+        }
+        drop(g);
+        if let Some(o) = &self.obs {
+            match kind {
+                ReqKind::Forward => o.forward.inc(),
+                ReqKind::Inverse => o.inverse.inc(),
+            }
+            if cache_hit {
+                o.cache_hits.inc();
+            }
+            o.latency_us.record(latency_us);
         }
     }
 
@@ -84,6 +151,10 @@ impl Telemetry {
             g.batch_sizes.resize(size + 1, 0);
         }
         g.batch_sizes[size] += 1;
+        drop(g);
+        if let Some(o) = &self.obs {
+            o.batch_size.record(size as f64);
+        }
     }
 
     /// Record the queue depth observed at a submission.
@@ -92,18 +163,34 @@ impl Telemetry {
         g.queue_samples += 1;
         g.queue_sum += depth as u64;
         g.queue_max = g.queue_max.max(depth);
+        drop(g);
+        if let Some(o) = &self.obs {
+            o.queue_depth.record(depth as f64);
+        }
     }
 
     /// Record a request rejected for backpressure.
     pub fn record_rejected(&self) {
         self.inner.lock().rejected += 1;
+        if let Some(o) = &self.obs {
+            o.rejected.inc();
+        }
     }
 
-    /// Snapshot the stats so far.
+    /// Snapshot the stats so far. The throughput window runs from the
+    /// first recorded request to now (zero requests → zero elapsed).
     pub fn summary(&self) -> ServeStats {
         let g = self.inner.lock();
-        let mut lat = g.latencies_us.clone();
-        lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // Percentile math runs over the finite samples only; `total_cmp`
+        // keeps the sort panic-free even if a non-finite latency slips
+        // through (NaN from a degenerate duration arithmetic, say).
+        let mut lat: Vec<f64> = g
+            .latencies_us
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .collect();
+        lat.sort_by(f64::total_cmp);
         let pct = |p: f64| -> f64 {
             if lat.is_empty() {
                 return 0.0;
@@ -111,8 +198,11 @@ impl Telemetry {
             let idx = ((lat.len() as f64 - 1.0) * p).round() as usize;
             lat[idx]
         };
-        let completed = lat.len() as u64;
-        let elapsed = self.started.elapsed().as_secs_f64();
+        let completed = g.latencies_us.len() as u64;
+        let elapsed = g
+            .first_request
+            .map(|t| t.elapsed().as_secs_f64())
+            .unwrap_or(0.0);
         let batches: u64 = g.batch_sizes.iter().sum();
         let weighted: u64 = g
             .batch_sizes
@@ -349,5 +439,72 @@ mod tests {
         assert_eq!(s.completed, 0);
         assert_eq!(s.latency_p99_us, 0.0);
         assert_eq!(s.mean_batch, 0.0);
+        assert_eq!(s.elapsed_secs, 0.0, "no requests, no throughput window");
+        assert_eq!(s.throughput_rps, 0.0);
+    }
+
+    #[test]
+    fn nan_latency_does_not_panic_summary() {
+        // Regression: the old sort used `partial_cmp(..).unwrap()`, so a
+        // single NaN latency panicked the whole stats path.
+        let t = Telemetry::new();
+        t.record_request(ReqKind::Forward, 10.0, false);
+        t.record_request(ReqKind::Forward, f64::NAN, false);
+        t.record_request(ReqKind::Forward, 30.0, false);
+        t.record_request(ReqKind::Inverse, f64::INFINITY, false);
+        let s = t.summary();
+        assert_eq!(s.completed, 4, "non-finite samples still count");
+        assert!(s.latency_p50_us.is_finite());
+        assert!(s.latency_p99_us.is_finite());
+        assert_eq!(s.latency_max_us, 30.0, "max over finite samples");
+        assert!((s.latency_mean_us - 20.0).abs() < 1e-9);
+        assert!(s.to_json().starts_with('{'));
+    }
+
+    #[test]
+    fn throughput_window_starts_at_first_request() {
+        // Regression: `elapsed_secs` used to run from construction, so an
+        // idle preparation phase diluted throughput arbitrarily.
+        let t = Telemetry::new();
+        std::thread::sleep(std::time::Duration::from_millis(120));
+        for _ in 0..50 {
+            t.record_request(ReqKind::Forward, 5.0, false);
+        }
+        let s = t.summary();
+        assert!(
+            s.elapsed_secs < 0.1,
+            "pre-load delay leaked into the window: {}s",
+            s.elapsed_secs
+        );
+        assert!(
+            s.throughput_rps > 50.0 / 0.1,
+            "throughput diluted: {} rps",
+            s.throughput_rps
+        );
+    }
+
+    #[test]
+    fn with_registry_mirrors_into_shared_metrics() {
+        let reg = Registry::new();
+        let t = Telemetry::with_registry(&reg);
+        t.record_request(ReqKind::Forward, 10.0, true);
+        t.record_request(ReqKind::Forward, 20.0, false);
+        t.record_request(ReqKind::Inverse, 30.0, false);
+        t.record_batch(2);
+        t.record_queue_depth(3);
+        t.record_rejected();
+        let s = t.summary();
+        assert_eq!(reg.counter("serve.forward").get(), s.forward);
+        assert_eq!(reg.counter("serve.inverse").get(), s.inverse);
+        assert_eq!(reg.counter("serve.cache_hits").get(), s.cache_hits);
+        assert_eq!(reg.counter("serve.rejected").get(), s.rejected);
+        let h = reg.histogram("serve.latency_us", Buckets::latency_us());
+        assert_eq!(h.count(), s.completed);
+        assert_eq!(h.max(), 30.0);
+        assert_eq!(
+            reg.histogram("serve.batch_size", Buckets::small_counts())
+                .count(),
+            1
+        );
     }
 }

@@ -17,4 +17,7 @@ cargo fmt --check
 echo "==> cargo clippy"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> metrics smoke"
+scripts/metrics_smoke.sh
+
 echo "CI green."

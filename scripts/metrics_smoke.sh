@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Metrics smoke test: exercise the unified ltfb-obs exports end to end and
+# check that instrumentation stays cheap.
+#
+# 1. A small distributed LTFB run (with datastore ingest) must emit a
+#    single metrics report containing per-round adoption rates, comm
+#    bytes, datastore shuffle bytes, and step-latency percentiles.
+# 2. A serve-bench run must emit a report with serving latency
+#    percentiles from the same registry type.
+# 3. Overhead gate: the same train run with --metrics must cost < 5%
+#    extra wall clock vs. the plain run (best of 3 each, to shave
+#    scheduler noise).
+#
+# Assumes `cargo build --release` has already run (ci.sh does).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLI=target/release/ltfb-cli
+[[ -x "$CLI" ]] || {
+    echo "metrics_smoke: $CLI missing; run cargo build --release first" >&2
+    exit 1
+}
+
+RESULTS="$(mktemp -d)"
+trap 'rm -rf "$RESULTS"' EXIT
+export LTFB_RESULTS_DIR="$RESULTS"
+
+TRAIN_ARGS=(train --trainers 4 --steps 150 --ae-steps 60 --samples 768
+    --exchange 25 --eval 60 --distributed --ingest)
+
+need() { # need <file> <pattern> <label>
+    grep -q "$2" "$1" || {
+        echo "metrics_smoke: $3 missing from $1 (pattern: $2)" >&2
+        exit 1
+    }
+}
+
+echo "==> LTFB train export"
+"$CLI" "${TRAIN_ARGS[@]}" --metrics >/dev/null
+LTFB_JSON="$RESULTS/ltfb_metrics.json"
+[[ -f "$LTFB_JSON" ]] || { echo "metrics_smoke: $LTFB_JSON not written" >&2; exit 1; }
+need "$LTFB_JSON" 'ltfb\.round1\.adoption_rate' "per-round adoption rate"
+need "$LTFB_JSON" 'comm\.r0\.sent_bytes' "comm bytes"
+need "$LTFB_JSON" 'datastore\.r0\.shuffled_bytes' "datastore shuffle bytes"
+need "$LTFB_JSON" 'ltfb\.step_us' "step latency histogram"
+need "$LTFB_JSON" '"p99"' "latency percentiles"
+echo "    ok: $LTFB_JSON"
+
+echo "==> serve-bench export"
+"$CLI" serve-bench --clients 4 --requests 100 --metrics >/dev/null
+SERVE_JSON="$RESULTS/serve_metrics.json"
+[[ -f "$SERVE_JSON" ]] || { echo "metrics_smoke: $SERVE_JSON not written" >&2; exit 1; }
+need "$SERVE_JSON" 'serve\.latency_us' "serve latency histogram"
+need "$SERVE_JSON" 'serve\.forward' "forward counter"
+need "$SERVE_JSON" '"p50"' "p50 percentile"
+need "$SERVE_JSON" '"p95"' "p95 percentile"
+need "$SERVE_JSON" '"p99"' "p99 percentile"
+echo "    ok: $SERVE_JSON"
+
+echo "==> overhead gate (<5% wall clock with --metrics)"
+# Interleave base/metrics runs and take the minimum of each: scheduler
+# noise only ever adds time, so the min converges on the true cost, and
+# interleaving keeps slow drift (thermal, background load) from landing
+# on one arm only. One untimed warm-up pair first (page cache, file
+# creation for the ingest dataset).
+one_ms() { # one_ms <extra args...> — single run, milliseconds
+    local t0 t1
+    t0=$(date +%s%N)
+    "$CLI" "${TRAIN_ARGS[@]}" "$@" >/dev/null
+    t1=$(date +%s%N)
+    echo $(((t1 - t0) / 1000000))
+}
+one_ms >/dev/null
+one_ms --metrics >/dev/null
+BASE="" WITH=""
+for _ in 1 2 3 4 5 6 7; do
+    ms=$(one_ms)
+    if [[ -z "$BASE" || "$ms" -lt "$BASE" ]]; then BASE=$ms; fi
+    ms=$(one_ms --metrics)
+    if [[ -z "$WITH" || "$ms" -lt "$WITH" ]]; then WITH=$ms; fi
+done
+echo "    base ${BASE}ms, with-metrics ${WITH}ms"
+if (((WITH - BASE) * 100 > BASE * 5)); then
+    echo "metrics_smoke: overhead gate failed: ${BASE}ms -> ${WITH}ms (>5%)" >&2
+    exit 1
+fi
+
+echo "metrics smoke green."

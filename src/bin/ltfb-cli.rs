@@ -3,27 +3,35 @@
 //! ```text
 //! ltfb-cli train    [--trainers K] [--steps N] [--seed S] [--distributed]
 //!                   [--lr-spread F] [--by-index] [--kindep]
+//!                   [--ingest] [--metrics [PATH]]
 //! ltfb-cli classify [--trainers K] [--steps N] [--seed S]
 //! ltfb-cli simulate <fig9|fig10|fig11>
 //! ltfb-cli generate --dir PATH [--samples N] [--per-file M]
 //! ltfb-cli serve-bench [--clients C] [--requests N] [--max-batch B] [--workers W]
 //!                      [--open-rate RPS] [--inverse-frac F] [--cache N] [--img-size P]
-//!                      [--checkpoint PATH] [--csv PATH] [--json PATH]
+//!                      [--checkpoint PATH] [--csv PATH] [--json PATH] [--metrics [PATH]]
 //! ltfb-cli help
 //! ```
+//!
+//! `--metrics` exports a unified `ltfb-obs` report (comm traffic, datastore
+//! I/O and shuffle volume, tournament outcomes / per-round adoption rates,
+//! serving latency) as JSON under the results directory.
 //!
 //! Argument parsing is hand-rolled (the reproduction keeps its dependency
 //! set to the numeric/concurrency essentials).
 
 use ltfb::core::{
-    run_classifier_population, run_k_independent, run_ltfb_distributed, run_ltfb_serial,
-    run_ltfb_two_level, LtfbConfig, PartitionScheme,
+    record_run_outcome, run_classifier_population, run_k_independent, run_ltfb_distributed,
+    run_ltfb_distributed_obs, run_ltfb_serial, run_ltfb_serial_obs, run_ltfb_two_level, LtfbConfig,
+    PartitionScheme,
 };
 use ltfb::hpcsim::{
     dp_placement, evaluate_config, paper_sweep, IngestMode, MachineSpec, TrainingModel,
     WorkloadSpec,
 };
 use ltfb::jag::{DatasetSpec, JagConfig};
+use ltfb::obs::Registry;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -103,6 +111,82 @@ impl Flags {
     }
 }
 
+/// Destination of a `--metrics [PATH]` export: the explicit PATH, or
+/// `<results dir>/<default_name>` for the bare flag (the results dir
+/// honours `LTFB_RESULTS_DIR`, like the bench binaries).
+fn metrics_path(flags: &Flags, default_name: &str) -> PathBuf {
+    match flags.get_str("metrics") {
+        Some(p) if !p.is_empty() => PathBuf::from(p),
+        _ => {
+            let dir = std::env::var("LTFB_RESULTS_DIR").unwrap_or_else(|_| "results".into());
+            PathBuf::from(dir).join(default_name)
+        }
+    }
+}
+
+fn write_metrics(registry: &Registry, path: &Path) {
+    match registry.write_report(path) {
+        Ok(()) => println!("wrote metrics {}", path.display()),
+        Err(e) => eprintln!("cannot write metrics {}: {e}", path.display()),
+    }
+}
+
+/// Store-backed ingest demo phase: a tiny 2-rank dynamic-mode ingest
+/// over a throwaway dataset, epochs 0-1, so a `--metrics` run exports
+/// real `datastore.rN.shuffled_bytes` alongside the training metrics.
+/// Runs the same work with or without a registry, so the metrics-overhead
+/// smoke compares identical runs that differ only in recording.
+fn ingest_demo(seed: u64, metrics: Option<&Registry>) {
+    use ltfb::comm::{run_world, run_world_obs};
+    use ltfb::datastore::{DataStore, PopulateMode};
+    use ltfb::jag::{cleanup_dataset_dir, temp_dataset_dir};
+
+    const RANKS: usize = 2;
+    let dir = temp_dataset_dir(&format!("cli-ingest-{seed}"));
+    let spec = DatasetSpec::new(dir.clone(), JagConfig::small(4), 64, 8);
+    if let Err(e) = spec.generate_all() {
+        eprintln!("ingest demo: cannot generate dataset: {e}");
+        return;
+    }
+    let reg = metrics.cloned();
+    let body = move |comm: ltfb::comm::Comm| {
+        let ids: Vec<u64> = (0..spec.n_samples).collect();
+        let mut store = DataStore::new(
+            comm,
+            spec.clone(),
+            ids,
+            PopulateMode::Dynamic,
+            8,
+            seed,
+            None,
+        )
+        .expect("tiny ingest partition always fits");
+        if let Some(r) = &reg {
+            store.attach_obs(r);
+        }
+        for epoch in 0..2 {
+            store.fetch_epoch(epoch).expect("ingest epoch");
+        }
+        store.stats()
+    };
+    let stats = match metrics {
+        Some(r) => run_world_obs(RANKS, r, body),
+        None => run_world(RANKS, body),
+    };
+    let (reads, shuffled, bytes) = stats.iter().fold((0u64, 0u64, 0u64), |a, s| {
+        (
+            a.0 + s.fs_sample_reads,
+            a.1 + s.shuffled_samples,
+            a.2 + s.shuffled_bytes,
+        )
+    });
+    println!(
+        "ingest demo: {RANKS} ranks, {reads} epoch-0 sample reads, \
+         {shuffled} samples / {bytes} B shuffled in epoch 1"
+    );
+    cleanup_dataset_dir(&dir);
+}
+
 fn build_cfg(flags: &Flags) -> LtfbConfig {
     let k = flags.get("trainers", 4usize);
     let mut cfg = LtfbConfig::small(k.max(1));
@@ -125,9 +209,13 @@ fn train(flags: &Flags) -> ExitCode {
         "LTFB: K={} steps={} seed={} partition={:?} lr_spread={}",
         cfg.n_trainers, cfg.steps, cfg.seed, cfg.partition, cfg.lr_spread
     );
+    let metrics = flags.has("metrics").then(Registry::new);
     let replicas = flags.get("replicas", 1usize);
     if replicas > 1 {
         println!("(two-level: {replicas} data-parallel replicas per trainer)");
+        if metrics.is_some() {
+            eprintln!("(--metrics is not recorded for two-level runs)");
+        }
         let out = run_ltfb_two_level(&cfg, replicas);
         for (t, h) in out.histories.iter().enumerate() {
             let pts: Vec<String> = h
@@ -146,13 +234,26 @@ fn train(flags: &Flags) -> ExitCode {
     }
     let out = if flags.has("kindep") {
         println!("(K-independent baseline: tournaments disabled)");
-        run_k_independent(&cfg)
+        let out = run_k_independent(&cfg);
+        if let Some(reg) = &metrics {
+            record_run_outcome(reg, &out);
+        }
+        out
     } else if flags.has("distributed") {
         println!("(distributed driver: one rank per trainer)");
-        run_ltfb_distributed(&cfg)
+        match &metrics {
+            Some(reg) => run_ltfb_distributed_obs(&cfg, reg),
+            None => run_ltfb_distributed(&cfg),
+        }
     } else {
-        run_ltfb_serial(&cfg)
+        match &metrics {
+            Some(reg) => run_ltfb_serial_obs(&cfg, reg),
+            None => run_ltfb_serial(&cfg),
+        }
     };
+    if flags.has("ingest") {
+        ingest_demo(cfg.seed, metrics.as_ref());
+    }
     for (t, h) in out.histories.iter().enumerate() {
         let pts: Vec<String> = h
             .points()
@@ -166,6 +267,9 @@ fn train(flags: &Flags) -> ExitCode {
         "adoptions: {}  best: trainer {best} @ {loss:.4}",
         out.adoptions
     );
+    if let Some(reg) = &metrics {
+        write_metrics(reg, &metrics_path(flags, "ltfb_metrics.json"));
+    }
     ExitCode::SUCCESS
 }
 
@@ -342,27 +446,34 @@ fn serve_bench(flags: &Flags) -> ExitCode {
         }
     };
 
-    let run_one = |label: &str, policy: BatchPolicy| -> Option<ServeStats> {
-        let registry = build_registry()?;
-        let server = Server::start(registry, policy);
-        let (x_dim, y_dim) = {
-            let m = server.registry().current();
-            (m.x_dim(), m.y_dim())
-        };
-        let report = run_load(&server.client(), &load, x_dim, y_dim);
-        let stats = server.shutdown();
-        println!(
-            "{label:>10}: {:.0} req/s  p50 {:.0}us  p95 {:.0}us  p99 {:.0}us  \
+    // The batched arm records into the shared registry; the unbatched
+    // baseline arm does not, so the export describes the headline config.
+    let metrics = flags.has("metrics").then(Registry::new);
+    let run_one =
+        |label: &str, policy: BatchPolicy, obs: Option<&Registry>| -> Option<ServeStats> {
+            let registry = build_registry()?;
+            let server = match obs {
+                Some(m) => Server::start_with_obs(registry, policy, m),
+                None => Server::start(registry, policy),
+            };
+            let (x_dim, y_dim) = {
+                let m = server.registry().current();
+                (m.x_dim(), m.y_dim())
+            };
+            let report = run_load(&server.client(), &load, x_dim, y_dim);
+            let stats = server.shutdown();
+            println!(
+                "{label:>10}: {:.0} req/s  p50 {:.0}us  p95 {:.0}us  p99 {:.0}us  \
              mean batch {:.2}  rejected {}",
-            report.throughput_rps(),
-            stats.latency_p50_us,
-            stats.latency_p95_us,
-            stats.latency_p99_us,
-            stats.mean_batch,
-            report.rejected,
-        );
-        Some(stats)
-    };
+                report.throughput_rps(),
+                stats.latency_p50_us,
+                stats.latency_p95_us,
+                stats.latency_p99_us,
+                stats.mean_batch,
+                report.rejected,
+            );
+            Some(stats)
+        };
 
     println!(
         "serve-bench: {clients} clients x {requests} reqs, {} mode, y_dim={}",
@@ -372,7 +483,7 @@ fn serve_bench(flags: &Flags) -> ExitCode {
         },
         gan_cfg.y_dim(),
     );
-    let Some(batched) = run_one("batched", policy) else {
+    let Some(batched) = run_one("batched", policy, metrics.as_ref()) else {
         return ExitCode::FAILURE;
     };
     let Some(unbatched) = run_one(
@@ -381,6 +492,7 @@ fn serve_bench(flags: &Flags) -> ExitCode {
             workers: policy.workers,
             ..BatchPolicy::sequential()
         },
+        None,
     ) else {
         return ExitCode::FAILURE;
     };
@@ -415,6 +527,9 @@ fn serve_bench(flags: &Flags) -> ExitCode {
             Err(e) => eprintln!("cannot write {path}: {e}"),
         }
     }
+    if let Some(reg) = &metrics {
+        write_metrics(reg, &metrics_path(flags, "serve_metrics.json"));
+    }
     ExitCode::SUCCESS
 }
 
@@ -423,13 +538,19 @@ fn usage() {
         "ltfb-cli — LTFB tournament training reproduction\n\n\
          commands:\n  \
          train    [--trainers K] [--steps N] [--samples N] [--seed S] [--exchange N]\n           \
-         [--lr-spread F] [--by-index] [--distributed] [--replicas R] [--kindep]\n  \
+         [--lr-spread F] [--by-index] [--distributed] [--replicas R] [--kindep]\n           \
+         [--ingest] [--metrics [PATH]]\n  \
          classify [--trainers K] [--steps N] [--kindep]\n  \
          simulate <fig9|fig10|fig11>\n  \
          generate --dir PATH [--samples N] [--per-file M] [--img-size P]\n  \
          serve-bench [--clients C] [--requests N] [--max-batch B] [--workers W]\n              \
          [--flush-us U] [--open-rate RPS] [--inverse-frac F] [--cache N]\n              \
-         [--img-size P] [--checkpoint PATH] [--csv PATH] [--json PATH]\n  \
-         help"
+         [--img-size P] [--checkpoint PATH] [--csv PATH] [--json PATH]\n              \
+         [--metrics [PATH]]\n  \
+         help\n\n\
+         --metrics without PATH writes to <results dir>/ltfb_metrics.json or\n\
+         serve_metrics.json\n\
+         (results dir honours LTFB_RESULTS_DIR); --ingest adds a 2-rank data-store\n\
+         ingest demo so datastore shuffle metrics land in the export."
     );
 }

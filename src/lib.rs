@@ -21,6 +21,7 @@
 //! | [`gan`]       | `ltfb-gan`       | the CycleGAN ICF surrogate (Fig. 2) |
 //! | [`core`]      | `ltfb-core`      | LTFB tournaments + K-independent baseline |
 //! | [`serve`]     | `ltfb-serve`     | batched surrogate inference serving |
+//! | [`obs`]       | `ltfb-obs`       | cross-cutting metrics registry + event trace |
 //!
 //! ## Quickstart
 //!
@@ -40,6 +41,7 @@ pub use ltfb_gan as gan;
 pub use ltfb_hpcsim as hpcsim;
 pub use ltfb_jag as jag;
 pub use ltfb_nn as nn;
+pub use ltfb_obs as obs;
 pub use ltfb_serve as serve;
 pub use ltfb_tensor as tensor;
 pub use ltfb_workflow as workflow;
