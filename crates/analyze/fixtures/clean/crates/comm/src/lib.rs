@@ -1,0 +1,18 @@
+// Fixture: a hot-path crate root that violates nothing.
+#![forbid(unsafe_code)]
+
+use parking_lot::Mutex;
+
+pub fn wait(rx: &Receiver<u8>, deadline: Duration) -> Result<u8, RecvTimeoutError> {
+    rx.recv_timeout(deadline)
+}
+
+pub fn guarded(v: &Mutex<u32>) -> u32 {
+    *v.lock()
+}
+
+pub struct CleanCheckpointHeader {
+    pub magic: u32,
+    pub version: u32,
+    pub body_len: u64,
+}

@@ -1,0 +1,16 @@
+// Fixture: LA001 must fire exactly once (the unwrap below). The
+// commented-out call and the string literal must NOT fire:
+// let a = b.unwrap();
+pub fn take(x: Option<u32>) -> u32 {
+    let s = "docs say .unwrap() is fine in tests";
+    let _ = s;
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    // Inside the test module unwrap is allowed:
+    fn t(x: Option<u32>) -> u32 {
+        x.unwrap()
+    }
+}

@@ -1,0 +1,6 @@
+// Fixture: LA002 must fire exactly once — a blocking recv() with no
+// deadline. The recv_timeout call must NOT fire.
+pub fn wait(rx: &Receiver<u8>, deadline: Duration) {
+    let _ = rx.recv_timeout(deadline);
+    let _ = rx.recv();
+}

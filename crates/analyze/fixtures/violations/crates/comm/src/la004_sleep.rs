@@ -1,0 +1,5 @@
+// Fixture: LA004 must fire exactly once — sleeping in a comm protocol
+// path instead of blocking on a channel.
+pub fn backoff() {
+    std::thread::sleep(Duration::from_millis(10));
+}

@@ -1,0 +1,7 @@
+// Fixture: LA003 must fire exactly once — std::sync::Mutex where the
+// workspace idiom is parking_lot.
+use std::sync::Mutex;
+
+pub fn guard(v: &Mutex<u32>) -> u32 {
+    *v.lock().unwrap_or_else(|p| p.into_inner())
+}

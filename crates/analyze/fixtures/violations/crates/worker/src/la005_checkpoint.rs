@@ -1,0 +1,11 @@
+// Fixture: LA005 must fire exactly once — a pub checkpoint-format
+// struct with no version field. The versioned one must NOT fire.
+pub struct GoodCheckpointHeader {
+    pub magic: u32,
+    pub version: u32,
+}
+
+pub struct BadCheckpointHeader {
+    pub magic: u32,
+    pub body_len: u64,
+}

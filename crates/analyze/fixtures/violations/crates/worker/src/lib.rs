@@ -1,0 +1,4 @@
+// Fixture: LA006 must fire exactly once — a crate root missing
+// #![forbid(unsafe_code)].
+pub mod la003_mutex;
+pub mod la005_checkpoint;

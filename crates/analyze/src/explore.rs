@@ -1,0 +1,228 @@
+//! Schedule exploration strategies over [`run_schedule`].
+//!
+//! * [`explore_random`] — a seeded random walk: iteration `i` runs under
+//!   seed `mix_seed([base, i])`, so a failure is fully identified by the
+//!   printed per-iteration seed and [`replay_seed`] reproduces it.
+//! * [`explore_exhaustive`] — depth-first enumeration of *every*
+//!   schedule of a small world, by backtracking over the recorded
+//!   (chosen, options) decision trace. A clean sweep is a certificate
+//!   that no interleaving of the model fails; a failure carries the
+//!   exact choice trace and replays via `Chooser::Trace`.
+
+use crate::sched::{run_schedule, Chooser, RunOutcome, ScheduleRun, SimWorld};
+use ltfb_obs::Registry;
+use ltfb_tensor::mix_seed;
+
+/// A reproducible failure: the outcome plus everything needed to replay.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    pub outcome: RunOutcome,
+    /// Per-iteration seed (random walk) — replay with [`replay_seed`].
+    pub seed: Option<u64>,
+    /// Decision trace (always present) — replay with `Chooser::Trace`.
+    pub trace: Vec<u32>,
+    /// Iterations/schedules completed before this failure.
+    pub schedules_before: usize,
+}
+
+/// Summary of an exploration sweep.
+#[derive(Debug)]
+pub struct Sweep {
+    pub schedules: usize,
+    pub steps: usize,
+    pub failure: Option<Failure>,
+    /// Exhaustive sweeps only: false when the schedule space was larger
+    /// than the budget, so the sweep is *not* a certificate.
+    pub complete: bool,
+}
+
+impl Sweep {
+    pub fn ok(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+fn to_trace(run: &ScheduleRun) -> Vec<u32> {
+    run.choices.iter().map(|c| c.chosen).collect()
+}
+
+/// Random-walk exploration: `iters` schedules, each under a derived
+/// seed. Stops at the first failure.
+pub fn explore_random(
+    build: &dyn Fn() -> SimWorld,
+    base_seed: u64,
+    iters: usize,
+    obs: Option<&Registry>,
+) -> Sweep {
+    let mut steps = 0;
+    for i in 0..iters {
+        let seed = mix_seed(&[base_seed, i as u64]);
+        let run = run_schedule(build(), &mut Chooser::random(seed), obs);
+        steps += run.steps;
+        if !run.outcome.is_ok() {
+            return Sweep {
+                schedules: i + 1,
+                steps,
+                failure: Some(Failure {
+                    outcome: run.outcome.clone(),
+                    seed: Some(seed),
+                    trace: to_trace(&run),
+                    schedules_before: i,
+                }),
+                complete: false,
+            };
+        }
+    }
+    Sweep {
+        schedules: iters,
+        steps,
+        failure: None,
+        complete: false,
+    }
+}
+
+/// Replay the single schedule identified by a per-iteration seed.
+pub fn replay_seed(build: &dyn Fn() -> SimWorld, seed: u64, obs: Option<&Registry>) -> ScheduleRun {
+    run_schedule(build(), &mut Chooser::random(seed), obs)
+}
+
+/// Exhaustive DFS over the schedule tree, bounded by `max_schedules`.
+///
+/// Each run records `(chosen, options)` at every scheduling point; the
+/// next prefix increments the deepest choice that still has an untried
+/// sibling. When the tree is fully swept within budget, the result is a
+/// certificate (`complete == true`).
+pub fn explore_exhaustive(
+    build: &dyn Fn() -> SimWorld,
+    max_schedules: usize,
+    obs: Option<&Registry>,
+) -> Sweep {
+    let mut prefix: Vec<u32> = Vec::new();
+    let mut schedules = 0;
+    let mut steps = 0;
+    loop {
+        if schedules >= max_schedules {
+            return Sweep {
+                schedules,
+                steps,
+                failure: None,
+                complete: false,
+            };
+        }
+        let mut chooser = Chooser::Trace(prefix.clone());
+        let run = run_schedule(build(), &mut chooser, obs);
+        schedules += 1;
+        steps += run.steps;
+        if !run.outcome.is_ok() {
+            return Sweep {
+                schedules,
+                steps,
+                failure: Some(Failure {
+                    outcome: run.outcome.clone(),
+                    seed: None,
+                    trace: to_trace(&run),
+                    schedules_before: schedules - 1,
+                }),
+                complete: false,
+            };
+        }
+        // Backtrack: deepest decision with an untried sibling.
+        let mut next = None;
+        for (depth, c) in run.choices.iter().enumerate().rev() {
+            if c.chosen + 1 < c.options {
+                let mut p: Vec<u32> = run.choices[..depth].iter().map(|c| c.chosen).collect();
+                p.push(c.chosen + 1);
+                next = Some(p);
+                break;
+            }
+        }
+        match next {
+            Some(p) => prefix = p,
+            None => {
+                return Sweep {
+                    schedules,
+                    steps,
+                    failure: None,
+                    complete: true,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn ping_pong() -> SimWorld {
+        let mut w = SimWorld::new(2);
+        w.spawn(|env| {
+            env.send(1, 0, 1, Bytes::from_static(b"ping"));
+            let e = env.recv(0, 1, 2);
+            assert_eq!(&e.payload[..], b"pong");
+        });
+        w.spawn(|env| {
+            let e = env.recv(0, 0, 1);
+            assert_eq!(&e.payload[..], b"ping");
+            env.send(0, 0, 2, Bytes::from_static(b"pong"));
+        });
+        w
+    }
+
+    #[test]
+    fn exhaustive_ping_pong_is_a_certificate() {
+        let sweep = explore_exhaustive(&ping_pong, 10_000, None);
+        assert!(sweep.ok(), "failure: {:?}", sweep.failure);
+        assert!(sweep.complete, "schedule space larger than budget");
+        assert!(sweep.schedules > 1, "expected multiple interleavings");
+    }
+
+    /// A racy world: thread 1 asserts it observes A before B, but the
+    /// model allows either order. Exhaustive search must find the
+    /// failing order, and the failure trace must replay to the same
+    /// outcome.
+    fn racy() -> SimWorld {
+        let mut w = SimWorld::new(3);
+        w.spawn(|env| env.send(2, 0, 10, Bytes::from_static(b"A")));
+        w.spawn(|env| env.send(2, 0, 10, Bytes::from_static(b"B")));
+        w.spawn(|env| {
+            let first = env.recv(0, ltfb_comm::ANY_SOURCE, 10);
+            let _ = env.recv(0, ltfb_comm::ANY_SOURCE, 10);
+            assert_eq!(&first.payload[..], b"A", "saw B first");
+        });
+        w
+    }
+
+    #[test]
+    fn exhaustive_finds_race_and_trace_replays() {
+        let sweep = explore_exhaustive(&racy, 10_000, None);
+        let failure = sweep.failure.expect("race must be found");
+        assert!(matches!(failure.outcome, RunOutcome::Panic { tid: 2, .. }));
+        let replay = run_schedule(
+            racy(),
+            &mut crate::sched::Chooser::Trace(failure.trace.clone()),
+            None,
+        );
+        assert!(
+            matches!(replay.outcome, RunOutcome::Panic { tid: 2, .. }),
+            "trace replay diverged: {}",
+            replay.outcome
+        );
+    }
+
+    #[test]
+    fn random_walk_failure_replays_from_seed() {
+        let sweep = explore_random(&racy, 7, 500, None);
+        let failure = sweep.failure.expect("race must be found in 500 walks");
+        let seed = failure.seed.expect("random failures carry a seed");
+        for _ in 0..3 {
+            let replay = replay_seed(&racy, seed, None);
+            assert!(
+                matches!(replay.outcome, RunOutcome::Panic { tid: 2, .. }),
+                "seed replay diverged: {}",
+                replay.outcome
+            );
+        }
+    }
+}

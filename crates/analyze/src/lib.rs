@@ -1,0 +1,30 @@
+//! # ltfb-analyze
+//!
+//! Static analysis and deterministic model checking for the LTFB stack.
+//!
+//! * [`lint`]    — a workspace invariant linter: project-specific rules
+//!   (`LA001`..`LA006`) clippy cannot express, with a per-rule allowlist
+//!   of audited exceptions;
+//! * [`sched`]   — the "loom-lite" deterministic scheduler: real threads,
+//!   coordinator-owned step ordering, simulated mailboxes/mutexes,
+//!   deadlock + wait-for-graph lock-cycle detection;
+//! * [`explore`] — seeded random-walk and exhaustive-DFS schedule
+//!   exploration, every failure replayable from a printed seed or trace;
+//! * [`models`]  — concurrency models of the router matching, the
+//!   collectives, the datastore shuffle, and the LTFB generator
+//!   exchange, built on the production schedule math;
+//! * [`suite`]   — the fixed-seed model-check suite `scripts/ci.sh` runs.
+
+#![forbid(unsafe_code)]
+
+pub mod explore;
+pub mod lint;
+pub mod models;
+pub mod sched;
+pub mod suite;
+
+pub use explore::{explore_exhaustive, explore_random, replay_seed, Failure, Sweep};
+pub use lint::{lint_workspace, Allowlist, LintReport, Rule, Violation};
+pub use models::{model_by_name, models, Expect, ModelSpec};
+pub use sched::{run_schedule, Chooser, RunOutcome, ScheduleRun, SimEnv, SimWorld};
+pub use suite::{run_suite, SuiteConfig, SuiteReport};

@@ -1,0 +1,678 @@
+//! Workspace invariant linter.
+//!
+//! A lightweight, dependency-free Rust source scanner that enforces the
+//! concurrency and durability invariants this codebase relies on but
+//! `clippy` cannot see (they are *project* rules, not language rules).
+//! Each rule has a stable identifier (`LA0xx`); audited exceptions live
+//! in a per-rule allowlist file (`crates/analyze/lint.allow`) so that a
+//! deliberate `expect("invariant: ...")` does not fail CI while a new,
+//! unaudited one does.
+//!
+//! The scanner is line-oriented: comments and string/char literals are
+//! blanked out by a small state machine before pattern rules run, and
+//! scanning of a file stops at its first `#[cfg(test)]` (workspace idiom
+//! puts the test module last), so tests may `unwrap()` freely.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One offending source line.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub rule: &'static str,
+    pub path: PathBuf,
+    pub line: usize,
+    /// The raw (un-blanked) source line, trimmed.
+    pub text: String,
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}:{}: {}\n    {}",
+            self.rule,
+            self.path.display(),
+            self.line,
+            self.message,
+            self.text
+        )
+    }
+}
+
+/// One audited exception: a violation is suppressed when its rule id
+/// matches, the file path ends with `path_suffix`, and the raw source
+/// line contains `needle`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllowEntry {
+    pub rule: String,
+    pub path_suffix: String,
+    pub needle: String,
+}
+
+/// Parsed allowlist plus usage tracking (unused entries are reported so
+/// the file cannot silently rot).
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// Parse the allowlist format: one entry per non-comment line,
+    /// `RULE_ID  path/suffix.rs  needle text (may contain spaces)`.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut entries = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, char::is_whitespace);
+            let (rule, path_suffix, needle) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(r), Some(p), Some(n)) => (r, p, n.trim()),
+                _ => {
+                    return Err(format!(
+                        "allowlist line {}: expected `RULE path-suffix needle`, got `{line}`",
+                        i + 1
+                    ))
+                }
+            };
+            if needle.is_empty() {
+                return Err(format!("allowlist line {}: empty needle", i + 1));
+            }
+            entries.push(AllowEntry {
+                rule: rule.to_string(),
+                path_suffix: path_suffix.to_string(),
+                needle: needle.to_string(),
+            });
+        }
+        Ok(Allowlist { entries })
+    }
+
+    pub fn load(path: &Path) -> Result<Allowlist, String> {
+        let text = fs::read_to_string(path)
+            .map_err(|e| format!("cannot read allowlist {}: {e}", path.display()))?;
+        Allowlist::parse(&text)
+    }
+
+    fn matches(&self, v: &Violation, used: &mut [bool]) -> bool {
+        let path = v.path.to_string_lossy().replace('\\', "/");
+        let mut hit = false;
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.rule == v.rule && path.ends_with(&e.path_suffix) && v.text.contains(&e.needle) {
+                used[i] = true;
+                hit = true;
+            }
+        }
+        hit
+    }
+}
+
+/// Outcome of a lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    pub violations: Vec<Violation>,
+    /// Violations suppressed by the allowlist.
+    pub allowlisted: usize,
+    /// Allowlist entries that matched nothing (stale audits).
+    pub unused_allow: Vec<AllowEntry>,
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// A source file after lexical preprocessing.
+pub struct SourceFile {
+    pub path: PathBuf,
+    /// Raw lines (for reporting).
+    pub raw: Vec<String>,
+    /// Lines with comments and string/char literals blanked; truncated
+    /// (replaced by empty strings) from the first `#[cfg(test)]` on.
+    pub code: Vec<String>,
+}
+
+impl SourceFile {
+    pub fn parse(path: &Path, text: &str) -> SourceFile {
+        let raw: Vec<String> = text.lines().map(|l| l.to_string()).collect();
+        let mut code = blank_comments_and_strings(&raw);
+        if let Some(cut) = code.iter().position(|l| l.trim() == "#[cfg(test)]") {
+            for l in code.iter_mut().skip(cut) {
+                l.clear();
+            }
+        }
+        SourceFile {
+            path: path.to_path_buf(),
+            raw,
+            code,
+        }
+    }
+
+    fn violation(&self, rule: &'static str, line: usize, message: String) -> Violation {
+        Violation {
+            rule,
+            path: self.path.clone(),
+            line,
+            text: self
+                .raw
+                .get(line.saturating_sub(1))
+                .map(|l| l.trim().to_string())
+                .unwrap_or_default(),
+            message,
+        }
+    }
+}
+
+/// Lexer state for the comment/string blanker.
+#[derive(Clone, Copy, PartialEq)]
+enum Lex {
+    Code,
+    Block(u32),
+    Str,
+    RawStr(u8),
+}
+
+/// Replace the *contents* of comments and string/char literals with
+/// spaces so pattern rules only ever fire on real code. Handles nested
+/// block comments and `r"…"`/`r#"…"#` raw strings; char literals are
+/// distinguished from lifetimes by requiring a closing quote within a
+/// few characters.
+fn blank_comments_and_strings(lines: &[String]) -> Vec<String> {
+    let mut state = Lex::Code;
+    let mut out = Vec::with_capacity(lines.len());
+    for line in lines {
+        let b: Vec<char> = line.chars().collect();
+        let mut res = String::with_capacity(b.len());
+        let mut i = 0;
+        while i < b.len() {
+            match state {
+                Lex::Block(depth) => {
+                    if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        state = Lex::Block(depth + 1);
+                        res.push_str("  ");
+                        i += 2;
+                    } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        state = if depth == 1 {
+                            Lex::Code
+                        } else {
+                            Lex::Block(depth - 1)
+                        };
+                        res.push_str("  ");
+                        i += 2;
+                    } else {
+                        res.push(' ');
+                        i += 1;
+                    }
+                }
+                Lex::Str => {
+                    if b[i] == '\\' {
+                        res.push_str("  ");
+                        i += 2;
+                    } else if b[i] == '"' {
+                        state = Lex::Code;
+                        res.push('"');
+                        i += 1;
+                    } else {
+                        res.push(' ');
+                        i += 1;
+                    }
+                }
+                Lex::RawStr(hashes) => {
+                    if b[i] == '"' && (i + 1..=i + hashes as usize).all(|j| b.get(j) == Some(&'#'))
+                    {
+                        state = Lex::Code;
+                        res.push('"');
+                        for _ in 0..hashes {
+                            res.push('#');
+                        }
+                        i += 1 + hashes as usize;
+                    } else {
+                        res.push(' ');
+                        i += 1;
+                    }
+                }
+                Lex::Code => {
+                    if b[i] == '/' && b.get(i + 1) == Some(&'/') {
+                        break; // line comment: drop the rest of the line
+                    } else if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        state = Lex::Block(1);
+                        res.push_str("  ");
+                        i += 2;
+                    } else if b[i] == '"' {
+                        state = Lex::Str;
+                        res.push('"');
+                        i += 1;
+                    } else if b[i] == 'r'
+                        && (b.get(i + 1) == Some(&'"') || b.get(i + 1) == Some(&'#'))
+                        && !prev_is_ident(&b, i)
+                    {
+                        let mut hashes = 0u8;
+                        let mut j = i + 1;
+                        while b.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if b.get(j) == Some(&'"') {
+                            state = Lex::RawStr(hashes);
+                            res.push('r');
+                            for _ in 0..hashes {
+                                res.push('#');
+                            }
+                            res.push('"');
+                            i = j + 1;
+                        } else {
+                            res.push(b[i]);
+                            i += 1;
+                        }
+                    } else if b[i] == '\'' {
+                        // Char literal vs lifetime: a literal closes within
+                        // a handful of chars (`'a'`, `'\n'`, `'\u{1F600}'`).
+                        let close = (i + 2..b.len().min(i + 12))
+                            .find(|&j| b[j] == '\'' && !(b[j - 1] == '\\' && b[j - 2] != '\\'));
+                        match close {
+                            Some(j) if b[i + 1] != '\'' => {
+                                res.push('\'');
+                                for _ in i + 1..j {
+                                    res.push(' ');
+                                }
+                                res.push('\'');
+                                i = j + 1;
+                            }
+                            _ => {
+                                res.push('\'');
+                                i += 1;
+                            }
+                        }
+                    } else {
+                        res.push(b[i]);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        out.push(res); // Str / RawStr state carries across lines (multi-line literals)
+    }
+    out
+}
+
+fn prev_is_ident(b: &[char], i: usize) -> bool {
+    i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_')
+}
+
+/// A lint rule: a stable id, a path scope, and a per-file check.
+pub struct Rule {
+    pub id: &'static str,
+    pub summary: &'static str,
+    pub applies: fn(&str) -> bool,
+    pub check: fn(&SourceFile) -> Vec<Violation>,
+}
+
+fn in_hot_path(path: &str) -> bool {
+    [
+        "crates/comm/src",
+        "crates/datastore/src",
+        "crates/serve/src",
+    ]
+    .iter()
+    .any(|p| path.contains(p))
+}
+
+fn in_protocol_path(path: &str) -> bool {
+    ["crates/comm/src", "crates/datastore/src"]
+        .iter()
+        .any(|p| path.contains(p))
+}
+
+fn is_crate_root(path: &str) -> bool {
+    path.ends_with("src/lib.rs")
+}
+
+/// The rule set. Every rule fires on at least one fixture under
+/// `crates/analyze/fixtures/violations` (see `tests/lint_rules.rs`).
+pub fn rules() -> Vec<Rule> {
+    vec![
+        Rule {
+            id: "LA001",
+            summary: "no unwrap()/expect() in non-test comm/datastore/serve code",
+            applies: in_hot_path,
+            check: |f| {
+                scan_lines(f, &[".unwrap()", ".expect("], "LA001", |_| {
+                    "unwrap/expect in a hot path: return a typed error, or audit it \
+                     with an `expect(\"invariant: ...\")` allowlist entry"
+                        .to_string()
+                })
+            },
+        },
+        Rule {
+            id: "LA002",
+            summary: "no blocking recv() without a timeout/deadline in protocol code",
+            applies: in_hot_path,
+            check: |f| {
+                scan_lines(f, &[".recv()"], "LA002", |_| {
+                    "blocking recv() without a deadline can hang the protocol forever: \
+                     use recv_timeout with a deadlock report, or audit the shutdown path"
+                        .to_string()
+                })
+            },
+        },
+        Rule {
+            id: "LA003",
+            summary: "no std::sync::Mutex where parking_lot is the workspace idiom",
+            applies: |_| true,
+            check: |f| {
+                let mut out = scan_lines(
+                    f,
+                    &["std::sync::Mutex", "std::sync::RwLock"],
+                    "LA003",
+                    |_| {
+                        "std::sync locks poison on panic and diverge from the workspace \
+                     idiom: use parking_lot"
+                            .to_string()
+                    },
+                );
+                out.extend(f.code.iter().enumerate().filter_map(|(i, l)| {
+                    let l = l.trim();
+                    let uses_std_sync = l.starts_with("use std::sync::")
+                        && (l.contains("Mutex") || l.contains("RwLock"));
+                    uses_std_sync.then(|| {
+                        f.violation(
+                            "LA003",
+                            i + 1,
+                            "importing std::sync locks: use parking_lot".to_string(),
+                        )
+                    })
+                }));
+                out.sort_by_key(|v| v.line);
+                out.dedup_by_key(|v| v.line);
+                out
+            },
+        },
+        Rule {
+            id: "LA004",
+            summary: "no thread::sleep in comm/datastore protocol paths",
+            applies: in_protocol_path,
+            check: |f| {
+                scan_lines(f, &["thread::sleep"], "LA004", |_| {
+                    "sleeping in a protocol path hides ordering bugs and inflates \
+                     tail latency: block on a channel or condition instead"
+                        .to_string()
+                })
+            },
+        },
+        Rule {
+            id: "LA005",
+            summary: "every pub checkpoint-format struct carries a version field",
+            applies: |_| true,
+            check: check_checkpoint_version,
+        },
+        Rule {
+            id: "LA006",
+            summary: "every crate root carries #![forbid(unsafe_code)]",
+            applies: is_crate_root,
+            check: |f| {
+                let has = f
+                    .code
+                    .iter()
+                    .any(|l| l.replace(' ', "").contains("#![forbid(unsafe_code)]"));
+                if has {
+                    Vec::new()
+                } else {
+                    vec![f.violation(
+                        "LA006",
+                        1,
+                        "crate root lacks #![forbid(unsafe_code)]".to_string(),
+                    )]
+                }
+            },
+        },
+    ]
+}
+
+fn scan_lines(
+    f: &SourceFile,
+    needles: &[&str],
+    rule: &'static str,
+    msg: fn(&str) -> String,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, line) in f.code.iter().enumerate() {
+        for n in needles {
+            if line.contains(n) {
+                out.push(f.violation(rule, i + 1, msg(n)));
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// LA005: find `pub struct <Name>` where `<Name>` contains `Checkpoint`
+/// or `Header` *and* the file is a checkpoint/serialization module; the
+/// struct's brace block must contain a `version` field.
+fn check_checkpoint_version(f: &SourceFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, line) in f.code.iter().enumerate() {
+        let t = line.trim_start();
+        let Some(rest) = t.strip_prefix("pub struct ") else {
+            continue;
+        };
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if !name.contains("Checkpoint") {
+            continue;
+        }
+        // Tuple struct or unit struct: no named fields at all.
+        if !block_has_version_field(&f.code[i..]) {
+            out.push(f.violation(
+                "LA005",
+                i + 1,
+                format!(
+                    "checkpoint-format struct `{name}` has no `version` field: \
+                     on-disk formats must be versioned for forward compatibility"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Scan the struct's brace block (starting at its declaration line) for
+/// a field named `version`.
+fn block_has_version_field(lines: &[String]) -> bool {
+    let mut depth = 0i32;
+    let mut entered = false;
+    for line in lines {
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    entered = true;
+                }
+                '}' => depth -= 1,
+                ';' if !entered => return false, // tuple/unit struct
+                _ => {}
+            }
+        }
+        if entered {
+            // Field pattern: optional `pub`, identifier `version`, colon.
+            let t = line.trim_start();
+            let t = t.strip_prefix("pub ").unwrap_or(t);
+            if t.starts_with("version") && t[7..].trim_start().starts_with(':') {
+                return true;
+            }
+            if depth == 0 {
+                return false;
+            }
+        }
+    }
+    false
+}
+
+/// Collect the workspace `.rs` sources to lint: everything under
+/// `crates/*/src` and the top-level `src/`, excluding the analyze
+/// fixtures (they contain violations by design) and anything under
+/// `shims/` or `target/`.
+pub fn workspace_sources(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut roots = vec![root.join("src")];
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        for e in entries.flatten() {
+            roots.push(e.path().join("src"));
+        }
+    }
+    for r in roots {
+        walk(&r, &mut out);
+    }
+    out.sort();
+    out
+}
+
+/// Recursively collect `.rs` files under `dir` with no exclusions of
+/// the *root* itself (children named `fixtures`/`target`/`shims` are
+/// still skipped). Used by tests to lint the fixture trees.
+pub fn collect_sources(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    walk(dir, &mut out);
+    out.sort();
+    out
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for e in entries.flatten() {
+        let p = e.path();
+        let name = e.file_name();
+        let name = name.to_string_lossy();
+        if p.is_dir() {
+            if name == "target" || name == "fixtures" || name == "shims" {
+                continue;
+            }
+            walk(&p, out);
+        } else if name.ends_with(".rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Lint an explicit file list (used by tests against fixtures).
+pub fn lint_paths(paths: &[PathBuf], allow: &Allowlist) -> LintReport {
+    let rules = rules();
+    let mut report = LintReport::default();
+    let mut used = vec![false; allow.entries.len()];
+    for path in paths {
+        let Ok(text) = fs::read_to_string(path) else {
+            continue;
+        };
+        report.files_scanned += 1;
+        let file = SourceFile::parse(path, &text);
+        let norm = path.to_string_lossy().replace('\\', "/");
+        for rule in &rules {
+            if !(rule.applies)(&norm) {
+                continue;
+            }
+            for v in (rule.check)(&file) {
+                if allow.matches(&v, &mut used) {
+                    report.allowlisted += 1;
+                } else {
+                    report.violations.push(v);
+                }
+            }
+        }
+    }
+    report.unused_allow = allow
+        .entries
+        .iter()
+        .zip(&used)
+        .filter(|(_, &u)| !u)
+        .map(|(e, _)| e.clone())
+        .collect();
+    report
+}
+
+/// Lint the whole workspace rooted at `root`.
+pub fn lint_workspace(root: &Path, allow: &Allowlist) -> LintReport {
+    lint_paths(&workspace_sources(root), allow)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> SourceFile {
+        SourceFile::parse(Path::new("crates/comm/src/x.rs"), src)
+    }
+
+    #[test]
+    fn blanker_strips_comments_and_strings() {
+        let f = parse("let a = \"x.unwrap()\"; // .unwrap()\nlet b = 1; /* .unwrap()\n.unwrap() */ let c = 2;");
+        assert!(!f.code[0].contains("unwrap"));
+        assert!(!f.code[1].contains("unwrap"));
+        assert!(f.code[2].contains("let c"));
+        assert!(!f.code[2].contains("unwrap"));
+    }
+
+    #[test]
+    fn blanker_handles_raw_strings_and_chars() {
+        let f =
+            parse("let s = r#\"a \"quoted\" .unwrap()\"#; let c = '\"'; let l: &'static str = s;");
+        assert!(!f.code[0].contains("unwrap"));
+        assert!(f.code[0].contains("&'static str"));
+    }
+
+    #[test]
+    fn test_module_is_truncated() {
+        let f = parse("fn a() { b.unwrap(); }\n#[cfg(test)]\nmod tests { fn t() { c.unwrap(); } }");
+        let hits: Vec<_> = f.code.iter().filter(|l| l.contains("unwrap")).collect();
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn version_field_detection() {
+        let has = "pub struct FooCheckpoint {\n    pub magic: u32,\n    pub version: u32,\n}";
+        let f = SourceFile::parse(Path::new("a.rs"), has);
+        assert!(check_checkpoint_version(&f).is_empty());
+
+        let missing = "pub struct FooCheckpoint {\n    pub magic: u32,\n}";
+        let f = SourceFile::parse(Path::new("a.rs"), missing);
+        assert_eq!(check_checkpoint_version(&f).len(), 1);
+
+        let tuple = "pub struct BarCheckpoint(u32);";
+        let f = SourceFile::parse(Path::new("a.rs"), tuple);
+        assert_eq!(check_checkpoint_version(&f).len(), 1);
+    }
+
+    #[test]
+    fn allowlist_roundtrip_and_usage() {
+        let allow = Allowlist::parse(
+            "# audited\nLA001 crates/comm/src/x.rs expect(\"invariant: ok\")\nLA001 crates/comm/src/y.rs never-matches\n",
+        )
+        .unwrap();
+        let dir = std::env::temp_dir().join("ltfb_analyze_allow_test");
+        std::fs::create_dir_all(dir.join("crates/comm/src")).unwrap();
+        let p = dir.join("crates/comm/src/x.rs");
+        std::fs::write(
+            &p,
+            "fn f() {\n    g().expect(\"invariant: ok\");\n    h().unwrap();\n}\n",
+        )
+        .unwrap();
+        let report = lint_paths(&[p], &allow);
+        assert_eq!(report.allowlisted, 1);
+        assert_eq!(report.violations.len(), 1); // the unwrap
+        assert_eq!(report.unused_allow.len(), 1);
+        assert_eq!(report.unused_allow[0].path_suffix, "crates/comm/src/y.rs");
+    }
+
+    #[test]
+    fn allowlist_rejects_malformed_lines() {
+        assert!(Allowlist::parse("LA001 onlytwo").is_err());
+    }
+}

@@ -1,0 +1,173 @@
+//! `ltfb-analyze` — workspace invariant linter + concurrency model checker.
+//!
+//! ```text
+//! cargo run -p ltfb-analyze -- lint   [--root DIR] [--allowlist FILE]
+//! cargo run -p ltfb-analyze -- check  [--seed N] [--iters N] [--budget N]
+//! cargo run -p ltfb-analyze -- replay --model NAME --seed N [--trace]
+//! cargo run -p ltfb-analyze -- rules
+//! cargo run -p ltfb-analyze -- models
+//! ```
+//!
+//! Exit code 0 = clean, 1 = violations / failing schedules, 2 = usage.
+
+#![forbid(unsafe_code)]
+
+use ltfb_analyze::{lint, models, replay_seed, run_suite, Allowlist, SuiteConfig};
+use ltfb_obs::Registry;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter().map(|s| s.as_str());
+    match it.next() {
+        Some("lint") => cmd_lint(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some("rules") => {
+            for r in lint::rules() {
+                println!("{}  {}", r.id, r.summary);
+            }
+            ExitCode::SUCCESS
+        }
+        Some("models") => {
+            for m in models() {
+                println!("{:<24} {}", m.name, m.summary);
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!(
+                "usage: ltfb-analyze <lint|check|replay|rules|models> [options]\n\
+                 \n\
+                 lint    scan workspace sources against the LA00x invariant rules\n\
+                 check   run the fixed-seed model-check suite\n\
+                 replay  re-run one schedule: --model NAME --seed N [--trace]\n\
+                 rules   list lint rules\n\
+                 models  list concurrency models"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+fn cmd_lint(args: &[String]) -> ExitCode {
+    let root = PathBuf::from(flag_value(args, "--root").unwrap_or("."));
+    let allow_path = flag_value(args, "--allowlist")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| root.join("crates/analyze/lint.allow"));
+    let allow = if allow_path.exists() {
+        match Allowlist::load(&allow_path) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        Allowlist::default()
+    };
+    let report = lint::lint_workspace(&root, &allow);
+    for v in &report.violations {
+        println!("{v}");
+    }
+    for e in &report.unused_allow {
+        println!(
+            "warning: unused allowlist entry: {} {} {}",
+            e.rule, e.path_suffix, e.needle
+        );
+    }
+    println!(
+        "lint: {} file(s) scanned, {} violation(s), {} allowlisted, {} unused allowlist entr(ies)",
+        report.files_scanned,
+        report.violations.len(),
+        report.allowlisted,
+        report.unused_allow.len()
+    );
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_check(args: &[String]) -> ExitCode {
+    let mut cfg = SuiteConfig::default();
+    if let Some(s) = flag_value(args, "--seed") {
+        cfg.seed = match s.parse() {
+            Ok(v) => v,
+            Err(_) => return usage_err("--seed expects a u64"),
+        };
+    }
+    if let Some(s) = flag_value(args, "--iters") {
+        cfg.iters = match s.parse() {
+            Ok(v) => v,
+            Err(_) => return usage_err("--iters expects a usize"),
+        };
+    }
+    if let Some(s) = flag_value(args, "--budget") {
+        cfg.max_schedules = match s.parse() {
+            Ok(v) => v,
+            Err(_) => return usage_err("--budget expects a usize"),
+        };
+    }
+    let obs = Registry::new();
+    let report = run_suite(&cfg, Some(&obs));
+    print!("{report}");
+    let schedules = obs.counter("mcheck.schedules").get();
+    let steps = obs.counter("mcheck.steps").get();
+    println!(
+        "check: seed {:#x}, {schedules} schedules, {steps} steps",
+        cfg.seed
+    );
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_replay(args: &[String]) -> ExitCode {
+    let Some(name) = flag_value(args, "--model") else {
+        return usage_err("replay needs --model NAME (see `ltfb-analyze models`)");
+    };
+    let Some(spec) = ltfb_analyze::model_by_name(name) else {
+        return usage_err(&format!(
+            "unknown model `{name}` (see `ltfb-analyze models`)"
+        ));
+    };
+    let Some(seed) = flag_value(args, "--seed").and_then(|s| s.parse::<u64>().ok()) else {
+        return usage_err("replay needs --seed N (the per-iteration seed a failure printed)");
+    };
+    let obs = Registry::new();
+    let run = replay_seed(&spec.build, seed, Some(&obs));
+    if args.iter().any(|a| a == "--trace") {
+        for e in obs.events() {
+            println!(
+                "  step {:>5}  vthread {:<3} {}",
+                e.value as u64, e.rank, e.event
+            );
+        }
+    }
+    println!(
+        "replay: model {} seed {seed}: {} ({} steps)",
+        spec.name, run.outcome, run.steps
+    );
+    if run.outcome.is_ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage_err(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::from(2)
+}

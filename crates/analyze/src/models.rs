@@ -1,0 +1,438 @@
+//! Concurrency models of the stack's core protocols.
+//!
+//! Each model re-executes a production protocol *schedule* (the pure
+//! math in `ltfb_comm::protocol`, the real `EpochPlan`, the real
+//! tournament `pairing`) over the simulated mailboxes of [`crate::sched`],
+//! with correctness assertions inline. The checker then explores thread
+//! interleavings; because message matching is the production
+//! `match_pending` routine, a schedule bug found here is a bug in the
+//! real protocol, not in a toy re-implementation.
+//!
+//! Worlds that must *fail* (a dead rank inside a barrier, inverted lock
+//! order) are included as detector certificates: the suite asserts the
+//! checker reports the failure, not that the world is correct.
+
+use crate::sched::{SimEnv, SimWorld};
+use bytes::Bytes;
+use ltfb_comm::protocol::{
+    allreduce_allgather_step, barrier_peers, barrier_rounds, chunk_bound, coll_round_tag,
+    reduce_scatter_step, ring_neighbors, CollOp,
+};
+use ltfb_comm::{bytes_of_u64, decode_f32, encode_f32, u64_of_bytes};
+use ltfb_core::pairing;
+use ltfb_datastore::EpochPlan;
+use ltfb_tensor::{permutation, seeded_rng};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Context id models use for user-level traffic.
+const CTX: u64 = 0x11;
+
+fn drained(name: &'static str) -> impl Fn(&crate::sched::SimState) -> Result<(), String> {
+    move |s| {
+        let stuck: usize = s.mailboxes.iter().map(|m| m.len()).sum();
+        if stuck == 0 {
+            Ok(())
+        } else {
+            Err(format!(
+                "{name}: {stuck} unmatched envelope(s) left in mailboxes"
+            ))
+        }
+    }
+}
+
+/// Router envelope matching: tag-selective receives must match out of
+/// order across tags but FIFO within one `(context, src, tag)` class —
+/// exactly the contract of `match_pending`.
+pub fn router_matching_world() -> SimWorld {
+    let mut w = SimWorld::new(2);
+    w.spawn(|env| {
+        env.send(1, CTX, 7, Bytes::from_static(b"first-7"));
+        env.send(1, CTX, 9, Bytes::from_static(b"only-9"));
+        env.send(1, CTX, 7, Bytes::from_static(b"second-7"));
+    });
+    w.spawn(|env| {
+        // Out-of-order receive: tag 9 before either tag-7 message.
+        let e = env.recv(CTX, 0, 9);
+        assert_eq!(&e.payload[..], b"only-9", "tag selectivity broken");
+        let e = env.recv(CTX, 0, 7);
+        assert_eq!(&e.payload[..], b"first-7", "FIFO within a tag class broken");
+        let e = env.recv(CTX, 0, 7);
+        assert_eq!(
+            &e.payload[..],
+            b"second-7",
+            "FIFO within a tag class broken"
+        );
+    });
+    w.with_final_check(drained("router"))
+}
+
+/// Dissemination barrier over `n` ranks, with the barrier's defining
+/// property asserted: no rank may leave before every rank has entered.
+pub fn barrier_world(n: usize) -> SimWorld {
+    let entered = Arc::new(Mutex::new(vec![false; n]));
+    let mut w = SimWorld::new(n);
+    for rank in 0..n {
+        let entered = Arc::clone(&entered);
+        w.spawn(move |env| {
+            entered.lock()[rank] = true;
+            run_barrier(env, rank, n);
+            let e = entered.lock();
+            let missing: Vec<usize> = (0..n).filter(|&r| !e[r]).collect();
+            assert!(
+                missing.is_empty(),
+                "rank {rank} left the barrier before ranks {missing:?} entered"
+            );
+        });
+    }
+    w.with_final_check(drained("barrier"))
+}
+
+fn run_barrier(env: &SimEnv, rank: usize, n: usize) {
+    for round in 0..barrier_rounds(n) {
+        let (dest, src) = barrier_peers(rank, n, round);
+        let tag = coll_round_tag(CollOp::Barrier, 0, round as u64);
+        env.send(dest, CTX, tag, Bytes::new());
+        env.recv(CTX, src, tag);
+    }
+}
+
+/// Barrier with rank `dead` silently gone (models a failed trainer that
+/// never enters the collective): every schedule must end in the
+/// checker's deadlock detector, never in a false "ok".
+pub fn barrier_rank_failure_world(n: usize, dead: usize) -> SimWorld {
+    assert!(dead < n);
+    let mut w = SimWorld::new(n);
+    for rank in 0..n {
+        w.spawn(move |env| {
+            if rank == dead {
+                return; // fails before entering the collective
+            }
+            run_barrier(env, rank, n);
+        });
+    }
+    w
+}
+
+/// Ring allreduce (reduce-scatter + allgather) over `n` ranks and `m`
+/// elements, executing the production schedule functions with the
+/// production tags; each rank checks its full reduced buffer.
+pub fn allreduce_world(n: usize, m: usize) -> SimWorld {
+    let mut w = SimWorld::new(n);
+    for rank in 0..n {
+        w.spawn(move |env| {
+            let mut buf: Vec<f32> = (0..m)
+                .map(|i| (rank as f32 + 1.0) * (i as f32 + 1.0))
+                .collect();
+            let chunk = |c: usize| chunk_bound(m, n, c)..chunk_bound(m, n, c + 1);
+            let (right, left) = ring_neighbors(rank, n);
+            for s in 0..n - 1 {
+                let (send_chunk, recv_chunk) = reduce_scatter_step(rank, n, s);
+                let tag = coll_round_tag(CollOp::ReduceScatter, 0, s as u64);
+                env.send(right, CTX, tag, encode_f32(&buf[chunk(send_chunk)]));
+                let e = env.recv(CTX, left, tag);
+                for (dst, v) in buf[chunk(recv_chunk)]
+                    .iter_mut()
+                    .zip(decode_f32(&e.payload))
+                {
+                    *dst += v;
+                }
+            }
+            for s in 0..n - 1 {
+                let (send_chunk, recv_chunk) = allreduce_allgather_step(rank, n, s);
+                let tag = coll_round_tag(CollOp::AllgatherRing, 0, s as u64);
+                env.send(right, CTX, tag, encode_f32(&buf[chunk(send_chunk)]));
+                let e = env.recv(CTX, left, tag);
+                for (dst, v) in buf[chunk(recv_chunk)]
+                    .iter_mut()
+                    .zip(decode_f32(&e.payload))
+                {
+                    *dst = v;
+                }
+            }
+            let rank_sum = (n * (n + 1) / 2) as f32;
+            for (i, v) in buf.iter().enumerate() {
+                let want = rank_sum * (i as f32 + 1.0);
+                assert!(
+                    (v - want).abs() < 1e-3,
+                    "rank {rank}: allreduce[{i}] = {v}, want {want}"
+                );
+            }
+        });
+    }
+    w.with_final_check(drained("allreduce"))
+}
+
+/// Allreduce with rank `dead` vanishing after its step-0 send but before
+/// any receive — the partial-progress failure mode of a crashed trainer
+/// mid-collective. Must always be reported as a deadlock.
+pub fn allreduce_rank_failure_world(n: usize, m: usize, dead: usize) -> SimWorld {
+    assert!(dead < n && n >= 3);
+    let mut w = SimWorld::new(n);
+    for rank in 0..n {
+        w.spawn(move |env| {
+            let buf: Vec<f32> = (0..m).map(|i| i as f32).collect();
+            let chunk = |c: usize| chunk_bound(m, n, c)..chunk_bound(m, n, c + 1);
+            let (right, left) = ring_neighbors(rank, n);
+            for s in 0..n - 1 {
+                let (send_chunk, _) = reduce_scatter_step(rank, n, s);
+                let tag = coll_round_tag(CollOp::ReduceScatter, 0, s as u64);
+                env.send(right, CTX, tag, encode_f32(&buf[chunk(send_chunk)]));
+                if rank == dead {
+                    return; // crashed after sending, before receiving
+                }
+                env.recv(CTX, left, tag);
+            }
+        });
+    }
+    w
+}
+
+/// The datastore's owner-push shuffle: every rank walks the *same*
+/// deterministic [`EpochPlan`], owners push samples (tag = sample id) to
+/// the consumers the plan names, consumers receive exactly their ids.
+/// Ownership is `id % n` — the synthetic analogue of the store's
+/// file-slot mapping.
+pub fn datastore_shuffle_world(n: usize, samples: usize, mb: usize, seed: u64) -> SimWorld {
+    let mut rng = seeded_rng(seed);
+    let order: Vec<u64> = permutation(samples, &mut rng)
+        .into_iter()
+        .map(|i| i as u64)
+        .collect();
+    let plan = Arc::new(EpochPlan::new(order, mb, n));
+    let got: Arc<Mutex<Vec<Vec<u64>>>> = Arc::new(Mutex::new(vec![Vec::new(); n]));
+    let mut w = SimWorld::new(n);
+    for rank in 0..n {
+        let plan = Arc::clone(&plan);
+        let got = Arc::clone(&got);
+        w.spawn(move |env| {
+            for step in 0..plan.steps() {
+                // Owner side: push every sample this rank owns to its
+                // consumer (skipping self-sends, served from local memory).
+                for consumer in 0..n {
+                    if consumer == rank {
+                        continue;
+                    }
+                    for id in plan.my_ids(step, consumer) {
+                        if id as usize % n == rank {
+                            env.send(consumer, CTX, id, bytes_of_u64(id));
+                        }
+                    }
+                }
+                // Consumer side: collect this rank's slice of the batch.
+                for id in plan.my_ids(step, rank) {
+                    let owner = id as usize % n;
+                    let sample = if owner == rank {
+                        id
+                    } else {
+                        u64_of_bytes(&env.recv(CTX, owner, id).payload)
+                    };
+                    assert_eq!(sample, id, "rank {rank} got the wrong sample");
+                    got.lock()[rank].push(id);
+                }
+            }
+            // After the epoch, this rank consumed exactly its plan slice.
+            let want: Vec<u64> = (0..plan.steps())
+                .flat_map(|s| plan.my_ids(s, rank))
+                .collect();
+            assert_eq!(got.lock()[rank], want, "rank {rank} consumed off-plan");
+        });
+    }
+    w.with_final_check(drained("datastore-shuffle"))
+}
+
+/// The LTFB generator exchange: each round, `pairing` (the production
+/// tournament pairing) names partners, and paired trainers swap
+/// generators via `sendrecv` on the round-scoped tag the driver uses.
+pub fn ltfb_exchange_world(k: usize, rounds: u64, seed: u64) -> SimWorld {
+    let mut w = SimWorld::new(k);
+    for rank in 0..k {
+        w.spawn(move |env| {
+            for round in 0..rounds {
+                let partners = pairing(k, round, seed);
+                let Some(partner) = partners[rank] else {
+                    continue; // odd one out this round
+                };
+                let tag = 0x7_000 + round;
+                let mine = (rank as u64) << 16 | round;
+                let theirs = env.sendrecv(partner, CTX, tag, bytes_of_u64(mine));
+                assert_eq!(
+                    u64_of_bytes(&theirs.payload),
+                    (partner as u64) << 16 | round,
+                    "rank {rank} round {round}: exchanged with the wrong generator"
+                );
+            }
+        });
+    }
+    w.with_final_check(drained("ltfb-exchange"))
+}
+
+/// Generator exchange where trainer `dead` has died before the round:
+/// its partner's `sendrecv` can never complete — the deadlock the
+/// production driver converts into a `RECV_TIMEOUT` panic with a
+/// `deadlock_report`, and `pairing_alive` exists to avoid.
+pub fn ltfb_exchange_dead_partner_world(k: usize, seed: u64, dead: usize) -> SimWorld {
+    assert!(dead < k);
+    let mut w = SimWorld::new(k);
+    for rank in 0..k {
+        w.spawn(move |env| {
+            if rank == dead {
+                return; // died before the tournament round
+            }
+            let partners = pairing(k, 0, seed);
+            let Some(partner) = partners[rank] else {
+                return;
+            };
+            env.sendrecv(partner, CTX, 0x7_000, bytes_of_u64(rank as u64));
+        });
+    }
+    w
+}
+
+/// Deliberate lock-order inversion: two threads take two locks in
+/// opposite orders with a scheduling point in between, so some
+/// interleavings deadlock with a 2-cycle in the wait-for graph. The
+/// suite asserts the checker finds and classifies it.
+pub fn lock_inversion_world() -> SimWorld {
+    let mut w = SimWorld::new(2);
+    w.spawn(|env| {
+        env.lock(0);
+        env.step("t0-holds-0");
+        env.lock(1);
+        env.unlock(1);
+        env.unlock(0);
+    });
+    w.spawn(|env| {
+        env.lock(1);
+        env.step("t1-holds-1");
+        env.lock(0);
+        env.unlock(0);
+        env.unlock(1);
+    });
+    w.with_mutexes(2)
+}
+
+/// The fixed version: both threads respect the global lock order
+/// (0 before 1). Exhaustive exploration certifies no interleaving
+/// deadlocks.
+pub fn lock_ordered_world() -> SimWorld {
+    let mut w = SimWorld::new(2);
+    for _ in 0..2 {
+        w.spawn(|env| {
+            env.lock(0);
+            env.step("holds-0");
+            env.lock(1);
+            env.unlock(1);
+            env.unlock(0);
+        });
+    }
+    w.with_mutexes(2)
+}
+
+/// What the suite expects exploration of a world to establish.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Expect {
+    /// Every explored schedule passes.
+    AllOk,
+    /// Every explored schedule ends in the deadlock detector.
+    AlwaysDeadlock,
+    /// At least one schedule ends in a wait-for-graph lock cycle.
+    FindsLockCycle,
+}
+
+/// A named model with default parameters, as exposed on the CLI.
+pub struct ModelSpec {
+    pub name: &'static str,
+    pub summary: &'static str,
+    pub build: fn() -> SimWorld,
+    pub expect: Expect,
+    /// Small enough to sweep exhaustively within the CI budget.
+    pub exhaustive: bool,
+}
+
+/// The model registry behind `ltfb-analyze check` / `replay`.
+pub fn models() -> Vec<ModelSpec> {
+    vec![
+        ModelSpec {
+            name: "router-matching",
+            summary: "envelope tag matching: out-of-order across tags, FIFO within",
+            build: router_matching_world,
+            expect: Expect::AllOk,
+            exhaustive: true,
+        },
+        ModelSpec {
+            name: "barrier-2",
+            summary: "dissemination barrier (n=2), exhaustively certified",
+            build: || barrier_world(2),
+            expect: Expect::AllOk,
+            exhaustive: true,
+        },
+        ModelSpec {
+            name: "barrier",
+            summary: "dissemination barrier (n=3): nobody leaves before everyone enters",
+            build: || barrier_world(3),
+            expect: Expect::AllOk,
+            exhaustive: false,
+        },
+        ModelSpec {
+            name: "barrier-rank-failure",
+            summary: "barrier with a dead rank (n=3): detector must report deadlock",
+            build: || barrier_rank_failure_world(3, 1),
+            expect: Expect::AlwaysDeadlock,
+            exhaustive: false,
+        },
+        ModelSpec {
+            name: "allreduce",
+            summary: "ring allreduce (n=3, m=6) on the production schedule and tags",
+            build: || allreduce_world(3, 6),
+            expect: Expect::AllOk,
+            exhaustive: false,
+        },
+        ModelSpec {
+            name: "allreduce-rank-failure",
+            summary: "allreduce with a rank crashing mid-collective: always deadlock",
+            build: || allreduce_rank_failure_world(3, 6, 1),
+            expect: Expect::AlwaysDeadlock,
+            exhaustive: false,
+        },
+        ModelSpec {
+            name: "datastore-shuffle",
+            summary: "owner-push shuffle over a real EpochPlan (n=3, 8 samples, mb=4)",
+            build: || datastore_shuffle_world(3, 8, 4, 0xD5),
+            expect: Expect::AllOk,
+            exhaustive: false,
+        },
+        ModelSpec {
+            name: "ltfb-exchange",
+            summary: "tournament generator exchange, 2 rounds of production pairing (k=4)",
+            build: || ltfb_exchange_world(4, 2, 0x17F8),
+            expect: Expect::AllOk,
+            exhaustive: false,
+        },
+        ModelSpec {
+            name: "ltfb-exchange-dead-partner",
+            summary: "sendrecv with a dead trainer (k=2): detector must report deadlock",
+            build: || ltfb_exchange_dead_partner_world(2, 9, 1),
+            expect: Expect::AlwaysDeadlock,
+            exhaustive: false,
+        },
+        ModelSpec {
+            name: "lock-inversion",
+            summary: "injected lock-order inversion: checker must report the cycle",
+            build: lock_inversion_world,
+            expect: Expect::FindsLockCycle,
+            exhaustive: false,
+        },
+        ModelSpec {
+            name: "lock-ordered",
+            summary: "globally ordered locks: exhaustively certified deadlock-free",
+            build: lock_ordered_world,
+            expect: Expect::AllOk,
+            exhaustive: true,
+        },
+    ]
+}
+
+pub fn model_by_name(name: &str) -> Option<ModelSpec> {
+    models().into_iter().find(|m| m.name == name)
+}

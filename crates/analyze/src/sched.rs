@@ -1,0 +1,644 @@
+//! Deterministic schedule-exploration harness ("loom-lite").
+//!
+//! Models run as real OS threads, but a coordinator owns *all* ordering:
+//! every thread blocks on a private go-channel and only ever runs between
+//! `go` and its next simulated operation, so exactly one virtual thread
+//! makes progress at a time. Each simulated op (send, recv, lock, unlock,
+//! labelled step) is one scheduling point; the coordinator picks which
+//! runnable thread advances next via a [`Chooser`] — a seeded RNG for
+//! random-walk exploration or a recorded choice list for exhaustive DFS
+//! and replay. Because every source of nondeterminism is a chooser
+//! decision, **any failure reproduces exactly from its printed seed or
+//! choice trace**.
+//!
+//! Message matching reuses the production `ltfb_comm::match_pending`
+//! routine over real [`Envelope`]s, so the checker exercises the same
+//! matching semantics the simulated-MPI runtime uses.
+//!
+//! Failure modes detected:
+//! * **Deadlock** — no thread runnable, some blocked on a message that
+//!   can never arrive (the analogue of `recv_timeout` expiring in prod).
+//! * **Lock-order inversion** — the blocked threads form a cycle in the
+//!   wait-for graph over mutex ownership; reported with the cycle.
+//! * **Assertion failure / panic** inside a model thread.
+//! * **Final-state check failure** after all threads finish.
+
+use bytes::Bytes;
+use crossbeam_channel::{bounded, Receiver, Sender};
+use ltfb_comm::{match_pending, Envelope};
+use ltfb_obs::Registry;
+use ltfb_tensor::{seeded_rng, TensorRng};
+use rand::Rng;
+use std::collections::VecDeque;
+use std::fmt;
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Virtual thread id (also the thread's mailbox index).
+pub type Tid = usize;
+
+/// Why a thread cannot currently run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BlockCond {
+    /// Waiting for an envelope matching `(context, src, tag)`.
+    Mail { context: u64, src: usize, tag: u64 },
+    /// Waiting for a mutex owned by someone else.
+    Lock { mutex: usize },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum ThreadState {
+    Runnable,
+    Blocked(BlockCond),
+    Finished,
+}
+
+/// Shared simulation state: one mailbox per thread, plus mutex owners.
+/// Only the currently-scheduled thread touches it, so the outer lock is
+/// uncontended by construction.
+pub struct SimState {
+    pub mailboxes: Vec<VecDeque<Envelope>>,
+    /// `Some(tid)` while held.
+    pub owners: Vec<Option<Tid>>,
+}
+
+/// Per-thread handle passed into a model closure. All simulated
+/// operations yield to the coordinator, making them scheduling points.
+pub struct SimEnv {
+    tid: Tid,
+    shared: Arc<parking_lot::Mutex<SimState>>,
+    evt_tx: Sender<Event>,
+    go_rx: Receiver<()>,
+}
+
+enum Event {
+    /// Completed one op; runnable for the next.
+    Yield {
+        tid: Tid,
+        label: &'static str,
+    },
+    /// Op would block; re-run me once the condition can be satisfied.
+    Block {
+        tid: Tid,
+        cond: BlockCond,
+    },
+    Finished {
+        tid: Tid,
+    },
+    Panicked {
+        tid: Tid,
+        msg: String,
+    },
+}
+
+impl SimEnv {
+    pub fn tid(&self) -> Tid {
+        self.tid
+    }
+
+    fn turn(&self, label: &'static str) {
+        let _ = self.evt_tx.send(Event::Yield {
+            tid: self.tid,
+            label,
+        });
+        self.wait_go();
+    }
+
+    fn wait_go(&self) {
+        if self.go_rx.recv().is_err() {
+            // Coordinator abandoned the run (failure elsewhere): unwind
+            // quietly; the panic is swallowed by the thread wrapper.
+            std::panic::panic_any(SchedulerGone);
+        }
+    }
+
+    /// A labelled scheduling point with no state effect — models use it
+    /// to widen the interleaving space around compute sections.
+    pub fn step(&self, label: &'static str) {
+        self.turn(label);
+    }
+
+    /// Deposit an envelope in `dest`'s mailbox (eager send, like the
+    /// production router: sends never block).
+    pub fn send(&self, dest: Tid, context: u64, tag: u64, payload: Bytes) {
+        {
+            let mut s = self.shared.lock();
+            let env = Envelope {
+                src_world: self.tid,
+                src: self.tid,
+                context,
+                tag,
+                payload,
+            };
+            s.mailboxes[dest].push_back(env);
+        }
+        self.turn("send");
+    }
+
+    /// Receive the earliest envelope matching `(context, src, tag)`,
+    /// blocking (= yielding to the scheduler) until one is available.
+    /// Uses the production matching routine.
+    pub fn recv(&self, context: u64, src: usize, tag: u64) -> Envelope {
+        loop {
+            {
+                let mut s = self.shared.lock();
+                if let Some(env) = match_pending(&mut s.mailboxes[self.tid], context, src, tag) {
+                    drop(s);
+                    self.turn("recv");
+                    return env;
+                }
+            }
+            let _ = self.evt_tx.send(Event::Block {
+                tid: self.tid,
+                cond: BlockCond::Mail { context, src, tag },
+            });
+            self.wait_go();
+        }
+    }
+
+    /// Simultaneous exchange with `peer` (the collective `sendrecv`).
+    pub fn sendrecv(&self, peer: Tid, context: u64, tag: u64, payload: Bytes) -> Envelope {
+        self.send(peer, context, tag, payload);
+        self.recv(context, peer, tag)
+    }
+
+    /// Acquire simulated mutex `m` (blocks while another thread owns it).
+    pub fn lock(&self, m: usize) {
+        loop {
+            {
+                let mut s = self.shared.lock();
+                if s.owners[m].is_none() {
+                    s.owners[m] = Some(self.tid);
+                    drop(s);
+                    self.turn("lock");
+                    return;
+                }
+                assert!(
+                    s.owners[m] != Some(self.tid),
+                    "model bug: tid {} re-locking mutex {m}",
+                    self.tid
+                );
+            }
+            let _ = self.evt_tx.send(Event::Block {
+                tid: self.tid,
+                cond: BlockCond::Lock { mutex: m },
+            });
+            self.wait_go();
+        }
+    }
+
+    /// Release simulated mutex `m`.
+    pub fn unlock(&self, m: usize) {
+        {
+            let mut s = self.shared.lock();
+            assert_eq!(
+                s.owners[m],
+                Some(self.tid),
+                "model bug: tid {} unlocking mutex {m} it does not own",
+                self.tid
+            );
+            s.owners[m] = None;
+        }
+        self.turn("unlock");
+    }
+}
+
+/// Marker payload for "coordinator dropped our go channel".
+struct SchedulerGone;
+
+const VTHREAD_PREFIX: &str = "mcheck-vthread-";
+
+/// Model threads panic *by design* (assertion failures are findings, and
+/// abandoned runs unwind via [`SchedulerGone`]); the default panic hook
+/// would spam stderr with backtraces for every explored failure. Install
+/// a process-wide hook once that stays silent for checker vthreads and
+/// chains to the previous hook for everything else.
+fn quiet_vthread_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let in_vthread = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with(VTHREAD_PREFIX));
+            if !in_vthread {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// A model thread body, run on its own OS thread under the coordinator.
+pub type ThreadBody = Box<dyn FnOnce(&SimEnv) + Send + 'static>;
+
+/// Predicate over the final simulation state of a clean run.
+pub type FinalCheck = Box<dyn Fn(&SimState) -> Result<(), String>>;
+
+/// A world under test: thread bodies plus a final-state predicate.
+pub struct SimWorld {
+    pub n_mutexes: usize,
+    pub threads: Vec<ThreadBody>,
+    /// Runs after all threads finish cleanly; returns Err to fail the
+    /// schedule (e.g. "a mailbox still holds unmatched envelopes").
+    pub final_check: Option<FinalCheck>,
+}
+
+impl SimWorld {
+    pub fn new(n_threads: usize) -> SimWorld {
+        let mut w = SimWorld {
+            n_mutexes: 0,
+            threads: Vec::new(),
+            final_check: None,
+        };
+        w.threads.reserve(n_threads);
+        w
+    }
+
+    pub fn spawn(&mut self, body: impl FnOnce(&SimEnv) + Send + 'static) -> &mut Self {
+        self.threads.push(Box::new(body));
+        self
+    }
+
+    pub fn with_mutexes(mut self, n: usize) -> Self {
+        self.n_mutexes = n;
+        self
+    }
+
+    pub fn with_final_check(
+        mut self,
+        check: impl Fn(&SimState) -> Result<(), String> + 'static,
+    ) -> Self {
+        self.final_check = Some(Box::new(check));
+        self
+    }
+}
+
+/// How the coordinator picks the next runnable thread.
+pub enum Chooser {
+    /// Seeded random walk (reproducible from the seed).
+    Random(Box<TensorRng>),
+    /// Follow a recorded choice list; past its end, always pick index 0.
+    /// Used for exhaustive DFS and for replaying a failing trace.
+    Trace(Vec<u32>),
+}
+
+impl Chooser {
+    pub fn random(seed: u64) -> Chooser {
+        Chooser::Random(Box::new(seeded_rng(seed)))
+    }
+
+    fn pick(&mut self, step: usize, n: usize) -> usize {
+        debug_assert!(n > 0);
+        match self {
+            Chooser::Random(rng) => rng.gen_range(0..n),
+            Chooser::Trace(t) => t.get(step).map(|&c| c as usize % n).unwrap_or(0),
+        }
+    }
+}
+
+/// One scheduling decision: which runnable thread ran, out of how many.
+#[derive(Debug, Clone, Copy)]
+pub struct Choice {
+    pub chosen: u32,
+    pub options: u32,
+}
+
+/// Outcome of running one complete schedule.
+#[derive(Debug, Clone)]
+pub enum RunOutcome {
+    Ok,
+    /// Threads blocked with no runnable thread and no lock cycle: a
+    /// message deadlock. The report lists each blocked wait and the
+    /// unmatched envelopes sitting in mailboxes.
+    Deadlock {
+        report: String,
+    },
+    /// The wait-for graph over mutex ownership contains a cycle.
+    LockCycle {
+        cycle: Vec<Tid>,
+        report: String,
+    },
+    Panic {
+        tid: Tid,
+        msg: String,
+    },
+    CheckFailed {
+        msg: String,
+    },
+    /// Exceeded the step budget — treat as a livelock.
+    StepBudget {
+        steps: usize,
+    },
+}
+
+impl RunOutcome {
+    pub fn is_ok(&self) -> bool {
+        matches!(self, RunOutcome::Ok)
+    }
+}
+
+impl fmt::Display for RunOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunOutcome::Ok => write!(f, "ok"),
+            RunOutcome::Deadlock { report } => write!(f, "deadlock\n{report}"),
+            RunOutcome::LockCycle { cycle, report } => {
+                write!(f, "lock-order inversion (cycle {cycle:?})\n{report}")
+            }
+            RunOutcome::Panic { tid, msg } => write!(f, "panic in vthread {tid}: {msg}"),
+            RunOutcome::CheckFailed { msg } => write!(f, "final check failed: {msg}"),
+            RunOutcome::StepBudget { steps } => write!(f, "step budget exhausted ({steps} steps)"),
+        }
+    }
+}
+
+/// Result of one schedule, with the decision trace that reproduces it.
+pub struct ScheduleRun {
+    pub outcome: RunOutcome,
+    pub choices: Vec<Choice>,
+    pub steps: usize,
+}
+
+const EVENT_TIMEOUT: Duration = Duration::from_secs(30);
+const MAX_STEPS: usize = 200_000;
+
+fn cond_ready(cond: &BlockCond, state: &SimState, tid: Tid) -> bool {
+    match cond {
+        BlockCond::Mail { context, src, tag } => state.mailboxes[tid]
+            .iter()
+            .any(|e| e.matches(*context, *src, *tag)),
+        BlockCond::Lock { mutex } => state.owners[*mutex].is_none(),
+    }
+}
+
+/// Find a cycle in the wait-for graph: blocked-on-lock threads point at
+/// the mutex's current owner. Returns the cycle as a tid sequence.
+fn lock_cycle(states: &[ThreadState], sim: &SimState) -> Option<Vec<Tid>> {
+    let edge = |t: Tid| -> Option<Tid> {
+        match &states[t] {
+            ThreadState::Blocked(BlockCond::Lock { mutex }) => sim.owners[*mutex],
+            _ => None,
+        }
+    };
+    for start in 0..states.len() {
+        let mut seen = vec![start];
+        let mut cur = start;
+        while let Some(next) = edge(cur) {
+            if let Some(pos) = seen.iter().position(|&t| t == next) {
+                return Some(seen[pos..].to_vec());
+            }
+            seen.push(next);
+            cur = next;
+        }
+    }
+    None
+}
+
+fn stuck_report(states: &[ThreadState], sim: &SimState) -> String {
+    use fmt::Write;
+    let mut out = String::new();
+    for (tid, st) in states.iter().enumerate() {
+        match st {
+            ThreadState::Blocked(BlockCond::Mail { context, src, tag }) => {
+                let _ = writeln!(
+                    out,
+                    "  vthread {tid}: blocked on recv(context={context:#x}, src={src}, tag={tag:#x})"
+                );
+                for e in &sim.mailboxes[tid] {
+                    let _ = writeln!(
+                        out,
+                        "      pending: context={:#x} src={} tag={:#x} ({} bytes) [no match]",
+                        e.context,
+                        e.src,
+                        e.tag,
+                        e.payload.len()
+                    );
+                }
+            }
+            ThreadState::Blocked(BlockCond::Lock { mutex }) => {
+                let _ = writeln!(
+                    out,
+                    "  vthread {tid}: blocked on lock(mutex={mutex}) held by {:?}",
+                    sim.owners[*mutex]
+                );
+            }
+            ThreadState::Finished => {}
+            ThreadState::Runnable => {
+                let _ = writeln!(out, "  vthread {tid}: runnable (scheduler bug?)");
+            }
+        }
+    }
+    out
+}
+
+/// Execute one complete schedule of `world` under `chooser`. Optionally
+/// records every scheduling decision as an event in `obs` (scope
+/// `mcheck`, rank = vthread id) so schedule traces land in the same
+/// bounded event ring the rest of the stack uses.
+pub fn run_schedule(world: SimWorld, chooser: &mut Chooser, obs: Option<&Registry>) -> ScheduleRun {
+    let n = world.threads.len();
+    let shared = Arc::new(parking_lot::Mutex::new(SimState {
+        mailboxes: (0..n).map(|_| VecDeque::new()).collect(),
+        owners: vec![None; world.n_mutexes],
+    }));
+    let (evt_tx, evt_rx) = bounded::<Event>(n);
+    let mut go_txs = Vec::with_capacity(n);
+    let mut handles = Vec::with_capacity(n);
+
+    for (tid, body) in world.threads.into_iter().enumerate() {
+        let (go_tx, go_rx) = bounded::<()>(1);
+        go_txs.push(go_tx);
+        let env = SimEnv {
+            tid,
+            shared: Arc::clone(&shared),
+            evt_tx: evt_tx.clone(),
+            go_rx,
+        };
+        quiet_vthread_panics();
+        let builder = std::thread::Builder::new().name(format!("{VTHREAD_PREFIX}{tid}"));
+        let handle = builder.spawn(move || {
+            env.wait_go(); // first turn is granted, not assumed
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| body(&env)));
+            match result {
+                Ok(()) => {
+                    let _ = env.evt_tx.send(Event::Finished { tid });
+                }
+                Err(p) if p.is::<SchedulerGone>() => {}
+                Err(p) => {
+                    let msg = p
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| p.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    let _ = env.evt_tx.send(Event::Panicked { tid, msg });
+                }
+            }
+        });
+        handles.push(handle.expect("OS can spawn a model-checker vthread"));
+    }
+    drop(evt_tx);
+
+    let mut states = vec![ThreadState::Runnable; n];
+    let mut choices = Vec::new();
+    let mut steps = 0usize;
+    let outcome = loop {
+        // A blocked thread becomes schedulable once its condition holds.
+        let runnable: Vec<Tid> = {
+            let sim = shared.lock();
+            states
+                .iter()
+                .enumerate()
+                .filter(|(tid, st)| match st {
+                    ThreadState::Runnable => true,
+                    ThreadState::Blocked(cond) => cond_ready(cond, &sim, *tid),
+                    ThreadState::Finished => false,
+                })
+                .map(|(tid, _)| tid)
+                .collect()
+        };
+        if runnable.is_empty() {
+            if states.iter().all(|s| *s == ThreadState::Finished) {
+                let sim = shared.lock();
+                break match world.final_check.as_ref().map(|c| c(&sim)) {
+                    Some(Err(msg)) => RunOutcome::CheckFailed { msg },
+                    _ => RunOutcome::Ok,
+                };
+            }
+            let sim = shared.lock();
+            let report = stuck_report(&states, &sim);
+            break match lock_cycle(&states, &sim) {
+                Some(cycle) => RunOutcome::LockCycle { cycle, report },
+                None => RunOutcome::Deadlock { report },
+            };
+        }
+        if steps >= MAX_STEPS {
+            break RunOutcome::StepBudget { steps };
+        }
+        let idx = chooser.pick(steps, runnable.len());
+        let tid = runnable[idx];
+        choices.push(Choice {
+            chosen: idx as u32,
+            options: runnable.len() as u32,
+        });
+        steps += 1;
+        states[tid] = ThreadState::Runnable;
+        if go_txs[tid].send(()).is_err() {
+            break RunOutcome::Panic {
+                tid,
+                msg: "vthread exited without reporting (harness bug)".to_string(),
+            };
+        }
+        match evt_rx.recv_timeout(EVENT_TIMEOUT) {
+            Ok(Event::Yield { tid, label }) => {
+                if let Some(r) = obs {
+                    r.event("mcheck", tid, None, label, steps as f64);
+                }
+            }
+            Ok(Event::Block { tid, cond }) => {
+                if let Some(r) = obs {
+                    r.event("mcheck", tid, None, "block", steps as f64);
+                }
+                states[tid] = ThreadState::Blocked(cond);
+            }
+            Ok(Event::Finished { tid }) => {
+                if let Some(r) = obs {
+                    r.event("mcheck", tid, None, "finish", steps as f64);
+                }
+                states[tid] = ThreadState::Finished;
+            }
+            Ok(Event::Panicked { tid, msg }) => break RunOutcome::Panic { tid, msg },
+            Err(_) => {
+                break RunOutcome::Panic {
+                    tid,
+                    msg: format!("no event within {EVENT_TIMEOUT:?} (runaway model thread)"),
+                }
+            }
+        }
+    };
+
+    // Abandon remaining threads: closing the go channels unwinds them.
+    drop(go_txs);
+    for h in handles {
+        let _ = h.join();
+    }
+    if let Some(r) = obs {
+        r.counter("mcheck.schedules").inc();
+        r.counter("mcheck.steps").add(steps as u64);
+    }
+    ScheduleRun {
+        outcome,
+        choices,
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_senders() -> SimWorld {
+        let mut w = SimWorld::new(2);
+        w.spawn(|env| {
+            env.send(1, 0, 5, Bytes::from_static(b"a"));
+        });
+        w.spawn(|env| {
+            let e = env.recv(0, 0, 5);
+            assert_eq!(&e.payload[..], b"a");
+        });
+        w.with_final_check(|s| {
+            if s.mailboxes.iter().all(|m| m.is_empty()) {
+                Ok(())
+            } else {
+                Err("undrained mailbox".to_string())
+            }
+        })
+    }
+
+    #[test]
+    fn simple_send_recv_all_seeds_ok() {
+        for seed in 0..20 {
+            let run = run_schedule(two_senders(), &mut Chooser::random(seed), None);
+            assert!(run.outcome.is_ok(), "seed {seed}: {}", run.outcome);
+        }
+    }
+
+    #[test]
+    fn missing_message_is_a_deadlock() {
+        let mut w = SimWorld::new(1);
+        w.spawn(|env| {
+            env.recv(0, 0, 99); // nobody sends
+        });
+        let run = run_schedule(w, &mut Chooser::random(1), None);
+        match run.outcome {
+            RunOutcome::Deadlock { ref report } => {
+                assert!(report.contains("tag=0x63"), "report: {report}")
+            }
+            ref o => panic!("expected deadlock, got {o}"),
+        }
+    }
+
+    #[test]
+    fn panic_in_model_is_reported() {
+        let mut w = SimWorld::new(1);
+        w.spawn(|env| {
+            env.step("boom-next");
+            panic!("boom");
+        });
+        let run = run_schedule(w, &mut Chooser::random(3), None);
+        match run.outcome {
+            RunOutcome::Panic { tid: 0, ref msg } => assert!(msg.contains("boom")),
+            ref o => panic!("expected panic, got {o}"),
+        }
+    }
+
+    #[test]
+    fn replay_reproduces_choices_exactly() {
+        let base = run_schedule(two_senders(), &mut Chooser::random(42), None);
+        let trace: Vec<u32> = base.choices.iter().map(|c| c.chosen).collect();
+        let replay = run_schedule(two_senders(), &mut Chooser::Trace(trace.clone()), None);
+        let replay_trace: Vec<u32> = replay.choices.iter().map(|c| c.chosen).collect();
+        assert_eq!(trace, replay_trace);
+        assert!(replay.outcome.is_ok());
+    }
+}

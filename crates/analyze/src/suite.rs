@@ -1,0 +1,191 @@
+//! The model-check suite: every registered model explored under a fixed
+//! seed, with its [`Expect`] verdict enforced. This is what
+//! `ltfb-analyze check` (and therefore `scripts/ci.sh`) runs; the whole
+//! suite is budgeted to finish well under a minute.
+
+use crate::explore::{explore_exhaustive, explore_random};
+use crate::models::{models, Expect, ModelSpec};
+use crate::sched::RunOutcome;
+use ltfb_obs::Registry;
+use std::fmt;
+
+#[derive(Debug, Clone, Copy)]
+pub struct SuiteConfig {
+    /// Base seed for the random walks (per-iteration seeds derive from it).
+    pub seed: u64,
+    /// Random-walk schedules per non-exhaustive model.
+    pub iters: usize,
+    /// Schedule budget for exhaustive sweeps.
+    pub max_schedules: usize,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        SuiteConfig {
+            seed: 0x17F8,
+            iters: 400,
+            max_schedules: 60_000,
+        }
+    }
+}
+
+/// Per-model verdict.
+pub struct ModelVerdict {
+    pub name: &'static str,
+    pub passed: bool,
+    pub schedules: usize,
+    /// Exhaustive sweep completed: the pass is a certificate.
+    pub certified: bool,
+    pub detail: String,
+}
+
+pub struct SuiteReport {
+    pub verdicts: Vec<ModelVerdict>,
+}
+
+impl SuiteReport {
+    pub fn passed(&self) -> bool {
+        self.verdicts.iter().all(|v| v.passed)
+    }
+}
+
+impl fmt::Display for SuiteReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for v in &self.verdicts {
+            writeln!(
+                f,
+                "  {} {:<24} {:>6} schedules{}  {}",
+                if v.passed { "PASS" } else { "FAIL" },
+                v.name,
+                v.schedules,
+                if v.certified { " (exhaustive)" } else { "" },
+                v.detail
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn check_model(m: &ModelSpec, cfg: &SuiteConfig, obs: Option<&Registry>) -> ModelVerdict {
+    match m.expect {
+        Expect::AllOk => {
+            let sweep = if m.exhaustive {
+                explore_exhaustive(&m.build, cfg.max_schedules, obs)
+            } else {
+                explore_random(&m.build, cfg.seed, cfg.iters, obs)
+            };
+            match &sweep.failure {
+                None => ModelVerdict {
+                    name: m.name,
+                    passed: true,
+                    schedules: sweep.schedules,
+                    certified: sweep.complete,
+                    detail: "no failing interleaving".to_string(),
+                },
+                Some(fail) => ModelVerdict {
+                    name: m.name,
+                    passed: false,
+                    schedules: sweep.schedules,
+                    certified: false,
+                    detail: match fail.seed {
+                        Some(seed) => format!(
+                            "{} — replay: ltfb-analyze replay --model {} --seed {seed}",
+                            fail.outcome, m.name
+                        ),
+                        None => format!("{} — failing trace: {:?}", fail.outcome, fail.trace),
+                    },
+                },
+            }
+        }
+        Expect::AlwaysDeadlock => {
+            // Detector certificate: a vanished rank must never look like
+            // a clean run. Every random schedule has to hit the deadlock
+            // detector (the prod analogue of recv_timeout + report).
+            let mut schedules = 0;
+            for i in 0..cfg.iters.min(60) {
+                let seed = ltfb_tensor::mix_seed(&[cfg.seed, i as u64]);
+                let run = crate::explore::replay_seed(&m.build, seed, obs);
+                schedules += 1;
+                if !matches!(run.outcome, RunOutcome::Deadlock { .. }) {
+                    return ModelVerdict {
+                        name: m.name,
+                        passed: false,
+                        schedules,
+                        certified: false,
+                        detail: format!(
+                            "expected deadlock, got `{}` under seed {seed}",
+                            run.outcome
+                        ),
+                    };
+                }
+            }
+            ModelVerdict {
+                name: m.name,
+                passed: true,
+                schedules,
+                certified: false,
+                detail: "every schedule reported as deadlock".to_string(),
+            }
+        }
+        Expect::FindsLockCycle => {
+            let sweep = explore_random(&m.build, cfg.seed, cfg.iters, obs);
+            match &sweep.failure {
+                Some(fail) if matches!(fail.outcome, RunOutcome::LockCycle { .. }) => {
+                    // The whole point: the reported seed must reproduce it.
+                    let seed = fail.seed.expect("random failures carry a seed");
+                    let replay = crate::explore::replay_seed(&m.build, seed, obs);
+                    let reproduced = matches!(replay.outcome, RunOutcome::LockCycle { .. });
+                    ModelVerdict {
+                        name: m.name,
+                        passed: reproduced,
+                        schedules: sweep.schedules,
+                        certified: false,
+                        detail: if reproduced {
+                            format!("lock cycle found and reproduced from seed {seed}")
+                        } else {
+                            format!("seed {seed} did not reproduce the lock cycle")
+                        },
+                    }
+                }
+                Some(fail) => ModelVerdict {
+                    name: m.name,
+                    passed: false,
+                    schedules: sweep.schedules,
+                    certified: false,
+                    detail: format!("found `{}`, expected a lock cycle", fail.outcome),
+                },
+                None => ModelVerdict {
+                    name: m.name,
+                    passed: false,
+                    schedules: sweep.schedules,
+                    certified: false,
+                    detail: "no lock cycle found within the iteration budget".to_string(),
+                },
+            }
+        }
+    }
+}
+
+/// Run the whole suite. Pass a registry to collect schedule traces and
+/// `mcheck.*` counters into the shared observability ring.
+pub fn run_suite(cfg: &SuiteConfig, obs: Option<&Registry>) -> SuiteReport {
+    SuiteReport {
+        verdicts: models().iter().map(|m| check_model(m, cfg, obs)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_suite_passes() {
+        let cfg = SuiteConfig {
+            iters: 120,
+            max_schedules: 60_000,
+            ..SuiteConfig::default()
+        };
+        let report = run_suite(&cfg, None);
+        assert!(report.passed(), "suite failed:\n{report}");
+    }
+}

@@ -1,0 +1,114 @@
+//! Every lint rule demonstrated on fixtures: each seeded violation
+//! fires exactly once, the clean tree fires nothing, and the real
+//! workspace is clean under the committed allowlist.
+
+use ltfb_analyze::lint::{collect_sources, lint_paths, lint_workspace, rules, Allowlist};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+fn fixture_root(sub: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(sub)
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root resolves")
+}
+
+#[test]
+fn every_rule_fires_exactly_once_on_the_seeded_fixtures() {
+    let paths = collect_sources(&fixture_root("violations"));
+    assert!(!paths.is_empty(), "violation fixtures missing");
+    let report = lint_paths(&paths, &Allowlist::default());
+
+    let mut by_rule: BTreeMap<&str, usize> = BTreeMap::new();
+    for v in &report.violations {
+        *by_rule.entry(v.rule).or_default() += 1;
+    }
+    for rule in rules() {
+        assert_eq!(
+            by_rule.get(rule.id).copied().unwrap_or(0),
+            1,
+            "rule {} should fire exactly once on fixtures; all: {:#?}",
+            rule.id,
+            report.violations
+        );
+    }
+    assert_eq!(
+        report.violations.len(),
+        rules().len(),
+        "no extra violations beyond one per rule"
+    );
+}
+
+#[test]
+fn seeded_violations_land_in_the_expected_files() {
+    let paths = collect_sources(&fixture_root("violations"));
+    let report = lint_paths(&paths, &Allowlist::default());
+    let find = |rule: &str| {
+        report
+            .violations
+            .iter()
+            .find(|v| v.rule == rule)
+            .unwrap_or_else(|| panic!("{rule} missing"))
+    };
+    assert!(find("LA001").path.ends_with("la001_unwrap.rs"));
+    assert!(find("LA002").path.ends_with("la002_recv.rs"));
+    assert!(find("LA003").path.ends_with("la003_mutex.rs"));
+    assert!(find("LA004").path.ends_with("la004_sleep.rs"));
+    assert!(find("LA005").path.ends_with("la005_checkpoint.rs"));
+    assert!(find("LA005").text.contains("BadCheckpointHeader"));
+    assert!(find("LA006").path.ends_with("lib.rs"));
+}
+
+#[test]
+fn clean_fixture_tree_is_clean() {
+    let paths = collect_sources(&fixture_root("clean"));
+    assert!(!paths.is_empty(), "clean fixtures missing");
+    let report = lint_paths(&paths, &Allowlist::default());
+    assert!(
+        report.violations.is_empty(),
+        "clean tree flagged: {:#?}",
+        report.violations
+    );
+}
+
+#[test]
+fn allowlist_suppresses_a_seeded_violation() {
+    let paths = collect_sources(&fixture_root("violations"));
+    let allow =
+        Allowlist::parse("LA001 crates/comm/src/la001_unwrap.rs x.unwrap()\n").expect("parses");
+    let report = lint_paths(&paths, &allow);
+    assert!(report.violations.iter().all(|v| v.rule != "LA001"));
+    assert_eq!(report.allowlisted, 1);
+    assert!(report.unused_allow.is_empty());
+}
+
+/// The acceptance gate: the real workspace, under the committed
+/// allowlist, has zero unallowlisted violations and no stale entries.
+#[test]
+fn real_workspace_is_clean_under_committed_allowlist() {
+    let root = repo_root();
+    let allow = Allowlist::load(&root.join("crates/analyze/lint.allow")).expect("allowlist loads");
+    let report = lint_workspace(&root, &allow);
+    assert!(report.files_scanned > 50, "workspace scan looks truncated");
+    assert!(
+        report.violations.is_empty(),
+        "workspace has unallowlisted violations:\n{}",
+        report
+            .violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.unused_allow.is_empty(),
+        "stale allowlist entries: {:#?}",
+        report.unused_allow
+    );
+}

@@ -1,0 +1,161 @@
+//! Model-checker acceptance tests: protocol models hold under
+//! exploration, injected failures are detected and classified, and
+//! every reported failure reproduces deterministically from its seed.
+
+use ltfb_analyze::models::{
+    allreduce_rank_failure_world, allreduce_world, barrier_rank_failure_world, barrier_world,
+    datastore_shuffle_world, lock_inversion_world, lock_ordered_world, ltfb_exchange_world,
+    router_matching_world,
+};
+use ltfb_analyze::{
+    explore_exhaustive, explore_random, replay_seed, run_schedule, Chooser, RunOutcome,
+};
+use ltfb_obs::Registry;
+
+#[test]
+fn router_matching_certified_exhaustively() {
+    let sweep = explore_exhaustive(&router_matching_world, 50_000, None);
+    assert!(
+        sweep.ok(),
+        "failure: {:?}",
+        sweep.failure.map(|f| f.outcome)
+    );
+    assert!(sweep.complete, "schedule space exceeded the budget");
+}
+
+#[test]
+fn barrier_small_world_certificate() {
+    // n=2 exhaustively; n=3 by random walk (the space is too large to
+    // sweep in CI, the walk still covers hundreds of interleavings).
+    let two = explore_exhaustive(&|| barrier_world(2), 50_000, None);
+    assert!(
+        two.ok() && two.complete,
+        "n=2 barrier: {:?}",
+        two.failure.map(|f| f.outcome)
+    );
+    let three = explore_random(&|| barrier_world(3), 0xBA2, 250, None);
+    assert!(
+        three.ok(),
+        "n=3 barrier: {:?}",
+        three.failure.map(|f| f.outcome)
+    );
+}
+
+#[test]
+fn allreduce_holds_under_random_walks() {
+    for n in [2, 3, 4] {
+        let sweep = explore_random(&move || allreduce_world(n, 5), 0xA11, 150, None);
+        assert!(sweep.ok(), "n={n}: {:?}", sweep.failure.map(|f| f.outcome));
+    }
+}
+
+#[test]
+fn datastore_shuffle_holds_under_random_walks() {
+    let sweep = explore_random(
+        &|| datastore_shuffle_world(3, 8, 4, 0xD5),
+        0xDA7A,
+        200,
+        None,
+    );
+    assert!(sweep.ok(), "{:?}", sweep.failure.map(|f| f.outcome));
+}
+
+#[test]
+fn ltfb_exchange_holds_and_small_world_is_certified() {
+    let k2 = explore_exhaustive(&|| ltfb_exchange_world(2, 2, 9), 50_000, None);
+    assert!(
+        k2.ok() && k2.complete,
+        "k=2: {:?}",
+        k2.failure.map(|f| f.outcome)
+    );
+    let k4 = explore_random(&|| ltfb_exchange_world(4, 2, 0x17F8), 0x1F8, 200, None);
+    assert!(k4.ok(), "k=4: {:?}", k4.failure.map(|f| f.outcome));
+}
+
+#[test]
+fn dead_rank_in_barrier_is_always_a_deadlock() {
+    for i in 0..40u64 {
+        let seed = ltfb_tensor::mix_seed(&[0xDEAD, i]);
+        let run = replay_seed(&|| barrier_rank_failure_world(3, 1), seed, None);
+        match run.outcome {
+            RunOutcome::Deadlock { ref report } => {
+                assert!(report.contains("blocked on recv"), "report: {report}");
+            }
+            ref o => panic!("seed {seed}: expected deadlock, got {o}"),
+        }
+    }
+}
+
+#[test]
+fn mid_collective_crash_is_always_a_deadlock() {
+    for i in 0..40u64 {
+        let seed = ltfb_tensor::mix_seed(&[0xC4A5, i]);
+        let run = replay_seed(&|| allreduce_rank_failure_world(3, 6, 1), seed, None);
+        assert!(
+            matches!(run.outcome, RunOutcome::Deadlock { .. }),
+            "seed {seed}: expected deadlock, got {}",
+            run.outcome
+        );
+    }
+}
+
+#[test]
+fn sendrecv_with_dead_partner_is_always_a_deadlock() {
+    use ltfb_analyze::models::ltfb_exchange_dead_partner_world;
+    for i in 0..40u64 {
+        let seed = ltfb_tensor::mix_seed(&[0x5E9D, i]);
+        let run = replay_seed(&|| ltfb_exchange_dead_partner_world(2, 9, 1), seed, None);
+        match run.outcome {
+            RunOutcome::Deadlock { ref report } => {
+                assert!(report.contains("vthread 0"), "report: {report}");
+            }
+            ref o => panic!("seed {seed}: expected deadlock, got {o}"),
+        }
+    }
+}
+
+#[test]
+fn injected_lock_inversion_found_as_wait_for_cycle_and_replays() {
+    let sweep = explore_random(&lock_inversion_world, 0x10C4, 500, None);
+    let failure = sweep
+        .failure
+        .expect("inversion must be found within 500 walks");
+    let (cycle, seed) = match (&failure.outcome, failure.seed) {
+        (RunOutcome::LockCycle { cycle, .. }, Some(seed)) => (cycle.clone(), seed),
+        (o, s) => panic!("expected a lock cycle with a seed, got {o} / {s:?}"),
+    };
+    assert_eq!(
+        cycle.len(),
+        2,
+        "two-thread inversion has a 2-cycle: {cycle:?}"
+    );
+    // Determinism: the printed seed reproduces the identical verdict.
+    for _ in 0..3 {
+        let replay = replay_seed(&lock_inversion_world, seed, None);
+        match replay.outcome {
+            RunOutcome::LockCycle { cycle: c, .. } => assert_eq!(c, cycle),
+            ref o => panic!("seed {seed} did not reproduce the cycle: {o}"),
+        }
+    }
+}
+
+#[test]
+fn ordered_locks_certified_deadlock_free() {
+    let sweep = explore_exhaustive(&lock_ordered_world, 50_000, None);
+    assert!(sweep.ok(), "{:?}", sweep.failure.map(|f| f.outcome));
+    assert!(sweep.complete);
+}
+
+#[test]
+fn schedule_traces_land_in_the_obs_event_ring() {
+    let obs = Registry::new();
+    let run = run_schedule(router_matching_world(), &mut Chooser::random(5), Some(&obs));
+    assert!(run.outcome.is_ok(), "{}", run.outcome);
+    let events = obs.events();
+    assert!(!events.is_empty(), "no schedule trace recorded");
+    assert!(events.iter().all(|e| e.scope == "mcheck"));
+    assert!(events.iter().any(|e| e.event == "send"));
+    assert!(events.iter().any(|e| e.event == "recv"));
+    assert_eq!(obs.counter("mcheck.schedules").get(), 1);
+    assert!(obs.counter("mcheck.steps").get() >= run.steps as u64);
+}

@@ -7,6 +7,8 @@
 //! Each `fig*` binary prints the same rows/series the paper reports and
 //! writes a CSV next to the repository under `results/`.
 
+#![forbid(unsafe_code)]
+
 use std::io::Write;
 use std::path::PathBuf;
 

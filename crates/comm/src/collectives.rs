@@ -13,11 +13,21 @@
 //! * `alltoall`     — pairwise exchange.
 //!
 //! Every collective stamps its messages with a fresh per-communicator
-//! sequence number so consecutive collectives can never cross-match, even
-//! with `ANY_SOURCE`-style racing.
+//! sequence number so that back-to-back collectives cannot cross-match,
+//! even with `ANY_SOURCE`-style racing.
+//!
+//! The schedule math (who talks to whom at which step, under which tag)
+//! lives in [`crate::protocol`] as pure functions; this module only binds
+//! those schedules to real sends and receives. The `ltfb-analyze` model
+//! checker binds the same schedules to simulated mailboxes and explores
+//! their interleavings.
 
 use crate::comm::Comm;
-use crate::envelope::INTERNAL_TAG_BASE;
+use crate::protocol::{
+    allgather_ring_step, allreduce_allgather_step, barrier_peers, barrier_rounds, bcast_children_v,
+    bcast_parent_v, bcast_unvrank, bcast_vrank, chunk_bound, coll_round_tag, coll_tag,
+    reduce_scatter_step, ring_neighbors, CollOp,
+};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::sync::atomic::Ordering;
 
@@ -40,25 +50,7 @@ impl ReduceOp {
     }
 }
 
-/// Internal collective opcodes baked into tags (bits 0..8).
-#[derive(Clone, Copy)]
-enum Op {
-    Barrier = 1,
-    Bcast = 2,
-    ReduceScatter = 3,
-    AllgatherRing = 4,
-    Gather = 5,
-    Scatter = 6,
-    Reduce = 7,
-    Alltoall = 8,
-}
-
 impl Comm {
-    /// Next collective tag: unique per (comm, collective call, opcode).
-    fn coll_tag(&self, op: Op, seq: u64) -> u64 {
-        INTERNAL_TAG_BASE | (seq << 8) | op as u64
-    }
-
     fn next_seq(&self) -> u64 {
         if let Some(o) = self.obs() {
             o.record_collective();
@@ -74,16 +66,11 @@ impl Comm {
             return;
         }
         let seq = self.next_seq();
-        let mut k = 1usize;
-        let mut round = 0u64;
-        while k < n {
-            let tag = self.coll_tag(Op::Barrier, seq) | (round << 40);
-            let dest = (self.rank + k) % n;
-            let src = (self.rank + n - k % n) % n;
+        for round in 0..barrier_rounds(n) {
+            let tag = coll_round_tag(CollOp::Barrier, seq, round as u64);
+            let (dest, src) = barrier_peers(self.rank, n, round);
             self.send(dest, tag, Bytes::new());
             let _ = self.recv(src, tag);
-            k <<= 1;
-            round += 1;
         }
     }
 
@@ -91,38 +78,21 @@ impl Comm {
     pub fn broadcast(&self, root: usize, payload: Option<Bytes>) -> Bytes {
         let n = self.size();
         assert!(root < n, "broadcast root {root} out of comm size {n}");
-        if self.rank == root {
-            assert!(payload.is_some(), "root must supply the broadcast payload");
-        }
         if n == 1 {
-            return payload.expect("single-rank broadcast needs a payload");
+            return payload.expect("invariant: broadcast root supplies the payload");
         }
         let seq = self.next_seq();
-        let tag = self.coll_tag(Op::Bcast, seq);
+        let tag = coll_tag(CollOp::Bcast, seq);
         // Work in a rotated numbering where the root is vrank 0.
-        let vrank = (self.rank + n - root) % n;
+        let vrank = bcast_vrank(self.rank, root, n);
         let data = if vrank == 0 {
-            payload.unwrap()
+            payload.expect("invariant: broadcast root supplies the payload")
         } else {
-            // Parent: clear the lowest set bit of vrank.
-            let parent_v = vrank & (vrank - 1);
-            let parent = (parent_v + root) % n;
+            let parent = bcast_unvrank(bcast_parent_v(vrank), root, n);
             self.recv(parent, tag).1
         };
-        // Children: set each bit above the lowest set bit, while < n.
-        let lowbit = if vrank == 0 {
-            n.next_power_of_two()
-        } else {
-            vrank & vrank.wrapping_neg()
-        };
-        let mut bit = 1usize;
-        while bit < lowbit && bit < n {
-            let child_v = vrank | bit;
-            if child_v != vrank && child_v < n {
-                let child = (child_v + root) % n;
-                self.send(child, tag, data.clone());
-            }
-            bit <<= 1;
+        for child_v in bcast_children_v(vrank, n) {
+            self.send(bcast_unvrank(child_v, root, n), tag, data.clone());
         }
         data
     }
@@ -139,60 +109,55 @@ impl Comm {
         }
         let seq = self.next_seq();
         let m = buf.len();
-        // Chunk c covers [bound(c), bound(c+1)).
-        let bound = |c: usize| -> usize { (m * c) / n };
-        let right = (self.rank + 1) % n;
-        let left = (self.rank + n - 1) % n;
+        let chunk = |c: usize| chunk_bound(m, n, c)..chunk_bound(m, n, c + 1);
+        let (right, left) = ring_neighbors(self.rank, n);
 
         // Phase 1: reduce-scatter. After step s, rank r holds the partial
         // reduction of chunk (r - s) over ranks r-s..=r.
         for s in 0..n - 1 {
-            let send_chunk = (self.rank + n - s) % n;
-            let recv_chunk = (self.rank + n - s - 1) % n;
-            let tag = self.coll_tag(Op::ReduceScatter, seq) | ((s as u64) << 40);
-            let payload = encode_f32(&buf[bound(send_chunk)..bound(send_chunk + 1)]);
+            let (send_chunk, recv_chunk) = reduce_scatter_step(self.rank, n, s);
+            let tag = coll_round_tag(CollOp::ReduceScatter, seq, s as u64);
+            let payload = encode_f32(&buf[chunk(send_chunk)]);
             self.send(right, tag, payload);
             let (_, incoming) = self.recv(left, tag);
-            let dst = &mut buf[bound(recv_chunk)..bound(recv_chunk + 1)];
-            apply_f32(dst, &incoming, op);
+            apply_f32(&mut buf[chunk(recv_chunk)], &incoming, op);
         }
         // Phase 2: allgather the fully reduced chunks around the ring.
         for s in 0..n - 1 {
-            let send_chunk = (self.rank + 1 + n - s) % n;
-            let recv_chunk = (self.rank + n - s) % n;
-            let tag = self.coll_tag(Op::AllgatherRing, seq) | ((s as u64) << 40);
-            let payload = encode_f32(&buf[bound(send_chunk)..bound(send_chunk + 1)]);
+            let (send_chunk, recv_chunk) = allreduce_allgather_step(self.rank, n, s);
+            let tag = coll_round_tag(CollOp::AllgatherRing, seq, s as u64);
+            let payload = encode_f32(&buf[chunk(send_chunk)]);
             self.send(right, tag, payload);
             let (_, incoming) = self.recv(left, tag);
-            copy_f32(
-                &mut buf[bound(recv_chunk)..bound(recv_chunk + 1)],
-                &incoming,
-            );
+            copy_f32(&mut buf[chunk(recv_chunk)], &incoming);
         }
     }
 
     /// Ring allgather of one byte payload per rank; returns payloads indexed
     /// by comm rank.
+    ///
+    /// The slot forwarded at step `s` is, structurally, the slot received
+    /// at step `s - 1` (the rank's own payload at `s = 0`), so no
+    /// placeholder state is needed — see
+    /// [`crate::protocol::allgather_ring_step`].
     pub fn allgather(&self, payload: Bytes) -> Vec<Bytes> {
         let n = self.size();
-        let mut out: Vec<Option<Bytes>> = vec![None; n];
-        out[self.rank] = Some(payload);
+        let mut out: Vec<Bytes> = vec![Bytes::new(); n];
+        out[self.rank] = payload.clone();
         if n > 1 {
             let seq = self.next_seq();
-            let right = (self.rank + 1) % n;
-            let left = (self.rank + n - 1) % n;
+            let (right, left) = ring_neighbors(self.rank, n);
+            let mut forward = payload;
             for s in 0..n - 1 {
-                let send_idx = (self.rank + n - s) % n;
-                let recv_idx = (self.rank + n - s - 1) % n;
-                let tag = self.coll_tag(Op::AllgatherRing, seq) | ((s as u64) << 40);
-                self.send(right, tag, out[send_idx].clone().expect("ring invariant"));
+                let (_, recv_slot) = allgather_ring_step(self.rank, n, s);
+                let tag = coll_round_tag(CollOp::AllgatherRing, seq, s as u64);
+                self.send(right, tag, forward);
                 let (_, incoming) = self.recv(left, tag);
-                out[recv_idx] = Some(incoming);
+                out[recv_slot] = incoming.clone();
+                forward = incoming;
             }
         }
-        out.into_iter()
-            .map(|o| o.expect("allgather hole"))
-            .collect()
+        out
     }
 
     /// Gather one payload per rank at `root`. Non-roots get `None`.
@@ -200,15 +165,22 @@ impl Comm {
         let n = self.size();
         assert!(root < n);
         let seq = self.next_seq();
-        let tag = self.coll_tag(Op::Gather, seq);
+        let tag = coll_tag(CollOp::Gather, seq);
         if self.rank == root {
-            let mut out: Vec<Option<Bytes>> = vec![None; n];
-            out[root] = Some(payload);
+            let mut out: Vec<Bytes> = vec![Bytes::new(); n];
+            let mut filled = vec![false; n];
+            out[root] = payload;
+            filled[root] = true;
             for _ in 0..n - 1 {
                 let (src, data) = self.recv(crate::envelope::ANY_SOURCE, tag);
-                out[src] = Some(data);
+                assert!(
+                    !filled[src],
+                    "duplicate gather contribution from rank {src}"
+                );
+                out[src] = data;
+                filled[src] = true;
             }
-            Some(out.into_iter().map(|o| o.expect("gather hole")).collect())
+            Some(out)
         } else {
             self.send(root, tag, payload);
             None
@@ -220,19 +192,19 @@ impl Comm {
         let n = self.size();
         assert!(root < n);
         let seq = self.next_seq();
-        let tag = self.coll_tag(Op::Scatter, seq);
+        let tag = coll_tag(CollOp::Scatter, seq);
         if self.rank == root {
-            let payloads = payloads.expect("root must supply scatter payloads");
+            let Some(mut payloads) = payloads else {
+                panic!("scatter root must supply the payloads")
+            };
             assert_eq!(payloads.len(), n, "scatter needs one payload per rank");
-            let mut own = None;
+            let own = std::mem::take(&mut payloads[root]);
             for (dest, p) in payloads.into_iter().enumerate() {
-                if dest == root {
-                    own = Some(p);
-                } else {
+                if dest != root {
                     self.send(dest, tag, p);
                 }
             }
-            own.expect("root payload")
+            own
         } else {
             self.recv(root, tag).1
         }
@@ -243,7 +215,7 @@ impl Comm {
         let n = self.size();
         assert!(root < n);
         let seq = self.next_seq();
-        let tag = self.coll_tag(Op::Reduce, seq);
+        let tag = coll_tag(CollOp::Reduce, seq);
         if self.rank == root {
             let mut acc = buf.to_vec();
             for _ in 0..n - 1 {
@@ -263,20 +235,27 @@ impl Comm {
         let n = self.size();
         assert_eq!(payloads.len(), n, "alltoall needs one payload per rank");
         let seq = self.next_seq();
-        let tag = self.coll_tag(Op::Alltoall, seq);
-        let mut out: Vec<Option<Bytes>> = vec![None; n];
+        let tag = coll_tag(CollOp::Alltoall, seq);
+        let mut out: Vec<Bytes> = vec![Bytes::new(); n];
+        let mut filled = vec![false; n];
         for (dest, p) in payloads.into_iter().enumerate() {
             if dest == self.rank {
-                out[dest] = Some(p);
+                out[dest] = p;
+                filled[dest] = true;
             } else {
                 self.send(dest, tag, p);
             }
         }
         for _ in 0..n - 1 {
             let (src, data) = self.recv(crate::envelope::ANY_SOURCE, tag);
-            out[src] = Some(data);
+            assert!(
+                !filled[src],
+                "duplicate alltoall contribution from rank {src}"
+            );
+            out[src] = data;
+            filled[src] = true;
         }
-        out.into_iter().map(|o| o.expect("alltoall hole")).collect()
+        out
     }
 
     /// Inclusive prefix reduction (MPI_Scan): rank r receives the
@@ -288,7 +267,9 @@ impl Comm {
             return;
         }
         let seq = self.next_seq();
-        let tag = self.coll_tag(Op::Reduce, seq) | (1 << 41);
+        // Scan shares the Reduce opcode, distinguished by round bit 2 so a
+        // reduce and a scan at the same sequence number cannot cross-match.
+        let tag = coll_round_tag(CollOp::Reduce, seq, 2);
         if self.rank > 0 {
             let (_, incoming) = self.recv(self.rank - 1, tag);
             // Fold predecessor partial into our buffer.

@@ -11,7 +11,7 @@
 //!   non-blocking as [`RecvRequest`]s;
 //! * `split` is collective and yields disjoint child communicators.
 
-use crate::envelope::{Envelope, ANY_SOURCE};
+use crate::envelope::{match_pending, Envelope, ANY_SOURCE};
 use crate::router::Router;
 use bytes::Bytes;
 use crossbeam_channel::{Receiver, RecvTimeoutError};
@@ -44,11 +44,7 @@ impl Mailbox {
 
     /// Try to match a buffered envelope without touching the channel.
     fn take_pending(&mut self, context: u64, src: usize, tag: u64) -> Option<Envelope> {
-        let idx = self
-            .pending
-            .iter()
-            .position(|e| e.matches(context, src, tag))?;
-        self.pending.remove(idx)
+        match_pending(&mut self.pending, context, src, tag)
     }
 
     /// Non-blocking probe-and-match.

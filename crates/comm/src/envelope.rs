@@ -1,6 +1,7 @@
 //! Wire-level message representation for the simulated MPI world.
 
 use bytes::Bytes;
+use std::collections::VecDeque;
 
 /// Matches MPI's `MPI_ANY_SOURCE`: receive from whichever rank sends first.
 pub const ANY_SOURCE: usize = usize::MAX;
@@ -33,6 +34,24 @@ impl Envelope {
     pub fn matches(&self, context: u64, src: usize, tag: u64) -> bool {
         self.context == context && self.tag == tag && (src == ANY_SOURCE || self.src == src)
     }
+}
+
+/// Take the *earliest* buffered envelope matching `(context, src, tag)`
+/// out of `pending`, preserving the order of the rest.
+///
+/// This is the one matching routine of the stack: the communicator's
+/// mailbox calls it for out-of-order tag matching, and the `ltfb-analyze`
+/// model checker calls it from its simulated mailboxes so that schedule
+/// exploration exercises the production matching semantics (first-match =
+/// FIFO per `(source, context, tag)` class).
+pub fn match_pending(
+    pending: &mut VecDeque<Envelope>,
+    context: u64,
+    src: usize,
+    tag: u64,
+) -> Option<Envelope> {
+    let idx = pending.iter().position(|e| e.matches(context, src, tag))?;
+    pending.remove(idx)
 }
 
 #[cfg(test)]
@@ -68,5 +87,17 @@ mod tests {
         assert!(!e.matches(7, 4, 42), "wrong source");
         assert!(!e.matches(8, 3, 42), "wrong context");
         assert!(!e.matches(7, 3, 41), "wrong tag");
+    }
+
+    #[test]
+    fn match_pending_takes_earliest_and_preserves_rest() {
+        let mut pending: VecDeque<Envelope> = [env(1, 0, 5), env(2, 0, 5), env(1, 0, 5)]
+            .into_iter()
+            .collect();
+        let got = match_pending(&mut pending, 0, 1, 5).unwrap();
+        assert_eq!(got.src, 1);
+        assert_eq!(pending.len(), 2, "only the matched envelope is removed");
+        assert_eq!(pending[0].src, 2, "order of the rest preserved");
+        assert!(match_pending(&mut pending, 0, 9, 5).is_none());
     }
 }

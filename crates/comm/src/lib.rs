@@ -19,14 +19,17 @@
 //! The crate is purely about *semantics*; wall-clock performance modelling
 //! lives in `ltfb-hpcsim`.
 
+#![forbid(unsafe_code)]
+
 pub mod collectives;
 pub mod comm;
 pub mod envelope;
+pub mod protocol;
 pub mod router;
 pub mod world;
 
 pub use collectives::{decode_f32, encode_f32, ReduceOp};
 pub use comm::{deadlock_report, Comm, CommStats, RecvRequest, SendRequest, RECV_TIMEOUT};
-pub use envelope::{Envelope, ANY_SOURCE};
+pub use envelope::{match_pending, Envelope, ANY_SOURCE};
 pub use router::{Router, WorldStats};
 pub use world::{bytes_of_u64, run_world, run_world_obs, u64_of_bytes};

@@ -1,0 +1,241 @@
+//! Pure protocol math shared by the collectives and by external
+//! verification tooling (`ltfb-analyze`'s concurrency model checker).
+//!
+//! Everything here is a total function of `(rank, size, step, …)` with no
+//! I/O and no shared state: the tag layout, the ring schedules of
+//! allreduce/allgather, the dissemination-barrier peers and the
+//! binomial-broadcast tree. The communicator executes these schedules over
+//! real mailboxes; the model checker executes the *same* schedules over
+//! simulated mailboxes and explores thread interleavings — so a schedule
+//! bug found by either is a bug in exactly one place.
+
+use crate::envelope::INTERNAL_TAG_BASE;
+
+/// Collective opcodes baked into tags (bits 0..8). `u64` tag layout:
+/// `INTERNAL_TAG_BASE | round << 40 | seq << 8 | op`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollOp {
+    Barrier = 1,
+    Bcast = 2,
+    ReduceScatter = 3,
+    AllgatherRing = 4,
+    Gather = 5,
+    Scatter = 6,
+    Reduce = 7,
+    Alltoall = 8,
+}
+
+/// Tag for collective call number `seq` of kind `op` on one communicator:
+/// unique per `(comm, collective call, opcode)`, above the user tag space.
+#[inline]
+pub fn coll_tag(op: CollOp, seq: u64) -> u64 {
+    INTERNAL_TAG_BASE | (seq << 8) | op as u64
+}
+
+/// [`coll_tag`] with a per-step round number mixed in (bits 40..), so the
+/// steps of a multi-round collective cannot cross-match.
+#[inline]
+pub fn coll_round_tag(op: CollOp, seq: u64, round: u64) -> u64 {
+    coll_tag(op, seq) | (round << 40)
+}
+
+/// Ring neighbours of `rank` in a communicator of `n`: `(right, left)`.
+#[inline]
+pub fn ring_neighbors(rank: usize, n: usize) -> (usize, usize) {
+    ((rank + 1) % n, (rank + n - 1) % n)
+}
+
+/// Start offset of chunk `c` when an `m`-element buffer is split into `n`
+/// near-equal chunks; chunk `c` covers `chunk_bound(m, n, c)..chunk_bound(m, n, c + 1)`.
+#[inline]
+pub fn chunk_bound(m: usize, n: usize, c: usize) -> usize {
+    (m * c) / n
+}
+
+/// Reduce-scatter ring schedule: at step `s` (`0..n-1`), rank `r` sends
+/// chunk `(r - s) mod n` to its right neighbour and folds the incoming
+/// chunk `(r - s - 1) mod n` from the left. Returns `(send_chunk, recv_chunk)`.
+#[inline]
+pub fn reduce_scatter_step(rank: usize, n: usize, s: usize) -> (usize, usize) {
+    ((rank + n - s) % n, (rank + n - s - 1) % n)
+}
+
+/// Allgather phase of the ring allreduce: at step `s`, rank `r` sends the
+/// fully reduced chunk `(r + 1 - s) mod n` and receives chunk
+/// `(r - s) mod n`. Returns `(send_chunk, recv_chunk)`.
+#[inline]
+pub fn allreduce_allgather_step(rank: usize, n: usize, s: usize) -> (usize, usize) {
+    ((rank + 1 + n - s) % n, (rank + n - s) % n)
+}
+
+/// Plain ring allgather of one payload per rank: at step `s`, rank `r`
+/// forwards slot `(r - s) mod n` (its own payload at `s = 0`, thereafter
+/// the slot received in the previous step) and receives slot
+/// `(r - s - 1) mod n`. Returns `(send_slot, recv_slot)`.
+#[inline]
+pub fn allgather_ring_step(rank: usize, n: usize, s: usize) -> (usize, usize) {
+    ((rank + n - s) % n, (rank + n - s - 1) % n)
+}
+
+/// Number of dissemination-barrier rounds for `n` ranks: ⌈log₂ n⌉.
+#[inline]
+pub fn barrier_rounds(n: usize) -> u32 {
+    n.next_power_of_two().trailing_zeros()
+}
+
+/// Peers of `rank` in dissemination-barrier round `round` (distance
+/// `k = 2^round`): returns `(dest, src)` — notify `dest`, wait for `src`.
+#[inline]
+pub fn barrier_peers(rank: usize, n: usize, round: u32) -> (usize, usize) {
+    let k = 1usize << round;
+    ((rank + k) % n, (rank + n - k % n) % n)
+}
+
+/// Rotated binomial-tree numbering: the broadcast root becomes vrank 0.
+#[inline]
+pub fn bcast_vrank(rank: usize, root: usize, n: usize) -> usize {
+    (rank + n - root) % n
+}
+
+/// Inverse of [`bcast_vrank`].
+#[inline]
+pub fn bcast_unvrank(vrank: usize, root: usize, n: usize) -> usize {
+    (vrank + root) % n
+}
+
+/// Parent of a non-root vrank in the binomial tree: clear the lowest set
+/// bit.
+#[inline]
+pub fn bcast_parent_v(vrank: usize) -> usize {
+    debug_assert!(vrank > 0, "vrank 0 is the root");
+    vrank & (vrank - 1)
+}
+
+/// Children of `vrank` in a binomial tree over `n` vranks, in send order
+/// (nearest subtree first — the order the broadcast forwards in).
+pub fn bcast_children_v(vrank: usize, n: usize) -> Vec<usize> {
+    let lowbit = if vrank == 0 {
+        n.next_power_of_two()
+    } else {
+        vrank & vrank.wrapping_neg()
+    };
+    let mut children = Vec::new();
+    let mut bit = 1usize;
+    while bit < lowbit && bit < n {
+        let child = vrank | bit;
+        if child != vrank && child < n {
+            children.push(child);
+        }
+        bit <<= 1;
+    }
+    children
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_separate_ops_seqs_and_rounds() {
+        let a = coll_tag(CollOp::Barrier, 0);
+        let b = coll_tag(CollOp::Bcast, 0);
+        let c = coll_tag(CollOp::Barrier, 1);
+        let d = coll_round_tag(CollOp::Barrier, 0, 1);
+        assert!(a != b && a != c && a != d && b != c);
+        assert!(
+            a >= INTERNAL_TAG_BASE,
+            "collective tags live above user tags"
+        );
+    }
+
+    #[test]
+    fn chunk_bounds_cover_buffer_exactly() {
+        for (m, n) in [(10, 3), (7, 7), (5, 8), (0, 2)] {
+            assert_eq!(chunk_bound(m, n, 0), 0);
+            assert_eq!(chunk_bound(m, n, n), m);
+            for c in 0..n {
+                assert!(chunk_bound(m, n, c) <= chunk_bound(m, n, c + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_then_allgather_visits_every_chunk() {
+        // After n-1 reduce-scatter steps, rank r has fully reduced chunk
+        // (r + 1) mod n; the allgather phase must then deliver every other
+        // chunk exactly once.
+        let n = 5;
+        for rank in 0..n {
+            let mut seen: Vec<usize> = (0..n - 1)
+                .map(|s| allreduce_allgather_step(rank, n, s).1)
+                .collect();
+            seen.sort_unstable();
+            let mut want: Vec<usize> = (0..n).filter(|&c| c != (rank + 1) % n).collect();
+            want.sort_unstable();
+            assert_eq!(seen, want, "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn allgather_forwards_what_it_just_received() {
+        // The slot sent at step s must equal the slot received at step
+        // s-1 (or the rank's own slot at s = 0) — the structural invariant
+        // that lets the implementation forward without buffering options.
+        let n = 6;
+        for rank in 0..n {
+            assert_eq!(allgather_ring_step(rank, n, 0).0, rank);
+            for s in 1..n - 1 {
+                assert_eq!(
+                    allgather_ring_step(rank, n, s).0,
+                    allgather_ring_step(rank, n, s - 1).1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_peer_graph_disseminates_to_all() {
+        // After ⌈log₂ n⌉ rounds every rank must have heard (transitively)
+        // from every other rank.
+        for n in 1..=9usize {
+            let rounds = barrier_rounds(n);
+            // heard[r] = set of ranks whose signal has reached r.
+            let mut heard: Vec<u128> = (0..n).map(|r| 1u128 << r).collect();
+            for round in 0..rounds {
+                let prev = heard.clone();
+                for (r, h) in heard.iter_mut().enumerate() {
+                    let (_, src) = barrier_peers(r, n, round);
+                    *h |= prev[src];
+                }
+            }
+            for (r, h) in heard.iter().enumerate() {
+                assert_eq!(*h, (1u128 << n) - 1, "n={n} rank={r} missed a peer");
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_tree_reaches_every_rank_once() {
+        for n in 1..=10usize {
+            for root in 0..n {
+                let mut reached = vec![false; n];
+                reached[root] = true;
+                // BFS over the vrank tree.
+                let mut frontier = vec![0usize];
+                while let Some(v) = frontier.pop() {
+                    for c in bcast_children_v(v, n) {
+                        let r = bcast_unvrank(c, root, n);
+                        assert!(!reached[r], "n={n} root={root}: rank {r} reached twice");
+                        reached[r] = true;
+                        assert_eq!(bcast_parent_v(c), v, "child's parent must match");
+                        frontier.push(c);
+                    }
+                }
+                assert!(
+                    reached.iter().all(|&x| x),
+                    "n={n} root={root}: unreached rank"
+                );
+            }
+        }
+    }
+}

@@ -56,7 +56,7 @@ where
                 std::thread::Builder::new()
                     .name(format!("rank-{rank}"))
                     .spawn_scoped(scope, move || f(comm))
-                    .expect("failed to spawn rank thread"),
+                    .expect("invariant: OS can spawn one thread per rank"),
             );
         }
         let mut results = Vec::with_capacity(n);
@@ -124,7 +124,7 @@ impl Comm {
         let my_rank = group
             .iter()
             .position(|&(_, pr)| pr == self.rank)
-            .expect("caller must be in its own color group");
+            .expect("invariant: the caller contributed its own color, so it is in the group");
 
         // Derive the child context deterministically: identical on all
         // members (same parent context, same split ordinal, same color),

@@ -21,6 +21,85 @@ use std::path::Path;
 const MAGIC: u32 = 0x4C54_4350; // "LTCP"
 const VERSION: u32 = 1;
 
+/// The fixed on-disk header every checkpoint artifact starts with:
+/// `magic | version | body_len | crc32(body)`, all little-endian. The
+/// `version` field is mandatory for every checkpoint format in this
+/// workspace (enforced by `ltfb-analyze lint`, rule LA005): readers must
+/// be able to reject a checkpoint from a future writer before touching
+/// the body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointHeader {
+    /// Format discriminator (e.g. `"LTCP"` for populations, `"LTSV"` for
+    /// surrogates).
+    pub magic: u32,
+    /// Format version; bump on any body layout change.
+    pub version: u32,
+    /// Byte length of the body that follows the header.
+    pub body_len: u64,
+    /// CRC-32 of the body.
+    pub crc: u32,
+}
+
+impl CheckpointHeader {
+    /// Header describing `body` for a `(magic, version)` format.
+    pub fn for_body(magic: u32, version: u32, body: &[u8]) -> CheckpointHeader {
+        CheckpointHeader {
+            magic,
+            version,
+            body_len: body.len() as u64,
+            crc: crc32(body),
+        }
+    }
+
+    /// Write the header in its fixed 20-byte on-disk layout.
+    pub fn write_to(&self, w: &mut impl Write) -> Result<(), CheckpointError> {
+        w.write_all(&self.magic.to_le_bytes())?;
+        w.write_all(&self.version.to_le_bytes())?;
+        w.write_all(&self.body_len.to_le_bytes())?;
+        w.write_all(&self.crc.to_le_bytes())?;
+        Ok(())
+    }
+
+    /// Read a header, checking `magic` and `version` against the expected
+    /// format before the caller reads the body.
+    pub fn read_from(
+        r: &mut impl Read,
+        want_magic: u32,
+        want_version: u32,
+    ) -> Result<CheckpointHeader, CheckpointError> {
+        let mut raw = [0u8; 20];
+        r.read_exact(&mut raw)
+            .map_err(|_| CheckpointError::Truncated)?;
+        let le32 = |lo: usize| u32::from_le_bytes([raw[lo], raw[lo + 1], raw[lo + 2], raw[lo + 3]]);
+        let header = CheckpointHeader {
+            magic: le32(0),
+            version: le32(4),
+            body_len: u64::from_le_bytes([
+                raw[8], raw[9], raw[10], raw[11], raw[12], raw[13], raw[14], raw[15],
+            ]),
+            crc: le32(16),
+        };
+        if header.magic != want_magic {
+            return Err(CheckpointError::BadMagic(header.magic));
+        }
+        if header.version != want_version {
+            return Err(CheckpointError::BadVersion(header.version));
+        }
+        Ok(header)
+    }
+
+    /// Read the body the header describes and verify its checksum.
+    pub fn read_body(&self, r: &mut impl Read) -> Result<Bytes, CheckpointError> {
+        let mut body = vec![0u8; self.body_len as usize];
+        r.read_exact(&mut body)
+            .map_err(|_| CheckpointError::Truncated)?;
+        if crc32(&body) != self.crc {
+            return Err(CheckpointError::BadChecksum);
+        }
+        Ok(Bytes::from(body))
+    }
+}
+
 /// Errors from checkpoint I/O.
 #[derive(Debug)]
 pub enum CheckpointError {
@@ -143,10 +222,7 @@ pub fn save_population(
         encode_trainer(t, &mut body);
     }
     let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
-    f.write_all(&MAGIC.to_le_bytes())?;
-    f.write_all(&VERSION.to_le_bytes())?;
-    f.write_all(&(body.len() as u64).to_le_bytes())?;
-    f.write_all(&crc32(&body).to_le_bytes())?;
+    CheckpointHeader::for_body(MAGIC, VERSION, &body).write_to(&mut f)?;
     f.write_all(&body)?;
     f.flush()?;
     Ok(())
@@ -157,29 +233,11 @@ pub fn save_population(
 /// reader positions recovered).
 pub fn load_population(path: &Path, cfg: &LtfbConfig) -> Result<Vec<Trainer>, CheckpointError> {
     let mut f = std::fs::File::open(path)?;
-    let mut header = [0u8; 16];
-    f.read_exact(&mut header)
-        .map_err(|_| CheckpointError::Truncated)?;
-    let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
-    if magic != MAGIC {
-        return Err(CheckpointError::BadMagic(magic));
+    let header = CheckpointHeader::read_from(&mut f, MAGIC, VERSION)?;
+    let mut data = header.read_body(&mut f)?;
+    if data.remaining() < 24 {
+        return Err(CheckpointError::Truncated);
     }
-    let version = u32::from_le_bytes(header[4..8].try_into().unwrap());
-    if version != VERSION {
-        return Err(CheckpointError::BadVersion(version));
-    }
-    let body_len = u64::from_le_bytes(header[8..16].try_into().unwrap()) as usize;
-    let mut crc_raw = [0u8; 4];
-    f.read_exact(&mut crc_raw)
-        .map_err(|_| CheckpointError::Truncated)?;
-    let stored_crc = u32::from_le_bytes(crc_raw);
-    let mut body = vec![0u8; body_len];
-    f.read_exact(&mut body)
-        .map_err(|_| CheckpointError::Truncated)?;
-    if crc32(&body) != stored_crc {
-        return Err(CheckpointError::BadChecksum);
-    }
-    let mut data = Bytes::from(body);
     let k = data.get_u64_le() as usize;
     let seed = data.get_u64_le();
     let _steps = data.get_u64_le();
@@ -228,10 +286,7 @@ pub fn save_surrogate(
         body.put_slice(&w);
     }
     let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
-    f.write_all(&SURROGATE_MAGIC.to_le_bytes())?;
-    f.write_all(&SURROGATE_VERSION.to_le_bytes())?;
-    f.write_all(&(body.len() as u64).to_le_bytes())?;
-    f.write_all(&crc32(&body).to_le_bytes())?;
+    CheckpointHeader::for_body(SURROGATE_MAGIC, SURROGATE_VERSION, &body).write_to(&mut f)?;
     f.write_all(&body)?;
     f.flush()?;
     Ok(())
@@ -244,29 +299,8 @@ pub fn load_surrogate(
     cfg: &ltfb_gan::CycleGanConfig,
 ) -> Result<(ltfb_gan::CycleGan, u64), CheckpointError> {
     let mut f = std::fs::File::open(path)?;
-    let mut header = [0u8; 16];
-    f.read_exact(&mut header)
-        .map_err(|_| CheckpointError::Truncated)?;
-    let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
-    if magic != SURROGATE_MAGIC {
-        return Err(CheckpointError::BadMagic(magic));
-    }
-    let version = u32::from_le_bytes(header[4..8].try_into().unwrap());
-    if version != SURROGATE_VERSION {
-        return Err(CheckpointError::BadVersion(version));
-    }
-    let body_len = u64::from_le_bytes(header[8..16].try_into().unwrap()) as usize;
-    let mut crc_raw = [0u8; 4];
-    f.read_exact(&mut crc_raw)
-        .map_err(|_| CheckpointError::Truncated)?;
-    let stored_crc = u32::from_le_bytes(crc_raw);
-    let mut body = vec![0u8; body_len];
-    f.read_exact(&mut body)
-        .map_err(|_| CheckpointError::Truncated)?;
-    if crc32(&body) != stored_crc {
-        return Err(CheckpointError::BadChecksum);
-    }
-    let mut data = Bytes::from(body);
+    let header = CheckpointHeader::read_from(&mut f, SURROGATE_MAGIC, SURROGATE_VERSION)?;
+    let mut data = header.read_body(&mut f)?;
     if data.remaining() < 48 {
         return Err(CheckpointError::Truncated);
     }

@@ -15,6 +15,8 @@
 //!   by construction and by test);
 //! * [`kindep`]     — the partitioned K-independent baseline of Fig. 13.
 
+#![forbid(unsafe_code)]
+
 pub mod checkpoint;
 pub mod classifier;
 pub mod config;
@@ -28,7 +30,7 @@ pub mod two_level;
 
 pub use checkpoint::{
     load_population, load_surrogate, resume_ltfb_serial, run_ltfb_partial, save_population,
-    save_surrogate, CheckpointError,
+    save_surrogate, CheckpointError, CheckpointHeader,
 };
 pub use classifier::{
     classify_data, run_classifier_distributed, run_classifier_population, ClassifierOutcome,

@@ -10,6 +10,8 @@
 //!   ranks, and owner-push non-blocking mini-batch exchanges. After the
 //!   first epoch no data is read from the file system.
 
+#![forbid(unsafe_code)]
+
 pub mod node;
 pub mod store;
 

@@ -17,7 +17,7 @@
 //! pure function of the deterministic epoch-0 plan / file assignment), so
 //! no ownership directory has to be communicated.
 
-use crate::node::Node;
+use crate::node::{Node, NodeDecodeError};
 use ltfb_comm::Comm;
 use ltfb_jag::{DatasetSpec, Sample, N_PARAMS, N_SCALARS};
 use ltfb_obs::{Counter, Registry};
@@ -58,6 +58,15 @@ pub enum StoreError {
     },
     /// Underlying bundle-file failure.
     Bundle(ltfb_jag::BundleError),
+    /// A node handed to [`node_to_sample`] is missing a leaf or has one of
+    /// the wrong shape — the schema drifted between sender and receiver.
+    Schema { path: &'static str, detail: String },
+    /// The shuffle protocol asked this rank for a sample it does not own —
+    /// an ownership-map bug, surfaced as an error instead of a panic so a
+    /// trainer can drop out without killing the world.
+    MissingSample { id: u64, rank: usize },
+    /// A shuffled payload failed to decode back into a node.
+    CorruptShuffle { id: u64, err: NodeDecodeError },
 }
 
 impl std::fmt::Display for StoreError {
@@ -71,6 +80,18 @@ impl std::fmt::Display for StoreError {
                 "data store OOM: need {required_bytes} bytes, capacity {capacity_bytes}"
             ),
             StoreError::Bundle(e) => write!(f, "data store bundle error: {e}"),
+            StoreError::Schema { path, detail } => {
+                write!(f, "sample node schema mismatch at {path:?}: {detail}")
+            }
+            StoreError::MissingSample { id, rank } => {
+                write!(
+                    f,
+                    "rank {rank} does not own sample {id} it was asked to ship"
+                )
+            }
+            StoreError::CorruptShuffle { id, err } => {
+                write!(f, "shuffled sample {id} failed to decode: {err}")
+            }
         }
     }
 }
@@ -113,6 +134,16 @@ pub struct EpochPlan {
 }
 
 impl EpochPlan {
+    /// Build a plan directly from a visit order — the constructor used by
+    /// tests and by the `ltfb-analyze` model checker, which replays the
+    /// store's shuffle protocol over a synthetic plan. Production plans
+    /// come from [`DataStore::epoch_plan`].
+    pub fn new(order: Vec<u64>, mb: usize, ranks: usize) -> EpochPlan {
+        assert!(mb > 0, "mini-batch must be positive");
+        assert!(ranks > 0, "plan needs at least one rank");
+        EpochPlan { order, mb, ranks }
+    }
+
     /// Steps in the epoch (final one may be short).
     pub fn steps(&self) -> usize {
         self.order.len().div_ceil(self.mb)
@@ -172,28 +203,41 @@ pub fn sample_to_node(s: &Sample) -> Node {
     n
 }
 
-/// Recover a JAG sample from its node form. Panics if the schema does not
-/// match (programming error).
-pub fn node_to_sample(n: &Node) -> Sample {
-    let params_v = n
-        .get_f32s("inputs/params")
-        .expect("node missing inputs/params");
-    let scalars_v = n
-        .get_f32s("outputs/scalars")
-        .expect("node missing outputs/scalars");
-    let images = n
-        .get_f32s("outputs/images")
-        .expect("node missing outputs/images")
-        .to_vec();
+/// Recover a JAG sample from its node form, checking the schema (leaf
+/// presence and array shapes) instead of panicking: a malformed node can
+/// arrive off the wire, so it is a data condition, not a programming error.
+pub fn node_to_sample(n: &Node) -> Result<Sample, StoreError> {
+    fn leaf<'a>(
+        n: &'a Node,
+        path: &'static str,
+        want: Option<usize>,
+    ) -> Result<&'a [f32], StoreError> {
+        let v = n.get_f32s(path).ok_or(StoreError::Schema {
+            path,
+            detail: "missing or not an f32 array".into(),
+        })?;
+        if let Some(len) = want {
+            if v.len() != len {
+                return Err(StoreError::Schema {
+                    path,
+                    detail: format!("expected {len} elements, found {}", v.len()),
+                });
+            }
+        }
+        Ok(v)
+    }
+    let params_v = leaf(n, "inputs/params", Some(N_PARAMS))?;
+    let scalars_v = leaf(n, "outputs/scalars", Some(N_SCALARS))?;
+    let images = leaf(n, "outputs/images", None)?.to_vec();
     let mut params = [0.0f32; N_PARAMS];
     params.copy_from_slice(params_v);
     let mut scalars = [0.0f32; N_SCALARS];
     scalars.copy_from_slice(scalars_v);
-    Sample {
+    Ok(Sample {
         params,
         scalars,
         images,
-    }
+    })
 }
 
 impl DataStore {
@@ -371,7 +415,10 @@ impl DataStore {
                 continue;
             }
             if self.owner_of(id) == rank {
-                let node = self.owned.get(&id).expect("owned sample missing");
+                let node = self
+                    .owned
+                    .get(&id)
+                    .ok_or(StoreError::MissingSample { id, rank })?;
                 self.comm.isend(consumer, id, node.to_bytes()).wait();
             }
         }
@@ -382,7 +429,10 @@ impl DataStore {
             }
             let owner = self.owner_of(id);
             let node = if owner == rank {
-                self.owned.get(&id).expect("owned sample missing").clone()
+                self.owned
+                    .get(&id)
+                    .ok_or(StoreError::MissingSample { id, rank })?
+                    .clone()
             } else {
                 let (_, payload) = self.comm.irecv(owner, id).wait();
                 self.stats.shuffled_samples += 1;
@@ -391,7 +441,7 @@ impl DataStore {
                     o.shuffled_samples.inc();
                     o.shuffled_bytes.add(payload.len() as u64);
                 }
-                Node::from_bytes(payload).expect("corrupt shuffled sample")
+                Node::from_bytes(payload).map_err(|err| StoreError::CorruptShuffle { id, err })?
             };
             out.push((id, node));
         }

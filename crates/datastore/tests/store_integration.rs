@@ -48,7 +48,7 @@ fn preload_epoch_delivers_correct_samples_to_every_rank() {
         let got = store.fetch_epoch(0).unwrap();
         // Verify payloads against direct regeneration.
         for (id, node) in &got {
-            let s = node_to_sample(node);
+            let s = node_to_sample(node).expect("shuffled node schema intact");
             assert_eq!(
                 s,
                 sample_by_id(&JagConfig::small(4), 0, *id),

@@ -10,6 +10,8 @@
 //! The *generator* — F plus G — is the unit LTFB exchanges between
 //! trainers; everything else stays trainer-local.
 
+#![forbid(unsafe_code)]
+
 pub mod batch;
 pub mod config;
 pub mod model;

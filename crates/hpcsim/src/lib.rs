@@ -22,6 +22,8 @@
 //! Quality figures (7, 8, 12, 13) do **not** use this crate — they come
 //! from real training runs in `ltfb-core`/`ltfb-gan`.
 
+#![forbid(unsafe_code)]
+
 pub mod event;
 pub mod gpu;
 pub mod ltfb;

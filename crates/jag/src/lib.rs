@@ -15,6 +15,8 @@
 //!   deterministic generation;
 //! * [`images`]    — PGM export and image-space error metrics for Fig. 8.
 
+#![forbid(unsafe_code)]
+
 pub mod bundle;
 pub mod config;
 pub mod dataset;

@@ -10,6 +10,8 @@
 //! Everything is deterministic given seeds, and every gradient path is
 //! validated against central differences in the test suite.
 
+#![forbid(unsafe_code)]
+
 pub mod dp;
 pub mod layer;
 pub mod metrics;

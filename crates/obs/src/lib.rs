@@ -35,6 +35,8 @@
 //! assert!(snap.to_json().contains("\"p99\""));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod metrics;
 pub mod registry;
 pub mod report;

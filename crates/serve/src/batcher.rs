@@ -281,7 +281,7 @@ impl Server {
                 std::thread::Builder::new()
                     .name(format!("ltfb-serve-{i}"))
                     .spawn(move || worker_loop(rx, registry, telemetry, cache, policy))
-                    .expect("spawn batch worker")
+                    .expect("invariant: OS can spawn the batch workers")
             })
             .collect();
         Server {
@@ -295,7 +295,11 @@ impl Server {
     /// A new client handle.
     pub fn client(&self) -> ServeClient {
         ServeClient {
-            tx: Arc::downgrade(self.tx.as_ref().expect("server already shut down")),
+            tx: Arc::downgrade(
+                self.tx
+                    .as_ref()
+                    .expect("invariant: client() is only callable before shutdown"),
+            ),
             registry: Arc::clone(&self.registry),
             telemetry: Arc::clone(&self.telemetry),
         }

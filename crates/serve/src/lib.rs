@@ -41,6 +41,8 @@
 //! println!("p99 latency: {:.1}us", stats.latency_p99_us);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod batcher;
 pub mod cache;
 pub mod loadgen;

@@ -97,7 +97,7 @@ pub fn run_load(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("load client panicked"))
+            .map(|h| h.join().expect("invariant: load clients do not panic"))
             .collect()
     });
     let mut total = LoadReport {

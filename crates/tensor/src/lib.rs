@@ -16,6 +16,8 @@
 //! * a checksummed binary codec ([`serial`]) used for model exchange and
 //!   the bundle file format.
 
+#![forbid(unsafe_code)]
+
 pub mod classify;
 pub mod gemm;
 pub mod init;

@@ -17,6 +17,8 @@
 //! The engine is generic over the task payload; the glue that generates
 //! the JAG dataset with it lives in the examples and benches.
 
+#![forbid(unsafe_code)]
+
 pub mod dag;
 pub mod engine;
 pub mod stats;

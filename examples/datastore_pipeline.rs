@@ -51,7 +51,7 @@ fn main() {
                 let delivered = store.fetch_step(&plan, step, epoch).expect("exchange ok");
                 let samples: Vec<Sample> = delivered
                     .iter()
-                    .map(|(_, node)| node_to_sample(node))
+                    .map(|(_, node)| node_to_sample(node).expect("delivered node schema intact"))
                     .collect();
                 let refs: Vec<&Sample> = samples.iter().collect();
                 let (x, y) = batch_from_samples(&cfg, &refs);

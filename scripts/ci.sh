@@ -17,6 +17,12 @@ cargo fmt --check
 echo "==> cargo clippy"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> ltfb-analyze lint (workspace invariant rules)"
+cargo run -q -p ltfb-analyze -- lint
+
+echo "==> ltfb-analyze check (fixed-seed model-check suite)"
+cargo run -q -p ltfb-analyze -- check
+
 echo "==> metrics smoke"
 scripts/metrics_smoke.sh
 

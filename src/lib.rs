@@ -34,6 +34,8 @@
 //! println!("winner: trainer {winner}, validation loss {loss:.4}");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use ltfb_comm as comm;
 pub use ltfb_core as core;
 pub use ltfb_datastore as datastore;

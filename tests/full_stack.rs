@@ -43,7 +43,10 @@ fn workflow_generates_store_feeds_gan_trains() {
             let plan = store.epoch_plan(epoch);
             for step in 0..plan.steps() {
                 let got = store.fetch_step(&plan, step, epoch).unwrap();
-                let samples: Vec<Sample> = got.iter().map(|(_, n)| node_to_sample(n)).collect();
+                let samples: Vec<Sample> = got
+                    .iter()
+                    .map(|(_, n)| node_to_sample(n).expect("node schema intact"))
+                    .collect();
                 let refs: Vec<&Sample> = samples.iter().collect();
                 let (x, y) = batch_from_samples(&cfg, &refs);
                 if epoch == 0 {
