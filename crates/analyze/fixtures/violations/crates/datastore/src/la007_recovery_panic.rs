@@ -1,0 +1,9 @@
+//! Seeded LA007 violation: a panic on a fault-recovery path, which
+//! turns a survivable rank death into a process crash.
+
+pub fn reassign_owner(alive: &[bool], owner: usize) -> usize {
+    match alive.iter().position(|&a| a) {
+        Some(rank) => rank,
+        None => panic!("no survivor can re-own samples of rank {owner}"),
+    }
+}

@@ -332,6 +332,14 @@ fn is_crate_root(path: &str) -> bool {
     path.ends_with("src/lib.rs")
 }
 
+/// The fault-tolerance surface of the protocol crates: failure
+/// detection, fault-aware collectives, and datastore recovery. These
+/// paths exist so a fault is *survived*; a panic there defeats them.
+fn in_recovery_path(path: &str) -> bool {
+    in_protocol_path(path)
+        && (path.ends_with("/fault.rs") || path.ends_with("/ft.rs") || path.contains("recovery"))
+}
+
 /// The rule set. Every rule fires on at least one fixture under
 /// `crates/analyze/fixtures/violations` (see `tests/lint_rules.rs`).
 pub fn rules() -> Vec<Rule> {
@@ -400,6 +408,18 @@ pub fn rules() -> Vec<Rule> {
                 scan_lines(f, &["thread::sleep"], "LA004", |_| {
                     "sleeping in a protocol path hides ordering bugs and inflates \
                      tail latency: block on a channel or condition instead"
+                        .to_string()
+                })
+            },
+        },
+        Rule {
+            id: "LA007",
+            summary: "no panic!/unreachable! in comm/datastore fault-recovery paths",
+            applies: in_recovery_path,
+            check: |f| {
+                scan_lines(f, &["panic!(", "unreachable!("], "LA007", |_| {
+                    "a panic on a recovery path turns a survivable fault into a crash: \
+                     return a typed CommError/StoreError instead"
                         .to_string()
                 })
             },

@@ -18,8 +18,8 @@ use ltfb_comm::protocol::{
     allreduce_allgather_step, barrier_peers, barrier_rounds, chunk_bound, coll_round_tag,
     reduce_scatter_step, ring_neighbors, CollOp,
 };
-use ltfb_comm::{bytes_of_u64, decode_f32, encode_f32, u64_of_bytes};
-use ltfb_core::pairing;
+use ltfb_comm::{bytes_of_u64, decode_f32, encode_f32, survivors, u64_of_bytes};
+use ltfb_core::{pairing, pairing_alive};
 use ltfb_datastore::EpochPlan;
 use ltfb_tensor::{permutation, seeded_rng};
 use parking_lot::Mutex;
@@ -114,6 +114,49 @@ pub fn barrier_rank_failure_world(n: usize, dead: usize) -> SimWorld {
     w
 }
 
+/// The *recovery* counterpart of [`barrier_rank_failure_world`]: the
+/// same dead rank, but the survivors run the fault-aware schedule
+/// (`Comm::barrier_ft`) — the dissemination barrier re-laid over the
+/// survivor set from `ltfb_comm::survivors`. Where the naive world is an
+/// always-deadlock certificate, this one must be an always-recovers
+/// certificate: every interleaving completes, and no survivor leaves
+/// before every survivor has entered.
+pub fn barrier_recovery_world(n: usize, dead: usize) -> SimWorld {
+    assert!(dead < n);
+    let alive: Vec<bool> = (0..n).map(|r| r != dead).collect();
+    let surv = Arc::new(survivors(&alive));
+    let entered = Arc::new(Mutex::new(vec![false; n]));
+    let mut w = SimWorld::new(n);
+    for rank in 0..n {
+        let surv = Arc::clone(&surv);
+        let entered = Arc::clone(&entered);
+        w.spawn(move |env| {
+            if rank == dead {
+                return; // announced death: every survivor knows
+            }
+            let m = surv.len();
+            let v = surv
+                .iter()
+                .position(|&r| r == rank)
+                .expect("caller is a survivor");
+            entered.lock()[rank] = true;
+            for round in 0..barrier_rounds(m) {
+                let (dest_v, src_v) = barrier_peers(v, m, round);
+                let tag = coll_round_tag(CollOp::Barrier, 0, round as u64);
+                env.send(surv[dest_v], CTX, tag, Bytes::new());
+                env.recv(CTX, surv[src_v], tag);
+            }
+            let e = entered.lock();
+            let missing: Vec<usize> = surv.iter().copied().filter(|&r| !e[r]).collect();
+            assert!(
+                missing.is_empty(),
+                "rank {rank} left the recovery barrier before survivors {missing:?} entered"
+            );
+        });
+    }
+    w.with_final_check(drained("barrier-recovery"))
+}
+
 /// Ring allreduce (reduce-scatter + allgather) over `n` ranks and `m`
 /// elements, executing the production schedule functions with the
 /// production tags; each rank checks its full reduced buffer.
@@ -186,6 +229,69 @@ pub fn allreduce_rank_failure_world(n: usize, m: usize, dead: usize) -> SimWorld
         });
     }
     w
+}
+
+/// The *recovery* counterpart of [`allreduce_rank_failure_world`]: the
+/// dead rank is gone before the collective, and the survivors run
+/// `Comm::allreduce_f32_ft`'s schedule — the same ring math compacted
+/// onto the survivor set. Every interleaving must complete with each
+/// survivor holding the sum of *survivor* contributions only.
+pub fn allreduce_recovery_world(n: usize, m: usize, dead: usize) -> SimWorld {
+    assert!(dead < n && n >= 2);
+    let alive: Vec<bool> = (0..n).map(|r| r != dead).collect();
+    let surv = Arc::new(survivors(&alive));
+    let mut w = SimWorld::new(n);
+    for rank in 0..n {
+        let surv = Arc::clone(&surv);
+        w.spawn(move |env| {
+            if rank == dead {
+                return;
+            }
+            let ms = surv.len();
+            let v = surv
+                .iter()
+                .position(|&r| r == rank)
+                .expect("caller is a survivor");
+            let mut buf: Vec<f32> = (0..m)
+                .map(|i| (rank as f32 + 1.0) * (i as f32 + 1.0))
+                .collect();
+            let chunk = |c: usize| chunk_bound(m, ms, c)..chunk_bound(m, ms, c + 1);
+            let (right_v, left_v) = ring_neighbors(v, ms);
+            for s in 0..ms - 1 {
+                let (send_chunk, recv_chunk) = reduce_scatter_step(v, ms, s);
+                let tag = coll_round_tag(CollOp::ReduceScatter, 0, s as u64);
+                env.send(surv[right_v], CTX, tag, encode_f32(&buf[chunk(send_chunk)]));
+                let e = env.recv(CTX, surv[left_v], tag);
+                for (dst, x) in buf[chunk(recv_chunk)]
+                    .iter_mut()
+                    .zip(decode_f32(&e.payload))
+                {
+                    *dst += x;
+                }
+            }
+            for s in 0..ms - 1 {
+                let (send_chunk, recv_chunk) = allreduce_allgather_step(v, ms, s);
+                let tag = coll_round_tag(CollOp::AllgatherRing, 0, s as u64);
+                env.send(surv[right_v], CTX, tag, encode_f32(&buf[chunk(send_chunk)]));
+                let e = env.recv(CTX, surv[left_v], tag);
+                for (dst, x) in buf[chunk(recv_chunk)]
+                    .iter_mut()
+                    .zip(decode_f32(&e.payload))
+                {
+                    *dst = x;
+                }
+            }
+            let rank_sum: f32 = surv.iter().map(|&r| r as f32 + 1.0).sum();
+            for (i, got) in buf.iter().enumerate() {
+                let want = rank_sum * (i as f32 + 1.0);
+                assert!(
+                    (got - want).abs() < 1e-3,
+                    "rank {rank}: ft allreduce[{i}] = {got}, want {want} (survivor sum)"
+                );
+            }
+        });
+    }
+    w.with_final_check(drained("allreduce-recovery"))
 }
 
 /// The datastore's owner-push shuffle: every rank walks the *same*
@@ -289,6 +395,44 @@ pub fn ltfb_exchange_dead_partner_world(k: usize, seed: u64, dead: usize) -> Sim
     w
 }
 
+/// The *recovery* counterpart of [`ltfb_exchange_dead_partner_world`]:
+/// the same dead trainer, but the survivors pair with the production
+/// `pairing_alive` over the shared alive-set — the degradation the
+/// distributed LTFB driver performs. No survivor may ever be matched
+/// with the dead trainer, and every interleaving completes.
+pub fn ltfb_exchange_recovery_world(k: usize, rounds: u64, seed: u64, dead: usize) -> SimWorld {
+    assert!(dead < k);
+    let alive: Vec<bool> = (0..k).map(|r| r != dead).collect();
+    let mut w = SimWorld::new(k);
+    for rank in 0..k {
+        let alive = alive.clone();
+        w.spawn(move |env| {
+            if rank == dead {
+                return; // died before the tournament round
+            }
+            for round in 0..rounds {
+                let partners = pairing_alive(&alive, round, seed);
+                let Some(partner) = partners[rank] else {
+                    continue; // unpaired this round (odd pool, or pool of 1)
+                };
+                assert!(
+                    alive[partner],
+                    "pairing_alive matched rank {rank} with dead trainer {partner}"
+                );
+                let tag = 0x7_000 + round;
+                let mine = (rank as u64) << 16 | round;
+                let theirs = env.sendrecv(partner, CTX, tag, bytes_of_u64(mine));
+                assert_eq!(
+                    u64_of_bytes(&theirs.payload),
+                    (partner as u64) << 16 | round,
+                    "rank {rank} round {round}: exchanged with the wrong survivor"
+                );
+            }
+        });
+    }
+    w.with_final_check(drained("ltfb-exchange-recovery"))
+}
+
 /// Deliberate lock-order inversion: two threads take two locks in
 /// opposite orders with a scheduling point in between, so some
 /// interleavings deadlock with a 2-cycle in the wait-for graph. The
@@ -382,6 +526,20 @@ pub fn models() -> Vec<ModelSpec> {
             exhaustive: false,
         },
         ModelSpec {
+            name: "barrier-recovery-2",
+            summary: "ft barrier, n=2 with a dead rank: sole survivor certified to finish",
+            build: || barrier_recovery_world(2, 1),
+            expect: Expect::AllOk,
+            exhaustive: true,
+        },
+        ModelSpec {
+            name: "barrier-recovery",
+            summary: "ft barrier, n=3 with a dead rank: survivors certified to recover",
+            build: || barrier_recovery_world(3, 1),
+            expect: Expect::AllOk,
+            exhaustive: true,
+        },
+        ModelSpec {
             name: "allreduce",
             summary: "ring allreduce (n=3, m=6) on the production schedule and tags",
             build: || allreduce_world(3, 6),
@@ -393,6 +551,20 @@ pub fn models() -> Vec<ModelSpec> {
             summary: "allreduce with a rank crashing mid-collective: always deadlock",
             build: || allreduce_rank_failure_world(3, 6, 1),
             expect: Expect::AlwaysDeadlock,
+            exhaustive: false,
+        },
+        ModelSpec {
+            name: "allreduce-recovery",
+            summary: "ft allreduce, n=3 with a dead rank: survivor-sum certified",
+            build: || allreduce_recovery_world(3, 6, 1),
+            expect: Expect::AllOk,
+            exhaustive: true,
+        },
+        ModelSpec {
+            name: "allreduce-recovery-4",
+            summary: "ft allreduce, n=4 with a dead rank: seed-replayable random walks",
+            build: || allreduce_recovery_world(4, 6, 2),
+            expect: Expect::AllOk,
             exhaustive: false,
         },
         ModelSpec {
@@ -414,6 +586,20 @@ pub fn models() -> Vec<ModelSpec> {
             summary: "sendrecv with a dead trainer (k=2): detector must report deadlock",
             build: || ltfb_exchange_dead_partner_world(2, 9, 1),
             expect: Expect::AlwaysDeadlock,
+            exhaustive: false,
+        },
+        ModelSpec {
+            name: "ltfb-exchange-recovery",
+            summary: "pairing_alive exchange, k=3 with a dead trainer: certified recovery",
+            build: || ltfb_exchange_recovery_world(3, 2, 9, 1),
+            expect: Expect::AllOk,
+            exhaustive: true,
+        },
+        ModelSpec {
+            name: "ltfb-exchange-recovery-6",
+            summary: "pairing_alive exchange, k=6 with a dead trainer: random walks",
+            build: || ltfb_exchange_recovery_world(6, 2, 0x17F8, 2),
+            expect: Expect::AllOk,
             exhaustive: false,
         },
         ModelSpec {

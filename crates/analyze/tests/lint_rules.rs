@@ -63,6 +63,8 @@ fn seeded_violations_land_in_the_expected_files() {
     assert!(find("LA005").path.ends_with("la005_checkpoint.rs"));
     assert!(find("LA005").text.contains("BadCheckpointHeader"));
     assert!(find("LA006").path.ends_with("lib.rs"));
+    assert!(find("LA007").path.ends_with("la007_recovery_panic.rs"));
+    assert!(find("LA007").text.contains("panic!"));
 }
 
 #[test]

@@ -3,8 +3,9 @@
 //! every reported failure reproduces deterministically from its seed.
 
 use ltfb_analyze::models::{
-    allreduce_rank_failure_world, allreduce_world, barrier_rank_failure_world, barrier_world,
-    datastore_shuffle_world, lock_inversion_world, lock_ordered_world, ltfb_exchange_world,
+    allreduce_rank_failure_world, allreduce_recovery_world, allreduce_world,
+    barrier_rank_failure_world, barrier_recovery_world, barrier_world, datastore_shuffle_world,
+    lock_inversion_world, lock_ordered_world, ltfb_exchange_recovery_world, ltfb_exchange_world,
     router_matching_world,
 };
 use ltfb_analyze::{
@@ -111,6 +112,61 @@ fn sendrecv_with_dead_partner_is_always_a_deadlock() {
             }
             ref o => panic!("seed {seed}: expected deadlock, got {o}"),
         }
+    }
+}
+
+#[test]
+fn recovery_collectives_certified_exhaustively() {
+    // The deadlock certificates above have recovery counterparts: the
+    // same dead rank, but survivors on the fault-aware schedules. For
+    // n=2 and n=3 the certificate is exhaustive — *every* interleaving
+    // recovers.
+    for (name, world) in [
+        (
+            "barrier n=2",
+            (|| barrier_recovery_world(2, 1)) as fn() -> _,
+        ),
+        ("barrier n=3", || barrier_recovery_world(3, 1)),
+        ("barrier n=3 dead-root", || barrier_recovery_world(3, 0)),
+        ("allreduce n=2", || allreduce_recovery_world(2, 6, 0)),
+        ("allreduce n=3", || allreduce_recovery_world(3, 6, 1)),
+        ("ltfb k=3", || ltfb_exchange_recovery_world(3, 2, 9, 1)),
+    ] {
+        let sweep = explore_exhaustive(&world, 50_000, None);
+        assert!(sweep.ok(), "{name}: {:?}", sweep.failure.map(|f| f.outcome));
+        assert!(sweep.complete, "{name}: sweep exceeded the budget");
+    }
+}
+
+#[test]
+fn larger_recovery_worlds_hold_and_replay_from_seed() {
+    let ar = explore_random(&|| allreduce_recovery_world(4, 6, 2), 0xFA11, 200, None);
+    assert!(ar.ok(), "{:?}", ar.failure.map(|f| f.outcome));
+    let ex = explore_random(
+        &|| ltfb_exchange_recovery_world(6, 2, 0x17F8, 2),
+        0xFA12,
+        200,
+        None,
+    );
+    assert!(ex.ok(), "{:?}", ex.failure.map(|f| f.outcome));
+    // Seed-replayability: the same seed drives the identical schedule.
+    for i in 0..10u64 {
+        let seed = ltfb_tensor::mix_seed(&[0xFA13, i]);
+        let a = replay_seed(
+            &|| ltfb_exchange_recovery_world(6, 2, 0x17F8, 2),
+            seed,
+            None,
+        );
+        let b = replay_seed(
+            &|| ltfb_exchange_recovery_world(6, 2, 0x17F8, 2),
+            seed,
+            None,
+        );
+        assert!(a.outcome.is_ok(), "seed {seed}: {}", a.outcome);
+        assert_eq!(
+            a.steps, b.steps,
+            "seed {seed} is not schedule-deterministic"
+        );
     }
 }
 

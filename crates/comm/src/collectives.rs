@@ -23,6 +23,7 @@
 //! their interleavings.
 
 use crate::comm::Comm;
+use crate::fault::CommError;
 use crate::protocol::{
     allgather_ring_step, allreduce_allgather_step, barrier_peers, barrier_rounds, bcast_children_v,
     bcast_parent_v, bcast_unvrank, bcast_vrank, chunk_bound, coll_round_tag, coll_tag,
@@ -51,7 +52,7 @@ impl ReduceOp {
 }
 
 impl Comm {
-    fn next_seq(&self) -> u64 {
+    pub(crate) fn next_seq(&self) -> u64 {
         if let Some(o) = self.obs() {
             o.record_collective();
         }
@@ -187,26 +188,52 @@ impl Comm {
         }
     }
 
-    /// Scatter one payload to each rank from `root` (root passes `Some`).
-    pub fn scatter(&self, root: usize, payloads: Option<Vec<Bytes>>) -> Bytes {
+    /// Scatter one payload to each rank from `root` (root passes `Some`,
+    /// non-roots pass `None`).
+    ///
+    /// Both directions of misuse are typed errors rather than panics or
+    /// silent drops: a root without payloads gets
+    /// [`CommError::InvalidCollective`] (previously a panic), and a
+    /// non-root *with* payloads gets the same (previously the payloads
+    /// were silently ignored, masking a caller bug). The sequence number
+    /// is consumed on the error paths too, so an erroring rank stays in
+    /// step with its peers.
+    pub fn scatter(&self, root: usize, payloads: Option<Vec<Bytes>>) -> Result<Bytes, CommError> {
         let n = self.size();
         assert!(root < n);
         let seq = self.next_seq();
         let tag = coll_tag(CollOp::Scatter, seq);
         if self.rank == root {
             let Some(mut payloads) = payloads else {
-                panic!("scatter root must supply the payloads")
+                return Err(CommError::InvalidCollective {
+                    reason: "scatter root must supply the payloads".to_string(),
+                });
             };
-            assert_eq!(payloads.len(), n, "scatter needs one payload per rank");
+            if payloads.len() != n {
+                return Err(CommError::InvalidCollective {
+                    reason: format!(
+                        "scatter needs one payload per rank: got {}, comm size {n}",
+                        payloads.len()
+                    ),
+                });
+            }
             let own = std::mem::take(&mut payloads[root]);
             for (dest, p) in payloads.into_iter().enumerate() {
                 if dest != root {
                     self.send(dest, tag, p);
                 }
             }
-            own
+            Ok(own)
         } else {
-            self.recv(root, tag).1
+            if payloads.is_some() {
+                return Err(CommError::InvalidCollective {
+                    reason: format!(
+                        "scatter non-root rank {} supplied payloads; only root {root} provides them",
+                        self.rank
+                    ),
+                });
+            }
+            Ok(self.recv(root, tag).1)
         }
     }
 
@@ -322,7 +349,7 @@ fn decode_f32_into(dst: &mut [f32], mut data: &[u8]) {
     }
 }
 
-fn apply_f32(dst: &mut [f32], src_bytes: &Bytes, op: ReduceOp) {
+pub(crate) fn apply_f32(dst: &mut [f32], src_bytes: &Bytes, op: ReduceOp) {
     debug_assert_eq!(dst.len() * 4, src_bytes.len(), "reduce chunk size mismatch");
     let mut data = &src_bytes[..];
     for d in dst.iter_mut() {
@@ -330,7 +357,7 @@ fn apply_f32(dst: &mut [f32], src_bytes: &Bytes, op: ReduceOp) {
     }
 }
 
-fn copy_f32(dst: &mut [f32], src_bytes: &Bytes) {
+pub(crate) fn copy_f32(dst: &mut [f32], src_bytes: &Bytes) {
     debug_assert_eq!(
         dst.len() * 4,
         src_bytes.len(),

@@ -12,6 +12,7 @@
 //! * `split` is collective and yields disjoint child communicators.
 
 use crate::envelope::{match_pending, Envelope, ANY_SOURCE};
+use crate::fault::{CommError, FailureDetector};
 use crate::router::Router;
 use bytes::Bytes;
 use crossbeam_channel::{Receiver, RecvTimeoutError};
@@ -26,6 +27,10 @@ use std::time::{Duration, Instant};
 /// in-process "network" latencies are microseconds, so anything near this
 /// bound is a real protocol bug, not slowness.
 pub const RECV_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Poll slice of the fault-aware receive: how long [`Comm::recv_ft`]
+/// waits on the channel between failure-detector consultations.
+const FT_POLL_SLICE: Duration = Duration::from_micros(500);
 
 /// One world rank's incoming mailbox: the channel endpoint plus a buffer of
 /// arrived-but-unmatched envelopes (out-of-order tag matching).
@@ -61,26 +66,71 @@ impl Mailbox {
         None
     }
 
-    /// Blocking match with deadlock timeout.
-    fn recv_match(&mut self, context: u64, src: usize, tag: u64) -> Envelope {
+    /// Blocking match with deadlock timeout. On timeout the error carries
+    /// the full [`deadlock_report`]; on channel disconnect it is the typed
+    /// [`CommError::Disconnected`] — never a panic at this layer, so
+    /// fault-aware callers can degrade instead of dying.
+    fn recv_match(&mut self, context: u64, src: usize, tag: u64) -> Result<Envelope, CommError> {
         if let Some(e) = self.take_pending(context, src, tag) {
-            return e;
+            return Ok(e);
         }
         loop {
             match self.rx.recv_timeout(RECV_TIMEOUT) {
                 Ok(e) => {
                     if e.matches(context, src, tag) {
-                        return e;
+                        return Ok(e);
                     }
                     self.pending.push_back(e);
                 }
                 Err(RecvTimeoutError::Timeout) => {
-                    panic!("{}", deadlock_report(context, src, tag, &self.pending))
+                    return Err(CommError::Timeout {
+                        context,
+                        src,
+                        tag,
+                        report: deadlock_report(context, src, tag, &self.pending),
+                    })
                 }
-                Err(RecvTimeoutError::Disconnected) => panic!(
-                    "recv(context={context}, src={src}, tag={tag}): all senders gone — peer ranks exited"
-                ),
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(CommError::Disconnected { context, src, tag })
+                }
             }
+        }
+    }
+
+    /// One bounded poll step: wait at most `slice` for a matching
+    /// envelope. `Ok(None)` means "nothing yet, poll again".
+    fn poll_match(
+        &mut self,
+        context: u64,
+        src: usize,
+        tag: u64,
+        slice: Duration,
+    ) -> Result<Option<Envelope>, CommError> {
+        if let Some(e) = self.take_pending(context, src, tag) {
+            return Ok(Some(e));
+        }
+        match self.rx.recv_timeout(slice) {
+            Ok(e) => {
+                if e.matches(context, src, tag) {
+                    Ok(Some(e))
+                } else {
+                    self.pending.push_back(e);
+                    Ok(None)
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(CommError::Disconnected { context, src, tag })
+            }
+        }
+    }
+
+    fn timeout_error(&self, context: u64, src: usize, tag: u64) -> CommError {
+        CommError::Timeout {
+            context,
+            src,
+            tag,
+            report: deadlock_report(context, src, tag, &self.pending),
         }
     }
 }
@@ -209,6 +259,9 @@ pub struct Comm {
     /// Shared observability handles (None = recording disabled; the hot
     /// paths then pay a single branch).
     pub(crate) obs: Option<Arc<CommObs>>,
+    /// World-wide failure detector (indexed by world rank; shared by all
+    /// communicators split from the same world).
+    pub(crate) detector: Arc<FailureDetector>,
 }
 
 impl Comm {
@@ -266,6 +319,23 @@ impl Comm {
         self.obs.as_ref()
     }
 
+    /// The world's shared failure detector. Indexed by *world* rank.
+    pub fn detector(&self) -> &Arc<FailureDetector> {
+        &self.detector
+    }
+
+    /// Is communicator member `r` alive according to the detector?
+    pub fn member_alive(&self, r: usize) -> bool {
+        self.detector.is_alive(self.members[r])
+    }
+
+    /// Fail-stop announcement for this rank: mark it dead in the shared
+    /// detector so peers' fault-aware receives fail fast instead of
+    /// timing out. The rank may still drain already-delivered messages.
+    pub fn announce_death(&self) {
+        self.detector.declare_dead(self.world_rank);
+    }
+
     /// Eager send: enqueue `payload` for `dest` (comm-rank) under `tag`.
     /// Never blocks.
     pub fn send(&self, dest: usize, tag: u64, payload: Bytes) {
@@ -274,6 +344,7 @@ impl Comm {
             "send dest {dest} out of comm size {}",
             self.size()
         );
+        self.detector.heartbeat(self.world_rank);
         self.stats.sent_messages.fetch_add(1, Ordering::Relaxed);
         self.stats
             .sent_bytes
@@ -296,14 +367,73 @@ impl Comm {
 
     /// Blocking receive from `src` (or [`ANY_SOURCE`]) with `tag`.
     /// Returns `(actual_source, payload)`.
+    ///
+    /// This is the *infallible* receive used by code that treats a
+    /// communication failure as a protocol bug: a timeout or disconnect
+    /// panics with the typed error's report. Fault-tolerant layers use
+    /// [`Comm::recv_ft`] instead and get the [`CommError`] back.
     pub fn recv(&self, src: usize, tag: u64) -> (usize, Bytes) {
+        match self.recv_fallible(src, tag, RECV_TIMEOUT, false) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fault-aware blocking receive: returns [`CommError::RankDead`] as
+    /// soon as the failure detector declares `src` dead (with no matching
+    /// envelope already buffered), [`CommError::Timeout`] with a full
+    /// deadlock report after [`RECV_TIMEOUT`], and
+    /// [`CommError::Disconnected`] if every sender endpoint is gone.
+    pub fn recv_ft(&self, src: usize, tag: u64) -> Result<(usize, Bytes), CommError> {
+        self.recv_ft_deadline(src, tag, RECV_TIMEOUT)
+    }
+
+    /// [`Comm::recv_ft`] with an explicit deadline (tests and latency-
+    /// sensitive protocols use a much shorter one than [`RECV_TIMEOUT`]).
+    pub fn recv_ft_deadline(
+        &self,
+        src: usize,
+        tag: u64,
+        deadline: Duration,
+    ) -> Result<(usize, Bytes), CommError> {
+        self.recv_fallible(src, tag, deadline, true)
+    }
+
+    fn recv_fallible(
+        &self,
+        src: usize,
+        tag: u64,
+        deadline: Duration,
+        watch_detector: bool,
+    ) -> Result<(usize, Bytes), CommError> {
         assert!(
             src == ANY_SOURCE || src < self.size(),
             "recv src {src} out of comm size {}",
             self.size()
         );
+        self.detector.heartbeat(self.world_rank);
         let waited = self.obs.as_ref().map(|_| Instant::now());
-        let env = self.mailbox.lock().recv_match(self.context, src, tag);
+        let env = if watch_detector {
+            let started = Instant::now();
+            let mut mb = self.mailbox.lock();
+            loop {
+                if let Some(e) = mb.poll_match(self.context, src, tag, FT_POLL_SLICE)? {
+                    break e;
+                }
+                // A buffered match would have been taken above, so a dead
+                // sender now means the message will never come.
+                if src != ANY_SOURCE && !self.member_alive(src) {
+                    return Err(CommError::RankDead {
+                        rank: self.members[src],
+                    });
+                }
+                if started.elapsed() >= deadline {
+                    return Err(mb.timeout_error(self.context, src, tag));
+                }
+            }
+        } else {
+            self.mailbox.lock().recv_match(self.context, src, tag)?
+        };
         self.stats.recv_messages.fetch_add(1, Ordering::Relaxed);
         self.stats
             .recv_bytes
@@ -313,7 +443,7 @@ impl Comm {
             o.recv_bytes.add(env.payload.len() as u64);
             o.recv_wait_us.record(t0.elapsed().as_secs_f64() * 1e6);
         }
-        (env.src, env.payload)
+        Ok((env.src, env.payload))
     }
 
     /// Non-blocking receive attempt.
@@ -361,6 +491,28 @@ impl Comm {
     ) -> Bytes {
         self.send(dest, send_tag, payload);
         self.recv(src, recv_tag).1
+    }
+
+    /// Fault-aware [`Comm::sendrecv`]: fails fast with
+    /// [`CommError::RankDead`] if the peer is already dead (nothing is
+    /// sent) or dies while we wait for its half of the exchange. This is
+    /// the degradation primitive of the distributed LTFB driver — a dead
+    /// tournament partner costs one skipped match, not a 60 s stall.
+    pub fn sendrecv_ft(
+        &self,
+        dest: usize,
+        send_tag: u64,
+        payload: Bytes,
+        src: usize,
+        recv_tag: u64,
+    ) -> Result<Bytes, CommError> {
+        if !self.member_alive(dest) {
+            return Err(CommError::RankDead {
+                rank: self.members[dest],
+            });
+        }
+        self.send(dest, send_tag, payload);
+        Ok(self.recv_ft(src, recv_tag)?.1)
     }
 }
 
@@ -436,6 +588,70 @@ mod tests {
     fn deadlock_report_renders_any_source() {
         let msg = deadlock_report(0, ANY_SOURCE, 1, &VecDeque::new());
         assert!(msg.contains("src=ANY"), "{msg}");
+    }
+
+    #[test]
+    fn recv_match_disconnected_returns_typed_error() {
+        // All senders dropped: the old behaviour was a panic inside
+        // recv_match; now it is a CommError the caller can handle.
+        let (tx, rx) = crossbeam_channel::unbounded::<Envelope>();
+        drop(tx);
+        let mut mb = Mailbox::new(rx);
+        match mb.recv_match(1, 0, 2) {
+            Err(CommError::Disconnected {
+                context: 1,
+                src: 0,
+                tag: 2,
+            }) => {}
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recv_match_drains_buffered_messages_before_disconnect_error() {
+        let (tx, rx) = crossbeam_channel::unbounded::<Envelope>();
+        tx.send(env(1, 0, 2, 4)).expect("receiver alive");
+        drop(tx);
+        let mut mb = Mailbox::new(rx);
+        let e = mb.recv_match(1, 0, 2).expect("buffered message matches");
+        assert_eq!(e.payload.len(), 4);
+        assert!(matches!(
+            mb.recv_match(1, 0, 2),
+            Err(CommError::Disconnected { .. })
+        ));
+    }
+
+    #[test]
+    fn poll_match_returns_none_without_consuming_other_tags() {
+        let (tx, rx) = crossbeam_channel::unbounded::<Envelope>();
+        tx.send(env(1, 0, 9, 8)).expect("receiver alive");
+        let mut mb = Mailbox::new(rx);
+        // Wrong tag: buffered as pending, poll reports "nothing yet".
+        let got = mb
+            .poll_match(1, 0, 2, Duration::from_millis(1))
+            .expect("channel alive");
+        assert!(got.is_none());
+        // The buffered envelope is still matchable under its own tag.
+        let e = mb
+            .poll_match(1, 0, 9, Duration::from_millis(1))
+            .expect("channel alive")
+            .expect("pending envelope matches");
+        assert_eq!(e.payload.len(), 8);
+        drop(tx);
+    }
+
+    #[test]
+    fn timeout_error_display_is_the_deadlock_report() {
+        let pending: VecDeque<Envelope> = [env(5, 2, 9, 16)].into_iter().collect();
+        let err = CommError::Timeout {
+            context: 5,
+            src: 1,
+            tag: 9,
+            report: deadlock_report(5, 1, 9, &pending),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("recv(context=5, src=1, tag=9)"), "{msg}");
+        assert!(msg.contains("(context=5, src=2, tag=9, 16 B)"), "{msg}");
     }
 
     #[test]

@@ -1,0 +1,379 @@
+//! The fault model: typed communication errors, the world's failure
+//! detector, and the fault-injection plan shared by tests, the CLI and
+//! the `ltfb-analyze` model checker.
+//!
+//! The failure semantics are *fail-stop with announcement*: a dying rank
+//! stops sending and marks itself dead in the world's shared
+//! [`FailureDetector`] (the in-process analogue of a heartbeat timeout
+//! observed by every peer at once). Survivors consult the detector from
+//! the fault-aware receive paths ([`crate::Comm::recv_ft`]) and from the
+//! survivor-set collectives, so a death surfaces as a typed
+//! [`CommError::RankDead`] instead of a 60-second deadlock panic.
+//!
+//! [`FaultPlan`] is the injection side: a deterministic script of
+//! kill/delay/drop events, parsed from the CLI syntax `kill:2@15`. The
+//! alive-set at any step is a pure function of the plan, so every rank
+//! computes the same survivor set locally — the same idiom that makes
+//! `pairing_alive` and the epoch plans coordination-free.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Typed error surfaced by the fault-aware receive and collective paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// A blocking receive ran out its deadline. Carries the full
+    /// deadlock report (posted triple + unmatched mailbox contents).
+    Timeout {
+        context: u64,
+        src: usize,
+        tag: u64,
+        report: String,
+    },
+    /// The expected sender is dead (world rank): the failure detector
+    /// declared it and no matching envelope is buffered.
+    RankDead { rank: usize },
+    /// Every peer's sending endpoint is gone — the world is tearing
+    /// down underneath this receive.
+    Disconnected { context: u64, src: usize, tag: u64 },
+    /// A collective was called with arguments that violate its contract
+    /// (e.g. a non-root scatter caller supplying payloads).
+    InvalidCollective { reason: String },
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::Timeout { report, .. } => write!(f, "{report}"),
+            CommError::RankDead { rank } => {
+                write!(f, "peer world rank {rank} declared dead by the failure detector")
+            }
+            CommError::Disconnected { context, src, tag } => write!(
+                f,
+                "recv(context={context}, src={src}, tag={tag}): all senders gone — peer ranks exited"
+            ),
+            CommError::InvalidCollective { reason } => {
+                write!(f, "invalid collective call: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Shared per-world failure detector: one liveness flag and one
+/// heartbeat counter per world rank.
+///
+/// Every communicator operation ticks its own rank's heartbeat; a rank
+/// that stops beating is *suspect* (visible via [`Self::beats`]), and a
+/// rank that fail-stops flips its own flag via [`Self::declare_dead`]
+/// (or the fault harness flips it on the rank's behalf). Reads are
+/// relaxed atomics — the detector is advisory, the protocol-level
+/// guarantee comes from every survivor deriving the same alive-set from
+/// the shared [`FaultPlan`].
+#[derive(Debug)]
+pub struct FailureDetector {
+    beats: Vec<AtomicU64>,
+    alive: Vec<AtomicBool>,
+}
+
+impl FailureDetector {
+    /// A detector for an `n`-rank world with everyone alive.
+    pub fn new(n: usize) -> FailureDetector {
+        FailureDetector {
+            beats: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            alive: (0..n).map(|_| AtomicBool::new(true)).collect(),
+        }
+    }
+
+    /// Number of world ranks covered.
+    pub fn len(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// True for an empty (0-rank) detector — exists for `len` symmetry.
+    pub fn is_empty(&self) -> bool {
+        self.alive.is_empty()
+    }
+
+    /// Tick `rank`'s heartbeat (called from every send/recv).
+    #[inline]
+    pub fn heartbeat(&self, rank: usize) {
+        if let Some(b) = self.beats.get(rank) {
+            b.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// `rank`'s heartbeat count; compare two snapshots to detect a rank
+    /// that has stopped making progress.
+    pub fn beats(&self, rank: usize) -> u64 {
+        self.beats
+            .get(rank)
+            .map_or(0, |b| b.load(Ordering::Relaxed))
+    }
+
+    /// Mark `rank` dead (fail-stop announcement).
+    pub fn declare_dead(&self, rank: usize) {
+        if let Some(a) = self.alive.get(rank) {
+            a.store(false, Ordering::Release);
+        }
+    }
+
+    /// Is `rank` still alive according to the detector?
+    #[inline]
+    pub fn is_alive(&self, rank: usize) -> bool {
+        self.alive
+            .get(rank)
+            .is_none_or(|a| a.load(Ordering::Acquire))
+    }
+
+    /// Snapshot of the alive flags, indexed by world rank.
+    pub fn alive(&self) -> Vec<bool> {
+        (0..self.len()).map(|r| self.is_alive(r)).collect()
+    }
+
+    /// How many ranks are still alive.
+    pub fn num_alive(&self) -> usize {
+        (0..self.len()).filter(|&r| self.is_alive(r)).count()
+    }
+}
+
+/// One scripted fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Rank `rank` fail-stops at the top of step `step` (before training
+    /// that step), announcing itself via the failure detector.
+    Kill { rank: usize, step: u64 },
+    /// Rank `rank` stalls for `micros` µs at the top of step `step` —
+    /// a straggler, not a death.
+    Delay { rank: usize, step: u64, micros: u64 },
+    /// The tournament exchange involving `rank` at step `step` is lost;
+    /// both sides (deterministically) skip that match.
+    Drop { rank: usize, step: u64 },
+}
+
+/// A deterministic fault-injection script, shared by every rank so the
+/// alive-set at any step is locally computable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Kill-only convenience constructor from `(rank, step)` pairs.
+    pub fn kills(pairs: &[(usize, u64)]) -> FaultPlan {
+        FaultPlan {
+            events: pairs
+                .iter()
+                .map(|&(rank, step)| FaultEvent::Kill { rank, step })
+                .collect(),
+        }
+    }
+
+    /// Parse the CLI syntax: comma-separated events, each one of
+    /// `kill:R@S`, `delay:R@S:USEC` (microseconds) or `drop:R@S`.
+    ///
+    /// ```
+    /// use ltfb_comm::fault::{FaultEvent, FaultPlan};
+    /// let plan = FaultPlan::parse("kill:2@15,drop:0@30").unwrap();
+    /// assert_eq!(plan.events[0], FaultEvent::Kill { rank: 2, step: 15 });
+    /// ```
+    pub fn parse(s: &str) -> Result<FaultPlan, String> {
+        let mut events = Vec::new();
+        for tok in s.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            let (kind, rest) = tok
+                .split_once(':')
+                .ok_or_else(|| format!("fault `{tok}`: expected kind:rank@step"))?;
+            let (rank_step, extra) = match rest.split_once(':') {
+                Some((rs, ex)) => (rs, Some(ex)),
+                None => (rest, None),
+            };
+            let (rank, step) = rank_step
+                .split_once('@')
+                .ok_or_else(|| format!("fault `{tok}`: expected rank@step"))?;
+            let rank: usize = rank
+                .parse()
+                .map_err(|_| format!("fault `{tok}`: bad rank `{rank}`"))?;
+            let step: u64 = step
+                .parse()
+                .map_err(|_| format!("fault `{tok}`: bad step `{step}`"))?;
+            let event = match (kind, extra) {
+                ("kill", None) => FaultEvent::Kill { rank, step },
+                ("drop", None) => FaultEvent::Drop { rank, step },
+                ("delay", Some(us)) => {
+                    let us = us.trim_end_matches("us");
+                    let micros: u64 = us
+                        .parse()
+                        .map_err(|_| format!("fault `{tok}`: bad delay `{us}`"))?;
+                    FaultEvent::Delay { rank, step, micros }
+                }
+                ("delay", None) => {
+                    return Err(format!("fault `{tok}`: delay needs `:USEC`"));
+                }
+                _ => {
+                    return Err(format!(
+                        "fault `{tok}`: unknown kind `{kind}` (kill|delay|drop)"
+                    ));
+                }
+            };
+            events.push(event);
+        }
+        Ok(FaultPlan { events })
+    }
+
+    /// No faults scripted at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Alive flags for an `n`-rank world *during* step `step` (kills take
+    /// effect at the top of their step, before training). Pure function:
+    /// identical on every rank.
+    pub fn alive_at(&self, n: usize, step: u64) -> Vec<bool> {
+        let mut alive = vec![true; n];
+        for e in &self.events {
+            if let FaultEvent::Kill { rank, step: s } = *e {
+                if s <= step && rank < n {
+                    alive[rank] = false;
+                }
+            }
+        }
+        alive
+    }
+
+    /// The step at which `rank` is scripted to die, if any (earliest).
+    pub fn kill_step(&self, rank: usize) -> Option<u64> {
+        self.events
+            .iter()
+            .filter_map(|e| match *e {
+                FaultEvent::Kill { rank: r, step } if r == rank => Some(step),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Microseconds of scripted stall for `rank` at `step` (summed).
+    pub fn delay_at(&self, rank: usize, step: u64) -> u64 {
+        self.events
+            .iter()
+            .filter_map(|e| match *e {
+                FaultEvent::Delay {
+                    rank: r,
+                    step: s,
+                    micros,
+                } if r == rank && s == step => Some(micros),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Is the exchange involving `rank` at `step` scripted to be lost?
+    pub fn drops_at(&self, rank: usize, step: u64) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(*e, FaultEvent::Drop { rank: r, step: s } if r == rank && s == step))
+    }
+
+    /// Total scripted kills (for reporting).
+    pub fn kill_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, FaultEvent::Kill { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detector_starts_all_alive_and_tracks_deaths() {
+        let d = FailureDetector::new(4);
+        assert_eq!(d.alive(), vec![true; 4]);
+        assert_eq!(d.num_alive(), 4);
+        d.declare_dead(2);
+        assert!(!d.is_alive(2));
+        assert!(d.is_alive(1));
+        assert_eq!(d.num_alive(), 3);
+        assert_eq!(d.alive(), vec![true, true, false, true]);
+    }
+
+    #[test]
+    fn detector_heartbeats_accumulate() {
+        let d = FailureDetector::new(2);
+        assert_eq!(d.beats(0), 0);
+        d.heartbeat(0);
+        d.heartbeat(0);
+        d.heartbeat(1);
+        assert_eq!(d.beats(0), 2);
+        assert_eq!(d.beats(1), 1);
+        // Out-of-range ranks are ignored, not a panic.
+        d.heartbeat(9);
+        d.declare_dead(9);
+        assert!(d.is_alive(9), "unknown rank defaults to alive");
+    }
+
+    #[test]
+    fn parse_accepts_the_cli_syntax() {
+        let plan = FaultPlan::parse("kill:2@15, delay:1@3:50us ,drop:0@7").unwrap();
+        assert_eq!(
+            plan.events,
+            vec![
+                FaultEvent::Kill { rank: 2, step: 15 },
+                FaultEvent::Delay {
+                    rank: 1,
+                    step: 3,
+                    micros: 50
+                },
+                FaultEvent::Drop { rank: 0, step: 7 },
+            ]
+        );
+        assert_eq!(plan.kill_count(), 1);
+        assert_eq!(plan.kill_step(2), Some(15));
+        assert_eq!(plan.kill_step(1), None);
+        assert_eq!(plan.delay_at(1, 3), 50);
+        assert!(plan.drops_at(0, 7));
+        assert!(!plan.drops_at(0, 8));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_events() {
+        assert!(FaultPlan::parse("kill:2").is_err());
+        assert!(FaultPlan::parse("kill:x@3").is_err());
+        assert!(FaultPlan::parse("delay:1@3").is_err());
+        assert!(FaultPlan::parse("explode:1@3").is_err());
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn alive_at_applies_kills_from_their_step_on() {
+        let plan = FaultPlan::parse("kill:1@10,kill:3@20").unwrap();
+        assert_eq!(plan.alive_at(4, 9), vec![true; 4]);
+        assert_eq!(plan.alive_at(4, 10), vec![true, false, true, true]);
+        assert_eq!(plan.alive_at(4, 20), vec![true, false, true, false]);
+        // Out-of-range victims are ignored.
+        let plan = FaultPlan::parse("kill:7@1").unwrap();
+        assert_eq!(plan.alive_at(2, 5), vec![true; 2]);
+    }
+
+    #[test]
+    fn comm_error_display_is_diagnosable() {
+        let e = CommError::RankDead { rank: 3 };
+        assert!(e.to_string().contains("rank 3"));
+        let e = CommError::Disconnected {
+            context: 1,
+            src: 2,
+            tag: 9,
+        };
+        assert!(e.to_string().contains("all senders gone"));
+        let e = CommError::InvalidCollective {
+            reason: "nope".into(),
+        };
+        assert!(e.to_string().contains("nope"));
+    }
+}

@@ -1,0 +1,331 @@
+//! Fault-aware collectives: the ordinary ring / dissemination-barrier /
+//! binomial-tree schedules of [`crate::protocol`], rebuilt over the
+//! *survivor set* so that a world with dead ranks completes instead of
+//! deadlocking.
+//!
+//! The caller passes an explicit `alive` mask (one flag per comm rank).
+//! Correctness rests on the workspace's shared-decision idiom: every
+//! survivor derives the same mask from the same deterministic
+//! [`crate::fault::FaultPlan`] (the way `pairing_alive` and the epoch
+//! plans already work), so all survivors agree on the compacted
+//! numbering without any agreement traffic. The mapping itself is the
+//! pure [`crate::protocol::survivors`] / [`crate::protocol::survivor_index`]
+//! math — also executed by the `ltfb-analyze` model checker, whose
+//! recovery models certify that these schedules terminate for the small
+//! worlds exhaustively.
+//!
+//! Receives go through the fault-aware path, so even a *wrong* mask (a
+//! rank that died without being scripted) degrades into a typed
+//! [`CommError`] rather than a deadlock panic.
+
+use crate::collectives::{apply_f32, copy_f32, encode_f32, ReduceOp};
+use crate::comm::Comm;
+use crate::fault::CommError;
+use crate::protocol::{
+    allreduce_allgather_step, barrier_peers, barrier_rounds, bcast_children_v, bcast_parent_v,
+    bcast_unvrank, bcast_vrank, chunk_bound, coll_round_tag, coll_tag, reduce_scatter_step,
+    ring_neighbors, survivor_index, survivors, CollOp,
+};
+use bytes::Bytes;
+
+impl Comm {
+    /// Validate the alive-mask and compute this rank's survivor index.
+    fn survivor_view(&self, alive: &[bool]) -> Result<(Vec<usize>, usize), CommError> {
+        if alive.len() != self.size() {
+            return Err(CommError::InvalidCollective {
+                reason: format!(
+                    "alive mask covers {} rank(s), communicator has {}",
+                    alive.len(),
+                    self.size()
+                ),
+            });
+        }
+        let surv = survivors(alive);
+        match survivor_index(alive, self.rank()) {
+            Some(me) => Ok((surv, me)),
+            None => Err(CommError::RankDead {
+                rank: self.member_world_rank(self.rank()),
+            }),
+        }
+    }
+
+    /// Dissemination barrier over the survivors of `alive`. Dead ranks
+    /// are simply absent from the schedule; the remaining ranks complete
+    /// in ⌈log₂ m⌉ rounds (m = survivor count).
+    pub fn barrier_ft(&self, alive: &[bool]) -> Result<(), CommError> {
+        let (surv, me) = self.survivor_view(alive)?;
+        let m = surv.len();
+        if m <= 1 {
+            return Ok(());
+        }
+        let seq = self.next_seq();
+        for round in 0..barrier_rounds(m) {
+            let tag = coll_round_tag(CollOp::Barrier, seq, round as u64);
+            let (dest, src) = barrier_peers(me, m, round);
+            self.send(surv[dest], tag, Bytes::new());
+            self.recv_ft(surv[src], tag)?;
+        }
+        Ok(())
+    }
+
+    /// Ring allreduce over the survivors of `alive`, in place. The
+    /// reduction covers the survivors' contributions only (a dead rank's
+    /// data is gone — that is the semantic of degradation, exactly as in
+    /// the serial failure driver).
+    pub fn allreduce_f32_ft(
+        &self,
+        buf: &mut [f32],
+        op: ReduceOp,
+        alive: &[bool],
+    ) -> Result<(), CommError> {
+        let (surv, me) = self.survivor_view(alive)?;
+        let m = surv.len();
+        if m <= 1 {
+            return Ok(());
+        }
+        let seq = self.next_seq();
+        let len = buf.len();
+        let chunk = |c: usize| chunk_bound(len, m, c)..chunk_bound(len, m, c + 1);
+        let (right, left) = ring_neighbors(me, m);
+        for s in 0..m - 1 {
+            let (send_chunk, recv_chunk) = reduce_scatter_step(me, m, s);
+            let tag = coll_round_tag(CollOp::ReduceScatter, seq, s as u64);
+            self.send(surv[right], tag, encode_f32(&buf[chunk(send_chunk)]));
+            let (_, incoming) = self.recv_ft(surv[left], tag)?;
+            apply_f32(&mut buf[chunk(recv_chunk)], &incoming, op);
+        }
+        for s in 0..m - 1 {
+            let (send_chunk, recv_chunk) = allreduce_allgather_step(me, m, s);
+            let tag = coll_round_tag(CollOp::AllgatherRing, seq, s as u64);
+            self.send(surv[right], tag, encode_f32(&buf[chunk(send_chunk)]));
+            let (_, incoming) = self.recv_ft(surv[left], tag)?;
+            copy_f32(&mut buf[chunk(recv_chunk)], &incoming);
+        }
+        Ok(())
+    }
+
+    /// Binomial-tree broadcast from comm rank `root` over the survivors
+    /// of `alive`. The root must be alive and must supply the payload;
+    /// non-roots must not — both misuses are typed errors, never panics
+    /// (this is a recovery path).
+    pub fn broadcast_ft(
+        &self,
+        root: usize,
+        payload: Option<Bytes>,
+        alive: &[bool],
+    ) -> Result<Bytes, CommError> {
+        let (surv, me) = self.survivor_view(alive)?;
+        let m = surv.len();
+        let Some(vroot) = survivor_index(alive, root) else {
+            return Err(CommError::InvalidCollective {
+                reason: format!("broadcast_ft root {root} is dead or out of range"),
+            });
+        };
+        let is_root = me == vroot;
+        let payload = match (is_root, payload) {
+            (true, Some(p)) => Some(p),
+            (true, None) => {
+                return Err(CommError::InvalidCollective {
+                    reason: "broadcast_ft root supplied no payload".to_string(),
+                })
+            }
+            (false, Some(_)) => {
+                return Err(CommError::InvalidCollective {
+                    reason: "broadcast_ft non-root supplied a payload".to_string(),
+                })
+            }
+            (false, None) => None,
+        };
+        if m == 1 {
+            // Lone survivor: it is the root (vroot exists), payload is Some.
+            return match payload {
+                Some(p) => Ok(p),
+                None => Err(CommError::InvalidCollective {
+                    reason: "broadcast_ft lone survivor is not the root".to_string(),
+                }),
+            };
+        }
+        let seq = self.next_seq();
+        let tag = coll_tag(CollOp::Bcast, seq);
+        let vrank = bcast_vrank(me, vroot, m);
+        let data = match payload {
+            Some(p) => p,
+            None => {
+                let parent = bcast_unvrank(bcast_parent_v(vrank), vroot, m);
+                self.recv_ft(surv[parent], tag)?.1
+            }
+        };
+        for child_v in bcast_children_v(vrank, m) {
+            self.send(surv[bcast_unvrank(child_v, vroot, m)], tag, data.clone());
+        }
+        Ok(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::run_world;
+
+    #[test]
+    fn barrier_ft_completes_with_a_dead_rank() {
+        let alive = [true, false, true, true];
+        run_world(4, |c| {
+            if c.rank() == 1 {
+                c.announce_death();
+                return;
+            }
+            c.barrier_ft(&alive).expect("survivor barrier completes");
+        });
+    }
+
+    #[test]
+    fn allreduce_ft_sums_survivor_contributions_only() {
+        let alive = [true, true, false, true];
+        let results = run_world(4, |c| {
+            let mut v = vec![c.rank() as f32 + 1.0; 5];
+            if c.rank() == 2 {
+                c.announce_death();
+                return v;
+            }
+            c.allreduce_f32_ft(&mut v, ReduceOp::Sum, &alive)
+                .expect("survivor allreduce completes");
+            v
+        });
+        // Survivors 0, 1, 3 contribute 1 + 2 + 4 = 7.
+        for (rank, v) in results.iter().enumerate() {
+            if alive[rank] {
+                assert_eq!(v, &vec![7.0; 5], "rank {rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_ft_reaches_every_survivor() {
+        let alive = [true, false, true, true, true];
+        let results = run_world(5, |c| {
+            if c.rank() == 1 {
+                c.announce_death();
+                return Bytes::new();
+            }
+            let payload = (c.rank() == 3).then(|| Bytes::from_static(b"survivor-payload"));
+            c.broadcast_ft(3, payload, &alive)
+                .expect("survivor broadcast completes")
+        });
+        for (rank, b) in results.iter().enumerate() {
+            if alive[rank] {
+                assert_eq!(&b[..], b"survivor-payload", "rank {rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn lone_survivor_collectives_are_trivial() {
+        let alive = [false, true];
+        run_world(2, |c| {
+            if c.rank() == 0 {
+                c.announce_death();
+                return;
+            }
+            c.barrier_ft(&alive).expect("lone barrier");
+            let mut v = [3.0f32];
+            c.allreduce_f32_ft(&mut v, ReduceOp::Sum, &alive)
+                .expect("lone allreduce");
+            assert_eq!(v, [3.0]);
+            let b = c
+                .broadcast_ft(1, Some(Bytes::from_static(b"x")), &alive)
+                .expect("lone broadcast");
+            assert_eq!(&b[..], b"x");
+        });
+    }
+
+    #[test]
+    fn ft_collectives_reject_bad_masks_with_typed_errors() {
+        run_world(2, |c| {
+            // Wrong mask length.
+            assert!(matches!(
+                c.barrier_ft(&[true]),
+                Err(CommError::InvalidCollective { .. })
+            ));
+            // Caller marked dead in the mask.
+            let mask = if c.rank() == 0 {
+                [false, true]
+            } else {
+                [true, false]
+            };
+            assert!(matches!(
+                c.barrier_ft(&mask),
+                Err(CommError::RankDead { .. })
+            ));
+            // Dead root.
+            let err = c.broadcast_ft(0, None, &[false, true]);
+            if c.rank() == 1 {
+                assert!(matches!(err, Err(CommError::InvalidCollective { .. })));
+            }
+        });
+    }
+
+    #[test]
+    fn recv_ft_fails_fast_on_announced_death() {
+        use std::time::{Duration, Instant};
+        run_world(2, |c| {
+            if c.rank() == 1 {
+                c.announce_death();
+                return;
+            }
+            let t0 = Instant::now();
+            let err = c.recv_ft_deadline(1, 0x42, Duration::from_secs(30));
+            assert!(
+                matches!(err, Err(CommError::RankDead { rank: 1 })),
+                "{err:?}"
+            );
+            assert!(
+                t0.elapsed() < Duration::from_secs(5),
+                "detector did not short-circuit the wait"
+            );
+        });
+    }
+
+    #[test]
+    fn recv_ft_still_drains_messages_sent_before_death() {
+        run_world(2, |c| {
+            if c.rank() == 1 {
+                c.send(0, 0x99, Bytes::from_static(b"parting-gift"));
+                c.announce_death();
+                return;
+            }
+            // Give the dying rank time to both send and announce.
+            while c.member_alive(1) {
+                std::thread::yield_now();
+            }
+            let (_, payload) = c.recv_ft(1, 0x99).expect("pre-death message arrives");
+            assert_eq!(&payload[..], b"parting-gift");
+        });
+    }
+
+    #[test]
+    fn sendrecv_ft_skips_the_send_to_a_dead_peer() {
+        run_world(2, |c| {
+            if c.rank() == 1 {
+                c.announce_death();
+                return;
+            }
+            while c.member_alive(1) {
+                std::thread::yield_now();
+            }
+            let err = c.sendrecv_ft(1, 7, Bytes::from_static(b"mine"), 1, 7);
+            assert!(matches!(err, Err(CommError::RankDead { rank: 1 })));
+            let (sent, _, _, _) = c.stats().snapshot();
+            assert_eq!(sent, 0, "nothing may be sent to a known-dead peer");
+        });
+    }
+
+    #[test]
+    fn heartbeats_tick_on_traffic() {
+        run_world(2, |c| {
+            let before = c.detector().beats(c.world_rank());
+            c.barrier();
+            assert!(c.detector().beats(c.world_rank()) > before);
+        });
+    }
+}

@@ -131,9 +131,46 @@ pub fn bcast_children_v(vrank: usize, n: usize) -> Vec<usize> {
     children
 }
 
+/// The survivor set of an alive-mask: comm ranks still alive, in rank
+/// order. Fault-aware collectives run the ordinary schedules over this
+/// compacted numbering (survivor index `i` stands in for rank
+/// `survivors(alive)[i]`), so a shrunken world reuses the exact ring /
+/// barrier / tree math that the healthy world is certified with.
+pub fn survivors(alive: &[bool]) -> Vec<usize> {
+    (0..alive.len()).filter(|&r| alive[r]).collect()
+}
+
+/// Index of `rank` within the survivor numbering, or `None` if dead.
+/// Pure function of `(alive, rank)` — identical on every rank, which is
+/// what lets survivors rebuild a collective schedule with no agreement
+/// protocol.
+pub fn survivor_index(alive: &[bool], rank: usize) -> Option<usize> {
+    if !alive.get(rank).copied().unwrap_or(false) {
+        return None;
+    }
+    Some(alive[..rank].iter().filter(|&&a| a).count())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn survivor_numbering_is_compact_and_order_preserving() {
+        let alive = [true, false, true, true, false];
+        assert_eq!(survivors(&alive), vec![0, 2, 3]);
+        assert_eq!(survivor_index(&alive, 0), Some(0));
+        assert_eq!(survivor_index(&alive, 1), None);
+        assert_eq!(survivor_index(&alive, 2), Some(1));
+        assert_eq!(survivor_index(&alive, 3), Some(2));
+        assert_eq!(survivor_index(&alive, 4), None);
+        assert_eq!(survivor_index(&alive, 9), None, "out of range is dead");
+        // Round trip: survivors()[survivor_index(r)] == r for the living.
+        let surv = survivors(&alive);
+        for (i, &r) in surv.iter().enumerate() {
+            assert_eq!(survivor_index(&alive, r), Some(i));
+        }
+    }
 
     #[test]
     fn tags_separate_ops_seqs_and_rounds() {

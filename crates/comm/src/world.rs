@@ -3,6 +3,7 @@
 
 use crate::collectives::ReduceOp;
 use crate::comm::{Comm, CommStats, Mailbox};
+use crate::fault::FailureDetector;
 use crate::router::Router;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use ltfb_obs::Registry;
@@ -35,6 +36,7 @@ where
     assert!(n > 0, "world needs at least one rank");
     let (router, receivers) = Router::new(n);
     let members = Arc::new((0..n).collect::<Vec<_>>());
+    let detector = Arc::new(FailureDetector::new(n));
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n);
@@ -50,6 +52,7 @@ where
                 split_seq: Arc::new(AtomicU64::new(0)),
                 stats: Arc::new(CommStats::default()),
                 obs: None,
+                detector: Arc::clone(&detector),
             };
             let f = &f;
             handles.push(
@@ -145,6 +148,7 @@ impl Comm {
             split_seq: Arc::new(AtomicU64::new(0)),
             stats: Arc::new(CommStats::default()),
             obs: self.obs.clone(),
+            detector: Arc::clone(&self.detector),
         }
     }
 

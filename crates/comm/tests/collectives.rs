@@ -179,13 +179,39 @@ fn gather_scatter_round_trip() {
         if c.rank() == 2 {
             let g = gathered.expect("root gets data");
             let redistributed: Vec<Bytes> = g.into_iter().collect();
-            let own = c.scatter(2, Some(redistributed));
+            let own = c.scatter(2, Some(redistributed)).expect("root scatter");
             assert_eq!(own[0], 6);
         } else {
             assert!(gathered.is_none());
-            let own = c.scatter(2, None);
+            let own = c.scatter(2, None).expect("non-root scatter");
             assert_eq!(own[0] as usize, c.rank() * 3);
         }
+    });
+}
+
+#[test]
+fn scatter_misuse_is_a_typed_error_not_a_panic() {
+    use ltfb_comm::CommError;
+    run_world(2, |c| {
+        // Root without payloads: previously a panic.
+        // Non-root with payloads: previously silently ignored.
+        let bogus = (c.rank() != 0).then(|| vec![Bytes::new(), Bytes::new()]);
+        let err = c.scatter(0, bogus);
+        assert!(
+            matches!(err, Err(CommError::InvalidCollective { .. })),
+            "rank {}: {err:?}",
+            c.rank()
+        );
+        // Root with the wrong payload count is also typed, and the comm
+        // stays usable afterwards (seq numbers were consumed in step).
+        if c.rank() == 0 {
+            let short = c.scatter(0, Some(vec![Bytes::new()]));
+            assert!(matches!(short, Err(CommError::InvalidCollective { .. })));
+        } else {
+            let stray = c.scatter(0, Some(vec![Bytes::new()]));
+            assert!(matches!(stray, Err(CommError::InvalidCollective { .. })));
+        }
+        c.barrier();
     });
 }
 

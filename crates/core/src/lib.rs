@@ -40,9 +40,9 @@ pub use config::{LtfbConfig, PartitionScheme, TournamentMetric};
 pub use data::{build_trainer_data, pack, partition_ids, train_samples, val_samples, TrainerData};
 pub use kindep::run_k_independent;
 pub use ltfb::{
-    pretrain_global_autoencoder, record_run_outcome, run_ltfb_distributed,
-    run_ltfb_distributed_obs, run_ltfb_serial, run_ltfb_serial_obs, run_ltfb_serial_with_models,
-    run_ltfb_with_failures, LtfbObs, RunOutcome,
+    pretrain_global_autoencoder, record_run_outcome, run_ltfb_distributed, run_ltfb_distributed_ft,
+    run_ltfb_distributed_ft_obs, run_ltfb_distributed_obs, run_ltfb_serial, run_ltfb_serial_obs,
+    run_ltfb_serial_with_models, run_ltfb_with_failures, LtfbObs, RunOutcome,
 };
 pub use surrogate::{
     adaptive_sample, optimize_design, DesignOptimum, EnsemblePrediction, PopulationEnsemble,

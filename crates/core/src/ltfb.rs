@@ -18,7 +18,7 @@ use crate::data::ae_dataset;
 use crate::tournament::{decide_match, pairing, MatchOutcome};
 use crate::trainer::Trainer;
 use bytes::Bytes;
-use ltfb_comm::{run_world, run_world_obs};
+use ltfb_comm::{run_world, run_world_obs, FaultPlan};
 use ltfb_gan::CycleGan;
 use ltfb_nn::{BatchReader, LossHistory};
 use ltfb_obs::{Buckets, Counter, Histogram, Registry};
@@ -78,6 +78,8 @@ pub struct LtfbObs {
     adoptions: Arc<Counter>,
     exchanged_bytes: Arc<Counter>,
     step_us: Arc<Histogram>,
+    deaths: Arc<Counter>,
+    matches_skipped_dead: Arc<Counter>,
 }
 
 impl LtfbObs {
@@ -89,7 +91,29 @@ impl LtfbObs {
             adoptions: registry.counter("ltfb.adoptions"),
             exchanged_bytes: registry.counter("ltfb.exchanged_bytes"),
             step_us: registry.histogram("ltfb.step_us", Buckets::latency_us()),
+            deaths: registry.counter("ltfb.deaths"),
+            matches_skipped_dead: registry.counter("ltfb.matches_skipped_dead"),
         }
+    }
+
+    /// A trainer fail-stopped (fault-tolerant drivers only).
+    fn record_death(&self, trainer: usize, step: u64) {
+        self.deaths.inc();
+        self.registry
+            .event("ltfb", trainer, Some(trainer), "death", step as f64);
+    }
+
+    /// A tournament match (and so a possible adoption) was skipped
+    /// because the partner is dead or the exchange was scripted lost.
+    fn record_skipped_match(&self, round: u64, trainer: usize, partner: usize) {
+        self.matches_skipped_dead.inc();
+        self.registry.event(
+            "ltfb",
+            trainer,
+            Some(trainer),
+            &format!("round_{round}_match_skipped_vs_{partner}"),
+            0.0,
+        );
     }
 
     fn record_step(&self, started: Instant) {
@@ -396,6 +420,170 @@ fn distributed_inner(cfg: &LtfbConfig, registry: Option<&Registry>) -> RunOutcom
     outcome
 }
 
+/// Distributed LTFB under fault injection: one world rank per trainer,
+/// with deaths, stragglers and lost exchanges scripted by `plan`.
+///
+/// Degradation semantics (mirroring [`run_ltfb_with_failures`] exactly —
+/// an integration test asserts bit-identical results for kill-only
+/// plans):
+///
+/// * a killed rank announces itself via the failure detector at the top
+///   of its death step (before training it) and stops driving the
+///   protocol, but still reports its frozen model's final validation;
+/// * survivors re-pair each round with `pairing_alive` over the plan's
+///   alive-set — computed locally from the shared plan, so no agreement
+///   traffic is needed;
+/// * a `drop` event makes both sides of the affected exchange skip that
+///   match deterministically; an unexpected dead partner surfaces as a
+///   typed [`ltfb_comm::CommError`] from `sendrecv_ft` and costs one
+///   skipped match (recorded as `ltfb.matches_skipped_dead`), never a
+///   deadlock.
+pub fn run_ltfb_distributed_ft(cfg: &LtfbConfig, plan: &FaultPlan) -> RunOutcome {
+    distributed_ft_inner(cfg, plan, None)
+}
+
+/// [`run_ltfb_distributed_ft`] with live metrics; adds `ltfb.deaths` and
+/// `ltfb.matches_skipped_dead` to the usual family.
+pub fn run_ltfb_distributed_ft_obs(
+    cfg: &LtfbConfig,
+    plan: &FaultPlan,
+    registry: &Registry,
+) -> RunOutcome {
+    distributed_ft_inner(cfg, plan, Some(registry))
+}
+
+fn distributed_ft_inner(
+    cfg: &LtfbConfig,
+    plan: &FaultPlan,
+    registry: Option<&Registry>,
+) -> RunOutcome {
+    use crate::tournament::pairing_alive;
+    let cfg = *cfg;
+    let plan = plan.clone();
+    let obs = registry.map(LtfbObs::new);
+    let n = cfg.n_trainers;
+    let body = move |comm: ltfb_comm::Comm| {
+        let obs = obs.as_ref();
+        let id = comm.rank();
+        let mut trainer = Trainer::new(cfg, id);
+        // The a-priori autoencoder phase happens before step 1, so every
+        // rank — even one scripted to die — participates in the broadcast.
+        let ae = if n > 1 {
+            let payload = (id == 0).then(|| pretrain_global_autoencoder(&cfg));
+            comm.broadcast(0, payload)
+        } else {
+            pretrain_global_autoencoder(&cfg)
+        };
+        trainer.load_autoencoder(ae);
+        trainer.record_validation();
+        let mut my_matches: Vec<(u64, usize, MatchOutcome)> = Vec::new();
+
+        // Deaths flip at the top of their step, exactly as in the serial
+        // failure driver (`at == step`), so a kill scripted outside
+        // 1..=steps never fires.
+        let mut alive = vec![true; n];
+        'steps: for step in 1..=cfg.steps {
+            for (r, live) in alive.iter_mut().enumerate() {
+                if plan.kill_step(r) == Some(step) {
+                    *live = false;
+                    if r == id {
+                        comm.announce_death();
+                        if let Some(o) = obs {
+                            o.record_death(id, step);
+                        }
+                        break 'steps;
+                    }
+                }
+            }
+            let stall = plan.delay_at(id, step);
+            if stall > 0 {
+                // A straggler, not a death: burn wall-clock without
+                // touching the protocol or the results.
+                let until = Instant::now() + std::time::Duration::from_micros(stall);
+                while Instant::now() < until {
+                    std::thread::yield_now();
+                }
+            }
+            let started = obs.map(|_| Instant::now());
+            trainer.train_step();
+            if let (Some(o), Some(s)) = (obs, started) {
+                o.record_step(s);
+            }
+            if n >= 2 && cfg.exchange_interval > 0 && step % cfg.exchange_interval == 0 {
+                let round = step / cfg.exchange_interval;
+                let partners = pairing_alive(&alive, round, cfg.seed);
+                if let Some(p) = partners[id] {
+                    if plan.drops_at(id, step) || plan.drops_at(p, step) {
+                        // Scripted message loss: both sides reach this
+                        // same conclusion locally and skip the match.
+                        if let Some(o) = obs {
+                            o.record_skipped_match(round, id, p);
+                        }
+                    } else {
+                        let mine = trainer.gan.generator_to_bytes();
+                        let tag = 0x7_000 + round;
+                        match comm.sendrecv_ft(p, tag, mine, p, tag) {
+                            Ok(foreign) => {
+                                let foreign_bytes = foreign.len() as u64;
+                                let out = decide_match(&mut trainer, p, foreign);
+                                if let Some(o) = obs {
+                                    o.record_match(round, id, &out, foreign_bytes);
+                                }
+                                my_matches.push((round, id, out));
+                            }
+                            Err(_) => {
+                                // Partner died outside the script (or its
+                                // half of the exchange never came): one
+                                // skipped match, not a stalled world.
+                                if let Some(o) = obs {
+                                    o.record_skipped_match(round, id, p);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if cfg.eval_interval > 0 && step % cfg.eval_interval == 0 {
+                trainer.record_validation();
+            }
+        }
+        // Dead or alive, report the (possibly frozen) model's final state
+        // — the serial failure driver validates every trainer too.
+        let final_val = trainer.validate().combined();
+        (
+            trainer.history.clone(),
+            final_val,
+            trainer.wins,
+            trainer.losses,
+            my_matches,
+        )
+    };
+    let per_rank = match registry {
+        Some(reg) => run_world_obs(n, reg, body),
+        None => run_world(n, body),
+    };
+
+    let mut outcome = RunOutcome {
+        histories: Vec::new(),
+        final_val: Vec::new(),
+        wins: Vec::new(),
+        adoptions: 0,
+        matches: Vec::new(),
+    };
+    for (hist, fv, wins, losses, matches) in per_rank {
+        outcome.histories.push(hist);
+        outcome.final_val.push(fv);
+        outcome.wins.push(wins);
+        outcome.adoptions += losses;
+        outcome.matches.extend(matches);
+    }
+    outcome.matches.sort_by_key(|&(round, t, _)| (round, t));
+    if let Some(reg) = registry {
+        record_run_outcome(reg, &outcome);
+    }
+    outcome
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -479,6 +667,84 @@ mod tests {
     }
 
     #[test]
+    fn simultaneous_deaths_at_one_step_shrink_the_pool() {
+        let cfg = tiny_cfg(4);
+        // Trainers 1 and 3 die at the same step, between rounds 1 and 2.
+        let out = run_ltfb_with_failures(&cfg, &[(1, 15), (3, 15)]);
+        for &(round, t, ref m) in &out.matches {
+            if round >= 2 {
+                assert!(
+                    t != 1 && t != 3,
+                    "dead trainer {t} matched in round {round}"
+                );
+                assert!(
+                    m.partner != 1 && m.partner != 3,
+                    "dead partner {} in round {round}",
+                    m.partner
+                );
+            }
+        }
+        // The two survivors keep pairing each other every later round.
+        let late: Vec<_> = out
+            .matches
+            .iter()
+            .filter(|&&(round, _, _)| round >= 2)
+            .collect();
+        assert_eq!(late.len(), 2 * 3, "0 and 2 must play rounds 2..=4");
+        // Survivors improved; everyone has a final score.
+        assert_eq!(out.final_val.len(), 4);
+        for t in [0usize, 2] {
+            let h = &out.histories[t];
+            assert!(h.last().unwrap() < h.points()[0].1, "trainer {t} regressed");
+        }
+    }
+
+    #[test]
+    fn death_on_a_round_boundary_excludes_the_victim_from_that_round() {
+        let cfg = tiny_cfg(4);
+        // Step 20 is exactly round 2's exchange: the kill flips at the top
+        // of the step, so the victim must already be out of that pairing.
+        let out = run_ltfb_with_failures(&cfg, &[(2, 20)]);
+        assert!(
+            out.matches
+                .iter()
+                .any(|&(round, t, _)| round == 1 && t == 2),
+            "victim should still play the round before its death"
+        );
+        for &(round, t, ref m) in &out.matches {
+            if round >= 2 {
+                assert_ne!(t, 2, "victim played its own death round {round}");
+                assert_ne!(m.partner, 2, "victim partnered in round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn sole_survivor_finishes_the_run() {
+        let cfg = tiny_cfg(4);
+        let out = run_ltfb_with_failures(&cfg, &[(0, 5), (1, 15), (2, 25)]);
+        // From step 25 on only trainer 3 is alive: a pool of one plays no
+        // tournaments but still trains and validates to completion.
+        assert!(
+            out.matches.iter().all(|&(round, _, _)| round < 3),
+            "matches continued past the point where only one trainer lived"
+        );
+        let h = &out.histories[3];
+        assert!(h.last().unwrap() < h.points()[0].1, "survivor regressed");
+        assert_eq!(out.final_val.len(), 4);
+        assert!(out.final_val.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn pool_of_one_with_failure_still_finishes() {
+        let cfg = tiny_cfg(1);
+        let out = run_ltfb_with_failures(&cfg, &[(0, 5)]);
+        assert!(out.matches.is_empty());
+        assert_eq!(out.final_val.len(), 1);
+        assert!(out.final_val[0].is_finite());
+    }
+
+    #[test]
     fn no_failures_matches_plain_serial() {
         let cfg = tiny_cfg(2);
         let plain = run_ltfb_serial(&cfg);
@@ -532,6 +798,103 @@ mod tests {
         assert_eq!(plain.final_val, observed.final_val);
         assert_eq!(plain.wins, observed.wins);
         assert_eq!(plain.adoptions, observed.adoptions);
+    }
+
+    /// Canonical comparison key for a match list.
+    fn match_keys(out: &RunOutcome) -> Vec<(u64, usize, usize, bool)> {
+        out.matches
+            .iter()
+            .map(|&(round, t, ref m)| (round, t, m.partner, m.adopted_foreign))
+            .collect()
+    }
+
+    #[test]
+    fn distributed_ft_with_kills_matches_the_serial_failure_driver() {
+        let cfg = tiny_cfg(4);
+        let kills = [(2usize, 15u64)];
+        let serial = run_ltfb_with_failures(&cfg, &kills);
+        let dist = run_ltfb_distributed_ft(&cfg, &FaultPlan::kills(&kills));
+        assert_eq!(serial.final_val, dist.final_val);
+        assert_eq!(serial.wins, dist.wins);
+        assert_eq!(serial.adoptions, dist.adoptions);
+        assert_eq!(match_keys(&serial), match_keys(&dist));
+    }
+
+    #[test]
+    fn distributed_ft_without_faults_matches_plain_distributed() {
+        let cfg = tiny_cfg(2);
+        let plain = run_ltfb_distributed(&cfg);
+        let ft = run_ltfb_distributed_ft(&cfg, &FaultPlan::none());
+        assert_eq!(plain.final_val, ft.final_val);
+        assert_eq!(plain.wins, ft.wins);
+        assert_eq!(plain.adoptions, ft.adoptions);
+    }
+
+    #[test]
+    fn distributed_ft_survives_simultaneous_and_boundary_deaths() {
+        let cfg = tiny_cfg(4);
+        // One death exactly on the round-2 boundary, one mid-interval —
+        // the two awkward cases, together, over the real fabric.
+        let plan = FaultPlan::kills(&[(1, 20), (3, 15)]);
+        let out = run_ltfb_distributed_ft(&cfg, &plan);
+        for &(round, t, ref m) in &out.matches {
+            if round >= 2 {
+                assert!(t != 1 && t != 3, "dead rank {t} matched in round {round}");
+                assert!(m.partner != 1 && m.partner != 3);
+            }
+        }
+        assert!(
+            out.matches.iter().any(|&(round, _, _)| round >= 2),
+            "survivors stalled after the deaths"
+        );
+        // Matches the serial reference bit for bit as well.
+        let serial = run_ltfb_with_failures(&cfg, &[(1, 20), (3, 15)]);
+        assert_eq!(serial.final_val, out.final_val);
+        assert_eq!(match_keys(&serial), match_keys(&out));
+    }
+
+    #[test]
+    fn distributed_ft_sole_survivor_and_pool_of_one_finish() {
+        let cfg = tiny_cfg(4);
+        let out = run_ltfb_distributed_ft(&cfg, &FaultPlan::kills(&[(0, 5), (1, 15), (2, 25)]));
+        assert!(out.final_val.iter().all(|v| v.is_finite()));
+        assert!(out.matches.iter().all(|&(round, _, _)| round < 3));
+        let solo = run_ltfb_distributed_ft(&tiny_cfg(1), &FaultPlan::kills(&[(0, 5)]));
+        assert!(solo.matches.is_empty());
+        assert_eq!(solo.final_val.len(), 1);
+    }
+
+    #[test]
+    fn distributed_ft_obs_counts_deaths_and_skipped_matches() {
+        let cfg = tiny_cfg(4);
+        // A death mid-run plus a dropped exchange at round 1 (step 10):
+        // both sides of the dropped match record the skip.
+        let plan = FaultPlan::parse("kill:2@15,drop:0@10").expect("well-formed plan");
+        let reg = Registry::new();
+        let out = run_ltfb_distributed_ft_obs(&cfg, &plan, &reg);
+        assert_eq!(reg.counter("ltfb.deaths").get(), 1);
+        assert_eq!(reg.counter("ltfb.matches_skipped_dead").get(), 2);
+        assert_eq!(reg.counter("ltfb.matches").get(), out.matches.len() as u64);
+        assert!(
+            reg.events()
+                .iter()
+                .any(|e| e.event.contains("match_skipped_vs_")),
+            "skip must leave a trace event"
+        );
+        assert!(reg.events().iter().any(|e| e.event == "death"));
+    }
+
+    #[test]
+    fn scripted_stragglers_do_not_change_results() {
+        let cfg = tiny_cfg(2);
+        let delayed = run_ltfb_distributed_ft(
+            &cfg,
+            &FaultPlan::parse("delay:1@5:2000us").expect("well-formed plan"),
+        );
+        let plain = run_ltfb_distributed_ft(&cfg, &FaultPlan::none());
+        assert_eq!(delayed.final_val, plain.final_val);
+        assert_eq!(delayed.wins, plain.wins);
+        assert_eq!(delayed.adoptions, plain.adoptions);
     }
 
     #[test]

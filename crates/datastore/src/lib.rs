@@ -13,6 +13,7 @@
 #![forbid(unsafe_code)]
 
 pub mod node;
+pub mod recovery;
 pub mod store;
 
 pub use node::{Node, NodeDecodeError};

@@ -1,0 +1,157 @@
+//! Datastore failure recovery: replica-aware ownership and survivor
+//! epoch plans.
+//!
+//! The store's defining property — no file-system reads after the first
+//! epoch — makes a dead rank's cached samples precious: they exist
+//! nowhere else in memory. Recovery therefore has two layers:
+//!
+//! * **replication** ([`DataStore::with_replicas`]): each bundle file is
+//!   preloaded by `replicas` consecutive ranks, and
+//!   [`DataStore::owner_of_alive`] resolves a sample to the first *live*
+//!   holder in that chain — re-owning a dead rank's samples without any
+//!   data movement or agreement traffic (the chain is a pure function of
+//!   the file slot, identical on every rank);
+//! * **typed loss** — when no live replica remains (or in dynamic mode,
+//!   whose first-use ownership has no redundancy), the lookup returns
+//!   [`StoreError::MissingSample`] so the trainer can drop out cleanly;
+//!   the recovery path never panics.
+//!
+//! [`DataStore::epoch_plan_survivors`] rebuilds the epoch schedule so
+//! dead ranks consume nothing; combined with replica fall-through, a
+//! shrunken trainer finishes its epochs on memory alone.
+
+use crate::store::{DataStore, EpochPlan, PopulateMode, StoreError};
+use ltfb_tensor::{mix_seed, permutation, seeded_rng};
+
+impl DataStore {
+    /// Preload replication factor (1 = no redundancy).
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// The liveness mask this store currently believes, by comm rank.
+    pub fn alive_ranks(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// Declare a comm rank dead for ownership resolution. Out-of-range
+    /// ranks are ignored. Every surviving rank must make the same calls
+    /// (deaths are derived from the shared fault plan / failure
+    /// detector), keeping ownership a shared pure function.
+    pub fn mark_rank_dead(&mut self, rank: usize) {
+        if let Some(a) = self.alive.get_mut(rank) {
+            *a = false;
+        }
+    }
+
+    /// The rank a sample must be fetched from, honouring deaths: the
+    /// first live holder in the sample's replica chain. Returns
+    /// [`StoreError::MissingSample`] (never a panic) when every holder
+    /// is dead — with `rank` naming the primary owner whose loss caused
+    /// it — or when `id` is outside the partition.
+    pub fn owner_of_alive(&self, id: u64) -> Result<usize, StoreError> {
+        let size = self.comm.size();
+        match self.mode {
+            PopulateMode::Preload => {
+                let (file, _) = self.spec.locate(id);
+                let slot = *self.file_slot.get(&file).ok_or(StoreError::MissingSample {
+                    id,
+                    rank: self.comm.rank(),
+                })?;
+                for k in 0..self.replicas {
+                    let holder = (slot + k) % size;
+                    if self.alive.get(holder).copied().unwrap_or(false) {
+                        return Ok(holder);
+                    }
+                }
+                Err(StoreError::MissingSample {
+                    id,
+                    rank: slot % size,
+                })
+            }
+            PopulateMode::Dynamic => {
+                let owner = *self.dyn_owner.get(&id).ok_or(StoreError::MissingSample {
+                    id,
+                    rank: self.comm.rank(),
+                })?;
+                if self.alive.get(owner).copied().unwrap_or(false) {
+                    Ok(owner)
+                } else {
+                    Err(StoreError::MissingSample { id, rank: owner })
+                }
+            }
+        }
+    }
+
+    /// [`DataStore::epoch_plan`] rebuilt over the survivors of this
+    /// store's liveness mask: the same deterministic visit order (so all
+    /// ranks, and reruns, agree), with every mini-batch consumed
+    /// entirely by live ranks.
+    pub fn epoch_plan_survivors(&self, epoch: u64) -> EpochPlan {
+        let mut rng = seeded_rng(mix_seed(&[self.seed, epoch]));
+        let perm = permutation(self.ids.len(), &mut rng);
+        let order = perm.into_iter().map(|i| self.ids[i]).collect();
+        EpochPlan::for_survivors(order, self.mb, &self.alive)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survivor_plans_route_all_consumption_to_the_living() {
+        let alive = [true, false, true, true];
+        let plan = EpochPlan::for_survivors((0..22).collect(), 8, &alive);
+        let mut seen = Vec::new();
+        for step in 0..plan.steps() {
+            for pos in 0..plan.step_ids(step).len() {
+                let c = plan.consumer_of(step, pos);
+                assert!(alive[c], "step {step} pos {pos} routed to dead rank {c}");
+                seen.push((plan.step_ids(step)[pos], c));
+            }
+            // Per-rank views tile the step exactly.
+            let union: usize = (0..alive.len()).map(|r| plan.my_ids(step, r).len()).sum();
+            assert_eq!(union, plan.step_ids(step).len());
+            assert!(
+                plan.my_ids(step, 1).is_empty(),
+                "dead rank consumes nothing"
+            );
+        }
+        assert_eq!(seen.len(), 22, "every sample still consumed exactly once");
+    }
+
+    #[test]
+    fn survivor_plan_with_everyone_alive_matches_the_plain_slicing() {
+        let order: Vec<u64> = (0..17).collect();
+        let plain = EpochPlan::new(order.clone(), 5, 3);
+        let surv = EpochPlan::for_survivors(order, 5, &[true, true, true]);
+        for step in 0..plain.steps() {
+            for pos in 0..plain.step_ids(step).len() {
+                assert_eq!(
+                    plain.consumer_of(step, pos),
+                    surv.consumer_of(step, pos),
+                    "step {step} pos {pos}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lone_survivor_consumes_the_whole_step() {
+        let plan = EpochPlan::for_survivors((0..9).collect(), 4, &[false, true]);
+        for step in 0..plan.steps() {
+            assert_eq!(
+                plan.my_ids(step, 1).len(),
+                plan.step_ids(step).len(),
+                "sole survivor takes everything"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one surviving rank")]
+    fn all_dead_plan_is_rejected() {
+        let _ = EpochPlan::for_survivors(vec![1, 2], 2, &[false, false]);
+    }
+}

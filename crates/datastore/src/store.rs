@@ -106,7 +106,7 @@ impl From<ltfb_jag::BundleError> for StoreError {
 
 /// Registry-backed mirrors of [`StoreStats`], named `datastore.rN.…` by
 /// the rank's *world* rank so multiple trainers' stores stay distinct.
-struct StoreObs {
+pub(crate) struct StoreObs {
     fs_sample_reads: Arc<Counter>,
     fs_file_reads: Arc<Counter>,
     shuffled_samples: Arc<Counter>,
@@ -131,6 +131,9 @@ pub struct EpochPlan {
     order: Vec<u64>,
     mb: usize,
     ranks: usize,
+    /// When the plan is rebuilt over a shrunken world, the comm ranks
+    /// that still consume, in rank order (`None` = everyone consumes).
+    survivor_map: Option<Vec<usize>>,
 }
 
 impl EpochPlan {
@@ -141,7 +144,30 @@ impl EpochPlan {
     pub fn new(order: Vec<u64>, mb: usize, ranks: usize) -> EpochPlan {
         assert!(mb > 0, "mini-batch must be positive");
         assert!(ranks > 0, "plan needs at least one rank");
-        EpochPlan { order, mb, ranks }
+        EpochPlan {
+            order,
+            mb,
+            ranks,
+            survivor_map: None,
+        }
+    }
+
+    /// Build a plan whose consumption is routed entirely to the alive
+    /// ranks of `alive`: each step's mini-batch is sliced contiguously
+    /// over the survivors (the same slicing [`Self::consumer_of`] does
+    /// over a full world). Dead ranks consume nothing, so an epoch can
+    /// complete without them. Production plans come from
+    /// [`DataStore::epoch_plan_survivors`].
+    pub fn for_survivors(order: Vec<u64>, mb: usize, alive: &[bool]) -> EpochPlan {
+        assert!(mb > 0, "mini-batch must be positive");
+        let surv = ltfb_comm::survivors(alive);
+        assert!(!surv.is_empty(), "plan needs at least one surviving rank");
+        EpochPlan {
+            order,
+            mb,
+            ranks: alive.len(),
+            survivor_map: Some(surv),
+        }
     }
 
     /// Steps in the epoch (final one may be short).
@@ -157,11 +183,21 @@ impl EpochPlan {
     }
 
     /// Consumer rank of position `pos` within a step: contiguous slices
-    /// of the mini-batch per rank.
+    /// of the mini-batch per rank (per surviving rank, for a plan built
+    /// with [`Self::for_survivors`]).
     pub fn consumer_of(&self, step: usize, pos: usize) -> usize {
         let n = self.step_ids(step).len();
-        let per = n.div_ceil(self.ranks);
-        (pos / per.max(1)).min(self.ranks - 1)
+        match &self.survivor_map {
+            None => {
+                let per = n.div_ceil(self.ranks);
+                (pos / per.max(1)).min(self.ranks - 1)
+            }
+            Some(surv) => {
+                let m = surv.len();
+                let per = n.div_ceil(m);
+                surv[(pos / per.max(1)).min(m - 1)]
+            }
+        }
     }
 
     /// The ids rank `rank` consumes at `step`, with their positions.
@@ -177,21 +213,27 @@ impl EpochPlan {
 
 /// The distributed in-memory data store for one trainer.
 pub struct DataStore {
-    comm: Comm,
-    spec: DatasetSpec,
+    pub(crate) comm: Comm,
+    pub(crate) spec: DatasetSpec,
     /// The trainer's partition (sorted global ids) — identical on every
     /// rank of the trainer.
-    ids: Vec<u64>,
-    mode: PopulateMode,
-    seed: u64,
-    mb: usize,
-    owned: HashMap<u64, Node>,
+    pub(crate) ids: Vec<u64>,
+    pub(crate) mode: PopulateMode,
+    pub(crate) seed: u64,
+    pub(crate) mb: usize,
+    pub(crate) owned: HashMap<u64, Node>,
     /// file id -> position among the partition's files (preload owner map).
-    file_slot: HashMap<u64, usize>,
+    pub(crate) file_slot: HashMap<u64, usize>,
     /// sample id -> owner (dynamic mode; derived from the epoch-0 plan).
-    dyn_owner: HashMap<u64, usize>,
-    stats: StoreStats,
-    obs: Option<StoreObs>,
+    pub(crate) dyn_owner: HashMap<u64, usize>,
+    /// Preload replication factor: each file is held by this many
+    /// consecutive ranks (`1` = no redundancy, the classic store).
+    pub(crate) replicas: usize,
+    /// Liveness mask this store believes in (indexed by comm rank);
+    /// flipped by [`DataStore::mark_rank_dead`].
+    pub(crate) alive: Vec<bool>,
+    pub(crate) stats: StoreStats,
+    pub(crate) obs: Option<StoreObs>,
 }
 
 /// Convert a JAG sample into its Conduit-node form.
@@ -252,17 +294,44 @@ impl DataStore {
     pub fn new(
         comm: Comm,
         spec: DatasetSpec,
-        mut ids: Vec<u64>,
+        ids: Vec<u64>,
         mode: PopulateMode,
         mb: usize,
         seed: u64,
         capacity_bytes: Option<u64>,
     ) -> Result<DataStore, StoreError> {
+        Self::with_replicas(comm, spec, ids, mode, mb, seed, capacity_bytes, 1)
+    }
+
+    /// [`DataStore::new`] with a preload replication factor: each bundle
+    /// file is held by `replicas` consecutive ranks, so the death of up
+    /// to `replicas - 1` adjacent ranks loses no samples —
+    /// [`DataStore::owner_of_alive`] falls through the replica chain.
+    /// Replication multiplies the memory footprint, which the capacity
+    /// gate accounts for. Clamped to the world size; dynamic mode ignores
+    /// it (ownership there follows first use, with no redundancy).
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_replicas(
+        comm: Comm,
+        spec: DatasetSpec,
+        mut ids: Vec<u64>,
+        mode: PopulateMode,
+        mb: usize,
+        seed: u64,
+        capacity_bytes: Option<u64>,
+        replicas: usize,
+    ) -> Result<DataStore, StoreError> {
         assert!(mb > 0, "mini-batch must be positive");
+        let replicas = replicas.clamp(1, comm.size());
         ids.sort_unstable();
         ids.dedup();
         if let Some(cap) = capacity_bytes {
-            let required = ids.len() as u64 * spec.cfg.sample_bytes() as u64;
+            let copies = if mode == PopulateMode::Preload {
+                replicas as u64
+            } else {
+                1
+            };
+            let required = ids.len() as u64 * spec.cfg.sample_bytes() as u64 * copies;
             if required > cap {
                 return Err(StoreError::OutOfMemory {
                     required_bytes: required,
@@ -281,6 +350,7 @@ impl DataStore {
             .map(|(slot, &f)| (f, slot))
             .collect();
 
+        let alive = vec![true; comm.size()];
         let mut store = DataStore {
             comm,
             spec,
@@ -291,6 +361,8 @@ impl DataStore {
             owned: HashMap::new(),
             file_slot,
             dyn_owner: HashMap::new(),
+            replicas,
+            alive,
             stats: StoreStats::default(),
             obs: None,
         };
@@ -319,7 +391,10 @@ impl DataStore {
             by_file.entry(self.spec.locate(id).0).or_default().push(id);
         }
         for (&file, ids) in &by_file {
-            if self.file_slot[&file] % size != rank {
+            // This rank holds the file if it is any of the `replicas`
+            // consecutive replica slots, not just the primary.
+            let slot = self.file_slot[&file];
+            if !(0..self.replicas).any(|k| (slot + k) % size == rank) {
                 continue;
             }
             let mut reader = self.spec.open_file(file)?;
@@ -336,7 +411,10 @@ impl DataStore {
         Ok(())
     }
 
-    /// The owning rank of a sample, computable locally on every rank.
+    /// The *primary* owning rank of a sample, computable locally on every
+    /// rank. Ignores liveness — the fault-aware paths use
+    /// [`DataStore::owner_of_alive`], which falls through the replica
+    /// chain when the primary is dead.
     pub fn owner_of(&self, id: u64) -> usize {
         match self.mode {
             PopulateMode::Preload => {
@@ -352,11 +430,11 @@ impl DataStore {
     pub fn epoch_plan(&self, epoch: u64) -> EpochPlan {
         let mut rng = seeded_rng(mix_seed(&[self.seed, epoch]));
         let perm = permutation(self.ids.len(), &mut rng);
-        EpochPlan {
-            order: perm.into_iter().map(|i| self.ids[i]).collect(),
-            mb: self.mb,
-            ranks: self.comm.size(),
-        }
+        EpochPlan::new(
+            perm.into_iter().map(|i| self.ids[i]).collect(),
+            self.mb,
+            self.comm.size(),
+        )
     }
 
     /// Execute the exchange for one step of a plan: every rank calls this
@@ -407,6 +485,15 @@ impl DataStore {
             return Ok(out);
         }
 
+        // Resolve every owner up front: a sample with no live holder must
+        // fail on *all* ranks identically, before any messages move —
+        // otherwise one rank could error mid-send while a peer blocks in
+        // a receive that will never be satisfied.
+        let owners = step_ids
+            .iter()
+            .map(|&id| self.owner_of_alive(id))
+            .collect::<Result<Vec<usize>, StoreError>>()?;
+
         // Owners push to consumers (non-blocking sends), consumers
         // collect. Tag = sample id (ids are unique within a step).
         for (pos, &id) in step_ids.iter().enumerate() {
@@ -414,7 +501,7 @@ impl DataStore {
             if consumer == rank {
                 continue;
             }
-            if self.owner_of(id) == rank {
+            if owners[pos] == rank {
                 let node = self
                     .owned
                     .get(&id)
@@ -427,7 +514,7 @@ impl DataStore {
             if consumers[pos] != rank {
                 continue;
             }
-            let owner = self.owner_of(id);
+            let owner = owners[pos];
             let node = if owner == rank {
                 self.owned
                     .get(&id)

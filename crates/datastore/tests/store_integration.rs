@@ -307,3 +307,90 @@ fn partition_subsets_are_respected() {
     });
     cleanup_dataset_dir(&spec.dir);
 }
+
+#[test]
+fn replicated_preload_survives_a_dead_rank() {
+    // replicas=2 means every file is preloaded by two consecutive ranks;
+    // when rank 1 dies, its samples are re-owned from the replicas and the
+    // survivors finish the epoch with correct payloads.
+    let spec = make_dataset("preload-replicated-death");
+    let spec2 = spec.clone();
+    let fetched = run_world(3, move |comm| {
+        let rank = comm.rank();
+        let mut store = DataStore::with_replicas(
+            comm,
+            spec2.clone(),
+            (0..N).collect(),
+            PopulateMode::Preload,
+            MB,
+            77,
+            None,
+            2,
+        )
+        .unwrap();
+        assert_eq!(store.replicas(), 2);
+        if rank == 1 {
+            // Fail-stop: this rank vanishes before the epoch starts.
+            return Vec::new();
+        }
+        store.mark_rank_dead(1);
+        let plan = store.epoch_plan_survivors(0);
+        let mut got = Vec::new();
+        for step in 0..plan.steps() {
+            got.extend(store.fetch_step(&plan, step, 0).expect("survivor fetch"));
+        }
+        for (id, node) in &got {
+            let s = node_to_sample(node).expect("recovered node schema intact");
+            assert_eq!(
+                s,
+                sample_by_id(&JagConfig::small(4), 0, *id),
+                "sample {id} corrupted by recovery"
+            );
+        }
+        got.into_iter().map(|(id, _)| id).collect::<Vec<u64>>()
+    });
+    assert!(fetched[1].is_empty(), "dead rank consumed nothing");
+    let mut all: Vec<u64> = fetched.into_iter().flatten().collect();
+    all.sort_unstable();
+    assert_eq!(
+        all,
+        (0..N).collect::<Vec<_>>(),
+        "survivors must cover the whole partition exactly once"
+    );
+    cleanup_dataset_dir(&spec.dir);
+}
+
+#[test]
+fn unreplicated_loss_is_a_typed_missing_sample_error() {
+    // With replicas=1 a dead rank's samples are gone. The survivors must
+    // all get the same typed MissingSample error at the same step — never
+    // a panic, never a deadlock.
+    let spec = make_dataset("preload-unreplicated-death");
+    let spec2 = spec.clone();
+    let errors = run_world(3, move |comm| {
+        let rank = comm.rank();
+        let mut store = make_store(comm, &spec2, PopulateMode::Preload);
+        if rank == 1 {
+            return None;
+        }
+        store.mark_rank_dead(1);
+        let plan = store.epoch_plan_survivors(0);
+        for step in 0..plan.steps() {
+            match store.fetch_step(&plan, step, 0) {
+                Ok(_) => continue,
+                Err(e) => return Some((step, e)),
+            }
+        }
+        panic!("epoch should have hit the lost samples");
+    });
+    let hits: Vec<&(usize, StoreError)> = errors.iter().flatten().collect();
+    assert_eq!(hits.len(), 2, "both survivors observe the loss");
+    assert_eq!(hits[0].0, hits[1].0, "loss surfaces at the same step");
+    for (_, e) in &hits {
+        assert!(
+            matches!(e, StoreError::MissingSample { .. }),
+            "expected MissingSample, got {e}"
+        );
+    }
+    cleanup_dataset_dir(&spec.dir);
+}

@@ -130,7 +130,14 @@ impl<E> Engine<E> {
             let e = self.pop().expect("peeked");
             handler(self, e);
         }
-        self.now = self.now.max(deadline.min(self.now + f64::INFINITY));
+        // Advance the clock to the deadline, but only forwards and only to
+        // a real instant: a NaN, infinite or already-passed deadline leaves
+        // the clock where the last event put it. (The previous expression,
+        // `now.max(deadline.min(now + INF))`, let NaN and +INF leak into
+        // `now` through the max/min NaN-propagation rules.)
+        if deadline.is_finite() && deadline > self.now {
+            self.now = deadline;
+        }
     }
 }
 
@@ -214,5 +221,25 @@ mod tests {
     fn rejects_nan_times() {
         let mut eng = Engine::new();
         eng.schedule_at(f64::NAN, ());
+    }
+
+    #[test]
+    fn run_until_clock_lands_on_deadline() {
+        let mut eng = Engine::new();
+        eng.schedule(1.0, ());
+        eng.run_until(5.0, |_, _| {});
+        assert_eq!(eng.now(), 5.0, "idle time up to the deadline still passes");
+    }
+
+    #[test]
+    fn run_until_ignores_nan_infinite_and_backwards_deadlines() {
+        let mut eng = Engine::new();
+        eng.schedule(2.0, ());
+        eng.run_until(f64::NAN, |_, _| {});
+        assert_eq!(eng.now(), 2.0, "NaN deadline must not poison the clock");
+        eng.run_until(f64::INFINITY, |_, _| {});
+        assert!(eng.now().is_finite(), "clock must stay on a real instant");
+        eng.run_until(1.0, |_, _| {});
+        assert_eq!(eng.now(), 2.0, "deadline in the past cannot rewind time");
     }
 }

@@ -100,4 +100,38 @@ proptest! {
         let expected = delays.iter().filter(|&&d| d <= deadline).count();
         prop_assert_eq!(fired.len(), expected);
     }
+
+    /// The clock survives hostile deadlines: across any mix of NaN,
+    /// ±infinite, backwards and ordinary deadlines, `now` stays a finite,
+    /// non-decreasing instant and lands on the deadline when (and only
+    /// when) the deadline is a finite time in the future.
+    #[test]
+    fn run_until_clock_is_nan_safe_and_monotone(
+        delays in prop::collection::vec(0.0f64..50.0, 0..20),
+        deadlines in prop::collection::vec(
+            prop_oneof![
+                Just(f64::NAN),
+                Just(f64::INFINITY),
+                Just(f64::NEG_INFINITY),
+                -100.0f64..200.0,
+            ],
+            1..8,
+        ),
+    ) {
+        let mut eng: Engine<usize> = Engine::new();
+        for (i, &d) in delays.iter().enumerate() {
+            eng.schedule(d, i);
+        }
+        let mut last_now = eng.now();
+        for &deadline in &deadlines {
+            eng.run_until(deadline, |_, _| {});
+            let now = eng.now();
+            prop_assert!(now.is_finite(), "clock poisoned by deadline {deadline}");
+            prop_assert!(now >= last_now, "clock rewound: {now} < {last_now}");
+            if deadline.is_finite() && deadline > last_now {
+                prop_assert!(now >= deadline, "idle time to the deadline must pass");
+            }
+            last_now = now;
+        }
+    }
 }

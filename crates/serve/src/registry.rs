@@ -53,6 +53,9 @@ pub enum PublishError {
     /// Published model must have the same input/output geometry as the
     /// one it replaces — clients hold width expectations.
     GeometryMismatch(String),
+    /// A fallback was requested but no previous good model has been
+    /// recorded (nothing was ever successfully published).
+    NoFallback,
 }
 
 impl std::fmt::Display for PublishError {
@@ -62,6 +65,7 @@ impl std::fmt::Display for PublishError {
                 write!(f, "stale publish: version {offered} <= current {current}")
             }
             PublishError::GeometryMismatch(s) => write!(f, "geometry mismatch: {s}"),
+            PublishError::NoFallback => write!(f, "no last-good model to fall back to"),
         }
     }
 }
@@ -69,9 +73,17 @@ impl std::fmt::Display for PublishError {
 impl std::error::Error for PublishError {}
 
 /// Holds the live model; hot-swappable under traffic.
+///
+/// Fault tolerance: every successful [`ModelRegistry::publish`] records
+/// the *previous* live model as last-good, so when an upstream trainer
+/// dies mid-run and its next checkpoint is corrupt or never arrives,
+/// [`ModelRegistry::publish_or_fallback`] keeps serving the last model
+/// that worked instead of taking the service down.
 pub struct ModelRegistry {
     current: RwLock<Arc<ServableModel>>,
+    last_good: RwLock<Option<Arc<ServableModel>>>,
     swaps: AtomicU64,
+    fallbacks: AtomicU64,
 }
 
 impl ModelRegistry {
@@ -79,7 +91,9 @@ impl ModelRegistry {
     pub fn new(gan: CycleGan, version: u64) -> Self {
         ModelRegistry {
             current: RwLock::new(Arc::new(ServableModel::new(gan, version))),
+            last_good: RwLock::new(None),
             swaps: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
         }
     }
 
@@ -106,6 +120,11 @@ impl ModelRegistry {
         self.swaps.load(Ordering::Relaxed)
     }
 
+    /// How many times the registry fell back to the last-good model.
+    pub fn fallback_count(&self) -> u64 {
+        self.fallbacks.load(Ordering::Relaxed)
+    }
+
     /// Atomically replace the live model. Versions must strictly
     /// increase and geometry must match, so racing publishers resolve to
     /// the newest model and clients' width expectations stay valid.
@@ -126,7 +145,9 @@ impl ModelRegistry {
                 cur.y_dim()
             )));
         }
-        *cur = Arc::new(ServableModel::new(gan, version));
+        let fresh = Arc::new(ServableModel::new(gan, version));
+        *self.last_good.write() = Some(Arc::clone(&cur));
+        *cur = fresh;
         self.swaps.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -141,6 +162,50 @@ impl ModelRegistry {
         self.publish(gan, version)?;
         Ok(version)
     }
+
+    /// Reinstate the last-good model (the one the most recent publish
+    /// replaced), for when the live model turns out to be bad — e.g. a
+    /// trainer died mid-checkpoint and published garbage scores. The
+    /// reinstated model is consumed: two consecutive rollbacks without a
+    /// publish in between return [`PublishError::NoFallback`].
+    pub fn rollback(&self) -> Result<u64, PublishError> {
+        let mut cur = self.current.write();
+        let prev = self
+            .last_good
+            .write()
+            .take()
+            .ok_or(PublishError::NoFallback)?;
+        let version = prev.version();
+        *cur = prev;
+        self.fallbacks.fetch_add(1, Ordering::Relaxed);
+        Ok(version)
+    }
+
+    /// Try to publish a surrogate checkpoint; on *any* failure — file
+    /// missing or corrupt (the upstream trainer died mid-write), stale
+    /// version, geometry drift — keep serving the current model and count
+    /// a fallback. Serving never goes down because training faltered.
+    pub fn publish_or_fallback(&self, path: &Path, cfg: &CycleGanConfig) -> PublishOutcome {
+        match self.publish_checkpoint(path, cfg) {
+            Ok(version) => PublishOutcome::Published(version),
+            Err(e) => {
+                self.fallbacks.fetch_add(1, Ordering::Relaxed);
+                PublishOutcome::FellBack {
+                    serving: self.version(),
+                    reason: e.to_string(),
+                }
+            }
+        }
+    }
+}
+
+/// What [`ModelRegistry::publish_or_fallback`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PublishOutcome {
+    /// The checkpoint was loaded and is now live as this version.
+    Published(u64),
+    /// The checkpoint was unusable; the registry kept serving `serving`.
+    FellBack { serving: u64, reason: String },
 }
 
 #[cfg(test)]
@@ -185,6 +250,58 @@ mod tests {
         // The pre-swap snapshot still answers with its own version.
         assert_eq!(old.version(), 1);
         assert_eq!(reg.current().version(), 2);
+    }
+
+    #[test]
+    fn rollback_reinstates_the_previous_model() {
+        let reg = ModelRegistry::new(tiny_gan(1), 1);
+        let fp_v1 = reg.current().gan().generator_fingerprint();
+        assert!(
+            matches!(reg.rollback(), Err(PublishError::NoFallback)),
+            "nothing published yet, nothing to roll back to"
+        );
+        reg.publish(tiny_gan(2), 2).unwrap();
+        assert_eq!(reg.rollback().unwrap(), 1);
+        assert_eq!(reg.version(), 1);
+        assert_eq!(reg.current().gan().generator_fingerprint(), fp_v1);
+        assert_eq!(reg.fallback_count(), 1);
+        // The reinstated model was consumed; a second rollback is typed.
+        assert!(matches!(reg.rollback(), Err(PublishError::NoFallback)));
+        // And publishing the once-rejected version again now works.
+        reg.publish(tiny_gan(3), 2).unwrap();
+        assert_eq!(reg.version(), 2);
+    }
+
+    #[test]
+    fn publish_or_fallback_keeps_serving_on_bad_checkpoints() {
+        let cfg = CycleGanConfig::small(4);
+        let reg = ModelRegistry::new(CycleGan::new(cfg, 1), 3);
+        let dir = std::env::temp_dir().join(format!("ltfb-serve-fb-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Missing checkpoint: the dead trainer never wrote one.
+        let out = reg.publish_or_fallback(&dir.join("never-written.ltsv"), &cfg);
+        assert!(
+            matches!(out, PublishOutcome::FellBack { serving: 3, .. }),
+            "got {out:?}"
+        );
+        // Corrupt checkpoint: the trainer died mid-write.
+        let torn = dir.join("torn.ltsv");
+        std::fs::write(&torn, b"LTSVnot really a checkpoint").unwrap();
+        let out = reg.publish_or_fallback(&torn, &cfg);
+        assert!(matches!(out, PublishOutcome::FellBack { serving: 3, .. }));
+        assert_eq!(reg.version(), 3, "still serving the last good model");
+        assert_eq!(reg.fallback_count(), 2);
+
+        // A healthy checkpoint resumes normal publishing.
+        let good = dir.join("good.ltsv");
+        ltfb_core::checkpoint::save_surrogate(&good, &CycleGan::new(cfg, 9), 4).unwrap();
+        assert_eq!(
+            reg.publish_or_fallback(&good, &cfg),
+            PublishOutcome::Published(4)
+        );
+        assert_eq!(reg.version(), 4);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Fault-injection smoke suite: fixed-seed end-to-end checks that a
+# degraded world *recovers* instead of deadlocking or crashing.
+#
+# 1. Distributed LTFB with a mid-run trainer death: the run must finish,
+#    report the victim's truncated history, and still produce a best
+#    survivor.
+# 2. Sole-survivor run (everyone else dies): the lone trainer finishes.
+# 3. Serial failure driver via the same --fault spec: survivors keep
+#    training past the kill step.
+# 4. Recovery model replays: a fixed seed through the model checker's
+#    fault-recovery worlds must come back ok (the deterministic analogue
+#    of the exhaustive certificates `ltfb-analyze check` maintains).
+#
+# Assumes `cargo build --release` has already run (ci.sh does).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLI=target/release/ltfb-cli
+ANALYZE=target/release/ltfb-analyze
+[[ -x "$CLI" && -x "$ANALYZE" ]] || {
+    echo "fault_smoke: release binaries missing; run cargo build --release first" >&2
+    exit 1
+}
+
+TRAIN_ARGS=(train --trainers 4 --steps 60 --ae-steps 40 --samples 512
+    --exchange 15 --eval 30 --seed 2019)
+
+need() { # need <output> <pattern> <label>
+    grep -q "$2" <<<"$1" || {
+        echo "fault_smoke: $3 missing (pattern: $2)" >&2
+        echo "--- output ---" >&2
+        echo "$1" >&2
+        exit 1
+    }
+}
+
+echo "==> distributed kill: trainer 2 dies at step 15, survivors finish"
+OUT="$("$CLI" "${TRAIN_ARGS[@]}" --distributed --fault kill:2@15)"
+need "$OUT" 'fault plan: 1 kill' "fault plan banner"
+need "$OUT" '^trainer 0: .*60:' "survivor 0 finished all steps"
+need "$OUT" '^trainer 3: .*60:' "survivor 3 finished all steps"
+need "$OUT" 'best: trainer [013] ' "best model chosen among survivors"
+if grep -qE '^trainer 2: .*60:' <<<"$OUT"; then
+    echo "fault_smoke: dead trainer 2 reported a final validation" >&2
+    exit 1
+fi
+
+echo "==> distributed sole survivor: three deaths, the run still completes"
+OUT="$("$CLI" "${TRAIN_ARGS[@]}" --distributed --fault 'kill:0@5,kill:1@20,kill:3@35')"
+need "$OUT" 'fault plan: 3 kill' "fault plan banner"
+need "$OUT" '^trainer 2: .*60:' "sole survivor finished"
+need "$OUT" 'best: trainer 2 ' "sole survivor is the best"
+
+echo "==> serial failure driver accepts the same spec"
+OUT="$("$CLI" "${TRAIN_ARGS[@]}" --fault kill:1@20)"
+need "$OUT" 'survivors keep training' "serial fault banner"
+need "$OUT" '^trainer 0: .*60:' "serial survivor finished"
+
+echo "==> recovery model replays are deterministic and ok"
+for model in barrier-recovery allreduce-recovery ltfb-exchange-recovery; do
+    OUT="$("$ANALYZE" replay --model "$model" --seed 2019)"
+    need "$OUT" 'ok' "$model seed-2019 replay"
+done
+
+echo "fault smoke green."

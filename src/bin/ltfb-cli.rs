@@ -3,7 +3,7 @@
 //! ```text
 //! ltfb-cli train    [--trainers K] [--steps N] [--seed S] [--distributed]
 //!                   [--lr-spread F] [--by-index] [--kindep]
-//!                   [--ingest] [--metrics [PATH]]
+//!                   [--fault SPEC] [--ingest] [--metrics [PATH]]
 //! ltfb-cli classify [--trainers K] [--steps N] [--seed S]
 //! ltfb-cli simulate <fig9|fig10|fig11>
 //! ltfb-cli generate --dir PATH [--samples N] [--per-file M]
@@ -20,9 +20,11 @@
 //! Argument parsing is hand-rolled (the reproduction keeps its dependency
 //! set to the numeric/concurrency essentials).
 
+use ltfb::comm::FaultPlan;
 use ltfb::core::{
     record_run_outcome, run_classifier_population, run_k_independent, run_ltfb_distributed,
-    run_ltfb_distributed_obs, run_ltfb_serial, run_ltfb_serial_obs, run_ltfb_two_level, LtfbConfig,
+    run_ltfb_distributed_ft, run_ltfb_distributed_ft_obs, run_ltfb_distributed_obs,
+    run_ltfb_serial, run_ltfb_serial_obs, run_ltfb_two_level, run_ltfb_with_failures, LtfbConfig,
     PartitionScheme,
 };
 use ltfb::hpcsim::{
@@ -209,8 +211,23 @@ fn train(flags: &Flags) -> ExitCode {
         "LTFB: K={} steps={} seed={} partition={:?} lr_spread={}",
         cfg.n_trainers, cfg.steps, cfg.seed, cfg.partition, cfg.lr_spread
     );
+    let fault = match flags.get_str("fault") {
+        Some(spec) => match FaultPlan::parse(spec) {
+            Ok(plan) => plan,
+            Err(e) => {
+                eprintln!("bad --fault spec `{spec}`: {e}\n");
+                usage();
+                return ExitCode::FAILURE;
+            }
+        },
+        None => FaultPlan::none(),
+    };
     let metrics = flags.has("metrics").then(Registry::new);
     let replicas = flags.get("replicas", 1usize);
+    if !fault.is_empty() && (replicas > 1 || flags.has("kindep")) {
+        eprintln!("--fault applies to the serial and --distributed LTFB drivers only");
+        return ExitCode::FAILURE;
+    }
     if replicas > 1 {
         println!("(two-level: {replicas} data-parallel replicas per trainer)");
         if metrics.is_some() {
@@ -241,10 +258,39 @@ fn train(flags: &Flags) -> ExitCode {
         out
     } else if flags.has("distributed") {
         println!("(distributed driver: one rank per trainer)");
-        match &metrics {
-            Some(reg) => run_ltfb_distributed_obs(&cfg, reg),
-            None => run_ltfb_distributed(&cfg),
+        if fault.is_empty() {
+            match &metrics {
+                Some(reg) => run_ltfb_distributed_obs(&cfg, reg),
+                None => run_ltfb_distributed(&cfg),
+            }
+        } else {
+            println!(
+                "(fault plan: {} kill(s), degrading to the survivor pool)",
+                fault.kill_count()
+            );
+            match &metrics {
+                Some(reg) => run_ltfb_distributed_ft_obs(&cfg, &fault, reg),
+                None => run_ltfb_distributed_ft(&cfg, &fault),
+            }
         }
+    } else if !fault.is_empty() {
+        // The serial driver models fail-stop kills only; scripted delays
+        // and message drops need the distributed driver's real clocks.
+        let kills: Vec<(usize, u64)> = (0..cfg.n_trainers)
+            .filter_map(|r| fault.kill_step(r).map(|s| (r, s)))
+            .collect();
+        if kills.len() < fault.events.len() {
+            eprintln!("(serial driver: only kill events apply; use --distributed for delay/drop)");
+        }
+        println!(
+            "(fault plan: {} kill(s), survivors keep training)",
+            kills.len()
+        );
+        let out = run_ltfb_with_failures(&cfg, &kills);
+        if let Some(reg) = &metrics {
+            record_run_outcome(reg, &out);
+        }
+        out
     } else {
         match &metrics {
             Some(reg) => run_ltfb_serial_obs(&cfg, reg),
@@ -539,7 +585,7 @@ fn usage() {
          commands:\n  \
          train    [--trainers K] [--steps N] [--samples N] [--seed S] [--exchange N]\n           \
          [--lr-spread F] [--by-index] [--distributed] [--replicas R] [--kindep]\n           \
-         [--ingest] [--metrics [PATH]]\n  \
+         [--fault SPEC] [--ingest] [--metrics [PATH]]\n  \
          classify [--trainers K] [--steps N] [--kindep]\n  \
          simulate <fig9|fig10|fig11>\n  \
          generate --dir PATH [--samples N] [--per-file M] [--img-size P]\n  \
@@ -548,6 +594,9 @@ fn usage() {
          [--img-size P] [--checkpoint PATH] [--csv PATH] [--json PATH]\n              \
          [--metrics [PATH]]\n  \
          help\n\n\
+         --fault injects failures, e.g. \"kill:2@15\" (trainer 2 dies at step 15),\n\
+         \"delay:1@5:2000us\" (straggler), \"drop:0@10\" (skip that exchange);\n\
+         comma-separate events. Survivors re-pair and finish the run.\n\
          --metrics without PATH writes to <results dir>/ltfb_metrics.json or\n\
          serve_metrics.json\n\
          (results dir honours LTFB_RESULTS_DIR); --ingest adds a 2-rank data-store\n\
