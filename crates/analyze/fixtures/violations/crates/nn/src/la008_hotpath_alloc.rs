@@ -1,0 +1,34 @@
+// Fixture: LA008 must fire exactly once — the `.clone()` inside the
+// annotated function below. The commented call must NOT fire:
+// let m = grad.clone();
+
+#[hot_path]
+pub fn hot_step(grad: &[f32], scratch: &mut Vec<f32>) -> Vec<f32> {
+    scratch.copy_from_slice(grad);
+    scratch.clone()
+}
+
+#[hot_path]
+pub fn hot_step_clean(x: &mut [f32]) {
+    for v in x.iter_mut() {
+        *v *= 2.0;
+    }
+}
+
+// Un-annotated code may allocate freely; neither line below fires.
+pub fn cold_setup() -> Vec<Vec<f32>> {
+    let zeros = Matrix::zeros(4, 4);
+    vec![zeros.data.clone()]
+}
+
+pub struct Matrix {
+    pub data: Vec<f32>,
+}
+
+impl Matrix {
+    pub fn zeros(r: usize, c: usize) -> Matrix {
+        Matrix {
+            data: vec![0.0; r * c],
+        }
+    }
+}

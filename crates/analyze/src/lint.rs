@@ -332,6 +332,15 @@ fn is_crate_root(path: &str) -> bool {
     path.ends_with("src/lib.rs")
 }
 
+/// The training hot path: the crates whose `#[hot_path]`-annotated
+/// functions run every SGD step and must not heap-allocate after
+/// warm-up (see the `ltfb-hotpath` crate and DESIGN.md §6d).
+fn in_training_path(path: &str) -> bool {
+    ["crates/nn/src", "crates/gan/src"]
+        .iter()
+        .any(|p| path.contains(p))
+}
+
 /// The fault-tolerance surface of the protocol crates: failure
 /// detection, fault-aware collectives, and datastore recovery. These
 /// paths exist so a fault is *survived*; a panic there defeats them.
@@ -431,6 +440,12 @@ pub fn rules() -> Vec<Rule> {
             check: check_checkpoint_version,
         },
         Rule {
+            id: "LA008",
+            summary: "no Matrix::zeros/.clone() inside #[hot_path] training functions",
+            applies: in_training_path,
+            check: check_hot_path_allocs,
+        },
+        Rule {
             id: "LA006",
             summary: "every crate root carries #![forbid(unsafe_code)]",
             applies: is_crate_root,
@@ -467,6 +482,63 @@ fn scan_lines(
                 break;
             }
         }
+    }
+    out
+}
+
+/// LA008: within the brace-matched body of every function annotated
+/// `#[hot_path]`, flag lines that allocate a fresh matrix
+/// (`Matrix::zeros`) or deep-copy one (`.clone()`). Steady-state
+/// training steps must draw scratch from the `Workspace` arena instead;
+/// deliberate warm-up-only allocations carry a `lint.allow` audit.
+fn check_hot_path_allocs(f: &SourceFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < f.code.len() {
+        if f.code[i].trim() != "#[hot_path]" {
+            i += 1;
+            continue;
+        }
+        // Walk the annotated item: signature lines until the first `{`,
+        // then the brace-matched body.
+        let mut depth = 0i32;
+        let mut entered = false;
+        let mut j = i + 1;
+        while j < f.code.len() {
+            let line = &f.code[j];
+            for c in line.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        entered = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if entered {
+                for needle in ["Matrix::zeros", ".clone()"] {
+                    if line.contains(needle) {
+                        out.push(f.violation(
+                            "LA008",
+                            j + 1,
+                            format!(
+                                "`{needle}` in a #[hot_path] function: steady-state \
+                                 training steps must not allocate — draw scratch from \
+                                 the Workspace, or audit a warm-up-only allocation in \
+                                 lint.allow"
+                            ),
+                        ));
+                        break;
+                    }
+                }
+                if depth <= 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        i = j + 1;
     }
     out
 }

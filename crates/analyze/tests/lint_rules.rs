@@ -65,6 +65,8 @@ fn seeded_violations_land_in_the_expected_files() {
     assert!(find("LA006").path.ends_with("lib.rs"));
     assert!(find("LA007").path.ends_with("la007_recovery_panic.rs"));
     assert!(find("LA007").text.contains("panic!"));
+    assert!(find("LA008").path.ends_with("la008_hotpath_alloc.rs"));
+    assert!(find("LA008").text.contains(".clone()"));
 }
 
 #[test]

@@ -27,7 +27,7 @@ use crate::fault::CommError;
 use crate::protocol::{
     allgather_ring_step, allreduce_allgather_step, barrier_peers, barrier_rounds, bcast_children_v,
     bcast_parent_v, bcast_unvrank, bcast_vrank, chunk_bound, coll_round_tag, coll_tag,
-    reduce_scatter_step, ring_neighbors, CollOp,
+    pipelined_round, reduce_scatter_step, ring_neighbors, subchunk_bound, CollOp,
 };
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::sync::atomic::Ordering;
@@ -131,6 +131,78 @@ impl Comm {
             self.send(right, tag, payload);
             let (_, incoming) = self.recv(left, tag);
             copy_f32(&mut buf[chunk(recv_chunk)], &incoming);
+        }
+    }
+
+    /// [`Comm::allreduce_f32`] with a chunked, pipelined ring schedule:
+    /// each ring step's chunk is split into `subchunks` sub-chunks and
+    /// **all** of a step's sub-chunk sends are posted eagerly before the
+    /// first incoming sub-chunk is folded, so sub-chunk `k + 1` is in
+    /// flight while sub-chunk `k` reduces — the send/compute overlap of
+    /// LBANN's Aluminum-backed gradient exchange. The reduction folds
+    /// sub-chunks in ascending index order, which is elementwise exactly
+    /// the order of the monolithic schedule: results are **bit-identical**
+    /// to [`Comm::allreduce_f32`] for every `subchunks >= 1`.
+    ///
+    /// Tags use [`pipelined_round`] so the sub-chunk messages of one
+    /// collective cannot cross-match; the caller's buffer is reduced in
+    /// place and reused across steps (the persistent fused-gradient
+    /// buffer of `ltfb-nn`'s data-parallel path).
+    pub fn allreduce_f32_chunked(&self, buf: &mut [f32], op: ReduceOp, subchunks: usize) {
+        assert!(subchunks >= 1, "need at least one sub-chunk");
+        let n = self.size();
+        if n <= 1 {
+            return;
+        }
+        let seq = self.next_seq();
+        let m = buf.len();
+        let bounds = |c: usize| (chunk_bound(m, n, c), chunk_bound(m, n, c + 1));
+        let (right, left) = ring_neighbors(self.rank, n);
+
+        // Phase 1: pipelined reduce-scatter.
+        for s in 0..n - 1 {
+            let (send_chunk, recv_chunk) = reduce_scatter_step(self.rank, n, s);
+            let (slo, shi) = bounds(send_chunk);
+            for j in 0..subchunks {
+                let tag =
+                    coll_round_tag(CollOp::ReduceScatter, seq, pipelined_round(s, subchunks, j));
+                let lo = subchunk_bound(slo, shi, subchunks, j);
+                let hi = subchunk_bound(slo, shi, subchunks, j + 1);
+                self.send(right, tag, encode_f32(&buf[lo..hi]));
+                if let Some(o) = self.obs() {
+                    o.record_chunk_inflight(j + 1);
+                }
+            }
+            let (rlo, rhi) = bounds(recv_chunk);
+            for j in 0..subchunks {
+                let tag =
+                    coll_round_tag(CollOp::ReduceScatter, seq, pipelined_round(s, subchunks, j));
+                let lo = subchunk_bound(rlo, rhi, subchunks, j);
+                let hi = subchunk_bound(rlo, rhi, subchunks, j + 1);
+                let (_, incoming) = self.recv(left, tag);
+                apply_f32(&mut buf[lo..hi], &incoming, op);
+            }
+        }
+        // Phase 2: pipelined allgather of the fully reduced chunks.
+        for s in 0..n - 1 {
+            let (send_chunk, recv_chunk) = allreduce_allgather_step(self.rank, n, s);
+            let (slo, shi) = bounds(send_chunk);
+            for j in 0..subchunks {
+                let tag =
+                    coll_round_tag(CollOp::AllgatherRing, seq, pipelined_round(s, subchunks, j));
+                let lo = subchunk_bound(slo, shi, subchunks, j);
+                let hi = subchunk_bound(slo, shi, subchunks, j + 1);
+                self.send(right, tag, encode_f32(&buf[lo..hi]));
+            }
+            let (rlo, rhi) = bounds(recv_chunk);
+            for j in 0..subchunks {
+                let tag =
+                    coll_round_tag(CollOp::AllgatherRing, seq, pipelined_round(s, subchunks, j));
+                let lo = subchunk_bound(rlo, rhi, subchunks, j);
+                let hi = subchunk_bound(rlo, rhi, subchunks, j + 1);
+                let (_, incoming) = self.recv(left, tag);
+                copy_f32(&mut buf[lo..hi], &incoming);
+            }
         }
     }
 

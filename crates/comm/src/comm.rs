@@ -16,7 +16,7 @@ use crate::fault::{CommError, FailureDetector};
 use crate::router::Router;
 use bytes::Bytes;
 use crossbeam_channel::{Receiver, RecvTimeoutError};
-use ltfb_obs::{Buckets, Counter, Histogram, Registry};
+use ltfb_obs::{Buckets, Counter, Gauge, Histogram, Registry};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -195,6 +195,10 @@ pub(crate) struct CommObs {
     recv_bytes: Arc<Counter>,
     collectives: Arc<Counter>,
     recv_wait_us: Arc<Histogram>,
+    /// Peak number of pipelined allreduce sub-chunk sends in flight
+    /// (posted but not yet matched by the folding recv) — direct evidence
+    /// that the chunked schedule overlaps send `k+1` with reduce `k`.
+    allreduce_chunk_inflight: Arc<Gauge>,
 }
 
 impl CommObs {
@@ -207,11 +211,20 @@ impl CommObs {
             recv_bytes: registry.counter(&name("recv_bytes")),
             collectives: registry.counter(&name("collectives")),
             recv_wait_us: registry.histogram(&name("recv_wait_us"), Buckets::latency_us()),
+            allreduce_chunk_inflight: registry.gauge(&name("allreduce_chunk_inflight")),
         }
     }
 
     pub(crate) fn record_collective(&self) {
         self.collectives.inc();
+    }
+
+    /// Record the current in-flight sub-chunk count, keeping the peak.
+    pub(crate) fn record_chunk_inflight(&self, inflight: usize) {
+        let g = &self.allreduce_chunk_inflight;
+        if (inflight as f64) > g.get() {
+            g.set(inflight as f64);
+        }
     }
 }
 

@@ -52,6 +52,24 @@ pub fn chunk_bound(m: usize, n: usize, c: usize) -> usize {
     (m * c) / n
 }
 
+/// Start offset of sub-chunk `j` when the range `lo..hi` is split into
+/// `k` near-equal sub-chunks (the pipelining granularity of
+/// [`Comm::allreduce_f32_chunked`](crate::Comm::allreduce_f32_chunked));
+/// sub-chunk `j` covers
+/// `subchunk_bound(lo, hi, k, j)..subchunk_bound(lo, hi, k, j + 1)`.
+#[inline]
+pub fn subchunk_bound(lo: usize, hi: usize, k: usize, j: usize) -> usize {
+    lo + ((hi - lo) * j) / k
+}
+
+/// Round number of sub-chunk `j` of ring step `s` in the chunked ring
+/// allreduce: distinct per `(s, j)` so the pipelined sub-chunk messages
+/// of one collective cannot cross-match.
+#[inline]
+pub fn pipelined_round(s: usize, subchunks: usize, j: usize) -> u64 {
+    (s * subchunks + j) as u64
+}
+
 /// Reduce-scatter ring schedule: at step `s` (`0..n-1`), rank `r` sends
 /// chunk `(r - s) mod n` to its right neighbour and folds the incoming
 /// chunk `(r - s - 1) mod n` from the left. Returns `(send_chunk, recv_chunk)`.
@@ -183,6 +201,27 @@ mod tests {
             a >= INTERNAL_TAG_BASE,
             "collective tags live above user tags"
         );
+    }
+
+    #[test]
+    fn subchunk_bounds_tile_the_parent_chunk() {
+        for (lo, hi, k) in [(0, 10, 3), (5, 5, 2), (7, 20, 4), (3, 4, 8)] {
+            assert_eq!(subchunk_bound(lo, hi, k, 0), lo);
+            assert_eq!(subchunk_bound(lo, hi, k, k), hi);
+            for j in 0..k {
+                assert!(subchunk_bound(lo, hi, k, j) <= subchunk_bound(lo, hi, k, j + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_rounds_are_unique_per_step_and_subchunk() {
+        let mut seen = std::collections::BTreeSet::new();
+        for s in 0..7 {
+            for j in 0..4 {
+                assert!(seen.insert(pipelined_round(s, 4, j)));
+            }
+        }
     }
 
     #[test]

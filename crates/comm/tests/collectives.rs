@@ -160,6 +160,48 @@ fn allreduce_shorter_than_world() {
 }
 
 #[test]
+fn chunked_allreduce_bit_identical_to_monolithic() {
+    for &n in SIZES {
+        for subchunks in [1usize, 2, 3, 7] {
+            run_world(n, |c| {
+                // Awkward length: uneven ring chunks AND uneven sub-chunks.
+                let len = 10 * n + 3;
+                let mut mono: Vec<f32> = (0..len)
+                    .map(|i| ((c.rank() * 31 + i) as f32).sin())
+                    .collect();
+                let mut piped = mono.clone();
+                c.allreduce_f32(&mut mono, ReduceOp::Sum);
+                c.allreduce_f32_chunked(&mut piped, ReduceOp::Sum, subchunks);
+                assert_eq!(
+                    mono.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    piped.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    "n={n} subchunks={subchunks}: pipelined schedule drifted"
+                );
+            });
+        }
+    }
+}
+
+#[test]
+fn chunked_allreduce_shorter_than_world() {
+    // Empty parent chunks must also yield empty (but well-tagged) sub-chunks.
+    run_world(8, |c| {
+        let mut v = vec![1.0f32, 2.0, 3.0];
+        c.allreduce_f32_chunked(&mut v, ReduceOp::Sum, 4);
+        assert_eq!(v, vec![8.0, 16.0, 24.0]);
+    });
+}
+
+#[test]
+fn chunked_allreduce_max_matches() {
+    run_world(3, |c| {
+        let mut v = vec![c.rank() as f32, -(c.rank() as f32), 7.5];
+        c.allreduce_f32_chunked(&mut v, ReduceOp::Max, 2);
+        assert_eq!(v, vec![2.0, 0.0, 7.5]);
+    });
+}
+
+#[test]
 fn allgather_ordered_by_rank() {
     for &n in SIZES {
         run_world(n, |c| {

@@ -49,4 +49,6 @@ pub use surrogate::{
 };
 pub use tournament::{decide_match, pairing, pairing_alive, MatchOutcome};
 pub use trainer::Trainer;
-pub use two_level::{broadcast_replica, dp_train_step, run_ltfb_two_level, TwoLevelOutcome};
+pub use two_level::{
+    broadcast_replica, dp_train_step, dp_train_step_ws, run_ltfb_two_level, TwoLevelOutcome,
+};

@@ -21,7 +21,7 @@ use bytes::Bytes;
 use ltfb_comm::{run_world, run_world_obs, FaultPlan};
 use ltfb_gan::CycleGan;
 use ltfb_nn::{BatchReader, LossHistory};
-use ltfb_obs::{Buckets, Counter, Histogram, Registry};
+use ltfb_obs::{Buckets, Counter, Gauge, Histogram, Registry};
 use ltfb_tensor::mix_seed;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -80,6 +80,7 @@ pub struct LtfbObs {
     step_us: Arc<Histogram>,
     deaths: Arc<Counter>,
     matches_skipped_dead: Arc<Counter>,
+    alloc_bytes_per_step: Arc<Gauge>,
 }
 
 impl LtfbObs {
@@ -93,6 +94,7 @@ impl LtfbObs {
             step_us: registry.histogram("ltfb.step_us", Buckets::latency_us()),
             deaths: registry.counter("ltfb.deaths"),
             matches_skipped_dead: registry.counter("ltfb.matches_skipped_dead"),
+            alloc_bytes_per_step: registry.gauge("train.alloc_bytes_per_step"),
         }
     }
 
@@ -118,6 +120,12 @@ impl LtfbObs {
 
     fn record_step(&self, started: Instant) {
         self.step_us.record(started.elapsed().as_secs_f64() * 1e6);
+    }
+
+    /// Workspace bytes the last step allocated — 0 once warm. Gauge
+    /// semantics: the most recent step's value (the steady state).
+    fn record_step_alloc(&self, bytes: u64) {
+        self.alloc_bytes_per_step.set(bytes as f64);
     }
 
     /// One side of a tournament match: `foreign_bytes` is the size of the
@@ -244,6 +252,7 @@ fn serial_with_models(cfg: &LtfbConfig, obs: Option<&LtfbObs>) -> (RunOutcome, V
             t.train_step();
             if let (Some(o), Some(s)) = (obs, started) {
                 o.record_step(s);
+                o.record_step_alloc(t.last_step_alloc_bytes());
             }
         }
         post_step_hooks(cfg, step, &mut trainers, &mut matches, obs);
@@ -362,6 +371,7 @@ fn distributed_inner(cfg: &LtfbConfig, registry: Option<&Registry>) -> RunOutcom
             trainer.train_step();
             if let (Some(o), Some(s)) = (obs, started) {
                 o.record_step(s);
+                o.record_step_alloc(trainer.last_step_alloc_bytes());
             }
             if cfg.n_trainers >= 2 && cfg.exchange_interval > 0 && step % cfg.exchange_interval == 0
             {
@@ -508,6 +518,7 @@ fn distributed_ft_inner(
             trainer.train_step();
             if let (Some(o), Some(s)) = (obs, started) {
                 o.record_step(s);
+                o.record_step_alloc(trainer.last_step_alloc_bytes());
             }
             if n >= 2 && cfg.exchange_interval > 0 && step % cfg.exchange_interval == 0 {
                 let round = step / cfg.exchange_interval;

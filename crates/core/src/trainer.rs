@@ -4,7 +4,7 @@
 use crate::config::{LtfbConfig, TournamentMetric};
 use crate::data::{build_trainer_data, xy, TrainerData};
 use ltfb_gan::{CycleGan, EvalLosses};
-use ltfb_nn::{BatchReader, LossHistory};
+use ltfb_nn::{BatchReader, LossHistory, Workspace};
 use ltfb_tensor::{bce_with_logits, mix_seed, Matrix};
 
 /// A trainer: one member of the LTFB population.
@@ -23,6 +23,16 @@ pub struct Trainer {
     pub wins: u64,
     pub losses: u64,
     cfg: LtfbConfig,
+    /// Per-replica scratch arena for the zero-allocation training path.
+    ws: Workspace,
+    /// Persistent mini-batch staging buffers (filled by
+    /// `next_batch_into`; allocation-free once at capacity).
+    batch_x: Matrix,
+    batch_y: Matrix,
+    /// Workspace bytes allocated by the most recent `train_step` (drops
+    /// to 0 once the pool is warm — the `train.alloc_bytes_per_step`
+    /// observability gauge).
+    last_alloc_bytes: u64,
 }
 
 impl Trainer {
@@ -42,6 +52,10 @@ impl Trainer {
             wins: 0,
             losses: 0,
             cfg,
+            ws: Workspace::new(),
+            batch_x: Matrix::zeros(0, 0),
+            batch_y: Matrix::zeros(0, 0),
+            last_alloc_bytes: 0,
         }
     }
 
@@ -67,11 +81,31 @@ impl Trainer {
         last
     }
 
-    /// One GAN training step on the next mini-batch.
+    /// One GAN training step on the next mini-batch, on the
+    /// zero-allocation workspace path — bit-identical to the allocating
+    /// `CycleGan::train_step` (the golden-seed trajectory tests pin
+    /// this), but steady-state steps perform no heap allocation.
     pub fn train_step(&mut self) -> ltfb_gan::StepLosses {
-        let (x, y) = self.reader.next_batch();
+        self.reader
+            .next_batch_into(&mut self.batch_x, &mut self.batch_y);
         self.step += 1;
-        self.gan.train_step(&x, &y)
+        let before = self.ws.bytes_allocated();
+        let losses = self
+            .gan
+            .train_step_ws(&self.batch_x, &self.batch_y, &mut self.ws);
+        self.last_alloc_bytes = self.ws.bytes_allocated() - before;
+        losses
+    }
+
+    /// Workspace bytes allocated by the most recent [`Self::train_step`]
+    /// (0 once the pool is warm).
+    pub fn last_step_alloc_bytes(&self) -> u64 {
+        self.last_alloc_bytes
+    }
+
+    /// The trainer's scratch arena (diagnostics: hit/miss/byte counts).
+    pub fn workspace(&self) -> &Workspace {
+        &self.ws
     }
 
     /// Evaluate on the global validation set.

@@ -14,7 +14,7 @@ use crate::ltfb::pretrain_global_autoencoder;
 use crate::tournament::pairing;
 use ltfb_comm::{run_world, Comm};
 use ltfb_gan::{CycleGan, StepLosses};
-use ltfb_nn::{allreduce_gradients, BatchReader, LossHistory};
+use ltfb_nn::{allreduce_gradients, BatchReader, FusedGradients, LossHistory, Workspace};
 use ltfb_tensor::{mix_seed, Matrix};
 
 /// One data-parallel training step: every rank of the trainer calls this
@@ -29,6 +29,25 @@ pub fn dp_train_step(
 ) -> StepLosses {
     gan.train_step_with_sync(x_shard, y_shard, &mut |net| {
         allreduce_gradients(net, trainer_comm);
+    })
+}
+
+/// [`dp_train_step`] on the zero-allocation path: activations come from
+/// the per-replica `ws`, and the gradient exchange goes through the
+/// persistent fusion buffer's chunked, pipelined ring allreduce.
+/// Bit-identical to `dp_train_step` (both the workspace compute path and
+/// the pipelined schedule reproduce their reference counterparts' f32
+/// operations exactly).
+pub fn dp_train_step_ws(
+    gan: &mut CycleGan,
+    x_shard: &Matrix,
+    y_shard: &Matrix,
+    trainer_comm: &Comm,
+    ws: &mut Workspace,
+    fused: &mut FusedGradients,
+) -> StepLosses {
+    gan.train_step_ws_with_sync(x_shard, y_shard, ws, &mut |net| {
+        fused.allreduce(net, trainer_comm);
     })
 }
 
@@ -122,6 +141,8 @@ pub fn run_ltfb_two_level(cfg: &LtfbConfig, ranks_per_trainer: usize) -> TwoLeve
 
         let mut history = LossHistory::new();
         let mut adoptions = 0u64;
+        let mut ws = Workspace::new();
+        let mut fused = FusedGradients::new();
         let validate = |gan: &mut CycleGan| -> f32 {
             let (vx, vy) = xy(&data.val);
             gan.evaluate(vx, vy).combined()
@@ -137,7 +158,7 @@ pub fn run_ltfb_two_level(cfg: &LtfbConfig, ranks_per_trainer: usize) -> TwoLeve
             let hi = ((replica + 1) * shard).min(x.rows());
             let xs = x.slice_rows(lo, hi);
             let ys = y.slice_rows(lo, hi);
-            dp_train_step(&mut gan, &xs, &ys, &trainer_comm);
+            dp_train_step_ws(&mut gan, &xs, &ys, &trainer_comm, &mut ws, &mut fused);
 
             if cfg.n_trainers >= 2 && cfg.exchange_interval > 0 && step % cfg.exchange_interval == 0
             {
@@ -300,6 +321,43 @@ mod tests {
             out.replicas_consistent,
             "replicas drifted after a keep decision"
         );
+    }
+
+    /// 4-rank data-parallel golden: the workspace + fused-pipelined step
+    /// must walk the exact weight trajectory of the reference step.
+    #[test]
+    fn dp_ws_step_bit_identical_to_reference() {
+        use crate::data::{build_trainer_data, xy};
+        use ltfb_comm::run_world;
+        let c = cfg(1);
+        run_world(4, |comm| {
+            let mut reference = CycleGan::new(c.gan, mix_seed(&[c.seed, 7]));
+            let mut pooled = CycleGan::new(c.gan, mix_seed(&[c.seed, 7]));
+            let data = build_trainer_data(&c, 0);
+            let (x, y) = xy(&data.train);
+            let shard = 8;
+            let lo = comm.rank() * shard;
+            let xs = x.slice_rows(lo, lo + shard);
+            let ys = y.slice_rows(lo, lo + shard);
+            let mut ws = Workspace::new();
+            let mut fused = FusedGradients::new();
+            for step in 0..4 {
+                let lr = dp_train_step(&mut reference, &xs, &ys, &comm);
+                let lw = dp_train_step_ws(&mut pooled, &xs, &ys, &comm, &mut ws, &mut fused);
+                assert_eq!(
+                    lr.d_loss.to_bits(),
+                    lw.d_loss.to_bits(),
+                    "step {step}: DP d_loss drifted"
+                );
+                for (a, b) in reference.networks().iter().zip(pooled.networks().iter()) {
+                    assert_eq!(
+                        a.weights_fingerprint(),
+                        b.weights_fingerprint(),
+                        "step {step}: DP workspace path diverged"
+                    );
+                }
+            }
+        });
     }
 
     #[test]

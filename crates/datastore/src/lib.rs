@@ -13,10 +13,12 @@
 #![forbid(unsafe_code)]
 
 pub mod node;
+pub mod prefetch;
 pub mod recovery;
 pub mod store;
 
 pub use node::{Node, NodeDecodeError};
+pub use prefetch::Prefetcher;
 pub use store::{
     node_to_sample, sample_to_node, DataStore, EpochPlan, PopulateMode, StoreError, StoreStats,
 };

@@ -1,0 +1,323 @@
+//! Double-buffered mini-batch prefetch: issue step `t+1`'s exchange
+//! before step `t`'s compute begins.
+//!
+//! [`DataStore::fetch_step`] is synchronous: owners push, consumers block
+//! in `recv`, and only then does the GAN step run — interconnect and
+//! compute strictly alternate. The paper's data store instead *stages*
+//! the next mini-batch while the current one trains (Section III-B), so
+//! the exchange latency hides entirely behind compute. [`Prefetcher`]
+//! reproduces that overlap on the simulated world:
+//!
+//! * [`Prefetcher::prefetch`] runs the **send side and posts the
+//!   receives** of `fetch_step(plan, step, epoch)` — owners `isend`
+//!   eagerly, consumers hold [`RecvRequest`] handles and clone their
+//!   locally-owned nodes — then returns without waiting;
+//! * [`Prefetcher::fetch_step`] completes a matching pending prefetch
+//!   (a **hit**: the payloads are typically already buffered, so the
+//!   waits return immediately) or falls back to the synchronous
+//!   [`DataStore::fetch_step`] (a **miss**). Either way it returns
+//!   exactly the `(id, node)` pairs, in exactly the order, that the
+//!   synchronous call would — prefetching is invisible to training.
+//!
+//! The intended driver shape is classic double buffering:
+//!
+//! ```ignore
+//! pf.prefetch(&mut store, &plan, 0, epoch)?;
+//! for step in 0..plan.steps() {
+//!     let batch = pf.fetch_step(&mut store, &plan, step, epoch)?;
+//!     pf.prefetch(&mut store, &plan, step + 1, epoch)?; // overlaps ↓
+//!     train_on(batch);                                  // ← compute
+//! }
+//! ```
+//!
+//! **Collectivity.** Like `fetch_step`, both calls are collective over
+//! the store's communicator: every rank must issue the same
+//! `(plan, step, epoch)` sequence. Sample ids are unique within an
+//! epoch and per-`(src, tag)` delivery is FIFO, so one outstanding
+//! prefetch can never mis-match messages — which is why the prefetcher
+//! holds at most one pending step (asserted).
+//!
+//! **Fault tolerance.** Owners are resolved through
+//! [`DataStore::owner_of_alive`] *before any message moves*, preserving
+//! the synchronous path's fail-on-all-ranks-identically guarantee; the
+//! replica fall-through and survivor plans of the `_ft` drivers work
+//! unchanged under prefetch.
+
+use crate::node::Node;
+use crate::store::{DataStore, EpochPlan, PopulateMode, StoreError};
+use ltfb_comm::RecvRequest;
+use ltfb_obs::{Counter, Gauge, Registry};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One consumed position of a prefetched step.
+enum Slot {
+    /// Locally owned (or disk-read in dynamic epoch 0): staged eagerly.
+    Ready(u64, Node),
+    /// Owned remotely: a posted receive, completed at collect time.
+    Wire(u64, RecvRequest),
+}
+
+struct PendingStep {
+    epoch: u64,
+    step: usize,
+    slots: Vec<Slot>,
+}
+
+/// Registry mirrors, named for the training-loop view of the overlap.
+struct PrefetchObs {
+    hit: Arc<Counter>,
+    miss: Arc<Counter>,
+    stall_ms: Arc<Gauge>,
+}
+
+/// Double-buffering handle over a [`DataStore`] (see module docs).
+///
+/// One per rank, owned by the training driver alongside the store.
+#[derive(Default)]
+pub struct Prefetcher {
+    pending: Option<PendingStep>,
+    hits: u64,
+    misses: u64,
+    /// Total milliseconds `fetch_step` spent blocked on receives that had
+    /// not yet arrived — 0 when compute fully hides the exchange.
+    stall_ms: f64,
+    obs: Option<PrefetchObs>,
+}
+
+impl Prefetcher {
+    pub fn new() -> Prefetcher {
+        Prefetcher::default()
+    }
+
+    /// Issue the exchange for `(plan, step, epoch)` without waiting:
+    /// this rank performs its owner-side sends and posts its
+    /// consumer-side receives. Collective; call with the same arguments
+    /// on every rank. A `step` past the end of the plan is a no-op, so
+    /// the driver loop needs no boundary check. Panics if a previous
+    /// prefetch has not been collected.
+    pub fn prefetch(
+        &mut self,
+        store: &mut DataStore,
+        plan: &EpochPlan,
+        step: usize,
+        epoch: u64,
+    ) -> Result<(), StoreError> {
+        assert!(
+            self.pending.is_none(),
+            "collect the pending prefetch (fetch_step) before issuing another"
+        );
+        if step >= plan.steps() {
+            return Ok(());
+        }
+        let rank = store.comm.rank();
+        let step_ids = plan.step_ids(step).to_vec();
+        let consumers: Vec<usize> = (0..step_ids.len())
+            .map(|p| plan.consumer_of(step, p))
+            .collect();
+
+        if store.mode == PopulateMode::Dynamic && epoch == 0 {
+            // Epoch 0, dynamic: no communication — prefetching means
+            // reading (and caching) our samples from disk ahead of time.
+            let mut slots = Vec::new();
+            for (pos, &id) in step_ids.iter().enumerate() {
+                if consumers[pos] != rank {
+                    continue;
+                }
+                let node = match store.owned.get(&id) {
+                    Some(n) => n.clone(),
+                    None => {
+                        let s = store.spec.read_sample(id)?;
+                        store.stats.fs_sample_reads += 1;
+                        if let Some(o) = &store.obs {
+                            o.record_sample_read();
+                        }
+                        let n = crate::store::sample_to_node(&s);
+                        store.owned.insert(id, n.clone());
+                        n
+                    }
+                };
+                slots.push(Slot::Ready(id, node));
+            }
+            self.pending = Some(PendingStep { epoch, step, slots });
+            return Ok(());
+        }
+
+        // Resolve every owner before any message moves (same error
+        // discipline as the synchronous path: a lost sample fails on all
+        // ranks identically, with nothing in flight).
+        let owners = step_ids
+            .iter()
+            .map(|&id| store.owner_of_alive(id))
+            .collect::<Result<Vec<usize>, StoreError>>()?;
+
+        for (pos, &id) in step_ids.iter().enumerate() {
+            let consumer = consumers[pos];
+            if consumer == rank {
+                continue;
+            }
+            if owners[pos] == rank {
+                let node = store
+                    .owned
+                    .get(&id)
+                    .ok_or(StoreError::MissingSample { id, rank })?;
+                store.comm.isend(consumer, id, node.to_bytes()).wait();
+            }
+        }
+        let mut slots = Vec::new();
+        for (pos, &id) in step_ids.iter().enumerate() {
+            if consumers[pos] != rank {
+                continue;
+            }
+            let owner = owners[pos];
+            if owner == rank {
+                let node = store
+                    .owned
+                    .get(&id)
+                    .ok_or(StoreError::MissingSample { id, rank })?
+                    .clone();
+                slots.push(Slot::Ready(id, node));
+            } else {
+                slots.push(Slot::Wire(id, store.comm.irecv(owner, id)));
+            }
+        }
+        self.pending = Some(PendingStep { epoch, step, slots });
+        Ok(())
+    }
+
+    /// Return this rank's consumed `(id, node)` pairs for
+    /// `(plan, step, epoch)` — completing the matching pending prefetch
+    /// when there is one (hit), falling back to the synchronous
+    /// [`DataStore::fetch_step`] otherwise (miss). Identical output
+    /// either way. A pending prefetch for a *different* step is drained
+    /// first so no posted receive is ever orphaned.
+    pub fn fetch_step(
+        &mut self,
+        store: &mut DataStore,
+        plan: &EpochPlan,
+        step: usize,
+        epoch: u64,
+    ) -> Result<Vec<(u64, Node)>, StoreError> {
+        match self.pending.take() {
+            Some(p) if p.epoch == epoch && p.step == step => {
+                self.hits += 1;
+                if let Some(o) = &self.obs {
+                    o.hit.inc();
+                }
+                let mut out = Vec::with_capacity(p.slots.len());
+                for slot in p.slots {
+                    match slot {
+                        Slot::Ready(id, node) => out.push((id, node)),
+                        Slot::Wire(id, mut req) => {
+                            let payload = if req.test().is_some() {
+                                req.wait().1
+                            } else {
+                                // The exchange did not fully hide behind
+                                // compute: account the blocked time.
+                                let t0 = Instant::now();
+                                let (_, payload) = req.wait();
+                                self.stall_ms += t0.elapsed().as_secs_f64() * 1e3;
+                                if let Some(o) = &self.obs {
+                                    o.stall_ms.set(self.stall_ms);
+                                }
+                                payload
+                            };
+                            store.stats.shuffled_samples += 1;
+                            store.stats.shuffled_bytes += payload.len() as u64;
+                            if let Some(o) = &store.obs {
+                                o.record_shuffle(payload.len() as u64);
+                            }
+                            let node = Node::from_bytes(payload)
+                                .map_err(|err| StoreError::CorruptShuffle { id, err })?;
+                            out.push((id, node));
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            other => {
+                // Miss (nothing pending, or pending for the wrong step —
+                // drain the latter so its messages cannot shadow later
+                // traffic), then take the synchronous path.
+                if let Some(p) = other {
+                    for slot in p.slots {
+                        if let Slot::Wire(_, req) = slot {
+                            let _ = req.wait();
+                        }
+                    }
+                }
+                self.misses += 1;
+                if let Some(o) = &self.obs {
+                    o.miss.inc();
+                }
+                store.fetch_step(plan, step, epoch)
+            }
+        }
+    }
+
+    /// Run a full epoch with double buffering (the driver shape from the
+    /// module docs), returning this rank's consumed samples in order —
+    /// the prefetching counterpart of [`DataStore::fetch_epoch`].
+    pub fn fetch_epoch(
+        &mut self,
+        store: &mut DataStore,
+        epoch: u64,
+    ) -> Result<Vec<(u64, Node)>, StoreError> {
+        let plan = store.epoch_plan(epoch);
+        self.prefetch(store, &plan, 0, epoch)?;
+        let mut out = Vec::new();
+        for step in 0..plan.steps() {
+            let batch = self.fetch_step(store, &plan, step, epoch)?;
+            self.prefetch(store, &plan, step + 1, epoch)?;
+            out.extend(batch);
+        }
+        Ok(out)
+    }
+
+    /// Drain a pending prefetch without consuming it (error/teardown
+    /// path: never leave posted receives orphaned).
+    pub fn drain(&mut self) {
+        if let Some(p) = self.pending.take() {
+            for slot in p.slots {
+                if let Slot::Wire(_, req) = slot {
+                    let _ = req.wait();
+                }
+            }
+        }
+    }
+
+    /// Steps served from a completed prefetch.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Steps that fell back to the synchronous exchange.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Milliseconds spent blocked on not-yet-arrived receives.
+    pub fn stall_ms(&self) -> f64 {
+        self.stall_ms
+    }
+
+    /// Whether a prefetch is currently outstanding.
+    pub fn is_pending(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Mirror hit/miss/stall into `registry` as `train.prefetch_hit`,
+    /// `train.prefetch_miss` and `train.prefetch_stall_ms`, folding in
+    /// totals accumulated before attachment.
+    pub fn attach_obs(&mut self, registry: &Registry) {
+        let obs = PrefetchObs {
+            hit: registry.counter("train.prefetch_hit"),
+            miss: registry.counter("train.prefetch_miss"),
+            stall_ms: registry.gauge("train.prefetch_stall_ms"),
+        };
+        obs.hit.add(self.hits);
+        obs.miss.add(self.misses);
+        obs.stall_ms.set(self.stall_ms);
+        self.obs = Some(obs);
+    }
+}

@@ -123,6 +123,17 @@ impl StoreObs {
             shuffled_bytes: c("shuffled_bytes"),
         }
     }
+
+    /// One sample received off the wire (shared with the prefetch path).
+    pub(crate) fn record_shuffle(&self, bytes: u64) {
+        self.shuffled_samples.inc();
+        self.shuffled_bytes.add(bytes);
+    }
+
+    /// One per-sample file read (dynamic epoch 0, shared with prefetch).
+    pub(crate) fn record_sample_read(&self) {
+        self.fs_sample_reads.inc();
+    }
 }
 
 /// Deterministic plan of one training epoch over a trainer's partition.

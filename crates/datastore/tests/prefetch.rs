@@ -1,0 +1,138 @@
+//! Double-buffered prefetch: the overlapped exchange must deliver the
+//! exact stream the synchronous one does, in both population modes, and
+//! its hit/miss/stall accounting must be visible through the registry.
+
+use ltfb_comm::{run_world, run_world_obs};
+use ltfb_datastore::{DataStore, PopulateMode, Prefetcher};
+use ltfb_jag::{cleanup_dataset_dir, temp_dataset_dir, DatasetSpec, JagConfig};
+use ltfb_obs::Registry;
+
+const N: u64 = 60;
+const PER_FILE: usize = 10;
+const MB: usize = 8;
+
+fn make_dataset(tag: &str) -> DatasetSpec {
+    let spec = DatasetSpec::new(temp_dataset_dir(tag), JagConfig::small(4), N, PER_FILE);
+    spec.generate_all().unwrap();
+    spec
+}
+
+fn make_store(comm: ltfb_comm::Comm, spec: &DatasetSpec, mode: PopulateMode) -> DataStore {
+    let ids: Vec<u64> = (0..N).collect();
+    DataStore::new(comm, spec.clone(), ids, mode, MB, 77, None).unwrap()
+}
+
+/// Prefetched epochs must be byte-identical to synchronous epochs, and
+/// every step after the initial prime must be a hit.
+#[test]
+fn prefetched_stream_matches_synchronous_stream() {
+    for mode in [PopulateMode::Preload, PopulateMode::Dynamic] {
+        let spec = make_dataset(&format!("prefetch-match-{mode:?}"));
+        let spec2 = spec.clone();
+        run_world(3, move |comm| {
+            let mut sync_store = make_store(comm.clone(), &spec2, mode);
+            let mut pf_store = make_store(comm, &spec2, mode);
+            let mut pf = Prefetcher::new();
+            for epoch in 0..3 {
+                let want = sync_store.fetch_epoch(epoch).unwrap();
+                let got = pf.fetch_epoch(&mut pf_store, epoch).unwrap();
+                assert_eq!(want.len(), got.len(), "epoch {epoch} length");
+                for ((wid, wn), (gid, gn)) in want.iter().zip(got.iter()) {
+                    assert_eq!(wid, gid, "epoch {epoch}: id order drifted");
+                    assert_eq!(
+                        wn.to_bytes(),
+                        gn.to_bytes(),
+                        "epoch {epoch} sample {wid}: payload drifted"
+                    );
+                }
+            }
+            assert_eq!(pf.misses(), 0, "every step was primed ahead of time");
+            assert!(pf.hits() > 0);
+            assert!(!pf.is_pending(), "end-of-plan prefetch is a no-op");
+            // Same stream ⇒ same shuffle volume.
+            assert_eq!(
+                sync_store.stats().shuffled_bytes,
+                pf_store.stats().shuffled_bytes,
+                "prefetch must not change what moves over the wire"
+            );
+            assert_eq!(
+                sync_store.stats().fs_sample_reads,
+                pf_store.stats().fs_sample_reads
+            );
+        });
+        cleanup_dataset_dir(&spec.dir);
+    }
+}
+
+/// An unprimed fetch falls back to the synchronous path (miss), and a
+/// pending prefetch for the wrong step is drained, not leaked.
+#[test]
+fn misses_fall_back_and_stale_prefetches_drain() {
+    let spec = make_dataset("prefetch-miss");
+    let spec2 = spec.clone();
+    run_world(2, move |comm| {
+        let replay_comm = comm.clone();
+        let mut store = make_store(comm, &spec2, PopulateMode::Preload);
+        let mut pf = Prefetcher::new();
+        let plan = store.epoch_plan(0);
+
+        // No prefetch issued: plain miss.
+        let a = pf.fetch_step(&mut store, &plan, 0, 0).unwrap();
+        assert_eq!(pf.misses(), 1);
+        assert_eq!(pf.hits(), 0);
+
+        // Prefetch step 2, then ask for step 1: the stale prefetch is
+        // drained and step 1 served synchronously; a fresh step-2 fetch
+        // afterwards still works (the channel was left clean).
+        pf.prefetch(&mut store, &plan, 2, 0).unwrap();
+        let b = pf.fetch_step(&mut store, &plan, 1, 0).unwrap();
+        assert_eq!(pf.misses(), 2);
+        assert!(!pf.is_pending());
+        let c = pf.fetch_step(&mut store, &plan, 2, 0).unwrap();
+        assert_eq!(pf.misses(), 3);
+
+        // The streams stay correct: same ids as a synchronous replay.
+        let mut replay = make_store(replay_comm, &spec2, PopulateMode::Preload);
+        for (step, got) in [(0, &a), (1, &b), (2, &c)] {
+            let want = replay.fetch_step(&plan, step, 0).unwrap();
+            let want_ids: Vec<u64> = want.iter().map(|(id, _)| *id).collect();
+            let got_ids: Vec<u64> = got.iter().map(|(id, _)| *id).collect();
+            assert_eq!(want_ids, got_ids, "step {step}");
+        }
+    });
+    cleanup_dataset_dir(&spec.dir);
+}
+
+/// Hit/miss/stall counters land in the registry under `train.*`.
+#[test]
+fn prefetch_obs_exports_counters() {
+    let spec = make_dataset("prefetch-obs");
+    let spec2 = spec.clone();
+    let reg = Registry::new();
+    let reg_inner = reg.clone();
+    run_world_obs(2, &reg, move |comm| {
+        let mut store = make_store(comm, &spec2, PopulateMode::Preload);
+        let mut pf = Prefetcher::new();
+        let plan = store.epoch_plan(0);
+        let _ = pf.fetch_step(&mut store, &plan, 0, 0).unwrap(); // miss pre-attach
+        pf.attach_obs(&reg_inner);
+        pf.prefetch(&mut store, &plan, 1, 0).unwrap();
+        let _ = pf.fetch_step(&mut store, &plan, 1, 0).unwrap(); // hit post-attach
+    });
+    let snap = reg.snapshot();
+    let get = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("missing counter {name}"))
+            .1
+    };
+    // Two ranks, each: one folded-in miss, one live hit.
+    assert_eq!(get("train.prefetch_hit"), 2);
+    assert_eq!(get("train.prefetch_miss"), 2);
+    assert!(snap
+        .gauges
+        .iter()
+        .any(|(n, _)| n == "train.prefetch_stall_ms"));
+    cleanup_dataset_dir(&spec.dir);
+}

@@ -16,10 +16,12 @@
 
 use crate::config::CycleGanConfig;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use ltfb_nn::{mlp, Adam, Optimizer, OutputActivation, Sequential};
+use ltfb_hotpath::hot_path;
+use ltfb_nn::{mlp, Adam, Optimizer, OutputActivation, Sequential, Workspace};
 use ltfb_tensor::{
-    axpy, bce_with_logits, bce_with_logits_grad, mean_absolute_error, mean_absolute_error_grad,
-    mix_seed, seeded_rng, DecodeError, Matrix,
+    axpy, bce_with_logits, bce_with_logits_grad, bce_with_logits_grad_into, mean_absolute_error,
+    mean_absolute_error_grad, mean_absolute_error_grad_into, mix_seed, seeded_rng, DecodeError,
+    Matrix,
 };
 
 /// Per-step training losses.
@@ -262,6 +264,129 @@ impl CycleGan {
         sync(&mut self.inverse_model);
         self.opt_f.step(&mut self.forward_model.params_mut());
         self.opt_g.step(&mut self.inverse_model.params_mut());
+
+        losses
+    }
+
+    /// Workspace-path training step: bit-identical losses and weight
+    /// trajectory to [`Self::train_step`], with every activation,
+    /// gradient and label buffer drawn from `ws` — zero heap allocation
+    /// once the pool and layer caches are warm.
+    #[hot_path]
+    pub fn train_step_ws(&mut self, x: &Matrix, y: &Matrix, ws: &mut Workspace) -> StepLosses {
+        self.train_step_ws_with_sync(x, y, ws, &mut |_| {})
+    }
+
+    /// [`Self::train_step_with_sync`] on the workspace path. The op
+    /// sequence below mirrors the allocating step exactly — same kernel
+    /// calls, same order, same f32 expression trees — so the two paths
+    /// produce bit-identical weights from identical starting states.
+    #[hot_path]
+    pub fn train_step_ws_with_sync(
+        &mut self,
+        x: &Matrix,
+        y: &Matrix,
+        ws: &mut Workspace,
+        sync: &mut dyn FnMut(&mut Sequential),
+    ) -> StepLosses {
+        assert_eq!(x.rows(), y.rows(), "x/y batch mismatch");
+        let n = x.rows();
+        let mut ones = ws.take(n, 1);
+        ones.fill(1.0);
+        let mut zeros = ws.take(n, 1);
+        zeros.fill(0.0);
+        let mut losses = StepLosses::default();
+
+        // Frozen encoder: the "real" latent codes.
+        let z_real = self.encoder.forward_ws(y, false, ws);
+
+        // ---- Discriminator update (physical consistency, D side) ----
+        let z_fake = self.forward_model.forward_ws(x, true, ws);
+        self.discriminator.zero_grads();
+        let logit_real = self.discriminator.forward_ws(&z_real, true, ws);
+        losses.d_loss += bce_with_logits(&logit_real, &ones);
+        let mut g_real = ws.take_like(&logit_real);
+        bce_with_logits_grad_into(&logit_real, &ones, &mut g_real);
+        ws.give(logit_real);
+        let d_in = self.discriminator.backward_ws(&g_real, ws);
+        ws.give(d_in);
+        ws.give(g_real);
+        let logit_fake = self.discriminator.forward_ws(&z_fake, true, ws);
+        losses.d_loss += bce_with_logits(&logit_fake, &zeros);
+        let mut g_fake = ws.take_like(&logit_fake);
+        bce_with_logits_grad_into(&logit_fake, &zeros, &mut g_fake);
+        ws.give(logit_fake);
+        let d_in = self.discriminator.backward_ws(&g_fake, ws);
+        ws.give(d_in);
+        ws.give(g_fake);
+        sync(&mut self.discriminator);
+        self.opt_d.step_model(&mut self.discriminator);
+        ws.give(z_fake);
+
+        // ---- Generator update (F and G) ----
+        self.forward_model.zero_grads();
+        self.inverse_model.zero_grads();
+        let z_fake = self.forward_model.forward_ws(x, true, ws); // fresh caches
+
+        // Surrogate fidelity: MAE(F(x), E(y)).
+        losses.fidelity = mean_absolute_error(&z_fake, &z_real);
+        let mut gz = ws.take_like(&z_fake);
+        mean_absolute_error_grad_into(&z_fake, &z_real, &mut gz);
+        ltfb_tensor::scale(self.cfg.fidelity_weight, &mut gz);
+
+        // Physical consistency: fool the (now frozen) discriminator.
+        let logit = self.discriminator.forward_ws(&z_fake, true, ws);
+        losses.adv = bce_with_logits(&logit, &ones);
+        let mut ga = ws.take_like(&logit);
+        bce_with_logits_grad_into(&logit, &ones, &mut ga);
+        ltfb_tensor::scale(self.cfg.adv_weight, &mut ga);
+        ws.give(logit);
+        let gz_adv = self.discriminator.backward_ws(&ga, ws);
+        ws.give(ga);
+        axpy(1.0, &gz_adv, &mut gz);
+        ws.give(gz_adv);
+        // The discriminator accumulated spurious grads from this pass;
+        // they are discarded by the zero_grads at its next update.
+
+        // Internal consistency: decoded outputs match ground truth
+        // (decoder frozen — gradients flow through, not into, it).
+        let y_hat = self.decoder.forward_ws(&z_fake, false, ws);
+        losses.recon = mean_absolute_error(&y_hat, y);
+        let mut gr = ws.take_like(&y_hat);
+        mean_absolute_error_grad_into(&y_hat, y, &mut gr);
+        ltfb_tensor::scale(self.cfg.recon_weight, &mut gr);
+        ws.give(y_hat);
+        self.decoder.zero_grads();
+        let gz_rec = self.decoder.backward_ws(&gr, ws);
+        ws.give(gr);
+        self.decoder.zero_grads(); // decoder stays frozen
+        axpy(1.0, &gz_rec, &mut gz);
+        ws.give(gz_rec);
+
+        // Self consistency: G(F(x)) ~ x.
+        let x_hat = self.inverse_model.forward_ws(&z_fake, true, ws);
+        losses.cycle = mean_absolute_error(&x_hat, x);
+        let mut gc = ws.take_like(&x_hat);
+        mean_absolute_error_grad_into(&x_hat, x, &mut gc);
+        ltfb_tensor::scale(self.cfg.cycle_weight, &mut gc);
+        ws.give(x_hat);
+        let gz_cyc = self.inverse_model.backward_ws(&gc, ws);
+        ws.give(gc);
+        axpy(1.0, &gz_cyc, &mut gz);
+        ws.give(gz_cyc);
+
+        // Backprop the combined latent gradient into F; sync and step.
+        let f_in = self.forward_model.backward_ws(&gz, ws);
+        ws.give(f_in);
+        ws.give(gz);
+        ws.give(z_fake);
+        ws.give(z_real);
+        sync(&mut self.forward_model);
+        sync(&mut self.inverse_model);
+        self.opt_f.step_model(&mut self.forward_model);
+        self.opt_g.step_model(&mut self.inverse_model);
+        ws.give(ones);
+        ws.give(zeros);
 
         losses
     }

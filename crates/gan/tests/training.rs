@@ -78,6 +78,52 @@ fn training_reduces_losses() {
     );
 }
 
+/// Golden-seed trajectory equivalence: the workspace path must walk the
+/// exact same weight trajectory as the allocating path, bit for bit, and
+/// stop allocating pool buffers after the first step.
+#[test]
+fn workspace_training_trajectory_bit_identical() {
+    use ltfb_nn::Workspace;
+    let cfg = CycleGanConfig::small(4);
+    let mut reference = CycleGan::new(cfg, 2019);
+    let mut pooled = CycleGan::new(cfg, 2019);
+    let train = dataset(&cfg, 0, 96);
+    let bs = batches(&cfg, &train, 32);
+    let mut ws = Workspace::new();
+    let mut warm_misses = 0;
+    for (step, (x, y)) in bs.iter().cycle().take(9).enumerate() {
+        let lr = reference.train_step(x, y);
+        let lw = pooled.train_step_ws(x, y, &mut ws);
+        assert_eq!(
+            lr.d_loss.to_bits(),
+            lw.d_loss.to_bits(),
+            "step {step}: d_loss drifted"
+        );
+        assert_eq!(
+            lr.generator_total(&cfg).to_bits(),
+            lw.generator_total(&cfg).to_bits(),
+            "step {step}: generator loss drifted"
+        );
+        if step == 2 {
+            // Batches repeat with period 3: every shape is warm now.
+            warm_misses = ws.misses();
+        }
+    }
+    for (a, b) in reference.networks().iter().zip(pooled.networks().iter()) {
+        assert_eq!(
+            a.weights_fingerprint(),
+            b.weights_fingerprint(),
+            "workspace path diverged from reference weights"
+        );
+    }
+    assert_eq!(
+        ws.misses(),
+        warm_misses,
+        "steady-state training steps must not allocate pool buffers"
+    );
+    assert!(ws.hits() > 0);
+}
+
 #[test]
 fn evaluate_is_side_effect_free() {
     let cfg = CycleGanConfig::small(4);

@@ -1,0 +1,31 @@
+//! # ltfb-hotpath
+//!
+//! The `#[hot_path]` marker attribute. It expands to exactly its input —
+//! zero runtime effect — and exists so the steady-state training
+//! functions (workspace forward/backward, fused allreduce, prefetch
+//! collect) carry a machine-readable annotation that:
+//!
+//! * documents the contract at the definition site: *this function runs
+//!   every SGD step and must not heap-allocate after warm-up*;
+//! * scopes the `ltfb-analyze` lint **LA008**, which flags
+//!   `Matrix::zeros` / `.clone()` inside `#[hot_path]` bodies (with
+//!   `lint.allow`-audited exceptions for warm-up-only allocations).
+//!
+//! Keeping the attribute a real proc-macro (rather than a doc
+//! convention) means a typo'd annotation is a compile error, so the
+//! lint's coverage cannot silently rot.
+
+#![forbid(unsafe_code)]
+
+use proc_macro::TokenStream;
+
+/// Marks a function as steady-state-allocation-free (see crate docs).
+/// Expands to the unmodified item.
+#[proc_macro_attribute]
+pub fn hot_path(attr: TokenStream, item: TokenStream) -> TokenStream {
+    assert!(
+        attr.to_string().is_empty(),
+        "#[hot_path] takes no arguments"
+    );
+    item
+}

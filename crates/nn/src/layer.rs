@@ -5,9 +5,11 @@
 //! Rows of every activation matrix are samples (mini-batch-major layout).
 
 use crate::param::Param;
+use crate::workspace::Workspace;
+use ltfb_hotpath::hot_path;
 use ltfb_tensor::{
-    add_bias, col_sums, gemm, gemm_nt, gemm_tn, glorot_uniform, hadamard, he_normal, sigmoid,
-    Matrix, TensorRng,
+    add_bias, col_sums, col_sums_into, gemm, gemm_nt, gemm_tn, glorot_uniform, hadamard,
+    hadamard_into, he_normal, map_into, sigmoid, Matrix, TensorRng,
 };
 
 /// A differentiable layer.
@@ -25,6 +27,43 @@ pub trait Layer: Send + Sync {
     /// Propagate `grad` (dL/d_output) to dL/d_input, accumulating
     /// parameter gradients. Must be called after `forward`.
     fn backward(&mut self, grad: &Matrix) -> Matrix;
+
+    /// Workspace-path forward: write outputs into the caller-owned `y`
+    /// (resized as needed), drawing any scratch from `ws`. Numerically
+    /// **bit-identical** to `forward`, but allocation-free once caches
+    /// and the workspace pool are warm. The default delegates to the
+    /// allocating path so external layers stay correct.
+    fn forward_ws(&mut self, x: &Matrix, y: &mut Matrix, training: bool, ws: &mut Workspace) {
+        let _ = ws;
+        y.copy_resize_from(&self.forward(x, training));
+    }
+
+    /// Workspace-path backward: write dL/d_input into `dx`. Bit-identical
+    /// to `backward`; default delegates to the allocating path.
+    fn backward_ws(&mut self, grad: &Matrix, dx: &mut Matrix, ws: &mut Workspace) {
+        let _ = ws;
+        dx.copy_resize_from(&self.backward(grad));
+    }
+
+    /// Output width for an input of width `in_cols` (lets callers size
+    /// workspace buffers without running the layer).
+    fn out_cols(&self, in_cols: usize) -> usize {
+        in_cols
+    }
+
+    /// Input width for an output of width `out_cols` (backward sizing).
+    fn in_cols(&self, out_cols: usize) -> usize {
+        out_cols
+    }
+
+    /// Visit every trainable parameter without allocating the `Vec` that
+    /// `params_mut` builds. The default delegates to `params_mut` (still
+    /// correct, not allocation-free); hot layers override.
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for p in self.params_mut() {
+            f(p);
+        }
+    }
 
     /// Mutable access to the layer's trainable parameters (empty for
     /// activations).
@@ -112,6 +151,51 @@ impl Layer for Linear {
         dx
     }
 
+    #[hot_path]
+    fn forward_ws(&mut self, x: &Matrix, y: &mut Matrix, _training: bool, _ws: &mut Workspace) {
+        assert_eq!(x.cols(), self.fan_in(), "Linear input width mismatch");
+        y.resize(x.rows(), self.fan_out());
+        // Same kernels as `forward`: GEMM with beta = 0 fully overwrites
+        // the (recycled) output, then the bias broadcast.
+        gemm(1.0, x, &self.w.value, 0.0, y);
+        add_bias(y, &self.b.value);
+        // Persistent input cache: one allocation ever, then reused.
+        match &mut self.x_cache {
+            Some(c) => c.copy_resize_from(x),
+            None => self.x_cache = Some(x.clone()),
+        }
+    }
+
+    #[hot_path]
+    fn backward_ws(&mut self, grad: &Matrix, dx: &mut Matrix, ws: &mut Workspace) {
+        let x = self.x_cache.as_ref().expect("backward before forward");
+        assert_eq!(grad.rows(), x.rows(), "Linear grad batch mismatch");
+        assert_eq!(grad.cols(), self.fan_out(), "Linear grad width mismatch");
+        gemm_tn(1.0, x, grad, 1.0, &mut self.w.grad);
+        // Keep the column-sums scratch separate and axpy it in: folding
+        // the sums straight into `b.grad` would change the f32 summation
+        // order and break bit-identity with the reference path.
+        let mut db = ws.take(1, grad.cols());
+        col_sums_into(grad, &mut db);
+        ltfb_tensor::axpy(1.0, &db, &mut self.b.grad);
+        ws.give(db);
+        dx.resize(grad.rows(), self.fan_in());
+        gemm_nt(1.0, grad, &self.w.value, 0.0, dx);
+    }
+
+    fn out_cols(&self, _in_cols: usize) -> usize {
+        self.fan_out()
+    }
+
+    fn in_cols(&self, _out_cols: usize) -> usize {
+        self.fan_in()
+    }
+
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.w);
+        f(&mut self.b);
+    }
+
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.w, &mut self.b]
     }
@@ -166,6 +250,23 @@ impl Layer for LeakyRelu {
         hadamard(grad, mask)
     }
 
+    #[hot_path]
+    fn forward_ws(&mut self, x: &Matrix, y: &mut Matrix, _training: bool, _ws: &mut Workspace) {
+        let alpha = self.alpha;
+        // Persistent derivative-mask cache, regenerated in place.
+        match &mut self.mask {
+            Some(m) => map_into(x, m, |v| if v > 0.0 { 1.0 } else { alpha }),
+            None => self.mask = Some(ltfb_tensor::map(x, |v| if v > 0.0 { 1.0 } else { alpha })),
+        }
+        hadamard_into(x, self.mask.as_ref().unwrap(), y);
+    }
+
+    #[hot_path]
+    fn backward_ws(&mut self, grad: &Matrix, dx: &mut Matrix, _ws: &mut Workspace) {
+        let mask = self.mask.as_ref().expect("backward before forward");
+        hadamard_into(grad, mask, dx);
+    }
+
     fn name(&self) -> &'static str {
         "leaky_relu"
     }
@@ -200,10 +301,41 @@ impl Layer for Tanh {
     }
 
     fn backward(&mut self, grad: &Matrix) -> Matrix {
+        // Recycle the activation cache as the output: d tanh = 1 - y^2,
+        // fused with the incoming gradient. Elementwise this is exactly
+        // `hadamard(grad, map(y, |v| 1.0 - v * v))` without the two
+        // intermediate allocations.
+        let mut dx = self.y_cache.take().expect("backward before forward");
+        assert_eq!(grad.shape(), dx.shape(), "Tanh grad shape mismatch");
+        for (d, &g) in dx.as_mut_slice().iter_mut().zip(grad.as_slice()) {
+            let v = *d;
+            *d = g * (1.0 - v * v);
+        }
+        dx
+    }
+
+    #[hot_path]
+    fn forward_ws(&mut self, x: &Matrix, y: &mut Matrix, _training: bool, _ws: &mut Workspace) {
+        map_into(x, y, f32::tanh);
+        match &mut self.y_cache {
+            Some(c) => c.copy_resize_from(y),
+            None => self.y_cache = Some(y.clone()),
+        }
+    }
+
+    #[hot_path]
+    fn backward_ws(&mut self, grad: &Matrix, dx: &mut Matrix, _ws: &mut Workspace) {
         let y = self.y_cache.as_ref().expect("backward before forward");
-        // d tanh = 1 - y^2.
-        let dydx = ltfb_tensor::map(y, |v| 1.0 - v * v);
-        hadamard(grad, &dydx)
+        assert_eq!(grad.shape(), y.shape(), "Tanh grad shape mismatch");
+        dx.resize(grad.rows(), grad.cols());
+        for ((d, &g), &v) in dx
+            .as_mut_slice()
+            .iter_mut()
+            .zip(grad.as_slice())
+            .zip(y.as_slice())
+        {
+            *d = g * (1.0 - v * v);
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -240,9 +372,38 @@ impl Layer for Sigmoid {
     }
 
     fn backward(&mut self, grad: &Matrix) -> Matrix {
+        // Same cache-recycling fusion as `Tanh::backward`: dσ = y(1 - y).
+        let mut dx = self.y_cache.take().expect("backward before forward");
+        assert_eq!(grad.shape(), dx.shape(), "Sigmoid grad shape mismatch");
+        for (d, &g) in dx.as_mut_slice().iter_mut().zip(grad.as_slice()) {
+            let v = *d;
+            *d = g * (v * (1.0 - v));
+        }
+        dx
+    }
+
+    #[hot_path]
+    fn forward_ws(&mut self, x: &Matrix, y: &mut Matrix, _training: bool, _ws: &mut Workspace) {
+        map_into(x, y, sigmoid);
+        match &mut self.y_cache {
+            Some(c) => c.copy_resize_from(y),
+            None => self.y_cache = Some(y.clone()),
+        }
+    }
+
+    #[hot_path]
+    fn backward_ws(&mut self, grad: &Matrix, dx: &mut Matrix, _ws: &mut Workspace) {
         let y = self.y_cache.as_ref().expect("backward before forward");
-        let dydx = ltfb_tensor::map(y, |v| v * (1.0 - v));
-        hadamard(grad, &dydx)
+        assert_eq!(grad.shape(), y.shape(), "Sigmoid grad shape mismatch");
+        dx.resize(grad.rows(), grad.cols());
+        for ((d, &g), &v) in dx
+            .as_mut_slice()
+            .iter_mut()
+            .zip(grad.as_slice())
+            .zip(y.as_slice())
+        {
+            *d = g * (v * (1.0 - v));
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -256,6 +417,10 @@ pub struct Dropout {
     p: f32,
     rng: TensorRng,
     mask: Option<Matrix>,
+    /// Whether `mask` reflects the most recent forward. An eval-mode
+    /// forward deactivates the mask without dropping the buffer, so the
+    /// workspace path keeps its warm allocation across train/eval phases.
+    mask_active: bool,
 }
 
 impl Dropout {
@@ -264,19 +429,22 @@ impl Dropout {
             (0.0..1.0).contains(&p),
             "drop probability must be in [0, 1)"
         );
-        Dropout { p, rng, mask: None }
-    }
-}
-
-impl Layer for Dropout {
-    fn forward(&mut self, x: &Matrix, training: bool) -> Matrix {
-        if !training || self.p == 0.0 {
-            self.mask = None;
-            return x.clone();
+        Dropout {
+            p,
+            rng,
+            mask: None,
+            mask_active: false,
         }
+    }
+
+    /// Regenerate the drop mask in place (row-major element order, one
+    /// RNG draw per entry — the identical stream to the allocating path).
+    #[hot_path]
+    fn refresh_mask(&mut self, rows: usize, cols: usize) {
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
-        let mut mask = Matrix::zeros(x.rows(), x.cols());
+        let mask = self.mask.get_or_insert_with(|| Matrix::zeros(rows, cols));
+        mask.resize(rows, cols);
         for v in mask.as_mut_slice() {
             *v = if rand::Rng::gen::<f32>(&mut self.rng) < keep {
                 scale
@@ -284,9 +452,18 @@ impl Layer for Dropout {
                 0.0
             };
         }
-        let y = hadamard(x, &mask);
-        self.mask = Some(mask);
-        y
+        self.mask_active = true;
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, x: &Matrix, training: bool) -> Matrix {
+        if !training || self.p == 0.0 {
+            self.mask_active = false;
+            return x.clone();
+        }
+        self.refresh_mask(x.rows(), x.cols());
+        hadamard(x, self.mask.as_ref().unwrap())
     }
 
     fn infer(&self, x: &Matrix) -> Matrix {
@@ -296,8 +473,27 @@ impl Layer for Dropout {
 
     fn backward(&mut self, grad: &Matrix) -> Matrix {
         match &self.mask {
-            Some(mask) => hadamard(grad, mask),
-            None => grad.clone(), // eval-mode or p == 0 forward
+            Some(mask) if self.mask_active => hadamard(grad, mask),
+            _ => grad.clone(), // eval-mode or p == 0 forward
+        }
+    }
+
+    #[hot_path]
+    fn forward_ws(&mut self, x: &Matrix, y: &mut Matrix, training: bool, _ws: &mut Workspace) {
+        if !training || self.p == 0.0 {
+            self.mask_active = false;
+            y.copy_resize_from(x);
+            return;
+        }
+        self.refresh_mask(x.rows(), x.cols());
+        hadamard_into(x, self.mask.as_ref().unwrap(), y);
+    }
+
+    #[hot_path]
+    fn backward_ws(&mut self, grad: &Matrix, dx: &mut Matrix, _ws: &mut Workspace) {
+        match &self.mask {
+            Some(mask) if self.mask_active => hadamard_into(grad, mask, dx),
+            _ => dx.copy_resize_from(grad),
         }
     }
 
@@ -376,6 +572,33 @@ mod tests {
         // Gradient passes exactly where activations passed.
         for (yv, gv) in y.as_slice().iter().zip(g.as_slice()) {
             assert_eq!(yv == &0.0, gv == &0.0);
+        }
+    }
+
+    /// The workspace-path dropout must consume the identical RNG stream
+    /// as the allocating path (same draw count and order), so mixed runs
+    /// stay bit-reproducible — including across eval-mode forwards,
+    /// which deactivate but keep the mask buffer.
+    #[test]
+    fn dropout_ws_path_bit_identical_incl_rng_stream() {
+        use crate::workspace::Workspace;
+        let mut d_ref = Dropout::new(0.4, seeded_rng(9));
+        let mut d_ws = Dropout::new(0.4, seeded_rng(9));
+        let x = Matrix::from_fn(6, 5, |r, c| (r as f32 - 2.0) * 0.3 + c as f32 * 0.1);
+        let grad = Matrix::full(6, 5, 0.25);
+        let mut ws = Workspace::new();
+        for phase in 0..3 {
+            let training = phase != 1; // train, eval, train
+            let y_ref = d_ref.forward(&x, training);
+            let mut y = ws.take_like(&x);
+            d_ws.forward_ws(&x, &mut y, training, &mut ws);
+            assert_eq!(y_ref, y, "phase {phase}: dropout forward drifted");
+            let g_ref = d_ref.backward(&grad);
+            let mut dx = ws.take_like(&x);
+            d_ws.backward_ws(&grad, &mut dx, &mut ws);
+            assert_eq!(g_ref, dx, "phase {phase}: dropout backward drifted");
+            ws.give(y);
+            ws.give(dx);
         }
     }
 

@@ -20,8 +20,9 @@ pub mod norm;
 pub mod optimizer;
 pub mod param;
 pub mod reader;
+pub mod workspace;
 
-pub use dp::{allreduce_gradients, broadcast_weights, replicas_in_sync};
+pub use dp::{allreduce_gradients, broadcast_weights, replicas_in_sync, FusedGradients};
 pub use layer::{Dropout, Init, Layer, LeakyRelu, Linear, Sigmoid, Tanh};
 pub use metrics::{LossHistory, RunningMean};
 pub use model::{mlp, OutputActivation, Sequential};
@@ -29,3 +30,4 @@ pub use norm::{LayerNorm, LrSchedule};
 pub use optimizer::{Adam, Optimizer, Sgd};
 pub use param::Param;
 pub use reader::{BatchReader, InMemoryDataset};
+pub use workspace::Workspace;

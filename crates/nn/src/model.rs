@@ -4,7 +4,9 @@
 
 use crate::layer::{Init, Layer, LeakyRelu, Linear, Sigmoid, Tanh};
 use crate::param::Param;
+use crate::workspace::Workspace;
 use bytes::Bytes;
+use ltfb_hotpath::hot_path;
 use ltfb_tensor::{decode_matrices, encode_matrices, DecodeError, Matrix, TensorRng};
 
 /// A feed-forward stack of layers.
@@ -57,6 +59,55 @@ impl Sequential {
         g
     }
 
+    /// Workspace-path forward: bit-identical outputs to
+    /// [`Self::forward`], but every activation lives in a buffer drawn
+    /// from `ws` — allocation-free once the pool is warm. Activations
+    /// ping-pong through at most two pooled buffers (the first layer
+    /// reads `x` directly). The returned matrix is pool-owned: the
+    /// caller must hand it back with `ws.give` when done with it.
+    #[hot_path]
+    pub fn forward_ws(&mut self, x: &Matrix, training: bool, ws: &mut Workspace) -> Matrix {
+        let n = x.rows();
+        let mut cur: Option<Matrix> = None;
+        for l in &mut self.layers {
+            let in_cols = cur.as_ref().map_or(x.cols(), |m| m.cols());
+            let mut y = ws.take(n, l.out_cols(in_cols));
+            l.forward_ws(cur.as_ref().unwrap_or(x), &mut y, training, ws);
+            if let Some(old) = cur.take() {
+                ws.give(old);
+            }
+            cur = Some(y);
+        }
+        cur.unwrap_or_else(|| {
+            let mut y = ws.take(n, x.cols());
+            y.copy_resize_from(x);
+            y
+        })
+    }
+
+    /// Workspace-path backward: bit-identical gradients to
+    /// [`Self::backward`]. The returned dL/d_input is pool-owned — give
+    /// it back with `ws.give` (or keep borrowing it until you do).
+    #[hot_path]
+    pub fn backward_ws(&mut self, grad: &Matrix, ws: &mut Workspace) -> Matrix {
+        let n = grad.rows();
+        let mut cur: Option<Matrix> = None;
+        for l in self.layers.iter_mut().rev() {
+            let out_cols = cur.as_ref().map_or(grad.cols(), |m| m.cols());
+            let mut dx = ws.take(n, l.in_cols(out_cols));
+            l.backward_ws(cur.as_ref().unwrap_or(grad), &mut dx, ws);
+            if let Some(old) = cur.take() {
+                ws.give(old);
+            }
+            cur = Some(dx);
+        }
+        cur.unwrap_or_else(|| {
+            let mut g = ws.take(n, grad.cols());
+            g.copy_resize_from(grad);
+            g
+        })
+    }
+
     /// All trainable parameters, in deterministic layer order.
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
         self.layers
@@ -70,11 +121,17 @@ impl Sequential {
         self.layers.iter().flat_map(|l| l.params()).collect()
     }
 
+    /// Visit every trainable parameter in deterministic layer order
+    /// without building the `Vec` that [`Self::params_mut`] allocates.
+    pub fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for l in &mut self.layers {
+            l.visit_params_mut(f);
+        }
+    }
+
     /// Zero every parameter gradient (start of a step).
     pub fn zero_grads(&mut self) {
-        for p in self.params_mut() {
-            p.zero_grad();
-        }
+        self.visit_params_mut(&mut |p| p.zero_grad());
     }
 
     /// Total scalar parameter count.
@@ -257,6 +314,62 @@ mod tests {
                 "grad should accumulate: {o} -> {t}"
             );
         }
+    }
+
+    /// The workspace path must reproduce the allocating path bit for bit
+    /// — outputs, input gradients AND parameter gradients — and stop
+    /// allocating once the pool is warm.
+    #[test]
+    fn workspace_path_bit_identical_and_warm() {
+        use crate::workspace::Workspace;
+        let mut ra = seeded_rng(31);
+        let mut rb = seeded_rng(31);
+        let mut a = mlp(&[4, 8, 3], 0.1, OutputActivation::TanhOut, &mut ra);
+        let mut b = mlp(&[4, 8, 3], 0.1, OutputActivation::TanhOut, &mut rb);
+        let mut rx = seeded_rng(32);
+        let x = uniform(5, 4, -1.0, 1.0, &mut rx);
+        let target = uniform(5, 3, -1.0, 1.0, &mut rx);
+        let mut ws = Workspace::new();
+        let mut warm_misses = 0;
+        for step in 0..4 {
+            a.zero_grads();
+            b.zero_grads();
+            let ya = a.forward(&x, true);
+            let g = ltfb_tensor::mean_squared_error_grad(&ya, &target);
+            let da = a.backward(&g);
+            let yb = b.forward_ws(&x, true, &mut ws);
+            assert_eq!(ya, yb, "step {step}: forward drifted");
+            let db = b.backward_ws(&g, &mut ws);
+            assert_eq!(da, db, "step {step}: input grad drifted");
+            ws.give(yb);
+            ws.give(db);
+            for (pa, pb) in a.params().iter().zip(b.params()) {
+                assert_eq!(
+                    pa.grad.as_slice(),
+                    pb.grad.as_slice(),
+                    "step {step}: param grad drifted"
+                );
+            }
+            if step == 0 {
+                warm_misses = ws.misses();
+            }
+        }
+        assert!(ws.hits() > 0, "warm steps must hit the pool");
+        assert_eq!(
+            ws.misses(),
+            warm_misses,
+            "steady-state steps must not allocate new pool buffers"
+        );
+    }
+
+    #[test]
+    fn visit_params_matches_params_mut_order() {
+        let mut rng = seeded_rng(33);
+        let mut m = tiny(&mut rng);
+        let expected: Vec<(usize, usize)> = m.params().iter().map(|p| p.value.shape()).collect();
+        let mut visited = Vec::new();
+        m.visit_params_mut(&mut |p| visited.push(p.value.shape()));
+        assert_eq!(visited, expected);
     }
 
     /// End-to-end numerical gradient check through a 2-hidden-layer MLP

@@ -6,6 +6,7 @@
 //! follows "its" model across LTFB weight replacements (LBANN likewise
 //! keeps optimizer state local through an exchange).
 
+use crate::model::Sequential;
 use crate::param::Param;
 use ltfb_tensor::Matrix;
 
@@ -135,6 +136,49 @@ impl Adam {
             m: Vec::new(),
             v: Vec::new(),
         }
+    }
+
+    /// [`Optimizer::step`] over a whole model without materialising the
+    /// `params_mut` vector (the hot-path entry point). State layout,
+    /// lazy (re)initialisation and the per-element update arithmetic are
+    /// exactly those of `step`, so the two entry points are
+    /// interchangeable mid-training and produce bit-identical weights.
+    pub fn step_model(&mut self, model: &mut Sequential) {
+        let mut count = 0usize;
+        model.visit_params_mut(&mut |_| count += 1);
+        if self.m.len() != count {
+            self.m.clear();
+            self.v.clear();
+            let (m, v) = (&mut self.m, &mut self.v);
+            model.visit_params_mut(&mut |p| {
+                m.push(Matrix::zeros(p.value.rows(), p.value.cols()));
+                v.push(Matrix::zeros(p.value.rows(), p.value.cols()));
+            });
+            self.t = 0;
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let (lr, beta1, beta2, eps) = (self.lr, self.beta1, self.beta2, self.eps);
+        let (m, v) = (&mut self.m, &mut self.v);
+        let mut idx = 0usize;
+        model.visit_params_mut(&mut |p| {
+            for (((w, g), mi), vi) in p
+                .value
+                .as_mut_slice()
+                .iter_mut()
+                .zip(p.grad.as_slice())
+                .zip(m[idx].as_mut_slice())
+                .zip(v[idx].as_mut_slice())
+            {
+                *mi = beta1 * *mi + (1.0 - beta1) * g;
+                *vi = beta2 * *vi + (1.0 - beta2) * g * g;
+                let mhat = *mi / bc1;
+                let vhat = *vi / bc2;
+                *w -= lr * mhat / (vhat.sqrt() + eps);
+            }
+            idx += 1;
+        });
     }
 }
 
@@ -291,6 +335,40 @@ mod tests {
     #[should_panic(expected = "learning rate must be positive")]
     fn rejects_nonpositive_lr() {
         let _ = Adam::new(0.0);
+    }
+
+    /// `step_model` is the hot-path twin of `step`: weights must match
+    /// bit for bit over several updates, including the lazy state init.
+    #[test]
+    fn adam_step_model_bit_identical_to_step() {
+        use crate::model::{mlp, OutputActivation};
+        use ltfb_tensor::{seeded_rng, uniform};
+        let mut ra = seeded_rng(51);
+        let mut rb = seeded_rng(51);
+        let mut a = mlp(&[3, 6, 2], 0.1, OutputActivation::LinearOut, &mut ra);
+        let mut b = mlp(&[3, 6, 2], 0.1, OutputActivation::LinearOut, &mut rb);
+        let mut opt_a = Adam::new(1e-2);
+        let mut opt_b = Adam::new(1e-2);
+        let mut rx = seeded_rng(52);
+        let x = uniform(4, 3, -1.0, 1.0, &mut rx);
+        let t = uniform(4, 2, -1.0, 1.0, &mut rx);
+        for step in 0..5 {
+            for m in [&mut a, &mut b] {
+                m.zero_grads();
+                let y = m.forward(&x, true);
+                let g = ltfb_tensor::mean_squared_error_grad(&y, &t);
+                m.backward(&g);
+            }
+            opt_a.step(&mut a.params_mut());
+            opt_b.step_model(&mut b);
+            for (pa, pb) in a.params().iter().zip(b.params()) {
+                assert_eq!(
+                    pa.value.as_slice(),
+                    pb.value.as_slice(),
+                    "step {step}: step_model drifted from step"
+                );
+            }
+        }
     }
 
     #[test]

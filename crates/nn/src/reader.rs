@@ -111,6 +111,24 @@ impl BatchReader {
         batch
     }
 
+    /// [`Self::next_batch`] into caller-owned buffers: identical cursor
+    /// advance, shuffling and row contents, but zero per-step allocation
+    /// once `x`/`y` have their steady-state capacity. (The per-epoch
+    /// reshuffle still allocates a permutation; that is amortised over
+    /// the whole epoch.)
+    pub fn next_batch_into(&mut self, x: &mut Matrix, y: &mut Matrix) {
+        assert!(!self.data.is_empty(), "reader over an empty dataset");
+        let end = (self.cursor + self.mb).min(self.data.len());
+        let idx = &self.order[self.cursor..end];
+        self.data.inputs.gather_rows_into(idx, x);
+        self.data.targets.gather_rows_into(idx, y);
+        self.cursor = end;
+        if self.cursor >= self.data.len() {
+            self.epoch += 1;
+            self.reshuffle();
+        }
+    }
+
     /// Full-dataset pass in deterministic order (for evaluation).
     pub fn all(&self) -> (&Matrix, &Matrix) {
         (&self.data.inputs, &self.data.targets)

@@ -1,0 +1,130 @@
+//! Per-replica training workspace: a shape-keyed arena of reusable
+//! activation/scratch matrices.
+//!
+//! The allocating `forward`/`backward` path builds a fresh `Matrix` for
+//! every activation, derivative mask and gradient of every layer of every
+//! network, every step — fine for correctness, fatal for steady-state
+//! throughput (LBANN's equivalents are preallocated device buffers). The
+//! workspace path instead draws buffers from this pool and returns them
+//! when the consuming op is done: after one warm-up step every `take` is
+//! a pool hit and the hot loop performs **zero heap allocation**.
+//!
+//! Ownership rules (see DESIGN.md §6d):
+//! 1. `take(r, c)` hands out an `r x c` matrix with **unspecified
+//!    contents** — the consumer must fully overwrite it (GEMM with
+//!    `beta = 0`, `*_into` ops, `copy_resize_from`, `fill`).
+//! 2. Every taken buffer is `give`n back in the same step; the pool is
+//!    keyed by shape, so steady-state training touches a fixed buffer set.
+//! 3. Buffers never cross replicas: one `Workspace` per trainer.
+
+use ltfb_tensor::Matrix;
+use std::collections::HashMap;
+
+/// Shape-keyed arena of scratch matrices (one per training replica).
+#[derive(Default)]
+pub struct Workspace {
+    pool: HashMap<(usize, usize), Vec<Matrix>>,
+    hits: u64,
+    misses: u64,
+    bytes_allocated: u64,
+}
+
+impl Workspace {
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// Borrow an `rows x cols` matrix from the pool (or allocate on a
+    /// miss). Contents are unspecified; the caller must overwrite them.
+    pub fn take(&mut self, rows: usize, cols: usize) -> Matrix {
+        if let Some(m) = self.pool.get_mut(&(rows, cols)).and_then(Vec::pop) {
+            self.hits += 1;
+            m
+        } else {
+            self.misses += 1;
+            self.bytes_allocated += (rows * cols * std::mem::size_of::<f32>()) as u64;
+            Matrix::zeros(rows, cols)
+        }
+    }
+
+    /// [`Workspace::take`] with the shape of an existing matrix.
+    pub fn take_like(&mut self, m: &Matrix) -> Matrix {
+        self.take(m.rows(), m.cols())
+    }
+
+    /// Return a buffer to the pool under its current shape.
+    pub fn give(&mut self, m: Matrix) {
+        self.pool.entry(m.shape()).or_default().push(m);
+    }
+
+    /// Pool hits since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Pool misses (each one allocated) since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Total bytes allocated by pool misses since construction. The
+    /// per-step delta of this counter is the `train.alloc_bytes_per_step`
+    /// observability gauge; it settles at 0 once the pool is warm.
+    pub fn bytes_allocated(&self) -> u64 {
+        self.bytes_allocated
+    }
+
+    /// Number of buffers currently resident in the pool.
+    pub fn pooled(&self) -> usize {
+        self.pool.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_give_cycle_hits_after_warmup() {
+        let mut ws = Workspace::new();
+        let a = ws.take(4, 8);
+        assert_eq!(a.shape(), (4, 8));
+        assert_eq!(ws.misses(), 1);
+        assert_eq!(ws.bytes_allocated(), 4 * 8 * 4);
+        ws.give(a);
+        let b = ws.take(4, 8);
+        assert_eq!(ws.hits(), 1);
+        assert_eq!(ws.misses(), 1, "second take of a warm shape must hit");
+        ws.give(b);
+    }
+
+    #[test]
+    fn distinct_shapes_pool_separately() {
+        let mut ws = Workspace::new();
+        let a = ws.take(2, 3);
+        let b = ws.take(3, 2);
+        assert_eq!(ws.misses(), 2);
+        ws.give(a);
+        ws.give(b);
+        assert_eq!(ws.pooled(), 2);
+        let _ = ws.take(2, 3);
+        assert_eq!(ws.hits(), 1);
+    }
+
+    #[test]
+    fn concurrent_takes_of_same_shape_both_served() {
+        let mut ws = Workspace::new();
+        let a = ws.take(4, 4);
+        let b = ws.take(4, 4); // first one still out: second is a miss
+        assert_eq!(ws.misses(), 2);
+        ws.give(a);
+        ws.give(b);
+        // Steady state: both in-flight buffers now hit.
+        let a = ws.take(4, 4);
+        let b = ws.take(4, 4);
+        assert_eq!(ws.misses(), 2);
+        assert_eq!(ws.hits(), 2);
+        ws.give(a);
+        ws.give(b);
+    }
+}

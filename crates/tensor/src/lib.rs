@@ -34,9 +34,10 @@ pub use init::{
 };
 pub use matrix::Matrix;
 pub use ops::{
-    add, add_bias, axpy, bce_with_logits, bce_with_logits_grad, clip_inplace, col_sums, hadamard,
-    map, map_inplace, mean_absolute_error, mean_absolute_error_grad, mean_squared_error,
-    mean_squared_error_grad, row_means, scale, sigmoid, sub,
+    add, add_bias, axpy, bce_with_logits, bce_with_logits_grad, bce_with_logits_grad_into,
+    clip_inplace, col_sums, col_sums_into, hadamard, hadamard_into, map, map_inplace, map_into,
+    mean_absolute_error, mean_absolute_error_grad, mean_absolute_error_grad_into,
+    mean_squared_error, mean_squared_error_grad, row_means, scale, sigmoid, sub,
 };
 pub use serial::{
     crc32, decode_matrices, decode_matrix, encode_matrices, encode_matrix, encode_matrix_into,

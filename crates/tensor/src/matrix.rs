@@ -167,6 +167,40 @@ impl Matrix {
         self.data[r * self.cols + c] = v;
     }
 
+    /// Reshape in place to `rows x cols`, reusing the existing allocation
+    /// whenever capacity allows. Surviving element values are unspecified;
+    /// callers must fully overwrite the matrix afterwards (GEMM with
+    /// `beta = 0`, [`Matrix::fill`], [`Matrix::copy_resize_from`], ...).
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Set every element to `value` without touching the allocation.
+    pub fn fill(&mut self, value: f32) {
+        self.data.fill(value);
+    }
+
+    /// Make `self` an exact copy of `src` (shape and contents), reusing
+    /// the existing allocation whenever capacity allows.
+    pub fn copy_resize_from(&mut self, src: &Matrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
+    /// [`Matrix::gather_rows`] writing into a caller-owned matrix, which
+    /// is resized to `indices.len() x cols` reusing its allocation.
+    pub fn gather_rows_into(&self, indices: &[usize], out: &mut Matrix) {
+        out.resize(indices.len(), self.cols);
+        for (dst, &src) in indices.iter().enumerate() {
+            assert!(src < self.rows, "row index {src} out of 0..{}", self.rows);
+            out.row_mut(dst).copy_from_slice(self.row(src));
+        }
+    }
+
     /// Out-of-place transpose.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
@@ -400,6 +434,35 @@ mod tests {
         let m = Matrix::from_fn(3, 2, |r, _| r as f32);
         let g = m.gather_rows(&[2, 0, 2]);
         assert_eq!(g.col(0), vec![2.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn resize_reuses_capacity_and_keeps_invariant() {
+        let mut m = Matrix::zeros(4, 4);
+        let cap = m.data.capacity();
+        m.resize(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.len(), 6);
+        assert_eq!(m.data.capacity(), cap, "shrinking must not reallocate");
+        m.fill(7.0);
+        assert!(m.as_slice().iter().all(|&v| v == 7.0));
+    }
+
+    #[test]
+    fn copy_resize_from_matches_clone() {
+        let src = Matrix::from_fn(3, 5, |r, c| (r * 5 + c) as f32);
+        let mut dst = Matrix::full(8, 8, f32::NAN);
+        dst.copy_resize_from(&src);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn gather_rows_into_matches_gather_rows() {
+        let m = Matrix::from_fn(4, 3, |r, c| (r * 3 + c) as f32);
+        let idx = [3, 0, 3, 1];
+        let mut out = Matrix::full(1, 1, -1.0);
+        m.gather_rows_into(&idx, &mut out);
+        assert_eq!(out, m.gather_rows(&idx));
     }
 
     #[test]

@@ -70,6 +70,29 @@ pub fn map(m: &Matrix, f: impl Fn(f32) -> f32) -> Matrix {
     Matrix::from_vec(m.rows(), m.cols(), data)
 }
 
+/// [`map`] writing into a caller-owned matrix (resized, no allocation
+/// once warm). Bit-identical to the allocating variant.
+pub fn map_into(m: &Matrix, out: &mut Matrix, f: impl Fn(f32) -> f32) {
+    out.resize(m.rows(), m.cols());
+    for (o, &v) in out.as_mut_slice().iter_mut().zip(m.as_slice()) {
+        *o = f(v);
+    }
+}
+
+/// [`hadamard`] writing into a caller-owned matrix.
+pub fn hadamard_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    assert_eq!(a.shape(), b.shape(), "hadamard shape mismatch");
+    out.resize(a.rows(), a.cols());
+    for ((o, x), y) in out
+        .as_mut_slice()
+        .iter_mut()
+        .zip(a.as_slice())
+        .zip(b.as_slice())
+    {
+        *o = x * y;
+    }
+}
+
 /// Add a row-vector bias to every row of `m` in place.
 pub fn add_bias(m: &mut Matrix, bias: &Matrix) {
     assert_eq!(bias.rows(), 1, "bias must be a row vector");
@@ -93,6 +116,18 @@ pub fn col_sums(m: &Matrix) -> Matrix {
         }
     }
     out
+}
+
+/// [`col_sums`] writing into a caller-owned `1 x cols` row vector.
+pub fn col_sums_into(m: &Matrix, out: &mut Matrix) {
+    out.resize(1, m.cols());
+    out.fill(0.0);
+    let o = out.as_mut_slice();
+    for r in 0..m.rows() {
+        for (ov, v) in o.iter_mut().zip(m.row(r)) {
+            *ov += v;
+        }
+    }
 }
 
 /// Per-row mean into an `rows x 1` column vector.
@@ -141,6 +176,30 @@ pub fn mean_absolute_error_grad(pred: &Matrix, target: &Matrix) -> Matrix {
         })
         .collect();
     Matrix::from_vec(pred.rows(), pred.cols(), data)
+}
+
+/// [`mean_absolute_error_grad`] writing into a caller-owned matrix.
+/// Bit-identical to the allocating variant (including the exact-zero
+/// subgradient case).
+pub fn mean_absolute_error_grad_into(pred: &Matrix, target: &Matrix, out: &mut Matrix) {
+    assert_eq!(pred.shape(), target.shape(), "mae grad shape mismatch");
+    let n = pred.len().max(1) as f32;
+    out.resize(pred.rows(), pred.cols());
+    for ((o, p), t) in out
+        .as_mut_slice()
+        .iter_mut()
+        .zip(pred.as_slice())
+        .zip(target.as_slice())
+    {
+        let d = p - t;
+        *o = if d > 0.0 {
+            1.0 / n
+        } else if d < 0.0 {
+            -1.0 / n
+        } else {
+            0.0
+        };
+    }
 }
 
 /// Mean squared error.
@@ -202,6 +261,21 @@ pub fn bce_with_logits_grad(logits: &Matrix, target: &Matrix) -> Matrix {
         .map(|(&z, &t)| (sigmoid(z) - t) / n)
         .collect();
     Matrix::from_vec(logits.rows(), logits.cols(), data)
+}
+
+/// [`bce_with_logits_grad`] writing into a caller-owned matrix.
+pub fn bce_with_logits_grad_into(logits: &Matrix, target: &Matrix, out: &mut Matrix) {
+    assert_eq!(logits.shape(), target.shape(), "bce grad shape mismatch");
+    let n = logits.len().max(1) as f32;
+    out.resize(logits.rows(), logits.cols());
+    for ((o, &z), &t) in out
+        .as_mut_slice()
+        .iter_mut()
+        .zip(logits.as_slice())
+        .zip(target.as_slice())
+    {
+        *o = (sigmoid(z) - t) / n;
+    }
 }
 
 /// Logistic sigmoid.
@@ -346,6 +420,39 @@ mod tests {
         let mut m = Matrix::from_vec(1, 4, vec![-10.0, -0.5, 0.5, 10.0]);
         clip_inplace(&mut m, 1.0);
         assert_eq!(m.as_slice(), &[-1.0, -0.5, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_twins() {
+        let a = Matrix::from_fn(3, 4, |r, c| (r as f32 - 1.0) * (c as f32 - 2.0) * 0.37);
+        let b = Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f32 * 0.11 - 0.5);
+        // Warm buffers with a *different* shape and garbage contents to
+        // prove the into-variants resize and fully overwrite.
+        let mut out = Matrix::full(7, 2, f32::NAN);
+
+        map_into(&a, &mut out, |v| v.tanh());
+        assert_eq!(out, map(&a, |v| v.tanh()));
+
+        hadamard_into(&a, &b, &mut out);
+        assert_eq!(out, hadamard(&a, &b));
+
+        col_sums_into(&a, &mut out);
+        assert_eq!(out, col_sums(&a));
+
+        mean_absolute_error_grad_into(&a, &b, &mut out);
+        assert_eq!(out, mean_absolute_error_grad(&a, &b));
+
+        bce_with_logits_grad_into(&a, &b, &mut out);
+        assert_eq!(out, bce_with_logits_grad(&a, &b));
+    }
+
+    #[test]
+    fn mae_grad_into_keeps_exact_zero_case() {
+        let p = Matrix::from_vec(1, 3, vec![1.0, 0.0, -1.0]);
+        let t = Matrix::from_vec(1, 3, vec![0.0, 0.0, 1.0]);
+        let mut g = Matrix::full(1, 3, 9.0);
+        mean_absolute_error_grad_into(&p, &t, &mut g);
+        assert_eq!(g.as_slice(), &[1.0 / 3.0, 0.0, -1.0 / 3.0]);
     }
 
     #[test]

@@ -29,4 +29,7 @@ scripts/fault_smoke.sh
 echo "==> metrics smoke"
 scripts/metrics_smoke.sh
 
+echo "==> perf smoke (zero-alloc hot path + throughput regression gate)"
+scripts/perf_smoke.sh
+
 echo "CI green."

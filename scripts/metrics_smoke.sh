@@ -44,6 +44,10 @@ need "$LTFB_JSON" 'comm\.r0\.sent_bytes' "comm bytes"
 need "$LTFB_JSON" 'datastore\.r0\.shuffled_bytes' "datastore shuffle bytes"
 need "$LTFB_JSON" 'ltfb\.step_us' "step latency histogram"
 need "$LTFB_JSON" '"p99"' "latency percentiles"
+need "$LTFB_JSON" 'train\.alloc_bytes_per_step' "hot-path allocation gauge"
+need "$LTFB_JSON" 'train\.prefetch_hit' "datastore prefetch hit counter"
+need "$LTFB_JSON" 'train\.prefetch_stall_ms' "datastore prefetch stall gauge"
+need "$LTFB_JSON" 'comm\.r0\.allreduce_chunk_inflight' "allreduce overlap gauge"
 echo "    ok: $LTFB_JSON"
 
 echo "==> serve-bench export"

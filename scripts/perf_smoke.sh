@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Steady-state hot-path performance gate.
+#
+# Runs the train_throughput bench and compares the fresh numbers against
+# the committed BENCH_train.json:
+#
+# 1. allocs/step on the workspace path must be EXACTLY 0 — the defining
+#    property of the zero-allocation hot path, machine-independent.
+# 2. The fresh workspace/reference speedup ratio must not regress more
+#    than 20% below the committed ratio. The ratio comes from one binary
+#    and one run, so it is CPU-frequency independent; absolute steps/sec
+#    are not gated (they vary with the host).
+#
+# The committed JSON also records the pre-change baseline (allocating
+# step + per-dispatch parallelism probe) measured once when the
+# optimisation landed; see DESIGN.md §6d. That figure is provenance, not
+# a gate.
+#
+# Assumes `cargo build --release` has already run (ci.sh does).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH=target/release/train_throughput
+[[ -x "$BENCH" ]] || {
+    echo "perf_smoke: $BENCH missing; run cargo build --release first" >&2
+    exit 1
+}
+[[ -f BENCH_train.json ]] || {
+    echo "perf_smoke: committed BENCH_train.json missing" >&2
+    exit 1
+}
+
+FRESH=$(mktemp -d)
+trap 'rm -rf "$FRESH"' EXIT
+
+echo "==> train_throughput (fresh run)"
+LTFB_BENCH_JSON="$FRESH/BENCH_train.json" LTFB_RESULTS_DIR="$FRESH" "$BENCH"
+
+json_num() { # json_num <file> <key>
+    sed -n "s/.*\"$2\": \([0-9.][0-9.]*\).*/\1/p" "$1" | head -1
+}
+
+# The workspace object is on its own line; grab its allocs_per_step.
+fresh_ws_allocs=$(grep '"workspace"' "$FRESH/BENCH_train.json" \
+    | sed -n 's/.*"allocs_per_step": \([0-9.]*\).*/\1/p')
+fresh_ratio=$(json_num "$FRESH/BENCH_train.json" speedup_steps_per_sec)
+committed_ratio=$(json_num BENCH_train.json speedup_steps_per_sec)
+
+[[ -n "$fresh_ws_allocs" && -n "$fresh_ratio" && -n "$committed_ratio" ]] || {
+    echo "perf_smoke: failed to parse bench JSON" >&2
+    exit 1
+}
+
+echo "==> gate: workspace allocs/step == 0 (got $fresh_ws_allocs)"
+awk -v a="$fresh_ws_allocs" 'BEGIN { exit (a == 0.0 ? 0 : 1) }' || {
+    echo "perf_smoke: FAIL — workspace path allocates ($fresh_ws_allocs allocs/step)" >&2
+    exit 1
+}
+
+echo "==> gate: speedup ratio $fresh_ratio within 20% of committed $committed_ratio"
+awk -v f="$fresh_ratio" -v c="$committed_ratio" \
+    'BEGIN { exit (f >= 0.8 * c ? 0 : 1) }' || {
+    echo "perf_smoke: FAIL — workspace/reference ratio regressed: fresh $fresh_ratio vs committed $committed_ratio (floor: 0.8x)" >&2
+    exit 1
+}
+
+echo "perf smoke green."

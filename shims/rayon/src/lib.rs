@@ -64,13 +64,30 @@ impl<T: Send> EnumerateParChunksMut<'_, T> {
     }
 }
 
+/// Cached worker count: `available_parallelism` reads cgroup files on
+/// Linux (allocating) — far too expensive to consult on every dispatch
+/// from an allocation-free hot loop.
+fn hardware_workers() -> usize {
+    static WORKERS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1)
+    })
+}
+
 fn drive<T: Send>(data: &mut [T], chunk_size: usize, f: &(dyn Fn(usize, &mut [T]) + Sync)) {
+    // Inline check first: small dispatches must not touch the (possibly
+    // syscalling) worker-count probe at all.
+    if data.len() < PARALLEL_THRESHOLD {
+        for (i, chunk) in data.chunks_mut(chunk_size).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
     let n_chunks = data.len().div_ceil(chunk_size);
-    let workers = std::thread::available_parallelism()
-        .map(usize::from)
-        .unwrap_or(1);
-    let workers = workers.min(n_chunks);
-    if workers <= 1 || data.len() < PARALLEL_THRESHOLD {
+    let workers = hardware_workers().min(n_chunks);
+    if workers <= 1 {
         for (i, chunk) in data.chunks_mut(chunk_size).enumerate() {
             f(i, chunk);
         }

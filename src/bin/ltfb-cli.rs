@@ -134,13 +134,15 @@ fn write_metrics(registry: &Registry, path: &Path) {
 }
 
 /// Store-backed ingest demo phase: a tiny 2-rank dynamic-mode ingest
-/// over a throwaway dataset, epochs 0-1, so a `--metrics` run exports
-/// real `datastore.rN.shuffled_bytes` alongside the training metrics.
+/// over a throwaway dataset, epochs 0-1, driven through the
+/// double-buffering [`Prefetcher`] so a `--metrics` run exports real
+/// `datastore.rN.shuffled_bytes` *and* `train.prefetch_*` overlap
+/// counters alongside the training metrics.
 /// Runs the same work with or without a registry, so the metrics-overhead
 /// smoke compares identical runs that differ only in recording.
 fn ingest_demo(seed: u64, metrics: Option<&Registry>) {
     use ltfb::comm::{run_world, run_world_obs};
-    use ltfb::datastore::{DataStore, PopulateMode};
+    use ltfb::datastore::{DataStore, PopulateMode, Prefetcher};
     use ltfb::jag::{cleanup_dataset_dir, temp_dataset_dir};
 
     const RANKS: usize = 2;
@@ -163,11 +165,13 @@ fn ingest_demo(seed: u64, metrics: Option<&Registry>) {
             None,
         )
         .expect("tiny ingest partition always fits");
+        let mut pf = Prefetcher::new();
         if let Some(r) = &reg {
             store.attach_obs(r);
+            pf.attach_obs(r);
         }
         for epoch in 0..2 {
-            store.fetch_epoch(epoch).expect("ingest epoch");
+            pf.fetch_epoch(&mut store, epoch).expect("ingest epoch");
         }
         store.stats()
     };
@@ -187,6 +191,57 @@ fn ingest_demo(seed: u64, metrics: Option<&Registry>) {
          {shuffled} samples / {bytes} B shuffled in epoch 1"
     );
     cleanup_dataset_dir(&dir);
+}
+
+/// Data-parallel overlap demo phase: a 2-replica pair drives fused
+/// workspace training steps (`dp_train_step_ws` — persistent fused
+/// gradient buffer over the chunked pipelined ring allreduce), so a
+/// `--metrics` run exports a live `comm.rN.allreduce_chunk_inflight`
+/// peak alongside the training metrics — direct evidence that subchunk
+/// send `k+1` overlaps reduce `k`. Like `ingest_demo`, the same work
+/// runs with or without a registry so the metrics-overhead smoke
+/// compares identical runs.
+fn dp_demo(seed: u64, metrics: Option<&Registry>) {
+    use ltfb::comm::{run_world, run_world_obs};
+    use ltfb::core::dp_train_step_ws;
+    use ltfb::gan::{batch_from_samples, CycleGan, CycleGanConfig};
+    use ltfb::jag::{r2_point, JagSimulator, Sample};
+    use ltfb::nn::{FusedGradients, Workspace};
+
+    const RANKS: usize = 2;
+    const MB: usize = 16;
+    const STEPS: usize = 8;
+    let body = move |comm: ltfb::comm::Comm| {
+        let cfg = CycleGanConfig::small(4);
+        let sim = JagSimulator::new(cfg.jag);
+        let samples: Vec<Sample> = (0..(2 * MB) as u64)
+            .map(|i| sim.simulate(r2_point(seed.wrapping_add(i))))
+            .collect();
+        let batches: Vec<_> = samples
+            .chunks(MB)
+            .map(|chunk| {
+                let refs: Vec<&Sample> = chunk.iter().collect();
+                batch_from_samples(&cfg, &refs)
+            })
+            .collect();
+        let shard = MB / RANKS;
+        let (lo, hi) = (comm.rank() * shard, (comm.rank() + 1) * shard);
+        let mut gan = CycleGan::new(cfg, seed);
+        let mut ws = Workspace::new();
+        let mut fused = FusedGradients::new();
+        for step in 0..STEPS {
+            let (x, y) = &batches[step % batches.len()];
+            let (xs, ys) = (x.slice_rows(lo, hi), y.slice_rows(lo, hi));
+            dp_train_step_ws(&mut gan, &xs, &ys, &comm, &mut ws, &mut fused);
+        }
+        gan.generator_fingerprint()
+    };
+    let fps = match metrics {
+        Some(r) => run_world_obs(RANKS, r, body),
+        None => run_world(RANKS, body),
+    };
+    let consistent = fps.windows(2).all(|w| w[0] == w[1]);
+    println!("dp demo: {RANKS} replicas, {STEPS} fused-allreduce steps, replicas consistent: {consistent}");
 }
 
 fn build_cfg(flags: &Flags) -> LtfbConfig {
@@ -299,6 +354,7 @@ fn train(flags: &Flags) -> ExitCode {
     };
     if flags.has("ingest") {
         ingest_demo(cfg.seed, metrics.as_ref());
+        dp_demo(cfg.seed, metrics.as_ref());
     }
     for (t, h) in out.histories.iter().enumerate() {
         let pts: Vec<String> = h
@@ -599,7 +655,8 @@ fn usage() {
          comma-separate events. Survivors re-pair and finish the run.\n\
          --metrics without PATH writes to <results dir>/ltfb_metrics.json or\n\
          serve_metrics.json\n\
-         (results dir honours LTFB_RESULTS_DIR); --ingest adds a 2-rank data-store\n\
-         ingest demo so datastore shuffle metrics land in the export."
+         (results dir honours LTFB_RESULTS_DIR); --ingest adds 2-rank data-store\n\
+         ingest (prefetch double-buffering) and fused-allreduce DP demo phases so\n\
+         datastore shuffle/prefetch and gradient-overlap metrics land in the export."
     );
 }
