@@ -1,0 +1,11 @@
+//! Seeded LA009 violation: a tiered fetch path that materializes the
+//! whole shard into an owned buffer instead of serving mapped views.
+
+use std::io::Read;
+
+pub fn fetch_sample(path: &std::path::Path, off: usize, len: usize) -> std::io::Result<Vec<u8>> {
+    let mut file = std::fs::File::open(path)?;
+    let mut whole = Vec::new();
+    file.read_to_end(&mut whole)?;
+    Ok(whole[off..off + len].to_vec())
+}

@@ -349,6 +349,15 @@ fn in_recovery_path(path: &str) -> bool {
         && (path.ends_with("/fault.rs") || path.ends_with("/ft.rs") || path.contains("recovery"))
 }
 
+/// The tiered fetch surface: the bundle shard codec and the datastore's
+/// tier backing. These paths exist so samples are served as mapped
+/// *views*; materializing a whole shard into an owned buffer there
+/// defeats the out-of-core design (the in-memory reference store's
+/// whole-file preload in `store.rs` is deliberately out of scope).
+fn in_tiered_fetch_path(path: &str) -> bool {
+    path.contains("crates/bundle/src") || path.contains("crates/datastore/src/tier")
+}
+
 /// The rule set. Every rule fires on at least one fixture under
 /// `crates/analyze/fixtures/violations` (see `tests/lint_rules.rs`).
 pub fn rules() -> Vec<Rule> {
@@ -444,6 +453,24 @@ pub fn rules() -> Vec<Rule> {
             summary: "no Matrix::zeros/.clone() inside #[hot_path] training functions",
             applies: in_training_path,
             check: check_hot_path_allocs,
+        },
+        Rule {
+            id: "LA009",
+            summary: "no whole-shard materialization on tiered fetch paths",
+            applies: in_tiered_fetch_path,
+            check: |f| {
+                scan_lines(
+                    f,
+                    &[".read_to_end(", "std::fs::read(", "fs::read(", ".read_all("],
+                    "LA009",
+                    |_| {
+                        "reading a whole shard into an owned buffer on a tiered fetch \
+                         path defeats the mmap/hot-tier design: serve mapped sample \
+                         views instead"
+                            .to_string()
+                    },
+                )
+            },
         },
         Rule {
             id: "LA006",

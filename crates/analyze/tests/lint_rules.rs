@@ -67,6 +67,8 @@ fn seeded_violations_land_in_the_expected_files() {
     assert!(find("LA007").text.contains("panic!"));
     assert!(find("LA008").path.ends_with("la008_hotpath_alloc.rs"));
     assert!(find("LA008").text.contains(".clone()"));
+    assert!(find("LA009").path.ends_with("tier_fetch.rs"));
+    assert!(find("LA009").text.contains("read_to_end"));
 }
 
 #[test]

@@ -1,0 +1,143 @@
+//! Tiered-vs-in-memory store benchmark: the same 4-rank, multi-epoch
+//! fetch workload driven once through the in-memory reference store and
+//! once through the tiered (mmap shard → hot tier) store at several hot
+//! budgets. Reports samples/sec, tier hit rate, and bytes mapped —
+//! `results/store_tiering.csv` for the sweep, `BENCH_store.json` for the
+//! committed headline comparison.
+
+use ltfb_bench::{banner, print_table, write_csv};
+use ltfb_comm::run_world;
+use ltfb_datastore::{DataStore, PopulateMode, TierStats};
+use ltfb_jag::{cleanup_dataset_dir, temp_dataset_dir, DatasetSpec, JagConfig};
+use std::time::Instant;
+
+const RANKS: usize = 4;
+const SAMPLES: u64 = 512;
+const PER_FILE: usize = 64;
+const MB: usize = 32;
+const EPOCHS: u64 = 3;
+const SEED: u64 = 7;
+
+struct Measured {
+    label: String,
+    samples_per_sec: f64,
+    hit_rate: f64,
+    bytes_mapped: u64,
+    evicted: u64,
+}
+
+/// Drive `EPOCHS` epochs through `make`'s store on every rank; returns
+/// aggregate throughput and tier counters (zeros for the in-memory run).
+fn measure<F>(label: &str, spec: &DatasetSpec, make: F) -> Measured
+where
+    F: Fn(ltfb_comm::Comm, DatasetSpec) -> DataStore + Send + Sync + Clone + 'static,
+{
+    let spec2 = spec.clone();
+    let t0 = Instant::now();
+    let per_rank = run_world(RANKS, move |comm| {
+        let mut store = make(comm, spec2.clone());
+        let mut consumed = 0usize;
+        for epoch in 0..EPOCHS {
+            consumed += store.fetch_epoch(epoch).expect("epoch ok").len();
+        }
+        (consumed, store.tier_stats())
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let consumed: usize = per_rank.iter().map(|(c, _)| c).sum();
+    let (hits, misses, mapped, evicted) =
+        per_rank
+            .iter()
+            .fold((0u64, 0u64, 0u64, 0u64), |a, (_, s)| match s {
+                Some(TierStats {
+                    hits,
+                    misses,
+                    bytes_mapped,
+                    evicted,
+                    ..
+                }) => (a.0 + hits, a.1 + misses, a.2 + bytes_mapped, a.3 + evicted),
+                None => a,
+            });
+    Measured {
+        label: label.to_string(),
+        samples_per_sec: consumed as f64 / wall,
+        hit_rate: hits as f64 / (hits + misses).max(1) as f64,
+        bytes_mapped: mapped,
+        evicted,
+    }
+}
+
+fn main() {
+    banner(
+        "Store",
+        "tiered (mmap + hot tier) vs in-memory store throughput",
+    );
+    let dir = temp_dataset_dir("store-bench");
+    let spec = DatasetSpec::new(dir.clone(), JagConfig::small(8), SAMPLES, PER_FILE);
+    spec.generate_all().expect("generate dataset");
+    spec.generate_all_shards().expect("generate shards");
+    let sample_bytes = spec.cfg.sample_bytes() as u64;
+    println!("{RANKS} ranks, {SAMPLES} samples x {sample_bytes} B, {EPOCHS} epochs per config\n");
+
+    let mut runs = vec![measure("in-memory", &spec, |comm, spec| {
+        let ids: Vec<u64> = (0..SAMPLES).collect();
+        DataStore::new(comm, spec, ids, PopulateMode::Preload, MB, SEED, None).expect("fits")
+    })];
+    // Hot budgets as a fraction of the per-rank partition (the per-rank
+    // working set is ~SAMPLES/RANKS owned samples).
+    for (label, frac) in [
+        ("tiered-cold", 0.0f64),
+        ("tiered-half", 0.5),
+        ("tiered-full", 1.5),
+    ] {
+        let budget = ((SAMPLES as f64 / RANKS as f64) * frac * sample_bytes as f64) as u64;
+        let label = label.to_string();
+        runs.push(measure(&label, &spec, move |comm, spec| {
+            let ids: Vec<u64> = (0..SAMPLES).collect();
+            DataStore::new_tiered(comm, spec, ids, MB, SEED, budget, 1).expect("opens")
+        }));
+    }
+    cleanup_dataset_dir(&dir);
+
+    let header = [
+        "config",
+        "samples_per_sec",
+        "tier_hit_rate",
+        "bytes_mapped",
+        "evicted",
+    ];
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|m| {
+            vec![
+                m.label.clone(),
+                format!("{:.0}", m.samples_per_sec),
+                format!("{:.3}", m.hit_rate),
+                format!("{}", m.bytes_mapped),
+                format!("{}", m.evicted),
+            ]
+        })
+        .collect();
+    print_table(&header, &rows);
+    let csv = write_csv("store_tiering.csv", &header, &rows);
+
+    let mem = &runs[0];
+    let warm = runs.last().expect("tiered runs present");
+    let json = format!(
+        "{{\n  \"bench\": \"replay_store_bench\",\n  \
+         \"config\": {{\"ranks\": {RANKS}, \"samples\": {SAMPLES}, \"mb\": {MB}, \
+         \"epochs\": {EPOCHS}, \"sample_bytes\": {sample_bytes}}},\n  \
+         \"in_memory_samples_per_sec\": {:.1},\n  \
+         \"tiered_warm_samples_per_sec\": {:.1},\n  \
+         \"tiered_warm_relative\": {:.3},\n  \
+         \"tiered_warm_hit_rate\": {:.3},\n  \
+         \"tiered_warm_bytes_mapped\": {}\n}}\n",
+        mem.samples_per_sec,
+        warm.samples_per_sec,
+        warm.samples_per_sec / mem.samples_per_sec,
+        warm.hit_rate,
+        warm.bytes_mapped
+    );
+    let json_file = std::env::var("LTFB_BENCH_JSON").unwrap_or_else(|_| "BENCH_store.json".into());
+    std::fs::write(&json_file, json).expect("write BENCH_store.json");
+    println!("\nwrote {} and {}", csv.display(), json_file);
+}

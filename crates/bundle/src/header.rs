@@ -1,0 +1,188 @@
+//! The fixed artifact header shared by every binary format in the
+//! workspace: checkpoints (`ltfb-core`), surrogate snapshots, and the
+//! bundle shards of this crate. Relocated here from `ltfb-core` (which
+//! re-exports it unchanged) so storage formats below the training stack
+//! can reuse it without a dependency cycle.
+
+use bytes::Bytes;
+use ltfb_tensor::crc32;
+use std::io::{Read, Write};
+
+/// The fixed on-disk header every binary artifact starts with:
+/// `magic | version | body_len | crc32(body)`, all little-endian. The
+/// `version` field is mandatory for every checkpoint format in this
+/// workspace (enforced by `ltfb-analyze lint`, rule LA005): readers must
+/// be able to reject an artifact from a future writer before touching
+/// the body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointHeader {
+    /// Format discriminator (e.g. `"LTCP"` for populations, `"LTSV"` for
+    /// surrogates, `"LTBS"` for bundle shards).
+    pub magic: u32,
+    /// Format version; bump on any body layout change.
+    pub version: u32,
+    /// Byte length of the body that follows the header.
+    pub body_len: u64,
+    /// CRC-32 of the body.
+    pub crc: u32,
+}
+
+/// Size of the serialised header in bytes.
+pub const HEADER_BYTES: usize = 20;
+
+impl CheckpointHeader {
+    /// Header describing `body` for a `(magic, version)` format.
+    pub fn for_body(magic: u32, version: u32, body: &[u8]) -> CheckpointHeader {
+        CheckpointHeader {
+            magic,
+            version,
+            body_len: body.len() as u64,
+            crc: crc32(body),
+        }
+    }
+
+    /// Write the header in its fixed 20-byte on-disk layout.
+    pub fn write_to(&self, w: &mut impl Write) -> Result<(), CheckpointError> {
+        w.write_all(&self.magic.to_le_bytes())?;
+        w.write_all(&self.version.to_le_bytes())?;
+        w.write_all(&self.body_len.to_le_bytes())?;
+        w.write_all(&self.crc.to_le_bytes())?;
+        Ok(())
+    }
+
+    /// Decode a header from its fixed 20-byte layout, checking `magic`
+    /// and `version` against the expected format.
+    pub fn decode(
+        raw: &[u8; HEADER_BYTES],
+        want_magic: u32,
+        want_version: u32,
+    ) -> Result<CheckpointHeader, CheckpointError> {
+        let le32 = |lo: usize| u32::from_le_bytes([raw[lo], raw[lo + 1], raw[lo + 2], raw[lo + 3]]);
+        let header = CheckpointHeader {
+            magic: le32(0),
+            version: le32(4),
+            body_len: u64::from_le_bytes([
+                raw[8], raw[9], raw[10], raw[11], raw[12], raw[13], raw[14], raw[15],
+            ]),
+            crc: le32(16),
+        };
+        if header.magic != want_magic {
+            return Err(CheckpointError::BadMagic(header.magic));
+        }
+        if header.version != want_version {
+            return Err(CheckpointError::BadVersion(header.version));
+        }
+        Ok(header)
+    }
+
+    /// Read a header, checking `magic` and `version` against the expected
+    /// format before the caller reads the body.
+    pub fn read_from(
+        r: &mut impl Read,
+        want_magic: u32,
+        want_version: u32,
+    ) -> Result<CheckpointHeader, CheckpointError> {
+        let mut raw = [0u8; HEADER_BYTES];
+        r.read_exact(&mut raw)
+            .map_err(|_| CheckpointError::Truncated)?;
+        Self::decode(&raw, want_magic, want_version)
+    }
+
+    /// Read the body the header describes and verify its checksum.
+    pub fn read_body(&self, r: &mut impl Read) -> Result<Bytes, CheckpointError> {
+        let mut body = vec![0u8; self.body_len as usize];
+        r.read_exact(&mut body)
+            .map_err(|_| CheckpointError::Truncated)?;
+        if crc32(&body) != self.crc {
+            return Err(CheckpointError::BadChecksum);
+        }
+        Ok(Bytes::from(body))
+    }
+}
+
+/// Errors from artifact I/O (checkpoints, surrogate snapshots, shards).
+#[derive(Debug)]
+pub enum CheckpointError {
+    Io(std::io::Error),
+    BadMagic(u32),
+    BadVersion(u32),
+    BadChecksum,
+    Truncated,
+    /// Artifact was written for a different configuration/geometry.
+    ConfigMismatch(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O: {e}"),
+            CheckpointError::BadMagic(m) => write!(f, "not a checkpoint (magic {m:#x})"),
+            CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            CheckpointError::BadChecksum => write!(f, "checkpoint corrupt (checksum)"),
+            CheckpointError::Truncated => write!(f, "checkpoint truncated"),
+            CheckpointError::ConfigMismatch(s) => write!(f, "config mismatch: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trips_through_bytes() {
+        let body = b"some body bytes";
+        let h = CheckpointHeader::for_body(0xABCD, 3, body);
+        let mut buf = Vec::new();
+        h.write_to(&mut buf).unwrap();
+        assert_eq!(buf.len(), HEADER_BYTES);
+        let mut r = &buf[..];
+        let back = CheckpointHeader::read_from(&mut r, 0xABCD, 3).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn wrong_magic_and_version_rejected() {
+        let h = CheckpointHeader::for_body(1, 1, b"x");
+        let mut buf = Vec::new();
+        h.write_to(&mut buf).unwrap();
+        assert!(matches!(
+            CheckpointHeader::read_from(&mut &buf[..], 2, 1),
+            Err(CheckpointError::BadMagic(1))
+        ));
+        assert!(matches!(
+            CheckpointHeader::read_from(&mut &buf[..], 1, 2),
+            Err(CheckpointError::BadVersion(1))
+        ));
+    }
+
+    #[test]
+    fn corrupt_body_detected() {
+        let body = b"payload".to_vec();
+        let h = CheckpointHeader::for_body(7, 1, &body);
+        let mut tampered = body.clone();
+        tampered[0] ^= 0xFF;
+        assert!(matches!(
+            h.read_body(&mut &tampered[..]),
+            Err(CheckpointError::BadChecksum)
+        ));
+        assert_eq!(&h.read_body(&mut &body[..]).unwrap()[..], b"payload");
+    }
+
+    #[test]
+    fn short_header_is_truncated() {
+        let raw = [0u8; 10];
+        assert!(matches!(
+            CheckpointHeader::read_from(&mut &raw[..], 1, 1),
+            Err(CheckpointError::Truncated)
+        ));
+    }
+}

@@ -1,0 +1,27 @@
+//! # ltfb-bundle
+//!
+//! The on-disk sample-bundle subsystem: a self-describing binary shard
+//! format plus a memory-mapped reader handing out **zero-copy `&[f32]`
+//! sample views** — the storage layer that lets the data store scale past
+//! RAM (the paper's 10M-sample/2TB JAG corpus never fits one node).
+//!
+//! * [`header`] — the fixed `magic | version | len | crc` artifact header
+//!   shared by every binary format in the workspace (checkpoints import
+//!   it from here);
+//! * [`schema`] — schema descriptors for arbitrary named tensor shapes,
+//!   so one shard format serves JAG and any future surrogate dataset;
+//! * [`shard`]  — the shard codec itself: [`shard::ShardWriter`] appends
+//!   fixed-stride records with per-record checksums (streaming ingest
+//!   needs append without rewriting a trailing file CRC), and
+//!   [`shard::MmapShard`] maps a shard and serves samples as `&[f32]`
+//!   borrows of the mapping.
+
+#![forbid(unsafe_code)]
+
+pub mod header;
+pub mod schema;
+pub mod shard;
+
+pub use header::{CheckpointError, CheckpointHeader};
+pub use schema::{BundleSchema, TensorField};
+pub use shard::{MmapShard, ShardWriter, SHARD_MAGIC, SHARD_VERSION};

@@ -14,124 +14,16 @@ use crate::ltfb::pretrain_global_autoencoder;
 use crate::tournament::{decide_match, pairing};
 use crate::trainer::Trainer;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use ltfb_tensor::crc32;
-use std::io::{Read, Write};
+use std::io::Write;
 use std::path::Path;
+
+// The header/error types originated here and moved to `ltfb-bundle` so
+// on-disk formats below the training stack (bundle shards) share them;
+// re-exported to keep this module the checkpointing entry point.
+pub use ltfb_bundle::{CheckpointError, CheckpointHeader};
 
 const MAGIC: u32 = 0x4C54_4350; // "LTCP"
 const VERSION: u32 = 1;
-
-/// The fixed on-disk header every checkpoint artifact starts with:
-/// `magic | version | body_len | crc32(body)`, all little-endian. The
-/// `version` field is mandatory for every checkpoint format in this
-/// workspace (enforced by `ltfb-analyze lint`, rule LA005): readers must
-/// be able to reject a checkpoint from a future writer before touching
-/// the body.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct CheckpointHeader {
-    /// Format discriminator (e.g. `"LTCP"` for populations, `"LTSV"` for
-    /// surrogates).
-    pub magic: u32,
-    /// Format version; bump on any body layout change.
-    pub version: u32,
-    /// Byte length of the body that follows the header.
-    pub body_len: u64,
-    /// CRC-32 of the body.
-    pub crc: u32,
-}
-
-impl CheckpointHeader {
-    /// Header describing `body` for a `(magic, version)` format.
-    pub fn for_body(magic: u32, version: u32, body: &[u8]) -> CheckpointHeader {
-        CheckpointHeader {
-            magic,
-            version,
-            body_len: body.len() as u64,
-            crc: crc32(body),
-        }
-    }
-
-    /// Write the header in its fixed 20-byte on-disk layout.
-    pub fn write_to(&self, w: &mut impl Write) -> Result<(), CheckpointError> {
-        w.write_all(&self.magic.to_le_bytes())?;
-        w.write_all(&self.version.to_le_bytes())?;
-        w.write_all(&self.body_len.to_le_bytes())?;
-        w.write_all(&self.crc.to_le_bytes())?;
-        Ok(())
-    }
-
-    /// Read a header, checking `magic` and `version` against the expected
-    /// format before the caller reads the body.
-    pub fn read_from(
-        r: &mut impl Read,
-        want_magic: u32,
-        want_version: u32,
-    ) -> Result<CheckpointHeader, CheckpointError> {
-        let mut raw = [0u8; 20];
-        r.read_exact(&mut raw)
-            .map_err(|_| CheckpointError::Truncated)?;
-        let le32 = |lo: usize| u32::from_le_bytes([raw[lo], raw[lo + 1], raw[lo + 2], raw[lo + 3]]);
-        let header = CheckpointHeader {
-            magic: le32(0),
-            version: le32(4),
-            body_len: u64::from_le_bytes([
-                raw[8], raw[9], raw[10], raw[11], raw[12], raw[13], raw[14], raw[15],
-            ]),
-            crc: le32(16),
-        };
-        if header.magic != want_magic {
-            return Err(CheckpointError::BadMagic(header.magic));
-        }
-        if header.version != want_version {
-            return Err(CheckpointError::BadVersion(header.version));
-        }
-        Ok(header)
-    }
-
-    /// Read the body the header describes and verify its checksum.
-    pub fn read_body(&self, r: &mut impl Read) -> Result<Bytes, CheckpointError> {
-        let mut body = vec![0u8; self.body_len as usize];
-        r.read_exact(&mut body)
-            .map_err(|_| CheckpointError::Truncated)?;
-        if crc32(&body) != self.crc {
-            return Err(CheckpointError::BadChecksum);
-        }
-        Ok(Bytes::from(body))
-    }
-}
-
-/// Errors from checkpoint I/O.
-#[derive(Debug)]
-pub enum CheckpointError {
-    Io(std::io::Error),
-    BadMagic(u32),
-    BadVersion(u32),
-    BadChecksum,
-    Truncated,
-    /// Checkpoint was written for a different population shape.
-    ConfigMismatch(String),
-}
-
-impl std::fmt::Display for CheckpointError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            CheckpointError::Io(e) => write!(f, "checkpoint I/O: {e}"),
-            CheckpointError::BadMagic(m) => write!(f, "not a checkpoint (magic {m:#x})"),
-            CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
-            CheckpointError::BadChecksum => write!(f, "checkpoint corrupt (checksum)"),
-            CheckpointError::Truncated => write!(f, "checkpoint truncated"),
-            CheckpointError::ConfigMismatch(s) => write!(f, "config mismatch: {s}"),
-        }
-    }
-}
-
-impl std::error::Error for CheckpointError {}
-
-impl From<std::io::Error> for CheckpointError {
-    fn from(e: std::io::Error) -> Self {
-        CheckpointError::Io(e)
-    }
-}
 
 /// Serialise one trainer into a buffer.
 fn encode_trainer(t: &Trainer, buf: &mut BytesMut) {

@@ -8,7 +8,10 @@
 //! * [`store`] — the store itself: per-rank sample ownership, **preload**
 //!   and **dynamic** population, deterministic epoch plans shared by all
 //!   ranks, and owner-push non-blocking mini-batch exchanges. After the
-//!   first epoch no data is read from the file system.
+//!   first epoch no data is read from the file system;
+//! * [`tier`]  — the out-of-core backing: memory-mapped `ltfb-bundle`
+//!   shards under a byte-budgeted LRU hot tier, plus streaming-ingest
+//!   adoption, so the same store runs identically resident or on-disk.
 
 #![forbid(unsafe_code)]
 
@@ -16,9 +19,11 @@ pub mod node;
 pub mod prefetch;
 pub mod recovery;
 pub mod store;
+pub mod tier;
 
 pub use node::{Node, NodeDecodeError};
 pub use prefetch::Prefetcher;
 pub use store::{
     node_to_sample, sample_to_node, DataStore, EpochPlan, PopulateMode, StoreError, StoreStats,
 };
+pub use tier::TierStats;

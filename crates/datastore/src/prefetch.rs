@@ -157,10 +157,7 @@ impl Prefetcher {
                 continue;
             }
             if owners[pos] == rank {
-                let node = store
-                    .owned
-                    .get(&id)
-                    .ok_or(StoreError::MissingSample { id, rank })?;
+                let node = store.local_node(id)?;
                 store.comm.isend(consumer, id, node.to_bytes()).wait();
             }
         }
@@ -171,11 +168,7 @@ impl Prefetcher {
             }
             let owner = owners[pos];
             if owner == rank {
-                let node = store
-                    .owned
-                    .get(&id)
-                    .ok_or(StoreError::MissingSample { id, rank })?
-                    .clone();
+                let node = store.local_node(id)?;
                 slots.push(Slot::Ready(id, node));
             } else {
                 slots.push(Slot::Wire(id, store.comm.irecv(owner, id)));
@@ -250,7 +243,20 @@ impl Prefetcher {
                 if let Some(o) = &self.obs {
                     o.miss.inc();
                 }
-                store.fetch_step(plan, step, epoch)
+                // A miss still blocks on whatever has not arrived: thread
+                // the synchronous path's receive-wait time into the same
+                // stall accounting the hit path uses, so the `_ft`
+                // survivor-plan fetches (always misses — their plans are
+                // rebuilt mid-epoch) show up in `train.prefetch_stall_ms`
+                // instead of silently reading as overlap.
+                let (out, stall_ms) = store.fetch_step_timed(plan, step, epoch)?;
+                if stall_ms > 0.0 {
+                    self.stall_ms += stall_ms;
+                    if let Some(o) = &self.obs {
+                        o.stall_ms.set(self.stall_ms);
+                    }
+                }
+                Ok(out)
             }
         }
     }

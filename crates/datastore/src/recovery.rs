@@ -53,6 +53,19 @@ impl DataStore {
         let size = self.comm.size();
         match self.mode {
             PopulateMode::Preload => {
+                if self.tier.as_ref().is_some_and(|t| t.is_ingest_id(id)) {
+                    // Ingest samples live in the shared streaming shard:
+                    // every rank can serve them, so the replica chain is
+                    // the whole world starting at the round-robin owner.
+                    let start = (id % size as u64) as usize;
+                    for k in 0..size {
+                        let holder = (start + k) % size;
+                        if self.alive.get(holder).copied().unwrap_or(false) {
+                            return Ok(holder);
+                        }
+                    }
+                    return Err(StoreError::MissingSample { id, rank: start });
+                }
                 let (file, _) = self.spec.locate(id);
                 let slot = *self.file_slot.get(&file).ok_or(StoreError::MissingSample {
                     id,

@@ -18,12 +18,16 @@
 //! no ownership directory has to be communicated.
 
 use crate::node::{Node, NodeDecodeError};
+use crate::tier::{TierBacking, TierStats};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
 use ltfb_comm::Comm;
 use ltfb_jag::{DatasetSpec, Sample, N_PARAMS, N_SCALARS};
 use ltfb_obs::{Counter, Registry};
 use ltfb_tensor::{mix_seed, permutation, seeded_rng};
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// How the store is populated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +62,10 @@ pub enum StoreError {
     },
     /// Underlying bundle-file failure.
     Bundle(ltfb_jag::BundleError),
+    /// Underlying mmap-shard failure (tiered backing): bad magic/version,
+    /// per-record checksum mismatch, truncation — all typed, never a
+    /// panic.
+    Shard(ltfb_bundle::CheckpointError),
     /// A node handed to [`node_to_sample`] is missing a leaf or has one of
     /// the wrong shape — the schema drifted between sender and receiver.
     Schema { path: &'static str, detail: String },
@@ -80,6 +88,7 @@ impl std::fmt::Display for StoreError {
                 "data store OOM: need {required_bytes} bytes, capacity {capacity_bytes}"
             ),
             StoreError::Bundle(e) => write!(f, "data store bundle error: {e}"),
+            StoreError::Shard(e) => write!(f, "data store shard error: {e}"),
             StoreError::Schema { path, detail } => {
                 write!(f, "sample node schema mismatch at {path:?}: {detail}")
             }
@@ -101,6 +110,12 @@ impl std::error::Error for StoreError {}
 impl From<ltfb_jag::BundleError> for StoreError {
     fn from(e: ltfb_jag::BundleError) -> Self {
         StoreError::Bundle(e)
+    }
+}
+
+impl From<ltfb_bundle::CheckpointError> for StoreError {
+    fn from(e: ltfb_bundle::CheckpointError) -> Self {
+        StoreError::Shard(e)
     }
 }
 
@@ -245,6 +260,9 @@ pub struct DataStore {
     pub(crate) alive: Vec<bool>,
     pub(crate) stats: StoreStats,
     pub(crate) obs: Option<StoreObs>,
+    /// `Some` on stores built with [`DataStore::new_tiered`]: samples
+    /// come from mapped shards through the hot tier instead of `owned`.
+    pub(crate) tier: Option<TierBacking>,
 }
 
 /// Convert a JAG sample into its Conduit-node form.
@@ -376,6 +394,7 @@ impl DataStore {
             alive,
             stats: StoreStats::default(),
             obs: None,
+            tier: None,
         };
         if mode == PopulateMode::Preload {
             store.preload()?;
@@ -390,6 +409,81 @@ impl DataStore {
             }
         }
         Ok(store)
+    }
+
+    /// An **out-of-core** store over `ltfb-bundle` mmap shards (see
+    /// [`crate::tier`]): ownership, epoch plans and the shuffle protocol
+    /// are exactly preload-mode's, but nothing is bulk-loaded — owners
+    /// serve samples from lazily mapped shards through a hot tier of at
+    /// most `hot_budget_bytes` of decoded nodes. Shard files come from
+    /// [`DatasetSpec::generate_shard_file`]; missing or corrupt shards
+    /// surface as typed [`StoreError::Shard`] at fetch time.
+    ///
+    /// Training trajectories are bit-identical to the in-memory store's
+    /// for the same `(spec, ids, mb, seed)` — the hot tier only changes
+    /// *where* a sample is materialised from, never its bytes.
+    pub fn new_tiered(
+        comm: Comm,
+        spec: DatasetSpec,
+        mut ids: Vec<u64>,
+        mb: usize,
+        seed: u64,
+        hot_budget_bytes: u64,
+        replicas: usize,
+    ) -> Result<DataStore, StoreError> {
+        assert!(mb > 0, "mini-batch must be positive");
+        let replicas = replicas.clamp(1, comm.size());
+        ids.sort_unstable();
+        ids.dedup();
+        let mut files: Vec<u64> = ids.iter().map(|&id| spec.locate(id).0).collect();
+        files.sort_unstable();
+        files.dedup();
+        let file_slot: HashMap<u64, usize> = files
+            .iter()
+            .enumerate()
+            .map(|(slot, &f)| (f, slot))
+            .collect();
+        let alive = vec![true; comm.size()];
+        Ok(DataStore {
+            comm,
+            spec,
+            ids,
+            mode: PopulateMode::Preload,
+            seed,
+            mb,
+            owned: HashMap::new(),
+            file_slot,
+            dyn_owner: HashMap::new(),
+            replicas,
+            alive,
+            stats: StoreStats::default(),
+            obs: None,
+            tier: Some(TierBacking::new(hot_budget_bytes)),
+        })
+    }
+
+    /// Materialise the node of a sample this rank serves, whichever
+    /// backing is active: the in-memory `owned` map, or the tiered
+    /// shard → hot-tier path. Every caller on the fetch/prefetch hot
+    /// path goes through here, which is what makes the two backings
+    /// behave identically.
+    pub(crate) fn local_node(&mut self, id: u64) -> Result<Node, StoreError> {
+        let rank = self.comm.rank();
+        match self.tier.as_mut() {
+            Some(t) => {
+                let before = self.stats.fs_file_reads;
+                let node = t.fetch(&self.spec, id, rank, &mut self.stats.fs_file_reads)?;
+                if let Some(o) = &self.obs {
+                    o.fs_file_reads.add(self.stats.fs_file_reads - before);
+                }
+                Ok(node)
+            }
+            None => self
+                .owned
+                .get(&id)
+                .cloned()
+                .ok_or(StoreError::MissingSample { id, rank }),
+        }
     }
 
     /// Bulk-load this rank's files (preload mode).
@@ -429,6 +523,12 @@ impl DataStore {
     pub fn owner_of(&self, id: u64) -> usize {
         match self.mode {
             PopulateMode::Preload => {
+                // Streaming-ingest samples live in one shared shard any
+                // rank can map, so ownership round-robins by id instead
+                // of going through the file-slot map.
+                if self.tier.as_ref().is_some_and(|t| t.is_ingest_id(id)) {
+                    return (id % self.comm.size() as u64) as usize;
+                }
                 let (file, _) = self.spec.locate(id);
                 self.file_slot[&file] % self.comm.size()
             }
@@ -461,7 +561,22 @@ impl DataStore {
         step: usize,
         epoch: u64,
     ) -> Result<Vec<(u64, Node)>, StoreError> {
+        self.fetch_step_timed(plan, step, epoch).map(|(out, _)| out)
+    }
+
+    /// [`DataStore::fetch_step`] that also reports the milliseconds this
+    /// rank spent blocked in receives whose payload had not yet arrived.
+    /// The [`crate::Prefetcher`] uses this on its synchronous fallback so
+    /// stall time stays accounted on fault-tolerant (survivor-plan)
+    /// fetches too, not just on prefetch hits.
+    pub(crate) fn fetch_step_timed(
+        &mut self,
+        plan: &EpochPlan,
+        step: usize,
+        epoch: u64,
+    ) -> Result<(Vec<(u64, Node)>, f64), StoreError> {
         let rank = self.comm.rank();
+        let mut stall_ms = 0.0f64;
         let step_ids = plan.step_ids(step).to_vec();
         let dynamic_epoch0 = self.mode == PopulateMode::Dynamic && epoch == 0;
 
@@ -493,7 +608,7 @@ impl DataStore {
                 };
                 out.push((id, node));
             }
-            return Ok(out);
+            return Ok((out, stall_ms));
         }
 
         // Resolve every owner up front: a sample with no live holder must
@@ -513,10 +628,7 @@ impl DataStore {
                 continue;
             }
             if owners[pos] == rank {
-                let node = self
-                    .owned
-                    .get(&id)
-                    .ok_or(StoreError::MissingSample { id, rank })?;
+                let node = self.local_node(id)?;
                 self.comm.isend(consumer, id, node.to_bytes()).wait();
             }
         }
@@ -527,12 +639,20 @@ impl DataStore {
             }
             let owner = owners[pos];
             let node = if owner == rank {
-                self.owned
-                    .get(&id)
-                    .ok_or(StoreError::MissingSample { id, rank })?
-                    .clone()
+                self.local_node(id)?
             } else {
-                let (_, payload) = self.comm.irecv(owner, id).wait();
+                let mut req = self.comm.irecv(owner, id);
+                let payload = if req.test().is_some() {
+                    req.wait().1
+                } else {
+                    // The payload has not arrived: this rank blocks, and
+                    // the blocked time is the stall the prefetcher wants
+                    // accounted on its fallback path.
+                    let t0 = Instant::now();
+                    let (_, payload) = req.wait();
+                    stall_ms += t0.elapsed().as_secs_f64() * 1e3;
+                    payload
+                };
                 self.stats.shuffled_samples += 1;
                 self.stats.shuffled_bytes += payload.len() as u64;
                 if let Some(o) = &self.obs {
@@ -543,7 +663,7 @@ impl DataStore {
             };
             out.push((id, node));
         }
-        Ok(out)
+        Ok((out, stall_ms))
     }
 
     /// Run a full epoch of exchanges, returning this rank's consumed
@@ -591,10 +711,103 @@ impl DataStore {
         obs.shuffled_samples.add(self.stats.shuffled_samples);
         obs.shuffled_bytes.add(self.stats.shuffled_bytes);
         self.obs = Some(obs);
+        let world_rank = self.comm.world_rank();
+        if let Some(t) = self.tier.as_mut() {
+            t.attach_obs(registry, world_rank);
+        }
     }
 
     /// Population mode.
     pub fn mode(&self) -> PopulateMode {
         self.mode
+    }
+
+    /// Whether this store reads through the tiered (mmap shard → hot
+    /// tier) backing.
+    pub fn is_tiered(&self) -> bool {
+        self.tier.is_some()
+    }
+
+    /// Hot-tier/mapping statistics (tiered stores only).
+    pub fn tier_stats(&self) -> Option<TierStats> {
+        self.tier.as_ref().map(TierBacking::stats)
+    }
+
+    /// Attach a streaming-ingest shard (tiered stores only): a
+    /// `ltfb-bundle` shard some writer — the workflow engine's
+    /// Merlin-analog ingest — keeps appending to. No samples are adopted
+    /// until [`DataStore::refresh_ingest`]; call that at epoch-plan
+    /// boundaries. Collective in spirit but purely local in effect:
+    /// every rank of the trainer must attach the same path.
+    pub fn attach_ingest(&mut self, path: &Path) -> Result<(), StoreError> {
+        let rank = self.comm.rank();
+        match self.tier.as_mut() {
+            Some(t) => t.attach_ingest(path),
+            None => Err(StoreError::MissingSample { id: 0, rank }),
+        }
+    }
+
+    /// Adopt the ingest samples that have become visible since the last
+    /// refresh, growing the partition so the *next* epoch plan covers
+    /// them. Collective: rank 0 decides the authoritative id list from
+    /// its mapping and broadcasts it, so every rank adopts exactly the
+    /// same set even if the writer is appending concurrently. Returns
+    /// the number of samples adopted.
+    pub fn refresh_ingest(&mut self) -> Result<usize, StoreError> {
+        if self.tier.as_ref().is_none_or(|t| !t.has_ingest()) {
+            return Ok(0);
+        }
+        let rank = self.comm.rank();
+        let new_ids: Vec<u64> = if self.comm.size() == 1 {
+            match self.tier.as_mut() {
+                Some(t) => t.visible_new_ingest_ids()?,
+                None => Vec::new(),
+            }
+        } else {
+            let payload = if rank == 0 {
+                let ids = match self.tier.as_mut() {
+                    Some(t) => t.visible_new_ingest_ids()?,
+                    None => Vec::new(),
+                };
+                let mut buf = BytesMut::with_capacity(8 + ids.len() * 8);
+                buf.put_u64_le(ids.len() as u64);
+                for &id in &ids {
+                    buf.put_u64_le(id);
+                }
+                Some(buf.freeze())
+            } else {
+                // Re-map locally so the broadcast ids are visible here
+                // too; the authoritative *list* still comes from rank 0.
+                if let Some(t) = self.tier.as_mut() {
+                    let _ = t.visible_new_ingest_ids()?;
+                }
+                None
+            };
+            let mut raw: Bytes = self.comm.broadcast(0, payload);
+            if raw.remaining() < 8 {
+                return Err(StoreError::CorruptShuffle {
+                    id: 0,
+                    err: crate::node::NodeDecodeError::Truncated,
+                });
+            }
+            let n = raw.get_u64_le() as usize;
+            if raw.remaining() < n * 8 {
+                return Err(StoreError::CorruptShuffle {
+                    id: 0,
+                    err: crate::node::NodeDecodeError::Truncated,
+                });
+            }
+            (0..n).map(|_| raw.get_u64_le()).collect()
+        };
+        if new_ids.is_empty() {
+            return Ok(0);
+        }
+        if let Some(t) = self.tier.as_mut() {
+            t.adopt_ingest_ids(&new_ids, rank)?;
+        }
+        self.ids.extend_from_slice(&new_ids);
+        self.ids.sort_unstable();
+        self.ids.dedup();
+        Ok(new_ids.len())
     }
 }

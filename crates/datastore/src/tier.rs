@@ -1,0 +1,402 @@
+//! The tiered read path: mmap shard → byte-budgeted in-memory hot tier.
+//!
+//! The classic store holds its whole partition as [`Node`]s in RAM,
+//! capping dataset scale at node memory. The tiered backing instead
+//! leaves samples on disk in `ltfb-bundle` shards (mapped lazily, one
+//! map per shard) and promotes fetched samples into a **byte-budgeted
+//! LRU hot tier** of decoded nodes:
+//!
+//! * **hit**  — the sample's node is in the hot tier: clone and return,
+//!   no disk or decode work (the common case once the working set
+//!   warms);
+//! * **miss** — build the node from the shard's zero-copy `&[f32]` view
+//!   (per-record CRC verified), promote it, evicting
+//!   least-recently-used nodes until the budget holds.
+//!
+//! The node built from a view is **bit-identical** to the one the
+//! in-memory store builds from a `.jagb` read (same leaf paths, same
+//! little-endian f32 words), so the shuffle wire bytes — and therefore
+//! training trajectories — are identical between backings; the golden
+//! trajectory test pins this.
+//!
+//! Everything is observable: `store.rN.tier_hit/tier_miss/tier_evicted`
+//! counters and a `store.rN.bytes_mapped` gauge, plus an
+//! `ingest.epoch_growth` gauge updated when streaming ingest adopts new
+//! samples at an epoch-plan boundary.
+
+use crate::node::Node;
+use crate::store::StoreError;
+use ltfb_bundle::MmapShard;
+use ltfb_jag::DatasetSpec;
+use ltfb_obs::{Counter, Gauge, Registry};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+/// Hot-tier and mapping statistics for one rank's tiered backing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierStats {
+    /// Samples served from the hot tier.
+    pub hits: u64,
+    /// Samples decoded from a mapped shard.
+    pub misses: u64,
+    /// Nodes evicted to keep the hot tier under budget.
+    pub evicted: u64,
+    /// Bytes currently spanned by this rank's shard mappings.
+    pub bytes_mapped: u64,
+    /// Bytes of node payload currently resident in the hot tier.
+    pub hot_bytes: u64,
+    /// Samples adopted from the ingest shard so far.
+    pub ingest_adopted: u64,
+}
+
+impl TierStats {
+    /// Fraction of fetches served from the hot tier.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct TierObs {
+    hit: Arc<Counter>,
+    miss: Arc<Counter>,
+    evicted: Arc<Counter>,
+    bytes_mapped: Arc<Gauge>,
+    epoch_growth: Arc<Gauge>,
+}
+
+/// Byte-budgeted LRU cache of decoded sample nodes, keyed by global id.
+/// Deterministic: eviction order is exactly least-recent-use order.
+struct HotTier {
+    budget: u64,
+    bytes: u64,
+    tick: u64,
+    /// id -> (node, the tick of its last use).
+    map: HashMap<u64, (Node, u64)>,
+    /// tick of last use -> id (the LRU order; ticks are unique).
+    order: BTreeMap<u64, u64>,
+}
+
+impl HotTier {
+    fn new(budget: u64) -> HotTier {
+        HotTier {
+            budget,
+            bytes: 0,
+            tick: 0,
+            map: HashMap::new(),
+            order: BTreeMap::new(),
+        }
+    }
+
+    fn get(&mut self, id: u64) -> Option<Node> {
+        self.tick += 1;
+        let tick = self.tick;
+        let (node, last) = self.map.get_mut(&id)?;
+        self.order.remove(&*last);
+        *last = tick;
+        self.order.insert(tick, id);
+        Some(node.clone())
+    }
+
+    /// Insert `node`, evicting LRU entries to honour the budget; returns
+    /// how many nodes were evicted. A node larger than the whole budget
+    /// is served but never cached.
+    fn insert(&mut self, id: u64, node: Node) -> u64 {
+        let sz = node.payload_bytes() as u64;
+        if sz > self.budget {
+            return 0;
+        }
+        let mut evicted = 0;
+        while self.bytes + sz > self.budget {
+            let Some((&oldest_tick, &oldest_id)) = self.order.iter().next() else {
+                break;
+            };
+            self.order.remove(&oldest_tick);
+            if let Some((old, _)) = self.map.remove(&oldest_id) {
+                self.bytes -= old.payload_bytes() as u64;
+            }
+            evicted += 1;
+        }
+        self.tick += 1;
+        self.map.insert(id, (node, self.tick));
+        self.order.insert(self.tick, id);
+        self.bytes += sz;
+        evicted
+    }
+}
+
+/// State of the streaming-ingest shard attached to a tiered store.
+struct IngestState {
+    shard: MmapShard,
+    /// Ids already adopted into the store's partition.
+    adopted: HashSet<u64>,
+}
+
+/// The tiered backing of a [`crate::DataStore`]: lazily mapped shards
+/// plus the hot tier. Present only on stores built with
+/// [`crate::DataStore::new_tiered`].
+pub(crate) struct TierBacking {
+    /// Base-corpus shards by file id, mapped on first touch.
+    shards: HashMap<u64, MmapShard>,
+    ingest: Option<IngestState>,
+    hot: HotTier,
+    stats: TierStats,
+    obs: Option<TierObs>,
+}
+
+/// Build a sample node from a shard record view: one f32-array leaf per
+/// schema field, at the field's (Conduit-style) path. For the JAG schema
+/// this reproduces `sample_to_node` bit-for-bit.
+fn node_from_view(schema: &ltfb_bundle::BundleSchema, view: &[f32]) -> Node {
+    let mut n = Node::map();
+    for (i, field) in schema.fields.iter().enumerate() {
+        let r = schema.field_range(i);
+        n.set(&field.name, Node::F32Array(view[r].to_vec()));
+    }
+    n
+}
+
+impl TierBacking {
+    pub(crate) fn new(hot_budget_bytes: u64) -> TierBacking {
+        TierBacking {
+            shards: HashMap::new(),
+            ingest: None,
+            hot: HotTier::new(hot_budget_bytes),
+            stats: TierStats::default(),
+            obs: None,
+        }
+    }
+
+    pub(crate) fn stats(&self) -> TierStats {
+        TierStats {
+            hot_bytes: self.hot.bytes,
+            ..self.stats
+        }
+    }
+
+    /// True when `id` belongs to the attached ingest shard rather than
+    /// the base corpus.
+    pub(crate) fn is_ingest_id(&self, id: u64) -> bool {
+        self.ingest
+            .as_ref()
+            .is_some_and(|g| g.adopted.contains(&id))
+    }
+
+    pub(crate) fn has_ingest(&self) -> bool {
+        self.ingest.is_some()
+    }
+
+    /// Attach the streaming-ingest shard at `path` (no samples adopted
+    /// until [`TierBacking::refresh_ingest`]).
+    pub(crate) fn attach_ingest(&mut self, path: &std::path::Path) -> Result<(), StoreError> {
+        let shard = MmapShard::open_streaming(path).map_err(StoreError::Shard)?;
+        self.stats.bytes_mapped += shard.bytes_mapped();
+        if let Some(o) = &self.obs {
+            o.bytes_mapped.set(self.stats.bytes_mapped as f64);
+        }
+        self.ingest = Some(IngestState {
+            shard,
+            adopted: HashSet::new(),
+        });
+        Ok(())
+    }
+
+    /// Re-map the ingest shard and return the not-yet-adopted ids in
+    /// record order — the authoritative list rank 0 broadcasts.
+    pub(crate) fn visible_new_ingest_ids(&mut self) -> Result<Vec<u64>, StoreError> {
+        let Some(g) = self.ingest.as_mut() else {
+            return Ok(Vec::new());
+        };
+        let before = g.shard.bytes_mapped();
+        g.shard.refresh().map_err(StoreError::Shard)?;
+        self.stats.bytes_mapped += g.shard.bytes_mapped().saturating_sub(before);
+        if let Some(o) = &self.obs {
+            o.bytes_mapped.set(self.stats.bytes_mapped as f64);
+        }
+        Ok(g.shard
+            .ids()
+            .iter()
+            .copied()
+            .filter(|id| !g.adopted.contains(id))
+            .collect())
+    }
+
+    /// Adopt exactly `new_ids` (the broadcast list) into the ingest set.
+    /// Every id must be visible in this rank's mapping — the caller
+    /// refreshes first — otherwise the writer/reader protocol was
+    /// violated and we fail typed.
+    pub(crate) fn adopt_ingest_ids(
+        &mut self,
+        new_ids: &[u64],
+        rank: usize,
+    ) -> Result<(), StoreError> {
+        let Some(g) = self.ingest.as_mut() else {
+            if new_ids.is_empty() {
+                return Ok(());
+            }
+            return Err(StoreError::MissingSample {
+                id: new_ids[0],
+                rank,
+            });
+        };
+        for &id in new_ids {
+            if g.shard.index_of(id).is_none() {
+                return Err(StoreError::MissingSample { id, rank });
+            }
+            g.adopted.insert(id);
+        }
+        self.stats.ingest_adopted += new_ids.len() as u64;
+        if let Some(o) = &self.obs {
+            o.epoch_growth.set(new_ids.len() as f64);
+        }
+        Ok(())
+    }
+
+    /// Serve sample `id` through the tier (see module docs). `file_reads`
+    /// is the store's `fs_file_reads` stat, bumped once per newly mapped
+    /// shard.
+    pub(crate) fn fetch(
+        &mut self,
+        spec: &DatasetSpec,
+        id: u64,
+        rank: usize,
+        file_reads: &mut u64,
+    ) -> Result<Node, StoreError> {
+        if let Some(node) = self.hot.get(id) {
+            self.stats.hits += 1;
+            if let Some(o) = &self.obs {
+                o.hit.inc();
+            }
+            return Ok(node);
+        }
+        self.stats.misses += 1;
+        if let Some(o) = &self.obs {
+            o.miss.inc();
+        }
+
+        let shard = if self.is_ingest_id(id) {
+            // `is_ingest_id` just proved `ingest` is populated; stay
+            // typed anyway rather than unwrap on a data path.
+            match self.ingest.as_ref() {
+                Some(g) => &g.shard,
+                None => return Err(StoreError::MissingSample { id, rank }),
+            }
+        } else {
+            if id >= spec.n_samples {
+                return Err(StoreError::MissingSample { id, rank });
+            }
+            let (file, _) = spec.locate(id);
+            if !self.shards.contains_key(&file) {
+                let shard = MmapShard::open(&spec.shard_path(file)).map_err(StoreError::Shard)?;
+                *file_reads += 1;
+                self.stats.bytes_mapped += shard.bytes_mapped();
+                if let Some(o) = &self.obs {
+                    o.bytes_mapped.set(self.stats.bytes_mapped as f64);
+                }
+                self.shards.insert(file, shard);
+            }
+            match self.shards.get(&file) {
+                Some(s) => s,
+                None => return Err(StoreError::MissingSample { id, rank }),
+            }
+        };
+        let idx = shard
+            .index_of(id)
+            .ok_or(StoreError::MissingSample { id, rank })?;
+        let view = shard.sample(idx).map_err(StoreError::Shard)?;
+        let node = node_from_view(shard.schema(), view);
+        let evicted = self.hot.insert(id, node.clone());
+        if evicted > 0 {
+            self.stats.evicted += evicted;
+            if let Some(o) = &self.obs {
+                o.evicted.add(evicted);
+            }
+        }
+        Ok(node)
+    }
+
+    /// Mirror tier stats into `registry` as `store.r{world_rank}.…`,
+    /// folding in totals accumulated before attachment.
+    pub(crate) fn attach_obs(&mut self, registry: &Registry, world_rank: usize) {
+        let name = |what: &str| format!("store.r{world_rank}.{what}");
+        let obs = TierObs {
+            hit: registry.counter(&name("tier_hit")),
+            miss: registry.counter(&name("tier_miss")),
+            evicted: registry.counter(&name("tier_evicted")),
+            bytes_mapped: registry.gauge(&name("bytes_mapped")),
+            epoch_growth: registry.gauge("ingest.epoch_growth"),
+        };
+        obs.hit.add(self.stats.hits);
+        obs.miss.add(self.stats.misses);
+        obs.evicted.add(self.stats.evicted);
+        obs.bytes_mapped.set(self.stats.bytes_mapped as f64);
+        self.obs = Some(obs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(words: usize, fill: f32) -> Node {
+        Node::F32Array(vec![fill; words])
+    }
+
+    #[test]
+    fn hot_tier_evicts_in_lru_order() {
+        // Budget fits exactly two 40-byte nodes.
+        let mut hot = HotTier::new(80);
+        assert_eq!(hot.insert(1, leaf(10, 1.0)), 0);
+        assert_eq!(hot.insert(2, leaf(10, 2.0)), 0);
+        // Touch 1 so 2 becomes LRU.
+        assert!(hot.get(1).is_some());
+        assert_eq!(hot.insert(3, leaf(10, 3.0)), 1);
+        assert!(hot.get(2).is_none(), "2 was LRU and must be gone");
+        assert!(hot.get(1).is_some());
+        assert!(hot.get(3).is_some());
+        assert_eq!(hot.bytes, 80);
+    }
+
+    #[test]
+    fn oversized_nodes_are_served_but_never_cached() {
+        let mut hot = HotTier::new(16);
+        assert_eq!(hot.insert(1, leaf(100, 1.0)), 0);
+        assert!(hot.get(1).is_none());
+        assert_eq!(hot.bytes, 0);
+    }
+
+    #[test]
+    fn zero_budget_means_every_fetch_misses() {
+        let mut hot = HotTier::new(0);
+        hot.insert(1, leaf(1, 0.5));
+        assert!(hot.get(1).is_none());
+    }
+
+    #[test]
+    fn node_from_view_matches_manual_layout() {
+        use ltfb_bundle::{BundleSchema, TensorField};
+        let schema = BundleSchema::new(vec![
+            TensorField::new("a/b", vec![2]),
+            TensorField::new("c", vec![3]),
+        ]);
+        let view = [1.0f32, 2.0, 10.0, 20.0, 30.0];
+        let n = node_from_view(&schema, &view);
+        assert_eq!(n.get_f32s("a/b").unwrap(), &[1.0, 2.0]);
+        assert_eq!(n.get_f32s("c").unwrap(), &[10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn hit_rate_arithmetic() {
+        let s = TierStats {
+            hits: 3,
+            misses: 1,
+            ..Default::default()
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(TierStats::default().hit_rate(), 0.0);
+    }
+}

@@ -136,3 +136,66 @@ fn prefetch_obs_exports_counters() {
         .any(|(n, _)| n == "train.prefetch_stall_ms"));
     cleanup_dataset_dir(&spec.dir);
 }
+
+/// The fault-tolerant path runs survivor plans through the prefetcher's
+/// synchronous fallback (mid-epoch plan rebuilds can never be pending).
+/// Those misses must record blocked-receive time in `stall_ms` — the fix
+/// for the stall counter only being wired on the hit path.
+#[test]
+fn survivor_plan_misses_record_stall_time() {
+    let spec = make_dataset("prefetch-survivor-stall");
+    let spec2 = spec.clone();
+    let reg = Registry::new();
+    let reg_inner = reg.clone();
+    let stalls = run_world_obs(3, &reg, move |comm| {
+        let rank = comm.rank();
+        let mut store = DataStore::with_replicas(
+            comm,
+            spec2.clone(),
+            (0..N).collect(),
+            PopulateMode::Preload,
+            MB,
+            77,
+            None,
+            2,
+        )
+        .unwrap();
+        if rank == 1 {
+            return (0, 0.0);
+        }
+        store.mark_rank_dead(1);
+        let mut pf = Prefetcher::new();
+        pf.attach_obs(&reg_inner);
+        let plan = store.epoch_plan_survivors(0);
+        for step in 0..plan.steps() {
+            if rank == 2 {
+                // Late owner: rank 0's receives from rank 2 cannot have
+                // arrived yet, so its fallback fetch must block — and
+                // the blocked time must be accounted, not lost.
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            let _ = pf
+                .fetch_step(&mut store, &plan, step, 0)
+                .expect("survivor fetch");
+        }
+        assert_eq!(pf.hits(), 0, "survivor plans are never pending");
+        (pf.misses(), pf.stall_ms())
+    });
+    let (misses0, stall0) = stalls[0];
+    assert!(misses0 > 0, "rank 0 fell back on every step");
+    assert!(
+        stall0 > 0.0,
+        "blocked receives on the miss path must record stall time"
+    );
+    // The registry gauge mirrors the largest per-rank total (gauges are
+    // shared across the world here; each rank sets its own running sum).
+    let snap = reg.snapshot();
+    let gauge = snap
+        .gauges
+        .iter()
+        .find(|(n, _)| n == "train.prefetch_stall_ms")
+        .expect("stall gauge exported")
+        .1;
+    assert!(gauge > 0.0, "stall must be visible through the registry");
+    cleanup_dataset_dir(&spec.dir);
+}

@@ -1,0 +1,316 @@
+//! Cross-rank integration tests for the tiered (mmap shard → hot tier)
+//! backing: equivalence with the in-memory reference store, budget/LRU
+//! behaviour, typed shard errors, streaming-ingest adoption, and the
+//! fault-tolerant ownership of ingest samples.
+
+use ltfb_bundle::ShardWriter;
+use ltfb_comm::{run_world, run_world_obs};
+use ltfb_datastore::{node_to_sample, DataStore, PopulateMode, StoreError};
+use ltfb_jag::{
+    cleanup_dataset_dir, jag_schema, sample_by_id, sample_payload, temp_dataset_dir, DatasetSpec,
+    JagConfig, JagSimulator,
+};
+use ltfb_obs::Registry;
+
+const N: u64 = 60;
+const PER_FILE: usize = 10;
+const MB: usize = 8;
+
+fn make_dataset(tag: &str) -> DatasetSpec {
+    let spec = DatasetSpec::new(temp_dataset_dir(tag), JagConfig::small(4), N, PER_FILE);
+    spec.generate_all().unwrap();
+    spec.generate_all_shards().unwrap();
+    spec
+}
+
+fn tiered(comm: ltfb_comm::Comm, spec: &DatasetSpec, budget: u64) -> DataStore {
+    DataStore::new_tiered(comm, spec.clone(), (0..N).collect(), MB, 77, budget, 1).unwrap()
+}
+
+#[test]
+fn tiered_matches_in_memory_bit_exactly() {
+    let spec = make_dataset("tier-equivalence");
+    let spec2 = spec.clone();
+    run_world(3, move |comm| {
+        let mut mem = DataStore::new(
+            comm.dup(),
+            spec2.clone(),
+            (0..N).collect(),
+            PopulateMode::Preload,
+            MB,
+            77,
+            None,
+        )
+        .unwrap();
+        // Tight budget: force real evictions while comparing streams.
+        let mut tier = tiered(comm, &spec2, 6 * spec2.cfg.sample_bytes() as u64);
+        for epoch in 0..3 {
+            let a = mem.fetch_epoch(epoch).unwrap();
+            let b = tier.fetch_epoch(epoch).unwrap();
+            assert_eq!(a.len(), b.len(), "epoch {epoch} stream length");
+            for ((ia, na), (ib, nb)) in a.iter().zip(&b) {
+                assert_eq!(ia, ib, "epoch {epoch} id order");
+                assert_eq!(na, nb, "epoch {epoch} sample {ia} payload");
+            }
+        }
+        let s = tier.tier_stats().unwrap();
+        assert!(s.hits + s.misses > 0, "tier must have served fetches");
+        assert!(s.evicted > 0, "tight budget must evict");
+        assert!(s.bytes_mapped > 0, "shards must be mapped");
+        assert!(s.hot_bytes <= 6 * spec2.cfg.sample_bytes() as u64);
+    });
+    cleanup_dataset_dir(&spec.dir);
+}
+
+#[test]
+fn tiered_store_never_loads_whole_partition() {
+    let spec = make_dataset("tier-lazy");
+    let spec2 = spec.clone();
+    run_world(2, move |comm| {
+        let store = tiered(comm, &spec2, 4 * spec2.cfg.sample_bytes() as u64);
+        assert!(store.is_tiered());
+        assert_eq!(
+            store.owned_count(),
+            0,
+            "tiered stores hold no eager in-memory copy"
+        );
+        let s = store.tier_stats().unwrap();
+        assert_eq!(s.hits + s.misses, 0, "no fetches yet");
+        assert_eq!(s.bytes_mapped, 0, "shards map lazily on first touch");
+    });
+    cleanup_dataset_dir(&spec.dir);
+}
+
+#[test]
+fn generous_budget_reaches_high_hit_rate() {
+    let spec = make_dataset("tier-hitrate");
+    let spec2 = spec.clone();
+    run_world(2, move |comm| {
+        let mut store = tiered(comm, &spec2, 1 << 30);
+        for epoch in 0..4 {
+            store.fetch_epoch(epoch).unwrap();
+        }
+        let s = store.tier_stats().unwrap();
+        // Epoch 0 misses everything once; epochs 1..4 hit the hot tier.
+        assert!(
+            s.hit_rate() > 0.5,
+            "expected warm hit rate, got {} ({}h/{}m)",
+            s.hit_rate(),
+            s.hits,
+            s.misses
+        );
+        assert_eq!(s.evicted, 0, "generous budget must not evict");
+    });
+    cleanup_dataset_dir(&spec.dir);
+}
+
+#[test]
+fn tier_obs_counters_mirror_stats() {
+    let spec = make_dataset("tier-obs");
+    let spec2 = spec.clone();
+    let reg = Registry::new();
+    let reg2 = reg.clone();
+    let stats = run_world_obs(2, &reg, move |comm| {
+        let mut store = tiered(comm, &spec2, 6 * spec2.cfg.sample_bytes() as u64);
+        store.attach_obs(&reg2);
+        store.fetch_epoch(0).unwrap();
+        store.fetch_epoch(1).unwrap();
+        store.tier_stats().unwrap()
+    });
+    for (r, s) in stats.iter().enumerate() {
+        assert_eq!(reg.counter(&format!("store.r{r}.tier_hit")).get(), s.hits);
+        assert_eq!(
+            reg.counter(&format!("store.r{r}.tier_miss")).get(),
+            s.misses
+        );
+        assert_eq!(
+            reg.counter(&format!("store.r{r}.tier_evicted")).get(),
+            s.evicted
+        );
+        assert_eq!(
+            reg.gauge(&format!("store.r{r}.bytes_mapped")).get() as u64,
+            s.bytes_mapped
+        );
+    }
+    cleanup_dataset_dir(&spec.dir);
+}
+
+#[test]
+fn corrupt_shard_is_a_typed_error_not_a_panic() {
+    let spec = make_dataset("tier-corrupt");
+    // Flip a payload byte in shard 0 (past header+schema+record header).
+    let path = spec.shard_path(0);
+    let mut raw = std::fs::read(&path).unwrap();
+    let n = raw.len();
+    raw[n - 5] ^= 0xFF;
+    std::fs::write(&path, raw).unwrap();
+    let spec2 = spec.clone();
+    run_world(1, move |comm| {
+        let mut store = tiered(comm, &spec2, 1 << 20);
+        let plan = store.epoch_plan(0);
+        let mut saw_err = false;
+        for step in 0..plan.steps() {
+            match store.fetch_step(&plan, step, 0) {
+                Ok(_) => continue,
+                Err(StoreError::Shard(_)) => {
+                    saw_err = true;
+                    break;
+                }
+                Err(e) => panic!("expected Shard error, got {e}"),
+            }
+        }
+        assert!(
+            saw_err,
+            "corrupted record must surface as StoreError::Shard"
+        );
+    });
+    cleanup_dataset_dir(&spec.dir);
+}
+
+#[test]
+fn missing_shard_file_is_a_typed_error() {
+    let spec = make_dataset("tier-missing-file");
+    std::fs::remove_file(spec.shard_path(1)).unwrap();
+    let spec2 = spec.clone();
+    run_world(1, move |comm| {
+        let mut store = tiered(comm, &spec2, 1 << 20);
+        let plan = store.epoch_plan(0);
+        let mut saw_err = false;
+        for step in 0..plan.steps() {
+            match store.fetch_step(&plan, step, 0) {
+                Ok(_) => continue,
+                Err(StoreError::Shard(_)) => {
+                    saw_err = true;
+                    break;
+                }
+                Err(e) => panic!("expected Shard error, got {e}"),
+            }
+        }
+        assert!(saw_err, "missing shard must surface as StoreError::Shard");
+    });
+    cleanup_dataset_dir(&spec.dir);
+}
+
+/// Append `count` fresh simulator samples (ids starting at `next_id`) to
+/// the streaming shard at `path`, creating it on first use.
+fn ingest_append(spec: &DatasetSpec, path: &std::path::Path, next_id: u64, count: u64) {
+    let sim = JagSimulator::new(spec.cfg);
+    let mut w = if path.exists() {
+        ShardWriter::open_append(path, jag_schema(&spec.cfg)).unwrap()
+    } else {
+        ShardWriter::create(path, jag_schema(&spec.cfg)).unwrap()
+    };
+    for i in 0..count {
+        let id = next_id + i;
+        let s = sim.simulate(spec.params_of(id));
+        w.append(id, &sample_payload(&s)).unwrap();
+    }
+    w.flush().unwrap();
+}
+
+#[test]
+fn ingest_grows_the_partition_at_refresh_boundaries() {
+    let spec = make_dataset("tier-ingest");
+    let ingest_path = spec.dir.join("ingest.ltbs");
+    // Samples must exist before ranks attach (open_streaming maps the file).
+    ingest_append(&spec, &ingest_path, N, 5);
+    let spec2 = spec.clone();
+    let ingest2 = ingest_path.clone();
+    let consumed = run_world(3, move |comm| {
+        let mut store = tiered(comm, &spec2, 1 << 20);
+        store.attach_ingest(&ingest2).unwrap();
+        assert_eq!(store.partition_len(), N as usize);
+        // Nothing adopted until the collective refresh.
+        let adopted = store.refresh_ingest().unwrap();
+        assert_eq!(adopted, 5, "all visible ingest samples adopted");
+        assert_eq!(store.partition_len(), N as usize + 5);
+        // Idempotent: a second refresh with no new appends adopts nothing.
+        assert_eq!(store.refresh_ingest().unwrap(), 0);
+        let got = store.fetch_epoch(0).unwrap();
+        for (id, node) in &got {
+            let s = node_to_sample(node).expect("ingest node schema intact");
+            assert_eq!(
+                s,
+                sample_by_id(&JagConfig::small(4), 0, *id),
+                "sample {id} corrupted"
+            );
+        }
+        got.into_iter().map(|(id, _)| id).collect::<Vec<u64>>()
+    });
+    let mut all: Vec<u64> = consumed.into_iter().flatten().collect();
+    all.sort_unstable();
+    assert_eq!(
+        all,
+        (0..N + 5).collect::<Vec<_>>(),
+        "epoch covers base + ingest samples exactly once"
+    );
+    cleanup_dataset_dir(&spec.dir);
+}
+
+#[test]
+fn mid_training_appends_become_visible_next_refresh() {
+    let spec = make_dataset("tier-ingest-grow");
+    let ingest_path = spec.dir.join("ingest.ltbs");
+    ingest_append(&spec, &ingest_path, N, 3);
+    let spec2 = spec.clone();
+    let ingest2 = ingest_path.clone();
+    run_world(2, move |comm| {
+        let rank = comm.rank();
+        let barrier_comm = comm.dup();
+        let mut store = tiered(comm, &spec2, 1 << 20);
+        store.attach_ingest(&ingest2).unwrap();
+        assert_eq!(store.refresh_ingest().unwrap(), 3);
+        store.fetch_epoch(0).unwrap();
+        // The writer appends while epoch 0 trains; only rank 0's view
+        // decides adoption, but both ranks must see the same count.
+        if rank == 0 {
+            ingest_append(&spec2, &ingest2, N + 3, 4);
+        }
+        barrier_comm.barrier();
+        assert_eq!(store.refresh_ingest().unwrap(), 4);
+        assert_eq!(store.partition_len(), N as usize + 7);
+        let got = store.fetch_epoch(1).unwrap();
+        let stats = store.tier_stats().unwrap();
+        assert_eq!(stats.ingest_adopted, 7);
+        got.len()
+    });
+    cleanup_dataset_dir(&spec.dir);
+}
+
+#[test]
+fn ingest_samples_survive_a_dead_rank() {
+    // Ingest ids are servable by every rank (the shard is shared), so a
+    // dead round-robin owner falls through to the next live rank.
+    let spec = make_dataset("tier-ingest-death");
+    let ingest_path = spec.dir.join("ingest.ltbs");
+    ingest_append(&spec, &ingest_path, N, 6);
+    let spec2 = spec.clone();
+    let ingest2 = ingest_path.clone();
+    let fetched = run_world(3, move |comm| {
+        let rank = comm.rank();
+        let mut store =
+            DataStore::new_tiered(comm, spec2.clone(), (0..N).collect(), MB, 77, 1 << 20, 2)
+                .unwrap();
+        store.attach_ingest(&ingest2).unwrap();
+        store.refresh_ingest().unwrap();
+        if rank == 1 {
+            return Vec::new();
+        }
+        store.mark_rank_dead(1);
+        let plan = store.epoch_plan_survivors(0);
+        let mut got = Vec::new();
+        for step in 0..plan.steps() {
+            got.extend(store.fetch_step(&plan, step, 0).expect("survivor fetch"));
+        }
+        got.into_iter().map(|(id, _)| id).collect::<Vec<u64>>()
+    });
+    assert!(fetched[1].is_empty());
+    let mut all: Vec<u64> = fetched.into_iter().flatten().collect();
+    all.sort_unstable();
+    assert_eq!(
+        all,
+        (0..N + 6).collect::<Vec<_>>(),
+        "survivors cover base + ingest samples exactly once"
+    );
+    cleanup_dataset_dir(&spec.dir);
+}

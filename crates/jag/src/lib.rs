@@ -11,6 +11,8 @@
 //!   paper's spectral design-of-experiments method;
 //! * [`bundle`]    — the fixed-record multi-sample file format replacing
 //!   HDF5 (1,000 samples per file), with checksummed whole-file reads;
+//! * [`shard`]     — the same records in the `ltfb-bundle` mmap-shard
+//!   format (self-describing schema, per-record CRCs, streaming append);
 //! * [`dataset`]   — global-sample-id <-> (file, offset) layout and
 //!   deterministic generation;
 //! * [`images`]    — PGM export and image-space error metrics for Fig. 8.
@@ -22,6 +24,7 @@ pub mod config;
 pub mod dataset;
 pub mod images;
 pub mod sampling;
+pub mod shard;
 pub mod simulator;
 
 pub use bundle::{write_bundle, BundleError, BundleReader};
@@ -29,4 +32,5 @@ pub use config::{JagConfig, Sample, N_CHANNELS, N_IMAGES, N_PARAMS, N_SCALARS, N
 pub use dataset::{cleanup_dataset_dir, sample_by_id, temp_dataset_dir, DatasetSpec};
 pub use images::{image_errors, pearson, write_pair_pgm, write_pgm, ImageErrors};
 pub use sampling::{discrepancy_proxy, halton_point, r2_point, r2_sequence, random_design};
+pub use shard::{jag_schema, sample_payload, JAG_FIELDS};
 pub use simulator::JagSimulator;

@@ -1,0 +1,136 @@
+//! JAG datasets in the `ltfb-bundle` shard format — the out-of-core
+//! sibling of the legacy `.jagb` bundle files.
+//!
+//! A shard stores the same fixed-stride `params | scalars | images`
+//! records the `.jagb` format does, but behind a self-describing schema
+//! and per-record checksums, so the tiered data store can map shards and
+//! hand out `&[f32]` sample views, and streaming ingest can append fresh
+//! samples mid-training. The field names match the Conduit-node paths
+//! the store exchanges (`inputs/params`, …): a node built from a shard
+//! view is **bit-identical** to one built by `sample_to_node` from a
+//! `.jagb` read, which is what the tiered/in-memory golden trajectory
+//! test pins down.
+
+use crate::config::{JagConfig, Sample, N_CHANNELS, N_PARAMS, N_SCALARS, N_VIEWS};
+use crate::dataset::DatasetSpec;
+use crate::simulator::JagSimulator;
+use ltfb_bundle::{BundleSchema, CheckpointError, MmapShard, ShardWriter, TensorField};
+use std::path::PathBuf;
+
+/// Conduit paths of the three JAG record fields, in record order.
+pub const JAG_FIELDS: [&str; 3] = ["inputs/params", "outputs/scalars", "outputs/images"];
+
+/// The bundle schema of a JAG sample record at this image resolution.
+pub fn jag_schema(cfg: &JagConfig) -> BundleSchema {
+    BundleSchema::new(vec![
+        TensorField::new(JAG_FIELDS[0], vec![N_PARAMS as u64]),
+        TensorField::new(JAG_FIELDS[1], vec![N_SCALARS as u64]),
+        TensorField::new(
+            JAG_FIELDS[2],
+            vec![
+                (N_VIEWS * N_CHANNELS) as u64,
+                cfg.img_size as u64,
+                cfg.img_size as u64,
+            ],
+        ),
+    ])
+}
+
+/// Flatten a sample into its shard payload (`params | scalars | images`
+/// — the same word order as the `.jagb` format).
+pub fn sample_payload(s: &Sample) -> Vec<f32> {
+    let mut v = Vec::with_capacity(N_PARAMS + N_SCALARS + s.images.len());
+    v.extend_from_slice(&s.params);
+    v.extend_from_slice(&s.scalars);
+    v.extend_from_slice(&s.images);
+    v
+}
+
+impl DatasetSpec {
+    /// Path of shard file `f` (sibling naming to [`DatasetSpec::file_path`]).
+    pub fn shard_path(&self, f: u64) -> PathBuf {
+        self.dir.join(format!("shard_{f:06}.ltbs"))
+    }
+
+    /// Generate and write shard file `f` with the same sample ids and
+    /// contents as `.jagb` file `f`. Returns the number of samples
+    /// written. Idempotent: same inputs produce a byte-identical file.
+    pub fn generate_shard_file(&self, f: u64) -> Result<usize, CheckpointError> {
+        std::fs::create_dir_all(&self.dir)?;
+        let sim = JagSimulator::new(self.cfg);
+        let start = f * self.samples_per_file as u64;
+        let count = self.samples_in_file(f);
+        let mut w = ShardWriter::create(&self.shard_path(f), jag_schema(&self.cfg))?;
+        for i in 0..count as u64 {
+            let id = start + i;
+            let s = sim.simulate(self.params_of(id));
+            w.append(id, &sample_payload(&s))?;
+        }
+        w.flush()?;
+        Ok(count)
+    }
+
+    /// Generate every shard file (serially; the workflow engine
+    /// parallelises this in the CLI demo).
+    pub fn generate_all_shards(&self) -> Result<(), CheckpointError> {
+        for f in 0..self.n_files() {
+            self.generate_shard_file(f)?;
+        }
+        Ok(())
+    }
+
+    /// Map shard file `f`.
+    pub fn open_shard(&self, f: u64) -> Result<MmapShard, CheckpointError> {
+        MmapShard::open(&self.shard_path(f))
+    }
+
+    /// True when every shard file exists.
+    pub fn shards_generated(&self) -> bool {
+        (0..self.n_files()).all(|f| self.shard_path(f).exists())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{cleanup_dataset_dir, sample_by_id, temp_dataset_dir};
+
+    #[test]
+    fn shard_views_match_simulator_bit_exact() {
+        let spec = DatasetSpec::new(temp_dataset_dir("shard-gen"), JagConfig::small(8), 23, 10);
+        spec.generate_all_shards().unwrap();
+        assert!(spec.shards_generated());
+        for (f, want_n) in [(0u64, 10usize), (2, 3)] {
+            let shard = spec.open_shard(f).unwrap();
+            assert_eq!(shard.len(), want_n, "file {f}");
+            assert_eq!(shard.schema(), &jag_schema(&spec.cfg));
+            for &id in shard.ids() {
+                let view = shard.sample_by_id(id).unwrap().unwrap();
+                let direct = sample_by_id(&spec.cfg, 0, id);
+                assert_eq!(view, &sample_payload(&direct)[..], "sample {id}");
+            }
+        }
+        cleanup_dataset_dir(&spec.dir);
+    }
+
+    #[test]
+    fn shard_generation_is_idempotent() {
+        let spec = DatasetSpec::new(temp_dataset_dir("shard-idem"), JagConfig::small(8), 12, 6);
+        spec.generate_shard_file(1).unwrap();
+        let a = std::fs::read(spec.shard_path(1)).unwrap();
+        spec.generate_shard_file(1).unwrap();
+        let b = std::fs::read(spec.shard_path(1)).unwrap();
+        assert_eq!(a, b, "regeneration must be byte-identical");
+        cleanup_dataset_dir(&spec.dir);
+    }
+
+    #[test]
+    fn schema_geometry_matches_config() {
+        let cfg = JagConfig::small(16);
+        let s = jag_schema(&cfg);
+        assert_eq!(s.record_len(), cfg.sample_len());
+        assert_eq!(s.record_bytes(), cfg.sample_bytes());
+        let (_, images) = s.field_named("outputs/images").unwrap();
+        assert_eq!(images.len(), cfg.image_len());
+    }
+}

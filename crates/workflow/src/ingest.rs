@@ -1,0 +1,227 @@
+//! Streaming ingest: append freshly generated samples to an open
+//! `ltfb-bundle` shard *while training consumes it*.
+//!
+//! The paper's pipeline is producer/consumer at the filesystem boundary:
+//! Merlin keeps generating JAG bundles while LBANN trains on the ones
+//! already written. [`StreamingIngest`] reproduces that coupling over a
+//! single appendable shard — the workflow engine generates payloads in
+//! parallel, the ingest handle appends them **in submission order** (so
+//! the shard bytes are deterministic regardless of worker scheduling),
+//! and a tiered [`DataStore`] on the training side adopts whatever is
+//! visible at each epoch-plan boundary via its `refresh_ingest`.
+//!
+//! Appends are only guaranteed visible to readers after
+//! [`StreamingIngest::publish`] flushes them; call it once per generation
+//! round, not per sample.
+//!
+//! [`DataStore`]: ../../ltfb_datastore/store/struct.DataStore.html
+
+use crate::engine::{run_workflow, TaskError, WorkflowSpec};
+use crate::stats::WorkflowStats;
+use ltfb_bundle::{BundleSchema, CheckpointError, ShardWriter};
+use ltfb_obs::{Counter, Registry};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Registry mirrors for the ingest side of the pipeline.
+struct IngestObs {
+    samples: Arc<Counter>,
+    bytes: Arc<Counter>,
+}
+
+/// An appendable shard plus ingest accounting (see module docs).
+pub struct StreamingIngest {
+    writer: ShardWriter,
+    samples: u64,
+    bytes: u64,
+    obs: Option<IngestObs>,
+}
+
+impl StreamingIngest {
+    /// Create a fresh streaming shard at `path` (truncating).
+    pub fn create(path: &Path, schema: BundleSchema) -> Result<StreamingIngest, CheckpointError> {
+        Ok(StreamingIngest::wrap(ShardWriter::create(path, schema)?))
+    }
+
+    /// Reopen an existing streaming shard for further appends; `schema`
+    /// must match what is on disk.
+    pub fn open_append(
+        path: &Path,
+        schema: BundleSchema,
+    ) -> Result<StreamingIngest, CheckpointError> {
+        Ok(StreamingIngest::wrap(ShardWriter::open_append(
+            path, schema,
+        )?))
+    }
+
+    fn wrap(writer: ShardWriter) -> StreamingIngest {
+        StreamingIngest {
+            writer,
+            samples: 0,
+            bytes: 0,
+            obs: None,
+        }
+    }
+
+    /// Append one generated sample. Payload length must match the schema
+    /// (typed `ConfigMismatch` otherwise — never a panic).
+    pub fn append(&mut self, id: u64, payload: &[f32]) -> Result<(), CheckpointError> {
+        let before = self.writer.bytes_written();
+        self.writer.append(id, payload)?;
+        let grew = self.writer.bytes_written() - before;
+        self.samples += 1;
+        self.bytes += grew;
+        if let Some(o) = &self.obs {
+            o.samples.inc();
+            o.bytes.add(grew);
+        }
+        Ok(())
+    }
+
+    /// Flush appended records so shard readers (`refresh_ingest` on the
+    /// training side) can see them.
+    pub fn publish(&mut self) -> Result<(), CheckpointError> {
+        self.writer.flush()
+    }
+
+    /// Generate `tasks` through the workflow engine's worker pool and
+    /// append every successful result in **submission order** — parallel
+    /// generation, deterministic shard bytes. Returns the per-task
+    /// failures (if any) alongside the pool stats; failed tasks append
+    /// nothing and leave a gap in the id sequence for the caller to
+    /// retry. Publishes once at the end of the round.
+    pub fn generate_round<T, F>(
+        &mut self,
+        spec: &WorkflowSpec,
+        tasks: &[T],
+        gen: F,
+    ) -> Result<(Vec<TaskError>, WorkflowStats), CheckpointError>
+    where
+        T: Sync,
+        F: Fn(&T) -> Result<(u64, Vec<f32>), String> + Sync,
+    {
+        let (results, stats) = run_workflow(spec, tasks, gen);
+        let mut failures = Vec::new();
+        for r in results {
+            match r {
+                Ok((id, payload)) => self.append(id, &payload)?,
+                Err(e) => failures.push(e),
+            }
+        }
+        self.publish()?;
+        Ok((failures, stats))
+    }
+
+    /// Samples appended through this handle.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Shard bytes appended through this handle (record headers included).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Total samples in the shard (pre-existing + appended).
+    pub fn shard_len(&self) -> usize {
+        self.writer.count()
+    }
+
+    /// Mirror ingest totals into `registry` as `ingest.samples` and
+    /// `ingest.bytes`, folding in what was appended before attachment.
+    pub fn attach_obs(&mut self, registry: &Registry) {
+        let obs = IngestObs {
+            samples: registry.counter("ingest.samples"),
+            bytes: registry.counter("ingest.bytes"),
+        };
+        obs.samples.add(self.samples);
+        obs.bytes.add(self.bytes);
+        self.obs = Some(obs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltfb_bundle::{MmapShard, TensorField};
+
+    fn schema() -> BundleSchema {
+        BundleSchema::new(vec![TensorField::new("x", vec![4])])
+    }
+
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("ltfb-ingest-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d.join("stream.ltbs")
+    }
+
+    #[test]
+    fn appends_are_visible_after_publish_and_counted() {
+        let path = tmp("visible");
+        let mut ing = StreamingIngest::create(&path, schema()).unwrap();
+        let reg = Registry::new();
+        ing.attach_obs(&reg);
+        for id in 0..5u64 {
+            ing.append(id, &[id as f32; 4]).unwrap();
+        }
+        ing.publish().unwrap();
+        assert_eq!(ing.samples(), 5);
+        assert_eq!(reg.counter("ingest.samples").get(), 5);
+        assert_eq!(reg.counter("ingest.bytes").get(), ing.bytes());
+        let shard = MmapShard::open(&path).unwrap();
+        assert_eq!(shard.len(), 5);
+        assert_eq!(shard.sample_by_id(3).unwrap().unwrap(), &[3.0f32; 4][..]);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn generate_round_is_deterministic_despite_parallel_workers() {
+        let spec = WorkflowSpec {
+            workers: 4,
+            batch_size: 3,
+            ..WorkflowSpec::default()
+        };
+        let tasks: Vec<u64> = (0..20).collect();
+        let gen = |&id: &u64| Ok((id, vec![id as f32, 0.0, 1.0, 2.0]));
+        let mut files = Vec::new();
+        for run in 0..2 {
+            let path = tmp(&format!("det{run}"));
+            let mut ing = StreamingIngest::create(&path, schema()).unwrap();
+            let (failures, stats) = ing.generate_round(&spec, &tasks, gen).unwrap();
+            assert!(failures.is_empty());
+            assert_eq!(stats.tasks_succeeded, 20);
+            files.push(std::fs::read(&path).unwrap());
+            std::fs::remove_dir_all(path.parent().unwrap()).ok();
+        }
+        assert_eq!(
+            files[0], files[1],
+            "shard bytes must not depend on scheduling"
+        );
+    }
+
+    #[test]
+    fn wrong_payload_len_is_typed_not_a_panic() {
+        let path = tmp("badlen");
+        let mut ing = StreamingIngest::create(&path, schema()).unwrap();
+        let err = ing.append(0, &[1.0; 3]).unwrap_err();
+        assert!(matches!(err, CheckpointError::ConfigMismatch(_)));
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn reopen_folds_into_the_same_shard() {
+        let path = tmp("reopen");
+        let mut ing = StreamingIngest::create(&path, schema()).unwrap();
+        ing.append(0, &[0.0; 4]).unwrap();
+        ing.publish().unwrap();
+        drop(ing);
+        let mut ing = StreamingIngest::open_append(&path, schema()).unwrap();
+        assert_eq!(ing.shard_len(), 1);
+        assert_eq!(ing.samples(), 0, "handle counts only its own appends");
+        ing.append(1, &[1.0; 4]).unwrap();
+        ing.publish().unwrap();
+        let shard = MmapShard::open(&path).unwrap();
+        assert_eq!(shard.ids(), &[0, 1]);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+}

@@ -15,14 +15,19 @@
 //!   fast tasks.
 //!
 //! The engine is generic over the task payload; the glue that generates
-//! the JAG dataset with it lives in the examples and benches.
+//! the JAG dataset with it lives in the examples and benches. The
+//! [`ingest`] module couples the engine to training: workers generate
+//! sample payloads in parallel and [`StreamingIngest`] appends them to an
+//! open `ltfb-bundle` shard the tiered data store is consuming.
 
 #![forbid(unsafe_code)]
 
 pub mod dag;
 pub mod engine;
+pub mod ingest;
 pub mod stats;
 
 pub use dag::{run_dag, validate_dag, DagError, DagTask};
 pub use engine::{run_stages, run_workflow, Stage, TaskError, WorkflowSpec};
+pub use ingest::StreamingIngest;
 pub use stats::WorkflowStats;

@@ -32,4 +32,7 @@ scripts/metrics_smoke.sh
 echo "==> perf smoke (zero-alloc hot path + throughput regression gate)"
 scripts/perf_smoke.sh
 
+echo "==> store smoke (tiered bit-identity + tier/ingest metrics + bench)"
+scripts/store_smoke.sh
+
 echo "CI green."

@@ -1,0 +1,172 @@
+//! Offline shim for the `memmap2` crate: read-only file "mappings" with
+//! the real crate's observable semantics for the subset this workspace
+//! uses.
+//!
+//! The genuine `memmap2::Mmap::map` is `unsafe` (the kernel may change
+//! the file under the mapping); this workspace forbids `unsafe` outright,
+//! so the shim *snapshots* the file into an owned buffer instead of
+//! issuing `mmap(2)`. Two semantics matter to callers and are preserved:
+//!
+//! * a mapping is an immutable `&[u8]` view of the file as it was at map
+//!   time — later appends by a writer are **not** visible until the
+//!   caller re-maps (exactly how a fixed-length real mapping behaves);
+//! * [`Mmap::as_f32s`] hands out aligned `&[f32]` views without copying
+//!   per call — the stand-in for the `bytemuck`-style cast consumers do
+//!   on a real mapping. The word buffer is decoded once at map time
+//!   (little-endian), so repeated sample views are zero-copy slices.
+//!
+//! The snapshot costs one extra copy of the file relative to a true
+//! mapping; for the out-of-core store this preserves the *access
+//! pattern* (no per-fetch deserialisation, no per-fetch I/O) which is
+//! what the workspace measures.
+
+#![forbid(unsafe_code)]
+
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::ops::Deref;
+use std::path::Path;
+
+/// A read-only mapping of a file (see module docs for shim semantics).
+pub struct Mmap {
+    bytes: Vec<u8>,
+    /// The file's 4-byte-aligned prefix decoded as little-endian f32
+    /// words, so [`Mmap::as_f32s`] is a plain slice borrow.
+    words: Vec<f32>,
+}
+
+impl Mmap {
+    /// Map `file` from offset 0, regardless of its current cursor.
+    ///
+    /// Safe in this shim (it snapshots; see module docs) where the real
+    /// crate's is `unsafe`.
+    pub fn map(file: &File) -> std::io::Result<Mmap> {
+        let mut f = file;
+        f.seek(SeekFrom::Start(0))?;
+        let mut bytes = Vec::new();
+        f.read_to_end(&mut bytes)?;
+        Ok(Mmap::from_bytes(bytes))
+    }
+
+    /// Convenience: open `path` read-only and map it.
+    pub fn map_path(path: &Path) -> std::io::Result<Mmap> {
+        Mmap::map(&File::open(path)?)
+    }
+
+    fn from_bytes(bytes: Vec<u8>) -> Mmap {
+        let words = bytes
+            .chunks_exact(4)
+            .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+            .collect();
+        Mmap { bytes, words }
+    }
+
+    /// Length of the mapping in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// A zero-copy `&[f32]` view of `count` words starting at byte
+    /// offset `byte_off`. `None` if the offset is not 4-byte aligned or
+    /// the range runs past the mapping.
+    pub fn as_f32s(&self, byte_off: usize, count: usize) -> Option<&[f32]> {
+        if !byte_off.is_multiple_of(4) {
+            return None;
+        }
+        let start = byte_off / 4;
+        let end = start.checked_add(count)?;
+        self.words.get(start..end)
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    fn as_ref(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::path::PathBuf;
+
+    fn temp_file(tag: &str, contents: &[u8]) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("memmap2-shim-{tag}-{}", std::process::id()));
+        let mut f = File::create(&p).unwrap();
+        f.write_all(contents).unwrap();
+        p
+    }
+
+    #[test]
+    fn maps_whole_file_as_bytes() {
+        let p = temp_file("bytes", b"hello mapping");
+        let m = Mmap::map_path(&p).unwrap();
+        assert_eq!(&*m, b"hello mapping");
+        assert_eq!(m.len(), 13);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn f32_views_decode_little_endian_words() {
+        let vals = [1.5f32, -2.25, 3.0e7, f32::MIN_POSITIVE];
+        let mut raw = Vec::new();
+        for v in vals {
+            raw.extend_from_slice(&v.to_le_bytes());
+        }
+        let p = temp_file("f32", &raw);
+        let m = Mmap::map_path(&p).unwrap();
+        assert_eq!(m.as_f32s(0, 4).unwrap(), &vals);
+        assert_eq!(m.as_f32s(4, 2).unwrap(), &vals[1..3]);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn misaligned_or_overlong_views_are_refused() {
+        let p = temp_file("refuse", &[0u8; 16]);
+        let m = Mmap::map_path(&p).unwrap();
+        assert!(m.as_f32s(2, 1).is_none(), "unaligned offset");
+        assert!(m.as_f32s(0, 5).is_none(), "past the end");
+        assert!(m.as_f32s(16, 1).is_none());
+        assert_eq!(m.as_f32s(12, 1).unwrap().len(), 1);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn map_ignores_file_cursor_and_snapshots() {
+        let p = temp_file("cursor", b"0123456789");
+        let mut f = File::open(&p).unwrap();
+        f.seek(SeekFrom::Start(5)).unwrap();
+        let m = Mmap::map(&f).unwrap();
+        assert_eq!(&*m, b"0123456789");
+        // Appends after mapping are invisible until a re-map.
+        let mut w = std::fs::OpenOptions::new().append(true).open(&p).unwrap();
+        w.write_all(b"AB").unwrap();
+        drop(w);
+        assert_eq!(m.len(), 10);
+        let remapped = Mmap::map_path(&p).unwrap();
+        assert_eq!(remapped.len(), 12);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn empty_file_maps_empty() {
+        let p = temp_file("empty", b"");
+        let m = Mmap::map_path(&p).unwrap();
+        assert!(m.is_empty());
+        assert_eq!(m.as_f32s(0, 0).unwrap(), &[] as &[f32]);
+        std::fs::remove_file(&p).unwrap();
+    }
+}

@@ -116,6 +116,17 @@ pub trait Strategy {
         Map { inner: self, f }
     }
 
+    /// Chain a dependent strategy: generate a value, then sample from
+    /// the strategy it selects (the real crate's flat-map).
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
     /// Discard values failing `pred` (resampled, bounded retries).
     fn prop_filter<F: Fn(&Self::Value) -> bool>(
         self,
@@ -214,6 +225,20 @@ impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
 
     fn sample(&self, rng: &mut TestRng) -> U {
         (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
     }
 }
 
@@ -463,6 +488,32 @@ fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
 }
 
 /// Collection strategies (`prop::collection::{vec, btree_map}`).
+/// The real crate's `prop::sample` module: strategies for picking
+/// positions out of runtime-sized collections.
+pub mod sample_support {
+    use crate::test_runner::TestRng;
+    use crate::Arbitrary;
+
+    /// An index into a collection whose length is only known inside the
+    /// test body (`any::<Index>()` then `idx.index(len)`).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Map onto `0..len`. Panics on `len == 0` like the real crate.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "cannot index an empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64())
+        }
+    }
+}
+
 pub mod collection {
     use super::*;
 
@@ -681,9 +732,11 @@ pub mod prelude {
         Arbitrary, BoxedStrategy, Just, Strategy,
     };
 
-    /// `prop::collection::...` paths as used in test files.
+    /// `prop::collection::...` / `prop::sample::...` paths as used in
+    /// test files.
     pub mod prop {
         pub use crate::collection;
+        pub use crate::sample_support as sample;
     }
 }
 

@@ -3,7 +3,8 @@
 //! ```text
 //! ltfb-cli train    [--trainers K] [--steps N] [--seed S] [--distributed]
 //!                   [--lr-spread F] [--by-index] [--kindep]
-//!                   [--fault SPEC] [--ingest] [--metrics [PATH]]
+//!                   [--fault SPEC] [--ingest] [--store mmap[:<dir>]]
+//!                   [--metrics [PATH]]
 //! ltfb-cli classify [--trainers K] [--steps N] [--seed S]
 //! ltfb-cli simulate <fig9|fig10|fig11>
 //! ltfb-cli generate --dir PATH [--samples N] [--per-file M]
@@ -193,6 +194,181 @@ fn ingest_demo(seed: u64, metrics: Option<&Registry>) {
     cleanup_dataset_dir(&dir);
 }
 
+/// Tiered-store demo phase (`--store mmap[:<dir>]`): a 2-rank trainer
+/// runs the same golden-seed epochs twice — once over the in-memory
+/// reference store, once over the tiered mmap-shard store with a hot-tier
+/// budget below the partition — and prints a greppable
+/// `bit_identical=<bool>` verdict plus the tier hit rate. A streaming
+/// shard written through the workflow engine's [`StreamingIngest`] is
+/// adopted at an epoch boundary mid-run, so a `--metrics` export carries
+/// `store.rN.tier_*`, `store.rN.bytes_mapped`, `ingest.samples/bytes`
+/// and `ingest.epoch_growth` alongside the training metrics.
+fn store_demo(arg: &str, seed: u64, metrics: Option<&Registry>) -> bool {
+    use ltfb::comm::{run_world, run_world_obs};
+    use ltfb::datastore::{node_to_sample, DataStore, PopulateMode};
+    use ltfb::gan::{batch_from_samples, CycleGan, CycleGanConfig, StepLosses};
+    use ltfb::jag::{cleanup_dataset_dir, jag_schema, sample_payload, temp_dataset_dir, Sample};
+    use ltfb::workflow::{StreamingIngest, WorkflowSpec};
+
+    const RANKS: usize = 2;
+    const N: u64 = 48;
+    const EPOCHS: u64 = 3;
+    let (dir, throwaway) = match arg.strip_prefix("mmap") {
+        Some("") => (temp_dataset_dir(&format!("cli-store-{seed}")), true),
+        Some(rest) => match rest.strip_prefix(':') {
+            Some(d) if !d.is_empty() => (PathBuf::from(d), false),
+            _ => {
+                eprintln!("bad --store spec `{arg}`: use mmap or mmap:<dir>");
+                return false;
+            }
+        },
+        None => {
+            eprintln!("bad --store spec `{arg}`: use mmap or mmap:<dir>");
+            return false;
+        }
+    };
+    let cfg = CycleGanConfig::small(4);
+    let spec = DatasetSpec::new(dir.clone(), cfg.jag, N, 8);
+    if let Err(e) = spec.generate_all() {
+        eprintln!("store demo: cannot generate dataset: {e}");
+        return false;
+    }
+    if let Err(e) = spec.generate_all_shards() {
+        eprintln!("store demo: cannot generate shards: {e}");
+        return false;
+    }
+    // Streaming side: the workflow engine generates four fresh samples
+    // into an appendable shard the trainer adopts at an epoch boundary.
+    let ingest_path = dir.join("ingest.ltbs");
+    let sim = ltfb::jag::JagSimulator::new(spec.cfg);
+    let ingested = (|| -> Result<u64, ltfb::bundle::CheckpointError> {
+        let mut ing = StreamingIngest::create(&ingest_path, jag_schema(&spec.cfg))?;
+        if let Some(r) = metrics {
+            ing.attach_obs(r);
+        }
+        let tasks: Vec<u64> = (N..N + 4).collect();
+        let (failures, _) = ing.generate_round(
+            &WorkflowSpec {
+                workers: 2,
+                batch_size: 2,
+                ..Default::default()
+            },
+            &tasks,
+            |&id| Ok((id, sample_payload(&sim.simulate(spec.params_of(id))))),
+        )?;
+        if !failures.is_empty() {
+            eprintln!("store demo: {} ingest tasks failed", failures.len());
+        }
+        Ok(ing.samples())
+    })();
+    let ingested = match ingested {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("store demo: ingest failed: {e}");
+            return false;
+        }
+    };
+    let reg = metrics.cloned();
+    let spec2 = spec.clone();
+    let ingest2 = ingest_path.clone();
+    let loss_bits = |l: &StepLosses| {
+        [
+            l.d_loss.to_bits(),
+            l.adv.to_bits(),
+            l.fidelity.to_bits(),
+            l.cycle.to_bits(),
+            l.recon.to_bits(),
+        ]
+    };
+    let body = move |comm: ltfb::comm::Comm| {
+        let ids: Vec<u64> = (0..N).collect();
+        let run = |mut store: DataStore| {
+            if let Some(r) = &reg {
+                store.attach_obs(r);
+            }
+            let mut gan = CycleGan::new(cfg, seed);
+            let mut traj = Vec::new();
+            for epoch in 0..EPOCHS {
+                let plan = store.epoch_plan(epoch);
+                for step in 0..plan.steps() {
+                    let got = store.fetch_step(&plan, step, epoch).expect("fetch");
+                    let samples: Vec<Sample> = got
+                        .iter()
+                        .map(|(_, n)| node_to_sample(n).expect("schema intact"))
+                        .collect();
+                    let refs: Vec<&Sample> = samples.iter().collect();
+                    let (x, y) = batch_from_samples(&cfg, &refs);
+                    traj.push(loss_bits(&gan.train_step(&x, &y)));
+                }
+            }
+            (traj, store)
+        };
+        // Budget holds the whole per-rank working set: epoch 0 misses
+        // once per sample, the warm epochs hit — the smoke test pins a
+        // hit-rate floor on exactly this shape.
+        let budget = (N + 8) * spec2.cfg.sample_bytes() as u64;
+        let (mem_traj, _) = run(DataStore::new(
+            comm.dup(),
+            spec2.clone(),
+            ids.clone(),
+            PopulateMode::Preload,
+            8,
+            seed,
+            None,
+        )
+        .expect("demo partition fits"));
+        let (tier_traj, mut tier_store) =
+            run(
+                DataStore::new_tiered(comm, spec2.clone(), ids, 8, seed, budget, 1)
+                    .expect("tiered store opens"),
+            );
+        // Streaming ingest: adopt the published shard at the epoch
+        // boundary and run one more epoch over the grown partition.
+        tier_store
+            .attach_ingest(&ingest2)
+            .expect("ingest shard attaches");
+        let adopted = tier_store.refresh_ingest().expect("ingest refresh");
+        let consumed: usize = {
+            let plan = tier_store.epoch_plan(EPOCHS);
+            (0..plan.steps())
+                .map(|s| {
+                    tier_store
+                        .fetch_step(&plan, s, EPOCHS)
+                        .expect("ingest epoch fetch")
+                        .len()
+                })
+                .sum()
+        };
+        (
+            mem_traj == tier_traj,
+            adopted,
+            consumed,
+            tier_store.tier_stats(),
+        )
+    };
+    let outcomes = match metrics {
+        Some(r) => run_world_obs(RANKS, r, body),
+        None => run_world(RANKS, body),
+    };
+    let identical = outcomes.iter().all(|(same, _, _, _)| *same);
+    let adopted = outcomes.first().map_or(0, |(_, a, _, _)| *a);
+    let consumed: usize = outcomes.iter().map(|(_, _, c, _)| c).sum();
+    let (hits, misses, mapped) = outcomes.iter().fold((0u64, 0u64, 0u64), |a, (_, _, _, s)| {
+        let s = s.as_ref().expect("tiered run has stats");
+        (a.0 + s.hits, a.1 + s.misses, a.2 + s.bytes_mapped)
+    });
+    let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+    println!(
+        "store demo: {RANKS} ranks, {EPOCHS}+1 epochs, {ingested} samples ingested / \
+         {adopted} adopted ({consumed} consumed post-adoption), \
+         bit_identical={identical} tier_hit_rate={hit_rate:.2} bytes_mapped={mapped}"
+    );
+    if throwaway {
+        cleanup_dataset_dir(&dir);
+    }
+    identical
+}
+
 /// Data-parallel overlap demo phase: a 2-replica pair drives fused
 /// workspace training steps (`dp_train_step_ws` — persistent fused
 /// gradient buffer over the chunked pipelined ring allreduce), so a
@@ -355,6 +531,11 @@ fn train(flags: &Flags) -> ExitCode {
     if flags.has("ingest") {
         ingest_demo(cfg.seed, metrics.as_ref());
         dp_demo(cfg.seed, metrics.as_ref());
+    }
+    if let Some(spec) = flags.get_str("store") {
+        if !store_demo(spec, cfg.seed, metrics.as_ref()) {
+            return ExitCode::FAILURE;
+        }
     }
     for (t, h) in out.histories.iter().enumerate() {
         let pts: Vec<String> = h
@@ -641,7 +822,7 @@ fn usage() {
          commands:\n  \
          train    [--trainers K] [--steps N] [--samples N] [--seed S] [--exchange N]\n           \
          [--lr-spread F] [--by-index] [--distributed] [--replicas R] [--kindep]\n           \
-         [--fault SPEC] [--ingest] [--metrics [PATH]]\n  \
+         [--fault SPEC] [--ingest] [--store mmap[:<dir>]] [--metrics [PATH]]\n  \
          classify [--trainers K] [--steps N] [--kindep]\n  \
          simulate <fig9|fig10|fig11>\n  \
          generate --dir PATH [--samples N] [--per-file M] [--img-size P]\n  \
@@ -657,6 +838,9 @@ fn usage() {
          serve_metrics.json\n\
          (results dir honours LTFB_RESULTS_DIR); --ingest adds 2-rank data-store\n\
          ingest (prefetch double-buffering) and fused-allreduce DP demo phases so\n\
-         datastore shuffle/prefetch and gradient-overlap metrics land in the export."
+         datastore shuffle/prefetch and gradient-overlap metrics land in the export.\n\
+         --store mmap[:<dir>] adds a tiered-store demo: trains over mmap shards +\n\
+         hot tier, checks bit-identity against the in-memory store, and adopts a\n\
+         streaming-ingest shard mid-run (store.rN.tier_* / ingest.* metrics)."
     );
 }

@@ -14,6 +14,7 @@
 //! | [`tensor`]    | `ltfb-tensor`    | dense f32 kernels (Hydrogen substitute) |
 //! | [`comm`]      | `ltfb-comm`      | thread-backed simulated MPI (Aluminum substitute) |
 //! | [`hpcsim`]    | `ltfb-hpcsim`    | discrete-event Lassen/GPFS model (Figs. 9-11) |
+//! | [`bundle`]    | `ltfb-bundle`    | self-describing mmap bundle shards + streaming append |
 //! | [`jag`]       | `ltfb-jag`       | synthetic ICF simulator + bundle files (JAG/HDF5 substitute) |
 //! | [`workflow`]  | `ltfb-workflow`  | ensemble workflow engine (Merlin substitute) |
 //! | [`nn`]        | `ltfb-nn`        | layers/models/optimizers/data-parallel SGD (LBANN core) |
@@ -36,6 +37,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use ltfb_bundle as bundle;
 pub use ltfb_comm as comm;
 pub use ltfb_core as core;
 pub use ltfb_datastore as datastore;
