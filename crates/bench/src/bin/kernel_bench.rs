@@ -1,0 +1,246 @@
+//! kernel_bench: isolated GEMM-family kernel throughput + int8 accuracy.
+//!
+//! Measures, per model-relevant shape:
+//!   * `gemm` (SIMD micro-kernel) vs `gemm_scalar` (pre-SIMD axpy
+//!     formulation) vs `matmul_naive` GFLOP/s, asserting all three are
+//!     bit-identical on the benched operands;
+//!   * fused `gemm_bias_act` vs the unfused gemm + add_bias + activation
+//!     sequence (same result, fewer passes over the output);
+//!   * int8 `matmul_q8` vs the f32 linear layer, with the realised
+//!     max-abs error asserted against the analytic
+//!     `q8_preact_error_bound` — the accuracy gate `perf_smoke.sh`
+//!     re-runs on every CI pass.
+//!
+//! Writes `results/kernel_bench.csv` and `BENCH_kernels.json` (current
+//! directory, or `LTFB_KERNEL_JSON`). Like `BENCH_train.json`, the
+//! committed JSON gates *ratios* (SIMD vs scalar, fused vs unfused, int8
+//! vs f32), which come from one binary on one host and are therefore
+//! CPU-frequency independent; absolute GFLOP/s are reported but not
+//! gated.
+
+use ltfb_bench::{banner, print_table, write_csv};
+use ltfb_tensor::ops::{add_bias, map_into};
+use ltfb_tensor::{
+    gemm, gemm_bias_act, gemm_scalar, init, matmul_naive, matmul_q8, q8_preact_error_bound,
+    quantize_rows, quantize_weights, Activation, Matrix,
+};
+use std::time::Instant;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Time `f` for ~`target_ms`, returning seconds per call (best of reps).
+fn time_per_call(target_ms: u64, reps: usize, mut f: impl FnMut()) -> f64 {
+    // Calibrate an iteration count.
+    f();
+    let t0 = Instant::now();
+    f();
+    let once = t0.elapsed().as_secs_f64().max(1e-7);
+    let iters = ((target_ms as f64 / 1e3) / once).ceil().max(1.0) as usize;
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t.elapsed().as_secs_f64() / iters as f64);
+    }
+    best
+}
+
+fn assert_bits_equal(a: &Matrix, b: &Matrix, what: &str) {
+    assert_eq!(a.shape(), b.shape(), "{what}: shape mismatch");
+    for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: kernels diverge");
+    }
+}
+
+struct ShapeResult {
+    label: String,
+    m: usize,
+    k: usize,
+    n: usize,
+    simd_gflops: f64,
+    scalar_gflops: f64,
+    naive_gflops: f64,
+    fused_gflops: f64,
+    unfused_gflops: f64,
+    q8_gflops: f64,
+    q8_err: f32,
+    q8_bound: f32,
+}
+
+fn bench_shape(label: &str, m: usize, k: usize, n: usize, ms: u64, reps: usize) -> ShapeResult {
+    let mut rng = init::seeded_rng(2019 ^ (m as u64) << 24 ^ (k as u64) << 12 ^ n as u64);
+    let a = init::uniform(m, k, -1.0, 1.0, &mut rng);
+    let b = init::uniform(k, n, -0.8, 0.8, &mut rng);
+    let bias = init::uniform(1, n, -0.1, 0.1, &mut rng);
+    let flops = (2 * m * k * n) as f64;
+    let act = Activation::LeakyRelu(0.1);
+
+    // Correctness first: all three f32 kernels bit-identical on these
+    // operands.
+    let naive = matmul_naive(&a, &b);
+    let mut c = Matrix::zeros(m, n);
+    gemm(1.0, &a, &b, 0.0, &mut c);
+    assert_bits_equal(&c, &naive, "simd vs naive");
+    gemm_scalar(1.0, &a, &b, 0.0, &mut c);
+    assert_bits_equal(&c, &naive, "scalar vs naive");
+
+    let simd = time_per_call(ms, reps, || gemm(1.0, &a, &b, 0.0, &mut c));
+    let scalar = time_per_call(ms, reps, || gemm_scalar(1.0, &a, &b, 0.0, &mut c));
+    let naive_t = time_per_call(ms, reps, || {
+        let _ = matmul_naive(&a, &b);
+    });
+
+    // Fused epilogue vs the three-pass sequence the layers used to run.
+    let mut act_buf = Matrix::zeros(m, n);
+    let fused = time_per_call(ms, reps, || {
+        gemm_bias_act(1.0, &a, &b, 0.0, &mut c, &bias, act)
+    });
+    let unfused = time_per_call(ms, reps, || {
+        gemm(1.0, &a, &b, 0.0, &mut c);
+        add_bias(&mut c, &bias);
+        map_into(&c, &mut act_buf, |v| v * (if v > 0.0 { 1.0 } else { 0.1 }));
+    });
+
+    // Int8 inference path (quantize activations per call, as serving does;
+    // weights are quantized once at publish time).
+    let qw = quantize_weights(&b).expect("finite weights");
+    let mut q8_out = Matrix::zeros(m, n);
+    let q8 = time_per_call(ms, reps, || {
+        let qa = quantize_rows(&a);
+        matmul_q8(&qa, &qw, bias.as_slice(), act, &mut q8_out);
+    });
+
+    // Accuracy gate: realised error vs analytic bound (pre-activation
+    // bound also bounds LeakyRelu output error, Lipschitz 1).
+    let qa = quantize_rows(&a);
+    let bound = q8_preact_error_bound(&qa, &qw);
+    matmul_q8(&qa, &qw, bias.as_slice(), act, &mut q8_out);
+    let mut f32_out = Matrix::zeros(m, n);
+    gemm_bias_act(1.0, &a, &b, 0.0, &mut f32_out, &bias, act);
+    let err = q8_out
+        .as_slice()
+        .iter()
+        .zip(f32_out.as_slice())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0f32, f32::max);
+    assert!(
+        err <= bound * 1.05 + 1e-4,
+        "{label}: int8 error {err} exceeds analytic bound {bound}"
+    );
+
+    ShapeResult {
+        label: label.to_string(),
+        m,
+        k,
+        n,
+        simd_gflops: flops / simd / 1e9,
+        scalar_gflops: flops / scalar / 1e9,
+        naive_gflops: flops / naive_t / 1e9,
+        fused_gflops: flops / fused / 1e9,
+        unfused_gflops: flops / unfused / 1e9,
+        q8_gflops: flops / q8 / 1e9,
+        q8_err: err,
+        q8_bound: bound,
+    }
+}
+
+fn main() {
+    banner(
+        "kernel_bench",
+        "GEMM-family kernel throughput + int8 accuracy",
+    );
+    let ms = env_usize("LTFB_KERNEL_MS", 60) as u64;
+    let reps = env_usize("LTFB_KERNEL_REPS", 3);
+
+    // The CycleGAN layer shapes (img=4 encoder/decoder/cycle nets at
+    // mb=32) plus one square shape as the cache-resident reference.
+    let shapes: &[(&str, usize, usize, usize)] = &[
+        ("enc_in", 32, 783, 96),
+        ("dec_out", 32, 96, 783),
+        ("gen_hidden", 32, 64, 64),
+        ("latent", 32, 96, 20),
+        ("square256", 256, 256, 256),
+    ];
+
+    let results: Vec<ShapeResult> = shapes
+        .iter()
+        .map(|&(label, m, k, n)| bench_shape(label, m, k, n, ms, reps))
+        .collect();
+
+    let header = [
+        "shape", "m", "k", "n", "simd", "scalar", "naive", "fused", "unfused", "int8", "q8_err",
+        "q8_bound",
+    ];
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                r.m.to_string(),
+                r.k.to_string(),
+                r.n.to_string(),
+                format!("{:.2}", r.simd_gflops),
+                format!("{:.2}", r.scalar_gflops),
+                format!("{:.2}", r.naive_gflops),
+                format!("{:.2}", r.fused_gflops),
+                format!("{:.2}", r.unfused_gflops),
+                format!("{:.2}", r.q8_gflops),
+                format!("{:.2e}", r.q8_err),
+                format!("{:.2e}", r.q8_bound),
+            ]
+        })
+        .collect();
+    println!("(GFLOP/s per kernel; int8 counts the equivalent f32 FLOPs)");
+    print_table(&header, &rows);
+
+    // Geometric-mean ratios over the model shapes (exclude the square
+    // reference so the gated figure tracks what training actually runs).
+    let model: Vec<&ShapeResult> = results.iter().filter(|r| r.label != "square256").collect();
+    let gmean = |f: &dyn Fn(&ShapeResult) -> f64| -> f64 {
+        (model.iter().map(|r| f(r).ln()).sum::<f64>() / model.len() as f64).exp()
+    };
+    let simd_vs_scalar = gmean(&|r| r.simd_gflops / r.scalar_gflops);
+    let simd_vs_naive = gmean(&|r| r.simd_gflops / r.naive_gflops);
+    let fused_vs_unfused = gmean(&|r| r.fused_gflops / r.unfused_gflops);
+    let worst_err_ratio = results
+        .iter()
+        .map(|r| (r.q8_err / r.q8_bound) as f64)
+        .fold(0.0f64, f64::max);
+    println!(
+        "geomean (model shapes): simd/scalar {simd_vs_scalar:.2}x, simd/naive {simd_vs_naive:.2}x, fused/unfused {fused_vs_unfused:.2}x"
+    );
+    println!("int8 worst realised/bound error ratio: {worst_err_ratio:.3}");
+
+    let csv_rows: Vec<Vec<String>> = rows;
+    write_csv("kernel_bench.csv", &header, &csv_rows);
+
+    let json_path =
+        std::env::var("LTFB_KERNEL_JSON").unwrap_or_else(|_| "BENCH_kernels.json".into());
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"kernel_bench\",\n");
+    json.push_str("  \"shapes\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"label\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \"simd_gflops\": {:.3}, \"scalar_gflops\": {:.3}, \"naive_gflops\": {:.3}, \"fused_gflops\": {:.3}, \"unfused_gflops\": {:.3}, \"q8_gflops\": {:.3}, \"q8_err\": {:.4e}, \"q8_bound\": {:.4e}}}{}\n",
+            r.label, r.m, r.k, r.n, r.simd_gflops, r.scalar_gflops, r.naive_gflops,
+            r.fused_gflops, r.unfused_gflops, r.q8_gflops, r.q8_err, r.q8_bound,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"ratios\": {{\"simd_vs_scalar\": {simd_vs_scalar:.3}, \"simd_vs_naive\": {simd_vs_naive:.3}, \"fused_vs_unfused\": {fused_vs_unfused:.3}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"int8\": {{\"worst_err_over_bound\": {worst_err_ratio:.4}, \"bound_respected\": true}}\n}}\n"
+    ));
+    std::fs::write(&json_path, json).expect("write BENCH_kernels.json");
+    println!("wrote results/kernel_bench.csv and {json_path}");
+}

@@ -15,7 +15,9 @@
 use ltfb_bench::{banner, print_table, results_dir, write_csv};
 use ltfb_gan::{CycleGan, CycleGanConfig};
 use ltfb_obs::Registry;
-use ltfb_serve::{run_load, BatchPolicy, LoadGenConfig, LoadMode, ModelRegistry, Server};
+use ltfb_serve::{
+    run_load, BatchPolicy, LoadGenConfig, LoadMode, ModelRegistry, QuantMode, Server,
+};
 use std::sync::Arc;
 
 struct Row {
@@ -28,6 +30,9 @@ struct Row {
     unbatched_p50: f64,
     unbatched_p99: f64,
     speedup: f64,
+    int8_rps: f64,
+    int8_p99: f64,
+    int8_vs_f32: f64,
 }
 
 fn run_arm(
@@ -36,8 +41,14 @@ fn run_arm(
     clients: usize,
     requests: usize,
     metrics: Option<&Registry>,
+    mode: QuantMode,
 ) -> (f64, f64, f64, f64) {
-    let registry = Arc::new(ModelRegistry::new(CycleGan::new(cfg, 2019), 1));
+    let registry = Arc::new(ModelRegistry::with_mode(CycleGan::new(cfg, 2019), 1, mode));
+    assert_eq!(
+        registry.current().is_quantized(),
+        mode == QuantMode::Int8,
+        "int8 arm must actually serve int8"
+    );
     let server = match metrics {
         Some(m) => Server::start_with_obs(registry, policy, m),
         None => Server::start(registry, policy),
@@ -89,9 +100,32 @@ fn main() {
     let metrics = Registry::new();
     let mut rows = Vec::new();
     for clients in [1usize, 2, 4, 8, 16, 32] {
-        let (brps, bp50, bp99, bmean) =
-            run_arm(cfg, batched_policy, clients, requests, Some(&metrics));
-        let (urps, up50, up99, _) = run_arm(cfg, sequential_policy, clients, requests, None);
+        let (brps, bp50, bp99, bmean) = run_arm(
+            cfg,
+            batched_policy,
+            clients,
+            requests,
+            Some(&metrics),
+            QuantMode::F32,
+        );
+        let (urps, up50, up99, _) = run_arm(
+            cfg,
+            sequential_policy,
+            clients,
+            requests,
+            None,
+            QuantMode::F32,
+        );
+        // Int8 arm: same batching policy as the f32 batched arm, so the
+        // ratio isolates the numeric path.
+        let (qrps, _qp50, qp99, _) = run_arm(
+            cfg,
+            batched_policy,
+            clients,
+            requests,
+            None,
+            QuantMode::Int8,
+        );
         rows.push(Row {
             clients,
             batched_rps: brps,
@@ -102,6 +136,9 @@ fn main() {
             unbatched_p50: up50,
             unbatched_p99: up99,
             speedup: if urps > 0.0 { brps / urps } else { 0.0 },
+            int8_rps: qrps,
+            int8_p99: qp99,
+            int8_vs_f32: if brps > 0.0 { qrps / brps } else { 0.0 },
         });
     }
 
@@ -115,6 +152,9 @@ fn main() {
         "unbatched_p50_us",
         "unbatched_p99_us",
         "speedup",
+        "int8_rps",
+        "int8_p99_us",
+        "int8_vs_f32",
     ];
     let cells: Vec<Vec<String>> = rows
         .iter()
@@ -129,6 +169,9 @@ fn main() {
                 format!("{:.0}", r.unbatched_p50),
                 format!("{:.0}", r.unbatched_p99),
                 format!("{:.2}", r.speedup),
+                format!("{:.0}", r.int8_rps),
+                format!("{:.0}", r.int8_p99),
+                format!("{:.2}", r.int8_vs_f32),
             ]
         })
         .collect();
@@ -141,6 +184,8 @@ fn main() {
         Err(e) => eprintln!("cannot write {}: {e}", report.display()),
     }
 
+    let int8_best = rows.iter().map(|r| r.int8_vs_f32).fold(0.0f64, f64::max);
+    println!("best int8 vs f32 throughput (same batching): {int8_best:.2}x");
     let peak = rows.iter().map(|r| r.speedup).fold(0.0f64, f64::max);
     let at_high = rows
         .iter()

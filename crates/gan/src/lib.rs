@@ -15,7 +15,9 @@
 pub mod batch;
 pub mod config;
 pub mod model;
+pub mod quant;
 
 pub use batch::{batch_from_samples, split_output};
 pub use config::CycleGanConfig;
 pub use model::{mean_eval, CycleGan, EvalLosses, StepLosses};
+pub use quant::QuantCycleGan;

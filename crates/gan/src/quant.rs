@@ -1,0 +1,124 @@
+//! Int8 inference snapshot of the [`CycleGan`](crate::CycleGan) surrogate.
+//!
+//! Serving only ever exercises two compositions: the forward prediction
+//! `Dec(F(x))` and the inversion `G(E(y))`. [`QuantCycleGan`] quantizes
+//! exactly the four networks those paths touch (the discriminator is a
+//! training-time device and stays f32), and reports the analytic
+//! worst-case output error of each composition so the serve layer can
+//! gate publication on accuracy instead of hoping.
+
+use crate::model::CycleGan;
+use ltfb_nn::{QuantError, QuantSequential};
+use ltfb_tensor::Matrix;
+
+/// Int8-weight inference snapshot of a [`CycleGan`]: the four networks
+/// behind [`infer_forward`](QuantCycleGan::infer_forward) and
+/// [`infer_inverse`](QuantCycleGan::infer_inverse), frozen at quantize
+/// time. Publishing new f32 weights requires re-quantizing.
+pub struct QuantCycleGan {
+    encoder: QuantSequential,
+    decoder: QuantSequential,
+    forward_model: QuantSequential,
+    inverse_model: QuantSequential,
+}
+
+impl QuantCycleGan {
+    /// Forward prediction `Dec(F(x))` on the int8 path.
+    pub fn infer_forward(&self, x: &Matrix) -> Matrix {
+        self.infer_forward_bounded(x).0
+    }
+
+    /// Forward prediction plus its analytic worst-case absolute error
+    /// versus the f32 [`CycleGan::infer_forward`]. The error carried out
+    /// of `F` passes through `Dec`'s int8 GEMMs with gain at most each
+    /// layer's column mass — [`QuantSequential::infer_bounded`] already
+    /// composes that, so chaining bounds is just feeding the carried
+    /// error forward.
+    pub fn infer_forward_bounded(&self, x: &Matrix) -> (Matrix, f32) {
+        let (z, ez) = self.forward_model.infer_bounded(x);
+        let (y, ey) = self.decoder.infer_bounded_carry(&z, ez);
+        (y, ey)
+    }
+
+    /// Inversion `G(E(y))` on the int8 path.
+    pub fn infer_inverse(&self, y: &Matrix) -> Matrix {
+        self.infer_inverse_bounded(y).0
+    }
+
+    /// Inversion plus its analytic worst-case absolute error versus the
+    /// f32 [`CycleGan::infer_inverse`].
+    pub fn infer_inverse_bounded(&self, y: &Matrix) -> (Matrix, f32) {
+        let (z, ez) = self.encoder.infer_bounded(y);
+        let (x, ex) = self.inverse_model.infer_bounded_carry(&z, ez);
+        (x, ex)
+    }
+}
+
+impl CycleGan {
+    /// Quantize the inference networks to int8 weights. Fails loudly on
+    /// non-finite weights or unsupported layers — serving falls back to
+    /// the f32 model rather than publishing a silently-wrong one.
+    pub fn quantize_int8(&self) -> Result<QuantCycleGan, QuantError> {
+        let [encoder, decoder, forward_model, inverse_model, _disc] = self.networks();
+        Ok(QuantCycleGan {
+            encoder: QuantSequential::quantize(encoder)?,
+            decoder: QuantSequential::quantize(decoder)?,
+            forward_model: QuantSequential::quantize(forward_model)?,
+            inverse_model: QuantSequential::quantize(inverse_model)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::CycleGanConfig;
+    use crate::CycleGan;
+    use ltfb_tensor::{seeded_rng, uniform};
+
+    fn worst_abs_diff(a: &ltfb_tensor::Matrix, b: &ltfb_tensor::Matrix) -> f32 {
+        a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f32, f32::max)
+    }
+
+    #[test]
+    fn quantized_paths_stay_within_reported_bounds() {
+        let cfg = CycleGanConfig::small(4);
+        let model = CycleGan::new(cfg, 42);
+        let q = model.quantize_int8().expect("surrogate MLPs quantize");
+        let mut rng = seeded_rng(11);
+        let x = uniform(16, cfg.x_dim(), 0.0, 1.0, &mut rng);
+        let y = uniform(16, cfg.y_dim(), -1.0, 1.0, &mut rng);
+
+        let (yq, ef) = q.infer_forward_bounded(&x);
+        let yf = model.infer_forward(&x);
+        assert_eq!(yq.shape(), yf.shape());
+        assert!(ef.is_finite() && ef > 0.0);
+        let worst = worst_abs_diff(&yq, &yf);
+        assert!(
+            worst <= ef * 1.05 + 1e-4,
+            "forward: realised {worst} exceeds bound {ef}"
+        );
+
+        let (xq, ei) = q.infer_inverse_bounded(&y);
+        let xf = model.infer_inverse(&y);
+        assert_eq!(xq.shape(), xf.shape());
+        assert!(ei.is_finite() && ei > 0.0);
+        let worst = worst_abs_diff(&xq, &xf);
+        assert!(
+            worst <= ei * 1.05 + 1e-4,
+            "inverse: realised {worst} exceeds bound {ei}"
+        );
+    }
+
+    #[test]
+    fn non_finite_generator_weights_fail_quantization() {
+        let cfg = CycleGanConfig::small(4);
+        let mut model = CycleGan::new(cfg, 43);
+        let [_, _, f, _, _] = model.networks_mut();
+        f.params_mut()[0].value.as_mut_slice()[0] = f32::NAN;
+        assert!(model.quantize_int8().is_err());
+    }
+}

@@ -8,8 +8,8 @@ use crate::param::Param;
 use crate::workspace::Workspace;
 use ltfb_hotpath::hot_path;
 use ltfb_tensor::{
-    add_bias, col_sums, col_sums_into, gemm, gemm_nt, gemm_tn, glorot_uniform, hadamard,
-    hadamard_into, he_normal, map_into, sigmoid, Matrix, TensorRng,
+    col_sums, col_sums_into, gemm_bias_act, gemm_nt, gemm_tn, glorot_uniform, hadamard,
+    hadamard_into, he_normal, map_into, sigmoid, Activation, Matrix, TensorRng,
 };
 
 /// A differentiable layer.
@@ -78,6 +78,23 @@ pub trait Layer: Send + Sync {
 
     /// Layer kind, for debugging/architecture dumps.
     fn name(&self) -> &'static str;
+
+    /// Downcast hook: `Some(self)` for [`Linear`], `None` otherwise.
+    /// Lets [`crate::Sequential`] fuse a `Linear -> activation` pair
+    /// into one [`gemm_bias_act`] call on the inference path, and lets
+    /// the int8 quantizer reach the weights without `Any`-downcasts.
+    fn as_linear(&self) -> Option<&Linear> {
+        None
+    }
+
+    /// The element-wise [`Activation`] this layer applies, if it is a
+    /// pure stateless activation whose output can be produced by the
+    /// fused GEMM epilogue bit-for-bit. `None` for everything else
+    /// (including dropout, whose train-mode behaviour is not a pure
+    /// function of the input).
+    fn fused_activation(&self) -> Option<Activation> {
+        None
+    }
 }
 
 /// Fully-connected layer: `y = x @ W + b`, `W: in x out`, `b: 1 x out`.
@@ -118,24 +135,39 @@ impl Linear {
     pub fn fan_out(&self) -> usize {
         self.w.value.cols()
     }
+
+    /// The weight matrix (`fan_in x fan_out`).
+    pub fn weight(&self) -> &Matrix {
+        &self.w.value
+    }
+
+    /// The bias row (`1 x fan_out`).
+    pub fn bias(&self) -> &Matrix {
+        &self.b.value
+    }
+
+    /// Inference forward with a fused activation epilogue:
+    /// `act(x @ W + b)` in one output pass. Bit-identical to `infer`
+    /// followed by the corresponding activation layer.
+    pub fn infer_act(&self, x: &Matrix, act: Activation) -> Matrix {
+        assert_eq!(x.cols(), self.fan_in(), "Linear input width mismatch");
+        let mut y = Matrix::zeros(x.rows(), self.fan_out());
+        gemm_bias_act(1.0, x, &self.w.value, 0.0, &mut y, &self.b.value, act);
+        y
+    }
 }
 
 impl Layer for Linear {
     fn forward(&mut self, x: &Matrix, _training: bool) -> Matrix {
-        assert_eq!(x.cols(), self.fan_in(), "Linear input width mismatch");
-        let mut y = Matrix::zeros(x.rows(), self.fan_out());
-        gemm(1.0, x, &self.w.value, 0.0, &mut y);
-        add_bias(&mut y, &self.b.value);
+        // Identity epilogue fuses the bias broadcast into the GEMM's
+        // output pass; bitwise the same as gemm-then-add_bias.
+        let y = self.infer_act(x, Activation::Identity);
         self.x_cache = Some(x.clone());
         y
     }
 
     fn infer(&self, x: &Matrix) -> Matrix {
-        assert_eq!(x.cols(), self.fan_in(), "Linear input width mismatch");
-        let mut y = Matrix::zeros(x.rows(), self.fan_out());
-        gemm(1.0, x, &self.w.value, 0.0, &mut y);
-        add_bias(&mut y, &self.b.value);
-        y
+        self.infer_act(x, Activation::Identity)
     }
 
     fn backward(&mut self, grad: &Matrix) -> Matrix {
@@ -155,10 +187,17 @@ impl Layer for Linear {
     fn forward_ws(&mut self, x: &Matrix, y: &mut Matrix, _training: bool, _ws: &mut Workspace) {
         assert_eq!(x.cols(), self.fan_in(), "Linear input width mismatch");
         y.resize(x.rows(), self.fan_out());
-        // Same kernels as `forward`: GEMM with beta = 0 fully overwrites
-        // the (recycled) output, then the bias broadcast.
-        gemm(1.0, x, &self.w.value, 0.0, y);
-        add_bias(y, &self.b.value);
+        // Same kernel as `forward`: GEMM with beta = 0 fully overwrites
+        // the (recycled) output, bias fused into the output pass.
+        gemm_bias_act(
+            1.0,
+            x,
+            &self.w.value,
+            0.0,
+            y,
+            &self.b.value,
+            Activation::Identity,
+        );
         // Persistent input cache: one allocation ever, then reused.
         match &mut self.x_cache {
             Some(c) => c.copy_resize_from(x),
@@ -202,6 +241,10 @@ impl Layer for Linear {
 
     fn params(&self) -> Vec<&Param> {
         vec![&self.w, &self.b]
+    }
+
+    fn as_linear(&self) -> Option<&Linear> {
+        Some(self)
     }
 
     fn name(&self) -> &'static str {
@@ -265,6 +308,10 @@ impl Layer for LeakyRelu {
     fn backward_ws(&mut self, grad: &Matrix, dx: &mut Matrix, _ws: &mut Workspace) {
         let mask = self.mask.as_ref().expect("backward before forward");
         hadamard_into(grad, mask, dx);
+    }
+
+    fn fused_activation(&self) -> Option<Activation> {
+        Some(Activation::LeakyRelu(self.alpha))
     }
 
     fn name(&self) -> &'static str {
@@ -338,6 +385,10 @@ impl Layer for Tanh {
         }
     }
 
+    fn fused_activation(&self) -> Option<Activation> {
+        Some(Activation::Tanh)
+    }
+
     fn name(&self) -> &'static str {
         "tanh"
     }
@@ -404,6 +455,10 @@ impl Layer for Sigmoid {
         {
             *d = g * (v * (1.0 - v));
         }
+    }
+
+    fn fused_activation(&self) -> Option<Activation> {
+        Some(Activation::Sigmoid)
     }
 
     fn name(&self) -> &'static str {

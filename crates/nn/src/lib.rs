@@ -19,6 +19,7 @@ pub mod model;
 pub mod norm;
 pub mod optimizer;
 pub mod param;
+pub mod quant;
 pub mod reader;
 pub mod workspace;
 
@@ -29,5 +30,6 @@ pub use model::{mlp, OutputActivation, Sequential};
 pub use norm::{LayerNorm, LrSchedule};
 pub use optimizer::{Adam, Optimizer, Sgd};
 pub use param::Param;
+pub use quant::{QuantError, QuantSequential};
 pub use reader::{BatchReader, InMemoryDataset};
 pub use workspace::Workspace;

@@ -30,6 +30,12 @@ impl Sequential {
         Sequential { layers }
     }
 
+    /// Shared view of the layer stack (introspection: fusion peepholes,
+    /// the int8 quantizer).
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
     /// Forward pass through the whole stack.
     pub fn forward(&mut self, x: &Matrix, training: bool) -> Matrix {
         let mut h = x.clone();
@@ -42,10 +48,25 @@ impl Sequential {
     /// Inference-only forward pass: no cache writes or RNG draws, so a
     /// model behind `Arc<Sequential>` can serve concurrent requests.
     /// Output is bit-identical to `forward(x, false)`.
+    ///
+    /// `Linear -> activation` pairs are peephole-fused into a single
+    /// [`ltfb_tensor::gemm_bias_act`] call (the epilogue applies the
+    /// activation in the GEMM's output pass); the fused epilogue is
+    /// bit-identical to running the activation layer afterwards, so
+    /// fusion is invisible except in throughput.
     pub fn infer(&self, x: &Matrix) -> Matrix {
         let mut h = x.clone();
-        for l in &self.layers {
-            h = l.infer(&h);
+        let mut i = 0;
+        while i < self.layers.len() {
+            if let Some(lin) = self.layers[i].as_linear() {
+                if let Some(act) = self.layers.get(i + 1).and_then(|l| l.fused_activation()) {
+                    h = lin.infer_act(&h, act);
+                    i += 2;
+                    continue;
+                }
+            }
+            h = self.layers[i].infer(&h);
+            i += 1;
         }
         h
     }

@@ -1,0 +1,226 @@
+//! Int8 row-quantized inference for [`Sequential`] models.
+//!
+//! [`QuantSequential::quantize`] converts an f32 MLP into per-layer
+//! [`QuantizedWeights`] (symmetric per-output-column int8) captured
+//! together with the f32 bias and the fused [`Activation`] epilogue.
+//! Inference quantizes each layer's activations per call (affine u8 per
+//! row) and runs [`matmul_q8`], dequantizing straight into the f32
+//! activation — the same fused-epilogue shape as the f32 path.
+//!
+//! Accuracy is not taken on faith: [`QuantSequential::infer_bounded`]
+//! propagates an analytic worst-case output error alongside the result
+//! (per-layer quantization bound from [`q8_preact_error_bound`], carried
+//! through each layer's Lipschitz constant and the next layer's column
+//! mass). The serve path asserts the realised error against this bound
+//! when it publishes a quantized model.
+
+use crate::model::Sequential;
+use ltfb_tensor::{
+    matmul_q8, q8_preact_error_bound, quantize_rows, quantize_weights, Activation, Matrix,
+    QuantizeError, QuantizedWeights, MAX_Q8_K,
+};
+
+/// Why a [`Sequential`] could not be quantized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuantError {
+    /// A weight matrix contained NaN/Inf (or a layer was too wide for
+    /// the i32 accumulator). Quantizing would silently corrupt values
+    /// that the f32 path faithfully propagates.
+    Weights(QuantizeError),
+    /// The model contains a layer the int8 path has no lowering for.
+    Unsupported(&'static str),
+    /// A linear layer's fan-in exceeds [`MAX_Q8_K`], risking i32
+    /// accumulator overflow in `matmul_q8`.
+    TooWide { fan_in: usize },
+}
+
+impl core::fmt::Display for QuantError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            QuantError::Weights(e) => write!(f, "quantize: {e}"),
+            QuantError::Unsupported(name) => {
+                write!(f, "quantize: no int8 lowering for layer '{name}'")
+            }
+            QuantError::TooWide { fan_in } => write!(
+                f,
+                "quantize: fan-in {fan_in} exceeds MAX_Q8_K={MAX_Q8_K} (i32 accumulator)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QuantError {}
+
+impl From<QuantizeError> for QuantError {
+    fn from(e: QuantizeError) -> Self {
+        QuantError::Weights(e)
+    }
+}
+
+/// One fused int8 layer: `act(x @ W + b)` with int8 `W`.
+struct QuantLayer {
+    weights: QuantizedWeights,
+    bias: Matrix,
+    act: Activation,
+}
+
+/// An int8-weight snapshot of a [`Sequential`], inference-only.
+///
+/// Holds no optimizer state and shares nothing with the source model:
+/// publishing a new f32 model requires re-quantizing.
+pub struct QuantSequential {
+    layers: Vec<QuantLayer>,
+}
+
+impl QuantSequential {
+    /// Quantize `model`'s weights. Supported layers: [`crate::Linear`]
+    /// (optionally followed by a pure activation, which fuses into the
+    /// epilogue) and dropout (identity at inference). Anything else
+    /// yields [`QuantError::Unsupported`]; non-finite weights or
+    /// over-wide layers are rejected rather than silently clamped.
+    pub fn quantize(model: &Sequential) -> Result<Self, QuantError> {
+        let mut layers = Vec::new();
+        let src = model.layers();
+        let mut i = 0;
+        while i < src.len() {
+            let l = &src[i];
+            if let Some(lin) = l.as_linear() {
+                if lin.fan_in() > MAX_Q8_K {
+                    return Err(QuantError::TooWide {
+                        fan_in: lin.fan_in(),
+                    });
+                }
+                let weights = quantize_weights(lin.weight())?;
+                // Fuse a directly following pure activation, exactly
+                // like the f32 `Sequential::infer` peephole.
+                let act = src
+                    .get(i + 1)
+                    .and_then(|next| next.fused_activation())
+                    .inspect(|_| i += 1)
+                    .unwrap_or(Activation::Identity);
+                layers.push(QuantLayer {
+                    weights,
+                    bias: lin.bias().clone(),
+                    act,
+                });
+            } else if l.fused_activation().is_some() {
+                // A bare activation (not preceded by Linear) has no GEMM
+                // to fuse into; the MLPs this repo builds never produce
+                // one, and supporting it would need an elementwise int8
+                // op for no caller. Reject loudly instead.
+                return Err(QuantError::Unsupported(l.name()));
+            } else if l.name() == "dropout" {
+                // Inverted dropout is the identity at inference.
+            } else {
+                return Err(QuantError::Unsupported(l.name()));
+            }
+            i += 1;
+        }
+        Ok(QuantSequential { layers })
+    }
+
+    /// Number of fused int8 layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Int8 inference. Output differs from the f32 [`Sequential::infer`]
+    /// by at most the bound reported by [`Self::infer_bounded`].
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        self.infer_bounded(x).0
+    }
+
+    /// Int8 inference plus the analytic worst-case absolute error of the
+    /// output versus the f32 model, for this input.
+    ///
+    /// Per layer: the fresh quantization error is
+    /// [`q8_preact_error_bound`]; error `e` carried in from the previous
+    /// layer passes through the int8 GEMM with gain at most the largest
+    /// column absolute mass of the (quantized) weights. The activation
+    /// then contracts by its Lipschitz constant. NaN activations make
+    /// the bound NaN — the caller sees "no finite guarantee", which is
+    /// exactly right because non-finite rows poison the output row.
+    pub fn infer_bounded(&self, x: &Matrix) -> (Matrix, f32) {
+        self.infer_bounded_carry(x, 0.0)
+    }
+
+    /// [`Self::infer_bounded`] with an error `err_in` already attached to
+    /// `x` (e.g. from an upstream quantized network whose output feeds
+    /// this one). The carried error composes through the first layer the
+    /// same way inter-layer error does, so chained networks get one
+    /// end-to-end bound.
+    pub fn infer_bounded_carry(&self, x: &Matrix, err_in: f32) -> (Matrix, f32) {
+        let mut h = x.clone();
+        let mut err = err_in;
+        for l in &self.layers {
+            let qa = quantize_rows(&h);
+            let fresh = q8_preact_error_bound(&qa, &l.weights);
+            let carried = err * l.weights.max_col_abs_sum();
+            err = l.act.lipschitz() * (fresh + carried);
+            let mut y = Matrix::zeros(h.rows(), l.weights.out_dim());
+            matmul_q8(&qa, &l.weights, l.bias.as_slice(), l.act, &mut y);
+            h = y;
+        }
+        (h, err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{mlp, OutputActivation};
+    use ltfb_tensor::{seeded_rng, uniform};
+
+    #[test]
+    fn quantized_mlp_stays_within_reported_bound() {
+        let mut rng = seeded_rng(7);
+        for out in [
+            OutputActivation::LinearOut,
+            OutputActivation::TanhOut,
+            OutputActivation::SigmoidOut,
+        ] {
+            let model = mlp(&[12, 24, 16, 5], 0.1, out, &mut rng);
+            let q = QuantSequential::quantize(&model).expect("quantizable");
+            assert_eq!(q.num_layers(), 3);
+            let x = uniform(9, 12, -2.0, 2.0, &mut rng);
+            let f32_out = model.infer(&x);
+            let (q_out, bound) = q.infer_bounded(&x);
+            assert_eq!(q_out.shape(), f32_out.shape());
+            assert!(bound.is_finite() && bound > 0.0);
+            let worst = q_out
+                .as_slice()
+                .iter()
+                .zip(f32_out.as_slice())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f32, f32::max);
+            assert!(
+                worst <= bound * 1.05 + 1e-4,
+                "realised {worst} exceeds bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_finite_weights_are_rejected() {
+        let mut rng = seeded_rng(8);
+        let mut model = mlp(&[4, 6, 2], 0.1, OutputActivation::LinearOut, &mut rng);
+        model.params_mut()[0].value.as_mut_slice()[3] = f32::INFINITY;
+        assert!(matches!(
+            QuantSequential::quantize(&model),
+            Err(QuantError::Weights(_))
+        ));
+    }
+
+    #[test]
+    fn quantized_output_close_to_f32_for_small_net() {
+        let mut rng = seeded_rng(9);
+        let model = mlp(&[8, 16, 4], 0.05, OutputActivation::TanhOut, &mut rng);
+        let q = QuantSequential::quantize(&model).unwrap();
+        let x = uniform(5, 8, -1.0, 1.0, &mut rng);
+        let a = model.infer(&x);
+        let b = q.infer(&x);
+        for (u, v) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((u - v).abs() < 0.2, "int8 drifted: {u} vs {v}");
+        }
+    }
+}

@@ -444,9 +444,10 @@ fn process_kind(
         flat.extend_from_slice(&r.input);
     }
     let packed = Matrix::from_vec(misses.len(), width, flat);
+    // The snapshot dispatches to its own numeric path (f32 or int8).
     let out = match kind {
-        ReqKind::Forward => model.gan().infer_forward(&packed),
-        ReqKind::Inverse => model.gan().infer_inverse(&packed),
+        ReqKind::Forward => model.infer_forward(&packed),
+        ReqKind::Inverse => model.infer_inverse(&packed),
     };
     telemetry.record_batch(misses.len());
     for (i, r) in misses.iter().enumerate() {

@@ -52,5 +52,7 @@ pub mod telemetry;
 pub use batcher::{BatchPolicy, Response, ServeClient, ServeError, Server};
 pub use cache::{CacheKey, LruCache};
 pub use loadgen::{run_load, LoadGenConfig, LoadMode, LoadReport};
-pub use registry::{ModelRegistry, PublishError, PublishOutcome, ServableModel};
+pub use registry::{
+    check_quantized, ModelRegistry, PublishError, PublishOutcome, QuantMode, ServableModel,
+};
 pub use telemetry::{ReqKind, ServeStats, Telemetry};

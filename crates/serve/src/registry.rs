@@ -8,26 +8,93 @@
 //! is ever dropped by a swap.
 
 use ltfb_core::checkpoint::{load_surrogate, CheckpointError};
-use ltfb_gan::{CycleGan, CycleGanConfig};
+use ltfb_gan::{CycleGan, CycleGanConfig, QuantCycleGan};
+use ltfb_tensor::{mix_seed, seeded_rng, uniform, Matrix};
 use parking_lot::RwLock;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// Numeric path a [`ModelRegistry`] serves with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QuantMode {
+    /// Full-precision inference (bit-identical to training eval).
+    #[default]
+    F32,
+    /// Int8-weight inference: each publish re-quantizes the model and
+    /// probe-checks it against its analytic error bound; a model that
+    /// fails either step serves f32 instead of serving garbage.
+    Int8,
+}
+
 /// An immutable, shareable inference snapshot: one CycleGAN plus its
-/// registry version.
+/// registry version, optionally carrying an int8 shadow of the
+/// inference networks.
 pub struct ServableModel {
     gan: CycleGan,
+    quant: Option<QuantCycleGan>,
     version: u64,
 }
 
 impl ServableModel {
     pub fn new(gan: CycleGan, version: u64) -> Self {
-        ServableModel { gan, version }
+        ServableModel {
+            gan,
+            quant: None,
+            version,
+        }
+    }
+
+    /// Build a snapshot honoring `mode`. Under [`QuantMode::Int8`] the
+    /// model is quantized and validated by [`check_quantized`]; any
+    /// failure degrades this snapshot to f32 (serving stays correct,
+    /// just slower) and the reason is returned alongside.
+    pub fn with_mode(gan: CycleGan, version: u64, mode: QuantMode) -> (Self, Option<String>) {
+        let (quant, degraded) = match mode {
+            QuantMode::F32 => (None, None),
+            QuantMode::Int8 => match gan.quantize_int8() {
+                Ok(q) => match check_quantized(&gan, &q, version) {
+                    Ok(()) => (Some(q), None),
+                    Err(reason) => (None, Some(reason)),
+                },
+                Err(e) => (None, Some(e.to_string())),
+            },
+        };
+        (
+            ServableModel {
+                gan,
+                quant,
+                version,
+            },
+            degraded,
+        )
     }
 
     pub fn gan(&self) -> &CycleGan {
         &self.gan
+    }
+
+    /// Whether requests run on the int8 path.
+    pub fn is_quantized(&self) -> bool {
+        self.quant.is_some()
+    }
+
+    /// Forward prediction `Dec(F(x))` on whichever numeric path this
+    /// snapshot carries.
+    pub fn infer_forward(&self, x: &Matrix) -> Matrix {
+        match &self.quant {
+            Some(q) => q.infer_forward(x),
+            None => self.gan.infer_forward(x),
+        }
+    }
+
+    /// Inversion `G(E(y))` on whichever numeric path this snapshot
+    /// carries.
+    pub fn infer_inverse(&self, y: &Matrix) -> Matrix {
+        match &self.quant {
+            Some(q) => q.infer_inverse(y),
+            None => self.gan.infer_inverse(y),
+        }
     }
 
     pub fn version(&self) -> u64 {
@@ -43,6 +110,47 @@ impl ServableModel {
     pub fn y_dim(&self) -> usize {
         self.gan.cfg.y_dim()
     }
+}
+
+/// Validate an int8 snapshot against its own accuracy contract: run a
+/// deterministic probe batch through both numeric paths and assert the
+/// realised error against the analytic bound from
+/// [`QuantCycleGan::infer_forward_bounded`]. A non-finite or violated
+/// bound means the quantization math can't vouch for this model — the
+/// caller should serve f32.
+///
+/// The probe is seeded from `version` so repeated publishes of the same
+/// weights give the same verdict.
+pub fn check_quantized(gan: &CycleGan, q: &QuantCycleGan, version: u64) -> Result<(), String> {
+    let mut rng = seeded_rng(mix_seed(&[version, 0x51_8a7e]));
+    let probe_rows = 8;
+    let x = uniform(probe_rows, gan.cfg.x_dim(), 0.0, 1.0, &mut rng);
+    let y = uniform(probe_rows, gan.cfg.y_dim(), -1.0, 1.0, &mut rng);
+
+    let check = |name: &str, got: &Matrix, want: &Matrix, bound: f32| -> Result<(), String> {
+        if !bound.is_finite() {
+            return Err(format!("int8 {name} error bound is non-finite ({bound})"));
+        }
+        let worst = got
+            .as_slice()
+            .iter()
+            .zip(want.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        // Tiny absolute slack: the bound itself is computed in f32.
+        if worst > bound + 1e-4 {
+            return Err(format!(
+                "int8 {name} probe error {worst} exceeds analytic bound {bound}"
+            ));
+        }
+        Ok(())
+    };
+
+    let (yq, ef) = q.infer_forward_bounded(&x);
+    check("forward", &yq, &gan.infer_forward(&x), ef)?;
+    let (xq, ei) = q.infer_inverse_bounded(&y);
+    check("inverse", &xq, &gan.infer_inverse(&y), ei)?;
+    Ok(())
 }
 
 /// Error from [`ModelRegistry::publish`].
@@ -82,18 +190,35 @@ impl std::error::Error for PublishError {}
 pub struct ModelRegistry {
     current: RwLock<Arc<ServableModel>>,
     last_good: RwLock<Option<Arc<ServableModel>>>,
+    quant_mode: QuantMode,
     swaps: AtomicU64,
     fallbacks: AtomicU64,
+    quant_degrades: AtomicU64,
 }
 
 impl ModelRegistry {
-    /// Start serving `gan` as `version`.
+    /// Start serving `gan` as `version` on the f32 path.
     pub fn new(gan: CycleGan, version: u64) -> Self {
+        ModelRegistry::with_mode(gan, version, QuantMode::F32)
+    }
+
+    /// Start serving `gan` as `version`, requesting `mode` for this and
+    /// every future publish. The mode is fixed for the registry's
+    /// lifetime so response caches never mix numeric paths within a
+    /// version.
+    pub fn with_mode(gan: CycleGan, version: u64, mode: QuantMode) -> Self {
+        let quant_degrades = AtomicU64::new(0);
+        let (model, degraded) = ServableModel::with_mode(gan, version, mode);
+        if degraded.is_some() {
+            quant_degrades.fetch_add(1, Ordering::Relaxed);
+        }
         ModelRegistry {
-            current: RwLock::new(Arc::new(ServableModel::new(gan, version))),
+            current: RwLock::new(Arc::new(model)),
             last_good: RwLock::new(None),
+            quant_mode: mode,
             swaps: AtomicU64::new(0),
             fallbacks: AtomicU64::new(0),
+            quant_degrades,
         }
     }
 
@@ -102,6 +227,17 @@ impl ModelRegistry {
     pub fn from_checkpoint(path: &Path, cfg: &CycleGanConfig) -> Result<Self, CheckpointError> {
         let (gan, version) = load_surrogate(path, cfg)?;
         Ok(ModelRegistry::new(gan, version))
+    }
+
+    /// The numeric path requested at construction.
+    pub fn quant_mode(&self) -> QuantMode {
+        self.quant_mode
+    }
+
+    /// How many publishes were forced down to f32 because quantization
+    /// failed or missed its accuracy bound.
+    pub fn quant_degrade_count(&self) -> u64 {
+        self.quant_degrades.load(Ordering::Relaxed)
     }
 
     /// The live model. Cheap (`Arc` clone under a read lock); callers
@@ -145,7 +281,11 @@ impl ModelRegistry {
                 cur.y_dim()
             )));
         }
-        let fresh = Arc::new(ServableModel::new(gan, version));
+        let (fresh, degraded) = ServableModel::with_mode(gan, version, self.quant_mode);
+        if degraded.is_some() {
+            self.quant_degrades.fetch_add(1, Ordering::Relaxed);
+        }
+        let fresh = Arc::new(fresh);
         *self.last_good.write() = Some(Arc::clone(&cur));
         *cur = fresh;
         self.swaps.fetch_add(1, Ordering::Relaxed);
@@ -302,6 +442,51 @@ mod tests {
         );
         assert_eq!(reg.version(), 4);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn int8_mode_serves_quantized_and_requantizes_on_publish() {
+        let reg = ModelRegistry::with_mode(tiny_gan(1), 1, QuantMode::Int8);
+        assert_eq!(reg.quant_mode(), QuantMode::Int8);
+        assert!(reg.current().is_quantized());
+        assert_eq!(reg.quant_degrade_count(), 0);
+
+        // Outputs follow the int8 path but stay near the f32 answer.
+        let mut rng = ltfb_tensor::seeded_rng(3);
+        let x = ltfb_tensor::uniform(4, reg.current().x_dim(), 0.0, 1.0, &mut rng);
+        let q_out = reg.current().infer_forward(&x);
+        let f_out = reg.current().gan().infer_forward(&x);
+        assert_eq!(q_out.shape(), f_out.shape());
+        for (a, b) in q_out.as_slice().iter().zip(f_out.as_slice()) {
+            assert!((a - b).abs() < 0.5, "int8 drifted: {a} vs {b}");
+        }
+
+        // Publishing re-quantizes the fresh weights.
+        reg.publish(tiny_gan(2), 2).unwrap();
+        assert!(reg.current().is_quantized());
+    }
+
+    #[test]
+    fn unquantizable_publish_degrades_to_f32_but_keeps_serving() {
+        let reg = ModelRegistry::with_mode(tiny_gan(1), 1, QuantMode::Int8);
+        let mut bad = tiny_gan(2);
+        bad.networks_mut()[2].params_mut()[0].value.as_mut_slice()[0] = f32::NAN;
+        reg.publish(bad, 2).unwrap();
+        assert_eq!(reg.version(), 2, "publish itself succeeds");
+        assert!(
+            !reg.current().is_quantized(),
+            "NaN weights must not serve int8"
+        );
+        assert_eq!(reg.quant_degrade_count(), 1);
+    }
+
+    #[test]
+    fn f32_mode_never_quantizes() {
+        let reg = ModelRegistry::new(tiny_gan(1), 1);
+        assert_eq!(reg.quant_mode(), QuantMode::F32);
+        assert!(!reg.current().is_quantized());
+        reg.publish(tiny_gan(2), 2).unwrap();
+        assert!(!reg.current().is_quantized());
     }
 
     #[test]

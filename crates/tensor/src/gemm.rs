@@ -1,26 +1,45 @@
 //! Blocked, Rayon-parallel GEMM kernels.
 //!
 //! These are the compute kernels a GPU would run in LBANN/Hydrogen; here they
-//! are cache-blocked CPU kernels parallelised over row panels with Rayon.
-//! The micro-kernel accumulates `C[i, :] += A[i, k] * B[k, :]` over a K-tile,
-//! i.e. an outer-product (axpy) formulation: for row-major storage this walks
-//! `B` and `C` contiguously, which is the layout-friendly order.
+//! are cache-blocked CPU kernels parallelised over row panels with Rayon and
+//! vectorised with the register-blocked `f32x8` micro-kernels in
+//! [`crate::simd`] (4 rows x 16 columns of `C` live in registers per K-tile
+//! pass instead of one load+store per multiply-add).
 //!
-//! Four entry points cover every case the NN stack needs without ever
+//! ## Numeric contract
+//!
+//! Every kernel computes full IEEE-754 products — there is **no** sparse
+//! skip of zero `A` coefficients. An earlier version skipped `av == 0.0`
+//! rows of `B`, which silently diverged from [`matmul_naive`] whenever the
+//! skipped `B` row held NaN/Inf (`0 x NaN = NaN`, but the skip preserved the
+//! old `C` value), masking non-finite activations from the serve-side
+//! `NonFinite` guards. Per `C` element the `kk` accumulation order is
+//! ascending and sequential with no FMA contraction, so [`gemm`],
+//! [`gemm_tn`], [`gemm_nt`], their `_scalar` references and
+//! [`matmul_naive`] are all **bit-identical** to each other. `beta == 0.0`
+//! means `C` is not read (BLAS semantics): existing NaNs in `C` are
+//! overwritten, not propagated.
+//!
+//! Five entry points cover every case the NN stack needs without ever
 //! materialising a transpose:
-//!   * [`gemm`]       — `C = alpha * A @ B + beta * C`
-//!   * [`gemm_tn`]    — `C = alpha * A^T @ B + beta * C` (weight gradients)
-//!   * [`gemm_nt`]    — `C = alpha * A @ B^T + beta * C` (input gradients)
-//!   * [`matmul`]     — convenience `A @ B` into a fresh matrix
+//!   * [`gemm`]          — `C = alpha * A @ B + beta * C`
+//!   * [`gemm_bias_act`] — [`gemm`] plus a fused bias + activation epilogue
+//!   * [`gemm_tn`]       — `C = alpha * A^T @ B + beta * C` (weight gradients)
+//!   * [`gemm_nt`]       — `C = alpha * A @ B^T + beta * C` (input gradients)
+//!   * [`matmul`]        — convenience `A @ B` into a fresh matrix
 
 use crate::matrix::Matrix;
+use crate::ops::Activation;
+use crate::simd;
 use rayon::prelude::*;
+use wide::f32x8;
 
 /// Row-panel height processed by one Rayon task. Big enough that task
 /// overhead is negligible, small enough to load-balance ragged shapes.
 const PANEL: usize = 64;
 /// K-dimension tile; 256 f32 = 1 KiB of A-column per row, keeps the B tile
-/// resident in L2 across the panel.
+/// resident in L2 across the panel and bounds the register-tile residency
+/// between C load and store.
 const KTILE: usize = 256;
 
 /// Scale a beta into a row: `c *= beta` handling the common 0/1 fast paths.
@@ -35,11 +54,11 @@ fn scale_row(c: &mut [f32], beta: f32) {
     }
 }
 
-/// `axpy` micro-kernel: `c += a * b` over a contiguous row.
+/// `axpy` micro-kernel: `c += a * b` over a contiguous row. Used by the
+/// scalar reference kernels; the SIMD path lives in [`crate::simd`].
 #[inline(always)]
 fn axpy(c: &mut [f32], a: f32, b: &[f32]) {
     debug_assert_eq!(c.len(), b.len());
-    // Simple enough that LLVM auto-vectorises; explicit chunks of 8 help it.
     let mut ci = c.chunks_exact_mut(8);
     let mut bi = b.chunks_exact(8);
     for (cc, bb) in ci.by_ref().zip(bi.by_ref()) {
@@ -56,6 +75,39 @@ fn axpy(c: &mut [f32], a: f32, b: &[f32]) {
 ///
 /// Shapes: `A: m x k`, `B: k x n`, `C: m x n`. Panics on mismatch.
 pub fn gemm(alpha: f32, a: &Matrix, b: &Matrix, beta: f32, c: &mut Matrix) {
+    gemm_fused(alpha, a, b, beta, c, None);
+}
+
+/// [`gemm`] with a fused epilogue: `C = act((alpha * A @ B + beta * C) + bias)`.
+///
+/// `bias` is a `1 x n` row vector added to every output row; `act` is
+/// applied elementwise afterwards. The epilogue runs inside the panel
+/// loop while the `C` panel is still cache-hot, so the activation matrix
+/// is written once instead of three times (gemm store, bias pass,
+/// activation pass). Bit-identical to the unfused
+/// `gemm` + `add_bias` + activation sequence.
+pub fn gemm_bias_act(
+    alpha: f32,
+    a: &Matrix,
+    b: &Matrix,
+    beta: f32,
+    c: &mut Matrix,
+    bias: &Matrix,
+    act: Activation,
+) {
+    assert_eq!(bias.rows(), 1, "gemm_bias_act bias must be a row vector");
+    assert_eq!(bias.cols(), b.cols(), "gemm_bias_act bias width mismatch");
+    gemm_fused(alpha, a, b, beta, c, Some((bias.as_slice(), act)));
+}
+
+fn gemm_fused(
+    alpha: f32,
+    a: &Matrix,
+    b: &Matrix,
+    beta: f32,
+    c: &mut Matrix,
+    epilogue: Option<(&[f32], Activation)>,
+) {
     let (m, k) = a.shape();
     let (kb, n) = b.shape();
     assert_eq!(
@@ -78,16 +130,15 @@ pub fn gemm(alpha: f32, a: &Matrix, b: &Matrix, beta: f32, c: &mut Matrix) {
             if n == 0 {
                 return;
             }
+            let coef = |r: usize, kk: usize| alpha * a_data[(row0 + r) * k + kk];
             for k0 in (0..k).step_by(KTILE) {
                 let kmax = (k0 + KTILE).min(k);
-                for r in 0..rows {
-                    let arow = &a_data[(row0 + r) * k..(row0 + r + 1) * k];
-                    let crow = &mut c_panel[r * n..(r + 1) * n];
-                    for kk in k0..kmax {
-                        let av = alpha * arow[kk];
-                        if av != 0.0 {
-                            axpy(crow, av, &b_data[kk * n..kk * n + n]);
-                        }
+                simd::panel_update(&coef, b_data, n, k0, kmax, c_panel, rows);
+            }
+            if let Some((bias, act)) = epilogue {
+                for c_row in c_panel.chunks_exact_mut(n) {
+                    for (v, &bv) in c_row.iter_mut().zip(bias) {
+                        *v = act.apply(*v + bv);
                     }
                 }
             }
@@ -119,23 +170,23 @@ pub fn gemm_tn(alpha: f32, a: &Matrix, b: &Matrix, beta: f32, c: &mut Matrix) {
                 return;
             }
             // A^T[i, kk] = A[kk, i]: strided read of A, contiguous B/C.
-            for kk in 0..k {
-                let brow = &b_data[kk * n..kk * n + n];
-                for r in 0..rows {
-                    let av = alpha * a_data[kk * m + row0 + r];
-                    if av != 0.0 {
-                        axpy(&mut c_panel[r * n..(r + 1) * n], av, brow);
-                    }
-                }
+            let coef = |r: usize, kk: usize| alpha * a_data[kk * m + row0 + r];
+            for k0 in (0..k).step_by(KTILE) {
+                let kmax = (k0 + KTILE).min(k);
+                simd::panel_update(&coef, b_data, n, k0, kmax, c_panel, rows);
             }
         });
 }
 
-/// `C = alpha * A @ B^T + beta * C` without materialising `B^T`.
+/// `C = alpha * A @ B^T + beta * C`.
 ///
 /// Shapes: `A: m x k`, `B: n x k`, `C: m x n`. This is the input-gradient
-/// product `dX = dY @ W^T` in the NN stack. Uses dot-product form since both
-/// `A` rows and `B` rows are contiguous.
+/// product `dX = dY @ W^T` in the NN stack. `B` is transposed once per
+/// call into a thread-local scratch tile so the inner loop runs the
+/// phase-accumulator form of the lane-grouped dot product with
+/// contiguous vector loads and no horizontal reductions (see
+/// [`simd::nt_row_t`]); the transpose cost is amortised over the `m`
+/// output rows.
 pub fn gemm_nt(alpha: f32, a: &Matrix, b: &Matrix, beta: f32, c: &mut Matrix) {
     let (m, k) = a.shape();
     let (n, kb) = b.shape();
@@ -144,25 +195,128 @@ pub fn gemm_nt(alpha: f32, a: &Matrix, b: &Matrix, beta: f32, c: &mut Matrix) {
 
     let a_data = a.as_slice();
     let b_data = b.as_slice();
-    c.as_mut_slice()
-        .par_chunks_mut(n.max(1))
-        .enumerate()
-        .for_each(|(r, c_row)| {
-            if r >= m {
-                return;
-            }
-            scale_row(c_row, beta);
-            let arow = &a_data[r * k..(r + 1) * k];
-            for (j, cv) in c_row.iter_mut().enumerate() {
-                *cv += alpha * dot(arow, &b_data[j * k..(j + 1) * k]);
-            }
-        });
+    simd::with_packed(b_data, n, k, |bt| {
+        c.as_mut_slice()
+            .par_chunks_mut(n.max(1))
+            .enumerate()
+            .for_each(|(r, c_row)| {
+                if r >= m {
+                    return;
+                }
+                scale_row(c_row, beta);
+                simd::nt_row_t(alpha, &a_data[r * k..(r + 1) * k], bt, b_data, k, c_row);
+            });
+    });
 }
 
-/// Contiguous dot product with 8-wide unrolling.
-#[inline(always)]
+/// Contiguous dot product, 8 lanes wide.
+///
+/// Hard contract in all builds: panics unless `a.len() == b.len()`.
+/// (An earlier version only `debug_assert`ed and silently truncated to
+/// the shorter slice in release builds.)
+#[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "dot length mismatch: {} vs {}",
+        a.len(),
+        b.len()
+    );
+    let mut acc = f32x8::ZERO;
+    let mut ai = a.chunks_exact(8);
+    let mut bi = b.chunks_exact(8);
+    for (aa, bb) in ai.by_ref().zip(bi.by_ref()) {
+        acc += f32x8::from_slice(aa) * f32x8::from_slice(bb);
+    }
+    let mut tail = 0.0f32;
+    for (x, y) in ai.remainder().iter().zip(bi.remainder()) {
+        tail += x * y;
+    }
+    acc.reduce_add() + tail
+}
+
+/// Convenience: `A @ B` into a freshly allocated matrix.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    gemm(1.0, a, b, 0.0, &mut c);
+    c
+}
+
+/// Scalar, serial reference for [`gemm`]: the pre-SIMD axpy formulation
+/// (minus the broken zero-skip). Bit-identical to [`gemm`]; kept for
+/// property tests and as the fallback documentation of the accumulation
+/// order the SIMD kernels must preserve.
+pub fn gemm_scalar(alpha: f32, a: &Matrix, b: &Matrix, beta: f32, c: &mut Matrix) {
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(
+        k, kb,
+        "gemm inner dimension mismatch: A is {m}x{k}, B is {kb}x{n}"
+    );
+    assert_eq!(c.shape(), (m, n), "gemm output shape mismatch");
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    let c_data = c.as_mut_slice();
+    for r in 0..m {
+        let crow = &mut c_data[r * n..(r + 1) * n];
+        scale_row(crow, beta);
+        let arow = &a_data[r * k..(r + 1) * k];
+        for kk in 0..k {
+            axpy(crow, alpha * arow[kk], &b_data[kk * n..kk * n + n]);
+        }
+    }
+}
+
+/// Scalar, serial reference for [`gemm_tn`]. Bit-identical to [`gemm_tn`].
+pub fn gemm_tn_scalar(alpha: f32, a: &Matrix, b: &Matrix, beta: f32, c: &mut Matrix) {
+    let (k, m) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb, "gemm_tn inner dimension mismatch");
+    assert_eq!(c.shape(), (m, n), "gemm_tn output shape mismatch");
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    let c_data = c.as_mut_slice();
+    for r in 0..m {
+        scale_row(&mut c_data[r * n..(r + 1) * n], beta);
+    }
+    for kk in 0..k {
+        let brow = &b_data[kk * n..kk * n + n];
+        for r in 0..m {
+            axpy(
+                &mut c_data[r * n..(r + 1) * n],
+                alpha * a_data[kk * m + r],
+                brow,
+            );
+        }
+    }
+}
+
+/// Scalar, serial reference for [`gemm_nt`]. Bit-identical to [`gemm_nt`].
+pub fn gemm_nt_scalar(alpha: f32, a: &Matrix, b: &Matrix, beta: f32, c: &mut Matrix) {
+    let (m, k) = a.shape();
+    let (n, kb) = b.shape();
+    assert_eq!(k, kb, "gemm_nt inner dimension mismatch");
+    assert_eq!(c.shape(), (m, n), "gemm_nt output shape mismatch");
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    for (r, c_row) in c.as_mut_slice().chunks_mut(n.max(1)).enumerate() {
+        if r >= m {
+            break;
+        }
+        scale_row(c_row, beta);
+        let arow = &a_data[r * k..(r + 1) * k];
+        for (j, cv) in c_row.iter_mut().enumerate() {
+            *cv += alpha * dot_scalar(arow, &b_data[j * k..(j + 1) * k]);
+        }
+    }
+}
+
+/// Scalar 8-accumulator dot product — the pre-SIMD formulation [`dot`]
+/// must stay bit-identical to.
+#[inline(always)]
+fn dot_scalar(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
     let mut acc = [0.0f32; 8];
     let mut ai = a.chunks_exact(8);
     let mut bi = b.chunks_exact(8);
@@ -176,13 +330,6 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
         tail += x * y;
     }
     acc.iter().sum::<f32>() + tail
-}
-
-/// Convenience: `A @ B` into a freshly allocated matrix.
-pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
-    let mut c = Matrix::zeros(a.rows(), b.cols());
-    gemm(1.0, a, b, 0.0, &mut c);
-    c
 }
 
 /// Reference kernel used by tests/property checks: textbook triple loop.
@@ -206,6 +353,7 @@ pub fn matmul_naive(a: &Matrix, b: &Matrix) -> Matrix {
 mod tests {
     use super::*;
     use crate::init::{seeded_rng, uniform};
+    use crate::ops::{add_bias, map, sigmoid};
 
     fn assert_close(a: &Matrix, b: &Matrix, tol: f32) {
         assert_eq!(a.shape(), b.shape());
@@ -213,6 +361,17 @@ mod tests {
             assert!(
                 (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())),
                 "mismatch: {x} vs {y}"
+            );
+        }
+    }
+
+    fn assert_bits_equal(a: &Matrix, b: &Matrix, what: &str) {
+        assert_eq!(a.shape(), b.shape(), "{what}: shape");
+        for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{what}: element {i} differs: {x} vs {y}"
             );
         }
     }
@@ -232,6 +391,30 @@ mod tests {
         let a = uniform(PANEL + 3, KTILE + 9, -1.0, 1.0, &mut rng);
         let b = uniform(KTILE + 9, 17, -1.0, 1.0, &mut rng);
         assert_close(&matmul(&a, &b), &matmul_naive(&a, &b), 1e-3);
+    }
+
+    #[test]
+    fn simd_kernels_bit_match_naive_and_scalar() {
+        // The strongest form of the contract: exact equality across the
+        // blocked SIMD kernel, the scalar reference and the naive triple
+        // loop, on a shape that exercises 16/8/scalar column tails and a
+        // ragged row block.
+        let mut rng = seeded_rng(40);
+        for &(m, k, n) in &[
+            (7, 19, 29),
+            (PANEL + 5, KTILE + 3, 23),
+            (3, 1, 8),
+            (1, 9, 1),
+        ] {
+            let a = uniform(m, k, -1.0, 1.0, &mut rng);
+            let b = uniform(k, n, -1.0, 1.0, &mut rng);
+            let naive = matmul_naive(&a, &b);
+            let simd = matmul(&a, &b);
+            let mut scalar = Matrix::zeros(m, n);
+            gemm_scalar(1.0, &a, &b, 0.0, &mut scalar);
+            assert_bits_equal(&simd, &naive, "simd vs naive");
+            assert_bits_equal(&scalar, &naive, "scalar vs naive");
+        }
     }
 
     #[test]
@@ -260,6 +443,19 @@ mod tests {
     }
 
     #[test]
+    fn gemm_tn_bit_matches_scalar_with_beta_accumulation() {
+        let mut rng = seeded_rng(41);
+        let a = uniform(37, 21, -1.0, 1.0, &mut rng);
+        let b = uniform(37, 19, -1.0, 1.0, &mut rng);
+        let c0 = uniform(21, 19, -1.0, 1.0, &mut rng);
+        let mut c_simd = c0.clone();
+        let mut c_scalar = c0.clone();
+        gemm_tn(1.5, &a, &b, 1.0, &mut c_simd);
+        gemm_tn_scalar(1.5, &a, &b, 1.0, &mut c_scalar);
+        assert_bits_equal(&c_simd, &c_scalar, "gemm_tn simd vs scalar");
+    }
+
+    #[test]
     fn gemm_nt_equals_explicit_transpose() {
         let mut rng = seeded_rng(11);
         let a = uniform(6, 9, -1.0, 1.0, &mut rng);
@@ -267,6 +463,18 @@ mod tests {
         let mut c = Matrix::zeros(6, 4);
         gemm_nt(1.0, &a, &b, 0.0, &mut c);
         assert_close(&c, &matmul_naive(&a, &b.transpose()), 1e-5);
+    }
+
+    #[test]
+    fn gemm_nt_bit_matches_scalar() {
+        let mut rng = seeded_rng(42);
+        let a = uniform(13, 27, -1.0, 1.0, &mut rng);
+        let b = uniform(11, 27, -1.0, 1.0, &mut rng);
+        let mut c_simd = Matrix::zeros(13, 11);
+        let mut c_scalar = Matrix::zeros(13, 11);
+        gemm_nt(1.0, &a, &b, 0.0, &mut c_simd);
+        gemm_nt_scalar(1.0, &a, &b, 0.0, &mut c_scalar);
+        assert_bits_equal(&c_simd, &c_scalar, "gemm_nt simd vs scalar");
     }
 
     #[test]
@@ -300,10 +508,109 @@ mod tests {
     }
 
     #[test]
+    fn nan_in_b_propagates_through_zero_row_of_a() {
+        // Regression for the av != 0.0 sparse-skip: a zero row of A must
+        // still multiply the NaN B row (0 x NaN = NaN) in every kernel,
+        // exactly as matmul_naive does.
+        let a = Matrix::zeros(2, 3); // all-zero coefficients
+        let mut b = Matrix::zeros(3, 4);
+        b[(1, 2)] = f32::NAN;
+        b[(2, 0)] = f32::INFINITY;
+
+        let naive = matmul_naive(&a, &b);
+        assert!(naive[(0, 2)].is_nan());
+        assert!(naive[(0, 0)].is_nan(), "0 * inf must be NaN");
+
+        let blocked = matmul(&a, &b);
+        let mut scalar = Matrix::zeros(2, 4);
+        gemm_scalar(1.0, &a, &b, 0.0, &mut scalar);
+        for c in [&blocked, &scalar] {
+            assert!(c[(0, 2)].is_nan(), "NaN swallowed by blocked kernel");
+            assert!(c[(1, 2)].is_nan());
+            assert!(c[(0, 0)].is_nan(), "Inf x 0 swallowed");
+        }
+
+        // Same property through the transposed path (A^T has the zero row).
+        let at = a.transpose(); // 3 x 2
+        let mut c_tn = Matrix::zeros(2, 4);
+        gemm_tn(1.0, &at, &b, 0.0, &mut c_tn);
+        assert!(c_tn[(0, 2)].is_nan(), "gemm_tn swallowed NaN");
+        assert!(c_tn[(0, 0)].is_nan(), "gemm_tn swallowed Inf x 0");
+
+        // And the NT path: NaN in B^T columns hit by a zero A row.
+        let bt = b.transpose(); // 4 x 3
+        let mut c_nt = Matrix::zeros(2, 4);
+        gemm_nt(1.0, &a, &bt, 0.0, &mut c_nt);
+        assert!(c_nt[(0, 2)].is_nan(), "gemm_nt swallowed NaN");
+    }
+
+    #[test]
+    fn beta_zero_overwrites_stale_nan_in_c() {
+        // BLAS semantics: beta == 0 means C is not read.
+        let a = Matrix::zeros(2, 2);
+        let b = Matrix::zeros(2, 2);
+        let mut c = Matrix::full(2, 2, f32::NAN);
+        gemm(1.0, &a, &b, 0.0, &mut c);
+        assert!(c.as_slice().iter().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn gemm_bias_act_matches_unfused_sequence_bitwise() {
+        let mut rng = seeded_rng(43);
+        let a = uniform(9, 14, -1.0, 1.0, &mut rng);
+        let b = uniform(14, 21, -1.0, 1.0, &mut rng);
+        let bias = uniform(1, 21, -0.5, 0.5, &mut rng);
+        for act in [
+            Activation::Identity,
+            Activation::LeakyRelu(0.1),
+            Activation::Tanh,
+            Activation::Sigmoid,
+        ] {
+            let mut fused = Matrix::zeros(9, 21);
+            gemm_bias_act(1.0, &a, &b, 0.0, &mut fused, &bias, act);
+
+            let mut unfused = Matrix::zeros(9, 21);
+            gemm(1.0, &a, &b, 0.0, &mut unfused);
+            add_bias(&mut unfused, &bias);
+            let unfused = match act {
+                Activation::Identity => unfused,
+                Activation::LeakyRelu(alpha) => {
+                    // The layer path: mask then hadamard.
+                    let mask = map(&unfused, |v| if v > 0.0 { 1.0 } else { alpha });
+                    crate::ops::hadamard(&unfused, &mask)
+                }
+                Activation::Tanh => map(&unfused, |v| v.tanh()),
+                Activation::Sigmoid => map(&unfused, sigmoid),
+            };
+            assert_bits_equal(&fused, &unfused, "fused vs unfused epilogue");
+        }
+    }
+
+    #[test]
+    fn gemm_bias_act_propagates_nan_through_leaky_relu() {
+        let a = Matrix::zeros(1, 2);
+        let mut b = Matrix::zeros(2, 3);
+        b[(0, 0)] = f32::NAN;
+        let bias = Matrix::zeros(1, 3);
+        let mut c = Matrix::zeros(1, 3);
+        gemm_bias_act(1.0, &a, &b, 0.0, &mut c, &bias, Activation::LeakyRelu(0.1));
+        assert!(c[(0, 0)].is_nan(), "fused LeakyRelu must not rectify NaN");
+    }
+
+    #[test]
     fn dot_matches_reference() {
         let a: Vec<f32> = (0..19).map(|i| i as f32 * 0.5).collect();
         let b: Vec<f32> = (0..19).map(|i| 1.0 - i as f32 * 0.1).collect();
         let reference: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
         assert!((dot(&a, &b) - reference).abs() < 1e-4);
+        assert_eq!(dot(&a, &b).to_bits(), dot_scalar(&a, &b).to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "dot length mismatch")]
+    fn dot_rejects_mismatched_lengths() {
+        let a = [1.0f32; 9];
+        let b = [1.0f32; 8];
+        let _ = dot(&a, &b);
     }
 }

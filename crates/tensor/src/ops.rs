@@ -278,6 +278,50 @@ pub fn bce_with_logits_grad_into(logits: &Matrix, target: &Matrix, out: &mut Mat
     }
 }
 
+/// Fused GEMM epilogue activation, consumed by
+/// [`crate::gemm::gemm_bias_act`].
+///
+/// Each variant's [`apply`](Activation::apply) is bit-identical to the
+/// corresponding unfused layer path in `ltfb-nn`: `LeakyRelu` multiplies
+/// by the same mask expression (`if v > 0 { 1 } else { alpha }`) the
+/// mask/hadamard path computes, `Tanh`/`Sigmoid` call the exact same
+/// scalar functions the `map` path does. Fusing an epilogue therefore
+/// never changes a training or inference trajectory.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Activation {
+    /// Bias add only; no nonlinearity.
+    Identity,
+    /// `v * (if v > 0 { 1 } else { alpha })` — NaN and `-0.0` behave
+    /// exactly like the mask/hadamard formulation (a NaN input maps to
+    /// NaN, never silently rectified).
+    LeakyRelu(f32),
+    Tanh,
+    Sigmoid,
+}
+
+impl Activation {
+    /// Apply the activation to one pre-activation value.
+    #[inline(always)]
+    pub fn apply(self, v: f32) -> f32 {
+        match self {
+            Activation::Identity => v,
+            Activation::LeakyRelu(alpha) => v * (if v > 0.0 { 1.0 } else { alpha }),
+            Activation::Tanh => v.tanh(),
+            Activation::Sigmoid => sigmoid(v),
+        }
+    }
+
+    /// Lipschitz constant, used to propagate int8 quantization error
+    /// bounds through a network (see `crate::quant`).
+    pub fn lipschitz(self) -> f32 {
+        match self {
+            Activation::Identity | Activation::Tanh => 1.0,
+            Activation::LeakyRelu(alpha) => alpha.abs().max(1.0),
+            Activation::Sigmoid => 0.25,
+        }
+    }
+}
+
 /// Logistic sigmoid.
 #[inline]
 pub fn sigmoid(z: f32) -> f32 {

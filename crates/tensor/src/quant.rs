@@ -1,0 +1,390 @@
+//! Int8 row-quantized **inference-only** kernels.
+//!
+//! Scheme (standard affine/symmetric mix, cf. the reduced-precision
+//! surrogate literature):
+//! * activations are quantized **per row** to `u8` with an affine map
+//!   `q = clamp(round(v / s) + zp)` where `s = (hi - lo) / 255` over the
+//!   row's value range (zero always included, so padding rows stay
+//!   exact) — each mini-batch row gets its own scale, which is what makes
+//!   row quantization accurate for heterogeneous batches;
+//! * weights are quantized **per output column** to `i8` symmetrically
+//!   (`s_j = max|w_col| / 127`), with the column sums `sum_k q[k][j]`
+//!   precomputed so the activation zero-point can be folded out of the
+//!   integer GEMM: `sum_k (qa - zp) qw = acc - zp * col_sum`;
+//! * [`matmul_q8`] accumulates in `i32` and applies a dequantizing
+//!   epilogue (`s_a * s_w[j] * (acc - zp * col_sum[j]) + bias[j]`)
+//!   followed by the exact f32 [`Activation`] — so the only deviation
+//!   from the f32 path is the quantization rounding itself.
+//!
+//! Every quantization step has an analytic error bound
+//! ([`q8_preact_error_bound`]): the serve path asserts the realised
+//! error against it, turning "int8 is probably fine" into a checked
+//! contract.
+//!
+//! Non-finite semantics match the f32 kernels' contract: an activation
+//! row containing NaN/Inf gets a NaN scale, so the whole output row
+//! dequantizes to NaN and the serve-side `NonFinite` guards still fire
+//! (integer casts would otherwise silently swallow NaN). Non-finite
+//! *weights* are rejected at quantization time.
+
+use crate::matrix::Matrix;
+use crate::ops::Activation;
+use std::fmt;
+
+/// `i32` accumulation is exact only while `k * 255 * 127 < 2^31`.
+pub const MAX_Q8_K: usize = 66_000;
+
+/// Error from [`quantize_weights`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuantizeError {
+    /// The weight matrix contains NaN or infinity.
+    NonFiniteWeights,
+}
+
+impl fmt::Display for QuantizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantizeError::NonFiniteWeights => write!(f, "weight matrix is not finite"),
+        }
+    }
+}
+
+impl std::error::Error for QuantizeError {}
+
+/// Per-row affine `u8` quantization of an activation matrix.
+pub struct QuantizedActs {
+    q: Vec<u8>,
+    /// Per-row scale; NaN marks a row with non-finite input values.
+    scale: Vec<f32>,
+    zero_point: Vec<i32>,
+    /// Per-row `sum |v|` of the original f32 values (for error bounds).
+    abs_sum: Vec<f32>,
+    rows: usize,
+    cols: usize,
+}
+
+impl QuantizedActs {
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Largest per-row scale (NaN if any row was non-finite).
+    pub fn max_scale(&self) -> f32 {
+        self.scale
+            .iter()
+            .fold(0.0f32, |m, &s| if s.is_nan() || s > m { s } else { m })
+    }
+}
+
+/// Quantize an activation matrix row-by-row.
+pub fn quantize_rows(m: &Matrix) -> QuantizedActs {
+    let (rows, cols) = m.shape();
+    let mut q = vec![0u8; rows * cols];
+    let mut scale = vec![1.0f32; rows];
+    let mut zero_point = vec![0i32; rows];
+    let mut abs_sum = vec![0.0f32; rows];
+    for r in 0..rows {
+        let row = &m.as_slice()[r * cols..(r + 1) * cols];
+        let mut lo = 0.0f32;
+        let mut hi = 0.0f32;
+        let mut asum = 0.0f32;
+        let mut finite = true;
+        for &v in row {
+            finite &= v.is_finite();
+            lo = lo.min(v);
+            hi = hi.max(v);
+            asum += v.abs();
+        }
+        abs_sum[r] = asum;
+        if !finite {
+            // Poison the row: NaN scale dequantizes the whole output row
+            // to NaN, preserving the non-finite propagation contract.
+            scale[r] = f32::NAN;
+            continue;
+        }
+        if hi == lo {
+            // All-zero row (0 is always inside [lo, hi]).
+            continue;
+        }
+        let s = (hi - lo) / 255.0;
+        let zp = (-lo / s).round().clamp(0.0, 255.0) as i32;
+        scale[r] = s;
+        zero_point[r] = zp;
+        // Reciprocal multiply instead of per-element division: ~10x
+        // cheaper on the serve hot path. The rounded bucket can differ
+        // from `v / s` by at most one step on exact ties, which the
+        // full-scale-step term of `q8_preact_error_bound` already covers.
+        let inv = 1.0 / s;
+        let qrow = &mut q[r * cols..(r + 1) * cols];
+        for (qv, &v) in qrow.iter_mut().zip(row) {
+            *qv = ((v * inv).round() as i32 + zp).clamp(0, 255) as u8;
+        }
+    }
+    QuantizedActs {
+        q,
+        scale,
+        zero_point,
+        abs_sum,
+        rows,
+        cols,
+    }
+}
+
+/// Symmetric per-output-column `i8` quantization of a weight matrix
+/// (`in x out`, same layout as the f32 weights).
+#[derive(Debug)]
+pub struct QuantizedWeights {
+    q: Vec<i8>,
+    /// Per-column scale.
+    scale: Vec<f32>,
+    /// Per-column `sum_k q[k][j]` (folds the activation zero-point out
+    /// of the integer GEMM).
+    col_sum: Vec<i32>,
+    /// Per-column `sum_k |dequantized w|` = `scale[j] * sum_k |q[k][j]|`
+    /// (for error bounds).
+    col_abs_sum: Vec<f32>,
+    k: usize,
+    n: usize,
+}
+
+impl QuantizedWeights {
+    pub fn in_dim(&self) -> usize {
+        self.k
+    }
+
+    pub fn out_dim(&self) -> usize {
+        self.n
+    }
+
+    /// Largest per-column scale.
+    pub fn max_scale(&self) -> f32 {
+        self.scale.iter().cloned().fold(0.0, f32::max)
+    }
+
+    /// Largest per-column absolute weight sum.
+    pub fn max_col_abs_sum(&self) -> f32 {
+        self.col_abs_sum.iter().cloned().fold(0.0, f32::max)
+    }
+}
+
+/// Quantize a weight matrix column-by-column.
+pub fn quantize_weights(w: &Matrix) -> Result<QuantizedWeights, QuantizeError> {
+    if !w.all_finite() {
+        return Err(QuantizeError::NonFiniteWeights);
+    }
+    let (k, n) = w.shape();
+    assert!(k <= MAX_Q8_K, "matmul_q8 i32 accumulator overflow risk");
+    let data = w.as_slice();
+    let mut max_abs = vec![0.0f32; n];
+    for row in data.chunks_exact(n.max(1)) {
+        for (m, &v) in max_abs.iter_mut().zip(row) {
+            *m = m.max(v.abs());
+        }
+    }
+    let scale: Vec<f32> = max_abs
+        .iter()
+        .map(|&m| if m == 0.0 { 1.0 } else { m / 127.0 })
+        .collect();
+    let mut q = vec![0i8; k * n];
+    let mut col_sum = vec![0i32; n];
+    let mut col_abs_sum_q = vec![0i32; n];
+    for (qrow, wrow) in q
+        .chunks_exact_mut(n.max(1))
+        .zip(data.chunks_exact(n.max(1)))
+    {
+        for j in 0..n {
+            let qv = (wrow[j] / scale[j]).round().clamp(-127.0, 127.0) as i32;
+            qrow[j] = qv as i8;
+            col_sum[j] += qv;
+            col_abs_sum_q[j] += qv.abs();
+        }
+    }
+    let col_abs_sum = scale
+        .iter()
+        .zip(&col_abs_sum_q)
+        .map(|(&s, &a)| s * a as f32)
+        .collect();
+    Ok(QuantizedWeights {
+        q,
+        scale,
+        col_sum,
+        col_abs_sum,
+        k,
+        n,
+    })
+}
+
+/// Int8 GEMM with dequantizing epilogue:
+/// `out[i, j] = act(s_a[i] * s_w[j] * (acc[i, j] - zp[i] * col_sum[j]) + bias[j])`.
+///
+/// `out` is resized; `bias.len()` must equal the weight output dim.
+pub fn matmul_q8(
+    a: &QuantizedActs,
+    w: &QuantizedWeights,
+    bias: &[f32],
+    act: Activation,
+    out: &mut Matrix,
+) {
+    assert_eq!(a.cols, w.k, "matmul_q8 inner dimension mismatch");
+    assert_eq!(bias.len(), w.n, "matmul_q8 bias width mismatch");
+    let (k, n) = (w.k, w.n);
+    out.resize(a.rows, n);
+    let mut acc = vec![0i32; n];
+    for i in 0..a.rows {
+        acc.fill(0);
+        let qa_row = &a.q[i * k..(i + 1) * k];
+        for (kk, &qa) in qa_row.iter().enumerate() {
+            let av = qa as i32;
+            let wrow = &w.q[kk * n..(kk + 1) * n];
+            for (accv, &wv) in acc.iter_mut().zip(wrow) {
+                *accv += av * wv as i32;
+            }
+        }
+        let s_a = a.scale[i];
+        let zp = a.zero_point[i];
+        let orow = &mut out.as_mut_slice()[i * n..(i + 1) * n];
+        for j in 0..n {
+            let deq = s_a * w.scale[j] * (acc[j] - zp * w.col_sum[j]) as f32 + bias[j];
+            orow[j] = act.apply(deq);
+        }
+    }
+}
+
+/// Conservative analytic bound on `|int8 pre-activation - f32 pre-activation|`,
+/// maximised over all elements of the product `A @ W`.
+///
+/// Per element `(i, j)`:
+/// `|err| <= s_a[i] * col_abs_sum[j] + 0.5 * s_w[j] * abs_sum[i]`
+/// (activation rounding error of at most one scale step against the
+/// dequantized weight magnitudes, plus weight rounding error of at most
+/// half a scale step against the original activation magnitudes). The
+/// maxima are taken independently, which only loosens the bound.
+/// Returns NaN if any activation row was non-finite.
+pub fn q8_preact_error_bound(a: &QuantizedActs, w: &QuantizedWeights) -> f32 {
+    let max_sa = a.max_scale();
+    let max_abs_sum = a.abs_sum.iter().cloned().fold(0.0, f32::max);
+    max_sa * w.max_col_abs_sum() + 0.5 * w.max_scale() * max_abs_sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul;
+    use crate::init::{seeded_rng, uniform};
+    use crate::ops::add_bias;
+
+    fn q8_vs_f32_max_err(m: usize, k: usize, n: usize, seed: u64) -> (f32, f32) {
+        let mut rng = seeded_rng(seed);
+        let x = uniform(m, k, -2.0, 2.0, &mut rng);
+        let w = uniform(k, n, -0.8, 0.8, &mut rng);
+        let bias = uniform(1, n, -0.1, 0.1, &mut rng);
+
+        let qa = quantize_rows(&x);
+        let qw = quantize_weights(&w).unwrap();
+        let mut q8 = Matrix::zeros(m, n);
+        matmul_q8(&qa, &qw, bias.as_slice(), Activation::Identity, &mut q8);
+
+        let mut f32_out = matmul(&x, &w);
+        add_bias(&mut f32_out, &bias);
+
+        let max_err = q8
+            .as_slice()
+            .iter()
+            .zip(f32_out.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        (max_err, q8_preact_error_bound(&qa, &qw))
+    }
+
+    #[test]
+    fn int8_error_stays_inside_analytic_bound() {
+        for (i, &(m, k, n)) in [(4, 32, 8), (7, 96, 64), (1, 783, 96), (16, 20, 5)]
+            .iter()
+            .enumerate()
+        {
+            let (err, bound) = q8_vs_f32_max_err(m, k, n, 100 + i as u64);
+            assert!(bound.is_finite() && bound > 0.0);
+            // 5% slop absorbs f32 evaluation-order noise in both paths.
+            assert!(
+                err <= bound * 1.05 + 1e-4,
+                "{m}x{k}x{n}: err {err} exceeds bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_zero_rows_stay_exact() {
+        let x = Matrix::zeros(3, 10);
+        let mut rng = seeded_rng(5);
+        let w = uniform(10, 4, -1.0, 1.0, &mut rng);
+        let qa = quantize_rows(&x);
+        let qw = quantize_weights(&w).unwrap();
+        let mut out = Matrix::zeros(3, 4);
+        matmul_q8(&qa, &qw, &[0.0; 4], Activation::Identity, &mut out);
+        assert!(out.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn nonfinite_activation_row_poisons_output_row_only() {
+        let mut x = Matrix::zeros(2, 4);
+        x[(0, 1)] = f32::NAN;
+        x[(1, 0)] = 1.0;
+        let mut rng = seeded_rng(6);
+        let w = uniform(4, 3, -1.0, 1.0, &mut rng);
+        let qa = quantize_rows(&x);
+        let qw = quantize_weights(&w).unwrap();
+        let mut out = Matrix::zeros(2, 3);
+        matmul_q8(&qa, &qw, &[0.0; 3], Activation::LeakyRelu(0.1), &mut out);
+        assert!(out.row(0).iter().all(|v| v.is_nan()), "NaN row swallowed");
+        assert!(out.row(1).iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn nonfinite_weights_are_rejected() {
+        let mut w = Matrix::zeros(2, 2);
+        w[(1, 1)] = f32::INFINITY;
+        assert_eq!(
+            quantize_weights(&w).unwrap_err(),
+            QuantizeError::NonFiniteWeights
+        );
+    }
+
+    #[test]
+    fn activation_epilogue_is_exact_f32() {
+        // The int8 path must apply the same scalar activation the f32
+        // path does: quantize a matrix that dequantizes near-exactly and
+        // compare sigmoids.
+        let x = Matrix::from_vec(1, 2, vec![1.0, -1.0]);
+        let w = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        let qa = quantize_rows(&x);
+        let qw = quantize_weights(&w).unwrap();
+        let mut out = Matrix::zeros(1, 2);
+        matmul_q8(&qa, &qw, &[0.0; 2], Activation::Sigmoid, &mut out);
+        for v in out.as_slice() {
+            assert!(*v > 0.0 && *v < 1.0);
+        }
+    }
+
+    #[test]
+    fn empty_dims_do_not_panic() {
+        let x = Matrix::zeros(0, 4);
+        let w = Matrix::zeros(4, 2);
+        let qa = quantize_rows(&x);
+        let qw = quantize_weights(&w).unwrap();
+        let mut out = Matrix::zeros(0, 2);
+        matmul_q8(&qa, &qw, &[0.0; 2], Activation::Identity, &mut out);
+        assert_eq!(out.shape(), (0, 2));
+
+        let x = Matrix::zeros(2, 0);
+        let w = Matrix::zeros(0, 3);
+        let qa = quantize_rows(&x);
+        let qw = quantize_weights(&w).unwrap();
+        let mut out = Matrix::zeros(2, 3);
+        matmul_q8(&qa, &qw, &[0.5; 3], Activation::Identity, &mut out);
+        assert!(out.as_slice().iter().all(|&v| v == 0.5));
+    }
+}

@@ -1,10 +1,45 @@
 //! Property-based tests for the tensor kernels.
 
 use ltfb_tensor::{
-    decode_matrices, decode_matrix, encode_matrices, encode_matrix, gemm_nt, gemm_tn, matmul,
-    matmul_naive, seeded_rng, uniform, Matrix,
+    decode_matrices, decode_matrix, encode_matrices, encode_matrix, gemm, gemm_nt, gemm_nt_scalar,
+    gemm_scalar, gemm_tn, gemm_tn_scalar, matmul, matmul_naive, matmul_q8, q8_preact_error_bound,
+    quantize_rows, quantize_weights, seeded_rng, uniform, Activation, Matrix,
 };
 use proptest::prelude::*;
+
+/// Dimension strategy biased toward the kernel blocking boundaries:
+/// the 64-row PANEL, the 16/8-column register tiles, 8-lane SIMD width
+/// and their off-by-one neighbours — the shapes where a remainder-lane
+/// bug would hide from round-number tests.
+fn ragged_dim() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        1usize..=9, // scalar tails and sub-vector widths
+        Just(7),
+        Just(8),
+        Just(15),
+        Just(16),
+        Just(17), // one past the 16-wide column tile
+        Just(63),
+        Just(64),
+        Just(65),     // around PANEL
+        10usize..=40, // everything in between
+    ]
+}
+
+fn assert_bits_equal(a: &Matrix, b: &Matrix) -> Result<(), proptest::test_runner::TestCaseError> {
+    prop_assert_eq!(a.shape(), b.shape());
+    for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        prop_assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "element {} differs: {} vs {}",
+            i,
+            x,
+            y
+        );
+    }
+    Ok(())
+}
 
 /// Strategy: a matrix with bounded dimensions and values, built from a seed
 /// so shrinking operates on (rows, cols, seed) triples.
@@ -89,6 +124,116 @@ proptest! {
             raw[idx] ^= flip;
             let result = decode_matrix(&mut bytes::Bytes::from(raw));
             prop_assert!(result.is_err(), "corruption at {idx} undetected");
+        }
+    }
+
+    /// The blocked SIMD `gemm` is BIT-identical to its scalar reference
+    /// and to the naive triple loop across ragged shapes — the training
+    /// goldens depend on this, not just on closeness.
+    #[test]
+    fn gemm_simd_scalar_naive_bit_identical(
+        (m, k, n, s1, s2) in (ragged_dim(), ragged_dim(), ragged_dim(), any::<u64>(), any::<u64>())
+    ) {
+        let a = uniform(m, k, -1.5, 1.5, &mut seeded_rng(s1));
+        let b = uniform(k, n, -1.5, 1.5, &mut seeded_rng(s2));
+        let mut simd = Matrix::zeros(m, n);
+        gemm(1.0, &a, &b, 0.0, &mut simd);
+        let mut scalar = Matrix::zeros(m, n);
+        gemm_scalar(1.0, &a, &b, 0.0, &mut scalar);
+        let naive = matmul_naive(&a, &b);
+        assert_bits_equal(&simd, &scalar)?;
+        assert_bits_equal(&simd, &naive)?;
+    }
+
+    /// `gemm_tn` (SIMD) vs its scalar reference: bit-identical, with
+    /// beta accumulation into a non-zero C.
+    #[test]
+    fn gemm_tn_simd_scalar_bit_identical(
+        (k, m, n, s1, s2, s3) in
+            (ragged_dim(), ragged_dim(), ragged_dim(), any::<u64>(), any::<u64>(), any::<u64>())
+    ) {
+        let a = uniform(k, m, -1.0, 1.0, &mut seeded_rng(s1));
+        let b = uniform(k, n, -1.0, 1.0, &mut seeded_rng(s2));
+        let c0 = uniform(m, n, -1.0, 1.0, &mut seeded_rng(s3));
+        let mut simd = c0.clone();
+        gemm_tn(0.7, &a, &b, 1.0, &mut simd);
+        let mut scalar = c0;
+        gemm_tn_scalar(0.7, &a, &b, 1.0, &mut scalar);
+        assert_bits_equal(&simd, &scalar)?;
+    }
+
+    /// `gemm_nt` (packed phase-accumulator kernel) vs its scalar
+    /// reference: bit-identical, including the k%8 tail phase and the
+    /// n%8 remainder columns.
+    #[test]
+    fn gemm_nt_simd_scalar_bit_identical(
+        (m, k, n, s1, s2, s3) in
+            (ragged_dim(), ragged_dim(), ragged_dim(), any::<u64>(), any::<u64>(), any::<u64>())
+    ) {
+        let a = uniform(m, k, -1.0, 1.0, &mut seeded_rng(s1));
+        let b = uniform(n, k, -1.0, 1.0, &mut seeded_rng(s2));
+        let c0 = uniform(m, n, -1.0, 1.0, &mut seeded_rng(s3));
+        let mut simd = c0.clone();
+        gemm_nt(1.3, &a, &b, 1.0, &mut simd);
+        let mut scalar = c0;
+        gemm_nt_scalar(1.3, &a, &b, 1.0, &mut scalar);
+        assert_bits_equal(&simd, &scalar)?;
+    }
+
+    /// A NaN planted anywhere in either operand reaches the output of
+    /// the blocked kernel exactly where the naive kernel says it should
+    /// — the zero-skip bug this PR fixes would swallow it.
+    #[test]
+    fn gemm_nan_propagation_matches_naive(
+        (m, k, n, s1, s2, pos) in
+            (1usize..24, 1usize..24, 1usize..24, any::<u64>(), any::<u64>(), any::<usize>())
+    ) {
+        let mut a = uniform(m, k, -1.0, 1.0, &mut seeded_rng(s1));
+        let b = uniform(k, n, -1.0, 1.0, &mut seeded_rng(s2));
+        // Zero a row of A, then poison one B element feeding it: the
+        // IEEE answer is 0 * NaN = NaN, never "the old C value".
+        let row = pos % m;
+        for j in 0..k {
+            a[(row, j)] = 0.0;
+        }
+        let mut b = b;
+        b[(pos % k, pos % n)] = f32::NAN;
+        let mut blocked = Matrix::zeros(m, n);
+        gemm(1.0, &a, &b, 0.0, &mut blocked);
+        let naive = matmul_naive(&a, &b);
+        for (x, y) in blocked.as_slice().iter().zip(naive.as_slice()) {
+            prop_assert_eq!(x.is_nan(), y.is_nan(), "NaN propagation diverged");
+            if !x.is_nan() {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    /// Int8 round trip: the realised `matmul_q8` error stays inside the
+    /// analytic `q8_preact_error_bound` for arbitrary shapes and value
+    /// ranges (5% slop absorbs f32 evaluation-order noise).
+    #[test]
+    fn int8_error_bound_holds(
+        (m, k, n, s1, s2, scale_exp) in
+            (1usize..20, 1usize..64, 1usize..32, any::<u64>(), any::<u64>(), -2i32..3)
+    ) {
+        let range = 2.0f32.powi(scale_exp);
+        let x = uniform(m, k, -range, range, &mut seeded_rng(s1));
+        let w = uniform(k, n, -0.9, 0.9, &mut seeded_rng(s2));
+        let qa = quantize_rows(&x);
+        let qw = quantize_weights(&w).unwrap();
+        let bound = q8_preact_error_bound(&qa, &qw);
+        prop_assert!(bound.is_finite());
+        let mut q8 = Matrix::zeros(m, n);
+        matmul_q8(&qa, &qw, &vec![0.0; n], Activation::Identity, &mut q8);
+        let f32_out = matmul(&x, &w);
+        for (a, b) in q8.as_slice().iter().zip(f32_out.as_slice()) {
+            prop_assert!(
+                (a - b).abs() <= bound * 1.05 + 1e-4,
+                "err {} exceeds bound {}",
+                (a - b).abs(),
+                bound
+            );
         }
     }
 

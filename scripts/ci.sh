@@ -29,7 +29,7 @@ scripts/fault_smoke.sh
 echo "==> metrics smoke"
 scripts/metrics_smoke.sh
 
-echo "==> perf smoke (zero-alloc hot path + throughput regression gate)"
+echo "==> perf smoke (zero-alloc hot path + kernel/throughput regression gates + int8 accuracy)"
 scripts/perf_smoke.sh
 
 echo "==> store smoke (tiered bit-identity + tier/ingest metrics + bench)"

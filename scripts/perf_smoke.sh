@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Steady-state hot-path performance gate.
 #
-# Runs the train_throughput bench and compares the fresh numbers against
-# the committed BENCH_train.json:
+# Runs the train_throughput and kernel_bench benches and compares the
+# fresh numbers against the committed BENCH_train.json / BENCH_kernels.json:
 #
 # 1. allocs/step on the workspace path must be EXACTLY 0 — the defining
 #    property of the zero-allocation hot path, machine-independent.
@@ -10,25 +10,36 @@
 #    than 20% below the committed ratio. The ratio comes from one binary
 #    and one run, so it is CPU-frequency independent; absolute steps/sec
 #    are not gated (they vary with the host).
+# 3. Kernel-throughput ratio floors: the SIMD GEMM must stay >= 80% of
+#    the committed simd_vs_scalar and simd_vs_naive advantage — a
+#    regression here means the microkernels stopped vectorising.
+# 4. Quantized-accuracy gate: kernel_bench asserts the int8 path's
+#    realised error against its analytic bound per shape; here we also
+#    require the fresh worst-case realised/bound ratio <= 1.
 #
-# The committed JSON also records the pre-change baseline (allocating
-# step + per-dispatch parallelism probe) measured once when the
-# optimisation landed; see DESIGN.md §6d. That figure is provenance, not
-# a gate.
+# The committed JSONs also record the pre-change baseline (allocating
+# step + per-dispatch parallelism probe) measured once when each
+# optimisation landed; see DESIGN.md §6d/§7. Those figures are
+# provenance, not gates.
 #
 # Assumes `cargo build --release` has already run (ci.sh does).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH=target/release/train_throughput
-[[ -x "$BENCH" ]] || {
-    echo "perf_smoke: $BENCH missing; run cargo build --release first" >&2
-    exit 1
-}
-[[ -f BENCH_train.json ]] || {
-    echo "perf_smoke: committed BENCH_train.json missing" >&2
-    exit 1
-}
+KBENCH=target/release/kernel_bench
+for b in "$BENCH" "$KBENCH"; do
+    [[ -x "$b" ]] || {
+        echo "perf_smoke: $b missing; run cargo build --release first" >&2
+        exit 1
+    }
+done
+for f in BENCH_train.json BENCH_kernels.json; do
+    [[ -f "$f" ]] || {
+        echo "perf_smoke: committed $f missing" >&2
+        exit 1
+    }
+done
 
 FRESH=$(mktemp -d)
 trap 'rm -rf "$FRESH"' EXIT
@@ -36,22 +47,35 @@ trap 'rm -rf "$FRESH"' EXIT
 echo "==> train_throughput (fresh run)"
 LTFB_BENCH_JSON="$FRESH/BENCH_train.json" LTFB_RESULTS_DIR="$FRESH" "$BENCH"
 
+echo "==> kernel_bench (fresh run)"
+LTFB_KERNEL_JSON="$FRESH/BENCH_kernels.json" LTFB_RESULTS_DIR="$FRESH" "$KBENCH"
+
+# Top-level scalar: "key": <number> anywhere in the file (first match).
 json_num() { # json_num <file> <key>
     sed -n "s/.*\"$2\": \([0-9.][0-9.]*\).*/\1/p" "$1" | head -1
 }
 
-# The workspace object is on its own line; grab its allocs_per_step.
-fresh_ws_allocs=$(grep '"workspace"' "$FRESH/BENCH_train.json" \
-    | sed -n 's/.*"allocs_per_step": \([0-9.]*\).*/\1/p')
+# Scalar inside a named one-line block: the bench JSONs keep each object
+# ("workspace": {...}, "reference": {...}, "ratios": {...}) on its own
+# line, so select that line first, then the key within it. This is the
+# fix for the old json_num, which matched the first occurrence of the
+# key anywhere in the file — for keys repeated across blocks
+# (steps_per_sec, allocs_per_step) that silently read the wrong block.
+json_block_num() { # json_block_num <file> <block> <key>
+    grep "\"$2\"" "$1" | sed -n "s/.*\"$3\": \(-\{0,1\}[0-9.][0-9.]*\).*/\1/p" | head -1
+}
+
+fresh_ws_allocs=$(json_block_num "$FRESH/BENCH_train.json" workspace allocs_per_step)
+fresh_ref_allocs=$(json_block_num "$FRESH/BENCH_train.json" reference allocs_per_step)
 fresh_ratio=$(json_num "$FRESH/BENCH_train.json" speedup_steps_per_sec)
 committed_ratio=$(json_num BENCH_train.json speedup_steps_per_sec)
 
-[[ -n "$fresh_ws_allocs" && -n "$fresh_ratio" && -n "$committed_ratio" ]] || {
-    echo "perf_smoke: failed to parse bench JSON" >&2
+[[ -n "$fresh_ws_allocs" && -n "$fresh_ref_allocs" && -n "$fresh_ratio" && -n "$committed_ratio" ]] || {
+    echo "perf_smoke: failed to parse train bench JSON" >&2
     exit 1
 }
 
-echo "==> gate: workspace allocs/step == 0 (got $fresh_ws_allocs)"
+echo "==> gate: workspace allocs/step == 0 (got $fresh_ws_allocs; reference path: $fresh_ref_allocs)"
 awk -v a="$fresh_ws_allocs" 'BEGIN { exit (a == 0.0 ? 0 : 1) }' || {
     echo "perf_smoke: FAIL — workspace path allocates ($fresh_ws_allocs allocs/step)" >&2
     exit 1
@@ -61,6 +85,31 @@ echo "==> gate: speedup ratio $fresh_ratio within 20% of committed $committed_ra
 awk -v f="$fresh_ratio" -v c="$committed_ratio" \
     'BEGIN { exit (f >= 0.8 * c ? 0 : 1) }' || {
     echo "perf_smoke: FAIL — workspace/reference ratio regressed: fresh $fresh_ratio vs committed $committed_ratio (floor: 0.8x)" >&2
+    exit 1
+}
+
+for ratio in simd_vs_scalar simd_vs_naive; do
+    fresh=$(json_block_num "$FRESH/BENCH_kernels.json" ratios "$ratio")
+    committed=$(json_block_num BENCH_kernels.json ratios "$ratio")
+    [[ -n "$fresh" && -n "$committed" ]] || {
+        echo "perf_smoke: failed to parse kernel bench JSON ($ratio)" >&2
+        exit 1
+    }
+    echo "==> gate: kernel $ratio $fresh within 20% of committed $committed"
+    awk -v f="$fresh" -v c="$committed" 'BEGIN { exit (f >= 0.8 * c ? 0 : 1) }' || {
+        echo "perf_smoke: FAIL — kernel ratio $ratio regressed: fresh $fresh vs committed $committed (floor: 0.8x)" >&2
+        exit 1
+    }
+done
+
+q8_ratio=$(json_block_num "$FRESH/BENCH_kernels.json" int8 worst_err_over_bound)
+[[ -n "$q8_ratio" ]] || {
+    echo "perf_smoke: failed to parse int8 accuracy from kernel bench JSON" >&2
+    exit 1
+}
+echo "==> gate: int8 worst realised/bound error ratio $q8_ratio <= 1"
+awk -v r="$q8_ratio" 'BEGIN { exit (r <= 1.0 ? 0 : 1) }' || {
+    echo "perf_smoke: FAIL — int8 path exceeded its analytic error bound (ratio $q8_ratio)" >&2
     exit 1
 }
 

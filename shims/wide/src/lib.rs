@@ -1,0 +1,228 @@
+//! Offline shim for the `wide` crate: an 8-lane `f32` SIMD vector.
+//!
+//! The workspace forbids `unsafe` everywhere (enforced by ltfb-analyze
+//! rule LA006), so this shim cannot reach for `core::arch` intrinsics or
+//! nightly `std::simd`. Instead [`f32x8`] wraps a `[f32; 8]` and
+//! implements every operation as a fixed-length lane loop. LLVM reliably
+//! turns these 8-wide loops into vector instructions at `opt-level >= 2`
+//! on x86-64 (SSE/AVX) and aarch64 (NEON) — the same codegen strategy the
+//! real `wide` crate uses on targets without explicit intrinsics.
+//!
+//! Semantics contract (the kernels in `ltfb-tensor` depend on it):
+//!
+//! * every lane op is exactly the scalar IEEE-754 `f32` op — *no* FMA
+//!   contraction, no reassociation, no flush-to-zero. `a * b + c` rounds
+//!   twice, exactly like the scalar expression, so SIMD and scalar
+//!   kernels are bit-identical and NaN/Inf propagate lane-wise;
+//! * [`f32x8::reduce_add`] folds lanes strictly left-to-right from
+//!   `+0.0` (`((0.0+l0)+l1)+...`), matching the scalar 8-accumulator
+//!   reduction (`iter().sum::<f32>()`) the pre-SIMD kernels used.
+
+#![forbid(unsafe_code)]
+
+use core::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Number of `f32` lanes in [`f32x8`].
+pub const LANES: usize = 8;
+
+/// An 8-lane `f32` vector.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[allow(non_camel_case_types)]
+pub struct f32x8 {
+    lanes: [f32; 8],
+}
+
+impl f32x8 {
+    /// All lanes zero.
+    pub const ZERO: f32x8 = f32x8 { lanes: [0.0; 8] };
+
+    /// Broadcast `v` into every lane.
+    #[inline(always)]
+    pub fn splat(v: f32) -> Self {
+        f32x8 { lanes: [v; 8] }
+    }
+
+    /// Build from an array.
+    #[inline(always)]
+    pub fn new(lanes: [f32; 8]) -> Self {
+        f32x8 { lanes }
+    }
+
+    /// Load from the first 8 elements of a slice. Panics if `s.len() < 8`.
+    #[inline(always)]
+    pub fn from_slice(s: &[f32]) -> Self {
+        f32x8 {
+            lanes: [s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]],
+        }
+    }
+
+    /// Store into the first 8 elements of a slice. Panics if `out.len() < 8`.
+    #[inline(always)]
+    pub fn write_to_slice(self, out: &mut [f32]) {
+        out[..8].copy_from_slice(&self.lanes);
+    }
+
+    /// The lanes as an array.
+    #[inline(always)]
+    pub fn to_array(self) -> [f32; 8] {
+        self.lanes
+    }
+
+    /// Borrow the lanes.
+    #[inline(always)]
+    pub fn as_array_ref(&self) -> &[f32; 8] {
+        &self.lanes
+    }
+
+    /// Strict left-to-right horizontal sum starting from `+0.0`:
+    /// `((0.0 + l0) + l1) + ...`.
+    ///
+    /// This deliberately mirrors the scalar 8-accumulator reduction
+    /// (`acc.iter().sum::<f32>()`, which folds from `0.0`) so SIMD dot
+    /// products are bit-identical to the scalar reference — including
+    /// the signed-zero case, where the leading `+0.0` turns an all-`-0.0`
+    /// lane sum into `+0.0` exactly like `Sum<f32>` does.
+    #[inline(always)]
+    pub fn reduce_add(self) -> f32 {
+        self.lanes.iter().copied().fold(0.0f32, |acc, l| acc + l)
+    }
+
+    /// Lane-wise `max`.
+    #[inline(always)]
+    pub fn max(self, rhs: Self) -> Self {
+        let mut lanes = self.lanes;
+        for (l, r) in lanes.iter_mut().zip(rhs.lanes) {
+            *l = l.max(r);
+        }
+        f32x8 { lanes }
+    }
+
+    /// Lane-wise absolute value.
+    #[inline(always)]
+    pub fn abs(self) -> Self {
+        let mut lanes = self.lanes;
+        for l in &mut lanes {
+            *l = l.abs();
+        }
+        f32x8 { lanes }
+    }
+}
+
+impl From<[f32; 8]> for f32x8 {
+    #[inline(always)]
+    fn from(lanes: [f32; 8]) -> Self {
+        f32x8 { lanes }
+    }
+}
+
+macro_rules! lanewise_binop {
+    ($trait:ident, $method:ident, $op:tt, $assign_trait:ident, $assign_method:ident) => {
+        impl $trait for f32x8 {
+            type Output = f32x8;
+            #[inline(always)]
+            fn $method(self, rhs: f32x8) -> f32x8 {
+                let mut lanes = [0.0f32; 8];
+                for i in 0..8 {
+                    lanes[i] = self.lanes[i] $op rhs.lanes[i];
+                }
+                f32x8 { lanes }
+            }
+        }
+        impl $assign_trait for f32x8 {
+            #[inline(always)]
+            fn $assign_method(&mut self, rhs: f32x8) {
+                for i in 0..8 {
+                    self.lanes[i] = self.lanes[i] $op rhs.lanes[i];
+                }
+            }
+        }
+    };
+}
+
+lanewise_binop!(Add, add, +, AddAssign, add_assign);
+lanewise_binop!(Sub, sub, -, SubAssign, sub_assign);
+lanewise_binop!(Mul, mul, *, MulAssign, mul_assign);
+
+impl Neg for f32x8 {
+    type Output = f32x8;
+    #[inline(always)]
+    fn neg(self) -> f32x8 {
+        let mut lanes = self.lanes;
+        for l in &mut lanes {
+            *l = -*l;
+        }
+        f32x8 { lanes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splat_and_arith_are_lanewise() {
+        let a = f32x8::splat(2.0);
+        let b = f32x8::from([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(
+            (a * b).to_array(),
+            [2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0]
+        );
+        assert_eq!(
+            (a + b).to_array(),
+            [3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]
+        );
+        assert_eq!(
+            (b - a).to_array(),
+            [-1.0, 0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        );
+    }
+
+    #[test]
+    fn mul_add_is_not_contracted() {
+        // a * b + c must round twice, exactly like scalar f32 code: the
+        // kernels rely on bit-identity with their scalar references.
+        let a = 1.000_000_1f32;
+        let b = 1.000_000_2f32;
+        let c = -1.000_000_3f32;
+        let scalar = a * b + c;
+        let v = f32x8::splat(a) * f32x8::splat(b) + f32x8::splat(c);
+        for lane in v.to_array() {
+            assert_eq!(lane.to_bits(), scalar.to_bits());
+        }
+    }
+
+    #[test]
+    fn reduce_add_folds_left_to_right() {
+        // Values chosen so the fold order is observable in f32.
+        let v = f32x8::from([1e8, 1.0, -1e8, 1.0, 0.5, 0.25, 0.125, 0.0625]);
+        let expected = {
+            let l = v.to_array();
+            l.iter().sum::<f32>()
+        };
+        assert_eq!(v.reduce_add().to_bits(), expected.to_bits());
+        // Signed zero: Sum<f32> folds from +0.0, so an all-(-0.0) vector
+        // reduces to +0.0. reduce_add must match bit-for-bit.
+        let z = f32x8::splat(-0.0);
+        assert_eq!(z.reduce_add().to_bits(), 0.0f32.to_bits());
+    }
+
+    #[test]
+    fn nan_and_inf_propagate_lanewise() {
+        let a = f32x8::from([f32::NAN, f32::INFINITY, 0.0, 1.0, -1.0, 0.0, 0.0, 0.0]);
+        let b = f32x8::splat(0.0);
+        let prod = (a * b).to_array();
+        assert!(prod[0].is_nan());
+        assert!(prod[1].is_nan(), "0 * inf must be NaN");
+        assert_eq!(prod[2], 0.0);
+    }
+
+    #[test]
+    fn slice_round_trip() {
+        let src: Vec<f32> = (0..9).map(|i| i as f32).collect();
+        let v = f32x8::from_slice(&src);
+        let mut out = [0.0f32; 9];
+        v.write_to_slice(&mut out);
+        assert_eq!(&out[..8], &src[..8]);
+        assert_eq!(out[8], 0.0);
+    }
+}

@@ -10,7 +10,8 @@
 //! ltfb-cli generate --dir PATH [--samples N] [--per-file M]
 //! ltfb-cli serve-bench [--clients C] [--requests N] [--max-batch B] [--workers W]
 //!                      [--open-rate RPS] [--inverse-frac F] [--cache N] [--img-size P]
-//!                      [--checkpoint PATH] [--csv PATH] [--json PATH] [--metrics [PATH]]
+//!                      [--checkpoint PATH] [--quant int8] [--csv PATH] [--json PATH]
+//!                      [--metrics [PATH]]
 //! ltfb-cli help
 //! ```
 //!
@@ -662,10 +663,20 @@ fn generate(flags: &Flags) -> ExitCode {
 fn serve_bench(flags: &Flags) -> ExitCode {
     use ltfb::gan::{CycleGan, CycleGanConfig};
     use ltfb::serve::{
-        run_load, BatchPolicy, LoadGenConfig, LoadMode, ModelRegistry, ServeStats, Server,
+        check_quantized, run_load, BatchPolicy, LoadGenConfig, LoadMode, ModelRegistry, QuantMode,
+        ServeStats, Server,
     };
     use std::sync::Arc;
     use std::time::Duration;
+
+    let quant_mode = match flags.get_str("quant") {
+        None | Some("f32") => QuantMode::F32,
+        Some("int8") => QuantMode::Int8,
+        Some(other) => {
+            eprintln!("serve-bench: unknown --quant mode '{other}' (expected int8 or f32)");
+            return ExitCode::FAILURE;
+        }
+    };
 
     let clients = flags.get("clients", 8usize);
     let requests = flags.get("requests", 500usize);
@@ -708,13 +719,13 @@ fn serve_bench(flags: &Flags) -> ExitCode {
         seed: flags.get("seed", 2019u64),
     };
 
-    let build_registry = || -> Option<Arc<ModelRegistry>> {
+    let make_gan = || -> Option<(CycleGan, u64)> {
         match flags.get_str("checkpoint") {
             Some(path) => {
-                match ModelRegistry::from_checkpoint(std::path::Path::new(path), &gan_cfg) {
-                    Ok(reg) => {
-                        println!("serving checkpoint {path} (version {})", reg.version());
-                        Some(Arc::new(reg))
+                match ltfb::core::checkpoint::load_surrogate(std::path::Path::new(path), &gan_cfg) {
+                    Ok((gan, version)) => {
+                        println!("serving checkpoint {path} (version {version})");
+                        Some((gan, version))
                     }
                     Err(e) => {
                         eprintln!("cannot load checkpoint {path}: {e}");
@@ -722,41 +733,71 @@ fn serve_bench(flags: &Flags) -> ExitCode {
                     }
                 }
             }
-            None => Some(Arc::new(ModelRegistry::new(
-                CycleGan::new(gan_cfg, flags.get("seed", 2019u64)),
-                1,
-            ))),
+            None => Some((CycleGan::new(gan_cfg, flags.get("seed", 2019u64)), 1)),
         }
     };
+    let build_registry = |mode: QuantMode| -> Option<Arc<ModelRegistry>> {
+        let (gan, version) = make_gan()?;
+        let reg = ModelRegistry::with_mode(gan, version, mode);
+        if mode == QuantMode::Int8 && !reg.current().is_quantized() {
+            eprintln!("serve-bench: int8 quantization degraded to f32 (see registry gate)");
+        }
+        Some(Arc::new(reg))
+    };
+
+    // Accuracy probe: under --quant int8, re-run the registry's own
+    // publication gate out loud so the bench records that the served
+    // path honours its analytic error bound.
+    if quant_mode == QuantMode::Int8 {
+        let Some((gan, version)) = make_gan() else {
+            return ExitCode::FAILURE;
+        };
+        match gan.quantize_int8() {
+            Ok(q) => match check_quantized(&gan, &q, version) {
+                Ok(()) => println!("int8 accuracy probe: within analytic error bound"),
+                Err(reason) => {
+                    eprintln!("int8 accuracy probe FAILED: {reason}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("int8 quantization failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     // The batched arm records into the shared registry; the unbatched
     // baseline arm does not, so the export describes the headline config.
     let metrics = flags.has("metrics").then(Registry::new);
-    let run_one =
-        |label: &str, policy: BatchPolicy, obs: Option<&Registry>| -> Option<ServeStats> {
-            let registry = build_registry()?;
-            let server = match obs {
-                Some(m) => Server::start_with_obs(registry, policy, m),
-                None => Server::start(registry, policy),
-            };
-            let (x_dim, y_dim) = {
-                let m = server.registry().current();
-                (m.x_dim(), m.y_dim())
-            };
-            let report = run_load(&server.client(), &load, x_dim, y_dim);
-            let stats = server.shutdown();
-            println!(
-                "{label:>10}: {:.0} req/s  p50 {:.0}us  p95 {:.0}us  p99 {:.0}us  \
-             mean batch {:.2}  rejected {}",
-                report.throughput_rps(),
-                stats.latency_p50_us,
-                stats.latency_p95_us,
-                stats.latency_p99_us,
-                stats.mean_batch,
-                report.rejected,
-            );
-            Some(stats)
+    let run_one = |label: &str,
+                   policy: BatchPolicy,
+                   obs: Option<&Registry>,
+                   mode: QuantMode|
+     -> Option<ServeStats> {
+        let registry = build_registry(mode)?;
+        let server = match obs {
+            Some(m) => Server::start_with_obs(registry, policy, m),
+            None => Server::start(registry, policy),
         };
+        let (x_dim, y_dim) = {
+            let m = server.registry().current();
+            (m.x_dim(), m.y_dim())
+        };
+        let report = run_load(&server.client(), &load, x_dim, y_dim);
+        let stats = server.shutdown();
+        println!(
+            "{label:>10}: {:.0} req/s  p50 {:.0}us  p95 {:.0}us  p99 {:.0}us  \
+             mean batch {:.2}  rejected {}",
+            report.throughput_rps(),
+            stats.latency_p50_us,
+            stats.latency_p95_us,
+            stats.latency_p99_us,
+            stats.mean_batch,
+            report.rejected,
+        );
+        Some(stats)
+    };
 
     println!(
         "serve-bench: {clients} clients x {requests} reqs, {} mode, y_dim={}",
@@ -766,8 +807,22 @@ fn serve_bench(flags: &Flags) -> ExitCode {
         },
         gan_cfg.y_dim(),
     );
-    let Some(batched) = run_one("batched", policy, metrics.as_ref()) else {
+    let batched_label = match quant_mode {
+        QuantMode::F32 => "batched",
+        QuantMode::Int8 => "int8",
+    };
+    let Some(batched) = run_one(batched_label, policy, metrics.as_ref(), quant_mode) else {
         return ExitCode::FAILURE;
+    };
+    // Under --quant int8 an extra f32 arm with the same batching policy
+    // isolates the numeric-path speedup from the batching speedup.
+    let f32_batched = if quant_mode == QuantMode::Int8 {
+        let Some(stats) = run_one("f32", policy, None, QuantMode::F32) else {
+            return ExitCode::FAILURE;
+        };
+        Some(stats)
+    } else {
+        None
     };
     let Some(unbatched) = run_one(
         "unbatched",
@@ -776,6 +831,7 @@ fn serve_bench(flags: &Flags) -> ExitCode {
             ..BatchPolicy::sequential()
         },
         None,
+        QuantMode::F32,
     ) else {
         return ExitCode::FAILURE;
     };
@@ -784,6 +840,14 @@ fn serve_bench(flags: &Flags) -> ExitCode {
             "micro-batching speedup: {:.2}x throughput",
             batched.throughput_rps / unbatched.throughput_rps
         );
+    }
+    if let Some(f32_arm) = &f32_batched {
+        if f32_arm.throughput_rps > 0.0 {
+            println!(
+                "int8 speedup vs f32 (same batching): {:.2}x throughput",
+                batched.throughput_rps / f32_arm.throughput_rps
+            );
+        }
     }
 
     if let Some(path) = flags.get_str("csv") {
@@ -795,7 +859,10 @@ fn serve_bench(flags: &Flags) -> ExitCode {
             use std::io::Write;
             let mut f = std::fs::File::create(path)?;
             writeln!(f, "{}", ServeStats::csv_header())?;
-            writeln!(f, "{}", batched.csv_row("batched"))?;
+            writeln!(f, "{}", batched.csv_row(batched_label))?;
+            if let Some(f32_arm) = &f32_batched {
+                writeln!(f, "{}", f32_arm.csv_row("f32"))?;
+            }
             writeln!(f, "{}", unbatched.csv_row("unbatched"))?;
             Ok(())
         };
@@ -828,8 +895,8 @@ fn usage() {
          generate --dir PATH [--samples N] [--per-file M] [--img-size P]\n  \
          serve-bench [--clients C] [--requests N] [--max-batch B] [--workers W]\n              \
          [--flush-us U] [--open-rate RPS] [--inverse-frac F] [--cache N]\n              \
-         [--img-size P] [--checkpoint PATH] [--csv PATH] [--json PATH]\n              \
-         [--metrics [PATH]]\n  \
+         [--img-size P] [--checkpoint PATH] [--quant int8] [--csv PATH]\n              \
+         [--json PATH] [--metrics [PATH]]\n  \
          help\n\n\
          --fault injects failures, e.g. \"kill:2@15\" (trainer 2 dies at step 15),\n\
          \"delay:1@5:2000us\" (straggler), \"drop:0@10\" (skip that exchange);\n\
