@@ -1,0 +1,24 @@
+//! Seeded LA010 violation: a protocol-visible atomic bumped with
+//! `Ordering::Relaxed`. The collective sequence number is read
+//! cross-thread by the causality auditor's epoch-monotonicity check,
+//! so the increment must publish with `AcqRel`/`Release` — Relaxed
+//! gives the observer no happens-before edge to reason from.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct CollectiveState {
+    coll_seq: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl CollectiveState {
+    pub fn next_seq(&self) -> u64 {
+        self.coll_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Pure throughput telemetry with no protocol meaning stays Relaxed
+    /// (and must NOT fire the rule).
+    pub fn account(&self, n: u64) {
+        self.bytes.fetch_add(n, Ordering::Relaxed);
+    }
+}

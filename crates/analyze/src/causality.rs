@@ -1,0 +1,1320 @@
+//! Causality auditor: vector-clock happens-before checking over the
+//! causally-stamped event traces that `ltfb-obs` records.
+//!
+//! The instrumented subsystems (comm point-to-point and collectives, the
+//! datastore's ingest adoption, the serving registry's hot-swap
+//! lifecycle) stamp every protocol transition with a [`VectorClock`].
+//! This module rebuilds the happens-before DAG from an exported trace —
+//! either a live [`CausalSnapshot`] or the `"causal"` section of a
+//! `metrics.json` report — and checks declarative ordering invariants
+//! against it:
+//!
+//! * **`registry-serial`** — no lost update on registry hot-swap: all
+//!   registry lifecycle events are totally ordered, and between two
+//!   publishes with no rollback in between the version strictly grows.
+//! * **`coll-epoch-monotonic`** — per (rank, communicator context) the
+//!   collective sequence numbers of `coll.enter` events strictly
+//!   increase, and every `coll.exit` pairs with its own `coll.enter`.
+//! * **`ingest-follows-broadcast`** — every `ingest.adopt` causally
+//!   descends from the `ingest.decide` of the same generation.
+//! * **`registry-probe-edge`** — a quantized publish causally descends
+//!   from a `serve.probe_ok` of the same version; a `serve.degrade`
+//!   from a `serve.probe_failed`.
+//! * **`channel-fifo`** — per (src, dst, context, tag) channel: message
+//!   indices are FIFO on both ends, no receive is unmatched, and every
+//!   receive happens-after its send.
+//!
+//! A violated invariant yields a replayable [`Certificate`]: the
+//! offending event pair plus the *minimal causal cut* of the later event
+//! (the causal frontier — for each actor, the last of its events the
+//! offending event has seen), in the same replay-line style as the model
+//! checker's seed certificates.
+//!
+//! A trace whose bounded ring dropped events cannot be certified: drops
+//! remove happens-before edges, so the auditor refuses with
+//! [`TraceError::Truncated`] instead of vouching for a partial DAG.
+
+use ltfb_obs::{CausalSnapshot, VectorClock, UNMATCHED_RECV};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One event of a parsed causal trace (owned mirror of
+/// [`ltfb_obs::CausalEvent`], with the kind as an owned string so traces
+/// can come from JSON files).
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    pub seq: u64,
+    pub actor: usize,
+    pub kind: String,
+    /// `(src, dst, context, tag)` for `comm.send` / `comm.recv`.
+    pub chan: Option<(u64, u64, u64, u64)>,
+    pub idx: u64,
+    pub info: u64,
+    pub aux: u64,
+    pub clock: VectorClock,
+}
+
+/// A full causal trace: actor names plus their stamped events.
+#[derive(Debug, Clone, Default)]
+pub struct CausalTrace {
+    pub actors: Vec<String>,
+    pub dropped: u64,
+    pub events: Vec<TraceEvent>,
+}
+
+/// Why a trace could not be parsed or certified.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The input was not valid JSON (byte offset + reason).
+    Parse(usize, String),
+    /// The JSON carried no `"causal"` section (not an obs report, or one
+    /// written before causal stamping existed).
+    NoCausalSection,
+    /// The bounded causal ring evicted this many events: happens-before
+    /// edges are missing, so no invariant verdict would be sound.
+    Truncated { dropped: u64 },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Parse(at, why) => write!(f, "trace JSON parse error at byte {at}: {why}"),
+            TraceError::NoCausalSection => {
+                write!(f, "no \"causal\" section in input (not an obs report?)")
+            }
+            TraceError::Truncated { dropped } => write!(
+                f,
+                "refusing to certify a truncated trace: {dropped} event(s) were dropped \
+                 from the causal ring (raise the obs trace capacity or shorten the run)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl CausalTrace {
+    /// Build a trace from a live snapshot (same process, no JSON).
+    pub fn from_snapshot(snap: &CausalSnapshot) -> CausalTrace {
+        CausalTrace {
+            actors: snap.actors.clone(),
+            dropped: snap.dropped,
+            events: snap
+                .events
+                .iter()
+                .map(|e| TraceEvent {
+                    seq: e.seq,
+                    actor: e.actor,
+                    kind: e.kind.to_string(),
+                    chan: e.chan.map(|c| (c.src, c.dst, c.context, c.tag)),
+                    idx: e.idx,
+                    info: e.info,
+                    aux: e.aux,
+                    clock: e.clock.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    fn actor_name(&self, a: usize) -> &str {
+        self.actors.get(a).map_or("?", |s| s.as_str())
+    }
+
+    fn event_by_seq(&self, seq: u64) -> Option<&TraceEvent> {
+        self.events.iter().find(|e| e.seq == seq)
+    }
+
+    /// The minimal causal cut of `e`: for every actor with a nonzero
+    /// component in `e.clock`, the single event of that actor whose own
+    /// clock component equals the component `e` has seen — i.e. the
+    /// causal frontier that fully determines `e`'s past.
+    pub fn causal_cut(&self, e: &TraceEvent) -> Vec<u64> {
+        let mut cut = Vec::new();
+        for (a, &c) in e.clock.components().iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if let Some(f) = self
+                .events
+                .iter()
+                .find(|f| f.actor == a && f.clock.get(a) == c)
+            {
+                cut.push(f.seq);
+            }
+        }
+        cut.sort_unstable();
+        cut
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader (the offline dependency set has no serde; the obs
+// reports are hand-rolled JSON, so the reader is hand-rolled too).
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    /// Unsigned integer written without sign/fraction/exponent — kept
+    /// exact because clocks, seqs and tags are u64 (f64 would corrupt
+    /// values like [`UNMATCHED_RECV`]).
+    Int(u64),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(v) => Some(*v),
+            Json::Num(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= u64::MAX as f64 => {
+                Some(*v as u64)
+            }
+            _ => None,
+        }
+    }
+}
+
+struct JsonReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonReader<'a> {
+    fn new(s: &'a str) -> Self {
+        JsonReader {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err<T>(&self, why: &str) -> Result<T, TraceError> {
+        Err(TraceError::Parse(self.pos, why.to_string()))
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), TraceError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected `{}`", b as char))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, TraceError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => self.err("expected a JSON value"),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, TraceError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            self.err(&format!("expected `{word}`"))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, TraceError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return self.err("expected `,` or `}` in object"),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, TraceError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return self.err("expected `,` or `]` in array"),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, TraceError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return self.err("unterminated string");
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return self.err("unterminated escape");
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            let Some(cp) = hex else {
+                                return self.err("bad \\u escape");
+                            };
+                            self.pos += 4;
+                            // Surrogates never appear in obs output;
+                            // map unpaired ones to U+FFFD rather than
+                            // rejecting the whole trace.
+                            out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return self.err("unknown escape"),
+                    }
+                }
+                _ => {
+                    // Re-assemble multi-byte UTF-8 sequences.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let Some(chunk) = self.bytes.get(start..start + len) else {
+                        return self.err("truncated UTF-8 sequence");
+                    };
+                    let Ok(s) = std::str::from_utf8(chunk) else {
+                        return self.err("invalid UTF-8 in string");
+                    };
+                    out.push_str(s);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, TraceError> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        if let Ok(v) = text.parse::<u64>() {
+            return Ok(Json::Int(v));
+        }
+        match text.parse::<f64>() {
+            Ok(v) => Ok(Json::Num(v)),
+            Err(_) => self.err("bad number"),
+        }
+    }
+}
+
+/// Parse a causal trace out of `input`: either a full obs `metrics.json`
+/// report (the `"causal"` member is used) or a bare causal object.
+pub fn parse_trace(input: &str) -> Result<CausalTrace, TraceError> {
+    let mut r = JsonReader::new(input);
+    let root = r.value()?;
+    let causal = if root.get("causal").is_some() {
+        root.get("causal").unwrap()
+    } else if root.get("events").is_some() && root.get("actors").is_some() {
+        &root
+    } else {
+        return Err(TraceError::NoCausalSection);
+    };
+    let dropped = causal.get("dropped").and_then(Json::as_u64).unwrap_or(0);
+    let actors: Vec<String> = match causal.get("actors") {
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(|a| match a {
+                Json::Str(s) => s.clone(),
+                _ => "?".to_string(),
+            })
+            .collect(),
+        _ => Vec::new(),
+    };
+    let mut events = Vec::new();
+    if let Some(Json::Arr(items)) = causal.get("events") {
+        for item in items {
+            let u = |key: &str| item.get(key).and_then(Json::as_u64).unwrap_or(0);
+            let chan = match item.get("chan") {
+                Some(Json::Arr(c)) if c.len() == 4 => {
+                    let g = |i: usize| c[i].as_u64().unwrap_or(0);
+                    Some((g(0), g(1), g(2), g(3)))
+                }
+                _ => None,
+            };
+            let clock = match item.get("clock") {
+                Some(Json::Arr(c)) => VectorClock::from_components(
+                    c.iter().map(|v| v.as_u64().unwrap_or(0)).collect(),
+                ),
+                _ => VectorClock::new(),
+            };
+            events.push(TraceEvent {
+                seq: u("seq"),
+                actor: u("actor") as usize,
+                kind: match item.get("kind") {
+                    Some(Json::Str(s)) => s.clone(),
+                    _ => String::new(),
+                },
+                chan,
+                idx: u("idx"),
+                info: u("info"),
+                aux: u("aux"),
+                clock,
+            });
+        }
+    }
+    Ok(CausalTrace {
+        actors,
+        dropped,
+        events,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Invariants and certificates
+// ---------------------------------------------------------------------------
+
+/// A replayable proof of one invariant violation.
+#[derive(Debug, Clone)]
+pub struct Certificate {
+    /// Which invariant failed (a name from [`invariants`]).
+    pub invariant: &'static str,
+    /// Human-readable statement of the violation.
+    pub detail: String,
+    /// The earlier event of the offending pair (`None` when the
+    /// violation is a *missing* causal ancestor).
+    pub first: Option<u64>,
+    /// The offending event itself.
+    pub second: u64,
+    /// Minimal causal cut of `second`: the frontier of event seqs that
+    /// fully determines its causal past.
+    pub cut: Vec<u64>,
+}
+
+impl Certificate {
+    /// The one-line re-run command, mirroring the model checker's
+    /// `ltfb-analyze replay --model NAME --seed N` certificates.
+    pub fn replay_line(&self, source: &str) -> String {
+        format!("ltfb-analyze trace {source} --invariant {}", self.invariant)
+    }
+
+    /// Render the full certificate block against its trace.
+    pub fn render(&self, trace: &CausalTrace, source: &str) -> String {
+        let describe = |seq: u64| match trace.event_by_seq(seq) {
+            Some(e) => format!(
+                "#{seq} {} {} info={} aux={} clock={:?}",
+                trace.actor_name(e.actor),
+                e.kind,
+                e.info,
+                e.aux,
+                e.clock.components()
+            ),
+            None => format!("#{seq} <not in trace>"),
+        };
+        let mut out = format!("violation[{}]: {}\n", self.invariant, self.detail);
+        match self.first {
+            Some(f) => {
+                out.push_str(&format!("  pair:  {}\n", describe(f)));
+                out.push_str(&format!("     vs  {}\n", describe(self.second)));
+            }
+            None => {
+                out.push_str(&format!(
+                    "  event: {} (required causal ancestor is missing)\n",
+                    describe(self.second)
+                ));
+            }
+        }
+        let cut: Vec<String> = self.cut.iter().map(|&s| describe(s)).collect();
+        out.push_str(&format!("  causal cut: [{}]\n", cut.join("; ")));
+        out.push_str(&format!("  replay: {}\n", self.replay_line(source)));
+        out
+    }
+}
+
+/// Result of auditing one trace.
+#[derive(Debug, Clone)]
+pub struct AuditReport {
+    pub events: usize,
+    pub actors: usize,
+    pub checked: Vec<&'static str>,
+    pub violations: Vec<Certificate>,
+}
+
+impl AuditReport {
+    pub fn certified(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+type Invariant = fn(&CausalTrace) -> Vec<Certificate>;
+
+/// The invariant names `audit` checks, in order.
+pub fn invariants() -> &'static [(&'static str, Invariant)] {
+    &[
+        ("registry-serial", check_registry_serial),
+        ("coll-epoch-monotonic", check_coll_epoch_monotonic),
+        ("ingest-follows-broadcast", check_ingest_follows_broadcast),
+        ("registry-probe-edge", check_registry_probe_edge),
+        ("channel-fifo", check_channel_fifo),
+    ]
+}
+
+/// Audit `trace` against every invariant. A truncated trace is refused —
+/// missing events would make both "certified" and "violated" unsound.
+pub fn audit(trace: &CausalTrace) -> Result<AuditReport, TraceError> {
+    audit_named(trace, None)
+}
+
+/// Audit a single invariant by name (`None` = all), as the certificate
+/// replay line does.
+pub fn audit_named(trace: &CausalTrace, only: Option<&str>) -> Result<AuditReport, TraceError> {
+    if trace.dropped > 0 {
+        return Err(TraceError::Truncated {
+            dropped: trace.dropped,
+        });
+    }
+    let mut checked = Vec::new();
+    let mut violations = Vec::new();
+    for (name, check) in invariants() {
+        if only.is_some_and(|o| o != *name) {
+            continue;
+        }
+        checked.push(*name);
+        violations.extend(check(trace));
+    }
+    Ok(AuditReport {
+        events: trace.events.len(),
+        actors: trace.actors.len(),
+        checked,
+        violations,
+    })
+}
+
+/// (a) No lost update on registry hot-swap: all `serve.*` lifecycle
+/// events are pairwise clock-ordered (a concurrent pair means two
+/// writers raced the swap), and between two publishes with no rollback
+/// in between the version strictly increases.
+fn check_registry_serial(trace: &CausalTrace) -> Vec<Certificate> {
+    let mut out = Vec::new();
+    let serve: Vec<&TraceEvent> = trace
+        .events
+        .iter()
+        .filter(|e| e.kind.starts_with("serve."))
+        .collect();
+    for w in serve.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        if a.clock.concurrent(&b.clock) {
+            out.push(Certificate {
+                invariant: "registry-serial",
+                detail: format!(
+                    "registry events #{} ({}) and #{} ({}) are causally concurrent — \
+                     two writers raced the hot-swap",
+                    a.seq, a.kind, b.seq, b.kind
+                ),
+                first: Some(a.seq),
+                second: b.seq,
+                cut: trace.causal_cut(b),
+            });
+        }
+    }
+    let mut last_publish: Option<&TraceEvent> = None;
+    for e in &serve {
+        match e.kind.as_str() {
+            "serve.publish" => {
+                if let Some(p) = last_publish {
+                    if e.info <= p.info {
+                        out.push(Certificate {
+                            invariant: "registry-serial",
+                            detail: format!(
+                                "publish of version {} after version {} with no rollback \
+                                 in between — an update was lost",
+                                e.info, p.info
+                            ),
+                            first: Some(p.seq),
+                            second: e.seq,
+                            cut: trace.causal_cut(e),
+                        });
+                    }
+                }
+                last_publish = Some(e);
+            }
+            // A rollback legitimately reinstates an older version.
+            "serve.rollback" => last_publish = None,
+            _ => {}
+        }
+    }
+    out
+}
+
+/// (b) Collective epoch monotonicity: per (rank, context) the sequence
+/// numbers of `coll.enter` strictly increase, and every `coll.exit`
+/// closes the matching open `coll.enter` and happens-after it.
+fn check_coll_epoch_monotonic(trace: &CausalTrace) -> Vec<Certificate> {
+    let mut out = Vec::new();
+    /// Per (actor, context): last enter seq#, open enters (coll seq -> event seq).
+    type CollState = (Option<u64>, HashMap<u64, u64>);
+    let mut per: HashMap<(usize, u64), CollState> = HashMap::new();
+    for e in &trace.events {
+        match e.kind.as_str() {
+            // A rank re-attaching observability marks a fresh world (the
+            // CLI runs several worlds against one registry): its new
+            // communicator legitimately restarts coll_seq at 0, so the
+            // monotonicity baseline resets for that actor.
+            "comm.attach" => {
+                per.retain(|(actor, _), _| *actor != e.actor);
+            }
+            "coll.enter" => {
+                let slot = per.entry((e.actor, e.aux)).or_default();
+                if let Some(last) = slot.0 {
+                    if e.info <= last {
+                        out.push(Certificate {
+                            invariant: "coll-epoch-monotonic",
+                            detail: format!(
+                                "{} entered collective seq {} after seq {} on context {:#x} — \
+                                 epochs went backwards",
+                                trace.actor_name(e.actor),
+                                e.info,
+                                last,
+                                e.aux
+                            ),
+                            first: None,
+                            second: e.seq,
+                            cut: trace.causal_cut(e),
+                        });
+                    }
+                }
+                slot.0 = Some(e.info);
+                slot.1.insert(e.info, e.seq);
+            }
+            "coll.exit" => {
+                let slot = per.entry((e.actor, e.aux)).or_default();
+                match slot.1.remove(&e.info) {
+                    Some(enter_seq) => {
+                        let ordered = trace
+                            .event_by_seq(enter_seq)
+                            .is_some_and(|en| en.clock.lt(&e.clock));
+                        if !ordered {
+                            out.push(Certificate {
+                                invariant: "coll-epoch-monotonic",
+                                detail: format!(
+                                    "{} exited collective seq {} without happening-after \
+                                     its own entry",
+                                    trace.actor_name(e.actor),
+                                    e.info
+                                ),
+                                first: Some(enter_seq),
+                                second: e.seq,
+                                cut: trace.causal_cut(e),
+                            });
+                        }
+                    }
+                    None => out.push(Certificate {
+                        invariant: "coll-epoch-monotonic",
+                        detail: format!(
+                            "{} exited collective seq {} on context {:#x} it never entered",
+                            trace.actor_name(e.actor),
+                            e.info,
+                            e.aux
+                        ),
+                        first: None,
+                        second: e.seq,
+                        cut: trace.causal_cut(e),
+                    }),
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// (c) Every ingest adoption causally follows the decide (rank-0
+/// broadcast) of the same generation.
+fn check_ingest_follows_broadcast(trace: &CausalTrace) -> Vec<Certificate> {
+    let mut out = Vec::new();
+    let decides: Vec<&TraceEvent> = trace
+        .events
+        .iter()
+        .filter(|e| e.kind == "ingest.decide")
+        .collect();
+    for adopt in trace.events.iter().filter(|e| e.kind == "ingest.adopt") {
+        let gen_decides: Vec<&&TraceEvent> =
+            decides.iter().filter(|d| d.info == adopt.info).collect();
+        if gen_decides.is_empty() {
+            out.push(Certificate {
+                invariant: "ingest-follows-broadcast",
+                detail: format!(
+                    "{} adopted ingest generation {} that no rank ever decided",
+                    trace.actor_name(adopt.actor),
+                    adopt.info
+                ),
+                first: None,
+                second: adopt.seq,
+                cut: trace.causal_cut(adopt),
+            });
+            continue;
+        }
+        if !gen_decides.iter().any(|d| d.clock.lt(&adopt.clock)) {
+            out.push(Certificate {
+                invariant: "ingest-follows-broadcast",
+                detail: format!(
+                    "{} adopted ingest generation {} without happening-after its decide \
+                     broadcast",
+                    trace.actor_name(adopt.actor),
+                    adopt.info
+                ),
+                first: Some(gen_decides[0].seq),
+                second: adopt.seq,
+                cut: trace.causal_cut(adopt),
+            });
+        }
+    }
+    out
+}
+
+/// (d) Every quantized publish causally follows a passed probe of the
+/// same version; every degradation follows a failed probe.
+fn check_registry_probe_edge(trace: &CausalTrace) -> Vec<Certificate> {
+    let mut out = Vec::new();
+    let mut require = |e: &TraceEvent, witness_kind: &str, what: &str| {
+        let witness = trace
+            .events
+            .iter()
+            .find(|w| w.kind == witness_kind && w.info == e.info);
+        let ok = witness.is_some_and(|w| w.clock.lt(&e.clock));
+        if !ok {
+            out.push(Certificate {
+                invariant: "registry-probe-edge",
+                detail: format!(
+                    "{} of version {} does not happen-after a {witness_kind} of the same \
+                     version — {what}",
+                    e.kind, e.info
+                ),
+                first: witness.map(|w| w.seq),
+                second: e.seq,
+                cut: trace.causal_cut(e),
+            });
+        }
+    };
+    for e in &trace.events {
+        if e.kind == "serve.publish" && e.aux == 1 {
+            require(e, "serve.probe_ok", "an unprobed int8 model went live");
+        }
+        if e.kind == "serve.degrade" {
+            require(
+                e,
+                "serve.probe_failed",
+                "the registry degraded without evidence",
+            );
+        }
+    }
+    out
+}
+
+/// (e) FIFO per (src, dst, context, tag) channel: indices increase on
+/// both ends, every receive is matched, and each receive happens-after
+/// its send.
+fn check_channel_fifo(trace: &CausalTrace) -> Vec<Certificate> {
+    let mut out = Vec::new();
+    type ChanKey = (u64, u64, u64, u64);
+    /// (last send idx, last recv idx, idx -> send event seq).
+    type ChanState = (Option<u64>, Option<u64>, HashMap<u64, u64>);
+    let mut chans: HashMap<ChanKey, ChanState> = HashMap::new();
+    for e in &trace.events {
+        let Some(chan) = e.chan else { continue };
+        let slot = chans.entry(chan).or_default();
+        match e.kind.as_str() {
+            "comm.send" => {
+                if slot.0.is_some_and(|last| e.idx <= last) {
+                    out.push(Certificate {
+                        invariant: "channel-fifo",
+                        detail: format!(
+                            "send index {} did not increase on channel {chan:?}",
+                            e.idx
+                        ),
+                        first: None,
+                        second: e.seq,
+                        cut: trace.causal_cut(e),
+                    });
+                }
+                slot.0 = Some(e.idx);
+                slot.2.insert(e.idx, e.seq);
+            }
+            "comm.recv" => {
+                if e.idx == UNMATCHED_RECV {
+                    out.push(Certificate {
+                        invariant: "channel-fifo",
+                        detail: format!(
+                            "{} received on channel {chan:?} with no stamped send in \
+                             flight (orphan receive)",
+                            trace.actor_name(e.actor)
+                        ),
+                        first: None,
+                        second: e.seq,
+                        cut: trace.causal_cut(e),
+                    });
+                    continue;
+                }
+                if slot.1.is_some_and(|last| e.idx <= last) {
+                    out.push(Certificate {
+                        invariant: "channel-fifo",
+                        detail: format!(
+                            "receive of message {} on channel {chan:?} arrived after a \
+                             later message — FIFO order broken",
+                            e.idx
+                        ),
+                        first: slot.2.get(&e.idx).copied(),
+                        second: e.seq,
+                        cut: trace.causal_cut(e),
+                    });
+                }
+                slot.1 = Some(e.idx);
+                match slot.2.get(&e.idx) {
+                    Some(&send_seq) => {
+                        let ordered = trace
+                            .event_by_seq(send_seq)
+                            .is_some_and(|s| s.clock.lt(&e.clock));
+                        if !ordered {
+                            out.push(Certificate {
+                                invariant: "channel-fifo",
+                                detail: format!(
+                                    "receive of message {} on channel {chan:?} does not \
+                                     happen-after its send",
+                                    e.idx
+                                ),
+                                first: Some(send_seq),
+                                second: e.seq,
+                                cut: trace.causal_cut(e),
+                            });
+                        }
+                    }
+                    None => out.push(Certificate {
+                        invariant: "channel-fifo",
+                        detail: format!(
+                            "receive of message {} on channel {chan:?} has no matching \
+                             send in the trace",
+                            e.idx
+                        ),
+                        first: None,
+                        second: e.seq,
+                        cut: trace.causal_cut(e),
+                    }),
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Selftest: exercise the auditor end to end inside one process.
+// ---------------------------------------------------------------------------
+
+/// Run the auditor against two freshly generated traces: a clean
+/// fault-free train+serve interaction that must certify with zero
+/// violations, and a seeded protocol violation (a registry publish that
+/// skips the quantization probe) that must be caught with a replayable
+/// certificate. Returns a printable summary, or what went wrong.
+pub fn selftest() -> Result<String, String> {
+    use ltfb_gan::{CycleGan, CycleGanConfig};
+    use ltfb_serve::{ModelRegistry, QuantMode};
+
+    let gan = |seed: u64| CycleGan::new(CycleGanConfig::small(4), seed);
+
+    // -- Clean trace: comm traffic + collectives + registry lifecycle. --
+    let obs = ltfb_obs::Registry::new();
+    ltfb_comm::run_world_obs(3, &obs, |comm| {
+        let (rank, n) = (comm.rank(), comm.size());
+        comm.send((rank + 1) % n, 7, bytes::Bytes::from(vec![rank as u8; 8]));
+        let _ = comm.recv((rank + n - 1) % n, 7);
+        let mut buf = [rank as f32; 4];
+        comm.allreduce_f32(&mut buf, ltfb_comm::ReduceOp::Sum);
+        comm.barrier();
+    });
+    let registry = ModelRegistry::with_mode(gan(1), 1, QuantMode::Int8);
+    registry.attach_obs(&obs);
+    registry.publish(gan(2), 2).map_err(|e| e.to_string())?;
+    registry.rollback().map_err(|e| e.to_string())?;
+    let clean = CausalTrace::from_snapshot(&obs.causal().snapshot());
+    let report = audit(&clean).map_err(|e| e.to_string())?;
+    if !report.certified() {
+        let why: Vec<String> = report
+            .violations
+            .iter()
+            .map(|c| c.render(&clean, "<selftest>"))
+            .collect();
+        return Err(format!(
+            "clean trace failed to certify:\n{}",
+            why.join("\n")
+        ));
+    }
+    let clean_events = report.events;
+
+    // -- Seeded violation: an int8 publish that skips the probe. --
+    let obs = ltfb_obs::Registry::new();
+    let registry = ModelRegistry::with_mode(gan(1), 1, QuantMode::Int8);
+    registry.attach_obs(&obs);
+    registry
+        .publish_unprobed(gan(2), 2)
+        .map_err(|e| e.to_string())?;
+    let bad = CausalTrace::from_snapshot(&obs.causal().snapshot());
+    let report = audit(&bad).map_err(|e| e.to_string())?;
+    let caught: Vec<&Certificate> = report
+        .violations
+        .iter()
+        .filter(|c| c.invariant == "registry-probe-edge")
+        .collect();
+    if caught.len() != 1 {
+        return Err(format!(
+            "seeded probe-skip should yield exactly one registry-probe-edge violation, \
+             got {} ({:?})",
+            caught.len(),
+            report
+                .violations
+                .iter()
+                .map(|c| c.invariant)
+                .collect::<Vec<_>>()
+        ));
+    }
+    if caught[0].cut.is_empty() {
+        return Err("violation certificate has an empty causal cut".into());
+    }
+
+    // -- A truncated trace must be refused, not certified. --
+    let mut truncated = clean.clone();
+    truncated.dropped = 5;
+    match audit(&truncated) {
+        Err(TraceError::Truncated { dropped: 5 }) => {}
+        other => return Err(format!("truncated trace was not refused: {other:?}")),
+    }
+
+    Ok(format!(
+        "causality selftest: clean trace certified ({clean_events} events, \
+         {} invariants); seeded probe-skip caught with a {}-event causal cut; \
+         truncated trace refused",
+        invariants().len(),
+        caught[0].cut.len()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[allow(clippy::too_many_arguments)] // mirrors the TraceEvent fields 1:1
+    fn ev(
+        seq: u64,
+        actor: usize,
+        kind: &str,
+        chan: Option<(u64, u64, u64, u64)>,
+        idx: u64,
+        info: u64,
+        aux: u64,
+        clock: Vec<u64>,
+    ) -> TraceEvent {
+        TraceEvent {
+            seq,
+            actor,
+            kind: kind.to_string(),
+            chan,
+            idx,
+            info,
+            aux,
+            clock: VectorClock::from_components(clock),
+        }
+    }
+
+    fn trace(actors: &[&str], events: Vec<TraceEvent>) -> CausalTrace {
+        CausalTrace {
+            actors: actors.iter().map(|s| s.to_string()).collect(),
+            dropped: 0,
+            events,
+        }
+    }
+
+    #[test]
+    fn clean_send_recv_certifies() {
+        let t = trace(
+            &["rank.0", "rank.1"],
+            vec![
+                ev(0, 0, "comm.send", Some((0, 1, 9, 3)), 0, 8, 0, vec![1]),
+                ev(1, 1, "comm.recv", Some((0, 1, 9, 3)), 0, 8, 0, vec![1, 1]),
+            ],
+        );
+        let r = audit(&t).unwrap();
+        assert!(r.certified(), "{:?}", r.violations);
+        assert_eq!(r.checked.len(), invariants().len());
+    }
+
+    #[test]
+    fn truncated_trace_is_refused() {
+        let mut t = trace(&["rank.0"], vec![]);
+        t.dropped = 3;
+        assert!(matches!(
+            audit(&t),
+            Err(TraceError::Truncated { dropped: 3 })
+        ));
+    }
+
+    #[test]
+    fn orphan_recv_is_a_fifo_violation() {
+        let t = trace(
+            &["rank.0", "rank.1"],
+            vec![ev(
+                0,
+                1,
+                "comm.recv",
+                Some((0, 1, 9, 3)),
+                UNMATCHED_RECV,
+                8,
+                0,
+                vec![0, 1],
+            )],
+        );
+        let r = audit(&t).unwrap();
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].invariant, "channel-fifo");
+        assert!(r.violations[0].detail.contains("orphan"));
+    }
+
+    #[test]
+    fn fifo_inversion_is_caught() {
+        let c = Some((0, 1, 9, 3));
+        let t = trace(
+            &["rank.0", "rank.1"],
+            vec![
+                ev(0, 0, "comm.send", c, 0, 8, 0, vec![1]),
+                ev(1, 0, "comm.send", c, 1, 8, 0, vec![2]),
+                ev(2, 1, "comm.recv", c, 1, 8, 0, vec![2, 1]),
+                ev(3, 1, "comm.recv", c, 0, 8, 0, vec![2, 2]),
+            ],
+        );
+        let r = audit(&t).unwrap();
+        assert!(
+            r.violations
+                .iter()
+                .any(|v| v.invariant == "channel-fifo" && v.detail.contains("FIFO")),
+            "{:?}",
+            r.violations
+        );
+    }
+
+    #[test]
+    fn recv_without_hb_edge_is_caught() {
+        // The receive's clock never merged the sender's component.
+        let c = Some((0, 1, 9, 3));
+        let t = trace(
+            &["rank.0", "rank.1"],
+            vec![
+                ev(0, 0, "comm.send", c, 0, 8, 0, vec![1]),
+                ev(1, 1, "comm.recv", c, 0, 8, 0, vec![0, 1]),
+            ],
+        );
+        let r = audit(&t).unwrap();
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| v.invariant == "channel-fifo" && v.detail.contains("happen-after")));
+    }
+
+    #[test]
+    fn collective_epoch_regression_is_caught() {
+        let t = trace(
+            &["rank.0"],
+            vec![
+                ev(0, 0, "coll.enter", None, 0, 5, 1, vec![1]),
+                ev(1, 0, "coll.exit", None, 0, 5, 1, vec![2]),
+                ev(2, 0, "coll.enter", None, 0, 4, 1, vec![3]),
+            ],
+        );
+        let r = audit(&t).unwrap();
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| v.invariant == "coll-epoch-monotonic" && v.detail.contains("backwards")));
+    }
+
+    #[test]
+    fn unentered_collective_exit_is_caught() {
+        let t = trace(
+            &["rank.0"],
+            vec![ev(0, 0, "coll.exit", None, 0, 5, 1, vec![1])],
+        );
+        let r = audit(&t).unwrap();
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| v.invariant == "coll-epoch-monotonic" && v.detail.contains("never entered")));
+    }
+
+    #[test]
+    fn adoption_without_decide_is_caught() {
+        let t = trace(
+            &["rank.0", "rank.1"],
+            vec![
+                ev(0, 0, "ingest.decide", None, 0, 1, 4, vec![1]),
+                // rank.1 adopts gen 1 but its clock never saw rank.0.
+                ev(1, 1, "ingest.adopt", None, 0, 1, 4, vec![0, 1]),
+                // and an adoption of a generation nobody decided.
+                ev(2, 1, "ingest.adopt", None, 0, 9, 4, vec![0, 2]),
+            ],
+        );
+        let r = audit(&t).unwrap();
+        let v: Vec<&Certificate> = r
+            .violations
+            .iter()
+            .filter(|v| v.invariant == "ingest-follows-broadcast")
+            .collect();
+        assert_eq!(v.len(), 2, "{:?}", r.violations);
+    }
+
+    #[test]
+    fn clean_ingest_adoption_certifies() {
+        let t = trace(
+            &["rank.0", "rank.1"],
+            vec![
+                ev(0, 0, "ingest.decide", None, 0, 1, 4, vec![1]),
+                ev(1, 0, "comm.send", Some((0, 1, 9, 3)), 0, 8, 0, vec![2]),
+                ev(2, 1, "comm.recv", Some((0, 1, 9, 3)), 0, 8, 0, vec![2, 1]),
+                ev(3, 1, "ingest.adopt", None, 0, 1, 4, vec![2, 2]),
+                ev(4, 0, "ingest.adopt", None, 0, 1, 4, vec![3]),
+            ],
+        );
+        let r = audit(&t).unwrap();
+        assert!(r.certified(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn unprobed_quantized_publish_is_caught_with_a_cut() {
+        let t = trace(
+            &["rank.0", "serve.registry"],
+            vec![
+                ev(0, 0, "comm.send", Some((0, 0, 1, 1)), 0, 8, 0, vec![1]),
+                ev(1, 1, "serve.probe_ok", None, 0, 1, 0, vec![0, 1]),
+                ev(2, 1, "serve.publish", None, 0, 1, 1, vec![0, 2]),
+                // Version 2 goes live quantized with no probe at all.
+                ev(3, 1, "serve.publish", None, 0, 2, 1, vec![0, 3]),
+            ],
+        );
+        let r = audit(&t).unwrap();
+        assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+        let c = &r.violations[0];
+        assert_eq!(c.invariant, "registry-probe-edge");
+        assert_eq!(c.second, 3);
+        assert_eq!(c.cut, vec![3], "frontier is the offending publish itself");
+        assert!(c
+            .replay_line("t.json")
+            .contains("--invariant registry-probe-edge"));
+    }
+
+    #[test]
+    fn degrade_requires_a_failed_probe() {
+        let t = trace(
+            &["serve.registry"],
+            vec![
+                ev(0, 0, "serve.probe_failed", None, 0, 2, 0, vec![1]),
+                ev(1, 0, "serve.degrade", None, 0, 2, 0, vec![2]),
+                ev(2, 0, "serve.degrade", None, 0, 3, 0, vec![3]),
+            ],
+        );
+        let r = audit(&t).unwrap();
+        let v: Vec<_> = r
+            .violations
+            .iter()
+            .filter(|v| v.invariant == "registry-probe-edge")
+            .collect();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].second, 2, "only the evidence-free degrade fires");
+    }
+
+    #[test]
+    fn lost_update_on_hot_swap_is_caught() {
+        let t = trace(
+            &["serve.registry"],
+            vec![
+                ev(0, 0, "serve.publish", None, 0, 3, 0, vec![1]),
+                ev(1, 0, "serve.publish", None, 0, 2, 0, vec![2]),
+            ],
+        );
+        let r = audit(&t).unwrap();
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| v.invariant == "registry-serial" && v.detail.contains("lost")));
+    }
+
+    #[test]
+    fn rollback_resets_the_version_floor() {
+        let t = trace(
+            &["serve.registry"],
+            vec![
+                ev(0, 0, "serve.publish", None, 0, 3, 0, vec![1]),
+                ev(1, 0, "serve.rollback", None, 0, 2, 0, vec![2]),
+                ev(2, 0, "serve.publish", None, 0, 3, 0, vec![3]),
+            ],
+        );
+        let r = audit(&t).unwrap();
+        assert!(r.certified(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn concurrent_registry_writers_are_caught() {
+        let t = trace(
+            &["a", "b"],
+            vec![
+                ev(0, 0, "serve.publish", None, 0, 1, 0, vec![1]),
+                ev(1, 1, "serve.publish", None, 0, 2, 0, vec![0, 1]),
+            ],
+        );
+        let r = audit(&t).unwrap();
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| v.invariant == "registry-serial" && v.detail.contains("concurrent")));
+    }
+
+    #[test]
+    fn json_round_trip_matches_snapshot() {
+        let obs = ltfb_obs::Registry::new();
+        let a = obs.causal_actor("rank.0");
+        let b = obs.causal_actor("rank.1");
+        a.send(
+            ltfb_obs::Chan {
+                src: 0,
+                dst: 1,
+                context: 5,
+                tag: 9,
+            },
+            "comm.send",
+            16,
+            0,
+        );
+        b.recv(
+            ltfb_obs::Chan {
+                src: 0,
+                dst: 1,
+                context: 5,
+                tag: 9,
+            },
+            "comm.recv",
+            16,
+            0,
+        );
+        a.local("coll.enter", 0, 5);
+        let json = obs.snapshot().to_json();
+        let parsed = parse_trace(&json).unwrap();
+        let direct = CausalTrace::from_snapshot(&obs.causal().snapshot());
+        assert_eq!(parsed.actors, direct.actors);
+        assert_eq!(parsed.events.len(), direct.events.len());
+        for (p, d) in parsed.events.iter().zip(&direct.events) {
+            assert_eq!(p.seq, d.seq);
+            assert_eq!(p.actor, d.actor);
+            assert_eq!(p.kind, d.kind);
+            assert_eq!(p.chan, d.chan);
+            assert_eq!(p.idx, d.idx);
+            assert_eq!((p.info, p.aux), (d.info, d.aux));
+            assert_eq!(p.clock, d.clock);
+        }
+        assert!(audit(&parsed).unwrap().certified());
+    }
+
+    #[test]
+    fn parser_keeps_u64_values_exact() {
+        let json = format!(
+            "{{\"causal\":{{\"dropped\":0,\"actors\":[\"r\"],\"events\":[\
+             {{\"seq\":0,\"actor\":0,\"kind\":\"comm.recv\",\"chan\":[0,0,0,0],\
+             \"idx\":{UNMATCHED_RECV},\"info\":0,\"aux\":0,\"clock\":[1]}}]}}}}"
+        );
+        let t = parse_trace(&json).unwrap();
+        assert_eq!(t.events[0].idx, UNMATCHED_RECV);
+    }
+
+    #[test]
+    fn non_report_json_is_rejected() {
+        assert!(matches!(
+            parse_trace("{\"hello\":1}"),
+            Err(TraceError::NoCausalSection)
+        ));
+        assert!(matches!(
+            parse_trace("not json"),
+            Err(TraceError::Parse(..))
+        ));
+    }
+
+    #[test]
+    fn selftest_passes() {
+        let summary = selftest().expect("selftest");
+        assert!(summary.contains("certified"));
+        assert!(summary.contains("caught"));
+    }
+}

@@ -13,16 +13,24 @@
 //! * [`models`]  — concurrency models of the router matching, the
 //!   collectives, the datastore shuffle, and the LTFB generator
 //!   exchange, built on the production schedule math;
-//! * [`suite`]   — the fixed-seed model-check suite `scripts/ci.sh` runs.
+//! * [`suite`]   — the fixed-seed model-check suite `scripts/ci.sh` runs;
+//! * [`causality`] — the vector-clock happens-before auditor over the
+//!   causal event traces `ltfb-obs` exports: rebuilds the HB DAG from a
+//!   `metrics.json` report and certifies protocol ordering invariants,
+//!   with replayable violation certificates.
 
 #![forbid(unsafe_code)]
 
+pub mod causality;
 pub mod explore;
 pub mod lint;
 pub mod models;
 pub mod sched;
 pub mod suite;
 
+pub use causality::{
+    audit, audit_named, parse_trace, AuditReport, CausalTrace, Certificate, TraceError,
+};
 pub use explore::{explore_exhaustive, explore_random, replay_seed, Failure, Sweep};
 pub use lint::{lint_workspace, Allowlist, LintReport, Rule, Violation};
 pub use models::{model_by_name, models, Expect, ModelSpec};

@@ -6,7 +6,8 @@
 //! Each rule has a stable identifier (`LA0xx`); audited exceptions live
 //! in a per-rule allowlist file (`crates/analyze/lint.allow`) so that a
 //! deliberate `expect("invariant: ...")` does not fail CI while a new,
-//! unaudited one does.
+//! unaudited one does. An allowlist entry that no longer matches
+//! anything is itself a CI failure (see [`LintReport::clean`]).
 //!
 //! The scanner is line-oriented: comments and string/char literals are
 //! blanked out by a small state machine before pattern rules run, and
@@ -52,7 +53,7 @@ pub struct AllowEntry {
     pub needle: String,
 }
 
-/// Parsed allowlist plus usage tracking (unused entries are reported so
+/// Parsed allowlist plus usage tracking (unused entries fail the run so
 /// the file cannot silently rot).
 #[derive(Debug, Default)]
 pub struct Allowlist {
@@ -122,8 +123,12 @@ pub struct LintReport {
 }
 
 impl LintReport {
+    /// A run is clean only if nothing fired *and* no allowlist entry is
+    /// stale: an unused entry means an audited exception no longer
+    /// exists, and keeping it around would silently re-suppress the next
+    /// unrelated violation that happens to match. CI fails on both.
     pub fn clean(&self) -> bool {
-        self.violations.is_empty()
+        self.violations.is_empty() && self.unused_allow.is_empty()
     }
 }
 
@@ -473,6 +478,12 @@ pub fn rules() -> Vec<Rule> {
             },
         },
         Rule {
+            id: "LA010",
+            summary: "no Ordering::Relaxed on protocol-visible atomics in comm/datastore/serve",
+            applies: in_hot_path,
+            check: check_relaxed_protocol_atomics,
+        },
+        Rule {
             id: "LA006",
             summary: "every crate root carries #![forbid(unsafe_code)]",
             applies: is_crate_root,
@@ -566,6 +577,40 @@ fn check_hot_path_allocs(f: &SourceFile) -> Vec<Violation> {
             j += 1;
         }
         i = j + 1;
+    }
+    out
+}
+
+/// LA010: in the protocol crates, an atomic whose name marks it as
+/// protocol state — a collective sequence, a published version, a
+/// shuffle epoch, the degrade/fallback/probe counters the causality
+/// auditor cross-checks — must not be accessed with `Ordering::Relaxed`:
+/// another thread (an invariant check, the telemetry exporter, a
+/// reader validating monotonicity) observes it, and Relaxed gives that
+/// observer no edge to the write it is reasoning about. Pure throughput
+/// counters (`messages`, `bytes`, heartbeats) carry no such names and
+/// stay Relaxed. Line-local heuristic: the needle must appear on the
+/// same (comment-blanked) line as the `Ordering::Relaxed`.
+fn check_relaxed_protocol_atomics(f: &SourceFile) -> Vec<Violation> {
+    const NEEDLES: [&str; 7] = [
+        "seq", "version", "epoch", "degrade", "swap", "fallback", "probe",
+    ];
+    let mut out = Vec::new();
+    for (i, line) in f.code.iter().enumerate() {
+        if !line.contains("Ordering::Relaxed") {
+            continue;
+        }
+        if let Some(n) = NEEDLES.iter().find(|n| line.contains(*n)) {
+            out.push(f.violation(
+                "LA010",
+                i + 1,
+                format!(
+                    "`Ordering::Relaxed` on a protocol-visible atomic (`{n}`): invariant \
+                     checks and telemetry read this cross-thread — publish with Release \
+                     and read with Acquire (AcqRel for read-modify-write)"
+                ),
+            ));
+        }
     }
     out
 }
@@ -788,6 +833,33 @@ mod tests {
         assert_eq!(report.violations.len(), 1); // the unwrap
         assert_eq!(report.unused_allow.len(), 1);
         assert_eq!(report.unused_allow[0].path_suffix, "crates/comm/src/y.rs");
+        assert!(!report.clean(), "stale allowlist entries must fail the run");
+    }
+
+    #[test]
+    fn stale_allowlist_alone_is_not_clean() {
+        let allow = Allowlist::parse("LA001 crates/comm/src/ghost.rs never-matches\n").unwrap();
+        let report = lint_paths(&[], &allow);
+        assert!(report.violations.is_empty());
+        assert_eq!(report.unused_allow.len(), 1);
+        assert!(!report.clean());
+    }
+
+    #[test]
+    fn la010_needs_both_relaxed_and_a_protocol_needle() {
+        let fires = parse("fn f(a: &AtomicU64) { a.fetch_add(1, Ordering::Relaxed); } // x\nfn g(version: &AtomicU64) { version.fetch_add(1, Ordering::Relaxed); }");
+        let v = check_relaxed_protocol_atomics(&fires);
+        assert_eq!(v.len(), 1, "only the `version` line fires: {v:#?}");
+        assert_eq!(v[0].line, 2);
+
+        let release =
+            parse("fn g(version: &AtomicU64) { version.fetch_add(1, Ordering::Release); }");
+        assert!(check_relaxed_protocol_atomics(&release).is_empty());
+
+        // Needle in a comment or string never fires: lines are blanked.
+        let commented =
+            parse("fn h(b: &AtomicU64) { b.load(Ordering::Relaxed); } // epoch counter");
+        assert!(check_relaxed_protocol_atomics(&commented).is_empty());
     }
 
     #[test]

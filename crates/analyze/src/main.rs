@@ -4,6 +4,7 @@
 //! cargo run -p ltfb-analyze -- lint   [--root DIR] [--allowlist FILE]
 //! cargo run -p ltfb-analyze -- check  [--seed N] [--iters N] [--budget N]
 //! cargo run -p ltfb-analyze -- replay --model NAME --seed N [--trace]
+//! cargo run -p ltfb-analyze -- trace  <metrics.json> [--invariant NAME] | --selftest
 //! cargo run -p ltfb-analyze -- rules
 //! cargo run -p ltfb-analyze -- models
 //! ```
@@ -24,6 +25,7 @@ fn main() -> ExitCode {
         Some("lint") => cmd_lint(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("rules") => {
             for r in lint::rules() {
                 println!("{}  {}", r.id, r.summary);
@@ -38,11 +40,12 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage: ltfb-analyze <lint|check|replay|rules|models> [options]\n\
+                "usage: ltfb-analyze <lint|check|replay|trace|rules|models> [options]\n\
                  \n\
                  lint    scan workspace sources against the LA00x invariant rules\n\
                  check   run the fixed-seed model-check suite\n\
                  replay  re-run one schedule: --model NAME --seed N [--trace]\n\
+                 trace   audit a causal trace: <metrics.json> [--invariant NAME] | --selftest\n\
                  rules   list lint rules\n\
                  models  list concurrency models"
             );
@@ -80,7 +83,7 @@ fn cmd_lint(args: &[String]) -> ExitCode {
     }
     for e in &report.unused_allow {
         println!(
-            "warning: unused allowlist entry: {} {} {}",
+            "error: stale allowlist entry (matched nothing): {} {} {}",
             e.rule, e.path_suffix, e.needle
         );
     }
@@ -164,6 +167,79 @@ fn cmd_replay(args: &[String]) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+fn cmd_trace(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--selftest") {
+        return match ltfb_analyze::causality::selftest() {
+            Ok(summary) => {
+                println!("{summary}");
+                ExitCode::SUCCESS
+            }
+            Err(why) => {
+                eprintln!("trace selftest FAILED: {why}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let Some(file) = args.iter().find(|a| !a.starts_with("--")).cloned() else {
+        return usage_err("trace needs a metrics.json path, or --selftest");
+    };
+    let invariant = flag_value(args, "--invariant");
+    if let Some(name) = invariant {
+        if !ltfb_analyze::causality::invariants()
+            .iter()
+            .any(|(n, _)| *n == name)
+        {
+            let known: Vec<&str> = ltfb_analyze::causality::invariants()
+                .iter()
+                .map(|(n, _)| *n)
+                .collect();
+            return usage_err(&format!(
+                "unknown invariant `{name}` (known: {})",
+                known.join(", ")
+            ));
+        }
+    }
+    let input = match std::fs::read_to_string(&file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {file}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let trace = match ltfb_analyze::parse_trace(&input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match ltfb_analyze::audit_named(&trace, invariant) {
+        Ok(report) => {
+            for c in &report.violations {
+                print!("{}", c.render(&trace, &file));
+            }
+            println!(
+                "trace: {} event(s), {} actor(s), {} invariant(s) checked, {} violation(s)",
+                report.events,
+                report.actors,
+                report.checked.len(),
+                report.violations.len()
+            );
+            if report.certified() {
+                println!("trace: certified");
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        // A truncated trace is a refusal, not a certification either way.
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 

@@ -15,8 +15,9 @@
 use crate::sched::{SimEnv, SimWorld};
 use bytes::Bytes;
 use ltfb_comm::protocol::{
-    allreduce_allgather_step, barrier_peers, barrier_rounds, chunk_bound, coll_round_tag,
-    reduce_scatter_step, ring_neighbors, CollOp,
+    allreduce_allgather_step, barrier_peers, barrier_rounds, bcast_children_v, bcast_parent_v,
+    bcast_unvrank, chunk_bound, coll_round_tag, coll_tag, pipelined_round, reduce_scatter_step,
+    ring_neighbors, subchunk_bound, CollOp,
 };
 use ltfb_comm::{bytes_of_u64, decode_f32, encode_f32, survivors, u64_of_bytes};
 use ltfb_core::{pairing, pairing_alive};
@@ -294,6 +295,355 @@ pub fn allreduce_recovery_world(n: usize, m: usize, dead: usize) -> SimWorld {
     w.with_final_check(drained("allreduce-recovery"))
 }
 
+/// The monolithic ring allreduce executed serially — the fold-order
+/// reference the chunked schedule must match *bitwise*. Per ring step
+/// every rank's outgoing chunk is snapshotted before any fold, exactly
+/// as the message-passing schedule does (sends carry pre-fold values).
+fn ring_allreduce_reference(
+    n: usize,
+    m: usize,
+    init: &dyn Fn(usize, usize) -> f32,
+) -> Vec<Vec<f32>> {
+    let mut bufs: Vec<Vec<f32>> = (0..n)
+        .map(|r| (0..m).map(|i| init(r, i)).collect())
+        .collect();
+    let chunk = |c: usize| chunk_bound(m, n, c)..chunk_bound(m, n, c + 1);
+    for s in 0..n - 1 {
+        let sends: Vec<Vec<f32>> = (0..n)
+            .map(|r| {
+                let (send_chunk, _) = reduce_scatter_step(r, n, s);
+                bufs[r][chunk(send_chunk)].to_vec()
+            })
+            .collect();
+        for (r, sent) in sends.iter().enumerate() {
+            let (right, _) = ring_neighbors(r, n);
+            let (_, recv_chunk) = reduce_scatter_step(right, n, s);
+            for (dst, v) in bufs[right][chunk(recv_chunk)].iter_mut().zip(sent) {
+                *dst += v;
+            }
+        }
+    }
+    for s in 0..n - 1 {
+        let sends: Vec<Vec<f32>> = (0..n)
+            .map(|r| {
+                let (send_chunk, _) = allreduce_allgather_step(r, n, s);
+                bufs[r][chunk(send_chunk)].to_vec()
+            })
+            .collect();
+        for (r, sent) in sends.iter().enumerate() {
+            let (right, _) = ring_neighbors(r, n);
+            let (_, recv_chunk) = allreduce_allgather_step(right, n, s);
+            bufs[right][chunk(recv_chunk)].copy_from_slice(sent);
+        }
+    }
+    bufs
+}
+
+/// The chunked, pipelined ring allreduce of `Comm::allreduce_f32_chunked`:
+/// all of a step's sub-chunk sends are posted eagerly before the first
+/// incoming sub-chunk folds (send `j+1` overlaps reduce `j`), and the
+/// fold walks sub-chunks in ascending index order. The claim under test
+/// is the production docstring's strongest promise: the result is
+/// **bit-identical** to the monolithic schedule for every interleaving,
+/// so each rank compares its buffer to [`ring_allreduce_reference`]
+/// via `to_bits`, not an epsilon.
+pub fn allreduce_chunked_world(n: usize, m: usize, subchunks: usize) -> SimWorld {
+    // Values whose f32 sums are order-sensitive: a fold-order bug cannot
+    // hide behind exact arithmetic.
+    let init = |rank: usize, i: usize| 0.1f32 * (rank as f32 + 1.0) + 0.3f32 * (i as f32 + 1.0);
+    let want = Arc::new(ring_allreduce_reference(n, m, &init));
+    let mut w = SimWorld::new(n);
+    for rank in 0..n {
+        let want = Arc::clone(&want);
+        w.spawn(move |env| {
+            let mut buf: Vec<f32> = (0..m).map(|i| init(rank, i)).collect();
+            let bounds = |c: usize| (chunk_bound(m, n, c), chunk_bound(m, n, c + 1));
+            let (right, left) = ring_neighbors(rank, n);
+            for s in 0..n - 1 {
+                let (send_chunk, recv_chunk) = reduce_scatter_step(rank, n, s);
+                let (slo, shi) = bounds(send_chunk);
+                // Post *all* sub-chunk sends before folding anything.
+                for j in 0..subchunks {
+                    let tag =
+                        coll_round_tag(CollOp::ReduceScatter, 0, pipelined_round(s, subchunks, j));
+                    let lo = subchunk_bound(slo, shi, subchunks, j);
+                    let hi = subchunk_bound(slo, shi, subchunks, j + 1);
+                    env.send(right, CTX, tag, encode_f32(&buf[lo..hi]));
+                }
+                let (rlo, rhi) = bounds(recv_chunk);
+                for j in 0..subchunks {
+                    let tag =
+                        coll_round_tag(CollOp::ReduceScatter, 0, pipelined_round(s, subchunks, j));
+                    let lo = subchunk_bound(rlo, rhi, subchunks, j);
+                    let hi = subchunk_bound(rlo, rhi, subchunks, j + 1);
+                    let e = env.recv(CTX, left, tag);
+                    for (dst, v) in buf[lo..hi].iter_mut().zip(decode_f32(&e.payload)) {
+                        *dst += v;
+                    }
+                }
+            }
+            for s in 0..n - 1 {
+                let (send_chunk, recv_chunk) = allreduce_allgather_step(rank, n, s);
+                let (slo, shi) = bounds(send_chunk);
+                for j in 0..subchunks {
+                    let tag =
+                        coll_round_tag(CollOp::AllgatherRing, 0, pipelined_round(s, subchunks, j));
+                    let lo = subchunk_bound(slo, shi, subchunks, j);
+                    let hi = subchunk_bound(slo, shi, subchunks, j + 1);
+                    env.send(right, CTX, tag, encode_f32(&buf[lo..hi]));
+                }
+                let (rlo, rhi) = bounds(recv_chunk);
+                for j in 0..subchunks {
+                    let tag =
+                        coll_round_tag(CollOp::AllgatherRing, 0, pipelined_round(s, subchunks, j));
+                    let lo = subchunk_bound(rlo, rhi, subchunks, j);
+                    let hi = subchunk_bound(rlo, rhi, subchunks, j + 1);
+                    let e = env.recv(CTX, left, tag);
+                    for (dst, v) in buf[lo..hi].iter_mut().zip(decode_f32(&e.payload)) {
+                        *dst = v;
+                    }
+                }
+            }
+            for (i, (got, want)) in buf.iter().zip(&want[rank]).enumerate() {
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "rank {rank}: chunked allreduce[{i}] = {got:?}, monolithic fold gives \
+                     {want:?} — sub-chunk overlap changed the fold order"
+                );
+            }
+        });
+    }
+    w.with_final_check(drained("allreduce-chunked"))
+}
+
+fn encode_ids(ids: &[u64]) -> Bytes {
+    let mut out = Vec::with_capacity(8 + ids.len() * 8);
+    out.extend_from_slice(&(ids.len() as u64).to_le_bytes());
+    for id in ids {
+        out.extend_from_slice(&id.to_le_bytes());
+    }
+    Bytes::from(out)
+}
+
+fn decode_ids(payload: &[u8]) -> Vec<u64> {
+    let n = u64::from_le_bytes(payload[..8].try_into().unwrap()) as usize;
+    (0..n)
+        .map(|i| u64::from_le_bytes(payload[8 + i * 8..16 + i * 8].try_into().unwrap()))
+        .collect()
+}
+
+/// The datastore's ingest-adoption broadcast: rank 0 decides the newly
+/// visible ingest ids and broadcasts them down the production binomial
+/// tree (`bcast_children_v`, root 0); every rank adopts exactly the
+/// decided set. This is `DataStore::refresh_ingest`'s length-prefixed
+/// payload over `Comm::broadcast`'s tree schedule.
+pub fn ingest_adoption_world(n: usize, count: usize) -> SimWorld {
+    let decided: Arc<Vec<u64>> = Arc::new((0..count as u64).map(|i| 100 + 3 * i).collect());
+    let adopted: Arc<Mutex<Vec<Option<Vec<u64>>>>> = Arc::new(Mutex::new(vec![None; n]));
+    let tag = coll_tag(CollOp::Bcast, 0);
+    let mut w = SimWorld::new(n);
+    for rank in 0..n {
+        let decided = Arc::clone(&decided);
+        let adopted = Arc::clone(&adopted);
+        w.spawn(move |env| {
+            // root == 0, so vrank == rank; keep the unvrank calls anyway
+            // to exercise the production mapping.
+            let payload = if rank == 0 {
+                encode_ids(&decided)
+            } else {
+                let parent = bcast_unvrank(bcast_parent_v(rank), 0, n);
+                env.recv(CTX, parent, tag).payload
+            };
+            for child_v in bcast_children_v(rank, n) {
+                env.send(bcast_unvrank(child_v, 0, n), CTX, tag, payload.clone());
+            }
+            let ids = decode_ids(&payload);
+            assert_eq!(ids, *decided, "rank {rank} adopted a different id set");
+            adopted.lock()[rank] = Some(ids);
+        });
+    }
+    let decided = Arc::clone(&decided);
+    let adopted_check = Arc::clone(&adopted);
+    w.with_final_check(move |s| {
+        let a = adopted_check.lock();
+        for (rank, got) in a.iter().enumerate() {
+            match got {
+                Some(ids) if *ids == *decided => {}
+                Some(ids) => {
+                    return Err(format!(
+                        "rank {rank} adopted {ids:?}, decided set was {decided:?}"
+                    ))
+                }
+                None => return Err(format!("rank {rank} never adopted the ingest set")),
+            }
+        }
+        let stuck: usize = s.mailboxes.iter().map(|m| m.len()).sum();
+        if stuck != 0 {
+            return Err(format!("ingest-adoption: {stuck} undelivered envelope(s)"));
+        }
+        Ok(())
+    })
+}
+
+/// Ingest adoption with rank `dead` dying *mid-broadcast*: it receives
+/// the id set from its parent but dies before forwarding to its subtree.
+/// Every rank below it blocks forever — the schedule must always end in
+/// the deadlock detector, never in a silent partial adoption. (The dead
+/// rank must have children for the subtree to starve: with n=4 and
+/// dead=2, rank 3 never hears the decision.)
+pub fn ingest_adoption_rank_failure_world(n: usize, dead: usize) -> SimWorld {
+    assert!(dead < n && dead != 0, "root death is a different model");
+    assert!(
+        !bcast_children_v(dead, n).is_empty(),
+        "dead rank needs a subtree to starve"
+    );
+    let decided: Vec<u64> = vec![7, 11, 13];
+    let tag = coll_tag(CollOp::Bcast, 0);
+    let mut w = SimWorld::new(n);
+    for rank in 0..n {
+        let decided = decided.clone();
+        w.spawn(move |env| {
+            let payload = if rank == 0 {
+                encode_ids(&decided)
+            } else {
+                let parent = bcast_unvrank(bcast_parent_v(rank), 0, n);
+                env.recv(CTX, parent, tag).payload
+            };
+            if rank == dead {
+                return; // died after receiving, before forwarding
+            }
+            for child_v in bcast_children_v(rank, n) {
+                env.send(bcast_unvrank(child_v, 0, n), CTX, tag, payload.clone());
+            }
+        });
+    }
+    w
+}
+
+/// Shared state of the [`publish_degrade_world`] registry model: the
+/// fields `ModelRegistry` guards with its write lock, mirrored into the
+/// sim so the checker can interleave publishers and readers around the
+/// lock (sim mutex 0).
+#[derive(Default)]
+struct RegModel {
+    version: u64,
+    quantized: bool,
+    probed_ok: Vec<u64>,
+    degrades: u64,
+    fallbacks: u64,
+}
+
+/// The serving registry's publish_or_fallback / quant-degrade protocol
+/// under concurrency: publisher A's probe passes (int8 v2 goes live),
+/// publisher B's probe fails (v3 publishes degraded to f32), publisher C
+/// offers a corrupt checkpoint (counted fallback, version unchanged),
+/// while readers assert the registry's two safety contracts on every
+/// observation — the version never moves backwards, and a quantized
+/// snapshot was always probed. Stale racing publishers resolve via the
+/// production rule (newest wins, loser counts a fallback).
+pub fn publish_degrade_world(readers: usize) -> SimWorld {
+    let reg = Arc::new(Mutex::new(RegModel {
+        version: 1,
+        ..RegModel::default()
+    }));
+    let mut w = SimWorld::new(2 + 1 + readers);
+
+    // Publisher A: healthy int8 publish of v2 — probe under the write
+    // lock (production `publish` holds it across `with_mode`).
+    let r = Arc::clone(&reg);
+    w.spawn(move |env| {
+        env.lock(0);
+        env.step("probe-v2");
+        let mut st = r.lock();
+        if 2 > st.version {
+            st.probed_ok.push(2);
+            st.version = 2;
+            st.quantized = true;
+        } else {
+            st.fallbacks += 1; // stale: a newer model won the race
+        }
+        drop(st);
+        env.unlock(0);
+    });
+
+    // Publisher B: v3's probe fails — publish degrades to f32 and counts
+    // a quant degrade; serving stays up.
+    let r = Arc::clone(&reg);
+    w.spawn(move |env| {
+        env.lock(0);
+        env.step("probe-v3-fails");
+        let mut st = r.lock();
+        if 3 > st.version {
+            st.degrades += 1;
+            st.version = 3;
+            st.quantized = false;
+        } else {
+            st.fallbacks += 1;
+        }
+        drop(st);
+        env.unlock(0);
+    });
+
+    // Publisher C: corrupt checkpoint — publish_or_fallback keeps the
+    // live model and only counts the fallback.
+    let r = Arc::clone(&reg);
+    w.spawn(move |env| {
+        env.lock(0);
+        env.step("load-fails");
+        r.lock().fallbacks += 1;
+        env.unlock(0);
+    });
+
+    // Readers: in-flight requests sampling the registry mid-swap.
+    for _ in 0..readers {
+        let r = Arc::clone(&reg);
+        w.spawn(move |env| {
+            let mut last = 0u64;
+            for _ in 0..2 {
+                env.lock(0);
+                let st = r.lock();
+                assert!(
+                    st.version >= last,
+                    "registry version moved backwards: {} after {last}",
+                    st.version
+                );
+                assert!(
+                    !st.quantized || st.probed_ok.contains(&st.version),
+                    "serving an unprobed int8 model at version {}",
+                    st.version
+                );
+                last = st.version;
+                drop(st);
+                env.unlock(0);
+                env.step("between-requests");
+            }
+        });
+    }
+
+    let reg_check = Arc::clone(&reg);
+    w.with_mutexes(1).with_final_check(move |_| {
+        let st = reg_check.lock();
+        if st.version != 3 || st.quantized {
+            return Err(format!(
+                "final state must serve v3 degraded to f32, got v{} quantized={}",
+                st.version, st.quantized
+            ));
+        }
+        if st.degrades != 1 {
+            return Err(format!(
+                "expected exactly one quant degrade, got {}",
+                st.degrades
+            ));
+        }
+        // C always falls back; A additionally does iff B won the race.
+        if !(1..=2).contains(&st.fallbacks) {
+            return Err(format!("impossible fallback count {}", st.fallbacks));
+        }
+        Ok(())
+    })
+}
+
 /// The datastore's owner-push shuffle: every rank walks the *same*
 /// deterministic [`EpochPlan`], owners push samples (tag = sample id) to
 /// the consumers the plan names, consumers receive exactly their ids.
@@ -564,6 +914,55 @@ pub fn models() -> Vec<ModelSpec> {
             name: "allreduce-recovery-4",
             summary: "ft allreduce, n=4 with a dead rank: seed-replayable random walks",
             build: || allreduce_recovery_world(4, 6, 2),
+            expect: Expect::AllOk,
+            exhaustive: false,
+        },
+        ModelSpec {
+            name: "allreduce-chunked-2",
+            summary: "pipelined sub-chunk allreduce (n=2, m=4, k=2): bit-identity certified",
+            build: || allreduce_chunked_world(2, 4, 2),
+            expect: Expect::AllOk,
+            exhaustive: true,
+        },
+        ModelSpec {
+            name: "allreduce-chunked",
+            summary: "pipelined sub-chunk allreduce (n=3, m=6, k=2): bit-identity random walks",
+            build: || allreduce_chunked_world(3, 6, 2),
+            expect: Expect::AllOk,
+            exhaustive: false,
+        },
+        ModelSpec {
+            name: "ingest-adoption",
+            summary: "binomial ingest-id broadcast (n=4): uniform adoption certified",
+            build: || ingest_adoption_world(4, 3),
+            expect: Expect::AllOk,
+            exhaustive: true,
+        },
+        ModelSpec {
+            name: "ingest-adoption-6",
+            summary: "binomial ingest-id broadcast (n=6): seed-replayable random walks",
+            build: || ingest_adoption_world(6, 3),
+            expect: Expect::AllOk,
+            exhaustive: false,
+        },
+        ModelSpec {
+            name: "ingest-adoption-rank-failure",
+            summary: "rank dies mid-broadcast (n=4): subtree starves, always deadlock",
+            build: || ingest_adoption_rank_failure_world(4, 2),
+            expect: Expect::AlwaysDeadlock,
+            exhaustive: false,
+        },
+        ModelSpec {
+            name: "publish-degrade",
+            summary: "registry publish/degrade/fallback race (3 publishers): certified",
+            build: || publish_degrade_world(0),
+            expect: Expect::AllOk,
+            exhaustive: true,
+        },
+        ModelSpec {
+            name: "publish-degrade-readers",
+            summary: "registry swap race with in-flight readers: random walks",
+            build: || publish_degrade_world(2),
             expect: Expect::AllOk,
             exhaustive: false,
         },

@@ -24,7 +24,10 @@ impl Default for SuiteConfig {
         SuiteConfig {
             seed: 0x17F8,
             iters: 400,
-            max_schedules: 60_000,
+            // Sized to the largest exhaustive model (allreduce-chunked-2
+            // completes at ~72k schedules); completed sweeps stop early,
+            // so the headroom costs nothing.
+            max_schedules: 100_000,
         }
     }
 }
@@ -182,7 +185,6 @@ mod tests {
     fn default_suite_passes() {
         let cfg = SuiteConfig {
             iters: 120,
-            max_schedules: 60_000,
             ..SuiteConfig::default()
         };
         let report = run_suite(&cfg, None);

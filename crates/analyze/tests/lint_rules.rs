@@ -69,6 +69,8 @@ fn seeded_violations_land_in_the_expected_files() {
     assert!(find("LA008").text.contains(".clone()"));
     assert!(find("LA009").path.ends_with("tier_fetch.rs"));
     assert!(find("LA009").text.contains("read_to_end"));
+    assert!(find("LA010").path.ends_with("la010_relaxed.rs"));
+    assert!(find("LA010").text.contains("coll_seq.fetch_add"));
 }
 
 #[test]

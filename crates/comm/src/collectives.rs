@@ -53,10 +53,23 @@ impl ReduceOp {
 
 impl Comm {
     pub(crate) fn next_seq(&self) -> u64 {
+        // AcqRel: the collective sequence numbers protocol epochs that the
+        // trace auditor's monotonicity invariant reads back cross-thread.
+        let seq = self.coll_seq.fetch_add(1, Ordering::AcqRel);
         if let Some(o) = self.obs() {
             o.record_collective();
+            o.causal.local("coll.enter", seq, self.context);
         }
-        self.coll_seq.fetch_add(1, Ordering::Relaxed)
+        seq
+    }
+
+    /// Causal stamp for leaving collective `seq` (no-op without obs).
+    /// Collectives that error out mid-protocol deliberately leave the
+    /// entry unpaired — the trace records the abort as it happened.
+    fn coll_exit(&self, seq: u64) {
+        if let Some(o) = self.obs() {
+            o.causal.local("coll.exit", seq, self.context);
+        }
     }
 
     /// Dissemination barrier: after ⌈log₂ n⌉ rounds every rank has heard
@@ -73,6 +86,7 @@ impl Comm {
             self.send(dest, tag, Bytes::new());
             let _ = self.recv(src, tag);
         }
+        self.coll_exit(seq);
     }
 
     /// Binomial-tree broadcast of a byte payload from `root`.
@@ -95,6 +109,7 @@ impl Comm {
         for child_v in bcast_children_v(vrank, n) {
             self.send(bcast_unvrank(child_v, root, n), tag, data.clone());
         }
+        self.coll_exit(seq);
         data
     }
 
@@ -132,6 +147,7 @@ impl Comm {
             let (_, incoming) = self.recv(left, tag);
             copy_f32(&mut buf[chunk(recv_chunk)], &incoming);
         }
+        self.coll_exit(seq);
     }
 
     /// [`Comm::allreduce_f32`] with a chunked, pipelined ring schedule:
@@ -204,6 +220,7 @@ impl Comm {
                 copy_f32(&mut buf[lo..hi], &incoming);
             }
         }
+        self.coll_exit(seq);
     }
 
     /// Ring allgather of one byte payload per rank; returns payloads indexed
@@ -229,6 +246,7 @@ impl Comm {
                 out[recv_slot] = incoming.clone();
                 forward = incoming;
             }
+            self.coll_exit(seq);
         }
         out
     }
@@ -253,9 +271,11 @@ impl Comm {
                 out[src] = data;
                 filled[src] = true;
             }
+            self.coll_exit(seq);
             Some(out)
         } else {
             self.send(root, tag, payload);
+            self.coll_exit(seq);
             None
         }
     }
@@ -295,6 +315,7 @@ impl Comm {
                     self.send(dest, tag, p);
                 }
             }
+            self.coll_exit(seq);
             Ok(own)
         } else {
             if payloads.is_some() {
@@ -305,7 +326,9 @@ impl Comm {
                     ),
                 });
             }
-            Ok(self.recv(root, tag).1)
+            let data = self.recv(root, tag).1;
+            self.coll_exit(seq);
+            Ok(data)
         }
     }
 
@@ -321,9 +344,11 @@ impl Comm {
                 let (_, data) = self.recv(crate::envelope::ANY_SOURCE, tag);
                 apply_f32(&mut acc, &data, op);
             }
+            self.coll_exit(seq);
             Some(acc)
         } else {
             self.send(root, tag, encode_f32(buf));
+            self.coll_exit(seq);
             None
         }
     }
@@ -354,6 +379,7 @@ impl Comm {
             out[src] = data;
             filled[src] = true;
         }
+        self.coll_exit(seq);
         out
     }
 
@@ -381,6 +407,7 @@ impl Comm {
         if self.rank + 1 < n {
             self.send(self.rank + 1, tag, encode_f32(buf));
         }
+        self.coll_exit(seq);
     }
 
     /// Convenience: allreduce a single scalar.

@@ -16,7 +16,7 @@ use crate::fault::{CommError, FailureDetector};
 use crate::router::Router;
 use bytes::Bytes;
 use crossbeam_channel::{Receiver, RecvTimeoutError};
-use ltfb_obs::{Buckets, Counter, Gauge, Histogram, Registry};
+use ltfb_obs::{Buckets, CausalHandle, Chan, Counter, Gauge, Histogram, Registry};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -199,6 +199,9 @@ pub(crate) struct CommObs {
     /// (posted but not yet matched by the folding recv) — direct evidence
     /// that the chunked schedule overlaps send `k+1` with reduce `k`.
     allreduce_chunk_inflight: Arc<Gauge>,
+    /// Vector-clock stamping handle for this rank (actor `rank.N`, shared
+    /// with the rank's data store — one thread of control, one clock).
+    pub(crate) causal: CausalHandle,
 }
 
 impl CommObs {
@@ -212,6 +215,7 @@ impl CommObs {
             collectives: registry.counter(&name("collectives")),
             recv_wait_us: registry.histogram(&name("recv_wait_us"), Buckets::latency_us()),
             allreduce_chunk_inflight: registry.gauge(&name("allreduce_chunk_inflight")),
+            causal: registry.causal_actor(&format!("rank.{world_rank}")),
         }
     }
 
@@ -325,7 +329,14 @@ impl Comm {
     /// are protocol bugs in the making). Communicators split from this
     /// one inherit the handles.
     pub fn attach_obs(&mut self, registry: &Registry) {
-        self.obs = Some(Arc::new(CommObs::new(registry, self.world_rank)));
+        let obs = Arc::new(CommObs::new(registry, self.world_rank));
+        // World-incarnation boundary for the causality auditor: a fresh
+        // communicator restarts `coll_seq` at 0, so a registry shared
+        // across worlds (the CLI's train + demo runs) would otherwise
+        // look like collective epochs running backwards.
+        obs.causal
+            .local("comm.attach", self.members.len() as u64, self.context);
+        self.obs = Some(obs);
     }
 
     pub(crate) fn obs(&self) -> Option<&Arc<CommObs>> {
@@ -365,6 +376,19 @@ impl Comm {
         if let Some(o) = &self.obs {
             o.sent_messages.inc();
             o.sent_bytes.add(payload.len() as u64);
+            // Stamp *before* handing to the router, so the matching
+            // receive always finds the sender clock queued.
+            o.causal.send(
+                Chan {
+                    src: self.world_rank as u64,
+                    dst: self.members[dest] as u64,
+                    context: self.context,
+                    tag,
+                },
+                "comm.send",
+                payload.len() as u64,
+                0,
+            );
         }
         self.router.deliver(
             self.members[dest],
@@ -455,6 +479,17 @@ impl Comm {
             o.recv_messages.inc();
             o.recv_bytes.add(env.payload.len() as u64);
             o.recv_wait_us.record(t0.elapsed().as_secs_f64() * 1e6);
+            o.causal.recv(
+                Chan {
+                    src: env.src_world as u64,
+                    dst: self.world_rank as u64,
+                    context: env.context,
+                    tag: env.tag,
+                },
+                "comm.recv",
+                env.payload.len() as u64,
+                0,
+            );
         }
         Ok((env.src, env.payload))
     }
@@ -469,6 +504,17 @@ impl Comm {
         if let Some(o) = &self.obs {
             o.recv_messages.inc();
             o.recv_bytes.add(env.payload.len() as u64);
+            o.causal.recv(
+                Chan {
+                    src: env.src_world as u64,
+                    dst: self.world_rank as u64,
+                    context: env.context,
+                    tag: env.tag,
+                },
+                "comm.recv",
+                env.payload.len() as u64,
+                0,
+            );
         }
         Some((env.src, env.payload))
     }

@@ -22,7 +22,7 @@ use crate::tier::{TierBacking, TierStats};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use ltfb_comm::Comm;
 use ltfb_jag::{DatasetSpec, Sample, N_PARAMS, N_SCALARS};
-use ltfb_obs::{Counter, Registry};
+use ltfb_obs::{CausalHandle, Counter, Registry};
 use ltfb_tensor::{mix_seed, permutation, seeded_rng};
 use std::collections::HashMap;
 use std::path::Path;
@@ -126,6 +126,10 @@ pub(crate) struct StoreObs {
     fs_file_reads: Arc<Counter>,
     shuffled_samples: Arc<Counter>,
     shuffled_bytes: Arc<Counter>,
+    /// Vector-clock stamping handle: actor `rank.N`, the *same* actor as
+    /// the rank's communicator — store and comm are one thread of
+    /// control, so they share one clock.
+    causal: CausalHandle,
 }
 
 impl StoreObs {
@@ -136,6 +140,7 @@ impl StoreObs {
             fs_file_reads: c("fs_file_reads"),
             shuffled_samples: c("shuffled_samples"),
             shuffled_bytes: c("shuffled_bytes"),
+            causal: registry.causal_actor(&format!("rank.{world_rank}")),
         }
     }
 
@@ -263,6 +268,10 @@ pub struct DataStore {
     /// `Some` on stores built with [`DataStore::new_tiered`]: samples
     /// come from mapped shards through the hot tier instead of `owned`.
     pub(crate) tier: Option<TierBacking>,
+    /// Monotonic ingest-adoption generation; advanced in lockstep on
+    /// every rank (refresh is collective), used to pair `ingest.decide`
+    /// with `ingest.adopt` in causal traces.
+    pub(crate) ingest_gen: u64,
 }
 
 /// Convert a JAG sample into its Conduit-node form.
@@ -395,6 +404,7 @@ impl DataStore {
             stats: StoreStats::default(),
             obs: None,
             tier: None,
+            ingest_gen: 0,
         };
         if mode == PopulateMode::Preload {
             store.preload()?;
@@ -459,6 +469,7 @@ impl DataStore {
             stats: StoreStats::default(),
             obs: None,
             tier: Some(TierBacking::new(hot_budget_bytes)),
+            ingest_gen: 0,
         })
     }
 
@@ -579,6 +590,9 @@ impl DataStore {
         let mut stall_ms = 0.0f64;
         let step_ids = plan.step_ids(step).to_vec();
         let dynamic_epoch0 = self.mode == PopulateMode::Dynamic && epoch == 0;
+        if let Some(o) = &self.obs {
+            o.causal.local("shuffle.step", epoch, step as u64);
+        }
 
         // Who consumes what this step.
         let consumers: Vec<usize> = (0..step_ids.len())
@@ -758,17 +772,30 @@ impl DataStore {
             return Ok(0);
         }
         let rank = self.comm.rank();
+        // Collective: every rank passes the has_ingest gate together, so
+        // the generation counter stays in lockstep across the trainer.
+        self.ingest_gen += 1;
+        let gen = self.ingest_gen;
         let new_ids: Vec<u64> = if self.comm.size() == 1 {
-            match self.tier.as_mut() {
+            let ids = match self.tier.as_mut() {
                 Some(t) => t.visible_new_ingest_ids()?,
                 None => Vec::new(),
+            };
+            if let Some(o) = &self.obs {
+                o.causal.local("ingest.decide", gen, ids.len() as u64);
             }
+            ids
         } else {
             let payload = if rank == 0 {
                 let ids = match self.tier.as_mut() {
                     Some(t) => t.visible_new_ingest_ids()?,
                     None => Vec::new(),
                 };
+                // Stamp the decision before the broadcast moves: every
+                // adoption must causally descend from this event.
+                if let Some(o) = &self.obs {
+                    o.causal.local("ingest.decide", gen, ids.len() as u64);
+                }
                 let mut buf = BytesMut::with_capacity(8 + ids.len() * 8);
                 buf.put_u64_le(ids.len() as u64);
                 for &id in &ids {
@@ -808,6 +835,9 @@ impl DataStore {
         self.ids.extend_from_slice(&new_ids);
         self.ids.sort_unstable();
         self.ids.dedup();
+        if let Some(o) = &self.obs {
+            o.causal.local("ingest.adopt", gen, new_ids.len() as u64);
+        }
         Ok(new_ids.len())
     }
 }

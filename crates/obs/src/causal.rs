@@ -1,0 +1,466 @@
+//! Causally-stamped event recording: vector clocks over the run's actors.
+//!
+//! Every rank thread (and the serve registry) registers itself as an
+//! *actor*; protocol-relevant happenings — message send/recv, collective
+//! entry/exit, ingest adoption, registry publish/degrade/rollback — are
+//! recorded as [`CausalEvent`]s carrying the actor's [`VectorClock`] at
+//! the moment of the event. Message receives merge the sender's clock
+//! (threaded through a per-channel FIFO side queue, mirroring the
+//! communicator's `(context, src, tag)` FIFO matching), so the recorded
+//! clocks encode the run's happens-before partial order exactly:
+//! `a → b ⇔ clock(a) < clock(b)`.
+//!
+//! The trace auditor in `ltfb-analyze` replays these events offline and
+//! checks protocol invariants (FIFO channel order, collective epoch
+//! monotonicity, probe-before-quantized-publish, …) against the DAG.
+//!
+//! Cost model: one short mutex hold and one small `Vec<u64>` clone per
+//! event. Events are only recorded when a registry is attached (the
+//! `--metrics` path), and only at protocol edges — never per sample or
+//! per kernel call — so the metrics-overhead CI gate stays honest.
+
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Default causal-event ring capacity (see [`CausalRecorder::new`]).
+/// Sized above any smoke-scale run: the auditor *refuses* to certify a
+/// truncated trace, so the ring must hold every event of an audited run.
+pub const DEFAULT_CAUSAL_CAPACITY: usize = 1 << 17;
+
+/// Sentinel index recorded on a receive that found no matching send in
+/// the side queue (sender was never instrumented, or the message
+/// predates `attach_obs`). The auditor treats this as uncertifiable.
+pub const UNMATCHED_RECV: u64 = u64::MAX;
+
+/// A growable dense vector clock: component `i` counts the events actor
+/// `i` has (transitively) contributed to the history of the holder.
+/// Missing components are zero, and trailing zeros never affect
+/// comparison or equality.
+#[derive(Debug, Clone, Default)]
+pub struct VectorClock {
+    components: Vec<u64>,
+}
+
+impl VectorClock {
+    pub fn new() -> Self {
+        VectorClock::default()
+    }
+
+    /// A clock with the given dense components (component `i` = actor
+    /// `i`). Used by the offline auditor to rebuild exported clocks.
+    pub fn from_components(components: Vec<u64>) -> Self {
+        VectorClock { components }
+    }
+
+    /// Component for `actor` (zero if never ticked or merged).
+    pub fn get(&self, actor: usize) -> u64 {
+        self.components.get(actor).copied().unwrap_or(0)
+    }
+
+    /// The dense components, including any trailing zeros.
+    pub fn components(&self) -> &[u64] {
+        &self.components
+    }
+
+    /// Advance this actor's own component by one (a new local event).
+    pub fn tick(&mut self, actor: usize) {
+        if self.components.len() <= actor {
+            self.components.resize(actor + 1, 0);
+        }
+        self.components[actor] += 1;
+    }
+
+    /// Componentwise maximum — the receive-side join of two histories.
+    pub fn merge(&mut self, other: &VectorClock) {
+        if self.components.len() < other.components.len() {
+            self.components.resize(other.components.len(), 0);
+        }
+        for (i, &v) in other.components.iter().enumerate() {
+            if self.components[i] < v {
+                self.components[i] = v;
+            }
+        }
+    }
+
+    /// `self ≤ other` componentwise (zero-extended).
+    pub fn leq(&self, other: &VectorClock) -> bool {
+        (0..self.components.len().max(other.components.len())).all(|i| self.get(i) <= other.get(i))
+    }
+
+    /// Strict happens-before: `self ≤ other` and they differ.
+    pub fn lt(&self, other: &VectorClock) -> bool {
+        self.leq(other) && !other.leq(self)
+    }
+
+    /// Neither ordered way: the two events are causally concurrent.
+    pub fn concurrent(&self, other: &VectorClock) -> bool {
+        !self.leq(other) && !other.leq(self)
+    }
+}
+
+impl PartialEq for VectorClock {
+    fn eq(&self, other: &Self) -> bool {
+        self.leq(other) && other.leq(self)
+    }
+}
+
+impl Eq for VectorClock {}
+
+/// A directed message channel, keyed the way the communicator matches
+/// receives: world-rank endpoints plus `(context, tag)`. Delivery on one
+/// channel is FIFO, which is what lets the recorder pair each receive
+/// with its send through a side queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Chan {
+    pub src: u64,
+    pub dst: u64,
+    pub context: u64,
+    pub tag: u64,
+}
+
+/// One causally-stamped event. `info`/`aux` are kind-specific small
+/// payloads (collective seq, registry version, ingest generation, …) —
+/// structured `u64`s rather than formatted strings so recording stays
+/// allocation-light on the comm hot path.
+#[derive(Debug, Clone)]
+pub struct CausalEvent {
+    /// Global record order (total order of recording, not of causality).
+    pub seq: u64,
+    pub actor: usize,
+    pub kind: &'static str,
+    /// The channel, for `comm.send` / `comm.recv` events.
+    pub chan: Option<Chan>,
+    /// Per-channel message index ([`UNMATCHED_RECV`] for an orphan recv).
+    pub idx: u64,
+    pub info: u64,
+    pub aux: u64,
+    /// The actor's clock *after* this event's tick.
+    pub clock: VectorClock,
+}
+
+struct ChanState {
+    next_idx: u64,
+    inflight: VecDeque<(u64, VectorClock)>,
+}
+
+struct CausalInner {
+    actors: Vec<String>,
+    clocks: Vec<VectorClock>,
+    channels: HashMap<Chan, ChanState>,
+    events: VecDeque<CausalEvent>,
+    seq: u64,
+    dropped: u64,
+}
+
+/// Shared recorder for one run: actor registration, clock bookkeeping
+/// and a bounded event ring. Eviction drops the *oldest* event and
+/// counts it — the auditor refuses truncated traces rather than
+/// certifying the surviving suffix vacuously.
+pub struct CausalRecorder {
+    capacity: usize,
+    inner: Mutex<CausalInner>,
+}
+
+/// Everything the recorder holds, copied out for export/auditing.
+#[derive(Debug, Clone)]
+pub struct CausalSnapshot {
+    pub actors: Vec<String>,
+    pub events: Vec<CausalEvent>,
+    pub dropped: u64,
+}
+
+impl CausalRecorder {
+    pub fn new(capacity: usize) -> Self {
+        CausalRecorder {
+            capacity,
+            inner: Mutex::new(CausalInner {
+                actors: Vec::new(),
+                clocks: Vec::new(),
+                channels: HashMap::new(),
+                events: VecDeque::new(),
+                seq: 0,
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Register (or look up) the actor named `name`. The same name maps
+    /// to the same actor id, so a rank's communicator and data store
+    /// share one clock — they are one thread of control.
+    pub fn actor(&self, name: &str) -> usize {
+        let mut g = self.inner.lock();
+        if let Some(i) = g.actors.iter().position(|a| a == name) {
+            return i;
+        }
+        g.actors.push(name.to_string());
+        g.clocks.push(VectorClock::new());
+        g.actors.len() - 1
+    }
+
+    /// Record a local event: tick, stamp, append.
+    pub fn local(&self, actor: usize, kind: &'static str, info: u64, aux: u64) {
+        let mut g = self.inner.lock();
+        g.clocks[actor].tick(actor);
+        let clock = g.clocks[actor].clone();
+        Self::push(
+            &mut g,
+            self.capacity,
+            actor,
+            kind,
+            None,
+            0,
+            info,
+            aux,
+            clock,
+        );
+    }
+
+    /// Record a message send on `chan`. Must run *before* the message is
+    /// handed to the transport, so the matching [`Self::recv`] always
+    /// finds the clock queued.
+    pub fn send(&self, actor: usize, chan: Chan, kind: &'static str, info: u64, aux: u64) {
+        let mut g = self.inner.lock();
+        g.clocks[actor].tick(actor);
+        let clock = g.clocks[actor].clone();
+        let st = g.channels.entry(chan).or_insert_with(|| ChanState {
+            next_idx: 0,
+            inflight: VecDeque::new(),
+        });
+        let idx = st.next_idx;
+        st.next_idx += 1;
+        st.inflight.push_back((idx, clock.clone()));
+        Self::push(
+            &mut g,
+            self.capacity,
+            actor,
+            kind,
+            Some(chan),
+            idx,
+            info,
+            aux,
+            clock,
+        );
+    }
+
+    /// Record a message receive on `chan`: merge the oldest in-flight
+    /// sender clock (FIFO, matching the transport), tick, stamp.
+    pub fn recv(&self, actor: usize, chan: Chan, kind: &'static str, info: u64, aux: u64) {
+        let mut g = self.inner.lock();
+        let popped = g
+            .channels
+            .get_mut(&chan)
+            .and_then(|st| st.inflight.pop_front());
+        let idx = match popped {
+            Some((idx, sender_clock)) => {
+                g.clocks[actor].merge(&sender_clock);
+                idx
+            }
+            None => UNMATCHED_RECV,
+        };
+        g.clocks[actor].tick(actor);
+        let clock = g.clocks[actor].clone();
+        Self::push(
+            &mut g,
+            self.capacity,
+            actor,
+            kind,
+            Some(chan),
+            idx,
+            info,
+            aux,
+            clock,
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push(
+        g: &mut CausalInner,
+        capacity: usize,
+        actor: usize,
+        kind: &'static str,
+        chan: Option<Chan>,
+        idx: u64,
+        info: u64,
+        aux: u64,
+        clock: VectorClock,
+    ) {
+        if g.events.len() >= capacity {
+            g.events.pop_front();
+            g.dropped += 1;
+        }
+        let seq = g.seq;
+        g.seq += 1;
+        g.events.push_back(CausalEvent {
+            seq,
+            actor,
+            kind,
+            chan,
+            idx,
+            info,
+            aux,
+            clock,
+        });
+    }
+
+    /// Events recorded so far, oldest first.
+    pub fn events(&self) -> Vec<CausalEvent> {
+        self.inner.lock().events.iter().cloned().collect()
+    }
+
+    /// Registered actor names, in actor-id order.
+    pub fn actors(&self) -> Vec<String> {
+        self.inner.lock().actors.clone()
+    }
+
+    /// Events evicted from the ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// Copy out actors, events and the drop count together.
+    pub fn snapshot(&self) -> CausalSnapshot {
+        let g = self.inner.lock();
+        CausalSnapshot {
+            actors: g.actors.clone(),
+            events: g.events.iter().cloned().collect(),
+            dropped: g.dropped,
+        }
+    }
+}
+
+/// A cheap per-actor handle: the recorder plus a resolved actor id, so
+/// instrumented crates stamp events without re-hashing the actor name.
+#[derive(Clone)]
+pub struct CausalHandle {
+    recorder: Arc<CausalRecorder>,
+    actor: usize,
+}
+
+impl CausalHandle {
+    pub(crate) fn new(recorder: Arc<CausalRecorder>, actor: usize) -> Self {
+        CausalHandle { recorder, actor }
+    }
+
+    pub fn actor(&self) -> usize {
+        self.actor
+    }
+
+    pub fn local(&self, kind: &'static str, info: u64, aux: u64) {
+        self.recorder.local(self.actor, kind, info, aux);
+    }
+
+    pub fn send(&self, chan: Chan, kind: &'static str, info: u64, aux: u64) {
+        self.recorder.send(self.actor, chan, kind, info, aux);
+    }
+
+    pub fn recv(&self, chan: Chan, kind: &'static str, info: u64, aux: u64) {
+        self.recorder.recv(self.actor, chan, kind, info, aux);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chan(src: u64, dst: u64) -> Chan {
+        Chan {
+            src,
+            dst,
+            context: 0,
+            tag: 7,
+        }
+    }
+
+    #[test]
+    fn tick_and_merge_build_the_expected_clock() {
+        let mut a = VectorClock::new();
+        a.tick(0);
+        a.tick(0);
+        let mut b = VectorClock::new();
+        b.tick(2);
+        b.merge(&a);
+        assert_eq!(b.get(0), 2);
+        assert_eq!(b.get(1), 0);
+        assert_eq!(b.get(2), 1);
+    }
+
+    #[test]
+    fn trailing_zeros_do_not_affect_comparison() {
+        let mut a = VectorClock::new();
+        a.tick(0);
+        let mut b = VectorClock::new();
+        b.tick(0);
+        b.tick(3); // give b a longer vector...
+        let mut c = VectorClock::new();
+        c.tick(0);
+        assert_eq!(a, c);
+        assert!(a.leq(&b) && a.lt(&b));
+        assert!(!b.leq(&a));
+    }
+
+    #[test]
+    fn send_recv_establishes_happens_before() {
+        let rec = CausalRecorder::new(64);
+        let a0 = rec.actor("rank.0");
+        let a1 = rec.actor("rank.1");
+        rec.send(a0, chan(0, 1), "comm.send", 8, 0);
+        rec.recv(a1, chan(0, 1), "comm.recv", 8, 0);
+        let ev = rec.events();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].idx, 0);
+        assert_eq!(ev[1].idx, 0, "recv matched the send's index");
+        assert!(ev[0].clock.lt(&ev[1].clock), "send happens-before recv");
+    }
+
+    #[test]
+    fn independent_actors_are_concurrent() {
+        let rec = CausalRecorder::new(64);
+        let a0 = rec.actor("rank.0");
+        let a1 = rec.actor("rank.1");
+        rec.local(a0, "x", 0, 0);
+        rec.local(a1, "y", 0, 0);
+        let ev = rec.events();
+        assert!(ev[0].clock.concurrent(&ev[1].clock));
+    }
+
+    #[test]
+    fn fifo_side_queue_pairs_in_order() {
+        let rec = CausalRecorder::new(64);
+        let a0 = rec.actor("rank.0");
+        let a1 = rec.actor("rank.1");
+        rec.send(a0, chan(0, 1), "comm.send", 1, 0);
+        rec.send(a0, chan(0, 1), "comm.send", 2, 0);
+        rec.recv(a1, chan(0, 1), "comm.recv", 1, 0);
+        rec.recv(a1, chan(0, 1), "comm.recv", 2, 0);
+        let ev = rec.events();
+        assert_eq!((ev[2].idx, ev[3].idx), (0, 1));
+    }
+
+    #[test]
+    fn orphan_recv_is_marked_unmatched() {
+        let rec = CausalRecorder::new(64);
+        let a1 = rec.actor("rank.1");
+        rec.recv(a1, chan(0, 1), "comm.recv", 0, 0);
+        assert_eq!(rec.events()[0].idx, UNMATCHED_RECV);
+    }
+
+    #[test]
+    fn ring_eviction_counts_drops() {
+        let rec = CausalRecorder::new(2);
+        let a = rec.actor("rank.0");
+        for i in 0..5 {
+            rec.local(a, "x", i, 0);
+        }
+        assert_eq!(rec.events().len(), 2);
+        assert_eq!(rec.dropped(), 3);
+        assert_eq!(rec.snapshot().dropped, 3);
+    }
+
+    #[test]
+    fn same_actor_name_shares_a_clock() {
+        let rec = CausalRecorder::new(64);
+        assert_eq!(rec.actor("rank.0"), rec.actor("rank.0"));
+        assert_eq!(rec.actors(), vec!["rank.0".to_string()]);
+    }
+}

@@ -16,7 +16,11 @@
 //!   timestamped happenings (tournament rounds, hot swaps);
 //! * [`report`] — one-call CSV/JSON export ([`Registry::write_report`])
 //!   so a full run emits a single machine-readable metrics file under
-//!   `results/`.
+//!   `results/`;
+//! * [`causal`] — vector-clock-stamped [`CausalEvent`]s at protocol
+//!   edges (send/recv, collective entry/exit, ingest adoption, registry
+//!   swaps), exported in the same JSON for `ltfb-analyze trace`'s
+//!   happens-before auditing.
 //!
 //! Naming convention: per-rank metrics are `scope.rN.name`
 //! (`comm.r3.sent_bytes`); population-wide aggregates drop the rank
@@ -37,11 +41,16 @@
 
 #![forbid(unsafe_code)]
 
+pub mod causal;
 pub mod metrics;
 pub mod registry;
 pub mod report;
 pub mod trace;
 
+pub use causal::{
+    CausalEvent, CausalHandle, CausalRecorder, CausalSnapshot, Chan, VectorClock,
+    DEFAULT_CAUSAL_CAPACITY, UNMATCHED_RECV,
+};
 pub use metrics::{Buckets, Counter, Gauge, Histogram};
 pub use registry::{Metric, Registry, DEFAULT_TRACE_CAPACITY};
 pub use report::{HistogramSummary, Snapshot};

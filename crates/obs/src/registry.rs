@@ -8,6 +8,7 @@
 //! machine-readable file. Registration takes a short-lived lock; the
 //! returned `Arc` handles record with plain atomics.
 
+use crate::causal::{CausalHandle, CausalRecorder, DEFAULT_CAUSAL_CAPACITY};
 use crate::metrics::{Buckets, Counter, Gauge, Histogram};
 use crate::trace::{Trace, TraceEvent};
 use parking_lot::RwLock;
@@ -38,6 +39,7 @@ impl Metric {
 struct Inner {
     metrics: RwLock<BTreeMap<String, Metric>>,
     trace: Trace,
+    causal: Arc<CausalRecorder>,
 }
 
 /// Shareable observability sink for one run.
@@ -63,6 +65,7 @@ impl Registry {
             inner: Arc::new(Inner {
                 metrics: RwLock::new(BTreeMap::new()),
                 trace: Trace::new(capacity),
+                causal: Arc::new(CausalRecorder::new(DEFAULT_CAUSAL_CAPACITY)),
             }),
         }
     }
@@ -131,6 +134,18 @@ impl Registry {
     /// Trace events evicted from the ring so far.
     pub fn events_dropped(&self) -> u64 {
         self.inner.trace.dropped()
+    }
+
+    /// The run's shared causal-event recorder.
+    pub fn causal(&self) -> &CausalRecorder {
+        &self.inner.causal
+    }
+
+    /// Register `name` as a causal actor and return a stamping handle.
+    /// The same name always resolves to the same actor (and clock).
+    pub fn causal_actor(&self, name: &str) -> CausalHandle {
+        let actor = self.inner.causal.actor(name);
+        CausalHandle::new(Arc::clone(&self.inner.causal), actor)
     }
 
     /// All registered metrics in name order.

@@ -6,6 +6,7 @@
 //! serde in the offline dependency set); numbers that JSON cannot
 //! represent (`inf`, `NaN`) are emitted as `null`.
 
+use crate::causal::CausalSnapshot;
 use crate::metrics::Histogram;
 use crate::registry::{Metric, Registry};
 use crate::trace::TraceEvent;
@@ -54,6 +55,7 @@ pub struct Snapshot {
     pub histograms: Vec<(String, HistogramSummary)>,
     pub events: Vec<TraceEvent>,
     pub events_dropped: u64,
+    pub causal: CausalSnapshot,
 }
 
 /// Render an f64 as a JSON value (`null` for non-finite).
@@ -140,14 +142,44 @@ impl Snapshot {
                 )
             })
             .collect();
+        let causal_actors: Vec<String> = self.causal.actors.iter().map(|a| jstr(a)).collect();
+        let causal_events: Vec<String> = self
+            .causal
+            .events
+            .iter()
+            .map(|e| {
+                let chan = match &e.chan {
+                    Some(c) => format!("[{},{},{},{}]", c.src, c.dst, c.context, c.tag),
+                    None => "null".into(),
+                };
+                let clock: Vec<String> =
+                    e.clock.components().iter().map(|v| v.to_string()).collect();
+                format!(
+                    "{{\"seq\":{},\"actor\":{},\"kind\":{},\"chan\":{},\"idx\":{},\
+                     \"info\":{},\"aux\":{},\"clock\":[{}]}}",
+                    e.seq,
+                    e.actor,
+                    jstr(e.kind),
+                    chan,
+                    e.idx,
+                    e.info,
+                    e.aux,
+                    clock.join(",")
+                )
+            })
+            .collect();
         format!(
             "{{\"events_dropped\":{},\"counters\":{{{}}},\"gauges\":{{{}}},\
-             \"histograms\":{{{}}},\"events\":[{}]}}",
+             \"histograms\":{{{}}},\"events\":[{}],\
+             \"causal\":{{\"dropped\":{},\"actors\":[{}],\"events\":[{}]}}}}",
             self.events_dropped,
             counters.join(","),
             gauges.join(","),
             histograms.join(","),
-            events.join(",")
+            events.join(","),
+            self.causal.dropped,
+            causal_actors.join(","),
+            causal_events.join(",")
         )
     }
 
@@ -206,12 +238,21 @@ impl Registry {
                 Metric::Histogram(h) => histograms.push((name, HistogramSummary::of(&h))),
             }
         }
+        // Truncation is an export-level fact, not something subsystems
+        // record: surface it as a synthetic counter so downstream tooling
+        // (and the trace auditor) sees drops without a separate channel.
+        if !counters.iter().any(|(n, _)| n == "trace.dropped") {
+            let dropped = self.events_dropped();
+            let at = counters.partition_point(|(n, _)| n.as_str() < "trace.dropped");
+            counters.insert(at, ("trace.dropped".to_string(), dropped));
+        }
         Snapshot {
             counters,
             gauges,
             histograms,
             events: self.events(),
             events_dropped: self.events_dropped(),
+            causal: self.causal().snapshot(),
         }
     }
 
@@ -278,6 +319,47 @@ mod tests {
             .unwrap()
             .starts_with("name,kind"));
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_surfaces_trace_drops_as_a_counter() {
+        let r = Registry::with_trace_capacity(2);
+        for i in 0..5 {
+            r.event("s", 0, None, "e", i as f64);
+        }
+        let snap = r.snapshot();
+        let dropped = snap
+            .counters
+            .iter()
+            .find(|(n, _)| n == "trace.dropped")
+            .expect("synthetic trace.dropped counter");
+        assert_eq!(dropped.1, 3);
+        let mut sorted = snap.counters.clone();
+        sorted.sort();
+        assert_eq!(snap.counters, sorted, "counter order stays sorted");
+        assert!(snap.to_json().contains("\"trace.dropped\":3"));
+    }
+
+    #[test]
+    fn json_report_carries_the_causal_section() {
+        let r = sample_registry();
+        let h = r.causal_actor("rank.0");
+        h.send(
+            crate::causal::Chan {
+                src: 0,
+                dst: 1,
+                context: 5,
+                tag: 9,
+            },
+            "comm.send",
+            16,
+            0,
+        );
+        let j = r.snapshot().to_json();
+        assert!(j.contains("\"causal\":{\"dropped\":0,\"actors\":[\"rank.0\"]"));
+        assert!(j.contains("\"kind\":\"comm.send\""));
+        assert!(j.contains("\"chan\":[0,1,5,9]"));
+        assert!(j.contains("\"clock\":[1]"));
     }
 
     #[test]

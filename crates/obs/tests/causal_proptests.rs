@@ -1,0 +1,167 @@
+//! Property-based tests for the vector-clock algebra and for the core
+//! soundness/completeness claim of the causal recorder: on any valid
+//! trace, `a happens-before b ⇔ clock(a) < clock(b)`.
+
+use ltfb_obs::{CausalRecorder, Chan, VectorClock};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+fn clock(components: Vec<u64>) -> VectorClock {
+    VectorClock::from_components(components)
+}
+
+fn merged(a: &VectorClock, b: &VectorClock) -> VectorClock {
+    let mut m = a.clone();
+    m.merge(b);
+    m
+}
+
+/// One step of a randomly generated message-passing program. The raw
+/// tuple is interpreted against the live channel state: a receive on an
+/// empty channel is skipped, so every generated trace is valid.
+type RawOp = (u8, u8, u8);
+
+const ACTORS: usize = 3;
+
+fn chan(src: usize, dst: usize) -> Chan {
+    Chan {
+        src: src as u64,
+        dst: dst as u64,
+        context: 0,
+        tag: 0,
+    }
+}
+
+/// Replay `raw` through the recorder while building the ground-truth
+/// happens-before relation directly from the trace structure: program
+/// order per actor plus send→recv edges, transitively closed.
+fn run_program(raw: &[RawOp]) -> (Vec<VectorClock>, Vec<Vec<bool>>) {
+    let rec = CausalRecorder::new(4096);
+    let actors: Vec<usize> = (0..ACTORS)
+        .map(|i| rec.actor(&format!("rank.{i}")))
+        .collect();
+
+    // Ground truth bookkeeping, indexed by event number.
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut last_of: Vec<Option<usize>> = vec![None; ACTORS];
+    let mut inflight: Vec<Vec<VecDeque<usize>>> = vec![vec![VecDeque::new(); ACTORS]; ACTORS];
+    let mut n_events = 0usize;
+
+    let mut record =
+        |a: usize, last_of: &mut Vec<Option<usize>>, edges: &mut Vec<(usize, usize)>| {
+            let id = n_events;
+            n_events += 1;
+            if let Some(prev) = last_of[a] {
+                edges.push((prev, id));
+            }
+            last_of[a] = Some(id);
+            id
+        };
+
+    for &(kind, x, y) in raw {
+        let a = x as usize % ACTORS;
+        let b = y as usize % ACTORS;
+        match kind % 3 {
+            0 => {
+                rec.local(actors[a], "step", 0, 0);
+                record(a, &mut last_of, &mut edges);
+            }
+            1 => {
+                rec.send(actors[a], chan(a, b), "send", 0, 0);
+                let id = record(a, &mut last_of, &mut edges);
+                inflight[a][b].push_back(id);
+            }
+            _ => {
+                // Receive on channel (a → b); valid only if in flight.
+                if let Some(send_id) = inflight[a][b].pop_front() {
+                    rec.recv(actors[b], chan(a, b), "recv", 0, 0);
+                    let id = record(b, &mut last_of, &mut edges);
+                    edges.push((send_id, id));
+                }
+            }
+        }
+    }
+
+    // Transitive closure over the (acyclic, forward-pointing) edges.
+    let mut hb = vec![vec![false; n_events]; n_events];
+    for &(u, v) in &edges {
+        hb[u][v] = true;
+    }
+    loop {
+        let mut changed = false;
+        for i in 0..n_events {
+            for j in 0..n_events {
+                if !hb[i][j] {
+                    continue;
+                }
+                // Indexed on purpose: hb[i] and hb[j] alias when the
+                // closure revisits a row, so iterator splitting does not
+                // apply to this Floyd–Warshall-style pass.
+                #[allow(clippy::needless_range_loop)]
+                for k in 0..n_events {
+                    if hb[j][k] && !hb[i][k] {
+                        hb[i][k] = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let clocks: Vec<VectorClock> = rec.events().into_iter().map(|e| e.clock).collect();
+    assert_eq!(clocks.len(), n_events, "recorder saw every interpreted op");
+    (clocks, hb)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_commutative(a in prop::collection::vec(0u64..40, 0..6),
+                            b in prop::collection::vec(0u64..40, 0..6)) {
+        let (a, b) = (clock(a), clock(b));
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    #[test]
+    fn merge_is_associative(a in prop::collection::vec(0u64..40, 0..6),
+                            b in prop::collection::vec(0u64..40, 0..6),
+                            c in prop::collection::vec(0u64..40, 0..6)) {
+        let (a, b, c) = (clock(a), clock(b), clock(c));
+        prop_assert_eq!(merged(&merged(&a, &b), &c), merged(&a, &merged(&b, &c)));
+    }
+
+    #[test]
+    fn merge_is_idempotent_and_an_upper_bound(
+        a in prop::collection::vec(0u64..40, 0..6),
+        b in prop::collection::vec(0u64..40, 0..6),
+    ) {
+        let (a, b) = (clock(a), clock(b));
+        prop_assert_eq!(merged(&a, &a), a.clone());
+        let m = merged(&a, &b);
+        prop_assert!(a.leq(&m) && b.leq(&m));
+    }
+
+    #[test]
+    fn happens_before_iff_clock_lt(
+        raw in prop::collection::vec((0u8..3, 0u8..4, 0u8..4), 1..40),
+    ) {
+        let (clocks, hb) = run_program(&raw);
+        for i in 0..clocks.len() {
+            for j in 0..clocks.len() {
+                if i == j {
+                    continue;
+                }
+                prop_assert_eq!(
+                    hb[i][j],
+                    clocks[i].lt(&clocks[j]),
+                    "event {} vs {}: hb={} clock_lt={}",
+                    i, j, hb[i][j], clocks[i].lt(&clocks[j])
+                );
+            }
+        }
+    }
+}

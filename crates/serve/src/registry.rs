@@ -9,6 +9,7 @@
 
 use ltfb_core::checkpoint::{load_surrogate, CheckpointError};
 use ltfb_gan::{CycleGan, CycleGanConfig, QuantCycleGan};
+use ltfb_obs::CausalHandle;
 use ltfb_tensor::{mix_seed, seeded_rng, uniform, Matrix};
 use parking_lot::RwLock;
 use std::path::Path;
@@ -194,6 +195,11 @@ pub struct ModelRegistry {
     swaps: AtomicU64,
     fallbacks: AtomicU64,
     quant_degrades: AtomicU64,
+    /// Causal-trace stamping handle (actor `serve.registry`), attached
+    /// via [`ModelRegistry::attach_obs`]. All registry state transitions
+    /// are stamped through one actor so the trace auditor sees them as a
+    /// single serialized history.
+    causal: RwLock<Option<CausalHandle>>,
 }
 
 impl ModelRegistry {
@@ -210,7 +216,9 @@ impl ModelRegistry {
         let quant_degrades = AtomicU64::new(0);
         let (model, degraded) = ServableModel::with_mode(gan, version, mode);
         if degraded.is_some() {
-            quant_degrades.fetch_add(1, Ordering::Relaxed);
+            // Release: invariant checks and telemetry read this counter
+            // from other threads and pair it with degrade events.
+            quant_degrades.fetch_add(1, Ordering::Release);
         }
         ModelRegistry {
             current: RwLock::new(Arc::new(model)),
@@ -219,6 +227,39 @@ impl ModelRegistry {
             swaps: AtomicU64::new(0),
             fallbacks: AtomicU64::new(0),
             quant_degrades,
+            causal: RwLock::new(None),
+        }
+    }
+
+    /// Attach this registry to an observability [`ltfb_obs::Registry`]:
+    /// every future publish/rollback/degrade transition is stamped onto
+    /// the causal event trace as actor `serve.registry`. The state the
+    /// registry is *already* in is stamped retroactively, so a trace
+    /// that begins mid-lifetime still roots every later transition in a
+    /// certified history.
+    pub fn attach_obs(&self, obs: &ltfb_obs::Registry) {
+        let handle = obs.causal_actor("serve.registry");
+        {
+            let cur = self.current.read();
+            let version = cur.version();
+            if cur.is_quantized() {
+                handle.local("serve.probe_ok", version, 0);
+                handle.local("serve.publish", version, 1);
+            } else {
+                if self.quant_mode == QuantMode::Int8 {
+                    handle.local("serve.probe_failed", version, 0);
+                    handle.local("serve.degrade", version, 0);
+                }
+                handle.local("serve.publish", version, 0);
+            }
+        }
+        *self.causal.write() = Some(handle);
+    }
+
+    /// Stamp one registry-lifecycle event if a causal trace is attached.
+    fn stamp(&self, kind: &'static str, info: u64, aux: u64) {
+        if let Some(c) = self.causal.read().as_ref() {
+            c.local(kind, info, aux);
         }
     }
 
@@ -237,7 +278,7 @@ impl ModelRegistry {
     /// How many publishes were forced down to f32 because quantization
     /// failed or missed its accuracy bound.
     pub fn quant_degrade_count(&self) -> u64 {
-        self.quant_degrades.load(Ordering::Relaxed)
+        self.quant_degrades.load(Ordering::Acquire)
     }
 
     /// The live model. Cheap (`Arc` clone under a read lock); callers
@@ -253,12 +294,12 @@ impl ModelRegistry {
 
     /// How many successful hot-swaps have happened.
     pub fn swap_count(&self) -> u64 {
-        self.swaps.load(Ordering::Relaxed)
+        self.swaps.load(Ordering::Acquire)
     }
 
     /// How many times the registry fell back to the last-good model.
     pub fn fallback_count(&self) -> u64 {
-        self.fallbacks.load(Ordering::Relaxed)
+        self.fallbacks.load(Ordering::Acquire)
     }
 
     /// Atomically replace the live model. Versions must strictly
@@ -283,12 +324,58 @@ impl ModelRegistry {
         }
         let (fresh, degraded) = ServableModel::with_mode(gan, version, self.quant_mode);
         if degraded.is_some() {
-            self.quant_degrades.fetch_add(1, Ordering::Relaxed);
+            self.quant_degrades.fetch_add(1, Ordering::Release);
         }
+        // Stamp the probe verdict *before* the publish: the auditor's
+        // probe-edge invariant requires every int8 publish to causally
+        // descend from a probe_ok of the same version (and every degrade
+        // from a probe_failed).
+        match (self.quant_mode, &degraded) {
+            (QuantMode::Int8, None) => self.stamp("serve.probe_ok", version, 0),
+            (QuantMode::Int8, Some(_)) => {
+                self.stamp("serve.probe_failed", version, 0);
+                self.stamp("serve.degrade", version, 0);
+            }
+            _ => {}
+        }
+        let quantized = fresh.is_quantized();
         let fresh = Arc::new(fresh);
         *self.last_good.write() = Some(Arc::clone(&cur));
         *cur = fresh;
-        self.swaps.fetch_add(1, Ordering::Relaxed);
+        self.swaps.fetch_add(1, Ordering::Release);
+        self.stamp("serve.publish", version, u64::from(quantized));
+        Ok(())
+    }
+
+    /// Test-only seam: hot-swap `gan` in with an int8 shadow **without**
+    /// running the quantization probe. This deliberately violates the
+    /// registry's probe protocol — the causality auditor's selftest uses
+    /// it to prove that a quantized publish with no `serve.probe_ok`
+    /// ancestor is detected and certified as a violation. Never call
+    /// this from serving code.
+    #[doc(hidden)]
+    pub fn publish_unprobed(&self, gan: CycleGan, version: u64) -> Result<(), PublishError> {
+        let mut cur = self.current.write();
+        if version <= cur.version() {
+            return Err(PublishError::StaleVersion {
+                current: cur.version(),
+                offered: version,
+            });
+        }
+        let quant = gan.quantize_int8().ok();
+        let quantized = quant.is_some();
+        let fresh = Arc::new(ServableModel {
+            gan,
+            quant,
+            version,
+        });
+        *self.last_good.write() = Some(Arc::clone(&cur));
+        *cur = fresh;
+        self.swaps.fetch_add(1, Ordering::Release);
+        // No probe stamp on purpose: a quantized publish (aux = 1) with
+        // no matching probe_ok is exactly the ordering bug the auditor
+        // must catch.
+        self.stamp("serve.publish", version, u64::from(quantized));
         Ok(())
     }
 
@@ -317,7 +404,8 @@ impl ModelRegistry {
             .ok_or(PublishError::NoFallback)?;
         let version = prev.version();
         *cur = prev;
-        self.fallbacks.fetch_add(1, Ordering::Relaxed);
+        self.fallbacks.fetch_add(1, Ordering::Release);
+        self.stamp("serve.rollback", version, 0);
         Ok(version)
     }
 
@@ -329,7 +417,7 @@ impl ModelRegistry {
         match self.publish_checkpoint(path, cfg) {
             Ok(version) => PublishOutcome::Published(version),
             Err(e) => {
-                self.fallbacks.fetch_add(1, Ordering::Relaxed);
+                self.fallbacks.fetch_add(1, Ordering::Release);
                 PublishOutcome::FellBack {
                     serving: self.version(),
                     reason: e.to_string(),
@@ -487,6 +575,51 @@ mod tests {
         assert!(!reg.current().is_quantized());
         reg.publish(tiny_gan(2), 2).unwrap();
         assert!(!reg.current().is_quantized());
+    }
+
+    #[test]
+    fn registry_transitions_stamp_the_causal_trace() {
+        let obs = ltfb_obs::Registry::new();
+        let reg = ModelRegistry::with_mode(tiny_gan(1), 1, QuantMode::Int8);
+        reg.attach_obs(&obs);
+        reg.publish(tiny_gan(2), 2).unwrap();
+        reg.rollback().unwrap();
+        let kinds: Vec<&str> = obs.causal().events().iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            [
+                "serve.probe_ok",
+                "serve.publish", // retroactive stamp of the initial v1
+                "serve.probe_ok",
+                "serve.publish", // v2 goes live, probed
+                "serve.rollback",
+            ]
+        );
+        let publishes: Vec<(u64, u64)> = obs
+            .causal()
+            .events()
+            .iter()
+            .filter(|e| e.kind == "serve.publish")
+            .map(|e| (e.info, e.aux))
+            .collect();
+        assert_eq!(publishes, [(1, 1), (2, 1)], "both publishes served int8");
+    }
+
+    #[test]
+    fn unprobed_publish_skips_the_probe_stamp() {
+        let obs = ltfb_obs::Registry::new();
+        let reg = ModelRegistry::with_mode(tiny_gan(1), 1, QuantMode::Int8);
+        reg.attach_obs(&obs);
+        reg.publish_unprobed(tiny_gan(2), 2).unwrap();
+        assert!(reg.current().is_quantized());
+        let v2: Vec<&str> = obs
+            .causal()
+            .events()
+            .iter()
+            .filter(|e| e.info == 2)
+            .map(|e| e.kind)
+            .collect();
+        assert_eq!(v2, ["serve.publish"], "no probe event precedes v2");
     }
 
     #[test]

@@ -23,6 +23,9 @@ cargo run -q -p ltfb-analyze -- lint
 echo "==> ltfb-analyze check (fixed-seed model-check suite)"
 cargo run -q -p ltfb-analyze -- check
 
+echo "==> causality-audit smoke (vector-clock trace certification)"
+scripts/trace_smoke.sh
+
 echo "==> fault-injection smoke"
 scripts/fault_smoke.sh
 

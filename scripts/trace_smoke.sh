@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Causality-audit smoke: end-to-end check of the vector-clock
+# happens-before auditor (`ltfb-analyze trace`) against real traces.
+#
+# 1. Auditor selftest: a clean instrumented world certifies, a seeded
+#    probe-skip violation is caught with a causal-cut certificate, and a
+#    truncated trace is refused.
+# 2. A fault-injected distributed train run (trainer death mid-run, with
+#    datastore ingest) exports a causal trace that must certify: rank
+#    death must not reorder broadcasts, collectives, or shuffle epochs.
+# 3. An int8 serve-bench run exports the registry's publish/probe trace,
+#    which must certify (every quantized publish causally follows a
+#    passed probe).
+#
+# On violation the auditor prints a replayable certificate (offending
+# event pair + minimal causal cut); this script surfaces it verbatim.
+# Budget: the whole smoke stays under ~5 s.
+#
+# Assumes `cargo build --release` has already run (ci.sh does).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLI=target/release/ltfb-cli
+ANALYZE=target/release/ltfb-analyze
+[[ -x "$CLI" && -x "$ANALYZE" ]] || {
+    echo "trace_smoke: release binaries missing; run cargo build --release first" >&2
+    exit 1
+}
+
+RESULTS="$(mktemp -d)"
+trap 'rm -rf "$RESULTS"' EXIT
+export LTFB_RESULTS_DIR="$RESULTS"
+
+need() { # need <output> <pattern> <label>
+    grep -q "$2" <<<"$1" || {
+        echo "trace_smoke: $3 missing (pattern: $2)" >&2
+        echo "--- output ---" >&2
+        echo "$1" >&2
+        exit 1
+    }
+}
+
+audit() { # audit <metrics.json> — certify or print the certificate(s)
+    local out
+    if ! out="$("$ANALYZE" trace "$1")"; then
+        echo "trace_smoke: audit of $1 found violations:" >&2
+        echo "$out" >&2
+        exit 1
+    fi
+    need "$out" 'trace: certified' "certification line for $1"
+    grep '^trace: ' <<<"$out" | sed 's/^/    /'
+}
+
+echo "==> auditor selftest (clean certifies, seeded violation caught, truncation refused)"
+OUT="$("$ANALYZE" trace --selftest)"
+need "$OUT" 'clean trace certified' "clean-trace certification"
+need "$OUT" 'causal cut' "seeded-violation certificate"
+need "$OUT" 'truncated trace refused' "truncation refusal"
+
+echo "==> fault-injected train trace certifies (trainer 2 dies at step 15)"
+"$CLI" train --trainers 4 --steps 40 --ae-steps 30 --samples 256 \
+    --exchange 10 --eval 20 --seed 2019 --distributed --ingest \
+    --fault kill:2@15 --metrics >/dev/null
+audit "$RESULTS/ltfb_metrics.json"
+
+echo "==> int8 serve-bench trace certifies (publish follows probe)"
+"$CLI" serve-bench --clients 2 --requests 60 --quant int8 --metrics >/dev/null
+audit "$RESULTS/serve_metrics.json"
+
+echo "trace smoke green."

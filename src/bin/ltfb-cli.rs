@@ -776,6 +776,11 @@ fn serve_bench(flags: &Flags) -> ExitCode {
                    mode: QuantMode|
      -> Option<ServeStats> {
         let registry = build_registry(mode)?;
+        if let Some(m) = obs {
+            // Stamp registry lifecycle events onto the causal trace so
+            // `ltfb-analyze trace serve_metrics.json` can audit the run.
+            registry.attach_obs(m);
+        }
         let server = match obs {
             Some(m) => Server::start_with_obs(registry, policy, m),
             None => Server::start(registry, policy),
