@@ -525,6 +525,7 @@ pub fn invariants() -> &'static [(&'static str, Invariant)] {
         ("ingest-follows-broadcast", check_ingest_follows_broadcast),
         ("registry-probe-edge", check_registry_probe_edge),
         ("channel-fifo", check_channel_fifo),
+        ("fleet-shed-implies-overload", check_fleet_shed),
     ]
 }
 
@@ -559,57 +560,72 @@ pub fn audit_named(trace: &CausalTrace, only: Option<&str>) -> Result<AuditRepor
     })
 }
 
-/// (a) No lost update on registry hot-swap: all `serve.*` lifecycle
-/// events are pairwise clock-ordered (a concurrent pair means two
-/// writers raced the swap), and between two publishes with no rollback
-/// in between the version strictly increases.
+/// (a) No lost update on registry hot-swap, **per registry actor**: a
+/// fleet runs one registry replica per shard (actors
+/// `serve.s{i}.registry`), and replicas of *different* shards publish
+/// legitimately concurrently — only events of the *same* actor must be
+/// pairwise clock-ordered (a concurrent pair means two writers raced
+/// that registry's hot-swap), and between two publishes of one actor
+/// with no rollback in between the version strictly increases.
 fn check_registry_serial(trace: &CausalTrace) -> Vec<Certificate> {
     let mut out = Vec::new();
-    let serve: Vec<&TraceEvent> = trace
-        .events
-        .iter()
-        .filter(|e| e.kind.starts_with("serve."))
-        .collect();
-    for w in serve.windows(2) {
-        let (a, b) = (w[0], w[1]);
-        if a.clock.concurrent(&b.clock) {
-            out.push(Certificate {
-                invariant: "registry-serial",
-                detail: format!(
-                    "registry events #{} ({}) and #{} ({}) are causally concurrent — \
-                     two writers raced the hot-swap",
-                    a.seq, a.kind, b.seq, b.kind
-                ),
-                first: Some(a.seq),
-                second: b.seq,
-                cut: trace.causal_cut(b),
-            });
+    let mut per_actor: HashMap<usize, Vec<&TraceEvent>> = HashMap::new();
+    for e in &trace.events {
+        if e.kind.starts_with("serve.") {
+            per_actor.entry(e.actor).or_default().push(e);
         }
     }
-    let mut last_publish: Option<&TraceEvent> = None;
-    for e in &serve {
-        match e.kind.as_str() {
-            "serve.publish" => {
-                if let Some(p) = last_publish {
-                    if e.info <= p.info {
-                        out.push(Certificate {
-                            invariant: "registry-serial",
-                            detail: format!(
-                                "publish of version {} after version {} with no rollback \
-                                 in between — an update was lost",
-                                e.info, p.info
-                            ),
-                            first: Some(p.seq),
-                            second: e.seq,
-                            cut: trace.causal_cut(e),
-                        });
-                    }
-                }
-                last_publish = Some(e);
+    let mut actors: Vec<usize> = per_actor.keys().copied().collect();
+    actors.sort_unstable();
+    for actor in actors {
+        let serve = &per_actor[&actor];
+        for w in serve.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if a.clock.concurrent(&b.clock) {
+                out.push(Certificate {
+                    invariant: "registry-serial",
+                    detail: format!(
+                        "registry events #{} ({}) and #{} ({}) of {} are causally \
+                         concurrent — two writers raced the hot-swap",
+                        a.seq,
+                        a.kind,
+                        b.seq,
+                        b.kind,
+                        trace.actor_name(actor)
+                    ),
+                    first: Some(a.seq),
+                    second: b.seq,
+                    cut: trace.causal_cut(b),
+                });
             }
-            // A rollback legitimately reinstates an older version.
-            "serve.rollback" => last_publish = None,
-            _ => {}
+        }
+        let mut last_publish: Option<&TraceEvent> = None;
+        for e in serve {
+            match e.kind.as_str() {
+                "serve.publish" => {
+                    if let Some(p) = last_publish {
+                        if e.info <= p.info {
+                            out.push(Certificate {
+                                invariant: "registry-serial",
+                                detail: format!(
+                                    "publish of version {} after version {} on {} with no \
+                                     rollback in between — an update was lost",
+                                    e.info,
+                                    p.info,
+                                    trace.actor_name(e.actor)
+                                ),
+                                first: Some(p.seq),
+                                second: e.seq,
+                                cut: trace.causal_cut(e),
+                            });
+                        }
+                    }
+                    last_publish = Some(e);
+                }
+                // A rollback legitimately reinstates an older version.
+                "serve.rollback" => last_publish = None,
+                _ => {}
+            }
         }
     }
     out
@@ -876,6 +892,102 @@ fn check_channel_fifo(trace: &CausalTrace) -> Vec<Certificate> {
     out
 }
 
+/// (f) Fleet admission control sheds only under evidenced overload:
+/// every `fleet.shed` must (i) happen-after the fleet's `fleet.slo`
+/// budget announcement, (ii) fall inside an open overload episode of its
+/// shard — the shard's latest preceding `fleet.overload`/`fleet.relief`
+/// transition is `fleet.overload` — and (iii) carry an observed depth
+/// (`aux`) at or beyond the announced budget (`fleet.slo`'s `info`).
+/// Controller `fleet.resize` stamps must also happen-after the budget
+/// announcement (a retune before the SLO existed answers to nothing).
+fn check_fleet_shed(trace: &CausalTrace) -> Vec<Certificate> {
+    let mut out = Vec::new();
+    let slo = trace.events.iter().find(|e| e.kind == "fleet.slo");
+    // Shard id -> the `fleet.overload` that opened its current episode.
+    let mut open: HashMap<u64, &TraceEvent> = HashMap::new();
+    for e in &trace.events {
+        match e.kind.as_str() {
+            "fleet.overload" => {
+                open.insert(e.info, e);
+            }
+            "fleet.relief" => {
+                open.remove(&e.info);
+            }
+            "fleet.shed" => {
+                let after_slo = slo.is_some_and(|s| s.clock.lt(&e.clock));
+                if !after_slo {
+                    out.push(Certificate {
+                        invariant: "fleet-shed-implies-overload",
+                        detail: format!(
+                            "shed on shard {} does not happen-after the fleet's SLO \
+                             budget announcement",
+                            e.info
+                        ),
+                        first: slo.map(|s| s.seq),
+                        second: e.seq,
+                        cut: trace.causal_cut(e),
+                    });
+                } else if let Some(over) = open.get(&e.info) {
+                    if !over.clock.lt(&e.clock) {
+                        out.push(Certificate {
+                            invariant: "fleet-shed-implies-overload",
+                            detail: format!(
+                                "shed on shard {} does not happen-after the overload \
+                                 that supposedly justified it",
+                                e.info
+                            ),
+                            first: Some(over.seq),
+                            second: e.seq,
+                            cut: trace.causal_cut(e),
+                        });
+                    } else if slo.is_some_and(|s| e.aux < s.info) {
+                        out.push(Certificate {
+                            invariant: "fleet-shed-implies-overload",
+                            detail: format!(
+                                "shed on shard {} at observed depth {} below the \
+                                 announced budget {} — load was refused with headroom left",
+                                e.info,
+                                e.aux,
+                                slo.map_or(0, |s| s.info)
+                            ),
+                            first: slo.map(|s| s.seq),
+                            second: e.seq,
+                            cut: trace.causal_cut(e),
+                        });
+                    }
+                } else {
+                    out.push(Certificate {
+                        invariant: "fleet-shed-implies-overload",
+                        detail: format!(
+                            "shed on shard {} with no open overload episode — admission \
+                             control refused load it had no evidence against",
+                            e.info
+                        ),
+                        first: None,
+                        second: e.seq,
+                        cut: trace.causal_cut(e),
+                    });
+                }
+            }
+            "fleet.resize" if !slo.is_some_and(|s| s.clock.lt(&e.clock)) => {
+                out.push(Certificate {
+                    invariant: "fleet-shed-implies-overload",
+                    detail: format!(
+                        "controller resize on shard {} does not happen-after the \
+                         fleet's SLO announcement",
+                        e.info
+                    ),
+                    first: slo.map(|s| s.seq),
+                    second: e.seq,
+                    cut: trace.causal_cut(e),
+                });
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
 // ---------------------------------------------------------------------------
 // Selftest: exercise the auditor end to end inside one process.
 // ---------------------------------------------------------------------------
@@ -905,6 +1017,21 @@ pub fn selftest() -> Result<String, String> {
     registry.attach_obs(&obs);
     registry.publish(gan(2), 2).map_err(|e| e.to_string())?;
     registry.rollback().map_err(|e| e.to_string())?;
+    // Fleet lifecycle: per-shard registry actors publish concurrently
+    // with each other (legal — registry-serial is per actor), and the
+    // router walks a full overload episode with a controller retune.
+    let shard0 = ModelRegistry::new(gan(1), 1);
+    shard0.attach_obs_named(&obs, "serve.s0.registry");
+    let shard1 = ModelRegistry::new(gan(1), 1);
+    shard1.attach_obs_named(&obs, "serve.s1.registry");
+    shard0.publish(gan(3), 2).map_err(|e| e.to_string())?;
+    shard1.publish(gan(3), 2).map_err(|e| e.to_string())?;
+    let fleet = obs.causal_actor("serve.fleet");
+    fleet.local("fleet.slo", 8, 2);
+    fleet.local("fleet.overload", 1, 9);
+    fleet.local("fleet.shed", 1, 9);
+    fleet.local("fleet.resize", 1, (64 << 32) | 500);
+    fleet.local("fleet.relief", 1, 3);
     let clean = CausalTrace::from_snapshot(&obs.causal().snapshot());
     let report = audit(&clean).map_err(|e| e.to_string())?;
     if !report.certified() {
@@ -950,6 +1077,31 @@ pub fn selftest() -> Result<String, String> {
         return Err("violation certificate has an empty causal cut".into());
     }
 
+    // -- Seeded fleet violation: a shed with no overload episode. --
+    let obs = ltfb_obs::Registry::new();
+    let fleet = obs.causal_actor("serve.fleet");
+    fleet.local("fleet.slo", 8, 2);
+    fleet.local("fleet.shed", 0, 9);
+    let bad_fleet = CausalTrace::from_snapshot(&obs.causal().snapshot());
+    let report = audit(&bad_fleet).map_err(|e| e.to_string())?;
+    let fleet_caught: Vec<&Certificate> = report
+        .violations
+        .iter()
+        .filter(|c| c.invariant == "fleet-shed-implies-overload")
+        .collect();
+    if fleet_caught.len() != 1 {
+        return Err(format!(
+            "seeded shed-without-overload should yield exactly one \
+             fleet-shed-implies-overload violation, got {} ({:?})",
+            fleet_caught.len(),
+            report
+                .violations
+                .iter()
+                .map(|c| c.invariant)
+                .collect::<Vec<_>>()
+        ));
+    }
+
     // -- A truncated trace must be refused, not certified. --
     let mut truncated = clean.clone();
     truncated.dropped = 5;
@@ -961,7 +1113,7 @@ pub fn selftest() -> Result<String, String> {
     Ok(format!(
         "causality selftest: clean trace certified ({clean_events} events, \
          {} invariants); seeded probe-skip caught with a {}-event causal cut; \
-         truncated trace refused",
+         seeded shed-without-overload caught; truncated trace refused",
         invariants().len(),
         caught[0].cut.len()
     ))
@@ -1229,11 +1381,13 @@ mod tests {
 
     #[test]
     fn concurrent_registry_writers_are_caught() {
+        // Two writers racing the SAME registry actor: concurrent clocks
+        // on one actor's event line can only mean a lost update.
         let t = trace(
-            &["a", "b"],
+            &["serve.registry"],
             vec![
-                ev(0, 0, "serve.publish", None, 0, 1, 0, vec![1]),
-                ev(1, 1, "serve.publish", None, 0, 2, 0, vec![0, 1]),
+                ev(0, 0, "serve.publish", None, 0, 1, 0, vec![1, 0]),
+                ev(1, 0, "serve.publish", None, 0, 2, 0, vec![0, 1]),
             ],
         );
         let r = audit(&t).unwrap();
@@ -1241,6 +1395,105 @@ mod tests {
             .violations
             .iter()
             .any(|v| v.invariant == "registry-serial" && v.detail.contains("concurrent")));
+    }
+
+    #[test]
+    fn fleet_replicas_may_publish_concurrently() {
+        // DIFFERENT shard replicas legitimately publish without mutual
+        // ordering — registry-serial is per actor, not fleet-global.
+        let t = trace(
+            &["serve.s0.registry", "serve.s1.registry"],
+            vec![
+                ev(0, 0, "serve.publish", None, 0, 2, 0, vec![1]),
+                ev(1, 1, "serve.publish", None, 0, 2, 0, vec![0, 1]),
+            ],
+        );
+        let r = audit(&t).unwrap();
+        assert!(r.certified(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn shed_inside_an_overload_episode_certifies() {
+        let t = trace(
+            &["serve.fleet"],
+            vec![
+                ev(0, 0, "fleet.slo", None, 0, 8, 2, vec![1]),
+                ev(1, 0, "fleet.overload", None, 0, 1, 9, vec![2]),
+                ev(2, 0, "fleet.shed", None, 0, 1, 9, vec![3]),
+                ev(3, 0, "fleet.resize", None, 0, 1, 64, vec![4]),
+                ev(4, 0, "fleet.relief", None, 0, 1, 2, vec![5]),
+            ],
+        );
+        let r = audit(&t).unwrap();
+        assert!(r.certified(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn shed_without_overload_is_caught() {
+        let t = trace(
+            &["serve.fleet"],
+            vec![
+                ev(0, 0, "fleet.slo", None, 0, 8, 2, vec![1]),
+                ev(1, 0, "fleet.shed", None, 0, 1, 9, vec![2]),
+            ],
+        );
+        let r = audit(&t).unwrap();
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| v.invariant == "fleet-shed-implies-overload"
+                && v.detail.contains("no open overload episode")));
+    }
+
+    #[test]
+    fn shed_after_relief_is_caught() {
+        // The episode closed before the shed: stale evidence.
+        let t = trace(
+            &["serve.fleet"],
+            vec![
+                ev(0, 0, "fleet.slo", None, 0, 8, 2, vec![1]),
+                ev(1, 0, "fleet.overload", None, 0, 1, 9, vec![2]),
+                ev(2, 0, "fleet.relief", None, 0, 1, 2, vec![3]),
+                ev(3, 0, "fleet.shed", None, 0, 1, 9, vec![4]),
+            ],
+        );
+        let r = audit(&t).unwrap();
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| v.invariant == "fleet-shed-implies-overload"));
+    }
+
+    #[test]
+    fn shed_below_budget_is_caught() {
+        let t = trace(
+            &["serve.fleet"],
+            vec![
+                ev(0, 0, "fleet.slo", None, 0, 8, 2, vec![1]),
+                ev(1, 0, "fleet.overload", None, 0, 1, 3, vec![2]),
+                ev(2, 0, "fleet.shed", None, 0, 1, 3, vec![3]),
+            ],
+        );
+        let r = audit(&t).unwrap();
+        assert!(r.violations.iter().any(
+            |v| v.invariant == "fleet-shed-implies-overload" && v.detail.contains("below the")
+        ));
+    }
+
+    #[test]
+    fn resize_before_slo_announcement_is_caught() {
+        let t = trace(
+            &["serve.fleet"],
+            vec![
+                ev(0, 0, "fleet.resize", None, 0, 1, 64, vec![1]),
+                ev(1, 0, "fleet.slo", None, 0, 8, 2, vec![2]),
+            ],
+        );
+        let r = audit(&t).unwrap();
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| v.invariant == "fleet-shed-implies-overload" && v.detail.contains("resize")));
     }
 
     #[test]

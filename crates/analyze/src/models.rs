@@ -644,6 +644,158 @@ pub fn publish_degrade_world(readers: usize) -> SimWorld {
     })
 }
 
+/// Shared state for the fleet routing/publish model: two registry
+/// replicas (one per shard), the router's depth table, and the
+/// admission counters the final check audits.
+#[derive(Default)]
+struct FleetModel {
+    /// Replica version per shard (starts at 1, publisher bumps to 2).
+    version: [u64; 2],
+    /// Highest version any request observed per shard — replicas must
+    /// never move backwards under a reader.
+    seen: [u64; 2],
+    /// Router's in-flight depth per shard (admission budget = 1).
+    depth: [usize; 2],
+    served: u64,
+    spills: u64,
+    sheds: u64,
+    fallbacks: u64,
+}
+
+/// The serving fleet's routing/publish/degrade protocol in miniature:
+/// a publisher fans a new version out to both shard replicas one at a
+/// time (the production `Fleet::publish_with` path), a degrader ties up
+/// shard 1 with a failing `publish_or_fallback` attempt while holding a
+/// unit of router depth, and hot-key submitters (all hashing to primary
+/// shard 0) run the router's admission rule — primary under budget, else
+/// spill to the least-loaded shard, else shed. Requests assert that the
+/// replica they land on never serves a version older than one already
+/// observed there; the final check asserts the fan-out converged, the
+/// degrade counted exactly one fallback, the depth table drained, and
+/// every request was either served or shed (none lost). With budget 1,
+/// a shed is reachable only when one submitter is in flight on the
+/// primary *and* the degrader holds shard 1 — i.e. shed implies both
+/// queues were genuinely over budget, the fleet's admission invariant.
+/// With `degrader` off the world shrinks to publisher + submitters —
+/// small enough to sweep exhaustively as a fan-out certificate.
+pub fn fleet_route_publish_world(submitters: usize, degrader: bool) -> SimWorld {
+    const BUDGET: usize = 1;
+    let fleet = Arc::new(Mutex::new(FleetModel {
+        version: [1, 1],
+        ..FleetModel::default()
+    }));
+    let mut w = SimWorld::new(1 + usize::from(degrader) + submitters);
+
+    // Publisher: fan v2 out shard by shard under each replica's write
+    // lock — exactly the window where replicas diverge (0 at v2, 1 at
+    // v1) and readers must still see per-replica monotonicity.
+    let f = Arc::clone(&fleet);
+    w.spawn(move |env| {
+        for shard in 0..2 {
+            env.lock(shard);
+            let mut st = f.lock();
+            if 2 > st.version[shard] {
+                st.version[shard] = 2;
+            }
+            drop(st);
+            env.unlock(shard);
+        }
+    });
+
+    // Degrader: a corrupt-checkpoint publish_or_fallback against shard 1
+    // that keeps the replica's version and only counts the fallback,
+    // while holding a unit of router depth (the shard looks busy to
+    // admission for the duration — this is what makes sheds reachable).
+    if degrader {
+        let f = Arc::clone(&fleet);
+        w.spawn(move |env| {
+            env.lock(2);
+            f.lock().depth[1] += 1;
+            env.unlock(2);
+            env.lock(1);
+            f.lock().fallbacks += 1;
+            env.unlock(1);
+            env.lock(2);
+            f.lock().depth[1] -= 1;
+            env.unlock(2);
+        });
+    }
+
+    // Hot-key submitters: every key hashes to primary shard 0, so spill
+    // and shed are pure admission decisions under the router lock.
+    for _ in 0..submitters {
+        let f = Arc::clone(&fleet);
+        w.spawn(move |env| {
+            env.lock(2);
+            let mut st = f.lock();
+            let target = if st.depth[0] < BUDGET {
+                st.depth[0] += 1;
+                Some(0)
+            } else if st.depth[1] < BUDGET {
+                st.depth[1] += 1;
+                st.spills += 1;
+                Some(1)
+            } else {
+                st.sheds += 1;
+                None
+            };
+            drop(st);
+            env.unlock(2);
+            let Some(t) = target else { return };
+            env.lock(t);
+            let mut st = f.lock();
+            let v = st.version[t];
+            assert!(
+                v >= st.seen[t],
+                "shard {t} replica moved backwards: v{v} after v{}",
+                st.seen[t]
+            );
+            assert!((1..=2).contains(&v), "shard {t} serving unpublished v{v}");
+            st.seen[t] = v;
+            st.served += 1;
+            drop(st);
+            env.unlock(t);
+            env.lock(2);
+            f.lock().depth[t] -= 1;
+            env.unlock(2);
+        });
+    }
+
+    let fleet_check = Arc::clone(&fleet);
+    w.with_mutexes(3).with_final_check(move |_| {
+        let st = fleet_check.lock();
+        if st.version != [2, 2] {
+            return Err(format!(
+                "publish fan-out did not converge: versions {:?}",
+                st.version
+            ));
+        }
+        if st.fallbacks != u64::from(degrader) {
+            return Err(format!(
+                "expected {} degrade fallback(s), got {}",
+                u64::from(degrader),
+                st.fallbacks
+            ));
+        }
+        if st.depth != [0, 0] {
+            return Err(format!("router depth leaked: {:?}", st.depth));
+        }
+        if st.served + st.sheds != submitters as u64 {
+            return Err(format!(
+                "lost requests: served {} + shed {} != {submitters}",
+                st.served, st.sheds
+            ));
+        }
+        // The first submitter through admission always finds the primary
+        // idle (only submitters hold primary depth), so at least one is
+        // served in every interleaving.
+        if st.served == 0 {
+            return Err("admission shed every request".to_string());
+        }
+        Ok(())
+    })
+}
+
 /// The datastore's owner-push shuffle: every rank walks the *same*
 /// deterministic [`EpochPlan`], owners push samples (tag = sample id) to
 /// the consumers the plan names, consumers receive exactly their ids.
@@ -963,6 +1115,27 @@ pub fn models() -> Vec<ModelSpec> {
             name: "publish-degrade-readers",
             summary: "registry swap race with in-flight readers: random walks",
             build: || publish_degrade_world(2),
+            expect: Expect::AllOk,
+            exhaustive: false,
+        },
+        ModelSpec {
+            name: "fleet-publish-fanout",
+            summary: "fleet replica fan-out under a degrade race: certified",
+            build: || fleet_route_publish_world(1, false),
+            expect: Expect::AllOk,
+            exhaustive: true,
+        },
+        ModelSpec {
+            name: "fleet-route-publish",
+            summary: "fleet admission race (2 hot-key submitters): spill/shed random walks",
+            build: || fleet_route_publish_world(2, true),
+            expect: Expect::AllOk,
+            exhaustive: false,
+        },
+        ModelSpec {
+            name: "fleet-route-publish-3",
+            summary: "fleet routing with 3 hot-key submitters: random walks",
+            build: || fleet_route_publish_world(3, true),
             expect: Expect::AllOk,
             exhaustive: false,
         },

@@ -63,6 +63,7 @@ fn run_arm(
         inverse_fraction: 0.25,
         mode: LoadMode::Closed,
         seed: 7,
+        co_baseline: false,
     };
     let report = run_load(&server.client(), &load, x_dim, y_dim);
     let stats = server.shutdown();

@@ -24,6 +24,7 @@ use crate::telemetry::{ReqKind, ServeStats, Telemetry};
 use crossbeam_channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use ltfb_tensor::Matrix;
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -44,6 +45,12 @@ pub struct BatchPolicy {
     pub cache_capacity: usize,
     /// Quantization grid of cache keys (see `cache` module docs).
     pub cache_quantum: f32,
+    /// Synthetic per-batch service-time floor: each worker sleeps this
+    /// long before dispatching a batch. ZERO in production — the knob
+    /// exists so tests and load experiments can model a slow or stalled
+    /// backend deterministically (the coordinated-omission regression
+    /// test stalls a server this way).
+    pub service_floor: Duration,
 }
 
 impl Default for BatchPolicy {
@@ -55,6 +62,7 @@ impl Default for BatchPolicy {
             workers: 2,
             cache_capacity: 0,
             cache_quantum: 1.0e-3,
+            service_floor: Duration::ZERO,
         }
     }
 }
@@ -83,6 +91,11 @@ pub enum ServeError {
     NonFinite { index: usize },
     /// Queue full (only from the non-blocking submit paths).
     Overloaded,
+    /// Shed by SLO admission control: every fleet shard's queue was at
+    /// or beyond the configured budget, so accepting the request could
+    /// only grow the queues without bound and blow the latency SLO for
+    /// everyone already queued. `depth` is the shallowest queue observed.
+    Shed { depth: usize, budget: usize },
     /// Server shut down before the request could be accepted.
     ShuttingDown,
 }
@@ -97,6 +110,12 @@ impl std::fmt::Display for ServeError {
                 write!(f, "input[{index}] is not finite")
             }
             ServeError::Overloaded => write!(f, "request queue full"),
+            ServeError::Shed { depth, budget } => {
+                write!(
+                    f,
+                    "shed by admission control (depth {depth} >= budget {budget})"
+                )
+            }
             ServeError::ShuttingDown => write!(f, "server shutting down"),
         }
     }
@@ -107,18 +126,40 @@ impl std::error::Error for ServeError {}
 struct Request {
     kind: ReqKind,
     input: Vec<f32>,
-    reply: Sender<Vec<f32>>,
+    reply: Sender<Completion>,
     enqueued: Instant,
+}
+
+/// A completed request with its serving provenance: which model version
+/// answered, which worker micro-batch it rode in, and when the worker
+/// finished it. The timestamp is taken server-side at reply time, so a
+/// client that harvests responses late (an open-loop load generator
+/// draining a backlog) still measures true completion times.
+pub struct Completion {
+    pub output: Vec<f32>,
+    /// Registry version of the model snapshot that served this request.
+    pub version: u64,
+    /// Server-wide id of the micro-batch this request was packed into;
+    /// all requests of one batch share a model snapshot (and this id).
+    pub batch_id: u64,
+    /// When the worker sent the reply.
+    pub finished: Instant,
 }
 
 /// A completed inference response.
 pub struct Response {
-    rx: Receiver<Vec<f32>>,
+    rx: Receiver<Completion>,
 }
 
 impl Response {
     /// Block until the result arrives.
     pub fn wait(self) -> Result<Vec<f32>, ServeError> {
+        self.wait_completion().map(|c| c.output)
+    }
+
+    /// Block until the result arrives, keeping the serving provenance
+    /// (model version, batch id, completion timestamp).
+    pub fn wait_completion(self) -> Result<Completion, ServeError> {
         self.rx.recv().map_err(|_| ServeError::ShuttingDown)
     }
 }
@@ -182,9 +223,12 @@ impl ServeClient {
         self.submit(ReqKind::Inverse, y)
     }
 
-    fn submit(&self, kind: ReqKind, input: &[f32]) -> Result<Response, ServeError> {
+    /// Blocking submit of either kind (the load generator's generic
+    /// entry point; see [`ServeClient::submit_forward`]).
+    pub fn submit(&self, kind: ReqKind, input: &[f32]) -> Result<Response, ServeError> {
         let (req, resp) = self.make_request(kind, input)?;
         let tx = self.tx.upgrade().ok_or(ServeError::ShuttingDown)?;
+        self.telemetry.record_arrival();
         self.telemetry.record_queue_depth(tx.len());
         tx.send(req).map_err(|_| ServeError::ShuttingDown)?;
         Ok(resp)
@@ -201,9 +245,11 @@ impl ServeClient {
         self.try_submit(ReqKind::Inverse, y)
     }
 
-    fn try_submit(&self, kind: ReqKind, input: &[f32]) -> Result<Response, ServeError> {
+    /// Non-blocking submit of either kind.
+    pub fn try_submit(&self, kind: ReqKind, input: &[f32]) -> Result<Response, ServeError> {
         let (req, resp) = self.make_request(kind, input)?;
         let tx = self.tx.upgrade().ok_or(ServeError::ShuttingDown)?;
+        self.telemetry.record_arrival();
         self.telemetry.record_queue_depth(tx.len());
         match tx.try_send(req) {
             Ok(()) => Ok(resp),
@@ -213,6 +259,17 @@ impl ServeClient {
             }
             Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
         }
+    }
+
+    /// Requests currently queued behind this client's server (0 after
+    /// shutdown). The fleet router reads this for spill/shed decisions.
+    pub fn queue_depth(&self) -> usize {
+        self.tx.upgrade().map_or(0, |t| t.len())
+    }
+
+    /// Shared telemetry sink of this client's server.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
     }
 
     /// Blocking round-trip forward inference.
@@ -231,12 +288,48 @@ impl ServeClient {
     }
 }
 
+/// The live-tunable half of a [`BatchPolicy`]: workers re-read these at
+/// every batch boundary, so the fleet's adaptive controller can retune
+/// the coalescing window against a p99 target without restarting the
+/// server. Plain tuning knobs — they synchronise no other data, so
+/// relaxed loads/stores are sufficient (a worker reading a knob one
+/// batch late is indistinguishable from the controller running later).
+pub struct BatchKnobs {
+    max_batch: AtomicUsize,
+    flush_us: AtomicU64,
+}
+
+impl BatchKnobs {
+    fn new(policy: &BatchPolicy) -> Self {
+        BatchKnobs {
+            max_batch: AtomicUsize::new(policy.max_batch),
+            flush_us: AtomicU64::new(policy.flush_deadline.as_micros() as u64),
+        }
+    }
+
+    pub fn max_batch(&self) -> usize {
+        self.max_batch.load(Ordering::Relaxed).max(1)
+    }
+
+    pub fn flush_deadline(&self) -> Duration {
+        Duration::from_micros(self.flush_us.load(Ordering::Relaxed))
+    }
+
+    /// Install new knob values (takes effect at the next batch boundary).
+    pub fn set(&self, max_batch: usize, flush_deadline: Duration) {
+        self.max_batch.store(max_batch.max(1), Ordering::Relaxed);
+        self.flush_us
+            .store(flush_deadline.as_micros() as u64, Ordering::Relaxed);
+    }
+}
+
 /// The serving engine: registry + workers + telemetry under one policy.
 pub struct Server {
     tx: Option<Arc<Sender<Request>>>,
     workers: Vec<JoinHandle<()>>,
     registry: Arc<ModelRegistry>,
     telemetry: Arc<Telemetry>,
+    knobs: Arc<BatchKnobs>,
 }
 
 impl Server {
@@ -257,6 +350,16 @@ impl Server {
         Self::start_inner(registry, policy, Telemetry::with_registry(metrics))
     }
 
+    /// [`Server::start`] with a caller-built telemetry sink — the fleet
+    /// uses this to give each shard its own metric-family prefix.
+    pub(crate) fn start_with_telemetry(
+        registry: Arc<ModelRegistry>,
+        policy: BatchPolicy,
+        telemetry: Telemetry,
+    ) -> Server {
+        Self::start_inner(registry, policy, telemetry)
+    }
+
     fn start_inner(
         registry: Arc<ModelRegistry>,
         policy: BatchPolicy,
@@ -267,6 +370,13 @@ impl Server {
         assert!(policy.queue_cap >= 1, "queue_cap must be at least 1");
         let (tx, rx) = bounded::<Request>(policy.queue_cap);
         let telemetry = Arc::new(telemetry);
+        let knobs = Arc::new(BatchKnobs::new(&policy));
+        // Batch ids are unique across every server in the process (each
+        // server gets its own 2^40-wide namespace), so a fleet client
+        // can group completions from different shards by batch id alone.
+        static NEXT_SERVER_ID: AtomicU64 = AtomicU64::new(0);
+        let server_id = NEXT_SERVER_ID.fetch_add(1, Ordering::Relaxed);
+        let batch_ids = Arc::new(AtomicU64::new(server_id << 40));
         let cache = if policy.cache_capacity > 0 {
             Some(Arc::new(Mutex::new(LruCache::new(policy.cache_capacity))))
         } else {
@@ -277,10 +387,14 @@ impl Server {
                 let rx = rx.clone();
                 let registry = Arc::clone(&registry);
                 let telemetry = Arc::clone(&telemetry);
+                let knobs = Arc::clone(&knobs);
+                let batch_ids = Arc::clone(&batch_ids);
                 let cache = cache.clone();
                 std::thread::Builder::new()
                     .name(format!("ltfb-serve-{i}"))
-                    .spawn(move || worker_loop(rx, registry, telemetry, cache, policy))
+                    .spawn(move || {
+                        worker_loop(rx, registry, telemetry, cache, policy, knobs, batch_ids)
+                    })
                     .expect("invariant: OS can spawn the batch workers")
             })
             .collect();
@@ -289,6 +403,7 @@ impl Server {
             workers,
             registry,
             telemetry,
+            knobs,
         }
     }
 
@@ -313,6 +428,16 @@ impl Server {
     /// Live telemetry sink.
     pub fn telemetry(&self) -> &Arc<Telemetry> {
         &self.telemetry
+    }
+
+    /// The live-tunable coalescing knobs (see [`BatchKnobs`]).
+    pub fn knobs(&self) -> &Arc<BatchKnobs> {
+        &self.knobs
+    }
+
+    /// Requests currently queued (0 after shutdown).
+    pub fn queue_depth(&self) -> usize {
+        self.tx.as_ref().map_or(0, |t| t.len())
     }
 
     /// Stop accepting requests, drain everything already queued, join the
@@ -348,6 +473,8 @@ fn worker_loop(
     telemetry: Arc<Telemetry>,
     cache: Option<Arc<Mutex<LruCache>>>,
     policy: BatchPolicy,
+    knobs: Arc<BatchKnobs>,
+    batch_ids: Arc<AtomicU64>,
 ) {
     loop {
         // Block for work; a disconnect with an empty queue ends the loop.
@@ -355,28 +482,55 @@ fn worker_loop(
             Ok(r) => r,
             Err(_) => return,
         };
-        let mut batch = Vec::with_capacity(policy.max_batch);
+        // Knobs are re-read at every batch boundary so the adaptive
+        // controller's retuning takes effect without a restart.
+        let max_batch = knobs.max_batch();
+        let flush = knobs.flush_deadline();
+        let mut batch = Vec::with_capacity(max_batch);
         batch.push(first);
-        // Coalesce until the batch is full or the flush deadline lapses.
-        let deadline = Instant::now() + policy.flush_deadline;
-        while batch.len() < policy.max_batch {
-            let now = Instant::now();
-            let got = if now >= deadline {
-                rx.try_recv().ok()
-            } else {
-                match rx.recv_timeout(deadline - now) {
-                    Ok(r) => Some(r),
-                    Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        if flush.is_zero() {
+            // Zero-deadline fast path: dispatch immediately with
+            // whatever is already queued — no clock reads, no timed
+            // waits. (The general path below computed a deadline and
+            // consulted the clock twice per request even when the
+            // deadline was zero-width.)
+            while batch.len() < max_batch {
+                match rx.try_recv() {
+                    Ok(r) => batch.push(r),
+                    Err(_) => break,
                 }
-            };
-            match got {
-                Some(r) => batch.push(r),
-                None => break,
+            }
+        } else {
+            // Coalesce until the batch is full or the deadline lapses.
+            let deadline = Instant::now() + flush;
+            while batch.len() < max_batch {
+                let now = Instant::now();
+                let got = if now >= deadline {
+                    rx.try_recv().ok()
+                } else {
+                    match rx.recv_timeout(deadline - now) {
+                        Ok(r) => Some(r),
+                        Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                            None
+                        }
+                    }
+                };
+                match got {
+                    Some(r) => batch.push(r),
+                    None => break,
+                }
             }
         }
+        if !policy.service_floor.is_zero() {
+            // Synthetic stall (see BatchPolicy::service_floor docs).
+            std::thread::sleep(policy.service_floor);
+        }
         // One model snapshot for the whole batch: a concurrent hot-swap
-        // takes effect at the next batch boundary.
+        // takes effect at the next batch boundary. Every reply of this
+        // batch carries the snapshot's version and the shared batch id,
+        // so clients can verify the no-mixed-versions contract.
         let model = registry.current();
+        let batch_id = batch_ids.fetch_add(1, Ordering::Relaxed);
         let quantum = policy.cache_quantum;
         process_kind(
             &batch,
@@ -385,6 +539,7 @@ fn worker_loop(
             &telemetry,
             cache.as_deref(),
             quantum,
+            batch_id,
         );
         process_kind(
             &batch,
@@ -393,6 +548,7 @@ fn worker_loop(
             &telemetry,
             cache.as_deref(),
             quantum,
+            batch_id,
         );
     }
 }
@@ -400,6 +556,7 @@ fn worker_loop(
 /// Serve every request of `kind` in the batch: answer cache hits, pack
 /// the misses into one matrix, run a single batched forward pass, reply,
 /// and backfill the cache.
+#[allow(clippy::too_many_arguments)] // one dispatch site, mirrors worker_loop state
 fn process_kind(
     batch: &[Request],
     kind: ReqKind,
@@ -407,6 +564,7 @@ fn process_kind(
     telemetry: &Telemetry,
     cache: Option<&Mutex<LruCache>>,
     cache_quantum: f32,
+    batch_id: u64,
 ) {
     let reqs: Vec<&Request> = batch.iter().filter(|r| r.kind == kind).collect();
     if reqs.is_empty() {
@@ -423,8 +581,14 @@ fn process_kind(
         if let Some(c) = cache {
             let key = CacheKey::quantized(kind_tag, &r.input, cache_quantum);
             if let Some(hit) = c.lock().get(&key) {
-                let latency = r.enqueued.elapsed().as_secs_f64() * 1e6;
-                let _ = r.reply.send(hit);
+                let finished = Instant::now();
+                let latency = finished.duration_since(r.enqueued).as_secs_f64() * 1e6;
+                let _ = r.reply.send(Completion {
+                    output: hit,
+                    version: model.version(),
+                    batch_id,
+                    finished,
+                });
                 telemetry.record_request(kind, latency, true);
                 continue;
             }
@@ -455,8 +619,14 @@ fn process_kind(
         if let (Some(c), Some(key)) = (cache, miss_keys[i].take()) {
             c.lock().put(key, row.clone());
         }
-        let latency = r.enqueued.elapsed().as_secs_f64() * 1e6;
-        let _ = r.reply.send(row);
+        let finished = Instant::now();
+        let latency = finished.duration_since(r.enqueued).as_secs_f64() * 1e6;
+        let _ = r.reply.send(Completion {
+            output: row,
+            version: model.version(),
+            batch_id,
+            finished,
+        });
         telemetry.record_request(kind, latency, false);
     }
 }
@@ -622,6 +792,103 @@ mod tests {
         }
         // New submissions fail fast.
         assert_eq!(client.forward(&[0.5; 5]), Err(ServeError::ShuttingDown));
+    }
+
+    #[test]
+    fn zero_flush_deadline_dispatches_immediately() {
+        // Regression pin for the flush-deadline edge: with
+        // `flush_deadline: Duration::ZERO` and a max_batch > 1, a lone
+        // request must be dispatched at once — no timed wait, no
+        // deadline arithmetic. A generous bound still catches a path
+        // that waits on a timer per request.
+        let server = tiny_server(BatchPolicy {
+            workers: 1,
+            max_batch: 64,
+            flush_deadline: Duration::ZERO,
+            ..BatchPolicy::default()
+        });
+        let client = server.client();
+        for _ in 0..5 {
+            let t0 = Instant::now();
+            client.forward(&[0.5; 5]).unwrap();
+            assert!(
+                t0.elapsed() < Duration::from_millis(250),
+                "zero-deadline request waited {:?}",
+                t0.elapsed()
+            );
+        }
+        // Backlogged requests still coalesce on the fast path: queue a
+        // burst while the single worker is parked, then check packs > 1.
+        let pending: Vec<Response> = (0..32)
+            .map(|_| client.submit_forward(&[0.5; 5]).unwrap())
+            .collect();
+        for p in pending {
+            p.wait().unwrap();
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 37);
+        assert!(
+            stats.mean_batch > 1.0,
+            "zero-deadline path stopped draining the backlog: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn knob_retune_takes_effect_at_batch_boundary() {
+        let server = tiny_server(BatchPolicy {
+            workers: 1,
+            max_batch: 16,
+            flush_deadline: Duration::from_millis(20),
+            ..BatchPolicy::default()
+        });
+        let client = server.client();
+        client.forward(&[0.1; 5]).unwrap();
+        // Retune to strictly sequential: no pack may exceed 1 from here.
+        server.knobs().set(1, Duration::ZERO);
+        assert_eq!(server.knobs().max_batch(), 1);
+        assert_eq!(server.knobs().flush_deadline(), Duration::ZERO);
+        let pending: Vec<Response> = (0..12)
+            .map(|_| client.submit_forward(&[0.3; 5]).unwrap())
+            .collect();
+        for p in pending {
+            p.wait().unwrap();
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 13);
+        assert_eq!(stats.max_batch, 1, "retuned max_batch ignored: {stats:?}");
+    }
+
+    #[test]
+    fn completions_carry_version_and_shared_batch_id() {
+        let server = tiny_server(BatchPolicy {
+            workers: 1,
+            max_batch: 16,
+            flush_deadline: Duration::from_millis(20),
+            ..BatchPolicy::default()
+        });
+        let client = server.client();
+        let before = Instant::now();
+        let pending: Vec<Response> = (0..6)
+            .map(|i| client.submit_forward(&[i as f32 * 0.1; 5]).unwrap())
+            .collect();
+        let completions: Vec<Completion> = pending
+            .into_iter()
+            .map(|p| p.wait_completion().unwrap())
+            .collect();
+        for c in &completions {
+            assert_eq!(c.version, 1, "initial registry version");
+            assert!(c.finished >= before);
+        }
+        // All six landed while the lone worker was coalescing: at least
+        // one batch id must be shared (and the ids form at most 6 ids).
+        let mut ids: Vec<u64> = completions.iter().map(|c| c.batch_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert!(
+            ids.len() < 6,
+            "no two completions shared a batch id: {ids:?}"
+        );
+        server.shutdown();
     }
 
     #[test]

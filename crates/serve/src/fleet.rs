@@ -1,0 +1,817 @@
+//! The sharded serving fleet: N micro-batching servers behind one
+//! SLO-driven router.
+//!
+//! A [`Fleet`] owns `shards` independent [`Server`]s, each backed by its
+//! own [`ModelRegistry`] replica. The [`FleetClient`] routes every
+//! request by **consistent hashing** over its quantized input key (the
+//! same key the LRU cache uses, so repeats of a hot input land on the
+//! shard whose cache holds its response), with two load-aware escapes:
+//!
+//! - **Hot-key spill**: when the primary shard's queue exceeds
+//!   [`SloPolicy::spill_depth`], the request spills to the currently
+//!   least-loaded shard — a skewed key distribution must not serialize
+//!   the whole fleet behind one hot shard.
+//! - **Admission control**: when even the least-loaded queue is at or
+//!   beyond [`SloPolicy::shed_depth`], the request is **shed** with
+//!   [`ServeError::Shed`] instead of queued. Under sustained overload an
+//!   accepted request only grows every queue without bound and blows the
+//!   latency SLO for everyone already admitted; shedding keeps goodput
+//!   near capacity while the excess is refused cheaply.
+//!
+//! An optional **adaptive batching controller** retunes each shard's
+//! [`BatchKnobs`] (max batch size / flush deadline) against
+//! [`SloPolicy::p99_target_us`]: queue growth doubles the batch and
+//! shrinks the flush window (throughput first), a p99 above target
+//! shrinks the window (latency first), and a comfortably-below-target
+//! p99 relaxes the window to win coalescing back.
+//!
+//! With an observability registry attached, per-shard telemetry exports
+//! under `serve.s{i}.*` metric families, each replica's registry is a
+//! distinct causal actor (`serve.s{i}.registry`), and the router stamps
+//! **edge-triggered** overload episodes onto the causal trace as actor
+//! `serve.fleet`: `fleet.slo` (budget, at attach), `fleet.overload` /
+//! `fleet.shed` (first shed of an episode), `fleet.relief` (queues
+//! drained back under half budget), and `fleet.resize` (controller
+//! retune). `ltfb-analyze trace` certifies the shed-implies-overload
+//! invariant over these stamps.
+
+use crate::batcher::{BatchKnobs, BatchPolicy, Response, ServeClient, ServeError, Server};
+use crate::cache::CacheKey;
+use crate::loadgen::LoadTarget;
+use crate::registry::{ModelRegistry, PublishError, PublishOutcome};
+use crate::telemetry::{ReqKind, ServeStats, Telemetry};
+use ltfb_gan::{CycleGan, CycleGanConfig};
+use ltfb_obs::CausalHandle;
+use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The fleet's service-level objective and the control limits derived
+/// from it.
+#[derive(Debug, Clone, Copy)]
+pub struct SloPolicy {
+    /// p99 latency target the adaptive controller steers toward, µs.
+    pub p99_target_us: f64,
+    /// Queue depth beyond which a primary shard spills to the least
+    /// loaded shard (hot-key relief).
+    pub spill_depth: usize,
+    /// Queue-depth budget: when every shard is at or beyond this, new
+    /// requests are shed ([`ServeError::Shed`]).
+    pub shed_depth: usize,
+    /// Run the adaptive batch controller.
+    pub adaptive: bool,
+    /// Controller cadence.
+    pub tune_every: Duration,
+    /// Upper bound the controller may grow `max_batch` to.
+    pub max_batch_ceiling: usize,
+    /// Upper bound the controller may relax `flush_deadline` to.
+    pub flush_ceiling: Duration,
+}
+
+impl Default for SloPolicy {
+    fn default() -> Self {
+        SloPolicy {
+            p99_target_us: 5_000.0,
+            spill_depth: 16,
+            shed_depth: 512,
+            adaptive: true,
+            tune_every: Duration::from_millis(50),
+            max_batch_ceiling: 256,
+            flush_ceiling: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Full fleet configuration: shard count, per-shard batching policy, and
+/// the SLO driving routing/shedding/adaptation.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    pub shards: usize,
+    pub policy: BatchPolicy,
+    pub slo: SloPolicy,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            shards: 2,
+            policy: BatchPolicy::default(),
+            slo: SloPolicy::default(),
+        }
+    }
+}
+
+/// Consistent-hash ring: each shard owns `VNODES` pseudo-randomly placed
+/// points; a key maps to the first point clockwise from its hash. Adding
+/// or removing one shard moves only ~1/N of the key space, and the
+/// vnode spread keeps per-shard load within a few percent of even.
+struct HashRing {
+    points: Vec<(u64, usize)>,
+}
+
+const VNODES: usize = 64;
+
+fn hash_of(v: impl Hash) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+impl HashRing {
+    fn new(shards: usize) -> HashRing {
+        let mut points: Vec<(u64, usize)> = (0..shards)
+            .flat_map(|s| (0..VNODES).map(move |v| (hash_of((s, v, 0x51EDu16)), s)))
+            .collect();
+        points.sort_unstable();
+        HashRing { points }
+    }
+
+    fn shard(&self, key_hash: u64) -> usize {
+        let i = self.points.partition_point(|&(p, _)| p < key_hash);
+        self.points[i % self.points.len()].1
+    }
+}
+
+/// Router state shared by every [`FleetClient`] clone and the controller.
+struct FleetShared {
+    slo: SloPolicy,
+    ring: HashRing,
+    cache_quantum: f32,
+    routed: AtomicU64,
+    spills: AtomicU64,
+    sheds: AtomicU64,
+    /// Causal stamping handle for actor `serve.fleet` (None when no obs
+    /// registry is attached).
+    causal: Option<CausalHandle>,
+    /// Per-shard overload-episode flags. Episode *transitions* are
+    /// stamped under this lock so a racing relief cannot interleave
+    /// between a shed's `fleet.overload` and `fleet.shed` stamps and
+    /// forge a causality violation that never happened.
+    episodes: Mutex<Vec<bool>>,
+}
+
+impl FleetShared {
+    /// First shed of an overload episode stamps `fleet.overload` then
+    /// `fleet.shed`; later sheds of the same episode only count.
+    fn note_shed(&self, shard: usize, depth: usize) {
+        self.sheds.fetch_add(1, Ordering::Relaxed);
+        if let Some(c) = &self.causal {
+            let mut ep = self.episodes.lock();
+            if !ep[shard] {
+                ep[shard] = true;
+                c.local("fleet.overload", shard as u64, depth as u64);
+                c.local("fleet.shed", shard as u64, depth as u64);
+            }
+        }
+    }
+
+    /// An accepted route with a comfortably-drained queue ends the
+    /// shard's overload episode.
+    fn note_accepted(&self, shard: usize, depth: usize) {
+        if let Some(c) = &self.causal {
+            if depth * 2 <= self.slo.shed_depth {
+                let mut ep = self.episodes.lock();
+                if ep[shard] {
+                    ep[shard] = false;
+                    c.local("fleet.relief", shard as u64, depth as u64);
+                }
+            }
+        }
+    }
+}
+
+/// Cloneable routing handle over the whole fleet. Implements
+/// [`LoadTarget`], so the load generators drive a fleet exactly like a
+/// single server.
+#[derive(Clone)]
+pub struct FleetClient {
+    clients: Vec<ServeClient>,
+    shared: Arc<FleetShared>,
+}
+
+impl FleetClient {
+    fn key_hash(&self, kind: ReqKind, input: &[f32]) -> u64 {
+        let tag = match kind {
+            ReqKind::Forward => 0u8,
+            ReqKind::Inverse => 1u8,
+        };
+        hash_of(CacheKey::quantized(tag, input, self.shared.cache_quantum))
+    }
+
+    /// Pick a shard: consistent-hash primary, spill to the least-loaded
+    /// shard past `spill_depth`, shed past `shed_depth` (unless
+    /// `may_shed` is false — blocking submits always queue somewhere).
+    fn route(&self, kind: ReqKind, input: &[f32], may_shed: bool) -> Result<usize, ServeError> {
+        let primary = self.shared.ring.shard(self.key_hash(kind, input));
+        let depth = self.clients[primary].queue_depth();
+        if depth <= self.shared.slo.spill_depth {
+            self.shared.routed.fetch_add(1, Ordering::Relaxed);
+            self.shared.note_accepted(primary, depth);
+            return Ok(primary);
+        }
+        let (best, best_depth) = (0..self.clients.len())
+            .map(|i| (i, self.clients[i].queue_depth()))
+            .min_by_key(|&(_, d)| d)
+            .expect("invariant: fleets have at least one shard");
+        if may_shed && best_depth >= self.shared.slo.shed_depth {
+            self.clients[primary].telemetry().record_shed();
+            self.shared.note_shed(primary, best_depth);
+            return Err(ServeError::Shed {
+                depth: best_depth,
+                budget: self.shared.slo.shed_depth,
+            });
+        }
+        self.shared.routed.fetch_add(1, Ordering::Relaxed);
+        if best != primary {
+            self.shared.spills.fetch_add(1, Ordering::Relaxed);
+        }
+        self.shared.note_accepted(best, best_depth);
+        Ok(best)
+    }
+
+    /// Non-blocking submit through the router; sheds under fleet-wide
+    /// overload, reports [`ServeError::Overloaded`] if the chosen
+    /// shard's queue fills in the race window after routing.
+    pub fn try_submit(&self, kind: ReqKind, input: &[f32]) -> Result<Response, ServeError> {
+        let shard = self.route(kind, input, true)?;
+        self.clients[shard].try_submit(kind, input)
+    }
+
+    /// Blocking submit: routes (with spill) but never sheds — the caller
+    /// opted into waiting.
+    pub fn submit(&self, kind: ReqKind, input: &[f32]) -> Result<Response, ServeError> {
+        let shard = self.route(kind, input, false)?;
+        self.clients[shard].submit(kind, input)
+    }
+
+    /// Blocking round-trip forward inference through the router.
+    pub fn forward(&self, x: &[f32]) -> Result<Vec<f32>, ServeError> {
+        self.submit(ReqKind::Forward, x)?.wait()
+    }
+
+    /// Blocking round-trip inverse inference through the router.
+    pub fn inverse(&self, y: &[f32]) -> Result<Vec<f32>, ServeError> {
+        self.submit(ReqKind::Inverse, y)?.wait()
+    }
+}
+
+impl LoadTarget for FleetClient {
+    fn submit_req(&self, kind: ReqKind, input: &[f32]) -> Result<Response, ServeError> {
+        self.submit(kind, input)
+    }
+    fn try_submit_req(&self, kind: ReqKind, input: &[f32]) -> Result<Response, ServeError> {
+        self.try_submit(kind, input)
+    }
+}
+
+/// Aggregate fleet outcome: per-shard serving stats plus router counters.
+#[derive(Debug, Clone)]
+pub struct FleetStats {
+    pub per_shard: Vec<ServeStats>,
+    /// Requests the router admitted to some shard.
+    pub routed: u64,
+    /// Admitted requests that left their primary shard for a less loaded
+    /// one.
+    pub spills: u64,
+    /// Requests refused by admission control.
+    pub sheds: u64,
+}
+
+impl FleetStats {
+    pub fn completed(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.completed).sum()
+    }
+}
+
+/// The sharded serving fleet (see the module docs).
+pub struct Fleet {
+    servers: Vec<Server>,
+    shared: Arc<FleetShared>,
+    stop: Arc<AtomicBool>,
+    tuner: Option<JoinHandle<()>>,
+}
+
+impl Fleet {
+    /// Start one server per registry replica. `registries.len()` is the
+    /// shard count; [`FleetConfig::shards`] must agree.
+    pub fn start(registries: Vec<Arc<ModelRegistry>>, cfg: FleetConfig) -> Fleet {
+        Self::start_inner(registries, cfg, None)
+    }
+
+    /// [`Fleet::start`] with per-shard telemetry exported under
+    /// `serve.s{i}.*`, per-shard registry causal actors, and router
+    /// episode stamps under actor `serve.fleet`.
+    pub fn start_with_obs(
+        registries: Vec<Arc<ModelRegistry>>,
+        cfg: FleetConfig,
+        metrics: &ltfb_obs::Registry,
+    ) -> Fleet {
+        Self::start_inner(registries, cfg, Some(metrics))
+    }
+
+    fn start_inner(
+        registries: Vec<Arc<ModelRegistry>>,
+        cfg: FleetConfig,
+        metrics: Option<&ltfb_obs::Registry>,
+    ) -> Fleet {
+        assert!(!registries.is_empty(), "fleet needs at least one shard");
+        assert_eq!(
+            registries.len(),
+            cfg.shards,
+            "one registry replica per shard"
+        );
+        let causal = metrics.map(|m| {
+            let handle = m.causal_actor("serve.fleet");
+            // Root of the fleet's causal history: every overload/shed/
+            // resize stamp must happen-after the budget announcement.
+            handle.local("fleet.slo", cfg.slo.shed_depth as u64, cfg.shards as u64);
+            handle
+        });
+        let servers: Vec<Server> = registries
+            .into_iter()
+            .enumerate()
+            .map(|(i, reg)| match metrics {
+                Some(m) => {
+                    reg.attach_obs_named(m, &format!("serve.s{i}.registry"));
+                    let tele = Telemetry::with_registry_prefixed(m, &format!("serve.s{i}."));
+                    Server::start_with_telemetry(reg, cfg.policy, tele)
+                }
+                None => Server::start(reg, cfg.policy),
+            })
+            .collect();
+        let shared = Arc::new(FleetShared {
+            slo: cfg.slo,
+            ring: HashRing::new(cfg.shards),
+            cache_quantum: cfg.policy.cache_quantum,
+            routed: AtomicU64::new(0),
+            spills: AtomicU64::new(0),
+            sheds: AtomicU64::new(0),
+            causal,
+            episodes: Mutex::new(vec![false; cfg.shards]),
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let tuner = cfg.slo.adaptive.then(|| {
+            let shards: Vec<(Arc<BatchKnobs>, Arc<Telemetry>, ServeClient)> = servers
+                .iter()
+                .map(|s| (Arc::clone(s.knobs()), Arc::clone(s.telemetry()), s.client()))
+                .collect();
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("ltfb-fleet-tuner".into())
+                .spawn(move || tuner_loop(shards, shared, stop))
+                .expect("invariant: OS can spawn the fleet controller")
+        });
+        Fleet {
+            servers,
+            shared,
+            stop,
+            tuner,
+        }
+    }
+
+    /// A new routing client over all shards.
+    pub fn client(&self) -> FleetClient {
+        FleetClient {
+            clients: self.servers.iter().map(|s| s.client()).collect(),
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    pub fn shards(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Per-shard registries (replicas), in shard order.
+    pub fn registries(&self) -> Vec<Arc<ModelRegistry>> {
+        self.servers
+            .iter()
+            .map(|s| Arc::clone(s.registry()))
+            .collect()
+    }
+
+    /// Live model version of every shard, in shard order.
+    pub fn versions(&self) -> Vec<u64> {
+        self.servers
+            .iter()
+            .map(|s| s.registry().version())
+            .collect()
+    }
+
+    /// Publish one freshly built model per shard as `version`, through
+    /// each replica's probed publish path. The factory runs once per
+    /// shard (models are not clonable — rebuild or reload per replica).
+    pub fn publish_with(
+        &self,
+        version: u64,
+        mut make: impl FnMut(usize) -> CycleGan,
+    ) -> Vec<Result<(), PublishError>> {
+        self.servers
+            .iter()
+            .enumerate()
+            .map(|(i, s)| s.registry().publish(make(i), version))
+            .collect()
+    }
+
+    /// Fan a checkpoint out to every replica via
+    /// [`ModelRegistry::publish_or_fallback`]: shards that cannot load or
+    /// probe it keep serving their last good model.
+    pub fn publish_or_fallback(&self, path: &Path, cfg: &CycleGanConfig) -> Vec<PublishOutcome> {
+        self.servers
+            .iter()
+            .map(|s| s.registry().publish_or_fallback(path, cfg))
+            .collect()
+    }
+
+    /// Roll every replica back to its previous good model.
+    pub fn rollback(&self) -> Vec<Result<u64, PublishError>> {
+        self.servers
+            .iter()
+            .map(|s| s.registry().rollback())
+            .collect()
+    }
+
+    /// Router counters so far: (routed, spills, sheds).
+    pub fn router_counts(&self) -> (u64, u64, u64) {
+        (
+            self.shared.routed.load(Ordering::Relaxed),
+            self.shared.spills.load(Ordering::Relaxed),
+            self.shared.sheds.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Stop the controller, drain and shut down every shard, and return
+    /// the aggregate stats.
+    pub fn shutdown(mut self) -> FleetStats {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.tuner.take() {
+            let _ = t.join();
+        }
+        let per_shard: Vec<ServeStats> = self.servers.drain(..).map(|s| s.shutdown()).collect();
+        FleetStats {
+            per_shard,
+            routed: self.shared.routed.load(Ordering::Relaxed),
+            spills: self.shared.spills.load(Ordering::Relaxed),
+            sheds: self.shared.sheds.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The adaptive batching controller: every `tune_every`, steer each
+/// shard's live [`BatchKnobs`] against the p99 target using only the
+/// completions that arrived since the previous tick (a stale window
+/// would keep punishing a shard for a transient it already escaped).
+fn tuner_loop(
+    shards: Vec<(Arc<BatchKnobs>, Arc<Telemetry>, ServeClient)>,
+    shared: Arc<FleetShared>,
+    stop: Arc<AtomicBool>,
+) {
+    let slo = shared.slo;
+    let mut cursors = vec![0usize; shards.len()];
+    while !stop.load(Ordering::Relaxed) {
+        std::thread::sleep(slo.tune_every);
+        for (i, (knobs, tele, client)) in shards.iter().enumerate() {
+            let (stream_len, p99) = tele.p99_since(cursors[i]);
+            let fresh = stream_len - cursors[i];
+            cursors[i] = stream_len;
+            let depth = client.queue_depth();
+            let max_batch = knobs.max_batch();
+            let flush = knobs.flush_deadline();
+            let (new_batch, new_flush) = if depth > max_batch {
+                // Queue outruns the batch: trade latency headroom for
+                // throughput — bigger packs, tighter window.
+                ((max_batch * 2).min(slo.max_batch_ceiling), flush / 2)
+            } else if fresh > 0 && p99 > slo.p99_target_us {
+                // Over target without queue growth: the coalescing wait
+                // itself is the latency — shrink it.
+                (max_batch, flush / 2)
+            } else if fresh > 0 && p99 < slo.p99_target_us / 2.0 {
+                // Comfortably under target: relax the window to win
+                // coalescing (and GEMM efficiency) back.
+                (
+                    max_batch,
+                    (flush * 2)
+                        .max(Duration::from_micros(10))
+                        .min(slo.flush_ceiling),
+                )
+            } else {
+                (max_batch, flush)
+            };
+            if (new_batch, new_flush) != (max_batch, flush) {
+                knobs.set(new_batch, new_flush);
+                if let Some(c) = &shared.causal {
+                    let packed =
+                        ((new_batch as u64) << 32) | (new_flush.as_micros() as u64 & 0xFFFF_FFFF);
+                    c.local("fleet.resize", i as u64, packed);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batcher::Completion;
+    use std::collections::HashMap;
+
+    fn replicas(n: usize) -> Vec<Arc<ModelRegistry>> {
+        let cfg = CycleGanConfig::small(4);
+        (0..n)
+            .map(|_| Arc::new(ModelRegistry::new(CycleGan::new(cfg, 1), 1)))
+            .collect()
+    }
+
+    fn quiet_slo() -> SloPolicy {
+        SloPolicy {
+            adaptive: false,
+            ..SloPolicy::default()
+        }
+    }
+
+    #[test]
+    fn ring_is_deterministic_and_covers_all_shards() {
+        let ring = HashRing::new(4);
+        let mut seen = [false; 4];
+        for k in 0..4096u64 {
+            let s = ring.shard(hash_of(k));
+            assert_eq!(s, ring.shard(hash_of(k)), "routing must be stable");
+            seen[s] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "some shard owns no keys: {seen:?}");
+    }
+
+    #[test]
+    fn fleet_serves_and_routes_deterministically() {
+        let fleet = Fleet::start(
+            replicas(3),
+            FleetConfig {
+                shards: 3,
+                slo: quiet_slo(),
+                ..FleetConfig::default()
+            },
+        );
+        let client = fleet.client();
+        for i in 0..30 {
+            let y = client.forward(&[i as f32 * 0.03; 5]).unwrap();
+            assert!(y.iter().all(|v| v.is_finite()));
+        }
+        let stats = fleet.shutdown();
+        assert_eq!(stats.completed(), 30);
+        assert_eq!(stats.routed, 30);
+        assert_eq!(stats.sheds, 0);
+    }
+
+    #[test]
+    fn admission_control_sheds_when_every_queue_is_over_budget() {
+        let fleet = Fleet::start(
+            replicas(2),
+            FleetConfig {
+                shards: 2,
+                policy: BatchPolicy {
+                    workers: 1,
+                    max_batch: 1,
+                    queue_cap: 64,
+                    flush_deadline: Duration::ZERO,
+                    service_floor: Duration::from_millis(5),
+                    ..BatchPolicy::default()
+                },
+                slo: SloPolicy {
+                    spill_depth: 1,
+                    shed_depth: 4,
+                    adaptive: false,
+                    ..SloPolicy::default()
+                },
+            },
+        );
+        let client = fleet.client();
+        let mut shed = 0u64;
+        let mut pending = Vec::new();
+        for i in 0..200 {
+            match client.try_submit(ReqKind::Forward, &[i as f32 * 1e-3; 5]) {
+                Ok(r) => pending.push(r),
+                Err(ServeError::Shed { depth, budget }) => {
+                    assert!(depth >= budget, "shed below budget: {depth} < {budget}");
+                    shed += 1;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(shed > 0, "storm over 2 stalled shards never shed");
+        for p in pending {
+            p.wait().unwrap();
+        }
+        let stats = fleet.shutdown();
+        assert_eq!(stats.sheds, shed);
+        let shed_counted: u64 = stats.per_shard.iter().map(|s| s.shed).sum();
+        assert_eq!(shed_counted, shed, "telemetry lost sheds");
+        // Shed requests were never queued: everyone admitted completed.
+        assert_eq!(stats.completed(), 200 - shed);
+    }
+
+    #[test]
+    fn adaptive_controller_grows_batches_under_queue_pressure() {
+        let fleet = Fleet::start(
+            replicas(1),
+            FleetConfig {
+                shards: 1,
+                policy: BatchPolicy {
+                    workers: 1,
+                    max_batch: 1,
+                    queue_cap: 1024,
+                    flush_deadline: Duration::from_micros(50),
+                    service_floor: Duration::from_millis(1),
+                    ..BatchPolicy::default()
+                },
+                slo: SloPolicy {
+                    spill_depth: usize::MAX, // routing out of scope here
+                    shed_depth: usize::MAX,
+                    adaptive: true,
+                    tune_every: Duration::from_millis(5),
+                    ..SloPolicy::default()
+                },
+            },
+        );
+        let client = fleet.client();
+        let knobs_before = 1;
+        let mut pending = Vec::new();
+        for i in 0..300 {
+            if let Ok(r) = client.try_submit(ReqKind::Forward, &[i as f32 * 1e-3; 5]) {
+                pending.push(r);
+            }
+        }
+        // Deep queue + 5ms cadence: the controller must double max_batch
+        // within a few ticks.
+        let mut grew = false;
+        for _ in 0..100 {
+            if fleet.servers[0].knobs().max_batch() > knobs_before {
+                grew = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(grew, "controller never grew max_batch under pressure");
+        for p in pending {
+            p.wait().unwrap();
+        }
+        fleet.shutdown();
+    }
+
+    #[test]
+    fn publish_fans_out_and_rollback_restores_every_replica() {
+        let fleet = Fleet::start(
+            replicas(2),
+            FleetConfig {
+                shards: 2,
+                slo: quiet_slo(),
+                ..FleetConfig::default()
+            },
+        );
+        assert_eq!(fleet.versions(), vec![1, 1]);
+        let cfg = CycleGanConfig::small(4);
+        let results = fleet.publish_with(2, |_| CycleGan::new(cfg, 99));
+        assert!(results.iter().all(|r| r.is_ok()));
+        assert_eq!(fleet.versions(), vec![2, 2]);
+        let back = fleet.rollback();
+        assert!(back.iter().all(|r| r.is_ok()));
+        assert_eq!(fleet.versions(), vec![1, 1]);
+        fleet.shutdown();
+    }
+
+    /// Replica-divergence coverage: publish races a shard's
+    /// `publish_or_fallback` degrade while readers hammer the fleet.
+    /// Completions carry (version, batch id); since batch ids are unique
+    /// across shards, grouping by id and asserting one version per group
+    /// proves no reader ever observed mixed versions within one batch.
+    #[test]
+    fn no_mixed_versions_within_a_batch_during_publish_race() {
+        let fleet = Arc::new(Fleet::start(
+            replicas(2),
+            FleetConfig {
+                shards: 2,
+                policy: BatchPolicy {
+                    workers: 1,
+                    max_batch: 8,
+                    flush_deadline: Duration::from_micros(500),
+                    ..BatchPolicy::default()
+                },
+                slo: quiet_slo(),
+            },
+        ));
+        let cfg = CycleGanConfig::small(4);
+        let stop = Arc::new(AtomicBool::new(false));
+        let completions: Vec<Completion> = std::thread::scope(|s| {
+            // Publisher: fans fresh versions out across the fleet.
+            let f = Arc::clone(&fleet);
+            let st = Arc::clone(&stop);
+            s.spawn(move || {
+                let mut v = 2;
+                while !st.load(Ordering::Relaxed) {
+                    let r = f.publish_with(v, |_| CycleGan::new(cfg, v));
+                    assert!(r.iter().all(|x| x.is_ok()));
+                    v += 1;
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            });
+            // Degrader: one shard repeatedly attempts a checkpoint that
+            // cannot load, exercising the fallback path mid-publish.
+            let f = Arc::clone(&fleet);
+            let st = Arc::clone(&stop);
+            s.spawn(move || {
+                let bogus = Path::new("/nonexistent/ltfb-fleet-divergence.ckpt");
+                while !st.load(Ordering::Relaxed) {
+                    let out = f.registries()[1].publish_or_fallback(bogus, &cfg);
+                    assert!(matches!(out, PublishOutcome::FellBack { .. }));
+                    std::thread::sleep(Duration::from_micros(300));
+                }
+            });
+            // Readers: collect provenance-carrying completions.
+            let client = fleet.client();
+            let mut all = Vec::new();
+            for i in 0..400 {
+                if let Ok(r) = client.try_submit(ReqKind::Forward, &[(i % 97) as f32 * 1e-2; 5]) {
+                    if let Ok(c) = r.wait_completion() {
+                        all.push(c);
+                    }
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
+            all
+        });
+        assert!(!completions.is_empty());
+        let mut by_batch: HashMap<u64, Vec<u64>> = HashMap::new();
+        for c in &completions {
+            by_batch.entry(c.batch_id).or_default().push(c.version);
+        }
+        for (batch, versions) in &by_batch {
+            assert!(
+                versions.windows(2).all(|w| w[0] == w[1]),
+                "batch {batch} mixed model versions: {versions:?}"
+            );
+        }
+        if let Ok(f) = Arc::try_unwrap(fleet).map_err(|_| ()) {
+            f.shutdown();
+        }
+    }
+
+    #[test]
+    fn obs_fleet_stamps_slo_and_edge_triggered_shed_episodes() {
+        let metrics = ltfb_obs::Registry::new();
+        let fleet = Fleet::start_with_obs(
+            replicas(2),
+            FleetConfig {
+                shards: 2,
+                policy: BatchPolicy {
+                    workers: 1,
+                    max_batch: 1,
+                    queue_cap: 64,
+                    flush_deadline: Duration::ZERO,
+                    service_floor: Duration::from_millis(5),
+                    ..BatchPolicy::default()
+                },
+                slo: SloPolicy {
+                    spill_depth: 1,
+                    shed_depth: 4,
+                    adaptive: false,
+                    ..SloPolicy::default()
+                },
+            },
+            &metrics,
+        );
+        let client = fleet.client();
+        let mut pending = Vec::new();
+        let mut shed = 0;
+        for i in 0..200 {
+            match client.try_submit(ReqKind::Forward, &[i as f32 * 1e-3; 5]) {
+                Ok(r) => pending.push(r),
+                Err(ServeError::Shed { .. }) => shed += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(shed > 0);
+        for p in pending {
+            p.wait().unwrap();
+        }
+        let events = metrics.causal().events();
+        let kinds: Vec<&str> = events.iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&"fleet.slo"), "missing slo stamp");
+        assert!(kinds.contains(&"fleet.overload"), "missing overload stamp");
+        assert!(kinds.contains(&"fleet.shed"), "missing shed stamp");
+        // Edge-triggered: far fewer shed stamps than shed requests.
+        let shed_stamps = kinds.iter().filter(|k| **k == "fleet.shed").count();
+        assert!(
+            (shed_stamps as u64) <= shed,
+            "more stamps than sheds: {shed_stamps} > {shed}"
+        );
+        // Per-shard metric families exist and counted the sheds.
+        let s0 = metrics.counter("serve.s0.shed_count").get();
+        let s1 = metrics.counter("serve.s1.shed_count").get();
+        assert_eq!(s0 + s1, shed);
+        fleet.shutdown();
+    }
+}

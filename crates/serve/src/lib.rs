@@ -18,8 +18,13 @@
 //!   workloads that revisit the same neighbourhoods of design space.
 //! - [`telemetry`] — latency percentiles, throughput, queue depth, and
 //!   the batch-size histogram, exportable as CSV or JSON.
-//! - [`loadgen`] — a multi-threaded closed-/open-loop load generator for
-//!   benchmarking the above.
+//! - [`loadgen`] — a multi-threaded closed-/open-loop load generator
+//!   (coordinated-omission-corrected latency, heavy-tailed diurnal
+//!   Zipf traffic models) for benchmarking the above.
+//! - [`fleet`] — the sharded serving fleet: consistent-hash routing with
+//!   hot-key load spill across N servers, SLO admission control
+//!   ([`ServeError::Shed`](batcher::ServeError::Shed)), and adaptive
+//!   micro-batch sizing against a p99 target.
 //!
 //! Batched inference is bit-identical to one-at-a-time inference (the
 //! GEMM kernels compute each output row independently in the same k-tile
@@ -45,13 +50,17 @@
 
 pub mod batcher;
 pub mod cache;
+pub mod fleet;
 pub mod loadgen;
 pub mod registry;
 pub mod telemetry;
 
-pub use batcher::{BatchPolicy, Response, ServeClient, ServeError, Server};
+pub use batcher::{BatchKnobs, BatchPolicy, Completion, Response, ServeClient, ServeError, Server};
 pub use cache::{CacheKey, LruCache};
-pub use loadgen::{run_load, LoadGenConfig, LoadMode, LoadReport};
+pub use fleet::{Fleet, FleetClient, FleetConfig, FleetStats, SloPolicy};
+pub use loadgen::{
+    run_load, run_traffic, LoadGenConfig, LoadMode, LoadReport, LoadTarget, TrafficModel,
+};
 pub use registry::{
     check_quantized, ModelRegistry, PublishError, PublishOutcome, QuantMode, ServableModel,
 };

@@ -238,7 +238,15 @@ impl ModelRegistry {
     /// that begins mid-lifetime still roots every later transition in a
     /// certified history.
     pub fn attach_obs(&self, obs: &ltfb_obs::Registry) {
-        let handle = obs.causal_actor("serve.registry");
+        self.attach_obs_named(obs, "serve.registry");
+    }
+
+    /// [`ModelRegistry::attach_obs`] under an explicit actor name. Fleet
+    /// shards use this (`serve.s{i}.registry`) so each replica's
+    /// publish/rollback history forms its own totally-ordered actor line
+    /// in the causal trace instead of colliding on one name.
+    pub fn attach_obs_named(&self, obs: &ltfb_obs::Registry, actor: &str) {
+        let handle = obs.causal_actor(actor);
         {
             let cur = self.current.read();
             let version = cur.version();

@@ -12,9 +12,19 @@
 //! A sink built with [`Telemetry::with_registry`] additionally mirrors
 //! every record into a shared `ltfb-obs` [`Registry`] (counters
 //! `serve.forward`, `serve.inverse`, `serve.cache_hits`,
-//! `serve.rejected`; histograms `serve.latency_us`, `serve.batch_size`,
-//! `serve.queue_depth`), so serving metrics land in the same export as
-//! comm, datastore and LTFB metrics.
+//! `serve.rejected`, `serve.shed_count`; histograms `serve.latency_us`,
+//! `serve.batch_size`, `serve.queue_depth`), so serving metrics land in
+//! the same export as comm, datastore and LTFB metrics. Fleet shards use
+//! [`Telemetry::with_registry_prefixed`] to give each shard its own
+//! metric family (`serve.s0.forward`, `serve.s1.forward`, …).
+//!
+//! The throughput window runs from the **first arrival** (submission,
+//! accepted or not) to the **last completion**. Measuring from the first
+//! *completion* — as an earlier revision did — cuts the initial queueing
+//! ramp out of the window and overstates throughput under overload; and
+//! measuring to "now" at summary time dilutes it with post-traffic idle.
+//! Shed requests never produce a completion, so they are counted
+//! separately (`shed`) and open the window like any other arrival.
 
 use ltfb_obs::{Buckets, Counter, Histogram, Registry};
 use parking_lot::Mutex;
@@ -42,12 +52,16 @@ struct Inner {
     inverse: u64,
     cache_hits: u64,
     rejected: u64,
-    /// When the first request was recorded. The throughput window starts
-    /// here, not at construction: a server can sit idle for minutes
-    /// between start-up and first traffic (model loads, benches with a
-    /// preparation phase), and counting that idle time would dilute
-    /// `throughput_rps` arbitrarily.
-    first_request: Option<Instant>,
+    shed: u64,
+    /// When the first arrival (submission, accepted or shed) was seen.
+    /// The throughput window starts here, not at construction: a server
+    /// can sit idle for minutes between start-up and first traffic
+    /// (model loads, benches with a preparation phase), and counting
+    /// that idle time would dilute `throughput_rps` arbitrarily.
+    first_arrival: Option<Instant>,
+    /// When the most recent completion was recorded; the throughput
+    /// window ends here, not at summary time.
+    last_completion: Option<Instant>,
 }
 
 /// Registry mirrors of the telemetry stream (see module docs).
@@ -56,21 +70,24 @@ struct ObsMirror {
     inverse: Arc<Counter>,
     cache_hits: Arc<Counter>,
     rejected: Arc<Counter>,
+    shed: Arc<Counter>,
     latency_us: Arc<Histogram>,
     batch_size: Arc<Histogram>,
     queue_depth: Arc<Histogram>,
 }
 
 impl ObsMirror {
-    fn new(registry: &Registry) -> ObsMirror {
+    fn new(registry: &Registry, prefix: &str) -> ObsMirror {
+        let name = |suffix: &str| format!("{prefix}{suffix}");
         ObsMirror {
-            forward: registry.counter("serve.forward"),
-            inverse: registry.counter("serve.inverse"),
-            cache_hits: registry.counter("serve.cache_hits"),
-            rejected: registry.counter("serve.rejected"),
-            latency_us: registry.histogram("serve.latency_us", Buckets::latency_us()),
-            batch_size: registry.histogram("serve.batch_size", Buckets::small_counts()),
-            queue_depth: registry.histogram("serve.queue_depth", Buckets::small_counts()),
+            forward: registry.counter(&name("forward")),
+            inverse: registry.counter(&name("inverse")),
+            cache_hits: registry.counter(&name("cache_hits")),
+            rejected: registry.counter(&name("rejected")),
+            shed: registry.counter(&name("shed_count")),
+            latency_us: registry.histogram(&name("latency_us"), Buckets::latency_us()),
+            batch_size: registry.histogram(&name("batch_size"), Buckets::small_counts()),
+            queue_depth: registry.histogram(&name("queue_depth"), Buckets::small_counts()),
         }
     }
 }
@@ -100,7 +117,9 @@ impl Telemetry {
                 inverse: 0,
                 cache_hits: 0,
                 rejected: 0,
-                first_request: None,
+                shed: 0,
+                first_arrival: None,
+                last_completion: None,
             }),
             obs: None,
         }
@@ -111,15 +130,35 @@ impl Telemetry {
     /// is unchanged; the registry carries the bucketed view used by the
     /// unified cross-subsystem export.
     pub fn with_registry(registry: &Registry) -> Self {
+        Self::with_registry_prefixed(registry, "serve.")
+    }
+
+    /// [`Telemetry::with_registry`] under a caller-chosen metric prefix,
+    /// so each fleet shard exports its own family (`serve.s3.forward`)
+    /// instead of all shards aliasing one set of counters.
+    pub fn with_registry_prefixed(registry: &Registry, prefix: &str) -> Self {
         let mut t = Telemetry::new();
-        t.obs = Some(ObsMirror::new(registry));
+        t.obs = Some(ObsMirror::new(registry, prefix));
         t
+    }
+
+    /// Record an arrival: a request reaching the submission path, before
+    /// the accept/reject/shed decision. Opens the throughput window.
+    pub fn record_arrival(&self) {
+        self.inner
+            .lock()
+            .first_arrival
+            .get_or_insert_with(Instant::now);
     }
 
     /// Record one completed request.
     pub fn record_request(&self, kind: ReqKind, latency_us: f64, cache_hit: bool) {
         let mut g = self.inner.lock();
-        g.first_request.get_or_insert_with(Instant::now);
+        let now = Instant::now();
+        // Fallback for direct-recording callers that never stamped an
+        // arrival: a completion implies one.
+        g.first_arrival.get_or_insert(now);
+        g.last_completion = Some(now);
         g.latencies_us.push(latency_us);
         match kind {
             ReqKind::Forward => g.forward += 1,
@@ -171,14 +210,53 @@ impl Telemetry {
 
     /// Record a request rejected for backpressure.
     pub fn record_rejected(&self) {
-        self.inner.lock().rejected += 1;
+        let mut g = self.inner.lock();
+        g.first_arrival.get_or_insert_with(Instant::now);
+        g.rejected += 1;
+        drop(g);
         if let Some(o) = &self.obs {
             o.rejected.inc();
         }
     }
 
+    /// Record a request shed by SLO admission control. Sheds never
+    /// produce a completion, so they are counted apart from `rejected`
+    /// (queue-full backpressure) — conflating the two hides how much of
+    /// the offered load the SLO gate turned away.
+    pub fn record_shed(&self) {
+        let mut g = self.inner.lock();
+        g.first_arrival.get_or_insert_with(Instant::now);
+        g.shed += 1;
+        drop(g);
+        if let Some(o) = &self.obs {
+            o.shed.inc();
+        }
+    }
+
+    /// Latency p99 over the completions recorded since index `start` in
+    /// the completion stream; returns `(stream_len, p99_us)` so callers
+    /// (the fleet's adaptive batch tuner) can window without copying the
+    /// whole history. A window with no finite samples reports 0.
+    pub fn p99_since(&self, start: usize) -> (usize, f64) {
+        let g = self.inner.lock();
+        let len = g.latencies_us.len();
+        let mut lat: Vec<f64> = g.latencies_us[start.min(len)..]
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .collect();
+        drop(g);
+        if lat.is_empty() {
+            return (len, 0.0);
+        }
+        lat.sort_by(f64::total_cmp);
+        let idx = ((lat.len() as f64 - 1.0) * 0.99).round() as usize;
+        (len, lat[idx])
+    }
+
     /// Snapshot the stats so far. The throughput window runs from the
-    /// first recorded request to now (zero requests → zero elapsed).
+    /// first arrival to the last completion (no completions → zero
+    /// elapsed).
     pub fn summary(&self) -> ServeStats {
         let g = self.inner.lock();
         // Percentile math runs over the finite samples only; `total_cmp`
@@ -199,10 +277,10 @@ impl Telemetry {
             lat[idx]
         };
         let completed = g.latencies_us.len() as u64;
-        let elapsed = g
-            .first_request
-            .map(|t| t.elapsed().as_secs_f64())
-            .unwrap_or(0.0);
+        let elapsed = match (g.first_arrival, g.last_completion) {
+            (Some(a), Some(c)) => c.saturating_duration_since(a).as_secs_f64(),
+            _ => 0.0,
+        };
         let batches: u64 = g.batch_sizes.iter().sum();
         let weighted: u64 = g
             .batch_sizes
@@ -215,6 +293,7 @@ impl Telemetry {
             forward: g.forward,
             inverse: g.inverse,
             rejected: g.rejected,
+            shed: g.shed,
             cache_hits: g.cache_hits,
             elapsed_secs: elapsed,
             throughput_rps: if elapsed > 0.0 {
@@ -255,6 +334,8 @@ pub struct ServeStats {
     pub forward: u64,
     pub inverse: u64,
     pub rejected: u64,
+    /// Requests turned away by SLO admission control (fleet shards).
+    pub shed: u64,
     pub cache_hits: u64,
     pub elapsed_secs: f64,
     pub throughput_rps: f64,
@@ -274,7 +355,7 @@ pub struct ServeStats {
 impl ServeStats {
     /// Header matching [`Self::csv_row`].
     pub fn csv_header() -> &'static str {
-        "label,completed,forward,inverse,rejected,cache_hits,elapsed_secs,throughput_rps,\
+        "label,completed,forward,inverse,rejected,shed,cache_hits,elapsed_secs,throughput_rps,\
          latency_mean_us,latency_p50_us,latency_p95_us,latency_p99_us,latency_max_us,\
          mean_batch,max_batch,queue_depth_mean,queue_depth_max"
     }
@@ -282,11 +363,12 @@ impl ServeStats {
     /// One CSV row labelled with the run's name.
     pub fn csv_row(&self, label: &str) -> String {
         format!(
-            "{label},{},{},{},{},{},{:.6},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.3},{},{:.3},{}",
+            "{label},{},{},{},{},{},{},{:.6},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.3},{},{:.3},{}",
             self.completed,
             self.forward,
             self.inverse,
             self.rejected,
+            self.shed,
             self.cache_hits,
             self.elapsed_secs,
             self.throughput_rps,
@@ -312,7 +394,7 @@ impl ServeStats {
             .map(|(s, &n)| format!("\"{s}\":{n}"))
             .collect();
         format!(
-            "{{\"completed\":{},\"forward\":{},\"inverse\":{},\"rejected\":{},\
+            "{{\"completed\":{},\"forward\":{},\"inverse\":{},\"rejected\":{},\"shed\":{},\
              \"cache_hits\":{},\"elapsed_secs\":{:.6},\"throughput_rps\":{:.2},\
              \"latency_us\":{{\"mean\":{:.2},\"p50\":{:.2},\"p95\":{:.2},\"p99\":{:.2},\
              \"max\":{:.2}}},\"batch\":{{\"mean\":{:.3},\"max\":{},\"histogram\":{{{}}}}},\
@@ -321,6 +403,7 @@ impl ServeStats {
             self.forward,
             self.inverse,
             self.rejected,
+            self.shed,
             self.cache_hits,
             self.elapsed_secs,
             self.throughput_rps,
@@ -481,6 +564,83 @@ mod tests {
             "throughput diluted: {} rps",
             s.throughput_rps
         );
+    }
+
+    #[test]
+    fn throughput_window_spans_arrival_to_last_completion() {
+        // Regression (overload accounting): the window used to open at
+        // the first *completion* and close at summary time. Under
+        // overload the queueing ramp before the first completion was cut
+        // out (overstating throughput), and any idle tail between the
+        // last completion and the summary diluted it.
+        let t = Telemetry::new();
+        t.record_arrival();
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        for _ in 0..30 {
+            t.record_request(ReqKind::Forward, 5.0, false);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        let s = t.summary();
+        assert!(
+            s.elapsed_secs >= 0.055,
+            "queueing ramp cut out of the window: {}s",
+            s.elapsed_secs
+        );
+        assert!(
+            s.elapsed_secs < 0.11,
+            "post-traffic idle leaked into the window: {}s",
+            s.elapsed_secs
+        );
+    }
+
+    #[test]
+    fn sheds_counted_apart_and_open_the_window() {
+        let reg = Registry::new();
+        let t = Telemetry::with_registry(&reg);
+        t.record_shed();
+        t.record_shed();
+        t.record_shed();
+        t.record_rejected();
+        let s = t.summary();
+        assert_eq!(s.shed, 3);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.completed, 0, "sheds never complete");
+        assert_eq!(reg.counter("serve.shed_count").get(), 3);
+        assert!(s.to_json().contains("\"shed\":3"));
+        // Sheds alone have no completion: the window stays zero-width,
+        // so throughput is honestly 0 rather than NaN or inflated.
+        assert_eq!(s.elapsed_secs, 0.0);
+        assert_eq!(s.throughput_rps, 0.0);
+    }
+
+    #[test]
+    fn p99_since_windows_the_completion_stream() {
+        let t = Telemetry::new();
+        for i in 1..=100 {
+            t.record_request(ReqKind::Forward, i as f64, false);
+        }
+        let (len, p99_all) = t.p99_since(0);
+        assert_eq!(len, 100);
+        assert!((p99_all - 99.0).abs() <= 1.0, "p99 {p99_all}");
+        // Window over the last 10 samples only (91..=100).
+        let (_, p99_tail) = t.p99_since(90);
+        assert!(p99_tail >= 99.0, "tail p99 {p99_tail}");
+        let (len2, p99_empty) = t.p99_since(100);
+        assert_eq!((len2, p99_empty), (100, 0.0));
+    }
+
+    #[test]
+    fn prefixed_registry_gives_per_shard_families() {
+        let reg = Registry::new();
+        let t0 = Telemetry::with_registry_prefixed(&reg, "serve.s0.");
+        let t1 = Telemetry::with_registry_prefixed(&reg, "serve.s1.");
+        t0.record_request(ReqKind::Forward, 10.0, false);
+        t1.record_request(ReqKind::Forward, 10.0, false);
+        t1.record_shed();
+        assert_eq!(reg.counter("serve.s0.forward").get(), 1);
+        assert_eq!(reg.counter("serve.s1.forward").get(), 1);
+        assert_eq!(reg.counter("serve.s1.shed_count").get(), 1);
+        assert_eq!(reg.counter("serve.s0.shed_count").get(), 0);
     }
 
     #[test]

@@ -60,6 +60,7 @@ fn main() {
         inverse_fraction: 0.25,
         mode: LoadMode::Closed,
         seed: 2019,
+        co_baseline: false,
     };
     let report = run_load(&server.client(), &load, x_dim, y_dim);
 

@@ -38,4 +38,7 @@ scripts/perf_smoke.sh
 echo "==> store smoke (tiered bit-identity + tier/ingest metrics + bench)"
 scripts/store_smoke.sh
 
+echo "==> serve smoke (fleet overload goodput + shed + CO gates vs BENCH_serve.json)"
+scripts/serve_smoke.sh
+
 echo "CI green."

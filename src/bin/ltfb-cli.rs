@@ -12,6 +12,9 @@
 //!                      [--open-rate RPS] [--inverse-frac F] [--cache N] [--img-size P]
 //!                      [--checkpoint PATH] [--quant int8] [--csv PATH] [--json PATH]
 //!                      [--metrics [PATH]]
+//!                      [--shards N] [--slo-p99-us T] [--spill-depth D] [--shed-depth D]
+//!                      [--no-adaptive] [--tail-alpha A] [--diurnal-amp F]
+//!                      [--hot-keys N] [--zipf S] [--sweep-secs T]
 //! ltfb-cli help
 //! ```
 //!
@@ -657,6 +660,268 @@ fn generate(flags: &Flags) -> ExitCode {
     }
 }
 
+/// Benchmark the sharded serving fleet: measure closed-loop capacity,
+/// then sweep open-loop heavy-tailed diurnal Zipf traffic at 0.5×/1×/2×
+/// capacity and record the goodput-under-overload curve, coordinated-
+/// omission-corrected percentiles, and shed counts. Writes
+/// `results/serve_fleet.csv` plus a `BENCH_serve.json` the CI smoke
+/// (`scripts/serve_smoke.sh`) gates against.
+fn serve_fleet_bench(flags: &Flags) -> ExitCode {
+    use ltfb::gan::{CycleGan, CycleGanConfig};
+    use ltfb::serve::{
+        run_load, run_traffic, BatchPolicy, Fleet, FleetConfig, LoadGenConfig, LoadMode,
+        LoadReport, ModelRegistry, SloPolicy, TrafficModel,
+    };
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let shards = flags.get("shards", 2usize);
+    let clients = flags.get("clients", 8usize);
+    let requests = flags.get("requests", 400usize);
+    let img = flags.get("img-size", 8usize);
+    let seed = flags.get("seed", 2019u64);
+    let sweep_secs = flags.get("sweep-secs", 1.0f64);
+    let policy = BatchPolicy {
+        max_batch: flags.get("max-batch", 32usize),
+        flush_deadline: Duration::from_micros(flags.get("flush-us", 50u64)),
+        queue_cap: flags.get("queue-cap", 1024usize),
+        workers: flags.get("workers", 2usize),
+        // Fleet traffic is Zipf-skewed, so the cache defaults ON here
+        // (plain serve-bench keeps it off for a pure batching number).
+        cache_capacity: flags.get("cache", 256usize),
+        cache_quantum: flags.get("cache-quantum", 1.0e-3f32),
+        ..BatchPolicy::default()
+    };
+    let slo = SloPolicy {
+        p99_target_us: flags.get("slo-p99-us", 5_000.0f64),
+        spill_depth: flags.get("spill-depth", 16usize),
+        shed_depth: flags.get("shed-depth", 128usize),
+        adaptive: !flags.has("no-adaptive"),
+        ..SloPolicy::default()
+    };
+    for (what, v, min) in [
+        ("--shards", shards, 1usize),
+        ("--clients", clients, 1),
+        ("--requests", requests, 1),
+        ("--img-size", img, 4),
+        ("--max-batch", policy.max_batch, 1),
+        ("--workers", policy.workers, 1),
+        ("--shed-depth", slo.shed_depth, 1),
+    ] {
+        if v < min {
+            eprintln!("serve-bench: {what} must be at least {min} (got {v})");
+            return ExitCode::FAILURE;
+        }
+    }
+    if !sweep_secs.is_finite() || sweep_secs <= 0.0 {
+        eprintln!("serve-bench: --sweep-secs must be positive");
+        return ExitCode::FAILURE;
+    }
+
+    let gan_cfg = CycleGanConfig::small(img);
+    let cfg = FleetConfig {
+        shards,
+        policy,
+        slo,
+    };
+    let make_fleet = |metrics: Option<&Registry>| -> Fleet {
+        // Every shard starts from the same seed, so replicas are
+        // identical — exactly the invariant publish fan-out maintains.
+        let regs: Vec<Arc<ModelRegistry>> = (0..shards)
+            .map(|_| Arc::new(ModelRegistry::new(CycleGan::new(gan_cfg, seed), 1)))
+            .collect();
+        match metrics {
+            Some(m) => Fleet::start_with_obs(regs, cfg, m),
+            None => Fleet::start(regs, cfg),
+        }
+    };
+    let (x_dim, y_dim) = (gan_cfg.x_dim(), gan_cfg.y_dim());
+    let tm_base = TrafficModel {
+        diurnal_amp: flags.get("diurnal-amp", 0.3f64),
+        tail_alpha: flags.get("tail-alpha", 1.5f64),
+        hot_keys: flags.get("hot-keys", 256usize),
+        zipf_exponent: flags.get("zipf", 1.1f64),
+        inverse_fraction: flags.get("inverse-frac", 0.25f64),
+        seed,
+        ..TrafficModel::default()
+    };
+
+    println!(
+        "serve-bench (fleet): {shards} shards, {clients} clients, y_dim={}, \
+         slo p99 {:.0}us, shed depth {}",
+        gan_cfg.y_dim(),
+        cfg.slo.p99_target_us,
+        cfg.slo.shed_depth,
+    );
+
+    let describe = |label: &str, offered: f64, r: &LoadReport| {
+        println!(
+            "{label:>9}: offered {offered:>7.0} rps  goodput {:>7.0} rps  \
+             p50 {:>6.0}us  p99 {:>7.0}us  p99.9 {:>7.0}us  shed {}  rejected {}",
+            r.goodput_rps(),
+            r.lat_p50_us,
+            r.lat_p99_us,
+            r.lat_p999_us,
+            r.shed,
+            r.rejected,
+        );
+    };
+
+    // Capacity probe: closed-loop saturation throughput of the fleet.
+    let fleet = make_fleet(None);
+    let load = LoadGenConfig {
+        clients,
+        requests_per_client: requests,
+        inverse_fraction: tm_base.inverse_fraction,
+        mode: LoadMode::Closed,
+        seed,
+        co_baseline: false,
+    };
+    let cap_report = run_load(&fleet.client(), &load, x_dim, y_dim);
+    let _ = fleet.shutdown();
+    let capacity = cap_report.throughput_rps();
+    if capacity <= 0.0 {
+        eprintln!("serve-bench: capacity probe completed no requests");
+        return ExitCode::FAILURE;
+    }
+    describe("capacity", capacity, &cap_report);
+
+    // Overload sweep: open-loop heavy-tailed diurnal Zipf traffic at
+    // 0.5×, 1× and 2× the measured capacity. The 2× point is where
+    // admission control earns its keep — the metrics registry (if any)
+    // watches that run so the causal trace records real shed episodes.
+    let metrics = flags.has("metrics").then(Registry::new);
+    let mults = [0.5f64, 1.0, 2.0];
+    let mut sweep: Vec<(f64, f64, LoadReport, u64, u64, u64)> = Vec::new();
+    for &mult in &mults {
+        let rate = capacity * mult;
+        let total = ((rate * sweep_secs) as usize).clamp(200, 100_000);
+        let obs = (mult == 2.0).then_some(metrics.as_ref()).flatten();
+        let fleet = make_fleet(obs);
+        let tm = TrafficModel {
+            base_rate: rate,
+            ..tm_base
+        };
+        let report = run_traffic(&fleet.client(), &tm, clients, total, x_dim, y_dim);
+        let stats = fleet.shutdown();
+        describe(
+            match mult {
+                m if m < 1.0 => "0.5x",
+                m if m > 1.0 => "2x",
+                _ => "1x",
+            },
+            rate,
+            &report,
+        );
+        sweep.push((mult, rate, report, stats.routed, stats.spills, stats.sheds));
+    }
+    let at_2x = &sweep[sweep.len() - 1].2;
+    let goodput_frac = at_2x.goodput_rps() / capacity;
+    println!(
+        "goodput under 2x overload: {:.0}/{:.0} rps = {:.2} of capacity \
+         ({} shed); corrected p99 {:.0}us vs send-clock p99 {:.0}us",
+        at_2x.goodput_rps(),
+        capacity,
+        goodput_frac,
+        at_2x.shed,
+        at_2x.lat_p99_us,
+        at_2x.send_lat_p99_us,
+    );
+
+    // results/serve_fleet.csv: the goodput-under-overload curve.
+    let dir = std::env::var("LTFB_RESULTS_DIR").unwrap_or_else(|_| "results".into());
+    let csv_path = flags
+        .get_str("csv")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| Path::new(&dir).join("serve_fleet.csv"));
+    let write_csv = || -> std::io::Result<()> {
+        if let Some(parent) = csv_path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        use std::io::Write;
+        let mut f = std::fs::File::create(&csv_path)?;
+        writeln!(
+            f,
+            "label,offered_rps,goodput_rps,p50_us,p99_us,p999_us,\
+             submitted,completed,shed,rejected,routed,spills"
+        )?;
+        let mut row = |label: &str, offered: f64, r: &LoadReport, routed: u64, spills: u64| {
+            writeln!(
+                f,
+                "{label},{offered:.1},{:.1},{:.1},{:.1},{:.1},{},{},{},{},{routed},{spills}",
+                r.goodput_rps(),
+                r.lat_p50_us,
+                r.lat_p99_us,
+                r.lat_p999_us,
+                r.submitted,
+                r.completed,
+                r.shed,
+                r.rejected,
+            )
+        };
+        row("capacity", capacity, &cap_report, 0, 0)?;
+        for (mult, rate, r, routed, spills, _) in &sweep {
+            row(&format!("open_{mult}x"), *rate, r, *routed, *spills)?;
+        }
+        Ok(())
+    };
+    match write_csv() {
+        Ok(()) => println!("wrote {}", csv_path.display()),
+        Err(e) => eprintln!("cannot write {}: {e}", csv_path.display()),
+    }
+
+    // BENCH_serve.json: the committed numbers serve_smoke.sh gates on.
+    let json_path = flags
+        .get_str("json")
+        .map(String::from)
+        .or_else(|| std::env::var("LTFB_SERVE_JSON").ok())
+        .unwrap_or_else(|| "BENCH_serve.json".into());
+    let mut j = String::from("{\n");
+    j.push_str("  \"bench\": \"serve_fleet_bench\",\n");
+    j.push_str(&format!(
+        "  \"config\": {{\"shards\": {shards}, \"clients\": {clients}, \"workers\": {}, \
+         \"max_batch\": {}, \"cache\": {}, \"spill_depth\": {}, \"shed_depth\": {}, \
+         \"slo_p99_us\": {:.1}, \"adaptive\": {}, \"seed\": {seed}}},\n",
+        cfg.policy.workers,
+        cfg.policy.max_batch,
+        cfg.policy.cache_capacity,
+        cfg.slo.spill_depth,
+        cfg.slo.shed_depth,
+        cfg.slo.p99_target_us,
+        cfg.slo.adaptive,
+    ));
+    j.push_str(&format!("  \"capacity_rps\": {capacity:.1},\n"));
+    for (mult, rate, r, routed, spills, sheds) in &sweep {
+        j.push_str(&format!(
+            "  \"open_{mult}x\": {{\"offered_rps\": {rate:.1}, \"goodput_rps\": {:.1}, \
+             \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"p999_us\": {:.1}, \"shed\": {}, \
+             \"routed\": {routed}, \"spills\": {spills}, \"router_sheds\": {sheds}}},\n",
+            r.goodput_rps(),
+            r.lat_p50_us,
+            r.lat_p99_us,
+            r.lat_p999_us,
+            r.shed,
+        ));
+    }
+    j.push_str(&format!(
+        "  \"goodput_frac_at_2x\": {goodput_frac:.3},\n  \"shed_at_2x\": {},\n",
+        at_2x.shed
+    ));
+    j.push_str(&format!(
+        "  \"co_corrected_p99_us\": {:.1},\n  \"co_send_clock_p99_us\": {:.1}\n}}\n",
+        at_2x.lat_p99_us, at_2x.send_lat_p99_us
+    ));
+    match std::fs::write(&json_path, j) {
+        Ok(()) => println!("wrote {json_path}"),
+        Err(e) => eprintln!("cannot write {json_path}: {e}"),
+    }
+
+    if let Some(reg) = &metrics {
+        write_metrics(reg, &metrics_path(flags, "serve_fleet_metrics.json"));
+    }
+    ExitCode::SUCCESS
+}
+
 /// Benchmark the serving engine: drive the same load through a
 /// micro-batching server and a forced batch-size-1 server and report the
 /// throughput/latency difference.
@@ -668,6 +933,10 @@ fn serve_bench(flags: &Flags) -> ExitCode {
     };
     use std::sync::Arc;
     use std::time::Duration;
+
+    if flags.has("shards") {
+        return serve_fleet_bench(flags);
+    }
 
     let quant_mode = match flags.get_str("quant") {
         None | Some("f32") => QuantMode::F32,
@@ -688,6 +957,7 @@ fn serve_bench(flags: &Flags) -> ExitCode {
         workers: flags.get("workers", 2usize),
         cache_capacity: flags.get("cache", 0usize),
         cache_quantum: flags.get("cache-quantum", 1.0e-3f32),
+        ..BatchPolicy::default()
     };
     for (what, v, min) in [
         ("--clients", clients, 1usize),
@@ -717,6 +987,7 @@ fn serve_bench(flags: &Flags) -> ExitCode {
             None => LoadMode::Closed,
         },
         seed: flags.get("seed", 2019u64),
+        co_baseline: false,
     };
 
     let make_gan = || -> Option<(CycleGan, u64)> {
@@ -901,8 +1172,15 @@ fn usage() {
          serve-bench [--clients C] [--requests N] [--max-batch B] [--workers W]\n              \
          [--flush-us U] [--open-rate RPS] [--inverse-frac F] [--cache N]\n              \
          [--img-size P] [--checkpoint PATH] [--quant int8] [--csv PATH]\n              \
-         [--json PATH] [--metrics [PATH]]\n  \
+         [--json PATH] [--metrics [PATH]]\n              \
+         [--shards N] [--slo-p99-us T] [--spill-depth D] [--shed-depth D]\n              \
+         [--no-adaptive] [--tail-alpha A] [--diurnal-amp F] [--hot-keys N]\n              \
+         [--zipf S] [--sweep-secs T]\n  \
          help\n\n\
+         --shards N runs the sharded serving fleet: closed-loop capacity probe,\n\
+         then an open-loop heavy-tailed Zipf overload sweep (0.5x/1x/2x capacity)\n\
+         with SLO admission control; writes results/serve_fleet.csv and\n\
+         BENCH_serve.json (or $LTFB_SERVE_JSON / --json PATH).\n\
          --fault injects failures, e.g. \"kill:2@15\" (trainer 2 dies at step 15),\n\
          \"delay:1@5:2000us\" (straggler), \"drop:0@10\" (skip that exchange);\n\
          comma-separate events. Survivors re-pair and finish the run.\n\
