@@ -1,0 +1,36 @@
+// Fixture: LA011 must fire exactly once — the blocking allreduce inside
+// the backward hook below. The commented call must NOT fire:
+// comm.allreduce_f32(&mut grads);
+
+pub fn backward_ws_hooked(grads: &mut [f32], comm: &Comm) {
+    for g in grads.iter_mut() {
+        *g *= 0.5;
+    }
+    // Blocking collective between backward kernels: the violation.
+    comm.allreduce_f32(grads);
+}
+
+// A nonblocking hand-off in a hook is the sanctioned pattern; neither
+// line below fires (no blocking needle).
+pub fn layer_done_clean(engine: &mut Engine, comm: &Comm) {
+    engine.mark_ready(0);
+    engine.poll(comm);
+}
+
+// Blocking collectives outside backward hooks are out of scope.
+pub fn cold_sync(comm: &Comm, buf: &mut [f32]) {
+    comm.allreduce_f32(buf);
+}
+
+pub struct Comm;
+
+impl Comm {
+    pub fn allreduce_f32(&self, _buf: &mut [f32]) {}
+}
+
+pub struct Engine;
+
+impl Engine {
+    pub fn mark_ready(&mut self, _lo: usize) {}
+    pub fn poll(&mut self, _comm: &Comm) {}
+}

@@ -346,6 +346,16 @@ fn in_training_path(path: &str) -> bool {
         .any(|p| path.contains(p))
 }
 
+/// The backward-pass surface of the training crates: `*_ws` backward
+/// implementations and the per-layer overlap hooks (`layer_done`) that
+/// run between backward kernels. Blocking collectives belong in the
+/// overlap engine's drain (`finish`/`wait`), never here — one blocking
+/// call inside a hook serializes exactly the communication the bucketed
+/// engine exists to hide. The engine itself is out of scope.
+fn in_backward_hook_path(path: &str) -> bool {
+    in_training_path(path) && !path.ends_with("src/overlap.rs")
+}
+
 /// The fault-tolerance surface of the protocol crates: failure
 /// detection, fault-aware collectives, and datastore recovery. These
 /// paths exist so a fault is *survived*; a panic there defeats them.
@@ -484,6 +494,12 @@ pub fn rules() -> Vec<Rule> {
             check: check_relaxed_protocol_atomics,
         },
         Rule {
+            id: "LA011",
+            summary: "no blocking collectives in *_ws backward paths / overlap hooks",
+            applies: in_backward_hook_path,
+            check: check_backward_blocking_collectives,
+        },
+        Rule {
             id: "LA006",
             summary: "every crate root carries #![forbid(unsafe_code)]",
             applies: is_crate_root,
@@ -568,6 +584,68 @@ fn check_hot_path_allocs(f: &SourceFile) -> Vec<Violation> {
                             ),
                         ));
                         break;
+                    }
+                }
+                if depth <= 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// LA011: within the brace-matched body of every `fn backward_ws*` and
+/// every `fn layer_done` in the training crates, flag blocking
+/// collective calls (`allreduce*`, `.barrier(`, `broadcast*`). These
+/// functions run *between* backward kernels — a blocking collective
+/// there re-serializes communication behind compute, defeating the
+/// bucketed overlap engine (whose own `overlap.rs` is exempt: its
+/// `finish`/`wait` drain is the one sanctioned blocking point).
+fn check_backward_blocking_collectives(f: &SourceFile) -> Vec<Violation> {
+    const NEEDLES: [&str; 3] = ["allreduce", ".barrier(", "broadcast"];
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < f.code.len() {
+        let sig = &f.code[i];
+        let is_hook = sig.contains("fn backward_ws") || sig.contains("fn layer_done");
+        if !is_hook {
+            i += 1;
+            continue;
+        }
+        // Walk the item: signature lines until the first `{`, then the
+        // brace-matched body (same walk as LA008).
+        let mut depth = 0i32;
+        let mut entered = false;
+        let mut j = i;
+        while j < f.code.len() {
+            let line = &f.code[j];
+            for c in line.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        entered = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if entered {
+                if j > i {
+                    // The signature line itself never holds the call.
+                    if let Some(n) = NEEDLES.iter().find(|n| line.contains(*n)) {
+                        out.push(f.violation(
+                            "LA011",
+                            j + 1,
+                            format!(
+                                "blocking collective (`{n}`) inside a backward hook: this \
+                                 serializes the communication the overlap engine hides — \
+                                 hand the bucket to the nonblocking engine and drain in \
+                                 finish()/wait() instead"
+                            ),
+                        ));
                     }
                 }
                 if depth <= 0 {

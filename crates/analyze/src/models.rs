@@ -417,6 +417,125 @@ pub fn allreduce_chunked_world(n: usize, m: usize, subchunks: usize) -> SimWorld
     w.with_final_check(drained("allreduce-chunked"))
 }
 
+/// The bucketed backward-overlapped nonblocking allreduce of
+/// `ltfb_comm::overlap::NbAllreduce` as driven by gradient buckets:
+/// each rank "computes" its buckets suffix-first (backward order — the
+/// readiness watermark `ready_from` only ever moves down), and the
+/// strictly in-order engine posts a step-0 reduce-scatter sub-chunk send
+/// only once every element of that sub-chunk is covered by a released
+/// bucket. Folds and all later ring steps run in the drain (`wait()`),
+/// which is a legal execution of the poll-driven machine — polls that
+/// never get lucky degrade to exactly this schedule.
+///
+/// Certified claims: (a) *deadlock freedom* — bucket release is pure
+/// local compute, so every gated send eventually posts and the ring
+/// drains for every interleaving of compute and delivery; (b) *bit
+/// identity* — deferring sends changes only when data moves, never the
+/// ascending-j fold order, so each rank's result equals the monolithic
+/// [`ring_allreduce_reference`] via `to_bits`.
+pub fn overlap_bucket_world(n: usize, m: usize, subchunks: usize, buckets: usize) -> SimWorld {
+    assert!(buckets >= 1 && m >= buckets);
+    let init = |rank: usize, i: usize| 0.1f32 * (rank as f32 + 1.0) + 0.3f32 * (i as f32 + 1.0);
+    let want = Arc::new(ring_allreduce_reference(n, m, &init));
+    let mut w = SimWorld::new(n);
+    for rank in 0..n {
+        let want = Arc::clone(&want);
+        w.spawn(move |env| {
+            let mut buf: Vec<f32> = (0..m).map(|i| init(rank, i)).collect();
+            let bounds = |c: usize| (chunk_bound(m, n, c), chunk_bound(m, n, c + 1));
+            let (right, left) = ring_neighbors(rank, n);
+
+            // Backward produces buckets back-to-front over the flat
+            // buffer; bucket b covers [b*m/buckets, (b+1)*m/buckets).
+            // Interleave each release with the engine's gated step-0
+            // sends — the only schedule points readiness can hold up.
+            let (s0_send, _) = reduce_scatter_step(rank, n, 0);
+            let (slo, shi) = bounds(s0_send);
+            let mut sent_j = 0usize;
+            for b in (0..buckets).rev() {
+                env.step("bucket.ready");
+                let ready_from = b * m / buckets;
+                while sent_j < subchunks {
+                    let lo = subchunk_bound(slo, shi, subchunks, sent_j);
+                    if lo < ready_from {
+                        break; // in-order machine stalls at unready data
+                    }
+                    let hi = subchunk_bound(slo, shi, subchunks, sent_j + 1);
+                    let tag = coll_round_tag(
+                        CollOp::ReduceScatter,
+                        0,
+                        pipelined_round(0, subchunks, sent_j),
+                    );
+                    env.send(right, CTX, tag, encode_f32(&buf[lo..hi]));
+                    sent_j += 1;
+                }
+            }
+            debug_assert_eq!(sent_j, subchunks, "ready_from hit 0, all sends must post");
+
+            // Drain: the rest of the chunked schedule, blocking — step-0
+            // folds, then ring steps 1.., then the allgather phase.
+            for s in 0..n - 1 {
+                let (send_chunk, recv_chunk) = reduce_scatter_step(rank, n, s);
+                let (slo, shi) = bounds(send_chunk);
+                if s > 0 {
+                    for j in 0..subchunks {
+                        let tag = coll_round_tag(
+                            CollOp::ReduceScatter,
+                            0,
+                            pipelined_round(s, subchunks, j),
+                        );
+                        let lo = subchunk_bound(slo, shi, subchunks, j);
+                        let hi = subchunk_bound(slo, shi, subchunks, j + 1);
+                        env.send(right, CTX, tag, encode_f32(&buf[lo..hi]));
+                    }
+                }
+                let (rlo, rhi) = bounds(recv_chunk);
+                for j in 0..subchunks {
+                    let tag =
+                        coll_round_tag(CollOp::ReduceScatter, 0, pipelined_round(s, subchunks, j));
+                    let lo = subchunk_bound(rlo, rhi, subchunks, j);
+                    let hi = subchunk_bound(rlo, rhi, subchunks, j + 1);
+                    let e = env.recv(CTX, left, tag);
+                    for (dst, v) in buf[lo..hi].iter_mut().zip(decode_f32(&e.payload)) {
+                        *dst += v;
+                    }
+                }
+            }
+            for s in 0..n - 1 {
+                let (send_chunk, recv_chunk) = allreduce_allgather_step(rank, n, s);
+                let (slo, shi) = bounds(send_chunk);
+                for j in 0..subchunks {
+                    let tag =
+                        coll_round_tag(CollOp::AllgatherRing, 0, pipelined_round(s, subchunks, j));
+                    let lo = subchunk_bound(slo, shi, subchunks, j);
+                    let hi = subchunk_bound(slo, shi, subchunks, j + 1);
+                    env.send(right, CTX, tag, encode_f32(&buf[lo..hi]));
+                }
+                let (rlo, rhi) = bounds(recv_chunk);
+                for j in 0..subchunks {
+                    let tag =
+                        coll_round_tag(CollOp::AllgatherRing, 0, pipelined_round(s, subchunks, j));
+                    let lo = subchunk_bound(rlo, rhi, subchunks, j);
+                    let hi = subchunk_bound(rlo, rhi, subchunks, j + 1);
+                    let e = env.recv(CTX, left, tag);
+                    for (dst, v) in buf[lo..hi].iter_mut().zip(decode_f32(&e.payload)) {
+                        *dst = v;
+                    }
+                }
+            }
+            for (i, (got, want)) in buf.iter().zip(&want[rank]).enumerate() {
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "rank {rank}: bucketed overlapped allreduce[{i}] = {got:?}, monolithic \
+                     fold gives {want:?} — deferring gated sends changed the fold order"
+                );
+            }
+        });
+    }
+    w.with_final_check(drained("allreduce-overlap"))
+}
+
 fn encode_ids(ids: &[u64]) -> Bytes {
     let mut out = Vec::with_capacity(8 + ids.len() * 8);
     out.extend_from_slice(&(ids.len() as u64).to_le_bytes());
@@ -1080,6 +1199,22 @@ pub fn models() -> Vec<ModelSpec> {
             name: "allreduce-chunked",
             summary: "pipelined sub-chunk allreduce (n=3, m=6, k=2): bit-identity random walks",
             build: || allreduce_chunked_world(3, 6, 2),
+            expect: Expect::AllOk,
+            exhaustive: false,
+        },
+        ModelSpec {
+            name: "allreduce-overlap-2",
+            summary: "bucketed backward-overlapped allreduce (n=2, m=4, k=1, 2 buckets): \
+                      deadlock-freedom + bit-identity certified",
+            build: || overlap_bucket_world(2, 4, 1, 2),
+            expect: Expect::AllOk,
+            exhaustive: true,
+        },
+        ModelSpec {
+            name: "allreduce-overlap",
+            summary: "bucketed backward-overlapped allreduce (n=3, m=6, k=2, 3 buckets): \
+                      random walks",
+            build: || overlap_bucket_world(3, 6, 2, 3),
             expect: Expect::AllOk,
             exhaustive: false,
         },

@@ -71,6 +71,8 @@ fn seeded_violations_land_in_the_expected_files() {
     assert!(find("LA009").text.contains("read_to_end"));
     assert!(find("LA010").path.ends_with("la010_relaxed.rs"));
     assert!(find("LA010").text.contains("coll_seq.fetch_add"));
+    assert!(find("LA011").path.ends_with("la011_backward_collective.rs"));
+    assert!(find("LA011").text.contains("allreduce_f32"));
 }
 
 #[test]

@@ -6,7 +6,7 @@ use ltfb_analyze::models::{
     allreduce_rank_failure_world, allreduce_recovery_world, allreduce_world,
     barrier_rank_failure_world, barrier_recovery_world, barrier_world, datastore_shuffle_world,
     lock_inversion_world, lock_ordered_world, ltfb_exchange_recovery_world, ltfb_exchange_world,
-    router_matching_world,
+    overlap_bucket_world, router_matching_world,
 };
 use ltfb_analyze::{
     explore_exhaustive, explore_random, replay_seed, run_schedule, Chooser, RunOutcome,
@@ -47,6 +47,40 @@ fn allreduce_holds_under_random_walks() {
     for n in [2, 3, 4] {
         let sweep = explore_random(&move || allreduce_world(n, 5), 0xA11, 150, None);
         assert!(sweep.ok(), "n={n}: {:?}", sweep.failure.map(|f| f.outcome));
+    }
+}
+
+/// The bucketed backward-overlapped allreduce: small world certified
+/// exhaustively (every interleaving of bucket releases, gated sends and
+/// deliveries is deadlock-free and bit-identical to the monolithic
+/// fold), larger worlds held by random walks across bucket counts —
+/// including one bucket per element-ish granularity and a single bucket
+/// (degenerates to the plain chunked schedule).
+#[test]
+fn overlapped_allreduce_certified_and_holds_under_random_walks() {
+    let small = explore_exhaustive(&|| overlap_bucket_world(2, 4, 1, 2), 100_000, None);
+    assert!(
+        small.ok(),
+        "n=2 overlap: {:?}",
+        small.failure.map(|f| f.outcome)
+    );
+    assert!(
+        small.complete,
+        "schedule space exceeded the budget ({} schedules)",
+        small.schedules
+    );
+    for buckets in [1, 2, 3, 6] {
+        let sweep = explore_random(
+            &move || overlap_bucket_world(3, 6, 2, buckets),
+            0xB0C,
+            150,
+            None,
+        );
+        assert!(
+            sweep.ok(),
+            "buckets={buckets}: {:?}",
+            sweep.failure.map(|f| f.outcome)
+        );
     }
 }
 

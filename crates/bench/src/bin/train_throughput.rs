@@ -14,11 +14,13 @@
 
 use ltfb_alloccount::{counts, CountingAlloc};
 use ltfb_bench::{banner, print_table, write_csv};
+use ltfb_comm::run_world;
+use ltfb_core::{dp_train_step_overlapped, DpOverlap};
 use ltfb_gan::{batch_from_samples, CycleGan, CycleGanConfig};
 use ltfb_jag::{r2_point, JagSimulator, Sample};
-use ltfb_nn::Workspace;
+use ltfb_nn::{FusedGradients, Workspace};
 use ltfb_tensor::Matrix;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc;
@@ -112,6 +114,155 @@ fn measure(
     }
 }
 
+/// One rank's view of the data-parallel comparison.
+struct DpStats {
+    ser_secs: f64,
+    ov_secs: f64,
+    ser_wait: Duration,
+    ov_wait: Duration,
+}
+
+/// Aggregated multi-rank result for the `overlap` JSON row.
+struct OverlapStats {
+    ranks: usize,
+    steps_per_sec_serialized: f64,
+    steps_per_sec_overlapped: f64,
+    comm_wait_ms_serialized: f64,
+    comm_wait_ms_overlapped: f64,
+}
+
+/// Data-parallel comparison on `DP_RANKS` in-process ranks: the fused
+/// *blocking* allreduce (`dp_train_step_ws`, gradient exchange fully
+/// serialized behind backward) vs the bucketed *backward-overlapped*
+/// engine (`dp_train_step_overlapped`). Both walk bit-identical weight
+/// trajectories — asserted per rank — so the only difference is when
+/// communication happens. Comm wait is time blocked in the exchange:
+/// the whole allreduce on the serialized path, only the `finish()`
+/// drain on the overlapped one.
+fn measure_overlap(steps: usize) -> OverlapStats {
+    const DP_RANKS: usize = 4;
+    const DP_WARMUP: usize = 10;
+    let per_rank = run_world(DP_RANKS, move |comm| {
+        // Weak scaling, like the paper's data-parallel trainers: every
+        // rank keeps the full MB-row local mini-batch (global batch
+        // MB * DP_RANKS) and ranks see disjoint sample streams. img_size
+        // 8 rather than the serial bench's 4 so backward is long enough
+        // to hide an allreduce behind at all.
+        let cfg = CycleGanConfig::small(8);
+        let sim = JagSimulator::new(cfg.jag);
+        let base = (comm.rank() * N_BATCHES * MB) as u64;
+        let samples: Vec<Sample> = (0..(N_BATCHES * MB) as u64)
+            .map(|i| sim.simulate(r2_point(base + i)))
+            .collect();
+        let shards: Vec<(Matrix, Matrix)> = samples
+            .chunks(MB)
+            .map(|chunk| {
+                let refs: Vec<&Sample> = chunk.iter().collect();
+                batch_from_samples(&cfg, &refs)
+            })
+            .collect();
+
+        let mut gan_ser = CycleGan::new(cfg, SEED);
+        let mut gan_ov = CycleGan::new(cfg, SEED);
+        let mut ws_ser = Workspace::new();
+        let mut ws_ov = Workspace::new();
+        let mut fused = FusedGradients::new();
+        let mut ov = DpOverlap::new();
+
+        let ser_step = |gan: &mut CycleGan,
+                        ws: &mut Workspace,
+                        fused: &mut FusedGradients,
+                        x: &Matrix,
+                        y: &Matrix,
+                        wait: &mut Duration| {
+            gan.train_step_ws_with_sync(x, y, ws, &mut |net| {
+                let t0 = Instant::now();
+                fused.allreduce(net, &comm);
+                *wait += t0.elapsed();
+            })
+        };
+
+        // Warm-up both paths (pools, Adam state, bucket plans).
+        let mut sink = Duration::ZERO;
+        for i in 0..DP_WARMUP {
+            let (x, y) = &shards[i % shards.len()];
+            ser_step(&mut gan_ser, &mut ws_ser, &mut fused, x, y, &mut sink);
+            dp_train_step_overlapped(&mut gan_ov, x, y, &comm, &mut ws_ov, &mut ov);
+        }
+        let _ = ov.take_comm_wait();
+
+        let mut best = DpStats {
+            ser_secs: f64::INFINITY,
+            ov_secs: f64::INFINITY,
+            ser_wait: Duration::MAX,
+            ov_wait: Duration::MAX,
+        };
+        let mut step = DP_WARMUP;
+        for _ in 0..reps() {
+            // Serialized leg.
+            comm.barrier();
+            let mut ser_wait = Duration::ZERO;
+            let t0 = Instant::now();
+            for i in step..step + steps {
+                let (x, y) = &shards[i % shards.len()];
+                ser_step(&mut gan_ser, &mut ws_ser, &mut fused, x, y, &mut ser_wait);
+            }
+            let ser_secs = t0.elapsed().as_secs_f64();
+
+            // Overlapped leg, same steps.
+            comm.barrier();
+            let t0 = Instant::now();
+            for i in step..step + steps {
+                let (x, y) = &shards[i % shards.len()];
+                dp_train_step_overlapped(&mut gan_ov, x, y, &comm, &mut ws_ov, &mut ov);
+            }
+            let ov_secs = t0.elapsed().as_secs_f64();
+            let ov_wait = ov.take_comm_wait();
+
+            step += steps;
+            // Best-of independently per metric: scheduler noise only
+            // ever inflates either one.
+            best.ser_secs = best.ser_secs.min(ser_secs);
+            best.ov_secs = best.ov_secs.min(ov_secs);
+            best.ser_wait = best.ser_wait.min(ser_wait);
+            best.ov_wait = best.ov_wait.min(ov_wait);
+        }
+
+        // Both paths must have walked the same trajectory, bit for bit.
+        for (a, b) in gan_ser.networks().iter().zip(gan_ov.networks().iter()) {
+            assert_eq!(
+                a.weights_fingerprint(),
+                b.weights_fingerprint(),
+                "rank {}: overlapped DP path diverged from the fused blocking path",
+                comm.rank()
+            );
+        }
+        best
+    });
+
+    let ranks = per_rank.len();
+    let timed = steps as f64;
+    // Steps/sec from the slowest rank (the one gating the collective);
+    // comm wait averaged over ranks, reported per step.
+    let ser_secs = per_rank.iter().map(|s| s.ser_secs).fold(0.0, f64::max);
+    let ov_secs = per_rank.iter().map(|s| s.ov_secs).fold(0.0, f64::max);
+    let mean_ms = |f: &dyn Fn(&DpStats) -> Duration| {
+        per_rank
+            .iter()
+            .map(|s| f(s).as_secs_f64() * 1e3)
+            .sum::<f64>()
+            / ranks as f64
+            / timed
+    };
+    OverlapStats {
+        ranks,
+        steps_per_sec_serialized: timed / ser_secs,
+        steps_per_sec_overlapped: timed / ov_secs,
+        comm_wait_ms_serialized: mean_ms(&|s| s.ser_wait),
+        comm_wait_ms_overlapped: mean_ms(&|s| s.ov_wait),
+    }
+}
+
 fn json_path(p: &PathStats) -> String {
     format!(
         "{{\"steps_per_sec\": {:.3}, \"samples_per_sec\": {:.3}, \
@@ -157,6 +308,9 @@ fn main() {
         workspace.fingerprint
     );
 
+    // Multi-rank overlap comparison (bit-identity asserted inside).
+    let overlap = measure_overlap(steps);
+
     let speedup = workspace.steps_per_sec / reference.steps_per_sec;
     let header = [
         "path",
@@ -179,6 +333,16 @@ fn main() {
         .collect();
     print_table(&header, &rows);
     println!("speedup (steps/sec): {speedup:.2}x, trajectories bit-identical");
+    println!(
+        "dp overlap ({} ranks): serialized {:.1} steps/sec ({:.3} ms comm wait/step), \
+         overlapped {:.1} steps/sec ({:.3} ms comm wait/step), comm wait x{:.2}",
+        overlap.ranks,
+        overlap.steps_per_sec_serialized,
+        overlap.comm_wait_ms_serialized,
+        overlap.steps_per_sec_overlapped,
+        overlap.comm_wait_ms_overlapped,
+        overlap.comm_wait_ms_overlapped / overlap.comm_wait_ms_serialized
+    );
 
     let csv = write_csv("train_throughput.csv", &header, &rows);
     // Optional provenance: the pre-change baseline (allocating step +
@@ -198,14 +362,31 @@ fn main() {
             )
         })
         .unwrap_or_default();
+    let overlap_json = format!(
+        "{{\"ranks\": {}, \"img_size\": 8, \"mb_per_rank\": {MB}, \
+         \"steps_per_sec_serialized\": {:.3}, \
+         \"steps_per_sec_overlapped\": {:.3}, \
+         \"comm_wait_ms_per_step_serialized\": {:.4}, \
+         \"comm_wait_ms_per_step_overlapped\": {:.4}, \
+         \"speedup\": {:.3}, \"comm_wait_ratio\": {:.3}, \
+         \"bit_identical\": true}}",
+        overlap.ranks,
+        overlap.steps_per_sec_serialized,
+        overlap.steps_per_sec_overlapped,
+        overlap.comm_wait_ms_serialized,
+        overlap.comm_wait_ms_overlapped,
+        overlap.steps_per_sec_overlapped / overlap.steps_per_sec_serialized,
+        overlap.comm_wait_ms_overlapped / overlap.comm_wait_ms_serialized
+    );
     let json = format!(
         "{{\n  \"bench\": \"train_throughput\",\n  \
          \"config\": {{\"img_size\": 4, \"mb\": {MB}, \"warmup_steps\": {WARMUP}, \
          \"timed_steps\": {steps}}},\n  \
-         \"reference\": {},\n  \"workspace\": {},\n{prechange}  \
+         \"reference\": {},\n  \"workspace\": {},\n  \"overlap\": {},\n{prechange}  \
          \"speedup_steps_per_sec\": {:.3},\n  \"bit_identical\": {}\n}}\n",
         json_path(&reference),
         json_path(&workspace),
+        overlap_json,
         speedup,
         identical
     );

@@ -66,7 +66,7 @@ impl Comm {
     /// Causal stamp for leaving collective `seq` (no-op without obs).
     /// Collectives that error out mid-protocol deliberately leave the
     /// entry unpaired — the trace records the abort as it happened.
-    fn coll_exit(&self, seq: u64) {
+    pub(crate) fn coll_exit(&self, seq: u64) {
         if let Some(o) = self.obs() {
             o.causal.local("coll.exit", seq, self.context);
         }

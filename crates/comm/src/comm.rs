@@ -199,6 +199,10 @@ pub(crate) struct CommObs {
     /// (posted but not yet matched by the folding recv) — direct evidence
     /// that the chunked schedule overlaps send `k+1` with reduce `k`.
     allreduce_chunk_inflight: Arc<Gauge>,
+    /// Peak number of gradient buckets handed to the nonblocking overlap
+    /// engine but not yet fully reduced — evidence that backward compute
+    /// and the bucketed allreduce genuinely overlap.
+    bucket_inflight: Arc<Gauge>,
     /// Vector-clock stamping handle for this rank (actor `rank.N`, shared
     /// with the rank's data store — one thread of control, one clock).
     pub(crate) causal: CausalHandle,
@@ -215,6 +219,7 @@ impl CommObs {
             collectives: registry.counter(&name("collectives")),
             recv_wait_us: registry.histogram(&name("recv_wait_us"), Buckets::latency_us()),
             allreduce_chunk_inflight: registry.gauge(&name("allreduce_chunk_inflight")),
+            bucket_inflight: registry.gauge(&name("bucket_inflight")),
             causal: registry.causal_actor(&format!("rank.{world_rank}")),
         }
     }
@@ -226,6 +231,14 @@ impl CommObs {
     /// Record the current in-flight sub-chunk count, keeping the peak.
     pub(crate) fn record_chunk_inflight(&self, inflight: usize) {
         let g = &self.allreduce_chunk_inflight;
+        if (inflight as f64) > g.get() {
+            g.set(inflight as f64);
+        }
+    }
+
+    /// Record the current in-flight bucket count, keeping the peak.
+    pub(crate) fn record_bucket_inflight(&self, inflight: usize) {
+        let g = &self.bucket_inflight;
         if (inflight as f64) > g.get() {
             g.set(inflight as f64);
         }

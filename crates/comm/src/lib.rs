@@ -26,6 +26,7 @@ pub mod comm;
 pub mod envelope;
 pub mod fault;
 pub mod ft;
+pub mod overlap;
 pub mod protocol;
 pub mod router;
 pub mod world;
@@ -34,6 +35,7 @@ pub use collectives::{decode_f32, encode_f32, ReduceOp};
 pub use comm::{deadlock_report, Comm, CommStats, RecvRequest, SendRequest, RECV_TIMEOUT};
 pub use envelope::{match_pending, Envelope, ANY_SOURCE};
 pub use fault::{CommError, FailureDetector, FaultEvent, FaultPlan};
+pub use overlap::NbAllreduce;
 pub use protocol::{survivor_index, survivors};
 pub use router::{Router, WorldStats};
 pub use world::{bytes_of_u64, run_world, run_world_obs, u64_of_bytes};

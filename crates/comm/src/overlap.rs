@@ -1,0 +1,393 @@
+//! Nonblocking bucketed allreduce: the comm half of backward/comm overlap.
+//!
+//! [`NbAllreduce`] is an incremental state machine that executes **exactly**
+//! the schedule of [`Comm::allreduce_f32_chunked`] — same chunk bounds, same
+//! sub-chunk pipelining, same `pipelined_round` tags, same ascending-index
+//! fold order — but broken into resumable micro-ops so a training step can
+//! interleave it with backward kernels:
+//!
+//! * `mark_ready(lo)` lowers a *readiness watermark*: elements `lo..` of the
+//!   caller's buffer now hold final gradient data. Backward produces
+//!   gradients in reverse-layer order and the fused buffer is packed in
+//!   forward-layer order, so readiness always grows as a suffix — a single
+//!   watermark suffices.
+//! * `poll()` advances the machine as far as it can without blocking:
+//!   sends of *raw local* data are gated on the watermark, folds use
+//!   [`Comm::try_recv`], and the machine returns at the first stall.
+//! * `wait()` forces the watermark to zero and drives the remaining
+//!   schedule with blocking receives.
+//!
+//! Because every arithmetic operation (which elements fold which incoming
+//! bytes, in which order) is identical to the blocking chunked schedule,
+//! the result is **bit-identical** to [`Comm::allreduce_f32_chunked`] and
+//! therefore to the monolithic [`Comm::allreduce_f32`]. Overlap changes
+//! only *when* operations run, never *what* they compute.
+//!
+//! Readiness gating, precisely: the sub-chunk sent at reduce-scatter step
+//! `0` is raw local data and needs the watermark; the data sent at step
+//! `s > 0` is the partial this machine folded at step `s - 1`, so in-order
+//! execution already certifies it. Every fold adds incoming bytes onto
+//! *local* elements, so folds are watermark-gated at every step. Allgather
+//! traffic only moves fully reduced chunks and needs no gating.
+//!
+//! Deadlock freedom: the machine is strictly in-order and sends are eager
+//! (never block). By induction around the ring, the message each receive
+//! waits for is eventually posted by the left neighbour's machine once its
+//! own watermark allows — and `wait()` unconditionally releases the
+//! watermark, so a rank that stops computing still drains the protocol.
+//! The `nb-allreduce-overlap` worlds in `ltfb-analyze` certify this
+//! exhaustively at small `n` against arbitrary compute/comm interleavings.
+
+use crate::collectives::{apply_f32, copy_f32, encode_f32, ReduceOp};
+use crate::comm::Comm;
+use crate::protocol::{
+    allreduce_allgather_step, chunk_bound, coll_round_tag, pipelined_round, reduce_scatter_step,
+    ring_neighbors, subchunk_bound, CollOp,
+};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NbPhase {
+    ReduceScatter,
+    Allgather,
+    Done,
+}
+
+/// Resumable nonblocking chunked ring allreduce over one f32 buffer.
+///
+/// Created by [`Comm::nb_allreduce_begin`]; the buffer stays owned by the
+/// caller and is passed to every `poll`/`wait` so the engine itself holds
+/// no gradient storage. Single-communicator, single-thread use: the engine
+/// consumes one collective sequence number and must be driven to `Done`
+/// (via [`NbAllreduce::wait`]) before the same communicator starts another
+/// collective, exactly like the blocking call it replaces.
+pub struct NbAllreduce {
+    seq: u64,
+    op: ReduceOp,
+    n: usize,
+    rank: usize,
+    right: usize,
+    left: usize,
+    m: usize,
+    subchunks: usize,
+    /// Elements `ready_from..m` are final; lowered by `mark_ready`.
+    ready_from: usize,
+    phase: NbPhase,
+    /// Current ring step within the phase.
+    s: usize,
+    /// Sub-chunks already sent / folded within step `s`.
+    sent_j: usize,
+    done_j: usize,
+    /// Micro-ops (sends + folds/copies) completed, for the overlap gauge.
+    ops_done: usize,
+}
+
+impl Comm {
+    /// Start a nonblocking chunked ring allreduce of a length-`len` f32
+    /// buffer. With a single rank the machine is born `Done` and consumes
+    /// no sequence number, matching [`Comm::allreduce_f32_chunked`]'s
+    /// early return.
+    pub fn nb_allreduce_begin(&self, len: usize, op: ReduceOp, subchunks: usize) -> NbAllreduce {
+        assert!(subchunks >= 1, "need at least one sub-chunk");
+        let n = self.size();
+        let (right, left) = ring_neighbors(self.rank, n.max(1));
+        let (seq, phase) = if n <= 1 {
+            (0, NbPhase::Done)
+        } else {
+            (self.next_seq(), NbPhase::ReduceScatter)
+        };
+        NbAllreduce {
+            seq,
+            op,
+            n,
+            rank: self.rank,
+            right,
+            left,
+            m: len,
+            subchunks,
+            ready_from: len,
+            phase,
+            s: 0,
+            sent_j: 0,
+            done_j: 0,
+            ops_done: 0,
+        }
+    }
+
+    /// Stamp bucket `bucket` ready for the overlap engine and record the
+    /// current in-flight bucket count (peak gauge). No-op without obs.
+    pub fn record_bucket_ready(&self, bucket: u64, inflight: usize) {
+        if let Some(o) = self.obs() {
+            o.record_bucket_inflight(inflight);
+            o.causal.local("bucket.ready", bucket, self.context);
+        }
+    }
+}
+
+impl NbAllreduce {
+    /// Declare elements `lo..` of the buffer final. Watermarks only move
+    /// down; marking a higher `lo` than the current watermark is a no-op.
+    pub fn mark_ready(&mut self, lo: usize) {
+        if lo < self.ready_from {
+            self.ready_from = lo;
+        }
+    }
+
+    /// Has the whole schedule run?
+    pub fn is_done(&self) -> bool {
+        self.phase == NbPhase::Done
+    }
+
+    /// Fraction of the schedule's micro-ops already completed, in `0..=1`.
+    /// Read just before `wait()`, this is the overlap fraction: the share
+    /// of comm work hidden behind compute.
+    pub fn progress(&self) -> f64 {
+        let total = 4 * self.n.saturating_sub(1) * self.subchunks;
+        if total == 0 {
+            1.0
+        } else {
+            self.ops_done as f64 / total as f64
+        }
+    }
+
+    /// Advance as far as possible without blocking. Returns `true` when
+    /// the schedule has fully completed.
+    pub fn poll(&mut self, comm: &Comm, buf: &mut [f32]) -> bool {
+        self.advance(comm, buf, false)
+    }
+
+    /// Release the readiness watermark and drive the remaining schedule
+    /// with blocking receives. On return the buffer holds the full
+    /// reduction, bit-identical to [`Comm::allreduce_f32_chunked`].
+    /// (Blocking, not spinning: a round whose message is already queued
+    /// completes without sleeping anyway, and on an oversubscribed box a
+    /// spinning drain steals cycles from the very peer it waits on.)
+    pub fn wait(&mut self, comm: &Comm, buf: &mut [f32]) {
+        self.ready_from = 0;
+        let finished = self.advance(comm, buf, true);
+        debug_assert!(finished, "blocking advance must drain the schedule");
+    }
+
+    #[inline]
+    fn bounds(&self, c: usize) -> (usize, usize) {
+        (
+            chunk_bound(self.m, self.n, c),
+            chunk_bound(self.m, self.n, c + 1),
+        )
+    }
+
+    fn advance(&mut self, comm: &Comm, buf: &mut [f32], blocking: bool) -> bool {
+        debug_assert_eq!(buf.len(), self.m, "buffer changed size mid-collective");
+        loop {
+            match self.phase {
+                NbPhase::Done => return true,
+                NbPhase::ReduceScatter => {
+                    let (send_chunk, recv_chunk) = reduce_scatter_step(self.rank, self.n, self.s);
+                    let (slo, shi) = self.bounds(send_chunk);
+                    while self.sent_j < self.subchunks {
+                        let lo = subchunk_bound(slo, shi, self.subchunks, self.sent_j);
+                        // Step 0 sends raw local gradients; later steps
+                        // forward partials folded at step s-1, which
+                        // in-order execution has already certified.
+                        if self.s == 0 && lo < self.ready_from {
+                            return false;
+                        }
+                        let hi = subchunk_bound(slo, shi, self.subchunks, self.sent_j + 1);
+                        let tag = coll_round_tag(
+                            CollOp::ReduceScatter,
+                            self.seq,
+                            pipelined_round(self.s, self.subchunks, self.sent_j),
+                        );
+                        comm.send(self.right, tag, encode_f32(&buf[lo..hi]));
+                        if let Some(o) = comm.obs() {
+                            o.record_chunk_inflight(self.sent_j + 1);
+                        }
+                        self.sent_j += 1;
+                        self.ops_done += 1;
+                    }
+                    let (rlo, rhi) = self.bounds(recv_chunk);
+                    while self.done_j < self.subchunks {
+                        let lo = subchunk_bound(rlo, rhi, self.subchunks, self.done_j);
+                        // Folds accumulate onto local elements, which must
+                        // be final at every step.
+                        if lo < self.ready_from {
+                            return false;
+                        }
+                        let hi = subchunk_bound(rlo, rhi, self.subchunks, self.done_j + 1);
+                        let tag = coll_round_tag(
+                            CollOp::ReduceScatter,
+                            self.seq,
+                            pipelined_round(self.s, self.subchunks, self.done_j),
+                        );
+                        let incoming = if blocking {
+                            comm.recv(self.left, tag).1
+                        } else {
+                            match comm.try_recv(self.left, tag) {
+                                Some((_, data)) => data,
+                                None => return false,
+                            }
+                        };
+                        apply_f32(&mut buf[lo..hi], &incoming, self.op);
+                        self.done_j += 1;
+                        self.ops_done += 1;
+                    }
+                    self.sent_j = 0;
+                    self.done_j = 0;
+                    self.s += 1;
+                    if self.s == self.n - 1 {
+                        self.phase = NbPhase::Allgather;
+                        self.s = 0;
+                    }
+                }
+                NbPhase::Allgather => {
+                    let (send_chunk, recv_chunk) =
+                        allreduce_allgather_step(self.rank, self.n, self.s);
+                    let (slo, shi) = self.bounds(send_chunk);
+                    while self.sent_j < self.subchunks {
+                        let lo = subchunk_bound(slo, shi, self.subchunks, self.sent_j);
+                        let hi = subchunk_bound(slo, shi, self.subchunks, self.sent_j + 1);
+                        let tag = coll_round_tag(
+                            CollOp::AllgatherRing,
+                            self.seq,
+                            pipelined_round(self.s, self.subchunks, self.sent_j),
+                        );
+                        comm.send(self.right, tag, encode_f32(&buf[lo..hi]));
+                        self.sent_j += 1;
+                        self.ops_done += 1;
+                    }
+                    let (rlo, rhi) = self.bounds(recv_chunk);
+                    while self.done_j < self.subchunks {
+                        let lo = subchunk_bound(rlo, rhi, self.subchunks, self.done_j);
+                        let hi = subchunk_bound(rlo, rhi, self.subchunks, self.done_j + 1);
+                        let tag = coll_round_tag(
+                            CollOp::AllgatherRing,
+                            self.seq,
+                            pipelined_round(self.s, self.subchunks, self.done_j),
+                        );
+                        let incoming = if blocking {
+                            comm.recv(self.left, tag).1
+                        } else {
+                            match comm.try_recv(self.left, tag) {
+                                Some((_, data)) => data,
+                                None => return false,
+                            }
+                        };
+                        copy_f32(&mut buf[lo..hi], &incoming);
+                        self.done_j += 1;
+                        self.ops_done += 1;
+                    }
+                    self.sent_j = 0;
+                    self.done_j = 0;
+                    self.s += 1;
+                    if self.s == self.n - 1 {
+                        self.phase = NbPhase::Done;
+                        comm.coll_exit(self.seq);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::run_world;
+
+    fn rank_data(rank: usize, m: usize) -> Vec<f32> {
+        (0..m)
+            .map(|k| ((rank * 131 + k) as f32 * 0.37).sin())
+            .collect()
+    }
+
+    /// The engine, driven purely by poll() after full readiness, matches
+    /// the blocking chunked collective bit for bit.
+    #[test]
+    fn nb_allreduce_bit_identical_to_blocking_chunked() {
+        for &(n, m, subchunks) in &[(2usize, 17usize, 3usize), (4, 64, 4), (3, 5, 2), (4, 3, 2)] {
+            let outs = run_world(n, move |comm| {
+                let mut want = rank_data(comm.rank(), m);
+                comm.allreduce_f32_chunked(&mut want, ReduceOp::Sum, subchunks);
+
+                let mut buf = rank_data(comm.rank(), m);
+                let mut eng = comm.nb_allreduce_begin(m, ReduceOp::Sum, subchunks);
+                eng.mark_ready(0);
+                // Spin on poll only — no blocking receive anywhere.
+                while !eng.poll(&comm, &mut buf) {
+                    std::thread::yield_now();
+                }
+                assert!(eng.is_done());
+                (want, buf)
+            });
+            for (want, got) in outs {
+                let wb: Vec<u32> = want.iter().map(|x| x.to_bits()).collect();
+                let gb: Vec<u32> = got.iter().map(|x| x.to_bits()).collect();
+                assert_eq!(wb, gb, "n={n} m={m} subchunks={subchunks}");
+            }
+        }
+    }
+
+    /// Suffix-at-a-time readiness with interleaved polls, finished by
+    /// wait(): still bit-identical, and ranks may release buckets at
+    /// different (deterministically skewed) paces without deadlock.
+    #[test]
+    fn nb_allreduce_with_staggered_bucket_readiness() {
+        let (n, m, subchunks) = (4usize, 40usize, 4usize);
+        let outs = run_world(n, move |comm| {
+            let mut want = rank_data(comm.rank(), m);
+            comm.allreduce_f32_chunked(&mut want, ReduceOp::Sum, subchunks);
+
+            let mut buf = vec![0.0f32; m];
+            let full = rank_data(comm.rank(), m);
+            let mut eng = comm.nb_allreduce_begin(m, ReduceOp::Sum, subchunks);
+            // Buckets of 10 elements, released suffix-first; each rank
+            // polls a different number of times between releases.
+            for (i, b) in [30usize, 20, 10, 0].iter().enumerate() {
+                buf[*b..*b + 10].copy_from_slice(&full[*b..*b + 10]);
+                eng.mark_ready(*b);
+                for _ in 0..(comm.rank() + i) {
+                    eng.poll(&comm, &mut buf);
+                }
+            }
+            eng.wait(&comm, &mut buf);
+            assert!(eng.is_done());
+            assert!(eng.progress() == 1.0);
+            (want, buf)
+        });
+        for (want, got) in outs {
+            let wb: Vec<u32> = want.iter().map(|x| x.to_bits()).collect();
+            let gb: Vec<u32> = got.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(wb, gb);
+        }
+    }
+
+    /// wait() with nothing marked ready degenerates to the blocking
+    /// collective; single-rank engines are born done.
+    #[test]
+    fn nb_allreduce_wait_only_and_single_rank() {
+        let (n, m) = (3usize, 11usize);
+        let outs = run_world(n, move |comm| {
+            let mut want = rank_data(comm.rank(), m);
+            comm.allreduce_f32_chunked(&mut want, ReduceOp::Sum, 2);
+            let mut buf = rank_data(comm.rank(), m);
+            let mut eng = comm.nb_allreduce_begin(m, ReduceOp::Sum, 2);
+            assert_eq!(eng.progress(), 0.0);
+            eng.wait(&comm, &mut buf);
+            (want, buf)
+        });
+        for (want, got) in outs {
+            assert_eq!(
+                want.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                got.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+            );
+        }
+
+        let solo = run_world(1, |comm| {
+            let mut buf = vec![1.0f32, 2.0];
+            let mut eng = comm.nb_allreduce_begin(2, ReduceOp::Sum, 4);
+            assert!(eng.is_done());
+            eng.wait(&comm, &mut buf);
+            buf
+        });
+        assert_eq!(solo[0], vec![1.0, 2.0]);
+    }
+}

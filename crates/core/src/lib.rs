@@ -23,6 +23,7 @@ pub mod config;
 pub mod data;
 pub mod kindep;
 pub mod ltfb;
+pub mod overlap;
 pub mod surrogate;
 pub mod tournament;
 pub mod trainer;
@@ -44,11 +45,13 @@ pub use ltfb::{
     run_ltfb_distributed_ft_obs, run_ltfb_distributed_obs, run_ltfb_serial, run_ltfb_serial_obs,
     run_ltfb_serial_with_models, run_ltfb_with_failures, LtfbObs, RunOutcome,
 };
+pub use overlap::{dp_train_step_overlapped, DpOverlap};
 pub use surrogate::{
     adaptive_sample, optimize_design, DesignOptimum, EnsemblePrediction, PopulationEnsemble,
 };
 pub use tournament::{decide_match, pairing, pairing_alive, MatchOutcome};
 pub use trainer::Trainer;
 pub use two_level::{
-    broadcast_replica, dp_train_step, dp_train_step_ws, run_ltfb_two_level, TwoLevelOutcome,
+    broadcast_replica, dp_train_step, dp_train_step_ws, run_ltfb_two_level, run_ltfb_two_level_obs,
+    TwoLevelOutcome,
 };

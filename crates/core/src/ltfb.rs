@@ -25,7 +25,7 @@ use ltfb_obs::{Buckets, Counter, Gauge, Histogram, Registry};
 use ltfb_tensor::mix_seed;
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Train the shared multimodal autoencoder a priori on (a subsample of)
 /// the global output distribution and return its serialized weights.
@@ -78,6 +78,8 @@ pub struct LtfbObs {
     adoptions: Arc<Counter>,
     exchanged_bytes: Arc<Counter>,
     step_us: Arc<Histogram>,
+    comm_wait_ms: Arc<Histogram>,
+    overlap_frac: Arc<Gauge>,
     deaths: Arc<Counter>,
     matches_skipped_dead: Arc<Counter>,
     alloc_bytes_per_step: Arc<Gauge>,
@@ -92,6 +94,12 @@ impl LtfbObs {
             adoptions: registry.counter("ltfb.adoptions"),
             exchanged_bytes: registry.counter("ltfb.exchanged_bytes"),
             step_us: registry.histogram("ltfb.step_us", Buckets::latency_us()),
+            // Milliseconds blocked on collectives/exchanges per step, split
+            // out of `ltfb.step_us` so compute and comm trend separately.
+            // 1 us .. ~2 min in ms units, ~2x resolution.
+            comm_wait_ms: registry
+                .histogram("train.comm_wait_ms", Buckets::exponential(0.001, 2.0, 27)),
+            overlap_frac: registry.gauge("train.overlap_frac"),
             deaths: registry.counter("ltfb.deaths"),
             matches_skipped_dead: registry.counter("ltfb.matches_skipped_dead"),
             alloc_bytes_per_step: registry.gauge("train.alloc_bytes_per_step"),
@@ -118,19 +126,47 @@ impl LtfbObs {
         );
     }
 
-    fn record_step(&self, started: Instant) {
-        self.step_us.record(started.elapsed().as_secs_f64() * 1e6);
+    /// One training step finished. `comm_wait` is the portion of the
+    /// elapsed time spent blocked on gradient collectives; it is recorded
+    /// under `train.comm_wait_ms` and *subtracted* from `ltfb.step_us`, so
+    /// the step histogram tracks compute (plus any comm the overlap
+    /// engine failed to hide) rather than total wall time.
+    pub(crate) fn record_step(&self, started: Instant, comm_wait: Duration) {
+        let elapsed = started.elapsed();
+        let compute = elapsed.saturating_sub(comm_wait);
+        self.step_us.record(compute.as_secs_f64() * 1e6);
+        self.comm_wait_ms.record(comm_wait.as_secs_f64() * 1e3);
+    }
+
+    /// Time blocked on non-gradient communication (tournament exchanges,
+    /// broadcasts) — lands in `train.comm_wait_ms` without perturbing the
+    /// step histogram.
+    pub(crate) fn record_comm_wait(&self, wait: Duration) {
+        self.comm_wait_ms.record(wait.as_secs_f64() * 1e3);
+    }
+
+    /// Fraction of allreduce progress completed under backward compute
+    /// before the blocking drain (1.0 = fully hidden). Gauge semantics:
+    /// most recent step's value.
+    pub(crate) fn record_overlap_fraction(&self, frac: f64) {
+        self.overlap_frac.set(frac);
     }
 
     /// Workspace bytes the last step allocated — 0 once warm. Gauge
     /// semantics: the most recent step's value (the steady state).
-    fn record_step_alloc(&self, bytes: u64) {
+    pub(crate) fn record_step_alloc(&self, bytes: u64) {
         self.alloc_bytes_per_step.set(bytes as f64);
     }
 
     /// One side of a tournament match: `foreign_bytes` is the size of the
     /// generator payload this trainer received.
-    fn record_match(&self, round: u64, trainer: usize, out: &MatchOutcome, foreign_bytes: u64) {
+    pub(crate) fn record_match(
+        &self,
+        round: u64,
+        trainer: usize,
+        out: &MatchOutcome,
+        foreign_bytes: u64,
+    ) {
         self.matches.inc();
         if out.adopted_foreign {
             self.adoptions.inc();
@@ -251,7 +287,8 @@ fn serial_with_models(cfg: &LtfbConfig, obs: Option<&LtfbObs>) -> (RunOutcome, V
             let started = obs.map(|_| Instant::now());
             t.train_step();
             if let (Some(o), Some(s)) = (obs, started) {
-                o.record_step(s);
+                // Serial driver: exchanges are memory copies, no comm wait.
+                o.record_step(s, Duration::ZERO);
                 o.record_step_alloc(t.last_step_alloc_bytes());
             }
         }
@@ -370,7 +407,7 @@ fn distributed_inner(cfg: &LtfbConfig, registry: Option<&Registry>) -> RunOutcom
             let started = obs.map(|_| Instant::now());
             trainer.train_step();
             if let (Some(o), Some(s)) = (obs, started) {
-                o.record_step(s);
+                o.record_step(s, Duration::ZERO);
                 o.record_step_alloc(trainer.last_step_alloc_bytes());
             }
             if cfg.n_trainers >= 2 && cfg.exchange_interval > 0 && step % cfg.exchange_interval == 0
@@ -381,7 +418,11 @@ fn distributed_inner(cfg: &LtfbConfig, registry: Option<&Registry>) -> RunOutcom
                     // Concurrent generator swap with the partner.
                     let mine = trainer.gan.generator_to_bytes();
                     let tag = 0x7_000 + round;
+                    let xstart = obs.map(|_| Instant::now());
                     let foreign = comm.sendrecv(p, tag, mine, p, tag);
+                    if let (Some(o), Some(xs)) = (obs, xstart) {
+                        o.record_comm_wait(xs.elapsed());
+                    }
                     let foreign_bytes = foreign.len() as u64;
                     let out = decide_match(&mut trainer, p, foreign);
                     if let Some(o) = obs {
@@ -517,7 +558,7 @@ fn distributed_ft_inner(
             let started = obs.map(|_| Instant::now());
             trainer.train_step();
             if let (Some(o), Some(s)) = (obs, started) {
-                o.record_step(s);
+                o.record_step(s, Duration::ZERO);
                 o.record_step_alloc(trainer.last_step_alloc_bytes());
             }
             if n >= 2 && cfg.exchange_interval > 0 && step % cfg.exchange_interval == 0 {
@@ -533,7 +574,12 @@ fn distributed_ft_inner(
                     } else {
                         let mine = trainer.gan.generator_to_bytes();
                         let tag = 0x7_000 + round;
-                        match comm.sendrecv_ft(p, tag, mine, p, tag) {
+                        let xstart = obs.map(|_| Instant::now());
+                        let swapped = comm.sendrecv_ft(p, tag, mine, p, tag);
+                        if let (Some(o), Some(xs)) = (obs, xstart) {
+                            o.record_comm_wait(xs.elapsed());
+                        }
+                        match swapped {
                             Ok(foreign) => {
                                 let foreign_bytes = foreign.len() as u64;
                                 let out = decide_match(&mut trainer, p, foreign);
@@ -893,6 +939,42 @@ mod tests {
             "skip must leave a trace event"
         );
         assert!(reg.events().iter().any(|e| e.event == "death"));
+    }
+
+    /// Comm-wait instrumentation must not perturb the fault-tolerant
+    /// trajectory: an observed kill-plan run stays bit-identical to the
+    /// serial failure driver, and the split `train.comm_wait_ms`
+    /// histogram records one sample per surviving step plus each timed
+    /// tournament exchange.
+    #[test]
+    fn distributed_ft_obs_with_kills_bit_identical_and_splits_comm_wait() {
+        let cfg = tiny_cfg(4);
+        let kills = [(2usize, 15u64)];
+        let serial = run_ltfb_with_failures(&cfg, &kills);
+        let reg = Registry::new();
+        let dist = run_ltfb_distributed_ft_obs(&cfg, &FaultPlan::kills(&kills), &reg);
+        assert_eq!(serial.final_val, dist.final_val);
+        assert_eq!(serial.wins, dist.wins);
+        assert_eq!(serial.adoptions, dist.adoptions);
+        assert_eq!(match_keys(&serial), match_keys(&dist));
+        let snap = reg.snapshot();
+        let waits = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "train.comm_wait_ms")
+            .map(|(_, h)| h)
+            .expect("comm-wait histogram registered");
+        // One sample per training step actually run (rank 2 stops at its
+        // death step) plus one per completed sendrecv exchange.
+        let surviving_steps: u64 = 3 * cfg.steps + 14;
+        assert!(waits.count >= surviving_steps);
+        let steps = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "ltfb.step_us")
+            .map(|(_, h)| h)
+            .expect("step histogram registered");
+        assert_eq!(steps.count, surviving_steps);
     }
 
     #[test]

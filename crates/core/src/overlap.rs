@@ -1,0 +1,116 @@
+//! Data-parallel gradient sync with backward overlap: the glue between
+//! the CycleGAN's hooked backward ([`ltfb_gan::OverlapSync`]) and the
+//! per-network bucketed nonblocking allreduce
+//! ([`ltfb_nn::OverlappedGradients`]).
+//!
+//! Each of the three trained networks (discriminator, forward model F,
+//! inverse model G) gets its own overlap state; the bridge dispatches
+//! hook callbacks to the right one and additionally polls G's in-flight
+//! allreduce while F's backward runs — G's drain point comes *after* F's
+//! entire backward, so that window is where most of G's communication
+//! hides.
+
+use ltfb_comm::Comm;
+use ltfb_gan::{CycleGan, OverlapSync, StepLosses, SyncNet};
+use ltfb_nn::{Layer, OverlappedGradients, Sequential, Workspace};
+use ltfb_tensor::Matrix;
+use std::time::Duration;
+
+/// Per-replica overlap state for one CycleGAN: one
+/// [`OverlappedGradients`] per synchronised network. Construct once and
+/// reuse across steps — buffers and bucket plans persist.
+pub struct DpOverlap {
+    d: OverlappedGradients,
+    f: OverlappedGradients,
+    g: OverlappedGradients,
+}
+
+impl DpOverlap {
+    /// Default bucket size and subchunk pipelining for all three nets.
+    pub fn new() -> DpOverlap {
+        DpOverlap {
+            d: OverlappedGradients::new(),
+            f: OverlappedGradients::new(),
+            g: OverlappedGradients::new(),
+        }
+    }
+
+    fn of(&mut self, net: SyncNet) -> &mut OverlappedGradients {
+        match net {
+            SyncNet::Discriminator => &mut self.d,
+            SyncNet::ForwardModel => &mut self.f,
+            SyncNet::InverseModel => &mut self.g,
+        }
+    }
+
+    /// Total time the last step(s) spent blocked in `finish()` drains,
+    /// summed over the three networks. Resets on read.
+    pub fn take_comm_wait(&mut self) -> Duration {
+        self.d.take_comm_wait() + self.f.take_comm_wait() + self.g.take_comm_wait()
+    }
+
+    /// Mean fraction of allreduce work the last step completed under
+    /// backward compute (1.0 = all three allreduces fully hidden).
+    pub fn overlap_fraction(&self) -> f64 {
+        (self.d.overlap_fraction() + self.f.overlap_fraction() + self.g.overlap_fraction()) / 3.0
+    }
+}
+
+impl Default for DpOverlap {
+    fn default() -> Self {
+        DpOverlap::new()
+    }
+}
+
+/// Borrowed view implementing the GAN-side hook trait against a concrete
+/// communicator.
+struct OverlapBridge<'a> {
+    ov: &'a mut DpOverlap,
+    comm: &'a Comm,
+}
+
+impl OverlapSync for OverlapBridge<'_> {
+    fn begin(&mut self, net: SyncNet, model: &Sequential) {
+        let comm = self.comm;
+        self.ov.of(net).begin(model, comm);
+    }
+
+    fn layer_done(&mut self, net: SyncNet, layer: usize, l: &dyn Layer) {
+        let comm = self.comm;
+        self.ov.of(net).layer_done(layer, l, comm);
+        if net == SyncNet::ForwardModel {
+            // G's allreduce was armed before F's backward started and
+            // drains only after it ends — keep it moving from here too.
+            self.ov.g.poll(comm);
+        }
+    }
+
+    fn finish(&mut self, net: SyncNet, model: &mut Sequential) {
+        let comm = self.comm;
+        self.ov.of(net).finish(model, comm);
+    }
+}
+
+/// [`crate::two_level::dp_train_step_ws`] with comm/compute overlap: each
+/// network's gradient allreduce starts while its backward is still
+/// producing later buckets and is polled under subsequent backward
+/// kernels, draining only at the old synchronisation point.
+///
+/// Bit-identical to `dp_train_step_ws` (and so to `dp_train_step`): the
+/// nonblocking engine executes the exact chunked-pipelined schedule of
+/// the fused blocking allreduce — overlap changes when work happens,
+/// never what is computed.
+pub fn dp_train_step_overlapped(
+    gan: &mut CycleGan,
+    x_shard: &Matrix,
+    y_shard: &Matrix,
+    trainer_comm: &Comm,
+    ws: &mut Workspace,
+    ov: &mut DpOverlap,
+) -> StepLosses {
+    let mut bridge = OverlapBridge {
+        ov,
+        comm: trainer_comm,
+    };
+    gan.train_step_ws_overlapped(x_shard, y_shard, ws, &mut bridge)
+}

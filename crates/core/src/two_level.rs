@@ -10,12 +10,15 @@
 
 use crate::config::LtfbConfig;
 use crate::data::{build_trainer_data, xy};
-use crate::ltfb::pretrain_global_autoencoder;
+use crate::ltfb::{pretrain_global_autoencoder, LtfbObs};
+use crate::overlap::{dp_train_step_overlapped, DpOverlap};
 use crate::tournament::pairing;
-use ltfb_comm::{run_world, Comm};
+use ltfb_comm::{run_world, run_world_obs, Comm};
 use ltfb_gan::{CycleGan, StepLosses};
 use ltfb_nn::{allreduce_gradients, BatchReader, FusedGradients, LossHistory, Workspace};
+use ltfb_obs::Registry;
 use ltfb_tensor::{mix_seed, Matrix};
+use std::time::Instant;
 
 /// One data-parallel training step: every rank of the trainer calls this
 /// with its *shard* of the global mini-batch; gradients are averaged
@@ -91,6 +94,26 @@ impl TwoLevelOutcome {
 /// (equal shards keep shard-mean gradient averaging exactly equal to the
 /// full-batch gradient).
 pub fn run_ltfb_two_level(cfg: &LtfbConfig, ranks_per_trainer: usize) -> TwoLevelOutcome {
+    two_level_inner(cfg, ranks_per_trainer, None)
+}
+
+/// [`run_ltfb_two_level`] with live metrics: per-rank `comm.rN.…`
+/// traffic/overlap counters, the shared `ltfb.…` family, step timings
+/// with communication wait split out (`train.comm_wait_ms`), and the
+/// overlap-hiding fraction (`train.overlap_frac`).
+pub fn run_ltfb_two_level_obs(
+    cfg: &LtfbConfig,
+    ranks_per_trainer: usize,
+    registry: &Registry,
+) -> TwoLevelOutcome {
+    two_level_inner(cfg, ranks_per_trainer, Some(registry))
+}
+
+fn two_level_inner(
+    cfg: &LtfbConfig,
+    ranks_per_trainer: usize,
+    registry: Option<&Registry>,
+) -> TwoLevelOutcome {
     assert!(ranks_per_trainer >= 1);
     assert_eq!(
         cfg.mb % ranks_per_trainer,
@@ -101,8 +124,10 @@ pub fn run_ltfb_two_level(cfg: &LtfbConfig, ranks_per_trainer: usize) -> TwoLeve
     );
     let cfg = *cfg;
     let world_size = cfg.n_trainers * ranks_per_trainer;
+    let obs = registry.map(LtfbObs::new);
 
-    let per_rank = run_world(world_size, move |world| {
+    let body = move |world: Comm| {
+        let obs = obs.as_ref();
         let trainer_id = world.rank() / ranks_per_trainer;
         let replica = world.rank() % ranks_per_trainer;
         let trainer_comm = world.split(trainer_id as u64, 0);
@@ -142,7 +167,7 @@ pub fn run_ltfb_two_level(cfg: &LtfbConfig, ranks_per_trainer: usize) -> TwoLeve
         let mut history = LossHistory::new();
         let mut adoptions = 0u64;
         let mut ws = Workspace::new();
-        let mut fused = FusedGradients::new();
+        let mut ov = DpOverlap::new();
         let validate = |gan: &mut CycleGan| -> f32 {
             let (vx, vy) = xy(&data.val);
             gan.evaluate(vx, vy).combined()
@@ -158,7 +183,12 @@ pub fn run_ltfb_two_level(cfg: &LtfbConfig, ranks_per_trainer: usize) -> TwoLeve
             let hi = ((replica + 1) * shard).min(x.rows());
             let xs = x.slice_rows(lo, hi);
             let ys = y.slice_rows(lo, hi);
-            dp_train_step_ws(&mut gan, &xs, &ys, &trainer_comm, &mut ws, &mut fused);
+            let started = obs.map(|_| Instant::now());
+            dp_train_step_overlapped(&mut gan, &xs, &ys, &trainer_comm, &mut ws, &mut ov);
+            if let (Some(o), Some(s)) = (obs, started) {
+                o.record_step(s, ov.take_comm_wait());
+                o.record_overlap_fraction(ov.overlap_fraction());
+            }
 
             if cfg.n_trainers >= 2 && cfg.exchange_interval > 0 && step % cfg.exchange_interval == 0
             {
@@ -171,7 +201,11 @@ pub fn run_ltfb_two_level(cfg: &LtfbConfig, ranks_per_trainer: usize) -> TwoLeve
                         let mine = gan.generator_to_bytes();
                         let tag = 0x2_000 + round;
 
+                        let xstart = obs.map(|_| Instant::now());
                         let foreign = leaders.sendrecv(p, tag, mine.clone(), p, tag);
+                        if let (Some(o), Some(t0)) = (obs, xstart) {
+                            o.record_comm_wait(t0.elapsed());
+                        }
                         // Score own, then foreign, on the local tournament set.
                         let (tx, ty) = xy(&data.tournament);
                         let own_score = gan.evaluate(tx, ty).combined();
@@ -230,7 +264,11 @@ pub fn run_ltfb_two_level(cfg: &LtfbConfig, ranks_per_trainer: usize) -> TwoLeve
         (
             trainer_id, is_leader, history, final_val, adoptions, consistent,
         )
-    });
+    };
+    let per_rank = match registry {
+        Some(reg) => run_world_obs(world_size, reg, body),
+        None => run_world(world_size, body),
+    };
 
     let mut histories = vec![LossHistory::new(); cfg.n_trainers];
     let mut final_val = vec![f32::NAN; cfg.n_trainers];
@@ -358,6 +396,93 @@ mod tests {
                 }
             }
         });
+    }
+
+    /// 4-rank data-parallel golden: the backward-overlapped step must
+    /// walk the exact weight trajectory of the fused blocking step (and
+    /// so, transitively, of the allocating reference) — the nonblocking
+    /// engine replays the identical chunked schedule, only earlier.
+    #[test]
+    fn dp_overlapped_step_bit_identical_to_ws() {
+        use crate::data::{build_trainer_data, xy};
+        use ltfb_comm::run_world;
+        let c = cfg(1);
+        run_world(4, |comm| {
+            let mut blocking = CycleGan::new(c.gan, mix_seed(&[c.seed, 7]));
+            let mut overlapped = CycleGan::new(c.gan, mix_seed(&[c.seed, 7]));
+            let data = build_trainer_data(&c, 0);
+            let (x, y) = xy(&data.train);
+            let shard = 8;
+            let lo = comm.rank() * shard;
+            let xs = x.slice_rows(lo, lo + shard);
+            let ys = y.slice_rows(lo, lo + shard);
+            let mut ws_b = Workspace::new();
+            let mut ws_o = Workspace::new();
+            let mut fused = FusedGradients::new();
+            let mut ov = DpOverlap::new();
+            for step in 0..4 {
+                let lb = dp_train_step_ws(&mut blocking, &xs, &ys, &comm, &mut ws_b, &mut fused);
+                let lo =
+                    dp_train_step_overlapped(&mut overlapped, &xs, &ys, &comm, &mut ws_o, &mut ov);
+                assert_eq!(
+                    lb.d_loss.to_bits(),
+                    lo.d_loss.to_bits(),
+                    "step {step}: DP d_loss drifted"
+                );
+                assert_eq!(
+                    lb.generator_total(&c.gan).to_bits(),
+                    lo.generator_total(&c.gan).to_bits(),
+                    "step {step}: DP generator loss drifted"
+                );
+                for (a, b) in blocking.networks().iter().zip(overlapped.networks().iter()) {
+                    assert_eq!(
+                        a.weights_fingerprint(),
+                        b.weights_fingerprint(),
+                        "step {step}: DP overlapped path diverged"
+                    );
+                }
+            }
+            // Every bucket's allreduce actually ran through the engine.
+            assert!(ov.overlap_fraction() >= 0.0);
+        });
+    }
+
+    /// The overlapped two-level driver must reproduce the serial
+    /// reference exactly through R = 1 (engine degenerates to the
+    /// blocking schedule at the same sync point) and record comm-wait
+    /// metrics when observed.
+    #[test]
+    fn two_level_obs_matches_plain_and_records_comm_wait() {
+        let c = cfg(2);
+        let plain = run_ltfb_two_level(&c, 2);
+        let registry = Registry::new();
+        let observed = run_ltfb_two_level_obs(&c, 2, &registry);
+        assert_eq!(plain.final_val, observed.final_val);
+        assert_eq!(plain.adoptions, observed.adoptions);
+        assert!(observed.replicas_consistent);
+        let snap = registry.snapshot();
+        let steps = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "ltfb.step_us")
+            .map(|(_, h)| h)
+            .expect("step histogram registered");
+        assert_eq!(steps.count, c.steps * (c.n_trainers as u64) * 2);
+        let waits = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "train.comm_wait_ms")
+            .map(|(_, h)| h)
+            .expect("comm-wait histogram registered");
+        // One comm-wait sample per step per rank, plus leader exchanges.
+        assert!(waits.count >= c.steps * (c.n_trainers as u64) * 2);
+        assert!(snap.gauges.iter().any(|(n, _)| n == "train.overlap_frac"));
+        assert!(
+            snap.gauges
+                .iter()
+                .any(|(n, _)| n.starts_with("comm.r") && n.ends_with(".bucket_inflight")),
+            "per-rank bucket_inflight gauge missing"
+        );
     }
 
     #[test]

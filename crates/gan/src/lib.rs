@@ -19,5 +19,5 @@ pub mod quant;
 
 pub use batch::{batch_from_samples, split_output};
 pub use config::CycleGanConfig;
-pub use model::{mean_eval, CycleGan, EvalLosses, StepLosses};
+pub use model::{mean_eval, CycleGan, EvalLosses, NoOverlap, OverlapSync, StepLosses, SyncNet};
 pub use quant::QuantCycleGan;

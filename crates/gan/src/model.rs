@@ -17,7 +17,7 @@
 use crate::config::CycleGanConfig;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use ltfb_hotpath::hot_path;
-use ltfb_nn::{mlp, Adam, Optimizer, OutputActivation, Sequential, Workspace};
+use ltfb_nn::{mlp, Adam, Layer, Optimizer, OutputActivation, Sequential, Workspace};
 use ltfb_tensor::{
     axpy, bce_with_logits, bce_with_logits_grad, bce_with_logits_grad_into, mean_absolute_error,
     mean_absolute_error_grad, mean_absolute_error_grad_into, mix_seed, seeded_rng, DecodeError,
@@ -66,6 +66,47 @@ impl EvalLosses {
     pub fn combined(&self) -> f32 {
         self.forward + self.inverse
     }
+}
+
+/// Which trainable network of the [`CycleGan`] a gradient-sync callback
+/// refers to (the three nets that see a data-parallel allreduce; the
+/// frozen encoder/decoder never sync).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncNet {
+    Discriminator,
+    ForwardModel,
+    InverseModel,
+}
+
+/// Backward-overlapped gradient synchronisation, the structured upgrade
+/// of the `sync: FnMut(&mut Sequential)` callback: `begin` arms a
+/// nonblocking allreduce for a network just before its (final) hooked
+/// backward, `layer_done` streams per-layer gradients into it as the
+/// backward walks the net in reverse, and `finish` drains it exactly
+/// where the old callback would have run the blocking collective.
+///
+/// `ltfb-gan` stays comm-free: the data-parallel implementation lives in
+/// `ltfb-core`, and [`NoOverlap`] recovers the plain serial step. Hooks
+/// must never run blocking collectives themselves (lint LA011).
+pub trait OverlapSync {
+    /// Arm synchronisation for `net` (called before its hooked backward).
+    fn begin(&mut self, net: SyncNet, model: &Sequential);
+    /// Layer `layer` (forward index) of `net` finished backward; its
+    /// parameter gradients are final.
+    fn layer_done(&mut self, net: SyncNet, layer: usize, l: &dyn Layer);
+    /// Drain: after this, `model`'s gradients hold the synchronised
+    /// (averaged) values.
+    fn finish(&mut self, net: SyncNet, model: &mut Sequential);
+}
+
+/// The no-op [`OverlapSync`]: [`CycleGan::train_step_ws_overlapped`]
+/// with this is bit-identical to [`CycleGan::train_step_ws`].
+pub struct NoOverlap;
+
+impl OverlapSync for NoOverlap {
+    fn begin(&mut self, _net: SyncNet, _model: &Sequential) {}
+    fn layer_done(&mut self, _net: SyncNet, _layer: usize, _l: &dyn Layer) {}
+    fn finish(&mut self, _net: SyncNet, _model: &mut Sequential) {}
 }
 
 /// The full surrogate: five networks plus their optimizers.
@@ -383,6 +424,147 @@ impl CycleGan {
         ws.give(z_real);
         sync(&mut self.forward_model);
         sync(&mut self.inverse_model);
+        self.opt_f.step_model(&mut self.forward_model);
+        self.opt_g.step_model(&mut self.inverse_model);
+        ws.give(ones);
+        ws.give(zeros);
+
+        losses
+    }
+
+    /// [`Self::train_step_ws`] with backward-overlapped gradient sync:
+    /// the op sequence, kernel calls and f32 expression trees are the
+    /// exact mirror of [`Self::train_step_ws_with_sync`] — the *only*
+    /// differences are (a) backwards that feed a sync run through
+    /// `backward_ws_hooked` (same arithmetic, plus per-layer callbacks)
+    /// and (b) the blocking `sync(net)` points become `ov.finish(net)`.
+    /// With a bit-identical sync implementation (e.g. the nonblocking
+    /// bucketed allreduce, or [`NoOverlap`] serially) the weight
+    /// trajectory is bit-identical to the plain workspace step.
+    ///
+    /// Hook placement notes:
+    /// * D's gradients accumulate across the real and fake passes, so
+    ///   only the **second** backward is hooked — after it every D layer
+    ///   gradient is final. (The spurious D grads of the later generator
+    ///   adversarial pass land *after* `finish` and are discarded by the
+    ///   next `zero_grads`, exactly as on the plain path.)
+    /// * G and F each have a single backward; G's entire allreduce
+    ///   overlaps F's backward, which the `ltfb-core` impl drives by
+    ///   polling G's engine from F's `layer_done` hooks.
+    #[hot_path]
+    pub fn train_step_ws_overlapped(
+        &mut self,
+        x: &Matrix,
+        y: &Matrix,
+        ws: &mut Workspace,
+        ov: &mut dyn OverlapSync,
+    ) -> StepLosses {
+        assert_eq!(x.rows(), y.rows(), "x/y batch mismatch");
+        let n = x.rows();
+        let mut ones = ws.take(n, 1);
+        ones.fill(1.0);
+        let mut zeros = ws.take(n, 1);
+        zeros.fill(0.0);
+        let mut losses = StepLosses::default();
+
+        // Frozen encoder: the "real" latent codes.
+        let z_real = self.encoder.forward_ws(y, false, ws);
+
+        // ---- Discriminator update (physical consistency, D side) ----
+        let z_fake = self.forward_model.forward_ws(x, true, ws);
+        self.discriminator.zero_grads();
+        let logit_real = self.discriminator.forward_ws(&z_real, true, ws);
+        losses.d_loss += bce_with_logits(&logit_real, &ones);
+        let mut g_real = ws.take_like(&logit_real);
+        bce_with_logits_grad_into(&logit_real, &ones, &mut g_real);
+        ws.give(logit_real);
+        let d_in = self.discriminator.backward_ws(&g_real, ws);
+        ws.give(d_in);
+        ws.give(g_real);
+        let logit_fake = self.discriminator.forward_ws(&z_fake, true, ws);
+        losses.d_loss += bce_with_logits(&logit_fake, &zeros);
+        let mut g_fake = ws.take_like(&logit_fake);
+        bce_with_logits_grad_into(&logit_fake, &zeros, &mut g_fake);
+        ws.give(logit_fake);
+        ov.begin(SyncNet::Discriminator, &self.discriminator);
+        let d_in = self
+            .discriminator
+            .backward_ws_hooked(&g_fake, ws, &mut |i, l| {
+                ov.layer_done(SyncNet::Discriminator, i, l)
+            });
+        ws.give(d_in);
+        ws.give(g_fake);
+        ov.finish(SyncNet::Discriminator, &mut self.discriminator);
+        self.opt_d.step_model(&mut self.discriminator);
+        ws.give(z_fake);
+
+        // ---- Generator update (F and G) ----
+        self.forward_model.zero_grads();
+        self.inverse_model.zero_grads();
+        let z_fake = self.forward_model.forward_ws(x, true, ws); // fresh caches
+
+        // Surrogate fidelity: MAE(F(x), E(y)).
+        losses.fidelity = mean_absolute_error(&z_fake, &z_real);
+        let mut gz = ws.take_like(&z_fake);
+        mean_absolute_error_grad_into(&z_fake, &z_real, &mut gz);
+        ltfb_tensor::scale(self.cfg.fidelity_weight, &mut gz);
+
+        // Physical consistency: fool the (now frozen) discriminator.
+        let logit = self.discriminator.forward_ws(&z_fake, true, ws);
+        losses.adv = bce_with_logits(&logit, &ones);
+        let mut ga = ws.take_like(&logit);
+        bce_with_logits_grad_into(&logit, &ones, &mut ga);
+        ltfb_tensor::scale(self.cfg.adv_weight, &mut ga);
+        ws.give(logit);
+        let gz_adv = self.discriminator.backward_ws(&ga, ws);
+        ws.give(ga);
+        axpy(1.0, &gz_adv, &mut gz);
+        ws.give(gz_adv);
+        // The discriminator accumulated spurious grads from this pass;
+        // they are discarded by the zero_grads at its next update.
+
+        // Internal consistency: decoded outputs match ground truth
+        // (decoder frozen — gradients flow through, not into, it).
+        let y_hat = self.decoder.forward_ws(&z_fake, false, ws);
+        losses.recon = mean_absolute_error(&y_hat, y);
+        let mut gr = ws.take_like(&y_hat);
+        mean_absolute_error_grad_into(&y_hat, y, &mut gr);
+        ltfb_tensor::scale(self.cfg.recon_weight, &mut gr);
+        ws.give(y_hat);
+        self.decoder.zero_grads();
+        let gz_rec = self.decoder.backward_ws(&gr, ws);
+        ws.give(gr);
+        self.decoder.zero_grads(); // decoder stays frozen
+        axpy(1.0, &gz_rec, &mut gz);
+        ws.give(gz_rec);
+
+        // Self consistency: G(F(x)) ~ x.
+        let x_hat = self.inverse_model.forward_ws(&z_fake, true, ws);
+        losses.cycle = mean_absolute_error(&x_hat, x);
+        let mut gc = ws.take_like(&x_hat);
+        mean_absolute_error_grad_into(&x_hat, x, &mut gc);
+        ltfb_tensor::scale(self.cfg.cycle_weight, &mut gc);
+        ws.give(x_hat);
+        ov.begin(SyncNet::InverseModel, &self.inverse_model);
+        let gz_cyc = self.inverse_model.backward_ws_hooked(&gc, ws, &mut |i, l| {
+            ov.layer_done(SyncNet::InverseModel, i, l)
+        });
+        ws.give(gc);
+        axpy(1.0, &gz_cyc, &mut gz);
+        ws.give(gz_cyc);
+
+        // Backprop the combined latent gradient into F; G's in-flight
+        // allreduce keeps progressing under F's backward via the hooks.
+        ov.begin(SyncNet::ForwardModel, &self.forward_model);
+        let f_in = self.forward_model.backward_ws_hooked(&gz, ws, &mut |i, l| {
+            ov.layer_done(SyncNet::ForwardModel, i, l)
+        });
+        ws.give(f_in);
+        ws.give(gz);
+        ws.give(z_fake);
+        ws.give(z_real);
+        ov.finish(SyncNet::ForwardModel, &mut self.forward_model);
+        ov.finish(SyncNet::InverseModel, &mut self.inverse_model);
         self.opt_f.step_model(&mut self.forward_model);
         self.opt_g.step_model(&mut self.inverse_model);
         ws.give(ones);

@@ -124,6 +124,57 @@ fn workspace_training_trajectory_bit_identical() {
     assert!(ws.hits() > 0);
 }
 
+/// Golden-seed serial bit-identity for the overlapped step: with the
+/// no-op sync, `train_step_ws_overlapped` must walk the exact same
+/// weight trajectory as `train_step_ws` — the hooked backward is the
+/// same arithmetic plus callbacks — and stay zero-alloc once warm.
+#[test]
+fn overlapped_step_with_noop_sync_bit_identical_to_ws() {
+    use ltfb_gan::NoOverlap;
+    use ltfb_nn::Workspace;
+    let cfg = CycleGanConfig::small(4);
+    let mut reference = CycleGan::new(cfg, 2019);
+    let mut overlapped = CycleGan::new(cfg, 2019);
+    let train = dataset(&cfg, 0, 96);
+    let bs = batches(&cfg, &train, 32);
+    let mut ws_ref = Workspace::new();
+    let mut ws_ov = Workspace::new();
+    let mut warm_misses = 0;
+    for (step, (x, y)) in bs.iter().cycle().take(9).enumerate() {
+        let lr = reference.train_step_ws(x, y, &mut ws_ref);
+        let lo = overlapped.train_step_ws_overlapped(x, y, &mut ws_ov, &mut NoOverlap);
+        assert_eq!(
+            lr.d_loss.to_bits(),
+            lo.d_loss.to_bits(),
+            "step {step}: d_loss drifted"
+        );
+        assert_eq!(
+            lr.generator_total(&cfg).to_bits(),
+            lo.generator_total(&cfg).to_bits(),
+            "step {step}: generator loss drifted"
+        );
+        if step == 2 {
+            warm_misses = ws_ov.misses();
+        }
+    }
+    for (a, b) in reference
+        .networks()
+        .iter()
+        .zip(overlapped.networks().iter())
+    {
+        assert_eq!(
+            a.weights_fingerprint(),
+            b.weights_fingerprint(),
+            "overlapped path diverged from workspace reference weights"
+        );
+    }
+    assert_eq!(
+        ws_ov.misses(),
+        warm_misses,
+        "steady-state overlapped steps must not allocate pool buffers"
+    );
+}
+
 #[test]
 fn evaluate_is_side_effect_free() {
     let cfg = CycleGanConfig::small(4);

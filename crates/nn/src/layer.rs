@@ -76,6 +76,16 @@ pub trait Layer: Send + Sync {
         Vec::new()
     }
 
+    /// Visit every trainable parameter immutably without allocating the
+    /// `Vec` that `params` builds — the read-side mirror of
+    /// `visit_params_mut`, used by the gradient-bucket packer on the hot
+    /// path. The default delegates to `params`; hot layers override.
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        for p in self.params() {
+            f(p);
+        }
+    }
+
     /// Layer kind, for debugging/architecture dumps.
     fn name(&self) -> &'static str;
 
@@ -233,6 +243,11 @@ impl Layer for Linear {
     fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
         f(&mut self.w);
         f(&mut self.b);
+    }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.w);
+        f(&self.b);
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {

@@ -18,6 +18,7 @@ pub mod metrics;
 pub mod model;
 pub mod norm;
 pub mod optimizer;
+pub mod overlap;
 pub mod param;
 pub mod quant;
 pub mod reader;
@@ -29,6 +30,7 @@ pub use metrics::{LossHistory, RunningMean};
 pub use model::{mlp, OutputActivation, Sequential};
 pub use norm::{LayerNorm, LrSchedule};
 pub use optimizer::{Adam, Optimizer, Sgd};
+pub use overlap::{Bucket, BucketPlan, OverlappedGradients, DEFAULT_BUCKET_ELEMS};
 pub use param::Param;
 pub use quant::{QuantError, QuantSequential};
 pub use reader::{BatchReader, InMemoryDataset};

@@ -111,12 +111,32 @@ impl Sequential {
     /// it back with `ws.give` (or keep borrowing it until you do).
     #[hot_path]
     pub fn backward_ws(&mut self, grad: &Matrix, ws: &mut Workspace) -> Matrix {
+        self.backward_ws_hooked(grad, ws, &mut |_, _| {})
+    }
+
+    /// [`Self::backward_ws`] with a per-layer completion hook: `hook(i,
+    /// layer)` fires right after layer `i` (forward index) finishes its
+    /// backward, i.e. once its parameter gradients are final — layers are
+    /// visited in reverse order, so hooks arrive for `len-1, len-2, …, 0`.
+    /// This is the attachment point for the gradient-bucket overlap
+    /// engine; the hook must not run collectives that block (lint LA011).
+    /// Arithmetic is untouched: `backward_ws` *is* this with an empty
+    /// hook, so results stay bit-identical.
+    #[hot_path]
+    pub fn backward_ws_hooked(
+        &mut self,
+        grad: &Matrix,
+        ws: &mut Workspace,
+        hook: &mut dyn FnMut(usize, &dyn Layer),
+    ) -> Matrix {
         let n = grad.rows();
+        let last = self.layers.len().wrapping_sub(1);
         let mut cur: Option<Matrix> = None;
-        for l in self.layers.iter_mut().rev() {
+        for (k, l) in self.layers.iter_mut().rev().enumerate() {
             let out_cols = cur.as_ref().map_or(grad.cols(), |m| m.cols());
             let mut dx = ws.take(n, l.in_cols(out_cols));
             l.backward_ws(cur.as_ref().unwrap_or(grad), &mut dx, ws);
+            hook(last - k, l.as_ref());
             if let Some(old) = cur.take() {
                 ws.give(old);
             }

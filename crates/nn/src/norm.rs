@@ -126,6 +126,16 @@ impl Layer for LayerNorm {
         vec![&self.gamma, &self.beta]
     }
 
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.gamma);
+        f(&self.beta);
+    }
+
     fn name(&self) -> &'static str {
         "layer_norm"
     }

@@ -1,0 +1,410 @@
+//! Gradient-bucket overlap: the nn half of backward/comm overlap.
+//!
+//! [`BucketPlan`] partitions a model's flat fused-gradient buffer into
+//! size-bounded buckets of *consecutive layers*, built in reverse-layer
+//! order — bucket 0 covers the **last** layers, whose gradients backward
+//! produces first. [`OverlappedGradients`] is the drop-in overlap
+//! counterpart of [`crate::dp::FusedGradients`]: instead of packing the
+//! whole buffer after backward and running one blocking allreduce, each
+//! layer's completion hook packs that layer's gradients immediately,
+//! marks its bucket ready once the bucket's layers have all reported,
+//! and polls the nonblocking [`NbAllreduce`] engine so reduction of the
+//! late layers rides under the compute of the early ones.
+//!
+//! Bit-identity: the flat buffer layout (forward-layer packing order),
+//! the 1/n scale, and the unpack are exactly `FusedGradients::allreduce`;
+//! the engine executes the exact `allreduce_f32_chunked` schedule. The
+//! only thing overlap changes is *when* sends/folds happen — gated by a
+//! suffix watermark that is sound because buckets complete suffix-first.
+
+use crate::layer::Layer;
+use crate::model::Sequential;
+use ltfb_comm::{Comm, NbAllreduce, ReduceOp};
+use ltfb_hotpath::hot_path;
+use std::time::{Duration, Instant};
+
+/// Default bucket bound, in f32 elements (not bytes). Small enough that
+/// the LTFB surrogate nets split into several buckets, large enough that
+/// per-bucket overhead stays negligible.
+pub const DEFAULT_BUCKET_ELEMS: usize = 4096;
+
+/// One gradient bucket: consecutive layers `first_layer..=last_layer`
+/// (forward indices) occupying `lo..hi` of the flat buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bucket {
+    pub first_layer: usize,
+    pub last_layer: usize,
+    pub lo: usize,
+    pub hi: usize,
+}
+
+/// Static partition of a model's gradients into reverse-layer-order,
+/// size-bounded buckets over the flat fused buffer.
+#[derive(Debug, Clone)]
+pub struct BucketPlan {
+    /// Per-layer flat range `layer_lo[i]..layer_hi[i]` (forward order).
+    layer_lo: Vec<usize>,
+    layer_hi: Vec<usize>,
+    /// Which bucket each layer belongs to.
+    bucket_of_layer: Vec<usize>,
+    /// Buckets in readiness order: `buckets[0]` is the tail of the buffer
+    /// (the deepest layers), `buckets.last()` starts at element 0.
+    buckets: Vec<Bucket>,
+    /// Total gradient elements.
+    total: usize,
+}
+
+impl BucketPlan {
+    /// Build the plan for `model` with at most `max_elems` gradient
+    /// elements per bucket. Walking the layers back-to-front, each bucket
+    /// absorbs preceding layers until adding the next param-bearing layer
+    /// would exceed the bound; parameterless layers are free riders, and
+    /// a single layer larger than the bound gets a bucket of its own (the
+    /// bound caps *granularity*, it cannot split one tensor).
+    pub fn build(model: &Sequential, max_elems: usize) -> BucketPlan {
+        assert!(max_elems >= 1, "bucket bound must be positive");
+        let layers = model.layers();
+        let mut layer_lo = Vec::with_capacity(layers.len());
+        let mut layer_hi = Vec::with_capacity(layers.len());
+        let mut off = 0usize;
+        for l in layers {
+            layer_lo.push(off);
+            let mut len = 0usize;
+            l.visit_params(&mut |p| len += p.grad.len());
+            off += len;
+            layer_hi.push(off);
+        }
+        let total = off;
+
+        let mut buckets = Vec::new();
+        let mut bucket_of_layer = vec![0usize; layers.len()];
+        let mut i = layers.len();
+        while i > 0 {
+            let last = i - 1;
+            let mut first = last;
+            let mut elems = layer_hi[last] - layer_lo[last];
+            while first > 0 {
+                let add = layer_hi[first - 1] - layer_lo[first - 1];
+                if add > 0 && elems > 0 && elems + add > max_elems {
+                    break;
+                }
+                elems += add;
+                first -= 1;
+            }
+            for b in &mut bucket_of_layer[first..=last] {
+                *b = buckets.len();
+            }
+            buckets.push(Bucket {
+                first_layer: first,
+                last_layer: last,
+                lo: layer_lo[first],
+                hi: layer_hi[last],
+            });
+            i = first;
+        }
+
+        BucketPlan {
+            layer_lo,
+            layer_hi,
+            bucket_of_layer,
+            buckets,
+            total,
+        }
+    }
+
+    /// Buckets in readiness (reverse-layer) order.
+    pub fn buckets(&self) -> &[Bucket] {
+        &self.buckets
+    }
+
+    /// Total gradient elements covered.
+    pub fn total_elems(&self) -> usize {
+        self.total
+    }
+
+    /// Flat range of layer `i`'s gradients.
+    pub fn layer_range(&self, i: usize) -> (usize, usize) {
+        (self.layer_lo[i], self.layer_hi[i])
+    }
+
+    /// Bucket index owning layer `i`.
+    pub fn bucket_of(&self, i: usize) -> usize {
+        self.bucket_of_layer[i]
+    }
+
+    fn layers_in_bucket(&self, b: usize) -> usize {
+        self.buckets
+            .get(b)
+            .map_or(0, |bk| bk.last_layer - bk.first_layer + 1)
+    }
+}
+
+/// Backward-overlapped fused-gradient allreduce for one network.
+///
+/// Protocol per step: `begin` (arms the engine), one `layer_done` per
+/// layer from the network's hooked backward (reverse order), optional
+/// `poll`s while other work runs, then `finish` (drains the engine,
+/// scales, unpacks). With a single-rank communicator everything is a
+/// no-op, matching `FusedGradients`.
+pub struct OverlappedGradients {
+    buf: Vec<f32>,
+    subchunks: usize,
+    max_bucket_elems: usize,
+    plan: Option<BucketPlan>,
+    engine: Option<NbAllreduce>,
+    /// Next bucket awaiting completion (buckets complete in order 0..).
+    next_bucket: usize,
+    /// Layers still to report in `next_bucket`.
+    layers_left: usize,
+    comm_wait: Duration,
+    overlap_frac: f64,
+}
+
+impl Default for OverlappedGradients {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OverlappedGradients {
+    /// Defaults matching `FusedGradients::new()`'s pipeline depth.
+    pub fn new() -> Self {
+        Self::with_config(DEFAULT_BUCKET_ELEMS, 4)
+    }
+
+    pub fn with_config(max_bucket_elems: usize, subchunks: usize) -> Self {
+        assert!(subchunks >= 1, "need at least one sub-chunk");
+        assert!(max_bucket_elems >= 1, "bucket bound must be positive");
+        OverlappedGradients {
+            buf: Vec::new(),
+            subchunks,
+            max_bucket_elems,
+            plan: None,
+            engine: None,
+            next_bucket: 0,
+            layers_left: 0,
+            comm_wait: Duration::ZERO,
+            overlap_frac: 0.0,
+        }
+    }
+
+    /// The bucket plan (built lazily on first `begin`).
+    pub fn plan(&self) -> Option<&BucketPlan> {
+        self.plan.as_ref()
+    }
+
+    /// Capacity of the persistent staging buffer (0 until first use).
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Arm the engine for one training step of `model`. No-op (engine
+    /// stays disarmed) on a single-rank communicator.
+    #[hot_path]
+    pub fn begin(&mut self, model: &Sequential, comm: &Comm) {
+        if comm.size() <= 1 {
+            return;
+        }
+        if self.plan.is_none() {
+            self.plan = Some(BucketPlan::build(model, self.max_bucket_elems));
+        }
+        let plan = self.plan.as_ref().unwrap();
+        debug_assert_eq!(
+            plan.total,
+            model.num_params(),
+            "model changed shape under a cached bucket plan"
+        );
+        self.buf.resize(plan.total, 0.0);
+        self.engine = Some(comm.nb_allreduce_begin(plan.total, ReduceOp::Sum, self.subchunks));
+        self.next_bucket = 0;
+        self.layers_left = plan.layers_in_bucket(0);
+    }
+
+    /// Per-layer backward completion hook: pack layer `layer_idx`'s
+    /// final gradients into the flat buffer, release its bucket if this
+    /// was the bucket's last layer, and poll the engine. Must be called
+    /// in reverse-layer order (what `backward_ws_hooked` produces).
+    #[hot_path]
+    pub fn layer_done(&mut self, layer_idx: usize, layer: &dyn Layer, comm: &Comm) {
+        let Some(engine) = self.engine.as_mut() else {
+            return;
+        };
+        let plan = self.plan.as_ref().expect("layer_done before begin");
+        debug_assert_eq!(
+            plan.bucket_of(layer_idx),
+            self.next_bucket,
+            "backward hooks arrived out of reverse-layer order"
+        );
+        let (mut off, hi) = plan.layer_range(layer_idx);
+        let buf = &mut self.buf;
+        layer.visit_params(&mut |p| {
+            let len = p.grad.len();
+            buf[off..off + len].copy_from_slice(p.grad.as_slice());
+            off += len;
+        });
+        debug_assert_eq!(off, hi, "layer packed fewer grads than planned");
+
+        self.layers_left -= 1;
+        if self.layers_left == 0 {
+            let b = &plan.buckets[self.next_bucket];
+            engine.mark_ready(b.lo);
+            self.next_bucket += 1;
+            self.layers_left = plan.layers_in_bucket(self.next_bucket);
+            // In flight = released buckets whose reduction hasn't
+            // finished; the engine being done means zero.
+            let inflight = if engine.is_done() {
+                0
+            } else {
+                self.next_bucket
+            };
+            comm.record_bucket_ready(self.next_bucket as u64 - 1, inflight);
+        }
+        engine.poll(comm, &mut self.buf);
+    }
+
+    /// Drive comm progress while unrelated compute runs (e.g. another
+    /// network's backward). Cheap no-op when disarmed or done.
+    #[hot_path]
+    pub fn poll(&mut self, comm: &Comm) {
+        if let Some(engine) = self.engine.as_mut() {
+            engine.poll(comm, &mut self.buf);
+        }
+    }
+
+    /// Drain the engine, then scale by 1/n and unpack — the moment
+    /// `FusedGradients::allreduce` would have returned. Records the
+    /// blocking tail as comm wait and the pre-wait schedule fraction as
+    /// the overlap fraction.
+    #[hot_path]
+    pub fn finish(&mut self, model: &mut Sequential, comm: &Comm) {
+        let Some(mut engine) = self.engine.take() else {
+            return;
+        };
+        let plan = self.plan.as_ref().expect("finish before begin");
+        assert_eq!(
+            self.next_bucket,
+            plan.buckets.len(),
+            "finish() before every bucket was released — a backward hook is missing"
+        );
+        self.overlap_frac = engine.progress();
+        let started = Instant::now();
+        engine.wait(comm, &mut self.buf);
+        self.comm_wait += started.elapsed();
+        let scale = 1.0 / comm.size() as f32;
+        for g in &mut self.buf {
+            *g *= scale;
+        }
+        let mut off = 0usize;
+        let buf = &self.buf;
+        model.visit_params_mut(&mut |p| {
+            let len = p.grad.len();
+            p.grad.as_mut_slice().copy_from_slice(&buf[off..off + len]);
+            off += len;
+        });
+    }
+
+    /// Comm wait accumulated by `finish` since the last take (the
+    /// *blocking* tail only — overlapped comm costs nothing here).
+    pub fn take_comm_wait(&mut self) -> Duration {
+        std::mem::take(&mut self.comm_wait)
+    }
+
+    /// Fraction of the last step's allreduce schedule that completed
+    /// before `finish` had to block, in `0..=1`.
+    pub fn overlap_fraction(&self) -> f64 {
+        self.overlap_frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::FusedGradients;
+    use crate::model::{mlp, OutputActivation};
+    use ltfb_comm::run_world;
+    use ltfb_tensor::{mix_seed, seeded_rng};
+
+    fn test_model(seed: u64) -> Sequential {
+        let mut rng = seeded_rng(mix_seed(&[7, seed]));
+        mlp(&[5, 16, 12, 3], 0.1, OutputActivation::LinearOut, &mut rng)
+    }
+
+    fn seed_grads(m: &mut Sequential, rank: usize) {
+        let mut k = 0u32;
+        m.visit_params_mut(&mut |p| {
+            for g in p.grad.as_mut_slice() {
+                *g = ((rank as u32 * 131 + k) as f32 * 0.37).sin();
+                k += 1;
+            }
+        });
+    }
+
+    /// Driving the engine through the hook protocol in reverse-layer
+    /// order yields gradients bit-identical to FusedGradients.
+    #[test]
+    fn overlapped_bit_identical_to_fused() {
+        run_world(4, |comm| {
+            let mut reference = test_model(0);
+            let mut overlapped = test_model(0);
+            seed_grads(&mut reference, comm.rank());
+            seed_grads(&mut overlapped, comm.rank());
+
+            let mut fused = FusedGradients::with_subchunks(3);
+            fused.allreduce(&mut reference, &comm);
+
+            let mut ov = OverlappedGradients::with_config(64, 3);
+            ov.begin(&overlapped, &comm);
+            for i in (0..overlapped.layers().len()).rev() {
+                let layer = &overlapped.layers()[i];
+                ov.layer_done(i, layer.as_ref(), &comm);
+            }
+            ov.finish(&mut overlapped, &comm);
+
+            for (a, b) in reference.params().iter().zip(overlapped.params()) {
+                let ab: Vec<u32> = a.grad.as_slice().iter().map(|x| x.to_bits()).collect();
+                let bb: Vec<u32> = b.grad.as_slice().iter().map(|x| x.to_bits()).collect();
+                assert_eq!(ab, bb, "overlapped allreduce drifted from fused");
+            }
+
+            // Steady state: second step must not regrow the buffer.
+            let cap = ov.capacity();
+            seed_grads(&mut overlapped, comm.rank() + 1);
+            ov.begin(&overlapped, &comm);
+            for i in (0..overlapped.layers().len()).rev() {
+                let layer = &overlapped.layers()[i];
+                ov.layer_done(i, layer.as_ref(), &comm);
+            }
+            ov.finish(&mut overlapped, &comm);
+            assert_eq!(ov.capacity(), cap, "overlap staging buffer reallocated");
+            assert!(ov.take_comm_wait() > Duration::ZERO);
+        });
+    }
+
+    /// Single-rank: the whole protocol is a no-op and grads survive.
+    #[test]
+    fn single_rank_overlap_is_noop() {
+        run_world(1, |comm| {
+            let mut m = test_model(0);
+            seed_grads(&mut m, 0);
+            let before: Vec<f32> = m
+                .params()
+                .iter()
+                .flat_map(|p| p.grad.as_slice().to_vec())
+                .collect();
+            let mut ov = OverlappedGradients::new();
+            ov.begin(&m, &comm);
+            for i in (0..m.layers().len()).rev() {
+                let layer = &m.layers()[i];
+                ov.layer_done(i, layer.as_ref(), &comm);
+            }
+            ov.finish(&mut m, &comm);
+            let after: Vec<f32> = m
+                .params()
+                .iter()
+                .flat_map(|p| p.grad.as_slice().to_vec())
+                .collect();
+            assert_eq!(before, after);
+            assert_eq!(ov.take_comm_wait(), Duration::ZERO);
+        });
+    }
+}

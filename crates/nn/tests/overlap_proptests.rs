@@ -1,0 +1,101 @@
+//! Property tests for the gradient-bucket partitioner: for any model
+//! shape and any bucket bound, the plan must (a) cover every gradient
+//! element exactly once, (b) respect the size bound except for single
+//! oversized layers, and (c) release buckets in reverse-layer order
+//! (suffix-first over the flat buffer) — the invariant the overlap
+//! engine's readiness watermark depends on.
+
+use ltfb_nn::{mlp, BucketPlan, OutputActivation, Sequential};
+use ltfb_tensor::{mix_seed, seeded_rng};
+use proptest::prelude::*;
+
+fn model_from(widths: &[usize], seed: u64) -> Sequential {
+    let mut rng = seeded_rng(mix_seed(&[11, seed]));
+    mlp(widths, 0.1, OutputActivation::LinearOut, &mut rng)
+}
+
+/// Strategy: 2–5 layer widths in 1..=24 plus a bucket bound and a seed.
+fn plan_inputs() -> impl Strategy<Value = (Vec<usize>, usize, u64)> {
+    (
+        proptest::collection::vec(1usize..=24, 2..6),
+        1usize..=600,
+        any::<u64>(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every gradient element is covered by exactly one bucket, buckets
+    /// tile the flat buffer contiguously, and walking buckets in
+    /// readiness order walks the buffer as a shrinking suffix.
+    #[test]
+    fn buckets_cover_exactly_and_suffix_first((widths, max_elems, seed) in plan_inputs()) {
+        let model = model_from(&widths, seed);
+        let plan = BucketPlan::build(&model, max_elems);
+        let total = plan.total_elems();
+        prop_assert_eq!(total, model.num_params());
+
+        // Readiness order = reverse layer order = shrinking suffix.
+        let mut expect_hi = total;
+        for b in plan.buckets() {
+            prop_assert_eq!(b.hi, expect_hi, "bucket ranges must tile back-to-front");
+            prop_assert!(b.lo <= b.hi);
+            prop_assert!(b.first_layer <= b.last_layer);
+            expect_hi = b.lo;
+        }
+        prop_assert_eq!(expect_hi, 0, "buckets must cover down to element 0");
+
+        // Layer ranges partition [0, total) and agree with bucket_of.
+        let mut covered = vec![0u8; total];
+        for i in 0..model.layers().len() {
+            let (lo, hi) = plan.layer_range(i);
+            for c in &mut covered[lo..hi] {
+                *c += 1;
+            }
+            let b = plan.bucket_of(i);
+            prop_assert!(plan.buckets()[b].lo <= lo && hi <= plan.buckets()[b].hi,
+                "layer {} range outside its bucket", i);
+        }
+        prop_assert!(covered.iter().all(|&c| c == 1), "element covered != once");
+    }
+
+    /// The size bound holds for every bucket containing more than one
+    /// param-bearing layer; an over-bound bucket is only legal when a
+    /// single layer alone exceeds the bound.
+    #[test]
+    fn bucket_size_bound_respected((widths, max_elems, seed) in plan_inputs()) {
+        let model = model_from(&widths, seed);
+        let plan = BucketPlan::build(&model, max_elems);
+        for b in plan.buckets() {
+            let elems = b.hi - b.lo;
+            if elems > max_elems {
+                // Must be a lone oversized layer (plus free-riding
+                // parameterless layers contributing zero elements).
+                let mut nonzero_layers = 0;
+                let mut biggest = 0;
+                for i in b.first_layer..=b.last_layer {
+                    let (lo, hi) = plan.layer_range(i);
+                    if hi > lo {
+                        nonzero_layers += 1;
+                        biggest = biggest.max(hi - lo);
+                    }
+                }
+                prop_assert_eq!(nonzero_layers, 1,
+                    "over-bound bucket must hold exactly one param layer");
+                prop_assert!(biggest > max_elems);
+            }
+        }
+    }
+
+    /// Bucket count is monotone: a smaller bound never yields fewer
+    /// buckets, and a bound >= total yields exactly one bucket.
+    #[test]
+    fn bound_extremes((widths, max_elems, seed) in plan_inputs()) {
+        let model = model_from(&widths, seed);
+        let fine = BucketPlan::build(&model, max_elems).buckets().len();
+        let coarse = BucketPlan::build(&model, model.num_params().max(1)).buckets().len();
+        prop_assert_eq!(coarse, 1);
+        prop_assert!(fine >= coarse);
+    }
+}

@@ -48,7 +48,20 @@ need "$LTFB_JSON" 'train\.alloc_bytes_per_step' "hot-path allocation gauge"
 need "$LTFB_JSON" 'train\.prefetch_hit' "datastore prefetch hit counter"
 need "$LTFB_JSON" 'train\.prefetch_stall_ms' "datastore prefetch stall gauge"
 need "$LTFB_JSON" 'comm\.r0\.allreduce_chunk_inflight' "allreduce overlap gauge"
+need "$LTFB_JSON" 'train\.comm_wait_ms' "comm-wait histogram (split from step latency)"
+need "$LTFB_JSON" 'train\.overlap_frac' "overlap-hiding fraction gauge"
+need "$LTFB_JSON" 'comm\.r0\.bucket_inflight' "gradient-bucket inflight gauge"
 echo "    ok: $LTFB_JSON"
+
+echo "==> two-level (data-parallel) train export"
+"$CLI" train --trainers 2 --steps 30 --ae-steps 20 --samples 256 \
+    --exchange 10 --eval 15 --replicas 2 --metrics >/dev/null
+[[ -f "$LTFB_JSON" ]] || { echo "metrics_smoke: $LTFB_JSON not written" >&2; exit 1; }
+need "$LTFB_JSON" 'train\.comm_wait_ms' "two-level comm-wait histogram"
+need "$LTFB_JSON" 'train\.overlap_frac' "two-level overlap fraction"
+need "$LTFB_JSON" 'comm\.r3\.bucket_inflight' "per-replica bucket inflight gauge"
+need "$LTFB_JSON" 'ltfb\.step_us' "two-level step latency histogram"
+echo "    ok: $LTFB_JSON (two-level)"
 
 echo "==> serve-bench export"
 "$CLI" serve-bench --clients 4 --requests 100 --metrics >/dev/null

@@ -88,6 +88,34 @@ awk -v f="$fresh_ratio" -v c="$committed_ratio" \
     exit 1
 }
 
+# Backward-overlapped data-parallel gates (the "overlap" block). Both
+# figures come from the same fresh multi-rank run, so they are
+# host-speed independent: (a) the overlapped path must keep at least
+# 80% of the committed overlapped/serialized steps/sec ratio, and
+# (b) the overlapped path must spend strictly less time blocked on the
+# gradient allreduce than the serialized path — the whole point of the
+# bucketed nonblocking engine.
+fresh_ov_ratio=$(json_block_num "$FRESH/BENCH_train.json" overlap speedup)
+committed_ov_ratio=$(json_block_num BENCH_train.json overlap speedup)
+fresh_wait_ser=$(json_block_num "$FRESH/BENCH_train.json" overlap comm_wait_ms_per_step_serialized)
+fresh_wait_ov=$(json_block_num "$FRESH/BENCH_train.json" overlap comm_wait_ms_per_step_overlapped)
+fresh_ov_bits=$(json_block_num "$FRESH/BENCH_train.json" overlap ranks)
+[[ -n "$fresh_ov_ratio" && -n "$committed_ov_ratio" && -n "$fresh_wait_ser" && -n "$fresh_wait_ov" && -n "$fresh_ov_bits" ]] || {
+    echo "perf_smoke: failed to parse overlap block from train bench JSON" >&2
+    exit 1
+}
+echo "==> gate: overlapped/serialized steps/sec ratio $fresh_ov_ratio within 20% of committed $committed_ov_ratio"
+awk -v f="$fresh_ov_ratio" -v c="$committed_ov_ratio" \
+    'BEGIN { exit (f >= 0.8 * c ? 0 : 1) }' || {
+    echo "perf_smoke: FAIL — overlapped DP throughput regressed: fresh ratio $fresh_ov_ratio vs committed $committed_ov_ratio (floor: 0.8x)" >&2
+    exit 1
+}
+echo "==> gate: overlapped comm wait $fresh_wait_ov ms/step < serialized $fresh_wait_ser ms/step"
+awk -v o="$fresh_wait_ov" -v s="$fresh_wait_ser" 'BEGIN { exit (o < s ? 0 : 1) }' || {
+    echo "perf_smoke: FAIL — overlap engine no longer hides comm: overlapped wait $fresh_wait_ov ms/step >= serialized $fresh_wait_ser ms/step" >&2
+    exit 1
+}
+
 for ratio in simd_vs_scalar simd_vs_naive; do
     fresh=$(json_block_num "$FRESH/BENCH_kernels.json" ratios "$ratio")
     committed=$(json_block_num BENCH_kernels.json ratios "$ratio")

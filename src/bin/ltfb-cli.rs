@@ -29,8 +29,8 @@ use ltfb::comm::FaultPlan;
 use ltfb::core::{
     record_run_outcome, run_classifier_population, run_k_independent, run_ltfb_distributed,
     run_ltfb_distributed_ft, run_ltfb_distributed_ft_obs, run_ltfb_distributed_obs,
-    run_ltfb_serial, run_ltfb_serial_obs, run_ltfb_two_level, run_ltfb_with_failures, LtfbConfig,
-    PartitionScheme,
+    run_ltfb_serial, run_ltfb_serial_obs, run_ltfb_two_level, run_ltfb_two_level_obs,
+    run_ltfb_with_failures, LtfbConfig, PartitionScheme,
 };
 use ltfb::hpcsim::{
     dp_placement, evaluate_config, paper_sweep, IngestMode, MachineSpec, TrainingModel,
@@ -373,20 +373,21 @@ fn store_demo(arg: &str, seed: u64, metrics: Option<&Registry>) -> bool {
     identical
 }
 
-/// Data-parallel overlap demo phase: a 2-replica pair drives fused
-/// workspace training steps (`dp_train_step_ws` — persistent fused
-/// gradient buffer over the chunked pipelined ring allreduce), so a
-/// `--metrics` run exports a live `comm.rN.allreduce_chunk_inflight`
-/// peak alongside the training metrics — direct evidence that subchunk
-/// send `k+1` overlaps reduce `k`. Like `ingest_demo`, the same work
-/// runs with or without a registry so the metrics-overhead smoke
-/// compares identical runs.
+/// Data-parallel overlap demo phase: a 2-replica pair drives
+/// backward-overlapped training steps (`dp_train_step_overlapped` —
+/// bucketed gradients over the nonblocking chunked ring allreduce), so a
+/// `--metrics` run exports live `comm.rN.allreduce_chunk_inflight` and
+/// `comm.rN.bucket_inflight` peaks alongside the training metrics —
+/// direct evidence that subchunk send `k+1` overlaps reduce `k` and that
+/// buckets enter the engine while backward is still running. Like
+/// `ingest_demo`, the same work runs with or without a registry so the
+/// metrics-overhead smoke compares identical runs.
 fn dp_demo(seed: u64, metrics: Option<&Registry>) {
     use ltfb::comm::{run_world, run_world_obs};
-    use ltfb::core::dp_train_step_ws;
+    use ltfb::core::{dp_train_step_overlapped, DpOverlap};
     use ltfb::gan::{batch_from_samples, CycleGan, CycleGanConfig};
     use ltfb::jag::{r2_point, JagSimulator, Sample};
-    use ltfb::nn::{FusedGradients, Workspace};
+    use ltfb::nn::Workspace;
 
     const RANKS: usize = 2;
     const MB: usize = 16;
@@ -408,11 +409,11 @@ fn dp_demo(seed: u64, metrics: Option<&Registry>) {
         let (lo, hi) = (comm.rank() * shard, (comm.rank() + 1) * shard);
         let mut gan = CycleGan::new(cfg, seed);
         let mut ws = Workspace::new();
-        let mut fused = FusedGradients::new();
+        let mut ov = DpOverlap::new();
         for step in 0..STEPS {
             let (x, y) = &batches[step % batches.len()];
             let (xs, ys) = (x.slice_rows(lo, hi), y.slice_rows(lo, hi));
-            dp_train_step_ws(&mut gan, &xs, &ys, &comm, &mut ws, &mut fused);
+            dp_train_step_overlapped(&mut gan, &xs, &ys, &comm, &mut ws, &mut ov);
         }
         gan.generator_fingerprint()
     };
@@ -421,7 +422,7 @@ fn dp_demo(seed: u64, metrics: Option<&Registry>) {
         None => run_world(RANKS, body),
     };
     let consistent = fps.windows(2).all(|w| w[0] == w[1]);
-    println!("dp demo: {RANKS} replicas, {STEPS} fused-allreduce steps, replicas consistent: {consistent}");
+    println!("dp demo: {RANKS} replicas, {STEPS} overlapped-allreduce steps, replicas consistent: {consistent}");
 }
 
 fn build_cfg(flags: &Flags) -> LtfbConfig {
@@ -465,10 +466,10 @@ fn train(flags: &Flags) -> ExitCode {
     }
     if replicas > 1 {
         println!("(two-level: {replicas} data-parallel replicas per trainer)");
-        if metrics.is_some() {
-            eprintln!("(--metrics is not recorded for two-level runs)");
-        }
-        let out = run_ltfb_two_level(&cfg, replicas);
+        let out = match &metrics {
+            Some(reg) => run_ltfb_two_level_obs(&cfg, replicas, reg),
+            None => run_ltfb_two_level(&cfg, replicas),
+        };
         for (t, h) in out.histories.iter().enumerate() {
             let pts: Vec<String> = h
                 .points()
@@ -482,6 +483,9 @@ fn train(flags: &Flags) -> ExitCode {
             "adoptions: {}  best: trainer {best} @ {loss:.4}  replicas consistent: {}",
             out.adoptions, out.replicas_consistent
         );
+        if let Some(reg) = &metrics {
+            write_metrics(reg, &metrics_path(flags, "ltfb_metrics.json"));
+        }
         return ExitCode::SUCCESS;
     }
     let out = if flags.has("kindep") {
